@@ -1,0 +1,318 @@
+//! Approximate attention baselines: sliding-window and attention-sink
+//! (StreamingLLM-style) masks.
+//!
+//! The paper positions exact context parallelism *against* approximation
+//! (§2.2 surveys window/local attention; the conclusion argues exact CP
+//! should eventually be combined with approximate retrieval beyond 1M
+//! tokens). These kernels make that comparison concrete: both reuse the
+//! exact blocked kernel with a restricted visibility predicate, so their
+//! compute saving and their deviation from exact attention can be
+//! measured side by side in the benches.
+
+use crate::naive::check_positions;
+use crate::{AttentionError, AttentionOutput, AttentionParams, PAD};
+use cp_tensor::{softmax_row_in_place, Tensor};
+
+/// Visibility policies for approximate causal attention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApproxPolicy {
+    /// Sliding window: query at position `p` sees kv in
+    /// `[p - window + 1, p]`.
+    Window {
+        /// Window length in tokens (≥ 1 sees at least itself).
+        window: usize,
+    },
+    /// Attention sinks: the first `sinks` positions of the sequence stay
+    /// visible to everyone, plus a sliding window (Xiao et al. 2023).
+    SinkWindow {
+        /// Always-visible prefix length.
+        sinks: usize,
+        /// Sliding-window length.
+        window: usize,
+    },
+}
+
+impl ApproxPolicy {
+    /// Whether a query at `q_pos` may attend a kv at `kv_pos` (both
+    /// global positions; the causal rule is applied first).
+    pub fn visible(&self, q_pos: usize, kv_pos: usize) -> bool {
+        if kv_pos > q_pos {
+            return false;
+        }
+        match *self {
+            ApproxPolicy::Window { window } => q_pos - kv_pos < window.max(1),
+            ApproxPolicy::SinkWindow { sinks, window } => {
+                kv_pos < sinks || q_pos - kv_pos < window.max(1)
+            }
+        }
+    }
+
+    /// Number of kv entries a query at position `p` attends under this
+    /// policy (vs `p + 1` for exact causal attention) — the compute
+    /// saving.
+    pub fn visible_count(&self, q_pos: usize) -> usize {
+        match *self {
+            ApproxPolicy::Window { window } => window.max(1).min(q_pos + 1),
+            ApproxPolicy::SinkWindow { sinks, window } => {
+                let w = window.max(1).min(q_pos + 1);
+                let s = sinks.min(q_pos + 1);
+                // Overlap when the window reaches back into the sinks.
+                let overlap = (s + w).saturating_sub(q_pos + 1);
+                s + w - overlap
+            }
+        }
+    }
+}
+
+/// Approximate GQA attention under `policy` — same inputs and outputs as
+/// [`crate::naive_gqa_attention`], restricted visibility.
+///
+/// # Errors
+///
+/// Same conditions as [`crate::naive_gqa_attention`].
+#[allow(clippy::needless_range_loop)] // parallel-indexing kernel: q_pos/kv_pos/rows move together
+pub fn approx_gqa_attention(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    params: &AttentionParams,
+    q_pos: &[usize],
+    kv_pos: &[usize],
+    policy: ApproxPolicy,
+) -> Result<AttentionOutput, AttentionError> {
+    let shape = &params.shape;
+    let t_q = shape.check_q(q)?;
+    let t_k = shape.check_kv(k, "k")?;
+    let t_v = shape.check_kv(v, "v")?;
+    if t_k != t_v {
+        return Err(AttentionError::BadTensorShape {
+            input: "v",
+            expected: vec![t_k, shape.n_kv_heads(), shape.head_dim()],
+            actual: v.shape().to_vec(),
+        });
+    }
+    check_positions("q_pos", t_q, q_pos)?;
+    check_positions("kv_pos", t_k, kv_pos)?;
+
+    let (n_heads, dh) = (shape.n_heads(), shape.head_dim());
+    let mut out = Tensor::zeros(&[t_q, n_heads, dh]);
+    let mut lse = Tensor::full(&[t_q, n_heads], f32::NEG_INFINITY);
+    let mut scores = vec![0.0f32; t_k];
+    for qi in 0..t_q {
+        let qrow = q.row(qi);
+        for h in 0..n_heads {
+            let kvh = shape.kv_head_for(h);
+            let qvec = &qrow[h * dh..(h + 1) * dh];
+            for (ki, score) in scores.iter_mut().enumerate() {
+                *score = if kv_pos[ki] == PAD || !policy.visible(q_pos[qi], kv_pos[ki]) {
+                    f32::NEG_INFINITY
+                } else {
+                    let kvec = &k.row(ki)[kvh * dh..(kvh + 1) * dh];
+                    let dot: f32 = qvec.iter().zip(kvec).map(|(a, b)| a * b).sum();
+                    dot * params.scale
+                };
+            }
+            let row_lse = softmax_row_in_place(&mut scores);
+            if row_lse == f32::NEG_INFINITY {
+                continue;
+            }
+            lse.set(&[qi, h], row_lse).expect("in bounds");
+            let orow = out.row_mut(qi);
+            for (ki, &w) in scores.iter().enumerate() {
+                if w == 0.0 {
+                    continue;
+                }
+                let vvec = &v.row(ki)[kvh * dh..(kvh + 1) * dh];
+                for (d, &x) in vvec.iter().enumerate() {
+                    orow[h * dh + d] += w * x;
+                }
+            }
+        }
+    }
+    AttentionOutput::new(out, lse)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{naive_gqa_attention, GqaShape};
+    use cp_tensor::DetRng;
+
+    fn params() -> AttentionParams {
+        AttentionParams::for_shape(GqaShape::new(2, 1, 8).unwrap())
+    }
+
+    fn inputs(t: usize, seed: u64) -> (Tensor, Tensor, Tensor, Vec<usize>) {
+        let mut rng = DetRng::new(seed);
+        (
+            rng.tensor(&[t, 2, 8]),
+            rng.tensor(&[t, 1, 8]),
+            rng.tensor(&[t, 1, 8]),
+            (0..t).collect(),
+        )
+    }
+
+    #[test]
+    fn huge_window_equals_exact() {
+        let p = params();
+        let (q, k, v, pos) = inputs(20, 1);
+        let exact = naive_gqa_attention(&q, &k, &v, &p, &pos, &pos).unwrap();
+        let approx = approx_gqa_attention(
+            &q,
+            &k,
+            &v,
+            &p,
+            &pos,
+            &pos,
+            ApproxPolicy::Window { window: 1000 },
+        )
+        .unwrap();
+        assert!(approx.out.approx_eq(&exact.out, 1e-5).unwrap());
+        assert!(approx.lse.approx_eq(&exact.lse, 1e-5).unwrap());
+    }
+
+    #[test]
+    fn window_one_attends_only_self() {
+        let p = params();
+        let (q, k, v, pos) = inputs(6, 2);
+        let approx = approx_gqa_attention(
+            &q,
+            &k,
+            &v,
+            &p,
+            &pos,
+            &pos,
+            ApproxPolicy::Window { window: 1 },
+        )
+        .unwrap();
+        // Each token's output is exactly its own V (softmax over one).
+        for t in 0..6 {
+            for h in 0..2 {
+                for d in 0..8 {
+                    assert!(
+                        (approx.out.at(&[t, h, d]).unwrap() - v.at(&[t, 0, d]).unwrap()).abs()
+                            < 1e-5
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sink_window_keeps_prefix_visible() {
+        let policy = ApproxPolicy::SinkWindow {
+            sinks: 2,
+            window: 3,
+        };
+        assert!(policy.visible(100, 0)); // sink
+        assert!(policy.visible(100, 1)); // sink
+        assert!(!policy.visible(100, 50)); // mid-context dropped
+        assert!(policy.visible(100, 98)); // window
+        assert!(policy.visible(100, 100)); // self
+        assert!(!policy.visible(5, 6)); // causality still holds
+    }
+
+    #[test]
+    fn visible_count_accounting() {
+        let w = ApproxPolicy::Window { window: 4 };
+        assert_eq!(w.visible_count(0), 1);
+        assert_eq!(w.visible_count(2), 3);
+        assert_eq!(w.visible_count(100), 4);
+        let sw = ApproxPolicy::SinkWindow {
+            sinks: 2,
+            window: 4,
+        };
+        assert_eq!(sw.visible_count(100), 6);
+        // Early positions: sinks and window overlap; never more than p+1.
+        assert_eq!(sw.visible_count(0), 1);
+        assert_eq!(sw.visible_count(3), 4);
+        assert_eq!(sw.visible_count(5), 6);
+    }
+
+    #[test]
+    fn approximation_error_grows_as_window_shrinks() {
+        let p = params();
+        let (q, k, v, pos) = inputs(64, 3);
+        let exact = naive_gqa_attention(&q, &k, &v, &p, &pos, &pos).unwrap();
+        let mut last_err = 0.0f32;
+        for window in [64usize, 16, 4, 1] {
+            let approx =
+                approx_gqa_attention(&q, &k, &v, &p, &pos, &pos, ApproxPolicy::Window { window })
+                    .unwrap();
+            let err = exact.out.max_abs_diff(&approx.out).unwrap();
+            assert!(
+                err >= last_err - 1e-6,
+                "window {window}: {err} < {last_err}"
+            );
+            last_err = err;
+        }
+        assert!(last_err > 0.01, "window=1 should deviate visibly");
+    }
+
+    #[test]
+    fn sinks_reduce_error_vs_pure_window() {
+        // StreamingLLM's observation, reproduced numerically: keeping the
+        // first tokens visible lowers deviation from exact attention for
+        // most inputs (softmax mass concentrates early).
+        let p = params();
+        let mut total_window = 0.0f64;
+        let mut total_sink = 0.0f64;
+        for seed in 0..8 {
+            let (q, k, v, pos) = inputs(48, 100 + seed);
+            let exact = naive_gqa_attention(&q, &k, &v, &p, &pos, &pos).unwrap();
+            let w = approx_gqa_attention(
+                &q,
+                &k,
+                &v,
+                &p,
+                &pos,
+                &pos,
+                ApproxPolicy::Window { window: 8 },
+            )
+            .unwrap();
+            let sw = approx_gqa_attention(
+                &q,
+                &k,
+                &v,
+                &p,
+                &pos,
+                &pos,
+                ApproxPolicy::SinkWindow {
+                    sinks: 4,
+                    window: 8,
+                },
+            )
+            .unwrap();
+            total_window += exact.out.max_abs_diff(&w.out).unwrap() as f64;
+            total_sink += exact.out.max_abs_diff(&sw.out).unwrap() as f64;
+        }
+        assert!(total_sink < total_window, "{total_sink} vs {total_window}");
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let p = params();
+        let (q, k, v, pos) = inputs(4, 4);
+        assert!(approx_gqa_attention(
+            &q,
+            &k,
+            &v,
+            &p,
+            &pos[..3],
+            &pos,
+            ApproxPolicy::Window { window: 2 },
+        )
+        .is_err());
+        let bad_v = Tensor::zeros(&[3, 1, 8]);
+        assert!(approx_gqa_attention(
+            &q,
+            &k,
+            &bad_v,
+            &p,
+            &pos,
+            &pos,
+            ApproxPolicy::Window { window: 2 },
+        )
+        .is_err());
+    }
+}

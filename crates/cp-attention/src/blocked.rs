@@ -1,0 +1,254 @@
+//! Flash-style blocked attention with online softmax.
+
+use crate::naive::check_positions;
+use crate::{AttentionError, AttentionOutput, AttentionParams, PAD};
+use cp_tensor::Tensor;
+
+/// Exact GQA attention computed in KV blocks with an online softmax, the
+/// structure of FlashAttention (Dao et al.) / the paper's FA3 kernels.
+///
+/// Mathematically identical to [`crate::naive_gqa_attention`] — the running
+/// `(max, sum, accumulator)` triple per (query, head) is the same rescaling
+/// trick merge attention uses, applied block-by-block — but it never
+/// materialises the full `t_q x t_kv` score matrix, so its working set is
+/// `O(block_size)` per query. Property tests pin it to the naive kernel.
+///
+/// # Errors
+///
+/// Same conditions as [`crate::naive_gqa_attention`]; additionally
+/// `block_size` must be positive.
+///
+/// # Example
+///
+/// ```
+/// use cp_attention::{blocked_gqa_attention, naive_gqa_attention, AttentionParams, GqaShape};
+/// use cp_tensor::DetRng;
+///
+/// # fn main() -> Result<(), cp_attention::AttentionError> {
+/// let params = AttentionParams::for_shape(GqaShape::new(2, 2, 4)?);
+/// let mut rng = DetRng::new(3);
+/// let q = rng.tensor(&[5, 2, 4]);
+/// let k = rng.tensor(&[5, 2, 4]);
+/// let v = rng.tensor(&[5, 2, 4]);
+/// let pos: Vec<usize> = (0..5).collect();
+/// let fast = blocked_gqa_attention(&q, &k, &v, &params, &pos, &pos, 2)?;
+/// let slow = naive_gqa_attention(&q, &k, &v, &params, &pos, &pos)?;
+/// assert!(fast.out.approx_eq(&slow.out, 1e-4).unwrap());
+/// # Ok(())
+/// # }
+/// ```
+#[allow(clippy::needless_range_loop)] // parallel-indexing kernel: q_pos/kv_pos/rows move together
+pub fn blocked_gqa_attention(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    params: &AttentionParams,
+    q_pos: &[usize],
+    kv_pos: &[usize],
+    block_size: usize,
+) -> Result<AttentionOutput, AttentionError> {
+    if block_size == 0 {
+        return Err(AttentionError::InvalidShape {
+            reason: "block_size must be positive".to_string(),
+        });
+    }
+    let shape = &params.shape;
+    let t_q = shape.check_q(q)?;
+    let t_k = shape.check_kv(k, "k")?;
+    let t_v = shape.check_kv(v, "v")?;
+    if t_k != t_v {
+        return Err(AttentionError::BadTensorShape {
+            input: "v",
+            expected: vec![t_k, shape.n_kv_heads(), shape.head_dim()],
+            actual: v.shape().to_vec(),
+        });
+    }
+    check_positions("q_pos", t_q, q_pos)?;
+    check_positions("kv_pos", t_k, kv_pos)?;
+
+    let (n_heads, dh) = (shape.n_heads(), shape.head_dim());
+    let mut out = Tensor::zeros(&[t_q, n_heads, dh]);
+    let mut lse = Tensor::full(&[t_q, n_heads], f32::NEG_INFINITY);
+
+    // Per (query, head) online-softmax state across kv blocks.
+    // m: running max score; l: running sum of exp(score - m);
+    // acc: running sum of exp(score - m) * v.
+    let mut m_state = vec![f32::NEG_INFINITY; t_q * n_heads];
+    let mut l_state = vec![0.0f32; t_q * n_heads];
+    let mut acc = vec![0.0f32; t_q * n_heads * dh];
+
+    let mut block_start = 0;
+    while block_start < t_k {
+        let block_end = (block_start + block_size).min(t_k);
+        for qi in 0..t_q {
+            let qrow = q.row(qi);
+            for h in 0..n_heads {
+                let kvh = shape.kv_head_for(h);
+                let qvec = &qrow[h * dh..(h + 1) * dh];
+                let s_idx = qi * n_heads + h;
+
+                // Block max for the rescale.
+                let mut block_m = f32::NEG_INFINITY;
+                let mut scores = Vec::with_capacity(block_end - block_start);
+                for ki in block_start..block_end {
+                    let s = if kv_pos[ki] == PAD || kv_pos[ki] > q_pos[qi] {
+                        f32::NEG_INFINITY
+                    } else {
+                        let kvec = &k.row(ki)[kvh * dh..(kvh + 1) * dh];
+                        let dot: f32 = qvec.iter().zip(kvec).map(|(a, b)| a * b).sum();
+                        dot * params.scale
+                    };
+                    block_m = block_m.max(s);
+                    scores.push(s);
+                }
+                if block_m == f32::NEG_INFINITY {
+                    continue; // entire block masked for this query
+                }
+                let new_m = m_state[s_idx].max(block_m);
+                let rescale = if m_state[s_idx] == f32::NEG_INFINITY {
+                    0.0
+                } else {
+                    (m_state[s_idx] - new_m).exp()
+                };
+                l_state[s_idx] *= rescale;
+                let a = &mut acc[s_idx * dh..(s_idx + 1) * dh];
+                for x in a.iter_mut() {
+                    *x *= rescale;
+                }
+                for (off, &s) in scores.iter().enumerate() {
+                    if s == f32::NEG_INFINITY {
+                        continue;
+                    }
+                    let w = (s - new_m).exp();
+                    l_state[s_idx] += w;
+                    let ki = block_start + off;
+                    let vvec = &v.row(ki)[kvh * dh..(kvh + 1) * dh];
+                    for (d, &x) in vvec.iter().enumerate() {
+                        a[d] += w * x;
+                    }
+                }
+                m_state[s_idx] = new_m;
+            }
+        }
+        block_start = block_end;
+    }
+
+    // Finalise: out = acc / l, lse = m + ln(l).
+    for qi in 0..t_q {
+        for h in 0..n_heads {
+            let s_idx = qi * n_heads + h;
+            if m_state[s_idx] == f32::NEG_INFINITY {
+                continue;
+            }
+            let l = l_state[s_idx];
+            lse.set(&[qi, h], m_state[s_idx] + l.ln())
+                .expect("in bounds");
+            let orow = out.row_mut(qi);
+            let a = &acc[s_idx * dh..(s_idx + 1) * dh];
+            for (d, &x) in a.iter().enumerate() {
+                orow[h * dh + d] = x / l;
+            }
+        }
+    }
+    AttentionOutput::new(out, lse)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{naive_gqa_attention, GqaShape};
+    use cp_tensor::DetRng;
+
+    fn params(nh: usize, nkv: usize, dh: usize) -> AttentionParams {
+        AttentionParams::for_shape(GqaShape::new(nh, nkv, dh).unwrap())
+    }
+
+    fn compare_with_naive(t_q: usize, t_kv: usize, p: &AttentionParams, block: usize, seed: u64) {
+        let mut rng = DetRng::new(seed);
+        let shape = p.shape;
+        let q = rng.tensor(&[t_q, shape.n_heads(), shape.head_dim()]);
+        let k = rng.tensor(&[t_kv, shape.n_kv_heads(), shape.head_dim()]);
+        let v = rng.tensor(&[t_kv, shape.n_kv_heads(), shape.head_dim()]);
+        // Use overlapping position spaces: queries at the tail.
+        let kv_pos: Vec<usize> = (0..t_kv).collect();
+        let q_pos: Vec<usize> = (t_kv.saturating_sub(t_q)..t_kv).collect();
+        let fast = blocked_gqa_attention(&q, &k, &v, p, &q_pos, &kv_pos, block).unwrap();
+        let slow = naive_gqa_attention(&q, &k, &v, p, &q_pos, &kv_pos).unwrap();
+        assert!(
+            fast.out.approx_eq(&slow.out, 1e-4).unwrap(),
+            "out mismatch: {}",
+            fast.out.max_abs_diff(&slow.out).unwrap()
+        );
+        assert!(fast.lse.approx_eq(&slow.lse, 1e-4).unwrap());
+    }
+
+    #[test]
+    fn matches_naive_various_block_sizes() {
+        let p = params(4, 2, 8);
+        for block in [1, 2, 3, 7, 16, 64] {
+            compare_with_naive(6, 13, &p, block, 42);
+        }
+    }
+
+    #[test]
+    fn matches_naive_block_larger_than_kv() {
+        let p = params(2, 1, 4);
+        compare_with_naive(3, 5, &p, 100, 7);
+    }
+
+    #[test]
+    fn matches_naive_mqa() {
+        let p = params(8, 1, 4);
+        compare_with_naive(4, 9, &p, 3, 1);
+    }
+
+    #[test]
+    fn handles_pad_slots() {
+        let p = params(1, 1, 2);
+        let mut rng = DetRng::new(2);
+        let q = rng.tensor(&[2, 1, 2]);
+        let k = rng.tensor(&[4, 1, 2]);
+        let v = rng.tensor(&[4, 1, 2]);
+        let kv_pos = [0, PAD, 1, PAD];
+        let q_pos = [0, 1];
+        let fast = blocked_gqa_attention(&q, &k, &v, &p, &q_pos, &kv_pos, 2).unwrap();
+        let slow = naive_gqa_attention(&q, &k, &v, &p, &q_pos, &kv_pos).unwrap();
+        assert!(fast.out.approx_eq(&slow.out, 1e-5).unwrap());
+        assert!(fast.lse.approx_eq(&slow.lse, 1e-5).unwrap());
+    }
+
+    #[test]
+    fn fully_masked_query_matches_naive_convention() {
+        let p = params(1, 1, 2);
+        let mut rng = DetRng::new(3);
+        let q = rng.tensor(&[1, 1, 2]);
+        let k = rng.tensor(&[2, 1, 2]);
+        let v = rng.tensor(&[2, 1, 2]);
+        let out = blocked_gqa_attention(&q, &k, &v, &p, &[0], &[5, 6], 1).unwrap();
+        assert_eq!(out.lse.as_slice(), &[f32::NEG_INFINITY]);
+        assert!(out.out.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn rejects_zero_block_size() {
+        let p = params(1, 1, 2);
+        let q = Tensor::zeros(&[1, 1, 2]);
+        let k = Tensor::zeros(&[1, 1, 2]);
+        let v = Tensor::zeros(&[1, 1, 2]);
+        assert!(blocked_gqa_attention(&q, &k, &v, &p, &[0], &[0], 0).is_err());
+    }
+
+    #[test]
+    fn large_score_magnitudes_stay_stable() {
+        // Scores around ±60 would overflow exp without the online max trick.
+        let p = AttentionParams::with_scale(GqaShape::new(1, 1, 1).unwrap(), 60.0);
+        let q = Tensor::from_vec(vec![1.0], &[1, 1, 1]).unwrap();
+        let k = Tensor::from_vec(vec![1.0, -1.0, 0.9], &[3, 1, 1]).unwrap();
+        let v = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3, 1, 1]).unwrap();
+        let pos = [0, 1, 2];
+        let fast = blocked_gqa_attention(&q, &k, &v, &p, &[2], &pos, 1).unwrap();
+        let slow = naive_gqa_attention(&q, &k, &v, &p, &[2], &pos).unwrap();
+        assert!(fast.out.as_slice()[0].is_finite());
+        assert!(fast.out.approx_eq(&slow.out, 1e-4).unwrap());
+    }
+}

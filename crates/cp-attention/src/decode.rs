@@ -1,0 +1,161 @@
+//! Split-KV decode attention (the Flash-Decoding pattern).
+
+use crate::{
+    merge_partials, naive_gqa_attention, AttentionError, AttentionOutput, AttentionParams,
+};
+use cp_tensor::Tensor;
+
+/// Decode-oriented attention that splits the KV sequence into `n_splits`
+/// chunks, computes partial attention against each, and merges the partials
+/// (the Flash-Decoding structure the paper uses with 256 K/V splits).
+///
+/// During decode there is one query per sequence but a very long KV history;
+/// splitting the KV axis is what recovers parallelism. Because the partials
+/// are merged with the exact LSE-weighted formula, the result is identical
+/// to attending over the whole KV at once — which is also precisely the
+/// mechanism ring pass-Q decode relies on across CP ranks, so this kernel
+/// doubles as a single-rank model of it.
+///
+/// # Errors
+///
+/// Same input requirements as [`naive_gqa_attention`]; additionally
+/// `n_splits` must be positive.
+///
+/// # Example
+///
+/// ```
+/// use cp_attention::{flash_decode, naive_gqa_attention, AttentionParams, GqaShape};
+/// use cp_tensor::DetRng;
+///
+/// # fn main() -> Result<(), cp_attention::AttentionError> {
+/// let params = AttentionParams::for_shape(GqaShape::new(4, 1, 8)?);
+/// let mut rng = DetRng::new(8);
+/// let q = rng.tensor(&[1, 4, 8]);          // one decode token
+/// let k = rng.tensor(&[100, 1, 8]);        // long KV history
+/// let v = rng.tensor(&[100, 1, 8]);
+/// let kv_pos: Vec<usize> = (0..100).collect();
+/// let split = flash_decode(&q, &k, &v, &params, &[100], &kv_pos, 8)?;
+/// let full = naive_gqa_attention(&q, &k, &v, &params, &[100], &kv_pos)?;
+/// assert!(split.out.approx_eq(&full.out, 1e-4).unwrap());
+/// # Ok(())
+/// # }
+/// ```
+pub fn flash_decode(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    params: &AttentionParams,
+    q_pos: &[usize],
+    kv_pos: &[usize],
+    n_splits: usize,
+) -> Result<AttentionOutput, AttentionError> {
+    if n_splits == 0 {
+        return Err(AttentionError::InvalidShape {
+            reason: "n_splits must be positive".to_string(),
+        });
+    }
+    let t_kv = params.shape.check_kv(k, "k")?;
+    if t_kv == 0 {
+        // No KV at all: every query is fully masked.
+        let t_q = params.shape.check_q(q)?;
+        return Ok(AttentionOutput::masked(
+            t_q,
+            params.shape.n_heads(),
+            params.shape.head_dim(),
+        ));
+    }
+    let n_splits = n_splits.min(t_kv);
+    let chunk = t_kv.div_ceil(n_splits);
+    let mut partials = Vec::with_capacity(n_splits);
+    let mut start = 0;
+    while start < t_kv {
+        let end = (start + chunk).min(t_kv);
+        let ks = k.slice_dim0(start..end)?;
+        let vs = v.slice_dim0(start..end)?;
+        partials.push(naive_gqa_attention(
+            q,
+            &ks,
+            &vs,
+            params,
+            q_pos,
+            &kv_pos[start..end],
+        )?);
+        start = end;
+    }
+    merge_partials(partials.iter())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GqaShape;
+    use cp_tensor::DetRng;
+
+    fn params(nh: usize, nkv: usize, dh: usize) -> AttentionParams {
+        AttentionParams::for_shape(GqaShape::new(nh, nkv, dh).unwrap())
+    }
+
+    #[test]
+    fn matches_unsplit_for_various_split_counts() {
+        let p = params(4, 2, 8);
+        let mut rng = DetRng::new(77);
+        let q = rng.tensor(&[1, 4, 8]);
+        let k = rng.tensor(&[37, 2, 8]);
+        let v = rng.tensor(&[37, 2, 8]);
+        let kv_pos: Vec<usize> = (0..37).collect();
+        let full = naive_gqa_attention(&q, &k, &v, &p, &[37], &kv_pos).unwrap();
+        for splits in [1, 2, 3, 5, 37, 256] {
+            let s = flash_decode(&q, &k, &v, &p, &[37], &kv_pos, splits).unwrap();
+            assert!(s.out.approx_eq(&full.out, 1e-4).unwrap(), "splits={splits}");
+            assert!(s.lse.approx_eq(&full.lse, 1e-4).unwrap());
+        }
+    }
+
+    #[test]
+    fn batch_of_decode_tokens() {
+        // Decode with batch 3: three queries, each at its own position.
+        let p = params(2, 1, 4);
+        let mut rng = DetRng::new(6);
+        let q = rng.tensor(&[3, 2, 4]);
+        let k = rng.tensor(&[20, 1, 4]);
+        let v = rng.tensor(&[20, 1, 4]);
+        let kv_pos: Vec<usize> = (0..20).collect();
+        let q_pos = [19, 10, 5];
+        let full = naive_gqa_attention(&q, &k, &v, &p, &q_pos, &kv_pos).unwrap();
+        let split = flash_decode(&q, &k, &v, &p, &q_pos, &kv_pos, 4).unwrap();
+        assert!(split.out.approx_eq(&full.out, 1e-4).unwrap());
+    }
+
+    #[test]
+    fn empty_kv_returns_masked() {
+        let p = params(2, 1, 4);
+        let q = DetRng::new(1).tensor(&[2, 2, 4]);
+        let k = Tensor::zeros(&[0, 1, 4]);
+        let v = Tensor::zeros(&[0, 1, 4]);
+        let out = flash_decode(&q, &k, &v, &p, &[0, 1], &[], 4).unwrap();
+        assert_eq!(out.tokens(), 2);
+        assert!(out.lse.as_slice().iter().all(|&l| l == f32::NEG_INFINITY));
+    }
+
+    #[test]
+    fn rejects_zero_splits() {
+        let p = params(1, 1, 2);
+        let q = Tensor::zeros(&[1, 1, 2]);
+        let k = Tensor::zeros(&[1, 1, 2]);
+        let v = Tensor::zeros(&[1, 1, 2]);
+        assert!(flash_decode(&q, &k, &v, &p, &[0], &[0], 0).is_err());
+    }
+
+    #[test]
+    fn more_splits_than_kv_is_clamped() {
+        let p = params(1, 1, 2);
+        let mut rng = DetRng::new(4);
+        let q = rng.tensor(&[1, 1, 2]);
+        let k = rng.tensor(&[3, 1, 2]);
+        let v = rng.tensor(&[3, 1, 2]);
+        let pos = [0, 1, 2];
+        let out = flash_decode(&q, &k, &v, &p, &[2], &pos, 1000).unwrap();
+        let full = naive_gqa_attention(&q, &k, &v, &p, &[2], &pos).unwrap();
+        assert!(out.out.approx_eq(&full.out, 1e-5).unwrap());
+    }
+}

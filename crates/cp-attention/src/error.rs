@@ -1,0 +1,115 @@
+//! Error type for attention kernels.
+
+use std::error::Error;
+use std::fmt;
+
+use cp_tensor::TensorError;
+
+/// Error returned by attention kernels and merge attention.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AttentionError {
+    /// The query/key/value head configuration is invalid (e.g. `n_heads` not
+    /// a multiple of `n_kv_heads`, or a zero dimension).
+    InvalidShape {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A tensor's shape does not match what the kernel expects.
+    BadTensorShape {
+        /// Which input is malformed (`"q"`, `"k"`, `"v"`, `"q_pos"`, ...).
+        input: &'static str,
+        /// Expected shape (elements of 0 mean "any").
+        expected: Vec<usize>,
+        /// Shape actually supplied.
+        actual: Vec<usize>,
+    },
+    /// A position array length disagrees with its tensor's token dimension.
+    PositionLengthMismatch {
+        /// Which position array (`"q_pos"` or `"kv_pos"`).
+        input: &'static str,
+        /// Token count of the corresponding tensor.
+        tokens: usize,
+        /// Length of the supplied position array.
+        positions: usize,
+    },
+    /// Merge attention was given no partial results, or partials with
+    /// disagreeing shapes.
+    BadPartials {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for AttentionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttentionError::InvalidShape { reason } => {
+                write!(f, "invalid attention shape: {reason}")
+            }
+            AttentionError::BadTensorShape {
+                input,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "input `{input}` has shape {actual:?}, expected {expected:?}"
+            ),
+            AttentionError::PositionLengthMismatch {
+                input,
+                tokens,
+                positions,
+            } => write!(f, "`{input}` has {positions} positions for {tokens} tokens"),
+            AttentionError::BadPartials { reason } => {
+                write!(f, "cannot merge partial outputs: {reason}")
+            }
+            AttentionError::Tensor(e) => write!(f, "tensor operation failed: {e}"),
+        }
+    }
+}
+
+impl Error for AttentionError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AttentionError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for AttentionError {
+    fn from(e: TensorError) -> Self {
+        AttentionError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = AttentionError::BadTensorShape {
+            input: "q",
+            expected: vec![0, 4, 8],
+            actual: vec![2, 3, 8],
+        };
+        let s = e.to_string();
+        assert!(s.contains('q'));
+        assert!(s.contains("[2, 3, 8]"));
+    }
+
+    #[test]
+    fn tensor_error_propagates_source() {
+        let e = AttentionError::from(TensorError::EmptyInput);
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AttentionError>();
+    }
+}

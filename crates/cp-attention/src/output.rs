@@ -1,0 +1,299 @@
+//! Attention outputs with per-query LSE, and merge attention (Eq. 4).
+
+use crate::AttentionError;
+use cp_tensor::Tensor;
+
+/// The result of an (possibly partial) attention computation: the output
+/// embeddings and the per-(query, head) log-sum-exp of the attention scores.
+///
+/// The LSE is what makes partial results *mergeable*: given outputs of the
+/// same queries against disjoint KV shards, [`merge_partials`] reconstructs
+/// the exact attention over the concatenated KV (paper Appendix B, Eq. 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttentionOutput {
+    /// Output embeddings, shape `[tokens, n_heads, head_dim]`.
+    pub out: Tensor,
+    /// Log-sum-exp of scores, shape `[tokens, n_heads]`. Fully-masked rows
+    /// hold `f32::NEG_INFINITY` and a zero output row.
+    pub lse: Tensor,
+}
+
+impl AttentionOutput {
+    /// Creates an output pair, validating that shapes are consistent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttentionError::BadTensorShape`] if `out` is not rank 3, or
+    /// `lse` does not have shape `[out.dim0(), out.shape()[1]]`.
+    pub fn new(out: Tensor, lse: Tensor) -> Result<Self, AttentionError> {
+        if out.rank() != 3 {
+            return Err(AttentionError::BadTensorShape {
+                input: "out",
+                expected: vec![0, 0, 0],
+                actual: out.shape().to_vec(),
+            });
+        }
+        let expected = vec![out.shape()[0], out.shape()[1]];
+        if lse.shape() != expected.as_slice() {
+            return Err(AttentionError::BadTensorShape {
+                input: "lse",
+                expected,
+                actual: lse.shape().to_vec(),
+            });
+        }
+        Ok(AttentionOutput { out, lse })
+    }
+
+    /// An all-masked output for `tokens` queries: zero embeddings and
+    /// `NEG_INFINITY` LSEs. Merging this with anything is a no-op.
+    pub fn masked(tokens: usize, n_heads: usize, head_dim: usize) -> Self {
+        AttentionOutput {
+            out: Tensor::zeros(&[tokens, n_heads, head_dim]),
+            lse: Tensor::full(&[tokens, n_heads], f32::NEG_INFINITY),
+        }
+    }
+
+    /// Number of query tokens.
+    pub fn tokens(&self) -> usize {
+        self.out.dim0()
+    }
+
+    /// Number of query heads.
+    pub fn n_heads(&self) -> usize {
+        self.out.shape()[1]
+    }
+
+    /// Per-head embedding dimension.
+    pub fn head_dim(&self) -> usize {
+        self.out.shape()[2]
+    }
+
+    /// Concatenates outputs along the token dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttentionError::BadPartials`] for an empty list or
+    /// mismatched head shapes.
+    pub fn concat_tokens<'a, I>(parts: I) -> Result<Self, AttentionError>
+    where
+        I: IntoIterator<Item = &'a AttentionOutput>,
+    {
+        let parts: Vec<&AttentionOutput> = parts.into_iter().collect();
+        if parts.is_empty() {
+            return Err(AttentionError::BadPartials {
+                reason: "no outputs to concatenate".to_string(),
+            });
+        }
+        let out = Tensor::concat_dim0(parts.iter().map(|p| &p.out))?;
+        let lse = Tensor::concat_dim0(parts.iter().map(|p| &p.lse))?;
+        Ok(AttentionOutput { out, lse })
+    }
+
+    /// Copies the token range `[start, end)` into a new output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates out-of-bounds errors from the underlying tensors.
+    pub fn slice_tokens(&self, start: usize, end: usize) -> Result<Self, AttentionError> {
+        Ok(AttentionOutput {
+            out: self.out.slice_dim0(start..end)?,
+            lse: self.lse.slice_dim0(start..end)?,
+        })
+    }
+}
+
+/// Merge attention (paper Appendix B, Eq. 4): combines partial attention
+/// outputs of the *same queries* against disjoint KV shards into the exact
+/// attention over the union of the shards.
+///
+/// For each query/head, with partial outputs `O_s` and log-sum-exps `LSE_s`:
+///
+/// ```text
+/// O = sum_s O_s * exp(LSE_s - LSE_max) / sum_s exp(LSE_s - LSE_max)
+/// ```
+///
+/// and the merged LSE is `logsumexp_s(LSE_s)` — so merging is associative and
+/// the result of a merge can itself be merged again (the engine relies on
+/// this for hierarchical merges).
+///
+/// Fully-masked partials (`LSE = -inf`) contribute nothing; if *every*
+/// partial is masked for a query, the merged row is zero with `-inf` LSE.
+///
+/// # Errors
+///
+/// Returns [`AttentionError::BadPartials`] if no partials are supplied or
+/// their shapes disagree.
+pub fn merge_partials<'a, I>(parts: I) -> Result<AttentionOutput, AttentionError>
+where
+    I: IntoIterator<Item = &'a AttentionOutput>,
+{
+    let parts: Vec<&AttentionOutput> = parts.into_iter().collect();
+    let first = parts.first().ok_or_else(|| AttentionError::BadPartials {
+        reason: "no partial outputs supplied".to_string(),
+    })?;
+    let shape = first.out.shape().to_vec();
+    for p in &parts {
+        if p.out.shape() != shape.as_slice() {
+            return Err(AttentionError::BadPartials {
+                reason: format!(
+                    "partial shapes disagree: {:?} vs {:?}",
+                    shape,
+                    p.out.shape()
+                ),
+            });
+        }
+    }
+    let (tokens, n_heads, head_dim) = (shape[0], shape[1], shape[2]);
+    let mut out = Tensor::zeros(&[tokens, n_heads, head_dim]);
+    let mut lse = Tensor::full(&[tokens, n_heads], f32::NEG_INFINITY);
+
+    for t in 0..tokens {
+        for h in 0..n_heads {
+            let lse_max = parts
+                .iter()
+                .map(|p| p.lse.at(&[t, h]).expect("validated shape"))
+                .fold(f32::NEG_INFINITY, f32::max);
+            if lse_max == f32::NEG_INFINITY {
+                continue; // all partials masked: keep zero row, -inf LSE
+            }
+            let mut denom = 0.0f32;
+            let mut acc = vec![0.0f32; head_dim];
+            for p in &parts {
+                let l = p.lse.at(&[t, h]).expect("validated shape");
+                if l == f32::NEG_INFINITY {
+                    continue;
+                }
+                let w = (l - lse_max).exp();
+                denom += w;
+                let row = p.out.row(t);
+                let head = &row[h * head_dim..(h + 1) * head_dim];
+                for (a, &x) in acc.iter_mut().zip(head) {
+                    *a += w * x;
+                }
+            }
+            let orow = out.row_mut(t);
+            for (d, a) in acc.iter().enumerate() {
+                orow[h * head_dim + d] = a / denom;
+            }
+            lse.set(&[t, h], lse_max + denom.ln()).expect("in bounds");
+        }
+    }
+    AttentionOutput::new(out, lse)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn constant_output(
+        tokens: usize,
+        heads: usize,
+        dim: usize,
+        val: f32,
+        lse: f32,
+    ) -> AttentionOutput {
+        AttentionOutput::new(
+            Tensor::full(&[tokens, heads, dim], val),
+            Tensor::full(&[tokens, heads], lse),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn new_validates_shapes() {
+        let out = Tensor::zeros(&[2, 3, 4]);
+        let lse = Tensor::zeros(&[2, 3]);
+        assert!(AttentionOutput::new(out.clone(), lse).is_ok());
+        let bad_lse = Tensor::zeros(&[3, 3]);
+        assert!(AttentionOutput::new(out, bad_lse).is_err());
+        let rank2 = Tensor::zeros(&[2, 3]);
+        assert!(AttentionOutput::new(rank2, Tensor::zeros(&[2, 3])).is_err());
+    }
+
+    #[test]
+    fn merge_single_partial_is_identity() {
+        let p = constant_output(2, 1, 3, 2.5, 0.7);
+        let m = merge_partials([&p]).unwrap();
+        assert!(m.out.approx_eq(&p.out, 1e-6).unwrap());
+        assert!(m.lse.approx_eq(&p.lse, 1e-6).unwrap());
+    }
+
+    #[test]
+    fn merge_equal_lse_averages() {
+        let a = constant_output(1, 1, 2, 1.0, 0.0);
+        let b = constant_output(1, 1, 2, 3.0, 0.0);
+        let m = merge_partials([&a, &b]).unwrap();
+        // Equal LSE: weights are equal, output is the mean.
+        assert!((m.out.as_slice()[0] - 2.0).abs() < 1e-6);
+        // Merged LSE = ln(e^0 + e^0) = ln 2.
+        assert!((m.lse.as_slice()[0] - (2.0f32).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_weights_by_lse() {
+        // Partial a has LSE = ln(3), b has LSE = ln(1): a carries weight 3/4.
+        let a = constant_output(1, 1, 1, 1.0, (3.0f32).ln());
+        let b = constant_output(1, 1, 1, 5.0, 0.0);
+        let m = merge_partials([&a, &b]).unwrap();
+        let expected = (3.0 * 1.0 + 1.0 * 5.0) / 4.0;
+        assert!((m.out.as_slice()[0] - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_ignores_masked_partials() {
+        let a = constant_output(1, 1, 2, 4.0, 1.0);
+        let masked = AttentionOutput::masked(1, 1, 2);
+        let m = merge_partials([&a, &masked]).unwrap();
+        assert!(m.out.approx_eq(&a.out, 1e-6).unwrap());
+        assert!(m.lse.approx_eq(&a.lse, 1e-6).unwrap());
+    }
+
+    #[test]
+    fn merge_all_masked_stays_masked() {
+        let a = AttentionOutput::masked(2, 2, 3);
+        let b = AttentionOutput::masked(2, 2, 3);
+        let m = merge_partials([&a, &b]).unwrap();
+        assert_eq!(m.lse.as_slice(), a.lse.as_slice());
+        assert!(m.out.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let a = constant_output(1, 1, 1, 1.0, 0.3);
+        let b = constant_output(1, 1, 1, 2.0, -0.2);
+        let c = constant_output(1, 1, 1, 3.0, 1.1);
+        let flat = merge_partials([&a, &b, &c]).unwrap();
+        let ab = merge_partials([&a, &b]).unwrap();
+        let nested = merge_partials([&ab, &c]).unwrap();
+        assert!(flat.out.approx_eq(&nested.out, 1e-5).unwrap());
+        assert!(flat.lse.approx_eq(&nested.lse, 1e-5).unwrap());
+    }
+
+    #[test]
+    fn merge_rejects_empty_and_mismatched() {
+        assert!(merge_partials(std::iter::empty::<&AttentionOutput>()).is_err());
+        let a = constant_output(1, 1, 2, 0.0, 0.0);
+        let b = constant_output(2, 1, 2, 0.0, 0.0);
+        assert!(merge_partials([&a, &b]).is_err());
+    }
+
+    #[test]
+    fn concat_and_slice_tokens_roundtrip() {
+        let a = constant_output(2, 1, 2, 1.0, 0.5);
+        let b = constant_output(3, 1, 2, 2.0, -0.5);
+        let joined = AttentionOutput::concat_tokens([&a, &b]).unwrap();
+        assert_eq!(joined.tokens(), 5);
+        let back = joined.slice_tokens(0, 2).unwrap();
+        assert!(back.out.approx_eq(&a.out, 1e-6).unwrap());
+        let tail = joined.slice_tokens(2, 5).unwrap();
+        assert!(tail.out.approx_eq(&b.out, 1e-6).unwrap());
+    }
+
+    #[test]
+    fn accessors_report_dims() {
+        let a = constant_output(4, 3, 5, 0.0, 0.0);
+        assert_eq!(a.tokens(), 4);
+        assert_eq!(a.n_heads(), 3);
+        assert_eq!(a.head_dim(), 5);
+    }
+}

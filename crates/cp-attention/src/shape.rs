@@ -1,0 +1,215 @@
+//! GQA head configuration and kernel parameters.
+
+use crate::AttentionError;
+use cp_tensor::Tensor;
+
+/// Grouped-query attention head configuration.
+///
+/// Mirrors the paper's notation: `n_heads` is `N_H`, `n_kv_heads` is `N_KV`,
+/// `head_dim` is `D_H`. Llama3 405B uses `N_H = 128`, `N_KV = 8`,
+/// `D_H = 128` (Table 9).
+///
+/// # Example
+///
+/// ```
+/// use cp_attention::GqaShape;
+///
+/// # fn main() -> Result<(), cp_attention::AttentionError> {
+/// let llama = GqaShape::new(128, 8, 128)?;
+/// assert_eq!(llama.group_size(), 16);
+/// assert_eq!(llama.model_dim(), 16384);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GqaShape {
+    n_heads: usize,
+    n_kv_heads: usize,
+    head_dim: usize,
+}
+
+impl GqaShape {
+    /// Creates a head configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttentionError::InvalidShape`] if any dimension is zero or
+    /// `n_heads` is not a multiple of `n_kv_heads`.
+    pub fn new(n_heads: usize, n_kv_heads: usize, head_dim: usize) -> Result<Self, AttentionError> {
+        if n_heads == 0 || n_kv_heads == 0 || head_dim == 0 {
+            return Err(AttentionError::InvalidShape {
+                reason: format!(
+                    "dimensions must be positive (n_heads={n_heads}, n_kv_heads={n_kv_heads}, head_dim={head_dim})"
+                ),
+            });
+        }
+        if !n_heads.is_multiple_of(n_kv_heads) {
+            return Err(AttentionError::InvalidShape {
+                reason: format!(
+                    "n_heads ({n_heads}) must be a multiple of n_kv_heads ({n_kv_heads})"
+                ),
+            });
+        }
+        Ok(GqaShape {
+            n_heads,
+            n_kv_heads,
+            head_dim,
+        })
+    }
+
+    /// Number of query heads (`N_H`).
+    pub fn n_heads(&self) -> usize {
+        self.n_heads
+    }
+
+    /// Number of key/value heads (`N_KV`).
+    pub fn n_kv_heads(&self) -> usize {
+        self.n_kv_heads
+    }
+
+    /// Per-head embedding dimension (`D_H`).
+    pub fn head_dim(&self) -> usize {
+        self.head_dim
+    }
+
+    /// Queries per KV head (`N_H / N_KV`).
+    pub fn group_size(&self) -> usize {
+        self.n_heads / self.n_kv_heads
+    }
+
+    /// Model dimension `D = N_H * D_H`.
+    pub fn model_dim(&self) -> usize {
+        self.n_heads * self.head_dim
+    }
+
+    /// The KV head serving query head `h`.
+    pub fn kv_head_for(&self, h: usize) -> usize {
+        h / self.group_size()
+    }
+
+    /// Validates a query tensor shape `[t, n_heads, head_dim]`, returning `t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttentionError::BadTensorShape`] on mismatch.
+    pub fn check_q(&self, q: &Tensor) -> Result<usize, AttentionError> {
+        self.check_tokens_heads(q, "q", self.n_heads)
+    }
+
+    /// Validates a key or value tensor shape `[t, n_kv_heads, head_dim]`,
+    /// returning `t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttentionError::BadTensorShape`] on mismatch.
+    pub fn check_kv(&self, kv: &Tensor, input: &'static str) -> Result<usize, AttentionError> {
+        self.check_tokens_heads(kv, input, self.n_kv_heads)
+    }
+
+    fn check_tokens_heads(
+        &self,
+        t: &Tensor,
+        input: &'static str,
+        heads: usize,
+    ) -> Result<usize, AttentionError> {
+        let s = t.shape();
+        if s.len() != 3 || s[1] != heads || s[2] != self.head_dim {
+            return Err(AttentionError::BadTensorShape {
+                input,
+                expected: vec![0, heads, self.head_dim],
+                actual: s.to_vec(),
+            });
+        }
+        Ok(s[0])
+    }
+}
+
+/// Kernel parameters: the head configuration plus the softmax scale.
+///
+/// The scale defaults to `1/sqrt(head_dim)` via
+/// [`AttentionParams::for_shape`], matching scaled dot-product attention.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttentionParams {
+    /// Head configuration.
+    pub shape: GqaShape,
+    /// Multiplier applied to Q·K scores before softmax.
+    pub scale: f32,
+}
+
+impl AttentionParams {
+    /// Standard parameters for a shape: scale `1/sqrt(head_dim)`.
+    pub fn for_shape(shape: GqaShape) -> Self {
+        AttentionParams {
+            shape,
+            scale: 1.0 / (shape.head_dim() as f32).sqrt(),
+        }
+    }
+
+    /// Parameters with an explicit softmax scale.
+    pub fn with_scale(shape: GqaShape, scale: f32) -> Self {
+        AttentionParams { shape, scale }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn llama3_405b_shape() {
+        let s = GqaShape::new(128, 8, 128).unwrap();
+        assert_eq!(s.group_size(), 16);
+        assert_eq!(s.model_dim(), 16384);
+        assert_eq!(s.kv_head_for(0), 0);
+        assert_eq!(s.kv_head_for(15), 0);
+        assert_eq!(s.kv_head_for(16), 1);
+        assert_eq!(s.kv_head_for(127), 7);
+    }
+
+    #[test]
+    fn mha_is_gqa_with_equal_heads() {
+        let s = GqaShape::new(4, 4, 16).unwrap();
+        assert_eq!(s.group_size(), 1);
+        for h in 0..4 {
+            assert_eq!(s.kv_head_for(h), h);
+        }
+    }
+
+    #[test]
+    fn mqa_single_kv_head() {
+        let s = GqaShape::new(8, 1, 32).unwrap();
+        assert_eq!(s.group_size(), 8);
+        assert!((0..8).all(|h| s.kv_head_for(h) == 0));
+    }
+
+    #[test]
+    fn rejects_invalid_configs() {
+        assert!(GqaShape::new(0, 1, 8).is_err());
+        assert!(GqaShape::new(4, 0, 8).is_err());
+        assert!(GqaShape::new(4, 2, 0).is_err());
+        assert!(GqaShape::new(6, 4, 8).is_err());
+    }
+
+    #[test]
+    fn check_q_and_kv_validate_shapes() {
+        let s = GqaShape::new(4, 2, 8).unwrap();
+        let q = Tensor::zeros(&[5, 4, 8]);
+        assert_eq!(s.check_q(&q).unwrap(), 5);
+        let k = Tensor::zeros(&[7, 2, 8]);
+        assert_eq!(s.check_kv(&k, "k").unwrap(), 7);
+        let bad = Tensor::zeros(&[5, 3, 8]);
+        assert!(s.check_q(&bad).is_err());
+        assert!(s.check_kv(&bad, "k").is_err());
+        let rank2 = Tensor::zeros(&[5, 4]);
+        assert!(s.check_q(&rank2).is_err());
+    }
+
+    #[test]
+    fn default_scale_is_inv_sqrt_head_dim() {
+        let s = GqaShape::new(2, 1, 16).unwrap();
+        let p = AttentionParams::for_shape(s);
+        assert!((p.scale - 0.25).abs() < 1e-7);
+        let custom = AttentionParams::with_scale(s, 1.0);
+        assert_eq!(custom.scale, 1.0);
+    }
+}

@@ -1,0 +1,272 @@
+//! Property-based exactness tests: the invariants merge attention and the
+//! ring algorithms rest on.
+
+use cp_attention::{
+    approx_gqa_attention, blocked_gqa_attention, flash_decode, merge_partials, naive_gqa_attention,
+    ApproxPolicy, AttentionParams, GqaShape,
+};
+use cp_tensor::{DetRng, Tensor};
+use proptest::prelude::*;
+
+/// A random GQA configuration with small dimensions.
+fn gqa_config() -> impl Strategy<Value = (usize, usize, usize)> {
+    // (group_size, n_kv_heads, head_dim) -> n_heads = group * kv
+    (1usize..4, 1usize..4, 1usize..9).prop_map(|(g, kv, dh)| (g * kv, kv, dh))
+}
+
+fn make_inputs(
+    seed: u64,
+    t_q: usize,
+    t_kv: usize,
+    nh: usize,
+    nkv: usize,
+    dh: usize,
+) -> (Tensor, Tensor, Tensor) {
+    let mut rng = DetRng::new(seed);
+    (
+        rng.tensor(&[t_q, nh, dh]),
+        rng.tensor(&[t_kv, nkv, dh]),
+        rng.tensor(&[t_kv, nkv, dh]),
+    )
+}
+
+proptest! {
+    /// Blocked (flash-style) attention equals the naive kernel for any
+    /// shape, block size, and causal offset.
+    #[test]
+    fn blocked_equals_naive(
+        (nh, nkv, dh) in gqa_config(),
+        t_q in 1usize..8,
+        extra_kv in 0usize..12,
+        block in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let t_kv = t_q + extra_kv;
+        let params = AttentionParams::for_shape(GqaShape::new(nh, nkv, dh).unwrap());
+        let (q, k, v) = make_inputs(seed, t_q, t_kv, nh, nkv, dh);
+        let kv_pos: Vec<usize> = (0..t_kv).collect();
+        let q_pos: Vec<usize> = (extra_kv..t_kv).collect();
+        let fast = blocked_gqa_attention(&q, &k, &v, &params, &q_pos, &kv_pos, block).unwrap();
+        let slow = naive_gqa_attention(&q, &k, &v, &params, &q_pos, &kv_pos).unwrap();
+        prop_assert!(fast.out.approx_eq(&slow.out, 1e-3).unwrap());
+        prop_assert!(fast.lse.approx_eq(&slow.lse, 1e-3).unwrap());
+    }
+
+    /// Splitting KV at any point and merging the partials reconstructs full
+    /// attention exactly (the core ring pass-KV invariant).
+    #[test]
+    fn merge_of_kv_split_equals_full(
+        (nh, nkv, dh) in gqa_config(),
+        t_q in 1usize..6,
+        t_kv in 1usize..16,
+        split_frac in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let params = AttentionParams::for_shape(GqaShape::new(nh, nkv, dh).unwrap());
+        let (q, k, v) = make_inputs(seed, t_q, t_kv, nh, nkv, dh);
+        let kv_pos: Vec<usize> = (0..t_kv).collect();
+        // Queries positioned at the end so most kv is visible.
+        let q_pos: Vec<usize> = (0..t_q).map(|i| t_kv.saturating_sub(1) + i).collect();
+        let full = naive_gqa_attention(&q, &k, &v, &params, &q_pos, &kv_pos).unwrap();
+
+        let split = ((t_kv as f64) * split_frac) as usize;
+        let (k1, k2) = (k.slice_dim0(0..split).unwrap(), k.slice_dim0(split..t_kv).unwrap());
+        let (v1, v2) = (v.slice_dim0(0..split).unwrap(), v.slice_dim0(split..t_kv).unwrap());
+        let p1 = naive_gqa_attention(&q, &k1, &v1, &params, &q_pos, &kv_pos[..split]).unwrap();
+        let p2 = naive_gqa_attention(&q, &k2, &v2, &params, &q_pos, &kv_pos[split..]).unwrap();
+        let merged = merge_partials([&p1, &p2]).unwrap();
+        prop_assert!(merged.out.approx_eq(&full.out, 1e-3).unwrap());
+        prop_assert!(merged.lse.approx_eq(&full.lse, 1e-3).unwrap());
+    }
+
+    /// Merging an arbitrary interleaved *permutation* of KV shards is still
+    /// exact — the invariant behind load-balanced (non-contiguous) sharding.
+    #[test]
+    fn merge_of_permuted_shards_equals_full(
+        (nh, nkv, dh) in gqa_config(),
+        t_kv in 2usize..14,
+        n_shards in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        let t_q = 3.min(t_kv);
+        let params = AttentionParams::for_shape(GqaShape::new(nh, nkv, dh).unwrap());
+        let (q, k, v) = make_inputs(seed, t_q, t_kv, nh, nkv, dh);
+        let kv_pos: Vec<usize> = (0..t_kv).collect();
+        let q_pos: Vec<usize> = (t_kv - t_q..t_kv).collect();
+        let full = naive_gqa_attention(&q, &k, &v, &params, &q_pos, &kv_pos).unwrap();
+
+        // Round-robin assignment of kv tokens to shards (non-contiguous!).
+        let mut partials = Vec::new();
+        for s in 0..n_shards {
+            let idx: Vec<usize> = (0..t_kv).filter(|i| i % n_shards == s).collect();
+            if idx.is_empty() {
+                continue;
+            }
+            let ks = k.gather_dim0(&idx).unwrap();
+            let vs = v.gather_dim0(&idx).unwrap();
+            let pos: Vec<usize> = idx.clone();
+            partials.push(
+                naive_gqa_attention(&q, &ks, &vs, &params, &q_pos, &pos).unwrap(),
+            );
+        }
+        let merged = merge_partials(partials.iter()).unwrap();
+        prop_assert!(merged.out.approx_eq(&full.out, 1e-3).unwrap());
+    }
+
+    /// flash_decode equals unsplit attention for any number of splits.
+    #[test]
+    fn flash_decode_equals_full(
+        (nh, nkv, dh) in gqa_config(),
+        t_kv in 1usize..30,
+        splits in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let params = AttentionParams::for_shape(GqaShape::new(nh, nkv, dh).unwrap());
+        let (q, k, v) = make_inputs(seed, 1, t_kv, nh, nkv, dh);
+        let kv_pos: Vec<usize> = (0..t_kv).collect();
+        let q_pos = [t_kv]; // decode token after the whole history
+        let split = flash_decode(&q, &k, &v, &params, &q_pos, &kv_pos, splits).unwrap();
+        let full = naive_gqa_attention(&q, &k, &v, &params, &q_pos, &kv_pos).unwrap();
+        prop_assert!(split.out.approx_eq(&full.out, 1e-3).unwrap());
+    }
+
+    /// Merge attention is invariant to the order of partials.
+    #[test]
+    fn merge_is_order_invariant(
+        (nh, nkv, dh) in gqa_config(),
+        t_kv in 3usize..12,
+        seed in any::<u64>(),
+    ) {
+        let params = AttentionParams::for_shape(GqaShape::new(nh, nkv, dh).unwrap());
+        let (q, k, v) = make_inputs(seed, 2, t_kv, nh, nkv, dh);
+        let kv_pos: Vec<usize> = (0..t_kv).collect();
+        let q_pos = [t_kv - 1, t_kv];
+        let third = (t_kv / 3).max(1);
+        let mut parts = Vec::new();
+        let bounds = [0, third, (2 * third).min(t_kv), t_kv];
+        for w in bounds.windows(2) {
+            if w[0] == w[1] { continue; }
+            let ks = k.slice_dim0(w[0]..w[1]).unwrap();
+            let vs = v.slice_dim0(w[0]..w[1]).unwrap();
+            parts.push(naive_gqa_attention(&q, &ks, &vs, &params, &q_pos, &kv_pos[w[0]..w[1]]).unwrap());
+        }
+        let fwd = merge_partials(parts.iter()).unwrap();
+        let rev = merge_partials(parts.iter().rev()).unwrap();
+        prop_assert!(fwd.out.approx_eq(&rev.out, 1e-4).unwrap());
+        prop_assert!(fwd.lse.approx_eq(&rev.lse, 1e-4).unwrap());
+    }
+
+    /// Causality: perturbing a future KV token never changes present outputs.
+    #[test]
+    fn future_kv_does_not_leak(
+        (nh, nkv, dh) in gqa_config(),
+        t in 2usize..10,
+        seed in any::<u64>(),
+    ) {
+        let params = AttentionParams::for_shape(GqaShape::new(nh, nkv, dh).unwrap());
+        let (q, k, v) = make_inputs(seed, t, t, nh, nkv, dh);
+        let pos: Vec<usize> = (0..t).collect();
+        let base = naive_gqa_attention(&q, &k, &v, &params, &pos, &pos).unwrap();
+        // Clobber the last kv token entirely.
+        let mut k2 = k.clone();
+        let mut v2 = v.clone();
+        k2.row_mut(t - 1).fill(123.0);
+        v2.row_mut(t - 1).fill(-321.0);
+        let perturbed = naive_gqa_attention(&q, &k2, &v2, &params, &pos, &pos).unwrap();
+        // All queries before the last are unchanged.
+        let a = base.slice_tokens(0, t - 1).unwrap();
+        let b = perturbed.slice_tokens(0, t - 1).unwrap();
+        prop_assert!(a.out.approx_eq(&b.out, 1e-6).unwrap());
+        prop_assert!(a.lse.approx_eq(&b.lse, 1e-6).unwrap());
+    }
+
+    /// Softmax convexity: every output coordinate lies within the min/max of
+    /// the visible V values for its kv head.
+    #[test]
+    fn output_is_convex_combination(
+        (nh, nkv, dh) in gqa_config(),
+        t in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let params = AttentionParams::for_shape(GqaShape::new(nh, nkv, dh).unwrap());
+        let (q, k, v) = make_inputs(seed, t, t, nh, nkv, dh);
+        let pos: Vec<usize> = (0..t).collect();
+        let out = naive_gqa_attention(&q, &k, &v, &params, &pos, &pos).unwrap();
+        for qi in 0..t {
+            for h in 0..nh {
+                let kvh = h / (nh / nkv);
+                for d in 0..dh {
+                    let visible: Vec<f32> = (0..=qi)
+                        .map(|ki| v.at(&[ki, kvh, d]).unwrap())
+                        .collect();
+                    let lo = visible.iter().copied().fold(f32::INFINITY, f32::min);
+                    let hi = visible.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                    let val = out.out.at(&[qi, h, d]).unwrap();
+                    prop_assert!(val >= lo - 1e-4 && val <= hi + 1e-4,
+                        "qi={qi} h={h} d={d}: {val} not in [{lo}, {hi}]");
+                }
+            }
+        }
+    }
+
+    /// A window covering the whole sequence makes approximate attention
+    /// exact, for any shape.
+    #[test]
+    fn full_window_approx_is_exact(
+        (nh, nkv, dh) in gqa_config(),
+        t in 1usize..14,
+        seed in any::<u64>(),
+    ) {
+        let params = AttentionParams::for_shape(GqaShape::new(nh, nkv, dh).unwrap());
+        let (q, k, v) = make_inputs(seed, t, t, nh, nkv, dh);
+        let pos: Vec<usize> = (0..t).collect();
+        let exact = naive_gqa_attention(&q, &k, &v, &params, &pos, &pos).unwrap();
+        let approx = approx_gqa_attention(
+            &q, &k, &v, &params, &pos, &pos,
+            ApproxPolicy::Window { window: t },
+        )
+        .unwrap();
+        prop_assert!(approx.out.approx_eq(&exact.out, 1e-4).unwrap());
+        prop_assert!(approx.lse.approx_eq(&exact.lse, 1e-4).unwrap());
+    }
+
+    /// The sink-window policy's visible set contains the pure window's,
+    /// so its LSE is pointwise >= the window policy's (more softmax mass).
+    #[test]
+    fn sink_lse_dominates_window_lse(
+        t in 2usize..16,
+        window in 1usize..6,
+        sinks in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let params = AttentionParams::for_shape(GqaShape::new(2, 1, 4).unwrap());
+        let (q, k, v) = make_inputs(seed, t, t, 2, 1, 4);
+        let pos: Vec<usize> = (0..t).collect();
+        let w = approx_gqa_attention(
+            &q, &k, &v, &params, &pos, &pos,
+            ApproxPolicy::Window { window },
+        )
+        .unwrap();
+        let sw = approx_gqa_attention(
+            &q, &k, &v, &params, &pos, &pos,
+            ApproxPolicy::SinkWindow { sinks, window },
+        )
+        .unwrap();
+        for (a, b) in sw.lse.as_slice().iter().zip(w.lse.as_slice()) {
+            prop_assert!(a >= b || (a - b).abs() < 1e-5, "{a} < {b}");
+        }
+    }
+
+    /// visible_count never exceeds the causal bound p + 1 and is monotone
+    /// in the window size.
+    #[test]
+    fn visible_count_bounds(p in 0usize..200, w1 in 1usize..50, extra in 0usize..50, sinks in 0usize..10) {
+        let small = ApproxPolicy::Window { window: w1 };
+        let big = ApproxPolicy::Window { window: w1 + extra };
+        prop_assert!(small.visible_count(p) <= big.visible_count(p));
+        prop_assert!(big.visible_count(p) <= p + 1);
+        let sw = ApproxPolicy::SinkWindow { sinks, window: w1 };
+        prop_assert!(sw.visible_count(p) <= p + 1);
+        prop_assert!(sw.visible_count(p) >= small.visible_count(p).min(p + 1));
+    }
+}

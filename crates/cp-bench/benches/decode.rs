@@ -1,0 +1,116 @@
+//! Table 8 analog on the exact layer: batched ring pass-Q decode wall
+//! time vs rank count, batch size and context length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cp_attention::GqaShape;
+use cp_core::{ContextParallelEngine, EngineConfig, PrefillRequest};
+use cp_kvcache::SeqId;
+use cp_perf::RingVariant;
+use cp_tensor::{DetRng, Tensor};
+
+fn inputs(shape: GqaShape, t: usize, seed: u64) -> (Tensor, Tensor, Tensor) {
+    let mut rng = DetRng::new(seed);
+    (
+        rng.tensor(&[t, shape.n_heads(), shape.head_dim()]),
+        rng.tensor(&[t, shape.n_kv_heads(), shape.head_dim()]),
+        rng.tensor(&[t, shape.n_kv_heads(), shape.head_dim()]),
+    )
+}
+
+fn engine_with_sequences(
+    shape: GqaShape,
+    n: usize,
+    batch: usize,
+    ctx: usize,
+) -> ContextParallelEngine {
+    let mut eng =
+        ContextParallelEngine::new(EngineConfig::new(n, shape).with_page_size(64)).unwrap();
+    for s in 0..batch {
+        let (q, k, v) = inputs(shape, ctx, s as u64);
+        eng.prefill_batch(
+            &[PrefillRequest {
+                seq: SeqId(s as u64),
+                q: &q,
+                k: &k,
+                v: &v,
+            }],
+            Some(RingVariant::PassKv),
+        )
+        .unwrap();
+    }
+    eng
+}
+
+fn decode_batch(shape: GqaShape, batch: usize, seed: u64) -> Vec<(SeqId, Tensor, Tensor, Tensor)> {
+    (0..batch)
+        .map(|s| {
+            let (q, k, v) = inputs(shape, 1, seed + s as u64);
+            (SeqId(s as u64), q, k, v)
+        })
+        .collect()
+}
+
+fn bench_decode_vs_ranks(c: &mut Criterion) {
+    // 512-token context, batch 1: the 128K/B=1 column of Table 8 scaled
+    // down. Attention work per rank shrinks with N while comm grows.
+    let shape = GqaShape::new(8, 2, 16).unwrap();
+    let mut group = c.benchmark_group("decode_step_vs_ranks_ctx512_b1");
+    group.sample_size(10);
+    for n in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_with_setup(
+                || engine_with_sequences(shape, n, 1, 512),
+                |mut eng| {
+                    black_box(eng.decode_step(&decode_batch(shape, 1, 50)).unwrap());
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode_vs_batch(c: &mut Criterion) {
+    // 128-token context, batch sweep: the 32K/B=4 column's shape.
+    let shape = GqaShape::new(8, 2, 16).unwrap();
+    let mut group = c.benchmark_group("decode_step_vs_batch_ctx128_cp2");
+    group.sample_size(10);
+    for batch in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            b.iter_with_setup(
+                || engine_with_sequences(shape, 2, batch, 128),
+                |mut eng| {
+                    black_box(eng.decode_step(&decode_batch(shape, batch, 60)).unwrap());
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode_vs_context(c: &mut Criterion) {
+    // Table 6's context axis: decode cost grows with KV length.
+    let shape = GqaShape::new(8, 2, 16).unwrap();
+    let mut group = c.benchmark_group("decode_step_vs_context_cp2_b1");
+    group.sample_size(10);
+    for ctx in [128usize, 512, 2048] {
+        group.bench_with_input(BenchmarkId::from_parameter(ctx), &ctx, |b, &ctx| {
+            b.iter_with_setup(
+                || engine_with_sequences(shape, 2, 1, ctx),
+                |mut eng| {
+                    black_box(eng.decode_step(&decode_batch(shape, 1, 70)).unwrap());
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_decode_vs_ranks,
+    bench_decode_vs_batch,
+    bench_decode_vs_context
+);
+criterion_main!(benches);

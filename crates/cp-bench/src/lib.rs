@@ -1,0 +1,1 @@
+//! Benchmarks and the paper-reproduction harness (`repro` binary and Criterion benches).

@@ -1,0 +1,92 @@
+//! Error type for the communication fabric.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fabric operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CommError {
+    /// A destination or source rank index is outside the group.
+    RankOutOfRange {
+        /// The offending rank.
+        rank: usize,
+        /// Number of ranks in the group.
+        world_size: usize,
+    },
+    /// Sending failed because the peer rank has exited (channel closed).
+    SendFailed {
+        /// Destination rank.
+        dst: usize,
+    },
+    /// Receiving failed: the peer exited or the receive timed out.
+    RecvFailed {
+        /// Source rank.
+        src: usize,
+        /// Whether the failure was a timeout (vs a closed channel).
+        timed_out: bool,
+    },
+    /// A rank thread panicked; its output is unavailable.
+    RankPanicked {
+        /// The rank whose closure panicked.
+        rank: usize,
+    },
+    /// A group was requested with zero ranks.
+    EmptyGroup,
+    /// A collective was called with a payload list whose length does not
+    /// equal the world size.
+    WrongPayloadCount {
+        /// Payloads supplied.
+        got: usize,
+        /// World size expected.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::RankOutOfRange { rank, world_size } => {
+                write!(f, "rank {rank} out of range for world size {world_size}")
+            }
+            CommError::SendFailed { dst } => write!(f, "send to rank {dst} failed: peer exited"),
+            CommError::RecvFailed { src, timed_out } => {
+                if *timed_out {
+                    write!(f, "receive from rank {src} timed out")
+                } else {
+                    write!(f, "receive from rank {src} failed: peer exited")
+                }
+            }
+            CommError::RankPanicked { rank } => write!(f, "rank {rank} panicked"),
+            CommError::EmptyGroup => write!(f, "communicator group must have at least one rank"),
+            CommError::WrongPayloadCount { got, expected } => {
+                write!(f, "collective needs {expected} payloads, got {got}")
+            }
+        }
+    }
+}
+
+impl Error for CommError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(CommError::SendFailed { dst: 3 }.to_string().contains('3'));
+        assert!(CommError::RecvFailed {
+            src: 1,
+            timed_out: true
+        }
+        .to_string()
+        .contains("timed out"));
+        assert!(!CommError::EmptyGroup.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CommError>();
+    }
+}

@@ -1,0 +1,534 @@
+//! Rank spawning and the per-rank [`Communicator`] handle.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+use crate::stats::Collective;
+use crate::{CommError, TrafficReport, TrafficStats, Wire};
+
+/// How long a blocked receive waits before failing. Generous enough for any
+/// legitimate collective in the test suite, short enough that a genuinely
+/// wedged ring fails the test run instead of hanging it.
+const RECV_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// A rank's handle to the fabric: point-to-point sends/receives plus the
+/// collectives the paper's algorithms use (`SendRecv` ring steps,
+/// `All2All`, `AllGather`, `AllReduce`, barrier).
+///
+/// One `Communicator` is handed to each rank closure by [`run_ranks`]. All
+/// channels are unbounded, so `send` never blocks — which is exactly the
+/// property that makes the symmetric ring schedule (every rank sends, then
+/// receives) deadlock-free, mirroring NCCL's buffered `SendRecv`.
+#[derive(Debug)]
+pub struct Communicator<M: Wire> {
+    rank: usize,
+    world: usize,
+    /// `senders[dst]` delivers to rank `dst`'s `receivers[self.rank]`.
+    senders: Vec<Sender<M>>,
+    /// `receivers[src]` yields messages sent by rank `src`.
+    receivers: Vec<Receiver<M>>,
+    ctrl_senders: Vec<Sender<()>>,
+    ctrl_receivers: Vec<Receiver<()>>,
+    stats: Arc<TrafficStats>,
+}
+
+impl<M: Wire> Communicator<M> {
+    /// This rank's index in `0..world_size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the group.
+    pub fn world_size(&self) -> usize {
+        self.world
+    }
+
+    /// The next rank around the ring (`rank + 1 mod N`).
+    pub fn ring_next(&self) -> usize {
+        (self.rank + 1) % self.world
+    }
+
+    /// The previous rank around the ring (`rank - 1 mod N`).
+    pub fn ring_prev(&self) -> usize {
+        (self.rank + self.world - 1) % self.world
+    }
+
+    fn check_rank(&self, r: usize) -> Result<(), CommError> {
+        if r >= self.world {
+            return Err(CommError::RankOutOfRange {
+                rank: r,
+                world_size: self.world,
+            });
+        }
+        Ok(())
+    }
+
+    /// Sends a message to rank `dst`. Never blocks (channels are unbounded).
+    ///
+    /// # Errors
+    ///
+    /// [`CommError::RankOutOfRange`] for a bad destination, or
+    /// [`CommError::SendFailed`] if the peer has already exited.
+    pub fn send(&self, dst: usize, msg: M) -> Result<(), CommError> {
+        self.check_rank(dst)?;
+        self.stats.record(Collective::SendRecv, msg.wire_bytes());
+        self.senders[dst]
+            .send(msg)
+            .map_err(|_| CommError::SendFailed { dst })
+    }
+
+    /// Receives the next message from rank `src`, blocking up to an internal
+    /// timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`CommError::RankOutOfRange`] for a bad source, or
+    /// [`CommError::RecvFailed`] on timeout / peer exit.
+    pub fn recv(&self, src: usize) -> Result<M, CommError> {
+        self.check_rank(src)?;
+        self.receivers[src]
+            .recv_timeout(RECV_TIMEOUT)
+            .map_err(|e| CommError::RecvFailed {
+                src,
+                timed_out: matches!(e, RecvTimeoutError::Timeout),
+            })
+    }
+
+    /// One ring step: send `msg` to `dst`, then receive from `src`.
+    ///
+    /// This is the NCCL `SendRecv` the paper's ring loop issues every
+    /// iteration. The send is buffered, so all ranks can post sends before
+    /// any posts its receive.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Communicator::send`] / [`Communicator::recv`] errors.
+    pub fn send_recv(&self, dst: usize, msg: M, src: usize) -> Result<M, CommError> {
+        self.send(dst, msg)?;
+        self.recv(src)
+    }
+
+    /// All-to-all exchange: `payloads[j]` is delivered to rank `j`; the
+    /// returned vector holds, at index `i`, the payload rank `i` addressed
+    /// to this rank (this rank's own payload is moved through directly).
+    ///
+    /// # Errors
+    ///
+    /// [`CommError::WrongPayloadCount`] if `payloads.len() != world_size`,
+    /// plus any send/receive failure.
+    pub fn all_to_all(&self, payloads: Vec<M>) -> Result<Vec<M>, CommError> {
+        if payloads.len() != self.world {
+            return Err(CommError::WrongPayloadCount {
+                got: payloads.len(),
+                expected: self.world,
+            });
+        }
+        let mut own: Option<M> = None;
+        for (dst, msg) in payloads.into_iter().enumerate() {
+            if dst == self.rank {
+                own = Some(msg);
+            } else {
+                self.stats.record(Collective::AllToAll, msg.wire_bytes());
+                self.senders[dst]
+                    .send(msg)
+                    .map_err(|_| CommError::SendFailed { dst })?;
+            }
+        }
+        let mut out = Vec::with_capacity(self.world);
+        for src in 0..self.world {
+            if src == self.rank {
+                out.push(own.take().expect("own payload set above"));
+            } else {
+                out.push(self.recv(src)?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Gathers every rank's payload; index `i` of the result is rank `i`'s
+    /// contribution on every rank.
+    ///
+    /// # Errors
+    ///
+    /// Propagates send/receive failures.
+    pub fn all_gather(&self, payload: M) -> Result<Vec<M>, CommError>
+    where
+        M: Clone,
+    {
+        for dst in 0..self.world {
+            if dst == self.rank {
+                continue;
+            }
+            let msg = payload.clone();
+            self.stats.record(Collective::AllGather, msg.wire_bytes());
+            self.senders[dst]
+                .send(msg)
+                .map_err(|_| CommError::SendFailed { dst })?;
+        }
+        let mut out = Vec::with_capacity(self.world);
+        for src in 0..self.world {
+            if src == self.rank {
+                out.push(payload.clone());
+            } else {
+                out.push(self.recv(src)?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// All-reduce: gathers all payloads and folds them in rank order with
+    /// `combine`, so every rank computes an identical, deterministic result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Communicator::all_gather`] failures.
+    pub fn all_reduce<F>(&self, payload: M, combine: F) -> Result<M, CommError>
+    where
+        M: Clone,
+        F: FnMut(M, &M) -> M,
+    {
+        let gathered = self.all_gather(payload)?;
+        let mut iter = gathered.iter();
+        let first = iter.next().expect("world_size >= 1").clone();
+        Ok(iter.fold(first, combine))
+    }
+
+    /// Blocks until every rank has reached the barrier.
+    ///
+    /// # Errors
+    ///
+    /// Propagates control-channel failures (peer exit / timeout).
+    pub fn barrier(&self) -> Result<(), CommError> {
+        for dst in 0..self.world {
+            if dst == self.rank {
+                continue;
+            }
+            self.ctrl_senders[dst]
+                .send(())
+                .map_err(|_| CommError::SendFailed { dst })?;
+        }
+        for src in 0..self.world {
+            if src == self.rank {
+                continue;
+            }
+            self.ctrl_receivers[src]
+                .recv_timeout(RECV_TIMEOUT)
+                .map_err(|e| CommError::RecvFailed {
+                    src,
+                    timed_out: matches!(e, RecvTimeoutError::Timeout),
+                })?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds the full channel mesh for `world` ranks.
+fn build_communicators<M: Wire>(world: usize, stats: &Arc<TrafficStats>) -> Vec<Communicator<M>> {
+    // data_tx[src][dst] sends from src to dst; data_rx[dst][src] receives.
+    let mut data_tx: Vec<Vec<Option<Sender<M>>>> = (0..world)
+        .map(|_| (0..world).map(|_| None).collect())
+        .collect();
+    let mut data_rx: Vec<Vec<Option<Receiver<M>>>> = (0..world)
+        .map(|_| (0..world).map(|_| None).collect())
+        .collect();
+    let mut ctrl_tx: Vec<Vec<Option<Sender<()>>>> = (0..world)
+        .map(|_| (0..world).map(|_| None).collect())
+        .collect();
+    let mut ctrl_rx: Vec<Vec<Option<Receiver<()>>>> = (0..world)
+        .map(|_| (0..world).map(|_| None).collect())
+        .collect();
+    for src in 0..world {
+        for dst in 0..world {
+            let (tx, rx) = unbounded::<M>();
+            data_tx[src][dst] = Some(tx);
+            data_rx[dst][src] = Some(rx);
+            let (ctx, crx) = unbounded::<()>();
+            ctrl_tx[src][dst] = Some(ctx);
+            ctrl_rx[dst][src] = Some(crx);
+        }
+    }
+    let mut comms = Vec::with_capacity(world);
+    for rank in 0..world {
+        comms.push(Communicator {
+            rank,
+            world,
+            senders: data_tx[rank]
+                .iter_mut()
+                .map(|s| s.take().unwrap())
+                .collect(),
+            receivers: data_rx[rank]
+                .iter_mut()
+                .map(|r| r.take().unwrap())
+                .collect(),
+            ctrl_senders: ctrl_tx[rank]
+                .iter_mut()
+                .map(|s| s.take().unwrap())
+                .collect(),
+            ctrl_receivers: ctrl_rx[rank]
+                .iter_mut()
+                .map(|r| r.take().unwrap())
+                .collect(),
+            stats: Arc::clone(stats),
+        });
+    }
+    comms
+}
+
+/// Spawns `world` rank threads, runs `f` on each with its [`Communicator`],
+/// and returns the per-rank results (index = rank) plus a traffic report.
+///
+/// Mirrors launching one process per host in the paper's deployment. The
+/// call joins all threads before returning; a rank returning an error or
+/// panicking fails the whole run (the first error in rank order is
+/// returned).
+///
+/// # Errors
+///
+/// [`CommError::EmptyGroup`] for `world == 0`; otherwise the first rank
+/// error, or [`CommError::RankPanicked`] if a rank closure panicked.
+///
+/// # Example
+///
+/// ```
+/// use cp_comm::run_ranks;
+///
+/// # fn main() -> Result<(), cp_comm::CommError> {
+/// let (sums, _) = run_ranks::<Vec<f32>, _, _>(3, |comm| {
+///     let total = comm.all_reduce(vec![comm.rank() as f32], |mut acc, m| {
+///         for (a, b) in acc.iter_mut().zip(m) { *a += b; }
+///         acc
+///     })?;
+///     Ok(total[0])
+/// })?;
+/// assert_eq!(sums, vec![3.0, 3.0, 3.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_ranks<M, T, F>(world: usize, f: F) -> Result<(Vec<T>, TrafficReport), CommError>
+where
+    M: Wire,
+    T: Send,
+    F: Fn(&Communicator<M>) -> Result<T, CommError> + Sync,
+{
+    if world == 0 {
+        return Err(CommError::EmptyGroup);
+    }
+    let stats = TrafficStats::new();
+    let comms = build_communicators::<M>(world, &stats);
+
+    let results: Vec<Result<Result<T, CommError>, usize>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|comm| {
+                let f = &f;
+                scope.spawn(move || f(&comm))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(rank, h)| h.join().map_err(|_| rank))
+            .collect()
+    });
+
+    let mut out = Vec::with_capacity(world);
+    for r in results {
+        match r {
+            Ok(Ok(v)) => out.push(v),
+            Ok(Err(e)) => return Err(e),
+            Err(rank) => return Err(CommError::RankPanicked { rank }),
+        }
+    }
+    Ok((out, stats.report()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_group_works() {
+        let (res, report) = run_ranks::<Vec<f32>, _, _>(1, |comm| {
+            assert_eq!(comm.ring_next(), 0);
+            assert_eq!(comm.ring_prev(), 0);
+            // Self-send around a 1-ring.
+            let got = comm.send_recv(0, vec![42.0], 0)?;
+            Ok(got[0])
+        })
+        .unwrap();
+        assert_eq!(res, vec![42.0]);
+        assert_eq!(report.send_recv_bytes, 4);
+    }
+
+    #[test]
+    fn empty_group_is_rejected() {
+        let err = run_ranks::<Vec<f32>, _, _>(0, |_| Ok(())).unwrap_err();
+        assert_eq!(err, CommError::EmptyGroup);
+    }
+
+    #[test]
+    fn ring_rotation_n_minus_1_times_visits_all() {
+        // Classic ring-attention schedule: after N-1 rotations each rank has
+        // seen every other rank's payload exactly once.
+        let n = 5;
+        let (res, _) = run_ranks::<Vec<f32>, _, _>(n, |comm| {
+            let mut seen = vec![comm.rank() as f32];
+            let mut current = vec![comm.rank() as f32];
+            for _ in 0..n - 1 {
+                current = comm.send_recv(comm.ring_next(), current, comm.ring_prev())?;
+                seen.push(current[0]);
+            }
+            seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            Ok(seen)
+        })
+        .unwrap();
+        for ranks_seen in res {
+            assert_eq!(ranks_seen, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn all_to_all_transposes() {
+        let n = 4;
+        let (res, report) = run_ranks::<Vec<f32>, _, _>(n, |comm| {
+            // payload to rank j encodes (my_rank, j)
+            let payloads: Vec<Vec<f32>> = (0..n)
+                .map(|j| vec![comm.rank() as f32 * 10.0 + j as f32])
+                .collect();
+            comm.all_to_all(payloads)
+        })
+        .unwrap();
+        for (k, got) in res.iter().enumerate() {
+            for (i, msg) in got.iter().enumerate() {
+                assert_eq!(msg[0], i as f32 * 10.0 + k as f32);
+            }
+        }
+        // Each rank sends n-1 remote messages of 4 bytes.
+        assert_eq!(report.all_to_all_bytes, n * (n - 1) * 4);
+    }
+
+    #[test]
+    fn all_to_all_wrong_count_errors() {
+        let err = run_ranks::<Vec<f32>, _, _>(2, |comm| {
+            comm.all_to_all(vec![vec![0.0]])?;
+            Ok(())
+        })
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            CommError::WrongPayloadCount {
+                got: 1,
+                expected: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn all_gather_collects_in_rank_order() {
+        let (res, _) =
+            run_ranks::<Vec<f32>, _, _>(3, |comm| comm.all_gather(vec![comm.rank() as f32; 2]))
+                .unwrap();
+        for got in res {
+            assert_eq!(got.len(), 3);
+            for (i, v) in got.iter().enumerate() {
+                assert_eq!(v, &vec![i as f32; 2]);
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_sum_is_deterministic_and_equal_everywhere() {
+        let (res, _) = run_ranks::<Vec<f32>, _, _>(4, |comm| {
+            comm.all_reduce(vec![comm.rank() as f32, 1.0], |mut acc, m| {
+                for (a, b) in acc.iter_mut().zip(m) {
+                    *a += b;
+                }
+                acc
+            })
+        })
+        .unwrap();
+        for got in res {
+            assert_eq!(got, vec![6.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes_without_data() {
+        let (res, report) = run_ranks::<Vec<f32>, _, _>(4, |comm| {
+            for _ in 0..10 {
+                comm.barrier()?;
+            }
+            Ok(comm.rank())
+        })
+        .unwrap();
+        assert_eq!(res, vec![0, 1, 2, 3]);
+        // Barriers use control channels, not metered data channels.
+        assert_eq!(report.total_bytes(), 0);
+    }
+
+    #[test]
+    fn out_of_range_ranks_error() {
+        let err = run_ranks::<Vec<f32>, _, _>(2, |comm| {
+            comm.send(5, vec![1.0])?;
+            Ok(())
+        })
+        .unwrap_err();
+        assert!(matches!(err, CommError::RankOutOfRange { rank: 5, .. }));
+    }
+
+    #[test]
+    fn panicked_rank_is_reported() {
+        let err = run_ranks::<Vec<f32>, _, _>(2, |comm| {
+            if comm.rank() == 1 {
+                panic!("boom");
+            }
+            // Rank 0 does not block on rank 1, so it exits cleanly.
+            Ok(())
+        })
+        .unwrap_err();
+        assert_eq!(err, CommError::RankPanicked { rank: 1 });
+    }
+
+    #[test]
+    fn recv_from_exited_peer_fails_cleanly() {
+        let err = run_ranks::<Vec<f32>, _, _>(2, |comm| {
+            if comm.rank() == 0 {
+                // Peer exits immediately; this receive must fail, not hang.
+                comm.recv(1).map(|_| ())
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap_err();
+        assert!(matches!(err, CommError::RecvFailed { src: 1, .. }));
+    }
+
+    #[test]
+    fn messages_are_fifo_per_pair() {
+        let (res, _) = run_ranks::<Vec<f32>, _, _>(2, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..100 {
+                    comm.send(1, vec![i as f32])?;
+                }
+                Ok(Vec::new())
+            } else {
+                let mut got = Vec::new();
+                for _ in 0..100 {
+                    got.push(comm.recv(0)?[0]);
+                }
+                Ok(got)
+            }
+        })
+        .unwrap();
+        let expected: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        assert_eq!(res[1], expected);
+    }
+
+    #[test]
+    fn results_are_indexed_by_rank() {
+        let (res, _) = run_ranks::<Vec<f32>, _, _>(6, |comm| Ok(comm.rank() * 2)).unwrap();
+        assert_eq!(res, vec![0, 2, 4, 6, 8, 10]);
+    }
+}

@@ -1,0 +1,126 @@
+//! Traffic accounting shared across ranks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Which collective a transfer belongs to, for per-collective accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Collective {
+    SendRecv,
+    AllToAll,
+    AllGather,
+}
+
+/// Shared, thread-safe traffic counters updated by every rank of a fabric
+/// run. Snapshot with [`TrafficStats::report`].
+#[derive(Debug, Default)]
+pub struct TrafficStats {
+    messages: AtomicU64,
+    send_recv_bytes: AtomicU64,
+    all_to_all_bytes: AtomicU64,
+    all_gather_bytes: AtomicU64,
+}
+
+impl TrafficStats {
+    /// Creates a fresh zeroed counter set behind an `Arc`.
+    pub fn new() -> Arc<Self> {
+        Arc::new(TrafficStats::default())
+    }
+
+    pub(crate) fn record(&self, collective: Collective, bytes: usize) {
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        let counter = match collective {
+            Collective::SendRecv => &self.send_recv_bytes,
+            Collective::AllToAll => &self.all_to_all_bytes,
+            Collective::AllGather => &self.all_gather_bytes,
+        };
+        counter.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Takes an immutable snapshot of the counters.
+    pub fn report(&self) -> TrafficReport {
+        TrafficReport {
+            messages: self.messages.load(Ordering::Relaxed),
+            send_recv_bytes: self.send_recv_bytes.load(Ordering::Relaxed) as usize,
+            all_to_all_bytes: self.all_to_all_bytes.load(Ordering::Relaxed) as usize,
+            all_gather_bytes: self.all_gather_bytes.load(Ordering::Relaxed) as usize,
+        }
+    }
+}
+
+/// A snapshot of fabric traffic, summed over all ranks.
+///
+/// Byte counts use each payload's [`crate::Wire::wire_bytes`], i.e. the
+/// bytes an equivalent transfer would move on a real interconnect.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficReport {
+    /// Total point-to-point messages delivered (collectives count each
+    /// constituent message).
+    pub messages: u64,
+    /// Bytes moved by explicit `send`/`recv`/`send_recv` (ring traffic).
+    pub send_recv_bytes: usize,
+    /// Bytes moved by `all_to_all`.
+    pub all_to_all_bytes: usize,
+    /// Bytes moved by `all_gather` (and collectives built on it).
+    pub all_gather_bytes: usize,
+}
+
+impl TrafficReport {
+    /// Total bytes across all collectives.
+    pub fn total_bytes(&self) -> usize {
+        self.send_recv_bytes + self.all_to_all_bytes + self.all_gather_bytes
+    }
+}
+
+impl std::fmt::Display for TrafficReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} messages, {} B send_recv, {} B all_to_all, {} B all_gather",
+            self.messages, self.send_recv_bytes, self.all_to_all_bytes, self.all_gather_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_per_collective() {
+        let stats = TrafficStats::new();
+        stats.record(Collective::SendRecv, 10);
+        stats.record(Collective::SendRecv, 5);
+        stats.record(Collective::AllToAll, 7);
+        stats.record(Collective::AllGather, 3);
+        let r = stats.report();
+        assert_eq!(r.messages, 4);
+        assert_eq!(r.send_recv_bytes, 15);
+        assert_eq!(r.all_to_all_bytes, 7);
+        assert_eq!(r.all_gather_bytes, 3);
+        assert_eq!(r.total_bytes(), 25);
+    }
+
+    #[test]
+    fn concurrent_recording_is_consistent() {
+        let stats = TrafficStats::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let st = Arc::clone(&stats);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        st.record(Collective::SendRecv, 1);
+                    }
+                });
+            }
+        });
+        let r = stats.report();
+        assert_eq!(r.messages, 8000);
+        assert_eq!(r.send_recv_bytes, 8000);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!TrafficReport::default().to_string().is_empty());
+    }
+}

@@ -1,0 +1,98 @@
+//! The [`Wire`] trait: payloads the fabric can transport and meter.
+
+/// A payload that can be sent between ranks, with a byte-size measure used
+/// for traffic accounting.
+///
+/// `wire_bytes` should report the size the payload would occupy on a real
+/// interconnect (e.g. element count × element size for tensors), **not**
+/// Rust in-memory size. The exactness tests use these counts to verify the
+/// paper's communication-cost formulas (Table 2), so implementations should
+/// count only semantic payload bytes and ignore container overhead like `Vec`
+/// capacity or enum discriminants.
+pub trait Wire: Send + 'static {
+    /// Semantic payload size in bytes.
+    fn wire_bytes(&self) -> usize;
+}
+
+impl Wire for f32 {
+    fn wire_bytes(&self) -> usize {
+        4
+    }
+}
+
+impl Wire for u32 {
+    fn wire_bytes(&self) -> usize {
+        4
+    }
+}
+
+impl Wire for u64 {
+    fn wire_bytes(&self) -> usize {
+        8
+    }
+}
+
+impl Wire for usize {
+    fn wire_bytes(&self) -> usize {
+        8
+    }
+}
+
+impl Wire for () {
+    fn wire_bytes(&self) -> usize {
+        0
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn wire_bytes(&self) -> usize {
+        self.iter().map(Wire::wire_bytes).sum()
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn wire_bytes(&self) -> usize {
+        self.as_ref().map_or(0, Wire::wire_bytes)
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn wire_bytes(&self) -> usize {
+        self.0.wire_bytes() + self.1.wire_bytes()
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    fn wire_bytes(&self) -> usize {
+        self.0.wire_bytes() + self.1.wire_bytes() + self.2.wire_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_sizes() {
+        assert_eq!(1.0f32.wire_bytes(), 4);
+        assert_eq!(7u32.wire_bytes(), 4);
+        assert_eq!(7u64.wire_bytes(), 8);
+        assert_eq!(7usize.wire_bytes(), 8);
+        assert_eq!(().wire_bytes(), 0);
+    }
+
+    #[test]
+    fn vec_sums_elements() {
+        assert_eq!(vec![1.0f32; 10].wire_bytes(), 40);
+        assert_eq!(Vec::<f32>::new().wire_bytes(), 0);
+        assert_eq!(vec![vec![1.0f32; 2]; 3].wire_bytes(), 24);
+    }
+
+    #[test]
+    fn option_and_tuples() {
+        assert_eq!(Some(1.0f32).wire_bytes(), 4);
+        assert_eq!(None::<f32>.wire_bytes(), 0);
+        assert_eq!((1.0f32, 2u64).wire_bytes(), 12);
+        assert_eq!((1.0f32, 2u64, vec![0u32; 2]).wire_bytes(), 20);
+    }
+}

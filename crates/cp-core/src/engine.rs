@@ -1,0 +1,1158 @@
+//! The multi-turn context-parallel inference engine.
+
+use std::collections::HashMap;
+
+use cp_attention::{AttentionOutput, AttentionParams, GqaShape, PAD};
+use cp_comm::TrafficReport;
+use cp_kvcache::{KvCacheConfig, PagedKvCache, SeqId};
+use cp_perf::RingVariant;
+use cp_sharding::{decode_round_robin, shard_varseq_with, SequenceSpec, ShardStrategy};
+use cp_tensor::Tensor;
+
+use crate::heuristics::{choose_variant, HeuristicKind, SystemContext};
+use crate::messages::{DecodeSlot, LocalSeq, SeqKv};
+use crate::ring::{ring_pass_kv_prefill, ring_pass_q_decode, ring_pass_q_prefill, run_ring};
+use crate::CoreError;
+
+/// Configuration of a [`ContextParallelEngine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of CP ranks (each backed by one thread).
+    pub n_ranks: usize,
+    /// GQA head configuration of the attention layer the engine evaluates.
+    pub shape: GqaShape,
+    /// KV-cache page size in tokens.
+    pub page_size: usize,
+    /// Per-rank page-pool limit (`None` = unbounded).
+    pub max_pages_per_rank: Option<usize>,
+    /// Heuristic selecting pass-KV vs pass-Q per prefill.
+    pub heuristic: HeuristicKind,
+    /// System context the heuristic evaluates against.
+    pub system: SystemContext,
+    /// Simulate INT8 KV-cache quantization (§2.2): K/V go through a
+    /// quantize→dequantize round trip before caching, modelling the
+    /// accuracy cost of the 4x memory saving without changing storage.
+    pub simulate_kv_quant: bool,
+    /// How new tokens are partitioned over ranks (ablations; the default
+    /// is the paper's 2N-chunk load-balanced plan).
+    pub shard_strategy: ShardStrategy,
+}
+
+impl EngineConfig {
+    /// Defaults: 16-token pages, unbounded capacity, Algorithm 1 heuristic
+    /// evaluated against the Llama3-405B-on-GTT context.
+    pub fn new(n_ranks: usize, shape: GqaShape) -> Self {
+        EngineConfig {
+            n_ranks,
+            shape,
+            page_size: 16,
+            max_pages_per_rank: None,
+            heuristic: HeuristicKind::Threshold,
+            system: SystemContext::llama3_405b_gtt(n_ranks.max(1)),
+            simulate_kv_quant: false,
+            shard_strategy: ShardStrategy::LoadBalanced,
+        }
+    }
+
+    /// Sets the KV-cache page size.
+    pub fn with_page_size(mut self, page_size: usize) -> Self {
+        self.page_size = page_size;
+        self
+    }
+
+    /// Bounds each rank's KV-cache page pool.
+    pub fn with_max_pages(mut self, max_pages: usize) -> Self {
+        self.max_pages_per_rank = Some(max_pages);
+        self
+    }
+
+    /// Sets the variant-selection heuristic.
+    pub fn with_heuristic(mut self, heuristic: HeuristicKind) -> Self {
+        self.heuristic = heuristic;
+        self
+    }
+
+    /// Sets the system context used by the heuristic.
+    pub fn with_system(mut self, system: SystemContext) -> Self {
+        self.system = system;
+        self
+    }
+
+    /// Enables simulated INT8 KV-cache quantization.
+    pub fn with_simulated_kv_quant(mut self) -> Self {
+        self.simulate_kv_quant = true;
+        self
+    }
+
+    /// Sets the sharding strategy (ablations; exactness holds for all).
+    pub fn with_shard_strategy(mut self, strategy: ShardStrategy) -> Self {
+        self.shard_strategy = strategy;
+        self
+    }
+}
+
+/// Result of one prefill round for one sequence.
+#[derive(Debug, Clone)]
+pub struct PrefillOutcome {
+    /// Attention output of the new tokens, `[t, n_heads, head_dim]`, rows
+    /// in the original (pre-sharding) token order.
+    pub output: AttentionOutput,
+    /// The ring variant the heuristic chose (or the forced override).
+    pub variant: RingVariant,
+    /// Fabric traffic of the whole batch's round (shared across the
+    /// batch's outcomes).
+    pub traffic: TrafficReport,
+    /// New tokens prefilled this round (`T`).
+    pub new_tokens: usize,
+    /// Tokens already cached before this round (`P`).
+    pub cached_tokens: usize,
+}
+
+/// Result of one decode step.
+#[derive(Debug, Clone)]
+pub struct DecodeOutcome {
+    /// Per-batch-element attention outputs, `[1, n_heads, head_dim]`.
+    pub outputs: Vec<AttentionOutput>,
+    /// Fabric traffic of the step.
+    pub traffic: TrafficReport,
+    /// The decode iteration index used for round-robin rotation.
+    pub step: usize,
+}
+
+/// One sequence's inputs for a batched prefill round.
+#[derive(Debug)]
+pub struct PrefillRequest<'a> {
+    /// The (existing or new) sequence.
+    pub seq: SeqId,
+    /// New-token queries, `[t, n_heads, head_dim]`.
+    pub q: &'a Tensor,
+    /// New-token keys, `[t, n_kv_heads, head_dim]`.
+    pub k: &'a Tensor,
+    /// New-token values, `[t, n_kv_heads, head_dim]`.
+    pub v: &'a Tensor,
+}
+
+/// A multi-turn context-parallel inference engine.
+///
+/// The engine owns one distributed KV cache per rank and orchestrates the
+/// three ring algorithms over a thread-per-rank fabric:
+///
+/// * [`ContextParallelEngine::full_prefill`] — first turn of a sequence,
+/// * [`ContextParallelEngine::partial_prefill`] — follow-up turns against
+///   the persistent cache (the heuristic picks pass-KV or pass-Q),
+/// * [`ContextParallelEngine::decode_step`] — batched ring pass-Q decode
+///   with rotating round-robin sharding.
+///
+/// Numerically, the engine evaluates one attention layer exactly; layer
+/// count enters only the latency estimates (`cp-perf`), since context
+/// parallelism treats every layer identically.
+#[derive(Debug)]
+pub struct ContextParallelEngine {
+    config: EngineConfig,
+    params: AttentionParams,
+    caches: Vec<PagedKvCache>,
+    lens: HashMap<u64, usize>,
+    decode_step: usize,
+}
+
+impl ContextParallelEngine {
+    /// Creates an engine with `config.n_ranks` rank-local caches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadRequest`] if `n_ranks == 0`.
+    pub fn new(config: EngineConfig) -> Result<Self, CoreError> {
+        if config.n_ranks == 0 {
+            return Err(CoreError::BadRequest {
+                reason: "engine needs at least one rank".to_string(),
+            });
+        }
+        let mut cache_cfg = KvCacheConfig::new(
+            config.page_size,
+            config.shape.n_kv_heads(),
+            config.shape.head_dim(),
+        );
+        if let Some(max) = config.max_pages_per_rank {
+            cache_cfg = cache_cfg.with_max_pages(max);
+        }
+        let caches = (0..config.n_ranks)
+            .map(|_| PagedKvCache::new(cache_cfg))
+            .collect();
+        Ok(ContextParallelEngine {
+            params: AttentionParams::for_shape(config.shape),
+            config,
+            caches,
+            lens: HashMap::new(),
+            decode_step: 0,
+        })
+    }
+
+    /// Number of CP ranks.
+    pub fn n_ranks(&self) -> usize {
+        self.config.n_ranks
+    }
+
+    /// The attention parameters in use.
+    pub fn params(&self) -> &AttentionParams {
+        &self.params
+    }
+
+    /// The system context the engine's heuristic evaluates against.
+    pub fn system_context(&self) -> &SystemContext {
+        &self.config.system
+    }
+
+    /// Applies the simulated INT8 quantization round trip when enabled.
+    fn maybe_quantize(&self, kv: Tensor) -> Result<Tensor, CoreError> {
+        if self.config.simulate_kv_quant {
+            Ok(cp_kvcache::QuantizedKv::quantize(&kv)?.dequantize())
+        } else {
+            Ok(kv)
+        }
+    }
+
+    /// Total context length (cached tokens) of a sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadRequest`] for an unknown sequence.
+    pub fn context_len(&self, seq: SeqId) -> Result<usize, CoreError> {
+        self.lens
+            .get(&seq.0)
+            .copied()
+            .ok_or_else(|| CoreError::BadRequest {
+                reason: format!("unknown sequence {seq}"),
+            })
+    }
+
+    /// Per-rank cached-token counts for a sequence — the KV balance the
+    /// load-balanced sharding and decode rotation maintain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadRequest`] for an unknown sequence.
+    pub fn rank_kv_lens(&self, seq: SeqId) -> Result<Vec<usize>, CoreError> {
+        if !self.lens.contains_key(&seq.0) {
+            return Err(CoreError::BadRequest {
+                reason: format!("unknown sequence {seq}"),
+            });
+        }
+        Ok(self
+            .caches
+            .iter()
+            .map(|c| c.seq_len(seq).unwrap_or(0))
+            .collect())
+    }
+
+    /// Per-rank cache occupancy statistics.
+    pub fn cache_stats(&self) -> Vec<cp_kvcache::CacheStats> {
+        self.caches.iter().map(|c| c.stats()).collect()
+    }
+
+    /// Releases a sequence on every rank.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadRequest`] for an unknown sequence.
+    pub fn free_sequence(&mut self, seq: SeqId) -> Result<(), CoreError> {
+        if self.lens.remove(&seq.0).is_none() {
+            return Err(CoreError::BadRequest {
+                reason: format!("unknown sequence {seq}"),
+            });
+        }
+        for c in &mut self.caches {
+            c.free_sequence(seq)?;
+        }
+        Ok(())
+    }
+
+    /// Rolls a sequence back by `n_tokens` (speculative-decoding
+    /// rejection): the most recent tokens are dropped from every rank's
+    /// cache, wherever the rotation placed them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadRequest`] for an unknown sequence or a
+    /// rollback longer than the cached context.
+    pub fn rollback(&mut self, seq: SeqId, n_tokens: usize) -> Result<(), CoreError> {
+        let len = self.context_len(seq)?;
+        if n_tokens > len {
+            return Err(CoreError::BadRequest {
+                reason: format!("cannot roll back {n_tokens} tokens of a {len}-token context"),
+            });
+        }
+        let new_len = len - n_tokens;
+        for cache in &mut self.caches {
+            // Per-rank positions ascend (turns and decode steps append in
+            // position order), so everything >= new_len is a suffix.
+            let pos = cache.positions(seq)?;
+            let keep = pos.iter().take_while(|&&p| p < new_len).count();
+            debug_assert!(pos[keep..].iter().all(|&p| p >= new_len));
+            cache.truncate(seq, keep)?;
+        }
+        self.lens.insert(seq.0, new_len);
+        Ok(())
+    }
+
+    fn check_prefill_shapes(&self, r: &PrefillRequest<'_>) -> Result<usize, CoreError> {
+        let shape = &self.config.shape;
+        let t = shape.check_q(r.q)?;
+        let tk = shape.check_kv(r.k, "k")?;
+        let tv = shape.check_kv(r.v, "v")?;
+        if tk != t || tv != t {
+            return Err(CoreError::BadRequest {
+                reason: format!(
+                    "q/k/v token counts disagree for {}: {t} vs {tk} vs {tv}",
+                    r.seq
+                ),
+            });
+        }
+        Ok(t)
+    }
+
+    /// First prefill of a new sequence (full causal attention, `P = 0`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the sequence already exists, shapes are inconsistent, a
+    /// rank runs out of cache pages, or communication fails.
+    pub fn full_prefill(
+        &mut self,
+        seq: SeqId,
+        q: &Tensor,
+        k: &Tensor,
+        v: &Tensor,
+    ) -> Result<PrefillOutcome, CoreError> {
+        if self.lens.contains_key(&seq.0) {
+            return Err(CoreError::BadRequest {
+                reason: format!("sequence {seq} already exists; use partial_prefill"),
+            });
+        }
+        let mut outcomes = self.prefill_batch(&[PrefillRequest { seq, q, k, v }], None)?;
+        Ok(outcomes.remove(0))
+    }
+
+    /// Follow-up prefill of an existing sequence against its persistent KV
+    /// cache; the configured heuristic picks the ring variant.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown sequences, bad shapes, cache exhaustion or
+    /// communication failures.
+    pub fn partial_prefill(
+        &mut self,
+        seq: SeqId,
+        q: &Tensor,
+        k: &Tensor,
+        v: &Tensor,
+    ) -> Result<PrefillOutcome, CoreError> {
+        if !self.lens.contains_key(&seq.0) {
+            return Err(CoreError::BadRequest {
+                reason: format!("unknown sequence {seq}; use full_prefill first"),
+            });
+        }
+        let mut outcomes = self.prefill_batch(&[PrefillRequest { seq, q, k, v }], None)?;
+        Ok(outcomes.remove(0))
+    }
+
+    /// Fused variable-length batched prefill (Algorithms 2/3 with the
+    /// Figure 1/2 sharding). New sequences get full prefill, existing ones
+    /// partial prefill, in one ring round.
+    ///
+    /// `forced_variant` overrides the heuristic (used by benchmarks and
+    /// ablations); `None` applies the configured heuristic to the batch's
+    /// aggregate `(T, P)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on inconsistent shapes, duplicate sequences within the batch,
+    /// cache exhaustion, or communication failure.
+    pub fn prefill_batch(
+        &mut self,
+        requests: &[PrefillRequest<'_>],
+        forced_variant: Option<RingVariant>,
+    ) -> Result<Vec<PrefillOutcome>, CoreError> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+
+        // Validate and collect (T, P) per sequence.
+        let mut specs = Vec::with_capacity(requests.len());
+        let mut seen = std::collections::HashSet::new();
+        for r in requests {
+            if !seen.insert(r.seq.0) {
+                return Err(CoreError::BadRequest {
+                    reason: format!("sequence {} appears twice in one batch", r.seq),
+                });
+            }
+            let t = self.check_prefill_shapes(r)?;
+            let p = self.lens.get(&r.seq.0).copied().unwrap_or(0);
+            specs.push(SequenceSpec::partial(t, p));
+        }
+
+        // Snapshot per-rank cache lengths so a mid-batch failure (e.g. one
+        // rank running out of pages) can be rolled back instead of leaving
+        // half-registered sequences behind.
+        let snapshots: Vec<Option<Vec<usize>>> = requests
+            .iter()
+            .map(|r| {
+                if self.lens.contains_key(&r.seq.0) {
+                    Some(
+                        self.caches
+                            .iter()
+                            .map(|c| c.seq_len(r.seq).unwrap_or(0))
+                            .collect(),
+                    )
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let result = self.prefill_batch_inner(requests, &specs, forced_variant);
+        if result.is_err() {
+            for (req, snapshot) in requests.iter().zip(&snapshots) {
+                match snapshot {
+                    // Newly created this call: remove entirely.
+                    None => {
+                        for c in &mut self.caches {
+                            let _ = c.free_sequence(req.seq);
+                        }
+                    }
+                    // Pre-existing: drop whatever this call appended (the
+                    // appended positions are a per-rank suffix).
+                    Some(lens) => {
+                        for (c, &len) in self.caches.iter_mut().zip(lens) {
+                            let _ = c.truncate(req.seq, len);
+                        }
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    fn prefill_batch_inner(
+        &mut self,
+        requests: &[PrefillRequest<'_>],
+        specs: &[SequenceSpec],
+        forced_variant: Option<RingVariant>,
+    ) -> Result<Vec<PrefillOutcome>, CoreError> {
+        let n = self.config.n_ranks;
+        // Register new sequences on every rank.
+        for (r, spec) in requests.iter().zip(specs) {
+            if spec.cached_tokens == 0 && !self.lens.contains_key(&r.seq.0) {
+                for c in &mut self.caches {
+                    c.create_sequence(r.seq)?;
+                }
+            }
+        }
+
+        // Shard new tokens (Figure 1/2) and append each rank's share to
+        // its cache.
+        let shards = shard_varseq_with(specs, n, self.config.shard_strategy)?;
+        for (rank, shard) in shards.iter().enumerate() {
+            for (entry, (req, spec)) in shard.entries.iter().zip(requests.iter().zip(specs)) {
+                let rows: Vec<usize> = entry
+                    .positions
+                    .iter()
+                    .map(|&pos| pos - spec.cached_tokens)
+                    .collect();
+                let k_rows = self.maybe_quantize(req.k.gather_dim0(&rows)?)?;
+                let v_rows = self.maybe_quantize(req.v.gather_dim0(&rows)?)?;
+                self.caches[rank].append(req.seq, &k_rows, &v_rows, &entry.positions)?;
+            }
+        }
+
+        // Build per-rank LocalSeq inputs: local queries plus the padded
+        // local KV shard (§3.5.2's equal-message-size invariant).
+        let ring_lens: Vec<usize> = requests
+            .iter()
+            .map(|req| {
+                Ok((0..n)
+                    .map(|rank| self.caches[rank].seq_len(req.seq))
+                    .collect::<Result<Vec<_>, _>>()?
+                    .into_iter()
+                    .max()
+                    .unwrap_or(0))
+            })
+            .collect::<Result<Vec<_>, CoreError>>()?;
+
+        let mut locals: Vec<Vec<LocalSeq>> = Vec::with_capacity(n);
+        for (rank, shard) in shards.iter().enumerate() {
+            let mut rank_locals = Vec::with_capacity(requests.len());
+            for (i, (entry, (req, spec))) in shard
+                .entries
+                .iter()
+                .zip(requests.iter().zip(specs))
+                .enumerate()
+            {
+                let rows: Vec<usize> = entry
+                    .positions
+                    .iter()
+                    .map(|&pos| pos - spec.cached_tokens)
+                    .collect();
+                let q = req.q.gather_dim0(&rows)?;
+                let (k, v, mut kv_pos) = self.caches[rank].gather(req.seq)?;
+                let k = k.pad_dim0(ring_lens[i], 0.0)?;
+                let v = v.pad_dim0(ring_lens[i], 0.0)?;
+                kv_pos.resize(ring_lens[i], PAD);
+                rank_locals.push(LocalSeq {
+                    q,
+                    q_pos: entry.positions.clone(),
+                    k,
+                    v,
+                    kv_pos,
+                });
+            }
+            locals.push(rank_locals);
+        }
+
+        // Pick the variant from the batch's aggregate (T, P).
+        let t_total: usize = specs.iter().map(|s| s.new_tokens).sum();
+        let p_total: usize = specs.iter().map(|s| s.cached_tokens).sum();
+        let variant = forced_variant.unwrap_or_else(|| {
+            choose_variant(self.config.heuristic, &self.config.system, t_total, p_total)
+        });
+
+        let params = self.params;
+        let (rank_outputs, traffic) = match variant {
+            RingVariant::PassKv => run_ring(n, |comm| {
+                ring_pass_kv_prefill(comm, &params, &locals[comm.rank()])
+            })?,
+            RingVariant::PassQ => run_ring(n, |comm| {
+                ring_pass_q_prefill(comm, &params, &locals[comm.rank()])
+            })?,
+        };
+
+        // Un-shard: scatter each rank's rows back into original token order.
+        let (nh, dh) = (self.config.shape.n_heads(), self.config.shape.head_dim());
+        let mut outcomes = Vec::with_capacity(requests.len());
+        for (i, spec) in specs.iter().enumerate() {
+            let t = spec.new_tokens;
+            let mut out = Tensor::zeros(&[t, nh, dh]);
+            let mut lse = Tensor::full(&[t, nh], f32::NEG_INFINITY);
+            for (rank, shard) in shards.iter().enumerate() {
+                let rank_out = &rank_outputs[rank][i];
+                for (row, &pos) in shard.entries[i].positions.iter().enumerate() {
+                    let dst = pos - spec.cached_tokens;
+                    out.row_mut(dst).copy_from_slice(rank_out.out.row(row));
+                    lse.row_mut(dst).copy_from_slice(rank_out.lse.row(row));
+                }
+            }
+            self.lens.insert(requests[i].seq.0, spec.total_len());
+            outcomes.push(PrefillOutcome {
+                output: AttentionOutput::new(out, lse)?,
+                variant,
+                traffic,
+                new_tokens: t,
+                cached_tokens: spec.cached_tokens,
+            });
+        }
+        Ok(outcomes)
+    }
+
+    /// One batched decode step: each `(seq, q, k, v)` contributes exactly
+    /// one new token. The new KV is appended to the rank chosen by the
+    /// rotating round-robin assignment (§3.6) before attention, so the
+    /// token attends to itself; outputs come back in batch order.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown sequences, non-single-token inputs, duplicate
+    /// sequences in the batch, cache exhaustion, or communication failure.
+    pub fn decode_step(
+        &mut self,
+        batch: &[(SeqId, Tensor, Tensor, Tensor)],
+    ) -> Result<DecodeOutcome, CoreError> {
+        if batch.is_empty() {
+            return Err(CoreError::BadRequest {
+                reason: "decode batch is empty".to_string(),
+            });
+        }
+        let n = self.config.n_ranks;
+        let mut seen = std::collections::HashSet::new();
+        for (seq, q, k, v) in batch {
+            if !seen.insert(seq.0) {
+                return Err(CoreError::BadRequest {
+                    reason: format!("sequence {seq} appears twice in one decode batch"),
+                });
+            }
+            if !self.lens.contains_key(&seq.0) {
+                return Err(CoreError::BadRequest {
+                    reason: format!("unknown sequence {seq}"),
+                });
+            }
+            let t = self.config.shape.check_q(q)?;
+            let tk = self.config.shape.check_kv(k, "k")?;
+            let tv = self.config.shape.check_kv(v, "v")?;
+            if t != 1 || tk != 1 || tv != 1 {
+                return Err(CoreError::BadRequest {
+                    reason: format!("decode takes exactly one token per sequence, got {t}"),
+                });
+            }
+        }
+
+        let assignment = decode_round_robin(batch.len(), n, self.decode_step)?;
+
+        // Append each new token's KV to its assigned rank, then build the
+        // per-rank slot lists.
+        let slots_per_rank = assignment.slots_per_rank();
+        let mut slots: Vec<Vec<Option<DecodeSlot>>> = vec![Vec::new(); n];
+        for (b, (seq, q, k, v)) in batch.iter().enumerate() {
+            let rank = assignment.rank_of(b);
+            let pos = self.lens[&seq.0];
+            let kq = self.maybe_quantize(k.clone())?;
+            let vq = self.maybe_quantize(v.clone())?;
+            self.caches[rank].append(*seq, &kq, &vq, &[pos])?;
+            slots[rank].push(Some(DecodeSlot {
+                bid: b,
+                q: q.clone(),
+                pos,
+            }));
+        }
+        for rank_slots in &mut slots {
+            rank_slots.resize(slots_per_rank, None);
+        }
+
+        // Gather every rank's local shard of every batched sequence.
+        let mut batch_kv: Vec<Vec<SeqKv>> = Vec::with_capacity(n);
+        for rank in 0..n {
+            let mut kvs = Vec::with_capacity(batch.len());
+            for (seq, ..) in batch {
+                let (k, v, pos) = self.caches[rank].gather(*seq)?;
+                kvs.push(SeqKv { k, v, pos });
+            }
+            batch_kv.push(kvs);
+        }
+
+        let params = self.params;
+        let (rank_outputs, traffic) = run_ring(n, |comm| {
+            ring_pass_q_decode(comm, &params, &slots[comm.rank()], &batch_kv[comm.rank()])
+        })?;
+
+        // Map per-rank slot outputs back to batch order.
+        let mut outputs: Vec<Option<AttentionOutput>> = vec![None; batch.len()];
+        for (rank, outs) in rank_outputs.into_iter().enumerate() {
+            let real: Vec<&DecodeSlot> = slots[rank].iter().flatten().collect();
+            for (slot, out) in real.iter().zip(outs) {
+                outputs[slot.bid] = Some(out);
+            }
+        }
+        let outputs: Vec<AttentionOutput> = outputs
+            .into_iter()
+            .map(|o| o.expect("every batch element has exactly one slot"))
+            .collect();
+
+        for (seq, ..) in batch {
+            *self.lens.get_mut(&seq.0).expect("validated above") += 1;
+        }
+        let step = self.decode_step;
+        self.decode_step += 1;
+        Ok(DecodeOutcome {
+            outputs,
+            traffic,
+            step,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::single_device_prefill;
+    use cp_tensor::DetRng;
+
+    fn shape() -> GqaShape {
+        GqaShape::new(4, 2, 8).unwrap()
+    }
+
+    fn engine(n: usize) -> ContextParallelEngine {
+        ContextParallelEngine::new(EngineConfig::new(n, shape()).with_page_size(4)).unwrap()
+    }
+
+    fn qkv(rng: &mut DetRng, t: usize) -> (Tensor, Tensor, Tensor) {
+        (
+            rng.tensor(&[t, 4, 8]),
+            rng.tensor(&[t, 2, 8]),
+            rng.tensor(&[t, 2, 8]),
+        )
+    }
+
+    #[test]
+    fn full_prefill_matches_single_device() {
+        for n in [1, 2, 3, 4] {
+            let mut eng = engine(n);
+            let mut rng = DetRng::new(1);
+            let t = 50;
+            let (q, k, v) = qkv(&mut rng, t);
+            let outcome = eng.full_prefill(SeqId(0), &q, &k, &v).unwrap();
+            let pos: Vec<usize> = (0..t).collect();
+            let reference = single_device_prefill(&q, &k, &v, eng.params(), &pos, &pos).unwrap();
+            assert!(
+                outcome.output.out.approx_eq(&reference.out, 2e-3).unwrap(),
+                "n={n}: {}",
+                outcome.output.out.max_abs_diff(&reference.out).unwrap()
+            );
+            assert!(outcome.output.lse.approx_eq(&reference.lse, 2e-3).unwrap());
+            assert_eq!(outcome.new_tokens, t);
+            assert_eq!(outcome.cached_tokens, 0);
+            assert_eq!(eng.context_len(SeqId(0)).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn multi_turn_partial_prefill_matches_single_device() {
+        let n = 3;
+        let mut eng = engine(n);
+        let mut rng = DetRng::new(2);
+        let turns = [17usize, 9, 23];
+        let mut all_k: Vec<Tensor> = Vec::new();
+        let mut all_v: Vec<Tensor> = Vec::new();
+        let mut start = 0usize;
+        for (turn, &t) in turns.iter().enumerate() {
+            let (q, k, v) = qkv(&mut rng, t);
+            let outcome = if turn == 0 {
+                eng.full_prefill(SeqId(9), &q, &k, &v).unwrap()
+            } else {
+                eng.partial_prefill(SeqId(9), &q, &k, &v).unwrap()
+            };
+            all_k.push(k);
+            all_v.push(v);
+            let full_k = Tensor::concat_dim0(all_k.iter()).unwrap();
+            let full_v = Tensor::concat_dim0(all_v.iter()).unwrap();
+            let kv_pos: Vec<usize> = (0..start + t).collect();
+            let q_pos: Vec<usize> = (start..start + t).collect();
+            let reference =
+                single_device_prefill(&q, &full_k, &full_v, eng.params(), &q_pos, &kv_pos).unwrap();
+            assert!(
+                outcome.output.out.approx_eq(&reference.out, 2e-3).unwrap(),
+                "turn {turn}"
+            );
+            assert_eq!(outcome.cached_tokens, start);
+            start += t;
+            assert_eq!(eng.context_len(SeqId(9)).unwrap(), start);
+        }
+    }
+
+    #[test]
+    fn decode_steps_match_single_device() {
+        let n = 2;
+        let mut eng = engine(n);
+        let mut rng = DetRng::new(3);
+        let t0 = 21;
+        let (q, k, v) = qkv(&mut rng, t0);
+        eng.full_prefill(SeqId(1), &q, &k, &v).unwrap();
+        let mut all_k = vec![k];
+        let mut all_v = vec![v];
+        for step in 0..6 {
+            let (q1, k1, v1) = qkv(&mut rng, 1);
+            let out = eng
+                .decode_step(&[(SeqId(1), q1.clone(), k1.clone(), v1.clone())])
+                .unwrap();
+            all_k.push(k1);
+            all_v.push(v1);
+            let full_k = Tensor::concat_dim0(all_k.iter()).unwrap();
+            let full_v = Tensor::concat_dim0(all_v.iter()).unwrap();
+            let ctx = t0 + step;
+            let kv_pos: Vec<usize> = (0..=ctx).collect();
+            let reference =
+                single_device_prefill(&q1, &full_k, &full_v, eng.params(), &[ctx], &kv_pos)
+                    .unwrap();
+            assert!(
+                out.outputs[0].out.approx_eq(&reference.out, 2e-3).unwrap(),
+                "step {step}"
+            );
+            assert_eq!(out.step, step);
+        }
+        assert_eq!(eng.context_len(SeqId(1)).unwrap(), t0 + 6);
+    }
+
+    #[test]
+    fn batched_decode_multiple_sequences() {
+        let n = 3;
+        let mut eng = engine(n);
+        let mut rng = DetRng::new(4);
+        let mut histories: Vec<(Vec<Tensor>, Vec<Tensor>)> = Vec::new();
+        for s in 0..4u64 {
+            let t = 10 + s as usize * 3;
+            let (q, k, v) = qkv(&mut rng, t);
+            eng.full_prefill(SeqId(s), &q, &k, &v).unwrap();
+            histories.push((vec![k], vec![v]));
+        }
+        for _step in 0..4 {
+            let mut batch = Vec::new();
+            let mut queries = Vec::new();
+            for s in 0..4u64 {
+                let (q1, k1, v1) = qkv(&mut rng, 1);
+                queries.push(q1.clone());
+                batch.push((SeqId(s), q1, k1.clone(), v1.clone()));
+                histories[s as usize].0.push(k1);
+                histories[s as usize].1.push(v1);
+            }
+            let out = eng.decode_step(&batch).unwrap();
+            assert_eq!(out.outputs.len(), 4);
+            for s in 0..4usize {
+                let full_k = Tensor::concat_dim0(histories[s].0.iter()).unwrap();
+                let full_v = Tensor::concat_dim0(histories[s].1.iter()).unwrap();
+                let ctx = full_k.dim0() - 1;
+                let kv_pos: Vec<usize> = (0..=ctx).collect();
+                let reference = single_device_prefill(
+                    &queries[s],
+                    &full_k,
+                    &full_v,
+                    eng.params(),
+                    &[ctx],
+                    &kv_pos,
+                )
+                .unwrap();
+                assert!(out.outputs[s].out.approx_eq(&reference.out, 2e-3).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rotation_balances_kv_growth() {
+        let n = 4;
+        let mut eng = engine(n);
+        let mut rng = DetRng::new(5);
+        let (q, k, v) = qkv(&mut rng, 8);
+        eng.full_prefill(SeqId(0), &q, &k, &v).unwrap();
+        let before = eng.rank_kv_lens(SeqId(0)).unwrap();
+        for _ in 0..40 {
+            let (q1, k1, v1) = qkv(&mut rng, 1);
+            eng.decode_step(&[(SeqId(0), q1, k1, v1)]).unwrap();
+        }
+        let after = eng.rank_kv_lens(SeqId(0)).unwrap();
+        let grown: Vec<usize> = after.iter().zip(&before).map(|(a, b)| a - b).collect();
+        // 40 decode tokens over 4 ranks with rotation: exactly 10 each.
+        assert_eq!(grown, vec![10; 4]);
+    }
+
+    #[test]
+    fn fused_varseq_batch_prefill_exact() {
+        let n = 2;
+        let mut eng = engine(n);
+        let mut rng = DetRng::new(6);
+        let (qa, ka, va) = qkv(&mut rng, 19);
+        let (qb, kb, vb) = qkv(&mut rng, 7);
+        let outcomes = eng
+            .prefill_batch(
+                &[
+                    PrefillRequest {
+                        seq: SeqId(0),
+                        q: &qa,
+                        k: &ka,
+                        v: &va,
+                    },
+                    PrefillRequest {
+                        seq: SeqId(1),
+                        q: &qb,
+                        k: &kb,
+                        v: &vb,
+                    },
+                ],
+                None,
+            )
+            .unwrap();
+        assert_eq!(outcomes.len(), 2);
+        for (outcome, (q, k, v)) in outcomes.iter().zip([(&qa, &ka, &va), (&qb, &kb, &vb)]) {
+            let t = q.dim0();
+            let pos: Vec<usize> = (0..t).collect();
+            let reference = single_device_prefill(q, k, v, eng.params(), &pos, &pos).unwrap();
+            assert!(outcome.output.out.approx_eq(&reference.out, 2e-3).unwrap());
+        }
+    }
+
+    #[test]
+    fn forced_variants_agree() {
+        let n = 3;
+        let mut rng = DetRng::new(7);
+        let (q, k, v) = qkv(&mut rng, 31);
+        let run = |variant| {
+            let mut eng = engine(n);
+            eng.prefill_batch(
+                &[PrefillRequest {
+                    seq: SeqId(0),
+                    q: &q,
+                    k: &k,
+                    v: &v,
+                }],
+                Some(variant),
+            )
+            .unwrap()
+            .remove(0)
+        };
+        let kv = run(RingVariant::PassKv);
+        let pq = run(RingVariant::PassQ);
+        assert_eq!(kv.variant, RingVariant::PassKv);
+        assert_eq!(pq.variant, RingVariant::PassQ);
+        assert!(kv.output.out.approx_eq(&pq.output.out, 1e-3).unwrap());
+        // pass-Q pays All2All traffic that pass-KV does not.
+        assert_eq!(kv.traffic.all_to_all_bytes, 0);
+        assert!(pq.traffic.all_to_all_bytes > 0);
+    }
+
+    #[test]
+    fn heuristic_picks_pass_kv_for_full_prefill() {
+        // Full prefill of a GQA model with N_H > 2*N_KV must choose
+        // pass-KV under Algorithm 1 (§3.4).
+        let mut eng = ContextParallelEngine::new(
+            EngineConfig::new(2, GqaShape::new(8, 2, 4).unwrap()).with_page_size(4),
+        )
+        .unwrap();
+        let mut rng = DetRng::new(8);
+        let q = rng.tensor(&[64, 8, 4]);
+        let t = q.dim0();
+        let k = rng.tensor(&[t, 2, 4]);
+        let v = rng.tensor(&[t, 2, 4]);
+        let outcome = eng.full_prefill(SeqId(0), &q, &k, &v).unwrap();
+        assert_eq!(outcome.variant, RingVariant::PassKv);
+    }
+
+    #[test]
+    fn kv_balance_across_ranks_after_prefill() {
+        let n = 4;
+        let mut eng = engine(n);
+        let mut rng = DetRng::new(9);
+        let (q, k, v) = qkv(&mut rng, 160);
+        eng.full_prefill(SeqId(0), &q, &k, &v).unwrap();
+        let lens = eng.rank_kv_lens(SeqId(0)).unwrap();
+        assert_eq!(lens.iter().sum::<usize>(), 160);
+        let max = lens.iter().max().unwrap();
+        let min = lens.iter().min().unwrap();
+        assert!(max - min <= 160usize.div_ceil(2 * n) * 2, "{lens:?}");
+    }
+
+    #[test]
+    fn bad_requests_are_rejected() {
+        let mut eng = engine(2);
+        let mut rng = DetRng::new(10);
+        let (q, k, v) = qkv(&mut rng, 4);
+        // Unknown sequence for partial prefill / decode / queries.
+        assert!(eng.partial_prefill(SeqId(5), &q, &k, &v).is_err());
+        assert!(eng.context_len(SeqId(5)).is_err());
+        assert!(eng.rank_kv_lens(SeqId(5)).is_err());
+        assert!(eng.free_sequence(SeqId(5)).is_err());
+        // Mismatched shapes.
+        let bad_k = rng.tensor(&[3, 2, 8]);
+        assert!(eng.full_prefill(SeqId(0), &q, &bad_k, &v).is_err());
+        // Duplicate full prefill.
+        eng.full_prefill(SeqId(0), &q, &k, &v).unwrap();
+        assert!(eng.full_prefill(SeqId(0), &q, &k, &v).is_err());
+        // Duplicate within one batch.
+        assert!(eng
+            .prefill_batch(
+                &[
+                    PrefillRequest {
+                        seq: SeqId(7),
+                        q: &q,
+                        k: &k,
+                        v: &v
+                    },
+                    PrefillRequest {
+                        seq: SeqId(7),
+                        q: &q,
+                        k: &k,
+                        v: &v
+                    },
+                ],
+                None,
+            )
+            .is_err());
+        // Decode with more than one token.
+        let (q2, k2, v2) = qkv(&mut rng, 2);
+        assert!(eng.decode_step(&[(SeqId(0), q2, k2, v2)]).is_err());
+        // Empty decode batch.
+        assert!(eng.decode_step(&[]).is_err());
+        // Zero ranks.
+        assert!(ContextParallelEngine::new(EngineConfig::new(0, shape())).is_err());
+    }
+
+    #[test]
+    fn failed_prefill_rolls_back_completely() {
+        let mut eng = ContextParallelEngine::new(
+            EngineConfig::new(2, shape())
+                .with_page_size(2)
+                .with_max_pages(4), // 8 tokens per rank
+        )
+        .unwrap();
+        let mut rng = DetRng::new(41);
+        // A sequence that fits.
+        let (q, k, v) = qkv(&mut rng, 12);
+        eng.full_prefill(SeqId(0), &q, &k, &v).unwrap();
+        let before = eng.rank_kv_lens(SeqId(0)).unwrap();
+        // A follow-up that cannot fit: partial prefill must fail AND leave
+        // the original sequence exactly as it was.
+        let (q2, k2, v2) = qkv(&mut rng, 64);
+        assert!(eng.partial_prefill(SeqId(0), &q2, &k2, &v2).is_err());
+        assert_eq!(eng.context_len(SeqId(0)).unwrap(), 12);
+        assert_eq!(eng.rank_kv_lens(SeqId(0)).unwrap(), before);
+        // A new sequence that cannot fit: must not remain registered.
+        assert!(eng.full_prefill(SeqId(1), &q2, &k2, &v2).is_err());
+        assert!(eng.context_len(SeqId(1)).is_err());
+        assert!(eng.rank_kv_lens(SeqId(1)).is_err());
+        // And the engine still works afterwards.
+        let (q3, k3, v3) = qkv(&mut rng, 1);
+        eng.decode_step(&[(SeqId(0), q3, k3, v3)]).unwrap();
+    }
+
+    #[test]
+    fn cache_capacity_exhaustion_surfaces() {
+        let mut eng = ContextParallelEngine::new(
+            EngineConfig::new(2, shape())
+                .with_page_size(2)
+                .with_max_pages(2), // 4 tokens per rank
+        )
+        .unwrap();
+        let mut rng = DetRng::new(11);
+        let (q, k, v) = qkv(&mut rng, 64); // 32 per rank >> 4
+        let err = eng.full_prefill(SeqId(0), &q, &k, &v).unwrap_err();
+        assert!(matches!(err, CoreError::Cache(_)), "{err}");
+    }
+
+    #[test]
+    fn free_sequence_releases_pages() {
+        let mut eng = engine(2);
+        let mut rng = DetRng::new(12);
+        let (q, k, v) = qkv(&mut rng, 16);
+        eng.full_prefill(SeqId(0), &q, &k, &v).unwrap();
+        assert!(eng.cache_stats().iter().any(|s| s.allocated_pages > 0));
+        eng.free_sequence(SeqId(0)).unwrap();
+        assert!(eng.cache_stats().iter().all(|s| s.allocated_pages == 0));
+        assert!(eng.context_len(SeqId(0)).is_err());
+    }
+
+    #[test]
+    fn rollback_restores_exactness() {
+        // Prefill, decode 5 tokens, roll back 3, decode again: the result
+        // must equal a trace that never decoded the rejected tokens.
+        let n = 3;
+        let run = |speculate: bool| {
+            let mut eng = engine(n);
+            let mut rng = DetRng::new(21);
+            let (q, k, v) = qkv(&mut rng, 13);
+            eng.full_prefill(SeqId(0), &q, &k, &v).unwrap();
+            let (q1, k1, v1) = qkv(&mut rng, 1);
+            let (q2, k2, v2) = qkv(&mut rng, 1);
+            eng.decode_step(&[(SeqId(0), q1, k1, v1)]).unwrap();
+            eng.decode_step(&[(SeqId(0), q2, k2, v2)]).unwrap();
+            if speculate {
+                // Three speculative tokens, all rejected.
+                let mut spec_rng = DetRng::new(999);
+                for _ in 0..3 {
+                    let sq = spec_rng.tensor(&[1, 4, 8]);
+                    let sk = spec_rng.tensor(&[1, 2, 8]);
+                    let sv = spec_rng.tensor(&[1, 2, 8]);
+                    eng.decode_step(&[(SeqId(0), sq, sk, sv)]).unwrap();
+                }
+                eng.rollback(SeqId(0), 3).unwrap();
+            }
+            let (q3, k3, v3) = qkv(&mut rng, 1);
+            let out = eng.decode_step(&[(SeqId(0), q3, k3, v3)]).unwrap();
+            (eng.context_len(SeqId(0)).unwrap(), out.outputs[0].clone())
+        };
+        let (len_a, out_a) = run(false);
+        let (len_b, out_b) = run(true);
+        assert_eq!(len_a, len_b);
+        assert!(out_a.out.approx_eq(&out_b.out, 1e-5).unwrap());
+    }
+
+    #[test]
+    fn rollback_validates_bounds() {
+        let mut eng = engine(2);
+        let mut rng = DetRng::new(22);
+        let (q, k, v) = qkv(&mut rng, 4);
+        assert!(eng.rollback(SeqId(0), 1).is_err()); // unknown sequence
+        eng.full_prefill(SeqId(0), &q, &k, &v).unwrap();
+        assert!(eng.rollback(SeqId(0), 5).is_err()); // longer than context
+        eng.rollback(SeqId(0), 4).unwrap(); // to empty is fine
+        assert_eq!(eng.context_len(SeqId(0)).unwrap(), 0);
+        assert_eq!(eng.rank_kv_lens(SeqId(0)).unwrap(), vec![0, 0]);
+    }
+
+    #[test]
+    fn simulated_kv_quant_stays_close_to_exact() {
+        let n = 2;
+        let mut rng = DetRng::new(23);
+        let (q, k, v) = qkv(&mut rng, 32);
+        let exact = {
+            let mut eng = engine(n);
+            eng.full_prefill(SeqId(0), &q, &k, &v).unwrap().output
+        };
+        let quant = {
+            let mut eng = ContextParallelEngine::new(
+                EngineConfig::new(n, shape())
+                    .with_page_size(4)
+                    .with_simulated_kv_quant(),
+            )
+            .unwrap();
+            eng.full_prefill(SeqId(0), &q, &k, &v).unwrap().output
+        };
+        let err = exact.out.max_abs_diff(&quant.out).unwrap();
+        assert!(err > 0.0, "quantization should perturb something");
+        assert!(err < 0.02, "quantization error too large: {err}");
+    }
+
+    #[test]
+    fn all_shard_strategies_are_exact() {
+        // The ablation point: striped and contiguous sharding are also
+        // exact (position-masked kernels), they just balance worse.
+        use cp_sharding::ShardStrategy;
+        let n = 3;
+        let mut rng = DetRng::new(31);
+        let (q, k, v) = qkv(&mut rng, 41);
+        let pos: Vec<usize> = (0..41).collect();
+        let reference = {
+            let eng = engine(n);
+            crate::baseline::single_device_prefill(&q, &k, &v, eng.params(), &pos, &pos).unwrap()
+        };
+        for strategy in [
+            ShardStrategy::LoadBalanced,
+            ShardStrategy::Striped { stripe: 2 },
+            ShardStrategy::Contiguous,
+        ] {
+            let mut eng = ContextParallelEngine::new(
+                EngineConfig::new(n, shape())
+                    .with_page_size(4)
+                    .with_shard_strategy(strategy),
+            )
+            .unwrap();
+            let outcome = eng.full_prefill(SeqId(0), &q, &k, &v).unwrap();
+            assert!(
+                outcome.output.out.approx_eq(&reference.out, 2e-3).unwrap(),
+                "{strategy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pass_kv_traffic_matches_formula() {
+        // (N-1) hops per rank, each of ring_len tokens * 2 (K+V) * NKV *
+        // Dh * 4 bytes: the Table 2 accounting at e = 4.
+        let n = 4;
+        let t = 64; // divisible by 2N: ring_len = t/n per rank
+        let mut eng = engine(n);
+        let mut rng = DetRng::new(13);
+        let (q, k, v) = qkv(&mut rng, t);
+        let outcome = eng
+            .prefill_batch(
+                &[PrefillRequest {
+                    seq: SeqId(0),
+                    q: &q,
+                    k: &k,
+                    v: &v,
+                }],
+                Some(RingVariant::PassKv),
+            )
+            .unwrap()
+            .remove(0);
+        let ring_len = t / n;
+        let per_msg = 2 * ring_len * 2 * 8 * 4; // K+V, NKV=2, Dh=8, f32
+        assert_eq!(
+            outcome.traffic.send_recv_bytes,
+            n * (n - 1) * per_msg,
+            "{:?}",
+            outcome.traffic
+        );
+    }
+}

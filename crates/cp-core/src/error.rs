@@ -1,0 +1,138 @@
+//! Error type unifying the substrate errors under the engine's API.
+
+use std::error::Error;
+use std::fmt;
+
+use cp_attention::AttentionError;
+use cp_comm::CommError;
+use cp_kvcache::CacheError;
+use cp_sharding::ShardingError;
+use cp_tensor::TensorError;
+
+/// Error returned by context-parallel algorithms and the engine.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A tensor operation failed.
+    Tensor(TensorError),
+    /// An attention kernel or merge failed.
+    Attention(AttentionError),
+    /// Communication between ranks failed.
+    Comm(CommError),
+    /// Sharding failed.
+    Sharding(ShardingError),
+    /// A KV-cache operation failed.
+    Cache(CacheError),
+    /// A rank received a ring message of the wrong variant — a protocol
+    /// bug, e.g. a KV payload arriving during a pass-Q loop.
+    ProtocolViolation {
+        /// What the rank expected.
+        expected: &'static str,
+        /// What actually arrived.
+        got: &'static str,
+    },
+    /// Request inputs are inconsistent (shapes, batch sizes, unknown ids).
+    BadRequest {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Tensor(e) => write!(f, "tensor error: {e}"),
+            CoreError::Attention(e) => write!(f, "attention error: {e}"),
+            CoreError::Comm(e) => write!(f, "communication error: {e}"),
+            CoreError::Sharding(e) => write!(f, "sharding error: {e}"),
+            CoreError::Cache(e) => write!(f, "kv-cache error: {e}"),
+            CoreError::ProtocolViolation { expected, got } => {
+                write!(f, "ring protocol violation: expected {expected}, got {got}")
+            }
+            CoreError::BadRequest { reason } => write!(f, "bad request: {reason}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Tensor(e) => Some(e),
+            CoreError::Attention(e) => Some(e),
+            CoreError::Comm(e) => Some(e),
+            CoreError::Sharding(e) => Some(e),
+            CoreError::Cache(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for CoreError {
+    fn from(e: TensorError) -> Self {
+        CoreError::Tensor(e)
+    }
+}
+impl From<AttentionError> for CoreError {
+    fn from(e: AttentionError) -> Self {
+        CoreError::Attention(e)
+    }
+}
+impl From<CommError> for CoreError {
+    fn from(e: CommError) -> Self {
+        CoreError::Comm(e)
+    }
+}
+impl From<ShardingError> for CoreError {
+    fn from(e: ShardingError) -> Self {
+        CoreError::Sharding(e)
+    }
+}
+impl From<CacheError> for CoreError {
+    fn from(e: CacheError) -> Self {
+        CoreError::Cache(e)
+    }
+}
+
+/// Converts a `CoreError` into a `CommError` so rank closures (which must
+/// return `Result<_, CommError>` for the fabric) can propagate attention
+/// failures; non-comm errors map onto a rank panic-equivalent.
+pub(crate) fn to_comm_error(e: CoreError) -> CommError {
+    match e {
+        CoreError::Comm(c) => c,
+        // Other failures inside a rank are surfaced as that rank having
+        // failed; the engine re-validates inputs before spawning so these
+        // are unreachable in practice.
+        _ => CommError::RankPanicked { rank: usize::MAX },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = CoreError::from(TensorError::EmptyInput);
+        assert!(e.to_string().contains("tensor"));
+        assert!(Error::source(&e).is_some());
+        let p = CoreError::ProtocolViolation {
+            expected: "kv",
+            got: "q",
+        };
+        assert!(p.to_string().contains("kv"));
+        assert!(Error::source(&p).is_none());
+    }
+
+    #[test]
+    fn comm_error_roundtrips() {
+        let c = CommError::EmptyGroup;
+        let e = CoreError::from(c.clone());
+        assert_eq!(to_comm_error(e), c);
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

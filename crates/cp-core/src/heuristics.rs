@@ -1,0 +1,401 @@
+//! Runtime selection between pass-KV and pass-Q (Algorithms 1 and 5,
+//! Appendix D).
+//!
+//! All three heuristics answer the same question per partial prefill: given
+//! `T` new tokens, `P` cached tokens, the model's head ratio and the
+//! system's compute/bandwidth roofline, which ring variant has lower TTFT?
+//!
+//! * [`HeuristicKind::Threshold`] — Algorithm 1: pass-KV iff the new-token
+//!   count exceeds the overlap threshold of Equation 2 **or** the miss rate
+//!   exceeds `2 * N_KV / N_H` (Equation 1).
+//! * [`HeuristicKind::All2AllAware`] — Algorithm 5: same first condition,
+//!   with the miss-rate threshold lowered by the pass-Q `All2All` cost
+//!   (Equation 5).
+//! * [`HeuristicKind::Empirical`] — Appendix D: a fitted linear model
+//!   `h(T, P) = α·ln T + β·ln(T/(T+P)) + γ`, preferring pass-KV when
+//!   positive. [`fit_empirical`] refits `α, β, γ` against oracle labels
+//!   from the performance model, reproducing Figure 10.
+
+use cp_perf::{prefill, HardwareSpec, ModelSpec, RingVariant};
+
+/// The model/hardware context a heuristic evaluates against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemContext {
+    /// Model architecture constants.
+    pub model: ModelSpec,
+    /// Cluster constants (achieved compute `C` and bandwidth `BW`).
+    pub hw: HardwareSpec,
+    /// CP ring size `N` (nodes).
+    pub n_nodes: usize,
+}
+
+impl SystemContext {
+    /// A context for Llama3 405B on GTT over `n_nodes` nodes — the paper's
+    /// main configuration.
+    pub fn llama3_405b_gtt(n_nodes: usize) -> Self {
+        SystemContext {
+            model: ModelSpec::llama3_405b(),
+            hw: HardwareSpec::gtt(),
+            n_nodes,
+        }
+    }
+
+    /// Per-GPU achieved compute `C` in FLOP/s (the paper starts from peak
+    /// and fine-tunes; we use the calibrated attention throughput).
+    pub fn c_flops(&self) -> f64 {
+        self.hw.attn_tflops * 1e12
+    }
+
+    /// Achieved per-GPU inter-node bandwidth `BW` in B/s.
+    pub fn bw_bytes(&self) -> f64 {
+        self.hw.inter_bw_gbs * 1e9
+    }
+
+    /// Equation 2's static threshold on `T`: ring pass-KV communication
+    /// hides under attention iff `T >= N * C * N_KV * e / (2 * N_H * BW)`.
+    pub fn pass_kv_overlap_threshold(&self) -> f64 {
+        self.n_nodes as f64 * self.c_flops() * self.model.n_kv_heads as f64 * self.model.act_bytes
+            / (2.0 * self.model.n_heads as f64 * self.bw_bytes())
+    }
+
+    /// Equation 3's static threshold on `T + P`: ring pass-Q communication
+    /// hides under attention iff `T + P >= N * e * C / (4 * BW)`.
+    pub fn pass_q_overlap_threshold(&self) -> f64 {
+        self.n_nodes as f64 * self.model.act_bytes * self.c_flops() / (4.0 * self.bw_bytes())
+    }
+}
+
+/// Which heuristic selects the ring variant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HeuristicKind {
+    /// Algorithm 1 (Equations 1–2).
+    Threshold,
+    /// Algorithm 5 (Equation 5, All2All-aware).
+    All2AllAware,
+    /// Appendix D's fitted `h(T, P)` with the given coefficients.
+    Empirical {
+        /// Coefficient on `ln T`.
+        alpha: f64,
+        /// Coefficient on `ln(T / (T + P))`.
+        beta: f64,
+        /// Intercept.
+        gamma: f64,
+    },
+    /// Evaluate both variants with the performance model and pick the
+    /// faster one (the label generator for Figure 10; not a runtime
+    /// policy).
+    Oracle,
+}
+
+/// The paper's published Appendix D fit.
+pub const PAPER_EMPIRICAL: HeuristicKind = HeuristicKind::Empirical {
+    alpha: -1.059,
+    beta: 1.145,
+    gamma: 12.112,
+};
+
+/// Appendix D's decision value `h(T, P) = α ln T + β ln(T/(T+P)) + γ`;
+/// pass-KV is preferred when positive.
+pub fn empirical_h(alpha: f64, beta: f64, gamma: f64, t: usize, p: usize) -> f64 {
+    if t == 0 {
+        return f64::NEG_INFINITY; // nothing to prefill: degenerate, favour pass-Q
+    }
+    let miss = t as f64 / (t + p) as f64;
+    alpha * (t as f64).ln() + beta * miss.ln() + gamma
+}
+
+/// Selects the ring variant for a partial prefill of `t` new tokens
+/// against `p` cached tokens.
+pub fn choose_variant(kind: HeuristicKind, ctx: &SystemContext, t: usize, p: usize) -> RingVariant {
+    match kind {
+        HeuristicKind::Threshold => {
+            let miss = if t + p == 0 {
+                0.0
+            } else {
+                t as f64 / (t + p) as f64
+            };
+            if t as f64 >= ctx.pass_kv_overlap_threshold()
+                || miss >= ctx.model.pass_q_miss_threshold()
+            {
+                RingVariant::PassKv
+            } else {
+                RingVariant::PassQ
+            }
+        }
+        HeuristicKind::All2AllAware => {
+            let miss = if t + p == 0 {
+                0.0
+            } else {
+                t as f64 / (t + p) as f64
+            };
+            // Equation 5: the miss-rate threshold shrinks by
+            // 4*T*BW / (N*C*e).
+            let adjust = 4.0 * t as f64 * ctx.bw_bytes()
+                / (ctx.n_nodes as f64 * ctx.c_flops() * ctx.model.act_bytes);
+            if t as f64 >= ctx.pass_kv_overlap_threshold()
+                || miss >= ctx.model.pass_q_miss_threshold() - adjust
+            {
+                RingVariant::PassKv
+            } else {
+                RingVariant::PassQ
+            }
+        }
+        HeuristicKind::Empirical { alpha, beta, gamma } => {
+            if empirical_h(alpha, beta, gamma, t, p) > 0.0 {
+                RingVariant::PassKv
+            } else {
+                RingVariant::PassQ
+            }
+        }
+        HeuristicKind::Oracle => {
+            let kv =
+                prefill::cp_prefill(&ctx.model, &ctx.hw, ctx.n_nodes, t, p, RingVariant::PassKv);
+            let q = prefill::cp_prefill(&ctx.model, &ctx.hw, ctx.n_nodes, t, p, RingVariant::PassQ);
+            if kv.total_s <= q.total_s {
+                RingVariant::PassKv
+            } else {
+                RingVariant::PassQ
+            }
+        }
+    }
+}
+
+/// Fits Appendix D's `h(T, P)` coefficients against oracle labels on a
+/// grid of `(t, p)` points: least-squares regression of the features
+/// `[ln T, ln miss, 1]` onto labels `+1` (pass-KV faster) / `-1`.
+///
+/// Returns `(alpha, beta, gamma)`. Reproduces Figure 10 when evaluated on
+/// the same grid.
+///
+/// # Panics
+///
+/// Panics if the grid is empty or contains `t == 0` points.
+pub fn fit_empirical(ctx: &SystemContext, grid: &[(usize, usize)]) -> (f64, f64, f64) {
+    assert!(!grid.is_empty(), "empirical fit needs a non-empty grid");
+    // Normal equations for 3-feature least squares: X^T X w = X^T y.
+    let mut xtx = [[0.0f64; 3]; 3];
+    let mut xty = [0.0f64; 3];
+    for &(t, p) in grid {
+        assert!(t > 0, "grid points need t > 0");
+        let miss = t as f64 / (t + p) as f64;
+        let x = [(t as f64).ln(), miss.ln(), 1.0];
+        let label = match choose_variant(HeuristicKind::Oracle, ctx, t, p) {
+            RingVariant::PassKv => 1.0,
+            RingVariant::PassQ => -1.0,
+        };
+        for i in 0..3 {
+            for j in 0..3 {
+                xtx[i][j] += x[i] * x[j];
+            }
+            xty[i] += x[i] * label;
+        }
+    }
+    solve3(xtx, xty)
+}
+
+/// Solves a 3x3 linear system by Gaussian elimination with partial
+/// pivoting. Returns the solution as a tuple.
+#[allow(clippy::needless_range_loop)] // textbook Gaussian elimination reads clearer indexed
+fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> (f64, f64, f64) {
+    for col in 0..3 {
+        // Pivot.
+        let piv = (col..3)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())
+            .unwrap();
+        a.swap(col, piv);
+        b.swap(col, piv);
+        let d = a[col][col];
+        for j in col..3 {
+            a[col][j] /= d;
+        }
+        b[col] /= d;
+        for row in 0..3 {
+            if row == col {
+                continue;
+            }
+            let f = a[row][col];
+            for j in col..3 {
+                a[row][j] -= f * a[col][j];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    (b[0], b[1], b[2])
+}
+
+/// Fraction of grid points where `kind` agrees with the oracle.
+pub fn selection_accuracy(
+    kind: HeuristicKind,
+    ctx: &SystemContext,
+    grid: &[(usize, usize)],
+) -> f64 {
+    if grid.is_empty() {
+        return 1.0;
+    }
+    let agree = grid
+        .iter()
+        .filter(|&&(t, p)| {
+            choose_variant(kind, ctx, t, p) == choose_variant(HeuristicKind::Oracle, ctx, t, p)
+        })
+        .count();
+    agree as f64 / grid.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx4() -> SystemContext {
+        SystemContext::llama3_405b_gtt(4)
+    }
+
+    #[test]
+    fn equation2_threshold_magnitude() {
+        // N=4, C=500 TF/s, N_KV=8, e=2, N_H=128, BW=26 GB/s:
+        // threshold = 4*5e14*8*2/(2*128*26e9) ~ 4800 tokens.
+        let th = ctx4().pass_kv_overlap_threshold();
+        assert!((th - 4808.0).abs() < 100.0, "{th}");
+    }
+
+    #[test]
+    fn algorithm1_reproduces_table4_selections() {
+        // §4.2.4's validation: pass-KV for miss >= 12.5% or large T;
+        // pass-Q below ~3.25% on the 128K / CP4 grid.
+        let ctx = ctx4();
+        let total = 128_000;
+        let choose = |t: usize| choose_variant(HeuristicKind::Threshold, &ctx, t, total - t);
+        assert_eq!(choose(1_280), RingVariant::PassQ); // 1%
+        assert_eq!(choose(3_200), RingVariant::PassQ); // 2.5%
+        assert_eq!(choose(4_160), RingVariant::PassQ); // 3.25%
+        assert_eq!(choose(6_400), RingVariant::PassKv); // 5% (T above Eq.2 threshold)
+        assert_eq!(choose(12_800), RingVariant::PassKv); // 10%
+        assert_eq!(choose(128_000), RingVariant::PassKv); // full prefill
+    }
+
+    #[test]
+    fn full_prefill_always_pass_kv_decode_always_pass_q() {
+        // §3.4: full prefill (P=0) picks pass-KV for GQA models with
+        // N_H > 2*N_KV; decode (T=1) picks pass-Q.
+        let ctx = ctx4();
+        assert_eq!(
+            choose_variant(HeuristicKind::Threshold, &ctx, 50_000, 0),
+            RingVariant::PassKv
+        );
+        assert_eq!(
+            choose_variant(HeuristicKind::Threshold, &ctx, 1, 100_000),
+            RingVariant::PassQ
+        );
+    }
+
+    #[test]
+    fn all2all_aware_lowers_the_miss_threshold() {
+        // Equation 5's statement: considering All2All *decreases* the
+        // miss-rate threshold for selecting pass-Q, i.e. some points that
+        // Algorithm 1 sends to pass-Q flip to pass-KV under Algorithm 5.
+        let ctx = ctx4();
+        let total = 128_000;
+        let mut flipped = 0;
+        for t in (500..5_000).step_by(100) {
+            let a1 = choose_variant(HeuristicKind::Threshold, &ctx, t, total - t);
+            let a5 = choose_variant(HeuristicKind::All2AllAware, &ctx, t, total - t);
+            if a1 == RingVariant::PassQ && a5 == RingVariant::PassKv {
+                flipped += 1;
+            }
+            // Algorithm 5 never flips toward pass-Q relative to Algorithm 1.
+            assert!(!(a1 == RingVariant::PassKv && a5 == RingVariant::PassQ));
+        }
+        assert!(flipped > 0);
+    }
+
+    #[test]
+    fn oracle_crossover_near_5_percent() {
+        let ctx = ctx4();
+        let total = 128_000;
+        assert_eq!(
+            choose_variant(HeuristicKind::Oracle, &ctx, 1_280, total - 1_280),
+            RingVariant::PassQ
+        );
+        assert_eq!(
+            choose_variant(HeuristicKind::Oracle, &ctx, 12_800, total - 12_800),
+            RingVariant::PassKv
+        );
+    }
+
+    #[test]
+    fn fitted_empirical_model_agrees_with_oracle() {
+        // Figure 10 reproduction: fit h(T, P) on a log grid, check the
+        // fitted model's sign structure (alpha < 0: larger T lowers the
+        // pass-Q region; beta > 0: higher miss rate favours pass-KV) and
+        // selection accuracy.
+        let ctx = ctx4();
+        let mut grid = Vec::new();
+        for log_t in 7..17 {
+            let t = 1usize << log_t; // 128 .. 65536
+            for denom in [1usize, 2, 4, 8, 16, 32, 64] {
+                let total = t * denom.max(1);
+                if total > 1_000_000 {
+                    continue;
+                }
+                grid.push((t, total - t));
+            }
+        }
+        let (alpha, beta, gamma) = fit_empirical(&ctx, &grid);
+        // beta > 0: a higher miss rate favours pass-KV, the paper's core
+        // trend. (alpha's sign depends on the calibrated system's Eq. 2
+        // threshold, unlike the paper's testbed fit, so we don't pin it.)
+        assert!(beta > 0.0, "beta {beta} (alpha {alpha})");
+        let fitted = HeuristicKind::Empirical { alpha, beta, gamma };
+        let acc = selection_accuracy(fitted, &ctx, &grid);
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn threshold_heuristic_accuracy_on_table4_grid() {
+        let ctx = ctx4();
+        let total = 128_000;
+        let grid: Vec<(usize, usize)> = [
+            1_280, 3_200, 4_160, 6_400, 12_800, 25_600, 38_400, 51_200, 64_000, 76_800, 89_600,
+            102_400, 115_200, 128_000,
+        ]
+        .iter()
+        .map(|&t| (t, total - t))
+        .collect();
+        let acc = selection_accuracy(HeuristicKind::Threshold, &ctx, &grid);
+        // The paper reports the analytical model matching the measured
+        // winner everywhere except near the indifferent ~5% point.
+        assert!(acc >= 12.0 / 14.0, "accuracy {acc}");
+    }
+
+    #[test]
+    fn empirical_h_monotonicity() {
+        // For fixed T, higher P (lower miss) pushes h toward pass-Q.
+        let h_low_p = empirical_h(-1.059, 1.145, 12.112, 1000, 1000);
+        let h_high_p = empirical_h(-1.059, 1.145, 12.112, 1000, 100_000);
+        assert!(h_high_p < h_low_p);
+        assert_eq!(empirical_h(-1.0, 1.0, 0.0, 0, 10), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn gti_threshold_is_higher_than_gtt() {
+        // Lower bandwidth -> larger Equation 2 threshold -> pass-Q viable
+        // over a wider range.
+        let gtt = SystemContext::llama3_405b_gtt(4);
+        let gti = SystemContext {
+            hw: HardwareSpec::gti(),
+            ..gtt.clone()
+        };
+        assert!(gti.pass_kv_overlap_threshold() > gtt.pass_kv_overlap_threshold());
+        assert!(gti.pass_q_overlap_threshold() > gtt.pass_q_overlap_threshold());
+    }
+
+    #[test]
+    fn solve3_known_system() {
+        // x + y + z = 6; 2y + 5z = -4; 2x + 5y - z = 27 -> (5, 3, -2).
+        let a = [[1.0, 1.0, 1.0], [0.0, 2.0, 5.0], [2.0, 5.0, -1.0]];
+        let b = [6.0, -4.0, 27.0];
+        let (x, y, z) = solve3(a, b);
+        assert!((x - 5.0).abs() < 1e-9);
+        assert!((y - 3.0).abs() < 1e-9);
+        assert!((z + 2.0).abs() < 1e-9);
+    }
+}

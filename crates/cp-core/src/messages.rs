@@ -1,0 +1,217 @@
+//! Wire message types for the ring algorithms.
+
+use cp_attention::PAD;
+use cp_comm::Wire;
+use cp_tensor::Tensor;
+
+/// Bytes per element on our simulated wire (`f32`): the `e` of the paper's
+/// cost formulas as this reproduction realises it.
+pub const ELEM_BYTES: usize = 4;
+
+/// One sequence's local inputs on one rank for a ring prefill.
+///
+/// `q`/`q_pos` are the new tokens this rank owns under load-balanced
+/// sharding; `k`/`v`/`kv_pos` are the rank's full local KV shard (persistent
+/// cache plus the new tokens), padded to the sequence's common ring length
+/// with [`PAD`] positions so all ranks exchange equal-sized messages
+/// (the §3.5.2 invariant).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalSeq {
+    /// Local queries, shape `[t_local, n_heads, head_dim]`.
+    pub q: Tensor,
+    /// Global positions of the local queries.
+    pub q_pos: Vec<usize>,
+    /// Local key shard (padded), shape `[l, n_kv_heads, head_dim]`.
+    pub k: Tensor,
+    /// Local value shard (padded), same shape as `k`.
+    pub v: Tensor,
+    /// Global positions of the KV entries; `PAD` marks padding slots.
+    pub kv_pos: Vec<usize>,
+}
+
+impl LocalSeq {
+    /// Number of real (non-padding) KV entries.
+    pub fn real_kv(&self) -> usize {
+        self.kv_pos.iter().filter(|&&p| p != PAD).count()
+    }
+}
+
+/// One sequence's circulating KV block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeqKv {
+    /// Keys, `[l, n_kv_heads, head_dim]`.
+    pub k: Tensor,
+    /// Values, same shape.
+    pub v: Tensor,
+    /// Positions (`PAD` for padding).
+    pub pos: Vec<usize>,
+}
+
+/// One sequence's circulating Q block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeqQ {
+    /// Queries, `[t, n_heads, head_dim]`.
+    pub q: Tensor,
+    /// Global positions of the queries.
+    pub pos: Vec<usize>,
+}
+
+/// One sequence's partial attention output travelling through the pass-Q
+/// `All2All`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeqOut {
+    /// Partial outputs, `[t, n_heads, head_dim]`.
+    pub out: Tensor,
+    /// Per-(token, head) log-sum-exp, `[t, n_heads]`.
+    pub lse: Tensor,
+}
+
+/// A decode slot: one query token of one batched sequence, or `None` for a
+/// padding slot (batch padded to a multiple of the rank count).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeSlot {
+    /// Batch index of the sequence this token belongs to (`bid`).
+    pub bid: usize,
+    /// The query, `[1, n_heads, head_dim]`.
+    pub q: Tensor,
+    /// The query's global position.
+    pub pos: usize,
+}
+
+/// The single message type circulating in any ring loop. A run uses one
+/// variant family; receiving an unexpected variant is a protocol error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RingMsg {
+    /// Pass-KV payload: per-sequence KV blocks (Algorithm 2).
+    Kv {
+        /// One block per fused sequence, in batch order.
+        seqs: Vec<SeqKv>,
+    },
+    /// Pass-Q payload: per-sequence Q blocks plus their origin rank
+    /// (Algorithm 3).
+    Q {
+        /// Rank the queries were originally sharded to (`s`).
+        origin: usize,
+        /// One block per fused sequence, in batch order.
+        seqs: Vec<SeqQ>,
+    },
+    /// All2All payload: partial outputs heading back to their source rank.
+    Out {
+        /// One partial output per fused sequence, in batch order.
+        seqs: Vec<SeqOut>,
+    },
+    /// Decode pass-Q payload: query slots plus their origin rank
+    /// (Algorithm 4).
+    DecodeQ {
+        /// Rank the slots were assigned to this step.
+        origin: usize,
+        /// `slots_per_rank` entries; `None` is batch padding.
+        slots: Vec<Option<DecodeSlot>>,
+    },
+    /// All2All payload for decode partial outputs.
+    DecodeOut {
+        /// One partial output per slot (padding slots carry `None`).
+        slots: Vec<Option<SeqOut>>,
+    },
+}
+
+fn tensor_bytes(t: &Tensor) -> usize {
+    t.numel() * ELEM_BYTES
+}
+
+impl Wire for RingMsg {
+    /// Semantic bytes: tensor payloads only. Position/bid metadata is not
+    /// counted, matching the paper's cost model which accounts embedding
+    /// bytes (Q/K/V/O and the LSE) and not framing.
+    fn wire_bytes(&self) -> usize {
+        match self {
+            RingMsg::Kv { seqs } => seqs
+                .iter()
+                .map(|s| tensor_bytes(&s.k) + tensor_bytes(&s.v))
+                .sum(),
+            RingMsg::Q { seqs, .. } => seqs.iter().map(|s| tensor_bytes(&s.q)).sum(),
+            RingMsg::Out { seqs } => seqs
+                .iter()
+                .map(|s| tensor_bytes(&s.out) + tensor_bytes(&s.lse))
+                .sum(),
+            RingMsg::DecodeQ { slots, .. } => {
+                slots.iter().flatten().map(|s| tensor_bytes(&s.q)).sum()
+            }
+            RingMsg::DecodeOut { slots } => slots
+                .iter()
+                .flatten()
+                .map(|s| tensor_bytes(&s.out) + tensor_bytes(&s.lse))
+                .sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kv_message_bytes_count_k_and_v() {
+        let msg = RingMsg::Kv {
+            seqs: vec![SeqKv {
+                k: Tensor::zeros(&[3, 2, 4]),
+                v: Tensor::zeros(&[3, 2, 4]),
+                pos: vec![0, 1, 2],
+            }],
+        };
+        assert_eq!(msg.wire_bytes(), 2 * 3 * 2 * 4 * ELEM_BYTES);
+    }
+
+    #[test]
+    fn q_message_bytes() {
+        let msg = RingMsg::Q {
+            origin: 1,
+            seqs: vec![SeqQ {
+                q: Tensor::zeros(&[5, 4, 2]),
+                pos: vec![0; 5],
+            }],
+        };
+        assert_eq!(msg.wire_bytes(), 5 * 4 * 2 * ELEM_BYTES);
+    }
+
+    #[test]
+    fn out_message_includes_lse() {
+        let msg = RingMsg::Out {
+            seqs: vec![SeqOut {
+                out: Tensor::zeros(&[2, 4, 8]),
+                lse: Tensor::zeros(&[2, 4]),
+            }],
+        };
+        assert_eq!(msg.wire_bytes(), (2 * 4 * 8 + 2 * 4) * ELEM_BYTES);
+    }
+
+    #[test]
+    fn decode_padding_slots_are_free() {
+        let slot = DecodeSlot {
+            bid: 0,
+            q: Tensor::zeros(&[1, 2, 4]),
+            pos: 9,
+        };
+        let msg = RingMsg::DecodeQ {
+            origin: 0,
+            slots: vec![Some(slot), None],
+        };
+        assert_eq!(msg.wire_bytes(), 2 * 4 * ELEM_BYTES);
+        let empty = RingMsg::DecodeOut {
+            slots: vec![None, None],
+        };
+        assert_eq!(empty.wire_bytes(), 0);
+    }
+
+    #[test]
+    fn local_seq_counts_real_kv() {
+        let ls = LocalSeq {
+            q: Tensor::zeros(&[1, 2, 2]),
+            q_pos: vec![3],
+            k: Tensor::zeros(&[4, 1, 2]),
+            v: Tensor::zeros(&[4, 1, 2]),
+            kv_pos: vec![0, 1, PAD, PAD],
+        };
+        assert_eq!(ls.real_kv(), 2);
+    }
+}

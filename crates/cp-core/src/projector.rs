@@ -1,0 +1,140 @@
+//! A deterministic toy QKV projector so examples and the chat session can
+//! drive the engine with token ids.
+
+use cp_attention::GqaShape;
+use cp_tensor::{DetRng, Tensor};
+
+/// Deterministically maps token ids (plus positions) to Q/K/V tensors of a
+/// given [`GqaShape`].
+///
+/// The real system computes Q/K/V with trained projection weights; context
+/// parallelism is agnostic to what produced them, needing only that every
+/// rank would derive identical values. `ToyProjector` hashes
+/// `(seed, token, position, role)` into pseudo-random embeddings, giving
+/// the examples and tests a reproducible stand-in for the model's
+/// projection layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ToyProjector {
+    shape: GqaShape,
+    seed: u64,
+}
+
+impl ToyProjector {
+    /// Creates a projector for the given head configuration.
+    pub fn new(shape: GqaShape, seed: u64) -> Self {
+        ToyProjector { shape, seed }
+    }
+
+    /// The head configuration this projector emits.
+    pub fn shape(&self) -> GqaShape {
+        self.shape
+    }
+
+    fn fill(&self, token: u32, position: usize, role: u64, numel: usize) -> Vec<f32> {
+        let mix = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((token as u64) << 32)
+            .wrapping_add(position as u64)
+            .wrapping_add(role.wrapping_mul(0xA24B_AED4_963E_E407));
+        let mut rng = DetRng::new(mix | 1);
+        (0..numel).map(|_| rng.next_signed()).collect()
+    }
+
+    /// Projects a span of tokens starting at `start_pos` into
+    /// `(q, k, v)` tensors of shapes `[t, n_heads, head_dim]` /
+    /// `[t, n_kv_heads, head_dim]`.
+    pub fn project(&self, tokens: &[u32], start_pos: usize) -> (Tensor, Tensor, Tensor) {
+        let (nh, nkv, dh) = (
+            self.shape.n_heads(),
+            self.shape.n_kv_heads(),
+            self.shape.head_dim(),
+        );
+        let t = tokens.len();
+        let mut q = Vec::with_capacity(t * nh * dh);
+        let mut k = Vec::with_capacity(t * nkv * dh);
+        let mut v = Vec::with_capacity(t * nkv * dh);
+        for (i, &tok) in tokens.iter().enumerate() {
+            let pos = start_pos + i;
+            q.extend(self.fill(tok, pos, 0, nh * dh));
+            k.extend(self.fill(tok, pos, 1, nkv * dh));
+            v.extend(self.fill(tok, pos, 2, nkv * dh));
+        }
+        (
+            Tensor::from_vec(q, &[t, nh, dh]).expect("sized above"),
+            Tensor::from_vec(k, &[t, nkv, dh]).expect("sized above"),
+            Tensor::from_vec(v, &[t, nkv, dh]).expect("sized above"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn proj() -> ToyProjector {
+        ToyProjector::new(GqaShape::new(4, 2, 8).unwrap(), 99)
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let p = proj();
+        let a = p.project(&[1, 2, 3], 10);
+        let b = p.project(&[1, 2, 3], 10);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.2, b.2);
+    }
+
+    #[test]
+    fn position_sensitivity() {
+        let p = proj();
+        let (q0, ..) = p.project(&[5], 0);
+        let (q1, ..) = p.project(&[5], 1);
+        assert_ne!(q0, q1, "same token at different positions must differ");
+    }
+
+    #[test]
+    fn token_sensitivity_and_role_separation() {
+        let p = proj();
+        let (qa, ka, va) = p.project(&[7], 3);
+        let (qb, ..) = p.project(&[8], 3);
+        assert_ne!(qa, qb);
+        // q, k, v for the same (token, pos) must be distinct streams.
+        assert_ne!(qa.as_slice()[..8], ka.as_slice()[..8]);
+        assert_ne!(ka.as_slice()[..8], va.as_slice()[..8]);
+    }
+
+    #[test]
+    fn span_equals_tokenwise_projection() {
+        // Projecting [a, b] at pos 4 equals projecting a at 4 and b at 5.
+        let p = proj();
+        let (q, k, v) = p.project(&[10, 11], 4);
+        let (qa, ka, va) = p.project(&[10], 4);
+        let (qb, kb, vb) = p.project(&[11], 5);
+        assert_eq!(q.slice_dim0(0..1).unwrap(), qa);
+        assert_eq!(q.slice_dim0(1..2).unwrap(), qb);
+        assert_eq!(k.slice_dim0(0..1).unwrap(), ka);
+        assert_eq!(k.slice_dim0(1..2).unwrap(), kb);
+        assert_eq!(v.slice_dim0(0..1).unwrap(), va);
+        assert_eq!(v.slice_dim0(1..2).unwrap(), vb);
+    }
+
+    #[test]
+    fn shapes_match_config() {
+        let p = proj();
+        let (q, k, v) = p.project(&[0; 5], 0);
+        assert_eq!(q.shape(), &[5, 4, 8]);
+        assert_eq!(k.shape(), &[5, 2, 8]);
+        assert_eq!(v.shape(), &[5, 2, 8]);
+        let (qe, ..) = p.project(&[], 0);
+        assert_eq!(qe.shape(), &[0, 4, 8]);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ToyProjector::new(GqaShape::new(2, 1, 4).unwrap(), 1);
+        let b = ToyProjector::new(GqaShape::new(2, 1, 4).unwrap(), 2);
+        assert_ne!(a.project(&[3], 0).0, b.project(&[3], 0).0);
+    }
+}

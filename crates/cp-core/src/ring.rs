@@ -1,0 +1,608 @@
+//! The paper's ring attention algorithms, exactly as run on each CP rank.
+//!
+//! Each function here is the body one rank executes inside a
+//! [`cp_comm::run_ranks`] group. Inputs are the rank's local shards;
+//! outputs are that rank's attention results, exact to floating point
+//! against a single-device computation (the integration and property test
+//! suites pin this for every algorithm).
+//!
+//! Attention within the ring uses the flash-style blocked kernel from
+//! `cp-attention`; the per-sequence structure of fused variable-length
+//! batches is handled by computing each sequence's partial attention
+//! separately (the role a varlen attention kernel plays on GPU).
+
+use cp_attention::{blocked_gqa_attention, merge_partials, AttentionOutput, AttentionParams};
+use cp_comm::Communicator;
+use cp_tensor::Tensor;
+
+use crate::error::to_comm_error;
+use crate::messages::{DecodeSlot, LocalSeq, RingMsg, SeqKv, SeqOut, SeqQ};
+use crate::CoreError;
+
+/// KV block size for the flash-style kernel inside ring loops.
+const ATTN_BLOCK: usize = 128;
+
+fn attend(
+    q: &Tensor,
+    q_pos: &[usize],
+    kv: &SeqKv,
+    params: &AttentionParams,
+) -> Result<AttentionOutput, CoreError> {
+    Ok(blocked_gqa_attention(
+        q, &kv.k, &kv.v, params, q_pos, &kv.pos, ATTN_BLOCK,
+    )?)
+}
+
+fn expect_kv(msg: RingMsg) -> Result<Vec<SeqKv>, CoreError> {
+    match msg {
+        RingMsg::Kv { seqs } => Ok(seqs),
+        other => Err(CoreError::ProtocolViolation {
+            expected: "Kv",
+            got: variant_name(&other),
+        }),
+    }
+}
+
+fn expect_q(msg: RingMsg) -> Result<(usize, Vec<SeqQ>), CoreError> {
+    match msg {
+        RingMsg::Q { origin, seqs } => Ok((origin, seqs)),
+        other => Err(CoreError::ProtocolViolation {
+            expected: "Q",
+            got: variant_name(&other),
+        }),
+    }
+}
+
+fn expect_out(msg: RingMsg) -> Result<Vec<SeqOut>, CoreError> {
+    match msg {
+        RingMsg::Out { seqs } => Ok(seqs),
+        other => Err(CoreError::ProtocolViolation {
+            expected: "Out",
+            got: variant_name(&other),
+        }),
+    }
+}
+
+fn expect_decode_q(msg: RingMsg) -> Result<(usize, Vec<Option<DecodeSlot>>), CoreError> {
+    match msg {
+        RingMsg::DecodeQ { origin, slots } => Ok((origin, slots)),
+        other => Err(CoreError::ProtocolViolation {
+            expected: "DecodeQ",
+            got: variant_name(&other),
+        }),
+    }
+}
+
+fn expect_decode_out(msg: RingMsg) -> Result<Vec<Option<SeqOut>>, CoreError> {
+    match msg {
+        RingMsg::DecodeOut { slots } => Ok(slots),
+        other => Err(CoreError::ProtocolViolation {
+            expected: "DecodeOut",
+            got: variant_name(&other),
+        }),
+    }
+}
+
+fn variant_name(msg: &RingMsg) -> &'static str {
+    match msg {
+        RingMsg::Kv { .. } => "Kv",
+        RingMsg::Q { .. } => "Q",
+        RingMsg::Out { .. } => "Out",
+        RingMsg::DecodeQ { .. } => "DecodeQ",
+        RingMsg::DecodeOut { .. } => "DecodeOut",
+    }
+}
+
+/// Algorithm 2 — fused variable-length ring pass-KV partial prefill, as
+/// executed by one rank.
+///
+/// `locals` holds this rank's per-sequence queries and (padded) KV shards.
+/// KV blocks circulate `N-1` hops; each iteration computes partial
+/// attention between the stationary local queries and the visiting KV,
+/// and the partials are merged at the end (Eq. 4).
+///
+/// Returns one [`AttentionOutput`] per sequence, rows in `q_pos` order.
+///
+/// # Errors
+///
+/// Communication failures, shape mismatches, or a protocol violation if a
+/// non-KV message arrives.
+pub fn ring_pass_kv_prefill(
+    comm: &Communicator<RingMsg>,
+    params: &AttentionParams,
+    locals: &[LocalSeq],
+) -> Result<Vec<AttentionOutput>, CoreError> {
+    let n = comm.world_size();
+    let mut visiting: Vec<SeqKv> = locals
+        .iter()
+        .map(|l| SeqKv {
+            k: l.k.clone(),
+            v: l.v.clone(),
+            pos: l.kv_pos.clone(),
+        })
+        .collect();
+    let mut partials: Vec<Vec<AttentionOutput>> = vec![Vec::with_capacity(n); locals.len()];
+
+    for j in 0..n {
+        for (i, local) in locals.iter().enumerate() {
+            partials[i].push(attend(&local.q, &local.q_pos, &visiting[i], params)?);
+        }
+        if j + 1 < n {
+            let received = comm.send_recv(
+                comm.ring_next(),
+                RingMsg::Kv { seqs: visiting },
+                comm.ring_prev(),
+            )?;
+            visiting = expect_kv(received)?;
+        }
+    }
+
+    partials
+        .into_iter()
+        .map(|p| Ok(merge_partials(p.iter())?))
+        .collect()
+}
+
+/// Algorithm 3 — fused variable-length ring pass-Q partial prefill, as
+/// executed by one rank.
+///
+/// Q blocks circulate while KV stays put; after the loop each rank holds
+/// partial outputs for *other ranks'* queries, which are returned to their
+/// source rank with an `All2All` and merged there.
+///
+/// Returns one [`AttentionOutput`] per sequence for **this rank's own**
+/// queries, rows in `q_pos` order.
+///
+/// # Errors
+///
+/// Communication failures, shape mismatches, or protocol violations.
+pub fn ring_pass_q_prefill(
+    comm: &Communicator<RingMsg>,
+    params: &AttentionParams,
+    locals: &[LocalSeq],
+) -> Result<Vec<AttentionOutput>, CoreError> {
+    let n = comm.world_size();
+    let k = comm.rank();
+    let local_kv: Vec<SeqKv> = locals
+        .iter()
+        .map(|l| SeqKv {
+            k: l.k.clone(),
+            v: l.v.clone(),
+            pos: l.kv_pos.clone(),
+        })
+        .collect();
+
+    let mut visiting_origin = k;
+    let mut visiting: Vec<SeqQ> = locals
+        .iter()
+        .map(|l| SeqQ {
+            q: l.q.clone(),
+            pos: l.q_pos.clone(),
+        })
+        .collect();
+
+    // computed[s] = partial outputs (per sequence) for origin rank s's
+    // queries against this rank's KV.
+    let mut computed: Vec<Option<Vec<SeqOut>>> = vec![None; n];
+    for j in 0..n {
+        let outs: Vec<SeqOut> = visiting
+            .iter()
+            .enumerate()
+            .map(|(i, sq)| {
+                attend(&sq.q, &sq.pos, &local_kv[i], params).map(|o| SeqOut {
+                    out: o.out,
+                    lse: o.lse,
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        computed[visiting_origin] = Some(outs);
+        if j + 1 < n {
+            let received = comm.send_recv(
+                comm.ring_next(),
+                RingMsg::Q {
+                    origin: visiting_origin,
+                    seqs: visiting,
+                },
+                comm.ring_prev(),
+            )?;
+            let (origin, seqs) = expect_q(received)?;
+            visiting_origin = origin;
+            visiting = seqs;
+        }
+    }
+
+    // All2All: computed[s] goes back to rank s (this includes keeping our
+    // own partial locally).
+    let payloads: Vec<RingMsg> = computed
+        .into_iter()
+        .map(|outs| RingMsg::Out {
+            seqs: outs.expect("every origin visited exactly once in the ring"),
+        })
+        .collect();
+    let received = comm.all_to_all(payloads)?;
+
+    // received[s] = partial attention of our queries against rank s's KV.
+    let mut per_source: Vec<Vec<SeqOut>> = Vec::with_capacity(n);
+    for msg in received {
+        per_source.push(expect_out(msg)?);
+    }
+    (0..locals.len())
+        .map(|i| {
+            let parts: Vec<AttentionOutput> = per_source
+                .iter()
+                .map(|src| {
+                    AttentionOutput::new(src[i].out.clone(), src[i].lse.clone())
+                        .map_err(CoreError::from)
+                })
+                .collect::<Result<_, _>>()?;
+            Ok(merge_partials(parts.iter())?)
+        })
+        .collect()
+}
+
+/// Algorithm 4 — batched ring pass-Q decode, as executed by one rank.
+///
+/// `slots` are this rank's decode assignments for the step (padded with
+/// `None` to the common `slots_per_rank`); `batch_kv[b]` is this rank's
+/// local KV shard of batch sequence `b`. Query slots circulate with their
+/// batch ids; each rank attends visiting queries against its local shard
+/// of the matching sequence; partial outputs return via `All2All` and are
+/// merged by the slot's owner.
+///
+/// Returns one merged [`AttentionOutput`] per real (non-padding) local
+/// slot, in slot order.
+///
+/// # Errors
+///
+/// Communication failures, shape mismatches, or protocol violations.
+pub fn ring_pass_q_decode(
+    comm: &Communicator<RingMsg>,
+    params: &AttentionParams,
+    slots: &[Option<DecodeSlot>],
+    batch_kv: &[SeqKv],
+) -> Result<Vec<AttentionOutput>, CoreError> {
+    let n = comm.world_size();
+    let k = comm.rank();
+
+    let mut visiting_origin = k;
+    let mut visiting: Vec<Option<DecodeSlot>> = slots.to_vec();
+    let mut computed: Vec<Option<Vec<Option<SeqOut>>>> = vec![None; n];
+
+    for j in 0..n {
+        let outs: Vec<Option<SeqOut>> = visiting
+            .iter()
+            .map(|slot| {
+                slot.as_ref()
+                    .map(|s| {
+                        let kv = batch_kv.get(s.bid).ok_or_else(|| CoreError::BadRequest {
+                            reason: format!("decode slot references unknown batch id {}", s.bid),
+                        })?;
+                        attend(&s.q, &[s.pos], kv, params).map(|o| SeqOut {
+                            out: o.out,
+                            lse: o.lse,
+                        })
+                    })
+                    .transpose()
+            })
+            .collect::<Result<_, _>>()?;
+        computed[visiting_origin] = Some(outs);
+        if j + 1 < n {
+            let received = comm.send_recv(
+                comm.ring_next(),
+                RingMsg::DecodeQ {
+                    origin: visiting_origin,
+                    slots: visiting,
+                },
+                comm.ring_prev(),
+            )?;
+            let (origin, s) = expect_decode_q(received)?;
+            visiting_origin = origin;
+            visiting = s;
+        }
+    }
+
+    let payloads: Vec<RingMsg> = computed
+        .into_iter()
+        .map(|outs| RingMsg::DecodeOut {
+            slots: outs.expect("every origin visited"),
+        })
+        .collect();
+    let received = comm.all_to_all(payloads)?;
+    let mut per_source: Vec<Vec<Option<SeqOut>>> = Vec::with_capacity(n);
+    for msg in received {
+        per_source.push(expect_decode_out(msg)?);
+    }
+
+    let mut merged = Vec::new();
+    for (idx, slot) in slots.iter().enumerate() {
+        if slot.is_none() {
+            continue;
+        }
+        let parts: Vec<AttentionOutput> = per_source
+            .iter()
+            .filter_map(|src| src[idx].as_ref())
+            .map(|o| AttentionOutput::new(o.out.clone(), o.lse.clone()).map_err(CoreError::from))
+            .collect::<Result<_, _>>()?;
+        merged.push(merge_partials(parts.iter())?);
+    }
+    Ok(merged)
+}
+
+/// Adapter: runs a per-rank ring body inside [`cp_comm::run_ranks`],
+/// mapping `CoreError` in and out of the fabric's `CommError`.
+pub fn run_ring<T, F>(
+    n_ranks: usize,
+    body: F,
+) -> Result<(Vec<T>, cp_comm::TrafficReport), CoreError>
+where
+    T: Send,
+    F: Fn(&Communicator<RingMsg>) -> Result<T, CoreError> + Sync,
+{
+    let result =
+        cp_comm::run_ranks::<RingMsg, T, _>(n_ranks, |comm| body(comm).map_err(to_comm_error));
+    result.map_err(CoreError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_attention::{naive_gqa_attention, GqaShape, PAD};
+    use cp_sharding::ShardPlan;
+    use cp_tensor::DetRng;
+
+    fn params(nh: usize, nkv: usize, dh: usize) -> AttentionParams {
+        AttentionParams::for_shape(GqaShape::new(nh, nkv, dh).unwrap())
+    }
+
+    /// Builds per-rank LocalSeq inputs for a single full-prefill sequence
+    /// under load-balanced sharding, plus the single-device reference.
+    fn build_full_prefill(
+        n: usize,
+        t: usize,
+        p: &AttentionParams,
+        seed: u64,
+    ) -> (Vec<Vec<LocalSeq>>, AttentionOutput, Vec<Vec<usize>>) {
+        let shape = p.shape;
+        let mut rng = DetRng::new(seed);
+        let q = rng.tensor(&[t, shape.n_heads(), shape.head_dim()]);
+        let k = rng.tensor(&[t, shape.n_kv_heads(), shape.head_dim()]);
+        let v = rng.tensor(&[t, shape.n_kv_heads(), shape.head_dim()]);
+        let pos: Vec<usize> = (0..t).collect();
+        let reference = naive_gqa_attention(&q, &k, &v, p, &pos, &pos).unwrap();
+
+        let plan = ShardPlan::new(t, n).unwrap();
+        let max_len = (0..n).map(|r| plan.tokens_for(r)).max().unwrap();
+        let mut locals = Vec::with_capacity(n);
+        let mut rank_positions = Vec::with_capacity(n);
+        for r in 0..n {
+            let positions = plan.positions_for(r);
+            let qs = q.gather_dim0(&positions).unwrap();
+            let ks = k
+                .gather_dim0(&positions)
+                .unwrap()
+                .pad_dim0(max_len, 0.0)
+                .unwrap();
+            let vs = v
+                .gather_dim0(&positions)
+                .unwrap()
+                .pad_dim0(max_len, 0.0)
+                .unwrap();
+            let mut kv_pos = positions.clone();
+            kv_pos.resize(max_len, PAD);
+            locals.push(vec![LocalSeq {
+                q: qs,
+                q_pos: positions.clone(),
+                k: ks,
+                v: vs,
+                kv_pos,
+            }]);
+            rank_positions.push(positions);
+        }
+        (locals, reference, rank_positions)
+    }
+
+    fn check_against_reference(
+        outputs: &[Vec<AttentionOutput>],
+        reference: &AttentionOutput,
+        rank_positions: &[Vec<usize>],
+    ) {
+        for (r, outs) in outputs.iter().enumerate() {
+            let out = &outs[0];
+            for (row, &pos) in rank_positions[r].iter().enumerate() {
+                let got = out.slice_tokens(row, row + 1).unwrap();
+                let want = reference.slice_tokens(pos, pos + 1).unwrap();
+                assert!(
+                    got.out.approx_eq(&want.out, 2e-3).unwrap(),
+                    "rank {r} row {row} pos {pos}: {}",
+                    got.out.max_abs_diff(&want.out).unwrap()
+                );
+                assert!(got.lse.approx_eq(&want.lse, 2e-3).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn pass_kv_full_prefill_exact_cp2() {
+        let p = params(4, 2, 8);
+        let (locals, reference, rank_pos) = build_full_prefill(2, 32, &p, 11);
+        let (outputs, report) = run_ring(2, |comm| {
+            ring_pass_kv_prefill(comm, &p, &locals[comm.rank()])
+        })
+        .unwrap();
+        check_against_reference(&outputs, &reference, &rank_pos);
+        // N-1 = 1 hop per rank: 2 messages of 2*16*2heads*8dim*4B each.
+        assert_eq!(report.send_recv_bytes, 2 * (2 * 16 * 2 * 8 * 4));
+    }
+
+    #[test]
+    fn pass_kv_full_prefill_exact_various_ranks() {
+        let p = params(2, 1, 4);
+        for n in [1, 3, 4, 5] {
+            let (locals, reference, rank_pos) = build_full_prefill(n, 41, &p, n as u64);
+            let (outputs, _) = run_ring(n, |comm| {
+                ring_pass_kv_prefill(comm, &p, &locals[comm.rank()])
+            })
+            .unwrap();
+            check_against_reference(&outputs, &reference, &rank_pos);
+        }
+    }
+
+    #[test]
+    fn pass_q_full_prefill_exact_various_ranks() {
+        let p = params(4, 2, 8);
+        for n in [1, 2, 3, 4] {
+            let (locals, reference, rank_pos) = build_full_prefill(n, 37, &p, 100 + n as u64);
+            let (outputs, _) = run_ring(n, |comm| {
+                ring_pass_q_prefill(comm, &p, &locals[comm.rank()])
+            })
+            .unwrap();
+            check_against_reference(&outputs, &reference, &rank_pos);
+        }
+    }
+
+    #[test]
+    fn pass_q_and_pass_kv_agree() {
+        let p = params(4, 4, 4);
+        let (locals, _, _) = build_full_prefill(3, 26, &p, 9);
+        let (kv_out, _) = run_ring(3, |comm| {
+            ring_pass_kv_prefill(comm, &p, &locals[comm.rank()])
+        })
+        .unwrap();
+        let (q_out, _) = run_ring(3, |comm| {
+            ring_pass_q_prefill(comm, &p, &locals[comm.rank()])
+        })
+        .unwrap();
+        for r in 0..3 {
+            assert!(kv_out[r][0].out.approx_eq(&q_out[r][0].out, 1e-4).unwrap());
+            assert!(kv_out[r][0].lse.approx_eq(&q_out[r][0].lse, 1e-4).unwrap());
+        }
+    }
+
+    #[test]
+    fn pass_kv_messages_have_equal_sizes_across_ranks() {
+        // The §3.5.2 invariant: padding makes every rank's circulating KV
+        // block the same size even when token counts differ.
+        let p = params(2, 1, 4);
+        let t = 13; // not divisible by 2N: ranks own unequal token counts
+        let n = 3;
+        let (locals, ..) = build_full_prefill(n, t, &p, 5);
+        let sizes: Vec<usize> = (0..n)
+            .map(|r| {
+                use cp_comm::Wire;
+                RingMsg::Kv {
+                    seqs: locals[r]
+                        .iter()
+                        .map(|l| SeqKv {
+                            k: l.k.clone(),
+                            v: l.v.clone(),
+                            pos: l.kv_pos.clone(),
+                        })
+                        .collect(),
+                }
+                .wire_bytes()
+            })
+            .collect();
+        assert!(sizes.windows(2).all(|w| w[0] == w[1]), "{sizes:?}");
+    }
+
+    #[test]
+    fn decode_single_step_exact() {
+        // One sequence with cached history distributed over ranks; one
+        // decode token on rank 0.
+        let p = params(2, 1, 4);
+        let n = 3;
+        let hist = 20;
+        let mut rng = DetRng::new(3);
+        let k = rng.tensor(&[hist, 1, 4]);
+        let v = rng.tensor(&[hist, 1, 4]);
+        let q = rng.tensor(&[1, 2, 4]);
+        let all_pos: Vec<usize> = (0..hist).collect();
+        let reference = naive_gqa_attention(&q, &k, &v, &p, &[hist], &all_pos).unwrap();
+
+        // Distribute history round-robin over ranks.
+        let plan: Vec<Vec<usize>> = (0..n)
+            .map(|r| (0..hist).filter(|i| i % n == r).collect())
+            .collect();
+        let batch_kv: Vec<Vec<SeqKv>> = (0..n)
+            .map(|r| {
+                vec![SeqKv {
+                    k: k.gather_dim0(&plan[r]).unwrap(),
+                    v: v.gather_dim0(&plan[r]).unwrap(),
+                    pos: plan[r].clone(),
+                }]
+            })
+            .collect();
+        let slots: Vec<Vec<Option<DecodeSlot>>> = (0..n)
+            .map(|r| {
+                if r == 0 {
+                    vec![Some(DecodeSlot {
+                        bid: 0,
+                        q: q.clone(),
+                        pos: hist,
+                    })]
+                } else {
+                    vec![None]
+                }
+            })
+            .collect();
+
+        let (outputs, _) = run_ring(n, |comm| {
+            ring_pass_q_decode(comm, &p, &slots[comm.rank()], &batch_kv[comm.rank()])
+        })
+        .unwrap();
+        assert_eq!(outputs[0].len(), 1);
+        assert!(outputs[1].is_empty() && outputs[2].is_empty());
+        assert!(outputs[0][0].out.approx_eq(&reference.out, 1e-3).unwrap());
+    }
+
+    #[test]
+    fn decode_with_empty_history_is_masked_safe() {
+        // Decode a token whose sequence has no visible KV on some ranks.
+        let p = params(1, 1, 2);
+        let n = 2;
+        let mut rng = DetRng::new(4);
+        let k = rng.tensor(&[1, 1, 2]);
+        let v = rng.tensor(&[1, 1, 2]);
+        let q = rng.tensor(&[1, 1, 2]);
+        let reference = naive_gqa_attention(&q, &k, &v, &p, &[1], &[0]).unwrap();
+        // Rank 0 has the single history token; rank 1 has nothing.
+        let batch_kv = [
+            vec![SeqKv {
+                k: k.clone(),
+                v: v.clone(),
+                pos: vec![0],
+            }],
+            vec![SeqKv {
+                k: Tensor::zeros(&[0, 1, 2]),
+                v: Tensor::zeros(&[0, 1, 2]),
+                pos: vec![],
+            }],
+        ];
+        let slots = [
+            vec![Some(DecodeSlot {
+                bid: 0,
+                q: q.clone(),
+                pos: 1,
+            })],
+            vec![None],
+        ];
+        let (outputs, _) = run_ring(n, |comm| {
+            ring_pass_q_decode(comm, &p, &slots[comm.rank()], &batch_kv[comm.rank()])
+        })
+        .unwrap();
+        assert!(outputs[0][0].out.approx_eq(&reference.out, 1e-4).unwrap());
+    }
+
+    #[test]
+    fn decode_unknown_bid_errors() {
+        let p = params(1, 1, 2);
+        let slots = vec![Some(DecodeSlot {
+            bid: 5,
+            q: Tensor::zeros(&[1, 1, 2]),
+            pos: 0,
+        })];
+        let err = run_ring(1, |comm| ring_pass_q_decode(comm, &p, &slots, &[])).unwrap_err();
+        // Surfaced through the fabric as a failed rank.
+        assert!(matches!(err, CoreError::Comm(_)));
+    }
+}

@@ -1,0 +1,208 @@
+//! A multi-turn chat session: the paper's full prefill → decode →
+//! partial prefill → decode lifecycle (§3.3) over the engine.
+
+use cp_kvcache::SeqId;
+use cp_perf::{decode, prefill, RingVariant};
+
+use crate::engine::ContextParallelEngine;
+use crate::projector::ToyProjector;
+use crate::CoreError;
+
+/// Statistics of one user/assistant turn.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TurnStats {
+    /// New tokens prefilled (`T`).
+    pub new_tokens: usize,
+    /// Cached tokens before the turn (`P`).
+    pub cached_tokens: usize,
+    /// KV-cache miss rate `T / (T + P)`.
+    pub miss_rate: f64,
+    /// Ring variant the heuristic chose.
+    pub variant: RingVariant,
+    /// Estimated TTFT on the configured system (seconds), from the
+    /// calibrated performance model.
+    pub estimated_ttft_s: f64,
+}
+
+/// A persistent multi-turn conversation bound to one sequence of a
+/// [`ContextParallelEngine`].
+///
+/// User turns run (full or partial) prefill; assistant turns run one
+/// decode step per generated token. Token ids are projected to Q/K/V with
+/// the deterministic [`ToyProjector`], so the whole loop is reproducible
+/// and exactness-checkable while still exercising the real distributed
+/// path.
+#[derive(Debug)]
+pub struct ChatSession<'e> {
+    engine: &'e mut ContextParallelEngine,
+    projector: ToyProjector,
+    seq: SeqId,
+    started: bool,
+}
+
+impl<'e> ChatSession<'e> {
+    /// Binds a new session to `seq` (which must not exist yet in the
+    /// engine).
+    pub fn new(engine: &'e mut ContextParallelEngine, projector: ToyProjector, seq: SeqId) -> Self {
+        ChatSession {
+            engine,
+            projector,
+            seq,
+            started: false,
+        }
+    }
+
+    /// Total cached context length so far.
+    pub fn context_len(&self) -> usize {
+        if self.started {
+            self.engine.context_len(self.seq).unwrap_or(0)
+        } else {
+            0
+        }
+    }
+
+    /// Processes a user prompt: full prefill on the first turn, partial
+    /// prefill (persistent KV) afterwards. Returns the turn's statistics
+    /// and the attention output of the prompt tokens.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine failures (shapes, capacity, communication).
+    pub fn user_turn(
+        &mut self,
+        prompt: &[u32],
+    ) -> Result<(TurnStats, cp_attention::AttentionOutput), CoreError> {
+        let p = self.context_len();
+        let (q, k, v) = self.projector.project(prompt, p);
+        let outcome = if self.started {
+            self.engine.partial_prefill(self.seq, &q, &k, &v)?
+        } else {
+            let o = self.engine.full_prefill(self.seq, &q, &k, &v)?;
+            self.started = true;
+            o
+        };
+        let sys = &self.engine_system();
+        let est = prefill::cp_prefill(
+            &sys.model,
+            &sys.hw,
+            sys.n_nodes,
+            outcome.new_tokens,
+            outcome.cached_tokens,
+            outcome.variant,
+        );
+        let stats = TurnStats {
+            new_tokens: outcome.new_tokens,
+            cached_tokens: outcome.cached_tokens,
+            miss_rate: if outcome.new_tokens + outcome.cached_tokens == 0 {
+                0.0
+            } else {
+                outcome.new_tokens as f64 / (outcome.new_tokens + outcome.cached_tokens) as f64
+            },
+            variant: outcome.variant,
+            estimated_ttft_s: est.total_s,
+        };
+        Ok((stats, outcome.output))
+    }
+
+    /// Generates `n_tokens` assistant tokens by running decode steps; the
+    /// "sampled" token id is a deterministic function of the attention
+    /// output (this reproduction has no LM head). Returns the generated
+    /// ids and the estimated per-token latency (TTIT) on the configured
+    /// system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadRequest`] if called before the first user
+    /// turn; propagates engine failures.
+    pub fn assistant_turn(&mut self, n_tokens: usize) -> Result<(Vec<u32>, f64), CoreError> {
+        if !self.started {
+            return Err(CoreError::BadRequest {
+                reason: "assistant_turn before any user prompt".to_string(),
+            });
+        }
+        let mut generated = Vec::with_capacity(n_tokens);
+        let mut last_token: u32 = 0;
+        for _ in 0..n_tokens {
+            let pos = self.context_len();
+            let (q, k, v) = self.projector.project(&[last_token], pos);
+            let out = self.engine.decode_step(&[(self.seq, q, k, v)])?;
+            // Deterministic pseudo-sampling from the attention output.
+            let s: f32 = out.outputs[0].out.as_slice().iter().sum();
+            last_token = (s.abs() * 1e4) as u32 % 50_000;
+            generated.push(last_token);
+        }
+        let sys = self.engine_system();
+        let ttit = decode::cp_ttit_s(
+            &sys.model,
+            &sys.hw,
+            sys.n_nodes,
+            self.context_len().max(1),
+            1,
+        );
+        Ok((generated, ttit))
+    }
+
+    fn engine_system(&self) -> crate::heuristics::SystemContext {
+        // The engine's configured heuristic context drives the estimates.
+        self.engine.system_context().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use cp_attention::GqaShape;
+
+    fn setup() -> (ContextParallelEngine, ToyProjector) {
+        let shape = GqaShape::new(4, 2, 8).unwrap();
+        let engine =
+            ContextParallelEngine::new(EngineConfig::new(2, shape).with_page_size(8)).unwrap();
+        (engine, ToyProjector::new(shape, 42))
+    }
+
+    #[test]
+    fn multi_turn_conversation_lifecycle() {
+        let (mut engine, projector) = setup();
+        let mut session = ChatSession::new(&mut engine, projector, SeqId(0));
+        assert_eq!(session.context_len(), 0);
+
+        let prompt1: Vec<u32> = (0..24).collect();
+        let (stats1, out1) = session.user_turn(&prompt1).unwrap();
+        assert_eq!(stats1.new_tokens, 24);
+        assert_eq!(stats1.cached_tokens, 0);
+        assert_eq!(stats1.miss_rate, 1.0);
+        assert_eq!(out1.out.shape(), &[24, 4, 8]);
+        assert!(stats1.estimated_ttft_s > 0.0);
+
+        let (reply, ttit) = session.assistant_turn(5).unwrap();
+        assert_eq!(reply.len(), 5);
+        assert!(ttit > 0.0);
+        assert_eq!(session.context_len(), 29);
+
+        let prompt2: Vec<u32> = (100..110).collect();
+        let (stats2, _) = session.user_turn(&prompt2).unwrap();
+        assert_eq!(stats2.cached_tokens, 29);
+        assert_eq!(stats2.new_tokens, 10);
+        assert!(stats2.miss_rate < 0.30);
+        assert_eq!(session.context_len(), 39);
+    }
+
+    #[test]
+    fn sessions_are_deterministic() {
+        let run = || {
+            let (mut engine, projector) = setup();
+            let mut session = ChatSession::new(&mut engine, projector, SeqId(0));
+            session.user_turn(&[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+            session.assistant_turn(4).unwrap().0
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn assistant_before_user_is_rejected() {
+        let (mut engine, projector) = setup();
+        let mut session = ChatSession::new(&mut engine, projector, SeqId(0));
+        assert!(session.assistant_turn(1).is_err());
+    }
+}

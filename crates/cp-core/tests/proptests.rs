@@ -1,0 +1,202 @@
+//! Property-based exactness tests for the context-parallel engine: for
+//! *any* rank count, sequence lengths, turn structure and decode schedule,
+//! the distributed engine must agree with single-device attention.
+
+use cp_attention::GqaShape;
+use cp_core::baseline::single_device_prefill;
+use cp_core::{ContextParallelEngine, EngineConfig, PrefillRequest};
+use cp_kvcache::SeqId;
+use cp_perf::RingVariant;
+use cp_tensor::{DetRng, Tensor};
+use proptest::prelude::*;
+
+fn engine(n: usize, shape: GqaShape) -> ContextParallelEngine {
+    ContextParallelEngine::new(EngineConfig::new(n, shape).with_page_size(4)).unwrap()
+}
+
+fn gqa() -> impl Strategy<Value = GqaShape> {
+    (1usize..3, 1usize..3, 1usize..9).prop_map(|(g, kv, dh)| GqaShape::new(g * kv, kv, dh).unwrap())
+}
+
+fn qkv(rng: &mut DetRng, shape: GqaShape, t: usize) -> (Tensor, Tensor, Tensor) {
+    (
+        rng.tensor(&[t, shape.n_heads(), shape.head_dim()]),
+        rng.tensor(&[t, shape.n_kv_heads(), shape.head_dim()]),
+        rng.tensor(&[t, shape.n_kv_heads(), shape.head_dim()]),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Full prefill matches the single-device reference for any shape,
+    /// length, rank count and forced variant.
+    #[test]
+    fn full_prefill_exact(
+        shape in gqa(),
+        n in 1usize..5,
+        t in 1usize..60,
+        force_q in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mut eng = engine(n, shape);
+        let mut rng = DetRng::new(seed);
+        let (q, k, v) = qkv(&mut rng, shape, t);
+        let variant = if force_q { RingVariant::PassQ } else { RingVariant::PassKv };
+        let outcome = eng
+            .prefill_batch(&[PrefillRequest { seq: SeqId(0), q: &q, k: &k, v: &v }], Some(variant))
+            .unwrap()
+            .remove(0);
+        let pos: Vec<usize> = (0..t).collect();
+        let reference = single_device_prefill(&q, &k, &v, eng.params(), &pos, &pos).unwrap();
+        prop_assert!(outcome.output.out.approx_eq(&reference.out, 3e-3).unwrap());
+        prop_assert!(outcome.output.lse.approx_eq(&reference.lse, 3e-3).unwrap());
+    }
+
+    /// An arbitrary multi-turn trace (prefills interleaved with decode
+    /// bursts) stays exact against an incrementally built flat reference.
+    #[test]
+    fn multi_turn_trace_exact(
+        shape in gqa(),
+        n in 1usize..4,
+        turns in prop::collection::vec((1usize..16, 0usize..4), 1..4),
+        seed in any::<u64>(),
+    ) {
+        let mut eng = engine(n, shape);
+        let mut rng = DetRng::new(seed);
+        let seq = SeqId(3);
+        let mut ks: Vec<Tensor> = Vec::new();
+        let mut vs: Vec<Tensor> = Vec::new();
+        let mut ctx = 0usize;
+        for (turn_idx, &(t, decodes)) in turns.iter().enumerate() {
+            let (q, k, v) = qkv(&mut rng, shape, t);
+            let outcome = if turn_idx == 0 {
+                eng.full_prefill(seq, &q, &k, &v).unwrap()
+            } else {
+                eng.partial_prefill(seq, &q, &k, &v).unwrap()
+            };
+            ks.push(k);
+            vs.push(v);
+            let full_k = Tensor::concat_dim0(ks.iter()).unwrap();
+            let full_v = Tensor::concat_dim0(vs.iter()).unwrap();
+            let q_pos: Vec<usize> = (ctx..ctx + t).collect();
+            let kv_pos: Vec<usize> = (0..ctx + t).collect();
+            let reference = single_device_prefill(
+                &q, &full_k, &full_v, eng.params(), &q_pos, &kv_pos,
+            ).unwrap();
+            prop_assert!(outcome.output.out.approx_eq(&reference.out, 3e-3).unwrap(),
+                "turn {turn_idx}");
+            ctx += t;
+
+            for _ in 0..decodes {
+                let (q1, k1, v1) = qkv(&mut rng, shape, 1);
+                let out = eng.decode_step(&[(seq, q1.clone(), k1.clone(), v1.clone())]).unwrap();
+                ks.push(k1);
+                vs.push(v1);
+                let full_k = Tensor::concat_dim0(ks.iter()).unwrap();
+                let full_v = Tensor::concat_dim0(vs.iter()).unwrap();
+                let kv_pos: Vec<usize> = (0..=ctx).collect();
+                let reference = single_device_prefill(
+                    &q1, &full_k, &full_v, eng.params(), &[ctx], &kv_pos,
+                ).unwrap();
+                prop_assert!(out.outputs[0].out.approx_eq(&reference.out, 3e-3).unwrap());
+                ctx += 1;
+            }
+            prop_assert_eq!(eng.context_len(seq).unwrap(), ctx);
+        }
+    }
+
+    /// Fused varseq batches: every sequence of the batch is exact.
+    #[test]
+    fn varseq_batch_exact(
+        shape in gqa(),
+        n in 1usize..4,
+        lens in prop::collection::vec(1usize..24, 1..4),
+        seed in any::<u64>(),
+    ) {
+        let mut eng = engine(n, shape);
+        let mut rng = DetRng::new(seed);
+        let tensors: Vec<(Tensor, Tensor, Tensor)> =
+            lens.iter().map(|&t| qkv(&mut rng, shape, t)).collect();
+        let requests: Vec<PrefillRequest<'_>> = tensors
+            .iter()
+            .enumerate()
+            .map(|(i, (q, k, v))| PrefillRequest { seq: SeqId(i as u64), q, k, v })
+            .collect();
+        let outcomes = eng.prefill_batch(&requests, None).unwrap();
+        for (i, ((q, k, v), outcome)) in tensors.iter().zip(&outcomes).enumerate() {
+            let t = q.dim0();
+            let pos: Vec<usize> = (0..t).collect();
+            let reference = single_device_prefill(q, k, v, eng.params(), &pos, &pos).unwrap();
+            prop_assert!(outcome.output.out.approx_eq(&reference.out, 3e-3).unwrap(),
+                "sequence {i}");
+        }
+    }
+
+    /// The engine's result is invariant to the number of ranks.
+    #[test]
+    fn rank_count_invariance(
+        shape in gqa(),
+        t in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = DetRng::new(seed);
+        let (q, k, v) = qkv(&mut rng, shape, t);
+        let mut outputs = Vec::new();
+        for n in [1usize, 2, 4] {
+            let mut eng = engine(n, shape);
+            let outcome = eng.full_prefill(SeqId(0), &q, &k, &v).unwrap();
+            outputs.push(outcome.output);
+        }
+        prop_assert!(outputs[0].out.approx_eq(&outputs[1].out, 3e-3).unwrap());
+        prop_assert!(outputs[0].out.approx_eq(&outputs[2].out, 3e-3).unwrap());
+    }
+
+    /// KV memory balance: after any prefill, per-rank cached token counts
+    /// differ by at most two chunks of each sequence.
+    #[test]
+    fn kv_balance_invariant(
+        shape in gqa(),
+        n in 1usize..5,
+        lens in prop::collection::vec(1usize..40, 1..4),
+        seed in any::<u64>(),
+    ) {
+        let mut eng = engine(n, shape);
+        let mut rng = DetRng::new(seed);
+        for (i, &t) in lens.iter().enumerate() {
+            let (q, k, v) = qkv(&mut rng, shape, t);
+            eng.full_prefill(SeqId(i as u64), &q, &k, &v).unwrap();
+        }
+        for (i, &t) in lens.iter().enumerate() {
+            let rank_lens = eng.rank_kv_lens(SeqId(i as u64)).unwrap();
+            prop_assert_eq!(rank_lens.iter().sum::<usize>(), t);
+            let max = *rank_lens.iter().max().unwrap();
+            let min = *rank_lens.iter().min().unwrap();
+            prop_assert!(max - min <= 2 * t.div_ceil(2 * n), "{rank_lens:?}");
+        }
+    }
+
+    /// Long decode runs keep per-rank KV growth within one token of even.
+    #[test]
+    fn decode_growth_fair(
+        n in 1usize..5,
+        steps in 1usize..30,
+        seed in any::<u64>(),
+    ) {
+        let shape = GqaShape::new(2, 1, 4).unwrap();
+        let mut eng = engine(n, shape);
+        let mut rng = DetRng::new(seed);
+        let (q, k, v) = qkv(&mut rng, shape, 2 * n); // even initial split
+        eng.full_prefill(SeqId(0), &q, &k, &v).unwrap();
+        let before = eng.rank_kv_lens(SeqId(0)).unwrap();
+        for _ in 0..steps {
+            let (q1, k1, v1) = qkv(&mut rng, shape, 1);
+            eng.decode_step(&[(SeqId(0), q1, k1, v1)]).unwrap();
+        }
+        let after = eng.rank_kv_lens(SeqId(0)).unwrap();
+        let grown: Vec<usize> = after.iter().zip(&before).map(|(a, b)| a - b).collect();
+        let max = *grown.iter().max().unwrap();
+        let min = *grown.iter().min().unwrap();
+        prop_assert!(max - min <= 1, "{grown:?}");
+    }
+}

@@ -1,0 +1,598 @@
+//! Paged KV storage with per-sequence page tables.
+
+use std::collections::HashMap;
+
+use cp_tensor::Tensor;
+
+use crate::CacheError;
+
+/// Identifier of a cached sequence (stable across turns of a conversation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SeqId(pub u64);
+
+impl std::fmt::Display for SeqId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "seq#{}", self.0)
+    }
+}
+
+/// Configuration of a [`PagedKvCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvCacheConfig {
+    /// Tokens per page.
+    pub page_size: usize,
+    /// Number of KV heads stored (`N_KV`, possibly divided by the TP group).
+    pub n_kv_heads: usize,
+    /// Per-head embedding dimension (`D_H`).
+    pub head_dim: usize,
+    /// Maximum pages the pool may allocate; `None` means unbounded.
+    pub max_pages: Option<usize>,
+}
+
+impl KvCacheConfig {
+    /// A config with unbounded capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(page_size: usize, n_kv_heads: usize, head_dim: usize) -> Self {
+        assert!(
+            page_size > 0 && n_kv_heads > 0 && head_dim > 0,
+            "cache dimensions must be positive"
+        );
+        KvCacheConfig {
+            page_size,
+            n_kv_heads,
+            head_dim,
+            max_pages: None,
+        }
+    }
+
+    /// Returns the config with a page-pool capacity limit.
+    pub fn with_max_pages(mut self, max_pages: usize) -> Self {
+        self.max_pages = Some(max_pages);
+        self
+    }
+
+    fn token_numel(&self) -> usize {
+        self.n_kv_heads * self.head_dim
+    }
+}
+
+/// One fixed-size page: K, V and position metadata for up to `page_size`
+/// tokens.
+#[derive(Debug, Clone)]
+struct Page {
+    k: Vec<f32>,
+    v: Vec<f32>,
+    pos: Vec<usize>,
+    used: usize,
+}
+
+impl Page {
+    fn new(config: &KvCacheConfig) -> Self {
+        Page {
+            k: vec![0.0; config.page_size * config.token_numel()],
+            v: vec![0.0; config.page_size * config.token_numel()],
+            pos: vec![0; config.page_size],
+            used: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct SeqState {
+    pages: Vec<usize>,
+    len: usize,
+}
+
+/// Occupancy statistics of a [`PagedKvCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Pages currently allocated to sequences.
+    pub allocated_pages: usize,
+    /// Pages sitting in the free list (allocated from the pool but unused).
+    pub free_pages: usize,
+    /// Cached tokens across all sequences.
+    pub tokens: usize,
+    /// Live sequences.
+    pub sequences: usize,
+}
+
+impl CacheStats {
+    /// Fraction of allocated page slots holding real tokens (1.0 = no
+    /// internal fragmentation).
+    pub fn utilization(&self, page_size: usize) -> f64 {
+        if self.allocated_pages == 0 {
+            return 1.0;
+        }
+        self.tokens as f64 / (self.allocated_pages * page_size) as f64
+    }
+}
+
+/// A paged KV cache for one attention layer on one rank.
+///
+/// Tokens are appended with explicit global positions (CP ranks hold
+/// non-contiguous slices of each sequence) and gathered back as contiguous
+/// tensors plus the position array — exactly the inputs the position-masked
+/// attention kernels in `cp-attention` take.
+#[derive(Debug)]
+pub struct PagedKvCache {
+    config: KvCacheConfig,
+    pool: Vec<Page>,
+    free: Vec<usize>,
+    seqs: HashMap<u64, SeqState>,
+}
+
+impl PagedKvCache {
+    /// Creates an empty cache.
+    pub fn new(config: KvCacheConfig) -> Self {
+        PagedKvCache {
+            config,
+            pool: Vec::new(),
+            free: Vec::new(),
+            seqs: HashMap::new(),
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &KvCacheConfig {
+        &self.config
+    }
+
+    /// Registers a new, empty sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::DuplicateSequence`] if the id is live.
+    pub fn create_sequence(&mut self, seq: SeqId) -> Result<(), CacheError> {
+        if self.seqs.contains_key(&seq.0) {
+            return Err(CacheError::DuplicateSequence { seq: seq.0 });
+        }
+        self.seqs.insert(seq.0, SeqState::default());
+        Ok(())
+    }
+
+    /// Returns `true` if the sequence exists.
+    pub fn contains(&self, seq: SeqId) -> bool {
+        self.seqs.contains_key(&seq.0)
+    }
+
+    /// Cached token count for a sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::UnknownSequence`] if absent.
+    pub fn seq_len(&self, seq: SeqId) -> Result<usize, CacheError> {
+        self.seqs
+            .get(&seq.0)
+            .map(|s| s.len)
+            .ok_or(CacheError::UnknownSequence { seq: seq.0 })
+    }
+
+    /// Ids of all live sequences, sorted.
+    pub fn sequence_ids(&self) -> Vec<SeqId> {
+        let mut ids: Vec<SeqId> = self.seqs.keys().map(|&k| SeqId(k)).collect();
+        ids.sort();
+        ids
+    }
+
+    fn allocate_page(&mut self) -> Result<usize, CacheError> {
+        if let Some(idx) = self.free.pop() {
+            return Ok(idx);
+        }
+        if let Some(max) = self.config.max_pages {
+            if self.pool.len() >= max {
+                return Err(CacheError::OutOfPages {
+                    needed: 1,
+                    available: 0,
+                });
+            }
+        }
+        self.pool.push(Page::new(&self.config));
+        Ok(self.pool.len() - 1)
+    }
+
+    fn check_kv_shape(&self, t: &Tensor, input: &'static str) -> Result<usize, CacheError> {
+        let s = t.shape();
+        if s.len() != 3 || s[1] != self.config.n_kv_heads || s[2] != self.config.head_dim {
+            return Err(CacheError::BadShape {
+                input,
+                expected: vec![self.config.n_kv_heads, self.config.head_dim],
+                actual: s.to_vec(),
+            });
+        }
+        Ok(s[0])
+    }
+
+    /// Appends `t` tokens of K/V (shape `[t, n_kv_heads, head_dim]`) with
+    /// their global positions to a sequence.
+    ///
+    /// Appending is transactional with respect to capacity: the needed pages
+    /// are reserved up front, so an [`CacheError::OutOfPages`] failure
+    /// leaves the sequence unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::UnknownSequence`], [`CacheError::BadShape`],
+    /// [`CacheError::PositionCountMismatch`] or [`CacheError::OutOfPages`].
+    #[allow(clippy::needless_range_loop)] // i indexes k/v rows and positions in lockstep
+    pub fn append(
+        &mut self,
+        seq: SeqId,
+        k: &Tensor,
+        v: &Tensor,
+        positions: &[usize],
+    ) -> Result<(), CacheError> {
+        let t = self.check_kv_shape(k, "k")?;
+        let tv = self.check_kv_shape(v, "v")?;
+        if tv != t {
+            return Err(CacheError::BadShape {
+                input: "v",
+                expected: vec![self.config.n_kv_heads, self.config.head_dim],
+                actual: v.shape().to_vec(),
+            });
+        }
+        if positions.len() != t {
+            return Err(CacheError::PositionCountMismatch {
+                tokens: t,
+                positions: positions.len(),
+            });
+        }
+        if !self.seqs.contains_key(&seq.0) {
+            return Err(CacheError::UnknownSequence { seq: seq.0 });
+        }
+
+        // Reserve pages up front so failure cannot leave partial appends.
+        let (cur_len, cur_pages) = {
+            let s = &self.seqs[&seq.0];
+            (s.len, s.pages.len())
+        };
+        let needed_total_pages = (cur_len + t).div_ceil(self.config.page_size);
+        let new_pages_needed = needed_total_pages.saturating_sub(cur_pages);
+        if let Some(max) = self.config.max_pages {
+            let in_use = self.pool.len() - self.free.len();
+            let headroom = self.free.len() + max.saturating_sub(self.pool.len());
+            if new_pages_needed > headroom {
+                return Err(CacheError::OutOfPages {
+                    needed: new_pages_needed,
+                    available: headroom,
+                });
+            }
+            debug_assert!(in_use <= max);
+        }
+        let mut reserved = Vec::with_capacity(new_pages_needed);
+        for _ in 0..new_pages_needed {
+            let idx = self.allocate_page().expect("capacity checked above");
+            reserved.push(idx);
+        }
+        let state = self.seqs.get_mut(&seq.0).expect("checked above");
+        state.pages.extend(reserved);
+
+        // Copy token rows into pages.
+        let tok = self.config.token_numel();
+        let ps = self.config.page_size;
+        for i in 0..t {
+            let global_idx = state.len + i;
+            let page_idx = state.pages[global_idx / ps];
+            let slot = global_idx % ps;
+            let page = &mut self.pool[page_idx];
+            page.k[slot * tok..(slot + 1) * tok].copy_from_slice(k.row(i));
+            page.v[slot * tok..(slot + 1) * tok].copy_from_slice(v.row(i));
+            page.pos[slot] = positions[i];
+            page.used = page.used.max(slot + 1);
+        }
+        state.len += t;
+        Ok(())
+    }
+
+    /// Gathers a sequence's cached K, V (shape `[len, n_kv_heads,
+    /// head_dim]`) and positions in append order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::UnknownSequence`] if absent.
+    pub fn gather(&self, seq: SeqId) -> Result<(Tensor, Tensor, Vec<usize>), CacheError> {
+        let state = self
+            .seqs
+            .get(&seq.0)
+            .ok_or(CacheError::UnknownSequence { seq: seq.0 })?;
+        let tok = self.config.token_numel();
+        let ps = self.config.page_size;
+        let mut kd = Vec::with_capacity(state.len * tok);
+        let mut vd = Vec::with_capacity(state.len * tok);
+        let mut pos = Vec::with_capacity(state.len);
+        for i in 0..state.len {
+            let page = &self.pool[state.pages[i / ps]];
+            let slot = i % ps;
+            kd.extend_from_slice(&page.k[slot * tok..(slot + 1) * tok]);
+            vd.extend_from_slice(&page.v[slot * tok..(slot + 1) * tok]);
+            pos.push(page.pos[slot]);
+        }
+        let shape = [state.len, self.config.n_kv_heads, self.config.head_dim];
+        Ok((
+            Tensor::from_vec(kd, &shape)?,
+            Tensor::from_vec(vd, &shape)?,
+            pos,
+        ))
+    }
+
+    /// Positions of a sequence's cached tokens, in append order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::UnknownSequence`] if absent.
+    pub fn positions(&self, seq: SeqId) -> Result<Vec<usize>, CacheError> {
+        let state = self
+            .seqs
+            .get(&seq.0)
+            .ok_or(CacheError::UnknownSequence { seq: seq.0 })?;
+        let ps = self.config.page_size;
+        Ok((0..state.len)
+            .map(|i| self.pool[state.pages[i / ps]].pos[i % ps])
+            .collect())
+    }
+
+    /// Shrinks a sequence to `new_len` tokens (dropping the most recent
+    /// ones), releasing now-empty pages. Supports speculative-decoding
+    /// rollback.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::UnknownSequence`] or [`CacheError::BadTruncate`] if
+    /// `new_len` exceeds the current length.
+    pub fn truncate(&mut self, seq: SeqId, new_len: usize) -> Result<(), CacheError> {
+        let ps = self.config.page_size;
+        let state = self
+            .seqs
+            .get_mut(&seq.0)
+            .ok_or(CacheError::UnknownSequence { seq: seq.0 })?;
+        if new_len > state.len {
+            return Err(CacheError::BadTruncate {
+                requested: new_len,
+                current: state.len,
+            });
+        }
+        let pages_needed = new_len.div_ceil(ps);
+        let released: Vec<usize> = state.pages.split_off(pages_needed);
+        state.len = new_len;
+        for idx in released {
+            self.pool[idx].used = 0;
+            self.free.push(idx);
+        }
+        Ok(())
+    }
+
+    /// Removes a sequence, returning its pages to the free list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::UnknownSequence`] if absent.
+    pub fn free_sequence(&mut self, seq: SeqId) -> Result<(), CacheError> {
+        let state = self
+            .seqs
+            .remove(&seq.0)
+            .ok_or(CacheError::UnknownSequence { seq: seq.0 })?;
+        for idx in state.pages {
+            self.pool[idx].used = 0;
+            self.free.push(idx);
+        }
+        Ok(())
+    }
+
+    /// Current occupancy statistics.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            allocated_pages: self.pool.len() - self.free.len(),
+            free_pages: self.free.len(),
+            tokens: self.seqs.values().map(|s| s.len).sum(),
+            sequences: self.seqs.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_tensor::DetRng;
+
+    fn cfg() -> KvCacheConfig {
+        KvCacheConfig::new(4, 2, 3)
+    }
+
+    fn kv(rng: &mut DetRng, t: usize) -> (Tensor, Tensor) {
+        (rng.tensor(&[t, 2, 3]), rng.tensor(&[t, 2, 3]))
+    }
+
+    #[test]
+    fn append_and_gather_roundtrip() {
+        let mut cache = PagedKvCache::new(cfg());
+        let seq = SeqId(1);
+        cache.create_sequence(seq).unwrap();
+        let mut rng = DetRng::new(1);
+        let (k, v) = kv(&mut rng, 6);
+        let pos = [0, 2, 4, 6, 8, 10];
+        cache.append(seq, &k, &v, &pos).unwrap();
+        let (gk, gv, gpos) = cache.gather(seq).unwrap();
+        assert_eq!(gk, k);
+        assert_eq!(gv, v);
+        assert_eq!(gpos, pos.to_vec());
+        assert_eq!(cache.seq_len(seq).unwrap(), 6);
+    }
+
+    #[test]
+    fn multiple_appends_accumulate_across_page_boundaries() {
+        let mut cache = PagedKvCache::new(cfg()); // page_size 4
+        let seq = SeqId(2);
+        cache.create_sequence(seq).unwrap();
+        let mut rng = DetRng::new(2);
+        let (k1, v1) = kv(&mut rng, 3);
+        let (k2, v2) = kv(&mut rng, 3);
+        cache.append(seq, &k1, &v1, &[0, 1, 2]).unwrap();
+        cache.append(seq, &k2, &v2, &[3, 4, 5]).unwrap();
+        let (gk, gv, pos) = cache.gather(seq).unwrap();
+        assert_eq!(gk, Tensor::concat_dim0([&k1, &k2]).unwrap());
+        assert_eq!(gv, Tensor::concat_dim0([&v1, &v2]).unwrap());
+        assert_eq!(pos, vec![0, 1, 2, 3, 4, 5]);
+        // 6 tokens over 4-token pages: 2 pages allocated.
+        assert_eq!(cache.stats().allocated_pages, 2);
+    }
+
+    #[test]
+    fn capacity_limit_enforced_transactionally() {
+        let mut cache = PagedKvCache::new(cfg().with_max_pages(2)); // 8 tokens
+        let seq = SeqId(3);
+        cache.create_sequence(seq).unwrap();
+        let mut rng = DetRng::new(3);
+        let (k, v) = kv(&mut rng, 8);
+        let pos: Vec<usize> = (0..8).collect();
+        cache.append(seq, &k, &v, &pos).unwrap();
+        let (k2, v2) = kv(&mut rng, 1);
+        let err = cache.append(seq, &k2, &v2, &[8]).unwrap_err();
+        assert!(matches!(err, CacheError::OutOfPages { .. }));
+        // Sequence unchanged after the failed append.
+        assert_eq!(cache.seq_len(seq).unwrap(), 8);
+        let (gk, ..) = cache.gather(seq).unwrap();
+        assert_eq!(gk, k);
+    }
+
+    #[test]
+    fn freed_pages_are_reused() {
+        let mut cache = PagedKvCache::new(cfg().with_max_pages(2));
+        let mut rng = DetRng::new(4);
+        let a = SeqId(1);
+        cache.create_sequence(a).unwrap();
+        let (k, v) = kv(&mut rng, 8);
+        cache
+            .append(a, &k, &v, &(0..8).collect::<Vec<_>>())
+            .unwrap();
+        cache.free_sequence(a).unwrap();
+        assert_eq!(cache.stats().free_pages, 2);
+        // A new sequence can use the released pages despite max_pages = 2.
+        let b = SeqId(2);
+        cache.create_sequence(b).unwrap();
+        let (k2, v2) = kv(&mut rng, 8);
+        cache
+            .append(b, &k2, &v2, &(0..8).collect::<Vec<_>>())
+            .unwrap();
+        assert_eq!(cache.stats().allocated_pages, 2);
+        assert_eq!(cache.stats().free_pages, 0);
+    }
+
+    #[test]
+    fn truncate_rolls_back_and_releases_pages() {
+        let mut cache = PagedKvCache::new(cfg());
+        let seq = SeqId(5);
+        cache.create_sequence(seq).unwrap();
+        let mut rng = DetRng::new(5);
+        let (k, v) = kv(&mut rng, 10);
+        let pos: Vec<usize> = (0..10).collect();
+        cache.append(seq, &k, &v, &pos).unwrap();
+        assert_eq!(cache.stats().allocated_pages, 3);
+        cache.truncate(seq, 4).unwrap();
+        assert_eq!(cache.seq_len(seq).unwrap(), 4);
+        assert_eq!(cache.stats().allocated_pages, 1);
+        let (gk, _, gpos) = cache.gather(seq).unwrap();
+        assert_eq!(gk, k.slice_dim0(0..4).unwrap());
+        assert_eq!(gpos, vec![0, 1, 2, 3]);
+        // Appending after truncate continues from the new length.
+        let (k2, v2) = kv(&mut rng, 2);
+        cache.append(seq, &k2, &v2, &[4, 5]).unwrap();
+        assert_eq!(cache.seq_len(seq).unwrap(), 6);
+        assert!(matches!(
+            cache.truncate(seq, 100),
+            Err(CacheError::BadTruncate { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_and_duplicate_sequences_error() {
+        let mut cache = PagedKvCache::new(cfg());
+        let seq = SeqId(6);
+        assert!(matches!(
+            cache.seq_len(seq),
+            Err(CacheError::UnknownSequence { seq: 6 })
+        ));
+        assert!(cache.gather(seq).is_err());
+        assert!(cache.free_sequence(seq).is_err());
+        cache.create_sequence(seq).unwrap();
+        assert!(matches!(
+            cache.create_sequence(seq),
+            Err(CacheError::DuplicateSequence { seq: 6 })
+        ));
+    }
+
+    #[test]
+    fn shape_validation() {
+        let mut cache = PagedKvCache::new(cfg());
+        let seq = SeqId(7);
+        cache.create_sequence(seq).unwrap();
+        let bad = Tensor::zeros(&[2, 3, 3]); // wrong head count
+        let good = Tensor::zeros(&[2, 2, 3]);
+        assert!(matches!(
+            cache.append(seq, &bad, &good, &[0, 1]),
+            Err(CacheError::BadShape { input: "k", .. })
+        ));
+        assert!(matches!(
+            cache.append(seq, &good, &bad, &[0, 1]),
+            Err(CacheError::BadShape { input: "v", .. })
+        ));
+        // k/v token count mismatch
+        let one = Tensor::zeros(&[1, 2, 3]);
+        assert!(cache.append(seq, &good, &one, &[0, 1]).is_err());
+        // wrong positions length
+        assert!(matches!(
+            cache.append(seq, &good, &good, &[0]),
+            Err(CacheError::PositionCountMismatch {
+                tokens: 2,
+                positions: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn stats_and_utilization() {
+        let mut cache = PagedKvCache::new(cfg());
+        assert_eq!(cache.stats(), CacheStats::default());
+        assert_eq!(cache.stats().utilization(4), 1.0);
+        let seq = SeqId(8);
+        cache.create_sequence(seq).unwrap();
+        let mut rng = DetRng::new(8);
+        let (k, v) = kv(&mut rng, 5);
+        cache.append(seq, &k, &v, &[0, 1, 2, 3, 4]).unwrap();
+        let s = cache.stats();
+        assert_eq!(s.tokens, 5);
+        assert_eq!(s.allocated_pages, 2);
+        assert_eq!(s.sequences, 1);
+        // 5 tokens over 8 slots.
+        assert!((s.utilization(4) - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequence_ids_sorted() {
+        let mut cache = PagedKvCache::new(cfg());
+        for id in [5, 1, 3] {
+            cache.create_sequence(SeqId(id)).unwrap();
+        }
+        assert_eq!(cache.sequence_ids(), vec![SeqId(1), SeqId(3), SeqId(5)]);
+        assert!(cache.contains(SeqId(3)));
+        assert!(!cache.contains(SeqId(2)));
+    }
+
+    #[test]
+    fn empty_sequence_gathers_empty() {
+        let mut cache = PagedKvCache::new(cfg());
+        let seq = SeqId(9);
+        cache.create_sequence(seq).unwrap();
+        let (k, v, pos) = cache.gather(seq).unwrap();
+        assert_eq!(k.shape(), &[0, 2, 3]);
+        assert_eq!(v.shape(), &[0, 2, 3]);
+        assert!(pos.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cache dimensions must be positive")]
+    fn zero_page_size_panics() {
+        KvCacheConfig::new(0, 2, 3);
+    }
+}

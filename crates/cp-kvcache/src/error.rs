@@ -1,0 +1,125 @@
+//! Error type for KV-cache operations.
+
+use std::error::Error;
+use std::fmt;
+
+use cp_tensor::TensorError;
+
+/// Error returned by KV-cache operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CacheError {
+    /// The sequence id is not present in the cache.
+    UnknownSequence {
+        /// The missing sequence id.
+        seq: u64,
+    },
+    /// A sequence with this id already exists.
+    DuplicateSequence {
+        /// The duplicated sequence id.
+        seq: u64,
+    },
+    /// The page pool is exhausted — the OOM condition capacity experiments
+    /// probe.
+    OutOfPages {
+        /// Pages the operation would need.
+        needed: usize,
+        /// Pages still free.
+        available: usize,
+    },
+    /// Appended tensors do not match the cache's KV head configuration.
+    BadShape {
+        /// Which input is malformed (`"k"` or `"v"`).
+        input: &'static str,
+        /// Expected trailing shape `[n_kv_heads, head_dim]`.
+        expected: Vec<usize>,
+        /// Supplied shape.
+        actual: Vec<usize>,
+    },
+    /// The position array length disagrees with the appended token count.
+    PositionCountMismatch {
+        /// Tokens being appended.
+        tokens: usize,
+        /// Positions supplied.
+        positions: usize,
+    },
+    /// A truncate target exceeds the sequence's current length.
+    BadTruncate {
+        /// Requested new length.
+        requested: usize,
+        /// Current length.
+        current: usize,
+    },
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::UnknownSequence { seq } => write!(f, "unknown sequence {seq}"),
+            CacheError::DuplicateSequence { seq } => write!(f, "sequence {seq} already exists"),
+            CacheError::OutOfPages { needed, available } => {
+                write!(f, "out of KV-cache pages: need {needed}, have {available}")
+            }
+            CacheError::BadShape {
+                input,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "`{input}` has shape {actual:?}, expected [*, {}, {}]",
+                expected[0], expected[1]
+            ),
+            CacheError::PositionCountMismatch { tokens, positions } => {
+                write!(f, "{positions} positions supplied for {tokens} tokens")
+            }
+            CacheError::BadTruncate { requested, current } => {
+                write!(
+                    f,
+                    "cannot truncate to {requested}: sequence has {current} tokens"
+                )
+            }
+            CacheError::Tensor(e) => write!(f, "tensor operation failed: {e}"),
+        }
+    }
+}
+
+impl Error for CacheError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CacheError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for CacheError {
+    fn from(e: TensorError) -> Self {
+        CacheError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(CacheError::UnknownSequence { seq: 9 }
+            .to_string()
+            .contains('9'));
+        assert!(CacheError::OutOfPages {
+            needed: 4,
+            available: 1
+        }
+        .to_string()
+        .contains("out of"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CacheError>();
+    }
+}

@@ -1,0 +1,223 @@
+//! INT8-quantized KV storage (§2.2's memory-bending techniques).
+//!
+//! The paper notes KV-cache quantization (2–4× memory reduction) as the
+//! orthogonal lever to CP's KV *distribution*; both extend the servable
+//! context. This module provides a per-token, per-head symmetric INT8
+//! scheme: each `(token, head)` vector stores one `f32` scale plus
+//! `head_dim` bytes — a 3.7–3.9× size reduction against f32 at typical
+//! head dims — with the round-trip error bounded by `scale / 127 / 2`
+//! per element.
+
+use cp_tensor::Tensor;
+
+use crate::CacheError;
+
+/// One quantized KV entry set: INT8 codes plus per-(token, head) scales.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedKv {
+    codes: Vec<i8>,
+    scales: Vec<f32>,
+    tokens: usize,
+    n_heads: usize,
+    head_dim: usize,
+}
+
+impl QuantizedKv {
+    /// Quantizes a `[t, heads, head_dim]` tensor symmetrically per
+    /// (token, head): `code = round(x / scale)`, `scale = max|x| / 127`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::BadShape`] for non-rank-3 input.
+    pub fn quantize(x: &Tensor) -> Result<Self, CacheError> {
+        let s = x.shape();
+        if s.len() != 3 {
+            return Err(CacheError::BadShape {
+                input: "kv",
+                expected: vec![0, 0],
+                actual: s.to_vec(),
+            });
+        }
+        let (tokens, n_heads, head_dim) = (s[0], s[1], s[2]);
+        let mut codes = Vec::with_capacity(tokens * n_heads * head_dim);
+        let mut scales = Vec::with_capacity(tokens * n_heads);
+        for t in 0..tokens {
+            let row = x.row(t);
+            for h in 0..n_heads {
+                let head = &row[h * head_dim..(h + 1) * head_dim];
+                let max = head.iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+                let scale = if max == 0.0 { 1.0 } else { max / 127.0 };
+                scales.push(scale);
+                for &v in head {
+                    codes.push((v / scale).round().clamp(-127.0, 127.0) as i8);
+                }
+            }
+        }
+        Ok(QuantizedKv {
+            codes,
+            scales,
+            tokens,
+            n_heads,
+            head_dim,
+        })
+    }
+
+    /// Reconstructs the (lossy) `[t, heads, head_dim]` tensor.
+    pub fn dequantize(&self) -> Tensor {
+        let mut data = Vec::with_capacity(self.codes.len());
+        for (i, &c) in self.codes.iter().enumerate() {
+            let scale = self.scales[i / self.head_dim];
+            data.push(c as f32 * scale);
+        }
+        Tensor::from_vec(data, &[self.tokens, self.n_heads, self.head_dim])
+            .expect("sizes consistent by construction")
+    }
+
+    /// Number of quantized tokens.
+    pub fn tokens(&self) -> usize {
+        self.tokens
+    }
+
+    /// Storage bytes of this entry set (codes + scales).
+    pub fn storage_bytes(&self) -> usize {
+        self.codes.len() + self.scales.len() * 4
+    }
+
+    /// Storage bytes the same data occupies unquantized (f32).
+    pub fn f32_bytes(&self) -> usize {
+        self.codes.len() * 4
+    }
+
+    /// Compression ratio vs f32 storage.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.storage_bytes() == 0 {
+            return 1.0;
+        }
+        self.f32_bytes() as f64 / self.storage_bytes() as f64
+    }
+
+    /// Worst-case absolute reconstruction error: `max(scale) / 2`
+    /// (half a quantization step).
+    pub fn error_bound(&self) -> f32 {
+        self.scales.iter().fold(0.0f32, |a, &s| a.max(s)) / 2.0
+    }
+
+    /// Appends another quantized block of the same head geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::BadShape`] if head geometry differs.
+    pub fn extend(&mut self, other: &QuantizedKv) -> Result<(), CacheError> {
+        if other.n_heads != self.n_heads || other.head_dim != self.head_dim {
+            return Err(CacheError::BadShape {
+                input: "kv",
+                expected: vec![self.n_heads, self.head_dim],
+                actual: vec![other.n_heads, other.head_dim],
+            });
+        }
+        self.codes.extend_from_slice(&other.codes);
+        self.scales.extend_from_slice(&other.scales);
+        self.tokens += other.tokens;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_tensor::DetRng;
+
+    #[test]
+    fn roundtrip_error_within_bound() {
+        let x = DetRng::new(1).tensor(&[8, 2, 16]);
+        let q = QuantizedKv::quantize(&x).unwrap();
+        let back = q.dequantize();
+        let err = x.max_abs_diff(&back).unwrap();
+        assert!(
+            err <= q.error_bound() + 1e-7,
+            "{err} vs {}",
+            q.error_bound()
+        );
+        // For inputs in [-1, 1): scale <= 1/127, so error < 0.004.
+        assert!(err < 0.004, "{err}");
+    }
+
+    #[test]
+    fn compression_ratio_near_4x() {
+        let x = DetRng::new(2).tensor(&[10, 2, 64]);
+        let q = QuantizedKv::quantize(&x).unwrap();
+        // 64 bytes of codes + 4 bytes of scale per head vs 256 bytes f32.
+        let ratio = q.compression_ratio();
+        assert!((ratio - 256.0 / 68.0).abs() < 1e-9, "{ratio}");
+        assert!(ratio > 3.7);
+    }
+
+    #[test]
+    fn per_head_scaling_preserves_small_heads() {
+        // A tiny-magnitude head next to a huge one keeps its precision:
+        // per-head scales isolate them.
+        let mut x = Tensor::zeros(&[1, 2, 4]);
+        for d in 0..4 {
+            x.set(&[0, 0, d], 1000.0 + d as f32).unwrap();
+            x.set(&[0, 1, d], 0.001 * (d as f32 + 1.0)).unwrap();
+        }
+        let q = QuantizedKv::quantize(&x).unwrap();
+        let back = q.dequantize();
+        // The small head's relative error stays small.
+        let small_err = (back.at(&[0, 1, 3]).unwrap() - 0.004).abs() / 0.004;
+        assert!(small_err < 0.01, "{small_err}");
+    }
+
+    #[test]
+    fn zero_input_quantizes_cleanly() {
+        let x = Tensor::zeros(&[3, 1, 4]);
+        let q = QuantizedKv::quantize(&x).unwrap();
+        assert_eq!(q.dequantize(), x);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let a = DetRng::new(3).tensor(&[2, 1, 4]);
+        let b = DetRng::new(4).tensor(&[3, 1, 4]);
+        let mut qa = QuantizedKv::quantize(&a).unwrap();
+        let qb = QuantizedKv::quantize(&b).unwrap();
+        qa.extend(&qb).unwrap();
+        assert_eq!(qa.tokens(), 5);
+        let joined = qa.dequantize();
+        assert_eq!(joined.shape(), &[5, 1, 4]);
+        // First two tokens still match a's quantization.
+        let front = joined.slice_dim0(0..2).unwrap();
+        assert!(front
+            .approx_eq(&QuantizedKv::quantize(&a).unwrap().dequantize(), 1e-6)
+            .unwrap());
+        // Geometry mismatch rejected.
+        let c = QuantizedKv::quantize(&DetRng::new(5).tensor(&[1, 2, 4])).unwrap();
+        assert!(qa.extend(&c).is_err());
+    }
+
+    #[test]
+    fn rejects_non_rank3() {
+        assert!(QuantizedKv::quantize(&Tensor::zeros(&[2, 3])).is_err());
+    }
+
+    #[test]
+    fn attention_on_dequantized_kv_stays_close() {
+        // The end-to-end claim: attention over quantized-then-dequantized
+        // KV approximates exact attention (the paper's "lossless" CP can
+        // be stacked with lossy quantization orthogonally).
+        use cp_attention::{naive_gqa_attention, AttentionParams, GqaShape};
+        let params = AttentionParams::for_shape(GqaShape::new(4, 2, 16).unwrap());
+        let mut rng = DetRng::new(6);
+        let t = 24;
+        let q = rng.tensor(&[t, 4, 16]);
+        let k = rng.tensor(&[t, 2, 16]);
+        let v = rng.tensor(&[t, 2, 16]);
+        let pos: Vec<usize> = (0..t).collect();
+        let exact = naive_gqa_attention(&q, &k, &v, &params, &pos, &pos).unwrap();
+        let kq = QuantizedKv::quantize(&k).unwrap().dequantize();
+        let vq = QuantizedKv::quantize(&v).unwrap().dequantize();
+        let approx = naive_gqa_attention(&q, &kq, &vq, &params, &pos, &pos).unwrap();
+        let err = exact.out.max_abs_diff(&approx.out).unwrap();
+        assert!(err < 0.02, "attention error {err}");
+    }
+}

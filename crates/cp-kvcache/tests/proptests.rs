@@ -1,0 +1,130 @@
+//! Property-based tests: the paged cache behaves like a simple
+//! append-only log, regardless of page size or append batching.
+
+use cp_kvcache::{KvCacheConfig, PagedKvCache, SeqId};
+use cp_tensor::{DetRng, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    /// Appending in arbitrary chunk sizes gathers back the same data as the
+    /// flat reference log, for any page size.
+    #[test]
+    fn paged_cache_equals_flat_log(
+        page_size in 1usize..9,
+        chunks in prop::collection::vec(0usize..7, 1..8),
+        seed in any::<u64>(),
+    ) {
+        let mut cache = PagedKvCache::new(KvCacheConfig::new(page_size, 2, 3));
+        let seq = SeqId(1);
+        cache.create_sequence(seq).unwrap();
+        let mut rng = DetRng::new(seed);
+        let mut ref_k: Vec<Tensor> = Vec::new();
+        let mut ref_v: Vec<Tensor> = Vec::new();
+        let mut ref_pos: Vec<usize> = Vec::new();
+        let mut next_pos = 0;
+        for t in chunks {
+            let k = rng.tensor(&[t, 2, 3]);
+            let v = rng.tensor(&[t, 2, 3]);
+            let pos: Vec<usize> = (next_pos..next_pos + t).collect();
+            next_pos += t;
+            cache.append(seq, &k, &v, &pos).unwrap();
+            ref_k.push(k);
+            ref_v.push(v);
+            ref_pos.extend(pos);
+        }
+        let (gk, gv, gpos) = cache.gather(seq).unwrap();
+        if ref_pos.is_empty() {
+            prop_assert_eq!(gk.dim0(), 0);
+        } else {
+            prop_assert_eq!(gk, Tensor::concat_dim0(ref_k.iter()).unwrap());
+            prop_assert_eq!(gv, Tensor::concat_dim0(ref_v.iter()).unwrap());
+        }
+        prop_assert_eq!(gpos, ref_pos);
+    }
+
+    /// Interleaved appends to multiple sequences stay isolated.
+    #[test]
+    fn sequences_are_isolated(
+        page_size in 1usize..6,
+        ops in prop::collection::vec((0usize..3, 1usize..5), 1..12),
+        seed in any::<u64>(),
+    ) {
+        let mut cache = PagedKvCache::new(KvCacheConfig::new(page_size, 1, 2));
+        let mut rng = DetRng::new(seed);
+        let mut logs: Vec<Vec<f32>> = vec![Vec::new(); 3];
+        for s in 0..3u64 {
+            cache.create_sequence(SeqId(s)).unwrap();
+        }
+        for (s, t) in ops {
+            let k = rng.tensor(&[t, 1, 2]);
+            let v = k.clone();
+            let start = logs[s].len() / 2;
+            let pos: Vec<usize> = (start..start + t).collect();
+            cache.append(SeqId(s as u64), &k, &v, &pos).unwrap();
+            logs[s].extend_from_slice(k.as_slice());
+        }
+        for (s, log) in logs.iter().enumerate() {
+            let (gk, gv, _) = cache.gather(SeqId(s as u64)).unwrap();
+            prop_assert_eq!(gk.as_slice(), log.as_slice());
+            prop_assert_eq!(gv.as_slice(), log.as_slice());
+        }
+    }
+
+    /// Truncate-then-gather equals the prefix of the reference log, and
+    /// stats never report more pages than ceil(tokens / page_size) + frag.
+    #[test]
+    fn truncate_is_prefix(
+        page_size in 1usize..6,
+        total in 1usize..30,
+        keep_frac in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let mut cache = PagedKvCache::new(KvCacheConfig::new(page_size, 1, 2));
+        let seq = SeqId(0);
+        cache.create_sequence(seq).unwrap();
+        let mut rng = DetRng::new(seed);
+        let k = rng.tensor(&[total, 1, 2]);
+        let v = rng.tensor(&[total, 1, 2]);
+        let pos: Vec<usize> = (0..total).collect();
+        cache.append(seq, &k, &v, &pos).unwrap();
+        let keep = ((total as f64) * keep_frac) as usize;
+        cache.truncate(seq, keep).unwrap();
+        let (gk, _, gpos) = cache.gather(seq).unwrap();
+        prop_assert_eq!(gk.as_slice(), &k.as_slice()[..keep * 2]);
+        prop_assert_eq!(gpos, (0..keep).collect::<Vec<_>>());
+        let stats = cache.stats();
+        prop_assert_eq!(stats.tokens, keep);
+        prop_assert_eq!(stats.allocated_pages, keep.div_ceil(page_size));
+    }
+
+    /// A bounded pool never exceeds its max and OOM appends never corrupt
+    /// existing state.
+    #[test]
+    fn bounded_pool_respects_capacity(
+        max_pages in 1usize..5,
+        appends in prop::collection::vec(1usize..6, 1..10),
+        seed in any::<u64>(),
+    ) {
+        let page_size = 2;
+        let mut cache =
+            PagedKvCache::new(KvCacheConfig::new(page_size, 1, 2).with_max_pages(max_pages));
+        let seq = SeqId(0);
+        cache.create_sequence(seq).unwrap();
+        let mut rng = DetRng::new(seed);
+        let mut committed = 0usize;
+        for t in appends {
+            let k = rng.tensor(&[t, 1, 2]);
+            let v = rng.tensor(&[t, 1, 2]);
+            let pos: Vec<usize> = (committed..committed + t).collect();
+            match cache.append(seq, &k, &v, &pos) {
+                Ok(()) => committed += t,
+                Err(_) => {
+                    // Rejected: length unchanged.
+                    prop_assert_eq!(cache.seq_len(seq).unwrap(), committed);
+                }
+            }
+            prop_assert!(cache.stats().allocated_pages <= max_pages);
+            prop_assert!(committed <= max_pages * page_size);
+        }
+    }
+}

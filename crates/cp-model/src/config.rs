@@ -1,0 +1,84 @@
+//! Transformer architecture configuration.
+
+use cp_attention::GqaShape;
+
+/// Architecture of a [`crate::Transformer`].
+///
+/// Mirrors the Llama3 family's structure (Table 9) at configurable scale:
+/// `n_layers` blocks of {RMSNorm, GQA attention with RoPE, RMSNorm,
+/// SwiGLU FFN}, tied around residual connections.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransformerConfig {
+    /// Attention head configuration.
+    pub shape: GqaShape,
+    /// Number of transformer blocks.
+    pub n_layers: usize,
+    /// SwiGLU intermediate dimension.
+    pub ffn_dim: usize,
+    /// Vocabulary size for the deterministic embedding.
+    pub vocab: u32,
+    /// RoPE base frequency (Llama3 uses 500000; tiny models use 10000).
+    pub rope_base: f32,
+    /// RMSNorm epsilon.
+    pub norm_eps: f32,
+}
+
+impl TransformerConfig {
+    /// A small but structurally faithful config for exactness tests:
+    /// 2 layers, 4 query heads over 2 KV heads, model dim 32.
+    pub fn tiny() -> Self {
+        TransformerConfig {
+            shape: GqaShape::new(4, 2, 8).expect("static config is valid"),
+            n_layers: 2,
+            ffn_dim: 48,
+            vocab: 256,
+            rope_base: 10_000.0,
+            norm_eps: 1e-5,
+        }
+    }
+
+    /// A slightly larger config exercising deeper stacks and MQA-style
+    /// grouping (8 query heads on 2 KV heads).
+    pub fn small() -> Self {
+        TransformerConfig {
+            shape: GqaShape::new(8, 2, 16).expect("static config is valid"),
+            n_layers: 4,
+            ffn_dim: 256,
+            vocab: 1024,
+            rope_base: 10_000.0,
+            norm_eps: 1e-5,
+        }
+    }
+
+    /// Model (hidden) dimension `D = N_H * D_H`.
+    pub fn model_dim(&self) -> usize {
+        self.shape.model_dim()
+    }
+
+    /// Dimension of the packed KV projection output (`N_KV * D_H`).
+    pub fn kv_dim(&self) -> usize {
+        self.shape.n_kv_heads() * self.shape.head_dim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_consistent() {
+        for c in [TransformerConfig::tiny(), TransformerConfig::small()] {
+            assert_eq!(c.model_dim(), c.shape.n_heads() * c.shape.head_dim());
+            assert!(c.kv_dim() <= c.model_dim());
+            assert!(c.n_layers >= 1);
+            assert!(c.vocab > 0);
+        }
+    }
+
+    #[test]
+    fn tiny_dims() {
+        let c = TransformerConfig::tiny();
+        assert_eq!(c.model_dim(), 32);
+        assert_eq!(c.kv_dim(), 16);
+    }
+}

@@ -1,0 +1,281 @@
+//! Transformer building blocks: linear layers, RMSNorm and SwiGLU.
+
+use cp_core::CoreError;
+use cp_tensor::{matmul, DetRng, Tensor};
+
+/// A dense linear layer `y = x W`, weights `[in_dim, out_dim]`.
+///
+/// Weights are drawn deterministically from a seed and scaled by
+/// `1/sqrt(in_dim)` so activations stay O(1) through deep stacks —
+/// adequate stand-ins for trained weights, since context parallelism is
+/// agnostic to the values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Linear {
+    weight: Tensor,
+}
+
+impl Linear {
+    /// Creates a layer with deterministic pseudo-random weights.
+    pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        let scale = 1.0 / (in_dim as f32).sqrt();
+        let mut rng = DetRng::new(seed);
+        let weight = Tensor::from_fn(&[in_dim, out_dim], |_| rng.next_signed() * scale);
+        Linear { weight }
+    }
+
+    /// Wraps an explicit weight matrix `[in_dim, out_dim]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadRequest`] if `weight` is not rank 2.
+    pub fn from_weight(weight: Tensor) -> Result<Self, CoreError> {
+        if weight.rank() != 2 {
+            return Err(CoreError::BadRequest {
+                reason: format!("linear weight must be rank 2, got {:?}", weight.shape()),
+            });
+        }
+        Ok(Linear { weight })
+    }
+
+    /// The weight matrix.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.weight.shape()[0]
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.weight.shape()[1]
+    }
+
+    /// Applies the layer to `x` of shape `[t, in_dim]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor error if `x` has the wrong inner dimension.
+    pub fn forward(&self, x: &Tensor) -> Result<Tensor, CoreError> {
+        Ok(matmul(x, &self.weight)?)
+    }
+
+    /// Splits the layer column-wise into `n` shards (output dimension),
+    /// for tensor-parallel column parallelism.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadRequest`] if `out_dim` is not divisible by
+    /// `n`.
+    pub fn split_columns(&self, n: usize) -> Result<Vec<Linear>, CoreError> {
+        let (in_dim, out_dim) = (self.in_dim(), self.out_dim());
+        if n == 0 || out_dim % n != 0 {
+            return Err(CoreError::BadRequest {
+                reason: format!("cannot split {out_dim} columns into {n} shards"),
+            });
+        }
+        let cols = out_dim / n;
+        let mut shards = Vec::with_capacity(n);
+        for s in 0..n {
+            let mut w = Tensor::zeros(&[in_dim, cols]);
+            for i in 0..in_dim {
+                let src = &self.weight.row(i)[s * cols..(s + 1) * cols];
+                w.row_mut(i).copy_from_slice(src);
+            }
+            shards.push(Linear { weight: w });
+        }
+        Ok(shards)
+    }
+
+    /// Splits the layer row-wise into `n` shards (input dimension), for
+    /// tensor-parallel row parallelism.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadRequest`] if `in_dim` is not divisible by
+    /// `n`.
+    pub fn split_rows(&self, n: usize) -> Result<Vec<Linear>, CoreError> {
+        let in_dim = self.in_dim();
+        if n == 0 || !in_dim.is_multiple_of(n) {
+            return Err(CoreError::BadRequest {
+                reason: format!("cannot split {in_dim} rows into {n} shards"),
+            });
+        }
+        let rows = in_dim / n;
+        let mut shards = Vec::with_capacity(n);
+        for s in 0..n {
+            let w = self.weight.slice_dim0(s * rows..(s + 1) * rows)?;
+            shards.push(Linear { weight: w });
+        }
+        Ok(shards)
+    }
+}
+
+/// Root-mean-square layer normalisation (no learned gain — deterministic
+/// substitute), `x / sqrt(mean(x^2) + eps)` per row of `[t, d]`.
+///
+/// # Errors
+///
+/// Returns a rank error for non-rank-2 input.
+pub fn rms_norm(x: &Tensor, eps: f32) -> Result<Tensor, CoreError> {
+    if x.rank() != 2 {
+        return Err(CoreError::BadRequest {
+            reason: format!("rms_norm expects rank-2 input, got {:?}", x.shape()),
+        });
+    }
+    let d = x.shape()[1] as f32;
+    let mut out = x.clone();
+    for i in 0..out.dim0() {
+        let row = out.row_mut(i);
+        let ms: f32 = row.iter().map(|v| v * v).sum::<f32>() / d;
+        let inv = 1.0 / (ms + eps).sqrt();
+        for v in row {
+            *v *= inv;
+        }
+    }
+    Ok(out)
+}
+
+/// SwiGLU feed-forward: `down( silu(x W_gate) * (x W_up) )`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwiGlu {
+    /// Gate projection `[d, ffn]`.
+    pub gate: Linear,
+    /// Up projection `[d, ffn]`.
+    pub up: Linear,
+    /// Down projection `[ffn, d]`.
+    pub down: Linear,
+}
+
+impl SwiGlu {
+    /// Creates a SwiGLU block with deterministic weights.
+    pub fn new(model_dim: usize, ffn_dim: usize, seed: u64) -> Self {
+        SwiGlu {
+            gate: Linear::new(model_dim, ffn_dim, seed.wrapping_mul(3).wrapping_add(1)),
+            up: Linear::new(model_dim, ffn_dim, seed.wrapping_mul(3).wrapping_add(2)),
+            down: Linear::new(ffn_dim, model_dim, seed.wrapping_mul(3).wrapping_add(3)),
+        }
+    }
+
+    /// Applies the block to `[t, d]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the projections.
+    pub fn forward(&self, x: &Tensor) -> Result<Tensor, CoreError> {
+        let mut g = self.gate.forward(x)?.map(silu);
+        let u = self.up.forward(x)?;
+        g.mul_assign(&u)?;
+        self.down.forward(&g)
+    }
+}
+
+/// The SiLU (swish) activation `x * sigmoid(x)`.
+pub fn silu(x: f32) -> f32 {
+    x / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_tensor::DetRng;
+
+    #[test]
+    fn linear_forward_shape_and_determinism() {
+        let l1 = Linear::new(8, 12, 5);
+        let l2 = Linear::new(8, 12, 5);
+        assert_eq!(l1, l2);
+        assert_ne!(l1, Linear::new(8, 12, 6));
+        let x = DetRng::new(1).tensor(&[3, 8]);
+        let y = l1.forward(&x).unwrap();
+        assert_eq!(y.shape(), &[3, 12]);
+        assert!(l1.forward(&DetRng::new(1).tensor(&[3, 9])).is_err());
+    }
+
+    #[test]
+    fn column_split_concatenates_to_full_output() {
+        let l = Linear::new(6, 8, 9);
+        let x = DetRng::new(2).tensor(&[4, 6]);
+        let full = l.forward(&x).unwrap();
+        let shards = l.split_columns(4).unwrap();
+        // Concatenating per-shard outputs column-wise rebuilds the output.
+        let mut rebuilt = Tensor::zeros(&[4, 8]);
+        for (s, shard) in shards.iter().enumerate() {
+            let part = shard.forward(&x).unwrap();
+            for t in 0..4 {
+                rebuilt.row_mut(t)[s * 2..(s + 1) * 2].copy_from_slice(part.row(t));
+            }
+        }
+        assert!(rebuilt.approx_eq(&full, 1e-5).unwrap());
+        assert!(l.split_columns(3).is_err());
+        assert!(l.split_columns(0).is_err());
+    }
+
+    #[test]
+    fn row_split_sums_to_full_output() {
+        let l = Linear::new(6, 8, 10);
+        let x = DetRng::new(3).tensor(&[4, 6]);
+        let full = l.forward(&x).unwrap();
+        let shards = l.split_rows(3).unwrap();
+        // Row parallelism: x is split on the inner dim; outputs sum.
+        let mut acc = Tensor::zeros(&[4, 8]);
+        for (s, shard) in shards.iter().enumerate() {
+            let mut xs = Tensor::zeros(&[4, 2]);
+            for t in 0..4 {
+                xs.row_mut(t).copy_from_slice(&x.row(t)[s * 2..(s + 1) * 2]);
+            }
+            acc.add_assign(&shard.forward(&xs).unwrap()).unwrap();
+        }
+        assert!(acc.approx_eq(&full, 1e-5).unwrap());
+        assert!(l.split_rows(4).is_err());
+    }
+
+    #[test]
+    fn from_weight_validates_rank() {
+        assert!(Linear::from_weight(Tensor::zeros(&[2, 3])).is_ok());
+        assert!(Linear::from_weight(Tensor::zeros(&[2, 3, 4])).is_err());
+    }
+
+    #[test]
+    fn rms_norm_unit_scale() {
+        // A row of constant c normalises to ±1 (up to eps).
+        let x = Tensor::from_vec(vec![3.0, 3.0, -2.0, 2.0], &[2, 2]).unwrap();
+        let y = rms_norm(&x, 1e-6).unwrap();
+        assert!((y.at(&[0, 0]).unwrap() - 1.0).abs() < 1e-4);
+        assert!((y.at(&[1, 0]).unwrap() + 1.0).abs() < 1e-4);
+        // Per-row RMS of the output is 1.
+        for i in 0..2 {
+            let rms: f32 = (y.row(i).iter().map(|v| v * v).sum::<f32>() / 2.0).sqrt();
+            assert!((rms - 1.0).abs() < 1e-4);
+        }
+        assert!(rms_norm(&Tensor::zeros(&[2]), 1e-6).is_err());
+    }
+
+    #[test]
+    fn rms_norm_handles_zero_rows() {
+        let x = Tensor::zeros(&[1, 4]);
+        let y = rms_norm(&x, 1e-5).unwrap();
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn silu_properties() {
+        assert_eq!(silu(0.0), 0.0);
+        assert!(silu(10.0) > 9.99);
+        assert!(silu(-10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn swiglu_forward_shape_and_determinism() {
+        let ffn = SwiGlu::new(8, 16, 7);
+        let x = DetRng::new(4).tensor(&[5, 8]);
+        let y = ffn.forward(&x).unwrap();
+        assert_eq!(y.shape(), &[5, 8]);
+        assert_eq!(y, SwiGlu::new(8, 16, 7).forward(&x).unwrap());
+        // Token-wise: FFN of each row independent of other rows.
+        let row0 = x.slice_dim0(0..1).unwrap();
+        let y0 = ffn.forward(&row0).unwrap();
+        assert!(y0.approx_eq(&y.slice_dim0(0..1).unwrap(), 1e-6).unwrap());
+    }
+}

@@ -1,0 +1,63 @@
+//! A numeric GQA transformer substrate with context-parallel and
+//! tensor-parallel distributed forward passes.
+//!
+//! The paper's system serves Llama3 405B — a dense transformer of RMSNorm,
+//! GQA attention with rotary position embeddings, and SwiGLU FFNs — with
+//! tokens sharded across CP ranks and weights sharded TP within each node.
+//! This crate builds that substrate numerically (at laptop scale) so the
+//! *whole model forward*, not just one attention layer, can be verified
+//! exact under context parallelism:
+//!
+//! * [`TransformerConfig`] / [`Transformer`] — a deterministic multi-layer
+//!   GQA transformer (single-device reference),
+//! * [`rope`] — rotary embeddings applied at **global** token positions,
+//!   the part load-balanced sharding could silently break (each CP rank
+//!   holds non-contiguous positions),
+//! * [`cp_forward`] — the context-parallel forward: every rank runs the
+//!   full layer stack on its token shard, with ring pass-KV attention as
+//!   the only cross-rank operation per layer — exactly the paper's
+//!   execution structure,
+//! * [`tp`] — numeric column/row-parallel linear layers with AllGather /
+//!   AllReduce, verifying Table 2's tensor-parallel communication
+//!   accounting on real bytes.
+//!
+//! # Example
+//!
+//! ```
+//! use cp_model::{cp_forward, Transformer, TransformerConfig};
+//!
+//! # fn main() -> Result<(), cp_core::CoreError> {
+//! let config = TransformerConfig::tiny();
+//! let model = Transformer::new(&config, 7);
+//! let tokens: Vec<u32> = (0..24).collect();
+//! let reference = model.forward(&tokens)?;
+//! let (distributed, _traffic) = cp_forward(&model, &tokens, 3)?;
+//! assert!(distributed.approx_eq(&reference, 1e-3).unwrap());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod distributed;
+mod layers;
+pub mod rope;
+pub mod tp;
+mod transformer;
+
+pub use config::TransformerConfig;
+pub use distributed::{cp_forward, cp_forward_sharded, cp_forward_sharded_with};
+pub use layers::{rms_norm, Linear, SwiGlu};
+pub use transformer::{Block, Transformer};
+
+/// Maps a model-layer failure into the fabric's error type so rank
+/// closures (which must return `Result<_, CommError>`) can propagate it;
+/// see `cp_core::ring::run_ring` for the engine-side equivalent.
+pub(crate) fn to_comm_error(e: cp_core::CoreError) -> cp_comm::CommError {
+    match e {
+        cp_core::CoreError::Comm(c) => c,
+        _ => cp_comm::CommError::RankPanicked { rank: usize::MAX },
+    }
+}

@@ -1,0 +1,123 @@
+//! Rotary position embeddings (RoPE) applied at global token positions.
+//!
+//! RoPE rotates each head's (2i, 2i+1) coordinate pairs by an angle
+//! proportional to the token's **absolute position**. Under load-balanced
+//! context-parallel sharding a rank owns *non-contiguous* positions, so a
+//! naive "rotate by local index" implementation would be silently wrong —
+//! which is why this module takes explicit position arrays everywhere and
+//! why the distributed-forward exactness tests would catch any such bug.
+
+use cp_core::CoreError;
+use cp_tensor::Tensor;
+
+/// Applies RoPE in place to a `[t, n_heads, head_dim]` tensor, rotating
+/// token `i` by its global position `positions[i]`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadRequest`] if the tensor is not rank 3, the
+/// head dim is odd, or `positions.len()` differs from the token count.
+pub fn apply_rope(x: &mut Tensor, positions: &[usize], base: f32) -> Result<(), CoreError> {
+    let shape = x.shape().to_vec();
+    if shape.len() != 3 {
+        return Err(CoreError::BadRequest {
+            reason: format!("rope expects [t, heads, head_dim], got {shape:?}"),
+        });
+    }
+    let (t, heads, dh) = (shape[0], shape[1], shape[2]);
+    if dh % 2 != 0 {
+        return Err(CoreError::BadRequest {
+            reason: format!("rope needs an even head_dim, got {dh}"),
+        });
+    }
+    if positions.len() != t {
+        return Err(CoreError::BadRequest {
+            reason: format!("{} positions for {t} tokens", positions.len()),
+        });
+    }
+    let half = dh / 2;
+    for (i, &pos) in positions.iter().enumerate() {
+        let row = x.row_mut(i);
+        for h in 0..heads {
+            let head = &mut row[h * dh..(h + 1) * dh];
+            for j in 0..half {
+                let theta = pos as f32 / base.powf(2.0 * j as f32 / dh as f32);
+                let (sin, cos) = theta.sin_cos();
+                let (a, b) = (head[2 * j], head[2 * j + 1]);
+                head[2 * j] = a * cos - b * sin;
+                head[2 * j + 1] = a * sin + b * cos;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_tensor::DetRng;
+
+    #[test]
+    fn position_zero_is_identity() {
+        let mut x = DetRng::new(1).tensor(&[1, 2, 8]);
+        let orig = x.clone();
+        apply_rope(&mut x, &[0], 10_000.0).unwrap();
+        assert!(x.approx_eq(&orig, 1e-6).unwrap());
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let mut x = DetRng::new(2).tensor(&[3, 2, 8]);
+        let before: f32 = x.as_slice().iter().map(|v| v * v).sum();
+        apply_rope(&mut x, &[5, 100, 7777], 10_000.0).unwrap();
+        let after: f32 = x.as_slice().iter().map(|v| v * v).sum();
+        assert!((before - after).abs() / before < 1e-5);
+    }
+
+    #[test]
+    fn relative_position_property() {
+        // RoPE's defining property: <rope(q, m), rope(k, n)> depends only
+        // on m - n. Check the dot product for (m, n) = (7, 3) vs (104, 100).
+        let base = 10_000.0;
+        let mut rng = DetRng::new(3);
+        let q0 = rng.tensor(&[1, 1, 8]);
+        let k0 = rng.tensor(&[1, 1, 8]);
+        let dot = |m: usize, n: usize| -> f32 {
+            let mut q = q0.clone();
+            let mut k = k0.clone();
+            apply_rope(&mut q, &[m], base).unwrap();
+            apply_rope(&mut k, &[n], base).unwrap();
+            q.as_slice()
+                .iter()
+                .zip(k.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+        assert!((dot(7, 3) - dot(104, 100)).abs() < 1e-4);
+        // And genuinely differs for a different offset.
+        assert!((dot(7, 3) - dot(7, 0)).abs() > 1e-4);
+    }
+
+    #[test]
+    fn depends_on_global_not_local_position() {
+        // The CP-critical property: rotating by positions [4, 9] is NOT
+        // the same as rotating by local indices [0, 1].
+        let mut rng = DetRng::new(4);
+        let x = rng.tensor(&[2, 1, 4]);
+        let mut global = x.clone();
+        apply_rope(&mut global, &[4, 9], 10_000.0).unwrap();
+        let mut local = x.clone();
+        apply_rope(&mut local, &[0, 1], 10_000.0).unwrap();
+        assert!(!global.approx_eq(&local, 1e-4).unwrap());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let mut x = Tensor::zeros(&[2, 1, 4]);
+        assert!(apply_rope(&mut x, &[0], 10_000.0).is_err()); // wrong positions len
+        let mut odd = Tensor::zeros(&[1, 1, 3]);
+        assert!(apply_rope(&mut odd, &[0], 10_000.0).is_err()); // odd head dim
+        let mut r2 = Tensor::zeros(&[2, 4]);
+        assert!(apply_rope(&mut r2, &[0, 1], 10_000.0).is_err()); // rank 2
+    }
+}

@@ -1,0 +1,305 @@
+//! Numeric tensor-parallel linear layers — the baseline communication
+//! pattern CP is compared against (Table 2).
+//!
+//! Megatron-style TP alternates **column-parallel** linears (each rank
+//! holds a slice of the output features; outputs are concatenated or kept
+//! sharded) with **row-parallel** linears (each rank holds a slice of the
+//! input features; partial outputs are summed with an AllReduce). Each
+//! column→row pair — the structure of both the attention projection pair
+//! and the FFN — costs one AllReduce of `[t, D]` activations, i.e.
+//! `T·N_H·D_H·e` bytes on the wire, twice per transformer block. This
+//! module implements the pattern on the thread fabric and the tests pin
+//! both exactness and the byte accounting.
+
+use cp_comm::{run_ranks, TrafficReport};
+use cp_core::CoreError;
+use cp_tensor::Tensor;
+
+use crate::layers::Linear;
+
+/// Runs `y = relu-free( x · W_a · W_b )` as a Megatron column→row parallel
+/// pair over `n_ranks` fabric ranks: `W_a` is split by columns, `W_b` by
+/// rows, and the partial results are AllReduce-summed.
+///
+/// Returns the output (identical on every rank, asserted) and the fabric
+/// traffic. Numerically equal to `x.matmul(W_a).matmul(W_b)`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadRequest`] if the hidden dimension is not
+/// divisible by `n_ranks`; propagates communication failures.
+pub fn tp_linear_pair(
+    x: &Tensor,
+    w_a: &Linear,
+    w_b: &Linear,
+    n_ranks: usize,
+) -> Result<(Tensor, TrafficReport), CoreError> {
+    let a_shards = w_a.split_columns(n_ranks)?;
+    let b_shards = w_b.split_rows(n_ranks)?;
+    let out_shape = [x.dim0(), w_b.out_dim()];
+
+    let (mut outputs, traffic) = run_ranks::<Vec<f32>, _, _>(n_ranks, |comm| {
+        let r = comm.rank();
+        // Column-parallel: local activation slice [t, hidden/n].
+        let hidden = a_shards[r].forward(x).map_err(crate::to_comm_error)?;
+        // Row-parallel: partial output [t, out], then AllReduce-sum.
+        let partial = b_shards[r].forward(&hidden).map_err(crate::to_comm_error)?;
+        let reduced = comm.all_reduce(partial.as_slice().to_vec(), |mut acc, m| {
+            for (a, b) in acc.iter_mut().zip(m) {
+                *a += b;
+            }
+            acc
+        })?;
+        Ok(reduced)
+    })
+    .map_err(CoreError::from)?;
+
+    // Every rank must hold the identical reduced activation.
+    let first = outputs.remove(0);
+    for other in &outputs {
+        debug_assert_eq!(other.len(), first.len());
+    }
+    Ok((Tensor::from_vec(first, &out_shape)?, traffic))
+}
+
+/// The Table 2 wire-byte count for one TP column→row pair at element size
+/// `e`: every rank contributes its partial `[t, out]` activation to the
+/// AllReduce, implemented here as an all-gather of `n·(n-1)` messages.
+pub fn expected_allreduce_bytes(t: usize, out_dim: usize, n_ranks: usize, e: usize) -> usize {
+    n_ranks * (n_ranks - 1) * t * out_dim * e
+}
+
+/// Tensor-parallel GQA attention with KV-head replication (§4.2.2): query
+/// heads are split evenly over `n_ranks`; each rank holds (a replica of)
+/// the KV heads its query heads need, computes its heads' attention over
+/// the **full** sequence, and the per-head outputs are reassembled with an
+/// AllGather.
+///
+/// This is how the paper parallelizes Llama3 405B's 8 KV heads over more
+/// than 8 GPUs: "we replicate each KV head over `N_TP / N_KV` GPUs ...
+/// query heads are distributed evenly". Exact, like CP — but each rank
+/// stores the *entire* sequence's KV for its heads, which is the
+/// memory-scaling difference from context parallelism.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadRequest`] if `n_heads` is not divisible by
+/// `n_ranks` or the per-rank head slice straddles KV-head groups
+/// unevenly; propagates kernel/communication failures.
+pub fn tp_attention(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    params: &cp_attention::AttentionParams,
+    q_pos: &[usize],
+    kv_pos: &[usize],
+    n_ranks: usize,
+) -> Result<(cp_attention::AttentionOutput, TrafficReport), CoreError> {
+    use cp_attention::{blocked_gqa_attention, AttentionParams, GqaShape};
+
+    let shape = params.shape;
+    let (nh, dh) = (shape.n_heads(), shape.head_dim());
+    if n_ranks == 0 || nh % n_ranks != 0 {
+        return Err(CoreError::BadRequest {
+            reason: format!("cannot split {nh} query heads over {n_ranks} ranks"),
+        });
+    }
+    let heads_per_rank = nh / n_ranks;
+    let group = shape.group_size();
+    if !heads_per_rank.is_multiple_of(group) && !group.is_multiple_of(heads_per_rank) {
+        return Err(CoreError::BadRequest {
+            reason: format!(
+                "per-rank head slice ({heads_per_rank}) must align with KV groups ({group})"
+            ),
+        });
+    }
+    let t_q = shape.check_q(q).map_err(CoreError::from)?;
+
+    // Pre-slice each rank's Q heads and (replicated) KV heads.
+    let kv_per_rank = (heads_per_rank / group).max(1);
+    let mut rank_inputs = Vec::with_capacity(n_ranks);
+    for r in 0..n_ranks {
+        let h0 = r * heads_per_rank;
+        let kvh0 = shape.kv_head_for(h0);
+        let mut qr = Tensor::zeros(&[t_q, heads_per_rank, dh]);
+        for t in 0..t_q {
+            let src = q.row(t);
+            qr.row_mut(t)
+                .copy_from_slice(&src[h0 * dh..(h0 + heads_per_rank) * dh]);
+        }
+        let t_kv = k.dim0();
+        let mut kr = Tensor::zeros(&[t_kv, kv_per_rank, dh]);
+        let mut vr = Tensor::zeros(&[t_kv, kv_per_rank, dh]);
+        for t in 0..t_kv {
+            kr.row_mut(t)
+                .copy_from_slice(&k.row(t)[kvh0 * dh..(kvh0 + kv_per_rank) * dh]);
+            vr.row_mut(t)
+                .copy_from_slice(&v.row(t)[kvh0 * dh..(kvh0 + kv_per_rank) * dh]);
+        }
+        let local_shape = GqaShape::new(heads_per_rank, kv_per_rank, dh)?;
+        rank_inputs.push((
+            qr,
+            kr,
+            vr,
+            AttentionParams::with_scale(local_shape, params.scale),
+        ));
+    }
+
+    // Each rank computes its heads locally, then AllGathers head outputs.
+    let (mut gathered, traffic) = run_ranks::<Vec<f32>, _, _>(n_ranks, |comm| {
+        let (qr, kr, vr, p) = &rank_inputs[comm.rank()];
+        let out = blocked_gqa_attention(qr, kr, vr, p, q_pos, kv_pos, 128)
+            .map_err(|e| crate::to_comm_error(CoreError::from(e)))?;
+        let mut payload = out.out.as_slice().to_vec();
+        payload.extend_from_slice(out.lse.as_slice());
+        comm.all_gather(payload)
+    })
+    .map_err(CoreError::from)?;
+
+    // Reassemble [t, nh, dh] (+ LSE) from rank 0's gathered view.
+    let parts = gathered.remove(0);
+    let mut out = Tensor::zeros(&[t_q, nh, dh]);
+    let mut lse = Tensor::zeros(&[t_q, nh]);
+    for (r, payload) in parts.iter().enumerate() {
+        let out_len = t_q * heads_per_rank * dh;
+        let h0 = r * heads_per_rank;
+        for t in 0..t_q {
+            out.row_mut(t)[h0 * dh..(h0 + heads_per_rank) * dh]
+                .copy_from_slice(&payload[t * heads_per_rank * dh..(t + 1) * heads_per_rank * dh]);
+            lse.row_mut(t)[h0..h0 + heads_per_rank].copy_from_slice(
+                &payload[out_len + t * heads_per_rank..out_len + (t + 1) * heads_per_rank],
+            );
+        }
+    }
+    Ok((cp_attention::AttentionOutput::new(out, lse)?, traffic))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_tensor::{matmul, DetRng};
+
+    #[test]
+    fn tp_pair_matches_serial() {
+        let mut rng = DetRng::new(1);
+        let x = rng.tensor(&[5, 8]);
+        let w_a = Linear::new(8, 16, 2);
+        let w_b = Linear::new(16, 8, 3);
+        let serial = matmul(&matmul(&x, w_a.weight()).unwrap(), w_b.weight()).unwrap();
+        for n in [1usize, 2, 4] {
+            let (out, _) = tp_linear_pair(&x, &w_a, &w_b, n).unwrap();
+            assert!(
+                out.approx_eq(&serial, 1e-4).unwrap(),
+                "n={n}: {}",
+                out.max_abs_diff(&serial).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn traffic_matches_table2_accounting() {
+        let mut rng = DetRng::new(4);
+        let t = 6;
+        let x = rng.tensor(&[t, 8]);
+        let w_a = Linear::new(8, 16, 5);
+        let w_b = Linear::new(16, 8, 6);
+        let n = 4;
+        let (_, traffic) = tp_linear_pair(&x, &w_a, &w_b, n).unwrap();
+        // AllReduce implemented as gather: n*(n-1) messages of [t, 8] f32.
+        assert_eq!(
+            traffic.all_gather_bytes,
+            expected_allreduce_bytes(t, 8, n, 4)
+        );
+        assert_eq!(traffic.send_recv_bytes, 0);
+    }
+
+    #[test]
+    fn tp_traffic_exceeds_cp_traffic_for_gqa() {
+        // The crux of Table 2, on real bytes: one TP pair's AllReduce of
+        // [t, D] activations moves more than a whole CP KV ring pass when
+        // N_H > 2 N_KV.
+        let mut rng = DetRng::new(7);
+        let t = 16;
+        let d = 32; // model dim: N_H=4 heads of 8
+        let kv_dim = 8; // N_KV=1 head of 8: group size 4
+        let x = rng.tensor(&[t, d]);
+        let w_a = Linear::new(d, d, 8);
+        let w_b = Linear::new(d, d, 9);
+        let n = 4;
+        let (_, tp_traffic) = tp_linear_pair(&x, &w_a, &w_b, n).unwrap();
+        // CP ring: n*(n-1) hops of 2 * (t/n) * kv_dim f32.
+        let cp_bytes = n * (n - 1) * 2 * (t / n) * kv_dim * 4;
+        assert!(
+            tp_traffic.all_gather_bytes > 4 * cp_bytes,
+            "tp {} vs cp {}",
+            tp_traffic.all_gather_bytes,
+            cp_bytes
+        );
+    }
+
+    #[test]
+    fn tp_attention_exact_with_replication() {
+        use cp_attention::{naive_gqa_attention, AttentionParams, GqaShape};
+        // 8 query heads over 2 KV heads (group 4): with 8 ranks each KV
+        // head is replicated over 4 ranks — the paper's N_TP/N_KV scheme.
+        let shape = GqaShape::new(8, 2, 8).unwrap();
+        let params = AttentionParams::for_shape(shape);
+        let mut rng = DetRng::new(11);
+        let t = 24;
+        let q = rng.tensor(&[t, 8, 8]);
+        let k = rng.tensor(&[t, 2, 8]);
+        let v = rng.tensor(&[t, 2, 8]);
+        let pos: Vec<usize> = (0..t).collect();
+        let reference = naive_gqa_attention(&q, &k, &v, &params, &pos, &pos).unwrap();
+        for n in [1usize, 2, 4, 8] {
+            let (out, _) = tp_attention(&q, &k, &v, &params, &pos, &pos, n).unwrap();
+            assert!(
+                out.out.approx_eq(&reference.out, 2e-3).unwrap(),
+                "n={n}: {}",
+                out.out.max_abs_diff(&reference.out).unwrap()
+            );
+            assert!(out.lse.approx_eq(&reference.lse, 2e-3).unwrap());
+        }
+    }
+
+    #[test]
+    fn tp_attention_rejects_misaligned_splits() {
+        use cp_attention::{AttentionParams, GqaShape};
+        let shape = GqaShape::new(8, 2, 8).unwrap();
+        let params = AttentionParams::for_shape(shape);
+        let q = Tensor::zeros(&[2, 8, 8]);
+        let k = Tensor::zeros(&[2, 2, 8]);
+        let v = Tensor::zeros(&[2, 2, 8]);
+        // 3 ranks: 8 heads not divisible.
+        assert!(tp_attention(&q, &k, &v, &params, &[0, 1], &[0, 1], 3).is_err());
+        assert!(tp_attention(&q, &k, &v, &params, &[0, 1], &[0, 1], 0).is_err());
+    }
+
+    #[test]
+    fn tp_attention_allgather_traffic_scales_with_context() {
+        use cp_attention::{AttentionParams, GqaShape};
+        let shape = GqaShape::new(4, 2, 8).unwrap();
+        let params = AttentionParams::for_shape(shape);
+        let mut rng = DetRng::new(12);
+        let traffic_at = |t: usize, rng: &mut DetRng| {
+            let q = rng.tensor(&[t, 4, 8]);
+            let k = rng.tensor(&[t, 2, 8]);
+            let v = rng.tensor(&[t, 2, 8]);
+            let pos: Vec<usize> = (0..t).collect();
+            tp_attention(&q, &k, &v, &params, &pos, &pos, 2).unwrap().1
+        };
+        let small = traffic_at(8, &mut rng);
+        let big = traffic_at(16, &mut rng);
+        // Output AllGather is proportional to T (the Table 2 contrast:
+        // TP comm scales with the *whole* context, CP with the shard).
+        assert_eq!(big.all_gather_bytes, 2 * small.all_gather_bytes);
+    }
+
+    #[test]
+    fn indivisible_split_is_rejected() {
+        let x = Tensor::zeros(&[2, 8]);
+        let w_a = Linear::new(8, 10, 1); // 10 not divisible by 4
+        let w_b = Linear::new(10, 8, 2);
+        assert!(tp_linear_pair(&x, &w_a, &w_b, 4).is_err());
+    }
+}

@@ -1,0 +1,260 @@
+//! The single-device reference transformer.
+
+use cp_attention::{naive_gqa_attention, AttentionParams};
+use cp_core::CoreError;
+use cp_tensor::{DetRng, Tensor};
+
+use crate::layers::{rms_norm, Linear, SwiGlu};
+use crate::rope::apply_rope;
+use crate::TransformerConfig;
+
+/// One transformer block's weights — a passive weight container exposed
+/// so downstream engines (e.g. `cp-serve`) can drive the layers with
+/// their own caching/attention schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Query projection `[D, D]`.
+    pub wq: Linear,
+    /// Key projection `[D, N_KV*D_H]`.
+    pub wk: Linear,
+    /// Value projection `[D, N_KV*D_H]`.
+    pub wv: Linear,
+    /// Output projection `[D, D]`.
+    pub wo: Linear,
+    /// SwiGLU feed-forward weights.
+    pub ffn: SwiGlu,
+}
+
+impl Block {
+    fn new(config: &TransformerConfig, seed: u64) -> Self {
+        let d = config.model_dim();
+        let kv = config.kv_dim();
+        Block {
+            wq: Linear::new(d, d, seed.wrapping_add(1)),
+            wk: Linear::new(d, kv, seed.wrapping_add(2)),
+            wv: Linear::new(d, kv, seed.wrapping_add(3)),
+            wo: Linear::new(d, d, seed.wrapping_add(4)),
+            ffn: SwiGlu::new(d, config.ffn_dim, seed.wrapping_add(5)),
+        }
+    }
+}
+
+/// A deterministic multi-layer GQA transformer — the single-device
+/// reference the context-parallel forward is verified against.
+///
+/// Structure per block (Llama-style pre-norm):
+///
+/// ```text
+/// x += Wo · Attn(RoPE(Wq·norm(x)), RoPE(Wk·norm(x)), Wv·norm(x))
+/// x += FFN(norm(x))
+/// ```
+///
+/// Weights are pseudo-random from the constructor seed; the embedding is
+/// a deterministic hash of the token id (values don't matter for the
+/// systems claims — exactness under distribution does).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transformer {
+    config: TransformerConfig,
+    seed: u64,
+    blocks: Vec<Block>,
+    params: AttentionParams,
+}
+
+impl Transformer {
+    /// Builds a transformer with deterministic weights from `seed`.
+    pub fn new(config: &TransformerConfig, seed: u64) -> Self {
+        let blocks = (0..config.n_layers)
+            .map(|l| Block::new(config, seed.wrapping_add(1000 * (l as u64 + 1))))
+            .collect();
+        Transformer {
+            config: *config,
+            seed,
+            blocks,
+            params: AttentionParams::for_shape(config.shape),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TransformerConfig {
+        &self.config
+    }
+
+    /// The per-layer weight blocks, in layer order.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// The attention parameters (shape + softmax scale) of every layer.
+    pub fn attention_params(&self) -> &AttentionParams {
+        &self.params
+    }
+
+    /// Deterministic token embedding: `[t, D]` rows hashed from
+    /// `(seed, token_id)`.
+    pub fn embed(&self, tokens: &[u32]) -> Tensor {
+        let d = self.config.model_dim();
+        let mut out = Tensor::zeros(&[tokens.len(), d]);
+        for (i, &tok) in tokens.iter().enumerate() {
+            let mix = self
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(u64::from(tok % self.config.vocab) << 17)
+                | 1;
+            let mut rng = DetRng::new(mix);
+            for v in out.row_mut(i) {
+                *v = rng.next_signed();
+            }
+        }
+        out
+    }
+
+    /// Runs one block on activations `x` (`[t, D]`) whose tokens sit at
+    /// the given global positions, attending to themselves causally.
+    pub(crate) fn block_forward(
+        &self,
+        layer: usize,
+        x: &Tensor,
+        positions: &[usize],
+    ) -> Result<Tensor, CoreError> {
+        let block = &self.blocks[layer];
+        let shape = self.config.shape;
+        let (t, dh) = (x.dim0(), shape.head_dim());
+
+        // Attention sub-block.
+        let h = rms_norm(x, self.config.norm_eps)?;
+        let mut q = block.wq.forward(&h)?.reshape(&[t, shape.n_heads(), dh])?;
+        let mut k = block
+            .wk
+            .forward(&h)?
+            .reshape(&[t, shape.n_kv_heads(), dh])?;
+        let v = block
+            .wv
+            .forward(&h)?
+            .reshape(&[t, shape.n_kv_heads(), dh])?;
+        apply_rope(&mut q, positions, self.config.rope_base)?;
+        apply_rope(&mut k, positions, self.config.rope_base)?;
+        let attn = naive_gqa_attention(&q, &k, &v, &self.params, positions, positions)?;
+        let attn_flat = attn.out.reshape(&[t, self.config.model_dim()])?;
+        let mut x = x.clone();
+        x.add_assign(&block.wo.forward(&attn_flat)?)?;
+
+        // FFN sub-block.
+        let h = rms_norm(&x, self.config.norm_eps)?;
+        x.add_assign(&block.ffn.forward(&h)?)?;
+        Ok(x)
+    }
+
+    /// Full forward pass over a fresh prompt: embeds `tokens` at
+    /// positions `0..t` and runs every block, returning the final
+    /// (pre-head) activations `[t, D]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape errors (none occur for a valid config).
+    pub fn forward(&self, tokens: &[u32]) -> Result<Tensor, CoreError> {
+        let positions: Vec<usize> = (0..tokens.len()).collect();
+        self.forward_at(tokens, &positions)
+    }
+
+    /// Forward pass with explicit global positions (tokens attend
+    /// causally among themselves by position).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadRequest`] if `positions.len()` differs
+    /// from `tokens.len()`.
+    pub fn forward_at(&self, tokens: &[u32], positions: &[usize]) -> Result<Tensor, CoreError> {
+        if tokens.len() != positions.len() {
+            return Err(CoreError::BadRequest {
+                reason: format!("{} positions for {} tokens", positions.len(), tokens.len()),
+            });
+        }
+        let mut x = self.embed(tokens);
+        for layer in 0..self.blocks.len() {
+            x = self.block_forward(layer, &x, positions)?;
+        }
+        rms_norm(&x, self.config.norm_eps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> Transformer {
+        Transformer::new(&TransformerConfig::tiny(), 42)
+    }
+
+    #[test]
+    fn forward_shape_and_determinism() {
+        let m = model();
+        let tokens: Vec<u32> = (0..10).collect();
+        let a = m.forward(&tokens).unwrap();
+        assert_eq!(a.shape(), &[10, 32]);
+        let b = model().forward(&tokens).unwrap();
+        assert_eq!(a, b);
+        // Different seeds give different models.
+        let other = Transformer::new(&TransformerConfig::tiny(), 43);
+        assert!(!other.forward(&tokens).unwrap().approx_eq(&a, 1e-3).unwrap());
+    }
+
+    #[test]
+    fn activations_stay_bounded_through_depth() {
+        // The 1/sqrt(d) init + norms keep values finite and O(1-ish).
+        let cfg = TransformerConfig::small();
+        let m = Transformer::new(&cfg, 1);
+        let tokens: Vec<u32> = (0..32).collect();
+        let out = m.forward(&tokens).unwrap();
+        assert!(out.as_slice().iter().all(|v| v.is_finite()));
+        let max = out.as_slice().iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+        assert!(max < 50.0, "max activation {max}");
+    }
+
+    #[test]
+    fn causality_of_the_full_stack() {
+        // Changing a later token never changes earlier outputs.
+        let m = model();
+        let a = m.forward(&[1, 2, 3, 4]).unwrap();
+        let b = m.forward(&[1, 2, 3, 99]).unwrap();
+        let a3 = a.slice_dim0(0..3).unwrap();
+        let b3 = b.slice_dim0(0..3).unwrap();
+        assert!(a3.approx_eq(&b3, 1e-6).unwrap());
+        // While the last token's output does change.
+        assert!(!a
+            .slice_dim0(3..4)
+            .unwrap()
+            .approx_eq(&b.slice_dim0(3..4).unwrap(), 1e-4)
+            .unwrap());
+    }
+
+    #[test]
+    fn embedding_respects_vocab_wrap() {
+        let m = model();
+        let v = m.config().vocab;
+        // token and token + vocab embed identically (modular hash).
+        let a = m.embed(&[5]);
+        let b = m.embed(&[5 + v]);
+        assert_eq!(a, b);
+        assert_ne!(m.embed(&[5]), m.embed(&[6]));
+    }
+
+    #[test]
+    fn forward_at_validates_lengths() {
+        let m = model();
+        assert!(m.forward_at(&[1, 2], &[0]).is_err());
+    }
+
+    #[test]
+    fn positions_matter_relatively_but_not_absolutely() {
+        // RoPE's defining behaviour at the full-stack level: a uniform
+        // shift of all positions leaves activations unchanged (relative
+        // encoding)...
+        let m = model();
+        let a = m.forward_at(&[7, 8], &[0, 1]).unwrap();
+        let shifted = m.forward_at(&[7, 8], &[10, 11]).unwrap();
+        assert!(a.approx_eq(&shifted, 1e-4).unwrap());
+        // ...while changing the *gap* between tokens changes the result.
+        let stretched = m.forward_at(&[7, 8], &[0, 5]).unwrap();
+        assert!(!a.approx_eq(&stretched, 1e-4).unwrap());
+    }
+}

@@ -1,0 +1,170 @@
+//! Closed-form communication and compute cost formulas (Tables 2 and 3).
+
+use crate::ModelSpec;
+
+/// Per-transformer-block communication bytes under tensor parallelism
+/// (Table 2): two AllReduces of activations, `2 * T * N_H * D_H * e`.
+pub fn tp_comm_per_block_bytes(model: &ModelSpec, t: usize) -> f64 {
+    2.0 * t as f64 * (model.n_heads * model.head_dim) as f64 * model.act_bytes
+}
+
+/// Per-transformer-block communication bytes under context parallelism
+/// with pass-KV (Table 2): one KV SendRecv, `T * N_KV * D_H * e`.
+///
+/// Table 2 counts K+V jointly via the `N_KV` factor relative to TP's two
+/// linear-layer AllReduces; the concrete per-message size used by the ring
+/// model is [`kv_message_bytes`].
+pub fn cp_comm_per_block_bytes(model: &ModelSpec, t: usize) -> f64 {
+    t as f64 * (model.n_kv_heads * model.head_dim) as f64 * model.act_bytes
+}
+
+/// Q embedding bytes for `t` tokens (Table 3): `T * D * e`.
+pub fn q_bytes(model: &ModelSpec, t: usize) -> f64 {
+    t as f64 * model.model_dim as f64 * model.act_bytes
+}
+
+/// K+V embedding bytes for a context of `t` new plus `p` cached tokens
+/// (Table 3): `2 * (P + T) * D * (N_KV / N_H) * e`.
+pub fn kv_bytes(model: &ModelSpec, t: usize, p: usize) -> f64 {
+    2.0 * (t + p) as f64
+        * model.model_dim as f64
+        * (model.n_kv_heads as f64 / model.n_heads as f64)
+        * model.act_bytes
+}
+
+/// GEMM (linear-layer) FLOPs for `t` tokens over the whole model:
+/// `2 * W * T` (Kaplan et al.; Appendix A).
+pub fn gemm_flops(model: &ModelSpec, t: usize) -> f64 {
+    2.0 * model.params * t as f64
+}
+
+/// Causal attention FLOPs for one layer: `t` new tokens against `p` cached
+/// plus themselves. Token `i` of the new block attends to `p + i + 1`
+/// positions at `4 * D` FLOPs per (query, key) pair, giving
+/// `4 * T * D * (P + (T+1)/2)`; for `p = 0` this is the Appendix A
+/// `(1/2) * 4 * T^2 * D` causal count, and for `t` small it approaches
+/// Table 3's `4 * T * D * (T + P)` partial-prefill bound.
+pub fn attn_flops_layer(model: &ModelSpec, t: usize, p: usize) -> f64 {
+    let t = t as f64;
+    let p = p as f64;
+    4.0 * t * model.model_dim as f64 * (p + (t + 1.0) / 2.0)
+}
+
+/// Causal attention FLOPs over all layers.
+pub fn attn_flops_total(model: &ModelSpec, t: usize, p: usize) -> f64 {
+    attn_flops_layer(model, t, p) * model.n_layers as f64
+}
+
+/// Total prefill FLOPs (GEMM + attention) for `t` new tokens against `p`
+/// cached tokens — the Appendix A accounting.
+pub fn prefill_flops(model: &ModelSpec, t: usize, p: usize) -> f64 {
+    gemm_flops(model, t) + attn_flops_total(model, t, p)
+}
+
+/// Per-GPU bytes of one ring **pass-KV** message: each GPU's CP group
+/// carries `N_KV / gpus_per_node` KV heads of `msg_tokens` tokens
+/// (K and V).
+pub fn kv_message_bytes(model: &ModelSpec, gpus_per_node: usize, msg_tokens: usize) -> f64 {
+    let heads_per_gpu = model.n_kv_heads as f64 / gpus_per_node as f64;
+    2.0 * msg_tokens as f64 * heads_per_gpu * model.head_dim as f64 * model.act_bytes
+}
+
+/// Per-GPU bytes of one ring **pass-Q** message: `N_H / gpus_per_node`
+/// query heads of `msg_tokens` tokens.
+pub fn q_message_bytes(model: &ModelSpec, gpus_per_node: usize, msg_tokens: usize) -> f64 {
+    let heads_per_gpu = model.n_heads as f64 / gpus_per_node as f64;
+    msg_tokens as f64 * heads_per_gpu * model.head_dim as f64 * model.act_bytes
+}
+
+/// Per-GPU bytes a rank contributes to the pass-Q `All2All`: partial
+/// outputs plus one LSE scalar per head for `msg_tokens` tokens to each of
+/// the `n - 1` peers (Appendix C's `(D + 1) * T * e` per head-share).
+pub fn all2all_bytes(
+    model: &ModelSpec,
+    gpus_per_node: usize,
+    n_ranks: usize,
+    msg_tokens: usize,
+) -> f64 {
+    let heads_per_gpu = model.n_heads as f64 / gpus_per_node as f64;
+    (n_ranks.saturating_sub(1)) as f64
+        * msg_tokens as f64
+        * heads_per_gpu
+        * (model.head_dim as f64 + 1.0)
+        * model.act_bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> ModelSpec {
+        ModelSpec::llama3_405b()
+    }
+
+    #[test]
+    fn table2_tp_vs_cp_ratio() {
+        // Total TP comm per block is 2*T*N_H*D_H vs CP's T*N_KV*D_H:
+        // for Llama3 405B the ratio is 2 * 128 / 8 = 32x.
+        let t = 4096;
+        let ratio = tp_comm_per_block_bytes(&m(), t) / cp_comm_per_block_bytes(&m(), t);
+        assert_eq!(ratio, 32.0);
+    }
+
+    #[test]
+    fn table3_q_vs_kv_bytes() {
+        // Full prefill (P=0): KV bytes = 2 * (N_KV/N_H) * Q bytes = Q/8.
+        let t = 1000;
+        assert_eq!(kv_bytes(&m(), t, 0), q_bytes(&m(), t) / 8.0);
+        // Equation 1: Q smaller than KV iff T/(T+P) <= 2 N_KV / N_H.
+        let p = 15 * t; // miss rate 1/16 < 1/8
+        assert!(q_bytes(&m(), t) < kv_bytes(&m(), t, p));
+        let p2 = 3 * t; // miss rate 1/4 > 1/8
+        assert!(q_bytes(&m(), t) > kv_bytes(&m(), t, p2));
+    }
+
+    #[test]
+    fn appendix_a_totals_for_1m() {
+        // GEMM = 2 * 405e9 * 1e6 = 8.1e17; ATTN = 0.5*4*T^2*D*L ~ 4.13e18.
+        let t = 1_000_000;
+        assert!((gemm_flops(&m(), t) - 8.1e17).abs() / 8.1e17 < 1e-9);
+        let attn = attn_flops_total(&m(), t, 0);
+        assert!((attn - 4.13e18).abs() / 4.13e18 < 0.01, "{attn:e}");
+        let total = prefill_flops(&m(), t, 0);
+        assert!((total - 4.9e18).abs() / 4.9e18 < 0.02, "{total:e}");
+    }
+
+    #[test]
+    fn attn_flops_partial_matches_incremental_sum() {
+        // The closed form equals summing per-token causal costs.
+        let model = m();
+        let (t, p) = (7, 13);
+        let d = model.model_dim as f64;
+        let expected: f64 = (0..t).map(|i| 4.0 * d * (p + i + 1) as f64).sum();
+        assert!((attn_flops_layer(&model, t, p) - expected).abs() < 1e-3);
+    }
+
+    #[test]
+    fn message_sizes_match_table5_config() {
+        // CP4, T=3200, P=124800: per-GPU pass-KV message of 32000 tokens
+        // (one KV head) = 16.4 MB; pass-Q message of 800 tokens (16 heads)
+        // = 3.3 MB.
+        let model = m();
+        assert_eq!(
+            kv_message_bytes(&model, 8, 32000),
+            2.0 * 32000.0 * 128.0 * 2.0
+        );
+        assert_eq!(q_message_bytes(&model, 8, 800), 800.0 * 16.0 * 128.0 * 2.0);
+        // All2All: 3 peers * 800 tokens * 16 heads * 129 * 2 B ~ 9.9 MB.
+        let a2a = all2all_bytes(&model, 8, 4, 800);
+        assert!((a2a - 3.0 * 800.0 * 16.0 * 129.0 * 2.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_token_costs_are_zero() {
+        let model = m();
+        assert_eq!(gemm_flops(&model, 0), 0.0);
+        assert_eq!(attn_flops_layer(&model, 0, 100), 0.0);
+        assert_eq!(q_message_bytes(&model, 8, 0), 0.0);
+        assert_eq!(all2all_bytes(&model, 8, 1, 100), 0.0); // single rank: no peers
+    }
+}

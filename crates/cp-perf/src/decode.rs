@@ -1,0 +1,188 @@
+//! Context-parallel decode (TTIT) model — batched ring pass-Q decode
+//! (§3.6, Tables 6–8).
+//!
+//! Decode kernels are tiny, so unlike prefill nothing overlaps: the pass-Q
+//! decode time is the *sum* of `N` attention ops, `N-1` Q SendRecvs and the
+//! final All2All — which is why Table 8's "whole pass-Q" grows with CP size
+//! even as each individual attention op shrinks, and why the paper
+//! concludes CP is best deployed with prefill/decode disaggregation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::tp::decode_attn_op_s;
+use crate::{cost, HardwareSpec, ModelSpec};
+
+/// Decode attention decomposition for one layer (Table 8's rows).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecodeAttnBreakdown {
+    /// Context seen by each rank's attention kernel (`ctx / N`).
+    pub effective_ctx: usize,
+    /// One attention op, µs.
+    pub attn_op_us: f64,
+    /// All `N` attention iterations of the ring loop, µs.
+    pub attn_loop_us: f64,
+    /// All `N-1` Q SendRecvs, µs.
+    pub sendrecv_us: f64,
+    /// The final All2All of partial outputs, µs.
+    pub all2all_us: f64,
+    /// Whole pass-Q attention time, µs.
+    pub whole_us: f64,
+}
+
+/// Per-layer decode attention breakdown for CP over `n_nodes` nodes with
+/// `batch` sequences of `ctx` total context each.
+pub fn cp_decode_attn(
+    model: &ModelSpec,
+    hw: &HardwareSpec,
+    n_nodes: usize,
+    ctx: usize,
+    batch: usize,
+) -> DecodeAttnBreakdown {
+    let n = n_nodes.max(1);
+    let effective_ctx = ctx / n;
+    // Queries are padded to a multiple of N (§4.3's noted decode overhead).
+    let slots_per_rank = batch.div_ceil(n).max(1);
+    let attn_op_us = decode_attn_op_s(model, hw, effective_ctx, slots_per_rank) * 1e6;
+    if n == 1 {
+        return DecodeAttnBreakdown {
+            effective_ctx,
+            attn_op_us,
+            attn_loop_us: attn_op_us,
+            sendrecv_us: 0.0,
+            all2all_us: 0.0,
+            whole_us: attn_op_us,
+        };
+    }
+    let q_bytes = cost::q_message_bytes(model, hw.gpus_per_node, slots_per_rank);
+    let sendrecv_us = (n - 1) as f64 * hw.inter_node_time_s(q_bytes) * 1e6;
+    let a2a_bytes = cost::all2all_bytes(model, hw.gpus_per_node, n, slots_per_rank);
+    // Latency-dominated at decode sizes; two network traversals
+    // (scatter + the permuted gather of Algorithm 4).
+    let all2all_us = (2.0 * hw.net_latency_us * 1e-6 + a2a_bytes / (hw.inter_bw_gbs * 1e9)) * 1e6;
+    let attn_loop_us = n as f64 * attn_op_us;
+    DecodeAttnBreakdown {
+        effective_ctx,
+        attn_op_us,
+        attn_loop_us,
+        sendrecv_us,
+        all2all_us,
+        whole_us: attn_loop_us + sendrecv_us + all2all_us,
+    }
+}
+
+/// TTIT of context-parallel decode: per layer, weight-read-bound linears
+/// (weights are TP8-replicated per node), two intra-node AllReduces, and
+/// the whole pass-Q attention from [`cp_decode_attn`].
+pub fn cp_ttit_s(
+    model: &ModelSpec,
+    hw: &HardwareSpec,
+    n_nodes: usize,
+    ctx: usize,
+    batch: usize,
+) -> f64 {
+    let layers = model.n_layers as f64;
+    let linear_s =
+        model.weight_total_bytes() / layers / hw.gpus_per_node as f64 / (hw.hbm_bw_gbs * 1e9);
+    let ar_s = 2.0 * hw.ar_small_s(1);
+    let attn = cp_decode_attn(model, hw, n_nodes, ctx, batch);
+    layers * (linear_s + ar_s + attn.whole_us * 1e-6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> ModelSpec {
+        ModelSpec::llama3_405b()
+    }
+
+    fn within(actual: f64, expected: f64, tol: f64) -> bool {
+        (actual - expected).abs() / expected <= tol
+    }
+
+    #[test]
+    fn matches_table8_128k_batch1() {
+        let hw = HardwareSpec::gtt();
+        // TP8 column == CP1.
+        let cp1 = cp_decode_attn(&m(), &hw, 1, 128_000, 1);
+        assert_eq!(cp1.effective_ctx, 128_000);
+        assert!(within(cp1.whole_us, 38.9, 0.25), "{}", cp1.whole_us);
+
+        // CP2: attn op 22.0, loop 43.2, SendRecv 32.3, All2All 81.1,
+        // whole 157.7.
+        let cp2 = cp_decode_attn(&m(), &hw, 2, 128_000, 1);
+        assert_eq!(cp2.effective_ctx, 64_000);
+        assert!(within(cp2.attn_op_us, 22.0, 0.25), "{}", cp2.attn_op_us);
+        assert!(within(cp2.sendrecv_us, 32.3, 0.25), "{}", cp2.sendrecv_us);
+        assert!(within(cp2.all2all_us, 81.1, 0.25), "{}", cp2.all2all_us);
+        assert!(within(cp2.whole_us, 157.7, 0.25), "{}", cp2.whole_us);
+
+        // CP4: whole 238.6, SendRecv 105.7.
+        let cp4 = cp_decode_attn(&m(), &hw, 4, 128_000, 1);
+        assert!(within(cp4.sendrecv_us, 105.7, 0.25), "{}", cp4.sendrecv_us);
+        assert!(within(cp4.whole_us, 238.6, 0.25), "{}", cp4.whole_us);
+    }
+
+    #[test]
+    fn table8_shape_attn_shrinks_whole_grows() {
+        let hw = HardwareSpec::gtt();
+        for (ctx, batch) in [(128_000, 1), (32_000, 4)] {
+            let ops: Vec<f64> = [1, 2, 4]
+                .iter()
+                .map(|&n| cp_decode_attn(&m(), &hw, n, ctx, batch).attn_op_us)
+                .collect();
+            assert!(ops[0] > ops[1] && ops[1] > ops[2], "{ops:?}");
+            let whole: Vec<f64> = [2, 4]
+                .iter()
+                .map(|&n| cp_decode_attn(&m(), &hw, n, ctx, batch).whole_us)
+                .collect();
+            // Whole pass-Q time grows with CP size despite faster attention.
+            assert!(whole[1] > whole[0], "{whole:?}");
+            assert!(whole[0] > cp_decode_attn(&m(), &hw, 1, ctx, batch).whole_us);
+        }
+    }
+
+    #[test]
+    fn matches_table6_and_7_cp_ttit() {
+        let hw = HardwareSpec::gtt();
+        // Table 6: CP2 TTIT ~65.6-66.6ms across contexts.
+        for ctx in [8_000usize, 32_000, 128_000] {
+            let got = cp_ttit_s(&m(), &hw, 2, ctx, 1) * 1e3;
+            assert!(within(got, 65.6, 0.15), "ctx={ctx}: {got:.1}");
+        }
+        // Table 7: CP4 71.31ms at 128K.
+        let cp4 = cp_ttit_s(&m(), &hw, 4, 128_000, 1) * 1e3;
+        assert!(within(cp4, 71.31, 0.12), "{cp4:.1}");
+    }
+
+    #[test]
+    fn cp_decode_is_slower_than_tp8_decode() {
+        // §4.3's conclusion: scaling CP hurts TTIT; TP8 decode on one node
+        // beats CP2/CP4 decode.
+        let hw = HardwareSpec::gtt();
+        let tp8 = crate::tp::tp_ttit_s(&m(), &hw, 1, 128_000, 1);
+        let cp2 = cp_ttit_s(&m(), &hw, 2, 128_000, 1);
+        let cp4 = cp_ttit_s(&m(), &hw, 4, 128_000, 1);
+        assert!(tp8 < cp2 && cp2 < cp4);
+    }
+
+    #[test]
+    fn batch_padding_wastes_slots_for_small_batches() {
+        let hw = HardwareSpec::gtt();
+        // Batch 1 on CP4 still processes one slot per rank (4 padded
+        // queries total), so the attention op cost does not shrink
+        // below the one-slot cost.
+        let b1 = cp_decode_attn(&m(), &hw, 4, 128_000, 1);
+        let b4 = cp_decode_attn(&m(), &hw, 4, 128_000, 4);
+        assert_eq!(b1.attn_op_us, b4.attn_op_us);
+    }
+
+    #[test]
+    fn single_node_has_no_comm() {
+        let hw = HardwareSpec::gtt();
+        let b = cp_decode_attn(&m(), &hw, 1, 64_000, 2);
+        assert_eq!(b.sendrecv_us, 0.0);
+        assert_eq!(b.all2all_us, 0.0);
+        assert_eq!(b.whole_us, b.attn_loop_us);
+    }
+}

@@ -1,0 +1,214 @@
+//! Discrete-event simulation of the ring-attention pipeline.
+//!
+//! The closed-form ring makespan used by [`crate::prefill`] assumes every
+//! rank's per-iteration attention time is identical. This module simulates
+//! the actual dependency structure — each rank has a *compute stream* and a
+//! *communication stream*; block `j`'s compute can start only once the
+//! block has been forwarded `j` hops around the ring — so we can (a) verify
+//! the closed form for uniform stage times and (b) quantify the straggler
+//! effect of *imbalanced* sharding, the ablation motivating §3.5.1.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of simulating one ring loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RingSimResult {
+    /// Time at which each rank finishes its last partial attention, µs.
+    pub rank_finish_us: Vec<f64>,
+    /// Pipeline makespan: `max(rank_finish_us)`, µs.
+    pub makespan_us: f64,
+    /// Per-rank total busy compute time, µs (makespan minus this is the
+    /// rank's idle/exposed time).
+    pub busy_us: Vec<f64>,
+}
+
+impl RingSimResult {
+    /// Worst-rank idle time: makespan minus that rank's busy compute, µs.
+    pub fn max_idle_us(&self) -> f64 {
+        self.busy_us
+            .iter()
+            .map(|b| self.makespan_us - b)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Simulates a ring loop of `N = attn_us.len()` ranks.
+///
+/// `attn_us[k][j]` is rank `k`'s compute time for its `j`-th ring
+/// iteration (the block originating at rank `(k - j) mod N`);
+/// `sendrecv_us` is the transfer time of one hop. Semantics follow
+/// Algorithm 2: at iteration `j` a rank forwards the block it just used
+/// while computing on it, so block arrival at rank `k` for iteration `j`
+/// depends on the predecessor having *received* (not computed) it.
+///
+/// # Panics
+///
+/// Panics if `attn_us` is empty or rows have unequal lengths ≠ `N`.
+pub fn simulate_ring(attn_us: &[Vec<f64>], sendrecv_us: f64) -> RingSimResult {
+    let n = attn_us.len();
+    assert!(n > 0, "ring needs at least one rank");
+    for row in attn_us {
+        assert_eq!(row.len(), n, "each rank must run exactly N iterations");
+    }
+
+    // arrival[k][j]: when the data for rank k's iteration j is available.
+    // send_done[k][j]: when rank k finishes forwarding that same block.
+    let mut arrival = vec![vec![0.0f64; n]; n];
+    let mut send_done = vec![vec![0.0f64; n]; n];
+    // Iteration 0 uses the local block: available at t = 0.
+    // Forwarding is serialized on each rank's comm stream.
+    for j in 1..n {
+        for k in 0..n {
+            let prev = (k + n - 1) % n;
+            // The predecessor forwards the block it received at its
+            // iteration j-1 once its comm stream is free.
+            let ready = arrival[prev][j - 1];
+            let stream_free = if j >= 2 { send_done[prev][j - 2] } else { 0.0 };
+            send_done[prev][j - 1] = ready.max(stream_free) + sendrecv_us;
+            arrival[k][j] = send_done[prev][j - 1];
+        }
+    }
+
+    let mut rank_finish_us = Vec::with_capacity(n);
+    let mut busy_us = Vec::with_capacity(n);
+    for k in 0..n {
+        let mut t = 0.0f64;
+        let mut busy = 0.0f64;
+        for j in 0..n {
+            t = t.max(arrival[k][j]) + attn_us[k][j];
+            busy += attn_us[k][j];
+        }
+        rank_finish_us.push(t);
+        busy_us.push(busy);
+    }
+    let makespan_us = rank_finish_us.iter().copied().fold(0.0, f64::max);
+    RingSimResult {
+        rank_finish_us,
+        makespan_us,
+        busy_us,
+    }
+}
+
+/// The closed-form makespan for uniform stage times:
+/// `N * attn + (N-1) * max(0, sendrecv - attn)`.
+pub fn closed_form_uniform_us(n: usize, attn_us: f64, sendrecv_us: f64) -> f64 {
+    n as f64 * attn_us + (n.saturating_sub(1)) as f64 * (sendrecv_us - attn_us).max(0.0)
+}
+
+/// Builds the per-(rank, iteration) attention-time matrix implied by a
+/// *sharding profile*: `work[k]` is the relative causal work rank `k` owns
+/// (e.g. from `cp_sharding::ShardPlan::causal_pairs_for` or its naive
+/// counterpart). Iteration times are `work[k] / N` scaled so the *total*
+/// work matches `n * n * attn_iter_us` — i.e. the same FLOPs as a balanced
+/// ring whose per-iteration time is `attn_iter_us`.
+pub fn attn_matrix_from_profile(work: &[u128], attn_iter_us: f64) -> Vec<Vec<f64>> {
+    let n = work.len();
+    let total: f64 = work.iter().map(|&w| w as f64).sum();
+    if total == 0.0 {
+        return vec![vec![0.0; n]; n];
+    }
+    let scale = n as f64 * n as f64 * attn_iter_us / total;
+    work.iter()
+        .map(|&w| vec![w as f64 * scale / n as f64; n])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(n: usize, attn: f64) -> Vec<Vec<f64>> {
+        vec![vec![attn; n]; n]
+    }
+
+    #[test]
+    fn matches_closed_form_when_compute_bound() {
+        // sendrecv < attn: fully hidden, makespan = N * attn.
+        let r = simulate_ring(&uniform(4, 100.0), 60.0);
+        assert!((r.makespan_us - closed_form_uniform_us(4, 100.0, 60.0)).abs() < 1e-9);
+        assert!((r.makespan_us - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matches_closed_form_when_comm_bound() {
+        // sendrecv > attn: exposed communication each hop.
+        let r = simulate_ring(&uniform(4, 50.0), 120.0);
+        let expected = closed_form_uniform_us(4, 50.0, 120.0); // 200 + 3*70
+        assert!((r.makespan_us - expected).abs() < 1e-9, "{}", r.makespan_us);
+    }
+
+    #[test]
+    fn boundary_case_equal_times() {
+        let r = simulate_ring(&uniform(8, 75.0), 75.0);
+        assert!((r.makespan_us - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_rank_is_just_compute() {
+        let r = simulate_ring(&uniform(1, 42.0), 999.0);
+        assert_eq!(r.makespan_us, 42.0);
+        assert_eq!(r.max_idle_us(), 0.0);
+    }
+
+    #[test]
+    fn zero_comm_reduces_to_max_rank_work() {
+        let attn = vec![vec![10.0, 20.0], vec![5.0, 5.0]];
+        let r = simulate_ring(&attn, 0.0);
+        assert_eq!(r.makespan_us, 30.0);
+        assert_eq!(r.busy_us, vec![30.0, 10.0]);
+        assert_eq!(r.max_idle_us(), 20.0);
+    }
+
+    #[test]
+    fn straggler_inflates_makespan_beyond_balanced() {
+        // Same total work, one slow rank: the ring waits for it.
+        let n = 4;
+        let balanced = simulate_ring(&uniform(n, 100.0), 10.0);
+        let mut skewed = uniform(n, 75.0);
+        skewed[2] = vec![175.0; n]; // total work unchanged: 3*75+175 = 400
+        let strag = simulate_ring(&skewed, 10.0);
+        assert!(strag.makespan_us > 1.6 * balanced.makespan_us);
+    }
+
+    #[test]
+    fn naive_sharding_profile_is_slower_than_balanced() {
+        // The §3.5.1 ablation in simulator form: causal work of naive
+        // contiguous shards [1, 3, 5, 7] (quadratic triangle) vs the
+        // balanced profile [4, 4, 4, 4].
+        let attn_iter = 100.0;
+        let balanced = attn_matrix_from_profile(&[4, 4, 4, 4], attn_iter);
+        let naive = attn_matrix_from_profile(&[1, 3, 5, 7], attn_iter);
+        let b = simulate_ring(&balanced, 20.0);
+        let s = simulate_ring(&naive, 20.0);
+        assert!((b.makespan_us - 400.0).abs() < 1e-6);
+        // The rank with 7/4 of the mean work sets the pace: ~1.75x.
+        assert!(s.makespan_us > 1.6 * b.makespan_us, "{}", s.makespan_us);
+        assert!(s.max_idle_us() > b.max_idle_us());
+    }
+
+    #[test]
+    fn profile_matrix_preserves_total_work() {
+        let m = attn_matrix_from_profile(&[1, 3, 5, 7], 100.0);
+        let total: f64 = m.iter().flatten().sum();
+        assert!((total - 4.0 * 4.0 * 100.0).abs() < 1e-6);
+        let zero = attn_matrix_from_profile(&[0, 0], 100.0);
+        assert!(zero.iter().flatten().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn makespan_monotone_in_sendrecv() {
+        let attn = uniform(4, 50.0);
+        let mut last = 0.0;
+        for sr in [0.0, 25.0, 50.0, 75.0, 150.0] {
+            let r = simulate_ring(&attn, sr);
+            assert!(r.makespan_us >= last);
+            last = r.makespan_us;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly N iterations")]
+    fn ragged_matrix_panics() {
+        simulate_ring(&[vec![1.0, 2.0], vec![1.0]], 0.0);
+    }
+}

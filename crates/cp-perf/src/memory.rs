@@ -1,0 +1,163 @@
+//! HBM capacity model: how much context fits, and how CP's KV
+//! distribution extends it (the paper's third motivation — "KV cache
+//! distribution ... enabling larger batch sizes with the addition of more
+//! CP ranks").
+
+use serde::{Deserialize, Serialize};
+
+use crate::{HardwareSpec, ModelSpec};
+
+/// Per-GPU memory budget decomposition for a CP(+TP8) deployment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryBudget {
+    /// CP nodes.
+    pub n_nodes: usize,
+    /// Weight bytes resident per GPU (TP-sharded within the node,
+    /// replicated across CP nodes).
+    pub weights_per_gpu: f64,
+    /// KV-cache bytes per token per GPU (this GPU's share of the heads
+    /// and, across CP ranks, of the sequence).
+    pub kv_per_token_per_gpu: f64,
+    /// Bytes reserved for activations / fragmentation / runtime.
+    pub reserve_per_gpu: f64,
+    /// Bytes left for KV cache per GPU.
+    pub kv_budget_per_gpu: f64,
+    /// Maximum total cached tokens (context × batch) the deployment holds.
+    pub max_cached_tokens: usize,
+}
+
+/// Fraction of HBM held back for activations, CUDA graphs, fragmentation.
+pub const DEFAULT_RESERVE_FRAC: f64 = 0.10;
+
+/// Computes the memory budget of a CP deployment over `n_nodes` nodes of
+/// `hw.gpus_per_node` GPUs with TP within each node.
+///
+/// KV per token per GPU is `2 * (N_KV / G) * D_H * e * L / N`: the GPU
+/// stores its TP share of the heads for its CP rank's `1/N` of the
+/// tokens.
+pub fn memory_budget(model: &ModelSpec, hw: &HardwareSpec, n_nodes: usize) -> MemoryBudget {
+    let n = n_nodes.max(1);
+    let g = hw.gpus_per_node as f64;
+    let weights_per_gpu = model.weight_total_bytes() / g;
+    let hbm = hw.hbm_capacity_gb * 1e9;
+    let reserve_per_gpu = hbm * DEFAULT_RESERVE_FRAC;
+    let kv_budget_per_gpu = (hbm - weights_per_gpu - reserve_per_gpu).max(0.0);
+    // Per cached token, each GPU holds its head share; the token itself
+    // lands on one CP rank, so per-GPU-per-token cost *for tokens this
+    // rank holds* is kv_bytes_per_token / G. Across the deployment, the
+    // total KV capacity is what matters:
+    let kv_per_token_per_gpu = model.kv_bytes_per_token() / g;
+    let per_rank_tokens = if kv_per_token_per_gpu > 0.0 {
+        kv_budget_per_gpu / kv_per_token_per_gpu
+    } else {
+        0.0
+    };
+    MemoryBudget {
+        n_nodes: n,
+        weights_per_gpu,
+        kv_per_token_per_gpu,
+        reserve_per_gpu,
+        kv_budget_per_gpu,
+        max_cached_tokens: (per_rank_tokens * n as f64) as usize,
+    }
+}
+
+/// Maximum single-sequence context length servable at the given batch
+/// size (tokens are spread evenly over CP ranks by load-balanced
+/// sharding, so capacity divides by batch).
+pub fn max_context(model: &ModelSpec, hw: &HardwareSpec, n_nodes: usize, batch: usize) -> usize {
+    memory_budget(model, hw, n_nodes).max_cached_tokens / batch.max(1)
+}
+
+/// Minimum CP nodes needed to hold `context * batch` cached tokens.
+pub fn min_nodes_for(model: &ModelSpec, hw: &HardwareSpec, context: usize, batch: usize) -> usize {
+    let per_node = memory_budget(model, hw, 1).max_cached_tokens.max(1);
+    (context * batch.max(1)).div_ceil(per_node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> ModelSpec {
+        ModelSpec::llama3_405b()
+    }
+
+    #[test]
+    fn weights_dominate_single_gpu_budget() {
+        // FP8 405B over 8 GPUs: ~50.6 GB weights of 96 GB HBM.
+        let b = memory_budget(&m(), &HardwareSpec::gtt(), 1);
+        assert!(
+            (b.weights_per_gpu - 50.6e9).abs() < 1e9,
+            "{}",
+            b.weights_per_gpu
+        );
+        assert!(b.kv_budget_per_gpu > 30e9 && b.kv_budget_per_gpu < 40e9);
+    }
+
+    #[test]
+    fn kv_cost_per_token() {
+        // 2 * 8 heads * 128 * 2B * 126 layers / 8 GPUs = 64.5 KB per
+        // token per GPU.
+        let b = memory_budget(&m(), &HardwareSpec::gtt(), 1);
+        assert!((b.kv_per_token_per_gpu - 64_512.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn capacity_scales_linearly_with_nodes() {
+        let hw = HardwareSpec::gtt();
+        let c1 = memory_budget(&m(), &hw, 1).max_cached_tokens;
+        let c4 = memory_budget(&m(), &hw, 4).max_cached_tokens;
+        let c16 = memory_budget(&m(), &hw, 16).max_cached_tokens;
+        assert!(
+            (c4 as i64 - 4 * c1 as i64).unsigned_abs() < 8,
+            "{c4} vs {}",
+            4 * c1
+        );
+        assert!(
+            (c16 as i64 - 16 * c1 as i64).unsigned_abs() < 32,
+            "{c16} vs {}",
+            16 * c1
+        );
+        // One node holds roughly half a million tokens of KV.
+        assert!(c1 > 400_000 && c1 < 700_000, "{c1}");
+    }
+
+    #[test]
+    fn million_token_context_fits_on_paper_configs() {
+        // The paper runs 1M contexts on 8 and 16 nodes — both must fit,
+        // with capacity to spare on 16.
+        let hw = HardwareSpec::gtt();
+        assert!(max_context(&m(), &hw, 8, 1) >= 1_000_000);
+        assert!(max_context(&m(), &hw, 16, 2) >= 1_000_000);
+        // Two nodes is the memory floor for 1M (latency wants more).
+        let need = min_nodes_for(&m(), &hw, 1_000_000, 1);
+        assert!(need <= 2, "{need}");
+        assert!(min_nodes_for(&m(), &hw, 1_000_000, 8) >= 8);
+    }
+
+    #[test]
+    fn batch_divides_context() {
+        let hw = HardwareSpec::gtt();
+        let c_b1 = max_context(&m(), &hw, 4, 1);
+        let c_b4 = max_context(&m(), &hw, 4, 4);
+        assert_eq!(c_b1 / 4, c_b4);
+    }
+
+    #[test]
+    fn hbm3_has_less_kv_room_than_gtt() {
+        // 80 GB HBM3 vs 96 GB HBM2e: less capacity despite more bandwidth
+        // (the trade-off §4.1 notes about the power-limited fleet).
+        let gtt = memory_budget(&m(), &HardwareSpec::gtt(), 1);
+        let hbm3 = memory_budget(&m(), &HardwareSpec::h100_hbm3(), 1);
+        assert!(hbm3.kv_budget_per_gpu < gtt.kv_budget_per_gpu);
+    }
+
+    #[test]
+    fn small_model_leaves_more_room() {
+        let hw = HardwareSpec::gtt();
+        let big = memory_budget(&m(), &hw, 1).max_cached_tokens;
+        let small = memory_budget(&ModelSpec::llama3_8b(), &hw, 1).max_cached_tokens;
+        assert!(small > 4 * big);
+    }
+}

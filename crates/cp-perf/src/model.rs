@@ -1,0 +1,164 @@
+//! Model architecture constants (paper Table 9 and Llama3 herd configs).
+
+use serde::{Deserialize, Serialize};
+
+/// Architecture constants of a dense GQA transformer, as the performance
+/// model needs them.
+///
+/// `act_bytes` is the element size of activations/KV on the wire and in the
+/// KV cache (BF16 = 2 in the paper's serving setup); `weight_bytes` is the
+/// stored weight precision (row-wise FP8 = 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// Number of transformer layers.
+    pub n_layers: usize,
+    /// Model (hidden) dimension `D`.
+    pub model_dim: usize,
+    /// FFN intermediate dimension.
+    pub ffn_dim: usize,
+    /// Query heads `N_H`.
+    pub n_heads: usize,
+    /// Key/value heads `N_KV`.
+    pub n_kv_heads: usize,
+    /// Per-head dimension `D_H`.
+    pub head_dim: usize,
+    /// Total parameter count `W`.
+    pub params: f64,
+    /// Bytes per activation / KV element (`e` in the paper).
+    pub act_bytes: f64,
+    /// Bytes per stored weight element.
+    pub weight_bytes: f64,
+}
+
+impl ModelSpec {
+    /// Llama3 405B exactly as in Table 9: 126 layers, D = 16384,
+    /// `N_H` = 128, `N_KV` = 8, FP8 weights, BF16 activations.
+    pub fn llama3_405b() -> Self {
+        ModelSpec {
+            name: "llama3-405b".to_string(),
+            n_layers: 126,
+            model_dim: 16_384,
+            ffn_dim: 53_248,
+            n_heads: 128,
+            n_kv_heads: 8,
+            head_dim: 128,
+            params: 405e9,
+            act_bytes: 2.0,
+            weight_bytes: 1.0,
+        }
+    }
+
+    /// Llama3 70B (for scale-sensitivity experiments).
+    pub fn llama3_70b() -> Self {
+        ModelSpec {
+            name: "llama3-70b".to_string(),
+            n_layers: 80,
+            model_dim: 8_192,
+            ffn_dim: 28_672,
+            n_heads: 64,
+            n_kv_heads: 8,
+            head_dim: 128,
+            params: 70e9,
+            act_bytes: 2.0,
+            weight_bytes: 1.0,
+        }
+    }
+
+    /// Llama3 8B (for scale-sensitivity experiments).
+    pub fn llama3_8b() -> Self {
+        ModelSpec {
+            name: "llama3-8b".to_string(),
+            n_layers: 32,
+            model_dim: 4_096,
+            ffn_dim: 14_336,
+            n_heads: 32,
+            n_kv_heads: 8,
+            head_dim: 128,
+            params: 8e9,
+            act_bytes: 2.0,
+            weight_bytes: 1.0,
+        }
+    }
+
+    /// Queries per KV head (`N_H / N_KV`) — 16 for Llama3 405B, the factor
+    /// that makes pass-KV messages 16x smaller than pass-Q for full
+    /// prefill.
+    pub fn group_size(&self) -> usize {
+        self.n_heads / self.n_kv_heads
+    }
+
+    /// The KV-cache miss-rate threshold `2 * N_KV / N_H` of Equation 1:
+    /// below it, Q embeddings are smaller than KV embeddings.
+    pub fn pass_q_miss_threshold(&self) -> f64 {
+        2.0 * self.n_kv_heads as f64 / self.n_heads as f64
+    }
+
+    /// KV-cache bytes per token per layer: `2 * N_KV * D_H * e`.
+    pub fn kv_bytes_per_token_layer(&self) -> f64 {
+        2.0 * (self.n_kv_heads * self.head_dim) as f64 * self.act_bytes
+    }
+
+    /// KV-cache bytes per token over all layers.
+    pub fn kv_bytes_per_token(&self) -> f64 {
+        self.kv_bytes_per_token_layer() * self.n_layers as f64
+    }
+
+    /// Total weight bytes.
+    pub fn weight_total_bytes(&self) -> f64 {
+        self.params * self.weight_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table9_constants() {
+        let m = ModelSpec::llama3_405b();
+        assert_eq!(m.n_layers, 126);
+        assert_eq!(m.model_dim, 16_384);
+        assert_eq!(m.ffn_dim, 53_248);
+        assert_eq!(m.n_heads, 128);
+        assert_eq!(m.n_kv_heads, 8);
+        // D = N_H * D_H must be consistent.
+        assert_eq!(m.n_heads * m.head_dim, m.model_dim);
+        assert_eq!(m.group_size(), 16);
+    }
+
+    #[test]
+    fn pass_q_threshold_is_12_5_percent_for_405b() {
+        // Section 4.2.4: "when the KV cache miss rate exceeds 12.5%
+        // (= 2 * N_KV / N_H), pass-KV is always selected".
+        let m = ModelSpec::llama3_405b();
+        assert!((m.pass_q_miss_threshold() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kv_bytes_per_token() {
+        let m = ModelSpec::llama3_405b();
+        // 2 * 8 heads * 128 dim * 2 bytes = 4096 B per token per layer.
+        assert_eq!(m.kv_bytes_per_token_layer(), 4096.0);
+        // ~516 KB per token across 126 layers: 1M tokens ~ 516 GB of KV,
+        // which is why the paper needs multi-node KV distribution.
+        assert_eq!(m.kv_bytes_per_token(), 4096.0 * 126.0);
+    }
+
+    #[test]
+    fn other_presets_are_consistent() {
+        for m in [ModelSpec::llama3_70b(), ModelSpec::llama3_8b()] {
+            assert_eq!(m.n_heads * m.head_dim, m.model_dim, "{}", m.name);
+            assert!(m.group_size() >= 1);
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = ModelSpec::llama3_405b();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: ModelSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

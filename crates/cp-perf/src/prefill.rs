@@ -1,0 +1,344 @@
+//! Context-parallel prefill latency model (TTFT) with ring overlap.
+//!
+//! Per transformer layer, a CP rank runs:
+//!
+//! 1. the TP8-sharded linear layers on its `T/N` tokens (two intra-node
+//!    AllReduces),
+//! 2. the ring loop: `N` partial attention computes, overlapped with `N-1`
+//!    SendRecv transfers of KV (pass-KV) or Q (pass-Q) messages,
+//! 3. for pass-Q, a final `All2All` returning partial outputs to their
+//!    source ranks (exposed on the critical path — Appendix C).
+//!
+//! The ring-loop makespan uses the classic pipeline bound
+//! `N*attn + (N-1)*max(0, sendrecv - attn)`, which the discrete-event
+//! simulator in [`crate::event`] reproduces exactly for uniform stage
+//! times.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{cost, HardwareSpec, ModelSpec};
+
+/// Which embedding circulates in the ring (§3.4–3.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RingVariant {
+    /// Keys and values circulate; queries stay put (Algorithm 2).
+    PassKv,
+    /// Queries circulate; keys/values stay put, partial outputs return via
+    /// All2All (Algorithm 3).
+    PassQ,
+}
+
+impl std::fmt::Display for RingVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RingVariant::PassKv => write!(f, "pass-KV"),
+            RingVariant::PassQ => write!(f, "pass-Q"),
+        }
+    }
+}
+
+/// Per-ring-iteration costs, the quantities Table 5 reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RingIterCosts {
+    /// One SendRecv of the circulating message, µs (per iteration).
+    pub sendrecv_us: f64,
+    /// One partial-attention compute, µs (per iteration, per GPU).
+    pub attn_us: f64,
+    /// The pass-Q All2All at the end of the loop, µs (0 for pass-KV).
+    pub all2all_us: f64,
+}
+
+/// TTFT decomposition of one context-parallel prefill.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrefillBreakdown {
+    /// CP nodes.
+    pub n_nodes: usize,
+    /// New tokens `T`.
+    pub t: usize,
+    /// Cached tokens `P`.
+    pub p: usize,
+    /// Ring variant used.
+    pub variant: RingVariant,
+    /// Linear-layer (GEMM) seconds, summed over layers.
+    pub gemm_s: f64,
+    /// Attention compute seconds, summed over layers and ring iterations.
+    pub attn_s: f64,
+    /// Communication seconds *exposed* on the critical path (SendRecv not
+    /// hidden under attention, plus the pass-Q All2All).
+    pub exposed_comm_s: f64,
+    /// Intra-node tensor-parallel AllReduce seconds.
+    pub allreduce_s: f64,
+    /// Fixed overheads (per-iteration ramp/tail + per-request serving).
+    pub overhead_s: f64,
+    /// End-to-end TTFT in seconds.
+    pub total_s: f64,
+    /// The per-iteration costs behind the totals (Table 5's columns).
+    pub iter: RingIterCosts,
+}
+
+impl PrefillBreakdown {
+    /// TTFT in milliseconds (the unit of Tables 4, 6, 7).
+    pub fn ttft_ms(&self) -> f64 {
+        self.total_s * 1e3
+    }
+}
+
+/// Per-iteration ring costs for a CP prefill of `t` new tokens against `p`
+/// cached tokens over `n_nodes` nodes.
+pub fn ring_iter_costs(
+    model: &ModelSpec,
+    hw: &HardwareSpec,
+    n_nodes: usize,
+    t: usize,
+    p: usize,
+    variant: RingVariant,
+) -> RingIterCosts {
+    let n = n_nodes.max(1);
+    let g = hw.gpus_per_node;
+    let t_rank = t.div_ceil(n);
+    let p_rank = p.div_ceil(n);
+
+    // Per-GPU attention compute of one ring iteration: the layer's causal
+    // FLOPs divided by N ranks, N iterations and G GPUs.
+    let attn_us =
+        cost::attn_flops_layer(model, t, p) / (n * n * g) as f64 / (hw.attn_tflops * 1e12) * 1e6;
+
+    if n == 1 {
+        return RingIterCosts {
+            sendrecv_us: 0.0,
+            attn_us,
+            all2all_us: 0.0,
+        };
+    }
+
+    let (sendrecv_us, all2all_us) = match variant {
+        RingVariant::PassKv => {
+            // §3.5.2: messages are padded to max_i(P_i) + ceil(T/N) tokens.
+            let msg_tokens = p_rank + t_rank;
+            let bytes = cost::kv_message_bytes(model, g, msg_tokens);
+            (hw.inter_node_time_s(bytes) * 1e6, 0.0)
+        }
+        RingVariant::PassQ => {
+            let bytes = cost::q_message_bytes(model, g, t_rank);
+            let a2a = cost::all2all_bytes(model, g, n, t_rank);
+            (
+                hw.inter_node_time_s(bytes) * 1e6,
+                hw.inter_node_time_s(a2a) * 1e6,
+            )
+        }
+    };
+    RingIterCosts {
+        sendrecv_us,
+        attn_us,
+        all2all_us,
+    }
+}
+
+/// Full TTFT model for a context-parallel prefill (full prefill when
+/// `p == 0`, persistent-KV partial prefill otherwise).
+pub fn cp_prefill(
+    model: &ModelSpec,
+    hw: &HardwareSpec,
+    n_nodes: usize,
+    t: usize,
+    p: usize,
+    variant: RingVariant,
+) -> PrefillBreakdown {
+    let n = n_nodes.max(1);
+    let g = hw.gpus_per_node;
+    let layers = model.n_layers as f64;
+    let t_rank = t.div_ceil(n);
+
+    // Linear layers: compute-bound on large T, weight-read-bound on tiny T.
+    let gemm_compute_layer =
+        2.0 * (model.params / layers) * t_rank as f64 / (g as f64 * hw.gemm_tflops * 1e12);
+    let weight_read_layer = model.weight_total_bytes() / layers / g as f64 / (hw.hbm_bw_gbs * 1e9);
+    let gemm_layer_s = gemm_compute_layer.max(weight_read_layer);
+
+    // Two intra-node AllReduces per layer on [T/N, D] activations.
+    let ar_bytes = t_rank as f64 * model.model_dim as f64 * model.act_bytes;
+    let ar_layer_s = 2.0 * hw.ar_large_s(ar_bytes, 1);
+
+    let iter = ring_iter_costs(model, hw, n, t, p, variant);
+    let attn_layer_s = n as f64 * iter.attn_us * 1e-6;
+    let exposed_sr_layer_s =
+        (n.saturating_sub(1)) as f64 * (iter.sendrecv_us - iter.attn_us).max(0.0) * 1e-6;
+    let exposed_layer_s = exposed_sr_layer_s + iter.all2all_us * 1e-6;
+    let ring_overhead_layer_s = n as f64 * hw.ring_iter_overhead_us * 1e-6;
+
+    let gemm_s = gemm_layer_s * layers;
+    let attn_s = attn_layer_s * layers;
+    let exposed_comm_s = exposed_layer_s * layers;
+    let allreduce_s = ar_layer_s * layers;
+    let overhead_s = ring_overhead_layer_s * layers + hw.prefill_overhead_s;
+    let total_s = gemm_s + attn_s + exposed_comm_s + allreduce_s + overhead_s;
+
+    PrefillBreakdown {
+        n_nodes: n,
+        t,
+        p,
+        variant,
+        gemm_s,
+        attn_s,
+        exposed_comm_s,
+        allreduce_s,
+        overhead_s,
+        total_s,
+        iter,
+    }
+}
+
+/// Convenience: TTFT seconds for a full prefill of `t` tokens with pass-KV.
+pub fn cp_full_prefill_s(model: &ModelSpec, hw: &HardwareSpec, n_nodes: usize, t: usize) -> f64 {
+    cp_prefill(model, hw, n_nodes, t, 0, RingVariant::PassKv).total_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> ModelSpec {
+        ModelSpec::llama3_405b()
+    }
+
+    fn within(actual: f64, expected: f64, tol: f64) -> bool {
+        (actual - expected).abs() / expected <= tol
+    }
+
+    #[test]
+    fn matches_paper_gtt_full_prefill_latencies() {
+        // Table 6 / §4.2.1 / Fig 8: TP8(=CP1) 42.0s, CP2 21.0s, CP4 10.95s,
+        // CP8 5.85s, CP16 3.8s for 128K full prefill on GTT.
+        let hw = HardwareSpec::gtt();
+        let expect = [(1, 42.0), (2, 21.0), (4, 10.95), (8, 5.85), (16, 3.8)];
+        for (n, exp) in expect {
+            let got = cp_full_prefill_s(&m(), &hw, n, 128_000);
+            assert!(within(got, exp, 0.10), "CP{n}: {got:.2} vs {exp}");
+        }
+    }
+
+    #[test]
+    fn matches_paper_million_token_prefill() {
+        // Fig 8 / Appendix A: 1M tokens on CP16 in 77 s.
+        let hw = HardwareSpec::gtt();
+        let got = cp_full_prefill_s(&m(), &hw, 16, 1_000_000);
+        assert!(within(got, 77.0, 0.05), "{got:.1} vs 77");
+    }
+
+    #[test]
+    fn near_linear_scaling_at_128k() {
+        // §4.2.1: latency halves as nodes double (sufficiently long ctx).
+        let hw = HardwareSpec::gtt();
+        let t1 = cp_full_prefill_s(&m(), &hw, 1, 128_000);
+        let t8 = cp_full_prefill_s(&m(), &hw, 8, 128_000);
+        let ratio = t1 / t8;
+        assert!(ratio > 6.5 && ratio <= 8.0, "scaling ratio {ratio}");
+    }
+
+    #[test]
+    fn gti_scales_to_four_nodes() {
+        // Fig 6b: the TCP cluster (3 GB/s) still scales well to 4 nodes for
+        // long contexts because pass-KV comm hides under attention.
+        let hw = HardwareSpec::gti();
+        let t1 = cp_full_prefill_s(&m(), &hw, 1, 128_000);
+        let t4 = cp_full_prefill_s(&m(), &hw, 4, 128_000);
+        assert!(t1 / t4 > 3.3, "GTI scaling {:.2}", t1 / t4);
+        let b = cp_prefill(&m(), &hw, 4, 128_000, 0, RingVariant::PassKv);
+        // pass-KV communication fully overlapped even at 3 GB/s.
+        assert!(b.iter.sendrecv_us < b.iter.attn_us);
+    }
+
+    #[test]
+    fn table5_iteration_breakdown() {
+        // Table 5, CP4, T+P = 128000: at 2.5% miss (T=3200) pass-KV
+        // SendRecv 627µs / ATTN 414µs; pass-Q SendRecv 166µs, All2All
+        // 424µs. At 10% (T=12800) ATTN 1608µs.
+        let hw = HardwareSpec::gtt();
+        let kv = ring_iter_costs(&m(), &hw, 4, 3200, 124_800, RingVariant::PassKv);
+        assert!(within(kv.attn_us, 414.0, 0.05), "attn {}", kv.attn_us);
+        assert!(within(kv.sendrecv_us, 627.0, 0.10), "sr {}", kv.sendrecv_us);
+        assert_eq!(kv.all2all_us, 0.0);
+
+        let q = ring_iter_costs(&m(), &hw, 4, 3200, 124_800, RingVariant::PassQ);
+        assert!(within(q.sendrecv_us, 166.0, 0.10), "q sr {}", q.sendrecv_us);
+        assert!(within(q.all2all_us, 424.0, 0.10), "a2a {}", q.all2all_us);
+        // ATTN identical across variants (Table 5 shows the same column).
+        assert!((q.attn_us - kv.attn_us).abs() < 1e-9);
+
+        let kv10 = ring_iter_costs(&m(), &hw, 4, 12_800, 115_200, RingVariant::PassKv);
+        assert!(within(kv10.attn_us, 1608.0, 0.06), "attn {}", kv10.attn_us);
+    }
+
+    #[test]
+    fn pass_q_wins_at_low_miss_rate_pass_kv_at_high() {
+        // Fig 9: crossover near 5% miss rate (T=6400 of 128000) on CP4.
+        let hw = HardwareSpec::gtt();
+        let total = 128_000;
+        for (t, kv_should_win) in [
+            (1_280, false),  // 1%
+            (3_200, false),  // 2.5%
+            (12_800, true),  // 10%
+            (64_000, true),  // 50%
+            (128_000, true), // 100%
+        ] {
+            let p = total - t;
+            let kv = cp_prefill(&m(), &hw, 4, t, p, RingVariant::PassKv).total_s;
+            let q = cp_prefill(&m(), &hw, 4, t, p, RingVariant::PassQ).total_s;
+            assert_eq!(
+                kv < q,
+                kv_should_win,
+                "T={t}: pass-KV {kv:.3}s vs pass-Q {q:.3}s"
+            );
+        }
+    }
+
+    #[test]
+    fn ttft_linear_in_miss_rate() {
+        // §4.2.4: TTFT is linearly proportional to the miss rate. Check
+        // that the marginal cost of doubling T roughly doubles the
+        // T-dependent part.
+        let hw = HardwareSpec::gtt();
+        let total = 128_000;
+        let at = |t: usize| cp_prefill(&m(), &hw, 4, t, total - t, RingVariant::PassKv).total_s;
+        let base = at(12_800);
+        let double = at(25_600);
+        let quad = at(51_200);
+        let inc1 = double - base;
+        let inc2 = quad - double;
+        assert!(within(inc2, 2.0 * inc1, 0.15), "{inc1} {inc2}");
+    }
+
+    #[test]
+    fn single_node_has_no_ring_traffic() {
+        let hw = HardwareSpec::gtt();
+        let b = cp_prefill(&m(), &hw, 1, 8192, 0, RingVariant::PassKv);
+        assert_eq!(b.iter.sendrecv_us, 0.0);
+        assert_eq!(b.exposed_comm_s, 0.0);
+        let q = cp_prefill(&m(), &hw, 1, 8192, 0, RingVariant::PassQ);
+        assert_eq!(q.iter.all2all_us, 0.0);
+    }
+
+    #[test]
+    fn tiny_prefill_is_weight_read_bound() {
+        // With T=1 the linear layers cannot go faster than reading the FP8
+        // weights from HBM once: >= 405GB / 8 GPUs / 2.4TB/s ~ 21 ms.
+        let hw = HardwareSpec::gtt();
+        let b = cp_prefill(&m(), &hw, 1, 1, 0, RingVariant::PassKv);
+        assert!(b.gemm_s > 0.020, "{}", b.gemm_s);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let hw = HardwareSpec::gtt();
+        let b = cp_prefill(&m(), &hw, 8, 100_000, 20_000, RingVariant::PassQ);
+        let sum = b.gemm_s + b.attn_s + b.exposed_comm_s + b.allreduce_s + b.overhead_s;
+        assert!((sum - b.total_s).abs() < 1e-12);
+        assert!(b.ttft_ms() > 0.0);
+    }
+
+    #[test]
+    fn display_variant() {
+        assert_eq!(RingVariant::PassKv.to_string(), "pass-KV");
+        assert_eq!(RingVariant::PassQ.to_string(), "pass-Q");
+    }
+}

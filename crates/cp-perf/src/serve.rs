@@ -1,0 +1,316 @@
+//! Serving-deployment simulation: co-located vs disaggregated
+//! prefill/decode (the paper's §4.3 conclusion).
+//!
+//! The paper finds CP "best suited for improving prefill performance and
+//! can be best leveraged with a serving system that decouples the
+//! parallelization scheme for prefill and decode" (citing Mooncake /
+//! DistServe); in a standalone deployment, CP improves TTFT at the cost
+//! of decode regression, and long prefills head-of-line-block decode.
+//! This module quantifies that with a small deterministic queueing
+//! simulation driven by the calibrated latency models.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{decode, prefill, tp, HardwareSpec, ModelSpec};
+
+/// One inference request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Arrival time, seconds.
+    pub arrival_s: f64,
+    /// Prompt length (full prefill).
+    pub prompt_tokens: usize,
+    /// Response length (decode steps).
+    pub decode_tokens: usize,
+}
+
+/// How the cluster is organised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Deployment {
+    /// One CP pool serves both phases; a request occupies the whole pool
+    /// from prefill start to last decoded token (standalone deployment).
+    Colocated {
+        /// CP nodes in the pool.
+        n_nodes: usize,
+    },
+    /// A CP prefill pool hands off to independent single-node TP8 decode
+    /// replicas (Mooncake/DistServe-style disaggregation).
+    Disaggregated {
+        /// CP nodes in the prefill pool.
+        prefill_nodes: usize,
+        /// Independent decode replicas (one node each).
+        decode_replicas: usize,
+    },
+}
+
+/// Timing of one served request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServedRequest {
+    /// Time to first token (queueing + prefill), seconds.
+    pub ttft_s: f64,
+    /// Per-output-token latency during decode, seconds.
+    pub ttit_s: f64,
+    /// Completion time (absolute), seconds.
+    pub finish_s: f64,
+}
+
+/// Aggregate results of a simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Per-request timings, in input order.
+    pub requests: Vec<ServedRequest>,
+    /// Mean TTFT, seconds.
+    pub mean_ttft_s: f64,
+    /// Worst TTFT, seconds.
+    pub max_ttft_s: f64,
+    /// Mean TTIT, seconds.
+    pub mean_ttit_s: f64,
+    /// Time the last request finishes, seconds.
+    pub makespan_s: f64,
+}
+
+fn summarize(requests: Vec<ServedRequest>) -> ServeReport {
+    let n = requests.len().max(1) as f64;
+    let mean_ttft_s = requests.iter().map(|r| r.ttft_s).sum::<f64>() / n;
+    let max_ttft_s = requests.iter().map(|r| r.ttft_s).fold(0.0, f64::max);
+    let mean_ttit_s = requests.iter().map(|r| r.ttit_s).sum::<f64>() / n;
+    let makespan_s = requests.iter().map(|r| r.finish_s).fold(0.0, f64::max);
+    ServeReport {
+        requests,
+        mean_ttft_s,
+        max_ttft_s,
+        mean_ttit_s,
+        makespan_s,
+    }
+}
+
+/// Simulates serving `requests` (must be sorted by arrival) on the given
+/// deployment, using the calibrated prefill/decode latency models.
+///
+/// # Panics
+///
+/// Panics if requests are not sorted by arrival time.
+pub fn simulate(
+    model: &ModelSpec,
+    hw: &HardwareSpec,
+    deployment: Deployment,
+    requests: &[Request],
+) -> ServeReport {
+    assert!(
+        requests
+            .windows(2)
+            .all(|w| w[0].arrival_s <= w[1].arrival_s),
+        "requests must be sorted by arrival"
+    );
+    match deployment {
+        Deployment::Colocated { n_nodes } => {
+            let mut busy_until = 0.0f64;
+            let served = requests
+                .iter()
+                .map(|r| {
+                    let prefill_s = prefill::cp_full_prefill_s(model, hw, n_nodes, r.prompt_tokens);
+                    let ttit_s = decode::cp_ttit_s(
+                        model,
+                        hw,
+                        n_nodes,
+                        r.prompt_tokens + r.decode_tokens / 2,
+                        1,
+                    );
+                    let start = busy_until.max(r.arrival_s);
+                    let first_token = start + prefill_s;
+                    let finish = first_token + ttit_s * r.decode_tokens as f64;
+                    busy_until = finish; // decode blocks the whole pool
+                    ServedRequest {
+                        ttft_s: first_token - r.arrival_s,
+                        ttit_s,
+                        finish_s: finish,
+                    }
+                })
+                .collect();
+            summarize(served)
+        }
+        Deployment::Disaggregated {
+            prefill_nodes,
+            decode_replicas,
+        } => {
+            let mut prefill_busy = 0.0f64;
+            let mut replica_busy = vec![0.0f64; decode_replicas.max(1)];
+            let served = requests
+                .iter()
+                .map(|r| {
+                    let prefill_s =
+                        prefill::cp_full_prefill_s(model, hw, prefill_nodes, r.prompt_tokens);
+                    let start = prefill_busy.max(r.arrival_s);
+                    let first_token = start + prefill_s;
+                    prefill_busy = first_token; // pool freed after prefill
+
+                    // Decode on the earliest-free single-node replica.
+                    let ttit_s =
+                        tp::tp_ttit_s(model, hw, 1, r.prompt_tokens + r.decode_tokens / 2, 1);
+                    let (idx, _) = replica_busy
+                        .iter()
+                        .enumerate()
+                        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
+                        .expect("at least one replica");
+                    let decode_start = replica_busy[idx].max(first_token);
+                    let finish = decode_start + ttit_s * r.decode_tokens as f64;
+                    replica_busy[idx] = finish;
+                    ServedRequest {
+                        ttft_s: first_token - r.arrival_s,
+                        ttit_s,
+                        finish_s: finish,
+                    }
+                })
+                .collect();
+            summarize(served)
+        }
+    }
+}
+
+/// A deterministic open-loop arrival pattern: `n` requests, one every
+/// `gap_s` seconds, uniform prompt/decode lengths.
+pub fn uniform_trace(
+    n: usize,
+    gap_s: f64,
+    prompt_tokens: usize,
+    decode_tokens: usize,
+) -> Vec<Request> {
+    (0..n)
+        .map(|i| Request {
+            arrival_s: i as f64 * gap_s,
+            prompt_tokens,
+            decode_tokens,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> ModelSpec {
+        ModelSpec::llama3_405b()
+    }
+
+    #[test]
+    fn single_request_has_no_queueing() {
+        let hw = HardwareSpec::gtt();
+        let reqs = uniform_trace(1, 0.0, 128_000, 100);
+        let colo = simulate(&m(), &hw, Deployment::Colocated { n_nodes: 4 }, &reqs);
+        let expected = prefill::cp_full_prefill_s(&m(), &hw, 4, 128_000);
+        assert!((colo.mean_ttft_s - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disaggregation_fixes_head_of_line_blocking() {
+        // Decode-heavy traffic: in the co-located pool each request's
+        // long decode blocks the next prefill; disaggregation overlaps
+        // them, so TTFT collapses.
+        let hw = HardwareSpec::gtt();
+        let reqs = uniform_trace(6, 5.0, 64_000, 800);
+        let colo = simulate(&m(), &hw, Deployment::Colocated { n_nodes: 4 }, &reqs);
+        let disagg = simulate(
+            &m(),
+            &hw,
+            Deployment::Disaggregated {
+                prefill_nodes: 4,
+                decode_replicas: 4,
+            },
+            &reqs,
+        );
+        assert!(
+            disagg.max_ttft_s < 0.5 * colo.max_ttft_s,
+            "disagg {:.1}s vs colo {:.1}s",
+            disagg.max_ttft_s,
+            colo.max_ttft_s
+        );
+        // And decode on TP8 replicas is also faster per token than CP4
+        // decode (Table 7's TTIT column).
+        assert!(disagg.mean_ttit_s < colo.mean_ttit_s);
+    }
+
+    #[test]
+    fn colocated_is_fine_at_low_load() {
+        // With arrivals slower than service, nobody queues and the two
+        // deployments' TTFTs match (same CP prefill pool).
+        let hw = HardwareSpec::gtt();
+        let reqs = uniform_trace(3, 1_000.0, 128_000, 10);
+        let colo = simulate(&m(), &hw, Deployment::Colocated { n_nodes: 8 }, &reqs);
+        let disagg = simulate(
+            &m(),
+            &hw,
+            Deployment::Disaggregated {
+                prefill_nodes: 8,
+                decode_replicas: 1,
+            },
+            &reqs,
+        );
+        assert!((colo.mean_ttft_s - disagg.mean_ttft_s).abs() < 1e-6);
+    }
+
+    #[test]
+    fn more_prefill_nodes_cut_ttft_under_load() {
+        let hw = HardwareSpec::gtt();
+        let reqs = uniform_trace(5, 10.0, 128_000, 0);
+        let small = simulate(&m(), &hw, Deployment::Colocated { n_nodes: 2 }, &reqs);
+        let big = simulate(&m(), &hw, Deployment::Colocated { n_nodes: 8 }, &reqs);
+        assert!(big.mean_ttft_s < 0.5 * small.mean_ttft_s);
+        assert!(big.makespan_s < small.makespan_s);
+    }
+
+    #[test]
+    fn replica_count_bounds_decode_throughput() {
+        // One decode replica serializes completions; four roughly
+        // quarter the makespan's decode tail.
+        let hw = HardwareSpec::gtt();
+        let reqs = uniform_trace(4, 0.1, 8_000, 2_000);
+        let one = simulate(
+            &m(),
+            &hw,
+            Deployment::Disaggregated {
+                prefill_nodes: 2,
+                decode_replicas: 1,
+            },
+            &reqs,
+        );
+        let four = simulate(
+            &m(),
+            &hw,
+            Deployment::Disaggregated {
+                prefill_nodes: 2,
+                decode_replicas: 4,
+            },
+            &reqs,
+        );
+        assert!(four.makespan_s < 0.5 * one.makespan_s);
+        // TTFT unaffected by the decode side.
+        assert!((one.mean_ttft_s - four.mean_ttft_s).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by arrival")]
+    fn unsorted_requests_panic() {
+        let hw = HardwareSpec::gtt();
+        let reqs = vec![
+            Request {
+                arrival_s: 5.0,
+                prompt_tokens: 10,
+                decode_tokens: 1,
+            },
+            Request {
+                arrival_s: 1.0,
+                prompt_tokens: 10,
+                decode_tokens: 1,
+            },
+        ];
+        simulate(&m(), &hw, Deployment::Colocated { n_nodes: 1 }, &reqs);
+    }
+
+    #[test]
+    fn uniform_trace_structure() {
+        let t = uniform_trace(3, 2.0, 100, 5);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[2].arrival_s, 4.0);
+        assert!(t.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+    }
+}

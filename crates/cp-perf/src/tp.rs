@@ -1,0 +1,215 @@
+//! Multi-node tensor-parallel baseline (§4.2.2).
+//!
+//! To parallelize Llama3 405B's 8 KV heads across more than 8 GPUs, the
+//! paper replicates each KV head over `N_TP / N_KV` GPUs and spreads the
+//! 128 query heads evenly; computation stays fully parallel but every
+//! linear layer pays two AllReduces over activations, which become
+//! inter-node (hierarchical) collectives past one node — the bottleneck
+//! Figure 7 shows.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{cost, HardwareSpec, ModelSpec};
+
+/// TTFT decomposition of a multi-node tensor-parallel prefill.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TpPrefillBreakdown {
+    /// Nodes in the TP group (`N_TP = nodes * gpus_per_node`).
+    pub n_nodes: usize,
+    /// Prefill tokens.
+    pub t: usize,
+    /// Linear-layer seconds.
+    pub gemm_s: f64,
+    /// Attention seconds.
+    pub attn_s: f64,
+    /// AllReduce seconds (2 per layer, hierarchical across nodes).
+    pub allreduce_s: f64,
+    /// Fixed overheads.
+    pub overhead_s: f64,
+    /// End-to-end TTFT seconds.
+    pub total_s: f64,
+}
+
+impl TpPrefillBreakdown {
+    /// TTFT in milliseconds.
+    pub fn ttft_ms(&self) -> f64 {
+        self.total_s * 1e3
+    }
+}
+
+/// TTFT of a full prefill of `t` tokens on a TP group spanning `n_nodes`
+/// nodes (TP8 for one node, TP16 for two, ...).
+pub fn tp_prefill(
+    model: &ModelSpec,
+    hw: &HardwareSpec,
+    n_nodes: usize,
+    t: usize,
+) -> TpPrefillBreakdown {
+    let n_gpus = (n_nodes.max(1) * hw.gpus_per_node) as f64;
+    let layers = model.n_layers as f64;
+
+    let gemm_compute = cost::gemm_flops(model, t) / (n_gpus * hw.gemm_tflops * 1e12);
+    let weight_read = model.weight_total_bytes() / n_gpus / (hw.hbm_bw_gbs * 1e9);
+    let gemm_s = gemm_compute.max(weight_read);
+
+    let attn_s = cost::attn_flops_total(model, t, 0) / (n_gpus * hw.attn_tflops * 1e12);
+
+    let ar_bytes = t as f64 * model.model_dim as f64 * model.act_bytes;
+    let allreduce_s = 2.0 * hw.ar_large_s(ar_bytes, n_nodes) * layers;
+
+    // Same per-layer fixed overhead as one CP ring iteration, plus the
+    // per-request serving overhead (keeps TP8 == CP1 by construction).
+    let overhead_s = layers * hw.ring_iter_overhead_us * 1e-6 + hw.prefill_overhead_s;
+    let total_s = gemm_s + attn_s + allreduce_s + overhead_s;
+    TpPrefillBreakdown {
+        n_nodes: n_nodes.max(1),
+        t,
+        gemm_s,
+        attn_s,
+        allreduce_s,
+        overhead_s,
+        total_s,
+    }
+}
+
+/// TTIT (per-token decode latency) of multi-node TP decode with CUDA
+/// graphs: per layer, weight-read-bound linears, two small-message
+/// AllReduces, and a flash-decode attention read of the full context for
+/// this GPU's (replicated) KV head.
+pub fn tp_ttit_s(
+    model: &ModelSpec,
+    hw: &HardwareSpec,
+    n_nodes: usize,
+    ctx: usize,
+    batch: usize,
+) -> f64 {
+    let n_gpus = (n_nodes.max(1) * hw.gpus_per_node) as f64;
+    let layers = model.n_layers as f64;
+    let linear_s = model.weight_total_bytes() / layers / n_gpus / (hw.hbm_bw_gbs * 1e9);
+    let ar_s = 2.0 * hw.ar_small_s(n_nodes.max(1));
+    let attn_s = decode_attn_op_s(model, hw, ctx, batch);
+    layers * (linear_s + ar_s + attn_s)
+}
+
+/// One decode attention op: HBM-bound read of `batch` sequences' KV for
+/// one KV head over `ctx` tokens, plus launch overheads. Shared by the TP
+/// and CP decode models (Table 8's "individual attention op").
+pub fn decode_attn_op_s(model: &ModelSpec, hw: &HardwareSpec, ctx: usize, batch: usize) -> f64 {
+    let kv_heads_per_gpu = (model.n_kv_heads as f64 / hw.gpus_per_node as f64).max(1.0);
+    let bytes = batch as f64
+        * ctx as f64
+        * 2.0
+        * kv_heads_per_gpu
+        * model.head_dim as f64
+        * model.act_bytes;
+    bytes / (hw.hbm_bw_gbs * 1e9)
+        + hw.launch_overhead_us * 1e-6
+        + batch.saturating_sub(1) as f64 * hw.per_seq_overhead_us * 1e-6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> ModelSpec {
+        ModelSpec::llama3_405b()
+    }
+
+    fn within(actual: f64, expected: f64, tol: f64) -> bool {
+        (actual - expected).abs() / expected <= tol
+    }
+
+    #[test]
+    fn matches_table6_tp8_prefill() {
+        let hw = HardwareSpec::gtt();
+        // Table 6: TP8 TTFT 1740ms @ 8K, 7658ms @ 32K, 42010ms @ 128K.
+        for (t, exp_ms) in [(8_000, 1_740.0), (32_000, 7_658.0), (128_000, 42_010.0)] {
+            let got = tp_prefill(&m(), &hw, 1, t).ttft_ms();
+            assert!(within(got, exp_ms, 0.15), "T={t}: {got:.0} vs {exp_ms}");
+        }
+    }
+
+    #[test]
+    fn matches_table7_multi_node_prefill() {
+        let hw = HardwareSpec::gtt();
+        // Table 7: TP16 29917ms, TP32 19841ms at 128K.
+        let tp16 = tp_prefill(&m(), &hw, 2, 128_000).ttft_ms();
+        assert!(within(tp16, 29_917.0, 0.12), "{tp16:.0}");
+        let tp32 = tp_prefill(&m(), &hw, 4, 128_000).ttft_ms();
+        assert!(within(tp32, 19_841.0, 0.12), "{tp32:.0}");
+    }
+
+    #[test]
+    fn tp_scales_worse_than_cp() {
+        // Figure 7: CP's scaling ratio stays near-linear; TP's flattens.
+        let hw = HardwareSpec::gtt();
+        let t = 128_000;
+        let tp1 = tp_prefill(&m(), &hw, 1, t).total_s;
+        let tp8 = tp_prefill(&m(), &hw, 8, t).total_s;
+        let tp_ratio = tp1 / tp8;
+        let cp1 = crate::prefill::cp_full_prefill_s(&m(), &hw, 1, t);
+        let cp8 = crate::prefill::cp_full_prefill_s(&m(), &hw, 8, t);
+        let cp_ratio = cp1 / cp8;
+        assert!(cp_ratio > 6.5, "cp {cp_ratio}");
+        assert!(tp_ratio < 4.0, "tp {tp_ratio}");
+        assert!(cp_ratio > 1.8 * tp_ratio);
+    }
+
+    #[test]
+    fn tp_allreduce_share_grows_with_nodes() {
+        let hw = HardwareSpec::gtt();
+        let share = |n| {
+            let b = tp_prefill(&m(), &hw, n, 128_000);
+            b.allreduce_s / b.total_s
+        };
+        assert!(share(2) > share(1));
+        assert!(share(4) > share(2));
+        assert!(share(8) > share(4));
+    }
+
+    #[test]
+    fn matches_table6_and_7_ttit() {
+        let hw = HardwareSpec::gtt();
+        // Table 6: TP8 TTIT ~44.5-46.3ms across 8K..128K contexts.
+        for (ctx, exp_ms) in [(8_000, 44.51), (32_000, 44.64), (128_000, 46.26)] {
+            let got = tp_ttit_s(&m(), &hw, 1, ctx, 1) * 1e3;
+            assert!(within(got, exp_ms, 0.12), "ctx={ctx}: {got:.1} vs {exp_ms}");
+        }
+        // Table 7: TP16 39.52ms, TP32 47.3ms at 128K.
+        let tp16 = tp_ttit_s(&m(), &hw, 2, 128_000, 1) * 1e3;
+        assert!(within(tp16, 39.52, 0.12), "{tp16:.1}");
+        let tp32 = tp_ttit_s(&m(), &hw, 4, 128_000, 1) * 1e3;
+        assert!(within(tp32, 47.3, 0.12), "{tp32:.1}");
+    }
+
+    #[test]
+    fn ttit_nearly_flat_in_context_length() {
+        // Table 6's observation: TTIT barely grows with context.
+        let hw = HardwareSpec::gtt();
+        let short = tp_ttit_s(&m(), &hw, 1, 8_000, 1);
+        let long = tp_ttit_s(&m(), &hw, 1, 128_000, 1);
+        assert!(long / short < 1.10);
+    }
+
+    #[test]
+    fn decode_attn_op_matches_table8() {
+        let hw = HardwareSpec::gtt();
+        // Table 8: individual attention op, TP8: 38.9µs @ 128K B=1,
+        // 60.1µs @ 32K B=4.
+        let a = decode_attn_op_s(&m(), &hw, 128_000, 1) * 1e6;
+        assert!(within(a, 38.9, 0.25), "{a:.1}");
+        let b = decode_attn_op_s(&m(), &hw, 32_000, 4) * 1e6;
+        assert!(within(b, 60.1, 0.25), "{b:.1}");
+        // And it shrinks with effective context (the CP columns).
+        let half = decode_attn_op_s(&m(), &hw, 64_000, 1) * 1e6;
+        assert!(half < a);
+    }
+
+    #[test]
+    fn breakdown_sums() {
+        let hw = HardwareSpec::gtt();
+        let b = tp_prefill(&m(), &hw, 2, 50_000);
+        let sum = b.gemm_s + b.attn_s + b.allreduce_s + b.overhead_s;
+        assert!((sum - b.total_s).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,231 @@
+//! Chrome-trace export of the simulated ring pipeline.
+//!
+//! The paper diagnoses overlap by "inspecting the GPU trace" (§4.2.1);
+//! this module gives the reproduction the same tool: a per-rank timeline
+//! of compute and communication intervals from the discrete-event ring
+//! simulation, exported in the Chrome tracing JSON format
+//! (`chrome://tracing` / Perfetto). Compute lanes show the `N` partial
+//! attention blocks; comm lanes show each forwarded hop — exposed
+//! communication is visible as compute-lane gaps.
+
+use serde::{Deserialize, Serialize};
+
+/// One interval on a rank's compute or communication lane.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Rank the event belongs to.
+    pub rank: usize,
+    /// `"compute"` or `"comm"`.
+    pub lane: String,
+    /// Human-readable label (e.g. `attn block 2`).
+    pub name: String,
+    /// Start time, µs.
+    pub start_us: f64,
+    /// Duration, µs.
+    pub dur_us: f64,
+}
+
+/// A traced ring simulation: the makespan plus every interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RingTrace {
+    /// Pipeline makespan, µs.
+    pub makespan_us: f64,
+    /// All compute and comm intervals.
+    pub events: Vec<TraceEvent>,
+}
+
+impl RingTrace {
+    /// Serialises to the Chrome tracing "traceEvents" JSON format:
+    /// one complete (`"ph": "X"`) event per interval, ranks as processes,
+    /// lanes as threads.
+    pub fn to_chrome_json(&self) -> String {
+        let mut entries = Vec::with_capacity(self.events.len());
+        for e in &self.events {
+            let tid = if e.lane == "compute" { 0 } else { 1 };
+            entries.push(serde_json::json!({
+                "name": e.name,
+                "cat": e.lane,
+                "ph": "X",
+                "ts": e.start_us,
+                "dur": e.dur_us,
+                "pid": e.rank,
+                "tid": tid,
+            }));
+        }
+        serde_json::to_string_pretty(&serde_json::json!({ "traceEvents": entries }))
+            .expect("trace serialises")
+    }
+
+    /// Total busy compute time of a rank, µs.
+    pub fn compute_busy_us(&self, rank: usize) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| e.rank == rank && e.lane == "compute")
+            .map(|e| e.dur_us)
+            .sum()
+    }
+
+    /// Exposed (idle) time on a rank's compute lane: makespan minus busy.
+    pub fn exposed_us(&self, rank: usize) -> f64 {
+        self.makespan_us - self.compute_busy_us(rank)
+    }
+}
+
+/// Runs the same dependency schedule as [`crate::event::simulate_ring`]
+/// but records every compute and communication interval.
+///
+/// `attn_us[k][j]` is rank `k`'s compute time for ring iteration `j`;
+/// `sendrecv_us` the per-hop transfer time.
+///
+/// # Panics
+///
+/// Panics if `attn_us` is empty or rows have unequal lengths ≠ `N`.
+pub fn trace_ring(attn_us: &[Vec<f64>], sendrecv_us: f64) -> RingTrace {
+    let n = attn_us.len();
+    assert!(n > 0, "ring needs at least one rank");
+    for row in attn_us {
+        assert_eq!(row.len(), n, "each rank must run exactly N iterations");
+    }
+
+    // Identical recurrence to event::simulate_ring.
+    let mut arrival = vec![vec![0.0f64; n]; n];
+    let mut send_done = vec![vec![0.0f64; n]; n];
+    let mut events = Vec::new();
+    for j in 1..n {
+        for k in 0..n {
+            let prev = (k + n - 1) % n;
+            let ready = arrival[prev][j - 1];
+            let stream_free = if j >= 2 { send_done[prev][j - 2] } else { 0.0 };
+            let start = ready.max(stream_free);
+            send_done[prev][j - 1] = start + sendrecv_us;
+            arrival[k][j] = send_done[prev][j - 1];
+            events.push(TraceEvent {
+                rank: prev,
+                lane: "comm".to_string(),
+                name: format!("send block {} -> rank {k}", (prev + n - j) % n),
+                start_us: start,
+                dur_us: sendrecv_us,
+            });
+        }
+    }
+
+    let mut makespan = 0.0f64;
+    for k in 0..n {
+        let mut t = 0.0f64;
+        for j in 0..n {
+            let start = t.max(arrival[k][j]);
+            events.push(TraceEvent {
+                rank: k,
+                lane: "compute".to_string(),
+                name: format!("attn block {}", (k + n - j) % n),
+                start_us: start,
+                dur_us: attn_us[k][j],
+            });
+            t = start + attn_us[k][j];
+        }
+        makespan = makespan.max(t);
+    }
+    RingTrace {
+        makespan_us: makespan,
+        events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::simulate_ring;
+
+    fn uniform(n: usize, attn: f64) -> Vec<Vec<f64>> {
+        vec![vec![attn; n]; n]
+    }
+
+    #[test]
+    fn trace_makespan_matches_simulator() {
+        for (n, attn, sr) in [(4usize, 100.0, 60.0), (4, 50.0, 120.0), (8, 75.0, 75.0)] {
+            let m = uniform(n, attn);
+            let trace = trace_ring(&m, sr);
+            let sim = simulate_ring(&m, sr);
+            assert!(
+                (trace.makespan_us - sim.makespan_us).abs() < 1e-9,
+                "n={n} attn={attn} sr={sr}"
+            );
+        }
+    }
+
+    #[test]
+    fn event_counts_and_lanes() {
+        let n = 4;
+        let trace = trace_ring(&uniform(n, 10.0), 5.0);
+        let compute = trace.events.iter().filter(|e| e.lane == "compute").count();
+        let comm = trace.events.iter().filter(|e| e.lane == "comm").count();
+        // N compute blocks per rank; N-1 forwarded hops per rank.
+        assert_eq!(compute, n * n);
+        assert_eq!(comm, n * (n - 1));
+    }
+
+    #[test]
+    fn compute_bound_has_no_exposure() {
+        let trace = trace_ring(&uniform(4, 100.0), 10.0);
+        for r in 0..4 {
+            assert!(
+                trace.exposed_us(r) < 1e-9,
+                "rank {r}: {}",
+                trace.exposed_us(r)
+            );
+        }
+    }
+
+    #[test]
+    fn comm_bound_exposes_idle_time() {
+        let (attn, sr, n) = (50.0, 120.0, 4usize);
+        let trace = trace_ring(&uniform(n, attn), sr);
+        // Closed form: exposure = (N-1) * (sr - attn) on every rank.
+        let expected = (n - 1) as f64 * (sr - attn);
+        for r in 0..n {
+            assert!(
+                (trace.exposed_us(r) - expected).abs() < 1e-9,
+                "rank {r}: {}",
+                trace.exposed_us(r)
+            );
+        }
+    }
+
+    #[test]
+    fn events_never_overlap_within_a_lane() {
+        let trace = trace_ring(&uniform(5, 33.0), 41.0);
+        for rank in 0..5 {
+            for lane in ["compute", "comm"] {
+                let mut intervals: Vec<(f64, f64)> = trace
+                    .events
+                    .iter()
+                    .filter(|e| e.rank == rank && e.lane == lane)
+                    .map(|e| (e.start_us, e.start_us + e.dur_us))
+                    .collect();
+                intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+                for w in intervals.windows(2) {
+                    assert!(w[1].0 >= w[0].1 - 1e-9, "rank {rank} {lane}: {w:?} overlap");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chrome_json_is_well_formed() {
+        let trace = trace_ring(&uniform(2, 10.0), 5.0);
+        let json = trace.to_chrome_json();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let events = parsed["traceEvents"].as_array().unwrap();
+        assert_eq!(events.len(), trace.events.len());
+        assert!(events.iter().all(|e| e["ph"] == "X"));
+        assert!(events.iter().any(|e| e["cat"] == "comm"));
+    }
+
+    #[test]
+    fn single_rank_trace() {
+        let trace = trace_ring(&uniform(1, 42.0), 99.0);
+        assert_eq!(trace.makespan_us, 42.0);
+        assert_eq!(trace.events.len(), 1);
+        assert!(trace.events.iter().all(|e| e.lane == "compute"));
+    }
+}

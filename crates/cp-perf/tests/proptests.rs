@@ -1,0 +1,171 @@
+//! Property-based sanity of the performance models: monotonicity,
+//! positivity and conservation laws that must hold for *any* parameter
+//! combination, not just the paper's configurations.
+
+use cp_perf::event::{closed_form_uniform_us, simulate_ring};
+use cp_perf::{cost, decode, memory, prefill, tp, HardwareSpec, ModelSpec, RingVariant};
+use proptest::prelude::*;
+
+fn models() -> impl Strategy<Value = ModelSpec> {
+    prop_oneof![
+        Just(ModelSpec::llama3_405b()),
+        Just(ModelSpec::llama3_70b()),
+        Just(ModelSpec::llama3_8b()),
+    ]
+}
+
+fn hardware() -> impl Strategy<Value = HardwareSpec> {
+    prop_oneof![
+        Just(HardwareSpec::gtt()),
+        Just(HardwareSpec::gti()),
+        Just(HardwareSpec::h100_hbm3()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// TTFT is strictly increasing in the number of new tokens.
+    #[test]
+    fn ttft_monotone_in_tokens(
+        m in models(),
+        hw in hardware(),
+        n in 1usize..17,
+        t in 1_000usize..500_000,
+        extra in 1_000usize..100_000,
+        p in 0usize..200_000,
+    ) {
+        let a = prefill::cp_prefill(&m, &hw, n, t, p, RingVariant::PassKv).total_s;
+        let b = prefill::cp_prefill(&m, &hw, n, t + extra, p, RingVariant::PassKv).total_s;
+        prop_assert!(b > a);
+    }
+
+    /// Every breakdown component is non-negative and they sum to the total.
+    #[test]
+    fn breakdown_components_consistent(
+        m in models(),
+        hw in hardware(),
+        n in 1usize..17,
+        t in 1usize..300_000,
+        p in 0usize..300_000,
+        pass_q in any::<bool>(),
+    ) {
+        let variant = if pass_q { RingVariant::PassQ } else { RingVariant::PassKv };
+        let b = prefill::cp_prefill(&m, &hw, n, t, p, variant);
+        for part in [b.gemm_s, b.attn_s, b.exposed_comm_s, b.allreduce_s, b.overhead_s] {
+            prop_assert!(part >= 0.0);
+        }
+        let sum = b.gemm_s + b.attn_s + b.exposed_comm_s + b.allreduce_s + b.overhead_s;
+        prop_assert!((sum - b.total_s).abs() < 1e-9);
+    }
+
+    /// For the paper's model at long contexts, more nodes never increases
+    /// pass-KV TTFT. (Small models at high node counts legitimately
+    /// regress — per-rank work shrinks below the fixed ring overheads,
+    /// the same effect Figure 6a shows for 2K contexts.)
+    #[test]
+    fn more_nodes_never_hurt_long_prefill(t in 100_000usize..1_000_000) {
+        let m = ModelSpec::llama3_405b();
+        let hw = HardwareSpec::gtt();
+        let mut last = f64::INFINITY;
+        for n in [1usize, 2, 4, 8, 16] {
+            let s = prefill::cp_prefill(&m, &hw, n, t, 0, RingVariant::PassKv).total_s;
+            prop_assert!(s <= last * 1.001, "n={n}: {s} vs {last}");
+            last = s;
+        }
+    }
+
+    /// The event simulator's makespan always matches the closed form for
+    /// uniform stage times and never goes below pure compute.
+    #[test]
+    fn event_sim_bounds(
+        n in 1usize..12,
+        attn in 1.0f64..5_000.0,
+        sr in 0.0f64..5_000.0,
+    ) {
+        let sim = simulate_ring(&vec![vec![attn; n]; n], sr);
+        let closed = closed_form_uniform_us(n, attn, sr);
+        prop_assert!((sim.makespan_us - closed).abs() < 1e-6 * closed.max(1.0));
+        prop_assert!(sim.makespan_us >= n as f64 * attn - 1e-9);
+    }
+
+    /// Imbalance never speeds up the ring: any work redistribution with the
+    /// same total is at least as slow as the balanced schedule.
+    #[test]
+    fn imbalance_never_helps(
+        n in 2usize..7,
+        skew in prop::collection::vec(1u128..20, 2..7),
+        sr in 0.0f64..100.0,
+    ) {
+        let n = n.min(skew.len());
+        let work = &skew[..n];
+        let balanced = vec![1u128; n];
+        let m_bal = cp_perf::event::attn_matrix_from_profile(&balanced, 100.0);
+        let m_skew = cp_perf::event::attn_matrix_from_profile(work, 100.0);
+        let bal = simulate_ring(&m_bal, sr).makespan_us;
+        let skewed = simulate_ring(&m_skew, sr).makespan_us;
+        prop_assert!(skewed >= bal - 1e-6, "{skewed} < {bal}");
+    }
+
+    /// Decode attention time decreases with CP size while whole pass-Q
+    /// time (attention + comm) does not improve beyond CP1 — the Table 8
+    /// shape. (At large batches the two converge: total KV bytes read are
+    /// conserved across the ring loop, so we allow a small tolerance.)
+    #[test]
+    fn decode_shape_invariants(
+        m in models(),
+        ctx in 8_000usize..256_000,
+        batch in 1usize..9,
+    ) {
+        let hw = HardwareSpec::gtt();
+        let c1 = decode::cp_decode_attn(&m, &hw, 1, ctx, batch);
+        let c2 = decode::cp_decode_attn(&m, &hw, 2, ctx, batch);
+        let c4 = decode::cp_decode_attn(&m, &hw, 4, ctx, batch);
+        prop_assert!(c2.attn_op_us <= c1.attn_op_us);
+        prop_assert!(c4.attn_op_us <= c2.attn_op_us);
+        // The whole-pass-Q regression is the paper's claim at its batch
+        // sizes (1 and 4); at batch >= 8 per-sequence overheads amortize
+        // and CP2 converges with CP1, so only the attn_op monotonicity
+        // above is asserted there.
+        if batch <= 4 {
+            prop_assert!(c2.whole_us >= c1.whole_us, "{} < {}", c2.whole_us, c1.whole_us);
+            prop_assert!(c4.whole_us > c1.whole_us);
+        }
+    }
+
+    /// Memory capacity is monotone in nodes and inversely so in batch.
+    #[test]
+    fn capacity_monotonicity(
+        m in models(),
+        hw in hardware(),
+        n in 1usize..16,
+        batch in 1usize..8,
+    ) {
+        let a = memory::max_context(&m, &hw, n, batch);
+        let b = memory::max_context(&m, &hw, n + 1, batch);
+        prop_assert!(b >= a);
+        let c = memory::max_context(&m, &hw, n, batch + 1);
+        prop_assert!(c <= a);
+    }
+
+    /// Attention FLOPs closed form equals the per-token sum for any (T, P).
+    #[test]
+    fn attn_flops_closed_form(m in models(), t in 0usize..300, p in 0usize..300) {
+        let d = m.model_dim as f64;
+        let expected: f64 = (0..t).map(|i| 4.0 * d * (p + i + 1) as f64).sum();
+        let got = cost::attn_flops_layer(&m, t, p);
+        prop_assert!((got - expected).abs() <= 1e-6 * expected.max(1.0));
+    }
+
+    /// TP prefill AllReduce share grows with node count for any model.
+    #[test]
+    fn tp_allreduce_share_grows(m in models(), t in 16_000usize..256_000) {
+        let hw = HardwareSpec::gtt();
+        let share = |n: usize| {
+            let b = tp::tp_prefill(&m, &hw, n, t);
+            b.allreduce_s / b.total_s
+        };
+        prop_assert!(share(2) > share(1));
+        prop_assert!(share(4) > share(2));
+    }
+}

@@ -1,0 +1,367 @@
+//! The distributed full-model serving engine.
+
+use std::sync::Mutex;
+
+use cp_attention::PAD;
+use cp_comm::TrafficReport;
+use cp_core::heuristics::{choose_variant, HeuristicKind, SystemContext};
+use cp_core::ring::{ring_pass_kv_prefill, ring_pass_q_decode, ring_pass_q_prefill, run_ring};
+use cp_core::{CoreError, DecodeSlot, LocalSeq, SeqKv};
+use cp_kvcache::{KvCacheConfig, PagedKvCache, SeqId};
+use cp_model::rope::apply_rope;
+use cp_model::{rms_norm, Transformer};
+use cp_perf::RingVariant;
+use cp_sharding::shard_new_tokens;
+use cp_tensor::Tensor;
+
+/// The single conversation a `TransformerEngine` serves (one engine, one
+/// session — the fused multi-sequence path is `cp-core`'s engine).
+const SEQ: SeqId = SeqId(0);
+
+/// Result of one serving operation (prefill turn or decode step).
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    /// Final activations of the new tokens, `[t, D]`, original order.
+    pub activations: Tensor,
+    /// Ring variant used for prefill (`None` for decode, which is always
+    /// pass-Q per §3.6).
+    pub variant: Option<RingVariant>,
+    /// Fabric traffic of the operation (all layers).
+    pub traffic: TrafficReport,
+}
+
+/// A full-model context-parallel serving engine: every rank owns one
+/// paged KV cache **per transformer layer**; prefill and decode run the
+/// whole layer stack distributed, with ring attention per layer.
+///
+/// See the crate docs for the exactness contract.
+#[derive(Debug)]
+pub struct TransformerEngine {
+    model: Transformer,
+    n_ranks: usize,
+    /// `ranks[r]` holds rank `r`'s per-layer caches; each rank thread
+    /// locks only its own entry during a fabric session.
+    ranks: Vec<Mutex<Vec<PagedKvCache>>>,
+    heuristic_ctx: SystemContext,
+    len: usize,
+    decode_step: usize,
+}
+
+impl TransformerEngine {
+    /// Creates an engine over `model` with `n_ranks` CP ranks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadRequest`] if `n_ranks == 0`.
+    pub fn new(model: Transformer, n_ranks: usize) -> Result<Self, CoreError> {
+        Self::with_cache_limit(model, n_ranks, None)
+    }
+
+    /// [`TransformerEngine::new`] with a per-(rank, layer) page-pool limit
+    /// (16-token pages), for capacity experiments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadRequest`] if `n_ranks == 0`.
+    pub fn with_cache_limit(
+        model: Transformer,
+        n_ranks: usize,
+        max_pages: Option<usize>,
+    ) -> Result<Self, CoreError> {
+        if n_ranks == 0 {
+            return Err(CoreError::BadRequest {
+                reason: "engine needs at least one rank".to_string(),
+            });
+        }
+        let shape = model.config().shape;
+        let layers = model.config().n_layers;
+        let mut cache_cfg = KvCacheConfig::new(16, shape.n_kv_heads(), shape.head_dim());
+        if let Some(max) = max_pages {
+            cache_cfg = cache_cfg.with_max_pages(max);
+        }
+        let ranks = (0..n_ranks)
+            .map(|_| {
+                let mut layer_caches = Vec::with_capacity(layers);
+                for _ in 0..layers {
+                    let mut c = PagedKvCache::new(cache_cfg);
+                    c.create_sequence(SEQ).expect("fresh cache");
+                    layer_caches.push(c);
+                }
+                Mutex::new(layer_caches)
+            })
+            .collect();
+        Ok(TransformerEngine {
+            heuristic_ctx: SystemContext::llama3_405b_gtt(n_ranks),
+            model,
+            n_ranks,
+            ranks,
+            len: 0,
+            decode_step: 0,
+        })
+    }
+
+    /// Tokens in the conversation so far.
+    pub fn context_len(&self) -> usize {
+        self.len
+    }
+
+    /// Number of CP ranks.
+    pub fn n_ranks(&self) -> usize {
+        self.n_ranks
+    }
+
+    /// Per-rank cached-token counts (layer 0; all layers are identical).
+    pub fn rank_kv_lens(&self) -> Vec<usize> {
+        self.ranks
+            .iter()
+            .map(|r| {
+                r.lock()
+                    .expect("no rank thread running")
+                    .first()
+                    .map_or(0, |c| c.seq_len(SEQ).unwrap_or(0))
+            })
+            .collect()
+    }
+
+    /// Prefills a user turn (full prefill on the first call, partial
+    /// prefill with persistent per-layer caches afterwards); the
+    /// Algorithm 1 heuristic picks the ring variant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer, cache and communication failures.
+    pub fn prefill(&mut self, tokens: &[u32]) -> Result<ServeOutcome, CoreError> {
+        self.prefill_with(tokens, None)
+    }
+
+    /// [`TransformerEngine::prefill`] with a forced ring variant.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TransformerEngine::prefill`].
+    pub fn prefill_with(
+        &mut self,
+        tokens: &[u32],
+        forced: Option<RingVariant>,
+    ) -> Result<ServeOutcome, CoreError> {
+        let p = self.len;
+        let t = tokens.len();
+        let n = self.n_ranks;
+        let shards = shard_new_tokens(p, t, n)?;
+        let variant = forced
+            .unwrap_or_else(|| choose_variant(HeuristicKind::Threshold, &self.heuristic_ctx, t, p));
+
+        // §3.5.2 padding target: the longest (cache + new) length.
+        let ring_len = (0..n)
+            .map(|r| {
+                let cached = self.ranks[r]
+                    .lock()
+                    .expect("no rank thread running")
+                    .first()
+                    .map_or(0, |c| c.seq_len(SEQ).unwrap_or(0));
+                cached + shards[r].len()
+            })
+            .max()
+            .unwrap_or(0);
+
+        let config = *self.model.config();
+        let shape = config.shape;
+        let params = *self.model.attention_params();
+        let model = &self.model;
+        let ranks = &self.ranks;
+        let shards_ref = &shards;
+
+        // Snapshot per-rank cache lengths (identical across layers) so a
+        // failed turn rolls back instead of leaving partial layer appends.
+        let snapshot: Vec<usize> = (0..n)
+            .map(|r| {
+                self.ranks[r]
+                    .lock()
+                    .expect("no rank thread running")
+                    .first()
+                    .map_or(0, |c| c.seq_len(SEQ).unwrap_or(0))
+            })
+            .collect();
+
+        let ring_result = run_ring(n, move |comm| {
+            let r = comm.rank();
+            let positions = &shards_ref[r];
+            let local_tokens: Vec<u32> = positions.iter().map(|&pos| tokens[pos - p]).collect();
+            let t_local = positions.len();
+            let dh = shape.head_dim();
+            let mut caches = ranks[r].lock().expect("one thread per rank");
+            let mut x = model.embed(&local_tokens);
+            for (l, block) in model.blocks().iter().enumerate() {
+                let h = rms_norm(&x, config.norm_eps)?;
+                let mut q = block
+                    .wq
+                    .forward(&h)?
+                    .reshape(&[t_local, shape.n_heads(), dh])?;
+                let mut k = block
+                    .wk
+                    .forward(&h)?
+                    .reshape(&[t_local, shape.n_kv_heads(), dh])?;
+                let v = block
+                    .wv
+                    .forward(&h)?
+                    .reshape(&[t_local, shape.n_kv_heads(), dh])?;
+                apply_rope(&mut q, positions, config.rope_base)?;
+                apply_rope(&mut k, positions, config.rope_base)?;
+                caches[l].append(SEQ, &k, &v, positions)?;
+
+                let (ck, cv, mut cpos) = caches[l].gather(SEQ)?;
+                let ck = ck.pad_dim0(ring_len, 0.0)?;
+                let cv = cv.pad_dim0(ring_len, 0.0)?;
+                cpos.resize(ring_len, PAD);
+                let local = LocalSeq {
+                    q,
+                    q_pos: positions.clone(),
+                    k: ck,
+                    v: cv,
+                    kv_pos: cpos,
+                };
+                let attn = match variant {
+                    RingVariant::PassKv => {
+                        ring_pass_kv_prefill(comm, &params, std::slice::from_ref(&local))?
+                    }
+                    RingVariant::PassQ => {
+                        ring_pass_q_prefill(comm, &params, std::slice::from_ref(&local))?
+                    }
+                }
+                .pop()
+                .expect("one sequence in, one out");
+                let attn_flat = attn.out.reshape(&[t_local, config.model_dim()])?;
+                x.add_assign(&block.wo.forward(&attn_flat)?)?;
+                let h = rms_norm(&x, config.norm_eps)?;
+                x.add_assign(&block.ffn.forward(&h)?)?;
+            }
+            rms_norm(&x, config.norm_eps)
+        });
+        let (outputs, traffic) = match ring_result {
+            Ok(v) => v,
+            Err(e) => {
+                for (r, &len) in snapshot.iter().enumerate() {
+                    let mut caches = self.ranks[r].lock().expect("threads joined");
+                    for c in caches.iter_mut() {
+                        let _ = c.truncate(SEQ, len);
+                    }
+                }
+                return Err(e);
+            }
+        };
+
+        // Un-shard to original order.
+        let mut out = Tensor::zeros(&[t, config.model_dim()]);
+        for (r, rank_out) in outputs.iter().enumerate() {
+            for (row, &pos) in shards[r].iter().enumerate() {
+                out.row_mut(pos - p).copy_from_slice(rank_out.row(row));
+            }
+        }
+        self.len += t;
+        Ok(ServeOutcome {
+            activations: out,
+            variant: Some(variant),
+            traffic,
+        })
+    }
+
+    /// Decodes one token: its KV lands on the rotating round-robin rank
+    /// (§3.6); each layer's attention is a batched ring pass-Q decode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer, cache and communication failures.
+    pub fn decode(&mut self, token: u32) -> Result<ServeOutcome, CoreError> {
+        let n = self.n_ranks;
+        let pos = self.len;
+        let owner = self.decode_step % n;
+
+        let config = *self.model.config();
+        let shape = config.shape;
+        let params = *self.model.attention_params();
+        let model = &self.model;
+        let ranks = &self.ranks;
+        // Snapshot the owner's cache length for failure rollback (only the
+        // owner appends during decode).
+        let owner_len = self.ranks[owner]
+            .lock()
+            .expect("no rank thread running")
+            .first()
+            .map_or(0, |c| c.seq_len(SEQ).unwrap_or(0));
+
+        let ring_result = run_ring(n, move |comm| {
+            let r = comm.rank();
+            let mut caches = ranks[r].lock().expect("one thread per rank");
+            let dh = shape.head_dim();
+            let mut x = if r == owner {
+                Some(model.embed(&[token]))
+            } else {
+                None
+            };
+            for (l, block) in model.blocks().iter().enumerate() {
+                // The owner projects the new token and appends its KV.
+                let slot = if let Some(x_ref) = &x {
+                    let h = rms_norm(x_ref, config.norm_eps)?;
+                    let mut q = block.wq.forward(&h)?.reshape(&[1, shape.n_heads(), dh])?;
+                    let mut k = block
+                        .wk
+                        .forward(&h)?
+                        .reshape(&[1, shape.n_kv_heads(), dh])?;
+                    let v = block
+                        .wv
+                        .forward(&h)?
+                        .reshape(&[1, shape.n_kv_heads(), dh])?;
+                    apply_rope(&mut q, &[pos], config.rope_base)?;
+                    apply_rope(&mut k, &[pos], config.rope_base)?;
+                    caches[l].append(SEQ, &k, &v, &[pos])?;
+                    Some(DecodeSlot { bid: 0, q, pos })
+                } else {
+                    None
+                };
+                let (ck, cv, cpos) = caches[l].gather(SEQ)?;
+                let batch_kv = [SeqKv {
+                    k: ck,
+                    v: cv,
+                    pos: cpos,
+                }];
+                let outs = ring_pass_q_decode(comm, &params, &[slot], &batch_kv)?;
+                if let Some(x_val) = x.take() {
+                    let attn = outs.into_iter().next().expect("owner has one slot");
+                    let attn_flat = attn.out.reshape(&[1, config.model_dim()])?;
+                    let mut x_new = x_val;
+                    x_new.add_assign(&block.wo.forward(&attn_flat)?)?;
+                    let h = rms_norm(&x_new, config.norm_eps)?;
+                    x_new.add_assign(&block.ffn.forward(&h)?)?;
+                    x = Some(x_new);
+                }
+            }
+            match x {
+                Some(x) => Ok(Some(rms_norm(&x, config.norm_eps)?)),
+                None => Ok(None),
+            }
+        });
+        let (outputs, traffic) = match ring_result {
+            Ok(v) => v,
+            Err(e) => {
+                let mut caches = self.ranks[owner].lock().expect("threads joined");
+                for c in caches.iter_mut() {
+                    let _ = c.truncate(SEQ, owner_len);
+                }
+                return Err(e);
+            }
+        };
+
+        let activations = outputs
+            .into_iter()
+            .flatten()
+            .next()
+            .expect("exactly one owner rank produced output");
+        self.len += 1;
+        self.decode_step += 1;
+        Ok(ServeOutcome {
+            activations,
+            variant: None,
+            traffic,
+        })
+    }
+}

@@ -1,0 +1,156 @@
+//! The single-device incremental (KV-cached) transformer session.
+
+use cp_attention::naive_gqa_attention;
+use cp_core::CoreError;
+use cp_model::rope::apply_rope;
+use cp_model::{rms_norm, Transformer};
+use cp_tensor::Tensor;
+
+/// A single-device transformer session with classic per-layer KV caching:
+/// each `process` call attends its new tokens against everything cached
+/// so far and appends their K/V — the textbook incremental decode loop,
+/// and the ground truth for [`crate::TransformerEngine`].
+#[derive(Debug, Clone)]
+pub struct ReferenceSession {
+    model: Transformer,
+    /// Per-layer cached keys/values, `[len, n_kv_heads, head_dim]`.
+    layer_k: Vec<Tensor>,
+    layer_v: Vec<Tensor>,
+    len: usize,
+}
+
+impl ReferenceSession {
+    /// Starts an empty session over `model`.
+    pub fn new(model: Transformer) -> Self {
+        let shape = model.config().shape;
+        let layers = model.config().n_layers;
+        let empty = Tensor::zeros(&[0, shape.n_kv_heads(), shape.head_dim()]);
+        ReferenceSession {
+            layer_k: vec![empty.clone(); layers],
+            layer_v: vec![empty; layers],
+            model,
+            len: 0,
+        }
+    }
+
+    /// Tokens processed so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` before any token has been processed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The model driving the session.
+    pub fn model(&self) -> &Transformer {
+        &self.model
+    }
+
+    /// Processes `tokens` (a prompt chunk or a single decode token)
+    /// against the cached context, returning their final activations
+    /// `[t, D]` and extending the cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape errors.
+    pub fn process(&mut self, tokens: &[u32]) -> Result<Tensor, CoreError> {
+        let config = *self.model.config();
+        let shape = config.shape;
+        let dh = shape.head_dim();
+        let t = tokens.len();
+        let positions: Vec<usize> = (self.len..self.len + t).collect();
+        let mut x = self.model.embed(tokens);
+        for (l, block) in self.model.blocks().iter().enumerate() {
+            let h = rms_norm(&x, config.norm_eps)?;
+            let mut q = block.wq.forward(&h)?.reshape(&[t, shape.n_heads(), dh])?;
+            let mut k = block
+                .wk
+                .forward(&h)?
+                .reshape(&[t, shape.n_kv_heads(), dh])?;
+            let v = block
+                .wv
+                .forward(&h)?
+                .reshape(&[t, shape.n_kv_heads(), dh])?;
+            apply_rope(&mut q, &positions, config.rope_base)?;
+            apply_rope(&mut k, &positions, config.rope_base)?;
+            self.layer_k[l] = Tensor::concat_dim0([&self.layer_k[l], &k])?;
+            self.layer_v[l] = Tensor::concat_dim0([&self.layer_v[l], &v])?;
+            let kv_pos: Vec<usize> = (0..self.len + t).collect();
+            let attn = naive_gqa_attention(
+                &q,
+                &self.layer_k[l],
+                &self.layer_v[l],
+                self.model.attention_params(),
+                &positions,
+                &kv_pos,
+            )?;
+            let attn_flat = attn.out.reshape(&[t, config.model_dim()])?;
+            x.add_assign(&block.wo.forward(&attn_flat)?)?;
+            let h = rms_norm(&x, config.norm_eps)?;
+            x.add_assign(&block.ffn.forward(&h)?)?;
+        }
+        self.len += t;
+        rms_norm(&x, config.norm_eps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_model::TransformerConfig;
+
+    #[test]
+    fn incremental_equals_full_forward() {
+        // The defining KV-cache property: processing a sequence in chunks
+        // yields exactly the full forward's activations per chunk.
+        let model = Transformer::new(&TransformerConfig::tiny(), 7);
+        let tokens: Vec<u32> = (0..20).map(|i| i * 7 % 50).collect();
+        let full = model.forward(&tokens).unwrap();
+
+        let mut session = ReferenceSession::new(model);
+        assert!(session.is_empty());
+        let chunks = [
+            &tokens[0..6],
+            &tokens[6..7],
+            &tokens[7..15],
+            &tokens[15..20],
+        ];
+        let mut offset = 0;
+        for chunk in chunks {
+            let out = session.process(chunk).unwrap();
+            let want = full.slice_dim0(offset..offset + chunk.len()).unwrap();
+            assert!(
+                out.approx_eq(&want, 2e-3).unwrap(),
+                "chunk at {offset}: {}",
+                out.max_abs_diff(&want).unwrap()
+            );
+            offset += chunk.len();
+        }
+        assert_eq!(session.len(), tokens.len());
+    }
+
+    #[test]
+    fn token_by_token_decode_matches() {
+        let model = Transformer::new(&TransformerConfig::tiny(), 8);
+        let tokens: Vec<u32> = (0..9).collect();
+        let full = model.forward(&tokens).unwrap();
+        let mut session = ReferenceSession::new(model);
+        for (i, &tok) in tokens.iter().enumerate() {
+            let out = session.process(&[tok]).unwrap();
+            let want = full.slice_dim0(i..i + 1).unwrap();
+            assert!(out.approx_eq(&want, 2e-3).unwrap(), "token {i}");
+        }
+    }
+
+    #[test]
+    fn empty_chunk_is_a_noop() {
+        let model = Transformer::new(&TransformerConfig::tiny(), 9);
+        let mut session = ReferenceSession::new(model);
+        session.process(&[1, 2, 3]).unwrap();
+        let out = session.process(&[]).unwrap();
+        assert_eq!(out.dim0(), 0);
+        assert_eq!(session.len(), 3);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based exactness for the full-model serving engine: random
+//! multi-turn traces (prefill/decode interleavings), random architectures,
+//! random rank counts — always equal to the incremental reference.
+
+use cp_attention::GqaShape;
+use cp_model::{Transformer, TransformerConfig};
+use cp_serve::{ReferenceSession, TransformerEngine};
+use proptest::prelude::*;
+
+fn random_config() -> impl Strategy<Value = TransformerConfig> {
+    (1usize..3, 1usize..3, 1usize..3).prop_map(|(g, kv, layers)| {
+        let shape = GqaShape::new(g * kv, kv, 8).unwrap();
+        TransformerConfig {
+            shape,
+            n_layers: layers,
+            ffn_dim: shape.model_dim() * 2,
+            vocab: 128,
+            rope_base: 10_000.0,
+            norm_eps: 1e-5,
+        }
+    })
+}
+
+/// A trace step: a prefill of 1-12 tokens or a decode of one token.
+fn trace_strategy() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    prop::collection::vec(
+        prop_oneof![
+            prop::collection::vec(0u32..128, 1..12), // prefill chunk
+            prop::collection::vec(0u32..128, 1..2),  // decode-sized chunk
+        ],
+        1..6,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any trace, any ranks: distributed == incremental reference.
+    #[test]
+    fn serving_traces_are_exact(
+        config in random_config(),
+        trace in trace_strategy(),
+        n in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let model = Transformer::new(&config, seed);
+        let mut reference = ReferenceSession::new(model.clone());
+        let mut engine = TransformerEngine::new(model, n).unwrap();
+        for (i, chunk) in trace.iter().enumerate() {
+            let expected = reference.process(chunk).unwrap();
+            let out = if chunk.len() == 1 && i > 0 {
+                engine.decode(chunk[0]).unwrap()
+            } else {
+                engine.prefill(chunk).unwrap()
+            };
+            prop_assert!(
+                out.activations.approx_eq(&expected, 5e-3).unwrap(),
+                "step {i}: max diff {}",
+                out.activations.max_abs_diff(&expected).unwrap()
+            );
+        }
+        prop_assert_eq!(engine.context_len(), reference.len());
+    }
+
+    /// KV distribution stays balanced across any trace.
+    #[test]
+    fn serving_kv_stays_balanced(
+        trace in trace_strategy(),
+        n in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        let model = Transformer::new(&TransformerConfig::tiny(), seed);
+        let mut engine = TransformerEngine::new(model, n).unwrap();
+        let mut total = 0usize;
+        for (i, chunk) in trace.iter().enumerate() {
+            if chunk.len() == 1 && i > 0 {
+                engine.decode(chunk[0]).unwrap();
+            } else {
+                engine.prefill(chunk).unwrap();
+            }
+            total += chunk.len();
+        }
+        let lens = engine.rank_kv_lens();
+        prop_assert_eq!(lens.iter().sum::<usize>(), total);
+        let max = *lens.iter().max().unwrap();
+        let min = *lens.iter().min().unwrap();
+        // Bound: one 2N-chunk's worth per prefill turn plus decode ±1.
+        let bound: usize = trace
+            .iter()
+            .map(|c| c.len().div_ceil(2 * n) * 2)
+            .sum::<usize>()
+            .max(1);
+        prop_assert!(max - min <= bound, "{lens:?} (bound {bound})");
+    }
+}

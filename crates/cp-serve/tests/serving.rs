@@ -1,0 +1,160 @@
+//! The headline exactness contract of the full-model serving engine:
+//! arbitrary multi-turn traces match the single-device incremental
+//! reference on any rank count, with either ring variant.
+
+use cp_model::{Transformer, TransformerConfig};
+use cp_perf::RingVariant;
+use cp_serve::{ReferenceSession, TransformerEngine};
+
+fn model(seed: u64) -> Transformer {
+    Transformer::new(&TransformerConfig::tiny(), seed)
+}
+
+#[test]
+fn multi_turn_trace_matches_reference_on_all_rank_counts() {
+    // prefill(9) -> decode x3 -> prefill(5) -> decode x2 -> prefill(12)
+    let trace: &[&[u32]] = &[
+        &[1, 2, 3, 4, 5, 6, 7, 8, 9],
+        &[100],
+        &[101],
+        &[102],
+        &[10, 11, 12, 13, 14],
+        &[103],
+        &[104],
+        &[20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31],
+    ];
+    let mut reference = ReferenceSession::new(model(42));
+    let expected: Vec<_> = trace
+        .iter()
+        .map(|chunk| reference.process(chunk).unwrap())
+        .collect();
+
+    for n in [1usize, 2, 3, 4] {
+        let mut engine = TransformerEngine::new(model(42), n).unwrap();
+        for (i, chunk) in trace.iter().enumerate() {
+            let out = if chunk.len() == 1 && i > 0 {
+                engine.decode(chunk[0]).unwrap()
+            } else {
+                engine.prefill(chunk).unwrap()
+            };
+            assert!(
+                out.activations.approx_eq(&expected[i], 3e-3).unwrap(),
+                "n={n} step {i}: max diff {}",
+                out.activations.max_abs_diff(&expected[i]).unwrap()
+            );
+        }
+        assert_eq!(engine.context_len(), reference.len());
+    }
+}
+
+#[test]
+fn both_prefill_variants_are_exact_against_persistent_cache() {
+    let mut reference = ReferenceSession::new(model(7));
+    let first = reference.process(&[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+    let second = reference.process(&[9, 10, 11]).unwrap();
+
+    for variant in [RingVariant::PassKv, RingVariant::PassQ] {
+        let mut engine = TransformerEngine::new(model(7), 3).unwrap();
+        let a = engine
+            .prefill_with(&[1, 2, 3, 4, 5, 6, 7, 8], Some(variant))
+            .unwrap();
+        assert!(a.activations.approx_eq(&first, 3e-3).unwrap(), "{variant}");
+        assert_eq!(a.variant, Some(variant));
+        let b = engine.prefill_with(&[9, 10, 11], Some(variant)).unwrap();
+        assert!(b.activations.approx_eq(&second, 3e-3).unwrap(), "{variant}");
+    }
+}
+
+#[test]
+fn decode_rotation_balances_per_layer_caches() {
+    let mut engine = TransformerEngine::new(model(5), 4).unwrap();
+    engine.prefill(&[0; 8]).unwrap();
+    let before = engine.rank_kv_lens();
+    for i in 0..20 {
+        engine.decode(i).unwrap();
+    }
+    let after = engine.rank_kv_lens();
+    let grown: Vec<usize> = after.iter().zip(&before).map(|(a, b)| a - b).collect();
+    assert_eq!(grown, vec![5; 4], "decode KV growth must rotate evenly");
+}
+
+#[test]
+fn traffic_accounting_prefill_vs_decode() {
+    let mut engine = TransformerEngine::new(model(6), 3).unwrap();
+    let pre = engine
+        .prefill_with(&[0; 30], Some(RingVariant::PassKv))
+        .unwrap();
+    assert!(pre.traffic.send_recv_bytes > 0);
+    assert_eq!(pre.traffic.all_to_all_bytes, 0);
+    let dec = engine.decode(1).unwrap();
+    // Decode is pass-Q: tiny SendRecv plus the output All2All, per layer.
+    assert!(dec.traffic.all_to_all_bytes > 0);
+    assert!(
+        dec.traffic.send_recv_bytes < pre.traffic.send_recv_bytes / 4,
+        "decode ring bytes {} should be far below prefill's {}",
+        dec.traffic.send_recv_bytes,
+        pre.traffic.send_recv_bytes
+    );
+    assert_eq!(dec.variant, None);
+}
+
+#[test]
+fn heuristic_switches_to_pass_q_for_tiny_follow_ups() {
+    // Big document then a 2-token follow-up: the Algorithm 1 heuristic
+    // (evaluated against the 405B/GTT context) must pick pass-Q once the
+    // miss rate drops below the Eq. 1/Eq. 2 thresholds.
+    let mut engine = TransformerEngine::new(model(8), 2).unwrap();
+    let first = engine.prefill(&vec![3u32; 64]).unwrap();
+    assert_eq!(first.variant, Some(RingVariant::PassKv));
+    let follow = engine.prefill(&[4, 5]).unwrap();
+    assert_eq!(follow.variant, Some(RingVariant::PassQ));
+}
+
+#[test]
+fn failed_turn_rolls_back_all_layer_caches() {
+    // 1 page of 16 tokens per (rank, layer): a 20-token-per-rank turn
+    // overflows mid-layer; every layer cache must rewind to the snapshot.
+    let mut engine = TransformerEngine::with_cache_limit(model(12), 2, Some(1)).unwrap();
+    engine.prefill(&(0..12u32).collect::<Vec<_>>()).unwrap(); // 6/rank: fits
+    let before = engine.rank_kv_lens();
+    let big: Vec<u32> = (0..60).collect(); // 30/rank: overflows
+    assert!(engine.prefill(&big).is_err());
+    assert_eq!(engine.context_len(), 12);
+    assert_eq!(engine.rank_kv_lens(), before);
+    // Still serviceable afterwards.
+    let mut reference = ReferenceSession::new(model(12));
+    reference.process(&(0..12u32).collect::<Vec<_>>()).unwrap();
+    let d = engine.decode(7).unwrap();
+    let e = reference.process(&[7]).unwrap();
+    assert!(d.activations.approx_eq(&e, 3e-3).unwrap());
+}
+
+#[test]
+fn zero_ranks_rejected_and_empty_prefill_ok() {
+    assert!(TransformerEngine::new(model(1), 0).is_err());
+    let mut engine = TransformerEngine::new(model(1), 2).unwrap();
+    let out = engine.prefill(&[]).unwrap();
+    assert_eq!(out.activations.dim0(), 0);
+    assert_eq!(engine.context_len(), 0);
+}
+
+#[test]
+fn deeper_model_multi_turn_exactness() {
+    let cfg = TransformerConfig::small(); // 4 layers, D=128
+    let m = Transformer::new(&cfg, 99);
+    let mut reference = ReferenceSession::new(m.clone());
+    let mut engine = TransformerEngine::new(m, 4).unwrap();
+    let prompt: Vec<u32> = (0..25).collect();
+    let a = engine.prefill(&prompt).unwrap();
+    let ea = reference.process(&prompt).unwrap();
+    assert!(
+        a.activations.approx_eq(&ea, 5e-3).unwrap(),
+        "max diff {}",
+        a.activations.max_abs_diff(&ea).unwrap()
+    );
+    for tok in [200u32, 201] {
+        let d = engine.decode(tok).unwrap();
+        let ed = reference.process(&[tok]).unwrap();
+        assert!(d.activations.approx_eq(&ed, 5e-3).unwrap());
+    }
+}

@@ -1,0 +1,178 @@
+//! Round-robin decode sharding with a rotating offset (paper §3.6).
+
+use crate::ShardingError;
+
+/// The assignment of one decode step's batch to CP ranks.
+///
+/// Decode produces exactly one token per sequence per step. Pinning a
+/// sequence's decode tokens to a single rank would grow that rank's KV
+/// cache unboundedly and OOM it first; the paper instead shards each step's
+/// batch round-robin and rotates the starting rank by one every iteration,
+/// so cache growth is level across ranks. The batch is padded up to a
+/// multiple of the rank count (the padding the paper notes as a decode
+/// overhead for small batches — Table 8's discussion).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeAssignment {
+    batch_size: usize,
+    n_ranks: usize,
+    offset: usize,
+    /// rank of each (real) batch element.
+    ranks: Vec<usize>,
+}
+
+impl DecodeAssignment {
+    /// Rank that decodes batch element `i` this step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= batch_size`.
+    pub fn rank_of(&self, i: usize) -> usize {
+        self.ranks[i]
+    }
+
+    /// Batch indices assigned to `rank` this step, ascending.
+    pub fn batch_for(&self, rank: usize) -> Vec<usize> {
+        (0..self.batch_size)
+            .filter(|&i| self.ranks[i] == rank)
+            .collect()
+    }
+
+    /// Padded batch size: `batch_size` rounded up to a multiple of
+    /// `n_ranks` (every rank processes `padded / n_ranks` query slots,
+    /// some of which may be padding).
+    pub fn padded_batch_size(&self) -> usize {
+        self.batch_size.div_ceil(self.n_ranks).max(1) * self.n_ranks
+    }
+
+    /// Query slots per rank including padding.
+    pub fn slots_per_rank(&self) -> usize {
+        self.padded_batch_size() / self.n_ranks
+    }
+
+    /// Number of padding (wasted) query slots this step.
+    pub fn padding(&self) -> usize {
+        self.padded_batch_size() - self.batch_size
+    }
+
+    /// The rotation offset used for this step.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+}
+
+/// Computes the decode assignment for one step: batch element `i` goes to
+/// rank `(i + step) % n_ranks`, i.e. round-robin with the starting rank
+/// rotating by one each decode iteration.
+///
+/// # Errors
+///
+/// Returns [`ShardingError::ZeroRanks`] if `n_ranks == 0`.
+///
+/// # Example
+///
+/// ```
+/// use cp_sharding::decode_round_robin;
+///
+/// # fn main() -> Result<(), cp_sharding::ShardingError> {
+/// let step0 = decode_round_robin(4, 2, 0)?;
+/// assert_eq!(step0.batch_for(0), vec![0, 2]);
+/// let step1 = decode_round_robin(4, 2, 1)?;
+/// assert_eq!(step1.batch_for(0), vec![1, 3]); // rotated by one
+/// # Ok(())
+/// # }
+/// ```
+pub fn decode_round_robin(
+    batch_size: usize,
+    n_ranks: usize,
+    step: usize,
+) -> Result<DecodeAssignment, ShardingError> {
+    if n_ranks == 0 {
+        return Err(ShardingError::ZeroRanks);
+    }
+    let offset = step % n_ranks;
+    let ranks = (0..batch_size).map(|i| (i + offset) % n_ranks).collect();
+    Ok(DecodeAssignment {
+        batch_size,
+        n_ranks,
+        offset,
+        ranks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_without_offset() {
+        let a = decode_round_robin(5, 3, 0).unwrap();
+        assert_eq!(a.rank_of(0), 0);
+        assert_eq!(a.rank_of(1), 1);
+        assert_eq!(a.rank_of(2), 2);
+        assert_eq!(a.rank_of(3), 0);
+        assert_eq!(a.rank_of(4), 1);
+    }
+
+    #[test]
+    fn offset_rotates_each_step() {
+        for step in 0..7 {
+            let a = decode_round_robin(3, 3, step).unwrap();
+            assert_eq!(a.offset(), step % 3);
+            assert_eq!(a.rank_of(0), step % 3);
+        }
+    }
+
+    #[test]
+    fn every_batch_element_assigned_exactly_once() {
+        let a = decode_round_robin(10, 4, 2).unwrap();
+        let mut all: Vec<usize> = (0..4).flat_map(|r| a.batch_for(r)).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn kv_growth_balanced_over_many_steps() {
+        // Simulate 120 decode steps with batch 1 over 4 ranks: each rank
+        // must end up with exactly 30 decode tokens.
+        let n = 4;
+        let mut kv_tokens = vec![0usize; n];
+        for step in 0..120 {
+            let a = decode_round_robin(1, n, step).unwrap();
+            kv_tokens[a.rank_of(0)] += 1;
+        }
+        assert_eq!(kv_tokens, vec![30; 4]);
+    }
+
+    #[test]
+    fn pinned_assignment_would_be_imbalanced() {
+        // Contrast: without rotation everything lands on rank 0.
+        let n = 4;
+        let mut kv_tokens = vec![0usize; n];
+        for _ in 0..120 {
+            let a = decode_round_robin(1, n, 0).unwrap();
+            kv_tokens[a.rank_of(0)] += 1;
+        }
+        assert_eq!(kv_tokens[0], 120);
+        assert_eq!(kv_tokens[1..], [0, 0, 0]);
+    }
+
+    #[test]
+    fn padding_accounts_for_small_batches() {
+        let a = decode_round_robin(1, 4, 0).unwrap();
+        assert_eq!(a.padded_batch_size(), 4);
+        assert_eq!(a.slots_per_rank(), 1);
+        assert_eq!(a.padding(), 3);
+
+        let b = decode_round_robin(8, 4, 0).unwrap();
+        assert_eq!(b.padded_batch_size(), 8);
+        assert_eq!(b.padding(), 0);
+
+        let c = decode_round_robin(0, 4, 0).unwrap();
+        assert_eq!(c.padded_batch_size(), 4); // at least one slot per rank
+    }
+
+    #[test]
+    fn zero_ranks_rejected() {
+        assert!(decode_round_robin(4, 0, 0).is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! Error type for sharding operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by sharding constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ShardingError {
+    /// A plan was requested over zero ranks.
+    ZeroRanks,
+    /// A rank index exceeds the plan's rank count.
+    RankOutOfRange {
+        /// The offending rank.
+        rank: usize,
+        /// Ranks in the plan.
+        n_ranks: usize,
+    },
+}
+
+impl fmt::Display for ShardingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardingError::ZeroRanks => write!(f, "sharding requires at least one rank"),
+            ShardingError::RankOutOfRange { rank, n_ranks } => {
+                write!(f, "rank {rank} out of range for {n_ranks} ranks")
+            }
+        }
+    }
+}
+
+impl Error for ShardingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!ShardingError::ZeroRanks.to_string().is_empty());
+        assert!(ShardingError::RankOutOfRange {
+            rank: 3,
+            n_ranks: 2
+        }
+        .to_string()
+        .contains('3'));
+    }
+}

@@ -1,0 +1,53 @@
+//! Load-balanced sharding of sequences over context-parallel ranks.
+//!
+//! Causal attention makes naive contiguous sharding badly imbalanced: the
+//! rank holding the tail of the sequence attends to (almost) everything,
+//! while the rank holding the head attends to (almost) nothing. The paper
+//! (§3.5.1) balances both compute and KV-cache memory by splitting a
+//! sequence into `2N` chunks and giving rank `i` the pair
+//! `(C_i, C_{2N-1-i})` — one "cheap" early chunk plus one "expensive" late
+//! chunk.
+//!
+//! This crate implements that scheme and the layouts built on it:
+//!
+//! * [`ShardPlan`] — the 2N-chunk assignment for a single sequence,
+//! * [`shard_varseq`] — per-sequence sharding for fused variable-length
+//!   batches (Figure 1),
+//! * [`shard_new_tokens`] — partial-prefill sharding of the *new-token*
+//!   dimension only, regardless of how cached tokens are laid out
+//!   (Figure 2),
+//! * [`decode_round_robin`] — batched decode assignment with a per-step
+//!   offset so KV growth stays balanced (§3.6).
+//!
+//! # Example
+//!
+//! ```
+//! use cp_sharding::ShardPlan;
+//!
+//! # fn main() -> Result<(), cp_sharding::ShardingError> {
+//! let plan = ShardPlan::new(16, 2)?; // 16 tokens over 2 CP ranks
+//! // Rank 0 takes chunks 0 and 3: positions 0-3 and 12-15.
+//! assert_eq!(plan.positions_for(0), vec![0, 1, 2, 3, 12, 13, 14, 15]);
+//! // Rank 1 takes chunks 1 and 2: positions 4-11.
+//! assert_eq!(plan.positions_for(1), vec![4, 5, 6, 7, 8, 9, 10, 11]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod decode;
+mod error;
+mod plan;
+mod striped;
+mod varseq;
+
+pub use decode::{decode_round_robin, DecodeAssignment};
+pub use error::ShardingError;
+pub use plan::{naive_contiguous_positions, ShardPlan};
+pub use striped::StripedPlan;
+pub use varseq::{
+    shard_new_tokens, shard_new_tokens_with, shard_varseq, shard_varseq_with, RankShard,
+    SequenceSpec, ShardEntry, ShardStrategy,
+};

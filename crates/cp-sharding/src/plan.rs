@@ -1,0 +1,285 @@
+//! The 2N-chunk load-balanced shard plan for one sequence.
+
+use std::ops::Range;
+
+use crate::ShardingError;
+
+/// Load-balanced assignment of a `seq_len`-token sequence to `n_ranks`
+/// context-parallel ranks (paper §3.5.1).
+///
+/// The sequence is split into `2N` equal chunks (the last chunk may be
+/// short, mirroring the paper's padding); rank `i` owns chunks `i` and
+/// `2N-1-i`. Pairing an early chunk with a late chunk balances the causal
+/// attention triangle: every rank ends up with (nearly) the same number of
+/// (query, visible-kv) pairs *and* the same number of tokens, so both
+/// compute and KV-cache memory are level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardPlan {
+    seq_len: usize,
+    n_ranks: usize,
+    chunk_len: usize,
+}
+
+impl ShardPlan {
+    /// Creates a plan for a sequence of `seq_len` tokens over `n_ranks`
+    /// ranks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardingError::ZeroRanks`] if `n_ranks == 0`.
+    pub fn new(seq_len: usize, n_ranks: usize) -> Result<Self, ShardingError> {
+        if n_ranks == 0 {
+            return Err(ShardingError::ZeroRanks);
+        }
+        // ceil(seq_len / 2N); zero-length sequences get zero-length chunks.
+        let chunk_len = seq_len.div_ceil(2 * n_ranks);
+        Ok(ShardPlan {
+            seq_len,
+            n_ranks,
+            chunk_len,
+        })
+    }
+
+    /// Sequence length the plan covers.
+    pub fn seq_len(&self) -> usize {
+        self.seq_len
+    }
+
+    /// Number of CP ranks.
+    pub fn n_ranks(&self) -> usize {
+        self.n_ranks
+    }
+
+    /// Length of each of the `2N` chunks (the final chunk may be clipped).
+    pub fn chunk_len(&self) -> usize {
+        self.chunk_len
+    }
+
+    fn check_rank(&self, rank: usize) -> Result<(), ShardingError> {
+        if rank >= self.n_ranks {
+            return Err(ShardingError::RankOutOfRange {
+                rank,
+                n_ranks: self.n_ranks,
+            });
+        }
+        Ok(())
+    }
+
+    /// Clips chunk `c`'s nominal range to the sequence length.
+    fn chunk_range(&self, c: usize) -> Range<usize> {
+        let start = (c * self.chunk_len).min(self.seq_len);
+        let end = ((c + 1) * self.chunk_len).min(self.seq_len);
+        start..end
+    }
+
+    /// The two position ranges rank `rank` owns: chunk `rank` (early) and
+    /// chunk `2N-1-rank` (late). Either range may be empty when the
+    /// sequence is short.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardingError::RankOutOfRange`] for an invalid rank.
+    pub fn ranges_for(&self, rank: usize) -> Result<[Range<usize>; 2], ShardingError> {
+        self.check_rank(rank)?;
+        Ok([
+            self.chunk_range(rank),
+            self.chunk_range(2 * self.n_ranks - 1 - rank),
+        ])
+    }
+
+    /// The global positions rank `rank` owns, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= n_ranks` (use [`ShardPlan::ranges_for`] for a
+    /// fallible variant).
+    pub fn positions_for(&self, rank: usize) -> Vec<usize> {
+        let [a, b] = self
+            .ranges_for(rank)
+            .expect("rank checked by caller of positions_for");
+        a.chain(b).collect()
+    }
+
+    /// Number of tokens rank `rank` owns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= n_ranks`.
+    pub fn tokens_for(&self, rank: usize) -> usize {
+        let [a, b] = self.ranges_for(rank).expect("rank in range");
+        a.len() + b.len()
+    }
+
+    /// The rank owning global position `pos`, or `None` if out of range.
+    pub fn rank_of(&self, pos: usize) -> Option<usize> {
+        if pos >= self.seq_len || self.chunk_len == 0 {
+            return None;
+        }
+        let chunk = pos / self.chunk_len;
+        Some(if chunk < self.n_ranks {
+            chunk
+        } else {
+            2 * self.n_ranks - 1 - chunk
+        })
+    }
+
+    /// Causal-attention work owned by rank `rank`, counted as the number of
+    /// (query, visible kv) pairs — query at position `p` sees `p + 1` kv
+    /// entries. This is the compute-balance metric the 2N-chunk scheme
+    /// levels (ablation benches compare it against
+    /// [`naive_contiguous_positions`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= n_ranks`.
+    pub fn causal_pairs_for(&self, rank: usize) -> u128 {
+        self.ranges_for(rank)
+            .expect("rank in range")
+            .iter()
+            .flat_map(|r| r.clone())
+            .map(|p| (p + 1) as u128)
+            .sum()
+    }
+}
+
+/// Positions a *naive* contiguous partition gives rank `rank`: the
+/// `rank`-th of `n_ranks` equal slices. This is the baseline the paper's
+/// load-balanced scheme replaces; kept for ablation comparisons.
+///
+/// # Panics
+///
+/// Panics if `n_ranks == 0`.
+pub fn naive_contiguous_positions(seq_len: usize, n_ranks: usize, rank: usize) -> Vec<usize> {
+    assert!(n_ranks > 0, "n_ranks must be positive");
+    let chunk = seq_len.div_ceil(n_ranks);
+    let start = (rank * chunk).min(seq_len);
+    let end = ((rank + 1) * chunk).min(seq_len);
+    (start..end).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_two_ranks() {
+        // Figure 1: with CP2 a sequence is cut into 4 chunks; rank 0 gets
+        // (C0, C3), rank 1 gets (C1, C2).
+        let plan = ShardPlan::new(8, 2).unwrap();
+        assert_eq!(plan.chunk_len(), 2);
+        assert_eq!(plan.positions_for(0), vec![0, 1, 6, 7]);
+        assert_eq!(plan.positions_for(1), vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn all_positions_covered_exactly_once() {
+        for seq_len in [0, 1, 5, 16, 17, 100] {
+            for n in [1, 2, 3, 4, 8] {
+                let plan = ShardPlan::new(seq_len, n).unwrap();
+                let mut all: Vec<usize> = (0..n).flat_map(|r| plan.positions_for(r)).collect();
+                all.sort_unstable();
+                let expected: Vec<usize> = (0..seq_len).collect();
+                assert_eq!(all, expected, "seq_len={seq_len} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn token_counts_balanced_within_two_chunks() {
+        let plan = ShardPlan::new(1000, 8).unwrap();
+        let counts: Vec<usize> = (0..8).map(|r| plan.tokens_for(r)).collect();
+        let max = counts.iter().max().unwrap();
+        let min = counts.iter().min().unwrap();
+        assert!(max - min <= 2 * plan.chunk_len());
+    }
+
+    #[test]
+    fn causal_pairs_balanced_vs_naive() {
+        let seq_len = 4096;
+        let n = 4;
+        let plan = ShardPlan::new(seq_len, n).unwrap();
+        let lb: Vec<u128> = (0..n).map(|r| plan.causal_pairs_for(r)).collect();
+        let lb_max = *lb.iter().max().unwrap() as f64;
+        let lb_min = *lb.iter().min().unwrap() as f64;
+        // Load-balanced: spread within a few percent.
+        assert!(lb_max / lb_min < 1.05, "lb spread {lb:?}");
+
+        // Naive contiguous: last rank does ~(2N-1)x the first rank's work.
+        let naive: Vec<u128> = (0..n)
+            .map(|r| {
+                naive_contiguous_positions(seq_len, n, r)
+                    .iter()
+                    .map(|&p| (p + 1) as u128)
+                    .sum()
+            })
+            .collect();
+        let nv_max = *naive.iter().max().unwrap() as f64;
+        let nv_min = *naive.iter().min().unwrap() as f64;
+        assert!(nv_max / nv_min > 5.0, "naive spread {naive:?}");
+    }
+
+    #[test]
+    fn rank_of_inverts_positions_for() {
+        let plan = ShardPlan::new(37, 3).unwrap();
+        for r in 0..3 {
+            for p in plan.positions_for(r) {
+                assert_eq!(plan.rank_of(p), Some(r), "pos {p}");
+            }
+        }
+        assert_eq!(plan.rank_of(37), None);
+        assert_eq!(plan.rank_of(1000), None);
+    }
+
+    #[test]
+    fn single_rank_owns_everything() {
+        let plan = ShardPlan::new(10, 1).unwrap();
+        assert_eq!(plan.positions_for(0), (0..10).collect::<Vec<_>>());
+        assert_eq!(plan.tokens_for(0), 10);
+    }
+
+    #[test]
+    fn short_sequence_leaves_late_chunks_empty() {
+        // 3 tokens over 4 ranks: chunk_len = 1, chunks 0,1,2 populated.
+        let plan = ShardPlan::new(3, 4).unwrap();
+        assert_eq!(plan.positions_for(0), vec![0]); // chunk 0 (chunk 7 empty)
+        assert_eq!(plan.positions_for(1), vec![1]);
+        assert_eq!(plan.positions_for(2), vec![2]);
+        assert_eq!(plan.positions_for(3), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn zero_length_sequence() {
+        let plan = ShardPlan::new(0, 4).unwrap();
+        for r in 0..4 {
+            assert!(plan.positions_for(r).is_empty());
+            assert_eq!(plan.causal_pairs_for(r), 0);
+        }
+        assert_eq!(plan.rank_of(0), None);
+    }
+
+    #[test]
+    fn zero_ranks_rejected() {
+        assert_eq!(ShardPlan::new(8, 0).unwrap_err(), ShardingError::ZeroRanks);
+    }
+
+    #[test]
+    fn ranges_for_invalid_rank_errors() {
+        let plan = ShardPlan::new(8, 2).unwrap();
+        assert!(matches!(
+            plan.ranges_for(2),
+            Err(ShardingError::RankOutOfRange {
+                rank: 2,
+                n_ranks: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn naive_contiguous_covers_sequence() {
+        let mut all: Vec<usize> = (0..3)
+            .flat_map(|r| naive_contiguous_positions(10, 3, r))
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,186 @@
+//! Striped sharding (Brandon et al., "Striped Attention") — the
+//! round-robin alternative to the paper's 2N-chunk scheme.
+//!
+//! Striped attention assigns token `p` to rank `(p / stripe) % N`:
+//! fine-grained interleaving that also balances causal work, at the cost
+//! of maximal position fragmentation (worse locality for fused kernels,
+//! and in the paper's multi-turn setting it scatters each turn across all
+//! ranks at stripe granularity). It is provided here as a comparison
+//! strategy for the sharding ablations; the engine uses the paper's
+//! 2N-chunk plan.
+
+use crate::ShardingError;
+
+/// Striped assignment of a sequence to ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StripedPlan {
+    seq_len: usize,
+    n_ranks: usize,
+    stripe: usize,
+}
+
+impl StripedPlan {
+    /// Creates a plan with stripes of `stripe` consecutive tokens.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardingError::ZeroRanks`] if `n_ranks == 0`; a zero
+    /// `stripe` is treated as 1.
+    pub fn new(seq_len: usize, n_ranks: usize, stripe: usize) -> Result<Self, ShardingError> {
+        if n_ranks == 0 {
+            return Err(ShardingError::ZeroRanks);
+        }
+        Ok(StripedPlan {
+            seq_len,
+            n_ranks,
+            stripe: stripe.max(1),
+        })
+    }
+
+    /// Sequence length covered.
+    pub fn seq_len(&self) -> usize {
+        self.seq_len
+    }
+
+    /// Number of ranks.
+    pub fn n_ranks(&self) -> usize {
+        self.n_ranks
+    }
+
+    /// Stripe width in tokens.
+    pub fn stripe(&self) -> usize {
+        self.stripe
+    }
+
+    /// The rank owning position `pos`, or `None` past the end.
+    pub fn rank_of(&self, pos: usize) -> Option<usize> {
+        if pos >= self.seq_len {
+            return None;
+        }
+        Some((pos / self.stripe) % self.n_ranks)
+    }
+
+    /// Global positions owned by `rank`, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= n_ranks`.
+    pub fn positions_for(&self, rank: usize) -> Vec<usize> {
+        assert!(rank < self.n_ranks, "rank out of range");
+        (0..self.seq_len)
+            .filter(|&p| (p / self.stripe) % self.n_ranks == rank)
+            .collect()
+    }
+
+    /// Causal work owned by `rank` (same metric as
+    /// [`crate::ShardPlan::causal_pairs_for`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= n_ranks`.
+    pub fn causal_pairs_for(&self, rank: usize) -> u128 {
+        self.positions_for(rank)
+            .iter()
+            .map(|&p| (p + 1) as u128)
+            .sum()
+    }
+
+    /// Number of contiguous runs in `rank`'s position set — the
+    /// fragmentation metric where the 2N-chunk scheme (2 runs) beats
+    /// striping (`~seq_len / (stripe * n)` runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= n_ranks`.
+    pub fn fragments_for(&self, rank: usize) -> usize {
+        let pos = self.positions_for(rank);
+        if pos.is_empty() {
+            return 0;
+        }
+        1 + pos.windows(2).filter(|w| w[1] != w[0] + 1).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ShardPlan;
+
+    #[test]
+    fn partition_property() {
+        for (len, n, stripe) in [(16, 2, 1), (17, 3, 2), (100, 4, 8), (5, 8, 1)] {
+            let plan = StripedPlan::new(len, n, stripe).unwrap();
+            let mut all: Vec<usize> = (0..n).flat_map(|r| plan.positions_for(r)).collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..len).collect::<Vec<_>>(), "{len} {n} {stripe}");
+        }
+    }
+
+    #[test]
+    fn rank_of_agrees_with_positions() {
+        let plan = StripedPlan::new(37, 3, 4).unwrap();
+        for r in 0..3 {
+            for p in plan.positions_for(r) {
+                assert_eq!(plan.rank_of(p), Some(r));
+            }
+        }
+        assert_eq!(plan.rank_of(37), None);
+    }
+
+    #[test]
+    fn stripe_one_balances_causal_work_well() {
+        let n = 4;
+        let plan = StripedPlan::new(4096, n, 1).unwrap();
+        let work: Vec<u128> = (0..n).map(|r| plan.causal_pairs_for(r)).collect();
+        let max = *work.iter().max().unwrap() as f64;
+        let min = *work.iter().min().unwrap() as f64;
+        assert!(max / min < 1.01, "{work:?}");
+    }
+
+    #[test]
+    fn comparable_balance_to_chunked_but_far_more_fragments() {
+        let (len, n) = (4096, 4);
+        let striped = StripedPlan::new(len, n, 1).unwrap();
+        let chunked = ShardPlan::new(len, n).unwrap();
+        // Balance: both schemes within a few percent of the mean.
+        for r in 0..n {
+            let s = striped.causal_pairs_for(r) as f64;
+            let c = chunked.causal_pairs_for(r) as f64;
+            assert!((s / c - 1.0).abs() < 0.05, "rank {r}: {s} vs {c}");
+        }
+        // Fragmentation: chunked has 2 runs per rank, striped has ~len/n.
+        assert_eq!(
+            (0..n)
+                .map(|r| {
+                    let pos = chunked.positions_for(r);
+                    1 + pos.windows(2).filter(|w| w[1] != w[0] + 1).count()
+                })
+                .max()
+                .unwrap(),
+            2
+        );
+        assert!(striped.fragments_for(0) > 500);
+    }
+
+    #[test]
+    fn wider_stripes_reduce_fragments() {
+        let a = StripedPlan::new(1024, 4, 1).unwrap();
+        let b = StripedPlan::new(1024, 4, 16).unwrap();
+        assert!(b.fragments_for(0) < a.fragments_for(0));
+        assert_eq!(b.fragments_for(0), 1024 / 16 / 4);
+    }
+
+    #[test]
+    fn zero_stripe_clamps_to_one() {
+        let plan = StripedPlan::new(8, 2, 0).unwrap();
+        assert_eq!(plan.stripe(), 1);
+    }
+
+    #[test]
+    fn zero_ranks_rejected_and_empty_seq_ok() {
+        assert!(StripedPlan::new(8, 0, 1).is_err());
+        let plan = StripedPlan::new(0, 3, 1).unwrap();
+        assert!(plan.positions_for(0).is_empty());
+        assert_eq!(plan.fragments_for(0), 0);
+    }
+}

@@ -1,0 +1,356 @@
+//! Fused variable-length batch sharding (Figures 1 and 2 of the paper).
+
+use crate::{naive_contiguous_positions, ShardPlan, ShardingError, StripedPlan};
+
+/// How new tokens are partitioned over CP ranks — the paper's 2N-chunk
+/// scheme plus the ablation baselines. All strategies are *exact* (the
+/// position-masked kernels accept any partition); they differ in causal
+/// compute balance and position fragmentation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ShardStrategy {
+    /// The paper's 2N-chunk load-balanced plan (§3.5.1).
+    #[default]
+    LoadBalanced,
+    /// Striped round-robin assignment (Brandon et al.).
+    Striped {
+        /// Stripe width in tokens.
+        stripe: usize,
+    },
+    /// Naive contiguous split — the imbalanced baseline.
+    Contiguous,
+}
+
+impl ShardStrategy {
+    /// Positions of a `seq_len`-token sequence owned by `rank` under this
+    /// strategy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardingError::ZeroRanks`] if `n_ranks == 0` and
+    /// [`ShardingError::RankOutOfRange`] for an invalid rank.
+    pub fn positions_for(
+        &self,
+        seq_len: usize,
+        n_ranks: usize,
+        rank: usize,
+    ) -> Result<Vec<usize>, ShardingError> {
+        if n_ranks == 0 {
+            return Err(ShardingError::ZeroRanks);
+        }
+        if rank >= n_ranks {
+            return Err(ShardingError::RankOutOfRange { rank, n_ranks });
+        }
+        Ok(match *self {
+            ShardStrategy::LoadBalanced => ShardPlan::new(seq_len, n_ranks)?.positions_for(rank),
+            ShardStrategy::Striped { stripe } => {
+                StripedPlan::new(seq_len, n_ranks, stripe)?.positions_for(rank)
+            }
+            ShardStrategy::Contiguous => naive_contiguous_positions(seq_len, n_ranks, rank),
+        })
+    }
+}
+
+/// One sequence of a fused batch: `cached_tokens` is the persistent-KV
+/// length `P^i`, `new_tokens` the fresh prompt length `T^i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SequenceSpec {
+    /// Number of new tokens to prefill (`T^i`).
+    pub new_tokens: usize,
+    /// Number of tokens already in the KV cache (`P^i`).
+    pub cached_tokens: usize,
+}
+
+impl SequenceSpec {
+    /// A full-prefill sequence (no cached history).
+    pub fn full(new_tokens: usize) -> Self {
+        SequenceSpec {
+            new_tokens,
+            cached_tokens: 0,
+        }
+    }
+
+    /// A partial-prefill sequence with `cached_tokens` of history.
+    pub fn partial(new_tokens: usize, cached_tokens: usize) -> Self {
+        SequenceSpec {
+            new_tokens,
+            cached_tokens,
+        }
+    }
+
+    /// Total context length after this prefill (`P^i + T^i`).
+    pub fn total_len(&self) -> usize {
+        self.new_tokens + self.cached_tokens
+    }
+
+    /// KV-cache miss rate `T / (T + P)`; `0.0` for an empty sequence.
+    pub fn miss_rate(&self) -> f64 {
+        if self.total_len() == 0 {
+            0.0
+        } else {
+            self.new_tokens as f64 / self.total_len() as f64
+        }
+    }
+}
+
+/// The positions of one sequence that one rank owns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardEntry {
+    /// Index of the sequence within the batch.
+    pub seq_index: usize,
+    /// Global positions (within that sequence) of the *new* tokens this
+    /// rank owns, ascending.
+    pub positions: Vec<usize>,
+}
+
+/// Everything one rank holds for a fused batch: one [`ShardEntry`] per
+/// sequence (present even when empty, so ranks agree on batch structure).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankShard {
+    /// Per-sequence entries, in batch order.
+    pub entries: Vec<ShardEntry>,
+}
+
+impl RankShard {
+    /// Total new tokens this rank owns across the batch.
+    pub fn total_tokens(&self) -> usize {
+        self.entries.iter().map(|e| e.positions.len()).sum()
+    }
+}
+
+/// Shards the new tokens of a partial prefill over `n_ranks`: the
+/// load-balanced plan is applied to the `T` new tokens only (positions
+/// `P..P+T`), regardless of how the `P` cached tokens are laid out — the
+/// invariant of Figure 2.
+///
+/// # Errors
+///
+/// Returns [`ShardingError::ZeroRanks`] if `n_ranks == 0`.
+pub fn shard_new_tokens(
+    cached_tokens: usize,
+    new_tokens: usize,
+    n_ranks: usize,
+) -> Result<Vec<Vec<usize>>, ShardingError> {
+    shard_new_tokens_with(
+        cached_tokens,
+        new_tokens,
+        n_ranks,
+        ShardStrategy::LoadBalanced,
+    )
+}
+
+/// [`shard_new_tokens`] under an explicit [`ShardStrategy`].
+///
+/// # Errors
+///
+/// Returns [`ShardingError::ZeroRanks`] if `n_ranks == 0`.
+pub fn shard_new_tokens_with(
+    cached_tokens: usize,
+    new_tokens: usize,
+    n_ranks: usize,
+    strategy: ShardStrategy,
+) -> Result<Vec<Vec<usize>>, ShardingError> {
+    if n_ranks == 0 {
+        return Err(ShardingError::ZeroRanks);
+    }
+    (0..n_ranks)
+        .map(|r| {
+            Ok(strategy
+                .positions_for(new_tokens, n_ranks, r)?
+                .into_iter()
+                .map(|p| p + cached_tokens)
+                .collect())
+        })
+        .collect()
+}
+
+/// Shards a fused variable-length batch: each sequence is independently
+/// load-balance-sharded on its new-token dimension (Figure 1 for full
+/// prefill, Figure 2 for partial), and each rank's fused input is the
+/// concatenation of its per-sequence chunks.
+///
+/// Returns one [`RankShard`] per rank, index = rank.
+///
+/// # Errors
+///
+/// Returns [`ShardingError::ZeroRanks`] if `n_ranks == 0`.
+///
+/// # Example
+///
+/// ```
+/// use cp_sharding::{shard_varseq, SequenceSpec};
+///
+/// # fn main() -> Result<(), cp_sharding::ShardingError> {
+/// let batch = [SequenceSpec::full(8), SequenceSpec::partial(4, 10)];
+/// let shards = shard_varseq(&batch, 2)?;
+/// // Rank 0's share of sequence 1 starts after its 10 cached tokens.
+/// assert_eq!(shards[0].entries[1].positions, vec![10, 13]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn shard_varseq(
+    batch: &[SequenceSpec],
+    n_ranks: usize,
+) -> Result<Vec<RankShard>, ShardingError> {
+    shard_varseq_with(batch, n_ranks, ShardStrategy::LoadBalanced)
+}
+
+/// [`shard_varseq`] under an explicit [`ShardStrategy`] (ablations).
+///
+/// # Errors
+///
+/// Returns [`ShardingError::ZeroRanks`] if `n_ranks == 0`.
+pub fn shard_varseq_with(
+    batch: &[SequenceSpec],
+    n_ranks: usize,
+    strategy: ShardStrategy,
+) -> Result<Vec<RankShard>, ShardingError> {
+    if n_ranks == 0 {
+        return Err(ShardingError::ZeroRanks);
+    }
+    let mut shards: Vec<RankShard> = (0..n_ranks)
+        .map(|_| RankShard {
+            entries: Vec::with_capacity(batch.len()),
+        })
+        .collect();
+    for (seq_index, spec) in batch.iter().enumerate() {
+        let per_rank =
+            shard_new_tokens_with(spec.cached_tokens, spec.new_tokens, n_ranks, strategy)?;
+        for (rank, positions) in per_rank.into_iter().enumerate() {
+            shards[rank].entries.push(ShardEntry {
+                seq_index,
+                positions,
+            });
+        }
+    }
+    Ok(shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_spec_accessors() {
+        let s = SequenceSpec::partial(25, 75);
+        assert_eq!(s.total_len(), 100);
+        assert!((s.miss_rate() - 0.25).abs() < 1e-12);
+        let f = SequenceSpec::full(10);
+        assert_eq!(f.cached_tokens, 0);
+        assert_eq!(f.miss_rate(), 1.0);
+        assert_eq!(SequenceSpec::full(0).miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn new_tokens_offset_by_cache() {
+        // 10 cached + 8 new over 2 ranks: new tokens at 10..18, sharded
+        // as chunks of 2: rank0 -> 10,11,16,17; rank1 -> 12..16.
+        let shards = shard_new_tokens(10, 8, 2).unwrap();
+        assert_eq!(shards[0], vec![10, 11, 16, 17]);
+        assert_eq!(shards[1], vec![12, 13, 14, 15]);
+    }
+
+    #[test]
+    fn full_prefill_is_partial_with_zero_cache() {
+        let a = shard_new_tokens(0, 12, 3).unwrap();
+        let plan = ShardPlan::new(12, 3).unwrap();
+        for (r, shard) in a.iter().enumerate() {
+            assert_eq!(shard, &plan.positions_for(r));
+        }
+    }
+
+    #[test]
+    fn varseq_covers_all_new_tokens_once() {
+        let batch = [
+            SequenceSpec::full(13),
+            SequenceSpec::partial(7, 5),
+            SequenceSpec::full(0),
+            SequenceSpec::partial(1, 100),
+        ];
+        let n = 4;
+        let shards = shard_varseq(&batch, n).unwrap();
+        assert_eq!(shards.len(), n);
+        for (i, spec) in batch.iter().enumerate() {
+            let mut all: Vec<usize> = shards
+                .iter()
+                .flat_map(|s| s.entries[i].positions.clone())
+                .collect();
+            all.sort_unstable();
+            let expected: Vec<usize> =
+                (spec.cached_tokens..spec.cached_tokens + spec.new_tokens).collect();
+            assert_eq!(all, expected, "sequence {i}");
+        }
+    }
+
+    #[test]
+    fn varseq_entries_preserve_batch_order() {
+        let batch = [SequenceSpec::full(4), SequenceSpec::full(6)];
+        let shards = shard_varseq(&batch, 2).unwrap();
+        for s in &shards {
+            assert_eq!(s.entries.len(), 2);
+            assert_eq!(s.entries[0].seq_index, 0);
+            assert_eq!(s.entries[1].seq_index, 1);
+        }
+    }
+
+    #[test]
+    fn varseq_total_tokens_balanced() {
+        let batch = [SequenceSpec::full(1000), SequenceSpec::full(333)];
+        let shards = shard_varseq(&batch, 4).unwrap();
+        let counts: Vec<usize> = shards.iter().map(RankShard::total_tokens).collect();
+        let total: usize = counts.iter().sum();
+        assert_eq!(total, 1333);
+        let max = counts.iter().max().unwrap();
+        let min = counts.iter().min().unwrap();
+        // Within one chunk per sequence of each other.
+        let chunk_bound: usize = batch.iter().map(|s| s.new_tokens.div_ceil(8)).sum();
+        assert!(max - min <= 2 * chunk_bound, "counts {counts:?}");
+    }
+
+    #[test]
+    fn strategies_all_partition_the_sequence() {
+        for strategy in [
+            ShardStrategy::LoadBalanced,
+            ShardStrategy::Striped { stripe: 3 },
+            ShardStrategy::Contiguous,
+        ] {
+            for (len, n) in [(0usize, 1usize), (17, 3), (32, 4), (5, 8)] {
+                let mut all: Vec<usize> = (0..n)
+                    .flat_map(|r| strategy.positions_for(len, n, r).unwrap())
+                    .collect();
+                all.sort_unstable();
+                assert_eq!(all, (0..len).collect::<Vec<_>>(), "{strategy:?} {len} {n}");
+            }
+            assert!(strategy.positions_for(8, 0, 0).is_err());
+            assert!(strategy.positions_for(8, 2, 2).is_err());
+        }
+    }
+
+    #[test]
+    fn default_strategy_is_load_balanced() {
+        assert_eq!(ShardStrategy::default(), ShardStrategy::LoadBalanced);
+        let with = shard_new_tokens_with(5, 20, 3, ShardStrategy::LoadBalanced).unwrap();
+        let without = shard_new_tokens(5, 20, 3).unwrap();
+        assert_eq!(with, without);
+    }
+
+    #[test]
+    fn varseq_with_contiguous_matches_naive_layout() {
+        let batch = [SequenceSpec::full(12)];
+        let shards = shard_varseq_with(&batch, 3, ShardStrategy::Contiguous).unwrap();
+        assert_eq!(shards[0].entries[0].positions, (0..4).collect::<Vec<_>>());
+        assert_eq!(shards[2].entries[0].positions, (8..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_batch_gives_empty_shards() {
+        let shards = shard_varseq(&[], 3).unwrap();
+        assert_eq!(shards.len(), 3);
+        assert!(shards.iter().all(|s| s.entries.is_empty()));
+    }
+
+    #[test]
+    fn zero_ranks_rejected() {
+        assert!(shard_varseq(&[SequenceSpec::full(4)], 0).is_err());
+        assert!(shard_new_tokens(0, 4, 0).is_err());
+    }
+}

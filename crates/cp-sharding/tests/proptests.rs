@@ -1,0 +1,122 @@
+//! Property-based tests for sharding invariants.
+
+use cp_sharding::{
+    decode_round_robin, naive_contiguous_positions, shard_new_tokens, shard_varseq, SequenceSpec,
+    ShardPlan,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// The 2N-chunk plan partitions every sequence: all positions covered
+    /// exactly once, for any (seq_len, n_ranks).
+    #[test]
+    fn plan_is_a_partition(seq_len in 0usize..500, n in 1usize..17) {
+        let plan = ShardPlan::new(seq_len, n).unwrap();
+        let mut all: Vec<usize> = (0..n).flat_map(|r| plan.positions_for(r)).collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..seq_len).collect::<Vec<_>>());
+    }
+
+    /// rank_of agrees with positions_for everywhere.
+    #[test]
+    fn rank_of_consistent(seq_len in 1usize..300, n in 1usize..9) {
+        let plan = ShardPlan::new(seq_len, n).unwrap();
+        for r in 0..n {
+            for p in plan.positions_for(r) {
+                prop_assert_eq!(plan.rank_of(p), Some(r));
+            }
+        }
+    }
+
+    /// Load balance: when the sequence fills all 2N chunks, per-rank causal
+    /// work is within (roughly) one chunk's worth of the mean, while the
+    /// naive split's worst rank does ~2x the mean.
+    #[test]
+    fn causal_work_balanced(n in 2usize..9, mult in 4usize..20) {
+        let seq_len = 2 * n * mult * 8; // divisible by 2N, reasonably long
+        let plan = ShardPlan::new(seq_len, n).unwrap();
+        let work: Vec<u128> = (0..n).map(|r| plan.causal_pairs_for(r)).collect();
+        let mean = work.iter().sum::<u128>() as f64 / n as f64;
+        for w in &work {
+            prop_assert!((*w as f64 - mean).abs() / mean < 0.02,
+                "work {work:?} mean {mean}");
+        }
+        // Naive: the last rank's work is (2n-1)/n x the mean (approaches 2x
+        // as n grows).
+        let last: u128 = naive_contiguous_positions(seq_len, n, n - 1)
+            .iter().map(|&p| (p + 1) as u128).sum();
+        let expected_ratio = (2.0 * n as f64 - 1.0) / n as f64;
+        prop_assert!(last as f64 > 0.95 * expected_ratio * mean);
+    }
+
+    /// Token-count balance: max-min ≤ 2 (one chunk boundary's worth of
+    /// remainder per chunk).
+    #[test]
+    fn token_counts_nearly_equal(seq_len in 0usize..1000, n in 1usize..9) {
+        let plan = ShardPlan::new(seq_len, n).unwrap();
+        let counts: Vec<usize> = (0..n).map(|r| plan.tokens_for(r)).collect();
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        prop_assert!(max - min <= 2 * plan.chunk_len());
+        prop_assert_eq!(counts.iter().sum::<usize>(), seq_len);
+    }
+
+    /// Partial-prefill sharding covers exactly the new-token window
+    /// [P, P+T).
+    #[test]
+    fn new_token_shards_cover_window(p in 0usize..200, t in 0usize..200, n in 1usize..8) {
+        let shards = shard_new_tokens(p, t, n).unwrap();
+        let mut all: Vec<usize> = shards.into_iter().flatten().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (p..p + t).collect::<Vec<_>>());
+    }
+
+    /// Varseq sharding partitions every sequence of the batch.
+    #[test]
+    fn varseq_partitions_batch(
+        specs in prop::collection::vec((0usize..60, 0usize..60), 0..6),
+        n in 1usize..6,
+    ) {
+        let batch: Vec<SequenceSpec> = specs
+            .iter()
+            .map(|&(t, p)| SequenceSpec::partial(t, p))
+            .collect();
+        let shards = shard_varseq(&batch, n).unwrap();
+        for (i, spec) in batch.iter().enumerate() {
+            let mut all: Vec<usize> = shards
+                .iter()
+                .flat_map(|s| s.entries[i].positions.clone())
+                .collect();
+            all.sort_unstable();
+            let expected: Vec<usize> =
+                (spec.cached_tokens..spec.total_len()).collect();
+            prop_assert_eq!(all, expected);
+        }
+    }
+
+    /// Decode round-robin is a partition of the batch and its per-rank load
+    /// differs by at most one.
+    #[test]
+    fn decode_assignment_partitions(batch in 0usize..50, n in 1usize..9, step in 0usize..20) {
+        let a = decode_round_robin(batch, n, step).unwrap();
+        let mut all: Vec<usize> = (0..n).flat_map(|r| a.batch_for(r)).collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..batch).collect::<Vec<_>>());
+        let loads: Vec<usize> = (0..n).map(|r| a.batch_for(r).len()).collect();
+        let max = *loads.iter().max().unwrap();
+        let min = *loads.iter().min().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    /// Over any window of n_ranks consecutive steps with batch 1, every
+    /// rank decodes exactly once (perfect KV balance).
+    #[test]
+    fn decode_rotation_is_fair(n in 1usize..9, start in 0usize..30) {
+        let mut counts = vec![0usize; n];
+        for step in start..start + n {
+            let a = decode_round_robin(1, n, step).unwrap();
+            counts[a.rank_of(0)] += 1;
+        }
+        prop_assert!(counts.iter().all(|&c| c == 1), "{counts:?}");
+    }
+}

@@ -1,0 +1,141 @@
+//! Error type for tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible tensor operations.
+///
+/// All variants carry enough context to diagnose the failing call without a
+/// debugger; the `Display` output is lowercase without trailing punctuation
+/// per Rust API guidelines (C-GOOD-ERR).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// The number of elements implied by a shape does not match the data
+    /// length supplied.
+    ShapeDataMismatch {
+        /// Number of elements implied by the requested shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two tensors were expected to have identical shapes but do not.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        left: Vec<usize>,
+        /// Shape of the right-hand operand.
+        right: Vec<usize>,
+    },
+    /// An index or range exceeds the bounds of the indexed dimension.
+    OutOfBounds {
+        /// The offending index (or range end).
+        index: usize,
+        /// The extent of the indexed dimension.
+        len: usize,
+    },
+    /// The operation requires a tensor of a specific rank.
+    RankMismatch {
+        /// Rank required by the operation.
+        expected: usize,
+        /// Rank of the supplied tensor.
+        actual: usize,
+    },
+    /// Matrix multiplication inner dimensions disagree.
+    MatmulDimMismatch {
+        /// Inner dimension of the left operand (`[m, k]`).
+        left_inner: usize,
+        /// Inner dimension of the right operand (`[k, n]`).
+        right_inner: usize,
+    },
+    /// Concatenation operands disagree on trailing (non-concatenated)
+    /// dimensions.
+    ConcatShapeMismatch {
+        /// Trailing shape of the first operand.
+        first: Vec<usize>,
+        /// Trailing shape of the offending operand.
+        other: Vec<usize>,
+    },
+    /// A zero-size dimension or empty shape was supplied where a non-empty
+    /// one is required.
+    EmptyInput,
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeDataMismatch { expected, actual } => write!(
+                f,
+                "shape implies {expected} elements but {actual} were provided"
+            ),
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch between {left:?} and {right:?}")
+            }
+            TensorError::OutOfBounds { index, len } => {
+                write!(
+                    f,
+                    "index {index} out of bounds for dimension of length {len}"
+                )
+            }
+            TensorError::RankMismatch { expected, actual } => {
+                write!(f, "expected rank {expected} tensor, got rank {actual}")
+            }
+            TensorError::MatmulDimMismatch {
+                left_inner,
+                right_inner,
+            } => write!(
+                f,
+                "matmul inner dimensions disagree: {left_inner} vs {right_inner}"
+            ),
+            TensorError::ConcatShapeMismatch { first, other } => {
+                write!(f, "concat trailing shapes disagree: {first:?} vs {other:?}")
+            }
+            TensorError::EmptyInput => write!(f, "operation requires non-empty input"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_period() {
+        let errs: Vec<TensorError> = vec![
+            TensorError::ShapeDataMismatch {
+                expected: 4,
+                actual: 3,
+            },
+            TensorError::ShapeMismatch {
+                left: vec![1],
+                right: vec![2],
+            },
+            TensorError::OutOfBounds { index: 5, len: 2 },
+            TensorError::RankMismatch {
+                expected: 2,
+                actual: 3,
+            },
+            TensorError::MatmulDimMismatch {
+                left_inner: 2,
+                right_inner: 3,
+            },
+            TensorError::ConcatShapeMismatch {
+                first: vec![2],
+                other: vec![3],
+            },
+            TensorError::EmptyInput,
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.ends_with('.'), "{s}");
+            assert!(s.chars().next().unwrap().is_lowercase(), "{s}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,226 @@
+//! Small numeric kernels: matmul and numerically stable softmax helpers.
+//!
+//! These are the only dense-linear-algebra primitives the attention kernels
+//! need. They are written for clarity and auditability rather than peak
+//! throughput; `cp-attention` layers blocking/online-softmax structure on top.
+
+use crate::{Tensor, TensorError};
+
+/// Multiplies two rank-2 tensors: `[m, k] x [k, n] -> [m, n]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if either operand is not rank 2, or
+/// [`TensorError::MatmulDimMismatch`] if inner dimensions disagree.
+///
+/// # Example
+///
+/// ```
+/// use cp_tensor::{matmul, Tensor};
+///
+/// # fn main() -> Result<(), cp_tensor::TensorError> {
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let i = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2])?;
+/// assert_eq!(matmul(&a, &i)?, a);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    if a.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: a.rank(),
+        });
+    }
+    if b.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: b.rank(),
+        });
+    }
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    if k != k2 {
+        return Err(TensorError::MatmulDimMismatch {
+            left_inner: k,
+            right_inner: k2,
+        });
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    for i in 0..m {
+        let arow = &av[i * k..(i + 1) * k];
+        let orow = out.row_mut(i);
+        for (p, &aval) in arow.iter().enumerate() {
+            if aval == 0.0 {
+                continue;
+            }
+            let brow = &bv[p * n..(p + 1) * n];
+            for (j, &bval) in brow.iter().enumerate() {
+                orow[j] += aval * bval;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Applies a numerically stable softmax to one row in place, returning the
+/// row's log-sum-exp (LSE).
+///
+/// Entries equal to `f32::NEG_INFINITY` (masked positions) become exactly
+/// `0.0`. If *all* entries are masked, the row is left all-zero and the LSE
+/// is `f32::NEG_INFINITY` — the convention merge attention (Eq. 4 of the
+/// paper) relies on so fully-masked partial results contribute nothing.
+pub fn softmax_row_in_place(row: &mut [f32]) -> f32 {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if max == f32::NEG_INFINITY {
+        row.fill(0.0);
+        return f32::NEG_INFINITY;
+    }
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    for v in row.iter_mut() {
+        *v /= sum;
+    }
+    max + sum.ln()
+}
+
+/// Applies [`softmax_row_in_place`] to every dimension-0 row of a rank-2
+/// tensor, returning the per-row LSE values.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if `scores` is not rank 2.
+pub fn stable_softmax_rows(scores: &mut Tensor) -> Result<Vec<f32>, TensorError> {
+    if scores.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: scores.rank(),
+        });
+    }
+    let rows = scores.dim0();
+    let mut lses = Vec::with_capacity(rows);
+    for i in 0..rows {
+        lses.push(softmax_row_in_place(scores.row_mut(i)));
+    }
+    Ok(lses)
+}
+
+/// Numerically stable `log(sum(exp(x)))` over a slice.
+///
+/// Returns `f32::NEG_INFINITY` for an empty slice or a slice of all
+/// `NEG_INFINITY` values.
+pub fn log_sum_exp(values: &[f32]) -> f32 {
+    let max = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if max == f32::NEG_INFINITY {
+        return f32::NEG_INFINITY;
+    }
+    let sum: f32 = values.iter().map(|&v| (v - max).exp()).sum();
+    max + sum.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let i =
+            Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0], &[3, 3]).unwrap();
+        assert_eq!(matmul(&a, &i).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        assert!(matches!(
+            matmul(&a, &b),
+            Err(TensorError::MatmulDimMismatch { .. })
+        ));
+        let r1 = Tensor::zeros(&[6]);
+        assert!(matches!(
+            matmul(&r1, &b),
+            Err(TensorError::RankMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn softmax_row_sums_to_one() {
+        let mut row = vec![1.0, 2.0, 3.0];
+        let lse = softmax_row_in_place(&mut row);
+        let sum: f32 = row.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        // LSE of [1,2,3] = 3 + ln(e^-2 + e^-1 + 1).
+        let expected = 3.0 + (f32::exp(-2.0) + f32::exp(-1.0) + 1.0).ln();
+        assert!((lse - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_handles_masked_entries() {
+        let mut row = vec![f32::NEG_INFINITY, 0.0, f32::NEG_INFINITY];
+        softmax_row_in_place(&mut row);
+        assert_eq!(row, vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn softmax_all_masked_yields_zero_row_and_neg_inf_lse() {
+        let mut row = vec![f32::NEG_INFINITY; 4];
+        let lse = softmax_row_in_place(&mut row);
+        assert_eq!(row, vec![0.0; 4]);
+        assert_eq!(lse, f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let mut a = vec![1.0, 2.0, 3.0];
+        let mut b = vec![1001.0, 1002.0, 1003.0];
+        softmax_row_in_place(&mut a);
+        softmax_row_in_place(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn stable_softmax_rows_processes_each_row() {
+        let mut t = Tensor::from_vec(vec![0.0, 0.0, 10.0, 10.0], &[2, 2]).unwrap();
+        let lses = stable_softmax_rows(&mut t).unwrap();
+        assert_eq!(lses.len(), 2);
+        for i in 0..2 {
+            let s: f32 = t.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        assert!((lses[0] - (2.0_f32).ln()).abs() < 1e-6);
+        assert!((lses[1] - (10.0 + (2.0_f32).ln())).abs() < 1e-5);
+    }
+
+    #[test]
+    fn log_sum_exp_matches_naive_for_small_values() {
+        let vals = [0.5f32, -1.0, 2.0];
+        let naive = vals.iter().map(|v| v.exp()).sum::<f32>().ln();
+        assert!((log_sum_exp(&vals) - naive).abs() < 1e-6);
+        assert_eq!(log_sum_exp(&[]), f32::NEG_INFINITY);
+        assert_eq!(log_sum_exp(&[f32::NEG_INFINITY]), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn log_sum_exp_stable_for_large_values() {
+        let vals = [1000.0, 1000.0];
+        let lse = log_sum_exp(&vals);
+        assert!((lse - (1000.0 + (2.0_f32).ln())).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,637 @@
+//! The core dense row-major tensor type.
+
+use std::fmt;
+use std::ops::Range;
+
+use crate::TensorError;
+
+/// A dense, contiguous, row-major `f32` tensor of arbitrary rank.
+///
+/// `Tensor` is the single numeric container used throughout the workspace.
+/// Dimension 0 is by convention the *token* axis for activations
+/// (`[tokens, heads, head_dim]`), which is the axis context parallelism
+/// shards, slices and concatenates.
+///
+/// # Example
+///
+/// ```
+/// use cp_tensor::Tensor;
+///
+/// # fn main() -> Result<(), cp_tensor::TensorError> {
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let b = a.slice_dim0(1..2)?;
+/// assert_eq!(b.as_slice(), &[3.0, 4.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl Tensor {
+    /// Creates a tensor of the given shape filled with zeros.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let t = cp_tensor::Tensor::zeros(&[2, 3]);
+    /// assert_eq!(t.numel(), 6);
+    /// ```
+    pub fn zeros(shape: &[usize]) -> Self {
+        let numel = shape.iter().product();
+        Tensor {
+            data: vec![0.0; numel],
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Creates a tensor of the given shape filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let numel = shape.iter().product();
+        Tensor {
+            data: vec![value; numel],
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Creates a tensor from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeDataMismatch`] if `data.len()` does not
+    /// equal the product of `shape`.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self, TensorError> {
+        let expected: usize = shape.iter().product();
+        if data.len() != expected {
+            return Err(TensorError::ShapeDataMismatch {
+                expected,
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor {
+            data,
+            shape: shape.to_vec(),
+        })
+    }
+
+    /// Creates a tensor by evaluating `f(flat_index)` for each element.
+    pub fn from_fn(shape: &[usize], mut f: impl FnMut(usize) -> f32) -> Self {
+        let numel: usize = shape.iter().product();
+        Tensor {
+            data: (0..numel).map(&mut f).collect(),
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// The shape of the tensor.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// The rank (number of dimensions).
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The length of dimension 0, or 0 for a rank-0 tensor.
+    pub fn dim0(&self) -> usize {
+        self.shape.first().copied().unwrap_or(0)
+    }
+
+    /// Number of elements in one dimension-0 "row" (product of trailing
+    /// dimensions).
+    pub fn row_numel(&self) -> usize {
+        self.shape.iter().skip(1).product()
+    }
+
+    /// Borrows the underlying flat buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrows the underlying flat buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Returns the flat offset of a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if `index.len() != rank`, or
+    /// [`TensorError::OutOfBounds`] if any coordinate exceeds its dimension.
+    pub fn offset(&self, index: &[usize]) -> Result<usize, TensorError> {
+        if index.len() != self.shape.len() {
+            return Err(TensorError::RankMismatch {
+                expected: self.shape.len(),
+                actual: index.len(),
+            });
+        }
+        let mut off = 0;
+        for (i, (&idx, &dim)) in index.iter().zip(&self.shape).enumerate() {
+            if idx >= dim {
+                return Err(TensorError::OutOfBounds {
+                    index: idx,
+                    len: dim,
+                });
+            }
+            let stride: usize = self.shape[i + 1..].iter().product();
+            off += idx * stride;
+        }
+        Ok(off)
+    }
+
+    /// Reads the element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Tensor::offset`].
+    pub fn at(&self, index: &[usize]) -> Result<f32, TensorError> {
+        Ok(self.data[self.offset(index)?])
+    }
+
+    /// Writes the element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Tensor::offset`].
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<(), TensorError> {
+        let off = self.offset(index)?;
+        self.data[off] = value;
+        Ok(())
+    }
+
+    /// Borrows the contiguous row `i` along dimension 0 (all trailing
+    /// dimensions flattened).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= dim0()`.
+    pub fn row(&self, i: usize) -> &[f32] {
+        let rn = self.row_numel();
+        &self.data[i * rn..(i + 1) * rn]
+    }
+
+    /// Mutably borrows the contiguous row `i` along dimension 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= dim0()`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        let rn = self.row_numel();
+        &mut self.data[i * rn..(i + 1) * rn]
+    }
+
+    /// Copies a sub-range of dimension 0 into a new tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::OutOfBounds`] if the range exceeds `dim0()`.
+    pub fn slice_dim0(&self, range: Range<usize>) -> Result<Tensor, TensorError> {
+        if range.end > self.dim0() || range.start > range.end {
+            return Err(TensorError::OutOfBounds {
+                index: range.end,
+                len: self.dim0(),
+            });
+        }
+        let rn = self.row_numel();
+        let mut shape = self.shape.clone();
+        shape[0] = range.len();
+        Ok(Tensor {
+            data: self.data[range.start * rn..range.end * rn].to_vec(),
+            shape,
+        })
+    }
+
+    /// Gathers rows of dimension 0 at the given indices into a new tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::OutOfBounds`] if any index exceeds `dim0()`.
+    pub fn gather_dim0(&self, indices: &[usize]) -> Result<Tensor, TensorError> {
+        let rn = self.row_numel();
+        let mut data = Vec::with_capacity(indices.len() * rn);
+        for &i in indices {
+            if i >= self.dim0() {
+                return Err(TensorError::OutOfBounds {
+                    index: i,
+                    len: self.dim0(),
+                });
+            }
+            data.extend_from_slice(self.row(i));
+        }
+        let mut shape = self.shape.clone();
+        shape[0] = indices.len();
+        Ok(Tensor { data, shape })
+    }
+
+    /// Concatenates tensors along dimension 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyInput`] for an empty operand list and
+    /// [`TensorError::ConcatShapeMismatch`] if trailing dimensions disagree.
+    pub fn concat_dim0<'a, I>(tensors: I) -> Result<Tensor, TensorError>
+    where
+        I: IntoIterator<Item = &'a Tensor>,
+    {
+        let tensors: Vec<&Tensor> = tensors.into_iter().collect();
+        let first = tensors.first().ok_or(TensorError::EmptyInput)?;
+        let trailing = &first.shape[1..];
+        let mut total0 = 0;
+        for t in &tensors {
+            if &t.shape[1..] != trailing {
+                return Err(TensorError::ConcatShapeMismatch {
+                    first: trailing.to_vec(),
+                    other: t.shape[1..].to_vec(),
+                });
+            }
+            total0 += t.dim0();
+        }
+        let mut data = Vec::with_capacity(total0 * first.row_numel());
+        for t in &tensors {
+            data.extend_from_slice(&t.data);
+        }
+        let mut shape = first.shape.clone();
+        shape[0] = total0;
+        Ok(Tensor { data, shape })
+    }
+
+    /// Returns a copy with dimension 0 extended to `len` rows, new rows
+    /// filled with `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::OutOfBounds`] if `len < dim0()`.
+    pub fn pad_dim0(&self, len: usize, value: f32) -> Result<Tensor, TensorError> {
+        if len < self.dim0() {
+            return Err(TensorError::OutOfBounds {
+                index: len,
+                len: self.dim0(),
+            });
+        }
+        let rn = self.row_numel();
+        let mut data = self.data.clone();
+        data.resize(len * rn, value);
+        let mut shape = self.shape.clone();
+        shape[0] = len;
+        Ok(Tensor { data, shape })
+    }
+
+    /// Reinterprets the tensor with a new shape of equal element count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeDataMismatch`] if element counts differ.
+    pub fn reshape(&self, shape: &[usize]) -> Result<Tensor, TensorError> {
+        let expected: usize = shape.iter().product();
+        if expected != self.numel() {
+            return Err(TensorError::ShapeDataMismatch {
+                expected,
+                actual: self.numel(),
+            });
+        }
+        Ok(Tensor {
+            data: self.data.clone(),
+            shape: shape.to_vec(),
+        })
+    }
+
+    /// Element-wise in-place addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) -> Result<(), TensorError> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape.clone(),
+                right: other.shape.clone(),
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Multiplies every element by `scale` in place.
+    pub fn scale(&mut self, scale: f32) {
+        for v in &mut self.data {
+            *v *= scale;
+        }
+    }
+
+    /// Element-wise (Hadamard) in-place multiplication.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn mul_assign(&mut self, other: &Tensor) -> Result<(), TensorError> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape.clone(),
+                right: other.shape.clone(),
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a *= b;
+        }
+        Ok(())
+    }
+
+    /// Returns a copy with `f` applied to every element.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&v| f(v)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Maximum absolute difference between two tensors of identical shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor) -> Result<f32, TensorError> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape.clone(),
+                right: other.shape.clone(),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max))
+    }
+
+    /// Returns `true` if every element differs from `other` by at most `tol`
+    /// in a mixed absolute/relative sense: `|a-b| <= tol * max(1, |a|, |b|)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn approx_eq(&self, other: &Tensor, tol: f32) -> Result<bool, TensorError> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape.clone(),
+                right: other.shape.clone(),
+            });
+        }
+        Ok(self.data.iter().zip(&other.data).all(|(a, b)| {
+            let scale = 1.0_f32.max(a.abs()).max(b.abs());
+            (a - b).abs() <= tol * scale
+        }))
+    }
+}
+
+impl Default for Tensor {
+    /// An empty rank-1 tensor.
+    fn default() -> Self {
+        Tensor {
+            data: Vec::new(),
+            shape: vec![0],
+        }
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const PREVIEW: usize = 8;
+        write!(f, "Tensor{:?}[", self.shape)?;
+        for (i, v) in self.data.iter().take(PREVIEW).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        if self.data.len() > PREVIEW {
+            write!(f, ", …{} more", self.data.len() - PREVIEW)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tensor of shape {:?} ({} elements)",
+            self.shape,
+            self.numel()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_tensor(shape: &[usize]) -> Tensor {
+        Tensor::from_fn(shape, |i| i as f32)
+    }
+
+    #[test]
+    fn zeros_and_full() {
+        let z = Tensor::zeros(&[2, 3]);
+        assert_eq!(z.numel(), 6);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let f = Tensor::full(&[2, 2], 7.5);
+        assert!(f.as_slice().iter().all(|&v| v == 7.5));
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Tensor::from_vec(vec![1.0; 6], &[2, 3]).is_ok());
+        let err = Tensor::from_vec(vec![1.0; 5], &[2, 3]).unwrap_err();
+        assert_eq!(
+            err,
+            TensorError::ShapeDataMismatch {
+                expected: 6,
+                actual: 5
+            }
+        );
+    }
+
+    #[test]
+    fn offset_and_at_row_major() {
+        let t = seq_tensor(&[2, 3, 4]);
+        assert_eq!(t.at(&[0, 0, 0]).unwrap(), 0.0);
+        assert_eq!(t.at(&[1, 2, 3]).unwrap(), 23.0);
+        assert_eq!(t.at(&[1, 0, 0]).unwrap(), 12.0);
+        assert!(matches!(
+            t.at(&[2, 0, 0]),
+            Err(TensorError::OutOfBounds { index: 2, len: 2 })
+        ));
+        assert!(matches!(
+            t.at(&[0, 0]),
+            Err(TensorError::RankMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn set_writes_through() {
+        let mut t = Tensor::zeros(&[2, 2]);
+        t.set(&[1, 1], 5.0).unwrap();
+        assert_eq!(t.at(&[1, 1]).unwrap(), 5.0);
+        assert_eq!(t.as_slice(), &[0.0, 0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn rows_are_contiguous() {
+        let t = seq_tensor(&[3, 2, 2]);
+        assert_eq!(t.row(1), &[4.0, 5.0, 6.0, 7.0]);
+        let mut t = t;
+        t.row_mut(2).fill(9.0);
+        assert_eq!(t.at(&[2, 1, 1]).unwrap(), 9.0);
+    }
+
+    #[test]
+    fn slice_dim0_copies_range() {
+        let t = seq_tensor(&[4, 2]);
+        let s = t.slice_dim0(1..3).unwrap();
+        assert_eq!(s.shape(), &[2, 2]);
+        assert_eq!(s.as_slice(), &[2.0, 3.0, 4.0, 5.0]);
+        assert!(t.slice_dim0(2..5).is_err());
+    }
+
+    #[test]
+    fn slice_dim0_empty_range_ok() {
+        let t = seq_tensor(&[4, 2]);
+        let s = t.slice_dim0(2..2).unwrap();
+        assert_eq!(s.dim0(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn gather_dim0_reorders() {
+        let t = seq_tensor(&[3, 2]);
+        let g = t.gather_dim0(&[2, 0, 2]).unwrap();
+        assert_eq!(g.as_slice(), &[4.0, 5.0, 0.0, 1.0, 4.0, 5.0]);
+        assert!(t.gather_dim0(&[3]).is_err());
+    }
+
+    #[test]
+    fn concat_dim0_joins() {
+        let a = seq_tensor(&[1, 2]);
+        let b = seq_tensor(&[2, 2]);
+        let c = Tensor::concat_dim0([&a, &b]).unwrap();
+        assert_eq!(c.shape(), &[3, 2]);
+        assert_eq!(c.as_slice(), &[0.0, 1.0, 0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn concat_dim0_rejects_mismatch_and_empty() {
+        let a = seq_tensor(&[1, 2]);
+        let b = seq_tensor(&[1, 3]);
+        assert!(matches!(
+            Tensor::concat_dim0([&a, &b]),
+            Err(TensorError::ConcatShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            Tensor::concat_dim0(std::iter::empty::<&Tensor>()),
+            Err(TensorError::EmptyInput)
+        ));
+    }
+
+    #[test]
+    fn pad_dim0_extends_with_value() {
+        let t = seq_tensor(&[2, 2]);
+        let p = t.pad_dim0(4, -1.0).unwrap();
+        assert_eq!(p.shape(), &[4, 2]);
+        assert_eq!(&p.as_slice()[4..], &[-1.0; 4]);
+        assert!(t.pad_dim0(1, 0.0).is_err());
+        // Padding to the current size is a no-op.
+        assert_eq!(t.pad_dim0(2, 0.0).unwrap(), t);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = seq_tensor(&[2, 3]);
+        let r = t.reshape(&[3, 2]).unwrap();
+        assert_eq!(r.as_slice(), t.as_slice());
+        assert!(t.reshape(&[4, 2]).is_err());
+    }
+
+    #[test]
+    fn add_assign_and_scale() {
+        let mut a = seq_tensor(&[2, 2]);
+        let b = Tensor::full(&[2, 2], 1.0);
+        a.add_assign(&b).unwrap();
+        assert_eq!(a.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        a.scale(2.0);
+        assert_eq!(a.as_slice(), &[2.0, 4.0, 6.0, 8.0]);
+        let c = Tensor::zeros(&[3]);
+        assert!(a.add_assign(&c).is_err());
+    }
+
+    #[test]
+    fn mul_assign_hadamard() {
+        let mut a = seq_tensor(&[2, 2]);
+        let b = Tensor::full(&[2, 2], 3.0);
+        a.mul_assign(&b).unwrap();
+        assert_eq!(a.as_slice(), &[0.0, 3.0, 6.0, 9.0]);
+        let c = Tensor::zeros(&[3]);
+        assert!(a.mul_assign(&c).is_err());
+    }
+
+    #[test]
+    fn map_applies_elementwise() {
+        let t = seq_tensor(&[3]);
+        let m = t.map(|v| v * v + 1.0);
+        assert_eq!(m.as_slice(), &[1.0, 2.0, 5.0]);
+        assert_eq!(m.shape(), t.shape());
+    }
+
+    #[test]
+    fn approx_eq_mixed_tolerance() {
+        let a = Tensor::from_vec(vec![100.0, 0.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![100.005, 1e-5], &[2]).unwrap();
+        assert!(a.approx_eq(&b, 1e-4).unwrap());
+        let c = Tensor::from_vec(vec![100.5, 0.0], &[2]).unwrap();
+        assert!(!a.approx_eq(&c, 1e-4).unwrap());
+    }
+
+    #[test]
+    fn max_abs_diff_reports_worst() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![1.5, 2.25], &[2]).unwrap();
+        assert_eq!(a.max_abs_diff(&b).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn debug_is_nonempty_and_truncates() {
+        let t = seq_tensor(&[20]);
+        let s = format!("{t:?}");
+        assert!(s.contains("more"));
+        assert!(!s.is_empty());
+        let e = Tensor::default();
+        assert!(!format!("{e:?}").is_empty());
+    }
+
+    #[test]
+    fn tensor_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Tensor>();
+    }
+}

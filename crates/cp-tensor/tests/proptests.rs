@@ -1,0 +1,83 @@
+//! Property-based tests for the tensor substrate.
+
+use cp_tensor::{log_sum_exp, matmul, softmax_row_in_place, DetRng, Tensor};
+use proptest::prelude::*;
+
+fn small_shape() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..6, 1..4)
+}
+
+proptest! {
+    /// slice ∘ concat round-trips: concatenating consecutive slices of a
+    /// tensor along dim0 reproduces the tensor.
+    #[test]
+    fn concat_of_slices_roundtrips(shape in small_shape(), split in 0usize..6, seed in any::<u64>()) {
+        let t = DetRng::new(seed).tensor(&shape);
+        let split = split.min(t.dim0());
+        let a = t.slice_dim0(0..split).unwrap();
+        let b = t.slice_dim0(split..t.dim0()).unwrap();
+        let joined = Tensor::concat_dim0([&a, &b]).unwrap();
+        prop_assert_eq!(joined, t);
+    }
+
+    /// Padding then slicing back recovers the original tensor.
+    #[test]
+    fn pad_then_slice_roundtrips(shape in small_shape(), extra in 0usize..5, seed in any::<u64>()) {
+        let t = DetRng::new(seed).tensor(&shape);
+        let padded = t.pad_dim0(t.dim0() + extra, 0.0).unwrap();
+        let back = padded.slice_dim0(0..t.dim0()).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    /// gather with the identity permutation is the identity.
+    #[test]
+    fn gather_identity(shape in small_shape(), seed in any::<u64>()) {
+        let t = DetRng::new(seed).tensor(&shape);
+        let idx: Vec<usize> = (0..t.dim0()).collect();
+        prop_assert_eq!(t.gather_dim0(&idx).unwrap(), t);
+    }
+
+    /// Softmax rows always sum to 1 (or 0 when fully masked) and are
+    /// non-negative.
+    #[test]
+    fn softmax_row_is_distribution(row in prop::collection::vec(-50.0f32..50.0, 1..20)) {
+        let mut r = row;
+        softmax_row_in_place(&mut r);
+        let sum: f32 = r.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(r.iter().all(|&v| v >= 0.0));
+    }
+
+    /// LSE is monotone: adding an element never decreases it.
+    #[test]
+    fn lse_monotone(vals in prop::collection::vec(-20.0f32..20.0, 1..10), extra in -20.0f32..20.0) {
+        let base = log_sum_exp(&vals);
+        let mut more = vals.clone();
+        more.push(extra);
+        prop_assert!(log_sum_exp(&more) >= base - 1e-5);
+    }
+
+    /// Matmul distributes over addition: (A + B) C = AC + BC.
+    #[test]
+    fn matmul_distributes(m in 1usize..4, k in 1usize..4, n in 1usize..4, seed in any::<u64>()) {
+        let mut rng = DetRng::new(seed);
+        let a = rng.tensor(&[m, k]);
+        let b = rng.tensor(&[m, k]);
+        let c = rng.tensor(&[k, n]);
+        let mut ab = a.clone();
+        ab.add_assign(&b).unwrap();
+        let lhs = matmul(&ab, &c).unwrap();
+        let mut rhs = matmul(&a, &c).unwrap();
+        rhs.add_assign(&matmul(&b, &c).unwrap()).unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-4).unwrap());
+    }
+
+    /// Matmul with the identity is the identity.
+    #[test]
+    fn matmul_identity_right(m in 1usize..5, k in 1usize..5, seed in any::<u64>()) {
+        let a = DetRng::new(seed).tensor(&[m, k]);
+        let eye = Tensor::from_fn(&[k, k], |i| if i / k == i % k { 1.0 } else { 0.0 });
+        let prod = matmul(&a, &eye).unwrap();
+        prop_assert!(prod.approx_eq(&a, 1e-6).unwrap());
+    }
+}

@@ -1,0 +1,315 @@
+//! Synthetic workload generation for the context-parallel experiments.
+//!
+//! The paper evaluates on production-style traffic this reproduction does
+//! not have: single long prompts (full prefill), multi-turn conversations
+//! with persistent KV (partial prefill at varying cache-hit rates), and
+//! batched decode. Every experiment only depends on the *shape* of that
+//! traffic — sequence lengths, `(T, P)` splits, turn structure — so this
+//! crate generates it synthetically, seeded and reproducible:
+//!
+//! * [`table4_grid`] — the exact 14 `(P, T)` rows of Table 4,
+//! * [`context_sweep`] — the doubling context-length axis of Figures 6/8,
+//! * [`ConversationPlan`] / [`conversations`] — multi-turn chats with
+//!   configurable prompt/response length distributions,
+//! * [`varseq_lengths`] — fused variable-length batch shapes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One conversation turn: the user's prompt length and the assistant's
+/// response length (both in tokens).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Turn {
+    /// User prompt tokens (prefilled).
+    pub prompt_tokens: usize,
+    /// Assistant response tokens (decoded, then part of the cache).
+    pub response_tokens: usize,
+}
+
+/// A multi-turn conversation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Conversation {
+    /// The turns in order.
+    pub turns: Vec<Turn>,
+}
+
+impl Conversation {
+    /// Total context length after all turns.
+    pub fn total_tokens(&self) -> usize {
+        self.turns
+            .iter()
+            .map(|t| t.prompt_tokens + t.response_tokens)
+            .sum()
+    }
+
+    /// The `(T, P)` prefill points this conversation produces: for each
+    /// turn, the new prompt length and the cache length it sees.
+    pub fn prefill_points(&self) -> Vec<(usize, usize)> {
+        let mut cached = 0;
+        let mut points = Vec::with_capacity(self.turns.len());
+        for t in &self.turns {
+            points.push((t.prompt_tokens, cached));
+            cached += t.prompt_tokens + t.response_tokens;
+        }
+        points
+    }
+
+    /// KV-cache miss rate of the final turn's prefill.
+    pub fn final_miss_rate(&self) -> f64 {
+        match self.prefill_points().last() {
+            Some(&(t, p)) if t + p > 0 => t as f64 / (t + p) as f64,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Parameters of a synthetic conversation distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConversationPlan {
+    /// Turns per conversation (inclusive range).
+    pub turns: (usize, usize),
+    /// Prompt tokens per turn (inclusive range).
+    pub prompt_tokens: (usize, usize),
+    /// Response tokens per turn (inclusive range).
+    pub response_tokens: (usize, usize),
+}
+
+impl ConversationPlan {
+    /// A long-document-then-chat plan: a large first prompt followed by
+    /// short follow-ups — the regime where persistent KV and pass-Q pay
+    /// off (Table 4's low miss rates).
+    pub fn long_document_chat() -> Self {
+        ConversationPlan {
+            turns: (3, 6),
+            prompt_tokens: (16, 64),
+            response_tokens: (8, 32),
+        }
+    }
+
+    /// A short interactive chat plan.
+    pub fn short_chat() -> Self {
+        ConversationPlan {
+            turns: (2, 8),
+            prompt_tokens: (4, 24),
+            response_tokens: (4, 24),
+        }
+    }
+}
+
+fn sample_range(rng: &mut StdRng, (lo, hi): (usize, usize)) -> usize {
+    assert!(lo <= hi, "range must be non-decreasing");
+    rng.random_range(lo..=hi)
+}
+
+/// Generates `n` conversations from a plan, deterministically from `seed`.
+///
+/// # Panics
+///
+/// Panics if any plan range is decreasing.
+pub fn conversations(seed: u64, n: usize, plan: &ConversationPlan) -> Vec<Conversation> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let n_turns = sample_range(&mut rng, plan.turns);
+            Conversation {
+                turns: (0..n_turns)
+                    .map(|_| Turn {
+                        prompt_tokens: sample_range(&mut rng, plan.prompt_tokens),
+                        response_tokens: sample_range(&mut rng, plan.response_tokens),
+                    })
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+/// Sequence lengths for a fused variable-length batch, uniform in
+/// `[min_len, max_len]`.
+///
+/// # Panics
+///
+/// Panics if `min_len > max_len`.
+pub fn varseq_lengths(seed: u64, batch: usize, min_len: usize, max_len: usize) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..batch)
+        .map(|_| sample_range(&mut rng, (min_len, max_len)))
+        .collect()
+}
+
+/// The exact `(P, T)` rows of Table 4: `P + T = total`, miss rates 1%,
+/// 2.5%, 3.25%, 5%, 10%, 20%, ..., 100%. With `total = 128000` this is
+/// the paper's table verbatim.
+pub fn table4_grid(total: usize) -> Vec<(usize, usize)> {
+    let fracs = [
+        0.01, 0.025, 0.0325, 0.05, 0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90, 1.00,
+    ];
+    fracs
+        .iter()
+        .map(|f| {
+            let t = ((total as f64) * f).round() as usize;
+            (total - t, t)
+        })
+        .collect()
+}
+
+/// Doubling context-length sweep `[min, 2*min, ..., <= max]` — the x-axis
+/// of Figures 6 and 8.
+pub fn context_sweep(min: usize, max: usize) -> Vec<usize> {
+    assert!(min > 0, "sweep must start above zero");
+    let mut v = Vec::new();
+    let mut c = min;
+    while c <= max {
+        v.push(c);
+        c *= 2;
+    }
+    v
+}
+
+/// A dense grid of `(T, P)` points in log-T and log-miss space for fitting
+/// the Appendix D empirical heuristic (Figure 10's scatter).
+pub fn heuristic_fit_grid(
+    t_points: &[usize],
+    miss_denominators: &[usize],
+    max_total: usize,
+) -> Vec<(usize, usize)> {
+    let mut grid = Vec::new();
+    for &t in t_points {
+        if t == 0 {
+            continue;
+        }
+        for &d in miss_denominators {
+            let total = t.saturating_mul(d.max(1));
+            if total > max_total || total < t {
+                continue;
+            }
+            grid.push((t, total - t));
+        }
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_matches_paper_rows() {
+        let grid = table4_grid(128_000);
+        assert_eq!(grid.len(), 14);
+        // Paper's first and last rows: (126720, 1280) and (0, 128000).
+        assert_eq!(grid[0], (126_720, 1_280));
+        assert_eq!(grid[3], (121_600, 6_400)); // the 5% tipping point
+        assert_eq!(grid[4], (115_200, 12_800)); // 10%
+        assert_eq!(grid[13], (0, 128_000));
+        // All rows sum to the total.
+        assert!(grid.iter().all(|&(p, t)| p + t == 128_000));
+    }
+
+    #[test]
+    fn context_sweep_doubles() {
+        assert_eq!(
+            context_sweep(2_000, 128_000),
+            vec![2_000, 4_000, 8_000, 16_000, 32_000, 64_000, 128_000]
+        );
+        assert_eq!(context_sweep(5, 4), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn conversations_are_deterministic_and_in_range() {
+        let plan = ConversationPlan::long_document_chat();
+        let a = conversations(1, 10, &plan);
+        let b = conversations(1, 10, &plan);
+        assert_eq!(a, b);
+        let c = conversations(2, 10, &plan);
+        assert_ne!(a, c);
+        for conv in &a {
+            assert!(conv.turns.len() >= plan.turns.0 && conv.turns.len() <= plan.turns.1);
+            for t in &conv.turns {
+                assert!(
+                    t.prompt_tokens >= plan.prompt_tokens.0
+                        && t.prompt_tokens <= plan.prompt_tokens.1
+                );
+                assert!(
+                    t.response_tokens >= plan.response_tokens.0
+                        && t.response_tokens <= plan.response_tokens.1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefill_points_accumulate_cache() {
+        let conv = Conversation {
+            turns: vec![
+                Turn {
+                    prompt_tokens: 10,
+                    response_tokens: 5,
+                },
+                Turn {
+                    prompt_tokens: 3,
+                    response_tokens: 2,
+                },
+                Turn {
+                    prompt_tokens: 7,
+                    response_tokens: 1,
+                },
+            ],
+        };
+        assert_eq!(conv.prefill_points(), vec![(10, 0), (3, 15), (7, 20)]);
+        assert_eq!(conv.total_tokens(), 28);
+        assert!((conv.final_miss_rate() - 7.0 / 27.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn miss_rate_falls_over_turns() {
+        // Later turns see more cache: the miss rate of successive prefill
+        // points is (weakly) dominated by earlier ones for equal prompts.
+        let conv = Conversation {
+            turns: (0..5)
+                .map(|_| Turn {
+                    prompt_tokens: 10,
+                    response_tokens: 10,
+                })
+                .collect(),
+        };
+        let rates: Vec<f64> = conv
+            .prefill_points()
+            .iter()
+            .map(|&(t, p)| t as f64 / (t + p) as f64)
+            .collect();
+        assert!(rates.windows(2).all(|w| w[1] < w[0]), "{rates:?}");
+    }
+
+    #[test]
+    fn varseq_lengths_deterministic_in_range() {
+        let a = varseq_lengths(7, 16, 3, 9);
+        assert_eq!(a, varseq_lengths(7, 16, 3, 9));
+        assert_eq!(a.len(), 16);
+        assert!(a.iter().all(|&l| (3..=9).contains(&l)));
+        // Degenerate range works.
+        assert!(varseq_lengths(7, 4, 5, 5).iter().all(|&l| l == 5));
+    }
+
+    #[test]
+    fn heuristic_grid_respects_caps() {
+        let grid = heuristic_fit_grid(&[100, 1000], &[1, 2, 10], 5_000);
+        assert!(grid.contains(&(100, 0)));
+        assert!(grid.contains(&(100, 900)));
+        assert!(grid.contains(&(1000, 1000)));
+        // 1000 * 10 exceeds the cap.
+        assert!(!grid.contains(&(1000, 9000)));
+        // Zero-t points are skipped.
+        assert!(heuristic_fit_grid(&[0], &[1], 100).is_empty());
+    }
+
+    #[test]
+    fn empty_conversation_is_safe() {
+        let conv = Conversation { turns: vec![] };
+        assert_eq!(conv.total_tokens(), 0);
+        assert_eq!(conv.final_miss_rate(), 0.0);
+        assert!(conv.prefill_points().is_empty());
+    }
+}

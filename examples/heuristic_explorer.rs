@@ -1,0 +1,113 @@
+//! Explore the pass-KV vs pass-Q decision space: Algorithms 1 and 5, the
+//! refitted Appendix D empirical model, and the oracle — an interactive
+//! map of Figure 10.
+//!
+//! ```bash
+//! cargo run --release --example heuristic_explorer
+//! ```
+
+use cp_core::heuristics::{
+    choose_variant, empirical_h, fit_empirical, selection_accuracy, HeuristicKind, SystemContext,
+    PAPER_EMPIRICAL,
+};
+use cp_perf::RingVariant;
+use cp_workload::{heuristic_fit_grid, table4_grid};
+
+fn mark(v: RingVariant) -> &'static str {
+    match v {
+        RingVariant::PassKv => "K",
+        RingVariant::PassQ => "q",
+    }
+}
+
+fn main() {
+    let ctx = SystemContext::llama3_405b_gtt(4);
+    println!(
+        "system: {} nodes, Eq.2 threshold T* = {:.0} new tokens, Eq.1 miss threshold = {:.1}%\n",
+        ctx.n_nodes,
+        ctx.pass_kv_overlap_threshold(),
+        ctx.model.pass_q_miss_threshold() * 100.0
+    );
+
+    // Table 4's grid with every heuristic.
+    println!("Table 4 grid (T+P = 128000, CP4) — selections per heuristic:");
+    println!(
+        "{:>8} {:>8} {:>7} | {:>6} {:>6} {:>6} {:>6}",
+        "P", "T", "miss%", "Alg1", "Alg5", "emp.", "oracle"
+    );
+    let fit_grid = heuristic_fit_grid(
+        &(7..18).map(|l| 1usize << l).collect::<Vec<_>>(),
+        &[1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128],
+        1 << 20,
+    );
+    let (alpha, beta, gamma) = fit_empirical(&ctx, &fit_grid);
+    let fitted = HeuristicKind::Empirical { alpha, beta, gamma };
+    for (p, t) in table4_grid(128_000) {
+        println!(
+            "{:>8} {:>8} {:>7.2} | {:>6} {:>6} {:>6} {:>6}",
+            p,
+            t,
+            100.0 * t as f64 / 128_000.0,
+            mark(choose_variant(HeuristicKind::Threshold, &ctx, t, p)),
+            mark(choose_variant(HeuristicKind::All2AllAware, &ctx, t, p)),
+            mark(choose_variant(fitted, &ctx, t, p)),
+            mark(choose_variant(HeuristicKind::Oracle, &ctx, t, p)),
+        );
+    }
+
+    // Figure 10: the (T, miss-rate) decision map of the fitted model.
+    println!(
+        "\nfitted empirical model (this system): h = {alpha:.3}*ln(T) + {beta:.3}*ln(miss) + {gamma:.3}"
+    );
+    println!("(paper's testbed fit: -1.059*ln(T) + 1.145*ln(miss) + 12.112)\n");
+    println!("decision map: rows = miss rate, cols = T; K = pass-KV, q = pass-Q, * = fitted disagrees with oracle");
+    let t_axis: Vec<usize> = (7..18).map(|l| 1usize << l).collect();
+    print!("{:>7} ", "miss%");
+    for &t in &t_axis {
+        print!("{:>7}", t);
+    }
+    println!();
+    for denom in [64usize, 32, 16, 12, 8, 6, 4, 3, 2, 1] {
+        print!("{:>6.1}% ", 100.0 / denom as f64);
+        for &t in &t_axis {
+            let p = t * denom - t;
+            let fit = choose_variant(fitted, &ctx, t, p);
+            let oracle = choose_variant(HeuristicKind::Oracle, &ctx, t, p);
+            let c = if fit == oracle {
+                mark(fit).to_string()
+            } else {
+                format!("{}*", mark(fit))
+            };
+            print!("{c:>7}");
+        }
+        println!();
+    }
+
+    // Accuracy summary over the dense grid.
+    println!(
+        "\nselection accuracy vs oracle over {} grid points:",
+        fit_grid.len()
+    );
+    for (name, kind) in [
+        ("Algorithm 1 (threshold)", HeuristicKind::Threshold),
+        ("Algorithm 5 (All2All-aware)", HeuristicKind::All2AllAware),
+        ("empirical (refit, this system)", fitted),
+        ("empirical (paper constants)", PAPER_EMPIRICAL),
+    ] {
+        println!(
+            "  {name:<32} {:>6.1}%",
+            100.0 * selection_accuracy(kind, &ctx, &fit_grid)
+        );
+    }
+
+    // A sample of h values along the boundary.
+    println!("\nsample h(T, P) values at 5% miss:");
+    for t in [1_000usize, 4_000, 16_000, 64_000] {
+        let p = 19 * t;
+        println!(
+            "  T={t:>6}: h = {:+.2} -> {}",
+            empirical_h(alpha, beta, gamma, t, p),
+            mark(choose_variant(fitted, &ctx, t, p))
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! End-to-end serving of a multi-layer transformer under context
+//! parallelism: multi-turn prefill with persistent per-layer distributed
+//! KV caches, heuristic pass-KV/pass-Q switching, and rotating pass-Q
+//! decode — verified live against the single-device incremental
+//! reference.
+//!
+//! ```bash
+//! cargo run --release --example serving_engine
+//! ```
+
+use cp_model::{Transformer, TransformerConfig};
+use cp_serve::{ReferenceSession, TransformerEngine};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = TransformerConfig::small();
+    let model = Transformer::new(&config, 77);
+    let n_ranks = 4;
+    let mut engine = TransformerEngine::new(model.clone(), n_ranks)?;
+    let mut reference = ReferenceSession::new(model);
+
+    println!(
+        "serving a {}-layer transformer (D={}) on {n_ranks} CP ranks\n",
+        config.n_layers,
+        config.model_dim()
+    );
+
+    // Turn 1: a document prefill.
+    let document: Vec<u32> = (0..120).map(|i| i * 13 % 997).collect();
+    let out = engine.prefill(&document)?;
+    let expected = reference.process(&document)?;
+    println!(
+        "turn 1 prefill: {} tokens via {} | {} layers of ring traffic: {} B | max err vs reference {:.2e}",
+        document.len(),
+        out.variant.expect("prefill reports its variant"),
+        config.n_layers,
+        out.traffic.send_recv_bytes,
+        out.activations.max_abs_diff(&expected)?
+    );
+
+    // Assistant decodes a few tokens (each lands on a rotating rank).
+    print!("decode: ");
+    for tok in 500..506 {
+        let d = engine.decode(tok)?;
+        let e = reference.process(&[tok])?;
+        assert!(d.activations.approx_eq(&e, 5e-3)?);
+        print!("{tok} ");
+    }
+    println!("\nper-rank KV after decode: {:?}", engine.rank_kv_lens());
+
+    // Turn 2: a short follow-up against the persistent cache.
+    let follow: Vec<u32> = vec![7, 8, 9];
+    let out2 = engine.prefill(&follow)?;
+    let expected2 = reference.process(&follow)?;
+    println!(
+        "turn 2 prefill: {} new tokens against {} cached via {} | max err {:.2e}",
+        follow.len(),
+        engine.context_len() - follow.len(),
+        out2.variant.expect("prefill reports its variant"),
+        out2.activations.max_abs_diff(&expected2)?
+    );
+
+    println!(
+        "\ncontext: {} tokens, distributed {:?} across ranks — all exact to f32 noise",
+        engine.context_len(),
+        engine.rank_kv_lens()
+    );
+    Ok(())
+}

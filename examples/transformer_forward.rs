@@ -1,0 +1,68 @@
+//! Run a full multi-layer GQA transformer (RMSNorm + RoPE + SwiGLU) under
+//! context parallelism and verify the whole-stack forward is exact: every
+//! rank executes all layers on its token shard, with ring pass-KV
+//! attention as the only cross-rank operation per layer — the paper's
+//! execution structure, end to end.
+//!
+//! ```bash
+//! cargo run --release --example transformer_forward
+//! ```
+
+use cp_model::{cp_forward, tp, Linear, Transformer, TransformerConfig};
+use cp_tensor::DetRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = TransformerConfig::small();
+    let model = Transformer::new(&config, 2025);
+    let t = 96;
+    let tokens: Vec<u32> = (0..t as u32).map(|i| i * 17 % 1000).collect();
+
+    println!(
+        "transformer: {} layers, D={}, {} Q heads / {} KV heads, {} tokens\n",
+        config.n_layers,
+        config.model_dim(),
+        config.shape.n_heads(),
+        config.shape.n_kv_heads(),
+        t
+    );
+
+    let reference = model.forward(&tokens)?;
+    println!(
+        "single-device forward done ({:?} activations)",
+        reference.shape()
+    );
+
+    println!("\ncontext-parallel forward (ring pass-KV per layer):");
+    for n in [1usize, 2, 4] {
+        let (out, traffic) = cp_forward(&model, &tokens, n)?;
+        let err = out.max_abs_diff(&reference)?;
+        println!(
+            "  CP{n}: max |err| = {err:.2e} | ring traffic {:>8} B over {} layers ({} B/layer)",
+            traffic.send_recv_bytes,
+            config.n_layers,
+            traffic.send_recv_bytes / config.n_layers.max(1)
+        );
+        assert!(out.approx_eq(&reference, 3e-3)?);
+    }
+
+    // Contrast with tensor parallelism's communication pattern: one
+    // column->row Megatron pair (= half a transformer block's AllReduce
+    // load) on the same fabric.
+    println!("\ntensor-parallel Megatron pair (column + row split, AllReduce):");
+    let d = config.model_dim();
+    let x = DetRng::new(5).tensor(&[t, d]);
+    let w_a = Linear::new(d, d, 1);
+    let w_b = Linear::new(d, d, 2);
+    for n in [2usize, 4] {
+        let (_, traffic) = tp::tp_linear_pair(&x, &w_a, &w_b, n)?;
+        println!(
+            "  TP{n}: AllReduce traffic {:>9} B for one linear pair",
+            traffic.all_gather_bytes
+        );
+    }
+    println!(
+        "\n(Table 2's point on real bytes: TP pays activation-sized AllReduces per block;\n CP pays one KV-sized SendRecv ring per block — {}x fewer KV than Q heads here.)",
+        config.shape.group_size()
+    );
+    Ok(())
+}

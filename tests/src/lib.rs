@@ -1,0 +1,1 @@
+//! Integration test crate for the context-parallel workspace (tests live in `tests/tests/`).

@@ -1,0 +1,221 @@
+//! End-to-end serving lifecycle: workload-driven multi-turn sessions,
+//! capacity limits, and heuristic behaviour over realistic traces.
+
+use cp_attention::GqaShape;
+use cp_core::{ChatSession, ContextParallelEngine, EngineConfig, ToyProjector};
+use cp_kvcache::SeqId;
+use cp_perf::RingVariant;
+use cp_tensor::DetRng;
+use cp_workload::{conversations, ConversationPlan};
+
+fn shape() -> GqaShape {
+    GqaShape::new(4, 2, 8).unwrap()
+}
+
+#[test]
+fn workload_driven_conversations_run_to_completion() {
+    let plan = ConversationPlan::short_chat();
+    let convs = conversations(11, 3, &plan);
+    let mut engine =
+        ContextParallelEngine::new(EngineConfig::new(3, shape()).with_page_size(8)).unwrap();
+    for (i, conv) in convs.iter().enumerate() {
+        let projector = ToyProjector::new(shape(), 1000 + i as u64);
+        let mut session = ChatSession::new(&mut engine, projector, SeqId(i as u64));
+        let mut expected_ctx = 0;
+        for (turn_idx, turn) in conv.turns.iter().enumerate() {
+            let prompt: Vec<u32> = (0..turn.prompt_tokens as u32).collect();
+            let (stats, out) = session.user_turn(&prompt).unwrap();
+            assert_eq!(stats.new_tokens, turn.prompt_tokens);
+            assert_eq!(stats.cached_tokens, expected_ctx);
+            assert_eq!(out.tokens(), turn.prompt_tokens);
+            expected_ctx += turn.prompt_tokens;
+            let (generated, _) = session.assistant_turn(turn.response_tokens).unwrap();
+            assert_eq!(generated.len(), turn.response_tokens);
+            expected_ctx += turn.response_tokens;
+            assert_eq!(
+                session.context_len(),
+                expected_ctx,
+                "conv {i} turn {turn_idx}"
+            );
+        }
+        assert_eq!(expected_ctx, conv.total_tokens());
+    }
+    // All sequences remain live with balanced shards.
+    for (i, conv) in convs.iter().enumerate() {
+        let lens = engine.rank_kv_lens(SeqId(i as u64)).unwrap();
+        assert_eq!(lens.iter().sum::<usize>(), conv.total_tokens());
+    }
+}
+
+#[test]
+fn miss_rate_driven_variant_switching_over_a_long_conversation() {
+    // As the cache grows across turns, the Algorithm 1 heuristic must
+    // eventually switch from pass-KV (early, high miss rate) to pass-Q
+    // (late, tiny miss rate) — the multi-turn story of §3.4. We use a
+    // system context where the Equation 2 threshold is large so the
+    // miss-rate condition governs.
+    use cp_core::heuristics::SystemContext;
+    use cp_perf::HardwareSpec;
+
+    let system = SystemContext {
+        model: cp_perf::ModelSpec::llama3_405b(),
+        hw: HardwareSpec::gti(), // low bandwidth: big Eq. 2 threshold
+        n_nodes: 2,
+    };
+    let mut engine = ContextParallelEngine::new(
+        EngineConfig::new(2, shape())
+            .with_page_size(16)
+            .with_system(system),
+    )
+    .unwrap();
+    let projector = ToyProjector::new(shape(), 5);
+    let mut session = ChatSession::new(&mut engine, projector, SeqId(0));
+
+    // Big first document, then tiny follow-ups.
+    let (first, _) = session.user_turn(&vec![7u32; 256]).unwrap();
+    assert_eq!(
+        first.variant,
+        RingVariant::PassKv,
+        "full prefill is pass-KV"
+    );
+    let mut saw_pass_q = false;
+    for _ in 0..3 {
+        session.assistant_turn(2).unwrap();
+        let (stats, _) = session.user_turn(&[1, 2, 3]).unwrap();
+        if stats.variant == RingVariant::PassQ {
+            saw_pass_q = true;
+            assert!(stats.miss_rate < 0.125, "pass-Q only below Eq. 1 threshold");
+        }
+    }
+    assert!(
+        saw_pass_q,
+        "low miss-rate follow-ups should switch to pass-Q"
+    );
+}
+
+#[test]
+fn capacity_oom_is_clean_and_other_sequences_survive() {
+    let mut engine = ContextParallelEngine::new(
+        EngineConfig::new(2, shape())
+            .with_page_size(4)
+            .with_max_pages(8), // 32 tokens per rank
+    )
+    .unwrap();
+    let mut rng = DetRng::new(3);
+    let ok_t = 24;
+    let q = rng.tensor(&[ok_t, 4, 8]);
+    let k = rng.tensor(&[ok_t, 2, 8]);
+    let v = rng.tensor(&[ok_t, 2, 8]);
+    engine.full_prefill(SeqId(0), &q, &k, &v).unwrap();
+
+    // This prefill needs ~52 tokens per rank in total: over capacity.
+    let big_t = 80;
+    let q2 = rng.tensor(&[big_t, 4, 8]);
+    let k2 = rng.tensor(&[big_t, 2, 8]);
+    let v2 = rng.tensor(&[big_t, 2, 8]);
+    let err = engine.full_prefill(SeqId(1), &q2, &k2, &v2).unwrap_err();
+    assert!(matches!(err, cp_core::CoreError::Cache(_)), "{err}");
+
+    // The original sequence is still intact and usable.
+    assert_eq!(engine.context_len(SeqId(0)).unwrap(), ok_t);
+    let (q3, k3, v3) = (
+        rng.tensor(&[1, 4, 8]),
+        rng.tensor(&[1, 2, 8]),
+        rng.tensor(&[1, 2, 8]),
+    );
+    engine.decode_step(&[(SeqId(0), q3, k3, v3)]).unwrap();
+    assert_eq!(engine.context_len(SeqId(0)).unwrap(), ok_t + 1);
+}
+
+#[test]
+fn freeing_one_conversation_frees_capacity_for_another() {
+    let mut engine = ContextParallelEngine::new(
+        EngineConfig::new(2, shape())
+            .with_page_size(4)
+            .with_max_pages(6), // 24 tokens per rank
+    )
+    .unwrap();
+    let mut rng = DetRng::new(4);
+    let t = 40; // 20 per rank: fits
+    let mk = |rng: &mut DetRng| {
+        (
+            rng.tensor(&[t, 4, 8]),
+            rng.tensor(&[t, 2, 8]),
+            rng.tensor(&[t, 2, 8]),
+        )
+    };
+    let (q, k, v) = mk(&mut rng);
+    engine.full_prefill(SeqId(0), &q, &k, &v).unwrap();
+    // A second same-size conversation cannot fit...
+    let (q2, k2, v2) = mk(&mut rng);
+    assert!(engine.full_prefill(SeqId(1), &q2, &k2, &v2).is_err());
+    // ...until the first is freed. The failed attempt must have rolled
+    // itself back completely: SeqId(1) is unknown, not half-registered.
+    assert!(engine.context_len(SeqId(1)).is_err());
+    engine.free_sequence(SeqId(0)).unwrap();
+    engine.full_prefill(SeqId(2), &q2, &k2, &v2).unwrap();
+    assert_eq!(engine.context_len(SeqId(2)).unwrap(), t);
+}
+
+#[test]
+fn kv_distribution_extends_capacity_with_more_ranks() {
+    // The paper's capacity argument: the same per-rank page budget holds
+    // a longer context with more CP ranks.
+    let per_rank_pages = 4; // 16 tokens per rank at page_size 4
+    let capacity = |n: usize| {
+        let mut engine = ContextParallelEngine::new(
+            EngineConfig::new(n, shape())
+                .with_page_size(4)
+                .with_max_pages(per_rank_pages),
+        )
+        .unwrap();
+        let mut rng = DetRng::new(5);
+        // Grow a sequence turn by turn until OOM.
+        let mut total = 0usize;
+        let step = 8;
+        let (q, k, v) = (
+            rng.tensor(&[step, 4, 8]),
+            rng.tensor(&[step, 2, 8]),
+            rng.tensor(&[step, 2, 8]),
+        );
+        if engine.full_prefill(SeqId(0), &q, &k, &v).is_err() {
+            return 0;
+        }
+        total += step;
+        loop {
+            let (q, k, v) = (
+                rng.tensor(&[step, 4, 8]),
+                rng.tensor(&[step, 2, 8]),
+                rng.tensor(&[step, 2, 8]),
+            );
+            match engine.partial_prefill(SeqId(0), &q, &k, &v) {
+                Ok(_) => total += step,
+                Err(_) => break,
+            }
+        }
+        total
+    };
+    let c1 = capacity(1);
+    let c4 = capacity(4);
+    assert!(c4 >= 3 * c1, "capacity CP1 {c1} vs CP4 {c4}");
+}
+
+#[test]
+fn deterministic_replay_across_engine_instances() {
+    // Same seed + same trace = bit-identical generated tokens, even with
+    // different rank counts (exactness makes parallelism invisible).
+    let trace = |n: usize| {
+        let mut engine =
+            ContextParallelEngine::new(EngineConfig::new(n, shape()).with_page_size(8)).unwrap();
+        let projector = ToyProjector::new(shape(), 77);
+        let mut session = ChatSession::new(&mut engine, projector, SeqId(0));
+        session.user_turn(&[9, 8, 7, 6, 5, 4, 3, 2, 1, 0]).unwrap();
+        let (a, _) = session.assistant_turn(3).unwrap();
+        session.user_turn(&[11, 12, 13]).unwrap();
+        let (b, _) = session.assistant_turn(3).unwrap();
+        (a, b)
+    };
+    let single = trace(1);
+    let quad = trace(4);
+    assert_eq!(single, quad);
+}

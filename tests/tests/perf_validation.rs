@@ -1,0 +1,246 @@
+//! Consistency between the performance model, the event simulator, the
+//! heuristics, and the paper's reported results.
+
+use cp_core::heuristics::{
+    choose_variant, fit_empirical, selection_accuracy, HeuristicKind, SystemContext,
+};
+use cp_perf::event::{closed_form_uniform_us, simulate_ring};
+use cp_perf::{cost, decode, mfu, prefill, tp, HardwareSpec, ModelSpec, RingVariant};
+use cp_sharding::ShardPlan;
+use cp_workload::{context_sweep, heuristic_fit_grid, table4_grid};
+
+fn model() -> ModelSpec {
+    ModelSpec::llama3_405b()
+}
+
+#[test]
+fn event_simulator_validates_closed_form_over_paper_grid() {
+    // For every (context, nodes) point of Figure 6's sweep, the event
+    // simulator of the ring pipeline must agree with the closed-form
+    // makespan used by the TTFT model (uniform per-iteration times).
+    let hw = HardwareSpec::gtt();
+    for &t in &context_sweep(2_000, 128_000) {
+        for n in [2usize, 4, 8] {
+            let iter = prefill::ring_iter_costs(&model(), &hw, n, t, 0, RingVariant::PassKv);
+            let matrix = vec![vec![iter.attn_us; n]; n];
+            let sim = simulate_ring(&matrix, iter.sendrecv_us);
+            let closed = closed_form_uniform_us(n, iter.attn_us, iter.sendrecv_us);
+            assert!(
+                (sim.makespan_us - closed).abs() <= 1e-6 * closed.max(1.0),
+                "T={t} N={n}: sim {} vs closed {closed}",
+                sim.makespan_us
+            );
+        }
+    }
+}
+
+#[test]
+fn naive_sharding_would_cost_the_paper_workload() {
+    // Ablation: replay Figure 6a's CP8/128K point with naive contiguous
+    // sharding's causal-work profile instead of the 2N-chunk one. The
+    // straggler rank should inflate the ring makespan by >50%.
+    let hw = HardwareSpec::gtt();
+    let (n, t) = (8usize, 128_000usize);
+    let iter = prefill::ring_iter_costs(&model(), &hw, n, t, 0, RingVariant::PassKv);
+
+    let plan = ShardPlan::new(t, n).unwrap();
+    let balanced: Vec<u128> = (0..n).map(|r| plan.causal_pairs_for(r)).collect();
+    let naive: Vec<u128> = (0..n)
+        .map(|r| {
+            cp_sharding::naive_contiguous_positions(t, n, r)
+                .iter()
+                .map(|&p| (p + 1) as u128)
+                .sum()
+        })
+        .collect();
+
+    let bal_m = cp_perf::event::attn_matrix_from_profile(&balanced, iter.attn_us);
+    let nav_m = cp_perf::event::attn_matrix_from_profile(&naive, iter.attn_us);
+    let bal = simulate_ring(&bal_m, iter.sendrecv_us);
+    let nav = simulate_ring(&nav_m, iter.sendrecv_us);
+    assert!(
+        nav.makespan_us > 1.5 * bal.makespan_us,
+        "naive {} vs balanced {}",
+        nav.makespan_us,
+        bal.makespan_us
+    );
+}
+
+#[test]
+fn table4_speed_ratio_crosses_one_near_5_percent() {
+    // Figure 9: pass-KV/pass-Q TTFT ratio < 1 above ~5% miss rate, > 1
+    // below it, on CP4 with T+P = 128000.
+    let hw = HardwareSpec::gtt();
+    let mut prev_ratio = f64::INFINITY;
+    for (p, t) in table4_grid(128_000) {
+        let kv = prefill::cp_prefill(&model(), &hw, 4, t, p, RingVariant::PassKv).total_s;
+        let q = prefill::cp_prefill(&model(), &hw, 4, t, p, RingVariant::PassQ).total_s;
+        let ratio = kv / q;
+        let miss = t as f64 / 128_000.0;
+        // (The paper treats points near the boundary — ~3.25% to 5% — as
+        // indifferent; we assert the clear regions on each side.)
+        if miss <= 0.025 {
+            assert!(ratio > 1.0, "miss {miss}: ratio {ratio}");
+        }
+        if miss >= 0.10 {
+            assert!(ratio < 1.0, "miss {miss}: ratio {ratio}");
+        }
+        // The ratio is monotone decreasing in the miss rate, as Figure 9
+        // shows.
+        assert!(ratio <= prev_ratio + 0.02, "miss {miss}");
+        prev_ratio = ratio;
+    }
+}
+
+#[test]
+fn heuristics_agree_with_oracle_away_from_the_boundary() {
+    let ctx = SystemContext::llama3_405b_gtt(4);
+    // Points well away from the ~5% boundary.
+    let clear: Vec<(usize, usize)> = vec![
+        (1_280, 126_720),  // 1%: pass-Q
+        (12_800, 115_200), // 10%: pass-KV
+        (64_000, 64_000),  // 50%: pass-KV
+        (128_000, 0),      // full prefill: pass-KV
+        (1, 127_999),      // decode-like: pass-Q
+    ];
+    for kind in [HeuristicKind::Threshold, HeuristicKind::All2AllAware] {
+        for &(t, p) in &clear {
+            assert_eq!(
+                choose_variant(kind, &ctx, t, p),
+                choose_variant(HeuristicKind::Oracle, &ctx, t, p),
+                "{kind:?} at T={t} P={p}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fitted_heuristic_beats_paper_constants_on_our_system() {
+    // Appendix D workflow: refit (alpha, beta, gamma) on this system's
+    // oracle labels; the refit must outperform the paper's testbed
+    // constants when both are scored against our oracle.
+    let ctx = SystemContext::llama3_405b_gtt(4);
+    let t_points: Vec<usize> = (7..17).map(|l| 1usize << l).collect();
+    let denoms = [1usize, 2, 4, 8, 16, 32, 64, 128];
+    let grid = heuristic_fit_grid(&t_points, &denoms, 1_000_000);
+    let (alpha, beta, gamma) = fit_empirical(&ctx, &grid);
+    let fitted = HeuristicKind::Empirical { alpha, beta, gamma };
+    let fitted_acc = selection_accuracy(fitted, &ctx, &grid);
+    let paper_acc = selection_accuracy(cp_core::heuristics::PAPER_EMPIRICAL, &ctx, &grid);
+    assert!(fitted_acc > 0.85, "fitted {fitted_acc}");
+    assert!(
+        fitted_acc >= paper_acc,
+        "fitted {fitted_acc} vs paper {paper_acc}"
+    );
+}
+
+#[test]
+fn figure6_latency_halves_with_node_doubling() {
+    // Figures 6a/6b: for long contexts, doubling CP nodes halves TTFT.
+    for hw in [HardwareSpec::gtt(), HardwareSpec::gti()] {
+        let max_nodes = if hw.inter_bw_gbs < 10.0 { 4 } else { 8 };
+        let t = 128_000;
+        let mut n = 1;
+        while 2 * n <= max_nodes {
+            let t1 = prefill::cp_full_prefill_s(&model(), &hw, n, t);
+            let t2 = prefill::cp_full_prefill_s(&model(), &hw, 2 * n, t);
+            let speedup = t1 / t2;
+            assert!(
+                speedup > 1.7 && speedup <= 2.05,
+                "{}: CP{n}->CP{}: {speedup}",
+                hw.name,
+                2 * n
+            );
+            n *= 2;
+        }
+    }
+}
+
+#[test]
+fn short_contexts_scale_worse_than_long() {
+    // Figure 6a's fine print: at 2K tokens adding nodes helps far less
+    // than at 128K (fixed overheads and exposed comm dominate).
+    let hw = HardwareSpec::gtt();
+    let speedup = |t: usize| {
+        prefill::cp_full_prefill_s(&model(), &hw, 1, t)
+            / prefill::cp_full_prefill_s(&model(), &hw, 8, t)
+    };
+    assert!(speedup(128_000) / speedup(2_000) > 1.5);
+}
+
+#[test]
+fn figure8_ttft_grows_superlinearly_past_512k() {
+    // Figure 8: >= 512K, doubling context more than doubles TTFT
+    // (attention quadratic term dominates).
+    let hw = HardwareSpec::gtt();
+    let t512 = prefill::cp_full_prefill_s(&model(), &hw, 16, 512_000);
+    let t1m = prefill::cp_full_prefill_s(&model(), &hw, 16, 1_024_000);
+    assert!(t1m / t512 > 2.0, "{}", t1m / t512);
+    // While at short contexts the growth is sub-quadratic (GEMM-bound).
+    let t16k = prefill::cp_full_prefill_s(&model(), &hw, 16, 16_000);
+    let t32k = prefill::cp_full_prefill_s(&model(), &hw, 16, 32_000);
+    assert!(t32k / t16k < 2.0);
+}
+
+#[test]
+fn appendix_a_mfu_closes_with_the_latency_model() {
+    let hw = HardwareSpec::gtt();
+    let predicted = prefill::cp_full_prefill_s(&model(), &hw, 16, 1_000_000);
+    let report = mfu::mfu_report(&model(), &hw, 1_000_000, 128, predicted);
+    assert!(report.parallelization_efficiency > 0.85);
+    assert!(report.mfu > 0.55);
+    assert!(report.achieved_tflops_per_gpu > 450.0);
+}
+
+#[test]
+fn table7_full_comparison_shape() {
+    // Table 7's TTFT ordering at 128K, batch 1 (paper values in ms):
+    //   CP4 (10950) < TP32 (19841) < CP2 (21042) < TP16 (29917) < TP8 (42010)
+    // and the TTIT ordering: TP16 < TP8 < TP32 ~ CP2 < CP4.
+    let hw = HardwareSpec::gtt();
+    let m = model();
+    let ttft_cp = |n| prefill::cp_full_prefill_s(&m, &hw, n, 128_000);
+    let ttft_tp = |n| tp::tp_prefill(&m, &hw, n, 128_000).total_s;
+    assert!(ttft_cp(4) < ttft_tp(4));
+    assert!(ttft_tp(4) < ttft_cp(2));
+    assert!(ttft_cp(2) < ttft_tp(2));
+    assert!(ttft_tp(2) < ttft_tp(1));
+
+    let ttit_tp = |n| tp::tp_ttit_s(&m, &hw, n, 128_000, 1);
+    let ttit_cp = |n| decode::cp_ttit_s(&m, &hw, n, 128_000, 1);
+    assert!(ttit_tp(2) < ttit_tp(1));
+    assert!(ttit_tp(1) < ttit_cp(2));
+    assert!(ttit_cp(2) < ttit_cp(4));
+}
+
+#[test]
+fn cost_formulas_match_measured_engine_traffic_scaling() {
+    // The closed-form Table 2 ratio (TP comm / CP comm = 2*N_H/N_KV)
+    // holds for the Llama3 405B spec.
+    let m = model();
+    let ratio = cost::tp_comm_per_block_bytes(&m, 1000) / cost::cp_comm_per_block_bytes(&m, 1000);
+    assert_eq!(ratio, 2.0 * 128.0 / 8.0);
+}
+
+#[test]
+fn gb200_style_interconnect_rescues_tensor_parallel() {
+    // §4.2.2's outlook: with NVLink-class inter-host bandwidth (GB200),
+    // TP scales reasonably again. Model it by raising inter_bw to the
+    // intra_bw and checking the TP scaling ratio recovers.
+    let m = model();
+    let slow = HardwareSpec::gtt();
+    let fast = HardwareSpec {
+        inter_bw_gbs: slow.intra_bw_gbs,
+        name: "GB200-like".to_string(),
+        ..slow.clone()
+    };
+    let ratio = |hw: &HardwareSpec| {
+        tp::tp_prefill(&m, hw, 1, 128_000).total_s / tp::tp_prefill(&m, hw, 8, 128_000).total_s
+    };
+    assert!(
+        ratio(&fast) > 1.6 * ratio(&slow),
+        "fast {} slow {}",
+        ratio(&fast),
+        ratio(&slow)
+    );
+}
