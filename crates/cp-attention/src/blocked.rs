@@ -37,7 +37,6 @@ use cp_tensor::Tensor;
 /// # Ok(())
 /// # }
 /// ```
-#[allow(clippy::needless_range_loop)] // parallel-indexing kernel: q_pos/kv_pos/rows move together
 pub fn blocked_gqa_attention(
     q: &Tensor,
     k: &Tensor,
@@ -46,6 +45,33 @@ pub fn blocked_gqa_attention(
     q_pos: &[usize],
     kv_pos: &[usize],
     block_size: usize,
+) -> Result<AttentionOutput, AttentionError> {
+    blocked_gqa_attention_with_threads(q, k, v, params, q_pos, kv_pos, block_size, 0)
+}
+
+/// [`blocked_gqa_attention`] with an explicit worker-thread count.
+///
+/// `threads == 0` sizes the pool from `available_parallelism` (the default
+/// entry point's behaviour); `threads == 1` forces the serial path; larger
+/// values pin the number of query-row tiles computed concurrently, which
+/// lets tests exercise the threaded path on single-core hosts. Every
+/// `(query, head)` pair walks its KV blocks in the same ascending order
+/// with the same arithmetic regardless of `threads`, so results are
+/// bit-identical across thread counts.
+///
+/// # Errors
+///
+/// Same conditions as [`blocked_gqa_attention`].
+#[allow(clippy::too_many_arguments)] // mirrors the kernel signature + threads
+pub fn blocked_gqa_attention_with_threads(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    params: &AttentionParams,
+    q_pos: &[usize],
+    kv_pos: &[usize],
+    block_size: usize,
+    threads: usize,
 ) -> Result<AttentionOutput, AttentionError> {
     if block_size == 0 {
         return Err(AttentionError::InvalidShape {
@@ -69,88 +95,165 @@ pub fn blocked_gqa_attention(
     let (n_heads, dh) = (shape.n_heads(), shape.head_dim());
     let mut out = Tensor::zeros(&[t_q, n_heads, dh]);
     let mut lse = Tensor::full(&[t_q, n_heads], f32::NEG_INFINITY);
-
-    // Per (query, head) online-softmax state across kv blocks.
-    // m: running max score; l: running sum of exp(score - m);
-    // acc: running sum of exp(score - m) * v.
-    let mut m_state = vec![f32::NEG_INFINITY; t_q * n_heads];
-    let mut l_state = vec![0.0f32; t_q * n_heads];
-    let mut acc = vec![0.0f32; t_q * n_heads * dh];
-
-    let mut block_start = 0;
-    while block_start < t_k {
-        let block_end = (block_start + block_size).min(t_k);
-        for qi in 0..t_q {
-            let qrow = q.row(qi);
-            for h in 0..n_heads {
-                let kvh = shape.kv_head_for(h);
-                let qvec = &qrow[h * dh..(h + 1) * dh];
-                let s_idx = qi * n_heads + h;
-
-                // Block max for the rescale.
-                let mut block_m = f32::NEG_INFINITY;
-                let mut scores = Vec::with_capacity(block_end - block_start);
-                for ki in block_start..block_end {
-                    let s = if kv_pos[ki] == PAD || kv_pos[ki] > q_pos[qi] {
-                        f32::NEG_INFINITY
-                    } else {
-                        let kvec = &k.row(ki)[kvh * dh..(kvh + 1) * dh];
-                        let dot: f32 = qvec.iter().zip(kvec).map(|(a, b)| a * b).sum();
-                        dot * params.scale
-                    };
-                    block_m = block_m.max(s);
-                    scores.push(s);
-                }
-                if block_m == f32::NEG_INFINITY {
-                    continue; // entire block masked for this query
-                }
-                let new_m = m_state[s_idx].max(block_m);
-                let rescale = if m_state[s_idx] == f32::NEG_INFINITY {
-                    0.0
-                } else {
-                    (m_state[s_idx] - new_m).exp()
-                };
-                l_state[s_idx] *= rescale;
-                let a = &mut acc[s_idx * dh..(s_idx + 1) * dh];
-                for x in a.iter_mut() {
-                    *x *= rescale;
-                }
-                for (off, &s) in scores.iter().enumerate() {
-                    if s == f32::NEG_INFINITY {
-                        continue;
-                    }
-                    let w = (s - new_m).exp();
-                    l_state[s_idx] += w;
-                    let ki = block_start + off;
-                    let vvec = &v.row(ki)[kvh * dh..(kvh + 1) * dh];
-                    for (d, &x) in vvec.iter().enumerate() {
-                        a[d] += w * x;
-                    }
-                }
-                m_state[s_idx] = new_m;
-            }
+    if t_q > 0 {
+        let out_buf = out.as_mut_slice();
+        let lse_buf = lse.as_mut_slice();
+        let row_o = n_heads * dh;
+        let workers = match threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
         }
-        block_start = block_end;
-    }
-
-    // Finalise: out = acc / l, lse = m + ln(l).
-    for qi in 0..t_q {
-        for h in 0..n_heads {
-            let s_idx = qi * n_heads + h;
-            if m_state[s_idx] == f32::NEG_INFINITY {
-                continue;
+        .min(t_q);
+        if workers <= 1 {
+            // One scratch buffer for the whole call instead of one Vec per
+            // (block, query, head).
+            let mut scores = Vec::with_capacity(block_size.min(t_k.max(1)));
+            for qi in 0..t_q {
+                attend_query_row(
+                    q,
+                    k,
+                    v,
+                    params,
+                    q_pos,
+                    kv_pos,
+                    block_size,
+                    qi,
+                    &mut out_buf[qi * row_o..(qi + 1) * row_o],
+                    &mut lse_buf[qi * n_heads..(qi + 1) * n_heads],
+                    &mut scores,
+                );
             }
-            let l = l_state[s_idx];
-            lse.set(&[qi, h], m_state[s_idx] + l.ln())
-                .expect("in bounds");
-            let orow = out.row_mut(qi);
-            let a = &acc[s_idx * dh..(s_idx + 1) * dh];
-            for (d, &x) in a.iter().enumerate() {
-                orow[h * dh + d] = x / l;
-            }
+        } else {
+            // Tile the query rows over scoped worker threads; each worker
+            // owns a disjoint slice of the output buffers and one scratch.
+            std::thread::scope(|scope| {
+                let mut out_rest = out_buf;
+                let mut lse_rest = lse_buf;
+                let base = t_q / workers;
+                let extra = t_q % workers;
+                let mut start = 0;
+                for w in 0..workers {
+                    let len = base + usize::from(w < extra);
+                    let (out_tile, out_tail) = out_rest.split_at_mut(len * row_o);
+                    out_rest = out_tail;
+                    let (lse_tile, lse_tail) = lse_rest.split_at_mut(len * n_heads);
+                    lse_rest = lse_tail;
+                    scope.spawn(move || {
+                        let mut scores = Vec::with_capacity(block_size.min(t_k.max(1)));
+                        for off in 0..len {
+                            let qi = start + off;
+                            attend_query_row(
+                                q,
+                                k,
+                                v,
+                                params,
+                                q_pos,
+                                kv_pos,
+                                block_size,
+                                qi,
+                                &mut out_tile[off * row_o..(off + 1) * row_o],
+                                &mut lse_tile[off * n_heads..(off + 1) * n_heads],
+                                &mut scores,
+                            );
+                        }
+                    });
+                    start += len;
+                }
+            });
         }
     }
     AttentionOutput::new(out, lse)
+}
+
+/// Online-softmax attention for one query row: for every head, walk the KV
+/// blocks in ascending order keeping `(m, l)` scalars and accumulating
+/// weighted values directly into this row's slice of the output buffer.
+/// This is the seed kernel's per-(query, head) arithmetic verbatim — only
+/// the loop nest is transposed so rows are independent work items.
+#[allow(clippy::too_many_arguments)]
+#[allow(clippy::needless_range_loop)] // parallel-indexing kernel: q_pos/kv_pos/rows move together
+fn attend_query_row(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    params: &AttentionParams,
+    q_pos: &[usize],
+    kv_pos: &[usize],
+    block_size: usize,
+    qi: usize,
+    out_row: &mut [f32],
+    lse_row: &mut [f32],
+    scores: &mut Vec<f32>,
+) {
+    let shape = &params.shape;
+    let (n_heads, dh) = (shape.n_heads(), shape.head_dim());
+    let t_k = kv_pos.len();
+    let qrow = q.row(qi);
+    for h in 0..n_heads {
+        let kvh = shape.kv_head_for(h);
+        let qvec = &qrow[h * dh..(h + 1) * dh];
+        // m: running max score; l: running sum of exp(score - m);
+        // acc: running sum of exp(score - m) * v, built in place.
+        let mut m = f32::NEG_INFINITY;
+        let mut l = 0.0f32;
+        let acc = &mut out_row[h * dh..(h + 1) * dh];
+        let mut block_start = 0;
+        while block_start < t_k {
+            let block_end = (block_start + block_size).min(t_k);
+            // Block max for the rescale.
+            let mut block_m = f32::NEG_INFINITY;
+            scores.clear();
+            for ki in block_start..block_end {
+                let s = if kv_pos[ki] == PAD || kv_pos[ki] > q_pos[qi] {
+                    f32::NEG_INFINITY
+                } else {
+                    let kvec = &k.row(ki)[kvh * dh..(kvh + 1) * dh];
+                    let dot: f32 = qvec.iter().zip(kvec).map(|(a, b)| a * b).sum();
+                    dot * params.scale
+                };
+                block_m = block_m.max(s);
+                scores.push(s);
+            }
+            if block_m == f32::NEG_INFINITY {
+                block_start = block_end;
+                continue; // entire block masked for this query
+            }
+            let new_m = m.max(block_m);
+            let rescale = if m == f32::NEG_INFINITY {
+                0.0
+            } else {
+                (m - new_m).exp()
+            };
+            l *= rescale;
+            for x in acc.iter_mut() {
+                *x *= rescale;
+            }
+            for (off, &s) in scores.iter().enumerate() {
+                if s == f32::NEG_INFINITY {
+                    continue;
+                }
+                let w = (s - new_m).exp();
+                l += w;
+                let ki = block_start + off;
+                let vvec = &v.row(ki)[kvh * dh..(kvh + 1) * dh];
+                for (d, &x) in vvec.iter().enumerate() {
+                    acc[d] += w * x;
+                }
+            }
+            m = new_m;
+            block_start = block_end;
+        }
+        // Finalise: out = acc / l, lse = m + ln(l); a fully masked query
+        // keeps zeros and -inf, the merge convention.
+        if m != f32::NEG_INFINITY {
+            lse_row[h] = m + l.ln();
+            for x in acc.iter_mut() {
+                *x /= l;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -236,6 +339,60 @@ mod tests {
         let k = Tensor::zeros(&[1, 1, 2]);
         let v = Tensor::zeros(&[1, 1, 2]);
         assert!(blocked_gqa_attention(&q, &k, &v, &p, &[0], &[0], 0).is_err());
+    }
+
+    #[test]
+    fn threaded_path_is_bit_identical_to_serial() {
+        // Pin an explicit thread count larger than one so the tiled path
+        // runs even on single-core hosts; every (query, head) pair walks
+        // its KV blocks in the same order, so outputs must be bitwise
+        // equal, not just approximately.
+        let p = params(4, 2, 8);
+        let mut rng = DetRng::new(17);
+        let (t_q, t_kv) = (23, 37);
+        let q = rng.tensor(&[t_q, 4, 8]);
+        let k = rng.tensor(&[t_kv, 2, 8]);
+        let v = rng.tensor(&[t_kv, 2, 8]);
+        let kv_pos: Vec<usize> = (0..t_kv).collect();
+        let q_pos: Vec<usize> = (t_kv - t_q..t_kv).collect();
+        let serial =
+            blocked_gqa_attention_with_threads(&q, &k, &v, &p, &q_pos, &kv_pos, 5, 1).unwrap();
+        for threads in [2, 3, 8, 64] {
+            let tiled =
+                blocked_gqa_attention_with_threads(&q, &k, &v, &p, &q_pos, &kv_pos, 5, threads)
+                    .unwrap();
+            assert_eq!(tiled.out.as_slice(), serial.out.as_slice(), "t={threads}");
+            assert_eq!(tiled.lse.as_slice(), serial.lse.as_slice(), "t={threads}");
+        }
+    }
+
+    #[test]
+    fn threaded_path_handles_pad_and_masked_rows() {
+        let p = params(2, 1, 4);
+        let mut rng = DetRng::new(18);
+        let q = rng.tensor(&[3, 2, 4]);
+        let k = rng.tensor(&[4, 1, 4]);
+        let v = rng.tensor(&[4, 1, 4]);
+        // Row 0 sees nothing (future positions only), row 2 sees all.
+        let kv_pos = [2, PAD, 3, 4];
+        let q_pos = [0, 3, 9];
+        let serial =
+            blocked_gqa_attention_with_threads(&q, &k, &v, &p, &q_pos, &kv_pos, 2, 1).unwrap();
+        let tiled =
+            blocked_gqa_attention_with_threads(&q, &k, &v, &p, &q_pos, &kv_pos, 2, 3).unwrap();
+        assert_eq!(tiled.out.as_slice(), serial.out.as_slice());
+        assert_eq!(tiled.lse.as_slice(), serial.lse.as_slice());
+        assert_eq!(serial.lse.as_slice()[0], f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn empty_query_batch_is_ok() {
+        let p = params(1, 1, 2);
+        let q = Tensor::zeros(&[0, 1, 2]);
+        let k = Tensor::zeros(&[2, 1, 2]);
+        let v = Tensor::zeros(&[2, 1, 2]);
+        let out = blocked_gqa_attention(&q, &k, &v, &p, &[], &[0, 1], 4).unwrap();
+        assert_eq!(out.out.dim0(), 0);
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //! ring algorithms rest on.
 
 use cp_attention::{
-    approx_gqa_attention, blocked_gqa_attention, flash_decode, merge_partials, naive_gqa_attention,
-    ApproxPolicy, AttentionParams, GqaShape,
+    approx_gqa_attention, blocked_gqa_attention, blocked_gqa_attention_with_threads, flash_decode,
+    merge_partials, naive_gqa_attention, ApproxPolicy, AttentionParams, GqaShape,
 };
 use cp_tensor::{DetRng, Tensor};
 use proptest::prelude::*;
@@ -50,6 +50,36 @@ proptest! {
         let slow = naive_gqa_attention(&q, &k, &v, &params, &q_pos, &kv_pos).unwrap();
         prop_assert!(fast.out.approx_eq(&slow.out, 1e-3).unwrap());
         prop_assert!(fast.lse.approx_eq(&slow.lse, 1e-3).unwrap());
+    }
+
+    /// The parallel (query-tiled) blocked kernel equals the naive kernel
+    /// for any shape and thread count, and is bit-identical to its own
+    /// serial path — parallelism must not change the arithmetic.
+    #[test]
+    fn parallel_blocked_equals_naive_and_serial(
+        (nh, nkv, dh) in gqa_config(),
+        t_q in 1usize..8,
+        extra_kv in 0usize..12,
+        block in 1usize..10,
+        threads in 2usize..7,
+        seed in any::<u64>(),
+    ) {
+        let t_kv = t_q + extra_kv;
+        let params = AttentionParams::for_shape(GqaShape::new(nh, nkv, dh).unwrap());
+        let (q, k, v) = make_inputs(seed, t_q, t_kv, nh, nkv, dh);
+        let kv_pos: Vec<usize> = (0..t_kv).collect();
+        let q_pos: Vec<usize> = (extra_kv..t_kv).collect();
+        let tiled = blocked_gqa_attention_with_threads(
+            &q, &k, &v, &params, &q_pos, &kv_pos, block, threads,
+        ).unwrap();
+        let serial = blocked_gqa_attention_with_threads(
+            &q, &k, &v, &params, &q_pos, &kv_pos, block, 1,
+        ).unwrap();
+        prop_assert_eq!(tiled.out.as_slice(), serial.out.as_slice());
+        prop_assert_eq!(tiled.lse.as_slice(), serial.lse.as_slice());
+        let slow = naive_gqa_attention(&q, &k, &v, &params, &q_pos, &kv_pos).unwrap();
+        prop_assert!(tiled.out.approx_eq(&slow.out, 1e-3).unwrap());
+        prop_assert!(tiled.lse.approx_eq(&slow.lse, 1e-3).unwrap());
     }
 
     /// Splitting KV at any point and merging the partials reconstructs full

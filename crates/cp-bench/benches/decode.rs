@@ -107,10 +107,89 @@ fn bench_decode_vs_context(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_decode_slot_payloads_cp4_b32(c: &mut Criterion) {
+    // The clone-bound component of batched ring decode: packaging 32 query
+    // slots plus returning their partial outputs, per hop, at CP4. The
+    // `deep_copy` series reproduces the seed tensor's per-hop copies via
+    // `Tensor::deep_clone`.
+    use cp_core::{DecodeSlot, SeqOut};
+    let shape = GqaShape::new(8, 2, 16).unwrap();
+    let n = 4;
+    let batch = 32;
+    let mut rng = DetRng::new(8);
+    let qs: Vec<Tensor> = (0..batch)
+        .map(|_| rng.tensor(&[1, shape.n_heads(), shape.head_dim()]))
+        .collect();
+    let outs: Vec<Tensor> = (0..batch)
+        .map(|_| rng.tensor(&[1, shape.n_heads(), shape.head_dim()]))
+        .collect();
+    let lses: Vec<Tensor> = (0..batch)
+        .map(|_| rng.tensor(&[1, shape.n_heads()]))
+        .collect();
+
+    let mut group = c.benchmark_group("decode_slot_payloads_cp4_b32");
+    group.bench_function("zero_copy_view", |b| {
+        b.iter(|| {
+            for _hop in 0..n - 1 {
+                let slots: Vec<Option<DecodeSlot>> = qs
+                    .iter()
+                    .map(|q| {
+                        Some(DecodeSlot {
+                            bid: 0,
+                            q: q.clone(),
+                            pos: 512,
+                        })
+                    })
+                    .collect();
+                let parts: Vec<Option<SeqOut>> = outs
+                    .iter()
+                    .zip(&lses)
+                    .map(|(o, l)| {
+                        Some(SeqOut {
+                            out: o.clone(),
+                            lse: l.clone(),
+                        })
+                    })
+                    .collect();
+                black_box((&slots, &parts));
+            }
+        })
+    });
+    group.bench_function("deep_copy_seed_behaviour", |b| {
+        b.iter(|| {
+            for _hop in 0..n - 1 {
+                let slots: Vec<Option<DecodeSlot>> = qs
+                    .iter()
+                    .map(|q| {
+                        Some(DecodeSlot {
+                            bid: 0,
+                            q: q.deep_clone(),
+                            pos: 512,
+                        })
+                    })
+                    .collect();
+                let parts: Vec<Option<SeqOut>> = outs
+                    .iter()
+                    .zip(&lses)
+                    .map(|(o, l)| {
+                        Some(SeqOut {
+                            out: o.deep_clone(),
+                            lse: l.deep_clone(),
+                        })
+                    })
+                    .collect();
+                black_box((&slots, &parts));
+            }
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_decode_vs_ranks,
     bench_decode_vs_batch,
-    bench_decode_vs_context
+    bench_decode_vs_context,
+    bench_decode_slot_payloads_cp4_b32
 );
 criterion_main!(benches);

@@ -87,6 +87,84 @@ fn bench_context_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_ring_hop_payloads_cp4_32k(c: &mut Criterion) {
+    // The clone-bound component of a CP4 ring at 32K fused tokens: building
+    // the circulating KV payload for every hop. The seed tensor deep-copied
+    // the K/V buffers each time a block was packaged or forwarded; the
+    // Arc-backed view makes the same construction an O(1) handle copy. The
+    // `deep_copy` series reproduces the seed's per-hop cost via
+    // `Tensor::deep_clone` so the speedup is measurable without rebuilding
+    // the seed.
+    let shape = GqaShape::new(8, 2, 16).unwrap();
+    let n = 4;
+    let t = 32_768;
+    let per_rank = t / n;
+    let mut rng = DetRng::new(7);
+    let k = rng.tensor(&[per_rank, shape.n_kv_heads(), shape.head_dim()]);
+    let v = rng.tensor(&[per_rank, shape.n_kv_heads(), shape.head_dim()]);
+    let pos: Vec<usize> = (0..per_rank).collect();
+
+    let mut group = c.benchmark_group("ring_hop_payloads_cp4_32k");
+    group.bench_function("zero_copy_view", |b| {
+        b.iter(|| {
+            for _hop in 0..n - 1 {
+                let payload = cp_core::SeqKv {
+                    k: k.clone(),
+                    v: v.clone(),
+                    pos: pos.clone(),
+                };
+                black_box(&payload);
+            }
+        })
+    });
+    group.bench_function("deep_copy_seed_behaviour", |b| {
+        b.iter(|| {
+            for _hop in 0..n - 1 {
+                let payload = cp_core::SeqKv {
+                    k: k.deep_clone(),
+                    v: v.deep_clone(),
+                    pos: pos.clone(),
+                };
+                black_box(&payload);
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_full_prefill_cp4_4k(c: &mut Criterion) {
+    // End-to-end CP4 ring prefill at the largest context that stays
+    // bench-friendly on the thread fabric; exercises the zero-copy hop
+    // payloads, the reused-scratch kernel and the measured timeline.
+    let shape = GqaShape::new(8, 2, 16).unwrap();
+    let t = 4096;
+    let (q, k, v) = inputs(shape, t, 3);
+    let mut group = c.benchmark_group("full_prefill_cp4_4096tok");
+    group.sample_size(10);
+    for variant in [RingVariant::PassKv, RingVariant::PassQ] {
+        group.bench_function(format!("{variant}"), |b| {
+            b.iter(|| {
+                let mut eng =
+                    ContextParallelEngine::new(EngineConfig::new(4, shape).with_page_size(64))
+                        .unwrap();
+                black_box(
+                    eng.prefill_batch(
+                        &[PrefillRequest {
+                            seq: SeqId(0),
+                            q: &q,
+                            k: &k,
+                            v: &v,
+                        }],
+                        Some(variant),
+                    )
+                    .unwrap(),
+                );
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_varseq_batch(c: &mut Criterion) {
     // Fused variable-length batches (Figure 1's workload).
     let shape = GqaShape::new(4, 2, 16).unwrap();
@@ -125,6 +203,8 @@ criterion_group!(
     benches,
     bench_full_prefill,
     bench_context_scaling,
+    bench_ring_hop_payloads_cp4_32k,
+    bench_full_prefill_cp4_4k,
     bench_varseq_batch
 );
 criterion_main!(benches);

@@ -31,6 +31,18 @@ pub enum CommError {
         /// The rank whose closure panicked.
         rank: usize,
     },
+    /// A rank's closure failed with a non-communication error (attention,
+    /// tensor, protocol, …). The original error's kind and message are
+    /// preserved so the failure is attributable through the fabric
+    /// boundary instead of flattening to an opaque panic.
+    RankFailed {
+        /// The rank whose closure returned the error.
+        rank: usize,
+        /// Stable kind tag of the original error (e.g. `"protocol-violation"`).
+        kind: &'static str,
+        /// The original error's display message.
+        detail: String,
+    },
     /// A group was requested with zero ranks.
     EmptyGroup,
     /// A collective was called with a payload list whose length does not
@@ -58,6 +70,9 @@ impl fmt::Display for CommError {
                 }
             }
             CommError::RankPanicked { rank } => write!(f, "rank {rank} panicked"),
+            CommError::RankFailed { rank, kind, detail } => {
+                write!(f, "rank {rank} failed ({kind}): {detail}")
+            }
             CommError::EmptyGroup => write!(f, "communicator group must have at least one rank"),
             CommError::WrongPayloadCount { got, expected } => {
                 write!(f, "collective needs {expected} payloads, got {got}")
@@ -82,6 +97,15 @@ mod tests {
         .to_string()
         .contains("timed out"));
         assert!(!CommError::EmptyGroup.to_string().is_empty());
+        let failed = CommError::RankFailed {
+            rank: 2,
+            kind: "bad-request",
+            detail: "decode slot references unknown batch id 5".to_string(),
+        };
+        let text = failed.to_string();
+        assert!(text.contains("rank 2"));
+        assert!(text.contains("bad-request"));
+        assert!(text.contains("batch id 5"));
     }
 
     #[test]

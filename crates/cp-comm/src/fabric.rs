@@ -5,7 +5,7 @@ use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
-use crate::stats::Collective;
+use crate::stats::{Collective, TimedEvent, TimelineLane};
 use crate::{CommError, TrafficReport, TrafficStats, Wire};
 
 /// How long a blocked receive waits before failing. Generous enough for any
@@ -65,6 +65,69 @@ impl<M: Wire> Communicator<M> {
         Ok(())
     }
 
+    /// Delivers `msg` to rank `dst`, attributing its wire bytes to
+    /// `collective`. Bytes are recorded only after the send succeeded, so a
+    /// failed delivery never inflates the traffic accounting.
+    fn deliver(&self, dst: usize, msg: M, collective: Collective) -> Result<(), CommError> {
+        self.check_rank(dst)?;
+        let bytes = msg.wire_bytes();
+        self.senders[dst]
+            .send(msg)
+            .map_err(|_| CommError::SendFailed { dst })?;
+        self.stats.record_bytes(collective, bytes);
+        Ok(())
+    }
+
+    /// Blocking receive with the fabric timeout; no accounting (bytes are
+    /// metered on the sending side).
+    fn receive(&self, src: usize) -> Result<M, CommError> {
+        self.check_rank(src)?;
+        self.receivers[src]
+            .recv_timeout(RECV_TIMEOUT)
+            .map_err(|e| CommError::RecvFailed {
+                src,
+                timed_out: matches!(e, RecvTimeoutError::Timeout),
+            })
+    }
+
+    /// Times `f` as one call of `collective` on this rank, recording wall
+    /// time and a timeline event whether it succeeds or fails.
+    fn timed<R>(
+        &self,
+        collective: Collective,
+        f: impl FnOnce() -> Result<R, CommError>,
+    ) -> Result<R, CommError> {
+        let start = self.stats.now_ns();
+        let out = f();
+        let dur = self.stats.now_ns().saturating_sub(start);
+        self.stats.record_call(collective, dur);
+        self.stats.record_event(TimedEvent {
+            rank: self.rank,
+            lane: TimelineLane::Comm,
+            label: collective.name().to_string(),
+            start_ns: start,
+            dur_ns: dur,
+        });
+        out
+    }
+
+    /// Runs `f` and records it as a named compute interval on this rank's
+    /// measured timeline, so traces show compute and communication side by
+    /// side (the paper's overlap diagnosis, on measured wall time).
+    pub fn time_compute<R>(&self, label: &str, f: impl FnOnce() -> R) -> R {
+        let start = self.stats.now_ns();
+        let out = f();
+        let dur = self.stats.now_ns().saturating_sub(start);
+        self.stats.record_event(TimedEvent {
+            rank: self.rank,
+            lane: TimelineLane::Compute,
+            label: label.to_string(),
+            start_ns: start,
+            dur_ns: dur,
+        });
+        out
+    }
+
     /// Sends a message to rank `dst`. Never blocks (channels are unbounded).
     ///
     /// # Errors
@@ -72,11 +135,9 @@ impl<M: Wire> Communicator<M> {
     /// [`CommError::RankOutOfRange`] for a bad destination, or
     /// [`CommError::SendFailed`] if the peer has already exited.
     pub fn send(&self, dst: usize, msg: M) -> Result<(), CommError> {
-        self.check_rank(dst)?;
-        self.stats.record(Collective::SendRecv, msg.wire_bytes());
-        self.senders[dst]
-            .send(msg)
-            .map_err(|_| CommError::SendFailed { dst })
+        self.timed(Collective::SendRecv, || {
+            self.deliver(dst, msg, Collective::SendRecv)
+        })
     }
 
     /// Receives the next message from rank `src`, blocking up to an internal
@@ -87,27 +148,24 @@ impl<M: Wire> Communicator<M> {
     /// [`CommError::RankOutOfRange`] for a bad source, or
     /// [`CommError::RecvFailed`] on timeout / peer exit.
     pub fn recv(&self, src: usize) -> Result<M, CommError> {
-        self.check_rank(src)?;
-        self.receivers[src]
-            .recv_timeout(RECV_TIMEOUT)
-            .map_err(|e| CommError::RecvFailed {
-                src,
-                timed_out: matches!(e, RecvTimeoutError::Timeout),
-            })
+        self.receive(src)
     }
 
     /// One ring step: send `msg` to `dst`, then receive from `src`.
     ///
     /// This is the NCCL `SendRecv` the paper's ring loop issues every
     /// iteration. The send is buffered, so all ranks can post sends before
-    /// any posts its receive.
+    /// any posts its receive. Counted as a single `send_recv` call whose
+    /// wall time spans both halves.
     ///
     /// # Errors
     ///
     /// Propagates [`Communicator::send`] / [`Communicator::recv`] errors.
     pub fn send_recv(&self, dst: usize, msg: M, src: usize) -> Result<M, CommError> {
-        self.send(dst, msg)?;
-        self.recv(src)
+        self.timed(Collective::SendRecv, || {
+            self.deliver(dst, msg, Collective::SendRecv)?;
+            self.receive(src)
+        })
     }
 
     /// All-to-all exchange: `payloads[j]` is delivered to rank `j`; the
@@ -125,26 +183,25 @@ impl<M: Wire> Communicator<M> {
                 expected: self.world,
             });
         }
-        let mut own: Option<M> = None;
-        for (dst, msg) in payloads.into_iter().enumerate() {
-            if dst == self.rank {
-                own = Some(msg);
-            } else {
-                self.stats.record(Collective::AllToAll, msg.wire_bytes());
-                self.senders[dst]
-                    .send(msg)
-                    .map_err(|_| CommError::SendFailed { dst })?;
+        self.timed(Collective::AllToAll, || {
+            let mut own: Option<M> = None;
+            for (dst, msg) in payloads.into_iter().enumerate() {
+                if dst == self.rank {
+                    own = Some(msg);
+                } else {
+                    self.deliver(dst, msg, Collective::AllToAll)?;
+                }
             }
-        }
-        let mut out = Vec::with_capacity(self.world);
-        for src in 0..self.world {
-            if src == self.rank {
-                out.push(own.take().expect("own payload set above"));
-            } else {
-                out.push(self.recv(src)?);
+            let mut out = Vec::with_capacity(self.world);
+            for src in 0..self.world {
+                if src == self.rank {
+                    out.push(own.take().expect("own payload set above"));
+                } else {
+                    out.push(self.receive(src)?);
+                }
             }
-        }
-        Ok(out)
+            Ok(out)
+        })
     }
 
     /// Gathers every rank's payload; index `i` of the result is rank `i`'s
@@ -157,22 +214,29 @@ impl<M: Wire> Communicator<M> {
     where
         M: Clone,
     {
+        self.timed(Collective::AllGather, || {
+            self.gather_as(payload, Collective::AllGather)
+        })
+    }
+
+    /// The gather exchange, attributing traffic to `collective` so that
+    /// `all_reduce` (built on the same pattern) is accounted separately.
+    fn gather_as(&self, payload: M, collective: Collective) -> Result<Vec<M>, CommError>
+    where
+        M: Clone,
+    {
         for dst in 0..self.world {
             if dst == self.rank {
                 continue;
             }
-            let msg = payload.clone();
-            self.stats.record(Collective::AllGather, msg.wire_bytes());
-            self.senders[dst]
-                .send(msg)
-                .map_err(|_| CommError::SendFailed { dst })?;
+            self.deliver(dst, payload.clone(), collective)?;
         }
         let mut out = Vec::with_capacity(self.world);
         for src in 0..self.world {
             if src == self.rank {
                 out.push(payload.clone());
             } else {
-                out.push(self.recv(src)?);
+                out.push(self.receive(src)?);
             }
         }
         Ok(out)
@@ -181,18 +245,24 @@ impl<M: Wire> Communicator<M> {
     /// All-reduce: gathers all payloads and folds them in rank order with
     /// `combine`, so every rank computes an identical, deterministic result.
     ///
+    /// Accounted as its own `all_reduce` collective (calls, bytes, wall
+    /// time), distinct from `all_gather`, even though the exchange pattern
+    /// is the same.
+    ///
     /// # Errors
     ///
-    /// Propagates [`Communicator::all_gather`] failures.
+    /// Propagates the underlying gather's failures.
     pub fn all_reduce<F>(&self, payload: M, combine: F) -> Result<M, CommError>
     where
         M: Clone,
         F: FnMut(M, &M) -> M,
     {
-        let gathered = self.all_gather(payload)?;
-        let mut iter = gathered.iter();
-        let first = iter.next().expect("world_size >= 1").clone();
-        Ok(iter.fold(first, combine))
+        self.timed(Collective::AllReduce, || {
+            let gathered = self.gather_as(payload, Collective::AllReduce)?;
+            let mut iter = gathered.iter();
+            let first = iter.next().expect("world_size >= 1").clone();
+            Ok(iter.fold(first, combine))
+        })
     }
 
     /// Blocks until every rank has reached the barrier.
@@ -524,6 +594,104 @@ mod tests {
         .unwrap();
         let expected: Vec<f32> = (0..100).map(|i| i as f32).collect();
         assert_eq!(res[1], expected);
+    }
+
+    #[test]
+    fn per_collective_report_separates_all_reduce_from_all_gather() {
+        let n = 3;
+        let (_, report) = run_ranks::<Vec<f32>, _, _>(n, |comm| {
+            comm.all_gather(vec![comm.rank() as f32])?;
+            comm.all_reduce(vec![1.0f32, 2.0], |mut acc, m| {
+                for (a, b) in acc.iter_mut().zip(m) {
+                    *a += b;
+                }
+                acc
+            })?;
+            Ok(())
+        })
+        .unwrap();
+        // One call per rank for each collective.
+        assert_eq!(report.all_gather.calls, n as u64);
+        assert_eq!(report.all_reduce.calls, n as u64);
+        assert_eq!(report.send_recv.calls, 0);
+        assert_eq!(report.all_to_all.calls, 0);
+        // AllReduce bytes are its own category, not folded into all_gather:
+        // each rank sends n-1 copies of its payload.
+        assert_eq!(report.all_gather.bytes, n * (n - 1) * 4);
+        assert_eq!(report.all_reduce.bytes, n * (n - 1) * 2 * 4);
+        assert_eq!(report.all_gather_bytes, report.all_gather.bytes);
+        assert_eq!(
+            report.total_bytes(),
+            report.all_gather.bytes + report.all_reduce.bytes
+        );
+        // Wall time was measured for the collectives that ran.
+        assert!(report.all_reduce.wall_ns > 0);
+        assert!(report.all_gather.wall_ns > 0);
+    }
+
+    #[test]
+    fn failed_send_records_no_bytes() {
+        // Regression: wire bytes must be recorded only on successful
+        // delivery, for point-to-point sends and for the sends inside
+        // all_to_all / all_gather alike.
+        let (_, report) = run_ranks::<Vec<f32>, _, _>(2, |comm| {
+            if comm.rank() == 0 {
+                // Wait until rank 1 has exited (its receiver is dropped)...
+                assert!(matches!(comm.recv(1), Err(CommError::RecvFailed { .. })));
+                // ...then every send path must fail before recording bytes.
+                assert!(matches!(
+                    comm.send(1, vec![1.0; 64]),
+                    Err(CommError::SendFailed { dst: 1 })
+                ));
+                assert!(matches!(
+                    comm.all_to_all(vec![vec![2.0; 64], vec![3.0; 64]]),
+                    Err(CommError::SendFailed { dst: 1 })
+                ));
+                assert!(matches!(
+                    comm.all_gather(vec![4.0; 64]),
+                    Err(CommError::SendFailed { dst: 1 })
+                ));
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(report.messages, 0);
+        assert_eq!(report.total_bytes(), 0);
+        // The failed attempts still count as calls (with wall time).
+        assert_eq!(report.send_recv.calls, 1);
+        assert_eq!(report.all_to_all.calls, 1);
+        assert_eq!(report.all_gather.calls, 1);
+    }
+
+    #[test]
+    fn timeline_records_comm_and_compute_lanes() {
+        let n = 2;
+        let (sums, report) = run_ranks::<Vec<f32>, _, _>(n, |comm| {
+            let local = comm.time_compute("square", || (comm.rank() as f32) * (comm.rank() as f32));
+            let got = comm.send_recv(comm.ring_next(), vec![local], comm.ring_prev())?;
+            Ok(got[0])
+        })
+        .unwrap();
+        assert_eq!(sums, vec![1.0, 0.0]);
+        let compute: Vec<_> = report
+            .timeline
+            .iter()
+            .filter(|e| e.lane == crate::TimelineLane::Compute)
+            .collect();
+        let comm_events: Vec<_> = report
+            .timeline
+            .iter()
+            .filter(|e| e.lane == crate::TimelineLane::Comm)
+            .collect();
+        assert_eq!(compute.len(), n);
+        assert!(compute.iter().all(|e| e.label == "square"));
+        assert_eq!(comm_events.len(), n);
+        assert!(comm_events.iter().all(|e| e.label == "send_recv"));
+        // Sorted by start time.
+        assert!(report
+            .timeline
+            .windows(2)
+            .all(|w| w[0].start_ns <= w[1].start_ns));
     }
 
     #[test]

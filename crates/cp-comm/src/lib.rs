@@ -10,8 +10,12 @@
 //! without GPUs.
 //!
 //! Every payload type implements [`Wire`] so the fabric can meter traffic;
-//! [`TrafficReport`] exposes per-collective byte counts, which the test
-//! suite checks against the paper's communication-cost formulas (Table 2).
+//! [`TrafficReport`] exposes per-collective call counts, byte counts
+//! (successful deliveries only) and wall time — with `AllReduce` accounted
+//! separately from the `AllGather` it is built on — which the test suite
+//! checks against the paper's communication-cost formulas (Table 2). The
+//! report also carries a measured per-rank timeline of comm and
+//! [`Communicator::time_compute`] intervals for trace export.
 //!
 //! # Example
 //!
@@ -41,5 +45,5 @@ mod wire;
 
 pub use error::CommError;
 pub use fabric::{run_ranks, Communicator};
-pub use stats::{TrafficReport, TrafficStats};
+pub use stats::{CollectiveReport, TimedEvent, TimelineLane, TrafficReport, TrafficStats};
 pub use wire::Wire;

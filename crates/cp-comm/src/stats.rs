@@ -1,7 +1,16 @@
-//! Traffic accounting shared across ranks.
+//! Traffic and timing accounting shared across ranks.
+//!
+//! Every fabric operation records three things per collective category:
+//! how many times it was called, how many wire bytes it moved (successful
+//! deliveries only), and how much wall-clock time the calling rank spent
+//! inside it. Each call also appends a [`TimedEvent`] to a measured
+//! timeline, which [`crate::Communicator::time_compute`] extends with
+//! compute intervals — together they reconstruct the per-rank
+//! compute/communication trace the paper reads off the GPU profiler.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Which collective a transfer belongs to, for per-collective accounting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -9,76 +18,240 @@ pub(crate) enum Collective {
     SendRecv,
     AllToAll,
     AllGather,
+    AllReduce,
 }
 
-/// Shared, thread-safe traffic counters updated by every rank of a fabric
-/// run. Snapshot with [`TrafficStats::report`].
-#[derive(Debug, Default)]
-pub struct TrafficStats {
-    messages: AtomicU64,
-    send_recv_bytes: AtomicU64,
-    all_to_all_bytes: AtomicU64,
-    all_gather_bytes: AtomicU64,
-}
-
-impl TrafficStats {
-    /// Creates a fresh zeroed counter set behind an `Arc`.
-    pub fn new() -> Arc<Self> {
-        Arc::new(TrafficStats::default())
+impl Collective {
+    pub(crate) fn name(self) -> &'static str {
+        match self {
+            Collective::SendRecv => "send_recv",
+            Collective::AllToAll => "all_to_all",
+            Collective::AllGather => "all_gather",
+            Collective::AllReduce => "all_reduce",
+        }
     }
 
-    pub(crate) fn record(&self, collective: Collective, bytes: usize) {
-        self.messages.fetch_add(1, Ordering::Relaxed);
-        let counter = match collective {
-            Collective::SendRecv => &self.send_recv_bytes,
-            Collective::AllToAll => &self.all_to_all_bytes,
-            Collective::AllGather => &self.all_gather_bytes,
-        };
-        counter.fetch_add(bytes as u64, Ordering::Relaxed);
-    }
-
-    /// Takes an immutable snapshot of the counters.
-    pub fn report(&self) -> TrafficReport {
-        TrafficReport {
-            messages: self.messages.load(Ordering::Relaxed),
-            send_recv_bytes: self.send_recv_bytes.load(Ordering::Relaxed) as usize,
-            all_to_all_bytes: self.all_to_all_bytes.load(Ordering::Relaxed) as usize,
-            all_gather_bytes: self.all_gather_bytes.load(Ordering::Relaxed) as usize,
+    fn index(self) -> usize {
+        match self {
+            Collective::SendRecv => 0,
+            Collective::AllToAll => 1,
+            Collective::AllGather => 2,
+            Collective::AllReduce => 3,
         }
     }
 }
 
-/// A snapshot of fabric traffic, summed over all ranks.
+#[derive(Debug, Default)]
+struct CollectiveCounters {
+    calls: AtomicU64,
+    bytes: AtomicU64,
+    wall_ns: AtomicU64,
+}
+
+impl CollectiveCounters {
+    fn snapshot(&self) -> CollectiveReport {
+        CollectiveReport {
+            calls: self.calls.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed) as usize,
+            wall_ns: self.wall_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Which lane of a rank's measured timeline an event occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimelineLane {
+    /// Time spent inside a fabric collective.
+    Comm,
+    /// Time spent in a [`crate::Communicator::time_compute`] section.
+    Compute,
+}
+
+impl TimelineLane {
+    /// Lane name as used by trace exporters (`"comm"` / `"compute"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TimelineLane::Comm => "comm",
+            TimelineLane::Compute => "compute",
+        }
+    }
+}
+
+/// One measured interval on a rank's timeline, relative to the fabric
+/// run's start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedEvent {
+    /// Rank the interval was measured on.
+    pub rank: usize,
+    /// Communication or compute lane.
+    pub lane: TimelineLane,
+    /// Collective name, or the label passed to `time_compute`.
+    pub label: String,
+    /// Start, nanoseconds since the fabric run began.
+    pub start_ns: u64,
+    /// Duration, nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Shared, thread-safe traffic counters and timeline updated by every rank
+/// of a fabric run. Snapshot with [`TrafficStats::report`].
+#[derive(Debug)]
+pub struct TrafficStats {
+    epoch: Instant,
+    messages: AtomicU64,
+    per_collective: [CollectiveCounters; 4],
+    timeline: Mutex<Vec<TimedEvent>>,
+}
+
+impl TrafficStats {
+    /// Creates a fresh zeroed counter set behind an `Arc`; the timeline
+    /// epoch is the moment of creation.
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new() -> Arc<Self> {
+        Arc::new(TrafficStats {
+            epoch: Instant::now(),
+            messages: AtomicU64::new(0),
+            per_collective: Default::default(),
+            timeline: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Records one successfully delivered message of `bytes` wire bytes.
+    /// Callers must only invoke this *after* the send succeeded, so failed
+    /// deliveries never inflate the byte accounting.
+    pub(crate) fn record_bytes(&self, collective: Collective, bytes: usize) {
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        self.per_collective[collective.index()]
+            .bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Records one completed collective call and its wall time.
+    pub(crate) fn record_call(&self, collective: Collective, wall_ns: u64) {
+        let c = &self.per_collective[collective.index()];
+        c.calls.fetch_add(1, Ordering::Relaxed);
+        c.wall_ns.fetch_add(wall_ns, Ordering::Relaxed);
+    }
+
+    /// Nanoseconds since this stats object was created.
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Appends a measured interval to the shared timeline.
+    pub(crate) fn record_event(&self, event: TimedEvent) {
+        self.timeline
+            .lock()
+            .expect("timeline lock never poisoned")
+            .push(event);
+    }
+
+    /// Takes an immutable snapshot of the counters and timeline. Timeline
+    /// events are sorted by start time (then rank) for determinism.
+    pub fn report(&self) -> TrafficReport {
+        let mut timeline = self
+            .timeline
+            .lock()
+            .expect("timeline lock never poisoned")
+            .clone();
+        timeline.sort_by_key(|e| (e.start_ns, e.rank, e.dur_ns));
+        let send_recv = self.per_collective[Collective::SendRecv.index()].snapshot();
+        let all_to_all = self.per_collective[Collective::AllToAll.index()].snapshot();
+        let all_gather = self.per_collective[Collective::AllGather.index()].snapshot();
+        let all_reduce = self.per_collective[Collective::AllReduce.index()].snapshot();
+        TrafficReport {
+            messages: self.messages.load(Ordering::Relaxed),
+            send_recv_bytes: send_recv.bytes,
+            all_to_all_bytes: all_to_all.bytes,
+            all_gather_bytes: all_gather.bytes,
+            send_recv,
+            all_to_all,
+            all_gather,
+            all_reduce,
+            timeline,
+        }
+    }
+}
+
+/// Per-collective call count, wire bytes, and wall time summed over ranks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CollectiveReport {
+    /// Completed calls of this collective across all ranks.
+    pub calls: u64,
+    /// Wire bytes moved (successful deliveries only).
+    pub bytes: usize,
+    /// Wall-clock time spent inside the collective, summed over ranks, ns.
+    pub wall_ns: u64,
+}
+
+impl CollectiveReport {
+    /// Wall time in microseconds.
+    pub fn wall_us(&self) -> f64 {
+        self.wall_ns as f64 / 1_000.0
+    }
+}
+
+/// A snapshot of fabric traffic and timing, summed over all ranks.
 ///
 /// Byte counts use each payload's [`crate::Wire::wire_bytes`], i.e. the
-/// bytes an equivalent transfer would move on a real interconnect.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// bytes an equivalent transfer would move on a real interconnect. The
+/// `*_bytes` fields are legacy mirrors of the per-collective entries
+/// (note `all_gather_bytes` no longer includes AllReduce traffic, which
+/// has its own [`TrafficReport::all_reduce`] entry).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TrafficReport {
     /// Total point-to-point messages delivered (collectives count each
     /// constituent message).
     pub messages: u64,
-    /// Bytes moved by explicit `send`/`recv`/`send_recv` (ring traffic).
+    /// Bytes moved by explicit `send`/`send_recv` (ring traffic).
     pub send_recv_bytes: usize,
     /// Bytes moved by `all_to_all`.
     pub all_to_all_bytes: usize,
-    /// Bytes moved by `all_gather` (and collectives built on it).
+    /// Bytes moved by `all_gather`.
     pub all_gather_bytes: usize,
+    /// Calls/bytes/wall-time of `send`, `send_recv`.
+    pub send_recv: CollectiveReport,
+    /// Calls/bytes/wall-time of `all_to_all`.
+    pub all_to_all: CollectiveReport,
+    /// Calls/bytes/wall-time of `all_gather`.
+    pub all_gather: CollectiveReport,
+    /// Calls/bytes/wall-time of `all_reduce` (distinct from `all_gather`
+    /// even though it is built on the same exchange).
+    pub all_reduce: CollectiveReport,
+    /// Measured per-rank comm/compute intervals, sorted by start time.
+    pub timeline: Vec<TimedEvent>,
 }
 
 impl TrafficReport {
-    /// Total bytes across all collectives.
+    /// Total bytes across all collectives, including AllReduce.
     pub fn total_bytes(&self) -> usize {
-        self.send_recv_bytes + self.all_to_all_bytes + self.all_gather_bytes
+        self.send_recv.bytes + self.all_to_all.bytes + self.all_gather.bytes + self.all_reduce.bytes
+    }
+
+    /// The per-collective entries with their names, in a fixed order.
+    pub fn collectives(&self) -> [(&'static str, CollectiveReport); 4] {
+        [
+            (Collective::SendRecv.name(), self.send_recv),
+            (Collective::AllToAll.name(), self.all_to_all),
+            (Collective::AllGather.name(), self.all_gather),
+            (Collective::AllReduce.name(), self.all_reduce),
+        ]
     }
 }
 
 impl std::fmt::Display for TrafficReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "{} messages, {} B send_recv, {} B all_to_all, {} B all_gather",
-            self.messages, self.send_recv_bytes, self.all_to_all_bytes, self.all_gather_bytes
-        )
+        write!(f, "{} messages", self.messages)?;
+        for (name, c) in self.collectives() {
+            write!(
+                f,
+                ", {name}: {} calls / {} B / {:.1} us",
+                c.calls,
+                c.bytes,
+                c.wall_us()
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -89,16 +262,32 @@ mod tests {
     #[test]
     fn record_accumulates_per_collective() {
         let stats = TrafficStats::new();
-        stats.record(Collective::SendRecv, 10);
-        stats.record(Collective::SendRecv, 5);
-        stats.record(Collective::AllToAll, 7);
-        stats.record(Collective::AllGather, 3);
+        stats.record_bytes(Collective::SendRecv, 10);
+        stats.record_bytes(Collective::SendRecv, 5);
+        stats.record_bytes(Collective::AllToAll, 7);
+        stats.record_bytes(Collective::AllGather, 3);
+        stats.record_bytes(Collective::AllReduce, 2);
         let r = stats.report();
-        assert_eq!(r.messages, 4);
+        assert_eq!(r.messages, 5);
         assert_eq!(r.send_recv_bytes, 15);
         assert_eq!(r.all_to_all_bytes, 7);
         assert_eq!(r.all_gather_bytes, 3);
-        assert_eq!(r.total_bytes(), 25);
+        assert_eq!(r.all_reduce.bytes, 2);
+        assert_eq!(r.total_bytes(), 27);
+    }
+
+    #[test]
+    fn calls_and_wall_time_accumulate() {
+        let stats = TrafficStats::new();
+        stats.record_call(Collective::AllReduce, 1_000);
+        stats.record_call(Collective::AllReduce, 500);
+        stats.record_call(Collective::SendRecv, 10);
+        let r = stats.report();
+        assert_eq!(r.all_reduce.calls, 2);
+        assert_eq!(r.all_reduce.wall_ns, 1_500);
+        assert_eq!(r.send_recv.calls, 1);
+        assert_eq!(r.all_gather.calls, 0);
+        assert!((r.all_reduce.wall_us() - 1.5).abs() < 1e-9);
     }
 
     #[test]
@@ -109,7 +298,7 @@ mod tests {
                 let st = Arc::clone(&stats);
                 s.spawn(move || {
                     for _ in 0..1000 {
-                        st.record(Collective::SendRecv, 1);
+                        st.record_bytes(Collective::SendRecv, 1);
                     }
                 });
             }
@@ -117,10 +306,31 @@ mod tests {
         let r = stats.report();
         assert_eq!(r.messages, 8000);
         assert_eq!(r.send_recv_bytes, 8000);
+        assert_eq!(r.send_recv.bytes, 8000);
+    }
+
+    #[test]
+    fn timeline_snapshot_is_sorted() {
+        let stats = TrafficStats::new();
+        for (rank, start) in [(1usize, 30u64), (0, 10), (0, 20)] {
+            stats.record_event(TimedEvent {
+                rank,
+                lane: TimelineLane::Comm,
+                label: "send_recv".to_string(),
+                start_ns: start,
+                dur_ns: 5,
+            });
+        }
+        let r = stats.report();
+        let starts: Vec<u64> = r.timeline.iter().map(|e| e.start_ns).collect();
+        assert_eq!(starts, vec![10, 20, 30]);
+        assert_eq!(TimelineLane::Compute.as_str(), "compute");
     }
 
     #[test]
     fn display_is_nonempty() {
-        assert!(!TrafficReport::default().to_string().is_empty());
+        let text = TrafficReport::default().to_string();
+        assert!(text.contains("all_reduce"));
+        assert!(text.contains("send_recv"));
     }
 }

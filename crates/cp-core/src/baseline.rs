@@ -56,11 +56,12 @@ pub fn all_gather_pass_kv_prefill(
     };
     let gathered = comm.all_gather(own)?;
     let mut shards: Vec<Vec<SeqKv>> = Vec::with_capacity(gathered.len());
-    for msg in gathered {
+    for (src_rank, msg) in gathered.into_iter().enumerate() {
         match msg {
             RingMsg::Kv { seqs } => shards.push(seqs),
             other => {
                 return Err(CoreError::ProtocolViolation {
+                    from_rank: src_rank,
                     expected: "Kv",
                     got: match other {
                         RingMsg::Q { .. } => "Q",
@@ -78,12 +79,26 @@ pub fn all_gather_pass_kv_prefill(
         .iter()
         .enumerate()
         .map(|(i, local)| {
-            // Concatenate every rank's shard of sequence i.
-            let ks: Vec<&Tensor> = shards.iter().map(|s| &s[i].k).collect();
-            let vs: Vec<&Tensor> = shards.iter().map(|s| &s[i].v).collect();
+            // Concatenate every rank's shard of sequence i, rejecting
+            // shards that carry fewer sequences than this rank holds.
+            let mut ks: Vec<&Tensor> = Vec::with_capacity(shards.len());
+            let mut vs: Vec<&Tensor> = Vec::with_capacity(shards.len());
+            let mut pos: Vec<usize> = Vec::new();
+            for (src_rank, s) in shards.iter().enumerate() {
+                let seq = s.get(i).ok_or_else(|| CoreError::BadRequest {
+                    reason: format!(
+                        "rank {src_rank} gathered {} KV sequences but rank {} holds {}",
+                        s.len(),
+                        comm.rank(),
+                        locals.len()
+                    ),
+                })?;
+                ks.push(&seq.k);
+                vs.push(&seq.v);
+                pos.extend_from_slice(&seq.pos);
+            }
             let k = Tensor::concat_dim0(ks)?;
             let v = Tensor::concat_dim0(vs)?;
-            let pos: Vec<usize> = shards.iter().flat_map(|s| s[i].pos.clone()).collect();
             Ok(blocked_gqa_attention(
                 &local.q,
                 &k,

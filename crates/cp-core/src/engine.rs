@@ -543,7 +543,7 @@ impl ContextParallelEngine {
             outcomes.push(PrefillOutcome {
                 output: AttentionOutput::new(out, lse)?,
                 variant,
-                traffic,
+                traffic: traffic.clone(),
                 new_tokens: t,
                 cached_tokens: spec.cached_tokens,
             });

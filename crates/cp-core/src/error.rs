@@ -26,6 +26,8 @@ pub enum CoreError {
     /// A rank received a ring message of the wrong variant — a protocol
     /// bug, e.g. a KV payload arriving during a pass-Q loop.
     ProtocolViolation {
+        /// The peer rank whose message violated the protocol.
+        from_rank: usize,
         /// What the rank expected.
         expected: &'static str,
         /// What actually arrived.
@@ -46,8 +48,15 @@ impl fmt::Display for CoreError {
             CoreError::Comm(e) => write!(f, "communication error: {e}"),
             CoreError::Sharding(e) => write!(f, "sharding error: {e}"),
             CoreError::Cache(e) => write!(f, "kv-cache error: {e}"),
-            CoreError::ProtocolViolation { expected, got } => {
-                write!(f, "ring protocol violation: expected {expected}, got {got}")
+            CoreError::ProtocolViolation {
+                from_rank,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "ring protocol violation: rank {from_rank} sent {got}, expected {expected}"
+                )
             }
             CoreError::BadRequest { reason } => write!(f, "bad request: {reason}"),
         }
@@ -93,16 +102,35 @@ impl From<CacheError> for CoreError {
     }
 }
 
+impl CoreError {
+    /// Stable, machine-readable tag of the error's kind, used when the
+    /// error crosses the fabric boundary as [`CommError::RankFailed`].
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CoreError::Tensor(_) => "tensor",
+            CoreError::Attention(_) => "attention",
+            CoreError::Comm(_) => "comm",
+            CoreError::Sharding(_) => "sharding",
+            CoreError::Cache(_) => "kv-cache",
+            CoreError::ProtocolViolation { .. } => "protocol-violation",
+            CoreError::BadRequest { .. } => "bad-request",
+        }
+    }
+}
+
 /// Converts a `CoreError` into a `CommError` so rank closures (which must
 /// return `Result<_, CommError>` for the fabric) can propagate attention
-/// failures; non-comm errors map onto a rank panic-equivalent.
-pub(crate) fn to_comm_error(e: CoreError) -> CommError {
+/// failures. Non-comm errors become [`CommError::RankFailed`] carrying the
+/// failing `rank`, the original error's [`CoreError::kind`] and its display
+/// message, so the failure stays attributable through the fabric boundary.
+pub(crate) fn to_comm_error(rank: usize, e: CoreError) -> CommError {
     match e {
         CoreError::Comm(c) => c,
-        // Other failures inside a rank are surfaced as that rank having
-        // failed; the engine re-validates inputs before spawning so these
-        // are unreachable in practice.
-        _ => CommError::RankPanicked { rank: usize::MAX },
+        other => CommError::RankFailed {
+            rank,
+            kind: other.kind(),
+            detail: other.to_string(),
+        },
     }
 }
 
@@ -116,10 +144,12 @@ mod tests {
         assert!(e.to_string().contains("tensor"));
         assert!(Error::source(&e).is_some());
         let p = CoreError::ProtocolViolation {
+            from_rank: 3,
             expected: "kv",
             got: "q",
         };
         assert!(p.to_string().contains("kv"));
+        assert!(p.to_string().contains("rank 3"));
         assert!(Error::source(&p).is_none());
     }
 
@@ -127,7 +157,35 @@ mod tests {
     fn comm_error_roundtrips() {
         let c = CommError::EmptyGroup;
         let e = CoreError::from(c.clone());
-        assert_eq!(to_comm_error(e), c);
+        assert_eq!(to_comm_error(0, e), c);
+    }
+
+    #[test]
+    fn non_comm_error_preserves_rank_and_kind() {
+        let e = CoreError::BadRequest {
+            reason: "decode slot references unknown batch id 5".to_string(),
+        };
+        match to_comm_error(2, e) {
+            CommError::RankFailed { rank, kind, detail } => {
+                assert_eq!(rank, 2);
+                assert_eq!(kind, "bad-request");
+                assert!(detail.contains("batch id 5"));
+            }
+            other => panic!("expected RankFailed, got {other:?}"),
+        }
+        let p = CoreError::ProtocolViolation {
+            from_rank: 1,
+            expected: "Kv",
+            got: "Q",
+        };
+        match to_comm_error(0, p) {
+            CommError::RankFailed { rank, kind, detail } => {
+                assert_eq!(rank, 0);
+                assert_eq!(kind, "protocol-violation");
+                assert!(detail.contains("rank 1"));
+            }
+            other => panic!("expected RankFailed, got {other:?}"),
+        }
     }
 
     #[test]

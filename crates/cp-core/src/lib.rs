@@ -64,6 +64,7 @@ mod messages;
 mod projector;
 pub mod ring;
 mod session;
+pub mod trace;
 
 pub use engine::{
     ContextParallelEngine, DecodeOutcome, EngineConfig, PrefillOutcome, PrefillRequest,

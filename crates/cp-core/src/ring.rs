@@ -33,54 +33,106 @@ fn attend(
     )?)
 }
 
-fn expect_kv(msg: RingMsg) -> Result<Vec<SeqKv>, CoreError> {
+fn expect_kv(msg: RingMsg, from_rank: usize) -> Result<Vec<SeqKv>, CoreError> {
     match msg {
         RingMsg::Kv { seqs } => Ok(seqs),
         other => Err(CoreError::ProtocolViolation {
+            from_rank,
             expected: "Kv",
             got: variant_name(&other),
         }),
     }
 }
 
-fn expect_q(msg: RingMsg) -> Result<(usize, Vec<SeqQ>), CoreError> {
+fn expect_q(msg: RingMsg, from_rank: usize) -> Result<(usize, Vec<SeqQ>), CoreError> {
     match msg {
         RingMsg::Q { origin, seqs } => Ok((origin, seqs)),
         other => Err(CoreError::ProtocolViolation {
+            from_rank,
             expected: "Q",
             got: variant_name(&other),
         }),
     }
 }
 
-fn expect_out(msg: RingMsg) -> Result<Vec<SeqOut>, CoreError> {
+fn expect_out(msg: RingMsg, from_rank: usize) -> Result<Vec<SeqOut>, CoreError> {
     match msg {
         RingMsg::Out { seqs } => Ok(seqs),
         other => Err(CoreError::ProtocolViolation {
+            from_rank,
             expected: "Out",
             got: variant_name(&other),
         }),
     }
 }
 
-fn expect_decode_q(msg: RingMsg) -> Result<(usize, Vec<Option<DecodeSlot>>), CoreError> {
+fn expect_decode_q(
+    msg: RingMsg,
+    from_rank: usize,
+) -> Result<(usize, Vec<Option<DecodeSlot>>), CoreError> {
     match msg {
         RingMsg::DecodeQ { origin, slots } => Ok((origin, slots)),
         other => Err(CoreError::ProtocolViolation {
+            from_rank,
             expected: "DecodeQ",
             got: variant_name(&other),
         }),
     }
 }
 
-fn expect_decode_out(msg: RingMsg) -> Result<Vec<Option<SeqOut>>, CoreError> {
+fn expect_decode_out(msg: RingMsg, from_rank: usize) -> Result<Vec<Option<SeqOut>>, CoreError> {
     match msg {
         RingMsg::DecodeOut { slots } => Ok(slots),
         other => Err(CoreError::ProtocolViolation {
+            from_rank,
             expected: "DecodeOut",
             got: variant_name(&other),
         }),
     }
+}
+
+/// Applies `f` to every item, fanning work out over scoped threads when the
+/// host has spare cores and there is more than one item — the role the GPU's
+/// batched varlen kernel plays for fused sequences in the paper. Results are
+/// returned in item order and the first error (in item order) wins, so the
+/// output is identical to the serial loop.
+fn map_seqs<T, R, F>(items: &[T], f: F) -> Result<Vec<R>, CoreError>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> Result<R, CoreError> + Sync,
+{
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let workers = cores.min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let mut results: Vec<Option<Result<R, CoreError>>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut rest = results.as_mut_slice();
+        let base = items.len() / workers;
+        let extra = items.len() % workers;
+        let mut start = 0;
+        for w in 0..workers {
+            let len = base + usize::from(w < extra);
+            let (chunk, tail) = rest.split_at_mut(len);
+            rest = tail;
+            let f = &f;
+            scope.spawn(move || {
+                for (off, slot) in chunk.iter_mut().enumerate() {
+                    let i = start + off;
+                    *slot = Some(f(i, &items[i]));
+                }
+            });
+            start += len;
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled by its worker"))
+        .collect()
 }
 
 fn variant_name(msg: &RingMsg) -> &'static str {
@@ -113,6 +165,8 @@ pub fn ring_pass_kv_prefill(
     locals: &[LocalSeq],
 ) -> Result<Vec<AttentionOutput>, CoreError> {
     let n = comm.world_size();
+    // Tensor clones are O(1) Arc handle copies: the circulating block views
+    // the rank's local shard, no payload bytes are duplicated.
     let mut visiting: Vec<SeqKv> = locals
         .iter()
         .map(|l| SeqKv {
@@ -123,9 +177,23 @@ pub fn ring_pass_kv_prefill(
         .collect();
     let mut partials: Vec<Vec<AttentionOutput>> = vec![Vec::with_capacity(n); locals.len()];
 
+    let (rank, prev) = (comm.rank(), comm.ring_prev());
     for j in 0..n {
-        for (i, local) in locals.iter().enumerate() {
-            partials[i].push(attend(&local.q, &local.q_pos, &visiting[i], params)?);
+        let step = comm.time_compute("attend pass-kv", || {
+            map_seqs(locals, |i, local| {
+                let kv = visiting.get(i).ok_or_else(|| CoreError::BadRequest {
+                    reason: format!(
+                        "KV block forwarded by rank {prev} carries {} sequences but rank {rank} \
+                         holds {} local sequences",
+                        visiting.len(),
+                        locals.len()
+                    ),
+                })?;
+                attend(&local.q, &local.q_pos, kv, params)
+            })
+        })?;
+        for (i, out) in step.into_iter().enumerate() {
+            partials[i].push(out);
         }
         if j + 1 < n {
             let received = comm.send_recv(
@@ -133,14 +201,16 @@ pub fn ring_pass_kv_prefill(
                 RingMsg::Kv { seqs: visiting },
                 comm.ring_prev(),
             )?;
-            visiting = expect_kv(received)?;
+            visiting = expect_kv(received, comm.ring_prev())?;
         }
     }
 
-    partials
-        .into_iter()
-        .map(|p| Ok(merge_partials(p.iter())?))
-        .collect()
+    comm.time_compute("merge pass-kv", || {
+        partials
+            .into_iter()
+            .map(|p| Ok(merge_partials(p.iter())?))
+            .collect()
+    })
 }
 
 /// Algorithm 3 — fused variable-length ring pass-Q partial prefill, as
@@ -185,16 +255,23 @@ pub fn ring_pass_q_prefill(
     // queries against this rank's KV.
     let mut computed: Vec<Option<Vec<SeqOut>>> = vec![None; n];
     for j in 0..n {
-        let outs: Vec<SeqOut> = visiting
-            .iter()
-            .enumerate()
-            .map(|(i, sq)| {
-                attend(&sq.q, &sq.pos, &local_kv[i], params).map(|o| SeqOut {
+        let origin = visiting_origin;
+        let outs: Vec<SeqOut> = comm.time_compute("attend pass-q", || {
+            map_seqs(&visiting, |i, sq| {
+                let kv = local_kv.get(i).ok_or_else(|| CoreError::BadRequest {
+                    reason: format!(
+                        "rank {origin} sent {} query sequences but rank {k} holds {} local KV \
+                         sequences",
+                        visiting.len(),
+                        local_kv.len()
+                    ),
+                })?;
+                attend(&sq.q, &sq.pos, kv, params).map(|o| SeqOut {
                     out: o.out,
                     lse: o.lse,
                 })
             })
-            .collect::<Result<_, _>>()?;
+        })?;
         computed[visiting_origin] = Some(outs);
         if j + 1 < n {
             let received = comm.send_recv(
@@ -205,7 +282,7 @@ pub fn ring_pass_q_prefill(
                 },
                 comm.ring_prev(),
             )?;
-            let (origin, seqs) = expect_q(received)?;
+            let (origin, seqs) = expect_q(received, comm.ring_prev())?;
             visiting_origin = origin;
             visiting = seqs;
         }
@@ -223,21 +300,33 @@ pub fn ring_pass_q_prefill(
 
     // received[s] = partial attention of our queries against rank s's KV.
     let mut per_source: Vec<Vec<SeqOut>> = Vec::with_capacity(n);
-    for msg in received {
-        per_source.push(expect_out(msg)?);
+    for (src_rank, msg) in received.into_iter().enumerate() {
+        per_source.push(expect_out(msg, src_rank)?);
     }
-    (0..locals.len())
-        .map(|i| {
-            let parts: Vec<AttentionOutput> = per_source
-                .iter()
-                .map(|src| {
-                    AttentionOutput::new(src[i].out.clone(), src[i].lse.clone())
-                        .map_err(CoreError::from)
-                })
-                .collect::<Result<_, _>>()?;
-            Ok(merge_partials(parts.iter())?)
-        })
-        .collect()
+    comm.time_compute("merge pass-q", || {
+        (0..locals.len())
+            .map(|i| {
+                let parts: Vec<AttentionOutput> = per_source
+                    .iter()
+                    .enumerate()
+                    .map(|(s, src)| {
+                        let part = src.get(i).ok_or_else(|| CoreError::BadRequest {
+                            reason: format!(
+                                "rank {s} returned {} partial outputs, rank {} expected {}",
+                                src.len(),
+                                comm.rank(),
+                                locals.len()
+                            ),
+                        })?;
+                        // O(1) view clones of the received partials.
+                        AttentionOutput::new(part.out.clone(), part.lse.clone())
+                            .map_err(CoreError::from)
+                    })
+                    .collect::<Result<_, _>>()?;
+                Ok(merge_partials(parts.iter())?)
+            })
+            .collect()
+    })
 }
 
 /// Algorithm 4 — batched ring pass-Q decode, as executed by one rank.
@@ -269,13 +358,16 @@ pub fn ring_pass_q_decode(
     let mut computed: Vec<Option<Vec<Option<SeqOut>>>> = vec![None; n];
 
     for j in 0..n {
-        let outs: Vec<Option<SeqOut>> = visiting
-            .iter()
-            .map(|slot| {
+        let origin = visiting_origin;
+        let outs: Vec<Option<SeqOut>> = comm.time_compute("attend decode", || {
+            map_seqs(&visiting, |_, slot| {
                 slot.as_ref()
                     .map(|s| {
                         let kv = batch_kv.get(s.bid).ok_or_else(|| CoreError::BadRequest {
-                            reason: format!("decode slot references unknown batch id {}", s.bid),
+                            reason: format!(
+                                "decode slot from rank {origin} references unknown batch id {}",
+                                s.bid
+                            ),
                         })?;
                         attend(&s.q, &[s.pos], kv, params).map(|o| SeqOut {
                             out: o.out,
@@ -284,7 +376,7 @@ pub fn ring_pass_q_decode(
                     })
                     .transpose()
             })
-            .collect::<Result<_, _>>()?;
+        })?;
         computed[visiting_origin] = Some(outs);
         if j + 1 < n {
             let received = comm.send_recv(
@@ -295,7 +387,7 @@ pub fn ring_pass_q_decode(
                 },
                 comm.ring_prev(),
             )?;
-            let (origin, s) = expect_decode_q(received)?;
+            let (origin, s) = expect_decode_q(received, comm.ring_prev())?;
             visiting_origin = origin;
             visiting = s;
         }
@@ -309,23 +401,38 @@ pub fn ring_pass_q_decode(
         .collect();
     let received = comm.all_to_all(payloads)?;
     let mut per_source: Vec<Vec<Option<SeqOut>>> = Vec::with_capacity(n);
-    for msg in received {
-        per_source.push(expect_decode_out(msg)?);
+    for (src_rank, msg) in received.into_iter().enumerate() {
+        per_source.push(expect_decode_out(msg, src_rank)?);
     }
 
-    let mut merged = Vec::new();
-    for (idx, slot) in slots.iter().enumerate() {
-        if slot.is_none() {
-            continue;
+    comm.time_compute("merge decode", || {
+        let mut merged = Vec::new();
+        for (idx, slot) in slots.iter().enumerate() {
+            if slot.is_none() {
+                continue;
+            }
+            let mut parts: Vec<AttentionOutput> = Vec::with_capacity(n);
+            for (s, src) in per_source.iter().enumerate() {
+                let entry = src.get(idx).ok_or_else(|| CoreError::BadRequest {
+                    reason: format!(
+                        "rank {s} returned {} decode partial slots, rank {} expected {}",
+                        src.len(),
+                        comm.rank(),
+                        slots.len()
+                    ),
+                })?;
+                if let Some(o) = entry {
+                    // O(1) view clones of the received partials.
+                    parts.push(
+                        AttentionOutput::new(o.out.clone(), o.lse.clone())
+                            .map_err(CoreError::from)?,
+                    );
+                }
+            }
+            merged.push(merge_partials(parts.iter())?);
         }
-        let parts: Vec<AttentionOutput> = per_source
-            .iter()
-            .filter_map(|src| src[idx].as_ref())
-            .map(|o| AttentionOutput::new(o.out.clone(), o.lse.clone()).map_err(CoreError::from))
-            .collect::<Result<_, _>>()?;
-        merged.push(merge_partials(parts.iter())?);
-    }
-    Ok(merged)
+        Ok(merged)
+    })
 }
 
 /// Adapter: runs a per-rank ring body inside [`cp_comm::run_ranks`],
@@ -338,8 +445,9 @@ where
     T: Send,
     F: Fn(&Communicator<RingMsg>) -> Result<T, CoreError> + Sync,
 {
-    let result =
-        cp_comm::run_ranks::<RingMsg, T, _>(n_ranks, |comm| body(comm).map_err(to_comm_error));
+    let result = cp_comm::run_ranks::<RingMsg, T, _>(n_ranks, |comm| {
+        body(comm).map_err(|e| to_comm_error(comm.rank(), e))
+    });
     result.map_err(CoreError::from)
 }
 
@@ -430,8 +538,28 @@ mod tests {
         })
         .unwrap();
         check_against_reference(&outputs, &reference, &rank_pos);
-        // N-1 = 1 hop per rank: 2 messages of 2*16*2heads*8dim*4B each.
-        assert_eq!(report.send_recv_bytes, 2 * (2 * 16 * 2 * 8 * 4));
+        // N-1 = 1 hop per rank: each rank forwards its KV block once, so the
+        // expected traffic is the sum of each rank's wire size as reported by
+        // the payload type itself, not a hand-computed constant.
+        let expected: usize = (0..2)
+            .map(|r| {
+                use cp_comm::Wire;
+                RingMsg::Kv {
+                    seqs: locals[r]
+                        .iter()
+                        .map(|l| SeqKv {
+                            k: l.k.clone(),
+                            v: l.v.clone(),
+                            pos: l.kv_pos.clone(),
+                        })
+                        .collect(),
+                }
+                .wire_bytes()
+            })
+            .sum();
+        assert_eq!(report.send_recv_bytes, expected);
+        assert_eq!(report.send_recv.bytes, expected);
+        assert_eq!(report.send_recv.calls, 2);
     }
 
     #[test]
@@ -602,7 +730,148 @@ mod tests {
             pos: 0,
         })];
         let err = run_ring(1, |comm| ring_pass_q_decode(comm, &p, &slots, &[])).unwrap_err();
-        // Surfaced through the fabric as a failed rank.
-        assert!(matches!(err, CoreError::Comm(_)));
+        // Surfaced through the fabric as a failed rank, preserving the
+        // failing rank and the original error's kind and message.
+        match err {
+            CoreError::Comm(cp_comm::CommError::RankFailed { rank, kind, detail }) => {
+                assert_eq!(rank, 0);
+                assert_eq!(kind, "bad-request");
+                assert!(detail.contains("batch id 5"), "{detail}");
+            }
+            other => panic!("expected RankFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pass_q_mismatched_sequence_count_errors_cleanly() {
+        // Rank 1 legitimately sends two query sequences but rank 0 only
+        // holds one local KV sequence — a malformed fused batch. The ring
+        // must surface a typed error naming the offending origin rank, not
+        // panic on an out-of-bounds index.
+        let p = params(2, 1, 4);
+        let mut rng = DetRng::new(21);
+        let mk_seq = |rng: &mut DetRng, t: usize, base: usize| LocalSeq {
+            q: rng.tensor(&[t, 2, 4]),
+            q_pos: (base..base + t).collect(),
+            k: rng.tensor(&[t, 1, 4]),
+            v: rng.tensor(&[t, 1, 4]),
+            kv_pos: (base..base + t).collect(),
+        };
+        let locals: Vec<Vec<LocalSeq>> = vec![
+            vec![mk_seq(&mut rng, 4, 0)],
+            vec![mk_seq(&mut rng, 4, 4), mk_seq(&mut rng, 4, 8)],
+        ];
+        let err = run_ring(2, |comm| {
+            ring_pass_q_prefill(comm, &p, &locals[comm.rank()])
+        })
+        .unwrap_err();
+        match err {
+            CoreError::Comm(cp_comm::CommError::RankFailed { kind, detail, .. }) => {
+                assert_eq!(kind, "bad-request");
+                assert!(detail.contains("rank 1 sent 2 query sequences"), "{detail}");
+            }
+            other => panic!("expected RankFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_variant_from_peer_is_protocol_violation_naming_rank() {
+        // Rank 1 violates the pass-KV protocol by forwarding a Q payload.
+        // Rank 0 must reject it with a typed error naming rank 1.
+        let p = params(1, 1, 2);
+        let mut rng = DetRng::new(22);
+        let local = LocalSeq {
+            q: rng.tensor(&[2, 1, 2]),
+            q_pos: vec![0, 1],
+            k: rng.tensor(&[2, 1, 2]),
+            v: rng.tensor(&[2, 1, 2]),
+            kv_pos: vec![0, 1],
+        };
+        let err = run_ring(2, |comm| {
+            if comm.rank() == 0 {
+                ring_pass_kv_prefill(comm, &p, std::slice::from_ref(&local)).map(|_| ())
+            } else {
+                // Misbehaving peer: sends a Q message during the KV pass.
+                let bad = RingMsg::Q {
+                    origin: 1,
+                    seqs: vec![SeqQ {
+                        q: local.q.clone(),
+                        pos: local.q_pos.clone(),
+                    }],
+                };
+                comm.send_recv(comm.ring_next(), bad, comm.ring_prev())?;
+                Ok(())
+            }
+        })
+        .unwrap_err();
+        match err {
+            CoreError::Comm(cp_comm::CommError::RankFailed { rank, kind, detail }) => {
+                assert_eq!(rank, 0);
+                assert_eq!(kind, "protocol-violation");
+                assert!(detail.contains("rank 1 sent Q, expected Kv"), "{detail}");
+            }
+            other => panic!("expected RankFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn short_decode_out_from_peer_errors_instead_of_panicking() {
+        // Rank 1 returns fewer decode partial slots than rank 0's slot
+        // count; the merge must fail with a typed error naming rank 1
+        // instead of indexing out of bounds.
+        let p = params(1, 1, 2);
+        let mut rng = DetRng::new(23);
+        let k = rng.tensor(&[2, 1, 2]);
+        let v = rng.tensor(&[2, 1, 2]);
+        let q = rng.tensor(&[1, 1, 2]);
+        let batch_kv = vec![SeqKv {
+            k,
+            v,
+            pos: vec![0, 1],
+        }];
+        let slots = vec![
+            None,
+            Some(DecodeSlot {
+                bid: 0,
+                q: q.clone(),
+                pos: 2,
+            }),
+        ];
+        let err = run_ring(2, |comm| {
+            if comm.rank() == 0 {
+                ring_pass_q_decode(comm, &p, &slots, &batch_kv).map(|_| ())
+            } else {
+                // Misbehaving peer: follows the ring schedule but returns a
+                // truncated All2All payload to rank 0.
+                let received = comm.send_recv(
+                    comm.ring_next(),
+                    RingMsg::DecodeQ {
+                        origin: 1,
+                        slots: vec![None, None],
+                    },
+                    comm.ring_prev(),
+                )?;
+                let _ = received;
+                comm.all_to_all(vec![
+                    RingMsg::DecodeOut { slots: vec![None] },
+                    RingMsg::DecodeOut {
+                        slots: vec![None, None],
+                    },
+                ])?;
+                Ok(())
+            }
+        })
+        .unwrap_err();
+        match err {
+            CoreError::Comm(cp_comm::CommError::RankFailed { rank, kind, detail }) => {
+                assert_eq!(rank, 0);
+                assert_eq!(kind, "bad-request");
+                assert!(
+                    detail.contains("rank 1 returned 1 decode partial slots"),
+                    "{detail}"
+                );
+            }
+            other => panic!("expected RankFailed, got {other:?}"),
+        }
     }
 }

@@ -54,10 +54,16 @@ pub use transformer::{Block, Transformer};
 
 /// Maps a model-layer failure into the fabric's error type so rank
 /// closures (which must return `Result<_, CommError>`) can propagate it;
-/// see `cp_core::ring::run_ring` for the engine-side equivalent.
-pub(crate) fn to_comm_error(e: cp_core::CoreError) -> cp_comm::CommError {
+/// see `cp_core::ring::run_ring` for the engine-side equivalent. The
+/// failing `rank` plus the original error's kind and message ride along
+/// instead of flattening into an anonymous panic.
+pub(crate) fn to_comm_error(rank: usize, e: cp_core::CoreError) -> cp_comm::CommError {
     match e {
         cp_core::CoreError::Comm(c) => c,
-        _ => cp_comm::CommError::RankPanicked { rank: usize::MAX },
+        other => cp_comm::CommError::RankFailed {
+            rank,
+            kind: other.kind(),
+            detail: other.to_string(),
+        },
     }
 }

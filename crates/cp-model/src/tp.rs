@@ -41,9 +41,13 @@ pub fn tp_linear_pair(
     let (mut outputs, traffic) = run_ranks::<Vec<f32>, _, _>(n_ranks, |comm| {
         let r = comm.rank();
         // Column-parallel: local activation slice [t, hidden/n].
-        let hidden = a_shards[r].forward(x).map_err(crate::to_comm_error)?;
+        let hidden = a_shards[r]
+            .forward(x)
+            .map_err(|e| crate::to_comm_error(r, e))?;
         // Row-parallel: partial output [t, out], then AllReduce-sum.
-        let partial = b_shards[r].forward(&hidden).map_err(crate::to_comm_error)?;
+        let partial = b_shards[r]
+            .forward(&hidden)
+            .map_err(|e| crate::to_comm_error(r, e))?;
         let reduced = comm.all_reduce(partial.as_slice().to_vec(), |mut acc, m| {
             for (a, b) in acc.iter_mut().zip(m) {
                 *a += b;
@@ -149,7 +153,7 @@ pub fn tp_attention(
     let (mut gathered, traffic) = run_ranks::<Vec<f32>, _, _>(n_ranks, |comm| {
         let (qr, kr, vr, p) = &rank_inputs[comm.rank()];
         let out = blocked_gqa_attention(qr, kr, vr, p, q_pos, kv_pos, 128)
-            .map_err(|e| crate::to_comm_error(CoreError::from(e)))?;
+            .map_err(|e| crate::to_comm_error(comm.rank(), CoreError::from(e)))?;
         let mut payload = out.out.as_slice().to_vec();
         payload.extend_from_slice(out.lse.as_slice());
         comm.all_gather(payload)
@@ -205,11 +209,14 @@ mod tests {
         let w_b = Linear::new(16, 8, 6);
         let n = 4;
         let (_, traffic) = tp_linear_pair(&x, &w_a, &w_b, n).unwrap();
-        // AllReduce implemented as gather: n*(n-1) messages of [t, 8] f32.
+        // AllReduce implemented as gather: n*(n-1) messages of [t, 8] f32,
+        // accounted under the dedicated AllReduce category.
         assert_eq!(
-            traffic.all_gather_bytes,
+            traffic.all_reduce.bytes,
             expected_allreduce_bytes(t, 8, n, 4)
         );
+        assert_eq!(traffic.all_reduce.calls, n as u64);
+        assert_eq!(traffic.all_gather_bytes, 0);
         assert_eq!(traffic.send_recv_bytes, 0);
     }
 
@@ -230,9 +237,9 @@ mod tests {
         // CP ring: n*(n-1) hops of 2 * (t/n) * kv_dim f32.
         let cp_bytes = n * (n - 1) * 2 * (t / n) * kv_dim * 4;
         assert!(
-            tp_traffic.all_gather_bytes > 4 * cp_bytes,
+            tp_traffic.all_reduce.bytes > 4 * cp_bytes,
             "tp {} vs cp {}",
-            tp_traffic.all_gather_bytes,
+            tp_traffic.all_reduce.bytes,
             cp_bytes
         );
     }

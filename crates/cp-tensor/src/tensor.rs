@@ -2,6 +2,7 @@
 
 use std::fmt;
 use std::ops::Range;
+use std::sync::Arc;
 
 use crate::TensorError;
 
@@ -12,6 +13,16 @@ use crate::TensorError;
 /// (`[tokens, heads, head_dim]`), which is the axis context parallelism
 /// shards, slices and concatenates.
 ///
+/// # Storage
+///
+/// Element storage is a shared `Arc<[f32]>` plus an `(offset, len)` window,
+/// so [`Tensor::clone`], [`Tensor::slice_dim0`] and [`Tensor::reshape`] are
+/// O(1) handle copies — no buffer traffic. This is what makes the ring
+/// hot path zero-copy: every hop forwards views, never payload bytes.
+/// Mutating methods use copy-on-write: they materialize a private buffer
+/// only if the storage is shared or windowed, so single-owner mutation is
+/// as cheap as with `Vec` storage and aliasing is never observable.
+///
 /// # Example
 ///
 /// ```
@@ -21,16 +32,48 @@ use crate::TensorError;
 /// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
 /// let b = a.slice_dim0(1..2)?;
 /// assert_eq!(b.as_slice(), &[3.0, 4.0]);
+/// assert!(a.shares_buffer(&b)); // O(1) view, not a copy
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, PartialEq)]
+#[derive(Clone)]
 pub struct Tensor {
-    data: Vec<f32>,
+    data: Arc<[f32]>,
+    offset: usize,
+    len: usize,
     shape: Vec<usize>,
 }
 
 impl Tensor {
+    /// Builds a tensor owning a fresh buffer (full-window view).
+    fn from_buffer(data: Vec<f32>, shape: Vec<usize>) -> Self {
+        let len = data.len();
+        Tensor {
+            data: data.into(),
+            offset: 0,
+            len,
+            shape,
+        }
+    }
+
+    /// The elements visible through this tensor's window.
+    #[inline]
+    fn view(&self) -> &[f32] {
+        &self.data[self.offset..self.offset + self.len]
+    }
+
+    /// Returns a uniquely-owned mutable buffer for this tensor's elements,
+    /// copying the window out of shared storage first if necessary
+    /// (copy-on-write).
+    fn make_mut(&mut self) -> &mut [f32] {
+        let windowed = self.offset != 0 || self.len != self.data.len();
+        if windowed || Arc::get_mut(&mut self.data).is_none() {
+            self.data = Arc::from(&self.data[self.offset..self.offset + self.len]);
+            self.offset = 0;
+        }
+        Arc::get_mut(&mut self.data).expect("storage is uniquely owned after copy-on-write")
+    }
+
     /// Creates a tensor of the given shape filled with zeros.
     ///
     /// # Example
@@ -41,19 +84,13 @@ impl Tensor {
     /// ```
     pub fn zeros(shape: &[usize]) -> Self {
         let numel = shape.iter().product();
-        Tensor {
-            data: vec![0.0; numel],
-            shape: shape.to_vec(),
-        }
+        Tensor::from_buffer(vec![0.0; numel], shape.to_vec())
     }
 
     /// Creates a tensor of the given shape filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
         let numel = shape.iter().product();
-        Tensor {
-            data: vec![value; numel],
-            shape: shape.to_vec(),
-        }
+        Tensor::from_buffer(vec![value; numel], shape.to_vec())
     }
 
     /// Creates a tensor from a flat row-major buffer.
@@ -70,19 +107,13 @@ impl Tensor {
                 actual: data.len(),
             });
         }
-        Ok(Tensor {
-            data,
-            shape: shape.to_vec(),
-        })
+        Ok(Tensor::from_buffer(data, shape.to_vec()))
     }
 
     /// Creates a tensor by evaluating `f(flat_index)` for each element.
     pub fn from_fn(shape: &[usize], mut f: impl FnMut(usize) -> f32) -> Self {
         let numel: usize = shape.iter().product();
-        Tensor {
-            data: (0..numel).map(&mut f).collect(),
-            shape: shape.to_vec(),
-        }
+        Tensor::from_buffer((0..numel).map(&mut f).collect(), shape.to_vec())
     }
 
     /// The shape of the tensor.
@@ -97,12 +128,12 @@ impl Tensor {
 
     /// Total number of elements.
     pub fn numel(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// Returns `true` if the tensor holds no elements.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
     /// The length of dimension 0, or 0 for a rank-0 tensor.
@@ -118,17 +149,34 @@ impl Tensor {
 
     /// Borrows the underlying flat buffer.
     pub fn as_slice(&self) -> &[f32] {
-        &self.data
+        self.view()
     }
 
-    /// Mutably borrows the underlying flat buffer.
+    /// Mutably borrows the underlying flat buffer, copying out of shared
+    /// storage first if this tensor is a view or the buffer is aliased.
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
-        &mut self.data
+        self.make_mut()
     }
 
-    /// Consumes the tensor, returning its flat buffer.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    /// Consumes the tensor, returning its flat buffer (copied out of shared
+    /// storage only when the buffer is aliased or windowed).
+    pub fn into_vec(mut self) -> Vec<f32> {
+        self.make_mut();
+        // After make_mut the window spans a uniquely-owned buffer.
+        self.view().to_vec()
+    }
+
+    /// Returns `true` if `self` and `other` are windows over the same
+    /// allocation (i.e. one was derived from the other without copying).
+    pub fn shares_buffer(&self, other: &Tensor) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// An independent deep copy with a freshly allocated buffer. `clone()`
+    /// is an O(1) handle copy; this is the old clone-the-bytes behaviour,
+    /// kept for A/B benchmarking of the zero-copy representation.
+    pub fn deep_clone(&self) -> Tensor {
+        Tensor::from_buffer(self.view().to_vec(), self.shape.clone())
     }
 
     /// Returns the flat offset of a multi-dimensional index.
@@ -164,7 +212,7 @@ impl Tensor {
     ///
     /// Propagates errors from [`Tensor::offset`].
     pub fn at(&self, index: &[usize]) -> Result<f32, TensorError> {
-        Ok(self.data[self.offset(index)?])
+        Ok(self.view()[self.offset(index)?])
     }
 
     /// Writes the element at a multi-dimensional index.
@@ -174,7 +222,7 @@ impl Tensor {
     /// Propagates errors from [`Tensor::offset`].
     pub fn set(&mut self, index: &[usize], value: f32) -> Result<(), TensorError> {
         let off = self.offset(index)?;
-        self.data[off] = value;
+        self.make_mut()[off] = value;
         Ok(())
     }
 
@@ -186,7 +234,7 @@ impl Tensor {
     /// Panics if `i >= dim0()`.
     pub fn row(&self, i: usize) -> &[f32] {
         let rn = self.row_numel();
-        &self.data[i * rn..(i + 1) * rn]
+        &self.view()[i * rn..(i + 1) * rn]
     }
 
     /// Mutably borrows the contiguous row `i` along dimension 0.
@@ -196,10 +244,11 @@ impl Tensor {
     /// Panics if `i >= dim0()`.
     pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
         let rn = self.row_numel();
-        &mut self.data[i * rn..(i + 1) * rn]
+        &mut self.make_mut()[i * rn..(i + 1) * rn]
     }
 
-    /// Copies a sub-range of dimension 0 into a new tensor.
+    /// Returns a sub-range of dimension 0 as an O(1) zero-copy view sharing
+    /// this tensor's buffer.
     ///
     /// # Errors
     ///
@@ -215,7 +264,9 @@ impl Tensor {
         let mut shape = self.shape.clone();
         shape[0] = range.len();
         Ok(Tensor {
-            data: self.data[range.start * rn..range.end * rn].to_vec(),
+            data: Arc::clone(&self.data),
+            offset: self.offset + range.start * rn,
+            len: range.len() * rn,
             shape,
         })
     }
@@ -239,10 +290,14 @@ impl Tensor {
         }
         let mut shape = self.shape.clone();
         shape[0] = indices.len();
-        Ok(Tensor { data, shape })
+        Ok(Tensor::from_buffer(data, shape))
     }
 
     /// Concatenates tensors along dimension 0.
+    ///
+    /// Concatenating a single tensor (or adjacent views of one buffer whose
+    /// windows line up back-to-back) returns an O(1) view instead of
+    /// copying, so un-sharding consecutive slices is free.
     ///
     /// # Errors
     ///
@@ -265,17 +320,30 @@ impl Tensor {
             }
             total0 += t.dim0();
         }
-        let mut data = Vec::with_capacity(total0 * first.row_numel());
-        for t in &tensors {
-            data.extend_from_slice(&t.data);
-        }
         let mut shape = first.shape.clone();
         shape[0] = total0;
-        Ok(Tensor { data, shape })
+        // Zero-copy path: adjacent windows of one shared buffer rejoin as a
+        // single wider view (the common "slice, ring-send, reassemble" case).
+        let adjacent = tensors
+            .windows(2)
+            .all(|w| Arc::ptr_eq(&w[0].data, &w[1].data) && w[0].offset + w[0].len == w[1].offset);
+        if adjacent {
+            return Ok(Tensor {
+                data: Arc::clone(&first.data),
+                offset: first.offset,
+                len: tensors.iter().map(|t| t.len).sum(),
+                shape,
+            });
+        }
+        let mut data = Vec::with_capacity(total0 * first.row_numel());
+        for t in &tensors {
+            data.extend_from_slice(t.view());
+        }
+        Ok(Tensor::from_buffer(data, shape))
     }
 
     /// Returns a copy with dimension 0 extended to `len` rows, new rows
-    /// filled with `value`.
+    /// filled with `value`. Padding to the current size is an O(1) view.
     ///
     /// # Errors
     ///
@@ -287,15 +355,20 @@ impl Tensor {
                 len: self.dim0(),
             });
         }
+        if len == self.dim0() {
+            return Ok(self.clone());
+        }
         let rn = self.row_numel();
-        let mut data = self.data.clone();
+        let mut data = Vec::with_capacity(len * rn);
+        data.extend_from_slice(self.view());
         data.resize(len * rn, value);
         let mut shape = self.shape.clone();
         shape[0] = len;
-        Ok(Tensor { data, shape })
+        Ok(Tensor::from_buffer(data, shape))
     }
 
-    /// Reinterprets the tensor with a new shape of equal element count.
+    /// Reinterprets the tensor with a new shape of equal element count as an
+    /// O(1) view sharing this tensor's buffer.
     ///
     /// # Errors
     ///
@@ -309,7 +382,9 @@ impl Tensor {
             });
         }
         Ok(Tensor {
-            data: self.data.clone(),
+            data: Arc::clone(&self.data),
+            offset: self.offset,
+            len: self.len,
             shape: shape.to_vec(),
         })
     }
@@ -326,7 +401,7 @@ impl Tensor {
                 right: other.shape.clone(),
             });
         }
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
+        for (a, b) in self.make_mut().iter_mut().zip(other.view()) {
             *a += b;
         }
         Ok(())
@@ -334,7 +409,7 @@ impl Tensor {
 
     /// Multiplies every element by `scale` in place.
     pub fn scale(&mut self, scale: f32) {
-        for v in &mut self.data {
+        for v in self.make_mut() {
             *v *= scale;
         }
     }
@@ -351,7 +426,7 @@ impl Tensor {
                 right: other.shape.clone(),
             });
         }
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
+        for (a, b) in self.make_mut().iter_mut().zip(other.view()) {
             *a *= b;
         }
         Ok(())
@@ -359,10 +434,10 @@ impl Tensor {
 
     /// Returns a copy with `f` applied to every element.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            data: self.data.iter().map(|&v| f(v)).collect(),
-            shape: self.shape.clone(),
-        }
+        Tensor::from_buffer(
+            self.view().iter().map(|&v| f(v)).collect(),
+            self.shape.clone(),
+        )
     }
 
     /// Maximum absolute difference between two tensors of identical shape.
@@ -378,9 +453,9 @@ impl Tensor {
             });
         }
         Ok(self
-            .data
+            .view()
             .iter()
-            .zip(&other.data)
+            .zip(other.view())
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f32::max))
     }
@@ -398,20 +473,25 @@ impl Tensor {
                 right: other.shape.clone(),
             });
         }
-        Ok(self.data.iter().zip(&other.data).all(|(a, b)| {
+        Ok(self.view().iter().zip(other.view()).all(|(a, b)| {
             let scale = 1.0_f32.max(a.abs()).max(b.abs());
             (a - b).abs() <= tol * scale
         }))
     }
 }
 
+/// Value equality: same shape, same elements. Window placement and buffer
+/// sharing are representation details and do not affect equality.
+impl PartialEq for Tensor {
+    fn eq(&self, other: &Tensor) -> bool {
+        self.shape == other.shape && self.view() == other.view()
+    }
+}
+
 impl Default for Tensor {
     /// An empty rank-1 tensor.
     fn default() -> Self {
-        Tensor {
-            data: Vec::new(),
-            shape: vec![0],
-        }
+        Tensor::from_buffer(Vec::new(), vec![0])
     }
 }
 
@@ -419,14 +499,14 @@ impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         const PREVIEW: usize = 8;
         write!(f, "Tensor{:?}[", self.shape)?;
-        for (i, v) in self.data.iter().take(PREVIEW).enumerate() {
+        for (i, v) in self.view().iter().take(PREVIEW).enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
             write!(f, "{v}")?;
         }
-        if self.data.len() > PREVIEW {
-            write!(f, ", …{} more", self.data.len() - PREVIEW)?;
+        if self.len > PREVIEW {
+            write!(f, ", …{} more", self.len - PREVIEW)?;
         }
         write!(f, "]")
     }
@@ -507,7 +587,7 @@ mod tests {
     }
 
     #[test]
-    fn slice_dim0_copies_range() {
+    fn slice_dim0_views_range() {
         let t = seq_tensor(&[4, 2]);
         let s = t.slice_dim0(1..3).unwrap();
         assert_eq!(s.shape(), &[2, 2]);
@@ -521,6 +601,54 @@ mod tests {
         let s = t.slice_dim0(2..2).unwrap();
         assert_eq!(s.dim0(), 0);
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn clone_and_slice_share_storage() {
+        let t = seq_tensor(&[4, 2]);
+        let c = t.clone();
+        let s = t.slice_dim0(1..3).unwrap();
+        let r = t.reshape(&[2, 4]).unwrap();
+        assert!(t.shares_buffer(&c));
+        assert!(t.shares_buffer(&s));
+        assert!(t.shares_buffer(&r));
+        assert!(!t.shares_buffer(&t.deep_clone()));
+    }
+
+    #[test]
+    fn nested_slices_compose_offsets() {
+        let t = seq_tensor(&[6, 2]);
+        let outer = t.slice_dim0(1..5).unwrap();
+        let inner = outer.slice_dim0(2..4).unwrap();
+        assert_eq!(inner.as_slice(), &[6.0, 7.0, 8.0, 9.0]);
+        assert!(inner.shares_buffer(&t));
+    }
+
+    #[test]
+    fn copy_on_write_isolates_mutation() {
+        let t = seq_tensor(&[4, 2]);
+        let mut c = t.clone();
+        c.scale(10.0);
+        // The clone materialized its own buffer; the original is untouched.
+        assert_eq!(t.as_slice(), &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(
+            c.as_slice(),
+            &[0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0]
+        );
+        assert!(!t.shares_buffer(&c));
+
+        let mut s = t.slice_dim0(1..3).unwrap();
+        s.set(&[0, 0], -1.0).unwrap();
+        assert_eq!(t.at(&[1, 0]).unwrap(), 2.0);
+        assert_eq!(s.at(&[0, 0]).unwrap(), -1.0);
+    }
+
+    #[test]
+    fn unique_owner_mutates_in_place() {
+        let mut t = seq_tensor(&[4, 2]);
+        let before = t.as_slice().as_ptr();
+        t.scale(2.0);
+        assert_eq!(t.as_slice().as_ptr(), before);
     }
 
     #[test]
@@ -538,6 +666,22 @@ mod tests {
         let c = Tensor::concat_dim0([&a, &b]).unwrap();
         assert_eq!(c.shape(), &[3, 2]);
         assert_eq!(c.as_slice(), &[0.0, 1.0, 0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn concat_of_adjacent_views_is_zero_copy() {
+        let t = seq_tensor(&[5, 2]);
+        let a = t.slice_dim0(0..2).unwrap();
+        let b = t.slice_dim0(2..5).unwrap();
+        let joined = Tensor::concat_dim0([&a, &b]).unwrap();
+        assert_eq!(joined, t);
+        assert!(joined.shares_buffer(&t));
+        // Non-adjacent views still copy correctly.
+        let c = t.slice_dim0(0..1).unwrap();
+        let d = t.slice_dim0(3..4).unwrap();
+        let picked = Tensor::concat_dim0([&c, &d]).unwrap();
+        assert_eq!(picked.as_slice(), &[0.0, 1.0, 6.0, 7.0]);
+        assert!(!picked.shares_buffer(&t));
     }
 
     #[test]
@@ -561,8 +705,10 @@ mod tests {
         assert_eq!(p.shape(), &[4, 2]);
         assert_eq!(&p.as_slice()[4..], &[-1.0; 4]);
         assert!(t.pad_dim0(1, 0.0).is_err());
-        // Padding to the current size is a no-op.
-        assert_eq!(t.pad_dim0(2, 0.0).unwrap(), t);
+        // Padding to the current size is a zero-copy no-op.
+        let same = t.pad_dim0(2, 0.0).unwrap();
+        assert_eq!(same, t);
+        assert!(same.shares_buffer(&t));
     }
 
     #[test]
@@ -571,6 +717,14 @@ mod tests {
         let r = t.reshape(&[3, 2]).unwrap();
         assert_eq!(r.as_slice(), t.as_slice());
         assert!(t.reshape(&[4, 2]).is_err());
+    }
+
+    #[test]
+    fn into_vec_copies_window_only() {
+        let t = seq_tensor(&[4, 2]);
+        let s = t.slice_dim0(1..3).unwrap();
+        assert_eq!(s.into_vec(), vec![2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(t.as_slice().len(), 8);
     }
 
     #[test]
@@ -617,6 +771,16 @@ mod tests {
         let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
         let b = Tensor::from_vec(vec![1.5, 2.25], &[2]).unwrap();
         assert_eq!(a.max_abs_diff(&b).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn equality_ignores_window_placement() {
+        let t = seq_tensor(&[4, 2]);
+        let front = t.slice_dim0(0..2).unwrap();
+        let back = t.slice_dim0(2..4).unwrap();
+        assert_ne!(front, back);
+        assert_eq!(front, seq_tensor(&[2, 2]));
+        assert_eq!(back.deep_clone(), back);
     }
 
     #[test]

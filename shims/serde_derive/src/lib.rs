@@ -1,0 +1,289 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the value-tree `serde::Serialize` / `serde::Deserialize` traits of
+//! the sibling serde shim. Because those traits recover field types through
+//! trait dispatch, the macro only needs field and variant *names*, so the
+//! input can be parsed with a small hand-rolled `TokenTree` walk instead of
+//! `syn`, and the output emitted as a string — no external dependencies.
+//!
+//! Supported shapes (everything the workspace derives on): structs with named
+//! fields, unit structs, and enums mixing unit and struct variants. Tuple
+//! structs/variants and generics panic at expansion time with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Named fields (or empty for unit structs).
+    Struct { name: String, fields: Vec<String> },
+    /// Variants: `None` fields = unit variant, `Some(fields)` = struct variant.
+    Enum {
+        name: String,
+        variants: Vec<(String, Option<Vec<String>>)>,
+    },
+}
+
+/// Consumes leading `#[...]` attributes.
+fn skip_attrs(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        tokens.next();
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+            other => panic!("serde_derive shim: malformed attribute, got {other:?}"),
+        }
+    }
+}
+
+/// Consumes a `pub` / `pub(...)` visibility prefix if present.
+fn skip_visibility(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.next();
+        }
+    }
+}
+
+/// Extracts the field names from a `{ ... }` struct-body group, skipping the
+/// field types (tracking `<`/`>` depth so commas inside generics don't split).
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        skip_attrs(&mut tokens);
+        skip_visibility(&mut tokens);
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive shim: expected field name, got {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive shim: expected `:` after field `{name}`, got {other:?}"),
+        }
+        fields.push(name);
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        for tt in tokens.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs(&mut tokens);
+    skip_visibility(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+    match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Struct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            // `struct Name;`
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Struct {
+                name,
+                fields: Vec::new(),
+            },
+            _ => panic!("serde_derive shim: tuple struct `{name}` is not supported"),
+        },
+        "enum" => {
+            let body = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive shim: expected enum body, got {other:?}"),
+            };
+            let mut variants = Vec::new();
+            let mut vt = body.into_iter().peekable();
+            loop {
+                skip_attrs(&mut vt);
+                let vname = match vt.next() {
+                    None => break,
+                    Some(TokenTree::Ident(i)) => i.to_string(),
+                    other => panic!("serde_derive shim: expected variant name, got {other:?}"),
+                };
+                match vt.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = parse_named_fields(g.stream());
+                        vt.next();
+                        variants.push((vname, Some(fields)));
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        panic!(
+                            "serde_derive shim: tuple variant `{name}::{vname}` is not supported"
+                        )
+                    }
+                    _ => variants.push((vname, None)),
+                }
+                // Consume separators (`,`) and discriminants are unsupported.
+                while matches!(vt.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                    vt.next();
+                }
+            }
+            Shape::Enum { name, variants }
+        }
+        other => panic!("serde_derive shim: unsupported item kind `{other}`"),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let inserts: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "m.insert(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut m = ::serde::Map::new();\n\
+                         {inserts}\
+                         ::serde::Value::Object(m)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    None => format!(
+                        "{name}::{v} => ::serde::Value::String(\"{v}\".to_string()),\n"
+                    ),
+                    Some(fields) => {
+                        let binds = fields.join(", ");
+                        let inserts: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "inner.insert(\"{f}\".to_string(), ::serde::Serialize::to_value({f}));\n"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => {{\n\
+                                 let mut inner = ::serde::Map::new();\n\
+                                 {inserts}\
+                                 let mut outer = ::serde::Map::new();\n\
+                                 outer.insert(\"{v}\".to_string(), ::serde::Value::Object(inner));\n\
+                                 ::serde::Value::Object(outer)\n\
+                             }}\n"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse()
+        .expect("serde_derive shim: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let field_inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(m.get(\"{f}\").ok_or_else(|| \
+                             ::serde::DeError::new(\"{name}: missing field `{f}`\"))?)?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let m = v.as_object().ok_or_else(|| \
+                             ::serde::DeError::new(\"{name}: expected object\"))?;\n\
+                         ::std::result::Result::Ok({name} {{\n{field_inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, f)| f.is_none())
+                .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            let struct_arms: String = variants
+                .iter()
+                .filter_map(|(v, f)| f.as_ref().map(|fields| (v, fields)))
+                .map(|(v, fields)| {
+                    let field_inits: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(im.get(\"{f}\").ok_or_else(|| \
+                                     ::serde::DeError::new(\"{name}::{v}: missing field `{f}`\"))?)?,\n"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "\"{v}\" => {{\n\
+                             let im = inner.as_object().ok_or_else(|| \
+                                 ::serde::DeError::new(\"{name}::{v}: expected object payload\"))?;\n\
+                             ::std::result::Result::Ok({name}::{v} {{\n{field_inits}}})\n\
+                         }}\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::Value::String(s) => match s.as_str() {{\n\
+                                 {unit_arms}\
+                                 other => ::std::result::Result::Err(::serde::DeError::new(\
+                                     format!(\"{name}: unknown variant `{{other}}`\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(m) => {{\n\
+                                 let (tag, inner) = m.iter().next().ok_or_else(|| \
+                                     ::serde::DeError::new(\"{name}: empty variant object\"))?;\n\
+                                 let _ = inner;\n\
+                                 match tag.as_str() {{\n\
+                                     {struct_arms}\
+                                     other => ::std::result::Result::Err(::serde::DeError::new(\
+                                         format!(\"{name}: unknown variant `{{other}}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => ::std::result::Result::Err(::serde::DeError::new(\
+                                 \"{name}: expected string or object\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse()
+        .expect("serde_derive shim: generated invalid Deserialize impl")
+}

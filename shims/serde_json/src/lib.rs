@@ -1,0 +1,480 @@
+//! Offline stand-in for `serde_json`, built on the serde shim's [`Value`]
+//! tree: `to_string` / `to_string_pretty` / `from_str` plus the `json!`
+//! macro. Numbers print via Rust's shortest-roundtrip `f64` formatting, so
+//! `to_string -> from_str` preserves every finite value bit-exactly.
+
+pub use serde::{DeError, Map, Value};
+
+/// Unified serde_json-style error (this shim only fails on deserialize).
+pub type Error = DeError;
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Lowers any serializable value to a [`Value`] tree. Infallible here, but
+/// returns `Result` to match serde_json's signature (`.unwrap()` call sites).
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+/// Infallible lowering used by the `json!` macro expansion.
+#[doc(hidden)]
+pub fn __to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Lifts a typed value out of a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T> {
+    T::from_value(value)
+}
+
+/// Serializes to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes to 2-space-indented JSON text.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into any deserializable type.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
+    let value = Parser::new(s).parse_document()?;
+    T::from_value(&value)
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => {
+            if n.is_finite() {
+                // Rust's f64 Display is shortest-roundtrip and prints whole
+                // floats without an exponent or trailing ".0" — valid JSON.
+                out.push_str(&format!("{n}"));
+            } else {
+                // JSON has no Inf/NaN; serde_json emits null likewise.
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => write_seq(
+            out,
+            items.iter(),
+            indent,
+            level,
+            ('[', ']'),
+            |o, item, lvl| write_value(o, item, indent, lvl),
+        ),
+        Value::Object(map) => write_seq(
+            out,
+            map.iter(),
+            indent,
+            level,
+            ('{', '}'),
+            |o, (k, val), lvl| {
+                write_escaped(o, k);
+                o.push(':');
+                if indent.is_some() {
+                    o.push(' ');
+                }
+                write_value(o, val, indent, lvl)
+            },
+        ),
+    }
+}
+
+fn write_seq<I, F>(
+    out: &mut String,
+    items: I,
+    indent: Option<usize>,
+    level: usize,
+    (open, close): (char, char),
+    mut write_item: F,
+) where
+    I: ExactSizeIterator,
+    F: FnMut(&mut String, I::Item, usize),
+{
+    out.push(open);
+    let n = items.len();
+    for (i, item) in items.enumerate() {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (level + 1)));
+        }
+        write_item(out, item, level + 1);
+        if i + 1 < n {
+            out.push(',');
+        }
+    }
+    if n > 0 {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * level));
+        }
+    }
+    out.push(close);
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        DeError::new(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn parse_document(&mut self) -> Result<Value> {
+        let v = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing characters"));
+        }
+        Ok(v)
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{kw}`")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| self.err("invalid number"))
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by our writer;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte chars pass through).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().expect("non-empty checked above");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+/// Builds a [`Value`] from JSON-ish syntax. Object values may be arbitrary
+/// expressions (tokens are munched up to the next top-level comma), nested
+/// `{...}`/`[...]` literals, or `null`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => {{
+        #[allow(clippy::vec_init_then_push)]
+        let items = {
+            let mut items: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+            $crate::json_array_items!(items; $($tt)*);
+            items
+        };
+        $crate::Value::Array(items)
+    }};
+    ({ $($tt:tt)* }) => {{
+        let mut map = $crate::Map::new();
+        $crate::json_object_entries!(map; $($tt)*);
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::__to_value(&($other)) };
+}
+
+/// Implementation detail of [`json!`]: parses `"key": value, ...` entries.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_object_entries {
+    ($map:ident; ) => {};
+    ($map:ident; $key:literal : null $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::Value::Null);
+        $( $crate::json_object_entries!($map; $($rest)*); )?
+    };
+    ($map:ident; $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::json!({ $($inner)* }));
+        $( $crate::json_object_entries!($map; $($rest)*); )?
+    };
+    ($map:ident; $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::json!([ $($inner)* ]));
+        $( $crate::json_object_entries!($map; $($rest)*); )?
+    };
+    ($map:ident; $key:literal : $($rest:tt)+) => {
+        $crate::json_munch_expr!($map; $key; []; $($rest)+);
+    };
+}
+
+/// Implementation detail of [`json!`]: accumulates expression tokens for one
+/// object value until end-of-input or a top-level comma.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_munch_expr {
+    ($map:ident; $key:literal; [$($acc:tt)+];) => {
+        $map.insert($key.to_string(), $crate::__to_value(&($($acc)+)));
+    };
+    ($map:ident; $key:literal; [$($acc:tt)+]; , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::__to_value(&($($acc)+)));
+        $crate::json_object_entries!($map; $($rest)*);
+    };
+    ($map:ident; $key:literal; [$($acc:tt)*]; $next:tt $($rest:tt)*) => {
+        $crate::json_munch_expr!($map; $key; [$($acc)* $next]; $($rest)*);
+    };
+}
+
+/// Implementation detail of [`json!`]: array elements (expression or nested
+/// literal), munched the same way as object values.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_array_items {
+    ($items:ident; ) => {};
+    ($items:ident; null $(, $($rest:tt)*)?) => {
+        $items.push($crate::Value::Null);
+        $( $crate::json_array_items!($items; $($rest)*); )?
+    };
+    ($items:ident; { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $items.push($crate::json!({ $($inner)* }));
+        $( $crate::json_array_items!($items; $($rest)*); )?
+    };
+    ($items:ident; [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $items.push($crate::json!([ $($inner)* ]));
+        $( $crate::json_array_items!($items; $($rest)*); )?
+    };
+    ($items:ident; $($rest:tt)+) => {
+        $crate::json_array_munch!($items; []; $($rest)+);
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_array_munch {
+    ($items:ident; [$($acc:tt)+];) => {
+        $items.push($crate::__to_value(&($($acc)+)));
+    };
+    ($items:ident; [$($acc:tt)+]; , $($rest:tt)*) => {
+        $items.push($crate::__to_value(&($($acc)+)));
+        $crate::json_array_items!($items; $($rest)*);
+    };
+    ($items:ident; [$($acc:tt)*]; $next:tt $($rest:tt)*) => {
+        $crate::json_array_munch!($items; [$($acc)* $next]; $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_nested() {
+        let v = json!({
+            "name": "ring",
+            "n": 4usize,
+            "ratio": 1.5f64,
+            "flags": {"fast": true, "detail": null},
+            "xs": [1.0f64, 2.0f64]
+        });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(back["name"], "ring");
+        assert_eq!(back["n"], 4.0);
+        assert!(back["flags"]["detail"].is_null());
+        assert_eq!(back["xs"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn json_macro_munches_expressions() {
+        let base = 21;
+        let v = json!({"answer": base * 2, "text": format!("x={}", base)});
+        assert_eq!(v["answer"], 42.0);
+        assert_eq!(v["text"], "x=21");
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = json!({"a": [1f64, 2f64], "b": {"c": "d"}});
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains('\n'));
+        assert_eq!(from_str::<Value>(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let v = json!({"s": "line\n\"quoted\"\t\\end"});
+        let text = to_string(&v).unwrap();
+        assert_eq!(from_str::<Value>(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn shortest_roundtrip_floats() {
+        for x in [0.1f64, 1e-12, 123456789.123456, f64::MAX] {
+            let text = to_string(&x).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back, x);
+        }
+    }
+}
