@@ -43,6 +43,23 @@ pub enum CommError {
         /// The original error's display message.
         detail: String,
     },
+    /// Live traffic diverged from the rank's declared [`crate::CommPlan`]
+    /// (checked-fabric mode): wrong op kind, peer, message variant or byte
+    /// count, or a schedule that was not drained before the rank exited.
+    PlanViolation {
+        /// The rank whose live traffic diverged from its plan.
+        rank: usize,
+        /// Index of the declared op the divergence occurred at.
+        step: usize,
+        /// Human-readable description of the divergence.
+        detail: String,
+    },
+    /// An internal fabric invariant was broken — a bug in the fabric
+    /// itself, surfaced as a typed error instead of a panic.
+    Internal {
+        /// Description of the broken invariant.
+        detail: String,
+    },
     /// A group was requested with zero ranks.
     EmptyGroup,
     /// A collective was called with a payload list whose length does not
@@ -73,6 +90,10 @@ impl fmt::Display for CommError {
             CommError::RankFailed { rank, kind, detail } => {
                 write!(f, "rank {rank} failed ({kind}): {detail}")
             }
+            CommError::PlanViolation { rank, step, detail } => {
+                write!(f, "plan violation at rank {rank} step {step}: {detail}")
+            }
+            CommError::Internal { detail } => write!(f, "internal fabric error: {detail}"),
             CommError::EmptyGroup => write!(f, "communicator group must have at least one rank"),
             CommError::WrongPayloadCount { got, expected } => {
                 write!(f, "collective needs {expected} payloads, got {got}")

@@ -1,17 +1,19 @@
 //! Rank spawning and the per-rank [`Communicator`] handle.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
+use crate::plan::{ExpectedRecv, PlanChecker};
 use crate::stats::{Collective, TimedEvent, TimelineLane};
-use crate::{CommError, TrafficReport, TrafficStats, Wire};
+use crate::{CommError, CommPlan, TrafficReport, TrafficStats, Wire};
 
-/// How long a blocked receive waits before failing. Generous enough for any
-/// legitimate collective in the test suite, short enough that a genuinely
-/// wedged ring fails the test run instead of hanging it.
-const RECV_TIMEOUT: Duration = Duration::from_secs(60);
+/// Default for how long a blocked receive waits before failing. Generous
+/// enough for any legitimate collective in the test suite, short enough
+/// that a genuinely wedged ring fails the run instead of hanging it.
+/// Override per run with [`Fabric::recv_timeout`].
+pub const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// A rank's handle to the fabric: point-to-point sends/receives plus the
 /// collectives the paper's algorithms use (`SendRecv` ring steps,
@@ -20,7 +22,10 @@ const RECV_TIMEOUT: Duration = Duration::from_secs(60);
 /// One `Communicator` is handed to each rank closure by [`run_ranks`]. All
 /// channels are unbounded, so `send` never blocks — which is exactly the
 /// property that makes the symmetric ring schedule (every rank sends, then
-/// receives) deadlock-free, mirroring NCCL's buffered `SendRecv`.
+/// receives) deadlock-free, mirroring NCCL's buffered `SendRecv`. That
+/// property is no longer only asserted here: the schedules are declared as
+/// [`CommPlan`] data, model-checked offline by `cp-verify`, and enforced
+/// against live traffic when the fabric runs in [`CheckedFabric`] mode.
 #[derive(Debug)]
 pub struct Communicator<M: Wire> {
     rank: usize,
@@ -31,6 +36,10 @@ pub struct Communicator<M: Wire> {
     receivers: Vec<Receiver<M>>,
     ctrl_senders: Vec<Sender<()>>,
     ctrl_receivers: Vec<Receiver<()>>,
+    recv_timeout: Duration,
+    /// Plan cursor when running under a [`CheckedFabric`]; `None` in
+    /// unchecked mode.
+    checker: Option<Mutex<PlanChecker>>,
     stats: Arc<TrafficStats>,
 }
 
@@ -55,23 +64,53 @@ impl<M: Wire> Communicator<M> {
         (self.rank + self.world - 1) % self.world
     }
 
-    fn check_rank(&self, r: usize) -> Result<(), CommError> {
-        if r >= self.world {
-            return Err(CommError::RankOutOfRange {
-                rank: r,
-                world_size: self.world,
-            });
+    /// Runs `f` on the plan checker if one is installed; `Ok(None)` in
+    /// unchecked mode.
+    fn with_checker<R>(
+        &self,
+        f: impl FnOnce(&mut PlanChecker) -> Result<R, CommError>,
+    ) -> Result<Option<R>, CommError> {
+        match &self.checker {
+            None => Ok(None),
+            Some(m) => {
+                let mut guard = m.lock().unwrap_or_else(PoisonError::into_inner);
+                f(&mut guard).map(Some)
+            }
+        }
+    }
+
+    /// Validates a received message against the plan's expectation, if
+    /// running checked.
+    fn check_received(
+        &self,
+        expected: Option<&ExpectedRecv>,
+        src: usize,
+        msg: &M,
+    ) -> Result<(), CommError> {
+        if let Some(exp) = expected {
+            self.with_checker(|c| {
+                c.check_received(exp, src, msg.wire_variant(), msg.wire_bytes())
+            })?;
         }
         Ok(())
+    }
+
+    /// Asserts this rank consumed its whole declared plan. No-op in
+    /// unchecked mode; called by the fabric when the rank closure returns.
+    fn finish_plan(&self) -> Result<(), CommError> {
+        self.with_checker(|c| c.finish()).map(|_| ())
     }
 
     /// Delivers `msg` to rank `dst`, attributing its wire bytes to
     /// `collective`. Bytes are recorded only after the send succeeded, so a
     /// failed delivery never inflates the traffic accounting.
     fn deliver(&self, dst: usize, msg: M, collective: Collective) -> Result<(), CommError> {
-        self.check_rank(dst)?;
+        let sender = self.senders.get(dst).ok_or(CommError::RankOutOfRange {
+            rank: dst,
+            world_size: self.world,
+        })?;
         let bytes = msg.wire_bytes();
-        self.senders[dst]
+        sender
             .send(msg)
             .map_err(|_| CommError::SendFailed { dst })?;
         self.stats.record_bytes(collective, bytes);
@@ -81,9 +120,12 @@ impl<M: Wire> Communicator<M> {
     /// Blocking receive with the fabric timeout; no accounting (bytes are
     /// metered on the sending side).
     fn receive(&self, src: usize) -> Result<M, CommError> {
-        self.check_rank(src)?;
-        self.receivers[src]
-            .recv_timeout(RECV_TIMEOUT)
+        let receiver = self.receivers.get(src).ok_or(CommError::RankOutOfRange {
+            rank: src,
+            world_size: self.world,
+        })?;
+        receiver
+            .recv_timeout(self.recv_timeout)
             .map_err(|e| CommError::RecvFailed {
                 src,
                 timed_out: matches!(e, RecvTimeoutError::Timeout),
@@ -132,23 +174,30 @@ impl<M: Wire> Communicator<M> {
     ///
     /// # Errors
     ///
-    /// [`CommError::RankOutOfRange`] for a bad destination, or
-    /// [`CommError::SendFailed`] if the peer has already exited.
+    /// [`CommError::RankOutOfRange`] for a bad destination,
+    /// [`CommError::SendFailed`] if the peer has already exited, or
+    /// [`CommError::PlanViolation`] in checked mode if the plan declares a
+    /// different op here.
     pub fn send(&self, dst: usize, msg: M) -> Result<(), CommError> {
         self.timed(Collective::SendRecv, || {
+            self.with_checker(|c| c.expect_send(dst, msg.wire_variant(), msg.wire_bytes()))?;
             self.deliver(dst, msg, Collective::SendRecv)
         })
     }
 
-    /// Receives the next message from rank `src`, blocking up to an internal
-    /// timeout.
+    /// Receives the next message from rank `src`, blocking up to the
+    /// fabric's receive timeout.
     ///
     /// # Errors
     ///
-    /// [`CommError::RankOutOfRange`] for a bad source, or
-    /// [`CommError::RecvFailed`] on timeout / peer exit.
+    /// [`CommError::RankOutOfRange`] for a bad source,
+    /// [`CommError::RecvFailed`] on timeout / peer exit, or
+    /// [`CommError::PlanViolation`] in checked mode.
     pub fn recv(&self, src: usize) -> Result<M, CommError> {
-        self.receive(src)
+        let expected = self.with_checker(|c| c.expect_recv(src))?;
+        let msg = self.receive(src)?;
+        self.check_received(expected.as_ref(), src, &msg)?;
+        Ok(msg)
     }
 
     /// One ring step: send `msg` to `dst`, then receive from `src`.
@@ -160,11 +209,18 @@ impl<M: Wire> Communicator<M> {
     ///
     /// # Errors
     ///
-    /// Propagates [`Communicator::send`] / [`Communicator::recv`] errors.
+    /// Propagates [`Communicator::send`] / [`Communicator::recv`] errors;
+    /// [`CommError::PlanViolation`] in checked mode if peers, variants or
+    /// byte counts diverge from the declared plan.
     pub fn send_recv(&self, dst: usize, msg: M, src: usize) -> Result<M, CommError> {
         self.timed(Collective::SendRecv, || {
+            let expected = self.with_checker(|c| {
+                c.expect_send_recv(dst, src, msg.wire_variant(), msg.wire_bytes())
+            })?;
             self.deliver(dst, msg, Collective::SendRecv)?;
-            self.receive(src)
+            let got = self.receive(src)?;
+            self.check_received(expected.as_ref(), src, &got)?;
+            Ok(got)
         })
     }
 
@@ -175,7 +231,7 @@ impl<M: Wire> Communicator<M> {
     /// # Errors
     ///
     /// [`CommError::WrongPayloadCount`] if `payloads.len() != world_size`,
-    /// plus any send/receive failure.
+    /// plus any send/receive failure or plan violation in checked mode.
     pub fn all_to_all(&self, payloads: Vec<M>) -> Result<Vec<M>, CommError> {
         if payloads.len() != self.world {
             return Err(CommError::WrongPayloadCount {
@@ -184,6 +240,11 @@ impl<M: Wire> Communicator<M> {
             });
         }
         self.timed(Collective::AllToAll, || {
+            let sent: Vec<(&'static str, usize)> = payloads
+                .iter()
+                .map(|m| (m.wire_variant(), m.wire_bytes()))
+                .collect();
+            let expected = self.with_checker(|c| c.expect_all_to_all(&sent))?;
             let mut own: Option<M> = None;
             for (dst, msg) in payloads.into_iter().enumerate() {
                 if dst == self.rank {
@@ -194,11 +255,16 @@ impl<M: Wire> Communicator<M> {
             }
             let mut out = Vec::with_capacity(self.world);
             for src in 0..self.world {
-                if src == self.rank {
-                    out.push(own.take().expect("own payload set above"));
+                let msg = if src == self.rank {
+                    own.take().ok_or_else(|| CommError::Internal {
+                        detail: "all_to_all self payload missing".to_string(),
+                    })?
                 } else {
-                    out.push(self.receive(src)?);
-                }
+                    let msg = self.receive(src)?;
+                    self.check_received(expected.as_ref().and_then(|e| e.get(src)), src, &msg)?;
+                    msg
+                };
+                out.push(msg);
             }
             Ok(out)
         })
@@ -209,19 +275,27 @@ impl<M: Wire> Communicator<M> {
     ///
     /// # Errors
     ///
-    /// Propagates send/receive failures.
+    /// Propagates send/receive failures and plan violations.
     pub fn all_gather(&self, payload: M) -> Result<Vec<M>, CommError>
     where
         M: Clone,
     {
         self.timed(Collective::AllGather, || {
-            self.gather_as(payload, Collective::AllGather)
+            let expected = self.with_checker(|c| {
+                c.expect_gather("all_gather", payload.wire_variant(), payload.wire_bytes())
+            })?;
+            self.gather_as(payload, Collective::AllGather, expected)
         })
     }
 
     /// The gather exchange, attributing traffic to `collective` so that
     /// `all_reduce` (built on the same pattern) is accounted separately.
-    fn gather_as(&self, payload: M, collective: Collective) -> Result<Vec<M>, CommError>
+    fn gather_as(
+        &self,
+        payload: M,
+        collective: Collective,
+        expected: Option<Vec<ExpectedRecv>>,
+    ) -> Result<Vec<M>, CommError>
     where
         M: Clone,
     {
@@ -236,7 +310,9 @@ impl<M: Wire> Communicator<M> {
             if src == self.rank {
                 out.push(payload.clone());
             } else {
-                out.push(self.receive(src)?);
+                let msg = self.receive(src)?;
+                self.check_received(expected.as_ref().and_then(|e| e.get(src)), src, &msg)?;
+                out.push(msg);
             }
         }
         Ok(out)
@@ -251,17 +327,21 @@ impl<M: Wire> Communicator<M> {
     ///
     /// # Errors
     ///
-    /// Propagates the underlying gather's failures.
+    /// Propagates the underlying gather's failures and plan violations.
     pub fn all_reduce<F>(&self, payload: M, combine: F) -> Result<M, CommError>
     where
         M: Clone,
         F: FnMut(M, &M) -> M,
     {
         self.timed(Collective::AllReduce, || {
-            let gathered = self.gather_as(payload, Collective::AllReduce)?;
-            let mut iter = gathered.iter();
-            let first = iter.next().expect("world_size >= 1").clone();
-            Ok(iter.fold(first, combine))
+            let expected = self.with_checker(|c| {
+                c.expect_gather("all_reduce", payload.wire_variant(), payload.wire_bytes())
+            })?;
+            let gathered = self.gather_as(payload, Collective::AllReduce, expected)?;
+            let mut iter = gathered.into_iter();
+            let first = iter.next().ok_or(CommError::EmptyGroup)?;
+            let mut combine = combine;
+            Ok(iter.fold(first, |acc, m| combine(acc, &m)))
         })
     }
 
@@ -269,22 +349,22 @@ impl<M: Wire> Communicator<M> {
     ///
     /// # Errors
     ///
-    /// Propagates control-channel failures (peer exit / timeout).
+    /// Propagates control-channel failures (peer exit / timeout) and plan
+    /// violations.
     pub fn barrier(&self) -> Result<(), CommError> {
-        for dst in 0..self.world {
+        self.with_checker(|c| c.expect_barrier())?;
+        for (dst, sender) in self.ctrl_senders.iter().enumerate() {
             if dst == self.rank {
                 continue;
             }
-            self.ctrl_senders[dst]
-                .send(())
-                .map_err(|_| CommError::SendFailed { dst })?;
+            sender.send(()).map_err(|_| CommError::SendFailed { dst })?;
         }
-        for src in 0..self.world {
+        for (src, receiver) in self.ctrl_receivers.iter().enumerate() {
             if src == self.rank {
                 continue;
             }
-            self.ctrl_receivers[src]
-                .recv_timeout(RECV_TIMEOUT)
+            receiver
+                .recv_timeout(self.recv_timeout)
                 .map_err(|e| CommError::RecvFailed {
                     src,
                     timed_out: matches!(e, RecvTimeoutError::Timeout),
@@ -294,56 +374,297 @@ impl<M: Wire> Communicator<M> {
     }
 }
 
-/// Builds the full channel mesh for `world` ranks.
-fn build_communicators<M: Wire>(world: usize, stats: &Arc<TrafficStats>) -> Vec<Communicator<M>> {
-    // data_tx[src][dst] sends from src to dst; data_rx[dst][src] receives.
-    let mut data_tx: Vec<Vec<Option<Sender<M>>>> = (0..world)
-        .map(|_| (0..world).map(|_| None).collect())
-        .collect();
-    let mut data_rx: Vec<Vec<Option<Receiver<M>>>> = (0..world)
-        .map(|_| (0..world).map(|_| None).collect())
-        .collect();
-    let mut ctrl_tx: Vec<Vec<Option<Sender<()>>>> = (0..world)
-        .map(|_| (0..world).map(|_| None).collect())
-        .collect();
-    let mut ctrl_rx: Vec<Vec<Option<Receiver<()>>>> = (0..world)
-        .map(|_| (0..world).map(|_| None).collect())
-        .collect();
-    for src in 0..world {
-        for dst in 0..world {
-            let (tx, rx) = unbounded::<M>();
-            data_tx[src][dst] = Some(tx);
-            data_rx[dst][src] = Some(rx);
-            let (ctx, crx) = unbounded::<()>();
-            ctrl_tx[src][dst] = Some(ctx);
-            ctrl_rx[dst][src] = Some(crx);
+/// Turns a row-major matrix into its column-major transpose without
+/// indexing; ragged rows are tolerated (shorter rows simply contribute to
+/// fewer columns).
+fn transpose<T>(rows: Vec<Vec<T>>) -> Vec<Vec<T>> {
+    let mut cols: Vec<Vec<T>> = Vec::new();
+    for row in rows {
+        if cols.len() < row.len() {
+            cols.resize_with(row.len(), Vec::new);
+        }
+        for (col, item) in cols.iter_mut().zip(row) {
+            col.push(item);
         }
     }
+    cols
+}
+
+/// Builds the full channel mesh for `world` ranks.
+fn build_communicators<M: Wire>(
+    world: usize,
+    recv_timeout: Duration,
+    plan: Option<&CommPlan>,
+    stats: &Arc<TrafficStats>,
+) -> Result<Vec<Communicator<M>>, CommError> {
+    // Row-major construction: row `src` holds, per `dst`, the sender and
+    // the receiver of the (src → dst) channel. Each rank then takes its own
+    // sender row and the transposed receiver column, so rank `r` ends up
+    // with `senders[dst]` = (r → dst) and `receivers[src]` = (src → r).
+    let mut data_tx: Vec<Vec<Sender<M>>> = Vec::with_capacity(world);
+    let mut data_rx: Vec<Vec<Receiver<M>>> = Vec::with_capacity(world);
+    let mut ctrl_tx: Vec<Vec<Sender<()>>> = Vec::with_capacity(world);
+    let mut ctrl_rx: Vec<Vec<Receiver<()>>> = Vec::with_capacity(world);
+    for _src in 0..world {
+        let mut tx_row = Vec::with_capacity(world);
+        let mut rx_row = Vec::with_capacity(world);
+        let mut ctx_row = Vec::with_capacity(world);
+        let mut crx_row = Vec::with_capacity(world);
+        for _dst in 0..world {
+            let (tx, rx) = unbounded::<M>();
+            tx_row.push(tx);
+            rx_row.push(rx);
+            let (ctx, crx) = unbounded::<()>();
+            ctx_row.push(ctx);
+            crx_row.push(crx);
+        }
+        data_tx.push(tx_row);
+        data_rx.push(rx_row);
+        ctrl_tx.push(ctx_row);
+        ctrl_rx.push(crx_row);
+    }
+    let data_rx_cols = transpose(data_rx);
+    let ctrl_rx_cols = transpose(ctrl_rx);
+
+    let mut checkers: Vec<Option<Mutex<PlanChecker>>> = match plan {
+        None => (0..world).map(|_| None).collect(),
+        Some(p) => {
+            if p.ranks.len() != p.world || p.world != world {
+                return Err(CommError::Internal {
+                    detail: format!(
+                        "plan declares {} rank schedules for world {}, fabric runs {} ranks",
+                        p.ranks.len(),
+                        p.world,
+                        world
+                    ),
+                });
+            }
+            p.ranks
+                .iter()
+                .map(|r| Some(Mutex::new(PlanChecker::new(r.clone()))))
+                .collect()
+        }
+    };
+
     let mut comms = Vec::with_capacity(world);
-    for rank in 0..world {
+    let rows = data_tx
+        .into_iter()
+        .zip(data_rx_cols)
+        .zip(ctrl_tx.into_iter().zip(ctrl_rx_cols));
+    for (rank, ((senders, receivers), (ctrl_senders, ctrl_receivers))) in rows.enumerate() {
         comms.push(Communicator {
             rank,
             world,
-            senders: data_tx[rank]
-                .iter_mut()
-                .map(|s| s.take().unwrap())
-                .collect(),
-            receivers: data_rx[rank]
-                .iter_mut()
-                .map(|r| r.take().unwrap())
-                .collect(),
-            ctrl_senders: ctrl_tx[rank]
-                .iter_mut()
-                .map(|s| s.take().unwrap())
-                .collect(),
-            ctrl_receivers: ctrl_rx[rank]
-                .iter_mut()
-                .map(|r| r.take().unwrap())
-                .collect(),
+            senders,
+            receivers,
+            ctrl_senders,
+            ctrl_receivers,
+            recv_timeout,
+            checker: checkers.get_mut(rank).and_then(Option::take),
             stats: Arc::clone(stats),
         });
     }
-    comms
+    Ok(comms)
+}
+
+/// Builder for a fabric run: world size plus run-scoped options like the
+/// receive timeout. [`run_ranks`] is shorthand for the defaults.
+///
+/// # Example
+///
+/// ```
+/// use std::time::Duration;
+/// use cp_comm::Fabric;
+///
+/// # fn main() -> Result<(), cp_comm::CommError> {
+/// let (res, _) = Fabric::new(2)
+///     .recv_timeout(Duration::from_millis(200))
+///     .run::<Vec<f32>, _, _>(|comm| {
+///         comm.send_recv(comm.ring_next(), vec![1.0], comm.ring_prev())
+///     })?;
+/// assert_eq!(res.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    world: usize,
+    recv_timeout: Duration,
+}
+
+impl Fabric {
+    /// A fabric for `world` ranks with the default receive timeout.
+    pub fn new(world: usize) -> Self {
+        Fabric {
+            world,
+            recv_timeout: DEFAULT_RECV_TIMEOUT,
+        }
+    }
+
+    /// Sets how long a blocked receive waits before failing with
+    /// [`CommError::RecvFailed`]. Deadlock-regression tests use a few
+    /// milliseconds here so a wedged schedule fails fast instead of
+    /// waiting out the default.
+    pub fn recv_timeout(mut self, timeout: Duration) -> Self {
+        self.recv_timeout = timeout;
+        self
+    }
+
+    /// Runs `f` on every rank (unchecked mode). See [`run_ranks`].
+    ///
+    /// # Errors
+    ///
+    /// [`CommError::EmptyGroup`] for a zero-rank group; otherwise the first
+    /// rank error in rank order, or [`CommError::RankPanicked`].
+    pub fn run<M, T, F>(&self, f: F) -> Result<(Vec<T>, TrafficReport), CommError>
+    where
+        M: Wire,
+        T: Send,
+        F: Fn(&Communicator<M>) -> Result<T, CommError> + Sync,
+    {
+        self.launch(None, f)
+    }
+
+    fn launch<M, T, F>(
+        &self,
+        plan: Option<&CommPlan>,
+        f: F,
+    ) -> Result<(Vec<T>, TrafficReport), CommError>
+    where
+        M: Wire,
+        T: Send,
+        F: Fn(&Communicator<M>) -> Result<T, CommError> + Sync,
+    {
+        if self.world == 0 {
+            return Err(CommError::EmptyGroup);
+        }
+        let stats = TrafficStats::new();
+        let comms = build_communicators::<M>(self.world, self.recv_timeout, plan, &stats)?;
+
+        let results: Vec<Result<Result<T, CommError>, usize>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|comm| {
+                    let f = &f;
+                    scope.spawn(move || {
+                        let out = f(&comm)?;
+                        // In checked mode a rank must drain its whole
+                        // declared schedule before exiting.
+                        comm.finish_plan()?;
+                        Ok(out)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(rank, h)| h.join().map_err(|_| rank))
+                .collect()
+        });
+
+        let mut out = Vec::with_capacity(self.world);
+        let mut first_err: Option<CommError> = None;
+        for r in results {
+            let err = match r {
+                Ok(Ok(v)) => {
+                    out.push(v);
+                    continue;
+                }
+                Ok(Err(e)) => e,
+                Err(rank) => CommError::RankPanicked { rank },
+            };
+            // A plan violation is the root cause; peers that then fail with
+            // secondary send/recv errors (the violator exited) must not mask
+            // it. Otherwise the first error in rank order wins.
+            match (&first_err, &err) {
+                (None, _) => first_err = Some(err),
+                (Some(CommError::PlanViolation { .. }), _) => {}
+                (Some(_), CommError::PlanViolation { .. }) => first_err = Some(err),
+                _ => {}
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok((out, stats.report())),
+        }
+    }
+}
+
+/// A fabric that validates every rank's live traffic against a declared
+/// [`CommPlan`] — the runtime half of the `cp-verify` story (the offline
+/// half model-checks the same plan). Any divergence (op kind, peer,
+/// message variant, byte count, or an undrained schedule) fails the run
+/// with [`CommError::PlanViolation`] naming the offending rank and step.
+///
+/// # Example
+///
+/// ```
+/// use cp_comm::{CheckedFabric, CommOp, CommPlan, RankPlan};
+///
+/// # fn main() -> Result<(), cp_comm::CommError> {
+/// let plan = CommPlan::from_ranks(
+///     (0..2)
+///         .map(|r| RankPlan {
+///             rank: r,
+///             ops: vec![CommOp::SendRecv {
+///                 dst: (r + 1) % 2,
+///                 src: (r + 1) % 2,
+///                 send_variant: "payload",
+///                 recv_variant: "payload",
+///                 send_bytes: 4,
+///                 recv_bytes: 4,
+///             }],
+///         })
+///         .collect(),
+/// );
+/// let (res, _) = CheckedFabric::new(plan).run::<Vec<f32>, _, _>(|comm| {
+///     let got = comm.send_recv(comm.ring_next(), vec![1.0], comm.ring_prev())?;
+///     Ok(got.len())
+/// })?;
+/// assert_eq!(res, vec![1, 1]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CheckedFabric {
+    fabric: Fabric,
+    plan: CommPlan,
+}
+
+impl CheckedFabric {
+    /// A checked fabric for the plan's world size.
+    pub fn new(plan: CommPlan) -> Self {
+        CheckedFabric {
+            fabric: Fabric::new(plan.world),
+            plan,
+        }
+    }
+
+    /// Sets the blocked-receive timeout, as [`Fabric::recv_timeout`].
+    pub fn recv_timeout(mut self, timeout: Duration) -> Self {
+        self.fabric = self.fabric.recv_timeout(timeout);
+        self
+    }
+
+    /// The declared plan this fabric enforces.
+    pub fn plan(&self) -> &CommPlan {
+        &self.plan
+    }
+
+    /// Runs `f` on every rank with live plan validation.
+    ///
+    /// # Errors
+    ///
+    /// As [`Fabric::run`], plus [`CommError::PlanViolation`] when a rank's
+    /// traffic diverges from its declared schedule.
+    pub fn run<M, T, F>(&self, f: F) -> Result<(Vec<T>, TrafficReport), CommError>
+    where
+        M: Wire,
+        T: Send,
+        F: Fn(&Communicator<M>) -> Result<T, CommError> + Sync,
+    {
+        self.fabric.launch(Some(&self.plan), f)
+    }
 }
 
 /// Spawns `world` rank threads, runs `f` on each with its [`Communicator`],
@@ -352,7 +673,9 @@ fn build_communicators<M: Wire>(world: usize, stats: &Arc<TrafficStats>) -> Vec<
 /// Mirrors launching one process per host in the paper's deployment. The
 /// call joins all threads before returning; a rank returning an error or
 /// panicking fails the whole run (the first error in rank order is
-/// returned).
+/// returned). Equivalent to [`Fabric::new`]`(world).run(f)`; use the
+/// builder to override the receive timeout, or [`CheckedFabric`] to
+/// validate traffic against a declared plan.
 ///
 /// # Errors
 ///
@@ -382,41 +705,13 @@ where
     T: Send,
     F: Fn(&Communicator<M>) -> Result<T, CommError> + Sync,
 {
-    if world == 0 {
-        return Err(CommError::EmptyGroup);
-    }
-    let stats = TrafficStats::new();
-    let comms = build_communicators::<M>(world, &stats);
-
-    let results: Vec<Result<Result<T, CommError>, usize>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = comms
-            .into_iter()
-            .map(|comm| {
-                let f = &f;
-                scope.spawn(move || f(&comm))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .enumerate()
-            .map(|(rank, h)| h.join().map_err(|_| rank))
-            .collect()
-    });
-
-    let mut out = Vec::with_capacity(world);
-    for r in results {
-        match r {
-            Ok(Ok(v)) => out.push(v),
-            Ok(Err(e)) => return Err(e),
-            Err(rank) => return Err(CommError::RankPanicked { rank }),
-        }
-    }
-    Ok((out, stats.report()))
+    Fabric::new(world).run(f)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{CommOp, RankPlan};
 
     #[test]
     fn single_rank_group_works() {
@@ -698,5 +993,160 @@ mod tests {
     fn results_are_indexed_by_rank() {
         let (res, _) = run_ranks::<Vec<f32>, _, _>(6, |comm| Ok(comm.rank() * 2)).unwrap();
         assert_eq!(res, vec![0, 2, 4, 6, 8, 10]);
+    }
+
+    #[test]
+    fn short_recv_timeout_fails_wedged_ring_in_milliseconds() {
+        // Deadlock regression: two ranks that only post receives would wait
+        // out the 60 s default; the builder's timeout makes the failure
+        // immediate. The error must name the starved receive.
+        let start = std::time::Instant::now();
+        let err = Fabric::new(2)
+            .recv_timeout(Duration::from_millis(20))
+            .run::<Vec<f32>, _, _>(|comm| comm.recv(comm.ring_prev()).map(|_| ()))
+            .unwrap_err();
+        // Whichever rank times out first exits and closes its channels, so
+        // the other may observe a disconnect rather than its own timeout —
+        // either way the wedged run fails in milliseconds.
+        assert!(matches!(err, CommError::RecvFailed { .. }), "{err:?}");
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "timeout was not shortened"
+        );
+    }
+
+    #[test]
+    fn recv_timeout_is_reported_as_timeout() {
+        // Deterministic variant: a 1-ring rank receiving from itself without
+        // having sent keeps its own channel open, so the failure must be a
+        // genuine timeout.
+        let err = Fabric::new(1)
+            .recv_timeout(Duration::from_millis(20))
+            .run::<Vec<f32>, _, _>(|comm| comm.recv(0).map(|_| ()))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CommError::RecvFailed {
+                src: 0,
+                timed_out: true
+            }
+        ));
+    }
+
+    fn ring_plan(n: usize, hops: usize, bytes: usize) -> CommPlan {
+        CommPlan::from_ranks(
+            (0..n)
+                .map(|r| RankPlan {
+                    rank: r,
+                    ops: (0..hops)
+                        .map(|_| CommOp::SendRecv {
+                            dst: (r + 1) % n,
+                            src: (r + n - 1) % n,
+                            send_variant: "payload",
+                            recv_variant: "payload",
+                            send_bytes: bytes,
+                            recv_bytes: bytes,
+                        })
+                        .collect(),
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn checked_fabric_accepts_conforming_ring_and_predicts_traffic() {
+        let n = 3;
+        let plan = ring_plan(n, n - 1, 8);
+        let predicted = plan.predicted_traffic();
+        let (_, report) = CheckedFabric::new(plan)
+            .run::<Vec<f32>, _, _>(|comm| {
+                let mut cur = vec![comm.rank() as f32; 2];
+                for _ in 0..n - 1 {
+                    cur = comm.send_recv(comm.ring_next(), cur, comm.ring_prev())?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        predicted.check_report(&report).unwrap();
+    }
+
+    #[test]
+    fn checked_fabric_rejects_wrong_bytes_naming_rank_and_step() {
+        let n = 2;
+        let plan = ring_plan(n, 1, 8);
+        let err = CheckedFabric::new(plan)
+            .run::<Vec<f32>, _, _>(|comm| {
+                // Rank 1 sends 3 floats where the plan declares 2.
+                let payload = if comm.rank() == 1 {
+                    vec![0.0; 3]
+                } else {
+                    vec![0.0; 2]
+                };
+                comm.send_recv(comm.ring_next(), payload, comm.ring_prev())?;
+                Ok(())
+            })
+            .unwrap_err();
+        match err {
+            CommError::PlanViolation { rank, step, detail } => {
+                assert_eq!(rank, 1);
+                assert_eq!(step, 0);
+                assert!(detail.contains("wire bytes"), "{detail}");
+            }
+            other => panic!("expected PlanViolation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checked_fabric_rejects_undrained_schedule() {
+        let n = 2;
+        let plan = ring_plan(n, 2, 8);
+        let err = CheckedFabric::new(plan)
+            .recv_timeout(Duration::from_millis(200))
+            .run::<Vec<f32>, _, _>(|comm| {
+                // Both ranks do one hop instead of the declared two.
+                comm.send_recv(comm.ring_next(), vec![0.0; 2], comm.ring_prev())?;
+                Ok(())
+            })
+            .unwrap_err();
+        match err {
+            CommError::PlanViolation {
+                rank: 0,
+                step,
+                detail,
+            } => {
+                assert_eq!(step, 1);
+                assert!(detail.contains("1 of 2"), "{detail}");
+            }
+            other => panic!("expected PlanViolation at rank 0, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checked_fabric_rejects_unplanned_op_kind() {
+        let plan = ring_plan(2, 1, 8);
+        let err = CheckedFabric::new(plan)
+            .recv_timeout(Duration::from_millis(200))
+            .run::<Vec<f32>, _, _>(|comm| {
+                comm.barrier()?;
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(
+            matches!(err, CommError::PlanViolation { .. }),
+            "expected PlanViolation, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn checked_fabric_world_mismatch_is_internal_error() {
+        let plan = ring_plan(3, 1, 8);
+        let bad = CommPlan {
+            world: 2,
+            ranks: plan.ranks.clone(),
+        };
+        let err = CheckedFabric::new(bad)
+            .run::<Vec<f32>, _, _>(|_| Ok(()))
+            .unwrap_err();
+        assert!(matches!(err, CommError::Internal { .. }), "{err:?}");
     }
 }

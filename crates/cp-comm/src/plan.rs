@@ -1,0 +1,758 @@
+//! Declared communication schedules (`CommOp` plans) and the runtime
+//! sanitizer that validates live fabric traffic against them.
+//!
+//! The paper's ring algorithms are deadlock-free only because every rank's
+//! send/recv schedule matches its peers' — a property that used to live in
+//! comments. A [`CommPlan`] makes the schedule *data*: one [`RankPlan`] per
+//! rank, each a sequence of [`CommOp`]s carrying peer ranks, the expected
+//! message variant (from [`crate::Wire::wire_variant`]) and wire byte
+//! counts (from [`crate::Wire::wire_bytes`]). Two consumers check it:
+//!
+//! * the `cp-verify` model checker proves plan-level properties offline
+//!   (send/recv matching over all interleavings, deadlock-freedom,
+//!   variant agreement, wire-byte conservation), and
+//! * [`crate::CheckedFabric`] replays the plan against live traffic at
+//!   runtime (TSan-style): every collective a rank issues must be the next
+//!   op in its plan with matching peers, variants and bytes, and every rank
+//!   must have drained its plan when it exits.
+
+use crate::CommError;
+
+/// One declared communication operation in a rank's schedule.
+///
+/// Peer indices are absolute ranks. `Vec` fields of collective ops are
+/// indexed by peer rank and must have exactly `world` entries; the entry at
+/// the owning rank describes the self-payload (kept locally, never metered).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommOp {
+    /// A buffered ring step: send to `dst`, then receive from `src`
+    /// (NCCL `SendRecv`).
+    SendRecv {
+        /// Destination rank of the send half.
+        dst: usize,
+        /// Source rank of the receive half.
+        src: usize,
+        /// Expected variant of the sent message.
+        send_variant: &'static str,
+        /// Expected variant of the received message.
+        recv_variant: &'static str,
+        /// Wire bytes of the sent message.
+        send_bytes: usize,
+        /// Wire bytes of the received message.
+        recv_bytes: usize,
+    },
+    /// A lone buffered send to `dst` (no paired receive).
+    Send {
+        /// Destination rank.
+        dst: usize,
+        /// Expected variant of the sent message.
+        variant: &'static str,
+        /// Wire bytes of the sent message.
+        bytes: usize,
+    },
+    /// A lone blocking receive from `src`.
+    Recv {
+        /// Source rank.
+        src: usize,
+        /// Expected variant of the received message.
+        variant: &'static str,
+        /// Wire bytes of the received message.
+        bytes: usize,
+    },
+    /// An `All2All`: payload `j` goes to rank `j`, one payload arrives from
+    /// every rank.
+    AllToAll {
+        /// Variant shared by all payloads of the exchange.
+        variant: &'static str,
+        /// Wire bytes of the payload sent to each rank.
+        send_bytes: Vec<usize>,
+        /// Wire bytes of the payload received from each rank.
+        recv_bytes: Vec<usize>,
+    },
+    /// An `AllGather`: one payload broadcast to every peer, one collected
+    /// from each.
+    AllGather {
+        /// Variant of every payload in the exchange.
+        variant: &'static str,
+        /// Wire bytes of this rank's broadcast payload.
+        send_bytes: usize,
+        /// Wire bytes of the payload received from each rank.
+        recv_bytes: Vec<usize>,
+    },
+    /// An `AllReduce` (gather + deterministic fold); accounted separately
+    /// from `AllGather` by the fabric.
+    AllReduce {
+        /// Variant of every payload in the exchange.
+        variant: &'static str,
+        /// Wire bytes of this rank's contribution.
+        send_bytes: usize,
+        /// Wire bytes of the payload received from each rank.
+        recv_bytes: Vec<usize>,
+    },
+    /// A control-channel barrier (no metered data traffic).
+    Barrier,
+}
+
+impl CommOp {
+    /// Short kind tag used in violation messages and structural checks.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CommOp::SendRecv { .. } => "send_recv",
+            CommOp::Send { .. } => "send",
+            CommOp::Recv { .. } => "recv",
+            CommOp::AllToAll { .. } => "all_to_all",
+            CommOp::AllGather { .. } => "all_gather",
+            CommOp::AllReduce { .. } => "all_reduce",
+            CommOp::Barrier => "barrier",
+        }
+    }
+}
+
+/// The declared schedule of one rank: the exact sequence of fabric
+/// operations it will issue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankPlan {
+    /// The rank this schedule belongs to.
+    pub rank: usize,
+    /// Operations in program order.
+    pub ops: Vec<CommOp>,
+}
+
+/// A full communication plan: one [`RankPlan`] per rank of a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommPlan {
+    /// Number of ranks in the group.
+    pub world: usize,
+    /// Per-rank schedules, indexed by rank.
+    pub ranks: Vec<RankPlan>,
+}
+
+impl CommPlan {
+    /// Assembles a plan from per-rank schedules, with `world` equal to the
+    /// number of schedules. Rank fields are rewritten to match positions.
+    pub fn from_ranks(mut ranks: Vec<RankPlan>) -> Self {
+        for (i, r) in ranks.iter_mut().enumerate() {
+            r.rank = i;
+        }
+        CommPlan {
+            world: ranks.len(),
+            ranks,
+        }
+    }
+
+    /// The traffic a clean execution of this plan would produce, metered
+    /// exactly the way [`crate::TrafficStats`] meters live traffic: calls
+    /// counted per issuing rank, bytes on successful sender-side delivery
+    /// only, self-payloads of `all_to_all`/`all_gather`/`all_reduce` moved
+    /// locally and never metered. A point-to-point `SendRecv` self-send
+    /// (world of 1) *is* metered, matching the fabric.
+    pub fn predicted_traffic(&self) -> PredictedTraffic {
+        let mut p = PredictedTraffic::default();
+        for plan in &self.ranks {
+            for op in &plan.ops {
+                match op {
+                    CommOp::SendRecv { send_bytes, .. } => {
+                        p.send_recv.calls += 1;
+                        p.send_recv.bytes += send_bytes;
+                        p.messages += 1;
+                    }
+                    CommOp::Send { bytes, .. } => {
+                        p.send_recv.calls += 1;
+                        p.send_recv.bytes += bytes;
+                        p.messages += 1;
+                    }
+                    // A bare receive is not a collective call of its own:
+                    // the fabric meters bytes on the sending side.
+                    CommOp::Recv { .. } => {}
+                    CommOp::AllToAll { send_bytes, .. } => {
+                        p.all_to_all.calls += 1;
+                        for (dst, b) in send_bytes.iter().enumerate() {
+                            if dst != plan.rank {
+                                p.all_to_all.bytes += b;
+                                p.messages += 1;
+                            }
+                        }
+                    }
+                    CommOp::AllGather { send_bytes, .. } => {
+                        p.all_gather.calls += 1;
+                        let peers = self.world.saturating_sub(1);
+                        p.all_gather.bytes += send_bytes * peers;
+                        p.messages += peers as u64;
+                    }
+                    CommOp::AllReduce { send_bytes, .. } => {
+                        p.all_reduce.calls += 1;
+                        let peers = self.world.saturating_sub(1);
+                        p.all_reduce.bytes += send_bytes * peers;
+                        p.messages += peers as u64;
+                    }
+                    CommOp::Barrier => {}
+                }
+            }
+        }
+        p
+    }
+}
+
+/// Predicted calls and bytes for one collective category.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredictedCollective {
+    /// Calls across all ranks.
+    pub calls: u64,
+    /// Sender-side metered wire bytes across all ranks.
+    pub bytes: usize,
+}
+
+/// The [`crate::TrafficReport`] a clean execution of a plan would produce
+/// (counts and bytes; wall time is inherently measured, not predicted).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PredictedTraffic {
+    /// Total point-to-point messages delivered.
+    pub messages: u64,
+    /// Predicted `send`/`send_recv` calls and bytes.
+    pub send_recv: PredictedCollective,
+    /// Predicted `all_to_all` calls and bytes.
+    pub all_to_all: PredictedCollective,
+    /// Predicted `all_gather` calls and bytes.
+    pub all_gather: PredictedCollective,
+    /// Predicted `all_reduce` calls and bytes.
+    pub all_reduce: PredictedCollective,
+}
+
+impl PredictedTraffic {
+    /// Checks the prediction against a measured [`crate::TrafficReport`],
+    /// returning a description of the first discrepancy.
+    pub fn check_report(&self, report: &crate::TrafficReport) -> Result<(), String> {
+        let pairs = [
+            ("send_recv", self.send_recv, report.send_recv),
+            ("all_to_all", self.all_to_all, report.all_to_all),
+            ("all_gather", self.all_gather, report.all_gather),
+            ("all_reduce", self.all_reduce, report.all_reduce),
+        ];
+        for (name, want, got) in pairs {
+            if want.calls != got.calls {
+                return Err(format!(
+                    "{name}: plan predicts {} calls, fabric recorded {}",
+                    want.calls, got.calls
+                ));
+            }
+            if want.bytes != got.bytes {
+                return Err(format!(
+                    "{name}: plan predicts {} bytes, fabric recorded {}",
+                    want.bytes, got.bytes
+                ));
+            }
+        }
+        if self.messages != report.messages {
+            return Err(format!(
+                "plan predicts {} delivered messages, fabric recorded {}",
+                self.messages, report.messages
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Expected receive half of an op, handed back to the fabric so it can
+/// validate the message that actually arrives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ExpectedRecv {
+    pub(crate) variant: &'static str,
+    pub(crate) bytes: usize,
+    pub(crate) step: usize,
+}
+
+/// Per-rank runtime cursor over a [`RankPlan`]: every fabric call must be
+/// the next declared op with matching peers, variant and bytes.
+#[derive(Debug)]
+pub(crate) struct PlanChecker {
+    rank: usize,
+    ops: Vec<CommOp>,
+    cursor: usize,
+}
+
+impl PlanChecker {
+    pub(crate) fn new(plan: RankPlan) -> Self {
+        PlanChecker {
+            rank: plan.rank,
+            ops: plan.ops,
+            cursor: 0,
+        }
+    }
+
+    fn violation(&self, step: usize, detail: String) -> CommError {
+        CommError::PlanViolation {
+            rank: self.rank,
+            step,
+            detail,
+        }
+    }
+
+    /// Takes the op at the cursor, failing if the plan is exhausted.
+    fn next_op(&mut self, live: &str) -> Result<(usize, CommOp), CommError> {
+        let step = self.cursor;
+        match self.ops.get(step) {
+            Some(op) => {
+                self.cursor += 1;
+                Ok((step, op.clone()))
+            }
+            None => Err(self.violation(
+                step,
+                format!(
+                    "rank {} issued {live} after its declared schedule of {} ops was exhausted",
+                    self.rank,
+                    self.ops.len()
+                ),
+            )),
+        }
+    }
+
+    fn check_payload(
+        &self,
+        step: usize,
+        half: &str,
+        want_variant: &'static str,
+        want_bytes: usize,
+        got_variant: &'static str,
+        got_bytes: usize,
+    ) -> Result<(), CommError> {
+        if want_variant != got_variant {
+            return Err(CommError::PlanViolation {
+                rank: self.rank,
+                step,
+                detail: format!(
+                    "rank {} step {step} {half}: plan declares variant {want_variant}, live \
+                     message is {got_variant}",
+                    self.rank
+                ),
+            });
+        }
+        if want_bytes != got_bytes {
+            return Err(CommError::PlanViolation {
+                rank: self.rank,
+                step,
+                detail: format!(
+                    "rank {} step {step} {half}: plan declares {want_bytes} wire bytes, live \
+                     message carries {got_bytes}",
+                    self.rank
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Validates the send half of a live `send_recv` and returns the
+    /// expectation for its receive half.
+    pub(crate) fn expect_send_recv(
+        &mut self,
+        dst: usize,
+        src: usize,
+        sent_variant: &'static str,
+        sent_bytes: usize,
+    ) -> Result<ExpectedRecv, CommError> {
+        let (step, op) = self.next_op("send_recv")?;
+        match op {
+            CommOp::SendRecv {
+                dst: pdst,
+                src: psrc,
+                send_variant,
+                recv_variant,
+                send_bytes,
+                recv_bytes,
+            } => {
+                if pdst != dst || psrc != src {
+                    return Err(self.violation(
+                        step,
+                        format!(
+                        "rank {} step {step}: plan declares send_recv(dst {pdst}, src {psrc}), \
+                         live call uses (dst {dst}, src {src})",
+                        self.rank
+                    ),
+                    ));
+                }
+                self.check_payload(
+                    step,
+                    "send",
+                    send_variant,
+                    send_bytes,
+                    sent_variant,
+                    sent_bytes,
+                )?;
+                Ok(ExpectedRecv {
+                    variant: recv_variant,
+                    bytes: recv_bytes,
+                    step,
+                })
+            }
+            other => Err(self.violation(
+                step,
+                format!(
+                    "rank {} step {step}: plan declares {}, live call is send_recv",
+                    self.rank,
+                    other.kind()
+                ),
+            )),
+        }
+    }
+
+    /// Validates a live lone `send`.
+    pub(crate) fn expect_send(
+        &mut self,
+        dst: usize,
+        sent_variant: &'static str,
+        sent_bytes: usize,
+    ) -> Result<(), CommError> {
+        let (step, op) = self.next_op("send")?;
+        match op {
+            CommOp::Send {
+                dst: pdst,
+                variant,
+                bytes,
+            } => {
+                if pdst != dst {
+                    return Err(self.violation(
+                        step,
+                        format!(
+                            "rank {} step {step}: plan declares send(dst {pdst}), live call sends \
+                         to {dst}",
+                            self.rank
+                        ),
+                    ));
+                }
+                self.check_payload(step, "send", variant, bytes, sent_variant, sent_bytes)
+            }
+            other => Err(self.violation(
+                step,
+                format!(
+                    "rank {} step {step}: plan declares {}, live call is send",
+                    self.rank,
+                    other.kind()
+                ),
+            )),
+        }
+    }
+
+    /// Validates a live lone `recv` and returns the expected payload.
+    pub(crate) fn expect_recv(&mut self, src: usize) -> Result<ExpectedRecv, CommError> {
+        let (step, op) = self.next_op("recv")?;
+        match op {
+            CommOp::Recv {
+                src: psrc,
+                variant,
+                bytes,
+            } => {
+                if psrc != src {
+                    return Err(self.violation(
+                        step,
+                        format!(
+                        "rank {} step {step}: plan declares recv(src {psrc}), live call receives \
+                         from {src}",
+                        self.rank
+                    ),
+                    ));
+                }
+                Ok(ExpectedRecv {
+                    variant,
+                    bytes,
+                    step,
+                })
+            }
+            other => Err(self.violation(
+                step,
+                format!(
+                    "rank {} step {step}: plan declares {}, live call is recv",
+                    self.rank,
+                    other.kind()
+                ),
+            )),
+        }
+    }
+
+    /// Validates the send side of a live `all_to_all` (`sent[j]` is the
+    /// variant/bytes of the payload addressed to rank `j`) and returns the
+    /// expected receives, indexed by source rank.
+    pub(crate) fn expect_all_to_all(
+        &mut self,
+        sent: &[(&'static str, usize)],
+    ) -> Result<Vec<ExpectedRecv>, CommError> {
+        let (step, op) = self.next_op("all_to_all")?;
+        match op {
+            CommOp::AllToAll {
+                variant,
+                send_bytes,
+                recv_bytes,
+            } => {
+                if send_bytes.len() != sent.len() {
+                    return Err(self.violation(
+                        step,
+                        format!(
+                        "rank {} step {step}: plan declares all_to_all over {} ranks, live call \
+                         supplies {} payloads",
+                        self.rank,
+                        send_bytes.len(),
+                        sent.len()
+                    ),
+                    ));
+                }
+                for (dst, ((got_variant, got_bytes), want_bytes)) in
+                    sent.iter().zip(&send_bytes).enumerate()
+                {
+                    if dst == self.rank {
+                        continue; // self-payload is moved locally, not sent
+                    }
+                    self.check_payload(
+                        step,
+                        &format!("all_to_all payload to rank {dst}"),
+                        variant,
+                        *want_bytes,
+                        got_variant,
+                        *got_bytes,
+                    )?;
+                }
+                Ok(recv_bytes
+                    .into_iter()
+                    .map(|bytes| ExpectedRecv {
+                        variant,
+                        bytes,
+                        step,
+                    })
+                    .collect())
+            }
+            other => Err(self.violation(
+                step,
+                format!(
+                    "rank {} step {step}: plan declares {}, live call is all_to_all",
+                    self.rank,
+                    other.kind()
+                ),
+            )),
+        }
+    }
+
+    /// Validates the send side of a live gather-shaped collective
+    /// (`all_gather` or `all_reduce`, distinguished by `kind`) and returns
+    /// the expected receives, indexed by source rank.
+    pub(crate) fn expect_gather(
+        &mut self,
+        kind: &'static str,
+        sent_variant: &'static str,
+        sent_bytes: usize,
+    ) -> Result<Vec<ExpectedRecv>, CommError> {
+        let (step, op) = self.next_op(kind)?;
+        let (variant, send_bytes, recv_bytes) = match op {
+            CommOp::AllGather {
+                variant,
+                send_bytes,
+                recv_bytes,
+            } if kind == "all_gather" => (variant, send_bytes, recv_bytes),
+            CommOp::AllReduce {
+                variant,
+                send_bytes,
+                recv_bytes,
+            } if kind == "all_reduce" => (variant, send_bytes, recv_bytes),
+            other => {
+                return Err(self.violation(
+                    step,
+                    format!(
+                        "rank {} step {step}: plan declares {}, live call is {kind}",
+                        self.rank,
+                        other.kind()
+                    ),
+                ))
+            }
+        };
+        self.check_payload(step, "send", variant, send_bytes, sent_variant, sent_bytes)?;
+        Ok(recv_bytes
+            .into_iter()
+            .map(|bytes| ExpectedRecv {
+                variant,
+                bytes,
+                step,
+            })
+            .collect())
+    }
+
+    /// Validates a live `barrier`.
+    pub(crate) fn expect_barrier(&mut self) -> Result<(), CommError> {
+        let (step, op) = self.next_op("barrier")?;
+        match op {
+            CommOp::Barrier => Ok(()),
+            other => Err(self.violation(
+                step,
+                format!(
+                    "rank {} step {step}: plan declares {}, live call is barrier",
+                    self.rank,
+                    other.kind()
+                ),
+            )),
+        }
+    }
+
+    /// Validates a received message against an [`ExpectedRecv`].
+    pub(crate) fn check_received(
+        &self,
+        expected: &ExpectedRecv,
+        src: usize,
+        got_variant: &'static str,
+        got_bytes: usize,
+    ) -> Result<(), CommError> {
+        self.check_payload(
+            expected.step,
+            &format!("recv from rank {src}"),
+            expected.variant,
+            expected.bytes,
+            got_variant,
+            got_bytes,
+        )
+    }
+
+    /// Asserts the rank drained its whole schedule before exiting.
+    pub(crate) fn finish(&self) -> Result<(), CommError> {
+        if self.cursor != self.ops.len() {
+            return Err(CommError::PlanViolation {
+                rank: self.rank,
+                step: self.cursor,
+                detail: format!(
+                    "rank {} exited after {} of {} declared ops",
+                    self.rank,
+                    self.cursor,
+                    self.ops.len()
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring2_plan() -> CommPlan {
+        CommPlan::from_ranks(
+            (0..2)
+                .map(|r| RankPlan {
+                    rank: r,
+                    ops: vec![CommOp::SendRecv {
+                        dst: (r + 1) % 2,
+                        src: (r + 1) % 2,
+                        send_variant: "payload",
+                        recv_variant: "payload",
+                        send_bytes: 8,
+                        recv_bytes: 8,
+                    }],
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn from_ranks_sets_world_and_rank_indices() {
+        let plan = CommPlan::from_ranks(vec![
+            RankPlan {
+                rank: 9,
+                ops: vec![],
+            },
+            RankPlan {
+                rank: 9,
+                ops: vec![],
+            },
+        ]);
+        assert_eq!(plan.world, 2);
+        assert_eq!(plan.ranks[0].rank, 0);
+        assert_eq!(plan.ranks[1].rank, 1);
+    }
+
+    #[test]
+    fn predicted_traffic_meters_sender_side_only() {
+        let plan = CommPlan::from_ranks(
+            (0..3)
+                .map(|r| RankPlan {
+                    rank: r,
+                    ops: vec![
+                        CommOp::AllToAll {
+                            variant: "payload",
+                            send_bytes: vec![4, 4, 4],
+                            recv_bytes: vec![4, 4, 4],
+                        },
+                        CommOp::AllGather {
+                            variant: "payload",
+                            send_bytes: 4,
+                            recv_bytes: vec![4, 4, 4],
+                        },
+                        CommOp::Barrier,
+                    ],
+                })
+                .collect(),
+        );
+        let p = plan.predicted_traffic();
+        // Each rank sends 2 remote payloads per collective.
+        assert_eq!(p.all_to_all.bytes, 3 * 2 * 4);
+        assert_eq!(p.all_gather.bytes, 3 * 2 * 4);
+        assert_eq!(p.all_to_all.calls, 3);
+        assert_eq!(p.all_gather.calls, 3);
+        assert_eq!(p.messages, 12);
+        assert_eq!(p.send_recv, PredictedCollective::default());
+    }
+
+    #[test]
+    fn checker_accepts_matching_send_recv_and_finishes() {
+        let plan = ring2_plan();
+        let mut c = PlanChecker::new(plan.ranks[0].clone());
+        let exp = c.expect_send_recv(1, 1, "payload", 8).unwrap();
+        c.check_received(&exp, 1, "payload", 8).unwrap();
+        c.finish().unwrap();
+    }
+
+    #[test]
+    fn checker_rejects_wrong_peer_variant_bytes_kind_and_overrun() {
+        let plan = ring2_plan();
+        // Wrong destination.
+        let mut c = PlanChecker::new(plan.ranks[0].clone());
+        let err = c.expect_send_recv(0, 1, "payload", 8).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CommError::PlanViolation {
+                    rank: 0,
+                    step: 0,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        // Wrong variant.
+        let mut c = PlanChecker::new(plan.ranks[0].clone());
+        let err = c.expect_send_recv(1, 1, "other", 8).unwrap_err();
+        assert!(err.to_string().contains("variant"), "{err}");
+        // Wrong bytes.
+        let mut c = PlanChecker::new(plan.ranks[0].clone());
+        let err = c.expect_send_recv(1, 1, "payload", 4).unwrap_err();
+        assert!(err.to_string().contains("wire bytes"), "{err}");
+        // Wrong op kind.
+        let mut c = PlanChecker::new(plan.ranks[0].clone());
+        let err = c.expect_barrier().unwrap_err();
+        assert!(err.to_string().contains("barrier"), "{err}");
+        // Unfinished plan.
+        let c = PlanChecker::new(plan.ranks[0].clone());
+        let err = c.finish().unwrap_err();
+        assert!(err.to_string().contains("0 of 1"), "{err}");
+        // Overrun past the end.
+        let mut c = PlanChecker::new(plan.ranks[0].clone());
+        let exp = c.expect_send_recv(1, 1, "payload", 8).unwrap();
+        c.check_received(&exp, 1, "payload", 8).unwrap();
+        let err = c.expect_send_recv(1, 1, "payload", 8).unwrap_err();
+        assert!(err.to_string().contains("exhausted"), "{err}");
+    }
+
+    #[test]
+    fn checker_validates_received_payloads() {
+        let plan = ring2_plan();
+        let mut c = PlanChecker::new(plan.ranks[1].clone());
+        let exp = c.expect_send_recv(0, 0, "payload", 8).unwrap();
+        let err = c.check_received(&exp, 0, "payload", 12).unwrap_err();
+        assert!(
+            matches!(err, CommError::PlanViolation { rank: 1, .. }),
+            "{err}"
+        );
+    }
+}

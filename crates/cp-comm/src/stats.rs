@@ -9,7 +9,7 @@
 //! compute/communication trace the paper reads off the GPU profiler.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
 /// Which collective a transfer belongs to, for per-collective accounting.
@@ -28,15 +28,6 @@ impl Collective {
             Collective::AllToAll => "all_to_all",
             Collective::AllGather => "all_gather",
             Collective::AllReduce => "all_reduce",
-        }
-    }
-
-    fn index(self) -> usize {
-        match self {
-            Collective::SendRecv => 0,
-            Collective::AllToAll => 1,
-            Collective::AllGather => 2,
-            Collective::AllReduce => 3,
         }
     }
 }
@@ -99,7 +90,10 @@ pub struct TimedEvent {
 pub struct TrafficStats {
     epoch: Instant,
     messages: AtomicU64,
-    per_collective: [CollectiveCounters; 4],
+    send_recv: CollectiveCounters,
+    all_to_all: CollectiveCounters,
+    all_gather: CollectiveCounters,
+    all_reduce: CollectiveCounters,
     timeline: Mutex<Vec<TimedEvent>>,
 }
 
@@ -111,9 +105,21 @@ impl TrafficStats {
         Arc::new(TrafficStats {
             epoch: Instant::now(),
             messages: AtomicU64::new(0),
-            per_collective: Default::default(),
+            send_recv: CollectiveCounters::default(),
+            all_to_all: CollectiveCounters::default(),
+            all_gather: CollectiveCounters::default(),
+            all_reduce: CollectiveCounters::default(),
             timeline: Mutex::new(Vec::new()),
         })
+    }
+
+    fn counters(&self, collective: Collective) -> &CollectiveCounters {
+        match collective {
+            Collective::SendRecv => &self.send_recv,
+            Collective::AllToAll => &self.all_to_all,
+            Collective::AllGather => &self.all_gather,
+            Collective::AllReduce => &self.all_reduce,
+        }
     }
 
     /// Records one successfully delivered message of `bytes` wire bytes.
@@ -121,14 +127,14 @@ impl TrafficStats {
     /// deliveries never inflate the byte accounting.
     pub(crate) fn record_bytes(&self, collective: Collective, bytes: usize) {
         self.messages.fetch_add(1, Ordering::Relaxed);
-        self.per_collective[collective.index()]
+        self.counters(collective)
             .bytes
             .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     /// Records one completed collective call and its wall time.
     pub(crate) fn record_call(&self, collective: Collective, wall_ns: u64) {
-        let c = &self.per_collective[collective.index()];
+        let c = self.counters(collective);
         c.calls.fetch_add(1, Ordering::Relaxed);
         c.wall_ns.fetch_add(wall_ns, Ordering::Relaxed);
     }
@@ -139,10 +145,14 @@ impl TrafficStats {
     }
 
     /// Appends a measured interval to the shared timeline.
+    ///
+    /// A poisoned lock (a rank panicked mid-push) is recovered rather than
+    /// propagated: the timeline is append-only, so the protected data is
+    /// still well-formed and losing a panicking rank's last event is fine.
     pub(crate) fn record_event(&self, event: TimedEvent) {
         self.timeline
             .lock()
-            .expect("timeline lock never poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .push(event);
     }
 
@@ -152,13 +162,13 @@ impl TrafficStats {
         let mut timeline = self
             .timeline
             .lock()
-            .expect("timeline lock never poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .clone();
         timeline.sort_by_key(|e| (e.start_ns, e.rank, e.dur_ns));
-        let send_recv = self.per_collective[Collective::SendRecv.index()].snapshot();
-        let all_to_all = self.per_collective[Collective::AllToAll.index()].snapshot();
-        let all_gather = self.per_collective[Collective::AllGather.index()].snapshot();
-        let all_reduce = self.per_collective[Collective::AllReduce.index()].snapshot();
+        let send_recv = self.send_recv.snapshot();
+        let all_to_all = self.all_to_all.snapshot();
+        let all_gather = self.all_gather.snapshot();
+        let all_reduce = self.all_reduce.snapshot();
         TrafficReport {
             messages: self.messages.load(Ordering::Relaxed),
             send_recv_bytes: send_recv.bytes,

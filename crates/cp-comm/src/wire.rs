@@ -12,6 +12,14 @@
 pub trait Wire: Send + 'static {
     /// Semantic payload size in bytes.
     fn wire_bytes(&self) -> usize;
+
+    /// Short variant tag of this payload, used by declared communication
+    /// plans ([`crate::CommPlan`]) to check message-variant agreement.
+    /// Multi-variant message enums should return the variant name; the
+    /// default suits single-variant payload types.
+    fn wire_variant(&self) -> &'static str {
+        "payload"
+    }
 }
 
 impl Wire for f32 {

@@ -33,10 +33,29 @@ pub enum CoreError {
         /// What actually arrived.
         got: &'static str,
     },
+    /// A circulating ring block arrived out of schedule order: its origin
+    /// tag contradicts the ring rotation invariant
+    /// ([`crate::schedule::ring_origin`]).
+    RingOrderViolation {
+        /// The peer that forwarded the mis-ordered block.
+        from_rank: usize,
+        /// Ring step (0-based) at which the block arrived.
+        step: usize,
+        /// Origin the rotation invariant requires at this step.
+        expected_origin: usize,
+        /// Origin tag the block actually carried.
+        got_origin: usize,
+    },
     /// Request inputs are inconsistent (shapes, batch sizes, unknown ids).
     BadRequest {
         /// Human-readable description.
         reason: String,
+    },
+    /// An internal algorithm invariant was broken — a bug in this crate,
+    /// surfaced as a typed error instead of a panic.
+    Internal {
+        /// Description of the broken invariant.
+        detail: String,
     },
 }
 
@@ -58,7 +77,18 @@ impl fmt::Display for CoreError {
                     "ring protocol violation: rank {from_rank} sent {got}, expected {expected}"
                 )
             }
+            CoreError::RingOrderViolation {
+                from_rank,
+                step,
+                expected_origin,
+                got_origin,
+            } => write!(
+                f,
+                "ring order violation: rank {from_rank} forwarded the block of origin \
+                 {got_origin} at step {step}, rotation requires origin {expected_origin}"
+            ),
             CoreError::BadRequest { reason } => write!(f, "bad request: {reason}"),
+            CoreError::Internal { detail } => write!(f, "internal invariant broken: {detail}"),
         }
     }
 }
@@ -113,7 +143,9 @@ impl CoreError {
             CoreError::Sharding(_) => "sharding",
             CoreError::Cache(_) => "kv-cache",
             CoreError::ProtocolViolation { .. } => "protocol-violation",
+            CoreError::RingOrderViolation { .. } => "ring-order-violation",
             CoreError::BadRequest { .. } => "bad-request",
+            CoreError::Internal { .. } => "internal",
         }
     }
 }

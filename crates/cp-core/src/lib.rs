@@ -63,6 +63,7 @@ pub mod heuristics;
 mod messages;
 mod projector;
 pub mod ring;
+pub mod schedule;
 mod session;
 pub mod trace;
 

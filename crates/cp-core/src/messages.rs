@@ -119,6 +119,20 @@ fn tensor_bytes(t: &Tensor) -> usize {
     t.numel() * ELEM_BYTES
 }
 
+impl RingMsg {
+    /// The variant's name, used in protocol errors and as the message tag
+    /// in declared communication plans ([`cp_comm::CommPlan`]).
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            RingMsg::Kv { .. } => "Kv",
+            RingMsg::Q { .. } => "Q",
+            RingMsg::Out { .. } => "Out",
+            RingMsg::DecodeQ { .. } => "DecodeQ",
+            RingMsg::DecodeOut { .. } => "DecodeOut",
+        }
+    }
+}
+
 impl Wire for RingMsg {
     /// Semantic bytes: tensor payloads only. Position/bid metadata is not
     /// counted, matching the paper's cost model which accounts embedding
@@ -143,6 +157,10 @@ impl Wire for RingMsg {
                 .map(|s| tensor_bytes(&s.out) + tensor_bytes(&s.lse))
                 .sum(),
         }
+    }
+
+    fn wire_variant(&self) -> &'static str {
+        self.variant_name()
     }
 }
 

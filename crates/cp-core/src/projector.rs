@@ -2,7 +2,7 @@
 //! drive the engine with token ids.
 
 use cp_attention::GqaShape;
-use cp_tensor::{DetRng, Tensor};
+use cp_tensor::{DetRng, Tensor, TensorError};
 
 /// Deterministically maps token ids (plus positions) to Q/K/V tensors of a
 /// given [`GqaShape`].
@@ -44,7 +44,16 @@ impl ToyProjector {
     /// Projects a span of tokens starting at `start_pos` into
     /// `(q, k, v)` tensors of shapes `[t, n_heads, head_dim]` /
     /// `[t, n_kv_heads, head_dim]`.
-    pub fn project(&self, tokens: &[u32], start_pos: usize) -> (Tensor, Tensor, Tensor) {
+    ///
+    /// # Errors
+    ///
+    /// [`TensorError`] if the generated buffers do not match the declared
+    /// shapes (unreachable for a well-formed [`GqaShape`]).
+    pub fn project(
+        &self,
+        tokens: &[u32],
+        start_pos: usize,
+    ) -> Result<(Tensor, Tensor, Tensor), TensorError> {
         let (nh, nkv, dh) = (
             self.shape.n_heads(),
             self.shape.n_kv_heads(),
@@ -60,11 +69,11 @@ impl ToyProjector {
             k.extend(self.fill(tok, pos, 1, nkv * dh));
             v.extend(self.fill(tok, pos, 2, nkv * dh));
         }
-        (
-            Tensor::from_vec(q, &[t, nh, dh]).expect("sized above"),
-            Tensor::from_vec(k, &[t, nkv, dh]).expect("sized above"),
-            Tensor::from_vec(v, &[t, nkv, dh]).expect("sized above"),
-        )
+        Ok((
+            Tensor::from_vec(q, &[t, nh, dh])?,
+            Tensor::from_vec(k, &[t, nkv, dh])?,
+            Tensor::from_vec(v, &[t, nkv, dh])?,
+        ))
     }
 }
 
@@ -79,8 +88,8 @@ mod tests {
     #[test]
     fn deterministic_across_calls() {
         let p = proj();
-        let a = p.project(&[1, 2, 3], 10);
-        let b = p.project(&[1, 2, 3], 10);
+        let a = p.project(&[1, 2, 3], 10).unwrap();
+        let b = p.project(&[1, 2, 3], 10).unwrap();
         assert_eq!(a.0, b.0);
         assert_eq!(a.1, b.1);
         assert_eq!(a.2, b.2);
@@ -89,16 +98,16 @@ mod tests {
     #[test]
     fn position_sensitivity() {
         let p = proj();
-        let (q0, ..) = p.project(&[5], 0);
-        let (q1, ..) = p.project(&[5], 1);
+        let (q0, ..) = p.project(&[5], 0).unwrap();
+        let (q1, ..) = p.project(&[5], 1).unwrap();
         assert_ne!(q0, q1, "same token at different positions must differ");
     }
 
     #[test]
     fn token_sensitivity_and_role_separation() {
         let p = proj();
-        let (qa, ka, va) = p.project(&[7], 3);
-        let (qb, ..) = p.project(&[8], 3);
+        let (qa, ka, va) = p.project(&[7], 3).unwrap();
+        let (qb, ..) = p.project(&[8], 3).unwrap();
         assert_ne!(qa, qb);
         // q, k, v for the same (token, pos) must be distinct streams.
         assert_ne!(qa.as_slice()[..8], ka.as_slice()[..8]);
@@ -109,9 +118,9 @@ mod tests {
     fn span_equals_tokenwise_projection() {
         // Projecting [a, b] at pos 4 equals projecting a at 4 and b at 5.
         let p = proj();
-        let (q, k, v) = p.project(&[10, 11], 4);
-        let (qa, ka, va) = p.project(&[10], 4);
-        let (qb, kb, vb) = p.project(&[11], 5);
+        let (q, k, v) = p.project(&[10, 11], 4).unwrap();
+        let (qa, ka, va) = p.project(&[10], 4).unwrap();
+        let (qb, kb, vb) = p.project(&[11], 5).unwrap();
         assert_eq!(q.slice_dim0(0..1).unwrap(), qa);
         assert_eq!(q.slice_dim0(1..2).unwrap(), qb);
         assert_eq!(k.slice_dim0(0..1).unwrap(), ka);
@@ -123,11 +132,11 @@ mod tests {
     #[test]
     fn shapes_match_config() {
         let p = proj();
-        let (q, k, v) = p.project(&[0; 5], 0);
+        let (q, k, v) = p.project(&[0; 5], 0).unwrap();
         assert_eq!(q.shape(), &[5, 4, 8]);
         assert_eq!(k.shape(), &[5, 2, 8]);
         assert_eq!(v.shape(), &[5, 2, 8]);
-        let (qe, ..) = p.project(&[], 0);
+        let (qe, ..) = p.project(&[], 0).unwrap();
         assert_eq!(qe.shape(), &[0, 4, 8]);
     }
 
@@ -135,6 +144,6 @@ mod tests {
     fn different_seeds_differ() {
         let a = ToyProjector::new(GqaShape::new(2, 1, 4).unwrap(), 1);
         let b = ToyProjector::new(GqaShape::new(2, 1, 4).unwrap(), 2);
-        assert_ne!(a.project(&[3], 0).0, b.project(&[3], 0).0);
+        assert_ne!(a.project(&[3], 0).unwrap().0, b.project(&[3], 0).unwrap().0);
     }
 }

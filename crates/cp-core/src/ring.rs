@@ -17,6 +17,7 @@ use cp_tensor::Tensor;
 
 use crate::error::to_comm_error;
 use crate::messages::{DecodeSlot, LocalSeq, RingMsg, SeqKv, SeqOut, SeqQ};
+use crate::schedule::ring_origin;
 use crate::CoreError;
 
 /// KV block size for the flash-style kernel inside ring loops.
@@ -39,7 +40,7 @@ fn expect_kv(msg: RingMsg, from_rank: usize) -> Result<Vec<SeqKv>, CoreError> {
         other => Err(CoreError::ProtocolViolation {
             from_rank,
             expected: "Kv",
-            got: variant_name(&other),
+            got: other.variant_name(),
         }),
     }
 }
@@ -50,7 +51,7 @@ fn expect_q(msg: RingMsg, from_rank: usize) -> Result<(usize, Vec<SeqQ>), CoreEr
         other => Err(CoreError::ProtocolViolation {
             from_rank,
             expected: "Q",
-            got: variant_name(&other),
+            got: other.variant_name(),
         }),
     }
 }
@@ -61,7 +62,7 @@ fn expect_out(msg: RingMsg, from_rank: usize) -> Result<Vec<SeqOut>, CoreError> 
         other => Err(CoreError::ProtocolViolation {
             from_rank,
             expected: "Out",
-            got: variant_name(&other),
+            got: other.variant_name(),
         }),
     }
 }
@@ -75,7 +76,7 @@ fn expect_decode_q(
         other => Err(CoreError::ProtocolViolation {
             from_rank,
             expected: "DecodeQ",
-            got: variant_name(&other),
+            got: other.variant_name(),
         }),
     }
 }
@@ -86,9 +87,31 @@ fn expect_decode_out(msg: RingMsg, from_rank: usize) -> Result<Vec<Option<SeqOut
         other => Err(CoreError::ProtocolViolation {
             from_rank,
             expected: "DecodeOut",
-            got: variant_name(&other),
+            got: other.variant_name(),
         }),
     }
+}
+
+/// Validates the origin tag of a circulating block received at ring step
+/// `step` against the rotation invariant ([`ring_origin`]), attributing a
+/// mismatch to the forwarding peer.
+fn check_ring_order(
+    rank: usize,
+    world: usize,
+    from_rank: usize,
+    step: usize,
+    got_origin: usize,
+) -> Result<(), CoreError> {
+    let expected_origin = ring_origin(rank, world, step);
+    if got_origin != expected_origin {
+        return Err(CoreError::RingOrderViolation {
+            from_rank,
+            step,
+            expected_origin,
+            got_origin,
+        });
+    }
+    Ok(())
 }
 
 /// Applies `f` to every item, fanning work out over scoped threads when the
@@ -112,6 +135,7 @@ where
     let mut results: Vec<Option<Result<R, CoreError>>> = (0..items.len()).map(|_| None).collect();
     std::thread::scope(|scope| {
         let mut rest = results.as_mut_slice();
+        let mut items_rest = items;
         let base = items.len() / workers;
         let extra = items.len() % workers;
         let mut start = 0;
@@ -119,11 +143,12 @@ where
             let len = base + usize::from(w < extra);
             let (chunk, tail) = rest.split_at_mut(len);
             rest = tail;
+            let (item_chunk, item_tail) = items_rest.split_at(len);
+            items_rest = item_tail;
             let f = &f;
             scope.spawn(move || {
-                for (off, slot) in chunk.iter_mut().enumerate() {
-                    let i = start + off;
-                    *slot = Some(f(i, &items[i]));
+                for (off, (slot, item)) in chunk.iter_mut().zip(item_chunk).enumerate() {
+                    *slot = Some(f(start + off, item));
                 }
             });
             start += len;
@@ -131,18 +156,14 @@ where
     });
     results
         .into_iter()
-        .map(|r| r.expect("every slot filled by its worker"))
+        .map(|r| {
+            r.unwrap_or_else(|| {
+                Err(CoreError::Internal {
+                    detail: "map_seqs worker left a result slot unfilled".to_string(),
+                })
+            })
+        })
         .collect()
-}
-
-fn variant_name(msg: &RingMsg) -> &'static str {
-    match msg {
-        RingMsg::Kv { .. } => "Kv",
-        RingMsg::Q { .. } => "Q",
-        RingMsg::Out { .. } => "Out",
-        RingMsg::DecodeQ { .. } => "DecodeQ",
-        RingMsg::DecodeOut { .. } => "DecodeOut",
-    }
 }
 
 /// Algorithm 2 — fused variable-length ring pass-KV partial prefill, as
@@ -192,8 +213,8 @@ pub fn ring_pass_kv_prefill(
                 attend(&local.q, &local.q_pos, kv, params)
             })
         })?;
-        for (i, out) in step.into_iter().enumerate() {
-            partials[i].push(out);
+        for (p, out) in partials.iter_mut().zip(step) {
+            p.push(out);
         }
         if j + 1 < n {
             let received = comm.send_recv(
@@ -272,7 +293,12 @@ pub fn ring_pass_q_prefill(
                 })
             })
         })?;
-        computed[visiting_origin] = Some(outs);
+        let slot = computed
+            .get_mut(visiting_origin)
+            .ok_or_else(|| CoreError::Internal {
+                detail: format!("visiting origin {visiting_origin} out of range for world {n}"),
+            })?;
+        *slot = Some(outs);
         if j + 1 < n {
             let received = comm.send_recv(
                 comm.ring_next(),
@@ -283,6 +309,7 @@ pub fn ring_pass_q_prefill(
                 comm.ring_prev(),
             )?;
             let (origin, seqs) = expect_q(received, comm.ring_prev())?;
+            check_ring_order(k, n, comm.ring_prev(), j + 1, origin)?;
             visiting_origin = origin;
             visiting = seqs;
         }
@@ -292,10 +319,14 @@ pub fn ring_pass_q_prefill(
     // own partial locally).
     let payloads: Vec<RingMsg> = computed
         .into_iter()
-        .map(|outs| RingMsg::Out {
-            seqs: outs.expect("every origin visited exactly once in the ring"),
+        .enumerate()
+        .map(|(s, outs)| {
+            outs.map(|seqs| RingMsg::Out { seqs })
+                .ok_or_else(|| CoreError::Internal {
+                    detail: format!("origin {s} never visited in the pass-Q ring loop"),
+                })
         })
-        .collect();
+        .collect::<Result<_, _>>()?;
     let received = comm.all_to_all(payloads)?;
 
     // received[s] = partial attention of our queries against rank s's KV.
@@ -377,7 +408,12 @@ pub fn ring_pass_q_decode(
                     .transpose()
             })
         })?;
-        computed[visiting_origin] = Some(outs);
+        let slot = computed
+            .get_mut(visiting_origin)
+            .ok_or_else(|| CoreError::Internal {
+                detail: format!("visiting origin {visiting_origin} out of range for world {n}"),
+            })?;
+        *slot = Some(outs);
         if j + 1 < n {
             let received = comm.send_recv(
                 comm.ring_next(),
@@ -388,6 +424,7 @@ pub fn ring_pass_q_decode(
                 comm.ring_prev(),
             )?;
             let (origin, s) = expect_decode_q(received, comm.ring_prev())?;
+            check_ring_order(k, n, comm.ring_prev(), j + 1, origin)?;
             visiting_origin = origin;
             visiting = s;
         }
@@ -395,10 +432,14 @@ pub fn ring_pass_q_decode(
 
     let payloads: Vec<RingMsg> = computed
         .into_iter()
-        .map(|outs| RingMsg::DecodeOut {
-            slots: outs.expect("every origin visited"),
+        .enumerate()
+        .map(|(s, outs)| {
+            outs.map(|slots| RingMsg::DecodeOut { slots })
+                .ok_or_else(|| CoreError::Internal {
+                    detail: format!("origin {s} never visited in the decode ring loop"),
+                })
         })
-        .collect();
+        .collect::<Result<_, _>>()?;
     let received = comm.all_to_all(payloads)?;
     let mut per_source: Vec<Vec<Option<SeqOut>>> = Vec::with_capacity(n);
     for (src_rank, msg) in received.into_iter().enumerate() {
@@ -809,6 +850,48 @@ mod tests {
                 assert_eq!(rank, 0);
                 assert_eq!(kind, "protocol-violation");
                 assert!(detail.contains("rank 1 sent Q, expected Kv"), "{detail}");
+            }
+            other => panic!("expected RankFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn misordered_origin_from_peer_is_ring_order_violation() {
+        // Rank 1 follows the pass-Q message grammar but lies about the
+        // origin of the block it forwards (claims its own block is rank 0's
+        // — a dropped or duplicated ring step). Rank 0 must reject it via
+        // the rotation invariant, naming the forwarding peer.
+        let p = params(1, 1, 2);
+        let mut rng = DetRng::new(31);
+        let local = LocalSeq {
+            q: rng.tensor(&[2, 1, 2]),
+            q_pos: vec![0, 1],
+            k: rng.tensor(&[2, 1, 2]),
+            v: rng.tensor(&[2, 1, 2]),
+            kv_pos: vec![0, 1],
+        };
+        let err = run_ring(2, |comm| {
+            if comm.rank() == 0 {
+                ring_pass_q_prefill(comm, &p, std::slice::from_ref(&local)).map(|_| ())
+            } else {
+                let bad = RingMsg::Q {
+                    origin: 0, // should be 1: rank 1 holds its own block at step 0
+                    seqs: vec![SeqQ {
+                        q: local.q.clone(),
+                        pos: local.q_pos.clone(),
+                    }],
+                };
+                comm.send_recv(comm.ring_next(), bad, comm.ring_prev())?;
+                Ok(())
+            }
+        })
+        .unwrap_err();
+        match err {
+            CoreError::Comm(cp_comm::CommError::RankFailed { rank, kind, detail }) => {
+                assert_eq!(rank, 0);
+                assert_eq!(kind, "ring-order-violation");
+                assert!(detail.contains("rank 1"), "{detail}");
+                assert!(detail.contains("origin 0"), "{detail}");
             }
             other => panic!("expected RankFailed, got {other:?}"),
         }

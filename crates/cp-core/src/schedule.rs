@@ -1,0 +1,485 @@
+//! Declared communication schedules for the ring algorithms.
+//!
+//! Each of the paper's ring algorithms (Alg. 2–4) follows a fixed,
+//! data-independent communication schedule: which peer every rank talks to
+//! at every step, which message variant it carries, and how many wire
+//! bytes move. This module *declares* those schedules as [`CommPlan`]
+//! data, derived from the same inputs the algorithms run on (byte counts
+//! come from [`Wire::wire_bytes`] on skeleton messages, so plan and live
+//! traffic agree by construction).
+//!
+//! The plans feed two static-analysis layers:
+//!
+//! * the `cp-verify` model checker proves deadlock-freedom, variant
+//!   agreement, ring-step ordering, and wire-byte conservation offline;
+//! * [`cp_comm::CheckedFabric`] enforces the same plan against live
+//!   traffic at runtime ([`run_ring_checked`]), sanitizer-style.
+//!
+//! To add a schedule for a new collective, declare a builder here that
+//! emits one [`cp_comm::RankPlan`] per rank and derives every byte count
+//! from the payload type's `Wire` impl — never hand-compute sizes.
+
+use cp_attention::AttentionParams;
+use cp_comm::{CheckedFabric, CommOp, CommPlan, Communicator, RankPlan, TrafficReport, Wire};
+
+use crate::error::to_comm_error;
+use crate::messages::{DecodeSlot, LocalSeq, RingMsg, SeqKv, SeqQ, ELEM_BYTES};
+use crate::CoreError;
+
+/// Which rank's block rank `rank` holds at ring step `step` (0-based), for
+/// a `world`-rank ring rotating towards `rank + 1`.
+///
+/// Step 0 is before any exchange (every rank holds its own block); after
+/// each hop the block that originated at `origin` moves one rank forward,
+/// so `origin = (rank + world - step) mod world`. The ring algorithms and
+/// the plan builders both use this single definition, and pass-Q / decode
+/// validate the `origin` tag of every received message against it.
+pub fn ring_origin(rank: usize, world: usize, step: usize) -> usize {
+    (rank + world - (step % world)) % world
+}
+
+/// Indexes into a per-rank table, converting an out-of-range index (an
+/// internal bug, since callers derive indices from `ring_origin`) into a
+/// typed error instead of a panic.
+fn at(v: &[usize], i: usize) -> Result<usize, CoreError> {
+    v.get(i).copied().ok_or_else(|| CoreError::Internal {
+        detail: format!("rank table of length {} has no entry {i}", v.len()),
+    })
+}
+
+/// The `N-1` ring `SendRecv` hops every rank performs, with per-hop byte
+/// counts looked up by circulating-block origin.
+fn ring_hops(
+    rank: usize,
+    world: usize,
+    variant: &'static str,
+    bytes_by_origin: &[usize],
+) -> Result<Vec<CommOp>, CoreError> {
+    let mut ops = Vec::with_capacity(world.saturating_sub(1));
+    for j in 0..world.saturating_sub(1) {
+        ops.push(CommOp::SendRecv {
+            dst: (rank + 1) % world,
+            src: (rank + world - 1) % world,
+            send_variant: variant,
+            recv_variant: variant,
+            send_bytes: at(bytes_by_origin, ring_origin(rank, world, j))?,
+            recv_bytes: at(bytes_by_origin, ring_origin(rank, world, j + 1))?,
+        });
+    }
+    Ok(ops)
+}
+
+fn kv_skeleton(locals: &[LocalSeq]) -> RingMsg {
+    // Tensor clones are O(1) Arc handle copies; the skeleton exists only to
+    // ask the payload type for its own wire size.
+    RingMsg::Kv {
+        seqs: locals
+            .iter()
+            .map(|l| SeqKv {
+                k: l.k.clone(),
+                v: l.v.clone(),
+                pos: l.kv_pos.clone(),
+            })
+            .collect(),
+    }
+}
+
+fn q_skeleton(origin: usize, locals: &[LocalSeq]) -> RingMsg {
+    RingMsg::Q {
+        origin,
+        seqs: locals
+            .iter()
+            .map(|l| SeqQ {
+                q: l.q.clone(),
+                pos: l.q_pos.clone(),
+            })
+            .collect(),
+    }
+}
+
+/// Wire bytes of the `Out` message carrying partial attention results for
+/// one origin rank's queries: per sequence, the partial output has the
+/// query's shape (`t × n_heads × head_dim`) and the LSE is `t × n_heads`.
+fn out_bytes(params: &AttentionParams, locals: &[LocalSeq]) -> usize {
+    let h = params.shape.n_heads();
+    locals
+        .iter()
+        .map(|l| (l.q.numel() + l.q_pos.len() * h) * ELEM_BYTES)
+        .sum()
+}
+
+/// Wire bytes of the `DecodeOut` message for one origin rank's slots:
+/// padding (`None`) slots are free, each real slot carries a one-token
+/// partial output plus its LSE row.
+fn decode_out_bytes(params: &AttentionParams, slots: &[Option<DecodeSlot>]) -> usize {
+    let h = params.shape.n_heads();
+    slots
+        .iter()
+        .flatten()
+        .map(|s| (s.q.numel() + h) * ELEM_BYTES)
+        .sum()
+}
+
+/// Declares the pass-KV prefill schedule (Algorithm 2) for all ranks.
+///
+/// `locals[r]` is rank `r`'s fused-batch input, exactly as passed to
+/// [`crate::ring::ring_pass_kv_prefill`]. The schedule is `N-1` ring
+/// `SendRecv` hops per rank, each carrying the currently visiting KV block
+/// (byte counts follow the block's origin around the ring).
+///
+/// # Errors
+///
+/// [`CoreError::BadRequest`] for an empty rank list.
+pub fn pass_kv_plan(locals: &[Vec<LocalSeq>]) -> Result<CommPlan, CoreError> {
+    let n = nonzero_world(locals.len())?;
+    let kv_bytes: Vec<usize> = locals
+        .iter()
+        .map(|ls| kv_skeleton(ls).wire_bytes())
+        .collect();
+    let ranks = (0..n)
+        .map(|r| {
+            Ok(RankPlan {
+                rank: r,
+                ops: ring_hops(r, n, "Kv", &kv_bytes)?,
+            })
+        })
+        .collect::<Result<_, CoreError>>()?;
+    Ok(CommPlan::from_ranks(ranks))
+}
+
+/// Declares the pass-Q prefill schedule (Algorithm 3) for all ranks:
+/// `N-1` ring `SendRecv` hops carrying the visiting Q block, then one
+/// `All2All` returning partial outputs to their origin ranks.
+///
+/// # Errors
+///
+/// [`CoreError::BadRequest`] for an empty rank list.
+pub fn pass_q_plan(
+    params: &AttentionParams,
+    locals: &[Vec<LocalSeq>],
+) -> Result<CommPlan, CoreError> {
+    let n = nonzero_world(locals.len())?;
+    let q_bytes: Vec<usize> = locals
+        .iter()
+        .enumerate()
+        .map(|(r, ls)| q_skeleton(r, ls).wire_bytes())
+        .collect();
+    // Partial outputs for origin s's queries have the same size no matter
+    // which rank computed them, so every rank's All2All row is the same
+    // vector, and rank r receives its own entry from every peer.
+    let outs: Vec<usize> = locals.iter().map(|ls| out_bytes(params, ls)).collect();
+    let ranks = (0..n)
+        .map(|r| {
+            let mut ops = ring_hops(r, n, "Q", &q_bytes)?;
+            ops.push(CommOp::AllToAll {
+                variant: "Out",
+                send_bytes: outs.clone(),
+                recv_bytes: vec![at(&outs, r)?; n],
+            });
+            Ok(RankPlan { rank: r, ops })
+        })
+        .collect::<Result<_, CoreError>>()?;
+    Ok(CommPlan::from_ranks(ranks))
+}
+
+/// Declares the batched pass-Q decode schedule (Algorithm 4) for all
+/// ranks: `N-1` ring `SendRecv` hops carrying the visiting decode slots,
+/// then one `All2All` returning per-slot partial outputs.
+///
+/// # Errors
+///
+/// [`CoreError::BadRequest`] for an empty rank list.
+pub fn decode_plan(
+    params: &AttentionParams,
+    slots: &[Vec<Option<DecodeSlot>>],
+) -> Result<CommPlan, CoreError> {
+    let n = nonzero_world(slots.len())?;
+    let dq_bytes: Vec<usize> = slots
+        .iter()
+        .enumerate()
+        .map(|(r, s)| {
+            RingMsg::DecodeQ {
+                origin: r,
+                slots: s.clone(),
+            }
+            .wire_bytes()
+        })
+        .collect();
+    let douts: Vec<usize> = slots.iter().map(|s| decode_out_bytes(params, s)).collect();
+    let ranks = (0..n)
+        .map(|r| {
+            let mut ops = ring_hops(r, n, "DecodeQ", &dq_bytes)?;
+            ops.push(CommOp::AllToAll {
+                variant: "DecodeOut",
+                send_bytes: douts.clone(),
+                recv_bytes: vec![at(&douts, r)?; n],
+            });
+            Ok(RankPlan { rank: r, ops })
+        })
+        .collect::<Result<_, CoreError>>()?;
+    Ok(CommPlan::from_ranks(ranks))
+}
+
+fn nonzero_world(n: usize) -> Result<usize, CoreError> {
+    if n == 0 {
+        return Err(CoreError::BadRequest {
+            reason: "communication plan needs at least one rank".to_string(),
+        });
+    }
+    Ok(n)
+}
+
+/// Adapter: runs a per-rank ring body under a [`CheckedFabric`], so every
+/// collective the body issues is validated against the fabric's declared
+/// plan, mapping `CoreError` in and out of the fabric's `CommError` like
+/// [`crate::ring::run_ring`].
+///
+/// # Errors
+///
+/// The body's first error in rank order, or
+/// [`cp_comm::CommError::PlanViolation`] (wrapped in
+/// [`CoreError::Comm`]) when live traffic diverges from the plan.
+pub fn run_ring_checked<T, F>(
+    fabric: &CheckedFabric,
+    body: F,
+) -> Result<(Vec<T>, TrafficReport), CoreError>
+where
+    T: Send,
+    F: Fn(&Communicator<RingMsg>) -> Result<T, CoreError> + Sync,
+{
+    let result =
+        fabric.run::<RingMsg, T, _>(|comm| body(comm).map_err(|e| to_comm_error(comm.rank(), e)));
+    result.map_err(CoreError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::{ring_pass_kv_prefill, ring_pass_q_decode, ring_pass_q_prefill};
+    use cp_attention::GqaShape;
+    use cp_tensor::DetRng;
+
+    fn params(nh: usize, nkv: usize, dh: usize) -> AttentionParams {
+        AttentionParams::for_shape(GqaShape::new(nh, nkv, dh).unwrap())
+    }
+
+    /// One equal-sized sequence per rank; rank r owns tokens
+    /// `[r*t, (r+1)*t)` of a causal context.
+    fn uniform_locals(n: usize, t: usize, p: &AttentionParams, seed: u64) -> Vec<Vec<LocalSeq>> {
+        let shape = p.shape;
+        let mut rng = DetRng::new(seed);
+        (0..n)
+            .map(|r| {
+                let pos: Vec<usize> = (r * t..(r + 1) * t).collect();
+                vec![LocalSeq {
+                    q: rng.tensor(&[t, shape.n_heads(), shape.head_dim()]),
+                    q_pos: pos.clone(),
+                    k: rng.tensor(&[t, shape.n_kv_heads(), shape.head_dim()]),
+                    v: rng.tensor(&[t, shape.n_kv_heads(), shape.head_dim()]),
+                    kv_pos: pos,
+                }]
+            })
+            .collect()
+    }
+
+    fn uniform_slots(n: usize, p: &AttentionParams, seed: u64) -> Vec<Vec<Option<DecodeSlot>>> {
+        let shape = p.shape;
+        let mut rng = DetRng::new(seed);
+        (0..n)
+            .map(|r| {
+                vec![if r % 2 == 0 {
+                    Some(DecodeSlot {
+                        bid: 0,
+                        q: rng.tensor(&[1, shape.n_heads(), shape.head_dim()]),
+                        pos: 4 * n,
+                    })
+                } else {
+                    None
+                }]
+            })
+            .collect()
+    }
+
+    fn decode_kv(n: usize, p: &AttentionParams, seed: u64) -> Vec<Vec<SeqKv>> {
+        let shape = p.shape;
+        let mut rng = DetRng::new(seed);
+        (0..n)
+            .map(|r| {
+                let pos: Vec<usize> = (r * 4..(r + 1) * 4).collect();
+                vec![SeqKv {
+                    k: rng.tensor(&[4, shape.n_kv_heads(), shape.head_dim()]),
+                    v: rng.tensor(&[4, shape.n_kv_heads(), shape.head_dim()]),
+                    pos,
+                }]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ring_origin_rotates_each_block_through_every_rank() {
+        for n in [1, 2, 4, 8] {
+            for r in 0..n {
+                assert_eq!(ring_origin(r, n, 0), r, "step 0 holds own block");
+                let visited: std::collections::BTreeSet<usize> =
+                    (0..n).map(|j| ring_origin(r, n, j)).collect();
+                assert_eq!(visited.len(), n, "rank {r} of {n} must visit all origins");
+            }
+            // At any step, the n ranks hold n distinct blocks.
+            for j in 0..n {
+                let held: std::collections::BTreeSet<usize> =
+                    (0..n).map(|r| ring_origin(r, n, j)).collect();
+                assert_eq!(held.len(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn pass_kv_plan_has_n_minus_1_uniform_hops() {
+        let p = params(2, 1, 4);
+        let locals = uniform_locals(4, 3, &p, 7);
+        let plan = pass_kv_plan(&locals).unwrap();
+        assert_eq!(plan.world, 4);
+        for (r, rp) in plan.ranks.iter().enumerate() {
+            assert_eq!(rp.ops.len(), 3);
+            for op in &rp.ops {
+                match op {
+                    CommOp::SendRecv {
+                        dst,
+                        src,
+                        send_variant,
+                        recv_variant,
+                        send_bytes,
+                        recv_bytes,
+                    } => {
+                        assert_eq!(*dst, (r + 1) % 4);
+                        assert_eq!(*src, (r + 3) % 4);
+                        assert_eq!(*send_variant, "Kv");
+                        assert_eq!(*recv_variant, "Kv");
+                        // Uniform shards: every block has the same size
+                        // (§3.5.2 padding invariant).
+                        assert_eq!(send_bytes, recv_bytes);
+                    }
+                    other => panic!("expected SendRecv, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_plans_are_local_only() {
+        let p = params(2, 1, 4);
+        let locals = uniform_locals(1, 3, &p, 9);
+        let kv = pass_kv_plan(&locals).unwrap();
+        assert!(kv.ranks[0].ops.is_empty());
+        let q = pass_q_plan(&p, &locals).unwrap();
+        // The All2All degenerates to moving the rank's own payload locally.
+        assert_eq!(q.ranks[0].ops.len(), 1);
+        assert_eq!(q.predicted_traffic().messages, 0);
+    }
+
+    #[test]
+    fn empty_rank_list_is_rejected() {
+        let p = params(2, 1, 4);
+        assert!(matches!(
+            pass_kv_plan(&[]),
+            Err(CoreError::BadRequest { .. })
+        ));
+        assert!(matches!(
+            pass_q_plan(&p, &[]),
+            Err(CoreError::BadRequest { .. })
+        ));
+        assert!(matches!(
+            decode_plan(&p, &[]),
+            Err(CoreError::BadRequest { .. })
+        ));
+    }
+
+    #[test]
+    fn checked_pass_kv_matches_plan_and_predicted_traffic() {
+        let p = params(2, 1, 4);
+        for n in [2, 3, 4] {
+            let locals = uniform_locals(n, 3, &p, n as u64);
+            let plan = pass_kv_plan(&locals).unwrap();
+            let predicted = plan.predicted_traffic();
+            let fabric = CheckedFabric::new(plan);
+            let (outs, report) = run_ring_checked(&fabric, |comm| {
+                ring_pass_kv_prefill(comm, &p, &locals[comm.rank()])
+            })
+            .unwrap();
+            assert_eq!(outs.len(), n);
+            predicted.check_report(&report).unwrap();
+        }
+    }
+
+    #[test]
+    fn checked_pass_q_matches_plan_and_predicted_traffic() {
+        let p = params(4, 2, 8);
+        for n in [2, 3, 4] {
+            let locals = uniform_locals(n, 2, &p, 20 + n as u64);
+            let plan = pass_q_plan(&p, &locals).unwrap();
+            let predicted = plan.predicted_traffic();
+            let fabric = CheckedFabric::new(plan);
+            let (_, report) = run_ring_checked(&fabric, |comm| {
+                ring_pass_q_prefill(comm, &p, &locals[comm.rank()])
+            })
+            .unwrap();
+            predicted.check_report(&report).unwrap();
+        }
+    }
+
+    #[test]
+    fn checked_decode_matches_plan_and_predicted_traffic() {
+        let p = params(2, 1, 4);
+        for n in [2, 4] {
+            let slots = uniform_slots(n, &p, 40 + n as u64);
+            let kv = decode_kv(n, &p, 50 + n as u64);
+            let plan = decode_plan(&p, &slots).unwrap();
+            let predicted = plan.predicted_traffic();
+            let fabric = CheckedFabric::new(plan);
+            let (_, report) = run_ring_checked(&fabric, |comm| {
+                ring_pass_q_decode(comm, &p, &slots[comm.rank()], &kv[comm.rank()])
+            })
+            .unwrap();
+            predicted.check_report(&report).unwrap();
+        }
+    }
+
+    #[test]
+    fn plan_catches_input_skew_between_declared_and_live() {
+        // Declare the plan for one input set but run a rank with a larger
+        // shard: the checked fabric must flag the byte mismatch.
+        let p = params(2, 1, 4);
+        let locals = uniform_locals(2, 3, &p, 60);
+        let mut skewed = locals.clone();
+        let mut rng = DetRng::new(61);
+        skewed[1][0].k = rng.tensor(&[5, 1, 4]);
+        skewed[1][0].v = rng.tensor(&[5, 1, 4]);
+        skewed[1][0].kv_pos = (0..5).collect();
+        let plan = pass_kv_plan(&locals).unwrap();
+        let fabric = CheckedFabric::new(plan);
+        let err = run_ring_checked(&fabric, |comm| {
+            ring_pass_kv_prefill(comm, &p, &skewed[comm.rank()])
+        })
+        .unwrap_err();
+        match err {
+            CoreError::Comm(cp_comm::CommError::PlanViolation { rank, detail, .. }) => {
+                assert_eq!(rank, 1);
+                assert!(detail.contains("wire bytes"), "{detail}");
+            }
+            other => panic!("expected PlanViolation at rank 1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn skeleton_tensors_are_not_deep_copied() {
+        let p = params(2, 1, 4);
+        let locals = uniform_locals(2, 3, &p, 70);
+        let msg = kv_skeleton(&locals[0]);
+        match msg {
+            RingMsg::Kv { seqs } => {
+                assert!(seqs[0].k.shares_buffer(&locals[0][0].k));
+            }
+            other => panic!("expected Kv skeleton, got {other:?}"),
+        }
+    }
+}

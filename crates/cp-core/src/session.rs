@@ -73,7 +73,7 @@ impl<'e> ChatSession<'e> {
         prompt: &[u32],
     ) -> Result<(TurnStats, cp_attention::AttentionOutput), CoreError> {
         let p = self.context_len();
-        let (q, k, v) = self.projector.project(prompt, p);
+        let (q, k, v) = self.projector.project(prompt, p)?;
         let outcome = if self.started {
             self.engine.partial_prefill(self.seq, &q, &k, &v)?
         } else {
@@ -124,10 +124,13 @@ impl<'e> ChatSession<'e> {
         let mut last_token: u32 = 0;
         for _ in 0..n_tokens {
             let pos = self.context_len();
-            let (q, k, v) = self.projector.project(&[last_token], pos);
+            let (q, k, v) = self.projector.project(&[last_token], pos)?;
             let out = self.engine.decode_step(&[(self.seq, q, k, v)])?;
             // Deterministic pseudo-sampling from the attention output.
-            let s: f32 = out.outputs[0].out.as_slice().iter().sum();
+            let first = out.outputs.first().ok_or_else(|| CoreError::Internal {
+                detail: "decode_step returned no output for the submitted slot".to_string(),
+            })?;
+            let s: f32 = first.out.as_slice().iter().sum();
             last_token = (s.abs() * 1e4) as u32 % 50_000;
             generated.push(last_token);
         }

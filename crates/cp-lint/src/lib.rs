@@ -1,0 +1,658 @@
+//! `cp-lint` — network-free lexical lint for the communication-critical
+//! crates.
+//!
+//! A rank that panics mid-ring wedges every peer until their receive
+//! timeouts fire, so the hot crates (`cp-comm`, `cp-core`, `cp-attention`)
+//! must surface failures as typed errors, never as panics. This lint
+//! enforces the two panic sources the type system cannot: unchecked slice
+//! indexing (`x[i]`) and `.unwrap()` / `.expect(..)` calls, in non-test
+//! code.
+//!
+//! The scanner is purely lexical (no rustc, no network): it masks
+//! comments, strings, and char literals, drops `#[cfg(test)]` items, then
+//! pattern-matches the remaining token stream. Findings are reconciled
+//! against a committed, *ratcheting* allowlist (`cp-lint.allow`): a file
+//! over its budget fails the build, and a file **under** its budget also
+//! fails, forcing the budget down so fixed debt cannot silently return.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The lint rules, in report order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Unchecked slice/array indexing: `x[i]` panics on out-of-range.
+    Index,
+    /// `.unwrap()` panics on `None`/`Err`.
+    Unwrap,
+    /// `.expect(..)` panics on `None`/`Err`.
+    Expect,
+}
+
+impl Rule {
+    /// All rules.
+    pub const ALL: [Rule; 3] = [Rule::Index, Rule::Unwrap, Rule::Expect];
+
+    /// Stable tag used in reports and the allowlist file.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Rule::Index => "index",
+            Rule::Unwrap => "unwrap",
+            Rule::Expect => "expect",
+        }
+    }
+
+    /// Parses an allowlist tag.
+    pub fn from_tag(tag: &str) -> Option<Rule> {
+        Rule::ALL.iter().copied().find(|r| r.tag() == tag)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// One lint hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path of the file.
+    pub file: String,
+    /// The violated rule.
+    pub rule: Rule,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+/// Masks comments, string literals, and char literals with spaces,
+/// preserving length and newlines so byte offsets map to line numbers.
+/// Raw strings (`r"…"`, `r#"…"#`, any hash depth, with `b` prefixes) and
+/// nested block comments are handled; lifetimes (`'a`) are left intact.
+fn mask_non_code(src: &str) -> String {
+    let bytes = src.as_bytes();
+    let mut out = bytes.to_vec();
+    let n = bytes.len();
+    let mut i = 0;
+    let blank = |out: &mut [u8], from: usize, to: usize| {
+        for b in out.iter_mut().take(to).skip(from) {
+            if *b != b'\n' {
+                *b = b' ';
+            }
+        }
+    };
+    while i < n {
+        match bytes[i] {
+            b'/' if i + 1 < n && bytes[i + 1] == b'/' => {
+                let end = src[i..].find('\n').map(|p| i + p).unwrap_or(n);
+                blank(&mut out, i, end);
+                i = end;
+            }
+            b'/' if i + 1 < n && bytes[i + 1] == b'*' => {
+                let mut depth = 1;
+                let mut j = i + 2;
+                while j < n && depth > 0 {
+                    if j + 1 < n && bytes[j] == b'/' && bytes[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if j + 1 < n && bytes[j] == b'*' && bytes[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                blank(&mut out, i, j);
+                i = j;
+            }
+            b'"' => {
+                let mut j = i + 1;
+                while j < n {
+                    match bytes[j] {
+                        b'\\' => j += 2,
+                        b'"' => {
+                            j += 1;
+                            break;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                blank(&mut out, i, j.min(n));
+                i = j.min(n);
+            }
+            b'r' | b'b' => {
+                // Possible raw / byte / raw-byte string: r", br", r#", …
+                let mut j = i + 1;
+                if bytes[i] == b'b' && j < n && bytes[j] == b'r' {
+                    j += 1;
+                }
+                let mut hashes = 0;
+                while j < n && bytes[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                let is_ident_prefix =
+                    i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
+                if !is_ident_prefix && j < n && bytes[j] == b'"' {
+                    // Find closing quote followed by the same hash count.
+                    let closer: Vec<u8> = std::iter::once(b'"')
+                        .chain(std::iter::repeat_n(b'#', hashes))
+                        .collect();
+                    let mut k = j + 1;
+                    let mut end = n;
+                    while k < n {
+                        if bytes[k] == b'"' && bytes.get(k..k + closer.len()) == Some(&closer[..]) {
+                            end = k + closer.len();
+                            break;
+                        }
+                        // Plain b"…" strings still honour escapes.
+                        if hashes == 0 && bytes[k] == b'\\' {
+                            k += 2;
+                            continue;
+                        }
+                        k += 1;
+                    }
+                    blank(&mut out, i, end);
+                    i = end;
+                } else {
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // Char literal vs lifetime: a quote introduces a char
+                // literal iff it closes within a couple of tokens
+                // (escape, or one char then a quote). `'a` / `'static`
+                // are lifetimes and left alone.
+                if i + 1 < n && bytes[i + 1] == b'\\' {
+                    let mut j = i + 2;
+                    while j < n && bytes[j] != b'\'' {
+                        j += 1;
+                    }
+                    blank(&mut out, i, (j + 1).min(n));
+                    i = (j + 1).min(n);
+                } else {
+                    // Multi-byte chars: find the next quote within the
+                    // current char boundary span.
+                    let rest = &src[i + 1..];
+                    let mut chars = rest.chars();
+                    let first_len = chars.next().map(char::len_utf8).unwrap_or(0);
+                    if rest.as_bytes().get(first_len) == Some(&b'\'') {
+                        let end = i + 1 + first_len + 1;
+                        blank(&mut out, i, end);
+                        i = end;
+                    } else {
+                        i += 1; // lifetime
+                    }
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    // Masking only writes ASCII spaces over non-newline bytes, so the
+    // result is valid UTF-8 whenever the input was.
+    String::from_utf8(out).unwrap_or_default()
+}
+
+/// Marks the byte ranges of items annotated `#[cfg(test)]` or `#[test]`
+/// in masked source: from the attribute through the matching close brace
+/// (or terminating semicolon) of the item that follows.
+fn test_item_ranges(masked: &str) -> Vec<(usize, usize)> {
+    let bytes = masked.as_bytes();
+    let n = bytes.len();
+    let mut ranges = Vec::new();
+    let mut search = 0;
+    while let Some(rel) = masked[search..].find("#[") {
+        let attr_start = search + rel;
+        // Attribute body extends to its matching ']'.
+        let mut j = attr_start + 2;
+        let mut depth = 1;
+        while j < n && depth > 0 {
+            match bytes[j] {
+                b'[' => depth += 1,
+                b']' => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        let attr = &masked[attr_start..j];
+        search = j;
+        let is_test_attr = attr.contains("cfg(test)")
+            || attr.contains("cfg(all(test")
+            || attr == "#[test]"
+            || attr.starts_with("#[test ");
+        if !is_test_attr {
+            continue;
+        }
+        // Skip further attributes and whitespace, then consume the item:
+        // up to the matching '}' of its first brace block, or a ';'.
+        let mut k = j;
+        let mut brace_depth = 0usize;
+        let mut entered = false;
+        while k < n {
+            match bytes[k] {
+                b'{' => {
+                    brace_depth += 1;
+                    entered = true;
+                }
+                b'}' => {
+                    brace_depth = brace_depth.saturating_sub(1);
+                    if entered && brace_depth == 0 {
+                        k += 1;
+                        break;
+                    }
+                }
+                b';' if !entered => {
+                    k += 1;
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        ranges.push((attr_start, k));
+        search = k;
+    }
+    ranges
+}
+
+fn in_ranges(ranges: &[(usize, usize)], pos: usize) -> bool {
+    ranges.iter().any(|(a, b)| pos >= *a && pos < *b)
+}
+
+/// Keywords that may directly precede `[` without it being an index
+/// expression (slice patterns, array expressions after `return`, …).
+const NON_INDEX_KEYWORDS: [&str; 24] = [
+    "let", "in", "if", "else", "match", "return", "mut", "ref", "move", "as", "box", "await",
+    "where", "dyn", "impl", "for", "const", "static", "break", "continue", "loop", "while", "type",
+    "unsafe",
+];
+
+/// The identifier-like word ending just before `i` (skipping trailing
+/// whitespace), plus its start offset so callers can inspect what precedes
+/// it (e.g. a `'` marking a lifetime).
+fn preceding_word(bytes: &[u8], mut i: usize) -> Option<(&[u8], usize)> {
+    while i > 0 && bytes[i - 1].is_ascii_whitespace() {
+        i -= 1;
+    }
+    let end = i;
+    while i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+        i -= 1;
+    }
+    (i < end).then(|| (&bytes[i..end], i))
+}
+
+/// Scans masked, test-stripped source for rule hits. `file` is the path
+/// recorded in findings.
+fn scan_masked(file: &str, masked: &str, skip: &[(usize, usize)]) -> Vec<Finding> {
+    let bytes = masked.as_bytes();
+    let n = bytes.len();
+    let mut findings = Vec::new();
+    let line_of = |pos: usize| 1 + masked[..pos].matches('\n').count();
+
+    for i in 0..n {
+        if in_ranges(skip, i) {
+            continue;
+        }
+        match bytes[i] {
+            b'[' => {
+                // Index expression iff the previous non-space token ends an
+                // expression: identifier (non-keyword), ')', ']', or '?'.
+                let mut j = i;
+                while j > 0 && (bytes[j - 1] == b' ' || bytes[j - 1] == b'\t') {
+                    j -= 1;
+                }
+                let prev = if j > 0 { bytes[j - 1] } else { b' ' };
+                let is_index = match prev {
+                    b')' | b']' | b'?' => true,
+                    c if c.is_ascii_alphanumeric() || c == b'_' => {
+                        match preceding_word(bytes, j) {
+                            // A `'`-prefixed word is a lifetime (`&'a [u8]`),
+                            // not an expression ending in an identifier.
+                            Some((_, start)) if start > 0 && bytes[start - 1] == b'\'' => false,
+                            Some((word, _)) => {
+                                !NON_INDEX_KEYWORDS.iter().any(|kw| kw.as_bytes() == word)
+                            }
+                            None => true,
+                        }
+                    }
+                    _ => false,
+                };
+                if is_index {
+                    findings.push(Finding {
+                        file: file.to_string(),
+                        rule: Rule::Index,
+                        line: line_of(i),
+                    });
+                }
+            }
+            b'.' => {
+                let rest = &masked[i + 1..];
+                for (name, rule) in [("unwrap", Rule::Unwrap), ("expect", Rule::Expect)] {
+                    if let Some(after) = rest.strip_prefix(name) {
+                        // The identifier must end here (not unwrap_or /
+                        // expect_err) and be called.
+                        let mut chars = after.chars();
+                        let next = chars.next();
+                        let boundary =
+                            !matches!(next, Some(c) if c.is_ascii_alphanumeric() || c == '_');
+                        let called = after.trim_start().starts_with('(');
+                        if boundary && called {
+                            findings.push(Finding {
+                                file: file.to_string(),
+                                rule,
+                                line: line_of(i),
+                            });
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    findings
+}
+
+/// Lints one source string (exposed for tests; [`scan_file`] is the
+/// filesystem entry point).
+pub fn scan_source(file: &str, source: &str) -> Vec<Finding> {
+    let masked = mask_non_code(source);
+    let skip = test_item_ranges(&masked);
+    scan_masked(file, &masked, &skip)
+}
+
+/// Lints one file on disk; `rel` is the workspace-relative name recorded
+/// in findings.
+pub fn scan_file(path: &Path, rel: &str) -> io::Result<Vec<Finding>> {
+    let source = fs::read_to_string(path)?;
+    Ok(scan_source(rel, &source))
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for determinism.
+pub fn rust_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in fs::read_dir(&d)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Per-file, per-rule finding budgets: the committed ratchet state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Allowlist {
+    /// `(file, rule) -> allowed count`. Absent means zero.
+    pub budgets: BTreeMap<(String, Rule), usize>,
+}
+
+impl Allowlist {
+    /// Parses the `cp-lint.allow` format: one `<file> <rule> <count>` per
+    /// line; `#` comments and blank lines ignored.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut budgets = BTreeMap::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (file, rule, count) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(f), Some(r), Some(c)) => (f, r, c),
+                _ => {
+                    return Err(format!(
+                        "line {}: expected '<file> <rule> <count>'",
+                        lineno + 1
+                    ))
+                }
+            };
+            let rule = Rule::from_tag(rule)
+                .ok_or_else(|| format!("line {}: unknown rule '{rule}'", lineno + 1))?;
+            let count: usize = count
+                .parse()
+                .map_err(|_| format!("line {}: bad count '{count}'", lineno + 1))?;
+            if count == 0 {
+                return Err(format!(
+                    "line {}: zero budgets must be removed, not listed",
+                    lineno + 1
+                ));
+            }
+            budgets.insert((file.to_string(), rule), count);
+        }
+        Ok(Allowlist { budgets })
+    }
+
+    /// Renders the canonical file content for `--update`.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# cp-lint ratchet: per-file budgets for remaining panic sites.\n\
+             # A file over OR under its budget fails the lint; shrink budgets\n\
+             # as debt is paid down (cargo run -p cp-lint -- --update).\n",
+        );
+        for ((file, rule), count) in &self.budgets {
+            out.push_str(&format!("{file} {rule} {count}\n"));
+        }
+        out
+    }
+
+    /// Builds the allowlist matching a set of findings exactly.
+    pub fn from_findings(findings: &[Finding]) -> Allowlist {
+        let mut budgets: BTreeMap<(String, Rule), usize> = BTreeMap::new();
+        for f in findings {
+            *budgets.entry((f.file.clone(), f.rule)).or_insert(0) += 1;
+        }
+        Allowlist { budgets }
+    }
+}
+
+/// One budget discrepancy between findings and the allowlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetError {
+    /// Workspace-relative file.
+    pub file: String,
+    /// The rule whose count diverged.
+    pub rule: Rule,
+    /// Hits found in the file.
+    pub found: usize,
+    /// Budget the allowlist grants.
+    pub allowed: usize,
+    /// Line numbers of the findings (for over-budget reporting).
+    pub lines: Vec<usize>,
+}
+
+impl fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.found > self.allowed {
+            write!(
+                f,
+                "{}: {} {} finding(s), budget {} — fix them or justify a budget \
+                 increase (lines {:?})",
+                self.file, self.found, self.rule, self.allowed, self.lines
+            )
+        } else {
+            write!(
+                f,
+                "{}: {} {} finding(s), budget {} — debt was paid down, ratchet the \
+                 budget (cargo run -p cp-lint -- --update)",
+                self.file, self.found, self.rule, self.allowed
+            )
+        }
+    }
+}
+
+/// Reconciles findings against the allowlist. Empty result means the lint
+/// passes; any entry (over *or* under budget) is a failure.
+pub fn reconcile(findings: &[Finding], allow: &Allowlist) -> Vec<BudgetError> {
+    let mut by_key: BTreeMap<(String, Rule), Vec<usize>> = BTreeMap::new();
+    for f in findings {
+        by_key
+            .entry((f.file.clone(), f.rule))
+            .or_default()
+            .push(f.line);
+    }
+    let mut keys: std::collections::BTreeSet<(String, Rule)> = by_key.keys().cloned().collect();
+    keys.extend(allow.budgets.keys().cloned());
+    let mut errors = Vec::new();
+    for key in keys {
+        let lines = by_key.get(&key).cloned().unwrap_or_default();
+        let found = lines.len();
+        let allowed = allow.budgets.get(&key).copied().unwrap_or(0);
+        if found != allowed {
+            errors.push(BudgetError {
+                file: key.0,
+                rule: key.1,
+                found,
+                allowed,
+                lines,
+            });
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(findings: &[Finding]) -> Vec<(Rule, usize)> {
+        findings.iter().map(|f| (f.rule, f.line)).collect()
+    }
+
+    #[test]
+    fn finds_unwrap_expect_and_indexing() {
+        let src = "fn f(v: &[u8]) -> u8 {\n    let x = v[0];\n    let y: Option<u8> = None;\n    y.unwrap();\n    y.expect(\"boom\")\n}\n";
+        let found = rules_of(&scan_source("t.rs", src));
+        assert_eq!(
+            found,
+            vec![(Rule::Index, 2), (Rule::Unwrap, 4), (Rule::Expect, 5)]
+        );
+    }
+
+    #[test]
+    fn ignores_comments_strings_and_chars() {
+        let src = concat!(
+            "// v[0].unwrap()\n",
+            "/* nested /* v[1] */ .expect(\"x\") */\n",
+            "fn f() -> String {\n",
+            "    let s = \"a[0].unwrap() \\\" .expect(\";\n",
+            "    let r = r#\"b[1].unwrap()\"#;\n",
+            "    let c = '[';\n",
+            "    let q = '\\'';\n",
+            "    format!(\"{s}{r}{c}{q}\")\n",
+            "}\n"
+        );
+        assert!(scan_source("t.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lifetimes_do_not_confuse_the_masker() {
+        let src = "fn f<'a>(x: &'a [u8], v: &'a Vec<u8>) -> &'a u8 {\n    &v[0]\n}\n";
+        let found = rules_of(&scan_source("t.rs", src));
+        assert_eq!(found, vec![(Rule::Index, 2)]);
+    }
+
+    #[test]
+    fn skips_cfg_test_items_and_test_fns() {
+        let src = concat!(
+            "fn prod(v: &[u8]) -> Option<&u8> { v.first() }\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    #[test]\n",
+            "    fn t() { let v = vec![1]; assert_eq!(v[0], 1); v.first().unwrap(); }\n",
+            "}\n"
+        );
+        assert!(scan_source("t.rs", src).is_empty());
+    }
+
+    #[test]
+    fn array_types_patterns_and_macros_are_not_indexing() {
+        let src = concat!(
+            "#[derive(Debug)]\n",
+            "struct S;\n",
+            "fn f(xs: &[u8]) -> Vec<[u8; 2]> {\n",
+            "    if let [a, b] = xs { return vec![[*a, *b]]; }\n",
+            "    let _v: Vec<u8> = vec![1, 2];\n",
+            "    Vec::new()\n",
+            "}\n"
+        );
+        assert!(scan_source("t.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_and_expect_err_do_not_match() {
+        let src = "fn f(y: Option<u8>, e: Result<u8, u8>) -> u8 {\n    y.unwrap_or(0) + y.unwrap_or_default() + e.clone().unwrap_or_else(|_| 0) + e.expect_err(\"no\")\n}\n";
+        assert!(scan_source("t.rs", src).is_empty());
+    }
+
+    #[test]
+    fn chained_and_question_mark_indexing_is_flagged() {
+        let src = "fn f(v: &Vec<Vec<u8>>) -> Option<u8> {\n    let a = v.first()?[0];\n    let b = (v.clone())[0][1];\n    Some(a + b)\n}\n";
+        let found = rules_of(&scan_source("t.rs", src));
+        assert_eq!(
+            found,
+            vec![(Rule::Index, 2), (Rule::Index, 3), (Rule::Index, 3)]
+        );
+    }
+
+    #[test]
+    fn allowlist_roundtrip_and_ratchet() {
+        let findings = vec![
+            Finding {
+                file: "a.rs".into(),
+                rule: Rule::Unwrap,
+                line: 3,
+            },
+            Finding {
+                file: "a.rs".into(),
+                rule: Rule::Unwrap,
+                line: 9,
+            },
+            Finding {
+                file: "b.rs".into(),
+                rule: Rule::Index,
+                line: 1,
+            },
+        ];
+        let allow = Allowlist::from_findings(&findings);
+        let reparsed = Allowlist::parse(&allow.render()).unwrap();
+        assert_eq!(allow, reparsed);
+        assert!(reconcile(&findings, &allow).is_empty());
+
+        // Over budget fails…
+        let mut more = findings.clone();
+        more.push(Finding {
+            file: "b.rs".into(),
+            rule: Rule::Index,
+            line: 7,
+        });
+        let over = reconcile(&more, &allow);
+        assert_eq!(over.len(), 1);
+        assert!(over[0].to_string().contains("budget 1"));
+
+        // …and so does under budget (the ratchet).
+        let fewer = &findings[..2];
+        let under = reconcile(fewer, &allow);
+        assert_eq!(under.len(), 1);
+        assert!(under[0].to_string().contains("ratchet"));
+    }
+
+    #[test]
+    fn allowlist_rejects_zero_budgets_and_junk() {
+        assert!(Allowlist::parse("a.rs unwrap 0").is_err());
+        assert!(Allowlist::parse("a.rs nonsense 1").is_err());
+        assert!(Allowlist::parse("a.rs unwrap").is_err());
+        assert!(Allowlist::parse("# comment\n\na.rs unwrap 2\n").is_ok());
+    }
+}

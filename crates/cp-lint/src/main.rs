@@ -1,0 +1,118 @@
+//! CI entry point: lints the communication-critical crates against the
+//! committed ratchet file.
+//!
+//! ```text
+//! cargo run -p cp-lint              # check against cp-lint.allow
+//! cargo run -p cp-lint -- --update  # rewrite cp-lint.allow from findings
+//! cargo run -p cp-lint -- --list    # print every finding
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use cp_lint::{reconcile, rust_files, scan_file, Allowlist, Finding};
+
+/// Source trees the lint covers: a panic in any of these wedges the ring.
+const TARGETS: [&str; 3] = [
+    "crates/cp-comm/src",
+    "crates/cp-core/src",
+    "crates/cp-attention/src",
+];
+
+const ALLOW_FILE: &str = "cp-lint.allow";
+
+fn workspace_root() -> PathBuf {
+    // crates/cp-lint/ -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn collect_findings(root: &Path) -> Result<Vec<Finding>, String> {
+    let mut findings = Vec::new();
+    for target in TARGETS {
+        let dir = root.join(target);
+        let files = rust_files(&dir).map_err(|e| format!("cannot walk {}: {e}", dir.display()))?;
+        for path in files {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            findings.extend(scan_file(&path, &rel).map_err(|e| format!("cannot read {rel}: {e}"))?);
+        }
+    }
+    Ok(findings)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let update = args.iter().any(|a| a == "--update");
+    let list = args.iter().any(|a| a == "--list");
+    if let Some(bad) = args.iter().find(|a| *a != "--update" && *a != "--list") {
+        eprintln!("unknown argument {bad}; usage: cp-lint [--update] [--list]");
+        return ExitCode::FAILURE;
+    }
+
+    let root = workspace_root();
+    let findings = match collect_findings(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cp-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if list {
+        for f in &findings {
+            println!("{}:{}: {}", f.file, f.line, f.rule);
+        }
+    }
+
+    let allow_path = root.join(ALLOW_FILE);
+    if update {
+        let allow = Allowlist::from_findings(&findings);
+        if let Err(e) = std::fs::write(&allow_path, allow.render()) {
+            eprintln!("cp-lint: cannot write {}: {e}", allow_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "cp-lint: wrote {} ({} budget entries, {} findings)",
+            allow_path.display(),
+            allow.budgets.len(),
+            findings.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let allow = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => match Allowlist::parse(&text) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("cp-lint: {}: {e}", allow_path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(e) => {
+            eprintln!("cp-lint: cannot read {}: {e}", allow_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let errors = reconcile(&findings, &allow);
+    if errors.is_empty() {
+        println!(
+            "cp-lint: clean — {} findings across {} target trees, all within the ratchet",
+            findings.len(),
+            TARGETS.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for e in &errors {
+            eprintln!("cp-lint: {e}");
+        }
+        ExitCode::FAILURE
+    }
+}

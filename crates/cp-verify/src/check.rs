@@ -1,0 +1,1021 @@
+//! The plan model checker: structural validation, FIFO send/recv matching,
+//! collective agreement, deadlock-freedom, and wire-byte conservation.
+//!
+//! # Why matching + graph analysis decides all interleavings
+//!
+//! The fabric is a Kahn process network: each rank runs a deterministic
+//! program against per-peer FIFO channels, and sends are buffered
+//! (non-blocking). In such networks the k-th send on a channel is consumed
+//! by the k-th receive on that channel in *every* execution, so the
+//! matching is interleaving-independent, and a schedule deadlocks in some
+//! interleaving iff it deadlocks in all of them — iff the wait-for graph
+//! over declared operations has a cycle (or a receive has no matching
+//! send). Checking the graph therefore covers the full interleaving space
+//! without enumerating it; [`crate::explore_interleavings`] independently
+//! cross-validates this on small worlds by brute force.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use cp_comm::{CommOp, CommPlan};
+
+/// A node in the wait-for graph: one declared op of one rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct OpRef {
+    /// The rank issuing the op.
+    pub rank: usize,
+    /// Index of the op in the rank's schedule.
+    pub step: usize,
+}
+
+impl fmt::Display for OpRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rank {} step {}", self.rank, self.step)
+    }
+}
+
+/// One property violation found by [`check_plan`]. Every variant names the
+/// offending rank(s) via [`Violation::offending_ranks`] and its `Display`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A plan is malformed: bad rank indexing, out-of-range peer, or a
+    /// collective vector whose length is not the world size.
+    Structure {
+        /// The rank whose schedule is malformed.
+        rank: usize,
+        /// Step of the offending op (its own length for rank-level issues).
+        step: usize,
+        /// Description of the defect.
+        detail: String,
+    },
+    /// A channel's sender declares more messages than its receiver will
+    /// consume; the excess is silently buffered traffic (byte loss).
+    UnmatchedSend {
+        /// The sending rank.
+        from: usize,
+        /// The receiving rank.
+        to: usize,
+        /// Messages the sender declares on the channel.
+        sent: usize,
+        /// Messages the receiver declares on the channel.
+        received: usize,
+    },
+    /// A channel's receiver declares more messages than its sender will
+    /// produce: the extra receive can never complete (guaranteed stall).
+    UnmatchedRecv {
+        /// The sending rank.
+        from: usize,
+        /// The receiving rank (the one that stalls).
+        to: usize,
+        /// Messages the sender declares on the channel.
+        sent: usize,
+        /// Messages the receiver declares on the channel.
+        received: usize,
+    },
+    /// The k-th send on a channel and the k-th receive disagree on the
+    /// message variant.
+    VariantMismatch {
+        /// The send side of the matched pair.
+        send: OpRef,
+        /// The receive side of the matched pair.
+        recv: OpRef,
+        /// Variant the sender declares.
+        sent: &'static str,
+        /// Variant the receiver expects.
+        expected: &'static str,
+    },
+    /// The k-th send on a channel and the k-th receive disagree on wire
+    /// bytes — the conservation law `bytes sent == bytes received` fails.
+    ByteMismatch {
+        /// The send side of the matched pair.
+        send: OpRef,
+        /// The receive side of the matched pair.
+        recv: OpRef,
+        /// Bytes the sender declares.
+        sent_bytes: usize,
+        /// Bytes the receiver expects.
+        recv_bytes: usize,
+    },
+    /// Ranks disagree on a collective: different call counts of a kind, a
+    /// variant mismatch inside one instance, or entry-wise byte
+    /// disagreement (e.g. `all_to_all` row/column mismatch).
+    CollectiveMismatch {
+        /// Collective kind tag (`"all_to_all"`, `"barrier"`, …).
+        kind: &'static str,
+        /// Ranks involved in the disagreement.
+        ranks: Vec<usize>,
+        /// Description of the disagreement.
+        detail: String,
+    },
+    /// The wait-for graph has a cycle: in every interleaving the listed
+    /// ops block each other forever.
+    Deadlock {
+        /// The ops forming the cycle, in wait order.
+        cycle: Vec<OpRef>,
+    },
+    /// Aggregate byte accounting diverged (plan-level conservation against
+    /// the traffic the fabric's `TrafficStats` would record).
+    Conservation {
+        /// Description of the divergence.
+        detail: String,
+    },
+}
+
+impl Violation {
+    /// The ranks responsible for the violation, for attribution in tests
+    /// and CI output.
+    pub fn offending_ranks(&self) -> Vec<usize> {
+        match self {
+            Violation::Structure { rank, .. } => vec![*rank],
+            Violation::UnmatchedSend { from, to, .. }
+            | Violation::UnmatchedRecv { from, to, .. } => vec![*from, *to],
+            Violation::VariantMismatch { send, recv, .. }
+            | Violation::ByteMismatch { send, recv, .. } => vec![send.rank, recv.rank],
+            Violation::CollectiveMismatch { ranks, .. } => ranks.clone(),
+            Violation::Deadlock { cycle } => {
+                let mut rs: Vec<usize> = cycle.iter().map(|n| n.rank).collect();
+                rs.sort_unstable();
+                rs.dedup();
+                rs
+            }
+            Violation::Conservation { .. } => Vec::new(),
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Structure { rank, step, detail } => {
+                write!(f, "structure: rank {rank} step {step}: {detail}")
+            }
+            Violation::UnmatchedSend {
+                from,
+                to,
+                sent,
+                received,
+            } => write!(
+                f,
+                "unmatched send: rank {from} declares {sent} messages to rank {to}, which only \
+                 receives {received}"
+            ),
+            Violation::UnmatchedRecv {
+                from,
+                to,
+                sent,
+                received,
+            } => write!(
+                f,
+                "unmatched recv: rank {to} declares {received} receives from rank {from}, which \
+                 only sends {sent} — the extra receive stalls forever"
+            ),
+            Violation::VariantMismatch {
+                send,
+                recv,
+                sent,
+                expected,
+            } => write!(
+                f,
+                "variant mismatch: {send} sends {sent}, matched {recv} expects {expected}"
+            ),
+            Violation::ByteMismatch {
+                send,
+                recv,
+                sent_bytes,
+                recv_bytes,
+            } => write!(
+                f,
+                "byte mismatch: {send} sends {sent_bytes} wire bytes, matched {recv} expects \
+                 {recv_bytes}"
+            ),
+            Violation::CollectiveMismatch {
+                kind,
+                ranks,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "collective mismatch ({kind}) among ranks {ranks:?}: {detail}"
+                )
+            }
+            Violation::Deadlock { cycle } => {
+                write!(f, "deadlock cycle:")?;
+                for (i, n) in cycle.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ->")?;
+                    }
+                    write!(f, " {n}")?;
+                }
+                Ok(())
+            }
+            Violation::Conservation { detail } => write!(f, "byte conservation: {detail}"),
+        }
+    }
+}
+
+/// Result of a [`check_plan`] run: violations plus coverage counters.
+#[derive(Debug, Clone, Default)]
+pub struct CheckReport {
+    /// All violations found, in detection order.
+    pub violations: Vec<Violation>,
+    /// Declared ops inspected across all ranks.
+    pub ops_checked: usize,
+    /// Directed point-to-point channels with traffic.
+    pub channels: usize,
+    /// Send/recv pairs successfully matched.
+    pub matches: usize,
+}
+
+impl CheckReport {
+    /// `true` when every property held.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// One point-to-point message endpoint extracted from a declared op.
+#[derive(Debug, Clone, Copy)]
+struct Endpoint {
+    op: OpRef,
+    variant: &'static str,
+    bytes: usize,
+}
+
+/// Per-kind collective call sites of one rank, in program order.
+type CollectiveSites<'a> = Vec<(OpRef, &'a CommOp)>;
+
+/// Model-checks a declared communication plan.
+///
+/// Properties checked, in order:
+///
+/// 1. **Structure** — rank indexing, peer ranges, collective vector widths;
+/// 2. **FIFO matching** — the k-th send on every directed channel pairs
+///    with the k-th receive; variant and wire-byte agreement per pair;
+///    unmatched sends (byte loss) and receives (guaranteed stall);
+/// 3. **Collective agreement** — equal call counts per kind, variant and
+///    entry-wise byte agreement within each instance;
+/// 4. **Deadlock-freedom over all interleavings** — no cycle in the
+///    wait-for graph (see the module docs for why this is complete);
+/// 5. **Wire-byte conservation** — per-channel sent == received totals,
+///    and the plan's sender-side totals equal what the fabric's
+///    `TrafficStats` would record (via `CommPlan::predicted_traffic`).
+///
+/// Structural failures short-circuit the remaining phases (their results
+/// would be meaningless on a malformed plan).
+pub fn check_plan(plan: &CommPlan) -> CheckReport {
+    let mut report = CheckReport::default();
+    check_structure(plan, &mut report);
+    if !report.is_clean() {
+        return report;
+    }
+    let matches = check_p2p_matching(plan, &mut report);
+    check_collectives(plan, &mut report);
+    check_deadlock(plan, &matches, &mut report);
+    check_conservation(plan, &mut report);
+    report
+}
+
+fn check_structure(plan: &CommPlan, report: &mut CheckReport) {
+    if plan.ranks.len() != plan.world {
+        report.violations.push(Violation::Structure {
+            rank: 0,
+            step: 0,
+            detail: format!(
+                "plan declares world {} but carries {} rank schedules",
+                plan.world,
+                plan.ranks.len()
+            ),
+        });
+        return;
+    }
+    let world = plan.world;
+    for (idx, rp) in plan.ranks.iter().enumerate() {
+        if rp.rank != idx {
+            report.violations.push(Violation::Structure {
+                rank: idx,
+                step: 0,
+                detail: format!("schedule at position {idx} is labelled rank {}", rp.rank),
+            });
+            continue;
+        }
+        for (step, op) in rp.ops.iter().enumerate() {
+            report.ops_checked += 1;
+            let bad_peer = |peer: usize| peer >= world;
+            let mut flag = |detail: String| {
+                report.violations.push(Violation::Structure {
+                    rank: idx,
+                    step,
+                    detail,
+                });
+            };
+            match op {
+                CommOp::SendRecv { dst, src, .. } => {
+                    if bad_peer(*dst) || bad_peer(*src) {
+                        flag(format!(
+                            "send_recv peers (dst {dst}, src {src}) out of world {world}"
+                        ));
+                    }
+                }
+                CommOp::Send { dst, .. } => {
+                    if bad_peer(*dst) {
+                        flag(format!("send dst {dst} out of world {world}"));
+                    }
+                }
+                CommOp::Recv { src, .. } => {
+                    if bad_peer(*src) {
+                        flag(format!("recv src {src} out of world {world}"));
+                    }
+                }
+                CommOp::AllToAll {
+                    send_bytes,
+                    recv_bytes,
+                    ..
+                } => {
+                    if send_bytes.len() != world || recv_bytes.len() != world {
+                        flag(format!(
+                            "all_to_all byte vectors ({} send, {} recv) must have world {world} \
+                             entries",
+                            send_bytes.len(),
+                            recv_bytes.len()
+                        ));
+                    }
+                }
+                CommOp::AllGather { recv_bytes, .. } | CommOp::AllReduce { recv_bytes, .. } => {
+                    if recv_bytes.len() != world {
+                        flag(format!(
+                            "{} recv byte vector has {} entries, world is {world}",
+                            op.kind(),
+                            recv_bytes.len()
+                        ));
+                    }
+                }
+                CommOp::Barrier => {}
+            }
+        }
+    }
+}
+
+/// FIFO-matches every directed channel; returns, per receive op, the send
+/// op it consumes (used to build the wait-for graph).
+fn check_p2p_matching(plan: &CommPlan, report: &mut CheckReport) -> BTreeMap<OpRef, OpRef> {
+    // Channel (from, to) -> program-ordered endpoint lists.
+    let mut sends: BTreeMap<(usize, usize), Vec<Endpoint>> = BTreeMap::new();
+    let mut recvs: BTreeMap<(usize, usize), Vec<Endpoint>> = BTreeMap::new();
+    for rp in &plan.ranks {
+        for (step, op) in rp.ops.iter().enumerate() {
+            let here = OpRef {
+                rank: rp.rank,
+                step,
+            };
+            match op {
+                CommOp::SendRecv {
+                    dst,
+                    src,
+                    send_variant,
+                    recv_variant,
+                    send_bytes,
+                    recv_bytes,
+                } => {
+                    sends.entry((rp.rank, *dst)).or_default().push(Endpoint {
+                        op: here,
+                        variant: send_variant,
+                        bytes: *send_bytes,
+                    });
+                    recvs.entry((*src, rp.rank)).or_default().push(Endpoint {
+                        op: here,
+                        variant: recv_variant,
+                        bytes: *recv_bytes,
+                    });
+                }
+                CommOp::Send {
+                    dst,
+                    variant,
+                    bytes,
+                } => {
+                    sends.entry((rp.rank, *dst)).or_default().push(Endpoint {
+                        op: here,
+                        variant,
+                        bytes: *bytes,
+                    });
+                }
+                CommOp::Recv {
+                    src,
+                    variant,
+                    bytes,
+                } => {
+                    recvs.entry((*src, rp.rank)).or_default().push(Endpoint {
+                        op: here,
+                        variant,
+                        bytes: *bytes,
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let mut matched: BTreeMap<OpRef, OpRef> = BTreeMap::new();
+    let mut channels: std::collections::BTreeSet<(usize, usize)> =
+        std::collections::BTreeSet::new();
+    channels.extend(sends.keys().copied());
+    channels.extend(recvs.keys().copied());
+    report.channels = channels.len();
+
+    for ch in channels {
+        let empty: Vec<Endpoint> = Vec::new();
+        let ss = sends.get(&ch).unwrap_or(&empty);
+        let rs = recvs.get(&ch).unwrap_or(&empty);
+        let (from, to) = ch;
+        for (s, r) in ss.iter().zip(rs.iter()) {
+            report.matches += 1;
+            matched.insert(r.op, s.op);
+            if s.variant != r.variant {
+                report.violations.push(Violation::VariantMismatch {
+                    send: s.op,
+                    recv: r.op,
+                    sent: s.variant,
+                    expected: r.variant,
+                });
+            }
+            if s.bytes != r.bytes {
+                report.violations.push(Violation::ByteMismatch {
+                    send: s.op,
+                    recv: r.op,
+                    sent_bytes: s.bytes,
+                    recv_bytes: r.bytes,
+                });
+            }
+        }
+        if ss.len() > rs.len() {
+            report.violations.push(Violation::UnmatchedSend {
+                from,
+                to,
+                sent: ss.len(),
+                received: rs.len(),
+            });
+        }
+        if rs.len() > ss.len() {
+            report.violations.push(Violation::UnmatchedRecv {
+                from,
+                to,
+                sent: ss.len(),
+                received: rs.len(),
+            });
+        }
+    }
+    matched
+}
+
+fn collective_sites(plan: &CommPlan) -> BTreeMap<&'static str, Vec<CollectiveSites<'_>>> {
+    let kinds = ["all_to_all", "all_gather", "all_reduce", "barrier"];
+    let mut by_kind: BTreeMap<&'static str, Vec<CollectiveSites<'_>>> = kinds
+        .iter()
+        .map(|k| (*k, vec![Vec::new(); plan.ranks.len()]))
+        .collect();
+    for rp in &plan.ranks {
+        for (step, op) in rp.ops.iter().enumerate() {
+            let kind = op.kind();
+            if let Some(per_rank) = by_kind.get_mut(kind) {
+                if let Some(sites) = per_rank.get_mut(rp.rank) {
+                    sites.push((
+                        OpRef {
+                            rank: rp.rank,
+                            step,
+                        },
+                        op,
+                    ));
+                }
+            }
+        }
+    }
+    by_kind
+}
+
+fn op_variant(op: &CommOp) -> Option<&'static str> {
+    match op {
+        CommOp::AllToAll { variant, .. }
+        | CommOp::AllGather { variant, .. }
+        | CommOp::AllReduce { variant, .. } => Some(variant),
+        _ => None,
+    }
+}
+
+fn check_collectives(plan: &CommPlan, report: &mut CheckReport) {
+    let world = plan.world;
+    for (kind, per_rank) in collective_sites(plan) {
+        // Equal call counts.
+        let counts: Vec<usize> = per_rank.iter().map(Vec::len).collect();
+        let max = counts.iter().copied().max().unwrap_or(0);
+        let min = counts.iter().copied().min().unwrap_or(0);
+        if max != min {
+            let ranks: Vec<usize> = counts
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| **c != max)
+                .map(|(r, _)| r)
+                .collect();
+            report.violations.push(Violation::CollectiveMismatch {
+                kind,
+                ranks,
+                detail: format!("call counts differ across ranks: {counts:?}"),
+            });
+            continue; // instance alignment is undefined past this point
+        }
+        for inst in 0..max {
+            let ops: Vec<(OpRef, &CommOp)> = per_rank
+                .iter()
+                .filter_map(|sites| sites.get(inst).copied())
+                .collect();
+            // Variant agreement within the instance.
+            let variants: Vec<&'static str> =
+                ops.iter().filter_map(|(_, op)| op_variant(op)).collect();
+            if let Some(first) = variants.first() {
+                if variants.iter().any(|v| v != first) {
+                    report.violations.push(Violation::CollectiveMismatch {
+                        kind,
+                        ranks: ops.iter().map(|(n, _)| n.rank).collect(),
+                        detail: format!("instance {inst} variants disagree: {variants:?}"),
+                    });
+                }
+            }
+            // Entry-wise byte agreement: what i says it sends j must be
+            // what j says it receives from i.
+            for (ni, oi) in &ops {
+                for (nj, oj) in &ops {
+                    let (i, j) = (ni.rank, nj.rank);
+                    let declared_send: Option<usize> = match oi {
+                        CommOp::AllToAll { send_bytes, .. } => send_bytes.get(j).copied(),
+                        CommOp::AllGather { send_bytes, .. }
+                        | CommOp::AllReduce { send_bytes, .. } => Some(*send_bytes),
+                        _ => None,
+                    };
+                    let declared_recv: Option<usize> = match oj {
+                        CommOp::AllToAll { recv_bytes, .. }
+                        | CommOp::AllGather { recv_bytes, .. }
+                        | CommOp::AllReduce { recv_bytes, .. } => recv_bytes.get(i).copied(),
+                        _ => None,
+                    };
+                    if let (Some(s), Some(r)) = (declared_send, declared_recv) {
+                        if s != r {
+                            report.violations.push(Violation::CollectiveMismatch {
+                                kind,
+                                ranks: vec![i, j],
+                                detail: format!(
+                                    "instance {inst}: rank {i} sends {s} bytes to rank {j}, \
+                                     which expects {r}"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+            let _ = world;
+        }
+    }
+}
+
+/// Wait-for analysis. Node = declared op. An op *completes* when its
+/// blocking conditions are met; it is *issued* once its rank completed all
+/// earlier ops. Buffered sends complete at issuance; receives additionally
+/// wait for their matched send to be issued; collective instances wait for
+/// every participant's counterpart to be issued. A cycle means every
+/// interleaving deadlocks (Kahn network: matching is schedule-independent).
+fn check_deadlock(plan: &CommPlan, matched: &BTreeMap<OpRef, OpRef>, report: &mut CheckReport) {
+    // Node ids: offsets into a flattened op list.
+    let mut base = Vec::with_capacity(plan.ranks.len());
+    let mut total = 0usize;
+    for rp in &plan.ranks {
+        base.push(total);
+        total += rp.ops.len();
+    }
+    let id = |n: OpRef| -> Option<usize> { base.get(n.rank).map(|b| b + n.step) };
+    let node_of = |i: usize| -> OpRef {
+        // base is sorted; find the owning rank.
+        let rank = match base.binary_search(&i) {
+            Ok(mut r) => {
+                // Skip over empty schedules that share the same base.
+                while base.get(r + 1) == Some(&i) {
+                    r += 1;
+                }
+                r
+            }
+            Err(ins) => ins.saturating_sub(1),
+        };
+        OpRef {
+            rank,
+            step: i - base.get(rank).copied().unwrap_or(0),
+        }
+    };
+
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); total];
+    let add_edge = |from: Option<usize>, to: Option<usize>, edges: &mut Vec<Vec<usize>>| {
+        if let (Some(f), Some(t)) = (from, to) {
+            if let Some(out) = edges.get_mut(f) {
+                out.push(t);
+            }
+        }
+    };
+
+    // Program order.
+    for rp in &plan.ranks {
+        for step in 1..rp.ops.len() {
+            let prev = OpRef {
+                rank: rp.rank,
+                step: step - 1,
+            };
+            let here = OpRef {
+                rank: rp.rank,
+                step,
+            };
+            add_edge(id(prev), id(here), &mut edges);
+        }
+    }
+    // Receives wait for their matched send's issuance (= completion of the
+    // op before the send; a send at step 0 is issued unconditionally).
+    for (recv, send) in matched {
+        if send.step > 0 {
+            let send_prev = OpRef {
+                rank: send.rank,
+                step: send.step - 1,
+            };
+            add_edge(id(send_prev), id(*recv), &mut edges);
+        }
+    }
+    // Collective instances wait for every participant's issuance.
+    for (_, per_rank) in collective_sites(plan) {
+        let counts: Vec<usize> = per_rank.iter().map(Vec::len).collect();
+        let aligned = counts
+            .iter()
+            .all(|c| *c == counts.first().copied().unwrap_or(0));
+        if !aligned {
+            continue; // already reported; alignment undefined
+        }
+        let instances = counts.first().copied().unwrap_or(0);
+        for inst in 0..instances {
+            let nodes: Vec<OpRef> = per_rank
+                .iter()
+                .filter_map(|sites| sites.get(inst).map(|(n, _)| *n))
+                .collect();
+            for a in &nodes {
+                for b in &nodes {
+                    if a.rank != b.rank && b.step > 0 {
+                        let b_prev = OpRef {
+                            rank: b.rank,
+                            step: b.step - 1,
+                        };
+                        add_edge(id(b_prev), id(*a), &mut edges);
+                    }
+                }
+            }
+        }
+    }
+
+    // Iterative DFS cycle detection with path extraction.
+    const WHITE: u8 = 0;
+    const GRAY: u8 = 1;
+    const BLACK: u8 = 2;
+    let mut color = vec![WHITE; total];
+    let mut parent: Vec<Option<usize>> = vec![None; total];
+    for start in 0..total {
+        if color.get(start).copied() != Some(WHITE) {
+            continue;
+        }
+        // (node, next edge index) stack.
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        if let Some(c) = color.get_mut(start) {
+            *c = GRAY;
+        }
+        while let Some(&(v, ei)) = stack.last() {
+            let next = edges.get(v).and_then(|out| out.get(ei)).copied();
+            match next {
+                Some(w) => {
+                    if let Some(last) = stack.last_mut() {
+                        last.1 += 1;
+                    }
+                    match color.get(w).copied() {
+                        Some(WHITE) => {
+                            if let Some(c) = color.get_mut(w) {
+                                *c = GRAY;
+                            }
+                            if let Some(p) = parent.get_mut(w) {
+                                *p = Some(v);
+                            }
+                            stack.push((w, 0));
+                        }
+                        Some(GRAY) => {
+                            // Found a cycle w -> ... -> v -> w.
+                            let mut cycle = vec![node_of(w)];
+                            let mut cur = v;
+                            while cur != w {
+                                cycle.push(node_of(cur));
+                                cur = match parent.get(cur).copied().flatten() {
+                                    Some(p) => p,
+                                    None => break,
+                                };
+                            }
+                            cycle.reverse();
+                            report.violations.push(Violation::Deadlock { cycle });
+                            return; // one cycle is enough evidence
+                        }
+                        _ => {}
+                    }
+                }
+                None => {
+                    stack.pop();
+                    if let Some(c) = color.get_mut(v) {
+                        *c = BLACK;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn check_conservation(plan: &CommPlan, report: &mut CheckReport) {
+    // Independent accounting of sender-side point-to-point bytes, compared
+    // against what CommPlan::predicted_traffic (and hence the fabric's
+    // TrafficStats) would record.
+    let mut p2p = 0usize;
+    let mut recv_total = 0usize;
+    for rp in &plan.ranks {
+        for op in &rp.ops {
+            match op {
+                CommOp::SendRecv {
+                    send_bytes,
+                    recv_bytes,
+                    ..
+                } => {
+                    p2p += send_bytes;
+                    recv_total += recv_bytes;
+                }
+                CommOp::Send { bytes, .. } => p2p += bytes,
+                CommOp::Recv { bytes, .. } => recv_total += bytes,
+                _ => {}
+            }
+        }
+    }
+    if p2p != recv_total {
+        report.violations.push(Violation::Conservation {
+            detail: format!(
+                "point-to-point totals diverge: {p2p} bytes declared sent, {recv_total} declared \
+                 received"
+            ),
+        });
+    }
+    let predicted = plan.predicted_traffic();
+    if predicted.send_recv.bytes != p2p {
+        report.violations.push(Violation::Conservation {
+            detail: format!(
+                "plan accounting mismatch: event walk sums {p2p} send_recv bytes, \
+                 predicted_traffic records {}",
+                predicted.send_recv.bytes
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_comm::RankPlan;
+
+    fn ring(n: usize, hops: usize, bytes: usize) -> CommPlan {
+        CommPlan::from_ranks(
+            (0..n)
+                .map(|r| RankPlan {
+                    rank: r,
+                    ops: (0..hops)
+                        .map(|_| CommOp::SendRecv {
+                            dst: (r + 1) % n,
+                            src: (r + n - 1) % n,
+                            send_variant: "Kv",
+                            recv_variant: "Kv",
+                            send_bytes: bytes,
+                            recv_bytes: bytes,
+                        })
+                        .collect(),
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn clean_ring_passes_all_checks() {
+        for n in [2, 4, 8] {
+            let report = check_plan(&ring(n, n - 1, 64));
+            assert!(report.is_clean(), "{:?}", report.violations);
+            assert_eq!(report.ops_checked, n * (n - 1));
+            assert_eq!(report.channels, n);
+            assert_eq!(report.matches, n * (n - 1));
+        }
+    }
+
+    #[test]
+    fn recv_first_schedule_is_a_deadlock_cycle() {
+        // Every rank receives before sending: a cyclic wait that buffered
+        // sends cannot break.
+        let n = 4;
+        let plan = CommPlan::from_ranks(
+            (0..n)
+                .map(|r| RankPlan {
+                    rank: r,
+                    ops: vec![
+                        CommOp::Recv {
+                            src: (r + n - 1) % n,
+                            variant: "Kv",
+                            bytes: 8,
+                        },
+                        CommOp::Send {
+                            dst: (r + 1) % n,
+                            variant: "Kv",
+                            bytes: 8,
+                        },
+                    ],
+                })
+                .collect(),
+        );
+        let report = check_plan(&plan);
+        let deadlocks: Vec<_> = report
+            .violations
+            .iter()
+            .filter(|v| matches!(v, Violation::Deadlock { .. }))
+            .collect();
+        assert_eq!(deadlocks.len(), 1, "{:?}", report.violations);
+        // The cycle names every rank.
+        let mut ranks = deadlocks[0].offending_ranks();
+        ranks.sort_unstable();
+        assert_eq!(ranks, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn send_first_schedule_is_fine() {
+        // The same exchange with buffered sends first: no deadlock.
+        let n = 4;
+        let plan = CommPlan::from_ranks(
+            (0..n)
+                .map(|r| RankPlan {
+                    rank: r,
+                    ops: vec![
+                        CommOp::Send {
+                            dst: (r + 1) % n,
+                            variant: "Kv",
+                            bytes: 8,
+                        },
+                        CommOp::Recv {
+                            src: (r + n - 1) % n,
+                            variant: "Kv",
+                            bytes: 8,
+                        },
+                    ],
+                })
+                .collect(),
+        );
+        assert!(check_plan(&plan).is_clean());
+    }
+
+    #[test]
+    fn out_of_range_peer_is_structural() {
+        let mut plan = ring(2, 1, 8);
+        plan.ranks[0].ops[0] = CommOp::Send {
+            dst: 7,
+            variant: "Kv",
+            bytes: 8,
+        };
+        let report = check_plan(&plan);
+        assert!(matches!(
+            report.violations.first(),
+            Some(Violation::Structure {
+                rank: 0,
+                step: 0,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn variant_and_byte_mismatches_name_both_ends() {
+        let mut plan = ring(2, 1, 8);
+        if let Some(CommOp::SendRecv {
+            send_variant,
+            send_bytes,
+            ..
+        }) = plan.ranks[1].ops.get_mut(0)
+        {
+            *send_variant = "Q";
+            *send_bytes = 4;
+        }
+        let report = check_plan(&plan);
+        let has_variant = report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::VariantMismatch { send, .. } if send.rank == 1));
+        let has_bytes = report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::ByteMismatch { send, .. } if send.rank == 1));
+        assert!(has_variant && has_bytes, "{:?}", report.violations);
+        // Byte skew also breaks channel conservation.
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::Conservation { .. })));
+    }
+
+    #[test]
+    fn dropped_hop_reports_unmatched_traffic() {
+        let mut plan = ring(4, 3, 8);
+        plan.ranks[2].ops.pop();
+        let report = check_plan(&plan);
+        assert!(report.violations.iter().any(|v| matches!(
+            v,
+            Violation::UnmatchedSend {
+                from: 1,
+                to: 2,
+                sent: 3,
+                received: 2
+            }
+        )));
+        assert!(report.violations.iter().any(|v| matches!(
+            v,
+            Violation::UnmatchedRecv {
+                from: 2,
+                to: 3,
+                sent: 2,
+                received: 3
+            }
+        )));
+    }
+
+    #[test]
+    fn collective_count_skew_is_reported() {
+        let mut plan = ring(3, 2, 8);
+        plan.ranks[1].ops.push(CommOp::Barrier);
+        let report = check_plan(&plan);
+        assert!(report.violations.iter().any(|v| matches!(
+            v,
+            Violation::CollectiveMismatch {
+                kind: "barrier",
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn all_to_all_row_column_byte_skew_is_reported() {
+        let n = 3;
+        let mut plan = CommPlan::from_ranks(
+            (0..n)
+                .map(|r| RankPlan {
+                    rank: r,
+                    ops: vec![CommOp::AllToAll {
+                        variant: "Out",
+                        send_bytes: vec![10; n],
+                        recv_bytes: vec![10; n],
+                    }],
+                })
+                .collect(),
+        );
+        if let Some(CommOp::AllToAll { send_bytes, .. }) = plan.ranks[0].ops.get_mut(0) {
+            send_bytes[2] = 99; // rank 0 -> rank 2 disagrees with rank 2's expectation
+        }
+        let report = check_plan(&plan);
+        assert!(report.violations.iter().any(|v| match v {
+            Violation::CollectiveMismatch { ranks, detail, .. } =>
+                ranks == &vec![0, 2] && detail.contains("99"),
+            _ => false,
+        }));
+    }
+
+    #[test]
+    fn mismatched_collective_instance_does_not_false_deadlock() {
+        // A lone barrier on one rank stalls at runtime, but the checker
+        // reports it as a collective mismatch, not a graph cycle.
+        let mut plan = ring(2, 1, 8);
+        plan.ranks[0].ops.push(CommOp::Barrier);
+        let report = check_plan(&plan);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::CollectiveMismatch { .. })));
+        assert!(!report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::Deadlock { .. })));
+    }
+
+    #[test]
+    fn violations_render_with_rank_attribution() {
+        let mut plan = ring(2, 2, 8);
+        plan.ranks[1].ops.pop();
+        for v in check_plan(&plan).violations {
+            let text = v.to_string();
+            assert!(
+                v.offending_ranks()
+                    .iter()
+                    .any(|r| text.contains(&format!("rank {r}")))
+                    || matches!(v, Violation::Conservation { .. }),
+                "{text}"
+            );
+        }
+    }
+}

@@ -1,0 +1,399 @@
+//! Brute-force interleaving explorer for small worlds.
+//!
+//! [`explore_interleavings`] enumerates every reachable program-counter
+//! vector of a plan under the fabric's execution model (buffered sends,
+//! FIFO channels, blocking receives and collectives) and reports the first
+//! stuck non-terminal state, if any. The state space is the product of the
+//! ranks' schedule lengths, so this is tractable for CP ≤ 4 and serves as
+//! an independent cross-check of the graph-based criterion in
+//! [`crate::check_plan`] — the two must agree on deadlock-freedom.
+
+use std::collections::{BTreeMap, HashSet};
+
+use cp_comm::{CommOp, CommPlan};
+
+/// Result of exhaustively stepping a plan through every interleaving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExploreOutcome {
+    /// Every interleaving drains every rank's schedule.
+    Complete {
+        /// Distinct program-counter states visited.
+        states: usize,
+    },
+    /// A reachable state where no rank can make progress.
+    Deadlock {
+        /// Program counter of each rank in the stuck state.
+        pcs: Vec<usize>,
+        /// Per stuck rank: `(rank, why its next op is blocked)`.
+        blocked: Vec<(usize, String)>,
+    },
+    /// The search hit `max_states` before finishing (plan too large).
+    Truncated {
+        /// Distinct states visited before giving up.
+        states: usize,
+    },
+}
+
+impl ExploreOutcome {
+    /// `true` when the exploration proved deadlock-freedom.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, ExploreOutcome::Complete { .. })
+    }
+}
+
+/// Per-op enabling condition, precomputed from the interleaving-independent
+/// FIFO matching (Kahn network property).
+#[derive(Debug, Clone)]
+enum Enable {
+    /// Buffered send: always enabled.
+    Always,
+    /// Receive: enabled once the matched send (on `rank`, at op index
+    /// `issued_after`) has been *issued*, i.e. that rank's pc > index.
+    AfterIssued { rank: usize, index: usize },
+    /// Receive with no matching send anywhere: never enabled.
+    Never(String),
+    /// Collective: enabled once every listed `(rank, index)` counterpart
+    /// has been issued.
+    AllIssued(Vec<(usize, usize)>),
+}
+
+fn build_enables(plan: &CommPlan) -> Vec<Vec<Enable>> {
+    let n = plan.ranks.len();
+    // FIFO matching per directed channel: k-th send pairs with k-th recv.
+    let mut send_sites: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
+    let mut recv_sites: BTreeMap<(usize, usize), Vec<(usize, usize)>> = BTreeMap::new();
+    // Collective counterparts: per kind, per rank, op indices in order.
+    let mut coll_sites: BTreeMap<&'static str, Vec<Vec<usize>>> = BTreeMap::new();
+    for rp in &plan.ranks {
+        for (step, op) in rp.ops.iter().enumerate() {
+            match op {
+                CommOp::SendRecv { dst, src, .. } => {
+                    send_sites.entry((rp.rank, *dst)).or_default().push(step);
+                    recv_sites
+                        .entry((*src, rp.rank))
+                        .or_default()
+                        .push((rp.rank, step));
+                }
+                CommOp::Send { dst, .. } => {
+                    send_sites.entry((rp.rank, *dst)).or_default().push(step);
+                }
+                CommOp::Recv { src, .. } => {
+                    recv_sites
+                        .entry((*src, rp.rank))
+                        .or_default()
+                        .push((rp.rank, step));
+                }
+                CommOp::AllToAll { .. }
+                | CommOp::AllGather { .. }
+                | CommOp::AllReduce { .. }
+                | CommOp::Barrier => {
+                    let per_rank = coll_sites
+                        .entry(op.kind())
+                        .or_insert_with(|| vec![Vec::new(); n]);
+                    if let Some(sites) = per_rank.get_mut(rp.rank) {
+                        sites.push(step);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut enables: Vec<Vec<Enable>> = plan
+        .ranks
+        .iter()
+        .map(|rp| vec![Enable::Always; rp.ops.len()])
+        .collect();
+    let mut set = |rank: usize, step: usize, e: Enable| {
+        if let Some(slot) = enables.get_mut(rank).and_then(|ops| ops.get_mut(step)) {
+            *slot = e;
+        }
+    };
+
+    // Receives (including the receive half of SendRecv, which is what
+    // blocks) wait for the matched send's issuance.
+    for (channel, receivers) in &recv_sites {
+        let empty = Vec::new();
+        let senders = send_sites.get(channel).unwrap_or(&empty);
+        for (k, (rank, step)) in receivers.iter().enumerate() {
+            match senders.get(k) {
+                Some(send_index) => set(
+                    *rank,
+                    *step,
+                    Enable::AfterIssued {
+                        rank: channel.0,
+                        index: *send_index,
+                    },
+                ),
+                None => set(
+                    *rank,
+                    *step,
+                    Enable::Never(format!(
+                        "waiting for message {k} from rank {}, which sends only {}",
+                        channel.0,
+                        senders.len()
+                    )),
+                ),
+            }
+        }
+    }
+
+    // Collectives: the m-th instance of a kind on one rank meets the m-th
+    // on every other; it completes once all counterparts are issued.
+    for (kind, per_rank) in &coll_sites {
+        let instances = per_rank.iter().map(Vec::len).max().unwrap_or(0);
+        for inst in 0..instances {
+            for (rank, sites) in per_rank.iter().enumerate() {
+                let Some(step) = sites.get(inst) else {
+                    continue;
+                };
+                let mut needs = Vec::new();
+                let mut missing = None;
+                for (peer, peer_sites) in per_rank.iter().enumerate() {
+                    if peer == rank {
+                        continue;
+                    }
+                    match peer_sites.get(inst) {
+                        Some(peer_step) => needs.push((peer, *peer_step)),
+                        None => missing = Some(peer),
+                    }
+                }
+                match missing {
+                    Some(peer) => set(
+                        rank,
+                        *step,
+                        Enable::Never(format!(
+                            "{kind} instance {inst} never reached by rank {peer}"
+                        )),
+                    ),
+                    None => set(rank, *step, Enable::AllIssued(needs)),
+                }
+            }
+        }
+    }
+
+    enables
+}
+
+fn enabled(e: &Enable, pcs: &[usize]) -> Result<(), String> {
+    match e {
+        Enable::Always => Ok(()),
+        Enable::AfterIssued { rank, index } => {
+            // Issuance, not completion: a rank that has finished every op
+            // before `index` has already posted the (buffered) send half of
+            // the op at `index`, even while blocked on its receive half.
+            if pcs.get(*rank).copied().unwrap_or(0) >= *index {
+                Ok(())
+            } else {
+                Err(format!(
+                    "waiting for rank {rank} to issue its op {index} (pc {})",
+                    pcs.get(*rank).copied().unwrap_or(0)
+                ))
+            }
+        }
+        Enable::Never(why) => Err(why.clone()),
+        Enable::AllIssued(needs) => {
+            for (rank, index) in needs {
+                if pcs.get(*rank).copied().unwrap_or(0) < *index {
+                    return Err(format!(
+                        "waiting for rank {rank} to reach its collective at op {index}"
+                    ));
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Exhaustively explores every interleaving of the plan's rank schedules.
+///
+/// The search is a DFS over program-counter vectors with memoisation;
+/// because enabling only ever depends on pc vectors (buffered FIFO
+/// channels make matching schedule-independent), visiting each vector once
+/// covers all interleavings. `max_states` bounds the search; the default
+/// via [`explore_default`] is ample for CP ≤ 4 ring schedules.
+pub fn explore_interleavings(plan: &CommPlan, max_states: usize) -> ExploreOutcome {
+    let enables = build_enables(plan);
+    let lens: Vec<usize> = plan.ranks.iter().map(|rp| rp.ops.len()).collect();
+    let start = vec![0usize; lens.len()];
+
+    let mut visited: HashSet<Vec<usize>> = HashSet::new();
+    let mut stack = vec![start];
+    while let Some(pcs) = stack.pop() {
+        if !visited.insert(pcs.clone()) {
+            continue;
+        }
+        if visited.len() > max_states {
+            return ExploreOutcome::Truncated {
+                states: visited.len(),
+            };
+        }
+        let mut any_enabled = false;
+        let mut blocked = Vec::new();
+        for (rank, pc) in pcs.iter().enumerate() {
+            if *pc >= lens.get(rank).copied().unwrap_or(0) {
+                continue; // rank finished
+            }
+            match enables
+                .get(rank)
+                .and_then(|ops| ops.get(*pc))
+                .map(|e| enabled(e, &pcs))
+            {
+                Some(Ok(())) => {
+                    any_enabled = true;
+                    let mut next = pcs.clone();
+                    if let Some(slot) = next.get_mut(rank) {
+                        *slot += 1;
+                    }
+                    stack.push(next);
+                }
+                Some(Err(why)) => blocked.push((rank, why)),
+                None => blocked.push((rank, "op index out of schedule".to_string())),
+            }
+        }
+        if !any_enabled && !blocked.is_empty() {
+            return ExploreOutcome::Deadlock { pcs, blocked };
+        }
+    }
+    ExploreOutcome::Complete {
+        states: visited.len(),
+    }
+}
+
+/// [`explore_interleavings`] with a state budget sized for CP ≤ 4 ring
+/// schedules (schedule lengths up to ~40 ops per rank).
+pub fn explore_default(plan: &CommPlan) -> ExploreOutcome {
+    explore_interleavings(plan, 5_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_comm::RankPlan;
+
+    fn ring(n: usize, hops: usize) -> CommPlan {
+        CommPlan::from_ranks(
+            (0..n)
+                .map(|r| RankPlan {
+                    rank: r,
+                    ops: (0..hops)
+                        .map(|_| CommOp::SendRecv {
+                            dst: (r + 1) % n,
+                            src: (r + n - 1) % n,
+                            send_variant: "Kv",
+                            recv_variant: "Kv",
+                            send_bytes: 16,
+                            recv_bytes: 16,
+                        })
+                        .collect(),
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn ring_completes_in_every_interleaving() {
+        for n in [2, 3, 4] {
+            let outcome = explore_default(&ring(n, n - 1));
+            assert!(outcome.is_complete(), "{outcome:?}");
+        }
+    }
+
+    #[test]
+    fn state_count_is_full_product_for_two_rank_ring() {
+        // With one symmetric hop per rank, either rank can step first (the
+        // peer's send is posted at issuance), so all four pc vectors are
+        // reachable.
+        match explore_default(&ring(2, 1)) {
+            ExploreOutcome::Complete { states } => assert_eq!(states, 4),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn recv_first_cycle_deadlocks_at_start() {
+        let n = 3;
+        let plan = CommPlan::from_ranks(
+            (0..n)
+                .map(|r| RankPlan {
+                    rank: r,
+                    ops: vec![
+                        CommOp::Recv {
+                            src: (r + n - 1) % n,
+                            variant: "Kv",
+                            bytes: 8,
+                        },
+                        CommOp::Send {
+                            dst: (r + 1) % n,
+                            variant: "Kv",
+                            bytes: 8,
+                        },
+                    ],
+                })
+                .collect(),
+        );
+        match explore_default(&plan) {
+            ExploreOutcome::Deadlock { pcs, blocked } => {
+                assert_eq!(pcs, vec![0, 0, 0]);
+                assert_eq!(blocked.len(), 3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_send_is_found_as_deadlock() {
+        let mut plan = ring(3, 2);
+        plan.ranks[1].ops.pop(); // rank 2 waits for a second message forever
+        match explore_default(&plan) {
+            ExploreOutcome::Deadlock { blocked, .. } => {
+                assert!(blocked
+                    .iter()
+                    .any(|(r, why)| *r == 2 && why.contains("rank 1")));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn lopsided_barrier_deadlocks() {
+        let plan = CommPlan::from_ranks(vec![
+            RankPlan {
+                rank: 0,
+                ops: vec![CommOp::Barrier],
+            },
+            RankPlan {
+                rank: 1,
+                ops: vec![],
+            },
+        ]);
+        match explore_default(&plan) {
+            ExploreOutcome::Deadlock { blocked, .. } => {
+                assert!(blocked
+                    .iter()
+                    .any(|(r, why)| *r == 0 && why.contains("barrier")));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn aligned_barriers_complete() {
+        let plan = CommPlan::from_ranks(
+            (0..3)
+                .map(|r| RankPlan {
+                    rank: r,
+                    ops: vec![CommOp::Barrier, CommOp::Barrier],
+                })
+                .collect(),
+        );
+        assert!(explore_default(&plan).is_complete());
+    }
+
+    #[test]
+    fn tiny_state_budget_truncates() {
+        match explore_interleavings(&ring(4, 3), 5) {
+            ExploreOutcome::Truncated { states } => assert!(states > 5),
+            other => panic!("{other:?}"),
+        }
+    }
+}

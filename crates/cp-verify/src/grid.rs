@@ -1,0 +1,180 @@
+//! The (T, P, varseq) configuration grid of real ring schedules.
+//!
+//! The checker's subject matter is the schedules the engine actually runs,
+//! so this module builds [`CommPlan`]s through the *production* builders in
+//! `cp_core::schedule` — pass-KV prefill, pass-Q prefill, and batched
+//! pass-Q decode — over a grid of tokens-per-rank, decode-slot counts, and
+//! sequence-length skew (`varseq`). Inputs are zero tensors: plans depend
+//! only on shapes, never on values.
+
+use cp_attention::{AttentionParams, GqaShape};
+use cp_comm::CommPlan;
+use cp_core::schedule::{decode_plan, pass_kv_plan, pass_q_plan};
+use cp_core::{CoreError, DecodeSlot, LocalSeq};
+use cp_tensor::Tensor;
+
+/// One grid point: a named, real schedule to verify.
+#[derive(Debug, Clone)]
+pub struct GridCase {
+    /// Human-readable case id, e.g. `cp4/pass_q/t3/varseq`.
+    pub name: String,
+    /// The declared schedule for this case.
+    pub plan: CommPlan,
+}
+
+/// Attention geometry used for every grid case. Plans scale linearly in
+/// head counts, so a small GQA shape exercises the same schedule structure
+/// as a production one.
+fn grid_params() -> Result<AttentionParams, CoreError> {
+    let shape = GqaShape::new(2, 1, 4).map_err(CoreError::from)?;
+    Ok(AttentionParams::for_shape(shape))
+}
+
+/// Builds each rank's fused-batch prefill input. With `varseq`, ranks
+/// alternate between `t_base` and `t_base + 1` query tokens while the KV
+/// shard stays padded to the common maximum (the §3.5.2 invariant that
+/// keeps circulating KV messages equal-sized).
+fn grid_locals(cp: usize, t_base: usize, varseq: bool, shape: GqaShape) -> Vec<Vec<LocalSeq>> {
+    let kv_len = t_base + usize::from(varseq);
+    let mut start = 0usize;
+    (0..cp)
+        .map(|r| {
+            let t = if varseq { t_base + r % 2 } else { t_base };
+            let q_pos: Vec<usize> = (start..start + t).collect();
+            let kv_pos: Vec<usize> = (start..start + kv_len).collect();
+            start += kv_len;
+            vec![LocalSeq {
+                q: Tensor::zeros(&[t, shape.n_heads(), shape.head_dim()]),
+                q_pos,
+                k: Tensor::zeros(&[kv_len, shape.n_kv_heads(), shape.head_dim()]),
+                v: Tensor::zeros(&[kv_len, shape.n_kv_heads(), shape.head_dim()]),
+                kv_pos,
+            }]
+        })
+        .collect()
+}
+
+/// Builds each rank's decode slot vector. With `varseq`, some slots are
+/// `None` padding (ranks with no active decode in that position), which is
+/// how the batched decode schedule handles ragged batches.
+fn grid_slots(
+    cp: usize,
+    slots: usize,
+    varseq: bool,
+    shape: GqaShape,
+) -> Vec<Vec<Option<DecodeSlot>>> {
+    (0..cp)
+        .map(|r| {
+            (0..slots)
+                .map(|s| {
+                    if varseq && (r + s) % 2 == 1 {
+                        None
+                    } else {
+                        Some(DecodeSlot {
+                            bid: s,
+                            q: Tensor::zeros(&[1, shape.n_heads(), shape.head_dim()]),
+                            pos: 8 * cp + s,
+                        })
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Builds every grid case for one CP degree: the cross product of
+/// algorithm × tokens-per-rank (or slots) × uniform/varseq.
+///
+/// # Errors
+///
+/// Propagates [`CoreError`] from the production plan builders (only
+/// possible for degenerate configurations, which the grid avoids).
+pub fn grid_cases(cp: usize) -> Result<Vec<GridCase>, CoreError> {
+    let params = grid_params()?;
+    let shape = params.shape;
+    let mut cases = Vec::new();
+    for &t in &[1usize, 3] {
+        for &varseq in &[false, true] {
+            if varseq && cp < 2 {
+                continue;
+            }
+            let tag = if varseq { "varseq" } else { "uniform" };
+            let locals = grid_locals(cp, t, varseq, shape);
+            cases.push(GridCase {
+                name: format!("cp{cp}/pass_kv/t{t}/{tag}"),
+                plan: pass_kv_plan(&locals)?,
+            });
+            cases.push(GridCase {
+                name: format!("cp{cp}/pass_q/t{t}/{tag}"),
+                plan: pass_q_plan(&params, &locals)?,
+            });
+        }
+    }
+    for &slots in &[1usize, 3] {
+        for &varseq in &[false, true] {
+            let tag = if varseq { "ragged" } else { "full" };
+            let decode_slots = grid_slots(cp, slots, varseq, shape);
+            cases.push(GridCase {
+                name: format!("cp{cp}/decode/p{slots}/{tag}"),
+                plan: decode_plan(&params, &decode_slots)?,
+            });
+        }
+    }
+    Ok(cases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check_plan;
+    use crate::explore::explore_default;
+
+    #[test]
+    fn grid_covers_all_three_algorithms() {
+        let cases = grid_cases(4).unwrap();
+        for alg in ["pass_kv", "pass_q", "decode"] {
+            assert!(cases.iter().any(|c| c.name.contains(alg)), "missing {alg}");
+        }
+        assert!(cases.len() >= 12);
+    }
+
+    #[test]
+    fn every_grid_schedule_is_clean_for_cp_2_4_8() {
+        for cp in [2, 4, 8] {
+            for case in grid_cases(cp).unwrap() {
+                let report = check_plan(&case.plan);
+                assert!(report.is_clean(), "{}: {:?}", case.name, report.violations);
+            }
+        }
+    }
+
+    #[test]
+    fn explorer_agrees_with_checker_on_small_worlds() {
+        for cp in [2, 3, 4] {
+            for case in grid_cases(cp).unwrap() {
+                let outcome = explore_default(&case.plan);
+                assert!(outcome.is_complete(), "{}: {:?}", case.name, outcome);
+            }
+        }
+    }
+
+    #[test]
+    fn varseq_kv_messages_stay_equal_sized() {
+        // §3.5.2: KV shards are padded to a common length, so circulating
+        // KV messages must all be the same size even with skewed queries.
+        for case in grid_cases(4).unwrap() {
+            if !case.name.contains("pass_kv") {
+                continue;
+            }
+            let mut sizes = std::collections::BTreeSet::new();
+            for rp in &case.plan.ranks {
+                for op in &rp.ops {
+                    if let cp_comm::CommOp::SendRecv { send_bytes, .. } = op {
+                        sizes.insert(*send_bytes);
+                    }
+                }
+            }
+            assert_eq!(sizes.len(), 1, "{}: {sizes:?}", case.name);
+        }
+    }
+}

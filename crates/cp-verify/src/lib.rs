@@ -1,0 +1,95 @@
+//! `cp-verify` — offline model checker for the ring communication
+//! schedules declared by `cp_core::schedule`.
+//!
+//! The ring algorithms (paper Alg. 2–4) follow fixed, data-independent
+//! communication schedules. `cp-core` declares them as [`cp_comm::CommPlan`]
+//! data; this crate *checks* those declarations without running any rank:
+//!
+//! * [`check_plan`] — structural validation, FIFO send/recv matching
+//!   (variant + wire-byte agreement per matched pair), collective
+//!   agreement, deadlock-freedom over **all** interleavings via wait-for
+//!   graph analysis, and wire-byte conservation. Sound and complete for
+//!   the fabric's execution model (a Kahn process network with buffered
+//!   sends), so it scales to any CP degree.
+//! * [`explore_interleavings`] — brute-force enumeration of every
+//!   reachable program-counter state, tractable for CP ≤ 4. Used to
+//!   cross-validate the graph criterion: both engines must agree.
+//! * [`grid_cases`] — the (T, P, varseq) grid of *real* schedules built
+//!   through the production plan builders, for CP ∈ {2, 4, 8}.
+//! * [`apply_mutation`] — seeded bugs (deadlock, wrong variant, dropped
+//!   hop, short bytes) that both this checker and the runtime
+//!   `cp_comm::CheckedFabric` sanitizer must catch.
+//!
+//! The `cp-verify` binary runs the grid as a CI smoke check:
+//!
+//! ```text
+//! cargo run -p cp-verify            # CP ∈ {2, 4, 8}
+//! cargo run -p cp-verify -- --cp 2 --cp 4
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod check;
+mod explore;
+mod grid;
+mod mutate;
+
+pub use check::{check_plan, CheckReport, OpRef, Violation};
+pub use explore::{explore_default, explore_interleavings, ExploreOutcome};
+pub use grid::{grid_cases, GridCase};
+pub use mutate::{apply_mutation, Mutation};
+
+/// CP degrees exhaustively explorable by [`explore_interleavings`] within
+/// the default state budget.
+pub const EXPLORABLE_CP: usize = 4;
+
+/// Verifies every grid schedule for one CP degree with both engines.
+///
+/// Returns `(cases_checked, failures)` where each failure pairs the case
+/// name with a description. The explorer runs only for `cp <=
+/// EXPLORABLE_CP`; the graph checker runs always.
+pub fn verify_grid(cp: usize) -> Result<(usize, Vec<(String, String)>), cp_core::CoreError> {
+    let cases = grid_cases(cp)?;
+    let mut failures = Vec::new();
+    for case in &cases {
+        let report = check_plan(&case.plan);
+        for v in &report.violations {
+            failures.push((case.name.clone(), v.to_string()));
+        }
+        if cp <= EXPLORABLE_CP {
+            match explore_default(&case.plan) {
+                ExploreOutcome::Complete { .. } => {}
+                ExploreOutcome::Deadlock { pcs, blocked } => failures.push((
+                    case.name.clone(),
+                    format!("explorer found deadlock at pcs {pcs:?}: {blocked:?}"),
+                )),
+                ExploreOutcome::Truncated { states } => failures.push((
+                    case.name.clone(),
+                    format!("explorer truncated after {states} states"),
+                )),
+            }
+        }
+    }
+    Ok((cases.len(), failures))
+}
+
+/// Self-test: seeds every mutation into every grid schedule and confirms
+/// the checker catches each one. Returns `(mutants_checked, escapes)`.
+pub fn verify_mutations(cp: usize) -> Result<(usize, Vec<String>), cp_core::CoreError> {
+    let cases = grid_cases(cp)?;
+    let mut checked = 0usize;
+    let mut escapes = Vec::new();
+    for case in &cases {
+        for mutation in Mutation::seeds(cp.saturating_sub(1)) {
+            let Some(mutated) = apply_mutation(&case.plan, mutation) else {
+                continue;
+            };
+            checked += 1;
+            if check_plan(&mutated).is_clean() {
+                escapes.push(format!("{} survived {}", case.name, mutation.tag()));
+            }
+        }
+    }
+    Ok((checked, escapes))
+}

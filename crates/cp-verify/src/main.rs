@@ -1,0 +1,105 @@
+//! CI smoke binary: model-check the real ring schedules.
+//!
+//! ```text
+//! cp-verify                 # CP ∈ {2, 4, 8}
+//! cp-verify --cp 2 --cp 4   # explicit degrees
+//! cp-verify --mutations     # also run the mutation self-test
+//! ```
+//!
+//! Exits non-zero (and prints every violation) if any schedule fails a
+//! check or any seeded mutation escapes.
+
+use std::process::ExitCode;
+
+use cp_verify::{verify_grid, verify_mutations, EXPLORABLE_CP};
+
+struct Args {
+    cps: Vec<usize>,
+    mutations: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut cps = Vec::new();
+    let mut mutations = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--cp" => {
+                let value = argv.next().ok_or("--cp needs a value")?;
+                let cp: usize = value
+                    .parse()
+                    .map_err(|_| format!("--cp {value}: not a number"))?;
+                if cp == 0 {
+                    return Err("--cp must be >= 1".to_string());
+                }
+                cps.push(cp);
+            }
+            "--mutations" => mutations = true,
+            "--help" | "-h" => return Err("usage: cp-verify [--cp N]... [--mutations]".to_string()),
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    if cps.is_empty() {
+        cps = vec![2, 4, 8];
+    }
+    Ok(Args { cps, mutations })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failed = false;
+    for &cp in &args.cps {
+        match verify_grid(cp) {
+            Ok((cases, failures)) => {
+                if failures.is_empty() {
+                    let engines = if cp <= EXPLORABLE_CP {
+                        "graph + exhaustive interleavings"
+                    } else {
+                        "graph"
+                    };
+                    println!("cp={cp}: {cases} schedules clean ({engines})");
+                } else {
+                    failed = true;
+                    for (case, detail) in failures {
+                        eprintln!("cp={cp}: FAIL {case}: {detail}");
+                    }
+                }
+            }
+            Err(e) => {
+                failed = true;
+                eprintln!("cp={cp}: could not build grid: {e}");
+            }
+        }
+        if args.mutations {
+            match verify_mutations(cp) {
+                Ok((checked, escapes)) => {
+                    if escapes.is_empty() {
+                        println!("cp={cp}: {checked} seeded mutations all caught");
+                    } else {
+                        failed = true;
+                        for escape in escapes {
+                            eprintln!("cp={cp}: MUTATION ESCAPE {escape}");
+                        }
+                    }
+                }
+                Err(e) => {
+                    failed = true;
+                    eprintln!("cp={cp}: mutation self-test failed to build: {e}");
+                }
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
