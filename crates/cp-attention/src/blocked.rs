@@ -2,6 +2,7 @@
 
 use crate::naive::check_positions;
 use crate::{AttentionError, AttentionOutput, AttentionParams, PAD};
+use cp_pool::ComputePool;
 use cp_tensor::Tensor;
 
 /// Exact GQA attention computed in KV blocks with an online softmax, the
@@ -49,12 +50,37 @@ pub fn blocked_gqa_attention(
     blocked_gqa_attention_with_threads(q, k, v, params, q_pos, kv_pos, block_size, 0)
 }
 
-/// [`blocked_gqa_attention`] with an explicit worker-thread count.
+/// [`blocked_gqa_attention`] on an explicit persistent worker pool.
 ///
-/// `threads == 0` sizes the pool from `available_parallelism` (the default
-/// entry point's behaviour); `threads == 1` forces the serial path; larger
-/// values pin the number of query-row tiles computed concurrently, which
-/// lets tests exercise the threaded path on single-core hosts. Every
+/// The preferred entry point inside ring loops: the `Communicator` owns one
+/// pool per rank, so a multi-layer forward reuses the same workers for
+/// every layer and hop instead of spawning scoped threads per call. Tile
+/// count is the pool's parallelism (capped at the query count); results are
+/// bit-identical to the serial path.
+///
+/// # Errors
+///
+/// Same conditions as [`blocked_gqa_attention`].
+#[allow(clippy::too_many_arguments)] // mirrors the kernel signature + pool
+pub fn blocked_gqa_attention_on(
+    pool: &ComputePool,
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    params: &AttentionParams,
+    q_pos: &[usize],
+    kv_pos: &[usize],
+    block_size: usize,
+) -> Result<AttentionOutput, AttentionError> {
+    blocked_impl(pool, q, k, v, params, q_pos, kv_pos, block_size, 0)
+}
+
+/// [`blocked_gqa_attention`] with an explicit tile count.
+///
+/// `threads == 0` sizes the tiling from the shared global pool's
+/// parallelism (the default entry point's behaviour); `threads == 1` forces
+/// the serial path; larger values pin the number of query-row tiles, which
+/// lets tests exercise the tiled path on single-core hosts. Every
 /// `(query, head)` pair walks its KV blocks in the same ascending order
 /// with the same arithmetic regardless of `threads`, so results are
 /// bit-identical across thread counts.
@@ -64,6 +90,31 @@ pub fn blocked_gqa_attention(
 /// Same conditions as [`blocked_gqa_attention`].
 #[allow(clippy::too_many_arguments)] // mirrors the kernel signature + threads
 pub fn blocked_gqa_attention_with_threads(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    params: &AttentionParams,
+    q_pos: &[usize],
+    kv_pos: &[usize],
+    block_size: usize,
+    threads: usize,
+) -> Result<AttentionOutput, AttentionError> {
+    blocked_impl(
+        ComputePool::global(),
+        q,
+        k,
+        v,
+        params,
+        q_pos,
+        kv_pos,
+        block_size,
+        threads,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn blocked_impl(
+    pool: &ComputePool,
     q: &Tensor,
     k: &Tensor,
     v: &Tensor,
@@ -100,9 +151,7 @@ pub fn blocked_gqa_attention_with_threads(
         let lse_buf = lse.as_mut_slice();
         let row_o = n_heads * dh;
         let workers = match threads {
-            0 => std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            0 => pool.parallelism(),
             n => n,
         }
         .min(t_q);
@@ -110,58 +159,68 @@ pub fn blocked_gqa_attention_with_threads(
             // One scratch buffer for the whole call instead of one Vec per
             // (block, query, head).
             let mut scores = Vec::with_capacity(block_size.min(t_k.max(1)));
-            for qi in 0..t_q {
+            for (qi, ((out_row, lse_row), &qp)) in out_buf
+                .chunks_mut(row_o)
+                .zip(lse_buf.chunks_mut(n_heads))
+                .zip(q_pos)
+                .enumerate()
+            {
                 attend_query_row(
-                    q,
+                    q.row(qi),
                     k,
                     v,
                     params,
-                    q_pos,
+                    qp,
                     kv_pos,
                     block_size,
-                    qi,
-                    &mut out_buf[qi * row_o..(qi + 1) * row_o],
-                    &mut lse_buf[qi * n_heads..(qi + 1) * n_heads],
+                    out_row,
+                    lse_row,
                     &mut scores,
                 );
             }
         } else {
-            // Tile the query rows over scoped worker threads; each worker
-            // owns a disjoint slice of the output buffers and one scratch.
-            std::thread::scope(|scope| {
-                let mut out_rest = out_buf;
-                let mut lse_rest = lse_buf;
-                let base = t_q / workers;
-                let extra = t_q % workers;
-                let mut start = 0;
-                for w in 0..workers {
-                    let len = base + usize::from(w < extra);
-                    let (out_tile, out_tail) = out_rest.split_at_mut(len * row_o);
-                    out_rest = out_tail;
-                    let (lse_tile, lse_tail) = lse_rest.split_at_mut(len * n_heads);
-                    lse_rest = lse_tail;
-                    scope.spawn(move || {
-                        let mut scores = Vec::with_capacity(block_size.min(t_k.max(1)));
-                        for off in 0..len {
-                            let qi = start + off;
-                            attend_query_row(
-                                q,
-                                k,
-                                v,
-                                params,
-                                q_pos,
-                                kv_pos,
-                                block_size,
-                                qi,
-                                &mut out_tile[off * row_o..(off + 1) * row_o],
-                                &mut lse_tile[off * n_heads..(off + 1) * n_heads],
-                                &mut scores,
-                            );
-                        }
-                    });
-                    start += len;
-                }
-            });
+            // Tile the query rows over the persistent pool; each job owns a
+            // disjoint slice of the output buffers and one scratch.
+            let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(workers);
+            let mut out_rest = out_buf;
+            let mut lse_rest = lse_buf;
+            let mut pos_rest = q_pos;
+            let base = t_q / workers;
+            let extra = t_q % workers;
+            let mut start = 0;
+            for w in 0..workers {
+                let len = base + usize::from(w < extra);
+                let (out_tile, out_tail) = out_rest.split_at_mut(len * row_o);
+                out_rest = out_tail;
+                let (lse_tile, lse_tail) = lse_rest.split_at_mut(len * n_heads);
+                lse_rest = lse_tail;
+                let (pos_tile, pos_tail) = pos_rest.split_at(len);
+                pos_rest = pos_tail;
+                jobs.push(Box::new(move || {
+                    let mut scores = Vec::with_capacity(block_size.min(t_k.max(1)));
+                    for (off, ((out_row, lse_row), &qp)) in out_tile
+                        .chunks_mut(row_o)
+                        .zip(lse_tile.chunks_mut(n_heads))
+                        .zip(pos_tile)
+                        .enumerate()
+                    {
+                        attend_query_row(
+                            q.row(start + off),
+                            k,
+                            v,
+                            params,
+                            qp,
+                            kv_pos,
+                            block_size,
+                            out_row,
+                            lse_row,
+                            &mut scores,
+                        );
+                    }
+                }));
+                start += len;
+            }
+            pool.run(jobs);
         }
     }
     AttentionOutput::new(out, lse)
@@ -171,53 +230,54 @@ pub fn blocked_gqa_attention_with_threads(
 /// blocks in ascending order keeping `(m, l)` scalars and accumulating
 /// weighted values directly into this row's slice of the output buffer.
 /// This is the seed kernel's per-(query, head) arithmetic verbatim — only
-/// the loop nest is transposed so rows are independent work items.
+/// the loop nest is transposed so rows are independent work items. Heads
+/// and KV blocks advance by chunked iterators rather than computed indices,
+/// so the loop body contains no panicking slice index; an out-of-range KV
+/// head lookup (impossible after the shape checks) folds into the masked
+/// branch.
 #[allow(clippy::too_many_arguments)]
-#[allow(clippy::needless_range_loop)] // parallel-indexing kernel: q_pos/kv_pos/rows move together
 fn attend_query_row(
-    q: &Tensor,
+    qrow: &[f32],
     k: &Tensor,
     v: &Tensor,
     params: &AttentionParams,
-    q_pos: &[usize],
+    q_pos_qi: usize,
     kv_pos: &[usize],
     block_size: usize,
-    qi: usize,
     out_row: &mut [f32],
     lse_row: &mut [f32],
     scores: &mut Vec<f32>,
 ) {
     let shape = &params.shape;
-    let (n_heads, dh) = (shape.n_heads(), shape.head_dim());
-    let t_k = kv_pos.len();
-    let qrow = q.row(qi);
-    for h in 0..n_heads {
+    let dh = shape.head_dim();
+    for (h, ((qvec, acc), lse_slot)) in qrow
+        .chunks(dh)
+        .zip(out_row.chunks_mut(dh))
+        .zip(lse_row.iter_mut())
+        .enumerate()
+    {
         let kvh = shape.kv_head_for(h);
-        let qvec = &qrow[h * dh..(h + 1) * dh];
         // m: running max score; l: running sum of exp(score - m);
         // acc: running sum of exp(score - m) * v, built in place.
         let mut m = f32::NEG_INFINITY;
         let mut l = 0.0f32;
-        let acc = &mut out_row[h * dh..(h + 1) * dh];
-        let mut block_start = 0;
-        while block_start < t_k {
-            let block_end = (block_start + block_size).min(t_k);
+        for (block_idx, block_pos) in kv_pos.chunks(block_size).enumerate() {
+            let block_start = block_idx * block_size;
             // Block max for the rescale.
             let mut block_m = f32::NEG_INFINITY;
             scores.clear();
-            for ki in block_start..block_end {
-                let s = if kv_pos[ki] == PAD || kv_pos[ki] > q_pos[qi] {
-                    f32::NEG_INFINITY
-                } else {
-                    let kvec = &k.row(ki)[kvh * dh..(kvh + 1) * dh];
-                    let dot: f32 = qvec.iter().zip(kvec).map(|(a, b)| a * b).sum();
-                    dot * params.scale
+            for (off, &kpos) in block_pos.iter().enumerate() {
+                let s = match k.row(block_start + off).get(kvh * dh..(kvh + 1) * dh) {
+                    Some(kvec) if kpos != PAD && kpos <= q_pos_qi => {
+                        let dot: f32 = qvec.iter().zip(kvec).map(|(a, b)| a * b).sum();
+                        dot * params.scale
+                    }
+                    _ => f32::NEG_INFINITY,
                 };
                 block_m = block_m.max(s);
                 scores.push(s);
             }
             if block_m == f32::NEG_INFINITY {
-                block_start = block_end;
                 continue; // entire block masked for this query
             }
             let new_m = m.max(block_m);
@@ -236,19 +296,18 @@ fn attend_query_row(
                 }
                 let w = (s - new_m).exp();
                 l += w;
-                let ki = block_start + off;
-                let vvec = &v.row(ki)[kvh * dh..(kvh + 1) * dh];
-                for (d, &x) in vvec.iter().enumerate() {
-                    acc[d] += w * x;
+                if let Some(vvec) = v.row(block_start + off).get(kvh * dh..(kvh + 1) * dh) {
+                    for (a, &x) in acc.iter_mut().zip(vvec) {
+                        *a += w * x;
+                    }
                 }
             }
             m = new_m;
-            block_start = block_end;
         }
         // Finalise: out = acc / l, lse = m + ln(l); a fully masked query
         // keeps zeros and -inf, the merge convention.
         if m != f32::NEG_INFINITY {
-            lse_row[h] = m + l.ln();
+            *lse_slot = m + l.ln();
             for x in acc.iter_mut() {
                 *x /= l;
             }

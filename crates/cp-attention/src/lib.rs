@@ -62,7 +62,9 @@ mod output;
 mod shape;
 
 pub use approx::{approx_gqa_attention, ApproxPolicy};
-pub use blocked::{blocked_gqa_attention, blocked_gqa_attention_with_threads};
+pub use blocked::{
+    blocked_gqa_attention, blocked_gqa_attention_on, blocked_gqa_attention_with_threads,
+};
 pub use decode::flash_decode;
 pub use error::AttentionError;
 pub use naive::naive_gqa_attention;

@@ -1,0 +1,278 @@
+//! `ring_overlap` — A/B harness for communication/compute overlap on the
+//! thread fabric, emitting `BENCH_ring_overlap.json`.
+//!
+//! ```bash
+//! cargo run --release -p cp-bench --bin ring_overlap            # full run
+//! cargo run --release -p cp-bench --bin ring_overlap -- --smoke # CI smoke
+//! ```
+//!
+//! Three measurements:
+//!
+//! 1. **Blocking vs overlapped CP4 ring prefill** under a modeled link
+//!    whose per-hop latency is calibrated to ~1.2× the measured *wall*
+//!    time of one compute phase (all ranks attending concurrently), so
+//!    comm is ≥ ~30% of a blocking hop on any host, including ones where
+//!    the four rank threads contend for few cores. The blocking loop pays
+//!    `C + d` per hop, the double-buffered loop `max(C, d)` — the paper's
+//!    §3.3 overlap condition made measurable.
+//! 2. **Overlap accounting**: the overlapped run must report a nonzero
+//!    `overlapped_ns` on every intermediate hop, and the overlap ratio
+//!    (hidden wire time / total SendRecv time) is recorded.
+//! 3. **Persistent pool vs per-call scoped spawn**: the same fan-out
+//!    executed on the per-rank [`ComputePool`] against a fresh
+//!    `std::thread::scope` per call, the seed's behaviour.
+
+use std::time::{Duration, Instant};
+
+use cp_attention::{AttentionParams, GqaShape};
+use cp_comm::{Fabric, LinkModel, TrafficReport};
+use cp_core::ring::{ring_pass_kv_prefill, ring_pass_kv_prefill_blocking};
+use cp_core::{LocalSeq, RingMsg};
+use cp_pool::ComputePool;
+use cp_tensor::DetRng;
+
+const CP: usize = 4;
+
+fn params() -> AttentionParams {
+    AttentionParams::for_shape(GqaShape::new(8, 2, 16).expect("valid GQA shape"))
+}
+
+/// One causal sequence split across `CP` ranks, `t` tokens per rank.
+fn build_locals(t: usize, seed: u64) -> Vec<Vec<LocalSeq>> {
+    let p = params();
+    let shape = p.shape;
+    let mut rng = DetRng::new(seed);
+    (0..CP)
+        .map(|r| {
+            let pos: Vec<usize> = (r * t..(r + 1) * t).collect();
+            vec![LocalSeq {
+                q: rng.tensor(&[t, shape.n_heads(), shape.head_dim()]),
+                q_pos: pos.clone(),
+                k: rng.tensor(&[t, shape.n_kv_heads(), shape.head_dim()]),
+                v: rng.tensor(&[t, shape.n_kv_heads(), shape.head_dim()]),
+                kv_pos: pos,
+            }]
+        })
+        .collect()
+}
+
+fn pool_threads_per_rank() -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    (cores / CP).max(1)
+}
+
+/// Runs one CP4 pass-KV prefill and returns (wall time, traffic report).
+fn run_once(
+    locals: &[Vec<LocalSeq>],
+    link: Option<LinkModel>,
+    overlapped: bool,
+) -> (Duration, TrafficReport) {
+    let p = params();
+    let mut fabric = Fabric::new(CP).compute_pool(pool_threads_per_rank());
+    if let Some(link) = link {
+        fabric = fabric.link(link);
+    }
+    let start = Instant::now();
+    let (_, report) = fabric
+        .run::<RingMsg, _, _>(|comm| {
+            let run = if overlapped {
+                ring_pass_kv_prefill
+            } else {
+                ring_pass_kv_prefill_blocking
+            };
+            run(comm, &p, &locals[comm.rank()]).map_err(|e| cp_comm::CommError::RankFailed {
+                rank: comm.rank(),
+                kind: "bench",
+                detail: e.to_string(),
+            })
+        })
+        .expect("ring prefill failed");
+    (start.elapsed(), report)
+}
+
+/// Best-of-`reps` wall time plus the report of the fastest run.
+fn best_of(
+    reps: usize,
+    locals: &[Vec<LocalSeq>],
+    link: Option<LinkModel>,
+    overlapped: bool,
+) -> (Duration, TrafficReport) {
+    let mut best: Option<(Duration, TrafficReport)> = None;
+    for _ in 0..reps {
+        let sample = run_once(locals, link, overlapped);
+        if best.as_ref().is_none_or(|(b, _)| sample.0 < *b) {
+            best = Some(sample);
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+/// Fan-out micro-benchmark: `fanout` jobs of fixed spin work, `iters`
+/// batches, on either the persistent pool or a fresh scope per batch.
+fn fanout_bench(iters: usize, fanout: usize, use_pool: bool) -> Duration {
+    let pool = ComputePool::global();
+    let spin = || {
+        let mut acc = 0.0f32;
+        for i in 0..2_000 {
+            acc += (i as f32).sqrt();
+        }
+        std::hint::black_box(acc);
+    };
+    let start = Instant::now();
+    for _ in 0..iters {
+        if use_pool {
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..fanout)
+                .map(|_| Box::new(spin) as Box<dyn FnOnce() + Send + '_>)
+                .collect();
+            pool.run(jobs);
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..fanout {
+                    scope.spawn(spin);
+                }
+            });
+        }
+    }
+    start.elapsed()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_ring_overlap.json".to_string());
+
+    let t_per_rank = if smoke { 256 } else { 1024 };
+    let reps = if smoke { 2 } else { 5 };
+    let locals = build_locals(t_per_rank, 42);
+
+    // Calibrate against the *wall* time of one compute phase: the full
+    // link-free ring divided by its CP compute phases. On a host with
+    // fewer cores than ranks the rank threads contend, so wall per phase
+    // is what a wire delay must hide under — per-rank kernel time would
+    // undershoot and the sleep would look free.
+    let (calib_wall, _) = best_of(reps, &locals, None, false);
+    let hop_compute_ns = (calib_wall.as_nanos() as u64 / CP as u64).max(1);
+    // Latency at 1.2x the compute phase: comm is ~55% of a blocking hop
+    // (above the >=30% operating point), and the double-buffered loop can
+    // hide all but ~0.2x of it.
+    let link = LinkModel::latency_only(Duration::from_nanos(hop_compute_ns * 12 / 10));
+
+    let (blocking_wall, blocking_report) = best_of(reps, &locals, Some(link), false);
+    let (overlapped_wall, overlapped_report) = best_of(reps, &locals, Some(link), true);
+
+    let reduction_pct = 100.0 * (1.0 - overlapped_wall.as_secs_f64() / blocking_wall.as_secs_f64());
+    let sendrecv_events: Vec<_> = overlapped_report
+        .timeline
+        .iter()
+        .filter(|e| e.label == "send_recv")
+        .collect();
+    let hops_total = sendrecv_events.len();
+    let hops_overlapped = sendrecv_events
+        .iter()
+        .filter(|e| e.overlapped_ns > 0)
+        .count();
+    let sendrecv_ns: u64 = sendrecv_events.iter().map(|e| e.dur_ns).sum();
+    let overlap_ratio = if sendrecv_ns == 0 {
+        0.0
+    } else {
+        overlapped_report.send_recv.overlapped_ns as f64 / sendrecv_ns as f64
+    };
+
+    // cp-perf reconciliation: the prefill model charges each intermediate
+    // hop max(SendRecv, ATTN); with d < C that is C, so the modeled
+    // overlapped/blocking ratio is n*C vs n*C + (n-1)*d.
+    let d = link.latency.as_nanos() as f64;
+    let c = hop_compute_ns as f64;
+    let hops = (CP - 1) as f64;
+    let model_blocking_ns = (CP as f64) * c + hops * d;
+    let model_overlapped_ns = (CP as f64) * c + hops * (d - c).max(0.0);
+    let model_reduction_pct = 100.0 * (1.0 - model_overlapped_ns / model_blocking_ns);
+
+    let fanout = ComputePool::global().parallelism().max(2);
+    let iters = if smoke { 100 } else { 1_000 };
+    let pool_fanout = fanout_bench(iters, fanout, true);
+    let scoped_fanout = fanout_bench(iters, fanout, false);
+    let spawn_reduction_pct =
+        100.0 * (1.0 - pool_fanout.as_secs_f64() / scoped_fanout.as_secs_f64());
+
+    let json = serde_json::json!({
+        "config": {
+            "cp": CP,
+            "tokens_per_rank": t_per_rank,
+            "reps": reps,
+            "smoke": smoke,
+            "pool_threads_per_rank": pool_threads_per_rank(),
+            "hop_compute_ns": hop_compute_ns,
+            "link_latency_ns": link.latency.as_nanos() as u64,
+        },
+        "ring_prefill": {
+            "blocking_ms": blocking_wall.as_secs_f64() * 1e3,
+            "overlapped_ms": overlapped_wall.as_secs_f64() * 1e3,
+            "reduction_pct": reduction_pct,
+            "intermediate_hops": hops_total,
+            "hops_with_nonzero_overlap": hops_overlapped,
+            "overlap_ratio": overlap_ratio,
+            "blocking_sendrecv_bytes": blocking_report.send_recv_bytes,
+            "overlapped_sendrecv_bytes": overlapped_report.send_recv_bytes,
+        },
+        "perf_model": {
+            "model_blocking_ns": model_blocking_ns,
+            "model_overlapped_ns": model_overlapped_ns,
+            "model_reduction_pct": model_reduction_pct,
+        },
+        "fanout": {
+            "jobs_per_batch": fanout,
+            "batches": iters,
+            "pool_ms": pool_fanout.as_secs_f64() * 1e3,
+            "scoped_spawn_ms": scoped_fanout.as_secs_f64() * 1e3,
+            "spawn_overhead_reduction_pct": spawn_reduction_pct,
+        },
+    });
+    std::fs::write(
+        &out_path,
+        serde_json::to_string_pretty(&json).expect("serialize report") + "\n",
+    )
+    .expect("write report");
+
+    println!("ring_overlap (cp={CP}, t/rank={t_per_rank}, reps={reps})");
+    println!(
+        "  calibration: hop compute {:.2} ms, modeled link latency {:.2} ms",
+        c / 1e6,
+        d / 1e6
+    );
+    println!(
+        "  ring prefill: blocking {:.2} ms, overlapped {:.2} ms ({reduction_pct:.1}% faster; \
+         model predicts {model_reduction_pct:.1}%)",
+        blocking_wall.as_secs_f64() * 1e3,
+        overlapped_wall.as_secs_f64() * 1e3,
+    );
+    println!(
+        "  overlap: {hops_overlapped}/{hops_total} hops with nonzero overlapped_ns, \
+         ratio {overlap_ratio:.2}"
+    );
+    println!(
+        "  fan-out x{iters}: pool {:.2} ms vs scoped spawn {:.2} ms ({spawn_reduction_pct:.1}% \
+         less overhead)",
+        pool_fanout.as_secs_f64() * 1e3,
+        scoped_fanout.as_secs_f64() * 1e3,
+    );
+    println!("  wrote {out_path}");
+
+    // Fail loudly if the headline claims regress (skipped in --smoke runs,
+    // where timings are too short to be stable on shared CI hosts).
+    if !smoke {
+        assert_eq!(
+            hops_overlapped, hops_total,
+            "every intermediate hop must record overlap"
+        );
+        assert!(
+            reduction_pct >= 25.0,
+            "overlapped ring must be >=25% faster at this operating point, got {reduction_pct:.1}%"
+        );
+    }
+}

@@ -1,9 +1,10 @@
 //! Rank spawning and the per-rank [`Communicator`] handle.
 
-use std::sync::{Arc, Mutex, PoisonError};
-use std::time::Duration;
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use cp_pool::ComputePool;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 
 use crate::plan::{ExpectedRecv, PlanChecker};
 use crate::stats::{Collective, TimedEvent, TimelineLane};
@@ -14,6 +15,70 @@ use crate::{CommError, CommPlan, TrafficReport, TrafficStats, Wire};
 /// that a genuinely wedged ring fails the run instead of hanging it.
 /// Override per run with [`Fabric::recv_timeout`].
 pub const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// A modeled interconnect: per-message latency plus bandwidth-proportional
+/// transfer time. Threads exchange pointers in nanoseconds, which would make
+/// comm/compute overlap unmeasurable; installing a `LinkModel` via
+/// [`Fabric::link`] stamps each message with a delivery instant so a receive
+/// completes no earlier than a real wire transfer would. The delay runs
+/// concurrently with whatever the receiving rank does in the meantime —
+/// exactly the property double-buffered ring hops exploit.
+///
+/// `None` (the default) keeps today's zero-delay behavior bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    /// Fixed per-message latency.
+    pub latency: Duration,
+    /// Link bandwidth in GiB/s; non-finite or non-positive means
+    /// latency-only (no size-proportional term).
+    pub gib_per_s: f64,
+}
+
+impl LinkModel {
+    /// A latency-only link (infinite bandwidth).
+    pub fn latency_only(latency: Duration) -> Self {
+        LinkModel {
+            latency,
+            gib_per_s: f64::INFINITY,
+        }
+    }
+
+    /// Modeled wire time for a message of `bytes`.
+    pub fn delay(&self, bytes: usize) -> Duration {
+        let transfer = if self.gib_per_s.is_finite() && self.gib_per_s > 0.0 {
+            Duration::from_secs_f64(bytes as f64 / (self.gib_per_s * (1u64 << 30) as f64))
+        } else {
+            Duration::ZERO
+        };
+        self.latency.saturating_add(transfer)
+    }
+}
+
+/// A message in flight: the payload plus the instant the modeled wire
+/// finishes delivering it (`None` without a [`LinkModel`]).
+#[derive(Debug)]
+struct Envelope<M> {
+    msg: M,
+    deliver_at: Option<Instant>,
+}
+
+impl<M> Envelope<M> {
+    /// Whether the modeled wire has finished delivering this message.
+    fn delivered(&self) -> bool {
+        self.deliver_at.is_none_or(|at| Instant::now() >= at)
+    }
+
+    /// Blocks out the remaining modeled wire time, then yields the payload.
+    fn settle(self) -> M {
+        if let Some(at) = self.deliver_at {
+            let now = Instant::now();
+            if at > now {
+                std::thread::sleep(at - now);
+            }
+        }
+        self.msg
+    }
+}
 
 /// A rank's handle to the fabric: point-to-point sends/receives plus the
 /// collectives the paper's algorithms use (`SendRecv` ring steps,
@@ -31,16 +96,23 @@ pub struct Communicator<M: Wire> {
     rank: usize,
     world: usize,
     /// `senders[dst]` delivers to rank `dst`'s `receivers[self.rank]`.
-    senders: Vec<Sender<M>>,
+    senders: Vec<Sender<Envelope<M>>>,
     /// `receivers[src]` yields messages sent by rank `src`.
-    receivers: Vec<Receiver<M>>,
+    receivers: Vec<Receiver<Envelope<M>>>,
     ctrl_senders: Vec<Sender<()>>,
     ctrl_receivers: Vec<Receiver<()>>,
     recv_timeout: Duration,
+    /// Modeled wire delay applied to every delivery; `None` = instant.
+    link: Option<LinkModel>,
     /// Plan cursor when running under a [`CheckedFabric`]; `None` in
     /// unchecked mode.
     checker: Option<Mutex<PlanChecker>>,
     stats: Arc<TrafficStats>,
+    /// This rank's persistent compute workers, created on first use so
+    /// comm-only runs never pay the spawn.
+    pool: OnceLock<ComputePool>,
+    /// Total threads for [`Communicator::pool`]; 0 = machine parallelism.
+    pool_threads: usize,
 }
 
 impl<M: Wire> Communicator<M> {
@@ -110,8 +182,9 @@ impl<M: Wire> Communicator<M> {
             world_size: self.world,
         })?;
         let bytes = msg.wire_bytes();
+        let deliver_at = self.link.map(|l| Instant::now() + l.delay(bytes));
         sender
-            .send(msg)
+            .send(Envelope { msg, deliver_at })
             .map_err(|_| CommError::SendFailed { dst })?;
         self.stats.record_bytes(collective, bytes);
         Ok(())
@@ -120,12 +193,21 @@ impl<M: Wire> Communicator<M> {
     /// Blocking receive with the fabric timeout; no accounting (bytes are
     /// metered on the sending side).
     fn receive(&self, src: usize) -> Result<M, CommError> {
+        self.receive_by(src, Instant::now() + self.recv_timeout)
+    }
+
+    /// Blocking receive that gives up at `deadline` — the shared primitive
+    /// for fresh receives (deadline = now + fabric timeout) and for waiting
+    /// on an already-posted [`PendingRecv`] (deadline fixed at post time).
+    fn receive_by(&self, src: usize, deadline: Instant) -> Result<M, CommError> {
         let receiver = self.receivers.get(src).ok_or(CommError::RankOutOfRange {
             rank: src,
             world_size: self.world,
         })?;
+        let remaining = deadline.saturating_duration_since(Instant::now());
         receiver
-            .recv_timeout(self.recv_timeout)
+            .recv_timeout(remaining)
+            .map(Envelope::settle)
             .map_err(|e| CommError::RecvFailed {
                 src,
                 timed_out: matches!(e, RecvTimeoutError::Timeout),
@@ -149,6 +231,7 @@ impl<M: Wire> Communicator<M> {
             label: collective.name().to_string(),
             start_ns: start,
             dur_ns: dur,
+            overlapped_ns: 0,
         });
         out
     }
@@ -166,6 +249,7 @@ impl<M: Wire> Communicator<M> {
             label: label.to_string(),
             start_ns: start,
             dur_ns: dur,
+            overlapped_ns: 0,
         });
         out
     }
@@ -221,6 +305,119 @@ impl<M: Wire> Communicator<M> {
             let got = self.receive(src)?;
             self.check_received(expected.as_ref(), src, &got)?;
             Ok(got)
+        })
+    }
+
+    /// Nonblocking send: validates against the plan, buffers the message,
+    /// and returns a [`PendingSend`] handle. Channels are unbounded, so the
+    /// send half of a hop completes at post time — the handle exists so call
+    /// sites read symmetrically with [`Communicator::irecv`] and stay
+    /// correct if a bounded transport ever replaces the channels.
+    ///
+    /// Accounting is identical to [`Communicator::send`] (one `send_recv`
+    /// call recorded at post).
+    ///
+    /// # Errors
+    ///
+    /// As [`Communicator::send`].
+    pub fn isend(&self, dst: usize, msg: M) -> Result<PendingSend, CommError> {
+        self.send(dst, msg)?;
+        Ok(PendingSend { _posted: () })
+    }
+
+    /// Nonblocking receive: validates the op against the plan *now* (post
+    /// time) and returns a [`PendingRecv`] handle. The message is claimed by
+    /// `wait()` / `try_complete()`; until then the calling rank is free to
+    /// compute. The handle's deadline is `now + recv_timeout`, so a wedged
+    /// peer surfaces as a timeout naming `src` no matter how late `wait()`
+    /// is called.
+    ///
+    /// Like [`Communicator::recv`], a plain `irecv` records no collective
+    /// call; pair it with [`Communicator::isend_irecv`] for accounted ring
+    /// hops.
+    ///
+    /// # Errors
+    ///
+    /// [`CommError::RankOutOfRange`] for a bad source, or
+    /// [`CommError::PlanViolation`] in checked mode.
+    pub fn irecv(&self, src: usize) -> Result<PendingRecv<'_, M>, CommError> {
+        if src >= self.world {
+            return Err(CommError::RankOutOfRange {
+                rank: src,
+                world_size: self.world,
+            });
+        }
+        let expected = self.with_checker(|c| c.expect_recv(src))?;
+        Ok(self.pending(src, expected, None))
+    }
+
+    /// Nonblocking ring hop: posts the send *and* the receive of one
+    /// `SendRecv` step, validating both halves against the plan at post
+    /// time, and returns the receive handle. The caller overlaps compute
+    /// with the in-flight hop and claims the incoming shard with `wait()`
+    /// at the loop bottom — the double-buffered form of
+    /// [`Communicator::send_recv`].
+    ///
+    /// Accounting: consumes exactly one declared `SendRecv` op and records
+    /// exactly one `send_recv` call when the handle completes, so plans and
+    /// `predicted_traffic` are unchanged versus the blocking hop. The
+    /// recorded event's `overlapped_ns` is the span between this post and
+    /// the moment the caller started blocking in `wait()` — the comm time
+    /// hidden under compute.
+    ///
+    /// # Errors
+    ///
+    /// As [`Communicator::send_recv`] for the post half; receive-side
+    /// errors surface from the handle.
+    pub fn isend_irecv(
+        &self,
+        dst: usize,
+        msg: M,
+        src: usize,
+    ) -> Result<PendingRecv<'_, M>, CommError> {
+        if src >= self.world {
+            return Err(CommError::RankOutOfRange {
+                rank: src,
+                world_size: self.world,
+            });
+        }
+        let start_ns = self.stats.now_ns();
+        let expected = self
+            .with_checker(|c| c.expect_send_recv(dst, src, msg.wire_variant(), msg.wire_bytes()))?;
+        self.deliver(dst, msg, Collective::SendRecv)?;
+        let mut pending = self.pending(src, expected, Some(Collective::SendRecv));
+        pending.start_ns = start_ns;
+        Ok(pending)
+    }
+
+    /// Builds a receive handle whose deadline starts counting now.
+    fn pending(
+        &self,
+        src: usize,
+        expected: Option<ExpectedRecv>,
+        record: Option<Collective>,
+    ) -> PendingRecv<'_, M> {
+        PendingRecv {
+            comm: self,
+            src,
+            expected,
+            record,
+            deadline: Instant::now() + self.recv_timeout,
+            start_ns: self.stats.now_ns(),
+            buffered: None,
+        }
+    }
+
+    /// This rank's persistent compute pool, created on first use. Ring
+    /// loops and attention kernels run their parallel sections here instead
+    /// of spawning scoped threads per call.
+    pub fn pool(&self) -> &ComputePool {
+        self.pool.get_or_init(|| {
+            if self.pool_threads == 0 {
+                ComputePool::default()
+            } else {
+                ComputePool::new(self.pool_threads)
+            }
         })
     }
 
@@ -374,6 +571,179 @@ impl<M: Wire> Communicator<M> {
     }
 }
 
+/// Handle for a posted nonblocking send. Sends are buffered, so the
+/// operation already completed at post time; `wait()` exists for symmetry
+/// with [`PendingRecv`] and for forward compatibility with a bounded
+/// transport.
+#[must_use = "call wait() so hop completion stays explicit at the loop bottom"]
+#[derive(Debug)]
+pub struct PendingSend {
+    _posted: (),
+}
+
+impl PendingSend {
+    /// Completes the send. Never blocks and never fails on the buffered
+    /// channel transport.
+    #[allow(clippy::unnecessary_wraps)]
+    pub fn wait(self) -> Result<(), CommError> {
+        Ok(())
+    }
+}
+
+/// Outcome of a [`PendingRecv::try_complete`] poll: either the message, or
+/// the still-pending handle to poll again.
+#[derive(Debug)]
+pub enum Progress<T, P> {
+    /// The operation finished and produced its value.
+    Complete(T),
+    /// Not ready yet; the handle is returned for another poll or `wait()`.
+    Pending(P),
+}
+
+/// Handle for a posted nonblocking receive (see [`Communicator::irecv`] /
+/// [`Communicator::isend_irecv`]).
+///
+/// The plan op was consumed at post time; the handle's job is completion:
+/// claiming the message, enforcing the fabric receive timeout measured
+/// *from the post* (a wedged peer fails `wait()` with
+/// [`CommError::RecvFailed`]` { src, timed_out: true }` naming the awaited
+/// rank — it never hangs), validating the payload against the plan's
+/// expectation, and recording the hop's wall time and `overlapped_ns`.
+///
+/// Dropping the handle without waiting abandons the message in the channel
+/// and records nothing; in checked mode the plan cursor has already
+/// advanced, so an abandoned receive shows up as a downstream violation
+/// rather than silently passing.
+#[must_use = "an unwaited irecv abandons the message and records no completion"]
+#[derive(Debug)]
+pub struct PendingRecv<'a, M: Wire> {
+    comm: &'a Communicator<M>,
+    src: usize,
+    expected: Option<ExpectedRecv>,
+    /// Collective to account at completion; `None` for a bare `irecv`
+    /// (mirroring `recv`, which records no collective call).
+    record: Option<Collective>,
+    /// Post-time receive deadline (post instant + fabric `recv_timeout`).
+    deadline: Instant,
+    /// Post time on the stats clock; start of the recorded hop event.
+    start_ns: u64,
+    /// An envelope already popped by `try_complete` whose modeled wire
+    /// delivery is still in the future. Kept here so polling early never
+    /// loses the message.
+    buffered: Option<Envelope<M>>,
+}
+
+impl<M: Wire> PendingRecv<'_, M> {
+    /// Rank this handle is receiving from.
+    pub fn src(&self) -> usize {
+        self.src
+    }
+
+    /// Blocks until the message arrives, the post-time deadline passes, or
+    /// the peer disconnects.
+    ///
+    /// # Errors
+    ///
+    /// [`CommError::RecvFailed`] naming `src` (with `timed_out: true` when
+    /// the fabric timeout expired), or [`CommError::PlanViolation`] if the
+    /// payload diverges from the plan's expectation.
+    pub fn wait(mut self) -> Result<M, CommError> {
+        let blocked_from = self.comm.stats.now_ns();
+        let result = match self.buffered.take() {
+            Some(env) => Ok(env.settle()),
+            None => self.comm.receive_by(self.src, self.deadline),
+        };
+        self.finish(blocked_from, result)
+    }
+
+    /// Polls for completion without blocking.
+    ///
+    /// # Errors
+    ///
+    /// As [`PendingRecv::wait`]; in particular, a poll after the post-time
+    /// deadline with no message fails with `timed_out: true` rather than
+    /// staying pending forever.
+    pub fn try_complete(mut self) -> Result<Progress<M, Self>, CommError> {
+        if let Some(env) = self.buffered.take() {
+            if env.delivered() {
+                let blocked_from = self.comm.stats.now_ns();
+                return self
+                    .finish(blocked_from, Ok(env.settle()))
+                    .map(Progress::Complete);
+            }
+            self.buffered = Some(env);
+            return Ok(Progress::Pending(self));
+        }
+        let receiver = match self.comm.receivers.get(self.src) {
+            Some(r) => r,
+            None => {
+                let blocked_from = self.comm.stats.now_ns();
+                let err = Err(CommError::RankOutOfRange {
+                    rank: self.src,
+                    world_size: self.comm.world,
+                });
+                return self.finish(blocked_from, err).map(Progress::Complete);
+            }
+        };
+        match receiver.try_recv() {
+            Ok(env) if env.delivered() => {
+                let blocked_from = self.comm.stats.now_ns();
+                self.finish(blocked_from, Ok(env.settle()))
+                    .map(Progress::Complete)
+            }
+            Ok(env) => {
+                self.buffered = Some(env);
+                Ok(Progress::Pending(self))
+            }
+            Err(TryRecvError::Empty) => {
+                if Instant::now() < self.deadline {
+                    return Ok(Progress::Pending(self));
+                }
+                let blocked_from = self.comm.stats.now_ns();
+                let err = Err(CommError::RecvFailed {
+                    src: self.src,
+                    timed_out: true,
+                });
+                self.finish(blocked_from, err).map(Progress::Complete)
+            }
+            Err(TryRecvError::Disconnected) => {
+                let blocked_from = self.comm.stats.now_ns();
+                let err = Err(CommError::RecvFailed {
+                    src: self.src,
+                    timed_out: false,
+                });
+                self.finish(blocked_from, err).map(Progress::Complete)
+            }
+        }
+    }
+
+    /// Completion bookkeeping: records the hop (call count, wall time,
+    /// timeline event with `overlapped_ns`) whether it succeeded or failed
+    /// — mirroring `timed()` — then validates the payload.
+    fn finish(self, blocked_from: u64, result: Result<M, CommError>) -> Result<M, CommError> {
+        let stats = &self.comm.stats;
+        let end = stats.now_ns();
+        let dur = end.saturating_sub(self.start_ns);
+        let overlapped = blocked_from.saturating_sub(self.start_ns).min(dur);
+        if let Some(collective) = self.record {
+            stats.record_call(collective, dur);
+            stats.record_overlap(collective, overlapped);
+            stats.record_event(TimedEvent {
+                rank: self.comm.rank,
+                lane: TimelineLane::Comm,
+                label: collective.name().to_string(),
+                start_ns: self.start_ns,
+                dur_ns: dur,
+                overlapped_ns: overlapped,
+            });
+        }
+        let msg = result?;
+        self.comm
+            .check_received(self.expected.as_ref(), self.src, &msg)?;
+        Ok(msg)
+    }
+}
+
 /// Turns a row-major matrix into its column-major transpose without
 /// indexing; ragged rows are tolerated (shorter rows simply contribute to
 /// fewer columns).
@@ -394,6 +764,8 @@ fn transpose<T>(rows: Vec<Vec<T>>) -> Vec<Vec<T>> {
 fn build_communicators<M: Wire>(
     world: usize,
     recv_timeout: Duration,
+    link: Option<LinkModel>,
+    pool_threads: usize,
     plan: Option<&CommPlan>,
     stats: &Arc<TrafficStats>,
 ) -> Result<Vec<Communicator<M>>, CommError> {
@@ -401,8 +773,8 @@ fn build_communicators<M: Wire>(
     // the receiver of the (src → dst) channel. Each rank then takes its own
     // sender row and the transposed receiver column, so rank `r` ends up
     // with `senders[dst]` = (r → dst) and `receivers[src]` = (src → r).
-    let mut data_tx: Vec<Vec<Sender<M>>> = Vec::with_capacity(world);
-    let mut data_rx: Vec<Vec<Receiver<M>>> = Vec::with_capacity(world);
+    let mut data_tx: Vec<Vec<Sender<Envelope<M>>>> = Vec::with_capacity(world);
+    let mut data_rx: Vec<Vec<Receiver<Envelope<M>>>> = Vec::with_capacity(world);
     let mut ctrl_tx: Vec<Vec<Sender<()>>> = Vec::with_capacity(world);
     let mut ctrl_rx: Vec<Vec<Receiver<()>>> = Vec::with_capacity(world);
     for _src in 0..world {
@@ -411,7 +783,7 @@ fn build_communicators<M: Wire>(
         let mut ctx_row = Vec::with_capacity(world);
         let mut crx_row = Vec::with_capacity(world);
         for _dst in 0..world {
-            let (tx, rx) = unbounded::<M>();
+            let (tx, rx) = unbounded::<Envelope<M>>();
             tx_row.push(tx);
             rx_row.push(rx);
             let (ctx, crx) = unbounded::<()>();
@@ -460,8 +832,11 @@ fn build_communicators<M: Wire>(
             ctrl_senders,
             ctrl_receivers,
             recv_timeout,
+            link,
             checker: checkers.get_mut(rank).and_then(Option::take),
             stats: Arc::clone(stats),
+            pool: OnceLock::new(),
+            pool_threads,
         });
     }
     Ok(comms)
@@ -490,14 +865,19 @@ fn build_communicators<M: Wire>(
 pub struct Fabric {
     world: usize,
     recv_timeout: Duration,
+    link: Option<LinkModel>,
+    pool_threads: usize,
 }
 
 impl Fabric {
-    /// A fabric for `world` ranks with the default receive timeout.
+    /// A fabric for `world` ranks with the default receive timeout, no
+    /// modeled link delay, and machine-sized compute pools.
     pub fn new(world: usize) -> Self {
         Fabric {
             world,
             recv_timeout: DEFAULT_RECV_TIMEOUT,
+            link: None,
+            pool_threads: 0,
         }
     }
 
@@ -507,6 +887,21 @@ impl Fabric {
     /// waiting out the default.
     pub fn recv_timeout(mut self, timeout: Duration) -> Self {
         self.recv_timeout = timeout;
+        self
+    }
+
+    /// Installs a modeled interconnect: every delivery completes no earlier
+    /// than [`LinkModel::delay`] after the send, concurrently with the
+    /// receiver's compute. Off by default (instant delivery).
+    pub fn link(mut self, link: LinkModel) -> Self {
+        self.link = Some(link);
+        self
+    }
+
+    /// Sets the total thread count of each rank's persistent
+    /// [`Communicator::pool`] (0 = machine parallelism, the default).
+    pub fn compute_pool(mut self, threads: usize) -> Self {
+        self.pool_threads = threads;
         self
     }
 
@@ -539,7 +934,14 @@ impl Fabric {
             return Err(CommError::EmptyGroup);
         }
         let stats = TrafficStats::new();
-        let comms = build_communicators::<M>(self.world, self.recv_timeout, plan, &stats)?;
+        let comms = build_communicators::<M>(
+            self.world,
+            self.recv_timeout,
+            self.link,
+            self.pool_threads,
+            plan,
+            &stats,
+        )?;
 
         let results: Vec<Result<Result<T, CommError>, usize>> = std::thread::scope(|scope| {
             let handles: Vec<_> = comms
@@ -643,6 +1045,18 @@ impl CheckedFabric {
     /// Sets the blocked-receive timeout, as [`Fabric::recv_timeout`].
     pub fn recv_timeout(mut self, timeout: Duration) -> Self {
         self.fabric = self.fabric.recv_timeout(timeout);
+        self
+    }
+
+    /// Installs a modeled interconnect, as [`Fabric::link`].
+    pub fn link(mut self, link: LinkModel) -> Self {
+        self.fabric = self.fabric.link(link);
+        self
+    }
+
+    /// Sets per-rank pool threads, as [`Fabric::compute_pool`].
+    pub fn compute_pool(mut self, threads: usize) -> Self {
+        self.fabric = self.fabric.compute_pool(threads);
         self
     }
 
@@ -1148,5 +1562,272 @@ mod tests {
             .run::<Vec<f32>, _, _>(|_| Ok(()))
             .unwrap_err();
         assert!(matches!(err, CommError::Internal { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn isend_irecv_ring_matches_blocking_and_records_overlap() {
+        let n = 4;
+        let (res, report) = run_ranks::<Vec<f32>, _, _>(n, |comm| {
+            let mut seen = vec![comm.rank() as f32];
+            let mut current = vec![comm.rank() as f32];
+            for _ in 0..n - 1 {
+                let pending =
+                    comm.isend_irecv(comm.ring_next(), current.clone(), comm.ring_prev())?;
+                // "Compute" between post and wait; this span must show up
+                // as overlapped_ns on the collective.
+                std::thread::sleep(Duration::from_millis(2));
+                current = pending.wait()?;
+                seen.push(current[0]);
+            }
+            seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            Ok(seen)
+        })
+        .unwrap();
+        for ranks_seen in res {
+            assert_eq!(ranks_seen, vec![0.0, 1.0, 2.0, 3.0]);
+        }
+        // Same wire accounting as the blocking ring...
+        assert_eq!(report.send_recv.calls, (n * (n - 1)) as u64);
+        assert_eq!(report.send_recv_bytes, n * (n - 1) * 4);
+        // ...plus a nonzero overlapped span on every intermediate hop.
+        assert!(report.send_recv.overlapped_ns > 0);
+        let overlapped_events = report
+            .timeline
+            .iter()
+            .filter(|e| e.label == "send_recv" && e.overlapped_ns > 0)
+            .count();
+        assert_eq!(overlapped_events, n * (n - 1));
+    }
+
+    #[test]
+    fn isend_and_irecv_halves_compose_like_send_and_recv() {
+        // Split-handle form: rank 0 isends to 1, rank 1 irecvs from 0.
+        let (res, report) = run_ranks::<Vec<f32>, _, _>(2, |comm| {
+            if comm.rank() == 0 {
+                comm.isend(1, vec![7.0, 8.0])?.wait()?;
+                Ok(0.0)
+            } else {
+                let pending = comm.irecv(0)?;
+                let got = pending.wait()?;
+                Ok(got[1])
+            }
+        })
+        .unwrap();
+        assert_eq!(res, vec![0.0, 8.0]);
+        // isend meters exactly like send; irecv records no collective call.
+        assert_eq!(report.send_recv.calls, 1);
+        assert_eq!(report.send_recv_bytes, 8);
+    }
+
+    #[test]
+    fn try_complete_progresses_to_completion_without_blocking() {
+        let (res, _) = run_ranks::<Vec<f32>, _, _>(2, |comm| {
+            if comm.rank() == 0 {
+                std::thread::sleep(Duration::from_millis(5));
+                comm.isend(1, vec![3.0])?.wait()?;
+                return Ok(3.0);
+            }
+            let mut pending = comm.irecv(0)?;
+            let mut polls = 0u32;
+            loop {
+                match pending.try_complete()? {
+                    Progress::Complete(msg) => {
+                        assert!(polls > 0, "first poll should find nothing yet");
+                        return Ok(msg[0]);
+                    }
+                    Progress::Pending(p) => {
+                        polls += 1;
+                        pending = p;
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            }
+        })
+        .unwrap();
+        assert_eq!(res, vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn in_flight_irecv_honors_fabric_timeout_naming_peer() {
+        // Satellite of the deadlock regression: a posted-but-never-matched
+        // irecv must honor the fabric timeout from its *post* time and name
+        // the awaited peer, not hang in wait(). 1-rank form keeps the
+        // channel open so the failure is a genuine timeout.
+        let start = std::time::Instant::now();
+        let err = Fabric::new(1)
+            .recv_timeout(Duration::from_millis(20))
+            .run::<Vec<f32>, _, _>(|comm| {
+                let pending = comm.irecv(0)?;
+                // Long compute after posting must not extend the deadline.
+                std::thread::sleep(Duration::from_millis(30));
+                pending.wait().map(|_| ())
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CommError::RecvFailed {
+                src: 0,
+                timed_out: true
+            }
+        ));
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "pending receive did not honor the fabric timeout"
+        );
+    }
+
+    #[test]
+    fn wedged_double_buffered_ring_fails_in_milliseconds() {
+        // Two ranks post irecvs and never send: both pending receives must
+        // time out on the short fabric deadline instead of deadlocking.
+        let start = std::time::Instant::now();
+        let err = Fabric::new(2)
+            .recv_timeout(Duration::from_millis(20))
+            .run::<Vec<f32>, _, _>(|comm| {
+                let pending = comm.irecv(comm.ring_prev())?;
+                pending.wait().map(|_| ())
+            })
+            .unwrap_err();
+        assert!(matches!(err, CommError::RecvFailed { .. }), "{err:?}");
+        assert!(start.elapsed() < Duration::from_secs(10));
+    }
+
+    #[test]
+    fn try_complete_reports_timeout_past_deadline() {
+        let err = Fabric::new(1)
+            .recv_timeout(Duration::from_millis(10))
+            .run::<Vec<f32>, _, _>(|comm| {
+                let mut pending = comm.irecv(0)?;
+                loop {
+                    match pending.try_complete()? {
+                        Progress::Complete(_) => return Ok(()),
+                        Progress::Pending(p) => {
+                            pending = p;
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                    }
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CommError::RecvFailed {
+                src: 0,
+                timed_out: true
+            }
+        ));
+    }
+
+    #[test]
+    fn irecv_rejects_out_of_range_peer() {
+        let err =
+            run_ranks::<Vec<f32>, _, _>(2, |comm| comm.irecv(5)?.wait().map(|_| ())).unwrap_err();
+        assert!(matches!(err, CommError::RankOutOfRange { rank: 5, .. }));
+    }
+
+    #[test]
+    fn link_model_delays_blocking_hops_but_hides_under_compute() {
+        // With a modeled 15 ms wire, a blocking self-hop pays the latency
+        // in full; an overlapped hop whose compute exceeds the latency
+        // hides it (paper §3.3 overlap condition).
+        let link = LinkModel::latency_only(Duration::from_millis(15));
+        let start = std::time::Instant::now();
+        run_ranks::<Vec<f32>, _, _>(1, |_| Ok(())).unwrap();
+        let (_, report) = Fabric::new(1)
+            .link(link)
+            .run::<Vec<f32>, _, _>(|comm| {
+                comm.send_recv(0, vec![1.0], 0)?;
+                Ok(())
+            })
+            .unwrap();
+        assert!(
+            start.elapsed() >= Duration::from_millis(15),
+            "blocking hop must pay the modeled wire latency"
+        );
+        assert_eq!(report.send_recv.overlapped_ns, 0);
+
+        let (_, report) = Fabric::new(1)
+            .link(link)
+            .run::<Vec<f32>, _, _>(|comm| {
+                let pending = comm.isend_irecv(0, vec![1.0], 0)?;
+                std::thread::sleep(Duration::from_millis(20));
+                pending.wait()?;
+                Ok(())
+            })
+            .unwrap();
+        // The 20 ms compute span hides at least the 15 ms wire time.
+        assert!(report.send_recv.overlapped_ns >= 15_000_000);
+    }
+
+    #[test]
+    fn link_model_charges_bandwidth_per_byte() {
+        let link = LinkModel {
+            latency: Duration::ZERO,
+            gib_per_s: 1.0,
+        };
+        // 1 GiB/s over 4 MiB ≈ 3.9 ms; delay() must scale with bytes.
+        let small = link.delay(1024);
+        let big = link.delay(4 * 1024 * 1024);
+        assert!(big > small);
+        assert!(big >= Duration::from_millis(3));
+        // Latency-only links ignore size.
+        let flat = LinkModel::latency_only(Duration::from_micros(5));
+        assert_eq!(flat.delay(1), flat.delay(1 << 30));
+    }
+
+    #[test]
+    fn checked_fabric_validates_nonblocking_ops_at_post_time() {
+        let n = 3;
+        let plan = ring_plan(n, n - 1, 8);
+        let predicted = plan.predicted_traffic();
+        let (_, report) = CheckedFabric::new(plan)
+            .run::<Vec<f32>, _, _>(|comm| {
+                let mut cur = vec![comm.rank() as f32; 2];
+                for _ in 0..n - 1 {
+                    let pending =
+                        comm.isend_irecv(comm.ring_next(), cur.clone(), comm.ring_prev())?;
+                    cur = pending.wait()?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        predicted.check_report(&report).unwrap();
+
+        // A wrong-sized payload is rejected when the op is *posted*, so the
+        // error carries the posting step even though wait() never ran.
+        let plan = ring_plan(2, 1, 8);
+        let err = CheckedFabric::new(plan)
+            .run::<Vec<f32>, _, _>(|comm| {
+                let payload = if comm.rank() == 1 {
+                    vec![0.0; 3]
+                } else {
+                    vec![0.0; 2]
+                };
+                let pending = comm.isend_irecv(comm.ring_next(), payload, comm.ring_prev())?;
+                pending.wait()?;
+                Ok(())
+            })
+            .unwrap_err();
+        match err {
+            CommError::PlanViolation { rank, step, detail } => {
+                assert_eq!(rank, 1);
+                assert_eq!(step, 0);
+                assert!(detail.contains("wire bytes"), "{detail}");
+            }
+            other => panic!("expected PlanViolation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn communicator_pool_is_lazy_shared_and_sized() {
+        let (res, _) = Fabric::new(2)
+            .compute_pool(3)
+            .run::<Vec<f32>, _, _>(|comm| {
+                let pool = comm.pool();
+                assert!(std::ptr::eq(pool, comm.pool()), "pool must be cached");
+                Ok(pool.parallelism())
+            })
+            .unwrap();
+        assert_eq!(res, vec![3, 3]);
     }
 }

@@ -45,7 +45,10 @@ mod stats;
 mod wire;
 
 pub use error::CommError;
-pub use fabric::{run_ranks, CheckedFabric, Communicator, Fabric, DEFAULT_RECV_TIMEOUT};
+pub use fabric::{
+    run_ranks, CheckedFabric, Communicator, Fabric, LinkModel, PendingRecv, PendingSend, Progress,
+    DEFAULT_RECV_TIMEOUT,
+};
 pub use plan::{CommOp, CommPlan, PredictedCollective, PredictedTraffic, RankPlan};
 pub use stats::{CollectiveReport, TimedEvent, TimelineLane, TrafficReport, TrafficStats};
 pub use wire::Wire;

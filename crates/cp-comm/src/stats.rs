@@ -37,6 +37,7 @@ struct CollectiveCounters {
     calls: AtomicU64,
     bytes: AtomicU64,
     wall_ns: AtomicU64,
+    overlapped_ns: AtomicU64,
 }
 
 impl CollectiveCounters {
@@ -45,6 +46,7 @@ impl CollectiveCounters {
             calls: self.calls.load(Ordering::Relaxed),
             bytes: self.bytes.load(Ordering::Relaxed) as usize,
             wall_ns: self.wall_ns.load(Ordering::Relaxed),
+            overlapped_ns: self.overlapped_ns.load(Ordering::Relaxed),
         }
     }
 }
@@ -82,6 +84,10 @@ pub struct TimedEvent {
     pub start_ns: u64,
     /// Duration, nanoseconds.
     pub dur_ns: u64,
+    /// Portion of the duration hidden under compute (nonblocking ops only:
+    /// the span between posting the op and starting to block in `wait()`).
+    /// Blocking collectives and compute sections record 0.
+    pub overlapped_ns: u64,
 }
 
 /// Shared, thread-safe traffic counters and timeline updated by every rank
@@ -139,6 +145,14 @@ impl TrafficStats {
         c.wall_ns.fetch_add(wall_ns, Ordering::Relaxed);
     }
 
+    /// Records comm wall time hidden under compute by a nonblocking op:
+    /// the span between posting and the first blocking `wait()`.
+    pub(crate) fn record_overlap(&self, collective: Collective, overlapped_ns: u64) {
+        self.counters(collective)
+            .overlapped_ns
+            .fetch_add(overlapped_ns, Ordering::Relaxed);
+    }
+
     /// Nanoseconds since this stats object was created.
     pub(crate) fn now_ns(&self) -> u64 {
         self.epoch.elapsed().as_nanos() as u64
@@ -192,6 +206,9 @@ pub struct CollectiveReport {
     pub bytes: usize,
     /// Wall-clock time spent inside the collective, summed over ranks, ns.
     pub wall_ns: u64,
+    /// Of `wall_ns`, time hidden under compute by nonblocking posts
+    /// (span from post to first blocking `wait()`), summed over ranks, ns.
+    pub overlapped_ns: u64,
 }
 
 impl CollectiveReport {
@@ -329,6 +346,7 @@ mod tests {
                 label: "send_recv".to_string(),
                 start_ns: start,
                 dur_ns: 5,
+                overlapped_ns: 0,
             });
         }
         let r = stats.report();

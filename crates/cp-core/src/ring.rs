@@ -11,8 +11,9 @@
 //! batches is handled by computing each sequence's partial attention
 //! separately (the role a varlen attention kernel plays on GPU).
 
-use cp_attention::{blocked_gqa_attention, merge_partials, AttentionOutput, AttentionParams};
+use cp_attention::{blocked_gqa_attention_on, merge_partials, AttentionOutput, AttentionParams};
 use cp_comm::Communicator;
+use cp_pool::ComputePool;
 use cp_tensor::Tensor;
 
 use crate::error::to_comm_error;
@@ -24,13 +25,14 @@ use crate::CoreError;
 const ATTN_BLOCK: usize = 128;
 
 fn attend(
+    pool: &ComputePool,
     q: &Tensor,
     q_pos: &[usize],
     kv: &SeqKv,
     params: &AttentionParams,
 ) -> Result<AttentionOutput, CoreError> {
-    Ok(blocked_gqa_attention(
-        q, &kv.k, &kv.v, params, q_pos, &kv.pos, ATTN_BLOCK,
+    Ok(blocked_gqa_attention_on(
+        pool, q, &kv.k, &kv.v, params, q_pos, &kv.pos, ATTN_BLOCK,
     )?)
 }
 
@@ -114,46 +116,34 @@ fn check_ring_order(
     Ok(())
 }
 
-/// Applies `f` to every item, fanning work out over scoped threads when the
-/// host has spare cores and there is more than one item — the role the GPU's
-/// batched varlen kernel plays for fused sequences in the paper. Results are
-/// returned in item order and the first error (in item order) wins, so the
-/// output is identical to the serial loop.
-fn map_seqs<T, R, F>(items: &[T], f: F) -> Result<Vec<R>, CoreError>
+/// Applies `f` to every item, fanning work out over the rank's persistent
+/// compute pool when there is more than one item — the role the GPU's
+/// batched varlen kernel plays for fused sequences in the paper. Results
+/// are returned in item order and the first error (in item order) wins, so
+/// the output is identical to the serial loop. Using the pool instead of
+/// per-call scoped threads means a multi-layer forward reuses the same
+/// workers for every layer and hop.
+fn map_seqs<T, R, F>(pool: &ComputePool, items: &[T], f: F) -> Result<Vec<R>, CoreError>
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &T) -> Result<R, CoreError> + Sync,
 {
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let workers = cores.min(items.len());
-    if workers <= 1 {
+    if items.len() <= 1 || pool.parallelism() <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
     let mut results: Vec<Option<Result<R, CoreError>>> = (0..items.len()).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let mut rest = results.as_mut_slice();
-        let mut items_rest = items;
-        let base = items.len() / workers;
-        let extra = items.len() % workers;
-        let mut start = 0;
-        for w in 0..workers {
-            let len = base + usize::from(w < extra);
-            let (chunk, tail) = rest.split_at_mut(len);
-            rest = tail;
-            let (item_chunk, item_tail) = items_rest.split_at(len);
-            items_rest = item_tail;
-            let f = &f;
-            scope.spawn(move || {
-                for (off, (slot, item)) in chunk.iter_mut().zip(item_chunk).enumerate() {
-                    *slot = Some(f(start + off, item));
-                }
-            });
-            start += len;
-        }
-    });
+    let f = &f;
+    let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = results
+        .iter_mut()
+        .zip(items)
+        .enumerate()
+        .map(|(i, (slot, item))| {
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || *slot = Some(f(i, item)));
+            job
+        })
+        .collect();
+    pool.run(jobs);
     results
         .into_iter()
         .map(|r| {
@@ -173,6 +163,14 @@ where
 /// KV blocks circulate `N-1` hops; each iteration computes partial
 /// attention between the stationary local queries and the visiting KV,
 /// and the partials are merged at the end (Eq. 4).
+///
+/// The loop is **double-buffered**: the exchange for hop `j+1` is posted
+/// (`isend_irecv`) *before* partial attention runs on hop `j`'s data, and
+/// the handle is waited at the loop bottom, so wire time hides under
+/// compute — the paper's `latency(SendRecv) <= latency(ATTN)` overlap
+/// condition (§3.3). [`ring_pass_kv_prefill_blocking`] keeps the
+/// compute-then-exchange ordering for A/B comparison; both produce
+/// bit-identical outputs because the merge order is unchanged.
 ///
 /// Returns one [`AttentionOutput`] per sequence, rows in `q_pos` order.
 ///
@@ -199,9 +197,23 @@ pub fn ring_pass_kv_prefill(
     let mut partials: Vec<Vec<AttentionOutput>> = vec![Vec::with_capacity(n); locals.len()];
 
     let (rank, prev) = (comm.rank(), comm.ring_prev());
+    let pool = comm.pool();
     for j in 0..n {
+        // Post hop j+1's exchange before attending to hop j's block; the
+        // outgoing shard is captured by O(1) handle clones.
+        let pending = if j + 1 < n {
+            Some(comm.isend_irecv(
+                comm.ring_next(),
+                RingMsg::Kv {
+                    seqs: visiting.clone(),
+                },
+                comm.ring_prev(),
+            )?)
+        } else {
+            None
+        };
         let step = comm.time_compute("attend pass-kv", || {
-            map_seqs(locals, |i, local| {
+            map_seqs(pool, locals, |i, local| {
                 let kv = visiting.get(i).ok_or_else(|| CoreError::BadRequest {
                     reason: format!(
                         "KV block forwarded by rank {prev} carries {} sequences but rank {rank} \
@@ -210,7 +222,64 @@ pub fn ring_pass_kv_prefill(
                         locals.len()
                     ),
                 })?;
-                attend(&local.q, &local.q_pos, kv, params)
+                attend(pool, &local.q, &local.q_pos, kv, params)
+            })
+        })?;
+        for (p, out) in partials.iter_mut().zip(step) {
+            p.push(out);
+        }
+        if let Some(pending) = pending {
+            let received = pending.wait()?;
+            visiting = expect_kv(received, comm.ring_prev())?;
+        }
+    }
+
+    comm.time_compute("merge pass-kv", || {
+        partials
+            .into_iter()
+            .map(|p| Ok(merge_partials(p.iter())?))
+            .collect()
+    })
+}
+
+/// Blocking reference variant of [`ring_pass_kv_prefill`]: identical math
+/// and wire schedule, but each hop computes first and only then performs
+/// the exchange (`send_recv`), exposing the full wire time. Kept for A/B
+/// benchmarking of communication/compute overlap.
+///
+/// # Errors
+///
+/// Same failure modes as [`ring_pass_kv_prefill`].
+pub fn ring_pass_kv_prefill_blocking(
+    comm: &Communicator<RingMsg>,
+    params: &AttentionParams,
+    locals: &[LocalSeq],
+) -> Result<Vec<AttentionOutput>, CoreError> {
+    let n = comm.world_size();
+    let mut visiting: Vec<SeqKv> = locals
+        .iter()
+        .map(|l| SeqKv {
+            k: l.k.clone(),
+            v: l.v.clone(),
+            pos: l.kv_pos.clone(),
+        })
+        .collect();
+    let mut partials: Vec<Vec<AttentionOutput>> = vec![Vec::with_capacity(n); locals.len()];
+
+    let (rank, prev) = (comm.rank(), comm.ring_prev());
+    let pool = comm.pool();
+    for j in 0..n {
+        let step = comm.time_compute("attend pass-kv", || {
+            map_seqs(pool, locals, |i, local| {
+                let kv = visiting.get(i).ok_or_else(|| CoreError::BadRequest {
+                    reason: format!(
+                        "KV block forwarded by rank {prev} carries {} sequences but rank {rank} \
+                         holds {} local sequences",
+                        visiting.len(),
+                        locals.len()
+                    ),
+                })?;
+                attend(pool, &local.q, &local.q_pos, kv, params)
             })
         })?;
         for (p, out) in partials.iter_mut().zip(step) {
@@ -240,6 +309,13 @@ pub fn ring_pass_kv_prefill(
 /// Q blocks circulate while KV stays put; after the loop each rank holds
 /// partial outputs for *other ranks'* queries, which are returned to their
 /// source rank with an `All2All` and merged there.
+///
+/// The hop loop is **double-buffered** like [`ring_pass_kv_prefill`]:
+/// the next hop's `isend_irecv` is posted before attending to the visiting
+/// queries, and the origin-rotation invariant is still checked when the
+/// handle is waited at the loop bottom.
+/// [`ring_pass_q_prefill_blocking`] keeps the compute-then-exchange
+/// ordering for A/B comparison.
 ///
 /// Returns one [`AttentionOutput`] per sequence for **this rank's own**
 /// queries, rows in `q_pos` order.
@@ -275,10 +351,23 @@ pub fn ring_pass_q_prefill(
     // computed[s] = partial outputs (per sequence) for origin rank s's
     // queries against this rank's KV.
     let mut computed: Vec<Option<Vec<SeqOut>>> = vec![None; n];
+    let pool = comm.pool();
     for j in 0..n {
         let origin = visiting_origin;
+        let pending = if j + 1 < n {
+            Some(comm.isend_irecv(
+                comm.ring_next(),
+                RingMsg::Q {
+                    origin: visiting_origin,
+                    seqs: visiting.clone(),
+                },
+                comm.ring_prev(),
+            )?)
+        } else {
+            None
+        };
         let outs: Vec<SeqOut> = comm.time_compute("attend pass-q", || {
-            map_seqs(&visiting, |i, sq| {
+            map_seqs(pool, &visiting, |i, sq| {
                 let kv = local_kv.get(i).ok_or_else(|| CoreError::BadRequest {
                     reason: format!(
                         "rank {origin} sent {} query sequences but rank {k} holds {} local KV \
@@ -287,7 +376,78 @@ pub fn ring_pass_q_prefill(
                         local_kv.len()
                     ),
                 })?;
-                attend(&sq.q, &sq.pos, kv, params).map(|o| SeqOut {
+                attend(pool, &sq.q, &sq.pos, kv, params).map(|o| SeqOut {
+                    out: o.out,
+                    lse: o.lse,
+                })
+            })
+        })?;
+        let slot = computed
+            .get_mut(visiting_origin)
+            .ok_or_else(|| CoreError::Internal {
+                detail: format!("visiting origin {visiting_origin} out of range for world {n}"),
+            })?;
+        *slot = Some(outs);
+        if let Some(pending) = pending {
+            let received = pending.wait()?;
+            let (origin, seqs) = expect_q(received, comm.ring_prev())?;
+            check_ring_order(k, n, comm.ring_prev(), j + 1, origin)?;
+            visiting_origin = origin;
+            visiting = seqs;
+        }
+    }
+
+    return_and_merge_pass_q(comm, locals, computed)
+}
+
+/// Blocking reference variant of [`ring_pass_q_prefill`]: identical math
+/// and wire schedule, but each hop computes first and only then performs
+/// the exchange (`send_recv`), exposing the full wire time. Kept for A/B
+/// benchmarking of communication/compute overlap.
+///
+/// # Errors
+///
+/// Same failure modes as [`ring_pass_q_prefill`].
+pub fn ring_pass_q_prefill_blocking(
+    comm: &Communicator<RingMsg>,
+    params: &AttentionParams,
+    locals: &[LocalSeq],
+) -> Result<Vec<AttentionOutput>, CoreError> {
+    let n = comm.world_size();
+    let k = comm.rank();
+    let local_kv: Vec<SeqKv> = locals
+        .iter()
+        .map(|l| SeqKv {
+            k: l.k.clone(),
+            v: l.v.clone(),
+            pos: l.kv_pos.clone(),
+        })
+        .collect();
+
+    let mut visiting_origin = k;
+    let mut visiting: Vec<SeqQ> = locals
+        .iter()
+        .map(|l| SeqQ {
+            q: l.q.clone(),
+            pos: l.q_pos.clone(),
+        })
+        .collect();
+
+    let mut computed: Vec<Option<Vec<SeqOut>>> = vec![None; n];
+    let pool = comm.pool();
+    for j in 0..n {
+        let origin = visiting_origin;
+        let outs: Vec<SeqOut> = comm.time_compute("attend pass-q", || {
+            map_seqs(pool, &visiting, |i, sq| {
+                let kv = local_kv.get(i).ok_or_else(|| CoreError::BadRequest {
+                    reason: format!(
+                        "rank {origin} sent {} query sequences but rank {k} holds {} local KV \
+                         sequences",
+                        visiting.len(),
+                        local_kv.len()
+                    ),
+                })?;
+                attend(pool, &sq.q, &sq.pos, kv, params).map(|o| SeqOut {
                     out: o.out,
                     lse: o.lse,
                 })
@@ -315,6 +475,19 @@ pub fn ring_pass_q_prefill(
         }
     }
 
+    return_and_merge_pass_q(comm, locals, computed)
+}
+
+/// Shared tail of both pass-Q prefill variants: return every origin's
+/// partial outputs via `All2All` and merge the partials for this rank's
+/// own queries. Merge order is by source rank, so overlapped and blocking
+/// loops produce bit-identical outputs.
+fn return_and_merge_pass_q(
+    comm: &Communicator<RingMsg>,
+    locals: &[LocalSeq],
+    computed: Vec<Option<Vec<SeqOut>>>,
+) -> Result<Vec<AttentionOutput>, CoreError> {
+    let n = comm.world_size();
     // All2All: computed[s] goes back to rank s (this includes keeping our
     // own partial locally).
     let payloads: Vec<RingMsg> = computed
@@ -369,6 +542,12 @@ pub fn ring_pass_q_prefill(
 /// of the matching sequence; partial outputs return via `All2All` and are
 /// merged by the slot's owner.
 ///
+/// The hop loop is **double-buffered** like [`ring_pass_kv_prefill`]: the
+/// next hop's `isend_irecv` is posted before attending to the visiting
+/// slots, with the origin rotation still checked at the loop bottom.
+/// [`ring_pass_q_decode_blocking`] keeps the compute-then-exchange
+/// ordering for A/B comparison.
+///
 /// Returns one merged [`AttentionOutput`] per real (non-padding) local
 /// slot, in slot order.
 ///
@@ -388,10 +567,23 @@ pub fn ring_pass_q_decode(
     let mut visiting: Vec<Option<DecodeSlot>> = slots.to_vec();
     let mut computed: Vec<Option<Vec<Option<SeqOut>>>> = vec![None; n];
 
+    let pool = comm.pool();
     for j in 0..n {
         let origin = visiting_origin;
+        let pending = if j + 1 < n {
+            Some(comm.isend_irecv(
+                comm.ring_next(),
+                RingMsg::DecodeQ {
+                    origin: visiting_origin,
+                    slots: visiting.clone(),
+                },
+                comm.ring_prev(),
+            )?)
+        } else {
+            None
+        };
         let outs: Vec<Option<SeqOut>> = comm.time_compute("attend decode", || {
-            map_seqs(&visiting, |_, slot| {
+            map_seqs(pool, &visiting, |_, slot| {
                 slot.as_ref()
                     .map(|s| {
                         let kv = batch_kv.get(s.bid).ok_or_else(|| CoreError::BadRequest {
@@ -400,7 +592,67 @@ pub fn ring_pass_q_decode(
                                 s.bid
                             ),
                         })?;
-                        attend(&s.q, &[s.pos], kv, params).map(|o| SeqOut {
+                        attend(pool, &s.q, &[s.pos], kv, params).map(|o| SeqOut {
+                            out: o.out,
+                            lse: o.lse,
+                        })
+                    })
+                    .transpose()
+            })
+        })?;
+        let slot = computed
+            .get_mut(visiting_origin)
+            .ok_or_else(|| CoreError::Internal {
+                detail: format!("visiting origin {visiting_origin} out of range for world {n}"),
+            })?;
+        *slot = Some(outs);
+        if let Some(pending) = pending {
+            let received = pending.wait()?;
+            let (origin, s) = expect_decode_q(received, comm.ring_prev())?;
+            check_ring_order(k, n, comm.ring_prev(), j + 1, origin)?;
+            visiting_origin = origin;
+            visiting = s;
+        }
+    }
+
+    return_and_merge_decode(comm, slots, computed)
+}
+
+/// Blocking reference variant of [`ring_pass_q_decode`]: identical math
+/// and wire schedule, but each hop computes first and only then performs
+/// the exchange (`send_recv`), exposing the full wire time. Kept for A/B
+/// benchmarking of communication/compute overlap.
+///
+/// # Errors
+///
+/// Same failure modes as [`ring_pass_q_decode`].
+pub fn ring_pass_q_decode_blocking(
+    comm: &Communicator<RingMsg>,
+    params: &AttentionParams,
+    slots: &[Option<DecodeSlot>],
+    batch_kv: &[SeqKv],
+) -> Result<Vec<AttentionOutput>, CoreError> {
+    let n = comm.world_size();
+    let k = comm.rank();
+
+    let mut visiting_origin = k;
+    let mut visiting: Vec<Option<DecodeSlot>> = slots.to_vec();
+    let mut computed: Vec<Option<Vec<Option<SeqOut>>>> = vec![None; n];
+
+    let pool = comm.pool();
+    for j in 0..n {
+        let origin = visiting_origin;
+        let outs: Vec<Option<SeqOut>> = comm.time_compute("attend decode", || {
+            map_seqs(pool, &visiting, |_, slot| {
+                slot.as_ref()
+                    .map(|s| {
+                        let kv = batch_kv.get(s.bid).ok_or_else(|| CoreError::BadRequest {
+                            reason: format!(
+                                "decode slot from rank {origin} references unknown batch id {}",
+                                s.bid
+                            ),
+                        })?;
+                        attend(pool, &s.q, &[s.pos], kv, params).map(|o| SeqOut {
                             out: o.out,
                             lse: o.lse,
                         })
@@ -430,6 +682,18 @@ pub fn ring_pass_q_decode(
         }
     }
 
+    return_and_merge_decode(comm, slots, computed)
+}
+
+/// Shared tail of both decode variants: return partial outputs to their
+/// owning rank via `All2All` and merge per real local slot, in source-rank
+/// order (bit-identical between overlapped and blocking loops).
+fn return_and_merge_decode(
+    comm: &Communicator<RingMsg>,
+    slots: &[Option<DecodeSlot>],
+    computed: Vec<Option<Vec<Option<SeqOut>>>>,
+) -> Result<Vec<AttentionOutput>, CoreError> {
+    let n = comm.world_size();
     let payloads: Vec<RingMsg> = computed
         .into_iter()
         .enumerate()

@@ -220,6 +220,37 @@ pub fn decode_plan(
     Ok(CommPlan::from_ranks(ranks))
 }
 
+/// Declares the all-gather pass-KV baseline schedule
+/// ([`crate::baseline::all_gather_pass_kv_prefill`], Llama3-training style,
+/// §3.5.2) for all ranks: a single `AllGather` per rank broadcasting the
+/// rank's own KV shard and collecting every peer's. Byte-for-byte it moves
+/// the ring schedule's total volume, but all of it sits un-overlapped
+/// before any compute starts.
+///
+/// # Errors
+///
+/// [`CoreError::BadRequest`] for an empty rank list.
+pub fn all_gather_pass_kv_plan(locals: &[Vec<LocalSeq>]) -> Result<CommPlan, CoreError> {
+    let n = nonzero_world(locals.len())?;
+    let kv_bytes: Vec<usize> = locals
+        .iter()
+        .map(|ls| kv_skeleton(ls).wire_bytes())
+        .collect();
+    let ranks = (0..n)
+        .map(|r| {
+            Ok(RankPlan {
+                rank: r,
+                ops: vec![CommOp::AllGather {
+                    variant: "Kv",
+                    send_bytes: at(&kv_bytes, r)?,
+                    recv_bytes: kv_bytes.clone(),
+                }],
+            })
+        })
+        .collect::<Result<_, CoreError>>()?;
+    Ok(CommPlan::from_ranks(ranks))
+}
+
 fn nonzero_world(n: usize) -> Result<usize, CoreError> {
     if n == 0 {
         return Err(CoreError::BadRequest {
@@ -441,6 +472,26 @@ mod tests {
             })
             .unwrap();
             predicted.check_report(&report).unwrap();
+        }
+    }
+
+    #[test]
+    fn checked_all_gather_baseline_matches_plan_and_predicted_traffic() {
+        let p = params(2, 1, 4);
+        for n in [2, 3, 4] {
+            let locals = uniform_locals(n, 3, &p, 80 + n as u64);
+            let plan = all_gather_pass_kv_plan(&locals).unwrap();
+            let predicted = plan.predicted_traffic();
+            let fabric = CheckedFabric::new(plan);
+            let (outs, report) = run_ring_checked(&fabric, |comm| {
+                crate::baseline::all_gather_pass_kv_prefill(comm, &p, &locals[comm.rank()])
+            })
+            .unwrap();
+            assert_eq!(outs.len(), n);
+            predicted.check_report(&report).unwrap();
+            // Same volume as the ring schedule, in one un-overlapped shot.
+            let ring_predicted = pass_kv_plan(&locals).unwrap().predicted_traffic();
+            assert_eq!(predicted.all_gather.bytes, ring_predicted.send_recv.bytes);
         }
     }
 

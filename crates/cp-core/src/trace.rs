@@ -30,6 +30,7 @@ pub fn measured_ring_trace(report: &TrafficReport) -> RingTrace {
             name: ev.label.clone(),
             start_us: ev.start_ns as f64 / 1_000.0,
             dur_us: ev.dur_ns as f64 / 1_000.0,
+            overlap_us: ev.overlapped_ns as f64 / 1_000.0,
         })
         .collect();
     let makespan_us = events
@@ -117,6 +118,15 @@ mod tests {
         }
         let json = trace.to_chrome_json();
         assert!(json.contains("traceEvents"));
+        assert!(json.contains("overlap_us"));
+        // Measured overlap is clamped to the collective's own duration and
+        // never appears on compute-lane events.
+        for e in &trace.events {
+            match e.lane.as_str() {
+                "comm" => assert!(e.overlap_us <= e.dur_us + 1e-9, "{e:?}"),
+                _ => assert_eq!(e.overlap_us, 0.0, "{e:?}"),
+            }
+        }
         // Events stay within the makespan.
         for e in &trace.events {
             assert!(e.start_us + e.dur_us <= trace.makespan_us + 1e-9);

@@ -1,0 +1,209 @@
+//! Bit-identity of the double-buffered (overlapped) ring loops against
+//! their blocking reference variants.
+//!
+//! Overlapping communication with compute must be a pure scheduling
+//! change: for any batch shape, sequence-length skew, CP degree, and
+//! full/partial prefill split, `ring_pass_kv_prefill`,
+//! `ring_pass_q_prefill`, and `ring_pass_q_decode` must produce outputs
+//! **bit-identical** to the `_blocking` variants (same kernels, same merge
+//! order — only the wait point moves). The declared schedules must also
+//! still match live traffic exactly when the overlapped loops run under a
+//! `CheckedFabric`.
+
+use cp_attention::{AttentionOutput, AttentionParams, GqaShape};
+use cp_comm::CheckedFabric;
+use cp_core::ring::{
+    ring_pass_kv_prefill, ring_pass_kv_prefill_blocking, ring_pass_q_decode,
+    ring_pass_q_decode_blocking, ring_pass_q_prefill, ring_pass_q_prefill_blocking, run_ring,
+};
+use cp_core::schedule::{decode_plan, pass_kv_plan, pass_q_plan, run_ring_checked};
+use cp_core::{DecodeSlot, LocalSeq, SeqKv};
+use cp_tensor::DetRng;
+use proptest::prelude::*;
+
+fn params() -> AttentionParams {
+    AttentionParams::for_shape(GqaShape::new(2, 1, 4).unwrap())
+}
+
+/// Builds one sequence per rank with independent query/KV lengths per
+/// rank. `lens[r] = (lq, extra)` gives rank `r` a KV segment of
+/// `lq + extra` tokens whose **last** `lq` positions carry queries — so
+/// `extra > 0` models partial prefill (history KV with no live queries).
+fn build_locals(lens: &[(usize, usize)], p: &AttentionParams, seed: u64) -> Vec<Vec<LocalSeq>> {
+    let shape = p.shape;
+    let mut rng = DetRng::new(seed);
+    let mut cur = 0usize;
+    lens.iter()
+        .map(|&(lq, extra)| {
+            let lk = lq + extra;
+            let kv_pos: Vec<usize> = (cur..cur + lk).collect();
+            let q_pos: Vec<usize> = (cur + extra..cur + lk).collect();
+            cur += lk;
+            vec![LocalSeq {
+                q: rng.tensor(&[lq, shape.n_heads(), shape.head_dim()]),
+                q_pos,
+                k: rng.tensor(&[lk, shape.n_kv_heads(), shape.head_dim()]),
+                v: rng.tensor(&[lk, shape.n_kv_heads(), shape.head_dim()]),
+                kv_pos,
+            }]
+        })
+        .collect()
+}
+
+fn build_decode(
+    occupancy: &[bool],
+    p: &AttentionParams,
+    seed: u64,
+) -> (Vec<Vec<Option<DecodeSlot>>>, Vec<Vec<SeqKv>>) {
+    let shape = p.shape;
+    let mut rng = DetRng::new(seed);
+    let n = occupancy.len();
+    let slots: Vec<Vec<Option<DecodeSlot>>> = occupancy
+        .iter()
+        .map(|&occupied| {
+            vec![occupied.then(|| DecodeSlot {
+                bid: 0,
+                q: rng.tensor(&[1, shape.n_heads(), shape.head_dim()]),
+                pos: 4 * n,
+            })]
+        })
+        .collect();
+    let kv: Vec<Vec<SeqKv>> = (0..n)
+        .map(|r| {
+            vec![SeqKv {
+                k: rng.tensor(&[3, shape.n_kv_heads(), shape.head_dim()]),
+                v: rng.tensor(&[3, shape.n_kv_heads(), shape.head_dim()]),
+                pos: (r * 3..(r + 1) * 3).collect(),
+            }]
+        })
+        .collect();
+    (slots, kv)
+}
+
+/// Bitwise equality, NaN-safe: identical scheduling must reproduce the
+/// exact same f32 bit patterns, not merely approximately equal values.
+fn assert_bit_identical(a: &[Vec<AttentionOutput>], b: &[Vec<AttentionOutput>]) {
+    assert_eq!(a.len(), b.len());
+    for (rank, (ra, rb)) in a.iter().zip(b).enumerate() {
+        assert_eq!(ra.len(), rb.len(), "rank {rank}");
+        for (i, (oa, ob)) in ra.iter().zip(rb).enumerate() {
+            let out_same = oa
+                .out
+                .as_slice()
+                .iter()
+                .zip(ob.out.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            let lse_same = oa
+                .lse
+                .as_slice()
+                .iter()
+                .zip(ob.lse.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(
+                oa.out.as_slice().len() == ob.out.as_slice().len() && out_same && lse_same,
+                "rank {rank} sequence {i} diverged between overlapped and blocking"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Overlapped pass-KV prefill is bit-identical to the blocking loop
+    /// for any CP degree, ragged lengths, and partial-prefill history.
+    #[test]
+    fn overlapped_pass_kv_is_bit_identical(
+        cp in 2usize..5,
+        base in prop::collection::vec((1usize..5, 0usize..3), 4),
+        seed in any::<u64>(),
+    ) {
+        let p = params();
+        let lens = &base[..cp];
+        let locals = build_locals(lens, &p, seed);
+        let (overlapped, _) = run_ring(cp, |comm| {
+            ring_pass_kv_prefill(comm, &p, &locals[comm.rank()])
+        }).unwrap();
+        let (blocking, _) = run_ring(cp, |comm| {
+            ring_pass_kv_prefill_blocking(comm, &p, &locals[comm.rank()])
+        }).unwrap();
+        assert_bit_identical(&overlapped, &blocking);
+    }
+
+    /// Overlapped pass-Q prefill is bit-identical to the blocking loop.
+    #[test]
+    fn overlapped_pass_q_is_bit_identical(
+        cp in 2usize..5,
+        base in prop::collection::vec((1usize..5, 0usize..3), 4),
+        seed in any::<u64>(),
+    ) {
+        let p = params();
+        let lens = &base[..cp];
+        let locals = build_locals(lens, &p, seed);
+        let (overlapped, _) = run_ring(cp, |comm| {
+            ring_pass_q_prefill(comm, &p, &locals[comm.rank()])
+        }).unwrap();
+        let (blocking, _) = run_ring(cp, |comm| {
+            ring_pass_q_prefill_blocking(comm, &p, &locals[comm.rank()])
+        }).unwrap();
+        assert_bit_identical(&overlapped, &blocking);
+    }
+
+    /// Overlapped batched decode is bit-identical to the blocking loop
+    /// for any slot occupancy pattern (ragged batches included).
+    #[test]
+    fn overlapped_decode_is_bit_identical(
+        cp in 2usize..5,
+        occupancy in prop::collection::vec(any::<bool>(), 4),
+        seed in any::<u64>(),
+    ) {
+        let p = params();
+        let mut occ = occupancy[..cp].to_vec();
+        occ[0] = true; // at least one live slot
+        let (slots, kv) = build_decode(&occ, &p, seed);
+        let (overlapped, _) = run_ring(cp, |comm| {
+            ring_pass_q_decode(comm, &p, &slots[comm.rank()], &kv[comm.rank()])
+        }).unwrap();
+        let (blocking, _) = run_ring(cp, |comm| {
+            ring_pass_q_decode_blocking(comm, &p, &slots[comm.rank()], &kv[comm.rank()])
+        }).unwrap();
+        assert_bit_identical(&overlapped, &blocking);
+    }
+
+    /// The declared schedules still match live traffic exactly when the
+    /// overlapped loops run under the CheckedFabric sanitizer: posting
+    /// `isend_irecv` early must not change plan conformance or metering.
+    #[test]
+    fn overlapped_loops_keep_predicted_traffic_exact(
+        cp in 2usize..5,
+        base in prop::collection::vec((1usize..4, 0usize..2), 4),
+        seed in any::<u64>(),
+    ) {
+        let p = params();
+        let lens = &base[..cp];
+        let locals = build_locals(lens, &p, seed);
+
+        let plan = pass_kv_plan(&locals).unwrap();
+        let predicted = plan.predicted_traffic();
+        let (_, report) = run_ring_checked(&CheckedFabric::new(plan), |comm| {
+            ring_pass_kv_prefill(comm, &p, &locals[comm.rank()])
+        }).unwrap();
+        predicted.check_report(&report).unwrap();
+
+        let plan = pass_q_plan(&p, &locals).unwrap();
+        let predicted = plan.predicted_traffic();
+        let (_, report) = run_ring_checked(&CheckedFabric::new(plan), |comm| {
+            ring_pass_q_prefill(comm, &p, &locals[comm.rank()])
+        }).unwrap();
+        predicted.check_report(&report).unwrap();
+
+        let occ = vec![true; cp];
+        let (slots, kv) = build_decode(&occ, &p, seed ^ 0x9e37);
+        let plan = decode_plan(&p, &slots).unwrap();
+        let predicted = plan.predicted_traffic();
+        let (_, report) = run_ring_checked(&CheckedFabric::new(plan), |comm| {
+            ring_pass_q_decode(comm, &p, &slots[comm.rank()], &kv[comm.rank()])
+        }).unwrap();
+        predicted.check_report(&report).unwrap();
+    }
+}

@@ -23,6 +23,11 @@ pub struct TraceEvent {
     pub start_us: f64,
     /// Duration, µs.
     pub dur_us: f64,
+    /// Portion of the interval hidden under concurrent compute, µs.
+    /// Always 0 for compute-lane events; for comm-lane events this is
+    /// the overlapped share of the wire time (`dur_us` when the hop is
+    /// fully hidden, 0 when fully exposed).
+    pub overlap_us: f64,
 }
 
 /// A traced ring simulation: the makespan plus every interval.
@@ -50,6 +55,7 @@ impl RingTrace {
                 "dur": e.dur_us,
                 "pid": e.rank,
                 "tid": tid,
+                "args": { "overlap_us": e.overlap_us },
             }));
         }
         serde_json::to_string_pretty(&serde_json::json!({ "traceEvents": entries }))
@@ -105,6 +111,7 @@ pub fn trace_ring(attn_us: &[Vec<f64>], sendrecv_us: f64) -> RingTrace {
                 name: format!("send block {} -> rank {k}", (prev + n - j) % n),
                 start_us: start,
                 dur_us: sendrecv_us,
+                overlap_us: 0.0, // filled in once compute intervals are placed
             });
         }
     }
@@ -120,11 +127,29 @@ pub fn trace_ring(attn_us: &[Vec<f64>], sendrecv_us: f64) -> RingTrace {
                 name: format!("attn block {}", (k + n - j) % n),
                 start_us: start,
                 dur_us: attn_us[k][j],
+                overlap_us: 0.0,
             });
             t = start + attn_us[k][j];
         }
         makespan = makespan.max(t);
     }
+
+    // A hop is hidden exactly where its wire interval runs concurrently
+    // with the sending rank's compute lane; the remainder is exposed.
+    let compute_spans: Vec<(usize, f64, f64)> = events
+        .iter()
+        .filter(|e| e.lane == "compute")
+        .map(|e| (e.rank, e.start_us, e.start_us + e.dur_us))
+        .collect();
+    for e in events.iter_mut().filter(|e| e.lane == "comm") {
+        let end = e.start_us + e.dur_us;
+        e.overlap_us = compute_spans
+            .iter()
+            .filter(|&&(rank, _, _)| rank == e.rank)
+            .map(|&(_, lo, hi)| (end.min(hi) - e.start_us.max(lo)).max(0.0))
+            .sum();
+    }
+
     RingTrace {
         makespan_us: makespan,
         events,
@@ -219,6 +244,34 @@ mod tests {
         assert_eq!(events.len(), trace.events.len());
         assert!(events.iter().all(|e| e["ph"] == "X"));
         assert!(events.iter().any(|e| e["cat"] == "comm"));
+        assert!(events
+            .iter()
+            .all(|e| e["args"]["overlap_us"].as_f64().is_some()));
+    }
+
+    #[test]
+    fn compute_bound_hops_are_fully_overlapped() {
+        let trace = trace_ring(&uniform(4, 100.0), 10.0);
+        for e in trace.events.iter().filter(|e| e.lane == "comm") {
+            assert!(
+                (e.overlap_us - e.dur_us).abs() < 1e-9,
+                "compute-bound hop must hide entirely: {e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn overlap_never_exceeds_hop_duration() {
+        let trace = trace_ring(&uniform(4, 50.0), 120.0);
+        for e in trace.events.iter().filter(|e| e.lane == "comm") {
+            assert!(
+                e.overlap_us >= -1e-9 && e.overlap_us <= e.dur_us + 1e-9,
+                "{e:?}"
+            );
+        }
+        for e in trace.events.iter().filter(|e| e.lane == "compute") {
+            assert_eq!(e.overlap_us, 0.0);
+        }
     }
 
     #[test]

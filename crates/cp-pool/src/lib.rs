@@ -1,0 +1,325 @@
+//! Persistent compute worker pool.
+//!
+//! The ring hot path used to pay a `std::thread::scope` spawn/join per
+//! layer per hop (once in `cp_core::ring::map_seqs`, once more inside
+//! `blocked_gqa_attention_with_threads`). A 126-layer forward at CP8 spawns
+//! thousands of short-lived OS threads that way. [`ComputePool`] replaces
+//! that with a fixed set of workers created once (per rank, owned by the
+//! `Communicator`) and reused for every batch of jobs.
+//!
+//! Design:
+//!
+//! - Each worker owns an `mpsc` receiver (std channels are single-consumer,
+//!   so there is no shared injector queue). A batch is an
+//!   `Arc<Batch>` holding the jobs behind a mutex; [`ComputePool::run`]
+//!   broadcasts the `Arc` to every worker and then *participates*, popping
+//!   jobs itself until the queue is empty.
+//! - Caller participation makes nested `run` calls deadlock-free: a job
+//!   that itself calls `run` drains its own batch before blocking, so every
+//!   claimed job completes without waiting on an idle worker.
+//! - Jobs may borrow from the caller's stack (`'s` lifetime). This is sound
+//!   because `run` does not return until every job has been executed *and
+//!   dropped* (the pending latch is decremented only after
+//!   `catch_unwind` consumes the closure), exactly the guarantee scoped
+//!   threads provide. The one `unsafe` block in this workspace erases the
+//!   lifetime to ship jobs across the channel; every other crate keeps
+//!   `#![forbid(unsafe_code)]`.
+//! - A panicking job is caught on the worker, recorded, and re-raised on
+//!   the calling thread after the batch completes — same observable
+//!   behavior as a panicking scoped thread.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::thread::JoinHandle;
+
+/// A type-erased unit of work, already promoted to `'static`.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Completion state of one batch, guarded by [`Batch::state`].
+struct BatchState {
+    /// Jobs not yet executed-and-dropped.
+    pending: usize,
+    /// First panic payload observed while running this batch.
+    panic: Option<Box<dyn std::any::Any + Send + 'static>>,
+}
+
+/// One broadcast batch of jobs, shared between the caller and all workers.
+struct Batch {
+    jobs: Mutex<Vec<Job>>,
+    state: Mutex<BatchState>,
+    done: Condvar,
+}
+
+fn relock<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    // A poisoned lock only means another job panicked; the panic payload is
+    // propagated through `BatchState::panic`, so keep the pool usable.
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Batch {
+    /// Pops and runs jobs until the queue is empty, decrementing the
+    /// pending latch after each job is consumed.
+    fn work_off(&self) {
+        loop {
+            let job = relock(self.jobs.lock()).pop();
+            let Some(job) = job else { return };
+            // `catch_unwind` consumes the closure whether it returns or
+            // unwinds, so by the time it returns the job and everything it
+            // borrowed are dropped — only then may `pending` fall.
+            let outcome = catch_unwind(AssertUnwindSafe(job));
+            let mut state = relock(self.state.lock());
+            if let Err(payload) = outcome {
+                state.panic.get_or_insert(payload);
+            }
+            state.pending -= 1;
+            if state.pending == 0 {
+                self.done.notify_all();
+            }
+        }
+    }
+}
+
+/// Promotes a scoped job to `'static` so it can cross the worker channel.
+///
+/// # Safety
+///
+/// The caller must not return until the job has been executed and dropped.
+/// [`ComputePool::run`] guarantees this by blocking on the batch's pending
+/// latch, which reaches zero only after every job was consumed.
+unsafe fn erase<'s>(job: Box<dyn FnOnce() + Send + 's>) -> Job {
+    // SAFETY: wide-pointer transmute between the same trait object type
+    // differing only in lifetime; validity is the caller's contract above.
+    unsafe { std::mem::transmute(job) }
+}
+
+/// A fixed set of persistent worker threads plus the calling thread.
+///
+/// `parallelism()` threads execute each batch: `parallelism() - 1` workers
+/// and the caller of [`run`](ComputePool::run) itself.
+pub struct ComputePool {
+    injectors: Vec<Sender<Arc<Batch>>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ComputePool {
+    /// Creates a pool executing batches with `parallelism` total threads
+    /// (`parallelism - 1` spawned workers; the caller is the last thread).
+    /// `parallelism` of 0 or 1 spawns no workers and runs jobs inline.
+    #[must_use]
+    pub fn new(parallelism: usize) -> Self {
+        let workers = parallelism.saturating_sub(1);
+        let mut pool = ComputePool {
+            injectors: Vec::with_capacity(workers),
+            workers: Vec::with_capacity(workers),
+        };
+        for i in 0..workers {
+            let (tx, rx): (Sender<Arc<Batch>>, Receiver<Arc<Batch>>) = mpsc::channel();
+            let handle = std::thread::Builder::new()
+                .name(format!("cp-pool-{i}"))
+                .spawn(move || {
+                    while let Ok(batch) = rx.recv() {
+                        batch.work_off();
+                    }
+                })
+                .expect("spawn cp-pool worker");
+            pool.injectors.push(tx);
+            pool.workers.push(handle);
+        }
+        pool
+    }
+
+    /// Total threads applied to a batch (workers plus the calling thread).
+    #[must_use]
+    pub fn parallelism(&self) -> usize {
+        self.workers.len() + 1
+    }
+
+    /// The process-wide pool sized to `available_parallelism`, created on
+    /// first use. Entry points that are not handed a per-rank pool (e.g.
+    /// single-process attention kernels) fall back to this.
+    #[must_use]
+    pub fn global() -> &'static ComputePool {
+        static GLOBAL: OnceLock<ComputePool> = OnceLock::new();
+        GLOBAL.get_or_init(ComputePool::default)
+    }
+
+    /// Runs every job to completion, in parallel across the pool, blocking
+    /// until all have finished. Jobs may borrow from the caller's stack.
+    /// If any job panics, the first panic is re-raised here after the whole
+    /// batch has completed.
+    pub fn run<'s>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 's>>) {
+        if jobs.is_empty() {
+            return;
+        }
+        if self.workers.is_empty() || jobs.len() == 1 {
+            for job in jobs {
+                job();
+            }
+            return;
+        }
+        let pending = jobs.len();
+        // SAFETY: this function blocks on the pending latch below and does
+        // not return until every erased job has been executed and dropped,
+        // so no job observes the end of 's.
+        let jobs: Vec<Job> = jobs.into_iter().map(|j| unsafe { erase(j) }).collect();
+        let batch = Arc::new(Batch {
+            jobs: Mutex::new(jobs),
+            state: Mutex::new(BatchState {
+                pending,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        });
+        for injector in &self.injectors {
+            // A send only fails if the worker exited, which happens solely
+            // during pool teardown; the caller-participation loop below
+            // still drains the batch in that case.
+            let _ = injector.send(Arc::clone(&batch));
+        }
+        batch.work_off();
+        let mut state = relock(batch.state.lock());
+        while state.pending > 0 {
+            state = relock(batch.done.wait(state));
+        }
+        if let Some(payload) = state.panic.take() {
+            drop(state);
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl std::fmt::Debug for ComputePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ComputePool")
+            .field("parallelism", &self.parallelism())
+            .finish()
+    }
+}
+
+impl Default for ComputePool {
+    /// A pool sized to the machine: `available_parallelism` total threads.
+    fn default() -> Self {
+        let n = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        ComputePool::new(n)
+    }
+}
+
+impl Drop for ComputePool {
+    fn drop(&mut self) {
+        // Closing the channels ends each worker's recv loop.
+        self.injectors.clear();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn jobs_filling<'s>(slots: &'s mut [Option<usize>]) -> Vec<Box<dyn FnOnce() + Send + 's>> {
+        slots
+            .iter_mut()
+            .enumerate()
+            .map(|(i, slot)| {
+                let job: Box<dyn FnOnce() + Send + 's> = Box::new(move || *slot = Some(i * i));
+                job
+            })
+            .collect()
+    }
+
+    #[test]
+    fn runs_scoped_borrows_in_order_preserving_slots() {
+        let pool = ComputePool::new(4);
+        let mut slots = vec![None; 64];
+        pool.run(jobs_filling(&mut slots));
+        for (i, slot) in slots.iter().enumerate() {
+            assert_eq!(*slot, Some(i * i));
+        }
+    }
+
+    #[test]
+    fn inline_pool_matches_parallel_pool() {
+        let inline = ComputePool::new(1);
+        assert_eq!(inline.parallelism(), 1);
+        let mut slots = vec![None; 8];
+        inline.run(jobs_filling(&mut slots));
+        assert!(slots.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        ComputePool::new(2).run(Vec::new());
+    }
+
+    #[test]
+    fn nested_run_does_not_deadlock() {
+        let pool = Arc::new(ComputePool::new(2));
+        let counter = AtomicUsize::new(0);
+        let outer: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let counter = &counter;
+                let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    let inner: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+                        .map(|_| {
+                            let job: Box<dyn FnOnce() + Send + '_> = Box::new(|| {
+                                counter.fetch_add(1, Ordering::SeqCst);
+                            });
+                            job
+                        })
+                        .collect();
+                    pool.run(inner);
+                });
+                job
+            })
+            .collect();
+        pool.run(outer);
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn panic_in_job_propagates_after_batch_completes() {
+        let pool = ComputePool::new(3);
+        let finished = AtomicUsize::new(0);
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..8)
+            .map(|i| {
+                let finished = &finished;
+                let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    if i == 3 {
+                        panic!("job 3 exploded");
+                    }
+                    finished.fetch_add(1, Ordering::SeqCst);
+                });
+                job
+            })
+            .collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| pool.run(jobs)));
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("non-str payload");
+        assert!(msg.contains("exploded"), "unexpected payload: {msg}");
+        assert_eq!(finished.load(Ordering::SeqCst), 7);
+        // The pool must stay usable after a panicking batch.
+        let mut slots = vec![None; 4];
+        pool.run(jobs_filling(&mut slots));
+        assert!(slots.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_sized() {
+        let a = ComputePool::global();
+        let b = ComputePool::global();
+        assert!(std::ptr::eq(a, b));
+        assert!(a.parallelism() >= 1);
+    }
+}

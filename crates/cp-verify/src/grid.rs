@@ -2,14 +2,15 @@
 //!
 //! The checker's subject matter is the schedules the engine actually runs,
 //! so this module builds [`CommPlan`]s through the *production* builders in
-//! `cp_core::schedule` — pass-KV prefill, pass-Q prefill, and batched
-//! pass-Q decode — over a grid of tokens-per-rank, decode-slot counts, and
-//! sequence-length skew (`varseq`). Inputs are zero tensors: plans depend
-//! only on shapes, never on values.
+//! `cp_core::schedule` — pass-KV prefill, pass-Q prefill, batched pass-Q
+//! decode, and the all-gather pass-KV baseline — over a grid of
+//! tokens-per-rank, decode-slot counts, and sequence-length skew
+//! (`varseq`). Inputs are zero tensors: plans depend only on shapes, never
+//! on values.
 
 use cp_attention::{AttentionParams, GqaShape};
 use cp_comm::CommPlan;
-use cp_core::schedule::{decode_plan, pass_kv_plan, pass_q_plan};
+use cp_core::schedule::{all_gather_pass_kv_plan, decode_plan, pass_kv_plan, pass_q_plan};
 use cp_core::{CoreError, DecodeSlot, LocalSeq};
 use cp_tensor::Tensor;
 
@@ -108,6 +109,10 @@ pub fn grid_cases(cp: usize) -> Result<Vec<GridCase>, CoreError> {
                 name: format!("cp{cp}/pass_q/t{t}/{tag}"),
                 plan: pass_q_plan(&params, &locals)?,
             });
+            cases.push(GridCase {
+                name: format!("cp{cp}/all_gather/t{t}/{tag}"),
+                plan: all_gather_pass_kv_plan(&locals)?,
+            });
         }
     }
     for &slots in &[1usize, 3] {
@@ -130,12 +135,36 @@ mod tests {
     use crate::explore::explore_default;
 
     #[test]
-    fn grid_covers_all_three_algorithms() {
+    fn grid_covers_all_algorithms() {
         let cases = grid_cases(4).unwrap();
-        for alg in ["pass_kv", "pass_q", "decode"] {
+        for alg in ["pass_kv", "pass_q", "decode", "all_gather"] {
             assert!(cases.iter().any(|c| c.name.contains(alg)), "missing {alg}");
         }
-        assert!(cases.len() >= 12);
+        assert!(cases.len() >= 16);
+    }
+
+    #[test]
+    fn all_gather_baseline_moves_the_ring_volume() {
+        // §3.5.2: the baseline moves exactly the ring's bytes, just all at
+        // once; the grid keeps both so the checker sees the trade-off pair.
+        for cp in [2, 4, 8] {
+            let cases = grid_cases(cp).unwrap();
+            for case in &cases {
+                let Some(rest) = case.name.strip_prefix(&format!("cp{cp}/all_gather/")) else {
+                    continue;
+                };
+                let ring = cases
+                    .iter()
+                    .find(|c| c.name == format!("cp{cp}/pass_kv/{rest}"))
+                    .expect("matching pass_kv case");
+                assert_eq!(
+                    case.plan.predicted_traffic().all_gather.bytes,
+                    ring.plan.predicted_traffic().send_recv.bytes,
+                    "{}",
+                    case.name
+                );
+            }
+        }
     }
 
     #[test]

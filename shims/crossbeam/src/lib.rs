@@ -1,13 +1,14 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
 //! The workspace only uses `crossbeam::channel::{unbounded, Sender, Receiver,
-//! RecvTimeoutError}`, all of which `std::sync::mpsc` provides with identical
-//! semantics for our purposes (unbounded buffering, FIFO per pair, sender
-//! disconnect surfacing as `RecvTimeoutError::Disconnected`). This crate lets
-//! the workspace build in environments with no crates.io access.
+//! RecvTimeoutError, TryRecvError}`, all of which `std::sync::mpsc` provides
+//! with identical semantics for our purposes (unbounded buffering, FIFO per
+//! pair, sender disconnect surfacing as `RecvTimeoutError::Disconnected`).
+//! This crate lets the workspace build in environments with no crates.io
+//! access.
 
 pub mod channel {
-    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
     pub type Sender<T> = std::sync::mpsc::Sender<T>;
     pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
