@@ -68,18 +68,11 @@ pub fn flash_decode(
     let chunk = t_kv.div_ceil(n_splits);
     let mut partials = Vec::with_capacity(n_splits);
     let mut start = 0;
-    while start < t_kv {
-        let end = (start + chunk).min(t_kv);
+    for pos_chunk in kv_pos.chunks(chunk) {
+        let end = start + pos_chunk.len();
         let ks = k.slice_dim0(start..end)?;
         let vs = v.slice_dim0(start..end)?;
-        partials.push(naive_gqa_attention(
-            q,
-            &ks,
-            &vs,
-            params,
-            q_pos,
-            &kv_pos[start..end],
-        )?);
+        partials.push(naive_gqa_attention(q, &ks, &vs, params, q_pos, pos_chunk)?);
         start = end;
     }
     merge_partials(partials.iter())

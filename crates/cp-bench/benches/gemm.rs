@@ -1,0 +1,40 @@
+//! Criterion A/B for the cache-blocked GEMM: naive triple loop vs the
+//! packed register-tiled kernel, serial and row-banded on the compute
+//! pool, plus the pack step itself (paid once per weight at `Linear`
+//! construction, so it must stay cheap relative to one matmul).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cp_pool::ComputePool;
+use cp_tensor::{matmul, matmul_packed, matmul_packed_on, DetRng, PackedGemmB};
+
+fn bench_gemm_kernels(c: &mut Criterion) {
+    let pool = ComputePool::global();
+    for &(m, k, n) in &[(64usize, 256usize, 256usize), (128, 512, 512)] {
+        let mut rng = DetRng::new((m + k + n) as u64);
+        let a = rng.tensor(&[m, k]);
+        let b = rng.tensor(&[k, n]);
+        let packed = PackedGemmB::pack(&b).unwrap();
+        let mut group = c.benchmark_group(format!("gemm_{m}x{k}x{n}"));
+        group.sample_size(10);
+        group.bench_function("naive", |bch| {
+            bch.iter(|| black_box(matmul(&a, &b).unwrap()))
+        });
+        group.bench_function("tiled", |bch| {
+            bch.iter(|| black_box(matmul_packed(&a, &packed).unwrap()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("tiled_pool", pool.parallelism()),
+            &(),
+            |bch, ()| bch.iter(|| black_box(matmul_packed_on(pool, &a, &packed).unwrap())),
+        );
+        group.bench_function("pack", |bch| {
+            bch.iter(|| black_box(PackedGemmB::pack(&b).unwrap()))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_gemm_kernels);
+criterion_main!(benches);

@@ -308,14 +308,20 @@ pub fn ring_pass_kv_prefill_blocking(
 ///
 /// Q blocks circulate while KV stays put; after the loop each rank holds
 /// partial outputs for *other ranks'* queries, which are returned to their
-/// source rank with an `All2All` and merged there.
+/// source rank and merged there.
 ///
 /// The hop loop is **double-buffered** like [`ring_pass_kv_prefill`]:
 /// the next hop's `isend_irecv` is posted before attending to the visiting
 /// queries, and the origin-rotation invariant is still checked when the
-/// handle is waited at the loop bottom.
-/// [`ring_pass_q_prefill_blocking`] keeps the compute-then-exchange
-/// ordering for A/B comparison.
+/// handle is waited at the loop bottom. The **return hop is
+/// double-buffered too**: each visiting origin's partial outputs are
+/// isent back the moment their hop computes — before the next hop is
+/// waited on — so the return permutation hides under remaining ring
+/// compute instead of sitting exposed at the loop end (the Appendix C
+/// All2All cost). [`ring_pass_q_prefill_blocking`] keeps the
+/// compute-then-exchange ordering and the single trailing `All2All` for
+/// A/B comparison; both variants merge per source rank and are
+/// proptested bit-identical.
 ///
 /// Returns one [`AttentionOutput`] per sequence for **this rank's own**
 /// queries, rows in `q_pos` order.
@@ -348,9 +354,13 @@ pub fn ring_pass_q_prefill(
         })
         .collect();
 
-    // computed[s] = partial outputs (per sequence) for origin rank s's
-    // queries against this rank's KV.
-    let mut computed: Vec<Option<Vec<SeqOut>>> = vec![None; n];
+    // This rank's own partial (origin == k, computed at step 0) stays
+    // local; every other origin's partial is returned EAGERLY — an isend
+    // posted the moment the hop's compute finishes, before the next hop is
+    // merged in — so the return traffic rides under the remaining hops'
+    // compute instead of forming one exposed All2All at the loop end
+    // (Appendix C's exposed-return-hop cost, double-buffered away).
+    let mut own: Option<Vec<SeqOut>> = None;
     let pool = comm.pool();
     for j in 0..n {
         let origin = visiting_origin;
@@ -382,12 +392,13 @@ pub fn ring_pass_q_prefill(
                 })
             })
         })?;
-        let slot = computed
-            .get_mut(visiting_origin)
-            .ok_or_else(|| CoreError::Internal {
-                detail: format!("visiting origin {visiting_origin} out of range for world {n}"),
-            })?;
-        *slot = Some(outs);
+        if origin == k {
+            own = Some(outs);
+        } else {
+            // Buffered post; completion is implicit (channels are
+            // unbounded), so the handle can be dropped immediately.
+            let _posted = comm.isend(origin, RingMsg::Out { seqs: outs })?;
+        }
         if let Some(pending) = pending {
             let received = pending.wait()?;
             let (origin, seqs) = expect_q(received, comm.ring_prev())?;
@@ -397,7 +408,19 @@ pub fn ring_pass_q_prefill(
         }
     }
 
-    return_and_merge_pass_q(comm, locals, computed)
+    // Collect the partials for our own queries: one from each peer (its
+    // attention of our queries against its KV shard), ours from step 0.
+    let mut per_source: Vec<Vec<SeqOut>> = Vec::with_capacity(n);
+    for src_rank in 0..n {
+        if src_rank == k {
+            per_source.push(own.take().ok_or_else(|| CoreError::Internal {
+                detail: format!("rank {k} never visited its own queries in the pass-Q ring loop"),
+            })?);
+        } else {
+            per_source.push(expect_out(comm.recv(src_rank)?, src_rank)?);
+        }
+    }
+    merge_pass_q_sources(comm, locals, per_source)
 }
 
 /// Blocking reference variant of [`ring_pass_q_prefill`]: identical math
@@ -478,10 +501,12 @@ pub fn ring_pass_q_prefill_blocking(
     return_and_merge_pass_q(comm, locals, computed)
 }
 
-/// Shared tail of both pass-Q prefill variants: return every origin's
-/// partial outputs via `All2All` and merge the partials for this rank's
-/// own queries. Merge order is by source rank, so overlapped and blocking
-/// loops produce bit-identical outputs.
+/// Tail of the blocking pass-Q prefill variant: return every origin's
+/// partial outputs via one `All2All` and merge. The overlapped variant
+/// instead returns partials eagerly per hop (lone isends) and collects
+/// them with per-peer receives — a different transport for the *same*
+/// permutation, so both variants feed [`merge_pass_q_sources`] the same
+/// per-source table and stay bit-identical.
 fn return_and_merge_pass_q(
     comm: &Communicator<RingMsg>,
     locals: &[LocalSeq],
@@ -507,6 +532,17 @@ fn return_and_merge_pass_q(
     for (src_rank, msg) in received.into_iter().enumerate() {
         per_source.push(expect_out(msg, src_rank)?);
     }
+    merge_pass_q_sources(comm, locals, per_source)
+}
+
+/// Merges per-source partial outputs for this rank's own queries, in
+/// ascending source-rank order (the order that makes every transport of
+/// the return permutation bit-identical).
+fn merge_pass_q_sources(
+    comm: &Communicator<RingMsg>,
+    locals: &[LocalSeq],
+    per_source: Vec<Vec<SeqOut>>,
+) -> Result<Vec<AttentionOutput>, CoreError> {
     comm.time_compute("merge pass-q", || {
         (0..locals.len())
             .map(|i| {
@@ -750,9 +786,59 @@ where
     T: Send,
     F: Fn(&Communicator<RingMsg>) -> Result<T, CoreError> + Sync,
 {
-    let result = cp_comm::run_ranks::<RingMsg, T, _>(n_ranks, |comm| {
-        body(comm).map_err(|e| to_comm_error(comm.rank(), e))
-    });
+    run_ring_on(n_ranks, 0, None, body)
+}
+
+/// [`run_ring`] under a [`cp_comm::CheckedFabric`]: every collective the
+/// body issues is validated live against `plan` (peer, variant, byte count,
+/// op order), turning schedule drift into a hard error instead of silent
+/// mismeasurement. Debug/test harness for the serving engines.
+///
+/// # Errors
+///
+/// As [`run_ring`], plus [`CoreError::Comm`] wrapping
+/// [`cp_comm::CommError::PlanViolation`] when traffic diverges from the
+/// declared schedule.
+pub fn run_ring_checked<T, F>(
+    plan: &cp_comm::CommPlan,
+    body: F,
+) -> Result<(Vec<T>, cp_comm::TrafficReport), CoreError>
+where
+    T: Send,
+    F: Fn(&Communicator<RingMsg>) -> Result<T, CoreError> + Sync,
+{
+    run_ring_on(plan.world, 0, Some(plan), body)
+}
+
+/// The fully-general ring runner: `pool_threads` sets each rank's
+/// persistent [`cp_pool::ComputePool`] width (`0` = the fabric default),
+/// and a `Some(plan)` runs under a [`cp_comm::CheckedFabric`] with live
+/// schedule validation. [`run_ring`] and [`run_ring_checked`] are thin
+/// wrappers over this.
+///
+/// # Errors
+///
+/// As [`run_ring`]/[`run_ring_checked`] respectively.
+pub fn run_ring_on<T, F>(
+    n_ranks: usize,
+    pool_threads: usize,
+    plan: Option<&cp_comm::CommPlan>,
+    body: F,
+) -> Result<(Vec<T>, cp_comm::TrafficReport), CoreError>
+where
+    T: Send,
+    F: Fn(&Communicator<RingMsg>) -> Result<T, CoreError> + Sync,
+{
+    let wrapped =
+        |comm: &Communicator<RingMsg>| body(comm).map_err(|e| to_comm_error(comm.rank(), e));
+    let result = match plan {
+        Some(plan) => cp_comm::CheckedFabric::new(plan.clone())
+            .compute_pool(pool_threads)
+            .run::<RingMsg, T, _>(wrapped),
+        None => cp_comm::Fabric::new(n_ranks)
+            .compute_pool(pool_threads)
+            .run::<RingMsg, T, _>(wrapped),
+    };
     result.map_err(CoreError::from)
 }
 

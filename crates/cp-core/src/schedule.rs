@@ -147,9 +147,14 @@ pub fn pass_kv_plan(locals: &[Vec<LocalSeq>]) -> Result<CommPlan, CoreError> {
     Ok(CommPlan::from_ranks(ranks))
 }
 
-/// Declares the pass-Q prefill schedule (Algorithm 3) for all ranks:
-/// `N-1` ring `SendRecv` hops carrying the visiting Q block, then one
-/// `All2All` returning partial outputs to their origin ranks.
+/// Declares the pass-Q prefill schedule (Algorithm 3, with the return hop
+/// double-buffered) for all ranks: `N-1` ring `SendRecv` hops carrying the
+/// visiting Q block, an eager lone `Send` of each visiting origin's
+/// partial outputs the moment its hop computes (posted *before* the next
+/// hop is waited on, so return traffic hides under remaining compute), and
+/// `N-1` trailing `Recv`s collecting this rank's own partials from every
+/// peer in ascending source order. Replaces the single exposed `All2All`
+/// of the blocking variant — same permutation, overlapped transport.
 ///
 /// # Errors
 ///
@@ -165,17 +170,36 @@ pub fn pass_q_plan(
         .map(|(r, ls)| q_skeleton(r, ls).wire_bytes())
         .collect();
     // Partial outputs for origin s's queries have the same size no matter
-    // which rank computed them, so every rank's All2All row is the same
-    // vector, and rank r receives its own entry from every peer.
+    // which rank computed them, so every peer returns out_bytes(locals[r])
+    // to rank r.
     let outs: Vec<usize> = locals.iter().map(|ls| out_bytes(params, ls)).collect();
     let ranks = (0..n)
         .map(|r| {
-            let mut ops = ring_hops(r, n, "Q", &q_bytes)?;
-            ops.push(CommOp::AllToAll {
-                variant: "Out",
-                send_bytes: outs.clone(),
-                recv_bytes: vec![at(&outs, r)?; n],
-            });
+            let mut hops = ring_hops(r, n, "Q", &q_bytes)?.into_iter();
+            let mut ops = Vec::with_capacity(3 * n.saturating_sub(1));
+            for j in 0..n {
+                // Loop iteration j first posts hop j+1's isend_irecv...
+                if let Some(hop) = hops.next() {
+                    ops.push(hop);
+                }
+                // ...then computes origin_j's partials and returns them
+                // eagerly (origin_0 == r: the own partial stays local).
+                let origin = ring_origin(r, n, j);
+                if origin != r {
+                    ops.push(CommOp::Send {
+                        dst: origin,
+                        variant: "Out",
+                        bytes: at(&outs, origin)?,
+                    });
+                }
+            }
+            for src in (0..n).filter(|&s| s != r) {
+                ops.push(CommOp::Recv {
+                    src,
+                    variant: "Out",
+                    bytes: at(&outs, r)?,
+                });
+            }
             Ok(RankPlan { rank: r, ops })
         })
         .collect::<Result<_, CoreError>>()?;
@@ -403,8 +427,9 @@ mod tests {
         let kv = pass_kv_plan(&locals).unwrap();
         assert!(kv.ranks[0].ops.is_empty());
         let q = pass_q_plan(&p, &locals).unwrap();
-        // The All2All degenerates to moving the rank's own payload locally.
-        assert_eq!(q.ranks[0].ops.len(), 1);
+        // A single rank keeps its own partial locally: no hops, no return
+        // sends, no receives.
+        assert!(q.ranks[0].ops.is_empty());
         assert_eq!(q.predicted_traffic().messages, 0);
     }
 

@@ -1,7 +1,10 @@
 //! Transformer building blocks: linear layers, RMSNorm and SwiGLU.
 
 use cp_core::CoreError;
-use cp_tensor::{matmul, DetRng, Tensor};
+use cp_pool::ComputePool;
+use cp_tensor::{
+    gemm_wants_parallel, matmul_packed, matmul_packed_on, DetRng, PackedGemmB, Tensor,
+};
 
 /// A dense linear layer `y = x W`, weights `[in_dim, out_dim]`.
 ///
@@ -9,9 +12,22 @@ use cp_tensor::{matmul, DetRng, Tensor};
 /// `1/sqrt(in_dim)` so activations stay O(1) through deep stacks —
 /// adequate stand-ins for trained weights, since context parallelism is
 /// agnostic to the values.
+///
+/// The weight is packed once at construction ([`PackedGemmB`]) so every
+/// forward pass — across all tokens served — reuses the tiled panel
+/// layout. All forward paths are bit-identical to the naive
+/// `matmul(x, weight)`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Linear {
     weight: Tensor,
+    packed: PackedGemmB,
+}
+
+/// Packs a rank-2 weight, panicking never: callers validated rank already.
+fn pack_weight(weight: &Tensor) -> Result<PackedGemmB, CoreError> {
+    PackedGemmB::pack(weight).map_err(|e| CoreError::BadRequest {
+        reason: format!("linear weight not packable: {e}"),
+    })
 }
 
 impl Linear {
@@ -20,7 +36,8 @@ impl Linear {
         let scale = 1.0 / (in_dim as f32).sqrt();
         let mut rng = DetRng::new(seed);
         let weight = Tensor::from_fn(&[in_dim, out_dim], |_| rng.next_signed() * scale);
-        Linear { weight }
+        let packed = PackedGemmB::pack(&weight).expect("rank-2 weight is packable");
+        Linear { weight, packed }
     }
 
     /// Wraps an explicit weight matrix `[in_dim, out_dim]`.
@@ -34,7 +51,8 @@ impl Linear {
                 reason: format!("linear weight must be rank 2, got {:?}", weight.shape()),
             });
         }
-        Ok(Linear { weight })
+        let packed = pack_weight(&weight)?;
+        Ok(Linear { weight, packed })
     }
 
     /// The weight matrix.
@@ -52,13 +70,43 @@ impl Linear {
         self.weight.shape()[1]
     }
 
-    /// Applies the layer to `x` of shape `[t, in_dim]`.
+    /// Applies the layer to `x` of shape `[t, in_dim]` on the serial tiled
+    /// kernel (bit-identical to the naive `matmul` against the weight).
     ///
     /// # Errors
     ///
     /// Returns a tensor error if `x` has the wrong inner dimension.
     pub fn forward(&self, x: &Tensor) -> Result<Tensor, CoreError> {
-        Ok(matmul(x, &self.weight)?)
+        Ok(matmul_packed(x, &self.packed)?)
+    }
+
+    /// Applies the layer via the naive triple-loop `matmul` against the
+    /// unpacked weight — the audit-reference path. Bit-identical to
+    /// [`Linear::forward`]; used as the A-side of the cp-bench GEMM
+    /// end-to-end A/B and by bit-identity tests.
+    ///
+    /// # Errors
+    ///
+    /// As [`Linear::forward`].
+    pub fn forward_naive(&self, x: &Tensor) -> Result<Tensor, CoreError> {
+        Ok(cp_tensor::matmul(x, &self.weight)?)
+    }
+
+    /// Applies the layer with row-band parallelism on `pool` when the
+    /// GEMM is large enough to amortise dispatch (crossover heuristic),
+    /// falling back to the serial tiled kernel otherwise. Bit-identical to
+    /// [`Linear::forward`] either way.
+    ///
+    /// # Errors
+    ///
+    /// As [`Linear::forward`].
+    pub fn forward_on(&self, pool: &ComputePool, x: &Tensor) -> Result<Tensor, CoreError> {
+        let m = if x.rank() == 2 { x.shape()[0] } else { 0 };
+        if pool.parallelism() > 1 && gemm_wants_parallel(m, self.in_dim(), self.out_dim()) {
+            Ok(matmul_packed_on(pool, x, &self.packed)?)
+        } else {
+            self.forward(x)
+        }
     }
 
     /// Splits the layer column-wise into `n` shards (output dimension),
@@ -83,7 +131,8 @@ impl Linear {
                 let src = &self.weight.row(i)[s * cols..(s + 1) * cols];
                 w.row_mut(i).copy_from_slice(src);
             }
-            shards.push(Linear { weight: w });
+            let packed = pack_weight(&w)?;
+            shards.push(Linear { weight: w, packed });
         }
         Ok(shards)
     }
@@ -106,7 +155,8 @@ impl Linear {
         let mut shards = Vec::with_capacity(n);
         for s in 0..n {
             let w = self.weight.slice_dim0(s * rows..(s + 1) * rows)?;
-            shards.push(Linear { weight: w });
+            let packed = pack_weight(&w)?;
+            shards.push(Linear { weight: w, packed });
         }
         Ok(shards)
     }
@@ -128,12 +178,55 @@ pub fn rms_norm(x: &Tensor, eps: f32) -> Result<Tensor, CoreError> {
     let mut out = x.clone();
     for i in 0..out.dim0() {
         let row = out.row_mut(i);
-        let ms: f32 = row.iter().map(|v| v * v).sum::<f32>() / d;
-        let inv = 1.0 / (ms + eps).sqrt();
-        for v in row {
-            *v *= inv;
-        }
+        rms_norm_row(row, d, eps);
     }
+    Ok(out)
+}
+
+/// Normalises one row in place (shared by the serial and pooled paths so
+/// they stay bit-identical by construction).
+fn rms_norm_row(row: &mut [f32], d: f32, eps: f32) {
+    let ms: f32 = row.iter().map(|v| v * v).sum::<f32>() / d;
+    let inv = 1.0 / (ms + eps).sqrt();
+    for v in row {
+        *v *= inv;
+    }
+}
+
+/// [`rms_norm`] with rows fanned out across `pool`. Rows are normalised
+/// independently, so the result is bit-identical to the serial path for
+/// any pool size; small inputs stay serial.
+///
+/// # Errors
+///
+/// As [`rms_norm`].
+pub fn rms_norm_on(pool: &ComputePool, x: &Tensor, eps: f32) -> Result<Tensor, CoreError> {
+    if x.rank() != 2 {
+        return Err(CoreError::BadRequest {
+            reason: format!("rms_norm expects rank-2 input, got {:?}", x.shape()),
+        });
+    }
+    let (t, dim) = (x.shape()[0], x.shape()[1]);
+    let workers = pool.parallelism();
+    if workers <= 1 || t * dim < 1 << 14 {
+        return rms_norm(x, eps);
+    }
+    let d = dim as f32;
+    let mut out = x.clone();
+    let band = t.div_ceil(workers) * dim;
+    let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = out
+        .as_mut_slice()
+        .chunks_mut(band.max(dim))
+        .map(|rows| {
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                for row in rows.chunks_mut(dim) {
+                    rms_norm_row(row, d, eps);
+                }
+            });
+            job
+        })
+        .collect();
+    pool.run(jobs);
     Ok(out)
 }
 
@@ -168,6 +261,33 @@ impl SwiGlu {
         let u = self.up.forward(x)?;
         g.mul_assign(&u)?;
         self.down.forward(&g)
+    }
+
+    /// Applies the block with every projection on the naive reference
+    /// GEMM; bit-identical to [`SwiGlu::forward`]. A-side of the cp-bench
+    /// GEMM end-to-end A/B.
+    ///
+    /// # Errors
+    ///
+    /// As [`SwiGlu::forward`].
+    pub fn forward_naive(&self, x: &Tensor) -> Result<Tensor, CoreError> {
+        let mut g = self.gate.forward_naive(x)?.map(silu);
+        let u = self.up.forward_naive(x)?;
+        g.mul_assign(&u)?;
+        self.down.forward_naive(&g)
+    }
+
+    /// Applies the block with the three projections row-band parallel on
+    /// `pool`; bit-identical to [`SwiGlu::forward`].
+    ///
+    /// # Errors
+    ///
+    /// As [`SwiGlu::forward`].
+    pub fn forward_on(&self, pool: &ComputePool, x: &Tensor) -> Result<Tensor, CoreError> {
+        let mut g = self.gate.forward_on(pool, x)?.map(silu);
+        let u = self.up.forward_on(pool, x)?;
+        g.mul_assign(&u)?;
+        self.down.forward_on(pool, &g)
     }
 }
 

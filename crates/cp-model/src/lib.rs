@@ -49,7 +49,7 @@ mod transformer;
 
 pub use config::TransformerConfig;
 pub use distributed::{cp_forward, cp_forward_sharded, cp_forward_sharded_with};
-pub use layers::{rms_norm, Linear, SwiGlu};
+pub use layers::{rms_norm, rms_norm_on, Linear, SwiGlu};
 pub use transformer::{Block, Transformer};
 
 /// Maps a model-layer failure into the fabric's error type so rank

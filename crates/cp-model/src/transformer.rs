@@ -2,9 +2,10 @@
 
 use cp_attention::{naive_gqa_attention, AttentionParams};
 use cp_core::CoreError;
+use cp_pool::ComputePool;
 use cp_tensor::{DetRng, Tensor};
 
-use crate::layers::{rms_norm, Linear, SwiGlu};
+use crate::layers::{rms_norm, rms_norm_on, Linear, SwiGlu};
 use crate::rope::apply_rope;
 use crate::TransformerConfig;
 
@@ -116,31 +117,60 @@ impl Transformer {
         x: &Tensor,
         positions: &[usize],
     ) -> Result<Tensor, CoreError> {
+        self.block_forward_inner(layer, x, positions, None)
+    }
+
+    /// [`Transformer::block_forward`] with the projections, norms and FFN
+    /// fanned out on `pool`; bit-identical to the serial path.
+    pub(crate) fn block_forward_on(
+        &self,
+        pool: &ComputePool,
+        layer: usize,
+        x: &Tensor,
+        positions: &[usize],
+    ) -> Result<Tensor, CoreError> {
+        self.block_forward_inner(layer, x, positions, Some(pool))
+    }
+
+    fn block_forward_inner(
+        &self,
+        layer: usize,
+        x: &Tensor,
+        positions: &[usize],
+        pool: Option<&ComputePool>,
+    ) -> Result<Tensor, CoreError> {
         let block = &self.blocks[layer];
         let shape = self.config.shape;
         let (t, dh) = (x.dim0(), shape.head_dim());
+        let eps = self.config.norm_eps;
+        let norm = |x: &Tensor| match pool {
+            Some(p) => rms_norm_on(p, x, eps),
+            None => rms_norm(x, eps),
+        };
+        let proj = |l: &Linear, x: &Tensor| match pool {
+            Some(p) => l.forward_on(p, x),
+            None => l.forward(x),
+        };
 
         // Attention sub-block.
-        let h = rms_norm(x, self.config.norm_eps)?;
-        let mut q = block.wq.forward(&h)?.reshape(&[t, shape.n_heads(), dh])?;
-        let mut k = block
-            .wk
-            .forward(&h)?
-            .reshape(&[t, shape.n_kv_heads(), dh])?;
-        let v = block
-            .wv
-            .forward(&h)?
-            .reshape(&[t, shape.n_kv_heads(), dh])?;
+        let h = norm(x)?;
+        let mut q = proj(&block.wq, &h)?.reshape(&[t, shape.n_heads(), dh])?;
+        let mut k = proj(&block.wk, &h)?.reshape(&[t, shape.n_kv_heads(), dh])?;
+        let v = proj(&block.wv, &h)?.reshape(&[t, shape.n_kv_heads(), dh])?;
         apply_rope(&mut q, positions, self.config.rope_base)?;
         apply_rope(&mut k, positions, self.config.rope_base)?;
         let attn = naive_gqa_attention(&q, &k, &v, &self.params, positions, positions)?;
         let attn_flat = attn.out.reshape(&[t, self.config.model_dim()])?;
         let mut x = x.clone();
-        x.add_assign(&block.wo.forward(&attn_flat)?)?;
+        x.add_assign(&proj(&block.wo, &attn_flat)?)?;
 
         // FFN sub-block.
-        let h = rms_norm(&x, self.config.norm_eps)?;
-        x.add_assign(&block.ffn.forward(&h)?)?;
+        let h = norm(&x)?;
+        let ffn = match pool {
+            Some(p) => block.ffn.forward_on(p, &h)?,
+            None => block.ffn.forward(&h)?,
+        };
+        x.add_assign(&ffn)?;
         Ok(x)
     }
 
@@ -174,6 +204,30 @@ impl Transformer {
             x = self.block_forward(layer, &x, positions)?;
         }
         rms_norm(&x, self.config.norm_eps)
+    }
+
+    /// [`Transformer::forward_at`] with every layer's projections, norms
+    /// and FFN fanned out on `pool`. Bit-identical to the serial forward.
+    ///
+    /// # Errors
+    ///
+    /// As [`Transformer::forward_at`].
+    pub fn forward_at_on(
+        &self,
+        pool: &ComputePool,
+        tokens: &[u32],
+        positions: &[usize],
+    ) -> Result<Tensor, CoreError> {
+        if tokens.len() != positions.len() {
+            return Err(CoreError::BadRequest {
+                reason: format!("{} positions for {} tokens", positions.len(), tokens.len()),
+            });
+        }
+        let mut x = self.embed(tokens);
+        for layer in 0..self.blocks.len() {
+            x = self.block_forward_on(pool, layer, &x, positions)?;
+        }
+        rms_norm_on(pool, &x, self.config.norm_eps)
     }
 }
 
@@ -242,6 +296,21 @@ mod tests {
     fn forward_at_validates_lengths() {
         let m = model();
         assert!(m.forward_at(&[1, 2], &[0]).is_err());
+    }
+
+    #[test]
+    fn pooled_forward_is_bit_identical_to_serial() {
+        let m = model();
+        let tokens: Vec<u32> = (0..24).collect();
+        let positions: Vec<usize> = (0..24).collect();
+        let serial = m.forward(&tokens).unwrap();
+        for threads in [1, 2, 4] {
+            let pool = ComputePool::new(threads);
+            let pooled = m.forward_at_on(&pool, &tokens, &positions).unwrap();
+            assert_eq!(serial, pooled, "threads={threads}");
+        }
+        let pool = ComputePool::new(2);
+        assert!(m.forward_at_on(&pool, &[1, 2], &[0]).is_err());
     }
 
     #[test]

@@ -71,8 +71,10 @@ proptest! {
         for r in 0..n {
             prop_assert!(kv[r].approx_eq(&q[r], 5e-3).unwrap(), "rank {r}");
         }
-        // pass-Q pays All2All traffic per layer.
-        prop_assert!(traffic.all_to_all_bytes > 0);
+        // pass-Q returns outputs via eager point-to-point sends, so its
+        // traffic lands in the send_recv category, never All2All.
+        prop_assert!(traffic.all_to_all_bytes == 0);
+        prop_assert!(traffic.send_recv_bytes > 0);
     }
 
     /// The whole stack is causal: appending tokens never changes the

@@ -116,6 +116,25 @@ impl HardwareSpec {
         }
     }
 
+    /// The achieved-GEMM fraction of arithmetic peak this spec models
+    /// (`gemm_tflops / peak_tflops`; 0.75 for the paper-calibrated GTT).
+    pub fn gemm_efficiency(&self) -> f64 {
+        self.gemm_tflops / self.peak_tflops
+    }
+
+    /// Calibration hook: replaces the paper-calibrated `gemm_tflops` with
+    /// `peak_tflops * efficiency`, where `efficiency` is a *measured*
+    /// achieved-fraction-of-peak from a real GEMM harness (cp-bench's
+    /// `gemm` binary reports the tiled+pool kernel's fraction of this
+    /// host's arithmetic peak). The fraction transfers across hardware;
+    /// the absolute GFLOP/s does not. Clamped to `(0, 1]`.
+    #[must_use]
+    pub fn with_measured_gemm_efficiency(mut self, efficiency: f64) -> Self {
+        let eff = efficiency.clamp(f64::MIN_POSITIVE, 1.0);
+        self.gemm_tflops = self.peak_tflops * eff;
+        self
+    }
+
     /// Effective seconds to move `bytes` between nodes (per-GPU link):
     /// fixed latency plus bandwidth term.
     pub fn inter_node_time_s(&self, bytes: f64) -> f64 {
@@ -163,6 +182,21 @@ mod tests {
         // GTI differs from GTT only on the inter-node network.
         assert_eq!(gti.gpus_per_node, gtt.gpus_per_node);
         assert_eq!(gti.attn_tflops, gtt.attn_tflops);
+    }
+
+    #[test]
+    fn measured_gemm_efficiency_recalibrates_the_roofline() {
+        let gtt = HardwareSpec::gtt();
+        assert!((gtt.gemm_efficiency() - 0.75).abs() < 1e-12);
+        // Re-applying the spec's own efficiency is the identity.
+        let same = gtt.clone().with_measured_gemm_efficiency(0.75);
+        assert_eq!(same.gemm_tflops, gtt.gemm_tflops);
+        // A lower measured fraction slows the modeled GEMMs; out-of-range
+        // inputs clamp instead of producing zero or super-peak rates.
+        let slow = gtt.clone().with_measured_gemm_efficiency(0.5);
+        assert_eq!(slow.gemm_tflops, 400.0);
+        assert!(gtt.clone().with_measured_gemm_efficiency(7.0).gemm_tflops <= gtt.peak_tflops);
+        assert!(gtt.with_measured_gemm_efficiency(-1.0).gemm_tflops > 0.0);
     }
 
     #[test]

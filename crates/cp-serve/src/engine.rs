@@ -3,14 +3,16 @@
 use std::sync::Mutex;
 
 use cp_attention::PAD;
-use cp_comm::TrafficReport;
+use cp_comm::{CommPlan, RankPlan, TrafficReport};
 use cp_core::heuristics::{choose_variant, HeuristicKind, SystemContext};
-use cp_core::ring::{ring_pass_kv_prefill, ring_pass_q_decode, ring_pass_q_prefill, run_ring};
-use cp_core::{CoreError, DecodeSlot, LocalSeq, SeqKv};
+use cp_core::ring::{ring_pass_kv_prefill, ring_pass_q_decode, ring_pass_q_prefill, run_ring_on};
+use cp_core::schedule::{decode_plan, pass_kv_plan, pass_q_plan};
+use cp_core::{CoreError, DecodeSlot, LocalSeq, RingMsg, SeqKv};
 use cp_kvcache::{KvCacheConfig, PagedKvCache, SeqId};
 use cp_model::rope::apply_rope;
-use cp_model::{rms_norm, Transformer};
+use cp_model::{rms_norm_on, Linear, Transformer};
 use cp_perf::RingVariant;
+use cp_pool::ComputePool;
 use cp_sharding::shard_new_tokens;
 use cp_tensor::Tensor;
 
@@ -45,6 +47,47 @@ pub struct TransformerEngine {
     heuristic_ctx: SystemContext,
     len: usize,
     decode_step: usize,
+    /// When set, every turn runs under a `CheckedFabric` that validates
+    /// live traffic against the declared per-layer ring schedule.
+    check_schedules: bool,
+    /// Per-rank compute-pool width (`0` = fabric default).
+    pool_threads: usize,
+    /// When set, every projection runs the naive audit GEMM instead of
+    /// the packed tiled kernel (bit-identical, slower).
+    reference_gemm: bool,
+}
+
+/// One projection, routed through the pooled tiled kernel or — in
+/// reference mode — the naive audit GEMM. Bit-identical either way.
+fn project(
+    reference: bool,
+    pool: &ComputePool,
+    layer: &Linear,
+    x: &Tensor,
+) -> Result<Tensor, CoreError> {
+    if reference {
+        layer.forward_naive(x)
+    } else {
+        layer.forward_on(pool, x)
+    }
+}
+
+/// Repeats one layer's per-rank schedule `layers` times: the serving loops
+/// issue exactly one ring schedule per transformer layer inside a single
+/// fabric session, so the session plan is the layer plan stacked.
+fn stacked_plan(layer_plan: CommPlan, layers: usize) -> CommPlan {
+    let ranks = layer_plan
+        .ranks
+        .into_iter()
+        .map(|rp| {
+            let mut ops = Vec::with_capacity(rp.ops.len() * layers);
+            for _ in 0..layers {
+                ops.extend(rp.ops.iter().cloned());
+            }
+            RankPlan { rank: rp.rank, ops }
+        })
+        .collect();
+    CommPlan::from_ranks(ranks)
 }
 
 impl TransformerEngine {
@@ -97,7 +140,48 @@ impl TransformerEngine {
             ranks,
             len: 0,
             decode_step: 0,
+            check_schedules: false,
+            pool_threads: 0,
+            reference_gemm: false,
         })
+    }
+
+    /// Sets each rank's persistent compute-pool width (`0` restores the
+    /// fabric default). `1` forces the fully serial projection and
+    /// attention paths.
+    #[must_use]
+    pub fn with_pool_threads(mut self, threads: usize) -> Self {
+        self.pool_threads = threads;
+        self
+    }
+
+    /// Routes every projection (and FFN) through the naive audit GEMM
+    /// instead of the packed register-tiled kernel. Outputs are
+    /// bit-identical; only the speed changes. Together with
+    /// [`TransformerEngine::with_pool_threads`]`(1)` this reproduces the
+    /// pre-tiling engine — the A-side of the cp-bench `gemm` end-to-end
+    /// A/B.
+    #[must_use]
+    pub fn with_reference_gemm(mut self, enabled: bool) -> Self {
+        self.reference_gemm = enabled;
+        self
+    }
+
+    /// Enables (or disables) live schedule validation: every subsequent
+    /// prefill and decode builds its declared [`CommPlan`] from the
+    /// production schedule builders and runs under a `CheckedFabric`, so
+    /// any drift between declared and actual traffic fails the turn
+    /// instead of silently mismeasuring. Debug aid — adds plan-building
+    /// overhead per turn, off by default.
+    #[must_use]
+    pub fn with_schedule_checking(mut self, enabled: bool) -> Self {
+        self.check_schedules = enabled;
+        self
+    }
+
+    /// Whether live schedule validation is on.
+    pub fn schedule_checking(&self) -> bool {
+        self.check_schedules
     }
 
     /// Tokens in the conversation so far.
@@ -171,6 +255,31 @@ impl TransformerEngine {
         let ranks = &self.ranks;
         let shards_ref = &shards;
 
+        // Declared schedule for checked mode: plans depend only on shapes,
+        // so zero tensors of the per-rank geometry reproduce exactly what
+        // each layer's ring loop will put on the wire.
+        let plan = if self.check_schedules {
+            let dh = shape.head_dim();
+            let locals: Vec<Vec<LocalSeq>> = (0..n)
+                .map(|r| {
+                    vec![LocalSeq {
+                        q: Tensor::zeros(&[shards[r].len(), shape.n_heads(), dh]),
+                        q_pos: shards[r].clone(),
+                        k: Tensor::zeros(&[ring_len, shape.n_kv_heads(), dh]),
+                        v: Tensor::zeros(&[ring_len, shape.n_kv_heads(), dh]),
+                        kv_pos: vec![PAD; ring_len],
+                    }]
+                })
+                .collect();
+            let layer_plan = match variant {
+                RingVariant::PassKv => pass_kv_plan(&locals)?,
+                RingVariant::PassQ => pass_q_plan(&params, &locals)?,
+            };
+            Some(stacked_plan(layer_plan, config.n_layers))
+        } else {
+            None
+        };
+
         // Snapshot per-rank cache lengths (identical across layers) so a
         // failed turn rolls back instead of leaving partial layer appends.
         let snapshot: Vec<usize> = (0..n)
@@ -183,8 +292,13 @@ impl TransformerEngine {
             })
             .collect();
 
-        let ring_result = run_ring(n, move |comm| {
+        // Projections and norms run on the rank's persistent compute pool
+        // (the same pool the ring attention kernels use), so GEMM
+        // row-bands and ring compute share one set of worker threads.
+        let reference = self.reference_gemm;
+        let body = move |comm: &cp_comm::Communicator<RingMsg>| {
             let r = comm.rank();
+            let pool = comm.pool();
             let positions = &shards_ref[r];
             let local_tokens: Vec<u32> = positions.iter().map(|&pos| tokens[pos - p]).collect();
             let t_local = positions.len();
@@ -192,19 +306,22 @@ impl TransformerEngine {
             let mut caches = ranks[r].lock().expect("one thread per rank");
             let mut x = model.embed(&local_tokens);
             for (l, block) in model.blocks().iter().enumerate() {
-                let h = rms_norm(&x, config.norm_eps)?;
-                let mut q = block
-                    .wq
-                    .forward(&h)?
-                    .reshape(&[t_local, shape.n_heads(), dh])?;
-                let mut k = block
-                    .wk
-                    .forward(&h)?
-                    .reshape(&[t_local, shape.n_kv_heads(), dh])?;
-                let v = block
-                    .wv
-                    .forward(&h)?
-                    .reshape(&[t_local, shape.n_kv_heads(), dh])?;
+                let h = rms_norm_on(pool, &x, config.norm_eps)?;
+                let mut q = project(reference, pool, &block.wq, &h)?.reshape(&[
+                    t_local,
+                    shape.n_heads(),
+                    dh,
+                ])?;
+                let mut k = project(reference, pool, &block.wk, &h)?.reshape(&[
+                    t_local,
+                    shape.n_kv_heads(),
+                    dh,
+                ])?;
+                let v = project(reference, pool, &block.wv, &h)?.reshape(&[
+                    t_local,
+                    shape.n_kv_heads(),
+                    dh,
+                ])?;
                 apply_rope(&mut q, positions, config.rope_base)?;
                 apply_rope(&mut k, positions, config.rope_base)?;
                 caches[l].append(SEQ, &k, &v, positions)?;
@@ -231,12 +348,18 @@ impl TransformerEngine {
                 .pop()
                 .expect("one sequence in, one out");
                 let attn_flat = attn.out.reshape(&[t_local, config.model_dim()])?;
-                x.add_assign(&block.wo.forward(&attn_flat)?)?;
-                let h = rms_norm(&x, config.norm_eps)?;
-                x.add_assign(&block.ffn.forward(&h)?)?;
+                x.add_assign(&project(reference, pool, &block.wo, &attn_flat)?)?;
+                let h = rms_norm_on(pool, &x, config.norm_eps)?;
+                let f = if reference {
+                    block.ffn.forward_naive(&h)?
+                } else {
+                    block.ffn.forward_on(pool, &h)?
+                };
+                x.add_assign(&f)?;
             }
-            rms_norm(&x, config.norm_eps)
-        });
+            rms_norm_on(pool, &x, config.norm_eps)
+        };
+        let ring_result = run_ring_on(n, self.pool_threads, plan.as_ref(), body);
         let (outputs, traffic) = match ring_result {
             Ok(v) => v,
             Err(e) => {
@@ -281,6 +404,24 @@ impl TransformerEngine {
         let params = *self.model.attention_params();
         let model = &self.model;
         let ranks = &self.ranks;
+
+        // Declared schedule for checked mode: decode traffic depends only
+        // on which ranks own live slots, not on cache contents.
+        let plan = if self.check_schedules {
+            let slots: Vec<Vec<Option<DecodeSlot>>> = (0..n)
+                .map(|r| {
+                    vec![(r == owner).then(|| DecodeSlot {
+                        bid: 0,
+                        q: Tensor::zeros(&[1, shape.n_heads(), shape.head_dim()]),
+                        pos,
+                    })]
+                })
+                .collect();
+            Some(stacked_plan(decode_plan(&params, &slots)?, config.n_layers))
+        } else {
+            None
+        };
+
         // Snapshot the owner's cache length for failure rollback (only the
         // owner appends during decode).
         let owner_len = self.ranks[owner]
@@ -289,8 +430,10 @@ impl TransformerEngine {
             .first()
             .map_or(0, |c| c.seq_len(SEQ).unwrap_or(0));
 
-        let ring_result = run_ring(n, move |comm| {
+        let reference = self.reference_gemm;
+        let body = move |comm: &cp_comm::Communicator<RingMsg>| {
             let r = comm.rank();
+            let pool = comm.pool();
             let mut caches = ranks[r].lock().expect("one thread per rank");
             let dh = shape.head_dim();
             let mut x = if r == owner {
@@ -301,16 +444,22 @@ impl TransformerEngine {
             for (l, block) in model.blocks().iter().enumerate() {
                 // The owner projects the new token and appends its KV.
                 let slot = if let Some(x_ref) = &x {
-                    let h = rms_norm(x_ref, config.norm_eps)?;
-                    let mut q = block.wq.forward(&h)?.reshape(&[1, shape.n_heads(), dh])?;
-                    let mut k = block
-                        .wk
-                        .forward(&h)?
-                        .reshape(&[1, shape.n_kv_heads(), dh])?;
-                    let v = block
-                        .wv
-                        .forward(&h)?
-                        .reshape(&[1, shape.n_kv_heads(), dh])?;
+                    let h = rms_norm_on(pool, x_ref, config.norm_eps)?;
+                    let mut q = project(reference, pool, &block.wq, &h)?.reshape(&[
+                        1,
+                        shape.n_heads(),
+                        dh,
+                    ])?;
+                    let mut k = project(reference, pool, &block.wk, &h)?.reshape(&[
+                        1,
+                        shape.n_kv_heads(),
+                        dh,
+                    ])?;
+                    let v = project(reference, pool, &block.wv, &h)?.reshape(&[
+                        1,
+                        shape.n_kv_heads(),
+                        dh,
+                    ])?;
                     apply_rope(&mut q, &[pos], config.rope_base)?;
                     apply_rope(&mut k, &[pos], config.rope_base)?;
                     caches[l].append(SEQ, &k, &v, &[pos])?;
@@ -329,17 +478,23 @@ impl TransformerEngine {
                     let attn = outs.into_iter().next().expect("owner has one slot");
                     let attn_flat = attn.out.reshape(&[1, config.model_dim()])?;
                     let mut x_new = x_val;
-                    x_new.add_assign(&block.wo.forward(&attn_flat)?)?;
-                    let h = rms_norm(&x_new, config.norm_eps)?;
-                    x_new.add_assign(&block.ffn.forward(&h)?)?;
+                    x_new.add_assign(&project(reference, pool, &block.wo, &attn_flat)?)?;
+                    let h = rms_norm_on(pool, &x_new, config.norm_eps)?;
+                    let f = if reference {
+                        block.ffn.forward_naive(&h)?
+                    } else {
+                        block.ffn.forward_on(pool, &h)?
+                    };
+                    x_new.add_assign(&f)?;
                     x = Some(x_new);
                 }
             }
             match x {
-                Some(x) => Ok(Some(rms_norm(&x, config.norm_eps)?)),
+                Some(x) => Ok(Some(rms_norm_on(pool, &x, config.norm_eps)?)),
                 None => Ok(None),
             }
-        });
+        };
+        let ring_result = run_ring_on(n, self.pool_threads, plan.as_ref(), body);
         let (outputs, traffic) = match ring_result {
             Ok(v) => v,
             Err(e) => {

@@ -158,3 +158,53 @@ fn deeper_model_multi_turn_exactness() {
         assert!(d.activations.approx_eq(&ed, 5e-3).unwrap());
     }
 }
+
+#[test]
+fn checked_fabric_soak_multi_turn() {
+    // Soak: a long mixed prefill/decode conversation with live schedule
+    // validation on — every layer's ring collectives are checked against
+    // the declared plan (peer, variant, byte count, order) for both forced
+    // variants and the heuristic default, at CP 2 and 4. Outputs must be
+    // bit-identical to the unchecked engine.
+    let trace: &[&[u32]] = &[
+        &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11],
+        &[100],
+        &[101],
+        &[12, 13, 14, 15, 16],
+        &[102],
+        &[103],
+        &[104],
+        &[20, 21, 22, 23, 24, 25, 26],
+        &[105],
+    ];
+    for n in [2usize, 4] {
+        for forced in [None, Some(RingVariant::PassKv), Some(RingVariant::PassQ)] {
+            let mut checked = TransformerEngine::new(model(31), n)
+                .unwrap()
+                .with_schedule_checking(true);
+            assert!(checked.schedule_checking());
+            let mut plain = TransformerEngine::new(model(31), n).unwrap();
+            for (i, chunk) in trace.iter().enumerate() {
+                let decode = chunk.len() == 1 && i > 0;
+                let (c, p) = if decode {
+                    (
+                        checked.decode(chunk[0]).unwrap(),
+                        plain.decode(chunk[0]).unwrap(),
+                    )
+                } else {
+                    (
+                        checked.prefill_with(chunk, forced).unwrap(),
+                        plain.prefill_with(chunk, forced).unwrap(),
+                    )
+                };
+                assert_eq!(
+                    c.activations, p.activations,
+                    "n={n} forced={forced:?} step {i}: checked run must be bit-identical"
+                );
+                assert_eq!(c.traffic.send_recv_bytes, p.traffic.send_recv_bytes);
+                assert_eq!(c.traffic.all_to_all_bytes, p.traffic.all_to_all_bytes);
+            }
+            assert_eq!(checked.context_len(), plain.context_len());
+        }
+    }
+}

@@ -1,0 +1,501 @@
+//! Cache-blocked, pool-parallel GEMM with bit-identical results.
+//!
+//! The naive [`matmul`](crate::matmul) is the audit reference: for every
+//! output element `(i, j)` it accumulates `a[i][p] * b[p][j]` over `p`
+//! ascending, skipping terms whose `a[i][p]` is exactly `0.0`, into an
+//! accumulator that starts at `0.0`. Floating-point addition is not
+//! associative, so any faster kernel that wants the *same bits* must keep
+//! that per-element accumulation order. The kernels here do exactly that:
+//!
+//! - **Packing** ([`PackedGemmB`]): `B` is transposed once into `NR`-wide
+//!   column panels laid out k-major, so the micro-kernel streams both
+//!   operands contiguously. Packing only *moves* values (plus zero padding
+//!   for the ragged last panel, whose lanes are discarded), so it cannot
+//!   change any arithmetic.
+//! - **Register tiling**: the micro-kernel holds an `MR x NR` accumulator
+//!   block in locals and walks the *full* `k` extent per block — `k` is
+//!   never split, `p` stays ascending, and the `a == 0.0` skip is preserved
+//!   per row. Each output element therefore sees the exact naive sequence
+//!   of fused-free `mul`/`add` ops, just batched across neighbours.
+//! - **Row-band parallelism** ([`matmul_packed_on`]): bands of output rows
+//!   are independent, so they fan out on a [`ComputePool`] without touching
+//!   the per-element order at all.
+//!
+//! [`matmul_on`] is the drop-in entry point: it falls back to the serial
+//! naive kernel for shapes too small to amortise packing/dispatch (the
+//! crossover heuristic), and is bit-identical to [`crate::matmul`] on every
+//! path — property-tested in this module and in `tests/proptests.rs`.
+
+use cp_pool::ComputePool;
+
+use crate::{Tensor, TensorError};
+
+/// Rows per register tile of the micro-kernel.
+const MR: usize = 8;
+/// Columns per register tile (and per packed panel).
+const NR: usize = 8;
+
+/// Above this many multiply-accumulates a GEMM is worth packing and
+/// fanning out on a pool; below it the naive serial loop wins (packing
+/// plus dispatch overhead would dominate). Chosen so per-token decode
+/// projections on tiny test models stay serial while serving-shape
+/// prefill GEMMs parallelise.
+const CROSSOVER_MACS: usize = 1 << 16;
+
+/// `B` of an `[m, k] x [k, n]` GEMM, transposed/tiled once into `NR`-wide
+/// column panels so every later matmul against it streams contiguously.
+///
+/// Pack once per weight at model-construction time and reuse the packing
+/// for every token batch served (`Linear` in `cp-model` does exactly
+/// this). Panel `jp` holds columns `jp*NR .. jp*NR+NR` of `B`, k-major:
+/// element `(p, jr)` of the panel is `B[p][jp*NR + jr]`, zero-padded past
+/// `n` so the micro-kernel never branches on the ragged tail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedGemmB {
+    k: usize,
+    n: usize,
+    panels: Vec<f32>,
+}
+
+impl PackedGemmB {
+    /// Packs a rank-2 `[k, n]` tensor into panel layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if `b` is not rank 2.
+    pub fn pack(b: &Tensor) -> Result<Self, TensorError> {
+        if b.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: b.rank(),
+            });
+        }
+        let (k, n) = (b.shape()[0], b.shape()[1]);
+        let bv = b.as_slice();
+        let n_panels = n.div_ceil(NR);
+        let mut panels = vec![0.0f32; n_panels * k * NR];
+        for jp in 0..n_panels {
+            let col0 = jp * NR;
+            let width = NR.min(n - col0);
+            let panel = &mut panels[jp * k * NR..(jp + 1) * k * NR];
+            for (p, dst) in panel.chunks_exact_mut(NR).enumerate() {
+                let src = &bv[p * n + col0..p * n + col0 + width];
+                dst[..width].copy_from_slice(src);
+            }
+        }
+        Ok(PackedGemmB { k, n, panels })
+    }
+
+    /// Inner (`k`) dimension of the packed matrix.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output (`n`) dimension of the packed matrix.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The panel covering columns `jp*NR ..`, as a `k * NR` k-major slice.
+    fn panel(&self, jp: usize) -> &[f32] {
+        &self.panels[jp * self.k * NR..(jp + 1) * self.k * NR]
+    }
+}
+
+/// Validates shapes for `a x packed` and returns `(m, k, n)`.
+fn check_packed_shapes(a: &Tensor, b: &PackedGemmB) -> Result<(usize, usize, usize), TensorError> {
+    if a.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: a.rank(),
+        });
+    }
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    if k != b.k {
+        return Err(TensorError::MatmulDimMismatch {
+            left_inner: k,
+            right_inner: b.k,
+        });
+    }
+    Ok((m, k, b.n))
+}
+
+/// The register-tiled micro-kernel: one band of `A` rows against every
+/// panel of `B`, writing one band of output rows.
+///
+/// Bit-identity contract: for each output element the `p` loop runs the
+/// full `0..k` extent ascending with the naive kernel's `a == 0.0` skip,
+/// accumulating into a local that starts at `0.0` — the exact naive
+/// per-element operation sequence.
+fn gemm_band(a_band: &[f32], out_band: &mut [f32], k: usize, b: &PackedGemmB) {
+    let n = b.n;
+    if n == 0 {
+        return;
+    }
+    let band_m = out_band.len() / n;
+    // Scratch for one row block of `A`, interleaved k-major so the inner
+    // loop reads both operands as contiguous fixed-width chunks.
+    let mut ablock = vec![0.0f32; MR * k];
+    let mut i0 = 0;
+    while i0 < band_m {
+        let mr = MR.min(band_m - i0);
+        pack_a_block(&a_band[i0 * k..(i0 + mr) * k], k, &mut ablock[..mr * k]);
+        // One zero scan per row block decides between the branchless
+        // kernel and the naive-skip kernel for *all* its panels.
+        let has_zero = ablock[..mr * k].contains(&0.0);
+        // Monomorphise on the row count: with `ROWS` a constant the
+        // accumulator block stays in registers across the whole k walk.
+        match mr {
+            8 => block_rows::<8>(&ablock[..8 * k], out_band, i0, b, has_zero),
+            7 => block_rows::<7>(&ablock[..7 * k], out_band, i0, b, has_zero),
+            6 => block_rows::<6>(&ablock[..6 * k], out_band, i0, b, has_zero),
+            5 => block_rows::<5>(&ablock[..5 * k], out_band, i0, b, has_zero),
+            4 => block_rows::<4>(&ablock[..4 * k], out_band, i0, b, has_zero),
+            3 => block_rows::<3>(&ablock[..3 * k], out_band, i0, b, has_zero),
+            2 => block_rows::<2>(&ablock[..2 * k], out_band, i0, b, has_zero),
+            _ => block_rows::<1>(&ablock[..k], out_band, i0, b, has_zero),
+        }
+        i0 += mr;
+    }
+}
+
+/// Interleaves a `rows x k` row-major block k-major:
+/// `dst[p*rows + ir] = a[ir*k + p]`. Pure data movement.
+fn pack_a_block(a: &[f32], k: usize, dst: &mut [f32]) {
+    let rows = a.len().checked_div(k).unwrap_or(1);
+    for (p, chunk) in dst.chunks_exact_mut(rows).enumerate() {
+        for (ir, v) in chunk.iter_mut().enumerate() {
+            *v = a[ir * k + p];
+        }
+    }
+}
+
+/// `ROWS` output rows (an `ablock` of `k * ROWS` interleaved `A` values)
+/// against every packed panel: an `ROWS x NR` accumulator block walks the
+/// full `k` extent per panel, `p` ascending, naive zero-skip per row.
+///
+/// `has_zero` routes between two kernels with identical per-element op
+/// sequences: when the block holds no exact `0.0` the skip can never fire,
+/// so the branchless kernel executes the same arithmetic the skip kernel
+/// would — just without the per-row branch in the hot loop.
+fn block_rows<const ROWS: usize>(
+    ablock: &[f32],
+    out_band: &mut [f32],
+    i0: usize,
+    b: &PackedGemmB,
+    has_zero: bool,
+) {
+    // The two arms live in separate functions on purpose: a single body
+    // holding both loop nests makes LLVM spill the accumulator block and
+    // costs ~5x on the branchless path.
+    if has_zero {
+        block_rows_skip::<ROWS>(ablock, out_band, i0, b);
+    } else {
+        block_rows_fast::<ROWS>(ablock, out_band, i0, b);
+    }
+}
+
+/// Branchless arm of [`block_rows`]: valid only when `ablock` holds no
+/// exact `0.0`, so the naive skip could never fire and dropping it leaves
+/// the per-element op sequence unchanged.
+fn block_rows_fast<const ROWS: usize>(
+    ablock: &[f32],
+    out_band: &mut [f32],
+    i0: usize,
+    b: &PackedGemmB,
+) {
+    let n = b.n;
+    for jp in 0..n.div_ceil(NR) {
+        let panel = b.panel(jp);
+        let col0 = jp * NR;
+        let width = NR.min(n - col0);
+        let mut acc = [[0.0f32; NR]; ROWS];
+        for (bvals, avals) in panel.chunks_exact(NR).zip(ablock.chunks_exact(ROWS)) {
+            // Fixed-size array views (always `Some`: `chunks_exact`
+            // yields exactly NR/ROWS elements) let the whole `ROWS x NR`
+            // FMA block unroll with the accumulators in registers — this
+            // is where the kernel's speedup lives.
+            let (Some((bv, _)), Some((av, _))) = (
+                bvals.split_first_chunk::<NR>(),
+                avals.split_first_chunk::<ROWS>(),
+            ) else {
+                continue;
+            };
+            for ir in 0..ROWS {
+                let aval = av[ir];
+                for jr in 0..NR {
+                    acc[ir][jr] += aval * bv[jr];
+                }
+            }
+        }
+        for (ir, accrow) in acc.iter().enumerate() {
+            let row0 = (i0 + ir) * n + col0;
+            out_band[row0..row0 + width].copy_from_slice(&accrow[..width]);
+        }
+    }
+}
+
+/// Skip arm of [`block_rows`]: carries the naive kernel's per-row
+/// `a == 0.0` skip verbatim for blocks that contain exact zeros.
+fn block_rows_skip<const ROWS: usize>(
+    ablock: &[f32],
+    out_band: &mut [f32],
+    i0: usize,
+    b: &PackedGemmB,
+) {
+    let n = b.n;
+    for jp in 0..n.div_ceil(NR) {
+        let panel = b.panel(jp);
+        let col0 = jp * NR;
+        let width = NR.min(n - col0);
+        let mut acc = [[0.0f32; NR]; ROWS];
+        for (bvals, avals) in panel.chunks_exact(NR).zip(ablock.chunks_exact(ROWS)) {
+            for (&aval, accrow) in avals.iter().zip(&mut acc) {
+                if aval == 0.0 {
+                    continue;
+                }
+                for (dst, &bval) in accrow.iter_mut().zip(bvals) {
+                    *dst += aval * bval;
+                }
+            }
+        }
+        for (ir, accrow) in acc.iter().enumerate() {
+            let row0 = (i0 + ir) * n + col0;
+            out_band[row0..row0 + width].copy_from_slice(&accrow[..width]);
+        }
+    }
+}
+
+/// Serial tiled GEMM against a pre-packed `B`: `[m, k] x packed -> [m, n]`,
+/// bit-identical to `matmul(a, b)` on the unpacked `b`.
+///
+/// # Errors
+///
+/// [`TensorError::RankMismatch`] / [`TensorError::MatmulDimMismatch`] as
+/// for [`crate::matmul`].
+pub fn matmul_packed(a: &Tensor, b: &PackedGemmB) -> Result<Tensor, TensorError> {
+    let (m, k, n) = check_packed_shapes(a, b)?;
+    let mut out = Tensor::zeros(&[m, n]);
+    if m == 0 || n == 0 || k == 0 {
+        return Ok(out);
+    }
+    gemm_band(a.as_slice(), out.as_mut_slice(), k, b);
+    Ok(out)
+}
+
+/// Pool-parallel tiled GEMM against a pre-packed `B`: bands of output rows
+/// fan out across `pool`, each band running the same serial micro-kernel,
+/// so the result is bit-identical to [`matmul_packed`] (and the naive
+/// kernel) for any pool size.
+///
+/// # Errors
+///
+/// As [`matmul_packed`].
+pub fn matmul_packed_on(
+    pool: &ComputePool,
+    a: &Tensor,
+    b: &PackedGemmB,
+) -> Result<Tensor, TensorError> {
+    let (m, k, n) = check_packed_shapes(a, b)?;
+    let mut out = Tensor::zeros(&[m, n]);
+    if m == 0 || n == 0 || k == 0 {
+        return Ok(out);
+    }
+    let bands = pool.parallelism().min(m);
+    if bands <= 1 {
+        gemm_band(a.as_slice(), out.as_mut_slice(), k, b);
+        return Ok(out);
+    }
+    let band_rows = m.div_ceil(bands);
+    let av = a.as_slice();
+    let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = out
+        .as_mut_slice()
+        .chunks_mut(band_rows * n)
+        .zip(av.chunks(band_rows * k))
+        .map(|(out_band, a_band)| {
+            let job: Box<dyn FnOnce() + Send + '_> =
+                Box::new(move || gemm_band(a_band, out_band, k, b));
+            job
+        })
+        .collect();
+    pool.run(jobs);
+    Ok(out)
+}
+
+/// Whether an `m x k x n` GEMM is large enough for packing + pool fan-out
+/// to pay for themselves.
+#[must_use]
+pub fn gemm_wants_parallel(m: usize, k: usize, n: usize) -> bool {
+    m.saturating_mul(k).saturating_mul(n) >= CROSSOVER_MACS
+}
+
+/// Drop-in replacement for [`crate::matmul`] that routes large shapes
+/// through the packed, pool-parallel kernel and keeps small shapes on the
+/// naive serial loop (crossover heuristic). Bit-identical to the naive
+/// kernel on every path.
+///
+/// Serving code that reuses a weight across calls should pack once with
+/// [`PackedGemmB::pack`] and call [`matmul_packed_on`] instead, skipping
+/// the per-call packing cost.
+///
+/// # Errors
+///
+/// As [`crate::matmul`].
+pub fn matmul_on(pool: &ComputePool, a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    if a.rank() == 2 && b.rank() == 2 {
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let n = b.shape()[1];
+        if k == b.shape()[0] && gemm_wants_parallel(m, k, n) {
+            let packed = PackedGemmB::pack(b)?;
+            return matmul_packed_on(pool, a, &packed);
+        }
+    }
+    crate::matmul(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{matmul, DetRng};
+
+    fn rng_pair(m: usize, k: usize, n: usize, seed: u64) -> (Tensor, Tensor) {
+        let mut rng = DetRng::new(seed);
+        (rng.tensor(&[m, k]), rng.tensor(&[k, n]))
+    }
+
+    fn assert_bits_equal(a: &Tensor, b: &Tensor, what: &str) {
+        assert_eq!(a.shape(), b.shape(), "{what}: shape");
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn packed_matches_naive_on_tile_aligned_and_ragged_shapes() {
+        for (m, k, n) in [
+            (4, 8, 8),    // exactly one MR x NR tile column
+            (8, 16, 24),  // multiple aligned tiles
+            (5, 7, 9),    // ragged everywhere
+            (1, 1, 1),    // minimal
+            (3, 129, 17), // long odd k, ragged n
+            (9, 3, 31),   // n tail one short of NR boundary
+        ] {
+            let (a, b) = rng_pair(m, k, n, 0x9e3779b9 ^ (m * 31 + n) as u64);
+            let naive = matmul(&a, &b).unwrap();
+            let packed = PackedGemmB::pack(&b).unwrap();
+            assert_eq!((packed.k(), packed.n()), (k, n));
+            let tiled = matmul_packed(&a, &packed).unwrap();
+            assert_bits_equal(&naive, &tiled, "tiled");
+            let pool = ComputePool::new(4);
+            let pooled = matmul_packed_on(&pool, &a, &packed).unwrap();
+            assert_bits_equal(&naive, &pooled, "tiled+pool");
+        }
+    }
+
+    #[test]
+    fn zero_extent_shapes() {
+        for (m, k, n) in [(0, 4, 4), (4, 0, 4), (4, 4, 0), (0, 0, 0), (1, 0, 1)] {
+            let (a, b) = rng_pair(m, k, n, 7);
+            let naive = matmul(&a, &b).unwrap();
+            let packed = PackedGemmB::pack(&b).unwrap();
+            let tiled = matmul_packed(&a, &packed).unwrap();
+            assert_bits_equal(&naive, &tiled, "zero-extent tiled");
+            let pool = ComputePool::new(3);
+            let pooled = matmul_packed_on(&pool, &a, &packed).unwrap();
+            assert_bits_equal(&naive, &pooled, "zero-extent pooled");
+            let on = matmul_on(&pool, &a, &b).unwrap();
+            assert_bits_equal(&naive, &on, "zero-extent matmul_on");
+        }
+    }
+
+    #[test]
+    fn unit_extent_shapes() {
+        for (m, k, n) in [(1, 4, 4), (4, 1, 4), (4, 4, 1), (1, 1, 4), (1, 1, 1)] {
+            let (a, b) = rng_pair(m, k, n, 11);
+            let naive = matmul(&a, &b).unwrap();
+            let packed = PackedGemmB::pack(&b).unwrap();
+            assert_bits_equal(&naive, &matmul_packed(&a, &packed).unwrap(), "unit");
+        }
+    }
+
+    #[test]
+    fn pool_of_one_equals_serial() {
+        let (a, b) = rng_pair(13, 37, 21, 3);
+        let packed = PackedGemmB::pack(&b).unwrap();
+        let serial = matmul_packed(&a, &packed).unwrap();
+        let pool1 = ComputePool::new(1);
+        let pooled = matmul_packed_on(&pool1, &a, &packed).unwrap();
+        assert_bits_equal(&serial, &pooled, "pool-of-1");
+    }
+
+    #[test]
+    fn zero_entries_in_a_exercise_the_skip_path() {
+        let mut rng = DetRng::new(99);
+        let mut a = rng.tensor(&[6, 10]);
+        {
+            let av = a.as_mut_slice();
+            for (i, v) in av.iter_mut().enumerate() {
+                if i % 3 == 0 {
+                    *v = 0.0;
+                }
+            }
+        }
+        let b = rng.tensor(&[10, 11]);
+        let naive = matmul(&a, &b).unwrap();
+        let packed = PackedGemmB::pack(&b).unwrap();
+        assert_bits_equal(&naive, &matmul_packed(&a, &packed).unwrap(), "skip");
+        let pool = ComputePool::new(2);
+        assert_bits_equal(
+            &naive,
+            &matmul_packed_on(&pool, &a, &packed).unwrap(),
+            "skip+pool",
+        );
+    }
+
+    #[test]
+    fn matmul_on_crosses_over_and_stays_identical() {
+        let pool = ComputePool::new(4);
+        // Below crossover: routed to the naive serial kernel.
+        assert!(!gemm_wants_parallel(4, 8, 8));
+        // Above crossover: packed + pooled.
+        assert!(gemm_wants_parallel(64, 64, 64));
+        for (m, k, n) in [(4, 8, 8), (64, 64, 64), (65, 63, 64)] {
+            let (a, b) = rng_pair(m, k, n, 21);
+            let naive = matmul(&a, &b).unwrap();
+            let got = matmul_on(&pool, &a, &b).unwrap();
+            assert_bits_equal(&naive, &got, "matmul_on");
+        }
+    }
+
+    #[test]
+    fn shape_errors_match_naive_contract() {
+        let pool = ComputePool::new(2);
+        let a3 = Tensor::zeros(&[2, 2, 2]);
+        let b = Tensor::zeros(&[2, 2]);
+        assert!(matches!(
+            PackedGemmB::pack(&a3),
+            Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: 3
+            })
+        ));
+        let packed = PackedGemmB::pack(&b).unwrap();
+        assert!(matches!(
+            matmul_packed(&a3, &packed),
+            Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: 3
+            })
+        ));
+        let a_bad = Tensor::zeros(&[2, 3]);
+        assert!(matches!(
+            matmul_packed_on(&pool, &a_bad, &packed),
+            Err(TensorError::MatmulDimMismatch {
+                left_inner: 3,
+                right_inner: 2
+            })
+        ));
+    }
+}

@@ -31,11 +31,13 @@
 #![warn(missing_docs)]
 
 mod error;
+mod gemm;
 mod ops;
 mod rng;
 mod tensor;
 
 pub use error::TensorError;
+pub use gemm::{gemm_wants_parallel, matmul_on, matmul_packed, matmul_packed_on, PackedGemmB};
 pub use ops::{log_sum_exp, matmul, softmax_row_in_place, stable_softmax_rows};
 pub use rng::DetRng;
 pub use tensor::Tensor;

@@ -188,6 +188,43 @@ mod tests {
     }
 
     #[test]
+    fn pass_q_return_hop_is_double_buffered_point_to_point() {
+        // The pass-Q return permutation is eager lone Sends (one per
+        // visited origin, interleaved with the ring hops) plus trailing
+        // Recvs — never an exposed All2All — and sent bytes mirror
+        // received bytes across the world.
+        for cp in [2, 4, 8] {
+            for case in grid_cases(cp).unwrap() {
+                if !case.name.contains("pass_q") {
+                    continue;
+                }
+                let mut sends = 0usize;
+                let mut recvs = 0usize;
+                for rp in &case.plan.ranks {
+                    for op in &rp.ops {
+                        match op {
+                            cp_comm::CommOp::Send { variant, .. } => {
+                                assert_eq!(*variant, "Out", "{}", case.name);
+                                sends += 1;
+                            }
+                            cp_comm::CommOp::Recv { variant, .. } => {
+                                assert_eq!(*variant, "Out", "{}", case.name);
+                                recvs += 1;
+                            }
+                            cp_comm::CommOp::AllToAll { .. } => {
+                                panic!("{}: exposed All2All in pass-Q plan", case.name)
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                assert_eq!(sends, cp * (cp - 1), "{}", case.name);
+                assert_eq!(recvs, cp * (cp - 1), "{}", case.name);
+            }
+        }
+    }
+
+    #[test]
     fn varseq_kv_messages_stay_equal_sized() {
         // §3.5.2: KV shards are padded to a common length, so circulating
         // KV messages must all be the same size even with skewed queries.

@@ -170,17 +170,20 @@ fn traffic_matches_table2_formulas() {
     let msg_tokens = t / n; // divisible: no padding
     let e = 4; // f32 wire
     let expected_kv = n * (n - 1) * 2 * msg_tokens * s.n_kv_heads() * s.head_dim() * e;
-    let expected_q = n * (n - 1) * msg_tokens * s.n_heads() * s.head_dim() * e;
-    assert_eq!(kv_traffic.send_recv_bytes, expected_kv);
-    assert_eq!(q_traffic.send_recv_bytes, expected_q);
-
-    // pass-Q additionally pays the All2All of outputs + LSE.
-    let expected_a2a =
+    let expected_q_hops = n * (n - 1) * msg_tokens * s.n_heads() * s.head_dim() * e;
+    // pass-Q additionally returns outputs + LSE to their origin ranks —
+    // since the return hop is double-buffered into eager point-to-point
+    // sends, those bytes land in the send_recv category and the All2All
+    // category stays empty.
+    let expected_out =
         n * (n - 1) * (msg_tokens * s.n_heads() * s.head_dim() + msg_tokens * s.n_heads()) * e;
-    assert_eq!(q_traffic.all_to_all_bytes, expected_a2a);
+    assert_eq!(kv_traffic.send_recv_bytes, expected_kv);
+    assert_eq!(q_traffic.send_recv_bytes, expected_q_hops + expected_out);
+    assert_eq!(q_traffic.all_to_all_bytes, 0);
     assert_eq!(kv_traffic.all_to_all_bytes, 0);
 
-    // Equation 1 at P=0: with N_H > 2*N_KV, KV messages are smaller.
+    // Equation 1 at P=0: with N_H > 2*N_KV, KV ring messages are smaller.
+    assert!(expected_kv < expected_q_hops);
     assert!(kv_traffic.send_recv_bytes < q_traffic.send_recv_bytes);
 }
 
