@@ -1,7 +1,7 @@
 //! Flash-style blocked attention with online softmax.
 
 use crate::naive::check_positions;
-use crate::{AttentionError, AttentionOutput, AttentionParams, PAD};
+use crate::{AttentionError, AttentionOutput, AttentionParams, KvSource, PAD};
 use cp_pool::ComputePool;
 use cp_tensor::Tensor;
 
@@ -72,7 +72,41 @@ pub fn blocked_gqa_attention_on(
     kv_pos: &[usize],
     block_size: usize,
 ) -> Result<AttentionOutput, AttentionError> {
-    blocked_impl(pool, q, k, v, params, q_pos, kv_pos, block_size, 0)
+    blocked_impl(
+        pool,
+        q,
+        &KvSource::contiguous(k, v),
+        params,
+        q_pos,
+        kv_pos,
+        block_size,
+        0,
+    )
+}
+
+/// [`blocked_gqa_attention_on`] over a [`KvSource`] — contiguous tensors or
+/// a paged KV cache view — with zero materialization.
+///
+/// The kernel walks KV rows through the source's O(1) row lookup; for the
+/// same `block_size` the paged and contiguous variants perform the same f32
+/// operations in the same order, so results are **bit-identical** across
+/// storage layouts (property-tested in cp-kvcache). Paged callers should
+/// pick a `block_size` that is a multiple of the page size so online-softmax
+/// blocks coincide with whole pages.
+///
+/// # Errors
+///
+/// Same conditions as [`blocked_gqa_attention`].
+pub fn blocked_gqa_attention_source(
+    pool: &ComputePool,
+    q: &Tensor,
+    kv: &KvSource<'_>,
+    params: &AttentionParams,
+    q_pos: &[usize],
+    kv_pos: &[usize],
+    block_size: usize,
+) -> Result<AttentionOutput, AttentionError> {
+    blocked_impl(pool, q, kv, params, q_pos, kv_pos, block_size, 0)
 }
 
 /// [`blocked_gqa_attention`] with an explicit tile count.
@@ -102,8 +136,7 @@ pub fn blocked_gqa_attention_with_threads(
     blocked_impl(
         ComputePool::global(),
         q,
-        k,
-        v,
+        &KvSource::contiguous(k, v),
         params,
         q_pos,
         kv_pos,
@@ -116,8 +149,7 @@ pub fn blocked_gqa_attention_with_threads(
 fn blocked_impl(
     pool: &ComputePool,
     q: &Tensor,
-    k: &Tensor,
-    v: &Tensor,
+    kv: &KvSource<'_>,
     params: &AttentionParams,
     q_pos: &[usize],
     kv_pos: &[usize],
@@ -131,15 +163,7 @@ fn blocked_impl(
     }
     let shape = &params.shape;
     let t_q = shape.check_q(q)?;
-    let t_k = shape.check_kv(k, "k")?;
-    let t_v = shape.check_kv(v, "v")?;
-    if t_k != t_v {
-        return Err(AttentionError::BadTensorShape {
-            input: "v",
-            expected: vec![t_k, shape.n_kv_heads(), shape.head_dim()],
-            actual: v.shape().to_vec(),
-        });
-    }
+    let t_k = kv.check(shape)?;
     check_positions("q_pos", t_q, q_pos)?;
     check_positions("kv_pos", t_k, kv_pos)?;
 
@@ -167,8 +191,7 @@ fn blocked_impl(
             {
                 attend_query_row(
                     q.row(qi),
-                    k,
-                    v,
+                    kv,
                     params,
                     qp,
                     kv_pos,
@@ -206,8 +229,7 @@ fn blocked_impl(
                     {
                         attend_query_row(
                             q.row(start + off),
-                            k,
-                            v,
+                            kv,
                             params,
                             qp,
                             kv_pos,
@@ -230,16 +252,16 @@ fn blocked_impl(
 /// blocks in ascending order keeping `(m, l)` scalars and accumulating
 /// weighted values directly into this row's slice of the output buffer.
 /// This is the seed kernel's per-(query, head) arithmetic verbatim — only
-/// the loop nest is transposed so rows are independent work items. Heads
-/// and KV blocks advance by chunked iterators rather than computed indices,
-/// so the loop body contains no panicking slice index; an out-of-range KV
-/// head lookup (impossible after the shape checks) folds into the masked
-/// branch.
+/// the loop nest is transposed so rows are independent work items. KV rows
+/// come through the [`KvSource`] O(1) lookup, so contiguous and paged
+/// storage execute the same f32 sequence; heads and KV blocks advance by
+/// chunked iterators rather than computed indices, so the loop body
+/// contains no panicking slice index; an out-of-range KV row or head
+/// lookup (impossible after the shape checks) folds into the masked branch.
 #[allow(clippy::too_many_arguments)]
 fn attend_query_row(
     qrow: &[f32],
-    k: &Tensor,
-    v: &Tensor,
+    kv: &KvSource<'_>,
     params: &AttentionParams,
     q_pos_qi: usize,
     kv_pos: &[usize],
@@ -267,7 +289,10 @@ fn attend_query_row(
             let mut block_m = f32::NEG_INFINITY;
             scores.clear();
             for (off, &kpos) in block_pos.iter().enumerate() {
-                let s = match k.row(block_start + off).get(kvh * dh..(kvh + 1) * dh) {
+                let s = match kv
+                    .k_row(block_start + off)
+                    .and_then(|r| r.get(kvh * dh..(kvh + 1) * dh))
+                {
                     Some(kvec) if kpos != PAD && kpos <= q_pos_qi => {
                         let dot: f32 = qvec.iter().zip(kvec).map(|(a, b)| a * b).sum();
                         dot * params.scale
@@ -296,7 +321,10 @@ fn attend_query_row(
                 }
                 let w = (s - new_m).exp();
                 l += w;
-                if let Some(vvec) = v.row(block_start + off).get(kvh * dh..(kvh + 1) * dh) {
+                if let Some(vvec) = kv
+                    .v_row(block_start + off)
+                    .and_then(|r| r.get(kvh * dh..(kvh + 1) * dh))
+                {
                     for (a, &x) in acc.iter_mut().zip(vvec) {
                         *a += w * x;
                     }

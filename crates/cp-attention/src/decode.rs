@@ -1,8 +1,7 @@
 //! Split-KV decode attention (the Flash-Decoding pattern).
 
-use crate::{
-    merge_partials, naive_gqa_attention, AttentionError, AttentionOutput, AttentionParams,
-};
+use crate::naive::{check_positions, naive_attend_range};
+use crate::{merge_partials, AttentionError, AttentionOutput, AttentionParams, KvSource};
 use cp_tensor::Tensor;
 
 /// Decode-oriented attention that splits the KV sequence into `n_splits`
@@ -49,12 +48,41 @@ pub fn flash_decode(
     kv_pos: &[usize],
     n_splits: usize,
 ) -> Result<AttentionOutput, AttentionError> {
+    flash_decode_source(
+        q,
+        &KvSource::contiguous(k, v),
+        params,
+        q_pos,
+        kv_pos,
+        n_splits,
+    )
+}
+
+/// [`flash_decode`] over a [`KvSource`] — contiguous tensors or a paged KV
+/// cache view — with zero materialization.
+///
+/// Split boundaries are computed from `(t_kv, n_splits)` exactly as in
+/// [`flash_decode`], and each split runs the reference kernel's per-row
+/// arithmetic through the source's O(1) row lookup, so paged and contiguous
+/// storage produce **bit-identical** results for the same inputs.
+///
+/// # Errors
+///
+/// Same conditions as [`flash_decode`].
+pub fn flash_decode_source(
+    q: &Tensor,
+    kv: &KvSource<'_>,
+    params: &AttentionParams,
+    q_pos: &[usize],
+    kv_pos: &[usize],
+    n_splits: usize,
+) -> Result<AttentionOutput, AttentionError> {
     if n_splits == 0 {
         return Err(AttentionError::InvalidShape {
             reason: "n_splits must be positive".to_string(),
         });
     }
-    let t_kv = params.shape.check_kv(k, "k")?;
+    let t_kv = kv.check(&params.shape)?;
     if t_kv == 0 {
         // No KV at all: every query is fully masked.
         let t_q = params.shape.check_q(q)?;
@@ -64,16 +92,14 @@ pub fn flash_decode(
             params.shape.head_dim(),
         ));
     }
+    check_positions("kv_pos", t_kv, kv_pos)?;
     let n_splits = n_splits.min(t_kv);
     let chunk = t_kv.div_ceil(n_splits);
     let mut partials = Vec::with_capacity(n_splits);
     let mut start = 0;
     for pos_chunk in kv_pos.chunks(chunk) {
-        let end = start + pos_chunk.len();
-        let ks = k.slice_dim0(start..end)?;
-        let vs = v.slice_dim0(start..end)?;
-        partials.push(naive_gqa_attention(q, &ks, &vs, params, q_pos, pos_chunk)?);
-        start = end;
+        partials.push(naive_attend_range(q, kv, params, q_pos, pos_chunk, start)?);
+        start += pos_chunk.len();
     }
     merge_partials(partials.iter())
 }
@@ -81,7 +107,7 @@ pub fn flash_decode(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::GqaShape;
+    use crate::{naive_gqa_attention, GqaShape};
     use cp_tensor::DetRng;
 
     fn params(nh: usize, nkv: usize, dh: usize) -> AttentionParams {

@@ -60,16 +60,19 @@ mod error;
 mod naive;
 mod output;
 mod shape;
+mod source;
 
 pub use approx::{approx_gqa_attention, ApproxPolicy};
 pub use blocked::{
-    blocked_gqa_attention, blocked_gqa_attention_on, blocked_gqa_attention_with_threads,
+    blocked_gqa_attention, blocked_gqa_attention_on, blocked_gqa_attention_source,
+    blocked_gqa_attention_with_threads,
 };
-pub use decode::flash_decode;
+pub use decode::{flash_decode, flash_decode_source};
 pub use error::AttentionError;
 pub use naive::naive_gqa_attention;
 pub use output::{merge_partials, AttentionOutput};
 pub use shape::{AttentionParams, GqaShape};
+pub use source::KvSource;
 
 /// Sentinel position marking a padded KV slot; padded slots are masked out of
 /// every attention computation.

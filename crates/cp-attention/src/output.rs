@@ -26,14 +26,14 @@ impl AttentionOutput {
     /// Returns [`AttentionError::BadTensorShape`] if `out` is not rank 3, or
     /// `lse` does not have shape `[out.dim0(), out.shape()[1]]`.
     pub fn new(out: Tensor, lse: Tensor) -> Result<Self, AttentionError> {
-        if out.rank() != 3 {
+        let &[tokens, heads, _] = out.shape() else {
             return Err(AttentionError::BadTensorShape {
                 input: "out",
                 expected: vec![0, 0, 0],
                 actual: out.shape().to_vec(),
             });
-        }
-        let expected = vec![out.shape()[0], out.shape()[1]];
+        };
+        let expected = vec![tokens, heads];
         if lse.shape() != expected.as_slice() {
             return Err(AttentionError::BadTensorShape {
                 input: "lse",
@@ -60,12 +60,12 @@ impl AttentionOutput {
 
     /// Number of query heads.
     pub fn n_heads(&self) -> usize {
-        self.out.shape()[1]
+        self.out.shape().get(1).copied().unwrap_or(0)
     }
 
     /// Per-head embedding dimension.
     pub fn head_dim(&self) -> usize {
-        self.out.shape()[2]
+        self.out.shape().get(2).copied().unwrap_or(0)
     }
 
     /// Concatenates outputs along the token dimension.
@@ -99,6 +99,84 @@ impl AttentionOutput {
             out: self.out.slice_dim0(start..end)?,
             lse: self.lse.slice_dim0(start..end)?,
         })
+    }
+
+    /// Folds `other` into `self` with the pairwise form of merge attention
+    /// (Eq. 4): per `(query, head)`, reweight both partials by
+    /// `exp(LSE - max)` and renormalise.
+    ///
+    /// Because Eq. 4 is associative, a ring loop can fold each hop's partial
+    /// into one running accumulator instead of collecting every hop's
+    /// [`AttentionOutput`] and batch-merging at the end — O(1) partial
+    /// memory instead of O(hops). A pairwise fold rescales at different
+    /// points than the batch [`merge_partials`], so chained results agree
+    /// with it to rounding (not bitwise); a single `merge_in_place` of two
+    /// partials is exactly `merge_partials([a, b])`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttentionError::BadPartials`] if shapes disagree.
+    pub fn merge_in_place(&mut self, other: &AttentionOutput) -> Result<(), AttentionError> {
+        if self.out.shape() != other.out.shape() || self.lse.shape() != other.lse.shape() {
+            return Err(AttentionError::BadPartials {
+                reason: format!(
+                    "partial shapes disagree: {:?}/{:?} vs {:?}/{:?}",
+                    self.out.shape(),
+                    self.lse.shape(),
+                    other.out.shape(),
+                    other.lse.shape()
+                ),
+            });
+        }
+        let head_dim = self.head_dim();
+        let lse_buf = self.lse.as_mut_slice();
+        if head_dim == 0 {
+            // Degenerate embedding: only the LSEs carry information.
+            for (lslot, &lb) in lse_buf.iter_mut().zip(other.lse.as_slice()) {
+                let m = lslot.max(lb);
+                if m != f32::NEG_INFINITY {
+                    *lslot = m + (pair_weight(*lslot, m) + pair_weight(lb, m)).ln();
+                }
+            }
+            return Ok(());
+        }
+        for ((ohead, lslot), (bhead, &lb)) in self
+            .out
+            .as_mut_slice()
+            .chunks_exact_mut(head_dim)
+            .zip(lse_buf.iter_mut())
+            .zip(
+                other
+                    .out
+                    .as_slice()
+                    .chunks_exact(head_dim)
+                    .zip(other.lse.as_slice()),
+            )
+        {
+            let m = lslot.max(lb);
+            if m == f32::NEG_INFINITY {
+                continue; // both sides masked: keep zero row, -inf LSE
+            }
+            let wa = pair_weight(*lslot, m);
+            let wb = pair_weight(lb, m);
+            let denom = wa + wb;
+            for (a, &b) in ohead.iter_mut().zip(bhead) {
+                *a = (wa * *a + wb * b) / denom;
+            }
+            *lslot = m + denom.ln();
+        }
+        Ok(())
+    }
+}
+
+/// Eq. 4 reweighting factor for one partial: `exp(lse - max)`, with a
+/// masked partial (`-inf` LSE) contributing zero weight.
+#[inline]
+fn pair_weight(lse: f32, m: f32) -> f32 {
+    if lse == f32::NEG_INFINITY {
+        0.0
+    } else {
+        (lse - m).exp()
     }
 }
 
@@ -143,39 +221,56 @@ where
             });
         }
     }
-    let (tokens, n_heads, head_dim) = (shape[0], shape[1], shape[2]);
+    let &[tokens, n_heads, head_dim] = first.out.shape() else {
+        return Err(AttentionError::BadPartials {
+            reason: format!("partials must be rank 3, got {:?}", first.out.shape()),
+        });
+    };
     let mut out = Tensor::zeros(&[tokens, n_heads, head_dim]);
     let mut lse = Tensor::full(&[tokens, n_heads], f32::NEG_INFINITY);
 
-    for t in 0..tokens {
-        for h in 0..n_heads {
+    // Lockstep iteration: output heads move with LSE slots; per slot the
+    // partials are folded in supply order, so the weighted sums accumulate
+    // exactly as in the seed's index-based loop.
+    let out_buf = out.as_mut_slice();
+    let lse_buf = lse.as_mut_slice();
+    for (t, (orow, lrow)) in out_buf
+        .chunks_mut((n_heads * head_dim).max(1))
+        .zip(lse_buf.chunks_mut(n_heads.max(1)))
+        .enumerate()
+    {
+        for (h, (ohead, lslot)) in orow
+            .chunks_mut(head_dim.max(1))
+            .zip(lrow.iter_mut())
+            .enumerate()
+        {
             let lse_max = parts
                 .iter()
-                .map(|p| p.lse.at(&[t, h]).expect("validated shape"))
+                .filter_map(|p| p.lse.row(t).get(h).copied())
                 .fold(f32::NEG_INFINITY, f32::max);
             if lse_max == f32::NEG_INFINITY {
                 continue; // all partials masked: keep zero row, -inf LSE
             }
             let mut denom = 0.0f32;
-            let mut acc = vec![0.0f32; head_dim];
             for p in &parts {
-                let l = p.lse.at(&[t, h]).expect("validated shape");
+                let Some(&l) = p.lse.row(t).get(h) else {
+                    continue;
+                };
                 if l == f32::NEG_INFINITY {
                     continue;
                 }
                 let w = (l - lse_max).exp();
                 denom += w;
-                let row = p.out.row(t);
-                let head = &row[h * head_dim..(h + 1) * head_dim];
-                for (a, &x) in acc.iter_mut().zip(head) {
-                    *a += w * x;
+                if let Some(head) = p.out.row(t).get(h * head_dim..(h + 1) * head_dim) {
+                    for (a, &x) in ohead.iter_mut().zip(head) {
+                        *a += w * x;
+                    }
                 }
             }
-            let orow = out.row_mut(t);
-            for (d, a) in acc.iter().enumerate() {
-                orow[h * head_dim + d] = a / denom;
+            for a in ohead.iter_mut() {
+                *a /= denom;
             }
-            lse.set(&[t, h], lse_max + denom.ln()).expect("in bounds");
+            *lslot = lse_max + denom.ln();
         }
     }
     AttentionOutput::new(out, lse)
@@ -287,6 +382,76 @@ mod tests {
         assert!(back.out.approx_eq(&a.out, 1e-6).unwrap());
         let tail = joined.slice_tokens(2, 5).unwrap();
         assert!(tail.out.approx_eq(&b.out, 1e-6).unwrap());
+    }
+
+    fn random_output(tokens: usize, heads: usize, dim: usize, seed: u64) -> AttentionOutput {
+        let mut rng = cp_tensor::DetRng::new(seed);
+        let out = rng.tensor(&[tokens, heads, dim]);
+        // Small LSEs so exp() stays well-conditioned.
+        let lse = rng.tensor(&[tokens, heads]).map(|x| x * 2.0);
+        AttentionOutput::new(out, lse).unwrap()
+    }
+
+    #[test]
+    fn merge_in_place_of_two_is_exactly_batch_merge() {
+        // A single pairwise fold performs the same weighted sum in the same
+        // order as merge_partials over two partials, so it is bitwise equal.
+        let a = random_output(3, 2, 4, 21);
+        let b = random_output(3, 2, 4, 22);
+        let batch = merge_partials([&a, &b]).unwrap();
+        let mut running = a.clone();
+        running.merge_in_place(&b).unwrap();
+        assert_eq!(running.out.as_slice(), batch.out.as_slice());
+        assert_eq!(running.lse.as_slice(), batch.lse.as_slice());
+    }
+
+    #[test]
+    fn running_merge_matches_batch_merge_partials() {
+        // Chained pairwise folds rescale at different points than one batch
+        // merge, so agreement is to rounding, not bitwise.
+        let parts: Vec<AttentionOutput> = (0..5).map(|s| random_output(4, 3, 8, 30 + s)).collect();
+        let batch = merge_partials(parts.iter()).unwrap();
+        let mut running: Option<AttentionOutput> = None;
+        for p in &parts {
+            match running.as_mut() {
+                None => running = Some(p.clone()),
+                Some(acc) => acc.merge_in_place(p).unwrap(),
+            }
+        }
+        let running = running.unwrap();
+        assert!(running.out.approx_eq(&batch.out, 1e-5).unwrap());
+        assert!(running.lse.approx_eq(&batch.lse, 1e-5).unwrap());
+    }
+
+    #[test]
+    fn merge_in_place_masked_sides() {
+        let a = constant_output(2, 1, 2, 4.0, 1.0);
+        let masked = AttentionOutput::masked(2, 1, 2);
+
+        // Folding a masked partial into a live one is a no-op on the values.
+        let mut live = a.clone();
+        live.merge_in_place(&masked).unwrap();
+        assert!(live.out.approx_eq(&a.out, 1e-6).unwrap());
+        assert!(live.lse.approx_eq(&a.lse, 1e-6).unwrap());
+
+        // Folding a live partial into a masked accumulator adopts it.
+        let mut acc = masked.clone();
+        acc.merge_in_place(&a).unwrap();
+        assert!(acc.out.approx_eq(&a.out, 1e-6).unwrap());
+        assert!(acc.lse.approx_eq(&a.lse, 1e-6).unwrap());
+
+        // Masked into masked stays masked.
+        let mut both = AttentionOutput::masked(2, 1, 2);
+        both.merge_in_place(&masked).unwrap();
+        assert_eq!(both.lse.as_slice(), masked.lse.as_slice());
+        assert!(both.out.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn merge_in_place_rejects_mismatched_shapes() {
+        let mut a = constant_output(1, 1, 2, 0.0, 0.0);
+        let b = constant_output(2, 1, 2, 0.0, 0.0);
+        assert!(a.merge_in_place(&b).is_err());
     }
 
     #[test]

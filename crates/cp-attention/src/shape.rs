@@ -112,15 +112,14 @@ impl GqaShape {
         input: &'static str,
         heads: usize,
     ) -> Result<usize, AttentionError> {
-        let s = t.shape();
-        if s.len() != 3 || s[1] != heads || s[2] != self.head_dim {
-            return Err(AttentionError::BadTensorShape {
+        match t.shape() {
+            &[tokens, h, d] if h == heads && d == self.head_dim => Ok(tokens),
+            s => Err(AttentionError::BadTensorShape {
                 input,
                 expected: vec![0, heads, self.head_dim],
                 actual: s.to_vec(),
-            });
+            }),
         }
-        Ok(s[0])
     }
 }
 

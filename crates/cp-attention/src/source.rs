@@ -1,0 +1,292 @@
+//! Borrowed KV storage: contiguous tensors or paged fragments.
+//!
+//! The kernels' arithmetic depends only on the *row order* of K/V and the
+//! online-softmax block boundaries, not on where the rows live. `KvSource`
+//! abstracts row storage so a paged KV cache can be attended over in place —
+//! no `gather()` materialization — while staying bit-identical to the
+//! contiguous path: for the same `block_size`, every `(query, head)` pair
+//! sees the same rows in the same order with the same f32 operations.
+
+use cp_tensor::Tensor;
+
+use crate::AttentionError;
+
+/// Borrowed KV rows consumed by [`crate::blocked_gqa_attention_source`] and
+/// [`crate::flash_decode_source`].
+///
+/// Rows are `[n_kv_heads * head_dim]` slices indexed by token. The
+/// `Contiguous` variant wraps the classic `[t, n_kv_heads, head_dim]`
+/// tensors; the `Paged` variant walks fixed-size page fragments (a
+/// vLLM-style pool) where token `i` lives in page `i / page_size` at slot
+/// `i % page_size`. Every page is full except possibly the last, which is
+/// trimmed to the tokens it actually holds.
+#[derive(Debug, Clone)]
+pub struct KvSource<'a> {
+    inner: Inner<'a>,
+}
+
+#[derive(Debug, Clone)]
+enum Inner<'a> {
+    Contiguous {
+        k: &'a Tensor,
+        v: &'a Tensor,
+    },
+    Paged {
+        k_pages: &'a [&'a [f32]],
+        v_pages: &'a [&'a [f32]],
+        page_size: usize,
+        row_numel: usize,
+        tokens: usize,
+    },
+}
+
+impl<'a> KvSource<'a> {
+    /// Wraps contiguous `[t, n_kv_heads, head_dim]` K/V tensors.
+    ///
+    /// Shape validation happens in the consuming kernel (via
+    /// [`KvSource::check`]), exactly as for the tensor entry points.
+    pub fn contiguous(k: &'a Tensor, v: &'a Tensor) -> Self {
+        KvSource {
+            inner: Inner::Contiguous { k, v },
+        }
+    }
+
+    /// Wraps paged K/V fragments.
+    ///
+    /// `k_pages[p]` / `v_pages[p]` hold rows `[p * page_size, ...)` as flat
+    /// `row_numel`-strided slices; all pages must be full (`page_size`
+    /// rows) except the last, which holds the remainder of `tokens`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttentionError::InvalidShape`] if the page geometry is
+    /// inconsistent (zero page size or row size, mismatched page counts,
+    /// a page whose length disagrees with its expected row count).
+    pub fn paged(
+        k_pages: &'a [&'a [f32]],
+        v_pages: &'a [&'a [f32]],
+        page_size: usize,
+        row_numel: usize,
+        tokens: usize,
+    ) -> Result<Self, AttentionError> {
+        if page_size == 0 || row_numel == 0 {
+            return Err(AttentionError::InvalidShape {
+                reason: format!(
+                    "paged KV needs positive geometry (page_size={page_size}, row_numel={row_numel})"
+                ),
+            });
+        }
+        if k_pages.len() != v_pages.len() {
+            return Err(AttentionError::InvalidShape {
+                reason: format!(
+                    "paged KV has {} K pages but {} V pages",
+                    k_pages.len(),
+                    v_pages.len()
+                ),
+            });
+        }
+        if k_pages.len() != tokens.div_ceil(page_size) {
+            return Err(AttentionError::InvalidShape {
+                reason: format!(
+                    "paged KV has {} pages for {} tokens at page_size {}",
+                    k_pages.len(),
+                    tokens,
+                    page_size
+                ),
+            });
+        }
+        for (p, (kp, vp)) in k_pages.iter().zip(v_pages).enumerate() {
+            let rows = (tokens - p * page_size).min(page_size);
+            if kp.len() != rows * row_numel || vp.len() != rows * row_numel {
+                return Err(AttentionError::InvalidShape {
+                    reason: format!(
+                        "page {p} holds {}/{} K/V elements, expected {} ({} rows of {})",
+                        kp.len(),
+                        vp.len(),
+                        rows * row_numel,
+                        rows,
+                        row_numel
+                    ),
+                });
+            }
+        }
+        Ok(KvSource {
+            inner: Inner::Paged {
+                k_pages,
+                v_pages,
+                page_size,
+                row_numel,
+                tokens,
+            },
+        })
+    }
+
+    /// Number of KV tokens (rows).
+    pub fn tokens(&self) -> usize {
+        match &self.inner {
+            Inner::Contiguous { k, .. } => k.dim0(),
+            Inner::Paged { tokens, .. } => *tokens,
+        }
+    }
+
+    /// Elements per row (`n_kv_heads * head_dim` for a well-formed source).
+    pub fn row_numel(&self) -> usize {
+        match &self.inner {
+            Inner::Contiguous { k, .. } => k.row_numel(),
+            Inner::Paged { row_numel, .. } => *row_numel,
+        }
+    }
+
+    /// For paged sources, the page size — the natural online-softmax block
+    /// granularity. `None` for contiguous storage (any block size walks
+    /// rows equally well).
+    pub fn page_size(&self) -> Option<usize> {
+        match &self.inner {
+            Inner::Contiguous { .. } => None,
+            Inner::Paged { page_size, .. } => Some(*page_size),
+        }
+    }
+
+    /// Row `i` of K, or `None` out of bounds. O(1) for both variants.
+    #[inline]
+    pub fn k_row(&self, i: usize) -> Option<&'a [f32]> {
+        match &self.inner {
+            Inner::Contiguous { k, .. } => (i < k.dim0()).then(|| k.row(i)),
+            Inner::Paged {
+                k_pages,
+                page_size,
+                row_numel,
+                ..
+            } => page_row(k_pages, *page_size, *row_numel, i),
+        }
+    }
+
+    /// Row `i` of V, or `None` out of bounds. O(1) for both variants.
+    #[inline]
+    pub fn v_row(&self, i: usize) -> Option<&'a [f32]> {
+        match &self.inner {
+            Inner::Contiguous { v, .. } => (i < v.dim0()).then(|| v.row(i)),
+            Inner::Paged {
+                v_pages,
+                page_size,
+                row_numel,
+                ..
+            } => page_row(v_pages, *page_size, *row_numel, i),
+        }
+    }
+
+    /// Validates this source against a head configuration, mirroring the
+    /// tensor kernels' `check_kv` calls: K and V must both be
+    /// `[t, n_kv_heads, head_dim]` with equal token counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttentionError::BadTensorShape`] on mismatch.
+    pub(crate) fn check(&self, shape: &crate::GqaShape) -> Result<usize, AttentionError> {
+        match &self.inner {
+            Inner::Contiguous { k, v } => {
+                let t_k = shape.check_kv(k, "k")?;
+                let t_v = shape.check_kv(v, "v")?;
+                if t_k != t_v {
+                    return Err(AttentionError::BadTensorShape {
+                        input: "v",
+                        expected: vec![t_k, shape.n_kv_heads(), shape.head_dim()],
+                        actual: v.shape().to_vec(),
+                    });
+                }
+                Ok(t_k)
+            }
+            Inner::Paged {
+                row_numel, tokens, ..
+            } => {
+                let expected = shape.n_kv_heads() * shape.head_dim();
+                if *row_numel != expected {
+                    return Err(AttentionError::BadTensorShape {
+                        input: "k",
+                        expected: vec![*tokens, shape.n_kv_heads(), shape.head_dim()],
+                        actual: vec![*tokens, *row_numel],
+                    });
+                }
+                Ok(*tokens)
+            }
+        }
+    }
+}
+
+/// Token row `i` inside a page list: page `i / page_size`, slot
+/// `i % page_size`. Out-of-range lookups fold to `None` (the kernels treat
+/// them as masked, same as an out-of-range head slice).
+#[inline]
+fn page_row<'a>(
+    pages: &[&'a [f32]],
+    page_size: usize,
+    row_numel: usize,
+    i: usize,
+) -> Option<&'a [f32]> {
+    let slot = i % page_size;
+    pages
+        .get(i / page_size)
+        .and_then(|p| p.get(slot * row_numel..(slot + 1) * row_numel))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_rows_match_tensor_rows() {
+        let k = Tensor::from_fn(&[4, 2, 3], |i| i as f32);
+        let v = k.map(|x| -x);
+        let src = KvSource::contiguous(&k, &v);
+        assert_eq!(src.tokens(), 4);
+        assert_eq!(src.row_numel(), 6);
+        assert_eq!(src.page_size(), None);
+        for i in 0..4 {
+            assert_eq!(src.k_row(i).unwrap(), k.row(i));
+            assert_eq!(src.v_row(i).unwrap(), v.row(i));
+        }
+        assert!(src.k_row(4).is_none());
+        assert!(src.v_row(9).is_none());
+    }
+
+    #[test]
+    fn paged_rows_cross_page_boundaries() {
+        // 5 tokens of row_numel 2 in pages of 2: pages [2, 2, 1 rows].
+        let all: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        let k_pages: Vec<&[f32]> = vec![&all[0..4], &all[4..8], &all[8..10]];
+        let v_pages = k_pages.clone();
+        let src = KvSource::paged(&k_pages, &v_pages, 2, 2, 5).unwrap();
+        assert_eq!(src.tokens(), 5);
+        assert_eq!(src.page_size(), Some(2));
+        for i in 0..5 {
+            let expect = [(i * 2) as f32, (i * 2 + 1) as f32];
+            assert_eq!(src.k_row(i).unwrap(), &expect);
+            assert_eq!(src.v_row(i).unwrap(), &expect);
+        }
+        assert!(src.k_row(5).is_none());
+    }
+
+    #[test]
+    fn paged_rejects_bad_geometry() {
+        let page: &[f32] = &[0.0; 4];
+        let pages: Vec<&[f32]> = vec![page];
+        assert!(KvSource::paged(&pages, &pages, 0, 2, 2).is_err());
+        assert!(KvSource::paged(&pages, &pages, 2, 0, 2).is_err());
+        // Page count disagrees with token count.
+        assert!(KvSource::paged(&pages, &pages, 2, 2, 4).is_err());
+        // Short last page.
+        let short: Vec<&[f32]> = vec![&page[0..2]];
+        assert!(KvSource::paged(&short, &short, 2, 2, 2).is_err());
+        // K/V page count mismatch.
+        let two: Vec<&[f32]> = vec![&page[0..4], &page[0..4]];
+        assert!(KvSource::paged(&pages, &two, 2, 2, 2).is_err());
+    }
+
+    #[test]
+    fn empty_source_is_valid() {
+        let pages: Vec<&[f32]> = Vec::new();
+        let src = KvSource::paged(&pages, &pages, 4, 2, 0).unwrap();
+        assert_eq!(src.tokens(), 0);
+        assert!(src.k_row(0).is_none());
+    }
+}

@@ -10,8 +10,11 @@ use cp_sharding::{decode_round_robin, shard_varseq_with, SequenceSpec, ShardStra
 use cp_tensor::Tensor;
 
 use crate::heuristics::{choose_variant, HeuristicKind, SystemContext};
-use crate::messages::{DecodeSlot, LocalSeq, SeqKv};
-use crate::ring::{ring_pass_kv_prefill, ring_pass_q_decode, ring_pass_q_prefill, run_ring};
+use crate::messages::{DecodeSlot, LocalSeq, SeqKv, SeqQ};
+use crate::ring::{
+    attn_block_for, ring_pass_kv_prefill, ring_pass_q_decode_kv, ring_pass_q_prefill_kv, run_ring,
+    RankKv,
+};
 use crate::CoreError;
 
 /// Configuration of a [`ContextParallelEngine`].
@@ -36,6 +39,11 @@ pub struct EngineConfig {
     /// How new tokens are partitioned over ranks (ablations; the default
     /// is the paper's 2N-chunk load-balanced plan).
     pub shard_strategy: ShardStrategy,
+    /// Gather per-sequence KV into fresh contiguous tensors on the pass-Q
+    /// prefill and decode hot paths instead of attending the paged caches
+    /// in place through zero-copy views (A/B comparison knob; both paths
+    /// use the same KV block size and are bit-identical).
+    pub gather_hot_kv: bool,
 }
 
 impl EngineConfig {
@@ -51,6 +59,7 @@ impl EngineConfig {
             system: SystemContext::llama3_405b_gtt(n_ranks.max(1)),
             simulate_kv_quant: false,
             shard_strategy: ShardStrategy::LoadBalanced,
+            gather_hot_kv: false,
         }
     }
 
@@ -87,6 +96,14 @@ impl EngineConfig {
     /// Sets the sharding strategy (ablations; exactness holds for all).
     pub fn with_shard_strategy(mut self, strategy: ShardStrategy) -> Self {
         self.shard_strategy = strategy;
+        self
+    }
+
+    /// Switches the pass-Q prefill and decode hot paths back to per-step
+    /// `gather()` copies (A/B comparison against the default zero-copy
+    /// views; bit-identical results).
+    pub fn with_gathered_hot_kv(mut self, enabled: bool) -> Self {
+        self.gather_hot_kv = enabled;
         self
     }
 }
@@ -463,51 +480,11 @@ impl ContextParallelEngine {
             }
         }
 
-        // Build per-rank LocalSeq inputs: local queries plus the padded
-        // local KV shard (§3.5.2's equal-message-size invariant).
-        let ring_lens: Vec<usize> = requests
-            .iter()
-            .map(|req| {
-                Ok((0..n)
-                    .map(|rank| self.caches[rank].seq_len(req.seq))
-                    .collect::<Result<Vec<_>, _>>()?
-                    .into_iter()
-                    .max()
-                    .unwrap_or(0))
-            })
-            .collect::<Result<Vec<_>, CoreError>>()?;
-
-        let mut locals: Vec<Vec<LocalSeq>> = Vec::with_capacity(n);
-        for (rank, shard) in shards.iter().enumerate() {
-            let mut rank_locals = Vec::with_capacity(requests.len());
-            for (i, (entry, (req, spec))) in shard
-                .entries
-                .iter()
-                .zip(requests.iter().zip(specs))
-                .enumerate()
-            {
-                let rows: Vec<usize> = entry
-                    .positions
-                    .iter()
-                    .map(|&pos| pos - spec.cached_tokens)
-                    .collect();
-                let q = req.q.gather_dim0(&rows)?;
-                let (k, v, mut kv_pos) = self.caches[rank].gather(req.seq)?;
-                let k = k.pad_dim0(ring_lens[i], 0.0)?;
-                let v = v.pad_dim0(ring_lens[i], 0.0)?;
-                kv_pos.resize(ring_lens[i], PAD);
-                rank_locals.push(LocalSeq {
-                    q,
-                    q_pos: entry.positions.clone(),
-                    k,
-                    v,
-                    kv_pos,
-                });
-            }
-            locals.push(rank_locals);
-        }
-
-        // Pick the variant from the batch's aggregate (T, P).
+        // Pick the variant from the batch's aggregate (T, P) *before*
+        // materializing ring inputs: pass-KV needs gathered + padded owned
+        // KV (the shard circulates on the wire), while pass-Q keeps KV
+        // stationary and attends the paged caches in place through
+        // zero-copy views — no O(P) gather per turn.
         let t_total: usize = specs.iter().map(|s| s.new_tokens).sum();
         let p_total: usize = specs.iter().map(|s| s.cached_tokens).sum();
         let variant = forced_variant.unwrap_or_else(|| {
@@ -516,12 +493,89 @@ impl ContextParallelEngine {
 
         let params = self.params;
         let (rank_outputs, traffic) = match variant {
-            RingVariant::PassKv => run_ring(n, |comm| {
-                ring_pass_kv_prefill(comm, &params, &locals[comm.rank()])
-            })?,
-            RingVariant::PassQ => run_ring(n, |comm| {
-                ring_pass_q_prefill(comm, &params, &locals[comm.rank()])
-            })?,
+            RingVariant::PassKv => {
+                // Per-rank LocalSeq inputs: local queries plus the padded
+                // local KV shard (§3.5.2's equal-message-size invariant).
+                let ring_lens: Vec<usize> = requests
+                    .iter()
+                    .map(|req| {
+                        Ok(self
+                            .caches
+                            .iter()
+                            .map(|c| c.seq_len(req.seq))
+                            .collect::<Result<Vec<_>, _>>()?
+                            .into_iter()
+                            .max()
+                            .unwrap_or(0))
+                    })
+                    .collect::<Result<Vec<_>, CoreError>>()?;
+
+                let mut locals: Vec<Vec<LocalSeq>> = Vec::with_capacity(n);
+                for (cache, shard) in self.caches.iter().zip(shards.iter()) {
+                    let mut rank_locals = Vec::with_capacity(requests.len());
+                    for (i, (entry, (req, spec))) in shard
+                        .entries
+                        .iter()
+                        .zip(requests.iter().zip(specs))
+                        .enumerate()
+                    {
+                        let rows: Vec<usize> = entry
+                            .positions
+                            .iter()
+                            .map(|&pos| pos - spec.cached_tokens)
+                            .collect();
+                        let q = req.q.gather_dim0(&rows)?;
+                        let ring_len = ring_lens.get(i).copied().unwrap_or(0);
+                        let (k, v, mut kv_pos) = cache.gather(req.seq)?;
+                        let k = k.pad_dim0(ring_len, 0.0)?;
+                        let v = v.pad_dim0(ring_len, 0.0)?;
+                        kv_pos.resize(ring_len, PAD);
+                        rank_locals.push(LocalSeq {
+                            q,
+                            q_pos: entry.positions.clone(),
+                            k,
+                            v,
+                            kv_pos,
+                        });
+                    }
+                    locals.push(rank_locals);
+                }
+                run_ring(n, |comm| {
+                    ring_pass_kv_prefill(comm, &params, &locals[comm.rank()])
+                })?
+            }
+            RingVariant::PassQ => {
+                let attn_block = attn_block_for(self.config.page_size);
+                let mut queries: Vec<Vec<SeqQ>> = Vec::with_capacity(n);
+                let mut kvs: Vec<Vec<RankKv<'_>>> = Vec::with_capacity(n);
+                for (cache, shard) in self.caches.iter().zip(shards.iter()) {
+                    let mut rank_q = Vec::with_capacity(requests.len());
+                    let mut rank_kv = Vec::with_capacity(requests.len());
+                    for (entry, (req, spec)) in shard.entries.iter().zip(requests.iter().zip(specs))
+                    {
+                        let rows: Vec<usize> = entry
+                            .positions
+                            .iter()
+                            .map(|&pos| pos - spec.cached_tokens)
+                            .collect();
+                        rank_q.push(SeqQ {
+                            q: req.q.gather_dim0(&rows)?,
+                            pos: entry.positions.clone(),
+                        });
+                        rank_kv.push(if self.config.gather_hot_kv {
+                            let (k, v, pos) = cache.gather(req.seq)?;
+                            RankKv::tensors_blocked(SeqKv { k, v, pos }, attn_block)
+                        } else {
+                            RankKv::View(cache.view(req.seq)?)
+                        });
+                    }
+                    queries.push(rank_q);
+                    kvs.push(rank_kv);
+                }
+                run_ring(n, |comm| {
+                    ring_pass_q_prefill_kv(comm, &params, &queries[comm.rank()], &kvs[comm.rank()])
+                })?
+            }
         };
 
         // Un-shard: scatter each rank's rows back into original token order.
@@ -614,20 +668,28 @@ impl ContextParallelEngine {
             rank_slots.resize(slots_per_rank, None);
         }
 
-        // Gather every rank's local shard of every batched sequence.
-        let mut batch_kv: Vec<Vec<SeqKv>> = Vec::with_capacity(n);
-        for rank in 0..n {
+        // Borrow every rank's local shard of every batched sequence as a
+        // zero-copy view (the decode hot path: no per-step per-layer O(P)
+        // gather), or gather owned tensors in A/B mode — both attended
+        // with the same KV block size, so they are bit-identical.
+        let attn_block = attn_block_for(self.config.page_size);
+        let mut batch_kv: Vec<Vec<RankKv<'_>>> = Vec::with_capacity(n);
+        for cache in &self.caches {
             let mut kvs = Vec::with_capacity(batch.len());
             for (seq, ..) in batch {
-                let (k, v, pos) = self.caches[rank].gather(*seq)?;
-                kvs.push(SeqKv { k, v, pos });
+                kvs.push(if self.config.gather_hot_kv {
+                    let (k, v, pos) = cache.gather(*seq)?;
+                    RankKv::tensors_blocked(SeqKv { k, v, pos }, attn_block)
+                } else {
+                    RankKv::View(cache.view(*seq)?)
+                });
             }
             batch_kv.push(kvs);
         }
 
         let params = self.params;
         let (rank_outputs, traffic) = run_ring(n, |comm| {
-            ring_pass_q_decode(comm, &params, &slots[comm.rank()], &batch_kv[comm.rank()])
+            ring_pass_q_decode_kv(comm, &params, &slots[comm.rank()], &batch_kv[comm.rank()])
         })?;
 
         // Map per-rank slot outputs back to batch order.
@@ -1126,6 +1188,49 @@ mod tests {
                 outcome.output.out.approx_eq(&reference.out, 2e-3).unwrap(),
                 "{strategy:?}"
             );
+        }
+    }
+
+    #[test]
+    fn view_and_gather_hot_paths_are_bit_identical() {
+        // Multi-turn pass-Q prefill + decode across ragged page boundaries:
+        // the zero-copy view path must match the gather path bit for bit
+        // (same KV block size, same arithmetic, different storage walk).
+        let run = |gather: bool| {
+            let mut cfg = EngineConfig::new(3, shape()).with_page_size(4);
+            if gather {
+                cfg = cfg.with_gathered_hot_kv(true);
+            }
+            let mut eng = ContextParallelEngine::new(cfg).unwrap();
+            let mut rng = DetRng::new(77);
+            let (q, k, v) = qkv(&mut rng, 21); // 21 % 4 != 0: ragged last pages
+            eng.full_prefill(SeqId(0), &q, &k, &v).unwrap();
+            let (q2, k2, v2) = qkv(&mut rng, 9);
+            let turn = eng
+                .prefill_batch(
+                    &[PrefillRequest {
+                        seq: SeqId(0),
+                        q: &q2,
+                        k: &k2,
+                        v: &v2,
+                    }],
+                    Some(RingVariant::PassQ),
+                )
+                .unwrap()
+                .remove(0);
+            let mut outs = vec![turn.output];
+            for _ in 0..3 {
+                let (q1, k1, v1) = qkv(&mut rng, 1);
+                let mut step = eng.decode_step(&[(SeqId(0), q1, k1, v1)]).unwrap();
+                outs.push(step.outputs.remove(0));
+            }
+            outs
+        };
+        let view = run(false);
+        let gather = run(true);
+        for (a, b) in view.iter().zip(&gather) {
+            assert_eq!(a.out.as_slice(), b.out.as_slice());
+            assert_eq!(a.lse.as_slice(), b.lse.as_slice());
         }
     }
 

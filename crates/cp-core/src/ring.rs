@@ -11,8 +11,11 @@
 //! batches is handled by computing each sequence's partial attention
 //! separately (the role a varlen attention kernel plays on GPU).
 
-use cp_attention::{blocked_gqa_attention_on, merge_partials, AttentionOutput, AttentionParams};
+use cp_attention::{
+    blocked_gqa_attention_on, blocked_gqa_attention_source, AttentionOutput, AttentionParams,
+};
 use cp_comm::Communicator;
+use cp_kvcache::KvView;
 use cp_pool::ComputePool;
 use cp_tensor::Tensor;
 
@@ -24,6 +27,85 @@ use crate::CoreError;
 /// KV block size for the flash-style kernel inside ring loops.
 const ATTN_BLOCK: usize = 128;
 
+/// The KV block size ring attention uses over paged storage with pages of
+/// `page_size` tokens: [`ATTN_BLOCK`] rounded up to a whole number of pages,
+/// so every online-softmax block walks complete pages. The blocked kernel's
+/// arithmetic depends only on block boundaries (never on storage layout), so
+/// a gather-mode twin using this same value is bit-identical to the view
+/// path.
+pub fn attn_block_for(page_size: usize) -> usize {
+    if page_size == 0 {
+        ATTN_BLOCK
+    } else {
+        ATTN_BLOCK.div_ceil(page_size) * page_size
+    }
+}
+
+/// One rank's stationary KV for a ring algorithm: either owned (gathered or
+/// wire-received) tensors, or a zero-copy [`KvView`] borrowed straight from
+/// the rank's paged cache. Views are what keep `gather()` off the decode
+/// hot path; owned tensors remain for circulating wire payloads and for
+/// gather-mode A/B comparison.
+#[derive(Debug, Clone)]
+pub enum RankKv<'a> {
+    /// Contiguous owned K/V tensors, attended with an explicit KV block.
+    Owned {
+        /// K/V tensors plus their global positions.
+        kv: SeqKv,
+        /// Online-softmax KV block size for the blocked kernel.
+        block: usize,
+    },
+    /// A borrowed paged-cache view, attended with [`attn_block_for`] of its
+    /// page size.
+    View(KvView<'a>),
+}
+
+impl RankKv<'static> {
+    /// Owned tensors attended with the default [`ATTN_BLOCK`].
+    pub fn tensors(kv: SeqKv) -> Self {
+        RankKv::Owned {
+            kv,
+            block: ATTN_BLOCK,
+        }
+    }
+
+    /// Owned tensors attended with an explicit KV block size. Pass
+    /// [`attn_block_for`] of the paged twin's page size to keep a gather
+    /// path bit-identical to the corresponding view path.
+    pub fn tensors_blocked(kv: SeqKv, block: usize) -> Self {
+        RankKv::Owned { kv, block }
+    }
+}
+
+impl<'a> From<KvView<'a>> for RankKv<'a> {
+    fn from(view: KvView<'a>) -> Self {
+        RankKv::View(view)
+    }
+}
+
+fn attend_rank_kv(
+    pool: &ComputePool,
+    q: &Tensor,
+    q_pos: &[usize],
+    kv: &RankKv<'_>,
+    params: &AttentionParams,
+) -> Result<AttentionOutput, CoreError> {
+    match kv {
+        RankKv::Owned { kv, block } => Ok(blocked_gqa_attention_on(
+            pool, q, &kv.k, &kv.v, params, q_pos, &kv.pos, *block,
+        )?),
+        RankKv::View(view) => Ok(blocked_gqa_attention_source(
+            pool,
+            q,
+            &view.source(),
+            params,
+            q_pos,
+            view.positions(),
+            attn_block_for(view.page_size()),
+        )?),
+    }
+}
+
 fn attend(
     pool: &ComputePool,
     q: &Tensor,
@@ -34,6 +116,56 @@ fn attend(
     Ok(blocked_gqa_attention_on(
         pool, q, &kv.k, &kv.v, params, q_pos, &kv.pos, ATTN_BLOCK,
     )?)
+}
+
+/// Folds one more partial into a running accumulator with the exact
+/// pairwise LSE-weighted merge — the O(1)-live-outputs replacement for
+/// collecting every hop's partial and batch-merging at the end.
+fn fold_partial(acc: &mut Option<AttentionOutput>, out: AttentionOutput) -> Result<(), CoreError> {
+    match acc {
+        None => *acc = Some(out),
+        Some(a) => a.merge_in_place(&out)?,
+    }
+    Ok(())
+}
+
+/// Unwraps the running accumulators once every hop/source has been folded.
+fn take_merged(
+    acc: Vec<Option<AttentionOutput>>,
+    what: &'static str,
+) -> Result<Vec<AttentionOutput>, CoreError> {
+    acc.into_iter()
+        .enumerate()
+        .map(|(i, a)| {
+            a.ok_or_else(|| CoreError::Internal {
+                detail: format!("{what} sequence {i} accumulated no partial output"),
+            })
+        })
+        .collect()
+}
+
+/// Folds one source rank's returned pass-Q partial outputs into the running
+/// per-sequence accumulators. Callers fold sources in ascending rank order —
+/// the order every transport of the return permutation shares, which keeps
+/// the overlapped and blocking variants bit-identical.
+fn fold_source_outs(
+    rank: usize,
+    acc: &mut [Option<AttentionOutput>],
+    src_rank: usize,
+    outs: &[SeqOut],
+) -> Result<(), CoreError> {
+    let expected = acc.len();
+    acc.iter_mut().enumerate().try_for_each(|(i, slot)| {
+        let part = outs.get(i).ok_or_else(|| CoreError::BadRequest {
+            reason: format!(
+                "rank {src_rank} returned {} partial outputs, rank {rank} expected {expected}",
+                outs.len(),
+            ),
+        })?;
+        // O(1) view clones of the received partial.
+        let part = AttentionOutput::new(part.out.clone(), part.lse.clone())?;
+        fold_partial(slot, part)
+    })
 }
 
 fn expect_kv(msg: RingMsg, from_rank: usize) -> Result<Vec<SeqKv>, CoreError> {
@@ -194,7 +326,10 @@ pub fn ring_pass_kv_prefill(
             pos: l.kv_pos.clone(),
         })
         .collect();
-    let mut partials: Vec<Vec<AttentionOutput>> = vec![Vec::with_capacity(n); locals.len()];
+    // Running per-sequence accumulators: each hop's partial is folded in
+    // with the exact pairwise merge, so live outputs stay O(1) per sequence
+    // instead of O(hops).
+    let mut acc: Vec<Option<AttentionOutput>> = (0..locals.len()).map(|_| None).collect();
 
     let (rank, prev) = (comm.rank(), comm.ring_prev());
     let pool = comm.pool();
@@ -225,21 +360,18 @@ pub fn ring_pass_kv_prefill(
                 attend(pool, &local.q, &local.q_pos, kv, params)
             })
         })?;
-        for (p, out) in partials.iter_mut().zip(step) {
-            p.push(out);
-        }
+        comm.time_compute("merge pass-kv", || {
+            acc.iter_mut()
+                .zip(step)
+                .try_for_each(|(a, out)| fold_partial(a, out))
+        })?;
         if let Some(pending) = pending {
             let received = pending.wait()?;
             visiting = expect_kv(received, comm.ring_prev())?;
         }
     }
 
-    comm.time_compute("merge pass-kv", || {
-        partials
-            .into_iter()
-            .map(|p| Ok(merge_partials(p.iter())?))
-            .collect()
-    })
+    take_merged(acc, "pass-kv")
 }
 
 /// Blocking reference variant of [`ring_pass_kv_prefill`]: identical math
@@ -264,7 +396,9 @@ pub fn ring_pass_kv_prefill_blocking(
             pos: l.kv_pos.clone(),
         })
         .collect();
-    let mut partials: Vec<Vec<AttentionOutput>> = vec![Vec::with_capacity(n); locals.len()];
+    // Same running per-sequence accumulators (and fold order) as the
+    // overlapped variant, so the two stay bit-identical.
+    let mut acc: Vec<Option<AttentionOutput>> = (0..locals.len()).map(|_| None).collect();
 
     let (rank, prev) = (comm.rank(), comm.ring_prev());
     let pool = comm.pool();
@@ -282,9 +416,11 @@ pub fn ring_pass_kv_prefill_blocking(
                 attend(pool, &local.q, &local.q_pos, kv, params)
             })
         })?;
-        for (p, out) in partials.iter_mut().zip(step) {
-            p.push(out);
-        }
+        comm.time_compute("merge pass-kv", || {
+            acc.iter_mut()
+                .zip(step)
+                .try_for_each(|(a, out)| fold_partial(a, out))
+        })?;
         if j + 1 < n {
             let received = comm.send_recv(
                 comm.ring_next(),
@@ -295,12 +431,7 @@ pub fn ring_pass_kv_prefill_blocking(
         }
     }
 
-    comm.time_compute("merge pass-kv", || {
-        partials
-            .into_iter()
-            .map(|p| Ok(merge_partials(p.iter())?))
-            .collect()
-    })
+    take_merged(acc, "pass-kv")
 }
 
 /// Algorithm 3 — fused variable-length ring pass-Q partial prefill, as
@@ -334,25 +465,56 @@ pub fn ring_pass_q_prefill(
     params: &AttentionParams,
     locals: &[LocalSeq],
 ) -> Result<Vec<AttentionOutput>, CoreError> {
-    let n = comm.world_size();
-    let k = comm.rank();
-    let local_kv: Vec<SeqKv> = locals
-        .iter()
-        .map(|l| SeqKv {
-            k: l.k.clone(),
-            v: l.v.clone(),
-            pos: l.kv_pos.clone(),
-        })
-        .collect();
+    let (queries, kv) = locals_to_q_and_kv(locals);
+    ring_pass_q_prefill_kv(comm, params, &queries, &kv)
+}
 
-    let mut visiting_origin = k;
-    let mut visiting: Vec<SeqQ> = locals
+/// Splits per-sequence `LocalSeq` shards into circulating queries and
+/// stationary owned KV (O(1) tensor handle clones), for the legacy
+/// tensor-based entry points.
+fn locals_to_q_and_kv(locals: &[LocalSeq]) -> (Vec<SeqQ>, Vec<RankKv<'static>>) {
+    let queries = locals
         .iter()
         .map(|l| SeqQ {
             q: l.q.clone(),
             pos: l.q_pos.clone(),
         })
         .collect();
+    let kv = locals
+        .iter()
+        .map(|l| {
+            RankKv::tensors(SeqKv {
+                k: l.k.clone(),
+                v: l.v.clone(),
+                pos: l.kv_pos.clone(),
+            })
+        })
+        .collect();
+    (queries, kv)
+}
+
+/// [`ring_pass_q_prefill`] over [`RankKv`] stationary KV — the entry point
+/// engines use so the rank's paged caches are attended **in place** (via
+/// [`KvView`]) instead of gathered into contiguous tensors first. Only the
+/// circulating queries touch the wire, so nothing here needs owned KV.
+///
+/// `queries[i]` circulates; `local_kv[i]` is the stationary KV shard of the
+/// same fused-batch sequence.
+///
+/// # Errors
+///
+/// Same failure modes as [`ring_pass_q_prefill`].
+pub fn ring_pass_q_prefill_kv(
+    comm: &Communicator<RingMsg>,
+    params: &AttentionParams,
+    queries: &[SeqQ],
+    local_kv: &[RankKv<'_>],
+) -> Result<Vec<AttentionOutput>, CoreError> {
+    let n = comm.world_size();
+    let k = comm.rank();
+
+    let mut visiting_origin = k;
+    let mut visiting: Vec<SeqQ> = queries.to_vec();
 
     // This rank's own partial (origin == k, computed at step 0) stays
     // local; every other origin's partial is returned EAGERLY — an isend
@@ -386,7 +548,7 @@ pub fn ring_pass_q_prefill(
                         local_kv.len()
                     ),
                 })?;
-                attend(pool, &sq.q, &sq.pos, kv, params).map(|o| SeqOut {
+                attend_rank_kv(pool, &sq.q, &sq.pos, kv, params).map(|o| SeqOut {
                     out: o.out,
                     lse: o.lse,
                 })
@@ -408,19 +570,25 @@ pub fn ring_pass_q_prefill(
         }
     }
 
-    // Collect the partials for our own queries: one from each peer (its
-    // attention of our queries against its KV shard), ours from step 0.
-    let mut per_source: Vec<Vec<SeqOut>> = Vec::with_capacity(n);
+    // Fold the partials for our own queries straight into running
+    // accumulators as each source arrives — one from each peer (its
+    // attention of our queries against its KV shard), ours from step 0 —
+    // in ascending source-rank order, without ever materializing the
+    // per-source partial table.
+    let mut acc: Vec<Option<AttentionOutput>> = (0..queries.len()).map(|_| None).collect();
     for src_rank in 0..n {
-        if src_rank == k {
-            per_source.push(own.take().ok_or_else(|| CoreError::Internal {
+        let outs = if src_rank == k {
+            own.take().ok_or_else(|| CoreError::Internal {
                 detail: format!("rank {k} never visited its own queries in the pass-Q ring loop"),
-            })?);
+            })?
         } else {
-            per_source.push(expect_out(comm.recv(src_rank)?, src_rank)?);
-        }
+            expect_out(comm.recv(src_rank)?, src_rank)?
+        };
+        comm.time_compute("merge pass-q", || {
+            fold_source_outs(k, &mut acc, src_rank, &outs)
+        })?;
     }
-    merge_pass_q_sources(comm, locals, per_source)
+    take_merged(acc, "pass-q")
 }
 
 /// Blocking reference variant of [`ring_pass_q_prefill`]: identical math
@@ -436,25 +604,27 @@ pub fn ring_pass_q_prefill_blocking(
     params: &AttentionParams,
     locals: &[LocalSeq],
 ) -> Result<Vec<AttentionOutput>, CoreError> {
+    let (queries, kv) = locals_to_q_and_kv(locals);
+    ring_pass_q_prefill_blocking_kv(comm, params, &queries, &kv)
+}
+
+/// [`ring_pass_q_prefill_blocking`] over [`RankKv`] stationary KV — the
+/// blocking A/B twin of [`ring_pass_q_prefill_kv`].
+///
+/// # Errors
+///
+/// Same failure modes as [`ring_pass_q_prefill`].
+pub fn ring_pass_q_prefill_blocking_kv(
+    comm: &Communicator<RingMsg>,
+    params: &AttentionParams,
+    queries: &[SeqQ],
+    local_kv: &[RankKv<'_>],
+) -> Result<Vec<AttentionOutput>, CoreError> {
     let n = comm.world_size();
     let k = comm.rank();
-    let local_kv: Vec<SeqKv> = locals
-        .iter()
-        .map(|l| SeqKv {
-            k: l.k.clone(),
-            v: l.v.clone(),
-            pos: l.kv_pos.clone(),
-        })
-        .collect();
 
     let mut visiting_origin = k;
-    let mut visiting: Vec<SeqQ> = locals
-        .iter()
-        .map(|l| SeqQ {
-            q: l.q.clone(),
-            pos: l.q_pos.clone(),
-        })
-        .collect();
+    let mut visiting: Vec<SeqQ> = queries.to_vec();
 
     let mut computed: Vec<Option<Vec<SeqOut>>> = vec![None; n];
     let pool = comm.pool();
@@ -470,7 +640,7 @@ pub fn ring_pass_q_prefill_blocking(
                         local_kv.len()
                     ),
                 })?;
-                attend(pool, &sq.q, &sq.pos, kv, params).map(|o| SeqOut {
+                attend_rank_kv(pool, &sq.q, &sq.pos, kv, params).map(|o| SeqOut {
                     out: o.out,
                     lse: o.lse,
                 })
@@ -498,21 +668,21 @@ pub fn ring_pass_q_prefill_blocking(
         }
     }
 
-    return_and_merge_pass_q(comm, locals, computed)
+    return_and_merge_pass_q(comm, queries.len(), computed)
 }
 
 /// Tail of the blocking pass-Q prefill variant: return every origin's
-/// partial outputs via one `All2All` and merge. The overlapped variant
+/// partial outputs via one `All2All`, then fold them into running
+/// accumulators in ascending source-rank order. The overlapped variant
 /// instead returns partials eagerly per hop (lone isends) and collects
 /// them with per-peer receives — a different transport for the *same*
-/// permutation, so both variants feed [`merge_pass_q_sources`] the same
-/// per-source table and stay bit-identical.
+/// permutation, folded in the same order, so both variants stay
+/// bit-identical.
 fn return_and_merge_pass_q(
     comm: &Communicator<RingMsg>,
-    locals: &[LocalSeq],
+    n_seqs: usize,
     computed: Vec<Option<Vec<SeqOut>>>,
 ) -> Result<Vec<AttentionOutput>, CoreError> {
-    let n = comm.world_size();
     // All2All: computed[s] goes back to rank s (this includes keeping our
     // own partial locally).
     let payloads: Vec<RingMsg> = computed
@@ -528,45 +698,14 @@ fn return_and_merge_pass_q(
     let received = comm.all_to_all(payloads)?;
 
     // received[s] = partial attention of our queries against rank s's KV.
-    let mut per_source: Vec<Vec<SeqOut>> = Vec::with_capacity(n);
+    let mut acc: Vec<Option<AttentionOutput>> = (0..n_seqs).map(|_| None).collect();
     for (src_rank, msg) in received.into_iter().enumerate() {
-        per_source.push(expect_out(msg, src_rank)?);
+        let outs = expect_out(msg, src_rank)?;
+        comm.time_compute("merge pass-q", || {
+            fold_source_outs(comm.rank(), &mut acc, src_rank, &outs)
+        })?;
     }
-    merge_pass_q_sources(comm, locals, per_source)
-}
-
-/// Merges per-source partial outputs for this rank's own queries, in
-/// ascending source-rank order (the order that makes every transport of
-/// the return permutation bit-identical).
-fn merge_pass_q_sources(
-    comm: &Communicator<RingMsg>,
-    locals: &[LocalSeq],
-    per_source: Vec<Vec<SeqOut>>,
-) -> Result<Vec<AttentionOutput>, CoreError> {
-    comm.time_compute("merge pass-q", || {
-        (0..locals.len())
-            .map(|i| {
-                let parts: Vec<AttentionOutput> = per_source
-                    .iter()
-                    .enumerate()
-                    .map(|(s, src)| {
-                        let part = src.get(i).ok_or_else(|| CoreError::BadRequest {
-                            reason: format!(
-                                "rank {s} returned {} partial outputs, rank {} expected {}",
-                                src.len(),
-                                comm.rank(),
-                                locals.len()
-                            ),
-                        })?;
-                        // O(1) view clones of the received partials.
-                        AttentionOutput::new(part.out.clone(), part.lse.clone())
-                            .map_err(CoreError::from)
-                    })
-                    .collect::<Result<_, _>>()?;
-                Ok(merge_partials(parts.iter())?)
-            })
-            .collect()
-    })
+    take_merged(acc, "pass-q")
 }
 
 /// Algorithm 4 — batched ring pass-Q decode, as executed by one rank.
@@ -595,6 +734,24 @@ pub fn ring_pass_q_decode(
     params: &AttentionParams,
     slots: &[Option<DecodeSlot>],
     batch_kv: &[SeqKv],
+) -> Result<Vec<AttentionOutput>, CoreError> {
+    let kv: Vec<RankKv<'static>> = batch_kv.iter().cloned().map(RankKv::tensors).collect();
+    ring_pass_q_decode_kv(comm, params, slots, &kv)
+}
+
+/// [`ring_pass_q_decode`] over [`RankKv`] local shards — the decode hot
+/// path engines use so each step attends the rank's paged caches **in
+/// place** (via [`KvView`]) instead of gathering every sequence's shard
+/// into fresh contiguous tensors per step per layer.
+///
+/// # Errors
+///
+/// Same failure modes as [`ring_pass_q_decode`].
+pub fn ring_pass_q_decode_kv(
+    comm: &Communicator<RingMsg>,
+    params: &AttentionParams,
+    slots: &[Option<DecodeSlot>],
+    batch_kv: &[RankKv<'_>],
 ) -> Result<Vec<AttentionOutput>, CoreError> {
     let n = comm.world_size();
     let k = comm.rank();
@@ -628,7 +785,7 @@ pub fn ring_pass_q_decode(
                                 s.bid
                             ),
                         })?;
-                        attend(pool, &s.q, &[s.pos], kv, params).map(|o| SeqOut {
+                        attend_rank_kv(pool, &s.q, &[s.pos], kv, params).map(|o| SeqOut {
                             out: o.out,
                             lse: o.lse,
                         })
@@ -668,6 +825,22 @@ pub fn ring_pass_q_decode_blocking(
     slots: &[Option<DecodeSlot>],
     batch_kv: &[SeqKv],
 ) -> Result<Vec<AttentionOutput>, CoreError> {
+    let kv: Vec<RankKv<'static>> = batch_kv.iter().cloned().map(RankKv::tensors).collect();
+    ring_pass_q_decode_blocking_kv(comm, params, slots, &kv)
+}
+
+/// [`ring_pass_q_decode_blocking`] over [`RankKv`] local shards — the
+/// blocking A/B twin of [`ring_pass_q_decode_kv`].
+///
+/// # Errors
+///
+/// Same failure modes as [`ring_pass_q_decode`].
+pub fn ring_pass_q_decode_blocking_kv(
+    comm: &Communicator<RingMsg>,
+    params: &AttentionParams,
+    slots: &[Option<DecodeSlot>],
+    batch_kv: &[RankKv<'_>],
+) -> Result<Vec<AttentionOutput>, CoreError> {
     let n = comm.world_size();
     let k = comm.rank();
 
@@ -688,7 +861,7 @@ pub fn ring_pass_q_decode_blocking(
                                 s.bid
                             ),
                         })?;
-                        attend(pool, &s.q, &[s.pos], kv, params).map(|o| SeqOut {
+                        attend_rank_kv(pool, &s.q, &[s.pos], kv, params).map(|o| SeqOut {
                             out: o.out,
                             lse: o.lse,
                         })
@@ -722,8 +895,10 @@ pub fn ring_pass_q_decode_blocking(
 }
 
 /// Shared tail of both decode variants: return partial outputs to their
-/// owning rank via `All2All` and merge per real local slot, in source-rank
-/// order (bit-identical between overlapped and blocking loops).
+/// owning rank via `All2All`, then fold each source's partials into a
+/// running accumulator per real local slot, in source-rank order
+/// (bit-identical between overlapped and blocking loops). Live outputs per
+/// slot stay O(1) instead of O(world).
 fn return_and_merge_decode(
     comm: &Communicator<RingMsg>,
     slots: &[Option<DecodeSlot>],
@@ -747,13 +922,12 @@ fn return_and_merge_decode(
     }
 
     comm.time_compute("merge decode", || {
-        let mut merged = Vec::new();
-        for (idx, slot) in slots.iter().enumerate() {
-            if slot.is_none() {
-                continue;
-            }
-            let mut parts: Vec<AttentionOutput> = Vec::with_capacity(n);
-            for (s, src) in per_source.iter().enumerate() {
+        let mut acc: Vec<Option<AttentionOutput>> = (0..slots.len()).map(|_| None).collect();
+        for (s, src) in per_source.iter().enumerate() {
+            for (idx, (slot, a)) in slots.iter().zip(acc.iter_mut()).enumerate() {
+                if slot.is_none() {
+                    continue;
+                }
                 let entry = src.get(idx).ok_or_else(|| CoreError::BadRequest {
                     reason: format!(
                         "rank {s} returned {} decode partial slots, rank {} expected {}",
@@ -763,16 +937,21 @@ fn return_and_merge_decode(
                     ),
                 })?;
                 if let Some(o) = entry {
-                    // O(1) view clones of the received partials.
-                    parts.push(
-                        AttentionOutput::new(o.out.clone(), o.lse.clone())
-                            .map_err(CoreError::from)?,
-                    );
+                    // O(1) view clones of the received partial.
+                    fold_partial(a, AttentionOutput::new(o.out.clone(), o.lse.clone())?)?;
                 }
             }
-            merged.push(merge_partials(parts.iter())?);
         }
-        Ok(merged)
+        slots
+            .iter()
+            .zip(acc)
+            .filter(|(slot, _)| slot.is_some())
+            .map(|(_, a)| {
+                a.ok_or_else(|| CoreError::Internal {
+                    detail: "decode slot received no partial output from any rank".to_string(),
+                })
+            })
+            .collect()
     })
 }
 

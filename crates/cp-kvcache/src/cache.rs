@@ -54,7 +54,9 @@ impl KvCacheConfig {
         self
     }
 
-    fn token_numel(&self) -> usize {
+    /// Elements stored per token row (`n_kv_heads * head_dim`) — the page
+    /// geometry attention kernels need to walk cached K/V in place.
+    pub fn token_numel(&self) -> usize {
         self.n_kv_heads * self.head_dim
     }
 }
@@ -62,7 +64,7 @@ impl KvCacheConfig {
 /// One fixed-size page: K, V and position metadata for up to `page_size`
 /// tokens.
 #[derive(Debug, Clone)]
-struct Page {
+pub(crate) struct Page {
     k: Vec<f32>,
     v: Vec<f32>,
     pos: Vec<usize>,
@@ -78,12 +80,27 @@ impl Page {
             used: 0,
         }
     }
+
+    /// The first `n` elements of the page's K storage.
+    pub(crate) fn k_slice(&self, n: usize) -> &[f32] {
+        &self.k[..n]
+    }
+
+    /// The first `n` elements of the page's V storage.
+    pub(crate) fn v_slice(&self, n: usize) -> &[f32] {
+        &self.v[..n]
+    }
+
+    /// The first `n` token positions stored in the page.
+    pub(crate) fn pos_slice(&self, n: usize) -> &[usize] {
+        &self.pos[..n]
+    }
 }
 
 #[derive(Debug, Clone, Default)]
-struct SeqState {
-    pages: Vec<usize>,
-    len: usize,
+pub(crate) struct SeqState {
+    pub(crate) pages: Vec<usize>,
+    pub(crate) len: usize,
 }
 
 /// Occupancy statistics of a [`PagedKvCache`].
@@ -175,6 +192,18 @@ impl PagedKvCache {
         let mut ids: Vec<SeqId> = self.seqs.keys().map(|&k| SeqId(k)).collect();
         ids.sort();
         ids
+    }
+
+    pub(crate) fn seq_state(&self, seq: SeqId) -> Result<(&SeqState, &KvCacheConfig), CacheError> {
+        let state = self
+            .seqs
+            .get(&seq.0)
+            .ok_or(CacheError::UnknownSequence { seq: seq.0 })?;
+        Ok((state, &self.config))
+    }
+
+    pub(crate) fn page(&self, idx: usize) -> Option<&Page> {
+        self.pool.get(idx)
     }
 
     fn allocate_page(&mut self) -> Result<usize, CacheError> {

@@ -9,6 +9,9 @@
 //!   PagedAttention-style management the paper assumes (Kwon et al. 2023),
 //!   with allocation failure surfaced as [`CacheError::OutOfPages`] so
 //!   capacity experiments can observe OOM boundaries.
+//! * [`KvView`] — a zero-copy borrowed view of a sequence's pages that
+//!   attention kernels consume directly (via `cp_attention::KvSource`),
+//!   keeping [`PagedKvCache::gather`] off the decode hot path.
 //! * Each cached token carries its **global position**, because a CP rank
 //!   holds a *non-contiguous* slice of every sequence under load-balanced
 //!   sharding — position metadata is what keeps ring attention exact.
@@ -44,7 +47,9 @@
 mod cache;
 mod error;
 pub mod quant;
+mod view;
 
 pub use cache::{CacheStats, KvCacheConfig, PagedKvCache, SeqId};
 pub use error::CacheError;
 pub use quant::QuantizedKv;
+pub use view::KvView;

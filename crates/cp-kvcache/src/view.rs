@@ -1,0 +1,230 @@
+//! Zero-copy borrowed views of a sequence's cached K/V pages.
+
+use cp_attention::KvSource;
+
+use crate::PagedKvCache;
+use crate::{CacheError, SeqId};
+
+/// A borrowed, zero-copy view of one sequence's cached K/V: per-page
+/// `&[f32]` slices (trimmed to the tokens they actually hold) plus the
+/// positions, in append order.
+///
+/// This is the layout the attention kernels consume *directly* via
+/// [`KvView::source`] — no [`PagedKvCache::gather`] materialization. Token
+/// `i` lives in page `i / page_size` at slot `i % page_size`; every page is
+/// full except possibly the last. Building a view is O(pages) for the slice
+/// handles plus O(tokens) for the position array (8 bytes/token, negligible
+/// next to the K/V payload a gather would copy).
+#[derive(Debug, Clone)]
+pub struct KvView<'a> {
+    k_pages: Vec<&'a [f32]>,
+    v_pages: Vec<&'a [f32]>,
+    pos: Vec<usize>,
+    page_size: usize,
+    token_numel: usize,
+    len: usize,
+}
+
+impl<'a> KvView<'a> {
+    /// Cached token count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the sequence holds no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tokens per page.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Elements per token row (`n_kv_heads * head_dim`).
+    pub fn token_numel(&self) -> usize {
+        self.token_numel
+    }
+
+    /// Global positions of the cached tokens, in append order.
+    pub fn positions(&self) -> &[usize] {
+        &self.pos
+    }
+
+    /// Per-page K slices; page `p` holds rows `[p * page_size, ...)`.
+    pub fn k_pages(&self) -> &[&'a [f32]] {
+        &self.k_pages
+    }
+
+    /// Per-page V slices, aligned with [`KvView::k_pages`].
+    pub fn v_pages(&self) -> &[&'a [f32]] {
+        &self.v_pages
+    }
+
+    /// The attention-kernel [`KvSource`] over these pages.
+    pub fn source(&self) -> KvSource<'_> {
+        KvSource::paged(
+            &self.k_pages,
+            &self.v_pages,
+            self.page_size,
+            self.token_numel,
+            self.len,
+        )
+        .expect("view geometry is consistent by construction")
+    }
+}
+
+impl PagedKvCache {
+    /// Borrows a sequence's cached K/V as a zero-copy [`KvView`].
+    ///
+    /// The view and [`PagedKvCache::gather`] expose the same rows in the
+    /// same order, so attending through [`KvView::source`] is bit-identical
+    /// to attending over gathered tensors — without the O(tokens) copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::UnknownSequence`] if absent.
+    pub fn view(&self, seq: SeqId) -> Result<KvView<'_>, CacheError> {
+        let (state, config) = self.seq_state(seq)?;
+        let tok = config.token_numel();
+        let ps = config.page_size;
+        let n_pages = state.len.div_ceil(ps);
+        let mut k_pages = Vec::with_capacity(n_pages);
+        let mut v_pages = Vec::with_capacity(n_pages);
+        let mut pos = Vec::with_capacity(state.len);
+        for (p, page) in state
+            .pages
+            .iter()
+            .take(n_pages)
+            .filter_map(|&idx| self.page(idx))
+            .enumerate()
+        {
+            let rows = (state.len - p * ps).min(ps);
+            k_pages.push(page.k_slice(rows * tok));
+            v_pages.push(page.v_slice(rows * tok));
+            pos.extend_from_slice(page.pos_slice(rows));
+        }
+        Ok(KvView {
+            k_pages,
+            v_pages,
+            pos,
+            page_size: ps,
+            token_numel: tok,
+            len: state.len,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KvCacheConfig;
+    use cp_tensor::DetRng;
+
+    fn cache_with(page_size: usize, tokens: usize, seed: u64) -> (PagedKvCache, SeqId) {
+        let mut cache = PagedKvCache::new(KvCacheConfig::new(page_size, 2, 3));
+        let seq = SeqId(1);
+        cache.create_sequence(seq).unwrap();
+        let mut rng = DetRng::new(seed);
+        let k = rng.tensor(&[tokens, 2, 3]);
+        let v = rng.tensor(&[tokens, 2, 3]);
+        let pos: Vec<usize> = (0..tokens).collect();
+        cache.append(seq, &k, &v, &pos).unwrap();
+        (cache, seq)
+    }
+
+    #[test]
+    fn view_matches_gather_rows() {
+        for (ps, t) in [(4, 6), (4, 8), (3, 10), (5, 1), (7, 7)] {
+            let (cache, seq) = cache_with(ps, t, 11);
+            let (gk, gv, gpos) = cache.gather(seq).unwrap();
+            let view = cache.view(seq).unwrap();
+            assert_eq!(view.len(), t);
+            assert_eq!(view.page_size(), ps);
+            assert_eq!(view.token_numel(), 6);
+            assert_eq!(view.positions(), &gpos[..]);
+            let src = view.source();
+            for i in 0..t {
+                assert_eq!(src.k_row(i).unwrap(), gk.row(i), "k row {i}");
+                assert_eq!(src.v_row(i).unwrap(), gv.row(i), "v row {i}");
+            }
+            assert!(src.k_row(t).is_none());
+        }
+    }
+
+    #[test]
+    fn view_is_zero_copy() {
+        let (cache, seq) = cache_with(4, 9, 12);
+        let view = cache.view(seq).unwrap();
+        // 9 tokens over pages of 4: three pages, last trimmed to 1 row.
+        assert_eq!(view.k_pages().len(), 3);
+        assert_eq!(view.k_pages()[0].len(), 4 * 6);
+        assert_eq!(view.k_pages()[2].len(), 6);
+        assert_eq!(view.source().page_size(), Some(4));
+    }
+
+    #[test]
+    fn view_tracks_truncate_and_multi_turn_appends() {
+        let (mut cache, seq) = cache_with(4, 10, 13);
+        cache.truncate(seq, 5).unwrap();
+        let (gk, _, gpos) = cache.gather(seq).unwrap();
+        let view = cache.view(seq).unwrap();
+        assert_eq!(view.len(), 5);
+        assert_eq!(view.positions(), &gpos[..]);
+        assert_eq!(view.source().k_row(4).unwrap(), gk.row(4));
+
+        let mut rng = DetRng::new(14);
+        let k2 = rng.tensor(&[3, 2, 3]);
+        let v2 = rng.tensor(&[3, 2, 3]);
+        cache.append(seq, &k2, &v2, &[5, 6, 7]).unwrap();
+        let view = cache.view(seq).unwrap();
+        assert_eq!(view.len(), 8);
+        assert_eq!(view.source().k_row(7).unwrap(), k2.row(2));
+    }
+
+    #[test]
+    fn empty_sequence_views_empty() {
+        let mut cache = PagedKvCache::new(KvCacheConfig::new(4, 2, 3));
+        let seq = SeqId(2);
+        cache.create_sequence(seq).unwrap();
+        let view = cache.view(seq).unwrap();
+        assert!(view.is_empty());
+        assert_eq!(view.source().tokens(), 0);
+        assert!(cache.view(SeqId(9)).is_err());
+    }
+
+    #[test]
+    fn view_survives_free_and_reuse_of_other_sequences() {
+        let mut cache = PagedKvCache::new(KvCacheConfig::new(4, 2, 3));
+        let mut rng = DetRng::new(15);
+        let (a, b) = (SeqId(1), SeqId(2));
+        cache.create_sequence(a).unwrap();
+        let ka = rng.tensor(&[6, 2, 3]);
+        let va = rng.tensor(&[6, 2, 3]);
+        cache
+            .append(a, &ka, &va, &(0..6).collect::<Vec<_>>())
+            .unwrap();
+        cache.free_sequence(a).unwrap();
+        // b reuses a's freed pages; its view must show b's rows only.
+        cache.create_sequence(b).unwrap();
+        let kb = rng.tensor(&[5, 2, 3]);
+        let vb = rng.tensor(&[5, 2, 3]);
+        cache
+            .append(b, &kb, &vb, &(0..5).collect::<Vec<_>>())
+            .unwrap();
+        let (gk, gv, _) = cache.gather(b).unwrap();
+        assert_eq!(gk, kb);
+        let view = cache.view(b).unwrap();
+        let src = view.source();
+        for i in 0..5 {
+            assert_eq!(src.k_row(i).unwrap(), gk.row(i));
+            assert_eq!(src.v_row(i).unwrap(), gv.row(i));
+        }
+    }
+
+    #[test]
+    fn view_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<KvView<'static>>();
+    }
+}

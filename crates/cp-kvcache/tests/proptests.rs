@@ -1,7 +1,13 @@
 //! Property-based tests: the paged cache behaves like a simple
-//! append-only log, regardless of page size or append batching.
+//! append-only log, regardless of page size or append batching, and the
+//! zero-copy [`cp_kvcache::KvView`] hot path feeds the attention kernels
+//! bit-identically to a gathered copy.
 
+use cp_attention::{
+    blocked_gqa_attention_source, flash_decode_source, AttentionParams, GqaShape, KvSource,
+};
 use cp_kvcache::{KvCacheConfig, PagedKvCache, SeqId};
+use cp_pool::ComputePool;
 use cp_tensor::{DetRng, Tensor};
 use proptest::prelude::*;
 
@@ -126,5 +132,112 @@ proptest! {
             prop_assert!(cache.stats().allocated_pages <= max_pages);
             prop_assert!(committed <= max_pages * page_size);
         }
+    }
+
+    /// Attention over the zero-copy paged view is BIT-identical to
+    /// attention over the gathered contiguous copy, across ragged page
+    /// boundaries (`page_size` not dividing the token count), arbitrary
+    /// multi-turn append batching, arbitrary block sizes (page-aligned or
+    /// not), and pages freed and reused by another sequence — the blocked
+    /// prefill kernel and the split-KV decode kernel both.
+    #[test]
+    fn view_attention_bit_identical_to_gather(
+        page_size in 1usize..7,
+        chunks in prop::collection::vec(1usize..9, 1..6),
+        block_size in 1usize..20,
+        n_splits in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let shape = GqaShape::new(4, 2, 4).unwrap();
+        let params = AttentionParams::for_shape(shape);
+        let mut cache = PagedKvCache::new(KvCacheConfig::new(page_size, 2, 4));
+        let mut rng = DetRng::new(seed);
+
+        // Churn: a doomed sequence allocates pages, then frees them, so
+        // the sequence under test lands on reused pages.
+        let doomed = SeqId(9);
+        cache.create_sequence(doomed).unwrap();
+        let dk = rng.tensor(&[5, 2, 4]);
+        cache.append(doomed, &dk, &dk, &[0, 1, 2, 3, 4]).unwrap();
+        cache.free_sequence(doomed).unwrap();
+
+        let seq = SeqId(1);
+        cache.create_sequence(seq).unwrap();
+        let mut total = 0usize;
+        for t in chunks {
+            let k = rng.tensor(&[t, 2, 4]);
+            let v = rng.tensor(&[t, 2, 4]);
+            let pos: Vec<usize> = (total..total + t).collect();
+            cache.append(seq, &k, &v, &pos).unwrap();
+            total += t;
+        }
+
+        let (gk, gv, gpos) = cache.gather(seq).unwrap();
+        let view = cache.view(seq).unwrap();
+        prop_assert_eq!(view.positions(), &gpos[..]);
+
+        // Blocked prefill kernel: two query rows attending from the tail.
+        let q = rng.tensor(&[2, 4, 4]);
+        let q_pos = vec![total.saturating_sub(1), total];
+        let pool = ComputePool::new(2);
+        let gathered = blocked_gqa_attention_source(
+            &pool, &q, &KvSource::contiguous(&gk, &gv), &params, &q_pos, &gpos, block_size,
+        ).unwrap();
+        let viewed = blocked_gqa_attention_source(
+            &pool, &q, &view.source(), &params, &q_pos, &gpos, block_size,
+        ).unwrap();
+        prop_assert_eq!(gathered.out.as_slice(), viewed.out.as_slice());
+        prop_assert_eq!(gathered.lse.as_slice(), viewed.lse.as_slice());
+
+        // Split-KV decode kernel: one query token at the next position.
+        let dq = rng.tensor(&[1, 4, 4]);
+        let dg = flash_decode_source(
+            &dq, &KvSource::contiguous(&gk, &gv), &params, &[total], &gpos, n_splits,
+        ).unwrap();
+        let dv = flash_decode_source(
+            &dq, &view.source(), &params, &[total], &gpos, n_splits,
+        ).unwrap();
+        prop_assert_eq!(dg.out.as_slice(), dv.out.as_slice());
+        prop_assert_eq!(dg.lse.as_slice(), dv.lse.as_slice());
+    }
+
+    /// The view stays bit-faithful to gather after truncation rewinds the
+    /// sequence to a ragged mid-page length and appends resume from there.
+    #[test]
+    fn view_attention_faithful_after_truncate_and_reappend(
+        page_size in 1usize..6,
+        total in 2usize..20,
+        keep_frac in 0.0f64..1.0,
+        regrow in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let shape = GqaShape::new(2, 1, 3).unwrap();
+        let params = AttentionParams::for_shape(shape);
+        let mut cache = PagedKvCache::new(KvCacheConfig::new(page_size, 1, 3));
+        let seq = SeqId(0);
+        cache.create_sequence(seq).unwrap();
+        let mut rng = DetRng::new(seed);
+        let k = rng.tensor(&[total, 1, 3]);
+        let v = rng.tensor(&[total, 1, 3]);
+        cache.append(seq, &k, &v, &(0..total).collect::<Vec<_>>()).unwrap();
+        let keep = ((total as f64) * keep_frac) as usize;
+        cache.truncate(seq, keep).unwrap();
+        let k2 = rng.tensor(&[regrow, 1, 3]);
+        let v2 = rng.tensor(&[regrow, 1, 3]);
+        cache.append(seq, &k2, &v2, &(keep..keep + regrow).collect::<Vec<_>>()).unwrap();
+
+        let (gk, gv, gpos) = cache.gather(seq).unwrap();
+        let view = cache.view(seq).unwrap();
+        prop_assert_eq!(view.len(), keep + regrow);
+        let q = rng.tensor(&[1, 2, 3]);
+        let pool = ComputePool::new(1);
+        let a = blocked_gqa_attention_source(
+            &pool, &q, &KvSource::contiguous(&gk, &gv), &params, &[keep + regrow], &gpos, 4,
+        ).unwrap();
+        let b = blocked_gqa_attention_source(
+            &pool, &q, &view.source(), &params, &[keep + regrow], &gpos, 4,
+        ).unwrap();
+        prop_assert_eq!(a.out.as_slice(), b.out.as_slice());
+        prop_assert_eq!(a.lse.as_slice(), b.lse.as_slice());
     }
 }

@@ -5,9 +5,11 @@ use std::sync::Mutex;
 use cp_attention::PAD;
 use cp_comm::{CommPlan, RankPlan, TrafficReport};
 use cp_core::heuristics::{choose_variant, HeuristicKind, SystemContext};
-use cp_core::ring::{ring_pass_kv_prefill, ring_pass_q_decode, ring_pass_q_prefill, run_ring_on};
+use cp_core::ring::{
+    ring_pass_kv_prefill, ring_pass_q_decode_kv, ring_pass_q_prefill_kv, run_ring_on, RankKv,
+};
 use cp_core::schedule::{decode_plan, pass_kv_plan, pass_q_plan};
-use cp_core::{CoreError, DecodeSlot, LocalSeq, RingMsg, SeqKv};
+use cp_core::{CoreError, DecodeSlot, LocalSeq, RingMsg, SeqKv, SeqQ};
 use cp_kvcache::{KvCacheConfig, PagedKvCache, SeqId};
 use cp_model::rope::apply_rope;
 use cp_model::{rms_norm_on, Linear, Transformer};
@@ -55,6 +57,10 @@ pub struct TransformerEngine {
     /// When set, every projection runs the naive audit GEMM instead of
     /// the packed tiled kernel (bit-identical, slower).
     reference_gemm: bool,
+    /// When set, the pass-Q prefill and decode hot paths materialize the
+    /// per-layer cache with [`PagedKvCache::gather`] instead of borrowing
+    /// it zero-copy via [`cp_kvcache::KvView`] (bit-identical, slower).
+    gather_hot_kv: bool,
 }
 
 /// One projection, routed through the pooled tiled kernel or — in
@@ -143,6 +149,7 @@ impl TransformerEngine {
             check_schedules: false,
             pool_threads: 0,
             reference_gemm: false,
+            gather_hot_kv: false,
         })
     }
 
@@ -164,6 +171,18 @@ impl TransformerEngine {
     #[must_use]
     pub fn with_reference_gemm(mut self, enabled: bool) -> Self {
         self.reference_gemm = enabled;
+        self
+    }
+
+    /// Routes the pass-Q prefill and decode hot paths through
+    /// [`PagedKvCache::gather`] — the O(context) materializing copy —
+    /// instead of the zero-copy [`cp_kvcache::KvView`]. Outputs are
+    /// bit-identical; only the bytes touched per token change. This is
+    /// the A-side of the cp-bench `decode_steady` A/B. Pass-KV prefill
+    /// always gathers, because its KV circulates on the wire.
+    #[must_use]
+    pub fn with_gathered_hot_kv(mut self, enabled: bool) -> Self {
+        self.gather_hot_kv = enabled;
         self
     }
 
@@ -296,6 +315,7 @@ impl TransformerEngine {
         // (the same pool the ring attention kernels use), so GEMM
         // row-bands and ring compute share one set of worker threads.
         let reference = self.reference_gemm;
+        let gather_hot = self.gather_hot_kv;
         let body = move |comm: &cp_comm::Communicator<RingMsg>| {
             let r = comm.rank();
             let pool = comm.pool();
@@ -326,23 +346,41 @@ impl TransformerEngine {
                 apply_rope(&mut k, positions, config.rope_base)?;
                 caches[l].append(SEQ, &k, &v, positions)?;
 
-                let (ck, cv, mut cpos) = caches[l].gather(SEQ)?;
-                let ck = ck.pad_dim0(ring_len, 0.0)?;
-                let cv = cv.pad_dim0(ring_len, 0.0)?;
-                cpos.resize(ring_len, PAD);
-                let local = LocalSeq {
-                    q,
-                    q_pos: positions.clone(),
-                    k: ck,
-                    v: cv,
-                    kv_pos: cpos,
-                };
                 let attn = match variant {
+                    // Pass-KV circulates KV on the wire, so it must
+                    // materialize (and pad to the ring geometry).
                     RingVariant::PassKv => {
+                        let (ck, cv, mut cpos) = caches[l].gather(SEQ)?;
+                        let ck = ck.pad_dim0(ring_len, 0.0)?;
+                        let cv = cv.pad_dim0(ring_len, 0.0)?;
+                        cpos.resize(ring_len, PAD);
+                        let local = LocalSeq {
+                            q,
+                            q_pos: positions.clone(),
+                            k: ck,
+                            v: cv,
+                            kv_pos: cpos,
+                        };
                         ring_pass_kv_prefill(comm, &params, std::slice::from_ref(&local))?
                     }
+                    // Pass-Q keeps KV resident: attend straight over the
+                    // paged cache (zero-copy), or gather in A/B mode.
                     RingVariant::PassQ => {
-                        ring_pass_q_prefill(comm, &params, std::slice::from_ref(&local))?
+                        let queries = [SeqQ {
+                            q,
+                            pos: positions.clone(),
+                        }];
+                        let kv = if gather_hot {
+                            let (ck, cv, cpos) = caches[l].gather(SEQ)?;
+                            [RankKv::tensors(SeqKv {
+                                k: ck,
+                                v: cv,
+                                pos: cpos,
+                            })]
+                        } else {
+                            [RankKv::View(caches[l].view(SEQ)?)]
+                        };
+                        ring_pass_q_prefill_kv(comm, &params, &queries, &kv)?
                     }
                 }
                 .pop()
@@ -431,6 +469,7 @@ impl TransformerEngine {
             .map_or(0, |c| c.seq_len(SEQ).unwrap_or(0));
 
         let reference = self.reference_gemm;
+        let gather_hot = self.gather_hot_kv;
         let body = move |comm: &cp_comm::Communicator<RingMsg>| {
             let r = comm.rank();
             let pool = comm.pool();
@@ -467,13 +506,20 @@ impl TransformerEngine {
                 } else {
                     None
                 };
-                let (ck, cv, cpos) = caches[l].gather(SEQ)?;
-                let batch_kv = [SeqKv {
-                    k: ck,
-                    v: cv,
-                    pos: cpos,
-                }];
-                let outs = ring_pass_q_decode(comm, &params, &[slot], &batch_kv)?;
+                // The decode hot path: every rank attends over its own
+                // resident cache. The zero-copy view keeps the per-step
+                // cost at O(pages) instead of an O(context) gather copy.
+                let batch_kv = if gather_hot {
+                    let (ck, cv, cpos) = caches[l].gather(SEQ)?;
+                    [RankKv::tensors(SeqKv {
+                        k: ck,
+                        v: cv,
+                        pos: cpos,
+                    })]
+                } else {
+                    [RankKv::View(caches[l].view(SEQ)?)]
+                };
+                let outs = ring_pass_q_decode_kv(comm, &params, &[slot], &batch_kv)?;
                 if let Some(x_val) = x.take() {
                     let attn = outs.into_iter().next().expect("owner has one slot");
                     let attn_flat = attn.out.reshape(&[1, config.model_dim()])?;

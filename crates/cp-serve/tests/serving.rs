@@ -160,6 +160,50 @@ fn deeper_model_multi_turn_exactness() {
 }
 
 #[test]
+fn gathered_and_zero_copy_hot_paths_are_bit_identical() {
+    // The zero-copy KvView hot path (default) vs the materializing
+    // gather() path must produce bit-identical activations over a mixed
+    // multi-turn trace — partial prefills (forced pass-Q so the view
+    // path is exercised with ragged cache lengths) interleaved with
+    // decode steps, at CP 2 and 3.
+    let trace: &[&[u32]] = &[
+        &[1, 2, 3, 4, 5, 6, 7, 8, 9],
+        &[100],
+        &[101],
+        &[10, 11, 12, 13, 14],
+        &[102],
+        &[20, 21, 22],
+        &[103],
+    ];
+    for n in [2usize, 3] {
+        let mut fast = TransformerEngine::new(model(23), n).unwrap();
+        let mut slow = TransformerEngine::new(model(23), n)
+            .unwrap()
+            .with_gathered_hot_kv(true);
+        for (i, chunk) in trace.iter().enumerate() {
+            let decode = chunk.len() == 1 && i > 0;
+            let (f, s) = if decode {
+                (
+                    fast.decode(chunk[0]).unwrap(),
+                    slow.decode(chunk[0]).unwrap(),
+                )
+            } else {
+                let forced = (i > 0).then_some(RingVariant::PassQ);
+                (
+                    fast.prefill_with(chunk, forced).unwrap(),
+                    slow.prefill_with(chunk, forced).unwrap(),
+                )
+            };
+            assert_eq!(
+                f.activations, s.activations,
+                "n={n} step {i}: view and gather hot paths must be bit-identical"
+            );
+            assert_eq!(f.traffic.send_recv_bytes, s.traffic.send_recv_bytes);
+        }
+    }
+}
+
+#[test]
 fn checked_fabric_soak_multi_turn() {
     // Soak: a long mixed prefill/decode conversation with live schedule
     // validation on — every layer's ring collectives are checked against

@@ -13,10 +13,19 @@
 //!   for the ragged last panel, whose lanes are discarded), so it cannot
 //!   change any arithmetic.
 //! - **Register tiling**: the micro-kernel holds an `MR x NR` accumulator
-//!   block in locals and walks the *full* `k` extent per block — `k` is
-//!   never split, `p` stays ascending, and the `a == 0.0` skip is preserved
-//!   per row. Each output element therefore sees the exact naive sequence
-//!   of fused-free `mul`/`add` ops, just batched across neighbours.
+//!   block in locals and walks one `KC`-bounded stretch of `k` per call —
+//!   `p` stays ascending and the `a == 0.0` skip is preserved per row, so
+//!   each output element sees the exact naive sequence of fused-free
+//!   `mul`/`add` ops, just batched across neighbours.
+//! - **`KC` cache blocking** ([`gemm_band`]): the reduction dimension is
+//!   walked in `KC`-sized stretches, with the `MR x NR` partial sums parked
+//!   in the output band between stretches. An `f32` survives a store/load
+//!   round trip bit-exactly, so resuming the accumulation from the output
+//!   runs the *same* `f32` additions in the same order as one unbroken
+//!   walk — bit-identical, but the active `A` slab and `B` panel rows now
+//!   fit in L2 for `k` in the hundreds of thousands (long-context
+//!   attention shapes). `k <= KC` takes a single stretch: the pre-blocking
+//!   kernel verbatim.
 //! - **Row-band parallelism** ([`matmul_packed_on`]): bands of output rows
 //!   are independent, so they fan out on a [`ComputePool`] without touching
 //!   the per-element order at all.
@@ -34,6 +43,14 @@ use crate::{Tensor, TensorError};
 const MR: usize = 8;
 /// Columns per register tile (and per packed panel).
 const NR: usize = 8;
+/// Reduction-dimension block: one `MR x KC` interleaved `A` slab (128 KiB)
+/// plus the matching `KC x NR` stretch of a `B` panel (128 KiB) stay
+/// cache-resident across a panel sweep instead of streaming the full `k`
+/// extent through L2 on every tile. Sized so serving-class projections
+/// (`k <= 4096`) take a single stretch — the stretch split's parked
+/// partial sums only start paying out-band traffic on reduction dims too
+/// long to cache at all (long-context attention-class shapes).
+const KC: usize = 4096;
 
 /// Above this many multiply-accumulates a GEMM is worth packing and
 /// fanning out on a pool; below it the naive serial loop wins (packing
@@ -122,59 +139,78 @@ fn check_packed_shapes(a: &Tensor, b: &PackedGemmB) -> Result<(usize, usize, usi
     Ok((m, k, b.n))
 }
 
-/// The register-tiled micro-kernel: one band of `A` rows against every
-/// panel of `B`, writing one band of output rows.
+/// The register-tiled, `KC`-blocked micro-kernel driver: one band of `A`
+/// rows against every panel of `B`, writing one band of output rows.
 ///
 /// Bit-identity contract: for each output element the `p` loop runs the
-/// full `0..k` extent ascending with the naive kernel's `a == 0.0` skip,
-/// accumulating into a local that starts at `0.0` — the exact naive
-/// per-element operation sequence.
+/// full `0..k` extent ascending with the naive kernel's `a == 0.0` skip.
+/// The walk is split at `KC` boundaries with the `f32` partial sums parked
+/// in `out_band` between stretches; the store/load round trip is
+/// value-exact, so the element still sees the exact naive per-element
+/// operation sequence.
 fn gemm_band(a_band: &[f32], out_band: &mut [f32], k: usize, b: &PackedGemmB) {
     let n = b.n;
-    if n == 0 {
+    if n == 0 || k == 0 {
         return;
     }
     let band_m = out_band.len() / n;
     // Scratch for one row block of `A`, interleaved k-major so the inner
     // loop reads both operands as contiguous fixed-width chunks.
-    let mut ablock = vec![0.0f32; MR * k];
-    let mut i0 = 0;
-    while i0 < band_m {
-        let mr = MR.min(band_m - i0);
-        pack_a_block(&a_band[i0 * k..(i0 + mr) * k], k, &mut ablock[..mr * k]);
-        // One zero scan per row block decides between the branchless
-        // kernel and the naive-skip kernel for *all* its panels.
-        let has_zero = ablock[..mr * k].contains(&0.0);
-        // Monomorphise on the row count: with `ROWS` a constant the
-        // accumulator block stays in registers across the whole k walk.
-        match mr {
-            8 => block_rows::<8>(&ablock[..8 * k], out_band, i0, b, has_zero),
-            7 => block_rows::<7>(&ablock[..7 * k], out_band, i0, b, has_zero),
-            6 => block_rows::<6>(&ablock[..6 * k], out_band, i0, b, has_zero),
-            5 => block_rows::<5>(&ablock[..5 * k], out_band, i0, b, has_zero),
-            4 => block_rows::<4>(&ablock[..4 * k], out_band, i0, b, has_zero),
-            3 => block_rows::<3>(&ablock[..3 * k], out_band, i0, b, has_zero),
-            2 => block_rows::<2>(&ablock[..2 * k], out_band, i0, b, has_zero),
-            _ => block_rows::<1>(&ablock[..k], out_band, i0, b, has_zero),
+    let mut ablock = vec![0.0f32; MR * KC.min(k)];
+    // Outer loop over `KC` stretches of the reduction dimension: every row
+    // block of the band reuses the same cache-resident stretch of each `B`
+    // panel before the walk advances.
+    let mut p0 = 0;
+    while p0 < k {
+        let kc = KC.min(k - p0);
+        let mut i0 = 0;
+        while i0 < band_m {
+            let mr = MR.min(band_m - i0);
+            pack_a_block(
+                &a_band[i0 * k..(i0 + mr) * k],
+                k,
+                p0,
+                kc,
+                &mut ablock[..mr * kc],
+            );
+            // One zero scan per (row block, stretch) decides between the
+            // branchless kernel and the naive-skip kernel for *all* its
+            // panels.
+            let has_zero = ablock[..mr * kc].contains(&0.0);
+            // Monomorphise on the row count: with `ROWS` a constant the
+            // accumulator block stays in registers across the whole walk.
+            match mr {
+                8 => block_rows::<8>(&ablock[..8 * kc], out_band, i0, p0, b, has_zero),
+                7 => block_rows::<7>(&ablock[..7 * kc], out_band, i0, p0, b, has_zero),
+                6 => block_rows::<6>(&ablock[..6 * kc], out_band, i0, p0, b, has_zero),
+                5 => block_rows::<5>(&ablock[..5 * kc], out_band, i0, p0, b, has_zero),
+                4 => block_rows::<4>(&ablock[..4 * kc], out_band, i0, p0, b, has_zero),
+                3 => block_rows::<3>(&ablock[..3 * kc], out_band, i0, p0, b, has_zero),
+                2 => block_rows::<2>(&ablock[..2 * kc], out_band, i0, p0, b, has_zero),
+                _ => block_rows::<1>(&ablock[..kc], out_band, i0, p0, b, has_zero),
+            }
+            i0 += mr;
         }
-        i0 += mr;
+        p0 += kc;
     }
 }
 
-/// Interleaves a `rows x k` row-major block k-major:
-/// `dst[p*rows + ir] = a[ir*k + p]`. Pure data movement.
-fn pack_a_block(a: &[f32], k: usize, dst: &mut [f32]) {
-    let rows = a.len().checked_div(k).unwrap_or(1);
+/// Interleaves columns `p0 .. p0+kc` of a `rows x k` row-major block
+/// k-major: `dst[p*rows + ir] = a[ir*k + p0 + p]`. Pure data movement.
+fn pack_a_block(a: &[f32], k: usize, p0: usize, kc: usize, dst: &mut [f32]) {
+    let rows = dst.len().checked_div(kc).unwrap_or(1);
     for (p, chunk) in dst.chunks_exact_mut(rows).enumerate() {
         for (ir, v) in chunk.iter_mut().enumerate() {
-            *v = a[ir * k + p];
+            *v = a[ir * k + p0 + p];
         }
     }
 }
 
-/// `ROWS` output rows (an `ablock` of `k * ROWS` interleaved `A` values)
-/// against every packed panel: an `ROWS x NR` accumulator block walks the
-/// full `k` extent per panel, `p` ascending, naive zero-skip per row.
+/// `ROWS` output rows (an `ablock` of `kc * ROWS` interleaved `A` values
+/// covering reduction stretch `p0 .. p0+kc`) against every packed panel:
+/// an `ROWS x NR` accumulator block walks the stretch per panel, `p`
+/// ascending, naive zero-skip per row. For `p0 > 0` the accumulators
+/// resume from the partial sums parked in `out_band` (value-exact).
 ///
 /// `has_zero` routes between two kernels with identical per-element op
 /// sequences: when the block holds no exact `0.0` the skip can never fire,
@@ -184,6 +220,7 @@ fn block_rows<const ROWS: usize>(
     ablock: &[f32],
     out_band: &mut [f32],
     i0: usize,
+    p0: usize,
     b: &PackedGemmB,
     has_zero: bool,
 ) {
@@ -191,10 +228,31 @@ fn block_rows<const ROWS: usize>(
     // holding both loop nests makes LLVM spill the accumulator block and
     // costs ~5x on the branchless path.
     if has_zero {
-        block_rows_skip::<ROWS>(ablock, out_band, i0, b);
+        block_rows_skip::<ROWS>(ablock, out_band, i0, p0, b);
     } else {
-        block_rows_fast::<ROWS>(ablock, out_band, i0, b);
+        block_rows_fast::<ROWS>(ablock, out_band, i0, p0, b);
     }
+}
+
+/// Loads the `ROWS x width` accumulator block for the stretch: zeros on
+/// the first stretch (the naive accumulator start), the parked partial
+/// sums from `out_band` afterwards.
+fn load_acc<const ROWS: usize>(
+    out_band: &[f32],
+    i0: usize,
+    p0: usize,
+    n: usize,
+    col0: usize,
+    width: usize,
+) -> [[f32; NR]; ROWS] {
+    let mut acc = [[0.0f32; NR]; ROWS];
+    if p0 > 0 {
+        for (ir, accrow) in acc.iter_mut().enumerate() {
+            let row0 = (i0 + ir) * n + col0;
+            accrow[..width].copy_from_slice(&out_band[row0..row0 + width]);
+        }
+    }
+    acc
 }
 
 /// Branchless arm of [`block_rows`]: valid only when `ablock` holds no
@@ -204,14 +262,16 @@ fn block_rows_fast<const ROWS: usize>(
     ablock: &[f32],
     out_band: &mut [f32],
     i0: usize,
+    p0: usize,
     b: &PackedGemmB,
 ) {
     let n = b.n;
+    let kc = ablock.len() / ROWS;
     for jp in 0..n.div_ceil(NR) {
-        let panel = b.panel(jp);
+        let panel = &b.panel(jp)[p0 * NR..(p0 + kc) * NR];
         let col0 = jp * NR;
         let width = NR.min(n - col0);
-        let mut acc = [[0.0f32; NR]; ROWS];
+        let mut acc = load_acc::<ROWS>(out_band, i0, p0, n, col0, width);
         for (bvals, avals) in panel.chunks_exact(NR).zip(ablock.chunks_exact(ROWS)) {
             // Fixed-size array views (always `Some`: `chunks_exact`
             // yields exactly NR/ROWS elements) let the whole `ROWS x NR`
@@ -243,14 +303,16 @@ fn block_rows_skip<const ROWS: usize>(
     ablock: &[f32],
     out_band: &mut [f32],
     i0: usize,
+    p0: usize,
     b: &PackedGemmB,
 ) {
     let n = b.n;
+    let kc = ablock.len() / ROWS;
     for jp in 0..n.div_ceil(NR) {
-        let panel = b.panel(jp);
+        let panel = &b.panel(jp)[p0 * NR..(p0 + kc) * NR];
         let col0 = jp * NR;
         let width = NR.min(n - col0);
-        let mut acc = [[0.0f32; NR]; ROWS];
+        let mut acc = load_acc::<ROWS>(out_band, i0, p0, n, col0, width);
         for (bvals, avals) in panel.chunks_exact(NR).zip(ablock.chunks_exact(ROWS)) {
             for (&aval, accrow) in avals.iter().zip(&mut acc) {
                 if aval == 0.0 {
@@ -392,6 +454,44 @@ mod tests {
             let pooled = matmul_packed_on(&pool, &a, &packed).unwrap();
             assert_bits_equal(&naive, &pooled, "tiled+pool");
         }
+    }
+
+    #[test]
+    fn kc_blocked_reduction_matches_naive_across_stretch_boundaries() {
+        // k straddling the KC cache-block boundary: one short, exactly
+        // aligned, one over, ragged multi-stretch — each must round-trip
+        // the f32 partial sums through the output band bit-exactly.
+        for k in [KC - 1, KC, KC + 1, 2 * KC + 5] {
+            let (a, b) = rng_pair(9, k, 17, 0x5eed ^ k as u64);
+            let naive = matmul(&a, &b).unwrap();
+            let packed = PackedGemmB::pack(&b).unwrap();
+            assert_bits_equal(&naive, &matmul_packed(&a, &packed).unwrap(), "kc serial");
+            let pool = ComputePool::new(3);
+            let pooled = matmul_packed_on(&pool, &a, &packed).unwrap();
+            assert_bits_equal(&naive, &pooled, "kc pooled");
+        }
+    }
+
+    #[test]
+    fn kc_stretches_can_mix_skip_and_branchless_arms() {
+        // Zeros confined to the first KC stretch: the same row block takes
+        // the skip kernel for stretch 0 and the branchless kernel for
+        // stretch 1, and must still match the naive walk bit-for-bit.
+        let k = KC + 40;
+        let mut rng = DetRng::new(0xabc);
+        let mut a = rng.tensor(&[5, k]);
+        {
+            let av = a.as_mut_slice();
+            for row in 0..5 {
+                for p in (0..KC).step_by(7) {
+                    av[row * k + p] = 0.0;
+                }
+            }
+        }
+        let b = rng.tensor(&[k, 13]);
+        let naive = matmul(&a, &b).unwrap();
+        let packed = PackedGemmB::pack(&b).unwrap();
+        assert_bits_equal(&naive, &matmul_packed(&a, &packed).unwrap(), "mixed arms");
     }
 
     #[test]

@@ -121,4 +121,39 @@ proptest! {
             prop_assert_eq!(x.to_bits(), y.to_bits());
         }
     }
+
+    /// The KC cache-blocked reduction walk is bit-identical to the naive
+    /// kernel for `k` straddling the 4096-wide stretch boundary at ragged
+    /// offsets, with zeros in A landing in arbitrary stretches (mixing the
+    /// skip and branchless kernels across stretches of one row block).
+    #[test]
+    fn kc_blocked_gemm_bit_identical_across_ragged_stretches(
+        m in 1usize..10,
+        k_off in 0usize..70,
+        n in 1usize..14,
+        threads in 1usize..4,
+        zero_stride in 5usize..900,
+        seed in any::<u64>(),
+    ) {
+        let k = 4096 - 35 + k_off; // 4061..=4130: below, at, and past KC
+        let mut rng = DetRng::new(seed);
+        let mut a = rng.tensor(&[m, k]);
+        for (i, v) in a.as_mut_slice().iter_mut().enumerate() {
+            if i % zero_stride == 0 {
+                *v = 0.0;
+            }
+        }
+        let b = rng.tensor(&[k, n]);
+        let naive = matmul(&a, &b).unwrap();
+        let packed = PackedGemmB::pack(&b).unwrap();
+        let tiled = matmul_packed(&a, &packed).unwrap();
+        let pool = ComputePool::new(threads);
+        let pooled = matmul_packed_on(&pool, &a, &packed).unwrap();
+        for (x, y) in naive.as_slice().iter().zip(tiled.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in naive.as_slice().iter().zip(pooled.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
 }
