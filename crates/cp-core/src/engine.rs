@@ -304,7 +304,7 @@ impl ContextParallelEngine {
             // position order), so everything >= new_len is a suffix.
             let pos = cache.positions(seq)?;
             let keep = pos.iter().take_while(|&&p| p < new_len).count();
-            debug_assert!(pos[keep..].iter().all(|&p| p >= new_len));
+            debug_assert!(pos.iter().skip(keep).all(|&p| p >= new_len));
             cache.truncate(seq, keep)?;
         }
         self.lens.insert(seq.0, new_len);
@@ -654,7 +654,7 @@ impl ContextParallelEngine {
         let mut slots: Vec<Vec<Option<DecodeSlot>>> = vec![Vec::new(); n];
         for (b, (seq, q, k, v)) in batch.iter().enumerate() {
             let rank = assignment.rank_of(b);
-            let pos = self.lens[&seq.0];
+            let pos = self.context_len(*seq)?;
             let kq = self.maybe_quantize(k.clone())?;
             let vq = self.maybe_quantize(v.clone())?;
             self.caches[rank].append(*seq, &kq, &vq, &[pos])?;
@@ -702,11 +702,20 @@ impl ContextParallelEngine {
         }
         let outputs: Vec<AttentionOutput> = outputs
             .into_iter()
-            .map(|o| o.expect("every batch element has exactly one slot"))
-            .collect();
+            .enumerate()
+            .map(|(b, o)| {
+                o.ok_or_else(|| CoreError::Internal {
+                    detail: format!("decode produced no output for batch element {b}"),
+                })
+            })
+            .collect::<Result<_, _>>()?;
 
         for (seq, ..) in batch {
-            *self.lens.get_mut(&seq.0).expect("validated above") += 1;
+            // Presence was validated at batch entry; a vanished entry here
+            // would already have failed the context_len lookup above.
+            if let Some(len) = self.lens.get_mut(&seq.0) {
+                *len += 1;
+            }
         }
         let step = self.decode_step;
         self.decode_step += 1;

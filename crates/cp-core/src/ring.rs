@@ -989,6 +989,42 @@ where
     run_ring_on(plan.world, 0, Some(plan), body)
 }
 
+/// Groups one batched decode tick's slots by owner rank. `owners[b]` is
+/// the rank whose cache receives batch element `b`'s new KV this step
+/// (each sequence rotates independently under §3.6). Returns the per-rank
+/// batch-index lists, in slot order, plus the common padded slot count:
+/// the slot lists circulate on the ring, so every rank's `slots` argument
+/// to [`ring_pass_q_decode_kv`] must be resized (with `None`) to the same
+/// length.
+///
+/// # Errors
+///
+/// [`CoreError::BadRequest`] if an owner is outside `0..n_ranks` or
+/// `n_ranks == 0`.
+pub fn decode_slot_layout(
+    owners: &[usize],
+    n_ranks: usize,
+) -> Result<(Vec<Vec<usize>>, usize), CoreError> {
+    if n_ranks == 0 {
+        return Err(CoreError::BadRequest {
+            reason: "decode needs at least one rank".to_string(),
+        });
+    }
+    let mut per_rank: Vec<Vec<usize>> = vec![Vec::new(); n_ranks];
+    for (b, &owner) in owners.iter().enumerate() {
+        per_rank
+            .get_mut(owner)
+            .ok_or_else(|| CoreError::BadRequest {
+                reason: format!(
+                    "batch element {b} is owned by rank {owner}, world has {n_ranks} ranks"
+                ),
+            })?
+            .push(b);
+    }
+    let slots_per_rank = per_rank.iter().map(Vec::len).max().unwrap_or(0);
+    Ok((per_rank, slots_per_rank))
+}
+
 /// The fully-general ring runner: `pool_threads` sets each rank's
 /// persistent [`cp_pool::ComputePool`] width (`0` = the fabric default),
 /// and a `Some(plan)` runs under a [`cp_comm::CheckedFabric`] with live
@@ -1485,5 +1521,24 @@ mod tests {
             }
             other => panic!("expected RankFailed, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn decode_slot_layout_groups_by_owner_and_pads() {
+        let (per_rank, width) = decode_slot_layout(&[1, 0, 1, 2], 3).unwrap();
+        assert_eq!(per_rank, vec![vec![1], vec![0, 2], vec![3]]);
+        assert_eq!(width, 2);
+
+        // A rank with no owned slots still appears (it pads with None).
+        let (per_rank, width) = decode_slot_layout(&[0, 0], 2).unwrap();
+        assert_eq!(per_rank, vec![vec![0, 1], Vec::new()]);
+        assert_eq!(width, 2);
+
+        let (per_rank, width) = decode_slot_layout(&[], 2).unwrap();
+        assert_eq!(per_rank, vec![Vec::new(), Vec::new()]);
+        assert_eq!(width, 0);
+
+        assert!(decode_slot_layout(&[2], 2).is_err());
+        assert!(decode_slot_layout(&[], 0).is_err());
     }
 }

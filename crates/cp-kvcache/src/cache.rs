@@ -187,6 +187,19 @@ impl PagedKvCache {
             .ok_or(CacheError::UnknownSequence { seq: seq.0 })
     }
 
+    /// Pages currently held by a sequence — the per-session occupancy an
+    /// eviction policy weighs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::UnknownSequence`] if absent.
+    pub fn seq_pages(&self, seq: SeqId) -> Result<usize, CacheError> {
+        self.seqs
+            .get(&seq.0)
+            .map(|s| s.pages.len())
+            .ok_or(CacheError::UnknownSequence { seq: seq.0 })
+    }
+
     /// Ids of all live sequences, sorted.
     pub fn sequence_ids(&self) -> Vec<SeqId> {
         let mut ids: Vec<SeqId> = self.seqs.keys().map(|&k| SeqId(k)).collect();

@@ -8,9 +8,11 @@
 //! head dims — with the round-trip error bounded by `scale / 127 / 2`
 //! per element.
 
+use std::collections::HashMap;
+
 use cp_tensor::Tensor;
 
-use crate::CacheError;
+use crate::{CacheError, CacheStats, KvCacheConfig, SeqId};
 
 /// One quantized KV entry set: INT8 codes plus per-(token, head) scales.
 #[derive(Debug, Clone, PartialEq)]
@@ -120,6 +122,397 @@ impl QuantizedKv {
         self.tokens += other.tokens;
         Ok(())
     }
+
+    /// Shrinks to the first `new_tokens` tokens, dropping the most recent
+    /// codes and scales — the inverse of [`QuantizedKv::extend`], used to
+    /// roll back speculative appends.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::BadTruncate`] if `new_tokens` exceeds the
+    /// current token count.
+    pub fn truncate(&mut self, new_tokens: usize) -> Result<(), CacheError> {
+        if new_tokens > self.tokens {
+            return Err(CacheError::BadTruncate {
+                requested: new_tokens,
+                current: self.tokens,
+            });
+        }
+        self.codes
+            .truncate(new_tokens * self.n_heads * self.head_dim);
+        self.scales.truncate(new_tokens * self.n_heads);
+        self.tokens = new_tokens;
+        Ok(())
+    }
+}
+
+/// One fixed-size quantized page: INT8 codes, per-(token, head) scales and
+/// position metadata for up to `page_size` tokens.
+#[derive(Debug, Clone)]
+struct QuantPage {
+    k_codes: Vec<i8>,
+    k_scales: Vec<f32>,
+    v_codes: Vec<i8>,
+    v_scales: Vec<f32>,
+    pos: Vec<usize>,
+    used: usize,
+}
+
+impl QuantPage {
+    fn new(config: &KvCacheConfig) -> Self {
+        QuantPage {
+            k_codes: vec![0; config.page_size * config.token_numel()],
+            k_scales: vec![0.0; config.page_size * config.n_kv_heads],
+            v_codes: vec![0; config.page_size * config.token_numel()],
+            v_scales: vec![0.0; config.page_size * config.n_kv_heads],
+            pos: vec![0; config.page_size],
+            used: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct QuantSeqState {
+    pages: Vec<usize>,
+    len: usize,
+}
+
+/// A paged, multi-sequence INT8-quantized KV cache.
+///
+/// The quantized analogue of [`crate::PagedKvCache`]: per-sequence page
+/// tables over a shared pool with a free list, transactional appends
+/// (an [`CacheError::OutOfPages`] failure leaves the sequence unchanged)
+/// and page reuse after [`QuantKvCache::free_sequence`] /
+/// [`QuantKvCache::truncate`] — the eviction churn a continuous-batching
+/// scheduler generates. Because the quantization scheme is strictly
+/// per-(token, head), paged storage is **bitwise** equal to a contiguous
+/// [`QuantizedKv`] grown with [`QuantizedKv::extend`]: a freed-then-reused
+/// page can never bleed one sequence's scales into another's codes.
+#[derive(Debug)]
+pub struct QuantKvCache {
+    config: KvCacheConfig,
+    pool: Vec<QuantPage>,
+    free: Vec<usize>,
+    seqs: HashMap<u64, QuantSeqState>,
+}
+
+impl QuantKvCache {
+    /// Creates an empty cache.
+    pub fn new(config: KvCacheConfig) -> Self {
+        QuantKvCache {
+            config,
+            pool: Vec::new(),
+            free: Vec::new(),
+            seqs: HashMap::new(),
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &KvCacheConfig {
+        &self.config
+    }
+
+    /// Registers a new, empty sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::DuplicateSequence`] if the id is live.
+    pub fn create_sequence(&mut self, seq: SeqId) -> Result<(), CacheError> {
+        if self.seqs.contains_key(&seq.0) {
+            return Err(CacheError::DuplicateSequence { seq: seq.0 });
+        }
+        self.seqs.insert(seq.0, QuantSeqState::default());
+        Ok(())
+    }
+
+    /// Returns `true` if the sequence exists.
+    pub fn contains(&self, seq: SeqId) -> bool {
+        self.seqs.contains_key(&seq.0)
+    }
+
+    /// Cached token count for a sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::UnknownSequence`] if absent.
+    pub fn seq_len(&self, seq: SeqId) -> Result<usize, CacheError> {
+        self.seqs
+            .get(&seq.0)
+            .map(|s| s.len)
+            .ok_or(CacheError::UnknownSequence { seq: seq.0 })
+    }
+
+    /// Pages currently held by a sequence — the per-session occupancy an
+    /// eviction policy weighs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::UnknownSequence`] if absent.
+    pub fn seq_pages(&self, seq: SeqId) -> Result<usize, CacheError> {
+        self.seqs
+            .get(&seq.0)
+            .map(|s| s.pages.len())
+            .ok_or(CacheError::UnknownSequence { seq: seq.0 })
+    }
+
+    /// Ids of all live sequences, sorted.
+    pub fn sequence_ids(&self) -> Vec<SeqId> {
+        let mut ids: Vec<SeqId> = self.seqs.keys().map(|&k| SeqId(k)).collect();
+        ids.sort();
+        ids
+    }
+
+    fn allocate_page(&mut self) -> Result<usize, CacheError> {
+        if let Some(idx) = self.free.pop() {
+            return Ok(idx);
+        }
+        if let Some(max) = self.config.max_pages {
+            if self.pool.len() >= max {
+                return Err(CacheError::OutOfPages {
+                    needed: 1,
+                    available: 0,
+                });
+            }
+        }
+        self.pool.push(QuantPage::new(&self.config));
+        Ok(self.pool.len() - 1)
+    }
+
+    fn check_geometry(&self, q: &QuantizedKv, input: &'static str) -> Result<(), CacheError> {
+        if q.n_heads != self.config.n_kv_heads || q.head_dim != self.config.head_dim {
+            return Err(CacheError::BadShape {
+                input,
+                expected: vec![self.config.n_kv_heads, self.config.head_dim],
+                actual: vec![q.n_heads, q.head_dim],
+            });
+        }
+        Ok(())
+    }
+
+    /// Quantizes and appends `t` tokens of K/V (shape
+    /// `[t, n_kv_heads, head_dim]`) with their global positions.
+    ///
+    /// Appending is transactional with respect to capacity: needed pages
+    /// are reserved up front, so an [`CacheError::OutOfPages`] failure
+    /// leaves the sequence unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::UnknownSequence`], [`CacheError::BadShape`],
+    /// [`CacheError::PositionCountMismatch`] or [`CacheError::OutOfPages`].
+    pub fn append(
+        &mut self,
+        seq: SeqId,
+        k: &Tensor,
+        v: &Tensor,
+        positions: &[usize],
+    ) -> Result<(), CacheError> {
+        let qk = QuantizedKv::quantize(k)?;
+        let qv = QuantizedKv::quantize(v)?;
+        self.append_quantized(seq, &qk, &qv, positions)
+    }
+
+    /// Appends already-quantized K/V blocks (e.g. relayed from another
+    /// rank without a dequantize round-trip).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`QuantKvCache::append`].
+    pub fn append_quantized(
+        &mut self,
+        seq: SeqId,
+        qk: &QuantizedKv,
+        qv: &QuantizedKv,
+        positions: &[usize],
+    ) -> Result<(), CacheError> {
+        self.check_geometry(qk, "k")?;
+        self.check_geometry(qv, "v")?;
+        let t = qk.tokens;
+        if qv.tokens != t {
+            return Err(CacheError::BadShape {
+                input: "v",
+                expected: vec![t, self.config.n_kv_heads, self.config.head_dim],
+                actual: vec![qv.tokens, qv.n_heads, qv.head_dim],
+            });
+        }
+        if positions.len() != t {
+            return Err(CacheError::PositionCountMismatch {
+                tokens: t,
+                positions: positions.len(),
+            });
+        }
+        if !self.seqs.contains_key(&seq.0) {
+            return Err(CacheError::UnknownSequence { seq: seq.0 });
+        }
+
+        // Reserve pages up front so failure cannot leave partial appends.
+        let (cur_len, cur_pages) = {
+            let s = &self.seqs[&seq.0];
+            (s.len, s.pages.len())
+        };
+        let needed_total_pages = (cur_len + t).div_ceil(self.config.page_size);
+        let new_pages_needed = needed_total_pages.saturating_sub(cur_pages);
+        if let Some(max) = self.config.max_pages {
+            let headroom = self.free.len() + max.saturating_sub(self.pool.len());
+            if new_pages_needed > headroom {
+                return Err(CacheError::OutOfPages {
+                    needed: new_pages_needed,
+                    available: headroom,
+                });
+            }
+        }
+        let mut reserved = Vec::with_capacity(new_pages_needed);
+        for _ in 0..new_pages_needed {
+            let idx = self.allocate_page().expect("capacity checked above");
+            reserved.push(idx);
+        }
+        let state = self.seqs.get_mut(&seq.0).expect("checked above");
+        state.pages.extend(reserved);
+
+        // Copy per-token code/scale rows into page slots. Every slot a
+        // token lands in is fully overwritten — codes, scales AND
+        // position — so stale data from a previous tenant of a reused
+        // page can never survive into a gather.
+        let tok = self.config.token_numel();
+        let hs = self.config.n_kv_heads;
+        let ps = self.config.page_size;
+        for (i, &p) in positions.iter().enumerate() {
+            let global_idx = state.len + i;
+            let page_idx = state.pages[global_idx / ps];
+            let slot = global_idx % ps;
+            let page = &mut self.pool[page_idx];
+            page.k_codes[slot * tok..(slot + 1) * tok]
+                .copy_from_slice(&qk.codes[i * tok..(i + 1) * tok]);
+            page.k_scales[slot * hs..(slot + 1) * hs]
+                .copy_from_slice(&qk.scales[i * hs..(i + 1) * hs]);
+            page.v_codes[slot * tok..(slot + 1) * tok]
+                .copy_from_slice(&qv.codes[i * tok..(i + 1) * tok]);
+            page.v_scales[slot * hs..(slot + 1) * hs]
+                .copy_from_slice(&qv.scales[i * hs..(i + 1) * hs]);
+            page.pos[slot] = p;
+            page.used = page.used.max(slot + 1);
+        }
+        state.len += t;
+        Ok(())
+    }
+
+    /// Gathers a sequence's quantized K, V and positions in append order,
+    /// bitwise equal to a contiguous [`QuantizedKv`] grown by
+    /// [`QuantizedKv::extend`] over the same appends.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::UnknownSequence`] if absent.
+    pub fn gather_quantized(
+        &self,
+        seq: SeqId,
+    ) -> Result<(QuantizedKv, QuantizedKv, Vec<usize>), CacheError> {
+        let state = self
+            .seqs
+            .get(&seq.0)
+            .ok_or(CacheError::UnknownSequence { seq: seq.0 })?;
+        let tok = self.config.token_numel();
+        let hs = self.config.n_kv_heads;
+        let ps = self.config.page_size;
+        let mut k_codes = Vec::with_capacity(state.len * tok);
+        let mut k_scales = Vec::with_capacity(state.len * hs);
+        let mut v_codes = Vec::with_capacity(state.len * tok);
+        let mut v_scales = Vec::with_capacity(state.len * hs);
+        let mut pos = Vec::with_capacity(state.len);
+        for i in 0..state.len {
+            let page = &self.pool[state.pages[i / ps]];
+            let slot = i % ps;
+            k_codes.extend_from_slice(&page.k_codes[slot * tok..(slot + 1) * tok]);
+            k_scales.extend_from_slice(&page.k_scales[slot * hs..(slot + 1) * hs]);
+            v_codes.extend_from_slice(&page.v_codes[slot * tok..(slot + 1) * tok]);
+            v_scales.extend_from_slice(&page.v_scales[slot * hs..(slot + 1) * hs]);
+            pos.push(page.pos[slot]);
+        }
+        let mk = |codes: Vec<i8>, scales: Vec<f32>| QuantizedKv {
+            codes,
+            scales,
+            tokens: state.len,
+            n_heads: hs,
+            head_dim: self.config.head_dim,
+        };
+        Ok((mk(k_codes, k_scales), mk(v_codes, v_scales), pos))
+    }
+
+    /// Dequantizes a sequence back to `[len, n_kv_heads, head_dim]` K/V
+    /// tensors plus positions — the (lossy) contiguous form attention
+    /// kernels take.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::UnknownSequence`] if absent.
+    pub fn dequantize(&self, seq: SeqId) -> Result<(Tensor, Tensor, Vec<usize>), CacheError> {
+        let (qk, qv, pos) = self.gather_quantized(seq)?;
+        Ok((qk.dequantize(), qv.dequantize(), pos))
+    }
+
+    /// Shrinks a sequence to `new_len` tokens (dropping the most recent
+    /// ones), releasing now-empty pages back to the free list.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::UnknownSequence`] or [`CacheError::BadTruncate`] if
+    /// `new_len` exceeds the current length.
+    pub fn truncate(&mut self, seq: SeqId, new_len: usize) -> Result<(), CacheError> {
+        let ps = self.config.page_size;
+        let state = self
+            .seqs
+            .get_mut(&seq.0)
+            .ok_or(CacheError::UnknownSequence { seq: seq.0 })?;
+        if new_len > state.len {
+            return Err(CacheError::BadTruncate {
+                requested: new_len,
+                current: state.len,
+            });
+        }
+        let pages_needed = new_len.div_ceil(ps);
+        let released: Vec<usize> = state.pages.split_off(pages_needed);
+        state.len = new_len;
+        for idx in released {
+            self.pool[idx].used = 0;
+            self.free.push(idx);
+        }
+        Ok(())
+    }
+
+    /// Removes a sequence, returning its pages to the free list for reuse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::UnknownSequence`] if absent.
+    pub fn free_sequence(&mut self, seq: SeqId) -> Result<(), CacheError> {
+        let state = self
+            .seqs
+            .remove(&seq.0)
+            .ok_or(CacheError::UnknownSequence { seq: seq.0 })?;
+        for idx in state.pages {
+            self.pool[idx].used = 0;
+            self.free.push(idx);
+        }
+        Ok(())
+    }
+
+    /// Current occupancy statistics.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            allocated_pages: self.pool.len() - self.free.len(),
+            free_pages: self.free.len(),
+            tokens: self.seqs.values().map(|s| s.len).sum(),
+            sequences: self.seqs.len(),
+        }
+    }
+
+    /// Bytes of quantized payload (codes + scales) across all pool pages,
+    /// allocated or free.
+    pub fn storage_bytes(&self) -> usize {
+        let per_page = 2 * self.config.page_size * self.config.token_numel()
+            + 2 * self.config.page_size * self.config.n_kv_heads * 4;
+        self.pool.len() * per_page
+    }
 }
 
 #[cfg(test)]
@@ -219,5 +612,146 @@ mod tests {
         let approx = naive_gqa_attention(&q, &kq, &vq, &params, &pos, &pos).unwrap();
         let err = exact.out.max_abs_diff(&approx.out).unwrap();
         assert!(err < 0.02, "attention error {err}");
+    }
+
+    #[test]
+    fn truncate_is_extend_inverse() {
+        let a = DetRng::new(7).tensor(&[3, 2, 4]);
+        let b = DetRng::new(8).tensor(&[2, 2, 4]);
+        let mut q = QuantizedKv::quantize(&a).unwrap();
+        let qa = q.clone();
+        q.extend(&QuantizedKv::quantize(&b).unwrap()).unwrap();
+        q.truncate(3).unwrap();
+        assert_eq!(q, qa);
+        assert!(matches!(
+            q.truncate(4),
+            Err(CacheError::BadTruncate {
+                requested: 4,
+                current: 3
+            })
+        ));
+        q.truncate(0).unwrap();
+        assert_eq!(q.tokens(), 0);
+        assert_eq!(q.storage_bytes(), 0);
+    }
+
+    #[test]
+    fn paged_quant_store_matches_contiguous_extend() {
+        let mut cache = QuantKvCache::new(KvCacheConfig::new(3, 2, 4));
+        let seq = SeqId(5);
+        cache.create_sequence(seq).unwrap();
+        let mut rng = DetRng::new(9);
+        let mut shadow_k: Option<QuantizedKv> = None;
+        let mut shadow_v: Option<QuantizedKv> = None;
+        let mut next = 0usize;
+        for t in [4usize, 1, 7, 2] {
+            let k = rng.tensor(&[t, 2, 4]);
+            let v = rng.tensor(&[t, 2, 4]);
+            let pos: Vec<usize> = (next..next + t).collect();
+            next += t;
+            cache.append(seq, &k, &v, &pos).unwrap();
+            let qk = QuantizedKv::quantize(&k).unwrap();
+            let qv = QuantizedKv::quantize(&v).unwrap();
+            match (&mut shadow_k, &mut shadow_v) {
+                (Some(sk), Some(sv)) => {
+                    sk.extend(&qk).unwrap();
+                    sv.extend(&qv).unwrap();
+                }
+                _ => {
+                    shadow_k = Some(qk);
+                    shadow_v = Some(qv);
+                }
+            }
+        }
+        let (gk, gv, gpos) = cache.gather_quantized(seq).unwrap();
+        assert_eq!(gk, shadow_k.unwrap());
+        assert_eq!(gv, shadow_v.unwrap());
+        assert_eq!(gpos, (0..next).collect::<Vec<_>>());
+        let (dk, _, _) = cache.dequantize(seq).unwrap();
+        assert_eq!(dk, gk.dequantize());
+        assert_eq!(cache.seq_len(seq).unwrap(), 14);
+        assert_eq!(cache.seq_pages(seq).unwrap(), 14usize.div_ceil(3));
+    }
+
+    #[test]
+    fn freed_pages_are_reused_without_bleed() {
+        let mut cache = QuantKvCache::new(KvCacheConfig::new(2, 1, 4).with_max_pages(3));
+        let mut rng = DetRng::new(10);
+        let a = SeqId(1);
+        cache.create_sequence(a).unwrap();
+        let ka = rng.tensor(&[5, 1, 4]);
+        cache.append(a, &ka, &ka, &[0, 1, 2, 3, 4]).unwrap();
+        assert_eq!(cache.stats().allocated_pages, 3);
+        // Pool exhausted: a new sequence cannot grow, transactionally.
+        let b = SeqId(2);
+        cache.create_sequence(b).unwrap();
+        let kb = rng.tensor(&[2, 1, 4]);
+        assert!(matches!(
+            cache.append(b, &kb, &kb, &[0, 1]),
+            Err(CacheError::OutOfPages { .. })
+        ));
+        assert_eq!(cache.seq_len(b).unwrap(), 0);
+        // Evicting A frees its pages; B then lands on the reused pages and
+        // must gather exactly its own quantization — no stale A data.
+        cache.free_sequence(a).unwrap();
+        cache.append(b, &kb, &kb, &[0, 1]).unwrap();
+        let (gk, _, gpos) = cache.gather_quantized(b).unwrap();
+        assert_eq!(gk, QuantizedKv::quantize(&kb).unwrap());
+        assert_eq!(gpos, vec![0, 1]);
+        // The pool never grew past its cap through the churn.
+        assert_eq!(cache.stats().free_pages + cache.stats().allocated_pages, 3);
+    }
+
+    #[test]
+    fn quant_cache_truncate_releases_pages_and_keeps_prefix() {
+        let mut cache = QuantKvCache::new(KvCacheConfig::new(2, 1, 3));
+        let seq = SeqId(0);
+        cache.create_sequence(seq).unwrap();
+        let x = DetRng::new(11).tensor(&[6, 1, 3]);
+        cache.append(seq, &x, &x, &[0, 1, 2, 3, 4, 5]).unwrap();
+        cache.truncate(seq, 3).unwrap();
+        assert_eq!(cache.stats().free_pages, 1);
+        let (gk, _, gpos) = cache.gather_quantized(seq).unwrap();
+        let mut shadow = QuantizedKv::quantize(&x).unwrap();
+        shadow.truncate(3).unwrap();
+        assert_eq!(gk, shadow);
+        assert_eq!(gpos, vec![0, 1, 2]);
+        // Regrowing after the rewind stays bitwise consistent.
+        let y = DetRng::new(12).tensor(&[2, 1, 3]);
+        cache.append(seq, &y, &y, &[3, 4]).unwrap();
+        shadow.extend(&QuantizedKv::quantize(&y).unwrap()).unwrap();
+        let (gk2, _, _) = cache.gather_quantized(seq).unwrap();
+        assert_eq!(gk2, shadow);
+    }
+
+    #[test]
+    fn quant_cache_typed_errors() {
+        let mut cache = QuantKvCache::new(KvCacheConfig::new(2, 2, 3));
+        let seq = SeqId(3);
+        assert!(matches!(
+            cache.seq_len(seq),
+            Err(CacheError::UnknownSequence { seq: 3 })
+        ));
+        cache.create_sequence(seq).unwrap();
+        assert!(matches!(
+            cache.create_sequence(seq),
+            Err(CacheError::DuplicateSequence { seq: 3 })
+        ));
+        let wrong = Tensor::zeros(&[2, 1, 3]);
+        let right = Tensor::zeros(&[2, 2, 3]);
+        assert!(matches!(
+            cache.append(seq, &wrong, &wrong, &[0, 1]),
+            Err(CacheError::BadShape { .. })
+        ));
+        assert!(matches!(
+            cache.append(seq, &right, &right, &[0]),
+            Err(CacheError::PositionCountMismatch { .. })
+        ));
+        assert!(cache.append(seq, &right, &right, &[0, 1]).is_ok());
+        assert!(matches!(
+            cache.truncate(seq, 9),
+            Err(CacheError::BadTruncate { .. })
+        ));
+        assert_eq!(cache.sequence_ids(), vec![seq]);
     }
 }

@@ -6,7 +6,7 @@
 use cp_attention::{
     blocked_gqa_attention_source, flash_decode_source, AttentionParams, GqaShape, KvSource,
 };
-use cp_kvcache::{KvCacheConfig, PagedKvCache, SeqId};
+use cp_kvcache::{KvCacheConfig, PagedKvCache, QuantKvCache, QuantizedKv, SeqId};
 use cp_pool::ComputePool;
 use cp_tensor::{DetRng, Tensor};
 use proptest::prelude::*;
@@ -199,6 +199,89 @@ proptest! {
         ).unwrap();
         prop_assert_eq!(dg.out.as_slice(), dv.out.as_slice());
         prop_assert_eq!(dg.lse.as_slice(), dv.lse.as_slice());
+    }
+
+    /// The paged quantized store under scheduler-grade churn — interleaved
+    /// appends, truncations, frees and re-creations across sequences on a
+    /// bounded pool that forces page reuse — stays BITWISE equal, per
+    /// sequence, to a contiguous [`QuantizedKv`] shadow grown with
+    /// `quantize` + `extend` / `truncate`. This is exactly the
+    /// `extend`-vs-eviction interaction: a freed-then-reused page must
+    /// never bleed a previous tenant's codes, scales or positions.
+    #[test]
+    fn quant_store_equals_contiguous_shadow_under_churn(
+        page_size in 1usize..5,
+        max_pages in 4usize..9,
+        ops in prop::collection::vec((0usize..4, 0u64..3, 1usize..6, 0.0f64..1.0), 1..25),
+        seed in any::<u64>(),
+    ) {
+        let config = KvCacheConfig::new(page_size, 2, 3).with_max_pages(max_pages);
+        let mut cache = QuantKvCache::new(config);
+        let mut rng = DetRng::new(seed);
+        // Shadow: per live sequence, the contiguous quantized K/V and
+        // position log the paged store must reproduce bit-for-bit.
+        let mut shadow: std::collections::HashMap<u64, (QuantizedKv, QuantizedKv, Vec<usize>)> =
+            std::collections::HashMap::new();
+        for (op, s, t, frac) in ops {
+            let seq = SeqId(s);
+            match op {
+                // Append t tokens (creating the sequence on first touch).
+                0 | 1 => {
+                    if !cache.contains(seq) {
+                        cache.create_sequence(seq).unwrap();
+                        let empty = QuantizedKv::quantize(&Tensor::zeros(&[0, 2, 3])).unwrap();
+                        shadow.insert(s, (empty.clone(), empty, Vec::new()));
+                    }
+                    let k = rng.tensor(&[t, 2, 3]);
+                    let v = rng.tensor(&[t, 2, 3]);
+                    let entry = shadow.get_mut(&s).unwrap();
+                    let start = entry.2.len();
+                    let pos: Vec<usize> = (start..start + t).collect();
+                    match cache.append(seq, &k, &v, &pos) {
+                        Ok(()) => {
+                            entry.0.extend(&QuantizedKv::quantize(&k).unwrap()).unwrap();
+                            entry.1.extend(&QuantizedKv::quantize(&v).unwrap()).unwrap();
+                            entry.2.extend(pos);
+                        }
+                        Err(cp_kvcache::CacheError::OutOfPages { .. }) => {
+                            // Transactional: the rejected append must leave
+                            // the sequence exactly as the shadow remembers.
+                            prop_assert_eq!(cache.seq_len(seq).unwrap(), entry.2.len());
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("append: {e}"))),
+                    }
+                }
+                // Truncate to a fraction of the current length.
+                2 => {
+                    if let Some(entry) = shadow.get_mut(&s) {
+                        let keep = ((entry.2.len() as f64) * frac) as usize;
+                        cache.truncate(seq, keep).unwrap();
+                        entry.0.truncate(keep).unwrap();
+                        entry.1.truncate(keep).unwrap();
+                        entry.2.truncate(keep);
+                    }
+                }
+                // Evict: free the sequence, returning pages for reuse.
+                _ => {
+                    if shadow.remove(&s).is_some() {
+                        cache.free_sequence(seq).unwrap();
+                    }
+                }
+            }
+            // Invariants after every op: pool bounded, every live
+            // sequence bitwise equal to its shadow.
+            let stats = cache.stats();
+            prop_assert!(stats.allocated_pages + stats.free_pages <= max_pages);
+            prop_assert_eq!(stats.sequences, shadow.len());
+            for (&id, (sk, sv, spos)) in &shadow {
+                let (gk, gv, gpos) = cache.gather_quantized(SeqId(id)).unwrap();
+                prop_assert_eq!(&gk, sk);
+                prop_assert_eq!(&gv, sv);
+                prop_assert_eq!(&gpos, spos);
+                prop_assert_eq!(cache.seq_pages(SeqId(id)).unwrap(),
+                    spos.len().div_ceil(page_size));
+            }
+        }
     }
 
     /// The view stays bit-faithful to gather after truncation rewinds the

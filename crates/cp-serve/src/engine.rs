@@ -1,16 +1,18 @@
 //! The distributed full-model serving engine.
 
-use std::sync::Mutex;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use cp_attention::PAD;
 use cp_comm::{CommPlan, RankPlan, TrafficReport};
 use cp_core::heuristics::{choose_variant, HeuristicKind, SystemContext};
 use cp_core::ring::{
-    ring_pass_kv_prefill, ring_pass_q_decode_kv, ring_pass_q_prefill_kv, run_ring_on, RankKv,
+    decode_slot_layout, ring_pass_kv_prefill, ring_pass_q_decode_kv, ring_pass_q_prefill_kv,
+    run_ring_on, RankKv,
 };
 use cp_core::schedule::{decode_plan, pass_kv_plan, pass_q_plan};
 use cp_core::{CoreError, DecodeSlot, LocalSeq, RingMsg, SeqKv, SeqQ};
-use cp_kvcache::{KvCacheConfig, PagedKvCache, SeqId};
+use cp_kvcache::{CacheStats, KvCacheConfig, PagedKvCache, SeqId};
 use cp_model::rope::apply_rope;
 use cp_model::{rms_norm_on, Linear, Transformer};
 use cp_perf::RingVariant;
@@ -18,9 +20,11 @@ use cp_pool::ComputePool;
 use cp_sharding::shard_new_tokens;
 use cp_tensor::Tensor;
 
-/// The single conversation a `TransformerEngine` serves (one engine, one
-/// session — the fused multi-sequence path is `cp-core`'s engine).
-const SEQ: SeqId = SeqId(0);
+use crate::ServeError;
+
+/// The session the single-conversation convenience API
+/// ([`TransformerEngine::prefill`] / [`TransformerEngine::decode`]) serves.
+const DEFAULT_SEQ: SeqId = SeqId(0);
 
 /// Result of one serving operation (prefill turn or decode step).
 #[derive(Debug, Clone)]
@@ -34,9 +38,85 @@ pub struct ServeOutcome {
     pub traffic: TrafficReport,
 }
 
+/// Result of one fused batched decode tick over multiple sessions.
+#[derive(Debug, Clone)]
+pub struct DecodeBatchOutcome {
+    /// Final activations per batch element, `[1, D]`, in batch order.
+    pub activations: Vec<Tensor>,
+    /// Fabric traffic of the whole tick (shared by the batch).
+    pub traffic: TrafficReport,
+}
+
+/// Per-session serving state. The engine's session table tracks every
+/// live conversation; the per-session decode counter keeps each
+/// sequence's round-robin KV rotation (§3.6) independent of what other
+/// sessions in the batch are doing — which is what makes batched decode
+/// bit-identical to serving each session alone.
+#[derive(Debug, Clone, Copy, Default)]
+struct SessionState {
+    len: usize,
+    decode_step: usize,
+}
+
+/// One logical prefill turn of one session, executable in fixed-token
+/// chunks interleaved with decode ticks.
+///
+/// The 2N-chunk sharding and the Algorithm 1 variant choice are fixed
+/// **once per turn** from the whole turn's `(T, P)`; a chunk merely
+/// executes the next slice of that plan. Because per-rank positions
+/// ascend and the position-masked kernels ignore not-yet-appended future
+/// tokens exactly (masked rows contribute zero bit-for-bit), running a
+/// turn in chunks of any size produces activations bit-identical to the
+/// one-shot prefill.
+#[derive(Debug, Clone)]
+pub struct PrefillTurn {
+    seq: SeqId,
+    tokens: Vec<u32>,
+    base: usize,
+    shards: Vec<Vec<usize>>,
+    variant: RingVariant,
+    next: usize,
+}
+
+impl PrefillTurn {
+    /// The session this turn extends.
+    pub fn seq(&self) -> SeqId {
+        self.seq
+    }
+
+    /// The ring variant the whole turn runs under.
+    pub fn variant(&self) -> RingVariant {
+        self.variant
+    }
+
+    /// New tokens in the whole turn (`T`).
+    pub fn total_tokens(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Tokens not yet executed.
+    pub fn remaining(&self) -> usize {
+        self.tokens.len() - self.next
+    }
+
+    /// Whether every token of the turn has been prefilled.
+    pub fn is_done(&self) -> bool {
+        self.next == self.tokens.len()
+    }
+}
+
 /// A full-model context-parallel serving engine: every rank owns one
 /// paged KV cache **per transformer layer**; prefill and decode run the
 /// whole layer stack distributed, with ring attention per layer.
+///
+/// The engine serves **multiple sessions** out of the same per-rank
+/// caches: [`TransformerEngine::create_session`] registers a sequence on
+/// every (rank, layer) cache, [`TransformerEngine::begin_prefill`] /
+/// [`TransformerEngine::prefill_chunk`] run a turn in scheduler-sized
+/// chunks, and [`TransformerEngine::decode_batch`] runs one fused batched
+/// pass-Q decode tick over any subset of live sessions. The single-session
+/// [`TransformerEngine::prefill`] / [`TransformerEngine::decode`] API is a
+/// thin wrapper over session `SeqId(0)`.
 ///
 /// See the crate docs for the exactness contract.
 #[derive(Debug)]
@@ -47,8 +127,7 @@ pub struct TransformerEngine {
     /// locks only its own entry during a fabric session.
     ranks: Vec<Mutex<Vec<PagedKvCache>>>,
     heuristic_ctx: SystemContext,
-    len: usize,
-    decode_step: usize,
+    sessions: BTreeMap<u64, SessionState>,
     /// When set, every turn runs under a `CheckedFabric` that validates
     /// live traffic against the declared per-layer ring schedule.
     check_schedules: bool,
@@ -78,6 +157,14 @@ fn project(
     }
 }
 
+/// Locks one rank's per-layer caches. A poisoned mutex means another rank
+/// thread panicked while holding it; the cache data itself is still
+/// consistent (appends are transactional), so serving continues instead of
+/// propagating the panic.
+fn lock_caches(m: &Mutex<Vec<PagedKvCache>>) -> MutexGuard<'_, Vec<PagedKvCache>> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Repeats one layer's per-rank schedule `layers` times: the serving loops
 /// issue exactly one ring schedule per transformer layer inside a single
 /// fabric session, so the session plan is the layer plan stacked.
@@ -102,7 +189,7 @@ impl TransformerEngine {
     /// # Errors
     ///
     /// Returns [`CoreError::BadRequest`] if `n_ranks == 0`.
-    pub fn new(model: Transformer, n_ranks: usize) -> Result<Self, CoreError> {
+    pub fn new(model: Transformer, n_ranks: usize) -> Result<Self, ServeError> {
         Self::with_cache_limit(model, n_ranks, None)
     }
 
@@ -116,11 +203,11 @@ impl TransformerEngine {
         model: Transformer,
         n_ranks: usize,
         max_pages: Option<usize>,
-    ) -> Result<Self, CoreError> {
+    ) -> Result<Self, ServeError> {
         if n_ranks == 0 {
-            return Err(CoreError::BadRequest {
+            return Err(ServeError::Core(CoreError::BadRequest {
                 reason: "engine needs at least one rank".to_string(),
-            });
+            }));
         }
         let shape = model.config().shape;
         let layers = model.config().n_layers;
@@ -130,12 +217,7 @@ impl TransformerEngine {
         }
         let ranks = (0..n_ranks)
             .map(|_| {
-                let mut layer_caches = Vec::with_capacity(layers);
-                for _ in 0..layers {
-                    let mut c = PagedKvCache::new(cache_cfg);
-                    c.create_sequence(SEQ).expect("fresh cache");
-                    layer_caches.push(c);
-                }
+                let layer_caches = (0..layers).map(|_| PagedKvCache::new(cache_cfg)).collect();
                 Mutex::new(layer_caches)
             })
             .collect();
@@ -144,8 +226,7 @@ impl TransformerEngine {
             model,
             n_ranks,
             ranks,
-            len: 0,
-            decode_step: 0,
+            sessions: BTreeMap::new(),
             check_schedules: false,
             pool_threads: 0,
             reference_gemm: false,
@@ -203,9 +284,16 @@ impl TransformerEngine {
         self.check_schedules
     }
 
-    /// Tokens in the conversation so far.
+    /// The model being served.
+    pub fn model(&self) -> &Transformer {
+        &self.model
+    }
+
+    /// Tokens in the default conversation (session `SeqId(0)`) so far.
     pub fn context_len(&self) -> usize {
-        self.len
+        self.sessions
+            .get(&DEFAULT_SEQ.0)
+            .map_or(0, |state| state.len)
     }
 
     /// Number of CP ranks.
@@ -213,27 +301,162 @@ impl TransformerEngine {
         self.n_ranks
     }
 
-    /// Per-rank cached-token counts (layer 0; all layers are identical).
-    pub fn rank_kv_lens(&self) -> Vec<usize> {
+    /// Live sessions, ascending by id.
+    pub fn sessions(&self) -> Vec<SeqId> {
+        self.sessions.keys().map(|&id| SeqId(id)).collect()
+    }
+
+    /// Whether `seq` is in the session table.
+    pub fn has_session(&self, seq: SeqId) -> bool {
+        self.sessions.contains_key(&seq.0)
+    }
+
+    /// Context length of a session.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`] if `seq` is not being served.
+    pub fn session_len(&self, seq: SeqId) -> Result<usize, ServeError> {
+        Ok(self.state(seq)?.len)
+    }
+
+    /// Registers a new session on every (rank, layer) cache.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::SequenceExists`] if the session is already being
+    /// served — the typed replacement for the historical
+    /// `expect("fresh cache")` panic; cache errors if a rank's cache
+    /// already holds the sequence (a poisoned cache).
+    pub fn create_session(&mut self, seq: SeqId) -> Result<(), ServeError> {
+        if self.sessions.contains_key(&seq.0) {
+            return Err(ServeError::SequenceExists { seq });
+        }
+        for (r, rank) in self.ranks.iter().enumerate() {
+            let mut caches = lock_caches(rank);
+            for (l, cache) in caches.iter_mut().enumerate() {
+                if let Err(e) = cache.create_sequence(seq) {
+                    // Unwind the partial registration so a failed create
+                    // leaves no trace.
+                    for cache in caches.iter_mut().take(l) {
+                        let _ = cache.free_sequence(seq);
+                    }
+                    drop(caches);
+                    for rank in self.ranks.iter().take(r) {
+                        for cache in lock_caches(rank).iter_mut() {
+                            let _ = cache.free_sequence(seq);
+                        }
+                    }
+                    return Err(ServeError::Cache(e));
+                }
+            }
+        }
+        self.sessions.insert(seq.0, SessionState::default());
+        Ok(())
+    }
+
+    /// Frees a session and its pages on every (rank, layer) cache.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`] if `seq` is not being served.
+    pub fn free_session(&mut self, seq: SeqId) -> Result<(), ServeError> {
+        if self.sessions.remove(&seq.0).is_none() {
+            return Err(ServeError::UnknownSession { seq });
+        }
+        for rank in &self.ranks {
+            for cache in lock_caches(rank).iter_mut() {
+                let _ = cache.free_sequence(seq);
+            }
+        }
+        Ok(())
+    }
+
+    /// Occupancy statistics of every rank's layer-0 cache (all layers are
+    /// identical) — the memory-pressure signal the scheduler's eviction
+    /// policy watches.
+    pub fn cache_stats(&self) -> Vec<CacheStats> {
         self.ranks
             .iter()
-            .map(|r| {
-                r.lock()
-                    .expect("no rank thread running")
+            .map(|rank| {
+                lock_caches(rank)
                     .first()
-                    .map_or(0, |c| c.seq_len(SEQ).unwrap_or(0))
+                    .map(PagedKvCache::stats)
+                    .unwrap_or_default()
             })
             .collect()
     }
 
-    /// Prefills a user turn (full prefill on the first call, partial
-    /// prefill with persistent per-layer caches afterwards); the
-    /// Algorithm 1 heuristic picks the ring variant.
+    fn state(&self, seq: SeqId) -> Result<SessionState, ServeError> {
+        self.sessions
+            .get(&seq.0)
+            .copied()
+            .ok_or(ServeError::UnknownSession { seq })
+    }
+
+    /// Cached length of `seq` on rank `r` (layer 0; layers agree), with
+    /// cache errors **propagated** — a missing or poisoned sequence
+    /// surfaces as a typed error instead of silently reading as an empty
+    /// cache and feeding a wrong `(T, P)` point into the heuristic.
+    fn rank_len(&self, r: usize, seq: SeqId) -> Result<usize, ServeError> {
+        let rank = self.ranks.get(r).ok_or_else(|| {
+            ServeError::Core(CoreError::Internal {
+                detail: format!("rank {r} out of range for world {}", self.n_ranks),
+            })
+        })?;
+        let caches = lock_caches(rank);
+        let cache = caches.first().ok_or_else(|| {
+            ServeError::Core(CoreError::Internal {
+                detail: "engine has no layers".to_string(),
+            })
+        })?;
+        cache.seq_len(seq).map_err(ServeError::Cache)
+    }
+
+    fn rank_lens(&self, seq: SeqId) -> Result<Vec<usize>, ServeError> {
+        (0..self.n_ranks).map(|r| self.rank_len(r, seq)).collect()
+    }
+
+    /// Per-rank cached-token counts of the default session (layer 0; all
+    /// layers are identical). Zeros before the first turn.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cache inconsistencies (a registered session missing
+    /// from a rank's cache).
+    pub fn rank_kv_lens(&self) -> Result<Vec<usize>, ServeError> {
+        if !self.sessions.contains_key(&DEFAULT_SEQ.0) {
+            return Ok(vec![0; self.n_ranks]);
+        }
+        self.rank_lens(DEFAULT_SEQ)
+    }
+
+    /// Per-rank cached-token counts of one session.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`] for an unregistered session; cache
+    /// errors are propagated.
+    pub fn rank_kv_lens_for(&self, seq: SeqId) -> Result<Vec<usize>, ServeError> {
+        self.state(seq)?;
+        self.rank_lens(seq)
+    }
+
+    fn ensure_default_session(&mut self) -> Result<(), ServeError> {
+        if self.sessions.contains_key(&DEFAULT_SEQ.0) {
+            return Ok(());
+        }
+        self.create_session(DEFAULT_SEQ)
+    }
+
+    /// Prefills a user turn of the default session (full prefill on the
+    /// first call, partial prefill with persistent per-layer caches
+    /// afterwards); the Algorithm 1 heuristic picks the ring variant.
     ///
     /// # Errors
     ///
     /// Propagates layer, cache and communication failures.
-    pub fn prefill(&mut self, tokens: &[u32]) -> Result<ServeOutcome, CoreError> {
+    pub fn prefill(&mut self, tokens: &[u32]) -> Result<ServeOutcome, ServeError> {
         self.prefill_with(tokens, None)
     }
 
@@ -246,24 +469,140 @@ impl TransformerEngine {
         &mut self,
         tokens: &[u32],
         forced: Option<RingVariant>,
-    ) -> Result<ServeOutcome, CoreError> {
-        let p = self.len;
+    ) -> Result<ServeOutcome, ServeError> {
+        self.ensure_default_session()?;
+        self.prefill_session_with(DEFAULT_SEQ, tokens, forced)
+    }
+
+    /// One-shot prefill of a turn for an explicit session.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`] for an unregistered session, plus
+    /// layer, cache and communication failures.
+    pub fn prefill_session(
+        &mut self,
+        seq: SeqId,
+        tokens: &[u32],
+    ) -> Result<ServeOutcome, ServeError> {
+        self.prefill_session_with(seq, tokens, None)
+    }
+
+    /// [`TransformerEngine::prefill_session`] with a forced ring variant.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TransformerEngine::prefill_session`].
+    pub fn prefill_session_with(
+        &mut self,
+        seq: SeqId,
+        tokens: &[u32],
+        forced: Option<RingVariant>,
+    ) -> Result<ServeOutcome, ServeError> {
+        let mut turn = self.begin_prefill(seq, tokens, forced)?;
+        self.prefill_chunk(&mut turn, tokens.len().max(1))
+    }
+
+    /// Opens a prefill turn: validates the session against the per-rank
+    /// caches, fixes the whole turn's 2N-chunk sharding, and runs the
+    /// Algorithm 1 heuristic **once** on the turn's full `(T, P)` — the
+    /// chunk schedule is an execution detail, not an algorithmic one.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`] for an unregistered session;
+    /// [`ServeError::SessionDesync`] (or a propagated cache error) when
+    /// the per-rank caches disagree with the session table — the poisoned
+    /// state that previously read as "empty cache" and flipped the
+    /// variant heuristic.
+    pub fn begin_prefill(
+        &mut self,
+        seq: SeqId,
+        tokens: &[u32],
+        forced: Option<RingVariant>,
+    ) -> Result<PrefillTurn, ServeError> {
+        let state = self.state(seq)?;
+        let p = state.len;
+        let cached: usize = self.rank_lens(seq)?.iter().sum();
+        if cached != p {
+            return Err(ServeError::SessionDesync {
+                seq,
+                expected: p,
+                actual: cached,
+            });
+        }
         let t = tokens.len();
-        let n = self.n_ranks;
-        let shards = shard_new_tokens(p, t, n)?;
+        let mut shards = shard_new_tokens(p, t, self.n_ranks)?;
+        // Per-rank positions must ascend so chunked appends land in the
+        // same per-rank order as the one-shot append (the chunk-prefix
+        // property behind bitwise chunk == one-shot).
+        for shard in &mut shards {
+            shard.sort_unstable();
+        }
         let variant = forced
             .unwrap_or_else(|| choose_variant(HeuristicKind::Threshold, &self.heuristic_ctx, t, p));
+        Ok(PrefillTurn {
+            seq,
+            tokens: tokens.to_vec(),
+            base: p,
+            shards,
+            variant,
+            next: 0,
+        })
+    }
+
+    /// Executes the next `max_tokens`-token chunk of an open turn (the
+    /// final chunk may be shorter; an empty turn runs one empty chunk).
+    /// Returns the chunk's activations `[c, D]`; concatenating every
+    /// chunk's activations reproduces the one-shot prefill bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::SessionDesync`] if the session advanced since
+    /// [`TransformerEngine::begin_prefill`] (e.g. a decode tick ran for
+    /// the same session mid-turn); layer, cache and communication
+    /// failures roll the chunk back and propagate.
+    pub fn prefill_chunk(
+        &mut self,
+        turn: &mut PrefillTurn,
+        max_tokens: usize,
+    ) -> Result<ServeOutcome, ServeError> {
+        let state = self.state(turn.seq)?;
+        if state.len != turn.base + turn.next {
+            return Err(ServeError::SessionDesync {
+                seq: turn.seq,
+                expected: turn.base + turn.next,
+                actual: state.len,
+            });
+        }
+        let n = self.n_ranks;
+        let seq = turn.seq;
+        let c = max_tokens.min(turn.remaining());
+        let start = turn.base + turn.next;
+        let end = start + c;
+
+        // This chunk's slice of the turn's per-rank positions (ascending,
+        // so each chunk is a contiguous window per rank).
+        let chunk_shards: Vec<Vec<usize>> = turn
+            .shards
+            .iter()
+            .map(|shard| {
+                let lo = shard.partition_point(|&pos| pos < start);
+                let hi = shard.partition_point(|&pos| pos < end);
+                shard[lo..hi].to_vec()
+            })
+            .collect();
+
+        // Snapshot per-rank cache lengths (identical across layers) so a
+        // failed chunk rolls back instead of leaving partial layer
+        // appends; errors propagate (no silent "empty cache" reads).
+        let snapshot = self.rank_lens(seq)?;
 
         // §3.5.2 padding target: the longest (cache + new) length.
-        let ring_len = (0..n)
-            .map(|r| {
-                let cached = self.ranks[r]
-                    .lock()
-                    .expect("no rank thread running")
-                    .first()
-                    .map_or(0, |c| c.seq_len(SEQ).unwrap_or(0));
-                cached + shards[r].len()
-            })
+        let ring_len = snapshot
+            .iter()
+            .zip(&chunk_shards)
+            .map(|(&cached, shard)| cached + shard.len())
             .max()
             .unwrap_or(0);
 
@@ -272,18 +611,22 @@ impl TransformerEngine {
         let params = *self.model.attention_params();
         let model = &self.model;
         let ranks = &self.ranks;
-        let shards_ref = &shards;
+        let shards_ref = &chunk_shards;
+        let variant = turn.variant;
+        let base = turn.base;
+        let tokens = &turn.tokens;
 
         // Declared schedule for checked mode: plans depend only on shapes,
         // so zero tensors of the per-rank geometry reproduce exactly what
         // each layer's ring loop will put on the wire.
         let plan = if self.check_schedules {
             let dh = shape.head_dim();
-            let locals: Vec<Vec<LocalSeq>> = (0..n)
-                .map(|r| {
+            let locals: Vec<Vec<LocalSeq>> = chunk_shards
+                .iter()
+                .map(|shard| {
                     vec![LocalSeq {
-                        q: Tensor::zeros(&[shards[r].len(), shape.n_heads(), dh]),
-                        q_pos: shards[r].clone(),
+                        q: Tensor::zeros(&[shard.len(), shape.n_heads(), dh]),
+                        q_pos: shard.clone(),
                         k: Tensor::zeros(&[ring_len, shape.n_kv_heads(), dh]),
                         v: Tensor::zeros(&[ring_len, shape.n_kv_heads(), dh]),
                         kv_pos: vec![PAD; ring_len],
@@ -299,18 +642,6 @@ impl TransformerEngine {
             None
         };
 
-        // Snapshot per-rank cache lengths (identical across layers) so a
-        // failed turn rolls back instead of leaving partial layer appends.
-        let snapshot: Vec<usize> = (0..n)
-            .map(|r| {
-                self.ranks[r]
-                    .lock()
-                    .expect("no rank thread running")
-                    .first()
-                    .map_or(0, |c| c.seq_len(SEQ).unwrap_or(0))
-            })
-            .collect();
-
         // Projections and norms run on the rank's persistent compute pool
         // (the same pool the ring attention kernels use), so GEMM
         // row-bands and ring compute share one set of worker threads.
@@ -319,11 +650,14 @@ impl TransformerEngine {
         let body = move |comm: &cp_comm::Communicator<RingMsg>| {
             let r = comm.rank();
             let pool = comm.pool();
-            let positions = &shards_ref[r];
-            let local_tokens: Vec<u32> = positions.iter().map(|&pos| tokens[pos - p]).collect();
+            let positions = shards_ref.get(r).map(Vec::as_slice).unwrap_or(&[]);
+            let local_tokens: Vec<u32> = positions
+                .iter()
+                .filter_map(|&pos| tokens.get(pos - base).copied())
+                .collect();
             let t_local = positions.len();
             let dh = shape.head_dim();
-            let mut caches = ranks[r].lock().expect("one thread per rank");
+            let mut caches = lock_caches(&ranks[r]);
             let mut x = model.embed(&local_tokens);
             for (l, block) in model.blocks().iter().enumerate() {
                 let h = rms_norm_on(pool, &x, config.norm_eps)?;
@@ -344,19 +678,19 @@ impl TransformerEngine {
                 ])?;
                 apply_rope(&mut q, positions, config.rope_base)?;
                 apply_rope(&mut k, positions, config.rope_base)?;
-                caches[l].append(SEQ, &k, &v, positions)?;
+                caches[l].append(seq, &k, &v, positions)?;
 
                 let attn = match variant {
                     // Pass-KV circulates KV on the wire, so it must
                     // materialize (and pad to the ring geometry).
                     RingVariant::PassKv => {
-                        let (ck, cv, mut cpos) = caches[l].gather(SEQ)?;
+                        let (ck, cv, mut cpos) = caches[l].gather(seq)?;
                         let ck = ck.pad_dim0(ring_len, 0.0)?;
                         let cv = cv.pad_dim0(ring_len, 0.0)?;
                         cpos.resize(ring_len, PAD);
                         let local = LocalSeq {
                             q,
-                            q_pos: positions.clone(),
+                            q_pos: positions.to_vec(),
                             k: ck,
                             v: cv,
                             kv_pos: cpos,
@@ -368,23 +702,25 @@ impl TransformerEngine {
                     RingVariant::PassQ => {
                         let queries = [SeqQ {
                             q,
-                            pos: positions.clone(),
+                            pos: positions.to_vec(),
                         }];
                         let kv = if gather_hot {
-                            let (ck, cv, cpos) = caches[l].gather(SEQ)?;
+                            let (ck, cv, cpos) = caches[l].gather(seq)?;
                             [RankKv::tensors(SeqKv {
                                 k: ck,
                                 v: cv,
                                 pos: cpos,
                             })]
                         } else {
-                            [RankKv::View(caches[l].view(SEQ)?)]
+                            [RankKv::View(caches[l].view(seq)?)]
                         };
                         ring_pass_q_prefill_kv(comm, &params, &queries, &kv)?
                     }
                 }
                 .pop()
-                .expect("one sequence in, one out");
+                .ok_or_else(|| CoreError::Internal {
+                    detail: "ring returned no output for the rank's sequence".to_string(),
+                })?;
                 let attn_flat = attn.out.reshape(&[t_local, config.model_dim()])?;
                 x.add_assign(&project(reference, pool, &block.wo, &attn_flat)?)?;
                 let h = rms_norm_on(pool, &x, config.norm_eps)?;
@@ -401,24 +737,26 @@ impl TransformerEngine {
         let (outputs, traffic) = match ring_result {
             Ok(v) => v,
             Err(e) => {
-                for (r, &len) in snapshot.iter().enumerate() {
-                    let mut caches = self.ranks[r].lock().expect("threads joined");
-                    for c in caches.iter_mut() {
-                        let _ = c.truncate(SEQ, len);
+                for (rank, &len) in self.ranks.iter().zip(&snapshot) {
+                    for cache in lock_caches(rank).iter_mut() {
+                        let _ = cache.truncate(seq, len);
                     }
                 }
-                return Err(e);
+                return Err(ServeError::Core(e));
             }
         };
 
         // Un-shard to original order.
-        let mut out = Tensor::zeros(&[t, config.model_dim()]);
-        for (r, rank_out) in outputs.iter().enumerate() {
-            for (row, &pos) in shards[r].iter().enumerate() {
-                out.row_mut(pos - p).copy_from_slice(rank_out.row(row));
+        let mut out = Tensor::zeros(&[c, config.model_dim()]);
+        for (shard, rank_out) in chunk_shards.iter().zip(&outputs) {
+            for (row, &pos) in shard.iter().enumerate() {
+                out.row_mut(pos - start).copy_from_slice(rank_out.row(row));
             }
         }
-        self.len += t;
+        turn.next += c;
+        if let Some(state) = self.sessions.get_mut(&seq.0) {
+            state.len += c;
+        }
         Ok(ServeOutcome {
             activations: out,
             variant: Some(variant),
@@ -426,33 +764,120 @@ impl TransformerEngine {
         })
     }
 
-    /// Decodes one token: its KV lands on the rotating round-robin rank
-    /// (§3.6); each layer's attention is a batched ring pass-Q decode.
+    /// Decodes one token of the default session: its KV lands on the
+    /// rotating round-robin rank (§3.6); each layer's attention is a
+    /// batched ring pass-Q decode.
     ///
     /// # Errors
     ///
     /// Propagates layer, cache and communication failures.
-    pub fn decode(&mut self, token: u32) -> Result<ServeOutcome, CoreError> {
+    pub fn decode(&mut self, token: u32) -> Result<ServeOutcome, ServeError> {
+        self.ensure_default_session()?;
+        let mut outcome = self.decode_batch(&[(DEFAULT_SEQ, token)])?;
+        let activations = outcome.activations.pop().ok_or_else(|| {
+            ServeError::Core(CoreError::Internal {
+                detail: "decode batch of one produced no output".to_string(),
+            })
+        })?;
+        Ok(ServeOutcome {
+            activations,
+            variant: None,
+            traffic: outcome.traffic,
+        })
+    }
+
+    /// One fused batched decode tick: every `(session, token)` pair
+    /// contributes exactly one new token; each session's KV lands on its
+    /// **own** rotating round-robin rank (per-session step counters keep
+    /// the rotation independent of batch composition), owner ranks run
+    /// their projections batched over all owned tokens, and each layer's
+    /// attention is one batched ring pass-Q decode over every session in
+    /// the batch.
+    ///
+    /// Per-session outputs are bit-identical to decoding each session
+    /// alone: attention is per-slot over that session's caches, and the
+    /// batched GEMMs are row-independent.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty batches and duplicate sessions; unknown sessions
+    /// surface as [`ServeError::UnknownSession`]; layer, cache and
+    /// communication failures roll the tick back and propagate.
+    pub fn decode_batch(
+        &mut self,
+        batch: &[(SeqId, u32)],
+    ) -> Result<DecodeBatchOutcome, ServeError> {
         let n = self.n_ranks;
-        let pos = self.len;
-        let owner = self.decode_step % n;
+        if batch.is_empty() {
+            return Err(ServeError::Core(CoreError::BadRequest {
+                reason: "decode batch is empty".to_string(),
+            }));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for (seq, _) in batch {
+            if !seen.insert(seq.0) {
+                return Err(ServeError::Core(CoreError::BadRequest {
+                    reason: format!("session {seq} appears twice in one decode batch"),
+                }));
+            }
+        }
+
+        // Per-session owner assignment: each session's own decode counter
+        // drives its §3.6 rotation.
+        let owners: Vec<usize> = batch
+            .iter()
+            .map(|&(seq, _)| Ok(self.state(seq)?.decode_step % n))
+            .collect::<Result<_, ServeError>>()?;
+        let (per_rank_bids, slots_per_rank) = decode_slot_layout(&owners, n)?;
+
+        // (bid, token, position, session) per rank, in slot order.
+        let assigned: Vec<Vec<(usize, u32, usize, SeqId)>> = per_rank_bids
+            .iter()
+            .map(|bids| {
+                bids.iter()
+                    .map(|&b| {
+                        let (seq, token) = batch[b];
+                        Ok((b, token, self.state(seq)?.len, seq))
+                    })
+                    .collect::<Result<_, ServeError>>()
+            })
+            .collect::<Result<_, ServeError>>()?;
+
+        // Snapshot each owner's cache length for failure rollback (only
+        // owners append during decode); errors propagate.
+        let snapshots: Vec<(usize, SeqId, usize)> = batch
+            .iter()
+            .zip(&owners)
+            .map(|(&(seq, _), &owner)| Ok((owner, seq, self.rank_len(owner, seq)?)))
+            .collect::<Result<_, ServeError>>()?;
 
         let config = *self.model.config();
         let shape = config.shape;
         let params = *self.model.attention_params();
         let model = &self.model;
         let ranks = &self.ranks;
+        let assigned_ref = &assigned;
+        let batch_seqs: Vec<SeqId> = batch.iter().map(|&(seq, _)| seq).collect();
+        let batch_seqs_ref = &batch_seqs;
 
         // Declared schedule for checked mode: decode traffic depends only
         // on which ranks own live slots, not on cache contents.
         let plan = if self.check_schedules {
-            let slots: Vec<Vec<Option<DecodeSlot>>> = (0..n)
-                .map(|r| {
-                    vec![(r == owner).then(|| DecodeSlot {
-                        bid: 0,
-                        q: Tensor::zeros(&[1, shape.n_heads(), shape.head_dim()]),
-                        pos,
-                    })]
+            let slots: Vec<Vec<Option<DecodeSlot>>> = assigned
+                .iter()
+                .map(|owned| {
+                    let mut rank_slots: Vec<Option<DecodeSlot>> = owned
+                        .iter()
+                        .map(|&(bid, _, pos, _)| {
+                            Some(DecodeSlot {
+                                bid,
+                                q: Tensor::zeros(&[1, shape.n_heads(), shape.head_dim()]),
+                                pos,
+                            })
+                        })
+                        .collect();
+                    rank_slots.resize(slots_per_rank, None);
+                    rank_slots
                 })
                 .collect();
             Some(stacked_plan(decode_plan(&params, &slots)?, config.n_layers))
@@ -460,69 +885,79 @@ impl TransformerEngine {
             None
         };
 
-        // Snapshot the owner's cache length for failure rollback (only the
-        // owner appends during decode).
-        let owner_len = self.ranks[owner]
-            .lock()
-            .expect("no rank thread running")
-            .first()
-            .map_or(0, |c| c.seq_len(SEQ).unwrap_or(0));
-
         let reference = self.reference_gemm;
         let gather_hot = self.gather_hot_kv;
         let body = move |comm: &cp_comm::Communicator<RingMsg>| {
             let r = comm.rank();
             let pool = comm.pool();
-            let mut caches = ranks[r].lock().expect("one thread per rank");
+            let mut caches = lock_caches(&ranks[r]);
             let dh = shape.head_dim();
-            let mut x = if r == owner {
-                Some(model.embed(&[token]))
-            } else {
-                None
-            };
+            let owned: &[(usize, u32, usize, SeqId)] =
+                assigned_ref.get(r).map(Vec::as_slice).unwrap_or(&[]);
+            let b = owned.len();
+            let positions: Vec<usize> = owned.iter().map(|&(_, _, pos, _)| pos).collect();
+            let tokens: Vec<u32> = owned.iter().map(|&(_, token, _, _)| token).collect();
+            let mut x = (b > 0).then(|| model.embed(&tokens));
             for (l, block) in model.blocks().iter().enumerate() {
-                // The owner projects the new token and appends its KV.
-                let slot = if let Some(x_ref) = &x {
+                // Owner ranks project all their owned tokens in one
+                // batched GEMM (continuous batching's arithmetic-intensity
+                // win) and append each token's KV to its session.
+                let mut slots: Vec<Option<DecodeSlot>> = Vec::with_capacity(slots_per_rank);
+                if let Some(x_ref) = &x {
                     let h = rms_norm_on(pool, x_ref, config.norm_eps)?;
-                    let mut q = project(reference, pool, &block.wq, &h)?.reshape(&[
-                        1,
+                    let mut q_all = project(reference, pool, &block.wq, &h)?.reshape(&[
+                        b,
                         shape.n_heads(),
                         dh,
                     ])?;
-                    let mut k = project(reference, pool, &block.wk, &h)?.reshape(&[
-                        1,
+                    let mut k_all = project(reference, pool, &block.wk, &h)?.reshape(&[
+                        b,
                         shape.n_kv_heads(),
                         dh,
                     ])?;
-                    let v = project(reference, pool, &block.wv, &h)?.reshape(&[
-                        1,
+                    let v_all = project(reference, pool, &block.wv, &h)?.reshape(&[
+                        b,
                         shape.n_kv_heads(),
                         dh,
                     ])?;
-                    apply_rope(&mut q, &[pos], config.rope_base)?;
-                    apply_rope(&mut k, &[pos], config.rope_base)?;
-                    caches[l].append(SEQ, &k, &v, &[pos])?;
-                    Some(DecodeSlot { bid: 0, q, pos })
-                } else {
-                    None
-                };
+                    apply_rope(&mut q_all, &positions, config.rope_base)?;
+                    apply_rope(&mut k_all, &positions, config.rope_base)?;
+                    for (j, &(bid, _, pos, seq)) in owned.iter().enumerate() {
+                        let k_j = k_all.slice_dim0(j..j + 1)?;
+                        let v_j = v_all.slice_dim0(j..j + 1)?;
+                        caches[l].append(seq, &k_j, &v_j, &[pos])?;
+                        slots.push(Some(DecodeSlot {
+                            bid,
+                            q: q_all.slice_dim0(j..j + 1)?,
+                            pos,
+                        }));
+                    }
+                }
+                slots.resize_with(slots_per_rank, || None);
                 // The decode hot path: every rank attends over its own
-                // resident cache. The zero-copy view keeps the per-step
-                // cost at O(pages) instead of an O(context) gather copy.
-                let batch_kv = if gather_hot {
-                    let (ck, cv, cpos) = caches[l].gather(SEQ)?;
-                    [RankKv::tensors(SeqKv {
-                        k: ck,
-                        v: cv,
-                        pos: cpos,
-                    })]
-                } else {
-                    [RankKv::View(caches[l].view(SEQ)?)]
-                };
-                let outs = ring_pass_q_decode_kv(comm, &params, &[slot], &batch_kv)?;
+                // resident cache of every batched session. The zero-copy
+                // views keep the per-step cost at O(pages) instead of an
+                // O(context) gather copy.
+                let mut batch_kv: Vec<RankKv<'_>> = Vec::with_capacity(batch_seqs_ref.len());
+                for &seq in batch_seqs_ref {
+                    batch_kv.push(if gather_hot {
+                        let (ck, cv, cpos) = caches[l].gather(seq)?;
+                        RankKv::tensors(SeqKv {
+                            k: ck,
+                            v: cv,
+                            pos: cpos,
+                        })
+                    } else {
+                        RankKv::View(caches[l].view(seq)?)
+                    });
+                }
+                let outs = ring_pass_q_decode_kv(comm, &params, &slots, &batch_kv)?;
                 if let Some(x_val) = x.take() {
-                    let attn = outs.into_iter().next().expect("owner has one slot");
-                    let attn_flat = attn.out.reshape(&[1, config.model_dim()])?;
+                    let rows = outs
+                        .into_iter()
+                        .map(|attn| attn.out.reshape(&[1, config.model_dim()]))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    let attn_flat = Tensor::concat_dim0(rows.iter())?;
                     let mut x_new = x_val;
                     x_new.add_assign(&project(reference, pool, &block.wo, &attn_flat)?)?;
                     let h = rms_norm_on(pool, &x_new, config.norm_eps)?;
@@ -544,25 +979,160 @@ impl TransformerEngine {
         let (outputs, traffic) = match ring_result {
             Ok(v) => v,
             Err(e) => {
-                let mut caches = self.ranks[owner].lock().expect("threads joined");
-                for c in caches.iter_mut() {
-                    let _ = c.truncate(SEQ, owner_len);
+                for &(owner, seq, len) in &snapshots {
+                    if let Some(rank) = self.ranks.get(owner) {
+                        for cache in lock_caches(rank).iter_mut() {
+                            let _ = cache.truncate(seq, len);
+                        }
+                    }
                 }
-                return Err(e);
+                return Err(ServeError::Core(e));
             }
         };
 
-        let activations = outputs
+        // Scatter each rank's rows back to batch order.
+        let mut activations: Vec<Option<Tensor>> = vec![None; batch.len()];
+        for (owned, rank_out) in assigned.iter().zip(&outputs) {
+            if let Some(rows) = rank_out {
+                for (j, &(bid, ..)) in owned.iter().enumerate() {
+                    if let Some(slot) = activations.get_mut(bid) {
+                        *slot = Some(rows.slice_dim0(j..j + 1)?);
+                    }
+                }
+            }
+        }
+        let activations = activations
             .into_iter()
-            .flatten()
-            .next()
-            .expect("exactly one owner rank produced output");
-        self.len += 1;
-        self.decode_step += 1;
-        Ok(ServeOutcome {
+            .map(|a| {
+                a.ok_or_else(|| {
+                    ServeError::Core(CoreError::Internal {
+                        detail: "a decode slot produced no output".to_string(),
+                    })
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        for &(seq, _) in batch {
+            if let Some(state) = self.sessions.get_mut(&seq.0) {
+                state.len += 1;
+                state.decode_step += 1;
+            }
+        }
+        Ok(DecodeBatchOutcome {
             activations,
-            variant: None,
             traffic,
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_kvcache::CacheError;
+    use cp_model::TransformerConfig;
+
+    fn model(seed: u64) -> Transformer {
+        Transformer::new(&TransformerConfig::tiny(), seed)
+    }
+
+    #[test]
+    fn duplicate_session_is_a_typed_error_not_a_panic() {
+        // Regression: the seed engine ran `create_sequence(SEQ)
+        // .expect("fresh cache")` and panicked when a sequence already
+        // existed; a duplicate create must now surface as
+        // `ServeError::SequenceExists`.
+        let mut engine = TransformerEngine::new(model(1), 2).unwrap();
+        engine.create_session(SeqId(5)).unwrap();
+        let err = engine.create_session(SeqId(5)).unwrap_err();
+        assert_eq!(err, ServeError::SequenceExists { seq: SeqId(5) });
+        // The engine keeps serving.
+        engine.prefill_session(SeqId(5), &[1, 2, 3]).unwrap();
+        assert_eq!(engine.session_len(SeqId(5)).unwrap(), 3);
+    }
+
+    #[test]
+    fn unknown_session_is_typed() {
+        let mut engine = TransformerEngine::new(model(2), 2).unwrap();
+        let err = engine.prefill_session(SeqId(9), &[1]).unwrap_err();
+        assert_eq!(err, ServeError::UnknownSession { seq: SeqId(9) });
+        assert!(matches!(
+            engine.free_session(SeqId(9)).unwrap_err(),
+            ServeError::UnknownSession { .. }
+        ));
+        assert!(engine.session_len(SeqId(9)).is_err());
+        assert!(engine.rank_kv_lens_for(SeqId(9)).is_err());
+    }
+
+    #[test]
+    fn poisoned_sequence_surfaces_as_serve_error_not_wrong_variant() {
+        // Regression for the `seq_len(SEQ).unwrap_or(0)` pattern: a cache
+        // mutated behind the session table's back used to read as "empty
+        // cache", silently feeding t = 0 / p = 0 into `choose_variant`.
+        // Now the next turn fails with a typed cache error before any
+        // ring work runs.
+        let mut engine = TransformerEngine::new(model(3), 2).unwrap();
+        engine.prefill(&[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        // Poison: drop the sequence from rank 0's caches directly.
+        for cache in lock_caches(&engine.ranks[0]).iter_mut() {
+            cache.free_sequence(DEFAULT_SEQ).unwrap();
+        }
+        let err = engine.prefill(&[9, 10]).unwrap_err();
+        assert!(
+            matches!(err, ServeError::Cache(CacheError::UnknownSequence { .. })),
+            "got {err:?}"
+        );
+        assert!(engine.rank_kv_lens().is_err());
+        let err = engine.decode(11).unwrap_err();
+        assert!(
+            matches!(err, ServeError::Cache(CacheError::UnknownSequence { .. })),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn desynced_session_table_is_detected() {
+        // Truncating a rank's cache behind the engine's back leaves the
+        // session table claiming more tokens than the caches hold: the
+        // next turn must refuse with SessionDesync, not run the heuristic
+        // on a wrong (T, P).
+        let mut engine = TransformerEngine::new(model(4), 2).unwrap();
+        engine.prefill(&[1, 2, 3, 4, 5, 6]).unwrap();
+        for cache in lock_caches(&engine.ranks[1]).iter_mut() {
+            cache.truncate(DEFAULT_SEQ, 0).unwrap();
+        }
+        let err = engine.prefill(&[7]).unwrap_err();
+        assert!(matches!(err, ServeError::SessionDesync { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn free_session_releases_pages_for_reuse() {
+        let mut engine = TransformerEngine::with_cache_limit(model(5), 2, Some(1)).unwrap();
+        engine.create_session(SeqId(1)).unwrap();
+        engine
+            .prefill_session(SeqId(1), &(0..20u32).collect::<Vec<_>>())
+            .unwrap();
+        // A second session cannot fit while the first holds every page.
+        engine.create_session(SeqId(2)).unwrap();
+        let err = engine
+            .prefill_session(SeqId(2), &(0..20u32).collect::<Vec<_>>())
+            .unwrap_err();
+        assert!(err.is_out_of_pages(), "{err:?}");
+        // Evicting the first frees its pages; the second now fits.
+        engine.free_session(SeqId(1)).unwrap();
+        engine
+            .prefill_session(SeqId(2), &(0..20u32).collect::<Vec<_>>())
+            .unwrap();
+        assert_eq!(engine.session_len(SeqId(2)).unwrap(), 20);
+        assert!(!engine.has_session(SeqId(1)));
+    }
+
+    #[test]
+    fn sessions_are_listed_in_order() {
+        let mut engine = TransformerEngine::new(model(6), 1).unwrap();
+        for id in [4u64, 1, 3] {
+            engine.create_session(SeqId(id)).unwrap();
+        }
+        assert_eq!(engine.sessions(), vec![SeqId(1), SeqId(3), SeqId(4)]);
+        assert_eq!(engine.cache_stats().len(), 1);
     }
 }

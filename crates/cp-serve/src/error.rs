@@ -1,0 +1,185 @@
+//! Typed errors of the serving layer.
+//!
+//! The serving engine and scheduler never panic on request-level failures:
+//! duplicate sessions, unknown sessions, cache exhaustion and desyncs
+//! between the session table and the per-rank caches all surface as
+//! [`ServeError`] values the scheduler's policies (eviction, requeue) can
+//! act on.
+
+use std::error::Error;
+use std::fmt;
+
+use cp_core::CoreError;
+use cp_kvcache::{CacheError, SeqId};
+
+/// Error returned by the serving engine and scheduler.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// A session with this id is already being served — the typed
+    /// replacement for the engine's historical `expect("fresh cache")`
+    /// panic when a prefill was issued while a sequence existed.
+    SequenceExists {
+        /// The duplicated session id.
+        seq: SeqId,
+    },
+    /// The session id is not in the engine's session table.
+    UnknownSession {
+        /// The missing session id.
+        seq: SeqId,
+    },
+    /// The session table and the per-rank caches disagree about a
+    /// sequence's length — a poisoned session (e.g. a cache mutated
+    /// behind the engine's back, or a chunked prefill turn resumed after
+    /// other work touched the session). Surfaced instead of silently
+    /// feeding a wrong `(T, P)` point into the variant heuristic.
+    SessionDesync {
+        /// The inconsistent session.
+        seq: SeqId,
+        /// Length the session table expects.
+        expected: usize,
+        /// Length the caches actually hold.
+        actual: usize,
+    },
+    /// An engine-level failure (attention, communication, sharding, ...).
+    Core(CoreError),
+    /// A KV-cache failure (out of pages, unknown sequence, ...).
+    Cache(CacheError),
+}
+
+impl ServeError {
+    /// Whether this error is KV-cache page exhaustion — the condition the
+    /// scheduler's eviction policy reacts to.
+    ///
+    /// Cache errors raised *inside* a ring body cross the fabric boundary
+    /// stringified as a rank failure (`CommError::RankFailed`), so this
+    /// also recognizes page exhaustion from the failure's kind/detail.
+    pub fn is_out_of_pages(&self) -> bool {
+        match self {
+            ServeError::Cache(CacheError::OutOfPages { .. })
+            | ServeError::Core(CoreError::Cache(CacheError::OutOfPages { .. })) => true,
+            ServeError::Core(CoreError::Comm(cp_comm::CommError::RankFailed {
+                kind,
+                detail,
+                ..
+            })) => *kind == "kv-cache" && detail.contains("out of KV-cache pages"),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::SequenceExists { seq } => {
+                write!(f, "session {seq} already exists")
+            }
+            ServeError::UnknownSession { seq } => write!(f, "unknown session {seq}"),
+            ServeError::SessionDesync {
+                seq,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "session {seq} desynced: table says {expected} tokens, caches hold {actual}"
+            ),
+            ServeError::Core(e) => write!(f, "engine failure: {e}"),
+            ServeError::Cache(e) => write!(f, "cache failure: {e}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Core(e) => Some(e),
+            ServeError::Cache(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+impl From<CacheError> for ServeError {
+    fn from(e: CacheError) -> Self {
+        ServeError::Cache(e)
+    }
+}
+
+impl From<cp_sharding::ShardingError> for ServeError {
+    fn from(e: cp_sharding::ShardingError) -> Self {
+        ServeError::Core(CoreError::from(e))
+    }
+}
+
+impl From<cp_tensor::TensorError> for ServeError {
+    fn from(e: cp_tensor::TensorError) -> Self {
+        ServeError::Core(CoreError::from(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_session() {
+        assert!(ServeError::SequenceExists { seq: SeqId(7) }
+            .to_string()
+            .contains('7'));
+        assert!(ServeError::UnknownSession { seq: SeqId(3) }
+            .to_string()
+            .contains("unknown"));
+        assert!(ServeError::SessionDesync {
+            seq: SeqId(1),
+            expected: 5,
+            actual: 0
+        }
+        .to_string()
+        .contains("desync"));
+    }
+
+    #[test]
+    fn out_of_pages_detection() {
+        let oom = ServeError::Cache(CacheError::OutOfPages {
+            needed: 2,
+            available: 0,
+        });
+        assert!(oom.is_out_of_pages());
+        assert!(!ServeError::UnknownSession { seq: SeqId(0) }.is_out_of_pages());
+        let wrapped = ServeError::Core(CoreError::Cache(CacheError::OutOfPages {
+            needed: 1,
+            available: 0,
+        }));
+        assert!(wrapped.is_out_of_pages());
+        // The fabric stringifies in-ring cache errors into rank failures;
+        // the page-exhaustion signal must survive that boundary.
+        let oom = CacheError::OutOfPages {
+            needed: 2,
+            available: 0,
+        };
+        let rank_failed = ServeError::Core(CoreError::Comm(cp_comm::CommError::RankFailed {
+            rank: 1,
+            kind: "kv-cache",
+            detail: format!("kv-cache error: {oom}"),
+        }));
+        assert!(rank_failed.is_out_of_pages());
+        let other = ServeError::Core(CoreError::Comm(cp_comm::CommError::RankFailed {
+            rank: 1,
+            kind: "kv-cache",
+            detail: "kv-cache error: unknown sequence 3".to_string(),
+        }));
+        assert!(!other.is_out_of_pages());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServeError>();
+    }
+}

@@ -15,19 +15,27 @@
 //!   token's KV landing on the rotating round-robin rank (§3.6).
 //! * [`ReferenceSession`] — the single-device incremental transformer
 //!   (classic KV caching) every distributed trace is verified against.
+//! * [`Scheduler`] (the `cp-sched` layer, in [`mod@sched`]) — the serving
+//!   front-end: admission queue over timed traces, continuous batching of
+//!   decode across live sessions (one fused batched pass-Q decode per
+//!   tick), chunked prefill interleaved between decode ticks, and
+//!   evict-youngest restart-on-evict preemption under paged-KV pressure —
+//!   all failures typed ([`ServeError`]), never panics.
 //!
-//! The headline test: an arbitrary multi-turn conversation — prefills,
+//! The headline tests: an arbitrary multi-turn conversation — prefills,
 //! decodes, more prefills — produces bit-comparable activations on 1, 2,
 //! 3 and 4 ranks, and equals both the incremental reference and a
-//! from-scratch [`cp_model::Transformer::forward`] recompute.
+//! from-scratch [`cp_model::Transformer::forward`] recompute; chunked
+//! prefill and batched decode are **bit-identical** to their one-shot /
+//! solo counterparts.
 //!
 //! # Example
 //!
 //! ```
 //! use cp_model::{Transformer, TransformerConfig};
-//! use cp_serve::{ReferenceSession, TransformerEngine};
+//! use cp_serve::{ReferenceSession, ServeError, TransformerEngine};
 //!
-//! # fn main() -> Result<(), cp_core::CoreError> {
+//! # fn main() -> Result<(), ServeError> {
 //! let model = Transformer::new(&TransformerConfig::tiny(), 3);
 //! let mut engine = TransformerEngine::new(model.clone(), 2)?;
 //! let mut reference = ReferenceSession::new(model);
@@ -48,7 +56,11 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod error;
 mod reference;
+pub mod sched;
 
-pub use engine::{ServeOutcome, TransformerEngine};
+pub use engine::{DecodeBatchOutcome, PrefillTurn, ServeOutcome, TransformerEngine};
+pub use error::ServeError;
 pub use reference::ReferenceSession;
+pub use sched::{SchedConfig, Scheduler, ServeMetrics, TickReport};

@@ -80,7 +80,7 @@ proptest! {
             }
             total += chunk.len();
         }
-        let lens = engine.rank_kv_lens();
+        let lens = engine.rank_kv_lens().unwrap();
         prop_assert_eq!(lens.iter().sum::<usize>(), total);
         let max = *lens.iter().max().unwrap();
         let min = *lens.iter().min().unwrap();

@@ -69,11 +69,11 @@ fn both_prefill_variants_are_exact_against_persistent_cache() {
 fn decode_rotation_balances_per_layer_caches() {
     let mut engine = TransformerEngine::new(model(5), 4).unwrap();
     engine.prefill(&[0; 8]).unwrap();
-    let before = engine.rank_kv_lens();
+    let before = engine.rank_kv_lens().unwrap();
     for i in 0..20 {
         engine.decode(i).unwrap();
     }
-    let after = engine.rank_kv_lens();
+    let after = engine.rank_kv_lens().unwrap();
     let grown: Vec<usize> = after.iter().zip(&before).map(|(a, b)| a - b).collect();
     assert_eq!(grown, vec![5; 4], "decode KV growth must rotate evenly");
 }
@@ -116,11 +116,11 @@ fn failed_turn_rolls_back_all_layer_caches() {
     // overflows mid-layer; every layer cache must rewind to the snapshot.
     let mut engine = TransformerEngine::with_cache_limit(model(12), 2, Some(1)).unwrap();
     engine.prefill(&(0..12u32).collect::<Vec<_>>()).unwrap(); // 6/rank: fits
-    let before = engine.rank_kv_lens();
+    let before = engine.rank_kv_lens().unwrap();
     let big: Vec<u32> = (0..60).collect(); // 30/rank: overflows
     assert!(engine.prefill(&big).is_err());
     assert_eq!(engine.context_len(), 12);
-    assert_eq!(engine.rank_kv_lens(), before);
+    assert_eq!(engine.rank_kv_lens().unwrap(), before);
     // Still serviceable afterwards.
     let mut reference = ReferenceSession::new(model(12));
     reference.process(&(0..12u32).collect::<Vec<_>>()).unwrap();

@@ -11,7 +11,10 @@
 //! * [`context_sweep`] — the doubling context-length axis of Figures 6/8,
 //! * [`ConversationPlan`] / [`conversations`] — multi-turn chats with
 //!   configurable prompt/response length distributions,
-//! * [`varseq_lengths`] — fused variable-length batch shapes.
+//! * [`varseq_lengths`] — fused variable-length batch shapes,
+//! * [`timed_trace`] / [`TimedRequest`] — Poisson-arrival trace replay
+//!   (plus [`trace_token`] for the concrete token streams) feeding the
+//!   `cp-serve` scheduler's admission queue.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -124,6 +127,72 @@ pub fn conversations(seed: u64, n: usize, plan: &ConversationPlan) -> Vec<Conver
             }
         })
         .collect()
+}
+
+/// One request of a serving trace: a conversation plus its arrival time
+/// (abstract time units — the scheduler replays arrivals in order and the
+/// bench maps units to wall-clock).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedRequest {
+    /// Stable request id (also seeds the request's token stream via
+    /// [`trace_token`]).
+    pub id: u64,
+    /// Arrival time in abstract units, non-decreasing across the trace.
+    pub arrival: f64,
+    /// The conversation to serve.
+    pub conversation: Conversation,
+}
+
+/// Generates a Poisson-arrival serving trace: `n` conversations from
+/// `plan` with exponential inter-arrival times of mean
+/// `mean_interarrival`, deterministically from `seed`.
+///
+/// # Panics
+///
+/// Panics if any plan range is decreasing or `mean_interarrival` is not
+/// finite and non-negative.
+pub fn timed_trace(
+    seed: u64,
+    n: usize,
+    plan: &ConversationPlan,
+    mean_interarrival: f64,
+) -> Vec<TimedRequest> {
+    assert!(
+        mean_interarrival.is_finite() && mean_interarrival >= 0.0,
+        "mean inter-arrival must be finite and non-negative"
+    );
+    let convs = conversations(seed, n, plan);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA55A_5AA5_55AA_AA55);
+    let mut clock = 0.0;
+    convs
+        .into_iter()
+        .enumerate()
+        .map(|(i, conversation)| {
+            // Inverse-CDF exponential; u in [0, 1) keeps ln(1 - u) finite.
+            let u: f64 = rng.random_range(0.0..1.0);
+            clock += -mean_interarrival * (1.0 - u).ln();
+            TimedRequest {
+                id: i as u64,
+                arrival: clock,
+                conversation,
+            }
+        })
+        .collect()
+}
+
+/// The `index`-th token of request `request`'s deterministic token
+/// stream, in `[0, vocab)` — how trace replays synthesize concrete token
+/// ids (prompts and decoded continuations) without a tokenizer, stably
+/// across runs and engines.
+pub fn trace_token(request: u64, index: usize, vocab: u32) -> u32 {
+    // splitmix64 finalizer over (request, index).
+    let mut z = request
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((index as u64).wrapping_add(1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % u64::from(vocab.max(1))) as u32
 }
 
 /// Sequence lengths for a fused variable-length batch, uniform in
@@ -303,6 +372,38 @@ mod tests {
         assert!(!grid.contains(&(1000, 9000)));
         // Zero-t points are skipped.
         assert!(heuristic_fit_grid(&[0], &[1], 100).is_empty());
+    }
+
+    #[test]
+    fn timed_trace_is_deterministic_with_ordered_arrivals() {
+        let plan = ConversationPlan::short_chat();
+        let a = timed_trace(9, 20, &plan, 4.0);
+        assert_eq!(a, timed_trace(9, 20, &plan, 4.0));
+        assert_eq!(a.len(), 20);
+        // Arrivals are strictly positive and non-decreasing; ids are stable.
+        assert!(a[0].arrival > 0.0);
+        assert!(a.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        assert!(a.iter().enumerate().all(|(i, r)| r.id == i as u64));
+        // Conversations match the untimed generator (same seed).
+        let convs = conversations(9, 20, &plan);
+        assert!(a.iter().zip(&convs).all(|(r, c)| &r.conversation == c));
+        // Zero mean inter-arrival degenerates to all-at-once admission.
+        assert!(timed_trace(9, 5, &plan, 0.0)
+            .iter()
+            .all(|r| r.arrival == 0.0));
+    }
+
+    #[test]
+    fn trace_tokens_are_stable_in_vocab_and_spread() {
+        let a: Vec<u32> = (0..64).map(|i| trace_token(3, i, 128)).collect();
+        let b: Vec<u32> = (0..64).map(|i| trace_token(3, i, 128)).collect();
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&t| t < 128));
+        // Different requests get different streams.
+        let c: Vec<u32> = (0..64).map(|i| trace_token(4, i, 128)).collect();
+        assert_ne!(a, c);
+        // Degenerate vocab never divides by zero.
+        assert_eq!(trace_token(1, 1, 0), 0);
     }
 
     #[test]

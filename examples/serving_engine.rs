@@ -45,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         assert!(d.activations.approx_eq(&e, 5e-3)?);
         print!("{tok} ");
     }
-    println!("\nper-rank KV after decode: {:?}", engine.rank_kv_lens());
+    println!("\nper-rank KV after decode: {:?}", engine.rank_kv_lens()?);
 
     // Turn 2: a short follow-up against the persistent cache.
     let follow: Vec<u32> = vec![7, 8, 9];
@@ -62,7 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\ncontext: {} tokens, distributed {:?} across ranks — all exact to f32 noise",
         engine.context_len(),
-        engine.rank_kv_lens()
+        engine.rank_kv_lens()?
     );
     Ok(())
 }
