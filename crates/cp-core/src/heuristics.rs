@@ -183,44 +183,42 @@ pub fn fit_empirical(ctx: &SystemContext, grid: &[(usize, usize)]) -> (f64, f64,
             RingVariant::PassKv => 1.0,
             RingVariant::PassQ => -1.0,
         };
-        for i in 0..3 {
-            for j in 0..3 {
-                xtx[i][j] += x[i] * x[j];
+        for (row, &xi) in xtx.iter_mut().zip(&x) {
+            for (cell, &xj) in row.iter_mut().zip(&x) {
+                *cell += xi * xj;
             }
-            xty[i] += x[i] * label;
+        }
+        for (acc, &xi) in xty.iter_mut().zip(&x) {
+            *acc += xi * label;
         }
     }
     solve3(xtx, xty)
 }
 
-/// Solves a 3x3 linear system by Gaussian elimination with partial
-/// pivoting. Returns the solution as a tuple.
-#[allow(clippy::needless_range_loop)] // textbook Gaussian elimination reads clearer indexed
-fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> (f64, f64, f64) {
-    for col in 0..3 {
-        // Pivot.
-        let piv = (col..3)
-            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())
-            .unwrap();
-        a.swap(col, piv);
-        b.swap(col, piv);
-        let d = a[col][col];
-        for j in col..3 {
-            a[col][j] /= d;
-        }
-        b[col] /= d;
-        for row in 0..3 {
-            if row == col {
-                continue;
-            }
-            let f = a[row][col];
-            for j in col..3 {
-                a[row][j] -= f * a[col][j];
-            }
-            b[row] -= f * b[col];
-        }
-    }
-    (b[0], b[1], b[2])
+/// Solves a 3x3 linear system `A x = b` (rows of `a`) by Cramer's rule:
+/// direct determinant ratios over destructured columns, no pivoting, no
+/// element indexing. The normal-equation matrices fed in are symmetric
+/// positive definite for any non-degenerate feature grid, so the
+/// determinant is bounded away from zero.
+fn solve3(a: [[f64; 3]; 3], b: [f64; 3]) -> (f64, f64, f64) {
+    // Determinant of the matrix with columns `c0, c1, c2`.
+    let det3 = |c0: [f64; 3], c1: [f64; 3], c2: [f64; 3]| {
+        let [a11, a21, a31] = c0;
+        let [a12, a22, a32] = c1;
+        let [a13, a23, a33] = c2;
+        a11 * (a22 * a33 - a23 * a32) - a12 * (a21 * a33 - a23 * a31)
+            + a13 * (a21 * a32 - a22 * a31)
+    };
+    let [[a11, a12, a13], [a21, a22, a23], [a31, a32, a33]] = a;
+    let c0 = [a11, a21, a31];
+    let c1 = [a12, a22, a32];
+    let c2 = [a13, a23, a33];
+    let det = det3(c0, c1, c2);
+    (
+        det3(b, c1, c2) / det,
+        det3(c0, b, c2) / det,
+        det3(c0, c1, b) / det,
+    )
 }
 
 /// Fraction of grid points where `kind` agrees with the oracle.

@@ -275,6 +275,77 @@ pub fn all_gather_pass_kv_plan(locals: &[Vec<LocalSeq>]) -> Result<CommPlan, Cor
     Ok(CommPlan::from_ranks(ranks))
 }
 
+/// Declares a single-collective `AllReduce` schedule: every rank
+/// contributes `bytes[r]` wire bytes of `variant` payload and collects
+/// every peer's contribution for the deterministic fold. This is the plan
+/// behind cp-model's tensor-parallel column→row pairs (Table 2's AllReduce
+/// of `[t, D]` activations); callers derive `bytes` from the payload's
+/// `Wire` impl on a skeleton value.
+///
+/// # Errors
+///
+/// [`CoreError::BadRequest`] for an empty rank list.
+pub fn all_reduce_plan(variant: &'static str, bytes: &[usize]) -> Result<CommPlan, CoreError> {
+    let n = nonzero_world(bytes.len())?;
+    let ranks = (0..n)
+        .map(|r| {
+            Ok(RankPlan {
+                rank: r,
+                ops: vec![CommOp::AllReduce {
+                    variant,
+                    send_bytes: at(bytes, r)?,
+                    recv_bytes: bytes.to_vec(),
+                }],
+            })
+        })
+        .collect::<Result<_, CoreError>>()?;
+    Ok(CommPlan::from_ranks(ranks))
+}
+
+/// Declares a single-collective `AllGather` schedule: every rank
+/// broadcasts `bytes[r]` wire bytes of `variant` payload and collects one
+/// payload from each peer. Used by cp-model's TP attention to reassemble
+/// per-head outputs (§4.2.2).
+///
+/// # Errors
+///
+/// [`CoreError::BadRequest`] for an empty rank list.
+pub fn all_gather_plan(variant: &'static str, bytes: &[usize]) -> Result<CommPlan, CoreError> {
+    let n = nonzero_world(bytes.len())?;
+    let ranks = (0..n)
+        .map(|r| {
+            Ok(RankPlan {
+                rank: r,
+                ops: vec![CommOp::AllGather {
+                    variant,
+                    send_bytes: at(bytes, r)?,
+                    recv_bytes: bytes.to_vec(),
+                }],
+            })
+        })
+        .collect::<Result<_, CoreError>>()?;
+    Ok(CommPlan::from_ranks(ranks))
+}
+
+/// Repeats one layer's per-rank schedule `layers` times: a multi-layer
+/// forward issues exactly one ring schedule per transformer layer inside a
+/// single fabric session, so the session plan is the layer plan stacked.
+/// Shared by cp-serve's engine and cp-model's full-stack forward plan.
+pub fn stacked_plan(layer_plan: CommPlan, layers: usize) -> CommPlan {
+    let ranks = layer_plan
+        .ranks
+        .into_iter()
+        .map(|rp| {
+            let mut ops = Vec::with_capacity(rp.ops.len() * layers);
+            for _ in 0..layers {
+                ops.extend(rp.ops.iter().cloned());
+            }
+            RankPlan { rank: rp.rank, ops }
+        })
+        .collect();
+    CommPlan::from_ranks(ranks)
+}
+
 fn nonzero_world(n: usize) -> Result<usize, CoreError> {
     if n == 0 {
         return Err(CoreError::BadRequest {
@@ -544,6 +615,74 @@ mod tests {
             }
             other => panic!("expected PlanViolation at rank 1, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn collective_plans_declare_symmetric_gathers() {
+        let bytes = [16usize, 16, 16];
+        for (plan, kind) in [
+            (all_reduce_plan("payload", &bytes).unwrap(), "all_reduce"),
+            (all_gather_plan("payload", &bytes).unwrap(), "all_gather"),
+        ] {
+            assert_eq!(plan.world, 3);
+            for rp in &plan.ranks {
+                assert_eq!(rp.ops.len(), 1);
+                assert_eq!(rp.ops[0].kind(), kind);
+            }
+            // Sender-side metering: every rank broadcasts to n-1 peers.
+            assert_eq!(
+                plan.predicted_traffic().all_reduce.bytes
+                    + plan.predicted_traffic().all_gather.bytes,
+                16 * 3 * 2
+            );
+        }
+        assert!(matches!(
+            all_reduce_plan("payload", &[]),
+            Err(CoreError::BadRequest { .. })
+        ));
+        assert!(matches!(
+            all_gather_plan("payload", &[]),
+            Err(CoreError::BadRequest { .. })
+        ));
+    }
+
+    #[test]
+    fn checked_all_reduce_matches_live_fabric_traffic() {
+        use cp_comm::Wire;
+        let payload = vec![0.0f32; 6];
+        let bytes = vec![payload.wire_bytes(); 3];
+        let plan = all_reduce_plan("payload", &bytes).unwrap();
+        let predicted = plan.predicted_traffic();
+        let fabric = CheckedFabric::new(plan);
+        let (_, report) = fabric
+            .run::<Vec<f32>, _, _>(|comm| {
+                comm.all_reduce(vec![comm.rank() as f32; 6], |mut acc, m| {
+                    for (a, b) in acc.iter_mut().zip(m) {
+                        *a += b;
+                    }
+                    acc
+                })
+            })
+            .unwrap();
+        predicted.check_report(&report).unwrap();
+    }
+
+    #[test]
+    fn stacked_plan_repeats_each_rank_schedule() {
+        let p = params(2, 1, 4);
+        let locals = uniform_locals(3, 2, &p, 90);
+        let layer = pass_kv_plan(&locals).unwrap();
+        let stacked = stacked_plan(layer.clone(), 4);
+        assert_eq!(stacked.world, layer.world);
+        for (sp, lp) in stacked.ranks.iter().zip(&layer.ranks) {
+            assert_eq!(sp.ops.len(), 4 * lp.ops.len());
+            assert_eq!(&sp.ops[..lp.ops.len()], &lp.ops[..]);
+            assert_eq!(&sp.ops[3 * lp.ops.len()..], &lp.ops[..]);
+        }
+        assert_eq!(
+            stacked.predicted_traffic().send_recv.bytes,
+            4 * layer.predicted_traffic().send_recv.bytes
+        );
     }
 
     #[test]

@@ -8,6 +8,15 @@
 //! indexing (`x[i]`) and `.unwrap()` / `.expect(..)` calls, in non-test
 //! code.
 //!
+//! A second, workspace-wide rule rides on the same scanner: every
+//! **collective issue site** (`.send_recv(`, `.all_to_all(`,
+//! `.all_gather(`, `.all_reduce(`, `.isend_irecv(`, `.isend(`,
+//! `.irecv(`, `.barrier(`) is censused across *all* crates. The
+//! communication architecture requires each collective the workspace
+//! issues to be covered by a declared `CommPlan` template (see
+//! `cp-verify`), so new call sites fail the lint until their budget is
+//! consciously registered — the *undeclared-collective* ratchet.
+//!
 //! The scanner is purely lexical (no rustc, no network): it masks
 //! comments, strings, and char literals, drops `#[cfg(test)]` items, then
 //! pattern-matches the remaining token stream. Findings are reconciled
@@ -33,11 +42,14 @@ pub enum Rule {
     Unwrap,
     /// `.expect(..)` panics on `None`/`Err`.
     Expect,
+    /// A collective / point-to-point issue site (`.send_recv(`,
+    /// `.all_gather(`, …) that must be covered by a declared plan.
+    Collective,
 }
 
 impl Rule {
     /// All rules.
-    pub const ALL: [Rule; 3] = [Rule::Index, Rule::Unwrap, Rule::Expect];
+    pub const ALL: [Rule; 4] = [Rule::Index, Rule::Unwrap, Rule::Expect, Rule::Collective];
 
     /// Stable tag used in reports and the allowlist file.
     pub fn tag(&self) -> &'static str {
@@ -45,6 +57,7 @@ impl Rule {
             Rule::Index => "index",
             Rule::Unwrap => "unwrap",
             Rule::Expect => "expect",
+            Rule::Collective => "collective",
         }
     }
 
@@ -265,6 +278,23 @@ fn in_ranges(ranges: &[(usize, usize)], pos: usize) -> bool {
     ranges.iter().any(|(a, b)| pos >= *a && pos < *b)
 }
 
+/// Method names whose call sites issue fabric traffic. Longest-prefix
+/// names first so `isend_irecv` is not half-matched as `isend`; the
+/// identifier-boundary check below makes the order a belt-and-braces
+/// matter rather than a correctness one. Bare `.send(` / `.recv(` are
+/// deliberately excluded: they collide with `std::sync::mpsc` channel
+/// methods, and the fabric offers no lone blocking send/recv anyway.
+const COLLECTIVE_CALLS: [&str; 8] = [
+    "isend_irecv",
+    "send_recv",
+    "all_to_all",
+    "all_gather",
+    "all_reduce",
+    "isend",
+    "irecv",
+    "barrier",
+];
+
 /// Keywords that may directly precede `[` without it being an index
 /// expression (slice patterns, array expressions after `return`, …).
 const NON_INDEX_KEYWORDS: [&str; 24] = [
@@ -333,10 +363,13 @@ fn scan_masked(file: &str, masked: &str, skip: &[(usize, usize)]) -> Vec<Finding
             }
             b'.' => {
                 let rest = &masked[i + 1..];
-                for (name, rule) in [("unwrap", Rule::Unwrap), ("expect", Rule::Expect)] {
+                let named_call = [("unwrap", Rule::Unwrap), ("expect", Rule::Expect)]
+                    .into_iter()
+                    .chain(COLLECTIVE_CALLS.map(|name| (name, Rule::Collective)));
+                for (name, rule) in named_call {
                     if let Some(after) = rest.strip_prefix(name) {
                         // The identifier must end here (not unwrap_or /
-                        // expect_err) and be called.
+                        // expect_err / isend_irecv-as-isend) and be called.
                         let mut chars = after.chars();
                         let next = chars.next();
                         let boundary =
@@ -348,6 +381,7 @@ fn scan_masked(file: &str, masked: &str, skip: &[(usize, usize)]) -> Vec<Finding
                                 rule,
                                 line: line_of(i),
                             });
+                            break;
                         }
                     }
                 }
@@ -437,9 +471,12 @@ impl Allowlist {
     /// Renders the canonical file content for `--update`.
     pub fn render(&self) -> String {
         let mut out = String::from(
-            "# cp-lint ratchet: per-file budgets for remaining panic sites.\n\
-             # A file over OR under its budget fails the lint; shrink budgets\n\
-             # as debt is paid down (cargo run -p cp-lint -- --update).\n",
+            "# cp-lint ratchet: per-file budgets for remaining panic sites\n\
+             # (index/unwrap/expect in the hot crates) and for registered\n\
+             # collective issue sites (workspace-wide; each must be covered\n\
+             # by a declared plan — see cp-verify). A file over OR under its\n\
+             # budget fails the lint; shrink budgets as debt is paid down\n\
+             # (cargo run -p cp-lint -- --update).\n",
         );
         for ((file, rule), count) in &self.budgets {
             out.push_str(&format!("{file} {rule} {count}\n"));
@@ -604,6 +641,57 @@ mod tests {
             found,
             vec![(Rule::Index, 2), (Rule::Index, 3), (Rule::Index, 3)]
         );
+    }
+
+    #[test]
+    fn collective_issue_sites_are_censused() {
+        let src = concat!(
+            "fn ring(comm: &Comm) -> Result<(), E> {\n",
+            "    let got = comm.send_recv(comm.ring_next(), msg, comm.ring_prev())?;\n",
+            "    let pending = comm.isend_irecv(dst, payload, src)?;\n",
+            "    comm.all_gather(shard)?;\n",
+            "    comm.barrier()\n",
+            "}\n"
+        );
+        let found = rules_of(&scan_source("t.rs", src));
+        assert_eq!(
+            found,
+            vec![
+                (Rule::Collective, 2),
+                (Rule::Collective, 3),
+                (Rule::Collective, 4),
+                (Rule::Collective, 5),
+            ]
+        );
+    }
+
+    #[test]
+    fn bare_send_recv_and_lookalikes_are_not_collectives() {
+        // mpsc channel sends, `send_recv`-shaped identifiers that keep
+        // going, and uncalled mentions must not trip the census.
+        let src = concat!(
+            "fn f(tx: &Sender<u8>, rx: &Receiver<u8>) {\n",
+            "    tx.send(1).ok();\n",
+            "    let _ = rx.recv();\n",
+            "    self.all_gather_bytes();\n",
+            "    let g = comm.all_gather;\n",
+            "}\n"
+        );
+        assert!(scan_source("t.rs", src).is_empty());
+    }
+
+    #[test]
+    fn collectives_in_tests_and_docs_are_skipped() {
+        let src = concat!(
+            "/// `comm.all_reduce(x, f)` sums across ranks.\n",
+            "fn prod() {}\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    #[test]\n",
+            "    fn t() { comm.all_to_all(vec![]).unwrap(); }\n",
+            "}\n"
+        );
+        assert!(scan_source("t.rs", src).is_empty());
     }
 
     #[test]

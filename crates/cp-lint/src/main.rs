@@ -1,5 +1,7 @@
-//! CI entry point: lints the communication-critical crates against the
-//! committed ratchet file.
+//! CI entry point: lints the workspace against the committed ratchet
+//! file. Panic rules (index/unwrap/expect) apply to the
+//! communication-critical crates; the undeclared-collective census
+//! applies to every crate.
 //!
 //! ```text
 //! cargo run -p cp-lint              # check against cp-lint.allow
@@ -10,10 +12,13 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use cp_lint::{reconcile, rust_files, scan_file, Allowlist, Finding};
+use cp_lint::{reconcile, rust_files, scan_file, Allowlist, Finding, Rule};
 
-/// Source trees the lint covers: a panic in any of these wedges the ring.
-const TARGETS: [&str; 3] = [
+/// Source trees the panic rules cover: a panic in any of these wedges the
+/// ring. The collective census is not limited to this list — it walks
+/// every `crates/*/src` tree, because a collective issued anywhere must
+/// have a declared plan.
+const PANIC_TARGETS: [&str; 3] = [
     "crates/cp-comm/src",
     "crates/cp-core/src",
     "crates/cp-attention/src",
@@ -30,18 +35,42 @@ fn workspace_root() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("."))
 }
 
+/// Every `crates/*/src` tree in the workspace, sorted for determinism.
+fn workspace_src_trees(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let crates_dir = root.join("crates");
+    let mut trees = Vec::new();
+    let entries = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot list {}: {e}", crates_dir.display()))?;
+    for entry in entries {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        let src = path.join("src");
+        if src.is_dir() {
+            trees.push(src);
+        }
+    }
+    trees.sort();
+    Ok(trees)
+}
+
 fn collect_findings(root: &Path) -> Result<Vec<Finding>, String> {
     let mut findings = Vec::new();
-    for target in TARGETS {
-        let dir = root.join(target);
+    for dir in workspace_src_trees(root)? {
         let files = rust_files(&dir).map_err(|e| format!("cannot walk {}: {e}", dir.display()))?;
+        let panic_rules_apply = PANIC_TARGETS.iter().any(|target| {
+            dir.strip_prefix(root)
+                .is_ok_and(|rel| rel == Path::new(target))
+        });
         for path in files {
             let rel = path
                 .strip_prefix(root)
                 .unwrap_or(&path)
                 .to_string_lossy()
                 .replace('\\', "/");
-            findings.extend(scan_file(&path, &rel).map_err(|e| format!("cannot read {rel}: {e}"))?);
+            let hits = scan_file(&path, &rel).map_err(|e| format!("cannot read {rel}: {e}"))?;
+            findings.extend(
+                hits.into_iter()
+                    .filter(|f| panic_rules_apply || f.rule == Rule::Collective),
+            );
         }
     }
     Ok(findings)
@@ -104,9 +133,8 @@ fn main() -> ExitCode {
     let errors = reconcile(&findings, &allow);
     if errors.is_empty() {
         println!(
-            "cp-lint: clean — {} findings across {} target trees, all within the ratchet",
-            findings.len(),
-            TARGETS.len()
+            "cp-lint: clean — {} findings (panic + collective census), all within the ratchet",
+            findings.len()
         );
         ExitCode::SUCCESS
     } else {

@@ -9,9 +9,10 @@
 //! activation AllReduces (Table 2).
 
 use cp_attention::PAD;
-use cp_comm::TrafficReport;
+use cp_comm::{CheckedFabric, CommPlan, Communicator, TrafficReport};
 use cp_core::ring::{ring_pass_kv_prefill, ring_pass_q_prefill, run_ring};
-use cp_core::{CoreError, LocalSeq};
+use cp_core::schedule::{pass_kv_plan, pass_q_plan, run_ring_checked, stacked_plan};
+use cp_core::{CoreError, LocalSeq, RingMsg};
 use cp_perf::RingVariant;
 use cp_sharding::ShardPlan;
 use cp_tensor::Tensor;
@@ -48,6 +49,17 @@ pub fn cp_forward_sharded_with(
     shards: &[(Vec<u32>, Vec<usize>)],
     variant: RingVariant,
 ) -> Result<(Vec<Tensor>, TrafficReport), CoreError> {
+    let (n, ring_len) = validate_shards(shards)?;
+    let (outputs, traffic) = run_ring(n, |comm| {
+        forward_body(model, shards, ring_len, variant, comm)
+    })?;
+    Ok((outputs, traffic))
+}
+
+/// Validates the shard structure and returns `(world, ring_len)` where
+/// `ring_len` is the §3.5.2 padding target (all ranks exchange equal-sized
+/// KV messages).
+fn validate_shards(shards: &[(Vec<u32>, Vec<usize>)]) -> Result<(usize, usize), CoreError> {
     let n = shards.len();
     if n == 0 {
         return Err(CoreError::BadRequest {
@@ -65,65 +77,132 @@ pub fn cp_forward_sharded_with(
             });
         }
     }
-    // §3.5.2 invariant: all ranks exchange equal-sized messages.
     let ring_len = shards.iter().map(|(t, _)| t.len()).max().unwrap_or(0);
+    Ok((n, ring_len))
+}
 
+/// One rank's full layer-stack forward: token-local projections, norms,
+/// RoPE and FFNs, with one cross-rank ring attention per layer.
+fn forward_body(
+    model: &Transformer,
+    shards: &[(Vec<u32>, Vec<usize>)],
+    ring_len: usize,
+    variant: RingVariant,
+    comm: &Communicator<RingMsg>,
+) -> Result<Tensor, CoreError> {
     let config = *model.config();
     let params = *model.attention_params();
-    let (outputs, traffic) = run_ring(n, |comm| {
-        let (tokens, positions) = &shards[comm.rank()];
-        let t_local = tokens.len();
-        let dh = config.shape.head_dim();
-        let mut x = model.embed(tokens);
-        for block in model.blocks() {
-            // Token-local attention sub-block up to the QKV projections.
-            let h = rms_norm(&x, config.norm_eps)?;
-            let mut q = block
-                .wq
-                .forward(&h)?
-                .reshape(&[t_local, config.shape.n_heads(), dh])?;
-            let mut k = block
-                .wk
-                .forward(&h)?
-                .reshape(&[t_local, config.shape.n_kv_heads(), dh])?;
-            let v = block
-                .wv
-                .forward(&h)?
-                .reshape(&[t_local, config.shape.n_kv_heads(), dh])?;
-            // RoPE at *global* positions — the step naive sharding breaks.
-            apply_rope(&mut q, positions, config.rope_base)?;
-            apply_rope(&mut k, positions, config.rope_base)?;
+    let (tokens, positions) = &shards[comm.rank()];
+    let t_local = tokens.len();
+    let dh = config.shape.head_dim();
+    let mut x = model.embed(tokens);
+    for block in model.blocks() {
+        // Token-local attention sub-block up to the QKV projections.
+        let h = rms_norm(&x, config.norm_eps)?;
+        let mut q = block
+            .wq
+            .forward(&h)?
+            .reshape(&[t_local, config.shape.n_heads(), dh])?;
+        let mut k = block
+            .wk
+            .forward(&h)?
+            .reshape(&[t_local, config.shape.n_kv_heads(), dh])?;
+        let v = block
+            .wv
+            .forward(&h)?
+            .reshape(&[t_local, config.shape.n_kv_heads(), dh])?;
+        // RoPE at *global* positions — the step naive sharding breaks.
+        apply_rope(&mut q, positions, config.rope_base)?;
+        apply_rope(&mut k, positions, config.rope_base)?;
 
-            // Cross-rank ring pass-KV attention, padded to equal lengths.
+        // Cross-rank ring attention, padded to equal lengths.
+        let mut kv_pos = positions.clone();
+        kv_pos.resize(ring_len, PAD);
+        let local = LocalSeq {
+            q,
+            q_pos: positions.clone(),
+            k: k.pad_dim0(ring_len, 0.0)?,
+            v: v.pad_dim0(ring_len, 0.0)?,
+            kv_pos,
+        };
+        let attn = match variant {
+            RingVariant::PassKv => {
+                ring_pass_kv_prefill(comm, &params, std::slice::from_ref(&local))?
+            }
+            RingVariant::PassQ => ring_pass_q_prefill(comm, &params, std::slice::from_ref(&local))?,
+        }
+        .pop()
+        .expect("one sequence in, one out");
+        let attn_flat = attn.out.reshape(&[t_local, config.model_dim()])?;
+        x.add_assign(&block.wo.forward(&attn_flat)?)?;
+
+        // Token-local FFN sub-block.
+        let h = rms_norm(&x, config.norm_eps)?;
+        x.add_assign(&block.ffn.forward(&h)?)?;
+    }
+    rms_norm(&x, config.norm_eps)
+}
+
+/// Declares the full-stack forward schedule: the per-layer ring plan (built
+/// from zero-tensor skeletons with exactly the geometry [`forward_body`]
+/// puts on the wire, including §3.5.2 padding) stacked `n_layers` times.
+/// Plans depend only on shapes, never values.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadRequest`] for empty/ragged shard structures.
+pub fn forward_plan(
+    model: &Transformer,
+    shards: &[(Vec<u32>, Vec<usize>)],
+    variant: RingVariant,
+) -> Result<CommPlan, CoreError> {
+    let (_, ring_len) = validate_shards(shards)?;
+    let config = *model.config();
+    let params = *model.attention_params();
+    let shape = config.shape;
+    let dh = shape.head_dim();
+    let locals: Vec<Vec<LocalSeq>> = shards
+        .iter()
+        .map(|(tokens, positions)| {
             let mut kv_pos = positions.clone();
             kv_pos.resize(ring_len, PAD);
-            let local = LocalSeq {
-                q,
+            vec![LocalSeq {
+                q: Tensor::zeros(&[tokens.len(), shape.n_heads(), dh]),
                 q_pos: positions.clone(),
-                k: k.pad_dim0(ring_len, 0.0)?,
-                v: v.pad_dim0(ring_len, 0.0)?,
+                k: Tensor::zeros(&[ring_len, shape.n_kv_heads(), dh]),
+                v: Tensor::zeros(&[ring_len, shape.n_kv_heads(), dh]),
                 kv_pos,
-            };
-            let attn = match variant {
-                RingVariant::PassKv => {
-                    ring_pass_kv_prefill(comm, &params, std::slice::from_ref(&local))?
-                }
-                RingVariant::PassQ => {
-                    ring_pass_q_prefill(comm, &params, std::slice::from_ref(&local))?
-                }
-            }
-            .pop()
-            .expect("one sequence in, one out");
-            let attn_flat = attn.out.reshape(&[t_local, config.model_dim()])?;
-            x.add_assign(&block.wo.forward(&attn_flat)?)?;
+            }]
+        })
+        .collect();
+    let layer_plan = match variant {
+        RingVariant::PassKv => pass_kv_plan(&locals)?,
+        RingVariant::PassQ => pass_q_plan(&params, &locals)?,
+    };
+    Ok(stacked_plan(layer_plan, config.n_layers))
+}
 
-            // Token-local FFN sub-block.
-            let h = rms_norm(&x, config.norm_eps)?;
-            x.add_assign(&block.ffn.forward(&h)?)?;
-        }
-        rms_norm(&x, config.norm_eps)
-    })?;
-    Ok((outputs, traffic))
+/// [`cp_forward_sharded_with`] under a [`CheckedFabric`] enforcing
+/// [`forward_plan`]: every collective any layer issues is validated
+/// against the declared schedule at runtime, and each rank must drain its
+/// plan exactly.
+///
+/// # Errors
+///
+/// Same conditions as [`cp_forward_sharded_with`], plus
+/// [`cp_comm::CommError::PlanViolation`] (wrapped in [`CoreError::Comm`])
+/// when live traffic diverges from the declared plan.
+pub fn cp_forward_sharded_checked(
+    model: &Transformer,
+    shards: &[(Vec<u32>, Vec<usize>)],
+    variant: RingVariant,
+) -> Result<(Vec<Tensor>, TrafficReport), CoreError> {
+    let (_, ring_len) = validate_shards(shards)?;
+    let plan = forward_plan(model, shards, variant)?;
+    let fabric = CheckedFabric::new(plan);
+    run_ring_checked(&fabric, |comm| {
+        forward_body(model, shards, ring_len, variant, comm)
+    })
 }
 
 /// Runs the full context-parallel forward of `tokens` over `n_ranks`
@@ -218,6 +297,36 @@ mod tests {
         assert!(out
             .approx_eq(&model.forward(&tokens).unwrap(), 1e-5)
             .unwrap());
+    }
+
+    #[test]
+    fn checked_forward_matches_unchecked_and_declared_plan() {
+        let model = Transformer::new(&TransformerConfig::tiny(), 11);
+        let tokens: Vec<u32> = (0..21).collect(); // odd: padding path
+        let plan = ShardPlan::new(tokens.len(), 3).unwrap();
+        let shards: Vec<(Vec<u32>, Vec<usize>)> = (0..3)
+            .map(|r| {
+                let positions = plan.positions_for(r);
+                let toks = positions.iter().map(|&p| tokens[p]).collect();
+                (toks, positions)
+            })
+            .collect();
+        for variant in [RingVariant::PassKv, RingVariant::PassQ] {
+            let (plain, plain_traffic) = cp_forward_sharded_with(&model, &shards, variant).unwrap();
+            let (checked, traffic) = cp_forward_sharded_checked(&model, &shards, variant).unwrap();
+            for (a, b) in plain.iter().zip(&checked) {
+                assert!(a.approx_eq(b, 0.0).unwrap(), "{variant:?}: outputs diverge");
+            }
+            // Timing fields are nondeterministic; compare the volume counters.
+            assert_eq!(plain_traffic.messages, traffic.messages);
+            assert_eq!(plain_traffic.send_recv_bytes, traffic.send_recv_bytes);
+            assert_eq!(plain_traffic.all_to_all_bytes, traffic.all_to_all_bytes);
+            assert_eq!(plain_traffic.all_gather_bytes, traffic.all_gather_bytes);
+            // The declared full-stack plan predicts the live traffic exactly.
+            let declared = forward_plan(&model, &shards, variant).unwrap();
+            let report = declared.predicted_traffic().check_report(&traffic);
+            assert!(report.is_ok(), "{variant:?}: {report:?}");
+        }
     }
 
     #[test]

@@ -48,7 +48,10 @@ pub mod tp;
 mod transformer;
 
 pub use config::TransformerConfig;
-pub use distributed::{cp_forward, cp_forward_sharded, cp_forward_sharded_with};
+pub use distributed::{
+    cp_forward, cp_forward_sharded, cp_forward_sharded_checked, cp_forward_sharded_with,
+    forward_plan,
+};
 pub use layers::{rms_norm, rms_norm_on, Linear, SwiGlu};
 pub use transformer::{Block, Transformer};
 

@@ -11,7 +11,8 @@
 //! module implements the pattern on the thread fabric and the tests pin
 //! both exactness and the byte accounting.
 
-use cp_comm::{run_ranks, TrafficReport};
+use cp_comm::{CheckedFabric, TrafficReport, Wire};
+use cp_core::schedule::{all_gather_plan, all_reduce_plan};
 use cp_core::CoreError;
 use cp_tensor::Tensor;
 
@@ -38,25 +39,35 @@ pub fn tp_linear_pair(
     let b_shards = w_b.split_rows(n_ranks)?;
     let out_shape = [x.dim0(), w_b.out_dim()];
 
-    let (mut outputs, traffic) = run_ranks::<Vec<f32>, _, _>(n_ranks, |comm| {
-        let r = comm.rank();
-        // Column-parallel: local activation slice [t, hidden/n].
-        let hidden = a_shards[r]
-            .forward(x)
-            .map_err(|e| crate::to_comm_error(r, e))?;
-        // Row-parallel: partial output [t, out], then AllReduce-sum.
-        let partial = b_shards[r]
-            .forward(&hidden)
-            .map_err(|e| crate::to_comm_error(r, e))?;
-        let reduced = comm.all_reduce(partial.as_slice().to_vec(), |mut acc, m| {
-            for (a, b) in acc.iter_mut().zip(m) {
-                *a += b;
-            }
-            acc
-        })?;
-        Ok(reduced)
-    })
-    .map_err(CoreError::from)?;
+    // Declared schedule: one AllReduce of the partial [t, out] activation
+    // per rank, bytes from the payload's own Wire impl on a zero skeleton.
+    // The CheckedFabric holds live traffic against it, sanitizer-style.
+    let skeleton = vec![0.0f32; x.dim0() * w_b.out_dim()];
+    let plan = all_reduce_plan(
+        skeleton.wire_variant(),
+        &vec![skeleton.wire_bytes(); n_ranks],
+    )?;
+    let fabric = CheckedFabric::new(plan);
+    let (mut outputs, traffic) = fabric
+        .run::<Vec<f32>, _, _>(|comm| {
+            let r = comm.rank();
+            // Column-parallel: local activation slice [t, hidden/n].
+            let hidden = a_shards[r]
+                .forward(x)
+                .map_err(|e| crate::to_comm_error(r, e))?;
+            // Row-parallel: partial output [t, out], then AllReduce-sum.
+            let partial = b_shards[r]
+                .forward(&hidden)
+                .map_err(|e| crate::to_comm_error(r, e))?;
+            let reduced = comm.all_reduce(partial.as_slice().to_vec(), |mut acc, m| {
+                for (a, b) in acc.iter_mut().zip(m) {
+                    *a += b;
+                }
+                acc
+            })?;
+            Ok(reduced)
+        })
+        .map_err(CoreError::from)?;
 
     // Every rank must hold the identical reduced activation.
     let first = outputs.remove(0);
@@ -150,15 +161,24 @@ pub fn tp_attention(
     }
 
     // Each rank computes its heads locally, then AllGathers head outputs.
-    let (mut gathered, traffic) = run_ranks::<Vec<f32>, _, _>(n_ranks, |comm| {
-        let (qr, kr, vr, p) = &rank_inputs[comm.rank()];
-        let out = blocked_gqa_attention(qr, kr, vr, p, q_pos, kv_pos, 128)
-            .map_err(|e| crate::to_comm_error(comm.rank(), CoreError::from(e)))?;
-        let mut payload = out.out.as_slice().to_vec();
-        payload.extend_from_slice(out.lse.as_slice());
-        comm.all_gather(payload)
-    })
-    .map_err(CoreError::from)?;
+    // The schedule is declared up front (uniform [t, h/n, d] + LSE payloads)
+    // and enforced by a CheckedFabric.
+    let skeleton = vec![0.0f32; t_q * heads_per_rank * dh + t_q * heads_per_rank];
+    let plan = all_gather_plan(
+        skeleton.wire_variant(),
+        &vec![skeleton.wire_bytes(); n_ranks],
+    )?;
+    let fabric = CheckedFabric::new(plan);
+    let (mut gathered, traffic) = fabric
+        .run::<Vec<f32>, _, _>(|comm| {
+            let (qr, kr, vr, p) = &rank_inputs[comm.rank()];
+            let out = blocked_gqa_attention(qr, kr, vr, p, q_pos, kv_pos, 128)
+                .map_err(|e| crate::to_comm_error(comm.rank(), CoreError::from(e)))?;
+            let mut payload = out.out.as_slice().to_vec();
+            payload.extend_from_slice(out.lse.as_slice());
+            comm.all_gather(payload)
+        })
+        .map_err(CoreError::from)?;
 
     // Reassemble [t, nh, dh] (+ LSE) from rank 0's gathered view.
     let parts = gathered.remove(0);
@@ -300,6 +320,37 @@ mod tests {
         // Output AllGather is proportional to T (the Table 2 contrast:
         // TP comm scales with the *whole* context, CP with the shard).
         assert_eq!(big.all_gather_bytes, 2 * small.all_gather_bytes);
+    }
+
+    #[test]
+    fn tp_collectives_match_their_declared_plans() {
+        // Both TP entry points now run under a CheckedFabric; the declared
+        // plan's predicted traffic must equal what the fabric measures.
+        let mut rng = DetRng::new(21);
+        let t = 6;
+        let x = rng.tensor(&[t, 8]);
+        let w_a = Linear::new(8, 16, 5);
+        let w_b = Linear::new(16, 8, 6);
+        let n = 4;
+        let (_, traffic) = tp_linear_pair(&x, &w_a, &w_b, n).unwrap();
+        let skeleton = vec![0.0f32; t * 8];
+        let plan = all_reduce_plan("payload", &vec![skeleton.wire_bytes(); n]).unwrap();
+        plan.predicted_traffic().check_report(&traffic).unwrap();
+
+        use cp_attention::{AttentionParams, GqaShape};
+        let shape = GqaShape::new(4, 2, 8).unwrap();
+        let params = AttentionParams::for_shape(shape);
+        let q = rng.tensor(&[t, 4, 8]);
+        let k = rng.tensor(&[t, 2, 8]);
+        let v = rng.tensor(&[t, 2, 8]);
+        let pos: Vec<usize> = (0..t).collect();
+        let (_, ag_traffic) = tp_attention(&q, &k, &v, &params, &pos, &pos, 2).unwrap();
+        let ag_skeleton = vec![0.0f32; t * 2 * 8 + t * 2];
+        let ag_plan = all_gather_plan("payload", &[ag_skeleton.wire_bytes(); 2]).unwrap();
+        ag_plan
+            .predicted_traffic()
+            .check_report(&ag_traffic)
+            .unwrap();
     }
 
     #[test]

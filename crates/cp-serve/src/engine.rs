@@ -4,13 +4,13 @@ use std::collections::BTreeMap;
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use cp_attention::PAD;
-use cp_comm::{CommPlan, RankPlan, TrafficReport};
+use cp_comm::TrafficReport;
 use cp_core::heuristics::{choose_variant, HeuristicKind, SystemContext};
 use cp_core::ring::{
     decode_slot_layout, ring_pass_kv_prefill, ring_pass_q_decode_kv, ring_pass_q_prefill_kv,
     run_ring_on, RankKv,
 };
-use cp_core::schedule::{decode_plan, pass_kv_plan, pass_q_plan};
+use cp_core::schedule::{decode_plan, pass_kv_plan, pass_q_plan, stacked_plan};
 use cp_core::{CoreError, DecodeSlot, LocalSeq, RingMsg, SeqKv, SeqQ};
 use cp_kvcache::{CacheStats, KvCacheConfig, PagedKvCache, SeqId};
 use cp_model::rope::apply_rope;
@@ -163,24 +163,6 @@ fn project(
 /// propagating the panic.
 fn lock_caches(m: &Mutex<Vec<PagedKvCache>>) -> MutexGuard<'_, Vec<PagedKvCache>> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
-}
-
-/// Repeats one layer's per-rank schedule `layers` times: the serving loops
-/// issue exactly one ring schedule per transformer layer inside a single
-/// fabric session, so the session plan is the layer plan stacked.
-fn stacked_plan(layer_plan: CommPlan, layers: usize) -> CommPlan {
-    let ranks = layer_plan
-        .ranks
-        .into_iter()
-        .map(|rp| {
-            let mut ops = Vec::with_capacity(rp.ops.len() * layers);
-            for _ in 0..layers {
-                ops.extend(rp.ops.iter().cloned());
-            }
-            RankPlan { rank: rp.rank, ops }
-        })
-        .collect();
-    CommPlan::from_ranks(ranks)
 }
 
 impl TransformerEngine {

@@ -15,16 +15,26 @@
 //!   reachable program-counter state, tractable for CP ≤ 4. Used to
 //!   cross-validate the graph criterion: both engines must agree.
 //! * [`grid_cases`] — the (T, P, varseq) grid of *real* schedules built
-//!   through the production plan builders, for CP ∈ {2, 4, 8}.
+//!   through the production plan builders, for CP ∈ {2, 3, 4, 5, 8}
+//!   (odd and non-power-of-two worlds included, so rank-rotation
+//!   off-by-ones on odd rings are exercised).
 //! * [`apply_mutation`] — seeded bugs (deadlock, wrong variant, dropped
 //!   hop, short bytes) that both this checker and the runtime
 //!   `cp_comm::CheckedFabric` sanitizer must catch.
+//! * [`check_template`] — the **symbolic** layer: each schedule family
+//!   ([`SymTemplate`]) declared once over symbolic `(W, byte tables)`,
+//!   with the structural laws proven on the template itself, so one
+//!   check covers every instantiation. [`verify_symbolic`] cross-grounds
+//!   every template against the production builders for `W ∈ 2..=16`,
+//!   and [`apply_template_mutation`] seeds template-level bugs that the
+//!   symbolic checker must reject.
 //!
-//! The `cp-verify` binary runs the grid as a CI smoke check:
+//! The `cp-verify` binary runs both layers as a CI smoke check:
 //!
 //! ```text
-//! cargo run -p cp-verify            # CP ∈ {2, 4, 8}
+//! cargo run -p cp-verify            # CP ∈ {2, 3, 4, 5, 8}
 //! cargo run -p cp-verify -- --cp 2 --cp 4
+//! cargo run -p cp-verify -- --symbolic --mutations
 //! ```
 
 #![forbid(unsafe_code)]
@@ -34,11 +44,18 @@ mod check;
 mod explore;
 mod grid;
 mod mutate;
+mod template;
 
 pub use check::{check_plan, CheckReport, OpRef, Violation};
 pub use explore::{explore_default, explore_interleavings, ExploreOutcome};
 pub use grid::{grid_cases, GridCase};
 pub use mutate::{apply_mutation, Mutation};
+pub use template::{
+    all_gather_baseline_template, all_templates, apply_template_mutation, check_template,
+    decode_template, forward_template, pass_kv_template, pass_q_template, template_cases,
+    tp_all_gather_template, tp_all_reduce_template, ByteExpr, Guard, GuardedOp, Ix, PeerExpr,
+    SymCollective, SymOp, SymSegment, SymTemplate, SymViolation, TemplateCase, TemplateMutation,
+};
 
 /// CP degrees exhaustively explorable by [`explore_interleavings`] within
 /// the default state budget.
@@ -72,6 +89,89 @@ pub fn verify_grid(cp: usize) -> Result<(usize, Vec<(String, String)>), cp_core:
         }
     }
     Ok((cases.len(), failures))
+}
+
+/// Runs the symbolic layer end to end: proves the template laws on every
+/// declared family once, then cross-validates by grounding each template
+/// at every `W ∈ 2..=max_world` — grounding must reproduce the production
+/// builder's plan bitwise, pass the concrete graph checker (and the
+/// exhaustive explorer for `W <= EXPLORABLE_CP`), and match the symbolic
+/// closed-form traffic prediction.
+///
+/// Returns `(checks_run, failures)`.
+///
+/// # Errors
+///
+/// Propagates [`cp_core::CoreError`] from the production plan builders.
+pub fn verify_symbolic(
+    max_world: usize,
+) -> Result<(usize, Vec<(String, String)>), cp_core::CoreError> {
+    let mut checked = 0usize;
+    let mut failures = Vec::new();
+    for t in all_templates() {
+        checked += 1;
+        for v in check_template(&t) {
+            failures.push((t.name.clone(), format!("symbolic law violation: {v}")));
+        }
+    }
+    for world in 2..=max_world {
+        for case in template_cases(world)? {
+            checked += 1;
+            let grounded = match case.template.ground(world, &case.tables) {
+                Ok(p) => p,
+                Err(e) => {
+                    failures.push((case.name.clone(), format!("grounding failed: {e}")));
+                    continue;
+                }
+            };
+            if grounded != case.production {
+                failures.push((
+                    case.name.clone(),
+                    "grounded template disagrees with production builder".to_string(),
+                ));
+            }
+            let report = check_plan(&grounded);
+            for v in &report.violations {
+                failures.push((case.name.clone(), v.to_string()));
+            }
+            if world <= EXPLORABLE_CP && !explore_default(&grounded).is_complete() {
+                failures.push((
+                    case.name.clone(),
+                    "explorer did not complete on grounded instance".to_string(),
+                ));
+            }
+            match case.template.symbolic_traffic(world, &case.tables) {
+                Ok(sym) if sym == grounded.predicted_traffic() => {}
+                Ok(_) => failures.push((
+                    case.name.clone(),
+                    "symbolic traffic diverges from grounded prediction".to_string(),
+                )),
+                Err(e) => failures.push((case.name.clone(), format!("symbolic traffic: {e}"))),
+            }
+        }
+    }
+    Ok((checked, failures))
+}
+
+/// Self-test for the symbolic layer: seeds every [`TemplateMutation`]
+/// into every declared template (skipping templates with no site for a
+/// mutation) and confirms [`check_template`] rejects each mutant.
+/// Returns `(mutants_checked, escapes)`.
+pub fn verify_template_mutations() -> (usize, Vec<String>) {
+    let mut checked = 0usize;
+    let mut escapes = Vec::new();
+    for t in all_templates() {
+        for mutation in TemplateMutation::seeds() {
+            let Some(mutant) = apply_template_mutation(&t, mutation) else {
+                continue;
+            };
+            checked += 1;
+            if check_template(&mutant).is_empty() {
+                escapes.push(format!("{} survived {}", t.name, mutation.tag()));
+            }
+        }
+    }
+    (checked, escapes)
 }
 
 /// Self-test: seeds every mutation into every grid schedule and confirms

@@ -1,26 +1,41 @@
 //! CI smoke binary: model-check the real ring schedules.
 //!
 //! ```text
-//! cp-verify                 # CP ∈ {2, 4, 8}
+//! cp-verify                 # CP ∈ {2, 3, 4, 5, 8}
 //! cp-verify --cp 2 --cp 4   # explicit degrees
-//! cp-verify --mutations     # also run the mutation self-test
+//! cp-verify --mutations     # also run the mutation self-tests
+//! cp-verify --symbolic      # also prove the symbolic templates
 //! ```
+//!
+//! `--symbolic` proves the template laws for every declared schedule
+//! family and cross-grounds each against the production builders for
+//! every world in 2..=16; with `--mutations` it additionally seeds
+//! template-level bugs that the symbolic checker must reject.
 //!
 //! Exits non-zero (and prints every violation) if any schedule fails a
 //! check or any seeded mutation escapes.
 
 use std::process::ExitCode;
 
-use cp_verify::{verify_grid, verify_mutations, EXPLORABLE_CP};
+use cp_verify::{
+    verify_grid, verify_mutations, verify_symbolic, verify_template_mutations, EXPLORABLE_CP,
+};
+
+/// Largest world the symbolic layer is spot-grounded at; small worlds
+/// (where the symbolic offset arguments degenerate) are covered
+/// exhaustively below `EXPLORABLE_CP`.
+const SYMBOLIC_MAX_WORLD: usize = 16;
 
 struct Args {
     cps: Vec<usize>,
     mutations: bool,
+    symbolic: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut cps = Vec::new();
     let mut mutations = false;
+    let mut symbolic = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -35,14 +50,21 @@ fn parse_args() -> Result<Args, String> {
                 cps.push(cp);
             }
             "--mutations" => mutations = true,
-            "--help" | "-h" => return Err("usage: cp-verify [--cp N]... [--mutations]".to_string()),
+            "--symbolic" => symbolic = true,
+            "--help" | "-h" => {
+                return Err("usage: cp-verify [--cp N]... [--mutations] [--symbolic]".to_string())
+            }
             other => return Err(format!("unknown argument {other}")),
         }
     }
     if cps.is_empty() {
-        cps = vec![2, 4, 8];
+        cps = vec![2, 3, 4, 5, 8];
     }
-    Ok(Args { cps, mutations })
+    Ok(Args {
+        cps,
+        mutations,
+        symbolic,
+    })
 }
 
 fn main() -> ExitCode {
@@ -92,6 +114,39 @@ fn main() -> ExitCode {
                 Err(e) => {
                     failed = true;
                     eprintln!("cp={cp}: mutation self-test failed to build: {e}");
+                }
+            }
+        }
+    }
+
+    if args.symbolic {
+        match verify_symbolic(SYMBOLIC_MAX_WORLD) {
+            Ok((checked, failures)) => {
+                if failures.is_empty() {
+                    println!(
+                        "symbolic: {checked} template checks clean (laws proven once, grounded \
+                         for W in 2..={SYMBOLIC_MAX_WORLD})"
+                    );
+                } else {
+                    failed = true;
+                    for (name, detail) in failures {
+                        eprintln!("symbolic: FAIL {name}: {detail}");
+                    }
+                }
+            }
+            Err(e) => {
+                failed = true;
+                eprintln!("symbolic: could not build template cases: {e}");
+            }
+        }
+        if args.mutations {
+            let (checked, escapes) = verify_template_mutations();
+            if escapes.is_empty() {
+                println!("symbolic: {checked} seeded template mutations all caught");
+            } else {
+                failed = true;
+                for escape in escapes {
+                    eprintln!("symbolic: TEMPLATE MUTATION ESCAPE {escape}");
                 }
             }
         }

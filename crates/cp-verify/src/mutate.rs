@@ -165,7 +165,7 @@ mod tests {
     /// caught by the model checker, with the target rank named.
     #[test]
     fn checker_catches_every_seeded_mutation() {
-        for cp in [2, 4] {
+        for cp in [2, 3, 4, 5] {
             for case in grid_cases(cp).unwrap() {
                 for mutation in Mutation::seeds(1) {
                     let Some(mutated) = apply_mutation(&case.plan, mutation) else {
