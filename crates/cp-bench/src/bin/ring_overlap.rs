@@ -21,28 +21,48 @@
 //! 3. **Persistent pool vs per-call scoped spawn**: the same fan-out
 //!    executed on the per-rank [`ComputePool`] against a fresh
 //!    `std::thread::scope` per call, the seed's behaviour.
+//! 4. **Schedule-family matrix**: `{uni, bidi} × {flat, hier}` pass-KV
+//!    prefill (plus the depth-2 chunked pipeline) at CP6 under three link
+//!    regimes — latency-only, bandwidth-bound, and asymmetric two-node —
+//!    cross-checked against the `cp-perf` analytic comm model's family
+//!    ranking. The bidirectional ring halves per-link bytes per step, so
+//!    in the bandwidth-bound regime its wall time must drop ≥25% below
+//!    the overlapped unidirectional ring, and the model must predict the
+//!    same ordering.
 
 use std::time::{Duration, Instant};
 
 use cp_attention::{AttentionParams, GqaShape};
-use cp_comm::{Fabric, LinkModel, TrafficReport};
-use cp_core::ring::{ring_pass_kv_prefill, ring_pass_kv_prefill_blocking};
-use cp_core::{LocalSeq, RingMsg};
+use cp_comm::{Fabric, LinkModel, Topology, TrafficReport, Wire};
+use cp_core::ring::{
+    ring_pass_kv_prefill, ring_pass_kv_prefill_bidi, ring_pass_kv_prefill_blocking,
+    ring_pass_kv_prefill_on,
+};
+use cp_core::schedule::RingLayout;
+use cp_core::{LocalSeq, RingMsg, SeqKv};
+use cp_perf::schedule::{ranked_families, ScheduleFamily, TopologySpec};
+use cp_perf::{RingDirection, RingTopologyKind};
 use cp_pool::ComputePool;
 use cp_tensor::DetRng;
 
 const CP: usize = 4;
 
+/// CP degree of the schedule-family matrix: 2 nodes × 3 ranks, the
+/// smallest world where the hierarchical bidirectional paths are
+/// genuinely link-disjoint (2×2 degenerates to shared pairs).
+const MATRIX_CP: usize = 6;
+const MATRIX_NODES: usize = 2;
+
 fn params() -> AttentionParams {
     AttentionParams::for_shape(GqaShape::new(8, 2, 16).expect("valid GQA shape"))
 }
 
-/// One causal sequence split across `CP` ranks, `t` tokens per rank.
-fn build_locals(t: usize, seed: u64) -> Vec<Vec<LocalSeq>> {
+/// One causal sequence split across `world` ranks, `t` tokens per rank.
+fn build_locals(world: usize, t: usize, seed: u64) -> Vec<Vec<LocalSeq>> {
     let p = params();
     let shape = p.shape;
     let mut rng = DetRng::new(seed);
-    (0..CP)
+    (0..world)
         .map(|r| {
             let pos: Vec<usize> = (r * t..(r + 1) * t).collect();
             vec![LocalSeq {
@@ -59,6 +79,22 @@ fn build_locals(t: usize, seed: u64) -> Vec<Vec<LocalSeq>> {
 fn pool_threads_per_rank() -> usize {
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     (cores / CP).max(1)
+}
+
+/// Wire bytes of rank 0's full circulating KV block — the per-hop payload
+/// the link models and the cp-perf comm model both price.
+fn kv_block_bytes(locals: &[Vec<LocalSeq>]) -> usize {
+    RingMsg::Kv {
+        seqs: locals[0]
+            .iter()
+            .map(|l| SeqKv {
+                k: l.k.clone(),
+                v: l.v.clone(),
+                pos: l.kv_pos.clone(),
+            })
+            .collect(),
+    }
+    .wire_bytes()
 }
 
 /// Runs one CP4 pass-KV prefill and returns (wall time, traffic report).
@@ -136,6 +172,118 @@ fn fanout_bench(iters: usize, fanout: usize, use_pool: bool) -> Duration {
     start.elapsed()
 }
 
+/// One schedule family under benchmark: the four `{uni, bidi} ×
+/// {flat, hier}` rings plus the depth-2 chunked pipeline A/B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MatrixFamily {
+    UniFlat,
+    BidiFlat,
+    UniHier,
+    BidiHier,
+    Chunked,
+}
+
+impl MatrixFamily {
+    const ALL: [MatrixFamily; 5] = [
+        MatrixFamily::UniFlat,
+        MatrixFamily::BidiFlat,
+        MatrixFamily::UniHier,
+        MatrixFamily::BidiHier,
+        MatrixFamily::Chunked,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            MatrixFamily::UniFlat => "uni-flat",
+            MatrixFamily::BidiFlat => "bidi-flat",
+            MatrixFamily::UniHier => "uni-hier",
+            MatrixFamily::BidiHier => "bidi-hier",
+            MatrixFamily::Chunked => "uni-flat-depth2",
+        }
+    }
+
+    /// The cp-perf model family this run instantiates (the chunked
+    /// pipeline is a latency optimization of the uni-flat family).
+    fn model_family(self) -> ScheduleFamily {
+        let (direction, topology) = match self {
+            MatrixFamily::UniFlat | MatrixFamily::Chunked => {
+                (RingDirection::Uni, RingTopologyKind::Flat)
+            }
+            MatrixFamily::BidiFlat => (RingDirection::Bidi, RingTopologyKind::Flat),
+            MatrixFamily::UniHier => (RingDirection::Uni, RingTopologyKind::Hierarchical),
+            MatrixFamily::BidiHier => (RingDirection::Bidi, RingTopologyKind::Hierarchical),
+        };
+        ScheduleFamily {
+            direction,
+            topology,
+        }
+    }
+}
+
+/// Link regime applied to the whole fabric for one matrix column.
+#[derive(Debug, Clone, Copy)]
+enum MatrixLinks {
+    Uniform(LinkModel),
+    Asymmetric {
+        topo: Topology,
+        intra: LinkModel,
+        cross: LinkModel,
+    },
+}
+
+/// Runs one pass-KV prefill of `family` at `MATRIX_CP` under `links`,
+/// returning the wall time of the fastest of `reps` runs.
+fn run_matrix_family(
+    reps: usize,
+    locals: &[Vec<LocalSeq>],
+    links: MatrixLinks,
+    family: MatrixFamily,
+) -> Duration {
+    let p = params();
+    let topo = Topology::new(MATRIX_NODES, MATRIX_CP / MATRIX_NODES);
+    let mut best: Option<Duration> = None;
+    for _ in 0..reps {
+        let mut fabric = Fabric::new(MATRIX_CP).compute_pool(pool_threads_per_rank());
+        fabric = match links {
+            MatrixLinks::Uniform(link) => fabric.link(link),
+            MatrixLinks::Asymmetric { topo, intra, cross } => fabric.topology(topo, intra, cross),
+        };
+        if family == MatrixFamily::Chunked {
+            fabric = fabric.pipeline_depth(2);
+        }
+        let start = Instant::now();
+        fabric
+            .run::<RingMsg, _, _>(|comm| {
+                let mine = &locals[comm.rank()];
+                let layout = match family {
+                    MatrixFamily::UniHier | MatrixFamily::BidiHier => RingLayout::Hier(topo),
+                    _ => RingLayout::Flat,
+                };
+                match family {
+                    MatrixFamily::UniFlat | MatrixFamily::UniHier => {
+                        ring_pass_kv_prefill_on(comm, &p, mine, layout)
+                    }
+                    MatrixFamily::BidiFlat | MatrixFamily::BidiHier => {
+                        ring_pass_kv_prefill_bidi(comm, &p, mine, layout)
+                    }
+                    // Depth-2 selected by the fabric's pipeline flag.
+                    MatrixFamily::Chunked => ring_pass_kv_prefill(comm, &p, mine),
+                }
+                .map_err(|e| cp_comm::CommError::RankFailed {
+                    rank: comm.rank(),
+                    kind: "bench",
+                    detail: e.to_string(),
+                })
+            })
+            .expect("matrix prefill failed");
+        let wall = start.elapsed();
+        if best.is_none_or(|b| wall < b) {
+            best = Some(wall);
+        }
+    }
+    best.expect("reps >= 1")
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -148,7 +296,7 @@ fn main() {
 
     let t_per_rank = if smoke { 256 } else { 1024 };
     let reps = if smoke { 2 } else { 5 };
-    let locals = build_locals(t_per_rank, 42);
+    let locals = build_locals(CP, t_per_rank, 42);
 
     // Calibrate against the *wall* time of one compute phase: the full
     // link-free ring divided by its CP compute phases. On a host with
@@ -200,6 +348,154 @@ fn main() {
     let spawn_reduction_pct =
         100.0 * (1.0 - pool_fanout.as_secs_f64() / scoped_fanout.as_secs_f64());
 
+    // ---- Schedule-family matrix (measurement 4) ----
+    // Smoke runs keep the full {uni, bidi} × {flat, hier} coverage (so CI
+    // exercises at least one bidirectional and one hierarchical loop) at a
+    // reduced token count and single rep.
+    let m_t = if smoke { 96 } else { 384 };
+    let m_reps = if smoke { 1 } else { 3 };
+    let m_locals = build_locals(MATRIX_CP, m_t, 43);
+    let payload_bytes = kv_block_bytes(&m_locals);
+    let m_topo = Topology::new(MATRIX_NODES, MATRIX_CP / MATRIX_NODES);
+
+    // Calibrate the matrix compute phase on delay-free links.
+    let free = MatrixLinks::Uniform(LinkModel::latency_only(Duration::ZERO));
+    let m_calib = run_matrix_family(m_reps, &m_locals, free, MatrixFamily::UniFlat);
+    let m_phase_ns = (m_calib.as_nanos() as u64 / MATRIX_CP as u64).max(1);
+    let phase_s = m_phase_ns as f64 * 1e-9;
+
+    // Three link regimes. Wire times are calibrated against the measured
+    // compute phase so every regime is genuinely link-bound on any host:
+    // * latency-only — per-message launch cost dominates; halving bytes
+    //   buys nothing, the flat unidirectional ring should hold its own;
+    // * bandwidth-bound — a full KV block takes ~3 compute phases on the
+    //   wire, so the bidirectional halves (link-disjoint at CP6) should
+    //   cut comm wall time roughly in half;
+    // * asymmetric — two nodes, cross-node links ~16x slower than
+    //   intra-node: the hierarchical path takes 1 of its 5 hops
+    //   cross-node while the flat ring crosses on every hop.
+    let slow_bytes_per_s = payload_bytes as f64 / (3.0 * phase_s);
+    let slow_gib = slow_bytes_per_s / (1u64 << 30) as f64;
+    let fast_gib = slow_gib * 16.0;
+    let lat_small = Duration::from_nanos(m_phase_ns / 20);
+    let bandwidth_link = LinkModel {
+        latency: lat_small,
+        gib_per_s: slow_gib,
+    };
+    let intra_link = LinkModel {
+        latency: Duration::from_nanos(m_phase_ns / 50),
+        gib_per_s: fast_gib,
+    };
+    let to_gbs = |gib: f64| gib * (1u64 << 30) as f64 / 1e9;
+    let lat_us = |d: Duration| d.as_secs_f64() * 1e6;
+    let latency_link = LinkModel::latency_only(Duration::from_nanos(m_phase_ns * 12 / 10));
+    let scenarios = [
+        (
+            "latency-only",
+            MatrixLinks::Uniform(latency_link),
+            TopologySpec::uniform(MATRIX_CP, 1e6, lat_us(latency_link.latency)),
+        ),
+        (
+            "bandwidth-bound",
+            MatrixLinks::Uniform(bandwidth_link),
+            TopologySpec::uniform(MATRIX_CP, to_gbs(slow_gib), lat_us(lat_small)),
+        ),
+        (
+            "asymmetric",
+            MatrixLinks::Asymmetric {
+                topo: m_topo,
+                intra: intra_link,
+                cross: bandwidth_link,
+            },
+            TopologySpec::new(
+                MATRIX_NODES,
+                MATRIX_CP / MATRIX_NODES,
+                to_gbs(fast_gib),
+                to_gbs(slow_gib),
+                lat_us(lat_small),
+            ),
+        ),
+    ];
+
+    let mut matrix_json = Vec::new();
+    let mut matrix_lines = Vec::new();
+    let mut bandwidth_bidi_reduction = 0.0f64;
+    let mut bandwidth_model_agrees = false;
+    let mut asym_hier_reduction = 0.0f64;
+    let mut asym_model_agrees = false;
+    for (scenario, links, spec) in scenarios {
+        let mut walls = Vec::new();
+        for family in MatrixFamily::ALL {
+            let wall = run_matrix_family(m_reps, &m_locals, links, family);
+            walls.push((family, wall));
+        }
+        let wall_of = |f: MatrixFamily| {
+            walls
+                .iter()
+                .find(|(g, _)| *g == f)
+                .expect("family measured")
+                .1
+                .as_secs_f64()
+        };
+        let uni_flat_s = wall_of(MatrixFamily::UniFlat);
+        let model = ranked_families(&spec, payload_bytes as f64);
+        let model_names: Vec<&str> = model.iter().map(|(f, _)| f.name()).collect();
+        let measured_best = walls
+            .iter()
+            .filter(|(f, _)| *f != MatrixFamily::Chunked)
+            .min_by_key(|(_, w)| *w)
+            .expect("nonempty")
+            .0;
+        match scenario {
+            "bandwidth-bound" => {
+                bandwidth_bidi_reduction =
+                    100.0 * (1.0 - wall_of(MatrixFamily::BidiFlat) / uni_flat_s);
+                // The model must put some bidirectional family ahead of
+                // the unidirectional flat ring.
+                let pos = |name: &str| model_names.iter().position(|n| *n == name);
+                bandwidth_model_agrees = pos("bidi-flat") < pos("uni-flat");
+            }
+            "asymmetric" => {
+                let best_hier =
+                    wall_of(MatrixFamily::UniHier).min(wall_of(MatrixFamily::BidiHier));
+                asym_hier_reduction = 100.0 * (1.0 - best_hier / uni_flat_s);
+                asym_model_agrees = model
+                    .first()
+                    .is_some_and(|(f, _)| f.topology == RingTopologyKind::Hierarchical);
+            }
+            _ => {}
+        }
+        matrix_lines.push(format!(
+            "  matrix[{scenario}]: {} (model best {})",
+            walls
+                .iter()
+                .map(|(f, w)| format!("{} {:.1} ms", f.name(), w.as_secs_f64() * 1e3))
+                .collect::<Vec<_>>()
+                .join(", "),
+            model_names.first().copied().unwrap_or("-"),
+        ));
+        matrix_json.push(serde_json::json!({
+            "scenario": scenario,
+            "families": walls
+                .iter()
+                .map(|(f, w)| {
+                    serde_json::json!({
+                        "family": f.name(),
+                        "model_family": f.model_family().name(),
+                        "wall_ms": w.as_secs_f64() * 1e3,
+                        "reduction_vs_uni_flat_pct":
+                            100.0 * (1.0 - w.as_secs_f64() / uni_flat_s),
+                    })
+                })
+                .collect::<Vec<_>>(),
+            "measured_best": measured_best.name(),
+            "model_ranking": model
+                .iter()
+                .map(|(f, s)| serde_json::json!({"family": f.name(), "comm_s": s}))
+                .collect::<Vec<_>>(),
+        }));
+    }
+
     let json = serde_json::json!({
         "config": {
             "cp": CP,
@@ -232,6 +528,21 @@ fn main() {
             "scoped_spawn_ms": scoped_fanout.as_secs_f64() * 1e3,
             "spawn_overhead_reduction_pct": spawn_reduction_pct,
         },
+        "schedule_matrix": {
+            "config": {
+                "cp": MATRIX_CP,
+                "nodes": MATRIX_NODES,
+                "tokens_per_rank": m_t,
+                "reps": m_reps,
+                "payload_bytes": payload_bytes,
+                "phase_compute_ns": m_phase_ns,
+            },
+            "scenarios": matrix_json,
+            "bandwidth_bidi_reduction_pct": bandwidth_bidi_reduction,
+            "bandwidth_model_agrees": bandwidth_model_agrees,
+            "asymmetric_hier_reduction_pct": asym_hier_reduction,
+            "asymmetric_model_agrees": asym_model_agrees,
+        },
     });
     std::fs::write(
         &out_path,
@@ -261,6 +572,14 @@ fn main() {
         pool_fanout.as_secs_f64() * 1e3,
         scoped_fanout.as_secs_f64() * 1e3,
     );
+    for line in &matrix_lines {
+        println!("{line}");
+    }
+    println!(
+        "  matrix headline: bandwidth-bound bidi-flat {bandwidth_bidi_reduction:.1}% faster \
+         (model agrees: {bandwidth_model_agrees}); asymmetric hier {asym_hier_reduction:.1}% \
+         faster (model agrees: {asym_model_agrees})"
+    );
     println!("  wrote {out_path}");
 
     // Fail loudly if the headline claims regress (skipped in --smoke runs,
@@ -273,6 +592,24 @@ fn main() {
         assert!(
             reduction_pct >= 25.0,
             "overlapped ring must be >=25% faster at this operating point, got {reduction_pct:.1}%"
+        );
+        assert!(
+            bandwidth_bidi_reduction >= 25.0,
+            "bidirectional ring must cut comm wall time >=25% in the bandwidth-bound regime, \
+             got {bandwidth_bidi_reduction:.1}%"
+        );
+        assert!(
+            bandwidth_model_agrees,
+            "cp-perf model must rank bidi-flat ahead of uni-flat in the bandwidth-bound regime"
+        );
+        assert!(
+            asym_hier_reduction > 0.0,
+            "hierarchical ring must beat the flat ring on asymmetric links, \
+             got {asym_hier_reduction:.1}%"
+        );
+        assert!(
+            asym_model_agrees,
+            "cp-perf model must rank a hierarchical family first on asymmetric links"
         );
     }
 }

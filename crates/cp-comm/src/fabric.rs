@@ -54,6 +54,85 @@ impl LinkModel {
     }
 }
 
+/// Physical shape of the rank group: `nodes` hosts with `ranks_per_node`
+/// ranks each, rank `r` living on node `r / ranks_per_node`. Drives both
+/// the heterogeneous link model ([`LinkPolicy::Topo`]) and the
+/// hierarchical ring schedules in `cp_core::schedule`, which keep bulk
+/// traffic on intra-node links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    /// Number of hosts.
+    pub nodes: usize,
+    /// Ranks per host.
+    pub ranks_per_node: usize,
+}
+
+impl Topology {
+    /// A topology of `nodes` hosts × `ranks_per_node` ranks.
+    pub fn new(nodes: usize, ranks_per_node: usize) -> Self {
+        Topology {
+            nodes,
+            ranks_per_node,
+        }
+    }
+
+    /// Total ranks in the group.
+    pub fn world(&self) -> usize {
+        self.nodes * self.ranks_per_node
+    }
+
+    /// The node hosting `rank`.
+    pub fn node_of(&self, rank: usize) -> usize {
+        rank / self.ranks_per_node.max(1)
+    }
+
+    /// Whether two ranks share a host (and therefore the fast link).
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+}
+
+/// Which [`LinkModel`] (if any) governs each (src, dst) channel.
+///
+/// The uniform policy is the historical single-`LinkModel` fabric; the
+/// topology policy models a heterogeneous interconnect — fast intra-node
+/// links, slow cross-node links — so schedules that keep bulk traffic
+/// inside a node measurably win.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkPolicy {
+    /// One model for every channel; `None` = instant delivery.
+    Uniform(Option<LinkModel>),
+    /// Per-link models keyed by whether the endpoints share a node.
+    Topo {
+        /// The node layout assigning ranks to hosts.
+        topo: Topology,
+        /// Model for channels whose endpoints share a node.
+        intra: LinkModel,
+        /// Model for channels crossing nodes.
+        cross: LinkModel,
+    },
+}
+
+impl Default for LinkPolicy {
+    fn default() -> Self {
+        LinkPolicy::Uniform(None)
+    }
+}
+
+impl LinkPolicy {
+    /// The model governing the `src → dst` channel, if any.
+    pub fn model_for(&self, src: usize, dst: usize) -> Option<LinkModel> {
+        match self {
+            LinkPolicy::Uniform(m) => *m,
+            LinkPolicy::Topo { topo, intra, cross } => Some(if topo.same_node(src, dst) {
+                *intra
+            } else {
+                *cross
+            }),
+        }
+    }
+}
+
 /// A message in flight: the payload plus the instant the modeled wire
 /// finishes delivering it (`None` without a [`LinkModel`]).
 #[derive(Debug)]
@@ -102,8 +181,20 @@ pub struct Communicator<M: Wire> {
     ctrl_senders: Vec<Sender<()>>,
     ctrl_receivers: Vec<Receiver<()>>,
     recv_timeout: Duration,
-    /// Modeled wire delay applied to every delivery; `None` = instant.
-    link: Option<LinkModel>,
+    /// Modeled wire delay per channel; [`LinkPolicy::Uniform`]`(None)` =
+    /// instant.
+    links: LinkPolicy,
+    /// When a channel is modeled, the instant `senders[dst]` frees up:
+    /// each (src, dst) channel carries one message at a time, so two
+    /// payloads pushed down the *same* link serialize while payloads on
+    /// different links (e.g. the two directions of a bidirectional ring)
+    /// genuinely overlap. Indexed by `dst`; only this rank sends on these
+    /// channels, so a local lock suffices.
+    link_busy: Mutex<Vec<Option<Instant>>>,
+    /// Ring pipelining depth requested by [`Fabric::pipeline_depth`];
+    /// ring loops split hop payloads into this many chunks and keep that
+    /// many hops in flight. 1 = classic double-buffered ring.
+    pipeline_depth: usize,
     /// Plan cursor when running under a [`CheckedFabric`]; `None` in
     /// unchecked mode.
     checker: Option<Mutex<PlanChecker>>,
@@ -134,6 +225,18 @@ impl<M: Wire> Communicator<M> {
     /// The previous rank around the ring (`rank - 1 mod N`).
     pub fn ring_prev(&self) -> usize {
         (self.rank + self.world - 1) % self.world
+    }
+
+    /// Ring pipelining depth configured on the fabric (≥ 1). Ring loops
+    /// consult this to decide whether to split hop payloads into chunks
+    /// and keep multiple hops in flight (cut-through forwarding).
+    pub fn pipeline_depth(&self) -> usize {
+        self.pipeline_depth.max(1)
+    }
+
+    /// The link model governing this rank's channel to `dst`, if any.
+    pub fn link_to(&self, dst: usize) -> Option<LinkModel> {
+        self.links.model_for(self.rank, dst)
     }
 
     /// Runs `f` on the plan checker if one is installed; `Ok(None)` in
@@ -182,7 +285,24 @@ impl<M: Wire> Communicator<M> {
             world_size: self.world,
         })?;
         let bytes = msg.wire_bytes();
-        let deliver_at = self.link.map(|l| Instant::now() + l.delay(bytes));
+        // A modeled channel carries one message at a time: a payload posted
+        // while the previous one is still on the wire queues behind it.
+        // This keeps same-link chunking honest (halves serialize) while
+        // distinct links — the two ring directions, or different peers —
+        // genuinely run in parallel.
+        let deliver_at = self.links.model_for(self.rank, dst).map(|l| {
+            let mut busy = self.link_busy.lock().unwrap_or_else(PoisonError::into_inner);
+            let now = Instant::now();
+            let start = match busy.get(dst).copied().flatten() {
+                Some(free_at) if free_at > now => free_at,
+                _ => now,
+            };
+            let at = start + l.delay(bytes);
+            if let Some(slot) = busy.get_mut(dst) {
+                *slot = Some(at);
+            }
+            at
+        });
         sender
             .send(Envelope { msg, deliver_at })
             .map_err(|_| CommError::SendFailed { dst })?;
@@ -764,7 +884,8 @@ fn transpose<T>(rows: Vec<Vec<T>>) -> Vec<Vec<T>> {
 fn build_communicators<M: Wire>(
     world: usize,
     recv_timeout: Duration,
-    link: Option<LinkModel>,
+    links: LinkPolicy,
+    pipeline_depth: usize,
     pool_threads: usize,
     plan: Option<&CommPlan>,
     stats: &Arc<TrafficStats>,
@@ -832,7 +953,9 @@ fn build_communicators<M: Wire>(
             ctrl_senders,
             ctrl_receivers,
             recv_timeout,
-            link,
+            links,
+            link_busy: Mutex::new(vec![None; world]),
+            pipeline_depth,
             checker: checkers.get_mut(rank).and_then(Option::take),
             stats: Arc::clone(stats),
             pool: OnceLock::new(),
@@ -865,7 +988,8 @@ fn build_communicators<M: Wire>(
 pub struct Fabric {
     world: usize,
     recv_timeout: Duration,
-    link: Option<LinkModel>,
+    links: LinkPolicy,
+    pipeline_depth: usize,
     pool_threads: usize,
 }
 
@@ -876,7 +1000,8 @@ impl Fabric {
         Fabric {
             world,
             recv_timeout: DEFAULT_RECV_TIMEOUT,
-            link: None,
+            links: LinkPolicy::default(),
+            pipeline_depth: 1,
             pool_threads: 0,
         }
     }
@@ -890,11 +1015,29 @@ impl Fabric {
         self
     }
 
-    /// Installs a modeled interconnect: every delivery completes no earlier
-    /// than [`LinkModel::delay`] after the send, concurrently with the
-    /// receiver's compute. Off by default (instant delivery).
+    /// Installs a uniform modeled interconnect: every delivery completes
+    /// no earlier than [`LinkModel::delay`] after the send, concurrently
+    /// with the receiver's compute. Off by default (instant delivery).
     pub fn link(mut self, link: LinkModel) -> Self {
-        self.link = Some(link);
+        self.links = LinkPolicy::Uniform(Some(link));
+        self
+    }
+
+    /// Installs a heterogeneous interconnect: channels between ranks on
+    /// the same node of `topo` use `intra`, channels crossing nodes use
+    /// `cross`. This is what makes hierarchical (topology-aware) ring
+    /// schedules measurably cheaper than flat ones.
+    pub fn topology(mut self, topo: Topology, intra: LinkModel, cross: LinkModel) -> Self {
+        self.links = LinkPolicy::Topo { topo, intra, cross };
+        self
+    }
+
+    /// Requests depth-`n` ring pipelining: ring loops split each hop
+    /// payload into `n` chunks and keep `n` sends in flight per hop, so a
+    /// chunk is forwarded before its siblings have arrived (cut-through).
+    /// Depth 1 (the default) is the classic double-buffered ring.
+    pub fn pipeline_depth(mut self, depth: usize) -> Self {
+        self.pipeline_depth = depth.max(1);
         self
     }
 
@@ -937,7 +1080,8 @@ impl Fabric {
         let comms = build_communicators::<M>(
             self.world,
             self.recv_timeout,
-            self.link,
+            self.links,
+            self.pipeline_depth,
             self.pool_threads,
             plan,
             &stats,
@@ -1051,6 +1195,18 @@ impl CheckedFabric {
     /// Installs a modeled interconnect, as [`Fabric::link`].
     pub fn link(mut self, link: LinkModel) -> Self {
         self.fabric = self.fabric.link(link);
+        self
+    }
+
+    /// Installs a heterogeneous interconnect, as [`Fabric::topology`].
+    pub fn topology(mut self, topo: Topology, intra: LinkModel, cross: LinkModel) -> Self {
+        self.fabric = self.fabric.topology(topo, intra, cross);
+        self
+    }
+
+    /// Requests depth-`n` ring pipelining, as [`Fabric::pipeline_depth`].
+    pub fn pipeline_depth(mut self, depth: usize) -> Self {
+        self.fabric = self.fabric.pipeline_depth(depth);
         self
     }
 

@@ -46,8 +46,8 @@ mod wire;
 
 pub use error::CommError;
 pub use fabric::{
-    run_ranks, CheckedFabric, Communicator, Fabric, LinkModel, PendingRecv, PendingSend, Progress,
-    DEFAULT_RECV_TIMEOUT,
+    run_ranks, CheckedFabric, Communicator, Fabric, LinkModel, LinkPolicy, PendingRecv,
+    PendingSend, Progress, Topology, DEFAULT_RECV_TIMEOUT,
 };
 pub use plan::{CommOp, CommPlan, PredictedCollective, PredictedTraffic, RankPlan};
 pub use stats::{CollectiveReport, TimedEvent, TimelineLane, TrafficReport, TrafficStats};

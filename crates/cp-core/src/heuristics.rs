@@ -16,7 +16,8 @@
 //!   positive. [`fit_empirical`] refits `α, β, γ` against oracle labels
 //!   from the performance model, reproducing Figure 10.
 
-use cp_perf::{prefill, HardwareSpec, ModelSpec, RingVariant};
+use cp_perf::schedule::{choose_family, hop_bytes_per_layer};
+use cp_perf::{prefill, HardwareSpec, ModelSpec, RingVariant, ScheduleFamily, TopologySpec};
 
 /// The model/hardware context a heuristic evaluates against.
 #[derive(Debug, Clone, PartialEq)]
@@ -158,6 +159,25 @@ pub fn choose_variant(kind: HeuristicKind, ctx: &SystemContext, t: usize, p: usi
             }
         }
     }
+}
+
+/// The extended heuristic: Algorithm 1/5 (or the empirical fit) picks the
+/// ring *variant* from `(T, P)` as before, then the analytic link model
+/// picks the cheapest *schedule family* — {uni, bidi} × {flat,
+/// hierarchical} — for that variant's per-hop payload on the given link
+/// topology. The two choices are separable because every family is
+/// bit-exact for both variants: the variant decides *what* circulates
+/// (Table 2 byte volumes), the family only decides *how* it is routed.
+pub fn choose_schedule(
+    kind: HeuristicKind,
+    ctx: &SystemContext,
+    topo: &TopologySpec,
+    t: usize,
+    p: usize,
+) -> (RingVariant, ScheduleFamily) {
+    let variant = choose_variant(kind, ctx, t, p);
+    let bytes = hop_bytes_per_layer(&ctx.model, variant, topo.world(), t, p);
+    (variant, choose_family(topo, bytes))
 }
 
 /// Fits Appendix D's `h(T, P)` coefficients against oracle labels on a
@@ -384,6 +404,43 @@ mod tests {
         };
         assert!(gti.pass_kv_overlap_threshold() > gtt.pass_kv_overlap_threshold());
         assert!(gti.pass_q_overlap_threshold() > gtt.pass_q_overlap_threshold());
+    }
+
+    #[test]
+    fn schedule_choice_folds_topology_into_algorithm1() {
+        let ctx = ctx4();
+        // Four CP ranks per node across two nodes, NVLink-fast inside,
+        // RDMA-slow across: a bandwidth-bound full prefill should route
+        // pass-KV over the bidirectional hierarchical ring.
+        let topo = TopologySpec::new(2, 4, 200.0, 25.0, 10.0);
+        let (variant, family) = choose_schedule(HeuristicKind::Threshold, &ctx, &topo, 128_000, 0);
+        assert_eq!(variant, RingVariant::PassKv);
+        assert_eq!(family.name(), "bidi-hier");
+        // Low-miss partial prefill flips the variant to pass-Q without
+        // changing the topology-driven family choice.
+        let (variant, family) =
+            choose_schedule(HeuristicKind::Threshold, &ctx, &topo, 1_280, 126_720);
+        assert_eq!(variant, RingVariant::PassQ);
+        assert_eq!(family.name(), "bidi-hier");
+    }
+
+    #[test]
+    fn schedule_choice_degrades_to_the_paper_default() {
+        let ctx = ctx4();
+        // Two ranks on uniform links: no direction to split, no slow link
+        // to dodge — the extended heuristic must return the classic
+        // unidirectional flat ring.
+        let topo = TopologySpec::uniform(2, 50.0, 5.0);
+        let (_, family) = choose_schedule(HeuristicKind::Threshold, &ctx, &topo, 128_000, 0);
+        assert_eq!(family, ScheduleFamily::UNI_FLAT);
+    }
+
+    #[test]
+    fn single_node_ring_prefers_bidi_flat() {
+        let ctx = ctx4();
+        let topo = TopologySpec::uniform(8, 100.0, 5.0);
+        let (_, family) = choose_schedule(HeuristicKind::Threshold, &ctx, &topo, 128_000, 0);
+        assert_eq!(family.name(), "bidi-flat");
     }
 
     #[test]

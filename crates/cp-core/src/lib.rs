@@ -69,9 +69,10 @@ pub mod trace;
 
 pub use engine::{
     ContextParallelEngine, DecodeOutcome, EngineConfig, PrefillOutcome, PrefillRequest,
+    SchedulePolicy,
 };
 pub use error::CoreError;
 pub use heuristics::{HeuristicKind, SystemContext};
-pub use messages::{DecodeSlot, LocalSeq, RingMsg, SeqKv, SeqOut, SeqQ, ELEM_BYTES};
+pub use messages::{split_slot_vec, DecodeSlot, LocalSeq, RingMsg, SeqKv, SeqOut, SeqQ, ELEM_BYTES};
 pub use projector::ToyProjector;
 pub use session::{ChatSession, TurnStats};

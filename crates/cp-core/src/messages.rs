@@ -2,7 +2,7 @@
 
 use cp_attention::PAD;
 use cp_comm::Wire;
-use cp_tensor::Tensor;
+use cp_tensor::{Tensor, TensorError};
 
 /// Bytes per element on our simulated wire (`f32`): the `e` of the paper's
 /// cost formulas as this reproduction realises it.
@@ -47,6 +47,62 @@ pub struct SeqKv {
     pub pos: Vec<usize>,
 }
 
+/// Row count of the first half when a block of `l` dim-0 rows splits in
+/// two — for the bidirectional rings (forward half vs. reverse half) and
+/// for depth-2 pipelined hops (chunk 1 vs. chunk 2). The first half takes
+/// the extra row of an odd split; `l == 1` leaves the second half empty,
+/// which every consumer handles (an empty tensor slice carries 0 wire
+/// bytes and attends over nothing).
+pub fn split_point(l: usize) -> usize {
+    l.div_ceil(2)
+}
+
+impl SeqKv {
+    /// Splits this block at the token midpoint into two O(1) views: rows
+    /// `[0, ceil(l/2))` and `[ceil(l/2), l)`. Both halves keep viewing the
+    /// original buffer, so [`Tensor::concat_dim0`] on the receiving side
+    /// rejoins them zero-copy into a tensor bitwise identical to the
+    /// original — the foundation of the bidirectional ring's bit-identity
+    /// to the unidirectional one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TensorError`] from slicing (only on malformed shapes).
+    pub fn split_halves(&self) -> Result<(SeqKv, SeqKv), TensorError> {
+        let l = self.pos.len().min(self.k.dim0());
+        let mid = split_point(l);
+        Ok((
+            SeqKv {
+                k: self.k.slice_dim0(0..mid)?,
+                v: self.v.slice_dim0(0..mid)?,
+                pos: self.pos.get(..mid).unwrap_or(&self.pos).to_vec(),
+            },
+            SeqKv {
+                k: self.k.slice_dim0(mid..l)?,
+                v: self.v.slice_dim0(mid..l)?,
+                pos: self.pos.get(mid..l).unwrap_or_default().to_vec(),
+            },
+        ))
+    }
+
+    /// Rejoins two halves produced by [`SeqKv::split_halves`] (possibly
+    /// after a wire round-trip, which preserves buffer identity in this
+    /// in-process fabric, so the rejoin is zero-copy).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TensorError`] on shape mismatch between the halves.
+    pub fn join_halves(a: &SeqKv, b: &SeqKv) -> Result<SeqKv, TensorError> {
+        let mut pos = a.pos.clone();
+        pos.extend_from_slice(&b.pos);
+        Ok(SeqKv {
+            k: Tensor::concat_dim0([&a.k, &b.k])?,
+            v: Tensor::concat_dim0([&a.v, &b.v])?,
+            pos,
+        })
+    }
+}
+
 /// One sequence's circulating Q block.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SeqQ {
@@ -54,6 +110,45 @@ pub struct SeqQ {
     pub q: Tensor,
     /// Global positions of the queries.
     pub pos: Vec<usize>,
+}
+
+impl SeqQ {
+    /// Splits this block at the query-row midpoint into two O(1) views,
+    /// as [`SeqKv::split_halves`]. Query rows are independent under the
+    /// blocked kernel (each keeps its own online-softmax state), so
+    /// attending the halves separately and concatenating the outputs is
+    /// bitwise identical to attending the full block.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TensorError`] from slicing (only on malformed shapes).
+    pub fn split_halves(&self) -> Result<(SeqQ, SeqQ), TensorError> {
+        let t = self.pos.len().min(self.q.dim0());
+        let mid = split_point(t);
+        Ok((
+            SeqQ {
+                q: self.q.slice_dim0(0..mid)?,
+                pos: self.pos.get(..mid).unwrap_or(&self.pos).to_vec(),
+            },
+            SeqQ {
+                q: self.q.slice_dim0(mid..t)?,
+                pos: self.pos.get(mid..t).unwrap_or_default().to_vec(),
+            },
+        ))
+    }
+}
+
+/// Splits a decode slot vector at the slot midpoint for the bidirectional
+/// decode ring: the first `ceil(n/2)` slots travel forward, the rest
+/// travel in reverse. Slots are independent queries, so computing the
+/// halves separately and re-concatenating the per-slot outputs is bitwise
+/// identical to the unidirectional pass.
+pub fn split_slot_vec(
+    slots: &[Option<DecodeSlot>],
+) -> (Vec<Option<DecodeSlot>>, Vec<Option<DecodeSlot>>) {
+    let mid = split_point(slots.len());
+    let (a, b) = slots.split_at(mid.min(slots.len()));
+    (a.to_vec(), b.to_vec())
 }
 
 /// One sequence's partial attention output travelling through the pass-Q

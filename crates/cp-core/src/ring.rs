@@ -20,8 +20,8 @@ use cp_pool::ComputePool;
 use cp_tensor::Tensor;
 
 use crate::error::to_comm_error;
-use crate::messages::{DecodeSlot, LocalSeq, RingMsg, SeqKv, SeqOut, SeqQ};
-use crate::schedule::ring_origin;
+use crate::messages::{split_slot_vec, DecodeSlot, LocalSeq, RingMsg, SeqKv, SeqOut, SeqQ};
+use crate::schedule::{defer_return, hop_channels, ring_origin, RingLayout, RingPath};
 use crate::CoreError;
 
 /// KV block size for the flash-style kernel inside ring loops.
@@ -248,6 +248,27 @@ fn check_ring_order(
     Ok(())
 }
 
+/// [`check_ring_order`] generalized to any [`RingPath`]: validates a
+/// received origin tag against the path's rotation invariant.
+fn check_path_order(
+    rank: usize,
+    path: RingPath,
+    from_rank: usize,
+    step: usize,
+    got_origin: usize,
+) -> Result<(), CoreError> {
+    let expected_origin = path.origin_at(rank, step);
+    if got_origin != expected_origin {
+        return Err(CoreError::RingOrderViolation {
+            from_rank,
+            step,
+            expected_origin,
+            got_origin,
+        });
+    }
+    Ok(())
+}
+
 /// Applies `f` to every item, fanning work out over the rank's persistent
 /// compute pool when there is more than one item — the role the GPU's
 /// batched varlen kernel plays for fused sequences in the paper. Results
@@ -315,7 +336,38 @@ pub fn ring_pass_kv_prefill(
     params: &AttentionParams,
     locals: &[LocalSeq],
 ) -> Result<Vec<AttentionOutput>, CoreError> {
+    // The fabric's pipeline-depth flag selects the depth-2 chunked loop
+    // transparently: callers keep one entry point, checked runs must pass
+    // the matching plan (`pass_kv_chunked_plan`).
+    if comm.pipeline_depth() >= 2 {
+        return ring_pass_kv_prefill_chunked(comm, params, locals);
+    }
+    ring_pass_kv_prefill_on(comm, params, locals, RingLayout::Flat)
+}
+
+/// [`ring_pass_kv_prefill`] over an arbitrary [`RingLayout`]: the flat
+/// layout reproduces the classic single ring hop for hop; the
+/// hierarchical layout walks all ranks of a node between cross-node
+/// exchanges, so only `N-1` of the `W-1` hops touch slow links. Every
+/// layout visits every origin exactly once and folds partials in its
+/// path's visit order, so results are exact for any layout; because the
+/// hierarchical path visits origins in a different order than the flat
+/// ring, its outputs are mathematically equal but not bitwise identical
+/// to the flat ones (the bidirectional loop on the *same* layout is
+/// bitwise identical — see [`ring_pass_kv_prefill_bidi`]).
+///
+/// # Errors
+///
+/// As [`ring_pass_kv_prefill`], plus [`CoreError::BadRequest`] when a
+/// hierarchical topology does not cover the world size.
+pub fn ring_pass_kv_prefill_on(
+    comm: &Communicator<RingMsg>,
+    params: &AttentionParams,
+    locals: &[LocalSeq],
+    layout: RingLayout,
+) -> Result<Vec<AttentionOutput>, CoreError> {
     let n = comm.world_size();
+    let path = layout.fwd(n)?;
     // Tensor clones are O(1) Arc handle copies: the circulating block views
     // the rank's local shard, no payload bytes are duplicated.
     let mut visiting: Vec<SeqKv> = locals
@@ -331,28 +383,29 @@ pub fn ring_pass_kv_prefill(
     // instead of O(hops).
     let mut acc: Vec<Option<AttentionOutput>> = (0..locals.len()).map(|_| None).collect();
 
-    let (rank, prev) = (comm.rank(), comm.ring_prev());
+    let rank = comm.rank();
     let pool = comm.pool();
     for j in 0..n {
         // Post hop j+1's exchange before attending to hop j's block; the
         // outgoing shard is captured by O(1) handle clones.
         let pending = if j + 1 < n {
             Some(comm.isend_irecv(
-                comm.ring_next(),
+                path.send_peer(rank, j),
                 RingMsg::Kv {
                     seqs: visiting.clone(),
                 },
-                comm.ring_prev(),
+                path.recv_peer(rank, j),
             )?)
         } else {
             None
         };
+        let forwarder = if j == 0 { rank } else { path.recv_peer(rank, j - 1) };
         let step = comm.time_compute("attend pass-kv", || {
             map_seqs(pool, locals, |i, local| {
                 let kv = visiting.get(i).ok_or_else(|| CoreError::BadRequest {
                     reason: format!(
-                        "KV block forwarded by rank {prev} carries {} sequences but rank {rank} \
-                         holds {} local sequences",
+                        "KV block forwarded by rank {forwarder} carries {} sequences but rank \
+                         {rank} holds {} local sequences",
                         visiting.len(),
                         locals.len()
                     ),
@@ -367,7 +420,7 @@ pub fn ring_pass_kv_prefill(
         })?;
         if let Some(pending) = pending {
             let received = pending.wait()?;
-            visiting = expect_kv(received, comm.ring_prev())?;
+            visiting = expect_kv(received, path.recv_peer(rank, j))?;
         }
     }
 
@@ -429,6 +482,331 @@ pub fn ring_pass_kv_prefill_blocking(
             )?;
             visiting = expect_kv(received, comm.ring_prev())?;
         }
+    }
+
+    take_merged(acc, "pass-kv")
+}
+
+/// Splits each local KV shard at the per-sequence token midpoint into the
+/// forward (A) and reverse (B) circulating halves — O(1) view slices.
+fn split_kv_halves(locals: &[LocalSeq]) -> Result<(Vec<SeqKv>, Vec<SeqKv>), CoreError> {
+    let mut a = Vec::with_capacity(locals.len());
+    let mut b = Vec::with_capacity(locals.len());
+    for l in locals {
+        let kv = SeqKv {
+            k: l.k.clone(),
+            v: l.v.clone(),
+            pos: l.kv_pos.clone(),
+        };
+        let (ha, hb) = kv.split_halves()?;
+        a.push(ha);
+        b.push(hb);
+    }
+    Ok((a, b))
+}
+
+/// Rejoins per-sequence KV halves received from the two ring directions
+/// (or the two pipeline chunks) into full blocks. The blocked kernel's
+/// online softmax walks KV rows in order, so attending the rejoined block
+/// is bitwise identical to attending the never-split original.
+fn join_kv_halves(rank: usize, a: &[SeqKv], b: &[SeqKv]) -> Result<Vec<SeqKv>, CoreError> {
+    if a.len() != b.len() {
+        return Err(CoreError::BadRequest {
+            reason: format!(
+                "rank {rank} received mismatched KV half batches: {} vs {} sequences",
+                a.len(),
+                b.len()
+            ),
+        });
+    }
+    a.iter()
+        .zip(b)
+        .map(|(ha, hb)| SeqKv::join_halves(ha, hb).map_err(CoreError::from))
+        .collect()
+}
+
+/// Mutable access into a per-origin buffer table, with an out-of-range
+/// index (an internal bug: indices come from [`RingPath::origin_at`])
+/// surfaced as a typed error instead of a panic.
+fn origin_slot<'a, T>(
+    table: &'a mut [Option<T>],
+    origin: usize,
+    what: &'static str,
+) -> Result<&'a mut Option<T>, CoreError> {
+    let len = table.len();
+    table.get_mut(origin).ok_or_else(|| CoreError::Internal {
+        detail: format!("{what}: origin {origin} out of range for world {len}"),
+    })
+}
+
+/// If both halves of `origin`'s KV block are on board and it has not been
+/// attended yet, rejoin them, attend, and park the per-sequence partials
+/// in `computed`. Both directions' origins are tried every round; an
+/// origin becomes ready exactly at the later of its two arrival rounds,
+/// and its halves have always been forwarded onward by then (each
+/// direction forwards a half at or before the round the origin completes,
+/// and sends are posted before computes within a round), so consuming
+/// them here is safe.
+fn bidi_kv_attend_if_ready(
+    comm: &Communicator<RingMsg>,
+    params: &AttentionParams,
+    locals: &[LocalSeq],
+    origin: usize,
+    halves_a: &mut [Option<Vec<SeqKv>>],
+    halves_b: &mut [Option<Vec<SeqKv>>],
+    computed: &mut [Option<Vec<AttentionOutput>>],
+) -> Result<(), CoreError> {
+    if origin_slot(computed, origin, "bidi pass-kv partials")?.is_some() {
+        return Ok(());
+    }
+    let ready = matches!(
+        (halves_a.get(origin), halves_b.get(origin)),
+        (Some(Some(_)), Some(Some(_)))
+    );
+    if !ready {
+        return Ok(());
+    }
+    let a = origin_slot(halves_a, origin, "bidi pass-kv A halves")?
+        .take()
+        .unwrap_or_default();
+    let b = origin_slot(halves_b, origin, "bidi pass-kv B halves")?
+        .take()
+        .unwrap_or_default();
+    let rank = comm.rank();
+    let full = join_kv_halves(rank, &a, &b)?;
+    let pool = comm.pool();
+    let step = comm.time_compute("attend pass-kv", || {
+        map_seqs(pool, locals, |i, local| {
+            let kv = full.get(i).ok_or_else(|| CoreError::BadRequest {
+                reason: format!(
+                    "KV block of origin {origin} carries {} sequences but rank {rank} holds {} \
+                     local sequences",
+                    full.len(),
+                    locals.len()
+                ),
+            })?;
+            attend(pool, &local.q, &local.q_pos, kv, params)
+        })
+    })?;
+    *origin_slot(computed, origin, "bidi pass-kv partials")? = Some(step);
+    Ok(())
+}
+
+/// Bidirectional pass-KV prefill (TokenRing-style, arXiv:2412.20501):
+/// each rank's KV block splits at the token midpoint, the A half
+/// circulating along the forward path and the B half along the reverse
+/// path simultaneously, so each hop moves half the bytes per link and the
+/// two directions' payloads travel disjoint links (on rings longer than
+/// two ranks per cycle).
+///
+/// An origin is attended the round *both* of its halves are on board
+/// (`max` of its forward and reverse arrival steps); the halves rejoin as
+/// O(1) views of the origin's buffer, so the attended block is bitwise
+/// the one the unidirectional ring attends. Partials buffer per origin —
+/// O(W) merge state instead of the unidirectional loop's O(1) — and the
+/// end fold walks origins in forward-path order, replaying the
+/// unidirectional merge sequence exactly: outputs are proptested
+/// bit-identical to [`ring_pass_kv_prefill`].
+///
+/// # Errors
+///
+/// As [`ring_pass_kv_prefill`], plus [`CoreError::BadRequest`] when a
+/// hierarchical topology does not cover the world size.
+pub fn ring_pass_kv_prefill_bidi(
+    comm: &Communicator<RingMsg>,
+    params: &AttentionParams,
+    locals: &[LocalSeq],
+    layout: RingLayout,
+) -> Result<Vec<AttentionOutput>, CoreError> {
+    let n = comm.world_size();
+    let rank = comm.rank();
+    let fwd = layout.fwd(n)?;
+    let rev = layout.rev(n)?;
+
+    let mut halves_a: Vec<Option<Vec<SeqKv>>> = vec![None; n];
+    let mut halves_b: Vec<Option<Vec<SeqKv>>> = vec![None; n];
+    let (own_a, own_b) = split_kv_halves(locals)?;
+    *origin_slot(&mut halves_a, rank, "bidi pass-kv A halves")? = Some(own_a);
+    *origin_slot(&mut halves_b, rank, "bidi pass-kv B halves")? = Some(own_b);
+    let mut computed: Vec<Option<Vec<AttentionOutput>>> = vec![None; n];
+
+    for j in 0..n {
+        // Post both directions' hops (forward first — the order receivers
+        // wait them in, which disambiguates the two payloads when both
+        // directions share a channel on two-rank cycles).
+        let pends = if j + 1 < n {
+            let send_a = origin_slot(&mut halves_a, fwd.origin_at(rank, j), "bidi pass-kv A halves")?
+                .clone()
+                .ok_or_else(|| CoreError::Internal {
+                    detail: format!(
+                        "rank {rank} has no A half of origin {} to forward at round {j}",
+                        fwd.origin_at(rank, j)
+                    ),
+                })?;
+            let pf = comm.isend_irecv(
+                fwd.send_peer(rank, j),
+                RingMsg::Kv { seqs: send_a },
+                fwd.recv_peer(rank, j),
+            )?;
+            let send_b = origin_slot(&mut halves_b, rev.origin_at(rank, j), "bidi pass-kv B halves")?
+                .clone()
+                .ok_or_else(|| CoreError::Internal {
+                    detail: format!(
+                        "rank {rank} has no B half of origin {} to forward at round {j}",
+                        rev.origin_at(rank, j)
+                    ),
+                })?;
+            let pr = comm.isend_irecv(
+                rev.send_peer(rank, j),
+                RingMsg::Kv { seqs: send_b },
+                rev.recv_peer(rank, j),
+            )?;
+            Some((pf, pr))
+        } else {
+            None
+        };
+        bidi_kv_attend_if_ready(
+            comm,
+            params,
+            locals,
+            fwd.origin_at(rank, j),
+            &mut halves_a,
+            &mut halves_b,
+            &mut computed,
+        )?;
+        bidi_kv_attend_if_ready(
+            comm,
+            params,
+            locals,
+            rev.origin_at(rank, j),
+            &mut halves_a,
+            &mut halves_b,
+            &mut computed,
+        )?;
+        if let Some((pf, pr)) = pends {
+            let seqs = expect_kv(pf.wait()?, fwd.recv_peer(rank, j))?;
+            *origin_slot(&mut halves_a, fwd.origin_at(rank, j + 1), "bidi pass-kv A halves")? =
+                Some(seqs);
+            let seqs = expect_kv(pr.wait()?, rev.recv_peer(rank, j))?;
+            *origin_slot(&mut halves_b, rev.origin_at(rank, j + 1), "bidi pass-kv B halves")? =
+                Some(seqs);
+        }
+    }
+
+    // End fold in forward-path origin order == the unidirectional loop's
+    // incremental per-hop fold: the identical sequence of pairwise merges.
+    let mut acc: Vec<Option<AttentionOutput>> = (0..locals.len()).map(|_| None).collect();
+    comm.time_compute("merge pass-kv", || {
+        for tau in 0..n {
+            let origin = fwd.origin_at(rank, tau);
+            let step = origin_slot(&mut computed, origin, "bidi pass-kv partials")?
+                .take()
+                .ok_or_else(|| CoreError::Internal {
+                    detail: format!("origin {origin} was never attended in the bidi pass-kv loop"),
+                })?;
+            acc.iter_mut()
+                .zip(step)
+                .try_for_each(|(a, out)| fold_partial(a, out))?;
+        }
+        Ok::<(), CoreError>(())
+    })?;
+    take_merged(acc, "pass-kv")
+}
+
+/// Depth-2 pipelined pass-KV prefill: each hop's payload splits into two
+/// chunks that travel the forward ring as separate messages, and each
+/// chunk is forwarded the moment it arrives — before its sibling lands
+/// (cut-through). Under a bandwidth-modelled serialized link this takes
+/// roughly `n/2` chunk transmission slots off the critical path versus
+/// the store-and-forward full-block hop in comm-bound regimes. Selected
+/// via [`cp_comm::Fabric::pipeline_depth`]`(2)` through the
+/// [`ring_pass_kv_prefill`] dispatcher.
+///
+/// Every visiting block is fully reassembled (O(1) view rejoin) before
+/// attending and the fold order matches the unidirectional loop, so
+/// outputs are bit-identical to [`ring_pass_kv_prefill`].
+///
+/// # Errors
+///
+/// Same failure modes as [`ring_pass_kv_prefill`].
+pub fn ring_pass_kv_prefill_chunked(
+    comm: &Communicator<RingMsg>,
+    params: &AttentionParams,
+    locals: &[LocalSeq],
+) -> Result<Vec<AttentionOutput>, CoreError> {
+    let n = comm.world_size();
+    let rank = comm.rank();
+    let (next, prev) = (comm.ring_next(), comm.ring_prev());
+    let (own_1, own_2) = split_kv_halves(locals)?;
+    let mut acc: Vec<Option<AttentionOutput>> = (0..locals.len()).map(|_| None).collect();
+
+    let pool = comm.pool();
+    let attend_and_fold = |visiting: &[SeqKv],
+                           acc: &mut Vec<Option<AttentionOutput>>|
+     -> Result<(), CoreError> {
+        let step = comm.time_compute("attend pass-kv", || {
+            map_seqs(pool, locals, |i, local| {
+                let kv = visiting.get(i).ok_or_else(|| CoreError::BadRequest {
+                    reason: format!(
+                        "visiting KV block carries {} sequences but rank {rank} holds {} local \
+                         sequences",
+                        visiting.len(),
+                        locals.len()
+                    ),
+                })?;
+                attend(pool, &local.q, &local.q_pos, kv, params)
+            })
+        })?;
+        comm.time_compute("merge pass-kv", || {
+            acc.iter_mut()
+                .zip(step)
+                .try_for_each(|(a, out)| fold_partial(a, out))
+        })
+    };
+
+    // Round 0: both chunks of the local shard go on the wire back to back,
+    // then the rank attends its own (never-split) block.
+    let mut pending = if n > 1 {
+        let p1 = comm.isend_irecv(next, RingMsg::Kv { seqs: own_1 }, prev)?;
+        let p2 = comm.isend_irecv(next, RingMsg::Kv { seqs: own_2 }, prev)?;
+        Some((p1, p2))
+    } else {
+        None
+    };
+    let own: Vec<SeqKv> = locals
+        .iter()
+        .map(|l| SeqKv {
+            k: l.k.clone(),
+            v: l.v.clone(),
+            pos: l.kv_pos.clone(),
+        })
+        .collect();
+    attend_and_fold(&own, &mut acc)?;
+
+    for j in 1..n {
+        let (p1, p2) = pending.take().ok_or_else(|| CoreError::Internal {
+            detail: format!("chunked pass-kv round {j} has no pending chunk exchange"),
+        })?;
+        // Cut-through: wait and re-post chunk 1 before chunk 2 has even
+        // been claimed, so on a serialized link the chunks pipeline
+        // through the ring instead of store-and-forwarding whole blocks.
+        let h1 = expect_kv(p1.wait()?, prev)?;
+        let n1 = if j + 1 < n {
+            Some(comm.isend_irecv(next, RingMsg::Kv { seqs: h1.clone() }, prev)?)
+        } else {
+            None
+        };
+        let h2 = expect_kv(p2.wait()?, prev)?;
+        let n2 = if j + 1 < n {
+            Some(comm.isend_irecv(next, RingMsg::Kv { seqs: h2.clone() }, prev)?)
+        } else {
+            None
+        };
+        if let (Some(n1), Some(n2)) = (n1, n2) {
+            pending = Some((n1, n2));
+        }
+        let full = join_kv_halves(rank, &h1, &h2)?;
+        attend_and_fold(&full, &mut acc)?;
     }
 
     take_merged(acc, "pass-kv")
@@ -708,6 +1086,325 @@ fn return_and_merge_pass_q(
     take_merged(acc, "pass-q")
 }
 
+/// Attends one batch of visiting query blocks (a full block or a
+/// bidirectional half) against the stationary local KV. An empty block —
+/// the reverse half of a one-token sequence — produces a zero-row output
+/// without touching the kernel; it concatenates back losslessly on the
+/// origin rank.
+fn attend_visiting_q(
+    comm: &Communicator<RingMsg>,
+    params: &AttentionParams,
+    local_kv: &[RankKv<'_>],
+    visiting: &[SeqQ],
+    origin: usize,
+) -> Result<Vec<SeqOut>, CoreError> {
+    let pool = comm.pool();
+    let k = comm.rank();
+    comm.time_compute("attend pass-q", || {
+        map_seqs(pool, visiting, |i, sq| {
+            let kv = local_kv.get(i).ok_or_else(|| CoreError::BadRequest {
+                reason: format!(
+                    "rank {origin} sent {} query sequences but rank {k} holds {} local KV \
+                     sequences",
+                    visiting.len(),
+                    local_kv.len()
+                ),
+            })?;
+            if sq.pos.is_empty() {
+                let shape = params.shape;
+                return Ok(SeqOut {
+                    out: Tensor::zeros(&[0, shape.n_heads(), shape.head_dim()]),
+                    lse: Tensor::zeros(&[0, shape.n_heads()]),
+                });
+            }
+            attend_rank_kv(pool, &sq.q, &sq.pos, kv, params).map(|o| SeqOut {
+                out: o.out,
+                lse: o.lse,
+            })
+        })
+    })
+}
+
+/// Posts a pass-Q partial-output return, or stashes it when the target
+/// channel still has ring hops in flight (see
+/// [`crate::schedule::hop_channels`] for why eager posts there would
+/// interleave ahead of hop payloads in the per-pair FIFO).
+fn post_or_defer_return(
+    comm: &Communicator<RingMsg>,
+    is_hop_dst: &[bool],
+    deferred: &mut Vec<(usize, RingMsg)>,
+    origin: usize,
+    round: usize,
+    outs: Vec<SeqOut>,
+) -> Result<(), CoreError> {
+    let msg = RingMsg::Out { seqs: outs };
+    if defer_return(is_hop_dst, origin, round, comm.world_size()) {
+        deferred.push((origin, msg));
+    } else {
+        let _posted = comm.isend(origin, msg)?;
+    }
+    Ok(())
+}
+
+/// [`ring_pass_q_prefill`] over an arbitrary [`RingLayout`] — flat keeps
+/// the classic ring's exact wire schedule; hierarchical layouts rotate
+/// the Q blocks through each node before every cross-node exchange, with
+/// returns to still-active hop channels deferred to the final round so
+/// per-channel FIFO order stays unambiguous.
+///
+/// # Errors
+///
+/// As [`ring_pass_q_prefill`], plus [`CoreError::BadRequest`] when a
+/// hierarchical topology does not cover the world size.
+pub fn ring_pass_q_prefill_on(
+    comm: &Communicator<RingMsg>,
+    params: &AttentionParams,
+    locals: &[LocalSeq],
+    layout: RingLayout,
+) -> Result<Vec<AttentionOutput>, CoreError> {
+    let (queries, kv) = locals_to_q_and_kv(locals);
+    ring_pass_q_prefill_kv_on(comm, params, &queries, &kv, layout)
+}
+
+/// [`ring_pass_q_prefill_on`] over [`RankKv`] stationary KV.
+///
+/// # Errors
+///
+/// As [`ring_pass_q_prefill_on`].
+pub fn ring_pass_q_prefill_kv_on(
+    comm: &Communicator<RingMsg>,
+    params: &AttentionParams,
+    queries: &[SeqQ],
+    local_kv: &[RankKv<'_>],
+    layout: RingLayout,
+) -> Result<Vec<AttentionOutput>, CoreError> {
+    let n = comm.world_size();
+    let k = comm.rank();
+    let fwd = layout.fwd(n)?;
+    let is_hop_dst = hop_channels(k, &[fwd]);
+
+    let mut visiting: Vec<SeqQ> = queries.to_vec();
+    let mut own: Option<Vec<SeqOut>> = None;
+    let mut deferred: Vec<(usize, RingMsg)> = Vec::new();
+    for j in 0..n {
+        if j + 1 == n {
+            for (dst, msg) in deferred.drain(..) {
+                let _posted = comm.isend(dst, msg)?;
+            }
+        }
+        let origin = fwd.origin_at(k, j);
+        let pending = if j + 1 < n {
+            Some(comm.isend_irecv(
+                fwd.send_peer(k, j),
+                RingMsg::Q {
+                    origin,
+                    seqs: visiting.clone(),
+                },
+                fwd.recv_peer(k, j),
+            )?)
+        } else {
+            None
+        };
+        let outs = attend_visiting_q(comm, params, local_kv, &visiting, origin)?;
+        if origin == k {
+            own = Some(outs);
+        } else {
+            post_or_defer_return(comm, &is_hop_dst, &mut deferred, origin, j, outs)?;
+        }
+        if let Some(pending) = pending {
+            let received = pending.wait()?;
+            let (got_origin, seqs) = expect_q(received, fwd.recv_peer(k, j))?;
+            check_path_order(k, fwd, fwd.recv_peer(k, j), j + 1, got_origin)?;
+            visiting = seqs;
+        }
+    }
+
+    let mut acc: Vec<Option<AttentionOutput>> = (0..queries.len()).map(|_| None).collect();
+    for src_rank in 0..n {
+        let outs = if src_rank == k {
+            own.take().ok_or_else(|| CoreError::Internal {
+                detail: format!("rank {k} never visited its own queries in the pass-Q ring loop"),
+            })?
+        } else {
+            expect_out(comm.recv(src_rank)?, src_rank)?
+        };
+        comm.time_compute("merge pass-q", || {
+            fold_source_outs(k, &mut acc, src_rank, &outs)
+        })?;
+    }
+    take_merged(acc, "pass-q")
+}
+
+/// Rejoins the two half-outputs a source rank computed for this rank's
+/// queries. Query rows are independent under the blocked kernel, so the
+/// concatenation is bitwise the full-block partial the unidirectional
+/// loop receives.
+fn join_out_halves(rank: usize, src: usize, a: &[SeqOut], b: &[SeqOut]) -> Result<Vec<SeqOut>, CoreError> {
+    if a.len() != b.len() {
+        return Err(CoreError::BadRequest {
+            reason: format!(
+                "rank {src} returned mismatched Out half batches to rank {rank}: {} vs {} \
+                 sequences",
+                a.len(),
+                b.len()
+            ),
+        });
+    }
+    a.iter()
+        .zip(b)
+        .map(|(ha, hb)| {
+            Ok(SeqOut {
+                out: Tensor::concat_dim0([&ha.out, &hb.out])?,
+                lse: Tensor::concat_dim0([&ha.lse, &hb.lse])?,
+            })
+        })
+        .collect()
+}
+
+/// Bidirectional pass-Q prefill: each rank's query rows split at the
+/// midpoint, the A half circulating along the forward path and the B
+/// half along the reverse path, halving per-link Q bytes per hop. Each
+/// round attends both visiting halves (rows are independent, so the
+/// halves' outputs concatenate to the full-block partial bitwise) and
+/// returns each one eagerly to its origin — deferred to the final round
+/// when the origin is a still-active hop channel. The trailing gather
+/// receives **two** `Out` messages per peer; which half arrives first on
+/// each FIFO channel is fixed by which half the peer hosted first (A on
+/// a tie, matching the loop's post order within a round).
+///
+/// # Errors
+///
+/// As [`ring_pass_q_prefill_on`].
+pub fn ring_pass_q_prefill_bidi(
+    comm: &Communicator<RingMsg>,
+    params: &AttentionParams,
+    locals: &[LocalSeq],
+    layout: RingLayout,
+) -> Result<Vec<AttentionOutput>, CoreError> {
+    let (queries, kv) = locals_to_q_and_kv(locals);
+    ring_pass_q_prefill_bidi_kv(comm, params, &queries, &kv, layout)
+}
+
+/// [`ring_pass_q_prefill_bidi`] over [`RankKv`] stationary KV.
+///
+/// # Errors
+///
+/// As [`ring_pass_q_prefill_on`].
+pub fn ring_pass_q_prefill_bidi_kv(
+    comm: &Communicator<RingMsg>,
+    params: &AttentionParams,
+    queries: &[SeqQ],
+    local_kv: &[RankKv<'_>],
+    layout: RingLayout,
+) -> Result<Vec<AttentionOutput>, CoreError> {
+    let n = comm.world_size();
+    let k = comm.rank();
+    let fwd = layout.fwd(n)?;
+    let rev = layout.rev(n)?;
+    let is_hop_dst = hop_channels(k, &[fwd, rev]);
+
+    let mut vis_a = Vec::with_capacity(queries.len());
+    let mut vis_b = Vec::with_capacity(queries.len());
+    for sq in queries {
+        let (a, b) = sq.split_halves()?;
+        vis_a.push(a);
+        vis_b.push(b);
+    }
+
+    let mut own_a: Option<Vec<SeqOut>> = None;
+    let mut own_b: Option<Vec<SeqOut>> = None;
+    let mut deferred: Vec<(usize, RingMsg)> = Vec::new();
+    for j in 0..n {
+        if j + 1 == n {
+            // Flush point: all hop posts are behind us, so the stashed
+            // returns land on clean channels, in compute (= expected
+            // receive) order.
+            for (dst, msg) in deferred.drain(..) {
+                let _posted = comm.isend(dst, msg)?;
+            }
+        }
+        let origin_a = fwd.origin_at(k, j);
+        let origin_b = rev.origin_at(k, j);
+        let pends = if j + 1 < n {
+            let pf = comm.isend_irecv(
+                fwd.send_peer(k, j),
+                RingMsg::Q {
+                    origin: origin_a,
+                    seqs: vis_a.clone(),
+                },
+                fwd.recv_peer(k, j),
+            )?;
+            let pr = comm.isend_irecv(
+                rev.send_peer(k, j),
+                RingMsg::Q {
+                    origin: origin_b,
+                    seqs: vis_b.clone(),
+                },
+                rev.recv_peer(k, j),
+            )?;
+            Some((pf, pr))
+        } else {
+            None
+        };
+        let outs_a = attend_visiting_q(comm, params, local_kv, &vis_a, origin_a)?;
+        if origin_a == k {
+            own_a = Some(outs_a);
+        } else {
+            post_or_defer_return(comm, &is_hop_dst, &mut deferred, origin_a, j, outs_a)?;
+        }
+        let outs_b = attend_visiting_q(comm, params, local_kv, &vis_b, origin_b)?;
+        if origin_b == k {
+            own_b = Some(outs_b);
+        } else {
+            post_or_defer_return(comm, &is_hop_dst, &mut deferred, origin_b, j, outs_b)?;
+        }
+        if let Some((pf, pr)) = pends {
+            let (got, seqs) = expect_q(pf.wait()?, fwd.recv_peer(k, j))?;
+            check_path_order(k, fwd, fwd.recv_peer(k, j), j + 1, got)?;
+            vis_a = seqs;
+            let (got, seqs) = expect_q(pr.wait()?, rev.recv_peer(k, j))?;
+            check_path_order(k, rev, rev.recv_peer(k, j), j + 1, got)?;
+            vis_b = seqs;
+        }
+    }
+
+    let step_err = |host: usize, origin: usize| CoreError::Internal {
+        detail: format!("ring path never routes rank {origin}'s block through rank {host}"),
+    };
+    let mut acc: Vec<Option<AttentionOutput>> = (0..queries.len()).map(|_| None).collect();
+    for src in 0..n {
+        let (outs_a, outs_b) = if src == k {
+            let a = own_a.take().ok_or_else(|| CoreError::Internal {
+                detail: format!("rank {k} never visited its own A-half queries"),
+            })?;
+            let b = own_b.take().ok_or_else(|| CoreError::Internal {
+                detail: format!("rank {k} never visited its own B-half queries"),
+            })?;
+            (a, b)
+        } else {
+            // src computed our A half at its forward-hosting round and our
+            // B half at its reverse-hosting round; its channel to us is
+            // FIFO, so the earlier round's return arrives first (ties are
+            // A-first: the loop posts the A return before the B return
+            // within a round).
+            let tau_a = fwd.step_of(src, k).ok_or_else(|| step_err(src, k))?;
+            let tau_b = rev.step_of(src, k).ok_or_else(|| step_err(src, k))?;
+            let first = expect_out(comm.recv(src)?, src)?;
+            let second = expect_out(comm.recv(src)?, src)?;
+            if tau_a <= tau_b {
+                (first, second)
+            } else {
+                (second, first)
+            }
+        };
+        let joined = join_out_halves(k, src, &outs_a, &outs_b)?;
+        comm.time_compute("merge pass-q", || {
+            fold_source_outs(k, &mut acc, src, &joined)
+        })?;
+    }
+    take_merged(acc, "pass-q")
+}
+
 /// Algorithm 4 — batched ring pass-Q decode, as executed by one rank.
 ///
 /// `slots` are this rank's decode assignments for the step (padded with
@@ -953,6 +1650,135 @@ fn return_and_merge_decode(
             })
             .collect()
     })
+}
+
+/// Attends one batch of visiting decode slots (a full slot vector or a
+/// bidirectional half) against the rank's local per-sequence KV shards.
+fn attend_decode_slots(
+    comm: &Communicator<RingMsg>,
+    params: &AttentionParams,
+    batch_kv: &[RankKv<'_>],
+    visiting: &[Option<DecodeSlot>],
+    origin: usize,
+) -> Result<Vec<Option<SeqOut>>, CoreError> {
+    let pool = comm.pool();
+    comm.time_compute("attend decode", || {
+        map_seqs(pool, visiting, |_, slot| {
+            slot.as_ref()
+                .map(|s| {
+                    let kv = batch_kv.get(s.bid).ok_or_else(|| CoreError::BadRequest {
+                        reason: format!(
+                            "decode slot from rank {origin} references unknown batch id {}",
+                            s.bid
+                        ),
+                    })?;
+                    attend_rank_kv(pool, &s.q, &[s.pos], kv, params).map(|o| SeqOut {
+                        out: o.out,
+                        lse: o.lse,
+                    })
+                })
+                .transpose()
+        })
+    })
+}
+
+/// Bidirectional batched pass-Q decode: the slot vector splits at the
+/// midpoint, the first half circulating forward and the second in
+/// reverse on the flat ring, halving per-link decode-Q bytes per hop.
+/// Slots are independent single-token queries, so per-origin halves
+/// simply re-concatenate before the same `All2All` return and merge as
+/// [`ring_pass_q_decode`] — proptested bit-identical to it, with
+/// identical `All2All` bytes.
+///
+/// # Errors
+///
+/// Same failure modes as [`ring_pass_q_decode`].
+pub fn ring_pass_q_decode_bidi(
+    comm: &Communicator<RingMsg>,
+    params: &AttentionParams,
+    slots: &[Option<DecodeSlot>],
+    batch_kv: &[SeqKv],
+) -> Result<Vec<AttentionOutput>, CoreError> {
+    let kv: Vec<RankKv<'static>> = batch_kv.iter().cloned().map(RankKv::tensors).collect();
+    ring_pass_q_decode_bidi_kv(comm, params, slots, &kv)
+}
+
+/// [`ring_pass_q_decode_bidi`] over [`RankKv`] local shards.
+///
+/// # Errors
+///
+/// Same failure modes as [`ring_pass_q_decode`].
+pub fn ring_pass_q_decode_bidi_kv(
+    comm: &Communicator<RingMsg>,
+    params: &AttentionParams,
+    slots: &[Option<DecodeSlot>],
+    batch_kv: &[RankKv<'_>],
+) -> Result<Vec<AttentionOutput>, CoreError> {
+    let n = comm.world_size();
+    let k = comm.rank();
+    let fwd = RingPath::FlatFwd { world: n };
+    let rev = RingPath::FlatRev { world: n };
+
+    let (mut vis_a, mut vis_b) = split_slot_vec(slots);
+    let mut computed_a: Vec<Option<Vec<Option<SeqOut>>>> = vec![None; n];
+    let mut computed_b: Vec<Option<Vec<Option<SeqOut>>>> = vec![None; n];
+
+    for j in 0..n {
+        let origin_a = fwd.origin_at(k, j);
+        let origin_b = rev.origin_at(k, j);
+        let pends = if j + 1 < n {
+            let pf = comm.isend_irecv(
+                fwd.send_peer(k, j),
+                RingMsg::DecodeQ {
+                    origin: origin_a,
+                    slots: vis_a.clone(),
+                },
+                fwd.recv_peer(k, j),
+            )?;
+            let pr = comm.isend_irecv(
+                rev.send_peer(k, j),
+                RingMsg::DecodeQ {
+                    origin: origin_b,
+                    slots: vis_b.clone(),
+                },
+                rev.recv_peer(k, j),
+            )?;
+            Some((pf, pr))
+        } else {
+            None
+        };
+        let outs_a = attend_decode_slots(comm, params, batch_kv, &vis_a, origin_a)?;
+        *origin_slot(&mut computed_a, origin_a, "bidi decode A partials")? = Some(outs_a);
+        let outs_b = attend_decode_slots(comm, params, batch_kv, &vis_b, origin_b)?;
+        *origin_slot(&mut computed_b, origin_b, "bidi decode B partials")? = Some(outs_b);
+        if let Some((pf, pr)) = pends {
+            let (got, s) = expect_decode_q(pf.wait()?, fwd.recv_peer(k, j))?;
+            check_path_order(k, fwd, fwd.recv_peer(k, j), j + 1, got)?;
+            vis_a = s;
+            let (got, s) = expect_decode_q(pr.wait()?, rev.recv_peer(k, j))?;
+            check_path_order(k, rev, rev.recv_peer(k, j), j + 1, got)?;
+            vis_b = s;
+        }
+    }
+
+    // Re-concatenate each origin's halves into original slot order, then
+    // run the exact unidirectional All2All return and merge.
+    let mut computed: Vec<Option<Vec<Option<SeqOut>>>> = Vec::with_capacity(n);
+    for o in 0..n {
+        let mut a = origin_slot(&mut computed_a, o, "bidi decode A partials")?
+            .take()
+            .ok_or_else(|| CoreError::Internal {
+                detail: format!("origin {o}'s A slots were never attended in the bidi decode loop"),
+            })?;
+        let b = origin_slot(&mut computed_b, o, "bidi decode B partials")?
+            .take()
+            .ok_or_else(|| CoreError::Internal {
+                detail: format!("origin {o}'s B slots were never attended in the bidi decode loop"),
+            })?;
+        a.extend(b);
+        computed.push(Some(a));
+    }
+    return_and_merge_decode(comm, slots, computed)
 }
 
 /// Adapter: runs a per-rank ring body inside [`cp_comm::run_ranks`],

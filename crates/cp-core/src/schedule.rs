@@ -21,9 +21,12 @@
 
 use cp_attention::AttentionParams;
 use cp_comm::{CheckedFabric, CommOp, CommPlan, Communicator, RankPlan, TrafficReport, Wire};
+pub use cp_comm::Topology;
 
 use crate::error::to_comm_error;
-use crate::messages::{DecodeSlot, LocalSeq, RingMsg, SeqKv, SeqQ, ELEM_BYTES};
+use crate::messages::{
+    split_slot_vec, DecodeSlot, LocalSeq, RingMsg, SeqKv, SeqQ, ELEM_BYTES,
+};
 use crate::CoreError;
 
 /// Which rank's block rank `rank` holds at ring step `step` (0-based), for
@@ -38,6 +41,222 @@ pub fn ring_origin(rank: usize, world: usize, step: usize) -> usize {
     (rank + world - (step % world)) % world
 }
 
+/// Reverse-direction twin of [`ring_origin`]: which rank's block rank
+/// `rank` holds at step `step` on the ring rotating towards `rank - 1`.
+/// The bidirectional schedules circulate the second half of every payload
+/// along this path while the first half follows [`ring_origin`].
+pub fn ring_origin_rev(rank: usize, world: usize, step: usize) -> usize {
+    (rank + (step % world)) % world
+}
+
+/// Forward hierarchical origin: which rank's block `rank` holds at `step`
+/// on the topology-aware ring. Writing `rank = (node, lane)` and `step =
+/// m·g + k` (with `g = ranks_per_node`), the visiting block's origin is
+/// `((node - m) mod N, (lane - (m·(g-1) + k)) mod g)`: the schedule walks
+/// all `g` lanes of a node between consecutive cross-node exchanges, so
+/// only every `g`-th hop crosses nodes ([`hier_hop_is_cross`]).
+fn hier_origin(topo: Topology, rank: usize, step: usize) -> usize {
+    let (nn, g) = (topo.nodes.max(1), topo.ranks_per_node.max(1));
+    let w = nn * g;
+    let step = step % w;
+    let (m, k) = (step / g, step % g);
+    let (node, lane) = (rank / g, rank % g);
+    let o_node = (node + nn - m) % nn;
+    let o_lane = (lane + g - (m * (g - 1) + k) % g) % g;
+    o_node * g + o_lane
+}
+
+/// Reverse hierarchical origin — the mirror image of [`hier_origin`]:
+/// `((node + m) mod N, (lane + m·(g-1) + k) mod g)`.
+fn hier_origin_rev(topo: Topology, rank: usize, step: usize) -> usize {
+    let (nn, g) = (topo.nodes.max(1), topo.ranks_per_node.max(1));
+    let w = nn * g;
+    let step = step % w;
+    let (m, k) = (step / g, step % g);
+    let (node, lane) = (rank / g, rank % g);
+    let o_node = (node + m) % nn;
+    let o_lane = (lane + (m * (g - 1) + k) % g) % g;
+    o_node * g + o_lane
+}
+
+/// Whether hop `hop` of the hierarchical schedule crosses nodes. Hop `j`
+/// delivers step `j+1`'s block, so the cross-node exchange lands on every
+/// `g`-th hop (`(j+1) % g == 0`); all other hops stay on intra-node
+/// links. With `g = 1` every hop crosses (the flat ring over nodes);
+/// with one node no hop ever satisfies the predicate within `W-1` hops.
+fn hier_hop_is_cross(topo: Topology, hop: usize) -> bool {
+    (hop + 1).is_multiple_of(topo.ranks_per_node.max(1))
+}
+
+/// Forward-direction send peer at hop `hop` of the hierarchical ring:
+/// next lane on the same node for intra hops, the same lane of the next
+/// node for cross hops.
+fn hier_fwd_send_peer(topo: Topology, rank: usize, hop: usize) -> usize {
+    let (nn, g) = (topo.nodes.max(1), topo.ranks_per_node.max(1));
+    let (node, lane) = (rank / g, rank % g);
+    if hier_hop_is_cross(topo, hop) {
+        ((node + 1) % nn) * g + lane
+    } else {
+        node * g + (lane + 1) % g
+    }
+}
+
+/// Forward-direction receive peer at hop `hop` (mirror of
+/// [`hier_fwd_send_peer`]).
+fn hier_fwd_recv_peer(topo: Topology, rank: usize, hop: usize) -> usize {
+    let (nn, g) = (topo.nodes.max(1), topo.ranks_per_node.max(1));
+    let (node, lane) = (rank / g, rank % g);
+    if hier_hop_is_cross(topo, hop) {
+        ((node + nn - 1) % nn) * g + lane
+    } else {
+        node * g + (lane + g - 1) % g
+    }
+}
+
+/// One direction of a ring route: who each rank sends to and receives
+/// from at every hop, and which origin's block it holds at every step.
+///
+/// The flat paths are the paper's single ring over all `W` ranks; the
+/// hierarchical paths (TASP-style, arXiv:2509.26541) rotate through all
+/// ranks of a node before each cross-node exchange, so of the `W-1` hops
+/// only `N-1` touch slow cross-node links (vs. all `W-1` for the flat
+/// ring laid out across nodes). Every path is a Hamiltonian cycle with
+/// the same lockstep-FIFO property as the flat ring — `origin_at(r, j+1)
+/// == origin_at(recv_peer(r, j), j)` — so one generic double-buffered
+/// loop drives all of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RingPath {
+    /// Flat ring rotating towards `rank + 1` ([`ring_origin`]).
+    FlatFwd {
+        /// Number of ranks.
+        world: usize,
+    },
+    /// Flat ring rotating towards `rank - 1` ([`ring_origin_rev`]).
+    FlatRev {
+        /// Number of ranks.
+        world: usize,
+    },
+    /// Hierarchical ring: intra-node rotation with one cross-node
+    /// exchange every `ranks_per_node` hops.
+    HierFwd {
+        /// Node layout; `topo.world()` ranks.
+        topo: Topology,
+    },
+    /// Mirror image of [`RingPath::HierFwd`]: send/recv peers swapped,
+    /// origins rotating the other way.
+    HierRev {
+        /// Node layout; `topo.world()` ranks.
+        topo: Topology,
+    },
+}
+
+impl RingPath {
+    /// Number of ranks on the path.
+    pub fn world(&self) -> usize {
+        match self {
+            RingPath::FlatFwd { world } | RingPath::FlatRev { world } => *world,
+            RingPath::HierFwd { topo } | RingPath::HierRev { topo } => topo.world(),
+        }
+    }
+
+    /// Which rank's block `rank` holds at `step` along this path.
+    pub fn origin_at(&self, rank: usize, step: usize) -> usize {
+        match self {
+            RingPath::FlatFwd { world } => ring_origin(rank, *world, step),
+            RingPath::FlatRev { world } => ring_origin_rev(rank, *world, step),
+            RingPath::HierFwd { topo } => hier_origin(*topo, rank, step),
+            RingPath::HierRev { topo } => hier_origin_rev(*topo, rank, step),
+        }
+    }
+
+    /// The peer `rank` sends to at hop `hop` (hop `j` delivers step
+    /// `j+1`'s block).
+    pub fn send_peer(&self, rank: usize, hop: usize) -> usize {
+        match self {
+            RingPath::FlatFwd { world } => (rank + 1) % world,
+            RingPath::FlatRev { world } => (rank + world - 1) % world,
+            RingPath::HierFwd { topo } => hier_fwd_send_peer(*topo, rank, hop),
+            // The reverse path retraces the forward cycle backwards, so
+            // its send peer is the forward receive peer (and vice versa).
+            RingPath::HierRev { topo } => hier_fwd_recv_peer(*topo, rank, hop),
+        }
+    }
+
+    /// The peer `rank` receives from at hop `hop`.
+    pub fn recv_peer(&self, rank: usize, hop: usize) -> usize {
+        match self {
+            RingPath::FlatFwd { world } => (rank + world - 1) % world,
+            RingPath::FlatRev { world } => (rank + 1) % world,
+            RingPath::HierFwd { topo } => hier_fwd_recv_peer(*topo, rank, hop),
+            RingPath::HierRev { topo } => hier_fwd_send_peer(*topo, rank, hop),
+        }
+    }
+
+    /// The step at which `host` holds `origin`'s block — the inverse of
+    /// [`RingPath::origin_at`] in its step argument. Used to order the
+    /// bidirectional pass-Q return messages deterministically.
+    pub fn step_of(&self, host: usize, origin: usize) -> Option<usize> {
+        (0..self.world()).find(|&s| self.origin_at(host, s) == origin)
+    }
+}
+
+/// Physical arrangement of the ring, selecting between the flat schedules
+/// and the topology-aware hierarchical ones. The default (`Flat`) is the
+/// paper's single ring and preserves all existing behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RingLayout {
+    /// One flat ring over all ranks.
+    #[default]
+    Flat,
+    /// Hierarchical ring over the given node layout.
+    Hier(Topology),
+}
+
+impl RingLayout {
+    /// The forward path over `world` ranks.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadRequest`] when a hierarchical topology's rank count
+    /// disagrees with `world`.
+    pub fn fwd(&self, world: usize) -> Result<RingPath, CoreError> {
+        match self {
+            RingLayout::Flat => Ok(RingPath::FlatFwd { world }),
+            RingLayout::Hier(topo) => {
+                check_topology(*topo, world)?;
+                Ok(RingPath::HierFwd { topo: *topo })
+            }
+        }
+    }
+
+    /// The reverse path over `world` ranks.
+    ///
+    /// # Errors
+    ///
+    /// As [`RingLayout::fwd`].
+    pub fn rev(&self, world: usize) -> Result<RingPath, CoreError> {
+        match self {
+            RingLayout::Flat => Ok(RingPath::FlatRev { world }),
+            RingLayout::Hier(topo) => {
+                check_topology(*topo, world)?;
+                Ok(RingPath::HierRev { topo: *topo })
+            }
+        }
+    }
+}
+
+fn check_topology(topo: Topology, world: usize) -> Result<(), CoreError> {
+    if topo.nodes == 0 || topo.ranks_per_node == 0 || topo.world() != world {
+        return Err(CoreError::BadRequest {
+            reason: format!(
+                "topology {}x{} does not cover a {world}-rank ring",
+                topo.nodes, topo.ranks_per_node
+            ),
+        });
+    }
+    Ok(())
+}
+
 /// Indexes into a per-rank table, converting an out-of-range index (an
 /// internal bug, since callers derive indices from `ring_origin`) into a
 /// typed error instead of a panic.
@@ -45,6 +264,31 @@ fn at(v: &[usize], i: usize) -> Result<usize, CoreError> {
     v.get(i).copied().ok_or_else(|| CoreError::Internal {
         detail: format!("rank table of length {} has no entry {i}", v.len()),
     })
+}
+
+/// The `W-1` ring `SendRecv` hops rank `rank` performs along `path`, with
+/// per-hop byte counts looked up by circulating-block origin. Generalizes
+/// the flat forward ring to any [`RingPath`]; [`ring_hops`] is the flat
+/// forward instantiation.
+fn path_hops(
+    rank: usize,
+    path: RingPath,
+    variant: &'static str,
+    bytes_by_origin: &[usize],
+) -> Result<Vec<CommOp>, CoreError> {
+    let world = path.world();
+    let mut ops = Vec::with_capacity(world.saturating_sub(1));
+    for j in 0..world.saturating_sub(1) {
+        ops.push(CommOp::SendRecv {
+            dst: path.send_peer(rank, j),
+            src: path.recv_peer(rank, j),
+            send_variant: variant,
+            recv_variant: variant,
+            send_bytes: at(bytes_by_origin, path.origin_at(rank, j))?,
+            recv_bytes: at(bytes_by_origin, path.origin_at(rank, j + 1))?,
+        });
+    }
+    Ok(ops)
 }
 
 /// The `N-1` ring `SendRecv` hops every rank performs, with per-hop byte
@@ -55,18 +299,53 @@ fn ring_hops(
     variant: &'static str,
     bytes_by_origin: &[usize],
 ) -> Result<Vec<CommOp>, CoreError> {
-    let mut ops = Vec::with_capacity(world.saturating_sub(1));
-    for j in 0..world.saturating_sub(1) {
-        ops.push(CommOp::SendRecv {
-            dst: (rank + 1) % world,
-            src: (rank + world - 1) % world,
-            send_variant: variant,
-            recv_variant: variant,
-            send_bytes: at(bytes_by_origin, ring_origin(rank, world, j))?,
-            recv_bytes: at(bytes_by_origin, ring_origin(rank, world, j + 1))?,
-        });
+    path_hops(rank, RingPath::FlatFwd { world }, variant, bytes_by_origin)
+}
+
+/// Marks every destination rank that receives ring-hop posts from `rank`
+/// along any of `paths`. The fabric's channels are FIFO per directed rank
+/// pair, so an eager pass-Q `Out` return posted to such a destination
+/// before the final round could land *ahead of* a later hop payload on
+/// the same channel and be claimed by the receiver's hop `irecv`. The
+/// loops therefore stash returns to these destinations and flush them at
+/// the top of the final round — after the last hop post, before the final
+/// round's computes — and the plan builders mirror that op order exactly.
+/// (On the flat forward ring the only hop destination receives its return
+/// in the final round anyway, so this rule leaves the classic pass-Q
+/// schedule untouched.)
+pub(crate) fn hop_channels(rank: usize, paths: &[RingPath]) -> Vec<bool> {
+    let world = paths.first().map_or(0, RingPath::world);
+    let mut is_hop = vec![false; world];
+    for path in paths {
+        for j in 0..world.saturating_sub(1) {
+            if let Some(slot) = is_hop.get_mut(path.send_peer(rank, j)) {
+                *slot = true;
+            }
+        }
     }
-    Ok(ops)
+    is_hop
+}
+
+/// Whether a pass-Q return computed at round `j` of `world` must be
+/// deferred to the final-round flush point (see [`hop_channels`]).
+pub(crate) fn defer_return(is_hop_dst: &[bool], dst: usize, j: usize, world: usize) -> bool {
+    j + 1 < world && is_hop_dst.get(dst).copied().unwrap_or(false)
+}
+
+/// Interleaves the two directions' hop lists `[f0, r0, f1, r1, ...]` —
+/// the exact order the bidirectional loops post their `isend_irecv`
+/// pairs (forward first within each round).
+fn interleave_hops(fwd: Vec<CommOp>, rev: Vec<CommOp>) -> Vec<CommOp> {
+    let mut ops = Vec::with_capacity(fwd.len() + rev.len());
+    let mut r = rev.into_iter();
+    for f in fwd {
+        ops.push(f);
+        if let Some(op) = r.next() {
+            ops.push(op);
+        }
+    }
+    ops.extend(r);
+    ops
 }
 
 fn kv_skeleton(locals: &[LocalSeq]) -> RingMsg {
@@ -233,6 +512,369 @@ pub fn decode_plan(
     let ranks = (0..n)
         .map(|r| {
             let mut ops = ring_hops(r, n, "DecodeQ", &dq_bytes)?;
+            ops.push(CommOp::AllToAll {
+                variant: "DecodeOut",
+                send_bytes: douts.clone(),
+                recv_bytes: vec![at(&douts, r)?; n],
+            });
+            Ok(RankPlan { rank: r, ops })
+        })
+        .collect::<Result<_, CoreError>>()?;
+    Ok(CommPlan::from_ranks(ranks))
+}
+
+/// Per-rank wire bytes of the two bidirectional KV halves: element `r` is
+/// `(A, B)` for rank `r`'s block split at the per-sequence token midpoint.
+fn kv_half_bytes(locals: &[Vec<LocalSeq>]) -> Result<(Vec<usize>, Vec<usize>), CoreError> {
+    let mut a = Vec::with_capacity(locals.len());
+    let mut b = Vec::with_capacity(locals.len());
+    for ls in locals {
+        let (mut ab, mut bb) = (0usize, 0usize);
+        for l in ls {
+            let kv = SeqKv {
+                k: l.k.clone(),
+                v: l.v.clone(),
+                pos: l.kv_pos.clone(),
+            };
+            let (ha, hb) = kv.split_halves()?;
+            ab += RingMsg::Kv { seqs: vec![ha] }.wire_bytes();
+            bb += RingMsg::Kv { seqs: vec![hb] }.wire_bytes();
+        }
+        a.push(ab);
+        b.push(bb);
+    }
+    Ok((a, b))
+}
+
+/// Per-rank wire bytes of the two bidirectional Q halves, split at the
+/// per-sequence query-row midpoint.
+fn q_half_bytes(locals: &[Vec<LocalSeq>]) -> Result<(Vec<usize>, Vec<usize>), CoreError> {
+    let mut a = Vec::with_capacity(locals.len());
+    let mut b = Vec::with_capacity(locals.len());
+    for ls in locals {
+        let (mut ab, mut bb) = (0usize, 0usize);
+        for l in ls {
+            let sq = SeqQ {
+                q: l.q.clone(),
+                pos: l.q_pos.clone(),
+            };
+            let (ha, hb) = sq.split_halves()?;
+            ab += ha.q.numel() * ELEM_BYTES;
+            bb += hb.q.numel() * ELEM_BYTES;
+        }
+        a.push(ab);
+        b.push(bb);
+    }
+    Ok((a, b))
+}
+
+/// Per-rank wire bytes of the `Out` messages carrying partials for each
+/// bidirectional Q half of rank `r`'s queries.
+fn out_half_bytes(
+    params: &AttentionParams,
+    locals: &[Vec<LocalSeq>],
+) -> Result<(Vec<usize>, Vec<usize>), CoreError> {
+    let h = params.shape.n_heads();
+    let mut a = Vec::with_capacity(locals.len());
+    let mut b = Vec::with_capacity(locals.len());
+    for ls in locals {
+        let (mut ab, mut bb) = (0usize, 0usize);
+        for l in ls {
+            let sq = SeqQ {
+                q: l.q.clone(),
+                pos: l.q_pos.clone(),
+            };
+            let (ha, hb) = sq.split_halves()?;
+            ab += (ha.q.numel() + ha.pos.len() * h) * ELEM_BYTES;
+            bb += (hb.q.numel() + hb.pos.len() * h) * ELEM_BYTES;
+        }
+        a.push(ab);
+        b.push(bb);
+    }
+    Ok((a, b))
+}
+
+/// Declares the unidirectional pass-KV prefill schedule over an arbitrary
+/// [`RingLayout`] — [`pass_kv_plan`] is the flat instantiation, the
+/// hierarchical one keeps `W-N` of the `W-1` hops on intra-node links.
+///
+/// # Errors
+///
+/// [`CoreError::BadRequest`] for an empty rank list or a topology that
+/// does not cover the rank count.
+pub fn pass_kv_plan_on(locals: &[Vec<LocalSeq>], layout: RingLayout) -> Result<CommPlan, CoreError> {
+    let n = nonzero_world(locals.len())?;
+    let fwd = layout.fwd(n)?;
+    let kv_bytes: Vec<usize> = locals
+        .iter()
+        .map(|ls| kv_skeleton(ls).wire_bytes())
+        .collect();
+    let ranks = (0..n)
+        .map(|r| {
+            Ok(RankPlan {
+                rank: r,
+                ops: path_hops(r, fwd, "Kv", &kv_bytes)?,
+            })
+        })
+        .collect::<Result<_, CoreError>>()?;
+    Ok(CommPlan::from_ranks(ranks))
+}
+
+/// Declares the bidirectional pass-KV prefill schedule (TokenRing-style,
+/// arXiv:2412.20501) over a [`RingLayout`]: each rank's KV block splits
+/// at the token midpoint, the A half circulating forward and the B half
+/// in reverse simultaneously, so per-link bytes per step halve. Each
+/// round posts the forward hop then the reverse hop, exactly as
+/// [`crate::ring::ring_pass_kv_prefill_bidi`] issues them.
+///
+/// # Errors
+///
+/// As [`pass_kv_plan_on`].
+pub fn pass_kv_bidi_plan(
+    locals: &[Vec<LocalSeq>],
+    layout: RingLayout,
+) -> Result<CommPlan, CoreError> {
+    let n = nonzero_world(locals.len())?;
+    let fwd = layout.fwd(n)?;
+    let rev = layout.rev(n)?;
+    let (a_bytes, b_bytes) = kv_half_bytes(locals)?;
+    let ranks = (0..n)
+        .map(|r| {
+            Ok(RankPlan {
+                rank: r,
+                ops: interleave_hops(
+                    path_hops(r, fwd, "Kv", &a_bytes)?,
+                    path_hops(r, rev, "Kv", &b_bytes)?,
+                ),
+            })
+        })
+        .collect::<Result<_, CoreError>>()?;
+    Ok(CommPlan::from_ranks(ranks))
+}
+
+/// Declares the depth-2 pipelined pass-KV prefill schedule
+/// ([`crate::ring::ring_pass_kv_prefill_chunked`]): each hop's payload
+/// splits into two chunks that both travel forward as separate messages,
+/// and each chunk is forwarded the moment it arrives — before its sibling
+/// lands (cut-through). On a serialized link this roughly halves the
+/// store-and-forward pipeline latency in bandwidth-bound regimes.
+///
+/// # Errors
+///
+/// [`CoreError::BadRequest`] for an empty rank list.
+pub fn pass_kv_chunked_plan(locals: &[Vec<LocalSeq>]) -> Result<CommPlan, CoreError> {
+    let n = nonzero_world(locals.len())?;
+    let (h1_bytes, h2_bytes) = kv_half_bytes(locals)?;
+    let ranks = (0..n)
+        .map(|r| {
+            Ok(RankPlan {
+                rank: r,
+                ops: interleave_hops(
+                    ring_hops(r, n, "Kv", &h1_bytes)?,
+                    ring_hops(r, n, "Kv", &h2_bytes)?,
+                ),
+            })
+        })
+        .collect::<Result<_, CoreError>>()?;
+    Ok(CommPlan::from_ranks(ranks))
+}
+
+/// Declares the unidirectional pass-Q prefill schedule over an arbitrary
+/// [`RingLayout`] — [`pass_q_plan`] is the flat instantiation. Eager
+/// `Out` returns target the layout's visiting origin at each round.
+///
+/// # Errors
+///
+/// As [`pass_kv_plan_on`].
+pub fn pass_q_plan_on(
+    params: &AttentionParams,
+    locals: &[Vec<LocalSeq>],
+    layout: RingLayout,
+) -> Result<CommPlan, CoreError> {
+    let n = nonzero_world(locals.len())?;
+    let fwd = layout.fwd(n)?;
+    let q_bytes: Vec<usize> = locals
+        .iter()
+        .enumerate()
+        .map(|(r, ls)| q_skeleton(r, ls).wire_bytes())
+        .collect();
+    let outs: Vec<usize> = locals.iter().map(|ls| out_bytes(params, ls)).collect();
+    let ranks = (0..n)
+        .map(|r| {
+            let is_hop_dst = hop_channels(r, &[fwd]);
+            let mut hops = path_hops(r, fwd, "Q", &q_bytes)?.into_iter();
+            let mut ops = Vec::with_capacity(3 * n.saturating_sub(1));
+            let mut deferred: Vec<CommOp> = Vec::new();
+            for j in 0..n {
+                if j + 1 == n {
+                    // Flush point: returns stashed to keep hop channels
+                    // clean post here, after the last hop, in compute
+                    // order (see `hop_channels`).
+                    ops.append(&mut deferred);
+                }
+                if let Some(hop) = hops.next() {
+                    ops.push(hop);
+                }
+                let origin = fwd.origin_at(r, j);
+                if origin != r {
+                    let send = CommOp::Send {
+                        dst: origin,
+                        variant: "Out",
+                        bytes: at(&outs, origin)?,
+                    };
+                    if defer_return(&is_hop_dst, origin, j, n) {
+                        deferred.push(send);
+                    } else {
+                        ops.push(send);
+                    }
+                }
+            }
+            for src in (0..n).filter(|&s| s != r) {
+                ops.push(CommOp::Recv {
+                    src,
+                    variant: "Out",
+                    bytes: at(&outs, r)?,
+                });
+            }
+            Ok(RankPlan { rank: r, ops })
+        })
+        .collect::<Result<_, CoreError>>()?;
+    Ok(CommPlan::from_ranks(ranks))
+}
+
+/// Declares the bidirectional pass-Q prefill schedule over a
+/// [`RingLayout`]: each rank's query rows split at the midpoint, the A
+/// half circulating forward and the B half in reverse. Every round posts
+/// the forward hop, the reverse hop, then the two eager `Out` returns (A
+/// first). The trailing collection receives **two** `Out` messages per
+/// peer; their order on each FIFO channel is fixed by which half the
+/// peer hosted first (A before B on a tie, matching the loop's
+/// post order within a round) — exactly how
+/// [`crate::ring::ring_pass_q_prefill_bidi_kv`] disambiguates them.
+///
+/// # Errors
+///
+/// As [`pass_kv_plan_on`].
+pub fn pass_q_bidi_plan(
+    params: &AttentionParams,
+    locals: &[Vec<LocalSeq>],
+    layout: RingLayout,
+) -> Result<CommPlan, CoreError> {
+    let n = nonzero_world(locals.len())?;
+    let fwd = layout.fwd(n)?;
+    let rev = layout.rev(n)?;
+    let (qa_bytes, qb_bytes) = q_half_bytes(locals)?;
+    let (oa_bytes, ob_bytes) = out_half_bytes(params, locals)?;
+    let step_err = |host: usize, origin: usize| CoreError::Internal {
+        detail: format!("ring path never routes rank {origin}'s block through rank {host}"),
+    };
+    let ranks = (0..n)
+        .map(|r| {
+            let is_hop_dst = hop_channels(r, &[fwd, rev]);
+            let mut f_hops = path_hops(r, fwd, "Q", &qa_bytes)?.into_iter();
+            let mut r_hops = path_hops(r, rev, "Q", &qb_bytes)?.into_iter();
+            let mut ops = Vec::with_capacity(6 * n.saturating_sub(1));
+            let mut deferred: Vec<CommOp> = Vec::new();
+            for j in 0..n {
+                if j + 1 == n {
+                    // Flush point for returns targeting still-active hop
+                    // channels (see `hop_channels`): after the last hop
+                    // post, in compute order, so every channel's FIFO
+                    // order matches the trailing `Recv` declarations.
+                    ops.append(&mut deferred);
+                }
+                if let Some(hop) = f_hops.next() {
+                    ops.push(hop);
+                }
+                if let Some(hop) = r_hops.next() {
+                    ops.push(hop);
+                }
+                let origin_a = fwd.origin_at(r, j);
+                if origin_a != r {
+                    let send = CommOp::Send {
+                        dst: origin_a,
+                        variant: "Out",
+                        bytes: at(&oa_bytes, origin_a)?,
+                    };
+                    if defer_return(&is_hop_dst, origin_a, j, n) {
+                        deferred.push(send);
+                    } else {
+                        ops.push(send);
+                    }
+                }
+                let origin_b = rev.origin_at(r, j);
+                if origin_b != r {
+                    let send = CommOp::Send {
+                        dst: origin_b,
+                        variant: "Out",
+                        bytes: at(&ob_bytes, origin_b)?,
+                    };
+                    if defer_return(&is_hop_dst, origin_b, j, n) {
+                        deferred.push(send);
+                    } else {
+                        ops.push(send);
+                    }
+                }
+            }
+            for src in (0..n).filter(|&s| s != r) {
+                // src posts our A-half partials at the round it hosts our
+                // A half and our B-half partials at the round it hosts our
+                // B half; its channel to us is FIFO, so the earlier host
+                // round arrives first (A first on a tie: the loop posts
+                // the forward return before the reverse one each round).
+                let tau_a = fwd.step_of(src, r).ok_or_else(|| step_err(src, r))?;
+                let tau_b = rev.step_of(src, r).ok_or_else(|| step_err(src, r))?;
+                let (first, second) = if tau_a <= tau_b {
+                    (at(&oa_bytes, r)?, at(&ob_bytes, r)?)
+                } else {
+                    (at(&ob_bytes, r)?, at(&oa_bytes, r)?)
+                };
+                ops.push(CommOp::Recv {
+                    src,
+                    variant: "Out",
+                    bytes: first,
+                });
+                ops.push(CommOp::Recv {
+                    src,
+                    variant: "Out",
+                    bytes: second,
+                });
+            }
+            Ok(RankPlan { rank: r, ops })
+        })
+        .collect::<Result<_, CoreError>>()?;
+    Ok(CommPlan::from_ranks(ranks))
+}
+
+/// Declares the bidirectional batched pass-Q decode schedule: the slot
+/// vector splits at the midpoint, the two halves counter-rotate on the
+/// flat ring, and the same single `All2All` as [`decode_plan`] returns
+/// the re-joined per-origin partials.
+///
+/// # Errors
+///
+/// [`CoreError::BadRequest`] for an empty rank list.
+pub fn decode_bidi_plan(
+    params: &AttentionParams,
+    slots: &[Vec<Option<DecodeSlot>>],
+) -> Result<CommPlan, CoreError> {
+    let n = nonzero_world(slots.len())?;
+    let fwd = RingPath::FlatFwd { world: n };
+    let rev = RingPath::FlatRev { world: n };
+    let mut a_bytes = Vec::with_capacity(n);
+    let mut b_bytes = Vec::with_capacity(n);
+    for (r, s) in slots.iter().enumerate() {
+        let (a, b) = split_slot_vec(s);
+        a_bytes.push(RingMsg::DecodeQ { origin: r, slots: a }.wire_bytes());
+        b_bytes.push(RingMsg::DecodeQ { origin: r, slots: b }.wire_bytes());
+    }
+    let douts: Vec<usize> = slots.iter().map(|s| decode_out_bytes(params, s)).collect();
+    let ranks = (0..n)
+        .map(|r| {
+            let mut ops = interleave_hops(
+                path_hops(r, fwd, "DecodeQ", &a_bytes)?,
+                path_hops(r, rev, "DecodeQ", &b_bytes)?,
+            );
             ops.push(CommOp::AllToAll {
                 variant: "DecodeOut",
                 send_bytes: douts.clone(),

@@ -51,6 +51,7 @@ pub mod memory;
 pub mod mfu;
 mod model;
 pub mod prefill;
+pub mod schedule;
 pub mod serve;
 pub mod tp;
 pub mod trace;
@@ -58,3 +59,4 @@ pub mod trace;
 pub use hardware::HardwareSpec;
 pub use model::ModelSpec;
 pub use prefill::{cp_prefill, PrefillBreakdown, RingIterCosts, RingVariant};
+pub use schedule::{RingDirection, RingTopologyKind, ScheduleFamily, TopologySpec};

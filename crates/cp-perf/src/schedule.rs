@@ -1,0 +1,351 @@
+//! Analytic cost model for the ring *schedule families*: unidirectional
+//! vs. bidirectional payload routing × flat vs. hierarchical
+//! (topology-aware) link layout.
+//!
+//! The paper's ring (Algorithms 2–4) rotates payloads one direction
+//! around a single flat ring, so every one of the `W-1` lockstep hops is
+//! gated by the slowest link it crosses. Two refinements from follow-up
+//! work change only the *routing*, not the math:
+//!
+//! * **Bidirectional rings** (TokenRing, arXiv:2412.20501) split each
+//!   hop's payload into two halves sent simultaneously clockwise and
+//!   counter-clockwise, halving per-link bytes per step whenever the two
+//!   directions travel disjoint links.
+//! * **Hierarchical rings** (TASP, arXiv:2509.26541) reorder the ring so
+//!   all ranks of a node exchange over fast intra-node links between
+//!   consecutive cross-node hops: of the `W-1` hops only `N-1` touch the
+//!   slow fabric, vs. every hop for a flat ring laid across nodes.
+//!
+//! This module prices all four combinations with the same
+//! latency-plus-bandwidth link model the rest of the crate uses, so the
+//! Algorithm 1/5 heuristics can fold schedule-family selection into the
+//! existing pass-KV/pass-Q choice. The concrete loops in `cp-core` are
+//! bit-exact under every family; this model only decides which one is
+//! fastest for a given `(T, P, topology)` operating point.
+
+use crate::{HardwareSpec, ModelSpec, RingVariant};
+
+/// Payload routing direction around the ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RingDirection {
+    /// Classic single-direction rotation (the paper's Algorithms 2–4).
+    Uni,
+    /// Half the payload each way (TokenRing-style).
+    Bidi,
+}
+
+/// Physical layout of the ring across the node topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RingTopologyKind {
+    /// One flat ring in rank order.
+    Flat,
+    /// Intra-node rotation with one cross-node exchange per super-step.
+    Hierarchical,
+}
+
+/// One of the four ring schedule families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ScheduleFamily {
+    /// Payload routing direction.
+    pub direction: RingDirection,
+    /// Link layout.
+    pub topology: RingTopologyKind,
+}
+
+impl ScheduleFamily {
+    /// All four families, in preference order for ties: simpler schedules
+    /// first (uni before bidi, flat before hierarchical).
+    pub const ALL: [ScheduleFamily; 4] = [
+        ScheduleFamily {
+            direction: RingDirection::Uni,
+            topology: RingTopologyKind::Flat,
+        },
+        ScheduleFamily {
+            direction: RingDirection::Bidi,
+            topology: RingTopologyKind::Flat,
+        },
+        ScheduleFamily {
+            direction: RingDirection::Uni,
+            topology: RingTopologyKind::Hierarchical,
+        },
+        ScheduleFamily {
+            direction: RingDirection::Bidi,
+            topology: RingTopologyKind::Hierarchical,
+        },
+    ];
+
+    /// The paper's default: unidirectional flat ring.
+    pub const UNI_FLAT: ScheduleFamily = Self::ALL[0];
+
+    /// Short display name, e.g. `"bidi-hier"`.
+    pub fn name(&self) -> &'static str {
+        match (self.direction, self.topology) {
+            (RingDirection::Uni, RingTopologyKind::Flat) => "uni-flat",
+            (RingDirection::Bidi, RingTopologyKind::Flat) => "bidi-flat",
+            (RingDirection::Uni, RingTopologyKind::Hierarchical) => "uni-hier",
+            (RingDirection::Bidi, RingTopologyKind::Hierarchical) => "bidi-hier",
+        }
+    }
+}
+
+/// The link topology a CP ring is scheduled onto: `nodes ×
+/// ranks_per_node` ranks, fast intra-node links and slow cross-node
+/// links, plus a per-message launch latency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopologySpec {
+    /// Number of nodes (hosts).
+    pub nodes: usize,
+    /// CP ranks per node.
+    pub ranks_per_node: usize,
+    /// Intra-node per-link bandwidth in GB/s.
+    pub intra_gbs: f64,
+    /// Cross-node per-link bandwidth in GB/s.
+    pub cross_gbs: f64,
+    /// Per-message latency in microseconds.
+    pub latency_us: f64,
+}
+
+impl TopologySpec {
+    /// A `nodes × ranks_per_node` topology with explicit link speeds.
+    pub fn new(
+        nodes: usize,
+        ranks_per_node: usize,
+        intra_gbs: f64,
+        cross_gbs: f64,
+        latency_us: f64,
+    ) -> Self {
+        TopologySpec {
+            nodes,
+            ranks_per_node,
+            intra_gbs,
+            cross_gbs,
+            latency_us,
+        }
+    }
+
+    /// A single-node (uniform-link) topology: every link runs at
+    /// `gbs` GB/s, so hierarchical scheduling cannot help.
+    pub fn uniform(world: usize, gbs: f64, latency_us: f64) -> Self {
+        TopologySpec::new(1, world, gbs, gbs, latency_us)
+    }
+
+    /// Derives the CP-rank topology from a calibrated [`HardwareSpec`]:
+    /// intra-node links at NVLink speed, cross-node at the achieved
+    /// inter-node bandwidth, latency from the spec's network latency.
+    pub fn from_hardware(hw: &HardwareSpec, nodes: usize, ranks_per_node: usize) -> Self {
+        TopologySpec::new(
+            nodes,
+            ranks_per_node,
+            hw.intra_bw_gbs,
+            hw.inter_bw_gbs,
+            hw.net_latency_us,
+        )
+    }
+
+    /// Total CP ranks on the ring.
+    pub fn world(&self) -> usize {
+        self.nodes * self.ranks_per_node
+    }
+
+    /// Whether the ring spans more than one node (so some links are slow).
+    pub fn is_multinode(&self) -> bool {
+        self.nodes > 1 && self.ranks_per_node >= 1
+    }
+
+    fn latency_s(&self) -> f64 {
+        self.latency_us * 1e-6
+    }
+
+    fn intra_bytes_per_s(&self) -> f64 {
+        self.intra_gbs * 1e9
+    }
+
+    fn cross_bytes_per_s(&self) -> f64 {
+        self.cross_gbs * 1e9
+    }
+}
+
+/// Per-hop circulating payload bytes per layer for one ring iteration of
+/// `variant` at CP degree `world`: the pass-KV block is the rank's KV
+/// shard (`2 e (T+P)/W N_KV d`), the pass-Q block is the rank's query
+/// shard (`e T/W N_H d`). Matches the Table 2 volumes the concrete loops
+/// meter on the wire.
+pub fn hop_bytes_per_layer(
+    model: &ModelSpec,
+    variant: RingVariant,
+    world: usize,
+    t: usize,
+    p: usize,
+) -> f64 {
+    let w = world.max(1) as f64;
+    let d = model.head_dim as f64;
+    match variant {
+        RingVariant::PassKv => {
+            2.0 * model.act_bytes * ((t + p) as f64 / w) * model.n_kv_heads as f64 * d
+        }
+        RingVariant::PassQ => model.act_bytes * (t as f64 / w) * model.n_heads as f64 * d,
+    }
+}
+
+/// Whether the family's forward and reverse payload streams travel
+/// disjoint directed links, so splitting actually halves per-link bytes.
+/// A 2-rank flat ring reuses the single channel pair; the 2×2
+/// hierarchical grid is the degenerate case where every hop is a swap and
+/// the reverse path retraces the forward links.
+fn bidi_links_disjoint(spec: &TopologySpec, topology: RingTopologyKind) -> bool {
+    match topology {
+        RingTopologyKind::Flat => spec.world() > 2,
+        RingTopologyKind::Hierarchical => spec.ranks_per_node >= 3 || spec.nodes >= 3,
+    }
+}
+
+/// Wall-clock seconds of ring communication for one full rotation
+/// (`W - 1` hops) of `payload_bytes` under `family` on `spec`.
+///
+/// The hops are lockstep, so each step costs `latency + bytes / link`
+/// with the slowest link used that step:
+///
+/// * flat rings laid across nodes pay the cross-node link every step;
+/// * hierarchical rings pay it only on the `N-1` cross-node exchanges,
+///   running the remaining `N (g-1)` hops at intra-node speed;
+/// * bidirectional variants move `bytes / 2` per direction when the two
+///   directions are link-disjoint, and otherwise serialise both halves
+///   over the shared links (no bandwidth win, one extra message launch).
+pub fn comm_time_s(family: ScheduleFamily, spec: &TopologySpec, payload_bytes: f64) -> f64 {
+    let world = spec.world();
+    if world <= 1 {
+        return 0.0;
+    }
+    let lat = spec.latency_s();
+    let disjoint = bidi_links_disjoint(spec, family.topology);
+    // Per-step cost over a link of `bw` bytes/s.
+    let step = |bytes: f64, bw: f64| -> f64 {
+        match family.direction {
+            RingDirection::Uni => lat + bytes / bw,
+            RingDirection::Bidi if disjoint => lat + (bytes / 2.0) / bw,
+            RingDirection::Bidi => 2.0 * lat + bytes / bw,
+        }
+    };
+    match family.topology {
+        RingTopologyKind::Flat => {
+            let bw = if spec.is_multinode() {
+                spec.cross_bytes_per_s()
+            } else {
+                spec.intra_bytes_per_s()
+            };
+            (world - 1) as f64 * step(payload_bytes, bw)
+        }
+        RingTopologyKind::Hierarchical => {
+            let n = spec.nodes as f64;
+            let g = spec.ranks_per_node.saturating_sub(1) as f64;
+            n * g * step(payload_bytes, spec.intra_bytes_per_s())
+                + (spec.nodes.saturating_sub(1)) as f64
+                    * step(payload_bytes, spec.cross_bytes_per_s())
+        }
+    }
+}
+
+/// Every family's predicted communication wall time, cheapest first
+/// (stable under the [`ScheduleFamily::ALL`] tie-break order: simpler
+/// schedules win exact ties).
+pub fn ranked_families(spec: &TopologySpec, payload_bytes: f64) -> Vec<(ScheduleFamily, f64)> {
+    let mut ranked: Vec<(ScheduleFamily, f64)> = ScheduleFamily::ALL
+        .iter()
+        .map(|&f| (f, comm_time_s(f, spec, payload_bytes)))
+        .collect();
+    ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    ranked
+}
+
+/// Picks the fastest schedule family for circulating `payload_bytes` per
+/// hop on `spec` — the topology-aware leg of the extended Algorithm 1/5
+/// heuristics.
+pub fn choose_family(spec: &TopologySpec, payload_bytes: f64) -> ScheduleFamily {
+    ranked_families(spec, payload_bytes)
+        .first()
+        .map_or(ScheduleFamily::UNI_FLAT, |&(f, _)| f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn asym(nodes: usize, g: usize) -> TopologySpec {
+        // Fast 200 GB/s intra links, slow 20 GB/s cross links, 10 us.
+        TopologySpec::new(nodes, g, 200.0, 20.0, 10.0)
+    }
+
+    const MB: f64 = 1e6;
+
+    #[test]
+    fn bidi_flat_halves_the_bandwidth_term() {
+        let spec = TopologySpec::uniform(4, 50.0, 0.0);
+        let uni = comm_time_s(ScheduleFamily::ALL[0], &spec, 8.0 * MB);
+        let bidi = comm_time_s(ScheduleFamily::ALL[1], &spec, 8.0 * MB);
+        assert!((bidi - uni / 2.0).abs() < 1e-12, "{bidi} vs {uni}");
+    }
+
+    #[test]
+    fn two_rank_ring_gets_no_bidi_win() {
+        let spec = TopologySpec::uniform(2, 50.0, 5.0);
+        let uni = comm_time_s(ScheduleFamily::ALL[0], &spec, MB);
+        let bidi = comm_time_s(ScheduleFamily::ALL[1], &spec, MB);
+        assert!(bidi > uni, "shared channel serialises both halves");
+        assert_eq!(choose_family(&spec, MB), ScheduleFamily::UNI_FLAT);
+    }
+
+    #[test]
+    fn hierarchical_beats_flat_on_asymmetric_links() {
+        let spec = asym(2, 3);
+        let flat = comm_time_s(ScheduleFamily::ALL[0], &spec, 8.0 * MB);
+        let hier = comm_time_s(ScheduleFamily::ALL[2], &spec, 8.0 * MB);
+        // Flat pays the 20 GB/s link 5 times; hier only once.
+        assert!(hier < flat * 0.5, "hier {hier} flat {flat}");
+    }
+
+    #[test]
+    fn degenerate_2x2_grid_gets_no_bidi_hier_win() {
+        let spec = asym(2, 2);
+        let uni_hier = comm_time_s(ScheduleFamily::ALL[2], &spec, MB);
+        let bidi_hier = comm_time_s(ScheduleFamily::ALL[3], &spec, MB);
+        assert!(bidi_hier > uni_hier, "fwd and rev share every link at 2x2");
+    }
+
+    #[test]
+    fn bandwidth_bound_multinode_picks_bidi_hier() {
+        let spec = asym(2, 3);
+        assert_eq!(choose_family(&spec, 64.0 * MB).name(), "bidi-hier");
+    }
+
+    #[test]
+    fn single_node_picks_bidi_flat() {
+        let spec = TopologySpec::uniform(6, 100.0, 5.0);
+        assert_eq!(choose_family(&spec, 64.0 * MB).name(), "bidi-flat");
+    }
+
+    #[test]
+    fn ranked_families_orders_by_cost() {
+        let ranked = ranked_families(&asym(3, 2), 16.0 * MB);
+        assert_eq!(ranked.len(), 4);
+        assert!(ranked.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn hop_bytes_match_table2_volumes() {
+        let model = ModelSpec::llama3_405b();
+        // Pass-KV: 2 * e * (T+P)/W * N_KV * d.
+        let kv = hop_bytes_per_layer(&model, RingVariant::PassKv, 4, 1000, 3000);
+        assert!((kv - 2.0 * 2.0 * 1000.0 * 8.0 * 128.0).abs() < 1e-6, "{kv}");
+        // Pass-Q: e * T/W * N_H * d.
+        let q = hop_bytes_per_layer(&model, RingVariant::PassQ, 4, 1000, 3000);
+        assert!((q - 2.0 * 250.0 * 128.0 * 128.0).abs() < 1e-6, "{q}");
+    }
+
+    #[test]
+    fn from_hardware_uses_calibrated_links() {
+        let hw = HardwareSpec::gtt();
+        let spec = TopologySpec::from_hardware(&hw, 2, 4);
+        assert_eq!(spec.world(), 8);
+        assert!(spec.intra_gbs > spec.cross_gbs);
+    }
+}

@@ -5,17 +5,23 @@ use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use cp_attention::PAD;
 use cp_comm::TrafficReport;
+use cp_comm::Topology;
 use cp_core::heuristics::{choose_variant, HeuristicKind, SystemContext};
 use cp_core::ring::{
-    decode_slot_layout, ring_pass_kv_prefill, ring_pass_q_decode_kv, ring_pass_q_prefill_kv,
-    run_ring_on, RankKv,
+    decode_slot_layout, ring_pass_kv_prefill_bidi, ring_pass_kv_prefill_on,
+    ring_pass_q_decode_bidi_kv, ring_pass_q_decode_kv, ring_pass_q_prefill_bidi_kv,
+    ring_pass_q_prefill_kv_on, run_ring_on, RankKv,
 };
-use cp_core::schedule::{decode_plan, pass_kv_plan, pass_q_plan, stacked_plan};
-use cp_core::{CoreError, DecodeSlot, LocalSeq, RingMsg, SeqKv, SeqQ};
+use cp_core::schedule::{
+    decode_bidi_plan, decode_plan, pass_kv_bidi_plan, pass_kv_plan_on, pass_q_bidi_plan,
+    pass_q_plan_on, stacked_plan, RingLayout,
+};
+use cp_core::{CoreError, DecodeSlot, LocalSeq, RingMsg, SchedulePolicy, SeqKv, SeqQ};
 use cp_kvcache::{CacheStats, KvCacheConfig, PagedKvCache, SeqId};
 use cp_model::rope::apply_rope;
 use cp_model::{rms_norm_on, Linear, Transformer};
-use cp_perf::RingVariant;
+use cp_perf::schedule::{choose_family, hop_bytes_per_layer};
+use cp_perf::{RingDirection, RingTopologyKind, RingVariant, TopologySpec};
 use cp_pool::ComputePool;
 use cp_sharding::shard_new_tokens;
 use cp_tensor::Tensor;
@@ -140,6 +146,8 @@ pub struct TransformerEngine {
     /// per-layer cache with [`PagedKvCache::gather`] instead of borrowing
     /// it zero-copy via [`cp_kvcache::KvView`] (bit-identical, slower).
     gather_hot_kv: bool,
+    /// Ring schedule family (direction × layout) for every turn's rings.
+    schedule: SchedulePolicy,
 }
 
 /// One projection, routed through the pooled tiled kernel or — in
@@ -213,7 +221,62 @@ impl TransformerEngine {
             pool_threads: 0,
             reference_gemm: false,
             gather_hot_kv: false,
+            schedule: SchedulePolicy::default(),
         })
+    }
+
+    /// Pins the ring schedule family (payload direction × link layout)
+    /// for every turn. All four families are bit-exact for pass-Q and
+    /// decode; hierarchical pass-KV folds origins in a different order
+    /// (exact but not bitwise against the flat default). The checked-mode
+    /// declared plans follow the selected family automatically.
+    #[must_use]
+    pub fn with_schedule(mut self, direction: RingDirection, layout: RingLayout) -> Self {
+        self.schedule = SchedulePolicy::Fixed { direction, layout };
+        self
+    }
+
+    /// Folds schedule-family selection into each turn's heuristics over
+    /// the given link topology (`topo.world()` must equal the engine's
+    /// rank count — mismatches fail the turn).
+    #[must_use]
+    pub fn with_auto_schedule(mut self, topo: TopologySpec) -> Self {
+        self.schedule = SchedulePolicy::Auto { topo };
+        self
+    }
+
+    /// Resolves the schedule policy to `(direction, layout)` for one
+    /// turn's payload (see `ContextParallelEngine::resolve_schedule`).
+    fn resolve_schedule(
+        &self,
+        variant: RingVariant,
+        t: usize,
+        p: usize,
+    ) -> Result<(RingDirection, RingLayout), ServeError> {
+        match &self.schedule {
+            SchedulePolicy::Fixed { direction, layout } => Ok((*direction, *layout)),
+            SchedulePolicy::Auto { topo } => {
+                if topo.world() != self.n_ranks {
+                    return Err(ServeError::Core(CoreError::BadRequest {
+                        reason: format!(
+                            "auto-schedule topology covers {} ranks but the engine has {}",
+                            topo.world(),
+                            self.n_ranks
+                        ),
+                    }));
+                }
+                let bytes =
+                    hop_bytes_per_layer(&self.heuristic_ctx.model, variant, topo.world(), t, p);
+                let family = choose_family(topo, bytes);
+                let layout = match family.topology {
+                    RingTopologyKind::Flat => RingLayout::Flat,
+                    RingTopologyKind::Hierarchical => {
+                        RingLayout::Hier(Topology::new(topo.nodes, topo.ranks_per_node))
+                    }
+                };
+                Ok((family.direction, layout))
+            }
+        }
     }
 
     /// Sets each rank's persistent compute-pool width (`0` restores the
@@ -597,6 +660,8 @@ impl TransformerEngine {
         let variant = turn.variant;
         let base = turn.base;
         let tokens = &turn.tokens;
+        let (direction, layout) =
+            self.resolve_schedule(variant, turn.tokens.len(), turn.base)?;
 
         // Declared schedule for checked mode: plans depend only on shapes,
         // so zero tensors of the per-rank geometry reproduce exactly what
@@ -615,9 +680,15 @@ impl TransformerEngine {
                     }]
                 })
                 .collect();
-            let layer_plan = match variant {
-                RingVariant::PassKv => pass_kv_plan(&locals)?,
-                RingVariant::PassQ => pass_q_plan(&params, &locals)?,
+            let layer_plan = match (variant, direction) {
+                (RingVariant::PassKv, RingDirection::Uni) => pass_kv_plan_on(&locals, layout)?,
+                (RingVariant::PassKv, RingDirection::Bidi) => pass_kv_bidi_plan(&locals, layout)?,
+                (RingVariant::PassQ, RingDirection::Uni) => {
+                    pass_q_plan_on(&params, &locals, layout)?
+                }
+                (RingVariant::PassQ, RingDirection::Bidi) => {
+                    pass_q_bidi_plan(&params, &locals, layout)?
+                }
             };
             Some(stacked_plan(layer_plan, config.n_layers))
         } else {
@@ -677,7 +748,15 @@ impl TransformerEngine {
                             v: cv,
                             kv_pos: cpos,
                         };
-                        ring_pass_kv_prefill(comm, &params, std::slice::from_ref(&local))?
+                        let local = std::slice::from_ref(&local);
+                        match direction {
+                            RingDirection::Uni => {
+                                ring_pass_kv_prefill_on(comm, &params, local, layout)?
+                            }
+                            RingDirection::Bidi => {
+                                ring_pass_kv_prefill_bidi(comm, &params, local, layout)?
+                            }
+                        }
                     }
                     // Pass-Q keeps KV resident: attend straight over the
                     // paged cache (zero-copy), or gather in A/B mode.
@@ -696,7 +775,14 @@ impl TransformerEngine {
                         } else {
                             [RankKv::View(caches[l].view(seq)?)]
                         };
-                        ring_pass_q_prefill_kv(comm, &params, &queries, &kv)?
+                        match direction {
+                            RingDirection::Uni => {
+                                ring_pass_q_prefill_kv_on(comm, &params, &queries, &kv, layout)?
+                            }
+                            RingDirection::Bidi => {
+                                ring_pass_q_prefill_bidi_kv(comm, &params, &queries, &kv, layout)?
+                            }
+                        }
                     }
                 }
                 .pop()
@@ -842,6 +928,11 @@ impl TransformerEngine {
         let batch_seqs: Vec<SeqId> = batch.iter().map(|&(seq, _)| seq).collect();
         let batch_seqs_ref = &batch_seqs;
 
+        // Decode is always pass-Q (§3.6) and the batched All2All return
+        // is layout-free, so only the direction of the schedule family
+        // applies here.
+        let (direction, _) = self.resolve_schedule(RingVariant::PassQ, batch.len(), 0)?;
+
         // Declared schedule for checked mode: decode traffic depends only
         // on which ranks own live slots, not on cache contents.
         let plan = if self.check_schedules {
@@ -862,7 +953,11 @@ impl TransformerEngine {
                     rank_slots
                 })
                 .collect();
-            Some(stacked_plan(decode_plan(&params, &slots)?, config.n_layers))
+            let layer_plan = match direction {
+                RingDirection::Uni => decode_plan(&params, &slots)?,
+                RingDirection::Bidi => decode_bidi_plan(&params, &slots)?,
+            };
+            Some(stacked_plan(layer_plan, config.n_layers))
         } else {
             None
         };
@@ -933,7 +1028,12 @@ impl TransformerEngine {
                         RankKv::View(caches[l].view(seq)?)
                     });
                 }
-                let outs = ring_pass_q_decode_kv(comm, &params, &slots, &batch_kv)?;
+                let outs = match direction {
+                    RingDirection::Uni => ring_pass_q_decode_kv(comm, &params, &slots, &batch_kv)?,
+                    RingDirection::Bidi => {
+                        ring_pass_q_decode_bidi_kv(comm, &params, &slots, &batch_kv)?
+                    }
+                };
                 if let Some(x_val) = x.take() {
                     let rows = outs
                         .into_iter()

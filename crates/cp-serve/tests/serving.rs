@@ -252,3 +252,111 @@ fn checked_fabric_soak_multi_turn() {
         }
     }
 }
+
+#[test]
+fn bidi_schedule_is_bit_identical_and_plan_covered() {
+    // The bidirectional family must serve the same bits as the default
+    // unidirectional ring, with live schedule validation proving every
+    // layer's split traffic matches the declared bidi plans — for both
+    // forced variants and the heuristic default, at CP 2 and 4.
+    use cp_core::schedule::RingLayout;
+    use cp_perf::RingDirection;
+    let trace: &[&[u32]] = &[
+        &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11],
+        &[100],
+        &[12, 13, 14, 15, 16],
+        &[101],
+        &[102],
+    ];
+    for n in [2usize, 4] {
+        for forced in [None, Some(RingVariant::PassKv), Some(RingVariant::PassQ)] {
+            let mut bidi = TransformerEngine::new(model(57), n)
+                .unwrap()
+                .with_schedule(RingDirection::Bidi, RingLayout::Flat)
+                .with_schedule_checking(true);
+            let mut plain = TransformerEngine::new(model(57), n).unwrap();
+            for (i, chunk) in trace.iter().enumerate() {
+                let decode = chunk.len() == 1 && i > 0;
+                let (b, p) = if decode {
+                    (bidi.decode(chunk[0]).unwrap(), plain.decode(chunk[0]).unwrap())
+                } else {
+                    (
+                        bidi.prefill_with(chunk, forced).unwrap(),
+                        plain.prefill_with(chunk, forced).unwrap(),
+                    )
+                };
+                assert_eq!(
+                    b.activations, p.activations,
+                    "n={n} forced={forced:?} step {i}: bidi must be bit-identical to uni"
+                );
+                assert_eq!(b.traffic.send_recv_bytes, p.traffic.send_recv_bytes);
+            }
+        }
+    }
+}
+
+#[test]
+fn hierarchical_schedule_serves_exactly() {
+    // Hier pass-Q is bitwise against flat (ascending-source gather); hier
+    // pass-KV folds origins in ring-path order, so it is exact but only
+    // approximately equal to the flat fold. Checked mode proves the hier
+    // hop traffic matches the declared hierarchical plans.
+    use cp_comm::Topology;
+    use cp_core::schedule::RingLayout;
+    use cp_perf::RingDirection;
+    let trace: &[&[u32]] = &[&[1, 2, 3, 4, 5, 6, 7, 8, 9], &[100], &[10, 11, 12], &[101]];
+    let mut reference = ReferenceSession::new(model(58));
+    let expected: Vec<_> = trace
+        .iter()
+        .map(|chunk| reference.process(chunk).unwrap())
+        .collect();
+    for direction in [RingDirection::Uni, RingDirection::Bidi] {
+        let mut engine = TransformerEngine::new(model(58), 4)
+            .unwrap()
+            .with_schedule(direction, RingLayout::Hier(Topology::new(2, 2)))
+            .with_schedule_checking(true);
+        for (i, chunk) in trace.iter().enumerate() {
+            let out = if chunk.len() == 1 && i > 0 {
+                engine.decode(chunk[0]).unwrap()
+            } else {
+                engine.prefill(chunk).unwrap()
+            };
+            assert!(
+                out.activations.approx_eq(&expected[i], 3e-3).unwrap(),
+                "{direction:?} step {i}: max diff {}",
+                out.activations.max_abs_diff(&expected[i]).unwrap()
+            );
+        }
+    }
+}
+
+#[test]
+fn auto_schedule_serves_exactly_on_asymmetric_links() {
+    // Auto mode prices the four families per turn on a 2x2 topology with
+    // 20x intra/cross asymmetry (hier always wins; the 2x2 hier ring is
+    // bidi-degenerate, so uni-hier is chosen) and must still serve the
+    // reference bits within tolerance, plan-covered.
+    use cp_perf::TopologySpec;
+    let trace: &[&[u32]] = &[&[1, 2, 3, 4, 5, 6, 7], &[100], &[10, 11], &[101]];
+    let mut reference = ReferenceSession::new(model(59));
+    let expected: Vec<_> = trace
+        .iter()
+        .map(|chunk| reference.process(chunk).unwrap())
+        .collect();
+    let mut engine = TransformerEngine::new(model(59), 4)
+        .unwrap()
+        .with_auto_schedule(TopologySpec::new(2, 2, 200.0, 10.0, 5.0))
+        .with_schedule_checking(true);
+    for (i, chunk) in trace.iter().enumerate() {
+        let out = if chunk.len() == 1 && i > 0 {
+            engine.decode(chunk[0]).unwrap()
+        } else {
+            engine.prefill(chunk).unwrap()
+        };
+        assert!(
+            out.activations.approx_eq(&expected[i], 3e-3).unwrap(),
+            "step {i}: max diff {}",
+            out.activations.max_abs_diff(&expected[i]).unwrap()
+        );
+    }
+}

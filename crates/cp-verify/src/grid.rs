@@ -9,8 +9,12 @@
 //! on values.
 
 use cp_attention::{AttentionParams, GqaShape};
-use cp_comm::CommPlan;
-use cp_core::schedule::{all_gather_pass_kv_plan, decode_plan, pass_kv_plan, pass_q_plan};
+use cp_comm::{CommPlan, Topology};
+use cp_core::schedule::{
+    all_gather_pass_kv_plan, decode_bidi_plan, decode_plan, pass_kv_bidi_plan,
+    pass_kv_chunked_plan, pass_kv_plan, pass_kv_plan_on, pass_q_bidi_plan, pass_q_plan,
+    pass_q_plan_on, RingLayout,
+};
 use cp_core::{CoreError, DecodeSlot, LocalSeq};
 use cp_tensor::Tensor;
 
@@ -88,8 +92,19 @@ pub(crate) fn grid_slots(
         .collect()
 }
 
+/// Hierarchical (nodes × ranks-per-node) factorizations of `cp` with at
+/// least two nodes and two ranks per node — the layouts the topology-aware
+/// schedules can actually use. Primes get none (hier degenerates to flat).
+pub(crate) fn hier_topos(cp: usize) -> Vec<Topology> {
+    (2..cp)
+        .filter(|nodes| cp.is_multiple_of(*nodes) && cp / nodes >= 2)
+        .map(|nodes| Topology::new(nodes, cp / nodes))
+        .collect()
+}
+
 /// Builds every grid case for one CP degree: the cross product of
-/// algorithm × tokens-per-rank (or slots) × uniform/varseq.
+/// algorithm × schedule family (uni/bidi × flat/hier, plus the chunked
+/// pipelined ring) × tokens-per-rank (or slots) × uniform/varseq.
 ///
 /// # Errors
 ///
@@ -118,6 +133,40 @@ pub fn grid_cases(cp: usize) -> Result<Vec<GridCase>, CoreError> {
                 name: format!("cp{cp}/all_gather/t{t}/{tag}"),
                 plan: all_gather_pass_kv_plan(&locals)?,
             });
+            if cp >= 2 {
+                cases.push(GridCase {
+                    name: format!("cp{cp}/pass_kv_bidi/t{t}/{tag}"),
+                    plan: pass_kv_bidi_plan(&locals, RingLayout::Flat)?,
+                });
+                cases.push(GridCase {
+                    name: format!("cp{cp}/pass_q_bidi/t{t}/{tag}"),
+                    plan: pass_q_bidi_plan(&params, &locals, RingLayout::Flat)?,
+                });
+                cases.push(GridCase {
+                    name: format!("cp{cp}/pass_kv_chunked/t{t}/{tag}"),
+                    plan: pass_kv_chunked_plan(&locals)?,
+                });
+            }
+            for topo in hier_topos(cp) {
+                let hier = format!("hier{}x{}", topo.nodes, topo.ranks_per_node);
+                let layout = RingLayout::Hier(topo);
+                cases.push(GridCase {
+                    name: format!("cp{cp}/pass_kv_{hier}/t{t}/{tag}"),
+                    plan: pass_kv_plan_on(&locals, layout)?,
+                });
+                cases.push(GridCase {
+                    name: format!("cp{cp}/pass_q_{hier}/t{t}/{tag}"),
+                    plan: pass_q_plan_on(&params, &locals, layout)?,
+                });
+                cases.push(GridCase {
+                    name: format!("cp{cp}/pass_kv_bidi_{hier}/t{t}/{tag}"),
+                    plan: pass_kv_bidi_plan(&locals, layout)?,
+                });
+                cases.push(GridCase {
+                    name: format!("cp{cp}/pass_q_bidi_{hier}/t{t}/{tag}"),
+                    plan: pass_q_bidi_plan(&params, &locals, layout)?,
+                });
+            }
         }
     }
     for &slots in &[1usize, 3] {
@@ -128,6 +177,12 @@ pub fn grid_cases(cp: usize) -> Result<Vec<GridCase>, CoreError> {
                 name: format!("cp{cp}/decode/p{slots}/{tag}"),
                 plan: decode_plan(&params, &decode_slots)?,
             });
+            if cp >= 2 {
+                cases.push(GridCase {
+                    name: format!("cp{cp}/decode_bidi/p{slots}/{tag}"),
+                    plan: decode_bidi_plan(&params, &decode_slots)?,
+                });
+            }
         }
     }
     Ok(cases)
@@ -142,10 +197,40 @@ mod tests {
     #[test]
     fn grid_covers_all_algorithms() {
         let cases = grid_cases(4).unwrap();
-        for alg in ["pass_kv", "pass_q", "decode", "all_gather"] {
+        for alg in [
+            "pass_kv/",
+            "pass_q/",
+            "decode/",
+            "all_gather/",
+            "pass_kv_bidi/",
+            "pass_q_bidi/",
+            "pass_kv_chunked/",
+            "pass_kv_hier2x2/",
+            "pass_q_hier2x2/",
+            "pass_kv_bidi_hier2x2/",
+            "pass_q_bidi_hier2x2/",
+            "decode_bidi/",
+        ] {
             assert!(cases.iter().any(|c| c.name.contains(alg)), "missing {alg}");
         }
         assert!(cases.len() >= 16);
+    }
+
+    #[test]
+    fn hier_factorizations_cover_composite_worlds() {
+        assert!(hier_topos(2).is_empty());
+        assert!(hier_topos(3).is_empty());
+        assert!(hier_topos(5).is_empty());
+        let t4: Vec<_> = hier_topos(4)
+            .iter()
+            .map(|t| (t.nodes, t.ranks_per_node))
+            .collect();
+        assert_eq!(t4, vec![(2, 2)]);
+        let t6: Vec<_> = hier_topos(6)
+            .iter()
+            .map(|t| (t.nodes, t.ranks_per_node))
+            .collect();
+        assert_eq!(t6, vec![(2, 3), (3, 2)]);
     }
 
     #[test]
@@ -197,14 +282,16 @@ mod tests {
     #[test]
     fn pass_q_return_hop_is_double_buffered_point_to_point() {
         // The pass-Q return permutation is eager lone Sends (one per
-        // visited origin, interleaved with the ring hops) plus trailing
-        // Recvs — never an exposed All2All — and sent bytes mirror
-        // received bytes across the world.
+        // visited origin — two per origin for the split bidirectional
+        // halves — interleaved with the ring hops) plus trailing Recvs —
+        // never an exposed All2All — and sent bytes mirror received bytes
+        // across the world.
         for cp in [2, 3, 4, 5, 8] {
             for case in grid_cases(cp).unwrap() {
                 if !case.name.contains("pass_q") {
                     continue;
                 }
+                let halves = if case.name.contains("bidi") { 2 } else { 1 };
                 let mut sends = 0usize;
                 let mut recvs = 0usize;
                 for rp in &case.plan.ranks {
@@ -225,8 +312,8 @@ mod tests {
                         }
                     }
                 }
-                assert_eq!(sends, cp * (cp - 1), "{}", case.name);
-                assert_eq!(recvs, cp * (cp - 1), "{}", case.name);
+                assert_eq!(sends, halves * cp * (cp - 1), "{}", case.name);
+                assert_eq!(recvs, halves * cp * (cp - 1), "{}", case.name);
             }
         }
     }
@@ -235,10 +322,13 @@ mod tests {
     fn varseq_kv_messages_stay_equal_sized() {
         // §3.5.2: KV shards are padded to a common length, so circulating
         // KV messages must all be the same size even with skewed queries.
+        // The split families (bidi, chunked) carry at most two sizes — the
+        // ceil and floor halves of the common payload.
         for case in grid_cases(4).unwrap() {
-            if !case.name.contains("pass_kv") {
+            if !case.name.contains("pass_kv") || case.name.contains("all_gather") {
                 continue;
             }
+            let split = case.name.contains("bidi") || case.name.contains("chunked");
             let mut sizes = std::collections::BTreeSet::new();
             for rp in &case.plan.ranks {
                 for op in &rp.ops {
@@ -247,7 +337,54 @@ mod tests {
                     }
                 }
             }
-            assert_eq!(sizes.len(), 1, "{}: {sizes:?}", case.name);
+            if split {
+                assert!(sizes.len() <= 2, "{}: {sizes:?}", case.name);
+            } else {
+                assert_eq!(sizes.len(), 1, "{}: {sizes:?}", case.name);
+            }
+        }
+    }
+
+    #[test]
+    fn every_family_moves_the_unidirectional_ring_volume() {
+        // Splitting the payload (bidi), cutting it into pipelined chunks,
+        // or re-routing it hierarchically changes *when* bytes move and on
+        // which links — never how many: each family's total predicted
+        // traffic must equal its flat unidirectional base schedule's.
+        for cp in [2, 3, 4, 5, 8] {
+            let cases = grid_cases(cp).unwrap();
+            for case in &cases {
+                let Some((alg, rest)) = case
+                    .name
+                    .strip_prefix(&format!("cp{cp}/"))
+                    .and_then(|s| s.split_once('/'))
+                    .map(|(alg, rest)| (alg.to_string(), rest.to_string()))
+                else {
+                    continue;
+                };
+                let base_alg = match alg.as_str() {
+                    a if a.starts_with("pass_kv_") => "pass_kv",
+                    a if a.starts_with("pass_q_") => "pass_q",
+                    a if a.starts_with("decode_") => "decode",
+                    _ => continue,
+                };
+                let base = cases
+                    .iter()
+                    .find(|c| c.name == format!("cp{cp}/{base_alg}/{rest}"))
+                    .expect("matching base case");
+                let got = case.plan.predicted_traffic();
+                let want = base.plan.predicted_traffic();
+                assert_eq!(
+                    got.send_recv.bytes, want.send_recv.bytes,
+                    "{}",
+                    case.name
+                );
+                assert_eq!(
+                    got.all_to_all.bytes, want.all_to_all.bytes,
+                    "{}",
+                    case.name
+                );
+            }
         }
     }
 }

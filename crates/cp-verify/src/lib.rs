@@ -52,9 +52,11 @@ pub use grid::{grid_cases, GridCase};
 pub use mutate::{apply_mutation, Mutation};
 pub use template::{
     all_gather_baseline_template, all_templates, apply_template_mutation, check_template,
-    decode_template, forward_template, pass_kv_template, pass_q_template, template_cases,
-    tp_all_gather_template, tp_all_reduce_template, ByteExpr, Guard, GuardedOp, Ix, PeerExpr,
-    SymCollective, SymOp, SymSegment, SymTemplate, SymViolation, TemplateCase, TemplateMutation,
+    decode_bidi_template, decode_template, forward_template, pass_kv_bidi_hier_template,
+    pass_kv_bidi_template, pass_kv_hier_template, pass_kv_template, pass_q_bidi_template,
+    pass_q_hier_template, pass_q_template, template_cases, tp_all_gather_template,
+    tp_all_reduce_template, ByteExpr, Guard, GuardedOp, Ix, PathDir, PeerExpr, SymCollective,
+    SymOp, SymSegment, SymTemplate, SymViolation, TemplateCase, TemplateMutation,
 };
 
 /// CP degrees exhaustively explorable by [`explore_interleavings`] within

@@ -39,6 +39,29 @@
 //! small worlds, bounding the soundness of the symbolic argument (offset
 //! distinctness degenerates for `W < 4`, where grounding is exhaustive).
 //!
+//! # Paths: bidirectional and hierarchical families
+//!
+//! The bidirectional (TokenRing-style) and topology-aware (TASP-style)
+//! families generalize the flat forward ring to a pair of counter-rotating
+//! [`RingPath`]s. Every op carries a [`PathDir`] selecting which path its
+//! peers and origin lookups follow, and a template's
+//! [`SymTemplate::ranks_per_node`] selects the path *shape*: `None`
+//! grounds over the flat ring, `Some(g)` over the hierarchical ring of
+//! `W/g` nodes. The ring-hop law is unchanged — `Next`/`Prev` mean the
+//! hop path's send/receive peer, and every path is a Hamiltonian cycle
+//! with the same lockstep-FIFO rotation identity — so one symbolic proof
+//! covers all four `{uni, bidi} × {flat, hier}` layouts.
+//!
+//! Grounding applies the same FIFO-safety transform as the production
+//! builders: an eager return targeting a peer that is also a hop channel
+//! is deferred to the final-round flush point (`defer_return` in
+//! `cp_core::schedule`), and the bidirectional trailing gather orders each
+//! peer's two `Out` halves by which half that peer hosted first (the
+//! τ-rule via [`RingPath::step_of`]). Both transforms are
+//! semantics-preserving reorderings of buffered sends, so the symbolic
+//! laws are checked on the *declared* order while grounding reproduces
+//! the production op order bitwise.
+//!
 //! [`template_cases`] closes the loop with the production builders in
 //! `cp_core::schedule`: grounding each template at concrete `(W, tables)`
 //! must reproduce the production [`CommPlan`] **exactly**, and
@@ -46,12 +69,13 @@
 //! grounded plan's `predicted_traffic`.
 
 use cp_attention::AttentionParams;
-use cp_comm::{CommOp, CommPlan, PredictedTraffic, RankPlan, Wire};
+use cp_comm::{CommOp, CommPlan, PredictedTraffic, RankPlan, Topology, Wire};
 use cp_core::schedule::{
-    all_gather_pass_kv_plan, all_gather_plan, all_reduce_plan, decode_plan, pass_kv_plan,
-    pass_q_plan, ring_origin, stacked_plan,
+    all_gather_pass_kv_plan, all_gather_plan, all_reduce_plan, decode_bidi_plan, decode_plan,
+    pass_kv_bidi_plan, pass_kv_plan, pass_kv_plan_on, pass_q_bidi_plan, pass_q_plan,
+    pass_q_plan_on, stacked_plan, RingLayout, RingPath,
 };
-use cp_core::{CoreError, DecodeSlot, LocalSeq, RingMsg, SeqKv, SeqQ, ELEM_BYTES};
+use cp_core::{split_slot_vec, CoreError, DecodeSlot, LocalSeq, RingMsg, SeqKv, SeqQ, ELEM_BYTES};
 
 use crate::grid::{grid_locals, grid_params, grid_slots};
 
@@ -78,13 +102,27 @@ pub struct ByteExpr {
 /// A symbolic peer rank, evaluated per `(rank, world, round)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PeerExpr {
-    /// The ring successor `(r + 1) mod W`.
+    /// The hop path's send peer at the current round — `(r + 1) mod W`
+    /// on the flat forward ring.
     Next,
-    /// The ring predecessor `(r + W - 1) mod W`.
+    /// The hop path's receive peer at the current round —
+    /// `(r + W - 1) mod W` on the flat forward ring.
     Prev,
-    /// The origin of the block visiting this rank at the current round,
-    /// `ring_origin(r, W, j)`.
+    /// The origin of the block visiting this rank at the current round
+    /// along the op's path, `path.origin_at(r, j)`.
     VisitingOrigin,
+}
+
+/// Which of the template's two counter-rotating paths an op follows.
+/// Unidirectional templates use only [`PathDir::Fwd`]; bidirectional ones
+/// pair each forward op with a reverse twin over the second half's table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PathDir {
+    /// The forward path (`FlatFwd`/`HierFwd`).
+    #[default]
+    Fwd,
+    /// The reverse path (`FlatRev`/`HierRev`).
+    Rev,
 }
 
 /// A guard over the symbolic round index `j ∈ 0..W`.
@@ -109,6 +147,8 @@ pub enum Guard {
 pub enum SymOp {
     /// A buffered ring step: send to `dst`, then receive from `src`.
     SendRecv {
+        /// Which counter-rotating path the hop travels.
+        path: PathDir,
         /// Symbolic destination of the send half.
         dst: PeerExpr,
         /// Symbolic source of the receive half.
@@ -124,6 +164,8 @@ pub enum SymOp {
     },
     /// A lone buffered send (the eager pass-Q return hop).
     Send {
+        /// Which path's visiting origin the return targets.
+        path: PathDir,
         /// Symbolic destination rank.
         dst: PeerExpr,
         /// Variant of the sent message.
@@ -190,6 +232,21 @@ pub enum SymSegment {
         /// Symbolic wire bytes of each received message.
         bytes: ByteExpr,
     },
+    /// Trailing receives of the bidirectional pass-Q return: **two**
+    /// messages per peer in ascending rank order, carrying the rank's own
+    /// forward-half and reverse-half partials. Grounding orders each pair
+    /// by the τ-rule — the half the peer hosted (hence posted) at the
+    /// earlier step arrives first on its FIFO channel, `first` winning
+    /// ties because the round loop posts the forward return before the
+    /// reverse one.
+    GatherAscendingBidi {
+        /// Variant of every received message.
+        variant: &'static str,
+        /// Bytes of the forward-half return (lawful: [`Ix::SelfRank`]).
+        first: ByteExpr,
+        /// Bytes of the reverse-half return (lawful: [`Ix::SelfRank`]).
+        second: ByteExpr,
+    },
     /// A single fused collective.
     Collective(SymCollective),
 }
@@ -202,6 +259,12 @@ pub struct SymTemplate {
     /// How many times the whole segment list repeats per rank (layers of
     /// a stacked forward plan).
     pub repeat: usize,
+    /// Path shape the ops' peer and origin expressions evaluate over:
+    /// `None` grounds on the flat ring at any `W`; `Some(g)` grounds on
+    /// the hierarchical ring of `W/g` nodes × `g` ranks (TASP-style) and
+    /// requires `g | W`. The symbolic laws are shape-independent — every
+    /// path is a Hamiltonian cycle with the flat ring's rotation identity.
+    pub ranks_per_node: Option<usize>,
     /// Names of the byte tables the expressions index; grounding supplies
     /// one concrete `Vec<usize>` of length `W` per name.
     pub table_names: Vec<&'static str>,
@@ -298,18 +361,18 @@ fn guard_rounds(guard: Guard, world: usize) -> usize {
     }
 }
 
-fn eval_peer(peer: PeerExpr, rank: usize, world: usize, round: usize) -> usize {
+fn eval_peer(peer: PeerExpr, path: RingPath, rank: usize, round: usize) -> usize {
     match peer {
-        PeerExpr::Next => (rank + 1) % world,
-        PeerExpr::Prev => (rank + world - 1) % world,
-        PeerExpr::VisitingOrigin => ring_origin(rank, world, round),
+        PeerExpr::Next => path.send_peer(rank, round),
+        PeerExpr::Prev => path.recv_peer(rank, round),
+        PeerExpr::VisitingOrigin => path.origin_at(rank, round),
     }
 }
 
-fn eval_ix(ix: Ix, rank: usize, world: usize, round: usize) -> usize {
+fn eval_ix(ix: Ix, path: RingPath, rank: usize, round: usize) -> usize {
     match ix {
         Ix::SelfRank => rank,
-        Ix::OriginAt(offset) => ring_origin(rank, world, round + offset),
+        Ix::OriginAt(offset) => path.origin_at(rank, round + offset),
     }
 }
 
@@ -322,12 +385,12 @@ fn table(tables: &[Vec<usize>], id: usize) -> Result<&Vec<usize>, String> {
 fn eval_bytes(
     expr: ByteExpr,
     tables: &[Vec<usize>],
+    path: RingPath,
     rank: usize,
-    world: usize,
     round: usize,
 ) -> Result<usize, String> {
     let t = table(tables, expr.table)?;
-    let i = eval_ix(expr.ix, rank, world, round);
+    let i = eval_ix(expr.ix, path, rank, round);
     t.get(i)
         .copied()
         .ok_or_else(|| format!("byte table {} has no entry {i}", expr.table))
@@ -362,11 +425,25 @@ impl SymTemplate {
                 ));
             }
         }
+        let layout = match self.ranks_per_node {
+            None => RingLayout::Flat,
+            Some(g) => {
+                if g == 0 || !world.is_multiple_of(g) {
+                    return Err(format!(
+                        "template {}: {g} ranks per node do not tile world {world}",
+                        self.name
+                    ));
+                }
+                RingLayout::Hier(Topology::new(world / g, g))
+            }
+        };
+        let fwd = layout.fwd(world).map_err(|e| e.to_string())?;
+        let rev = layout.rev(world).map_err(|e| e.to_string())?;
         let ranks = (0..world)
             .map(|r| {
                 Ok(RankPlan {
                     rank: r,
-                    ops: self.ground_rank(r, world, tables)?,
+                    ops: self.ground_rank(r, world, tables, fwd, rev)?,
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;
@@ -378,43 +455,88 @@ impl SymTemplate {
         rank: usize,
         world: usize,
         tables: &[Vec<usize>],
+        fwd: RingPath,
+        rev: RingPath,
     ) -> Result<Vec<CommOp>, String> {
+        let on = |dir: PathDir| match dir {
+            PathDir::Fwd => fwd,
+            PathDir::Rev => rev,
+        };
         let mut ops = Vec::new();
         for _ in 0..self.repeat {
             for segment in &self.segments {
                 match segment {
                     SymSegment::Rounds(gops) => {
+                        // The FIFO-safety transform the production
+                        // builders apply (`hop_channels` + `defer_return`):
+                        // an eager return whose destination also carries
+                        // hop traffic is stashed and flushed after the
+                        // final hop post, keeping each channel's order
+                        // equal to the trailing gather declaration. On the
+                        // flat forward ring this is a no-op (the visiting
+                        // origin only equals `Next` at the final round).
+                        let mut is_hop_dst = vec![false; world];
+                        for gop in gops {
+                            if let SymOp::SendRecv { path, .. } = gop.op {
+                                let p = on(path);
+                                for h in 0..world.saturating_sub(1) {
+                                    if let Some(slot) = is_hop_dst.get_mut(p.send_peer(rank, h)) {
+                                        *slot = true;
+                                    }
+                                }
+                            }
+                        }
+                        let mut deferred: Vec<CommOp> = Vec::new();
                         for j in 0..world {
+                            if j + 1 == world {
+                                ops.append(&mut deferred);
+                            }
                             for gop in gops {
                                 if !guard_holds(gop.guard, j, world) {
                                     continue;
                                 }
-                                ops.push(match gop.op {
+                                match gop.op {
                                     SymOp::SendRecv {
+                                        path,
                                         dst,
                                         src,
                                         send_variant,
                                         recv_variant,
                                         send,
                                         recv,
-                                    } => CommOp::SendRecv {
-                                        dst: eval_peer(dst, rank, world, j),
-                                        src: eval_peer(src, rank, world, j),
-                                        send_variant,
-                                        recv_variant,
-                                        send_bytes: eval_bytes(send, tables, rank, world, j)?,
-                                        recv_bytes: eval_bytes(recv, tables, rank, world, j)?,
-                                    },
+                                    } => {
+                                        let p = on(path);
+                                        ops.push(CommOp::SendRecv {
+                                            dst: eval_peer(dst, p, rank, j),
+                                            src: eval_peer(src, p, rank, j),
+                                            send_variant,
+                                            recv_variant,
+                                            send_bytes: eval_bytes(send, tables, p, rank, j)?,
+                                            recv_bytes: eval_bytes(recv, tables, p, rank, j)?,
+                                        });
+                                    }
                                     SymOp::Send {
+                                        path,
                                         dst,
                                         variant,
                                         bytes,
-                                    } => CommOp::Send {
-                                        dst: eval_peer(dst, rank, world, j),
-                                        variant,
-                                        bytes: eval_bytes(bytes, tables, rank, world, j)?,
-                                    },
-                                });
+                                    } => {
+                                        let p = on(path);
+                                        let d = eval_peer(dst, p, rank, j);
+                                        let op = CommOp::Send {
+                                            dst: d,
+                                            variant,
+                                            bytes: eval_bytes(bytes, tables, p, rank, j)?,
+                                        };
+                                        let defer = j + 1 < world
+                                            && is_hop_dst.get(d).copied().unwrap_or(false);
+                                        if defer {
+                                            deferred.push(op);
+                                        } else {
+                                            ops.push(op);
+                                        }
+                                    }
+                                }
                             }
                         }
                     }
@@ -423,8 +545,41 @@ impl SymTemplate {
                             ops.push(CommOp::Recv {
                                 src,
                                 variant,
-                                bytes: eval_bytes(*bytes, tables, rank, world, 0)?,
+                                bytes: eval_bytes(*bytes, tables, fwd, rank, 0)?,
                             });
+                        }
+                    }
+                    SymSegment::GatherAscendingBidi {
+                        variant,
+                        first,
+                        second,
+                    } => {
+                        for src in (0..world).filter(|&s| s != rank) {
+                            // τ-rule: `src` posts our forward-half return
+                            // at the step it hosts our A half and the
+                            // reverse-half return at the step it hosts our
+                            // B half; the earlier host step lands first on
+                            // its FIFO channel (forward first on a tie).
+                            let step = |p: RingPath| {
+                                p.step_of(src, rank).ok_or_else(|| {
+                                    format!(
+                                        "ring path never routes rank {rank}'s block \
+                                         through rank {src}"
+                                    )
+                                })
+                            };
+                            let (x, y) = if step(fwd)? <= step(rev)? {
+                                (*first, *second)
+                            } else {
+                                (*second, *first)
+                            };
+                            for expr in [x, y] {
+                                ops.push(CommOp::Recv {
+                                    src,
+                                    variant,
+                                    bytes: eval_bytes(expr, tables, fwd, rank, 0)?,
+                                });
+                            }
                         }
                     }
                     SymSegment::Collective(c) => ops.push(match *c {
@@ -453,8 +608,8 @@ impl SymTemplate {
                                     ix: send_ix,
                                 },
                                 tables,
+                                fwd,
                                 rank,
-                                world,
                                 0,
                             )?,
                             recv_bytes: table(tables, t)?.clone(),
@@ -471,8 +626,8 @@ impl SymTemplate {
                                     ix: send_ix,
                                 },
                                 tables,
+                                fwd,
                                 rank,
-                                world,
                                 0,
                             )?,
                             recv_bytes: table(tables, t)?.clone(),
@@ -530,7 +685,7 @@ impl SymTemplate {
                 }
                 // Receives are metered sender-side; the matching sends are
                 // already counted by their own op class.
-                SymSegment::GatherAscending { .. } => {}
+                SymSegment::GatherAscending { .. } | SymSegment::GatherAscendingBidi { .. } => {}
                 SymSegment::Collective(c) => {
                     let peers = world.saturating_sub(1);
                     match *c {
@@ -578,6 +733,14 @@ pub fn check_template(template: &SymTemplate) -> Vec<SymViolation> {
             detail: format!("template {} repeats zero times", template.name),
         });
     }
+    if template.ranks_per_node == Some(0) {
+        v.push(SymViolation::Structure {
+            detail: format!(
+                "template {} declares a hierarchical layout with zero ranks per node",
+                template.name
+            ),
+        });
+    }
     let n_tables = template.table_names.len();
     let check_table = |v: &mut Vec<SymViolation>, id: usize, what: &str| {
         if id >= n_tables {
@@ -607,6 +770,7 @@ pub fn check_template(template: &SymTemplate) -> Vec<SymViolation> {
                 for (oi, gop) in gops.iter().enumerate() {
                     match gop.op {
                         SymOp::SendRecv {
+                            path: _,
                             dst,
                             src,
                             send_variant,
@@ -621,8 +785,8 @@ pub fn check_template(template: &SymTemplate) -> Vec<SymViolation> {
                                     segment: si,
                                     op: oi,
                                     detail: format!(
-                                        "hop must send to Next and receive from Prev, got \
-                                         dst {dst:?}, src {src:?}"
+                                        "hop must send to its path's Next and receive from \
+                                         its path's Prev, got dst {dst:?}, src {src:?}"
                                     ),
                                 });
                             }
@@ -673,6 +837,7 @@ pub fn check_template(template: &SymTemplate) -> Vec<SymViolation> {
                             }
                         }
                         SymOp::Send {
+                            path: _,
                             dst,
                             variant,
                             bytes,
@@ -709,16 +874,26 @@ pub fn check_template(template: &SymTemplate) -> Vec<SymViolation> {
                                     ),
                                 });
                             }
-                            let paired = template.segments[si + 1..].iter().any(|s| {
-                                matches!(
-                                    s,
-                                    SymSegment::GatherAscending {
-                                        variant: gv,
-                                        bytes: gb,
-                                    } if *gv == variant
+                            let paired = template.segments[si + 1..].iter().any(|s| match s {
+                                SymSegment::GatherAscending {
+                                    variant: gv,
+                                    bytes: gb,
+                                } => {
+                                    *gv == variant
                                         && gb.table == bytes.table
                                         && gb.ix == Ix::SelfRank
-                                )
+                                }
+                                SymSegment::GatherAscendingBidi {
+                                    variant: gv,
+                                    first,
+                                    second,
+                                } => {
+                                    *gv == variant
+                                        && [first, second].iter().any(|gb| {
+                                            gb.table == bytes.table && gb.ix == Ix::SelfRank
+                                        })
+                                }
+                                _ => false,
                             });
                             if !paired {
                                 v.push(SymViolation::ScatterGather {
@@ -759,6 +934,47 @@ pub fn check_template(template: &SymTemplate) -> Vec<SymViolation> {
                             "trailing {variant} gather has no earlier eager return feeding it"
                         ),
                     });
+                }
+            }
+            SymSegment::GatherAscendingBidi {
+                variant,
+                first,
+                second,
+            } => {
+                for (half, expr, dir) in
+                    [("forward", first, PathDir::Fwd), ("reverse", second, PathDir::Rev)]
+                {
+                    check_table(&mut v, expr.table, "bidirectional trailing gather");
+                    if expr.ix != Ix::SelfRank {
+                        v.push(SymViolation::ScatterGather {
+                            segment: si,
+                            detail: format!(
+                                "bidirectional gather's {half} half must collect the rank's \
+                                 own entry (every peer returns bytes[self]), got {:?}",
+                                expr.ix
+                            ),
+                        });
+                    }
+                    // Each half must be fed by an eager return travelling
+                    // the matching path, so the τ-rule ordering at
+                    // grounding time names the channel the bytes actually
+                    // arrive on.
+                    let sourced = template.segments[..si].iter().any(|s| {
+                        matches!(s, SymSegment::Rounds(gops) if gops.iter().any(|g| matches!(
+                            g.op,
+                            SymOp::Send { path: sp, variant: sv, bytes: sb, .. }
+                                if sv == *variant && sb.table == expr.table && sp == dir
+                        )))
+                    });
+                    if !sourced {
+                        v.push(SymViolation::ScatterGather {
+                            segment: si,
+                            detail: format!(
+                                "bidirectional {variant} gather's {half} half has no earlier \
+                                 {half}-path eager return feeding it"
+                            ),
+                        });
+                    }
                 }
             }
             SymSegment::Collective(c) => match *c {
@@ -881,9 +1097,14 @@ pub fn apply_template_mutation(
 }
 
 fn hop(variant: &'static str, table: usize) -> GuardedOp {
+    hop_on(variant, table, PathDir::Fwd)
+}
+
+fn hop_on(variant: &'static str, table: usize, path: PathDir) -> GuardedOp {
     GuardedOp {
         guard: Guard::BeforeRound(1),
         op: SymOp::SendRecv {
+            path,
             dst: PeerExpr::Next,
             src: PeerExpr::Prev,
             send_variant: variant,
@@ -900,11 +1121,27 @@ fn hop(variant: &'static str, table: usize) -> GuardedOp {
     }
 }
 
+fn eager_return(variant: &'static str, table: usize, path: PathDir) -> GuardedOp {
+    GuardedOp {
+        guard: Guard::NotFirstRound,
+        op: SymOp::Send {
+            path,
+            dst: PeerExpr::VisitingOrigin,
+            variant,
+            bytes: ByteExpr {
+                table,
+                ix: Ix::OriginAt(0),
+            },
+        },
+    }
+}
+
 /// The pass-KV prefill family (Algorithm 2): `W-1` KV ring hops.
 pub fn pass_kv_template() -> SymTemplate {
     SymTemplate {
         name: "pass_kv".to_string(),
         repeat: 1,
+        ranks_per_node: None,
         table_names: vec!["kv"],
         segments: vec![SymSegment::Rounds(vec![hop("Kv", 0)])],
     }
@@ -917,22 +1154,10 @@ pub fn pass_q_template() -> SymTemplate {
     SymTemplate {
         name: "pass_q".to_string(),
         repeat: 1,
+        ranks_per_node: None,
         table_names: vec!["q", "out"],
         segments: vec![
-            SymSegment::Rounds(vec![
-                hop("Q", 0),
-                GuardedOp {
-                    guard: Guard::NotFirstRound,
-                    op: SymOp::Send {
-                        dst: PeerExpr::VisitingOrigin,
-                        variant: "Out",
-                        bytes: ByteExpr {
-                            table: 1,
-                            ix: Ix::OriginAt(0),
-                        },
-                    },
-                },
-            ]),
+            SymSegment::Rounds(vec![hop("Q", 0), eager_return("Out", 1, PathDir::Fwd)]),
             SymSegment::GatherAscending {
                 variant: "Out",
                 bytes: ByteExpr {
@@ -950,6 +1175,7 @@ pub fn decode_template() -> SymTemplate {
     SymTemplate {
         name: "decode".to_string(),
         repeat: 1,
+        ranks_per_node: None,
         table_names: vec!["dq", "dout"],
         segments: vec![
             SymSegment::Rounds(vec![hop("DecodeQ", 0)]),
@@ -967,6 +1193,7 @@ pub fn all_gather_baseline_template() -> SymTemplate {
     SymTemplate {
         name: "all_gather_baseline".to_string(),
         repeat: 1,
+        ranks_per_node: None,
         table_names: vec!["kv"],
         segments: vec![SymSegment::Collective(SymCollective::AllGather {
             variant: "Kv",
@@ -981,6 +1208,7 @@ pub fn tp_all_reduce_template() -> SymTemplate {
     SymTemplate {
         name: "tp_all_reduce".to_string(),
         repeat: 1,
+        ranks_per_node: None,
         table_names: vec!["payload"],
         segments: vec![SymSegment::Collective(SymCollective::AllReduce {
             variant: "payload",
@@ -995,12 +1223,121 @@ pub fn tp_all_gather_template() -> SymTemplate {
     SymTemplate {
         name: "tp_all_gather".to_string(),
         repeat: 1,
+        ranks_per_node: None,
         table_names: vec!["payload"],
         segments: vec![SymSegment::Collective(SymCollective::AllGather {
             variant: "payload",
             table: 0,
             send_ix: Ix::SelfRank,
         })],
+    }
+}
+
+/// The bidirectional pass-KV prefill family (TokenRing-style,
+/// arXiv:2412.20501): each rank's KV block splits at the token midpoint
+/// and the two halves counter-rotate, one forward hop and one reverse hop
+/// per round — per-link bytes per step halve while total volume is
+/// unchanged.
+pub fn pass_kv_bidi_template() -> SymTemplate {
+    SymTemplate {
+        name: "pass_kv_bidi".to_string(),
+        repeat: 1,
+        ranks_per_node: None,
+        table_names: vec!["kv_a", "kv_b"],
+        segments: vec![SymSegment::Rounds(vec![
+            hop_on("Kv", 0, PathDir::Fwd),
+            hop_on("Kv", 1, PathDir::Rev),
+        ])],
+    }
+}
+
+/// The bidirectional pass-Q prefill family: the two query halves
+/// counter-rotate, each round posting both hops and both eager partial
+/// returns, with a trailing gather of **two** `Out` messages per peer
+/// ordered by the τ-rule.
+pub fn pass_q_bidi_template() -> SymTemplate {
+    SymTemplate {
+        name: "pass_q_bidi".to_string(),
+        repeat: 1,
+        ranks_per_node: None,
+        table_names: vec!["q_a", "q_b", "out_a", "out_b"],
+        segments: vec![
+            SymSegment::Rounds(vec![
+                hop_on("Q", 0, PathDir::Fwd),
+                hop_on("Q", 1, PathDir::Rev),
+                eager_return("Out", 2, PathDir::Fwd),
+                eager_return("Out", 3, PathDir::Rev),
+            ]),
+            SymSegment::GatherAscendingBidi {
+                variant: "Out",
+                first: ByteExpr {
+                    table: 2,
+                    ix: Ix::SelfRank,
+                },
+                second: ByteExpr {
+                    table: 3,
+                    ix: Ix::SelfRank,
+                },
+            },
+        ],
+    }
+}
+
+/// The bidirectional batched pass-Q decode family: the slot vector splits
+/// at the midpoint, the halves counter-rotate, and the same single
+/// `All2All` as the unidirectional family returns the per-origin partials.
+pub fn decode_bidi_template() -> SymTemplate {
+    SymTemplate {
+        name: "decode_bidi".to_string(),
+        repeat: 1,
+        ranks_per_node: None,
+        table_names: vec!["dq_a", "dq_b", "dout"],
+        segments: vec![
+            SymSegment::Rounds(vec![
+                hop_on("DecodeQ", 0, PathDir::Fwd),
+                hop_on("DecodeQ", 1, PathDir::Rev),
+            ]),
+            SymSegment::Collective(SymCollective::AllToAll {
+                variant: "DecodeOut",
+                table: 2,
+            }),
+        ],
+    }
+}
+
+/// The topology-aware pass-KV prefill family (TASP-style,
+/// arXiv:2509.26541): the flat hop structure over the hierarchical ring of
+/// `g` ranks per node, keeping `W-N` of the `W-1` hops on fast intra-node
+/// links.
+pub fn pass_kv_hier_template(ranks_per_node: usize) -> SymTemplate {
+    SymTemplate {
+        name: "pass_kv_hier".to_string(),
+        ranks_per_node: Some(ranks_per_node),
+        ..pass_kv_template()
+    }
+}
+
+/// The topology-aware pass-Q prefill family: hierarchical Q circulation
+/// with the same eager-return / trailing-gather permutation; grounding
+/// defers returns that share a channel with later hops (the production
+/// `defer_return` transform, a no-op on the flat ring).
+pub fn pass_q_hier_template(ranks_per_node: usize) -> SymTemplate {
+    SymTemplate {
+        name: "pass_q_hier".to_string(),
+        ranks_per_node: Some(ranks_per_node),
+        ..pass_q_template()
+    }
+}
+
+/// The bidirectional **and** topology-aware pass-KV family: counter-
+/// rotating KV halves over the hierarchical ring — the schedule the
+/// adaptive heuristics pick for long-context prefill on multi-node
+/// asymmetric fabrics.
+pub fn pass_kv_bidi_hier_template(ranks_per_node: usize) -> SymTemplate {
+    SymTemplate {
+        name: "pass_kv_bidi_hier".to_string(),
+        ranks_per_node: Some(ranks_per_node),
+        ..pass_kv_bidi_template()
     }
 }
 
@@ -1019,20 +1356,27 @@ pub fn forward_template(layers: usize, pass_q: bool) -> SymTemplate {
             if pass_q { "pass_q" } else { "pass_kv" }
         ),
         repeat: layers,
+        ranks_per_node: layer.ranks_per_node,
         table_names: layer.table_names,
         segments: layer.segments,
     }
 }
 
 /// Every declared template family, covering every collective the
-/// workspace issues: the three ring algorithms, the all-gather baseline,
-/// both TP collectives, and the stacked full-stack forward in both ring
-/// variants.
+/// workspace issues: the three ring algorithms in both directions, the
+/// hierarchical layouts, the all-gather baseline, both TP collectives,
+/// and the stacked full-stack forward in both ring variants.
 pub fn all_templates() -> Vec<SymTemplate> {
     vec![
         pass_kv_template(),
         pass_q_template(),
         decode_template(),
+        pass_kv_bidi_template(),
+        pass_q_bidi_template(),
+        decode_bidi_template(),
+        pass_kv_hier_template(2),
+        pass_q_hier_template(2),
+        pass_kv_bidi_hier_template(2),
         all_gather_baseline_template(),
         tp_all_reduce_template(),
         tp_all_gather_template(),
@@ -1135,9 +1479,82 @@ fn dout_bytes(params: &AttentionParams, slots: &[Vec<Option<DecodeSlot>>]) -> Ve
         .collect()
 }
 
+/// Per-rank `(A, B)` wire bytes of the bidirectional KV halves, derived
+/// from the payload types' own midpoint split — independent of the
+/// builders' internal tables.
+fn kv_half_tables(locals: &[Vec<LocalSeq>]) -> Result<(Vec<usize>, Vec<usize>), CoreError> {
+    let mut a = Vec::with_capacity(locals.len());
+    let mut b = Vec::with_capacity(locals.len());
+    for ls in locals {
+        let (mut ab, mut bb) = (0usize, 0usize);
+        for l in ls {
+            let (ha, hb) = SeqKv {
+                k: l.k.clone(),
+                v: l.v.clone(),
+                pos: l.kv_pos.clone(),
+            }
+            .split_halves()?;
+            ab += RingMsg::Kv { seqs: vec![ha] }.wire_bytes();
+            bb += RingMsg::Kv { seqs: vec![hb] }.wire_bytes();
+        }
+        a.push(ab);
+        b.push(bb);
+    }
+    Ok((a, b))
+}
+
+/// Per-rank byte tables `(q_a, q_b, out_a, out_b)` for the
+/// bidirectional pass-Q family.
+type QOutHalves = (Vec<usize>, Vec<usize>, Vec<usize>, Vec<usize>);
+
+/// Per-rank `(A, B)` wire bytes of the bidirectional Q halves and the
+/// `Out` messages returning each half's partials.
+fn q_out_half_tables(
+    params: &AttentionParams,
+    locals: &[Vec<LocalSeq>],
+) -> Result<QOutHalves, CoreError> {
+    let h = params.shape.n_heads();
+    let n = locals.len();
+    let (mut qa, mut qb) = (Vec::with_capacity(n), Vec::with_capacity(n));
+    let (mut oa, mut ob) = (Vec::with_capacity(n), Vec::with_capacity(n));
+    for ls in locals {
+        let (mut qav, mut qbv, mut oav, mut obv) = (0usize, 0usize, 0usize, 0usize);
+        for l in ls {
+            let (ha, hb) = SeqQ {
+                q: l.q.clone(),
+                pos: l.q_pos.clone(),
+            }
+            .split_halves()?;
+            qav += ha.q.numel() * ELEM_BYTES;
+            qbv += hb.q.numel() * ELEM_BYTES;
+            oav += (ha.q.numel() + ha.pos.len() * h) * ELEM_BYTES;
+            obv += (hb.q.numel() + hb.pos.len() * h) * ELEM_BYTES;
+        }
+        qa.push(qav);
+        qb.push(qbv);
+        oa.push(oav);
+        ob.push(obv);
+    }
+    Ok((qa, qb, oa, ob))
+}
+
+/// Per-rank `(A, B)` wire bytes of the bidirectional decode-slot halves.
+fn dq_half_tables(slots: &[Vec<Option<DecodeSlot>>]) -> (Vec<usize>, Vec<usize>) {
+    let mut a = Vec::with_capacity(slots.len());
+    let mut b = Vec::with_capacity(slots.len());
+    for (r, s) in slots.iter().enumerate() {
+        let (ha, hb) = split_slot_vec(s);
+        a.push(RingMsg::DecodeQ { origin: r, slots: ha }.wire_bytes());
+        b.push(RingMsg::DecodeQ { origin: r, slots: hb }.wire_bytes());
+    }
+    (a, b)
+}
+
 /// Builds every template family's grounding case at one world size:
 /// skewed (`varseq`) prefill inputs and ragged decode slots, so byte
-/// tables are non-uniform and index bugs are visible.
+/// tables are non-uniform and index bugs are visible. Hierarchical cases
+/// (two ranks per node) appear at even worlds ≥ 4, where the topology
+/// tiles the ring into at least two nodes.
 ///
 /// # Errors
 ///
@@ -1149,9 +1566,12 @@ pub fn template_cases(world: usize) -> Result<Vec<TemplateCase>, CoreError> {
     let kv = kv_bytes(&locals);
     let q = q_bytes(&locals);
     let outs = out_bytes(&params, &locals);
+    let (kv_a, kv_b) = kv_half_tables(&locals)?;
+    let (q_a, q_b, out_a, out_b) = q_out_half_tables(&params, &locals)?;
     let slots = grid_slots(world, 2, true, shape);
     let dq = dq_bytes(&slots);
     let dout = dout_bytes(&params, &slots);
+    let (dq_a, dq_b) = dq_half_tables(&slots);
     // Distinct per-rank TP payload sizes: uniform tables would hide
     // wrong-index bugs at grounding time.
     let payload: Vec<usize> = (0..world).map(|r| 4 * (r + 2)).collect();
@@ -1162,7 +1582,7 @@ pub fn template_cases(world: usize) -> Result<Vec<TemplateCase>, CoreError> {
         tables,
         production,
     };
-    Ok(vec![
+    let mut cases = vec![
         case(pass_kv_template(), vec![kv.clone()], pass_kv_plan(&locals)?),
         case(
             pass_q_template(),
@@ -1171,8 +1591,23 @@ pub fn template_cases(world: usize) -> Result<Vec<TemplateCase>, CoreError> {
         ),
         case(
             decode_template(),
-            vec![dq, dout],
+            vec![dq, dout.clone()],
             decode_plan(&params, &slots)?,
+        ),
+        case(
+            pass_kv_bidi_template(),
+            vec![kv_a.clone(), kv_b.clone()],
+            pass_kv_bidi_plan(&locals, RingLayout::Flat)?,
+        ),
+        case(
+            pass_q_bidi_template(),
+            vec![q_a, q_b, out_a, out_b],
+            pass_q_bidi_plan(&params, &locals, RingLayout::Flat)?,
+        ),
+        case(
+            decode_bidi_template(),
+            vec![dq_a, dq_b, dout],
+            decode_bidi_plan(&params, &slots)?,
         ),
         case(
             all_gather_baseline_template(),
@@ -1191,7 +1626,7 @@ pub fn template_cases(world: usize) -> Result<Vec<TemplateCase>, CoreError> {
         ),
         case(
             forward_template(3, false),
-            vec![kv],
+            vec![kv.clone()],
             stacked_plan(pass_kv_plan(&locals)?, 3),
         ),
         case(
@@ -1199,7 +1634,26 @@ pub fn template_cases(world: usize) -> Result<Vec<TemplateCase>, CoreError> {
             vec![q, outs],
             stacked_plan(pass_q_plan(&params, &locals)?, 2),
         ),
-    ])
+    ];
+    if world >= 4 && world.is_multiple_of(2) {
+        let hier = RingLayout::Hier(Topology::new(world / 2, 2));
+        cases.push(case(
+            pass_kv_hier_template(2),
+            vec![kv.clone()],
+            pass_kv_plan_on(&locals, hier)?,
+        ));
+        cases.push(case(
+            pass_q_hier_template(2),
+            vec![q_bytes(&locals), out_bytes(&params, &locals)],
+            pass_q_plan_on(&params, &locals, hier)?,
+        ));
+        cases.push(case(
+            pass_kv_bidi_hier_template(2),
+            vec![kv_a, kv_b],
+            pass_kv_bidi_plan(&locals, hier)?,
+        ));
+    }
+    Ok(cases)
 }
 
 #[cfg(test)]
@@ -1269,6 +1723,60 @@ mod tests {
     }
 
     #[test]
+    fn ground_rejects_non_tiling_hier_world() {
+        // 2 ranks per node cannot tile an odd world.
+        let t = pass_kv_hier_template(2);
+        let err = t.ground(5, &[vec![8; 5]]).unwrap_err();
+        assert!(err.contains("do not tile"), "{err}");
+        assert!(t.ground(6, &[vec![8; 6]]).is_ok());
+    }
+
+    #[test]
+    fn every_schedule_family_is_declared() {
+        // 14 families: 3 ring algorithms × {uni, bidi}, 3 hierarchical
+        // layouts, the all-gather baseline, 2 TP collectives, 2 stacked
+        // forwards.
+        assert_eq!(all_templates().len(), 14);
+    }
+
+    #[test]
+    fn bidi_gather_tau_rule_orders_halves_by_host_step() {
+        // At world 4 the flat paths give fwd.step_of(src, r) != rev's for
+        // off-diagonal peers, so some pair must be reverse-first — pin
+        // that the grounding actually exercises both orders.
+        let world = 4;
+        let case = template_cases(world)
+            .unwrap()
+            .into_iter()
+            .find(|c| c.name.ends_with("/pass_q_bidi"))
+            .unwrap();
+        let plan = case.template.ground(world, &case.tables).unwrap();
+        let out_a = &case.tables[2];
+        let out_b = &case.tables[3];
+        let mut saw = [false; 2];
+        for rank in &plan.ranks {
+            let recvs: Vec<usize> = rank
+                .ops
+                .iter()
+                .filter_map(|op| match op {
+                    CommOp::Recv { bytes, .. } => Some(*bytes),
+                    _ => None,
+                })
+                .collect();
+            for pair in recvs.chunks(2) {
+                let r = rank.rank;
+                if pair[0] == out_a[r] && pair[1] == out_b[r] && out_a[r] != out_b[r] {
+                    saw[0] = true;
+                }
+                if pair[0] == out_b[r] && pair[1] == out_a[r] && out_a[r] != out_b[r] {
+                    saw[1] = true;
+                }
+            }
+        }
+        assert!(saw[0] && saw[1], "expected both A-first and B-first pairs: {saw:?}");
+    }
+
+    #[test]
     fn symbolic_checker_rejects_every_mutation_class() {
         // Each mutation lands on a template with a site for it and is
         // caught by the expected law.
@@ -1300,6 +1808,31 @@ mod tests {
             ),
             (
                 forward_template(2, true),
+                TemplateMutation::WrongRecvByteExpr,
+                "ring-hop",
+            ),
+            (
+                pass_kv_bidi_template(),
+                TemplateMutation::WrongRecvByteExpr,
+                "ring-hop",
+            ),
+            (
+                pass_q_bidi_template(),
+                TemplateMutation::RotationOffByOne,
+                "ring-hop",
+            ),
+            (
+                decode_bidi_template(),
+                TemplateMutation::DropFinalHop,
+                "coverage",
+            ),
+            (
+                pass_q_hier_template(2),
+                TemplateMutation::DropFinalHop,
+                "coverage",
+            ),
+            (
+                pass_kv_bidi_hier_template(2),
                 TemplateMutation::WrongRecvByteExpr,
                 "ring-hop",
             ),
