@@ -67,10 +67,14 @@ impl ApproxPolicy {
 /// Approximate GQA attention under `policy` — same inputs and outputs as
 /// [`crate::naive_gqa_attention`], restricted visibility.
 ///
+/// The loop nest is the reference kernel's lockstep iteration: query rows
+/// of `q`/`out`/`lse` move with `q_pos`, kv rows of `k`/`v` move with
+/// `kv_pos` and the score buffer, all by chunked iterators — no computed
+/// index reaches a slice, so the kernel body has no panic site.
+///
 /// # Errors
 ///
 /// Same conditions as [`crate::naive_gqa_attention`].
-#[allow(clippy::needless_range_loop)] // parallel-indexing kernel: q_pos/kv_pos/rows move together
 pub fn approx_gqa_attention(
     q: &Tensor,
     k: &Tensor,
@@ -95,19 +99,34 @@ pub fn approx_gqa_attention(
     check_positions("kv_pos", t_k, kv_pos)?;
 
     let (n_heads, dh) = (shape.n_heads(), shape.head_dim());
+    let q_row = n_heads * dh;
+    let kv_row = shape.n_kv_heads() * dh;
     let mut out = Tensor::zeros(&[t_q, n_heads, dh]);
     let mut lse = Tensor::full(&[t_q, n_heads], f32::NEG_INFINITY);
     let mut scores = vec![0.0f32; t_k];
-    for qi in 0..t_q {
-        let qrow = q.row(qi);
-        for h in 0..n_heads {
-            let kvh = shape.kv_head_for(h);
-            let qvec = &qrow[h * dh..(h + 1) * dh];
-            for (ki, score) in scores.iter_mut().enumerate() {
-                *score = if kv_pos[ki] == PAD || !policy.visible(q_pos[qi], kv_pos[ki]) {
+    for (((qrow, orow), lse_row), &qpi) in q
+        .as_slice()
+        .chunks_exact(q_row)
+        .zip(out.as_mut_slice().chunks_exact_mut(q_row))
+        .zip(lse.as_mut_slice().chunks_exact_mut(n_heads))
+        .zip(q_pos)
+    {
+        for (h, ((qvec, ohead), lse_slot)) in qrow
+            .chunks_exact(dh)
+            .zip(orow.chunks_exact_mut(dh))
+            .zip(lse_row.iter_mut())
+            .enumerate()
+        {
+            let koff = shape.kv_head_for(h) * dh;
+            for ((score, &kvp), krow) in scores
+                .iter_mut()
+                .zip(kv_pos)
+                .zip(k.as_slice().chunks_exact(kv_row))
+            {
+                *score = if kvp == PAD || !policy.visible(qpi, kvp) {
                     f32::NEG_INFINITY
                 } else {
-                    let kvec = &k.row(ki)[kvh * dh..(kvh + 1) * dh];
+                    let kvec = krow.iter().skip(koff);
                     let dot: f32 = qvec.iter().zip(kvec).map(|(a, b)| a * b).sum();
                     dot * params.scale
                 };
@@ -116,15 +135,13 @@ pub fn approx_gqa_attention(
             if row_lse == f32::NEG_INFINITY {
                 continue;
             }
-            lse.set(&[qi, h], row_lse).expect("in bounds");
-            let orow = out.row_mut(qi);
-            for (ki, &w) in scores.iter().enumerate() {
+            *lse_slot = row_lse;
+            for (&w, vrow) in scores.iter().zip(v.as_slice().chunks_exact(kv_row)) {
                 if w == 0.0 {
                     continue;
                 }
-                let vvec = &v.row(ki)[kvh * dh..(kvh + 1) * dh];
-                for (d, &x) in vvec.iter().enumerate() {
-                    orow[h * dh + d] += w * x;
+                for (o, &x) in ohead.iter_mut().zip(vrow.iter().skip(koff)) {
+                    *o += w * x;
                 }
             }
         }

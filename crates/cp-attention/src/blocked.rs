@@ -181,8 +181,10 @@ fn blocked_impl(
         .min(t_q);
         if workers <= 1 {
             // One scratch buffer for the whole call instead of one Vec per
-            // (block, query, head).
+            // (block, query, head); `head_buf` is the dequantization
+            // scratch for quantized sources (unused by f32 storage).
             let mut scores = Vec::with_capacity(block_size.min(t_k.max(1)));
+            let mut head_buf = vec![0.0f32; dh];
             for (qi, ((out_row, lse_row), &qp)) in out_buf
                 .chunks_mut(row_o)
                 .zip(lse_buf.chunks_mut(n_heads))
@@ -199,6 +201,7 @@ fn blocked_impl(
                     out_row,
                     lse_row,
                     &mut scores,
+                    &mut head_buf,
                 );
             }
         } else {
@@ -221,6 +224,7 @@ fn blocked_impl(
                 pos_rest = pos_tail;
                 jobs.push(Box::new(move || {
                     let mut scores = Vec::with_capacity(block_size.min(t_k.max(1)));
+                    let mut head_buf = vec![0.0f32; dh];
                     for (off, ((out_row, lse_row), &qp)) in out_tile
                         .chunks_mut(row_o)
                         .zip(lse_tile.chunks_mut(n_heads))
@@ -237,6 +241,7 @@ fn blocked_impl(
                             out_row,
                             lse_row,
                             &mut scores,
+                            &mut head_buf,
                         );
                     }
                 }));
@@ -252,12 +257,15 @@ fn blocked_impl(
 /// blocks in ascending order keeping `(m, l)` scalars and accumulating
 /// weighted values directly into this row's slice of the output buffer.
 /// This is the seed kernel's per-(query, head) arithmetic verbatim — only
-/// the loop nest is transposed so rows are independent work items. KV rows
-/// come through the [`KvSource`] O(1) lookup, so contiguous and paged
-/// storage execute the same f32 sequence; heads and KV blocks advance by
-/// chunked iterators rather than computed indices, so the loop body
-/// contains no panicking slice index; an out-of-range KV row or head
-/// lookup (impossible after the shape checks) folds into the masked branch.
+/// the loop nest is transposed so rows are independent work items. KV head
+/// vectors come through the [`KvSource::k_head`] / [`KvSource::v_head`]
+/// lookup (a direct subslice for f32 storage, a per-head dequantize into
+/// `head_buf` for INT8 pages), so contiguous, paged and quantized storage
+/// execute the same f32 sequence over the values they expose; heads and KV
+/// blocks advance by chunked iterators rather than computed indices, so
+/// the loop body contains no panicking slice index; an out-of-range KV row
+/// or head lookup (impossible after the shape checks) folds into the
+/// masked branch.
 #[allow(clippy::too_many_arguments)]
 fn attend_query_row(
     qrow: &[f32],
@@ -269,6 +277,7 @@ fn attend_query_row(
     out_row: &mut [f32],
     lse_row: &mut [f32],
     scores: &mut Vec<f32>,
+    head_buf: &mut [f32],
 ) {
     let shape = &params.shape;
     let dh = shape.head_dim();
@@ -289,10 +298,7 @@ fn attend_query_row(
             let mut block_m = f32::NEG_INFINITY;
             scores.clear();
             for (off, &kpos) in block_pos.iter().enumerate() {
-                let s = match kv
-                    .k_row(block_start + off)
-                    .and_then(|r| r.get(kvh * dh..(kvh + 1) * dh))
-                {
+                let s = match kv.k_head(block_start + off, kvh, dh, head_buf) {
                     Some(kvec) if kpos != PAD && kpos <= q_pos_qi => {
                         let dot: f32 = qvec.iter().zip(kvec).map(|(a, b)| a * b).sum();
                         dot * params.scale
@@ -321,10 +327,7 @@ fn attend_query_row(
                 }
                 let w = (s - new_m).exp();
                 l += w;
-                if let Some(vvec) = kv
-                    .v_row(block_start + off)
-                    .and_then(|r| r.get(kvh * dh..(kvh + 1) * dh))
-                {
+                if let Some(vvec) = kv.v_head(block_start + off, kvh, dh, head_buf) {
                     for (a, &x) in acc.iter_mut().zip(vvec) {
                         *a += w * x;
                     }
@@ -480,6 +483,102 @@ mod tests {
         let v = Tensor::zeros(&[2, 1, 2]);
         let out = blocked_gqa_attention(&q, &k, &v, &p, &[], &[0, 1], 4).unwrap();
         assert_eq!(out.out.dim0(), 0);
+    }
+
+    #[test]
+    fn quant_source_is_bitwise_equal_to_dequantized_tensors() {
+        // The quantized kernel's contract: for the same block size, a
+        // QuantPaged source runs the exact f32 sequence of a contiguous
+        // source holding the dequantized values, so the outputs are
+        // bitwise equal — the only error vs f32 storage is quantization.
+        let (t_q, t_kv, nh, nkv, dh, ps) = (4usize, 11usize, 4usize, 2usize, 8usize, 3usize);
+        let p = params(nh, nkv, dh);
+        let mut rng = DetRng::new(23);
+        let q = rng.tensor(&[t_q, nh, dh]);
+        let k = rng.tensor(&[t_kv, nkv, dh]);
+        let v = rng.tensor(&[t_kv, nkv, dh]);
+        let kv_pos: Vec<usize> = (0..t_kv).collect();
+        let q_pos: Vec<usize> = (t_kv - t_q..t_kv).collect();
+
+        let quantize = |x: &Tensor| {
+            let mut codes: Vec<i8> = Vec::new();
+            let mut scales: Vec<f32> = Vec::new();
+            for row in x.as_slice().chunks_exact(dh) {
+                let max = row.iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+                let scale = if max == 0.0 { 1.0 } else { max / 127.0 };
+                scales.push(scale);
+                codes.extend(
+                    row.iter()
+                        .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8),
+                );
+            }
+            (codes, scales)
+        };
+        let (kc, ks) = quantize(&k);
+        let (vc, vs) = quantize(&v);
+        let page_up = |per_row: usize, flat_len: usize| -> Vec<(usize, usize)> {
+            (0..t_kv.div_ceil(ps))
+                .map(|pg| {
+                    let rows = (t_kv - pg * ps).min(ps);
+                    let start = pg * ps * per_row;
+                    assert!(start + rows * per_row <= flat_len);
+                    (start, start + rows * per_row)
+                })
+                .collect()
+        };
+        let rn = nkv * dh;
+        let kcp: Vec<&[i8]> = page_up(rn, kc.len())
+            .iter()
+            .map(|&(a, b)| &kc[a..b])
+            .collect();
+        let vcp: Vec<&[i8]> = page_up(rn, vc.len())
+            .iter()
+            .map(|&(a, b)| &vc[a..b])
+            .collect();
+        let ksp: Vec<&[f32]> = page_up(nkv, ks.len())
+            .iter()
+            .map(|&(a, b)| &ks[a..b])
+            .collect();
+        let vsp: Vec<&[f32]> = page_up(nkv, vs.len())
+            .iter()
+            .map(|&(a, b)| &vs[a..b])
+            .collect();
+        let src = KvSource::quant_paged(&kcp, &ksp, &vcp, &vsp, ps, nkv, dh, t_kv).unwrap();
+
+        // Dequantized contiguous reference (code * scale, same arithmetic).
+        let dequant = |codes: &[i8], scales: &[f32]| {
+            let data: Vec<f32> = codes
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| c as f32 * scales[i / dh])
+                .collect();
+            Tensor::from_vec(data, &[t_kv, nkv, dh]).unwrap()
+        };
+        let kd = dequant(&kc, &ks);
+        let vd = dequant(&vc, &vs);
+
+        let pool = cp_pool::ComputePool::global();
+        for block in [ps, 2 * ps, 64] {
+            let quant_out =
+                blocked_gqa_attention_source(pool, &q, &src, &p, &q_pos, &kv_pos, block).unwrap();
+            let deq_out =
+                blocked_gqa_attention_on(pool, &q, &kd, &vd, &p, &q_pos, &kv_pos, block).unwrap();
+            assert_eq!(
+                quant_out.out.as_slice(),
+                deq_out.out.as_slice(),
+                "block={block}"
+            );
+            assert_eq!(
+                quant_out.lse.as_slice(),
+                deq_out.lse.as_slice(),
+                "block={block}"
+            );
+            // And the quantization error vs true f32 stays small.
+            let f32_out =
+                blocked_gqa_attention_on(pool, &q, &k, &v, &p, &q_pos, &kv_pos, block).unwrap();
+            let err = quant_out.out.max_abs_diff(&f32_out.out).unwrap();
+            assert!(err > 0.0 && err < 0.02, "block={block}: err {err}");
+        }
     }
 
     #[test]

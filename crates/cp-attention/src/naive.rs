@@ -139,8 +139,11 @@ pub fn naive_gqa_attention(
 /// the reference kernel applied to a contiguous slice of those rows — the
 /// same full-score-buffer fill, the same `softmax_row_in_place`, the same
 /// zero-weight skip — so `flash_decode` over a paged source is bit-identical
-/// to `flash_decode` over `gather()`ed tensors. Out-of-range row lookups
-/// (impossible after the caller's shape checks) fold into the masked branch.
+/// to `flash_decode` over `gather()`ed tensors. KV head vectors come
+/// through [`KvSource::k_head`] / [`KvSource::v_head`], so an INT8 source
+/// dequantizes per head into the reused scratch with no materialized f32
+/// cache copy. Out-of-range row lookups (impossible after the caller's
+/// shape checks) fold into the masked branch.
 pub(crate) fn naive_attend_range(
     q: &Tensor,
     kv: &KvSource<'_>,
@@ -158,6 +161,7 @@ pub(crate) fn naive_attend_range(
     let mut out = Tensor::zeros(&[t_q, n_heads, dh]);
     let mut lse = Tensor::full(&[t_q, n_heads], f32::NEG_INFINITY);
     let mut scores = vec![0.0f32; pos_chunk.len()];
+    let mut head_buf = vec![0.0f32; dh];
 
     for (((qrow, orow), lse_row), &qpi) in q
         .as_slice()
@@ -172,9 +176,9 @@ pub(crate) fn naive_attend_range(
             .zip(lse_row.iter_mut())
             .enumerate()
         {
-            let koff = shape.kv_head_for(h) * dh;
+            let kvh = shape.kv_head_for(h);
             for (j, (score, &kvp)) in scores.iter_mut().zip(pos_chunk).enumerate() {
-                *score = match kv.k_row(start + j).and_then(|r| r.get(koff..koff + dh)) {
+                *score = match kv.k_head(start + j, kvh, dh, &mut head_buf) {
                     Some(kvec) if kvp != PAD && kvp <= qpi => {
                         let dot: f32 = qvec.iter().zip(kvec).map(|(a, b)| a * b).sum();
                         dot * params.scale
@@ -191,7 +195,7 @@ pub(crate) fn naive_attend_range(
                 if w == 0.0 {
                     continue;
                 }
-                if let Some(vvec) = kv.v_row(start + j).and_then(|r| r.get(koff..koff + dh)) {
+                if let Some(vvec) = kv.v_head(start + j, kvh, dh, &mut head_buf) {
                     for (o, &x) in ohead.iter_mut().zip(vvec) {
                         *o += w * x;
                     }

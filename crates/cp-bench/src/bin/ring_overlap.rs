@@ -456,8 +456,7 @@ fn main() {
                 bandwidth_model_agrees = pos("bidi-flat") < pos("uni-flat");
             }
             "asymmetric" => {
-                let best_hier =
-                    wall_of(MatrixFamily::UniHier).min(wall_of(MatrixFamily::BidiHier));
+                let best_hier = wall_of(MatrixFamily::UniHier).min(wall_of(MatrixFamily::BidiHier));
                 asym_hier_reduction = 100.0 * (1.0 - best_hier / uni_flat_s);
                 asym_model_agrees = model
                     .first()

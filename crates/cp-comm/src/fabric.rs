@@ -291,7 +291,10 @@ impl<M: Wire> Communicator<M> {
         // distinct links — the two ring directions, or different peers —
         // genuinely run in parallel.
         let deliver_at = self.links.model_for(self.rank, dst).map(|l| {
-            let mut busy = self.link_busy.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut busy = self
+                .link_busy
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             let now = Instant::now();
             let start = match busy.get(dst).copied().flatten() {
                 Some(free_at) if free_at > now => free_at,

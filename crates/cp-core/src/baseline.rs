@@ -63,13 +63,7 @@ pub fn all_gather_pass_kv_prefill(
                 return Err(CoreError::ProtocolViolation {
                     from_rank: src_rank,
                     expected: "Kv",
-                    got: match other {
-                        RingMsg::Q { .. } => "Q",
-                        RingMsg::Out { .. } => "Out",
-                        RingMsg::DecodeQ { .. } => "DecodeQ",
-                        RingMsg::DecodeOut { .. } => "DecodeOut",
-                        RingMsg::Kv { .. } => unreachable!(),
-                    },
+                    got: other.variant_name(),
                 })
             }
         }

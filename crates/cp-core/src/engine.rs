@@ -4,8 +4,8 @@ use std::collections::HashMap;
 
 use cp_attention::{AttentionOutput, AttentionParams, GqaShape, PAD};
 use cp_comm::{Topology, TrafficReport};
-use cp_kvcache::{KvCacheConfig, PagedKvCache, SeqId};
-use cp_perf::schedule::{choose_family, hop_bytes_per_layer};
+use cp_kvcache::{KvCacheConfig, PagedKvCache, QuantKvCache, SeqId};
+use cp_perf::schedule::{choose_family, hop_bytes_per_layer, quant_kv_hop_bytes_per_layer};
 use cp_perf::{RingDirection, RingTopologyKind, RingVariant, TopologySpec};
 use cp_sharding::{decode_round_robin, shard_varseq_with, SequenceSpec, ShardStrategy};
 use cp_tensor::Tensor;
@@ -13,7 +13,8 @@ use cp_tensor::Tensor;
 use crate::heuristics::{choose_variant, HeuristicKind, SystemContext};
 use crate::messages::{DecodeSlot, LocalSeq, SeqKv, SeqQ};
 use crate::ring::{
-    attn_block_for, ring_pass_kv_prefill_bidi, ring_pass_kv_prefill_on, ring_pass_q_decode_bidi_kv,
+    attn_block_for, ring_pass_kv_prefill_bidi, ring_pass_kv_prefill_on,
+    ring_pass_kv_prefill_quant_bidi, ring_pass_kv_prefill_quant_on, ring_pass_q_decode_bidi_kv,
     ring_pass_q_decode_kv, ring_pass_q_prefill_bidi_kv, ring_pass_q_prefill_kv_on, run_ring,
     RankKv,
 };
@@ -54,6 +55,33 @@ impl Default for SchedulePolicy {
     }
 }
 
+/// Precision of the KV-cache hot path and the pass-KV wire format.
+///
+/// `F32` is the paper's exact configuration. The two INT8 levels trade a
+/// bounded per-head quantization error (`max|x| / 254` per dequantized
+/// element) for bytes: `Int8Wire` compresses only the circulating
+/// pass-KV ring payloads, `Int8Total` additionally stores KV as INT8
+/// pages and attends them in place through per-head dequantizing
+/// kernels. Both compressed levels fold ring partials in canonical
+/// ascending-origin order, so results are bitwise identical across every
+/// schedule family (direction × layout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KvPrecision {
+    /// Exact f32 storage and wire.
+    #[default]
+    F32,
+    /// f32 storage; INT8 pass-KV ring hops. Each circulating
+    /// `(token, head)` vector travels as `d` one-byte codes plus one f32
+    /// scale — `4d/(d+4)` (~3.9× at `d = 128`) fewer bytes per hop.
+    Int8Wire,
+    /// INT8 wire *and* INT8 paged storage: pass-Q prefill and decode
+    /// attend the quantized pages zero-copy through the dequantize-in-
+    /// kernel path. The engine keeps the f32 pages as the exactness
+    /// master for rollback and pass-KV gathers; an accelerator
+    /// deployment would drop them for the 4× capacity win.
+    Int8Total,
+}
+
 /// Configuration of a [`ContextParallelEngine`].
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -83,6 +111,8 @@ pub struct EngineConfig {
     pub gather_hot_kv: bool,
     /// Ring schedule family selection (direction × layout).
     pub schedule: SchedulePolicy,
+    /// KV storage / wire precision (see [`KvPrecision`]).
+    pub kv_precision: KvPrecision,
 }
 
 impl EngineConfig {
@@ -100,6 +130,7 @@ impl EngineConfig {
             shard_strategy: ShardStrategy::LoadBalanced,
             gather_hot_kv: false,
             schedule: SchedulePolicy::default(),
+            kv_precision: KvPrecision::default(),
         }
     }
 
@@ -159,6 +190,13 @@ impl EngineConfig {
     /// given link topology (`topo.world()` must equal `n_ranks`).
     pub fn with_auto_schedule(mut self, topo: TopologySpec) -> Self {
         self.schedule = SchedulePolicy::Auto { topo };
+        self
+    }
+
+    /// Sets the KV precision level (A/B knob; `F32` is exact, the INT8
+    /// levels stay within the documented quantization tolerance).
+    pub fn with_kv_precision(mut self, precision: KvPrecision) -> Self {
+        self.kv_precision = precision;
         self
     }
 }
@@ -241,6 +279,10 @@ pub struct ContextParallelEngine {
     config: EngineConfig,
     params: AttentionParams,
     caches: Vec<PagedKvCache>,
+    /// INT8 page pools, populated (and kept in lockstep with `caches`)
+    /// only at [`KvPrecision::Int8Total`]: the pass-Q/decode hot paths
+    /// attend these in place through per-head dequantizing kernels.
+    qcaches: Vec<QuantKvCache>,
     lens: HashMap<u64, usize>,
     decode_step: usize,
 }
@@ -294,13 +336,26 @@ impl ContextParallelEngine {
         let caches = (0..config.n_ranks)
             .map(|_| PagedKvCache::new(cache_cfg))
             .collect();
+        let qcaches = if config.kv_precision == KvPrecision::Int8Total {
+            (0..config.n_ranks)
+                .map(|_| QuantKvCache::new(cache_cfg))
+                .collect()
+        } else {
+            Vec::new()
+        };
         Ok(ContextParallelEngine {
             params: AttentionParams::for_shape(config.shape),
             config,
             caches,
+            qcaches,
             lens: HashMap::new(),
             decode_step: 0,
         })
+    }
+
+    /// Whether the pass-Q/decode hot paths attend INT8 pages.
+    fn total_quant(&self) -> bool {
+        self.config.kv_precision == KvPrecision::Int8Total
     }
 
     /// Number of CP ranks.
@@ -332,8 +387,16 @@ impl ContextParallelEngine {
         match &self.config.schedule {
             SchedulePolicy::Fixed { direction, layout } => (*direction, *layout),
             SchedulePolicy::Auto { topo } => {
-                let bytes =
-                    hop_bytes_per_layer(&self.config.system.model, variant, topo.world(), t, p);
+                // Compressed pass-KV hops carry the INT8 wire format, so
+                // Auto prices the smaller payload when pricing families.
+                let bytes = match (variant, self.config.kv_precision) {
+                    (RingVariant::PassKv, KvPrecision::Int8Wire | KvPrecision::Int8Total) => {
+                        quant_kv_hop_bytes_per_layer(&self.config.system.model, topo.world(), t, p)
+                    }
+                    _ => {
+                        hop_bytes_per_layer(&self.config.system.model, variant, topo.world(), t, p)
+                    }
+                };
                 let family = choose_family(topo, bytes);
                 let layout = match family.topology {
                     RingTopologyKind::Flat => RingLayout::Flat,
@@ -407,6 +470,9 @@ impl ContextParallelEngine {
         for c in &mut self.caches {
             c.free_sequence(seq)?;
         }
+        for c in &mut self.qcaches {
+            c.free_sequence(seq)?;
+        }
         Ok(())
     }
 
@@ -426,6 +492,8 @@ impl ContextParallelEngine {
             });
         }
         let new_len = len - n_tokens;
+        // `qcaches` is empty (F32 / Int8Wire) or rank-aligned with `caches`.
+        let mut qcaches = self.qcaches.iter_mut();
         for cache in &mut self.caches {
             // Per-rank positions ascend (turns and decode steps append in
             // position order), so everything >= new_len is a suffix.
@@ -433,6 +501,9 @@ impl ContextParallelEngine {
             let keep = pos.iter().take_while(|&&p| p < new_len).count();
             debug_assert!(pos.iter().skip(keep).all(|&p| p >= new_len));
             cache.truncate(seq, keep)?;
+            if let Some(qc) = qcaches.next() {
+                qc.truncate(seq, keep)?;
+            }
         }
         self.lens.insert(seq.0, new_len);
         Ok(())
@@ -561,11 +632,17 @@ impl ContextParallelEngine {
                         for c in &mut self.caches {
                             let _ = c.free_sequence(req.seq);
                         }
+                        for c in &mut self.qcaches {
+                            let _ = c.free_sequence(req.seq);
+                        }
                     }
                     // Pre-existing: drop whatever this call appended (the
                     // appended positions are a per-rank suffix).
                     Some(lens) => {
                         for (c, &len) in self.caches.iter_mut().zip(lens) {
+                            let _ = c.truncate(req.seq, len);
+                        }
+                        for (c, &len) in self.qcaches.iter_mut().zip(lens) {
                             let _ = c.truncate(req.seq, len);
                         }
                     }
@@ -588,6 +665,9 @@ impl ContextParallelEngine {
                 for c in &mut self.caches {
                     c.create_sequence(r.seq)?;
                 }
+                for c in &mut self.qcaches {
+                    c.create_sequence(r.seq)?;
+                }
             }
         }
 
@@ -601,14 +681,39 @@ impl ContextParallelEngine {
                     .iter()
                     .map(|&pos| pos - spec.cached_tokens)
                     .collect();
-                let k_rows = self.maybe_quantize(req.k.gather_dim0(&rows)?)?;
-                let v_rows = self.maybe_quantize(req.v.gather_dim0(&rows)?)?;
-                rank_input_mut(&mut self.caches, rank)?.append(
-                    req.seq,
-                    &k_rows,
-                    &v_rows,
-                    &entry.positions,
-                )?;
+                if self.config.simulate_kv_quant {
+                    // The quantize->dequantize simulation needs a staged
+                    // round trip through a contiguous tensor.
+                    let k_rows = self.maybe_quantize(req.k.gather_dim0(&rows)?)?;
+                    let v_rows = self.maybe_quantize(req.v.gather_dim0(&rows)?)?;
+                    rank_input_mut(&mut self.caches, rank)?.append(
+                        req.seq,
+                        &k_rows,
+                        &v_rows,
+                        &entry.positions,
+                    )?;
+                } else {
+                    // In-place paged append: each selected row lands
+                    // straight in its page slot, no staging tensor.
+                    rank_input_mut(&mut self.caches, rank)?.append_rows(
+                        req.seq,
+                        req.k,
+                        req.v,
+                        &rows,
+                        &entry.positions,
+                    )?;
+                }
+                if self.config.kv_precision == KvPrecision::Int8Total {
+                    // Quantize-on-append into the INT8 pool (token-local
+                    // scales computed in the page slot).
+                    rank_input_mut(&mut self.qcaches, rank)?.append_rows(
+                        req.seq,
+                        req.k,
+                        req.v,
+                        &rows,
+                        &entry.positions,
+                    )?;
+                }
             }
         }
 
@@ -673,19 +778,33 @@ impl ContextParallelEngine {
                     }
                     locals.push(rank_locals);
                 }
+                // Both INT8 levels compress the circulating KV blocks:
+                // origins quantize once, hops relay codes verbatim.
+                let compressed = self.config.kv_precision != KvPrecision::F32;
                 run_ring(n, |comm| {
                     let mine = rank_input(&locals, comm.rank())?;
-                    match direction {
-                        RingDirection::Uni => ring_pass_kv_prefill_on(comm, &params, mine, layout),
-                        RingDirection::Bidi => ring_pass_kv_prefill_bidi(comm, &params, mine, layout),
+                    match (direction, compressed) {
+                        (RingDirection::Uni, false) => {
+                            ring_pass_kv_prefill_on(comm, &params, mine, layout)
+                        }
+                        (RingDirection::Bidi, false) => {
+                            ring_pass_kv_prefill_bidi(comm, &params, mine, layout)
+                        }
+                        (RingDirection::Uni, true) => {
+                            ring_pass_kv_prefill_quant_on(comm, &params, mine, layout)
+                        }
+                        (RingDirection::Bidi, true) => {
+                            ring_pass_kv_prefill_quant_bidi(comm, &params, mine, layout)
+                        }
                     }
                 })?
             }
             RingVariant::PassQ => {
                 let attn_block = attn_block_for(self.config.page_size);
+                let total_quant = self.total_quant();
                 let mut queries: Vec<Vec<SeqQ>> = Vec::with_capacity(n);
                 let mut kvs: Vec<Vec<RankKv<'_>>> = Vec::with_capacity(n);
-                for (cache, shard) in self.caches.iter().zip(shards.iter()) {
+                for (rank, (cache, shard)) in self.caches.iter().zip(shards.iter()).enumerate() {
                     let mut rank_q = Vec::with_capacity(requests.len());
                     let mut rank_kv = Vec::with_capacity(requests.len());
                     for (entry, (req, spec)) in shard.entries.iter().zip(requests.iter().zip(specs))
@@ -699,7 +818,11 @@ impl ContextParallelEngine {
                             q: req.q.gather_dim0(&rows)?,
                             pos: entry.positions.clone(),
                         });
-                        rank_kv.push(if self.config.gather_hot_kv {
+                        rank_kv.push(if total_quant {
+                            // Attend the INT8 pages in place; the kernel
+                            // dequantizes per head into reused scratch.
+                            RankKv::QuantView(rank_input(&self.qcaches, rank)?.view(req.seq)?)
+                        } else if self.config.gather_hot_kv {
                             let (k, v, pos) = cache.gather(req.seq)?;
                             RankKv::tensors_blocked(SeqKv { k, v, pos }, attn_block)
                         } else {
@@ -732,12 +855,12 @@ impl ContextParallelEngine {
             let mut out = Tensor::zeros(&[t, nh, dh]);
             let mut lse = Tensor::full(&[t, nh], f32::NEG_INFINITY);
             for (shard, outs) in shards.iter().zip(&rank_outputs) {
-                let (rank_out, entry) = outs
-                    .get(i)
-                    .zip(shard.entries.get(i))
-                    .ok_or_else(|| CoreError::Internal {
-                        detail: format!("prefill produced no shard output for sequence {i}"),
-                    })?;
+                let (rank_out, entry) =
+                    outs.get(i)
+                        .zip(shard.entries.get(i))
+                        .ok_or_else(|| CoreError::Internal {
+                            detail: format!("prefill produced no shard output for sequence {i}"),
+                        })?;
                 for (row, &pos) in entry.positions.iter().enumerate() {
                     let dst = pos - spec.cached_tokens;
                     out.row_mut(dst).copy_from_slice(rank_out.out.row(row));
@@ -809,6 +932,9 @@ impl ContextParallelEngine {
             let kq = self.maybe_quantize(k.clone())?;
             let vq = self.maybe_quantize(v.clone())?;
             rank_input_mut(&mut self.caches, rank)?.append(*seq, &kq, &vq, &[pos])?;
+            if self.config.kv_precision == KvPrecision::Int8Total {
+                rank_input_mut(&mut self.qcaches, rank)?.append(*seq, &kq, &vq, &[pos])?;
+            }
             rank_input_mut(&mut slots, rank)?.push(Some(DecodeSlot {
                 bid: b,
                 q: q.clone(),
@@ -824,11 +950,14 @@ impl ContextParallelEngine {
         // gather), or gather owned tensors in A/B mode — both attended
         // with the same KV block size, so they are bit-identical.
         let attn_block = attn_block_for(self.config.page_size);
+        let total_quant = self.total_quant();
         let mut batch_kv: Vec<Vec<RankKv<'_>>> = Vec::with_capacity(n);
-        for cache in &self.caches {
+        for (rank, cache) in self.caches.iter().enumerate() {
             let mut kvs = Vec::with_capacity(batch.len());
             for (seq, ..) in batch {
-                kvs.push(if self.config.gather_hot_kv {
+                kvs.push(if total_quant {
+                    RankKv::QuantView(rank_input(&self.qcaches, rank)?.view(*seq)?)
+                } else if self.config.gather_hot_kv {
                     let (k, v, pos) = cache.gather(*seq)?;
                     RankKv::tensors_blocked(SeqKv { k, v, pos }, attn_block)
                 } else {
@@ -1328,6 +1457,131 @@ mod tests {
     }
 
     #[test]
+    fn int8_wire_pass_kv_compresses_traffic_and_stays_close() {
+        let n = 4;
+        let t = 64; // divisible by 2N: ring_len = t/n per rank
+        let mut rng = DetRng::new(51);
+        let (q, k, v) = qkv(&mut rng, t);
+        let run = |precision| {
+            let mut eng = ContextParallelEngine::new(
+                EngineConfig::new(n, shape())
+                    .with_page_size(4)
+                    .with_kv_precision(precision),
+            )
+            .unwrap();
+            eng.prefill_batch(
+                &[PrefillRequest {
+                    seq: SeqId(0),
+                    q: &q,
+                    k: &k,
+                    v: &v,
+                }],
+                Some(RingVariant::PassKv),
+            )
+            .unwrap()
+            .remove(0)
+        };
+        let exact = run(KvPrecision::F32);
+        let wire = run(KvPrecision::Int8Wire);
+        let err = exact.output.out.max_abs_diff(&wire.output.out).unwrap();
+        assert!(err > 0.0, "compressed hops should perturb something");
+        assert!(err < 0.05, "quantization error too large: {err}");
+        // Each hop's (token, head) vector shrinks from 4d to d + 4 bytes:
+        // per token 2 (K+V) * NKV=2 * (8 + 4) = 48 vs 128 f32 bytes.
+        let ring_len = t / n;
+        assert_eq!(wire.traffic.send_recv_bytes, n * (n - 1) * ring_len * 48);
+        assert_eq!(exact.traffic.send_recv_bytes, n * (n - 1) * ring_len * 128);
+    }
+
+    #[test]
+    fn int8_total_workload_stays_close_and_survives_rollback() {
+        // Full multi-turn workload (full + partial prefill, decode,
+        // rollback, decode) at Int8Total vs exact f32: every output
+        // within quantization tolerance, and the INT8 pool tracks the
+        // f32 master through truncations.
+        let n = 3;
+        let run = |precision| {
+            let mut eng = ContextParallelEngine::new(
+                EngineConfig::new(n, shape())
+                    .with_page_size(4)
+                    .with_kv_precision(precision),
+            )
+            .unwrap();
+            let mut rng = DetRng::new(52);
+            let mut outs = Vec::new();
+            let (q, k, v) = qkv(&mut rng, 21);
+            outs.push(eng.full_prefill(SeqId(0), &q, &k, &v).unwrap().output);
+            let (q, k, v) = qkv(&mut rng, 9);
+            outs.push(eng.partial_prefill(SeqId(0), &q, &k, &v).unwrap().output);
+            for _ in 0..3 {
+                let (q1, k1, v1) = qkv(&mut rng, 1);
+                outs.extend(eng.decode_step(&[(SeqId(0), q1, k1, v1)]).unwrap().outputs);
+            }
+            eng.rollback(SeqId(0), 2).unwrap();
+            let (q1, k1, v1) = qkv(&mut rng, 1);
+            outs.extend(eng.decode_step(&[(SeqId(0), q1, k1, v1)]).unwrap().outputs);
+            (outs, eng.rank_kv_lens(SeqId(0)).unwrap())
+        };
+        let (exact, exact_lens) = run(KvPrecision::F32);
+        let (quant, quant_lens) = run(KvPrecision::Int8Total);
+        assert_eq!(exact_lens, quant_lens);
+        for (i, (a, b)) in exact.iter().zip(&quant).enumerate() {
+            let err = a.out.max_abs_diff(&b.out).unwrap();
+            assert!(err < 0.05, "output {i}: quantization error {err}");
+        }
+        // The decode outputs go through the quantized pages, so they
+        // must actually differ from exact f32.
+        let last_err = exact
+            .last()
+            .unwrap()
+            .out
+            .max_abs_diff(&quant.last().unwrap().out)
+            .unwrap();
+        assert!(last_err > 0.0, "Int8Total should attend quantized pages");
+    }
+
+    #[test]
+    fn int8_wire_bidi_and_hier_schedules_are_bitwise_stable() {
+        // The compressed family folds partials in canonical origin order,
+        // so unlike f32 every (direction, layout) is bitwise identical.
+        let mk = |direction, layout| {
+            ContextParallelEngine::new(
+                EngineConfig::new(4, shape())
+                    .with_page_size(4)
+                    .with_kv_precision(KvPrecision::Int8Wire)
+                    .with_schedule(direction, layout),
+            )
+            .unwrap()
+        };
+        let run = |mut eng: ContextParallelEngine| {
+            let mut rng = DetRng::new(53);
+            let (q, k, v) = qkv(&mut rng, 37);
+            eng.prefill_batch(
+                &[PrefillRequest {
+                    seq: SeqId(0),
+                    q: &q,
+                    k: &k,
+                    v: &v,
+                }],
+                Some(RingVariant::PassKv),
+            )
+            .unwrap()
+            .remove(0)
+            .output
+        };
+        let base = run(mk(RingDirection::Uni, RingLayout::Flat));
+        for (direction, layout) in [
+            (RingDirection::Bidi, RingLayout::Flat),
+            (RingDirection::Uni, RingLayout::Hier(Topology::new(2, 2))),
+            (RingDirection::Bidi, RingLayout::Hier(Topology::new(2, 2))),
+        ] {
+            let other = run(mk(direction, layout));
+            assert_eq!(base.out.as_slice(), other.out.as_slice());
+            assert_eq!(base.lse.as_slice(), other.lse.as_slice());
+        }
+    }
+
+    #[test]
     fn all_shard_strategies_are_exact() {
         // The ablation point: striped and contiguous sharding are also
         // exact (position-masked kernels), they just balance worse.
@@ -1536,8 +1790,7 @@ mod tests {
         .unwrap_err();
         assert!(matches!(err, CoreError::BadRequest { .. }), "{err:?}");
         let err = ContextParallelEngine::new(
-            EngineConfig::new(3, shape())
-                .with_auto_schedule(TopologySpec::uniform(4, 100.0, 5.0)),
+            EngineConfig::new(3, shape()).with_auto_schedule(TopologySpec::uniform(4, 100.0, 5.0)),
         )
         .unwrap_err();
         assert!(matches!(err, CoreError::BadRequest { .. }), "{err:?}");

@@ -68,11 +68,13 @@ mod session;
 pub mod trace;
 
 pub use engine::{
-    ContextParallelEngine, DecodeOutcome, EngineConfig, PrefillOutcome, PrefillRequest,
-    SchedulePolicy,
+    ContextParallelEngine, DecodeOutcome, EngineConfig, KvPrecision, PrefillOutcome,
+    PrefillRequest, SchedulePolicy,
 };
 pub use error::CoreError;
 pub use heuristics::{HeuristicKind, SystemContext};
-pub use messages::{split_slot_vec, DecodeSlot, LocalSeq, RingMsg, SeqKv, SeqOut, SeqQ, ELEM_BYTES};
+pub use messages::{
+    split_slot_vec, DecodeSlot, LocalSeq, QuantSeqKv, RingMsg, SeqKv, SeqOut, SeqQ, ELEM_BYTES,
+};
 pub use projector::ToyProjector;
 pub use session::{ChatSession, TurnStats};

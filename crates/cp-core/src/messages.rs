@@ -2,6 +2,7 @@
 
 use cp_attention::PAD;
 use cp_comm::Wire;
+use cp_kvcache::{CacheError, QuantizedKv};
 use cp_tensor::{Tensor, TensorError};
 
 /// Bytes per element on our simulated wire (`f32`): the `e` of the paper's
@@ -103,6 +104,102 @@ impl SeqKv {
     }
 }
 
+/// One sequence's circulating KV block in the compressed (INT8) wire
+/// format — the APB-style "compressed context block" the paper's §2.2
+/// survey points at, applied to the ring's hop payloads.
+///
+/// Codes are 1 byte per element plus one `f32` scale per `(token, head)`,
+/// so a hop carries `2·l·n_kv·(d + 4)` bytes instead of the f32 block's
+/// `2·l·n_kv·d·4` — ~3.8× fewer at `d = 64`. Quantization happens **once**
+/// at the origin rank; every subsequent hop relays the same codes
+/// verbatim, so the reconstruction each rank attends is identical no
+/// matter how many hops the block travelled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantSeqKv {
+    /// Quantized keys.
+    pub k: QuantizedKv,
+    /// Quantized values.
+    pub v: QuantizedKv,
+    /// Positions (`PAD` for padding).
+    pub pos: Vec<usize>,
+}
+
+impl QuantSeqKv {
+    /// Quantizes an f32 block into the wire format. `PAD` rows of a
+    /// zero-padded block quantize to zero codes with scale 1.0, which
+    /// dequantize back to exact zeros — padding survives the round trip
+    /// bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CacheError`] on malformed tensor shapes.
+    pub fn quantize(block: &SeqKv) -> Result<QuantSeqKv, CacheError> {
+        Ok(QuantSeqKv {
+            k: QuantizedKv::quantize(&block.k)?,
+            v: QuantizedKv::quantize(&block.v)?,
+            pos: block.pos.clone(),
+        })
+    }
+
+    /// Reconstructs the (lossy) f32 block.
+    pub fn dequantize(&self) -> SeqKv {
+        SeqKv {
+            k: self.k.dequantize(),
+            v: self.v.dequantize(),
+            pos: self.pos.clone(),
+        }
+    }
+
+    /// Number of tokens in the block.
+    pub fn tokens(&self) -> usize {
+        self.k.tokens()
+    }
+
+    /// Splits at the token midpoint ([`split_point`]) for the
+    /// bidirectional ring's half-payload hops. Codes and scales are copied
+    /// verbatim ([`QuantizedKv::split_at`]), so [`QuantSeqKv::join_halves`]
+    /// round-trips **exactly** — the halves carry the same bits the
+    /// unidirectional ring would have sent in one piece.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CacheError`] (unreachable for a well-formed block).
+    pub fn split_halves(&self) -> Result<(QuantSeqKv, QuantSeqKv), CacheError> {
+        let l = self.pos.len().min(self.tokens());
+        let mid = split_point(l);
+        let (ka, kb) = self.k.split_at(mid)?;
+        let (va, vb) = self.v.split_at(mid)?;
+        Ok((
+            QuantSeqKv {
+                k: ka,
+                v: va,
+                pos: self.pos.get(..mid).unwrap_or(&self.pos).to_vec(),
+            },
+            QuantSeqKv {
+                k: kb,
+                v: vb,
+                pos: self.pos.get(mid..).unwrap_or_default().to_vec(),
+            },
+        ))
+    }
+
+    /// Rejoins two halves produced by [`QuantSeqKv::split_halves`],
+    /// bitwise equal to the original block.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CacheError`] on head-geometry mismatch.
+    pub fn join_halves(a: &QuantSeqKv, b: &QuantSeqKv) -> Result<QuantSeqKv, CacheError> {
+        let mut k = a.k.clone();
+        k.extend(&b.k)?;
+        let mut v = a.v.clone();
+        v.extend(&b.v)?;
+        let mut pos = a.pos.clone();
+        pos.extend_from_slice(&b.pos);
+        Ok(QuantSeqKv { k, v, pos })
+    }
+}
+
 /// One sequence's circulating Q block.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SeqQ {
@@ -182,6 +279,13 @@ pub enum RingMsg {
         /// One block per fused sequence, in batch order.
         seqs: Vec<SeqKv>,
     },
+    /// Compressed pass-KV payload: per-sequence INT8 KV blocks (the
+    /// APB-style wire format). Same ring schedule as [`RingMsg::Kv`],
+    /// ~4× fewer bytes per hop.
+    KvQuant {
+        /// One quantized block per fused sequence, in batch order.
+        seqs: Vec<QuantSeqKv>,
+    },
     /// Pass-Q payload: per-sequence Q blocks plus their origin rank
     /// (Algorithm 3).
     Q {
@@ -220,6 +324,7 @@ impl RingMsg {
     pub fn variant_name(&self) -> &'static str {
         match self {
             RingMsg::Kv { .. } => "Kv",
+            RingMsg::KvQuant { .. } => "KvQuant",
             RingMsg::Q { .. } => "Q",
             RingMsg::Out { .. } => "Out",
             RingMsg::DecodeQ { .. } => "DecodeQ",
@@ -237,6 +342,10 @@ impl Wire for RingMsg {
             RingMsg::Kv { seqs } => seqs
                 .iter()
                 .map(|s| tensor_bytes(&s.k) + tensor_bytes(&s.v))
+                .sum(),
+            RingMsg::KvQuant { seqs } => seqs
+                .iter()
+                .map(|s| s.k.storage_bytes() + s.v.storage_bytes())
                 .sum(),
             RingMsg::Q { seqs, .. } => seqs.iter().map(|s| tensor_bytes(&s.q)).sum(),
             RingMsg::Out { seqs } => seqs
@@ -314,6 +423,78 @@ mod tests {
             slots: vec![None, None],
         };
         assert_eq!(empty.wire_bytes(), 0);
+    }
+
+    #[test]
+    fn quant_kv_message_bytes_are_codes_plus_scales() {
+        // l=3 tokens, n_kv=2 heads, d=4: per block 3·2·4 code bytes +
+        // 3·2 scales·4 B = 24 + 24; K and V both. The symbolic form the
+        // plan builders use: 2·l·n_kv·(d + 4).
+        let block = SeqKv {
+            k: Tensor::zeros(&[3, 2, 4]),
+            v: Tensor::zeros(&[3, 2, 4]),
+            pos: vec![0, 1, 2],
+        };
+        let q = QuantSeqKv::quantize(&block).unwrap();
+        let msg = RingMsg::KvQuant { seqs: vec![q] };
+        assert_eq!(msg.wire_bytes(), 2 * 3 * 2 * (4 + 4));
+        assert_eq!(msg.wire_variant(), "KvQuant");
+        // vs f32: 2·l·n_kv·d·4 bytes.
+        let f32_bytes = 2 * 3 * 2 * 4 * ELEM_BYTES;
+        assert!(msg.wire_bytes() < f32_bytes);
+    }
+
+    #[test]
+    fn quant_kv_split_halves_round_trips_exactly_and_halves_bytes() {
+        let mut rng = cp_tensor::DetRng::new(5);
+        let block = SeqKv {
+            k: rng.tensor(&[5, 2, 4]),
+            v: rng.tensor(&[5, 2, 4]),
+            pos: vec![0, 1, 2, 3, PAD],
+        };
+        let q = QuantSeqKv::quantize(&block).unwrap();
+        let (a, b) = q.split_halves().unwrap();
+        assert_eq!(a.tokens(), 3);
+        assert_eq!(b.tokens(), 2);
+        // The halves carry exactly the block's bytes between them, and
+        // rejoin bitwise.
+        let whole = RingMsg::KvQuant {
+            seqs: vec![q.clone()],
+        }
+        .wire_bytes();
+        let half_a = RingMsg::KvQuant {
+            seqs: vec![a.clone()],
+        }
+        .wire_bytes();
+        let half_b = RingMsg::KvQuant {
+            seqs: vec![b.clone()],
+        }
+        .wire_bytes();
+        assert_eq!(half_a + half_b, whole);
+        assert_eq!(QuantSeqKv::join_halves(&a, &b).unwrap(), q);
+    }
+
+    #[test]
+    fn quant_pad_rows_dequantize_to_exact_zeros() {
+        // A zero-padded f32 block quantizes to a block whose PAD rows
+        // dequantize back to exact zeros — the ring's equal-size-payload
+        // invariant survives compression bit for bit.
+        let mut rng = cp_tensor::DetRng::new(6);
+        let real = rng.tensor(&[2, 1, 4]);
+        let mut k = Tensor::zeros(&[4, 1, 4]);
+        for i in 0..2 {
+            for d in 0..4 {
+                k.set(&[i, 0, d], real.at(&[i, 0, d]).unwrap()).unwrap();
+            }
+        }
+        let block = SeqKv {
+            k: k.clone(),
+            v: k,
+            pos: vec![0, 1, PAD, PAD],
+        };
+        let deq = QuantSeqKv::quantize(&block).unwrap().dequantize();
+        assert!(deq.k.as_slice()[2 * 4..].iter().all(|&z| z == 0.0));
+        assert_eq!(deq.pos, block.pos);
     }
 
     #[test]

@@ -13,14 +13,17 @@
 
 use cp_attention::{
     blocked_gqa_attention_on, blocked_gqa_attention_source, AttentionOutput, AttentionParams,
+    KvSource,
 };
 use cp_comm::Communicator;
-use cp_kvcache::KvView;
+use cp_kvcache::{KvView, QuantKvView};
 use cp_pool::ComputePool;
 use cp_tensor::Tensor;
 
 use crate::error::to_comm_error;
-use crate::messages::{split_slot_vec, DecodeSlot, LocalSeq, RingMsg, SeqKv, SeqOut, SeqQ};
+use crate::messages::{
+    split_slot_vec, DecodeSlot, LocalSeq, QuantSeqKv, RingMsg, SeqKv, SeqOut, SeqQ,
+};
 use crate::schedule::{defer_return, hop_channels, ring_origin, RingLayout, RingPath};
 use crate::CoreError;
 
@@ -58,6 +61,10 @@ pub enum RankKv<'a> {
     /// A borrowed paged-cache view, attended with [`attn_block_for`] of its
     /// page size.
     View(KvView<'a>),
+    /// A borrowed INT8-quantized paged-cache view: each head vector is
+    /// dequantized inside the kernel into a reused scratch — no f32 copy
+    /// of the cache is ever materialized.
+    QuantView(QuantKvView<'a>),
 }
 
 impl RankKv<'static> {
@@ -83,6 +90,12 @@ impl<'a> From<KvView<'a>> for RankKv<'a> {
     }
 }
 
+impl<'a> From<QuantKvView<'a>> for RankKv<'a> {
+    fn from(view: QuantKvView<'a>) -> Self {
+        RankKv::QuantView(view)
+    }
+}
+
 fn attend_rank_kv(
     pool: &ComputePool,
     q: &Tensor,
@@ -95,6 +108,15 @@ fn attend_rank_kv(
             pool, q, &kv.k, &kv.v, params, q_pos, &kv.pos, *block,
         )?),
         RankKv::View(view) => Ok(blocked_gqa_attention_source(
+            pool,
+            q,
+            &view.source(),
+            params,
+            q_pos,
+            view.positions(),
+            attn_block_for(view.page_size()),
+        )?),
+        RankKv::QuantView(view) => Ok(blocked_gqa_attention_source(
             pool,
             q,
             &view.source(),
@@ -174,6 +196,17 @@ fn expect_kv(msg: RingMsg, from_rank: usize) -> Result<Vec<SeqKv>, CoreError> {
         other => Err(CoreError::ProtocolViolation {
             from_rank,
             expected: "Kv",
+            got: other.variant_name(),
+        }),
+    }
+}
+
+fn expect_kv_quant(msg: RingMsg, from_rank: usize) -> Result<Vec<QuantSeqKv>, CoreError> {
+    match msg {
+        RingMsg::KvQuant { seqs } => Ok(seqs),
+        other => Err(CoreError::ProtocolViolation {
+            from_rank,
+            expected: "KvQuant",
             got: other.variant_name(),
         }),
     }
@@ -399,7 +432,11 @@ pub fn ring_pass_kv_prefill_on(
         } else {
             None
         };
-        let forwarder = if j == 0 { rank } else { path.recv_peer(rank, j - 1) };
+        let forwarder = if j == 0 {
+            rank
+        } else {
+            path.recv_peer(rank, j - 1)
+        };
         let step = comm.time_compute("attend pass-kv", || {
             map_seqs(pool, locals, |i, local| {
                 let kv = visiting.get(i).ok_or_else(|| CoreError::BadRequest {
@@ -635,27 +672,35 @@ pub fn ring_pass_kv_prefill_bidi(
         // wait them in, which disambiguates the two payloads when both
         // directions share a channel on two-rank cycles).
         let pends = if j + 1 < n {
-            let send_a = origin_slot(&mut halves_a, fwd.origin_at(rank, j), "bidi pass-kv A halves")?
-                .clone()
-                .ok_or_else(|| CoreError::Internal {
-                    detail: format!(
-                        "rank {rank} has no A half of origin {} to forward at round {j}",
-                        fwd.origin_at(rank, j)
-                    ),
-                })?;
+            let send_a = origin_slot(
+                &mut halves_a,
+                fwd.origin_at(rank, j),
+                "bidi pass-kv A halves",
+            )?
+            .clone()
+            .ok_or_else(|| CoreError::Internal {
+                detail: format!(
+                    "rank {rank} has no A half of origin {} to forward at round {j}",
+                    fwd.origin_at(rank, j)
+                ),
+            })?;
             let pf = comm.isend_irecv(
                 fwd.send_peer(rank, j),
                 RingMsg::Kv { seqs: send_a },
                 fwd.recv_peer(rank, j),
             )?;
-            let send_b = origin_slot(&mut halves_b, rev.origin_at(rank, j), "bidi pass-kv B halves")?
-                .clone()
-                .ok_or_else(|| CoreError::Internal {
-                    detail: format!(
-                        "rank {rank} has no B half of origin {} to forward at round {j}",
-                        rev.origin_at(rank, j)
-                    ),
-                })?;
+            let send_b = origin_slot(
+                &mut halves_b,
+                rev.origin_at(rank, j),
+                "bidi pass-kv B halves",
+            )?
+            .clone()
+            .ok_or_else(|| CoreError::Internal {
+                detail: format!(
+                    "rank {rank} has no B half of origin {} to forward at round {j}",
+                    rev.origin_at(rank, j)
+                ),
+            })?;
             let pr = comm.isend_irecv(
                 rev.send_peer(rank, j),
                 RingMsg::Kv { seqs: send_b },
@@ -685,11 +730,17 @@ pub fn ring_pass_kv_prefill_bidi(
         )?;
         if let Some((pf, pr)) = pends {
             let seqs = expect_kv(pf.wait()?, fwd.recv_peer(rank, j))?;
-            *origin_slot(&mut halves_a, fwd.origin_at(rank, j + 1), "bidi pass-kv A halves")? =
-                Some(seqs);
+            *origin_slot(
+                &mut halves_a,
+                fwd.origin_at(rank, j + 1),
+                "bidi pass-kv A halves",
+            )? = Some(seqs);
             let seqs = expect_kv(pr.wait()?, rev.recv_peer(rank, j))?;
-            *origin_slot(&mut halves_b, rev.origin_at(rank, j + 1), "bidi pass-kv B halves")? =
-                Some(seqs);
+            *origin_slot(
+                &mut halves_b,
+                rev.origin_at(rank, j + 1),
+                "bidi pass-kv B halves",
+            )? = Some(seqs);
         }
     }
 
@@ -711,6 +762,431 @@ pub fn ring_pass_kv_prefill_bidi(
         Ok::<(), CoreError>(())
     })?;
     take_merged(acc, "pass-kv")
+}
+
+/// Attends one visiting quantized block **in place**: the block's codes
+/// and scales feed the kernel directly as a single-page
+/// [`KvSource::quant_paged`], each head vector dequantized into a reused
+/// scratch inside the kernel — no materialized f32 copy of the payload.
+fn attend_quant(
+    pool: &ComputePool,
+    q: &Tensor,
+    q_pos: &[usize],
+    kv: &QuantSeqKv,
+    params: &AttentionParams,
+) -> Result<AttentionOutput, CoreError> {
+    let tokens = kv.tokens();
+    // A zero-token block has zero pages (not one empty page).
+    let k_codes: Vec<&[i8]> = if tokens == 0 {
+        vec![]
+    } else {
+        vec![kv.k.codes()]
+    };
+    let k_scales: Vec<&[f32]> = if tokens == 0 {
+        vec![]
+    } else {
+        vec![kv.k.scales()]
+    };
+    let v_codes: Vec<&[i8]> = if tokens == 0 {
+        vec![]
+    } else {
+        vec![kv.v.codes()]
+    };
+    let v_scales: Vec<&[f32]> = if tokens == 0 {
+        vec![]
+    } else {
+        vec![kv.v.scales()]
+    };
+    let src = KvSource::quant_paged(
+        &k_codes,
+        &k_scales,
+        &v_codes,
+        &v_scales,
+        tokens.max(1),
+        kv.k.n_heads(),
+        kv.k.head_dim(),
+        tokens,
+    )?;
+    Ok(blocked_gqa_attention_source(
+        pool, q, &src, params, q_pos, &kv.pos, ATTN_BLOCK,
+    )?)
+}
+
+/// Folds per-origin stashed partials in **canonical order** — ascending
+/// origin `0..W`, independent of the path's visit order. Every schedule
+/// family that stashes per-origin partials and folds through here produces
+/// bitwise identical outputs for the same inputs, whatever ring layout or
+/// direction moved the blocks.
+fn canonical_fold(
+    comm: &Communicator<RingMsg>,
+    computed: Vec<Option<Vec<AttentionOutput>>>,
+    n_seqs: usize,
+    what: &'static str,
+) -> Result<Vec<AttentionOutput>, CoreError> {
+    let mut acc: Vec<Option<AttentionOutput>> = (0..n_seqs).map(|_| None).collect();
+    comm.time_compute("merge pass-kv", || {
+        for (origin, step) in computed.into_iter().enumerate() {
+            let step = step.ok_or_else(|| CoreError::Internal {
+                detail: format!("origin {origin} was never attended in the {what} loop"),
+            })?;
+            acc.iter_mut()
+                .zip(step)
+                .try_for_each(|(a, out)| fold_partial(a, out))?;
+        }
+        Ok::<(), CoreError>(())
+    })?;
+    take_merged(acc, what)
+}
+
+/// Quantizes each local KV shard once into the compressed wire format.
+fn quantize_locals(locals: &[LocalSeq]) -> Result<Vec<QuantSeqKv>, CoreError> {
+    locals
+        .iter()
+        .map(|l| {
+            QuantSeqKv::quantize(&SeqKv {
+                k: l.k.clone(),
+                v: l.v.clone(),
+                pos: l.kv_pos.clone(),
+            })
+            .map_err(CoreError::from)
+        })
+        .collect()
+}
+
+/// Compressed ring pass-KV prefill (APB-style, arXiv:2504.12266 §2.2
+/// lineage): identical wire schedule to [`ring_pass_kv_prefill_on`] —
+/// same peers, same steps, same number of hops — but each hop carries the
+/// INT8 [`RingMsg::KvQuant`] payload, ~4× fewer bytes per link.
+///
+/// Each rank quantizes its shard **once**; hops relay codes verbatim, and
+/// every rank attends a visiting block in place through the quantized
+/// kernel ([`KvSource::quant_paged`] — per-head dequantize into a reused
+/// scratch, no materialized f32 copy). The rank's own shard is attended
+/// through the same quantized representation, so every rank folds the
+/// same per-origin values and results are identical across ranks.
+///
+/// Partials stash per origin and fold in **canonical ascending-origin
+/// order** ([`canonical_fold`]): flat, hierarchical, unidirectional and
+/// bidirectional compressed schedules are all bitwise identical to each
+/// other (the f32 families fold in path visit order instead, and so agree
+/// only mathematically across layouts). Accuracy vs the f32 families is
+/// bounded by the quantization error (see `QuantizedKv::error_bound`).
+///
+/// # Errors
+///
+/// As [`ring_pass_kv_prefill_on`], plus quantization shape errors.
+pub fn ring_pass_kv_prefill_quant_on(
+    comm: &Communicator<RingMsg>,
+    params: &AttentionParams,
+    locals: &[LocalSeq],
+    layout: RingLayout,
+) -> Result<Vec<AttentionOutput>, CoreError> {
+    let n = comm.world_size();
+    let rank = comm.rank();
+    let path = layout.fwd(n)?;
+    let mut visiting = quantize_locals(locals)?;
+    let mut computed: Vec<Option<Vec<AttentionOutput>>> = vec![None; n];
+
+    let pool = comm.pool();
+    for j in 0..n {
+        let pending = if j + 1 < n {
+            Some(comm.isend_irecv(
+                path.send_peer(rank, j),
+                RingMsg::KvQuant {
+                    seqs: visiting.clone(),
+                },
+                path.recv_peer(rank, j),
+            )?)
+        } else {
+            None
+        };
+        let origin = path.origin_at(rank, j);
+        let step = comm.time_compute("attend pass-kv", || {
+            map_seqs(pool, locals, |i, local| {
+                let kv = visiting.get(i).ok_or_else(|| CoreError::BadRequest {
+                    reason: format!(
+                        "quantized KV block of origin {origin} carries {} sequences but rank \
+                         {rank} holds {} local sequences",
+                        visiting.len(),
+                        locals.len()
+                    ),
+                })?;
+                attend_quant(pool, &local.q, &local.q_pos, kv, params)
+            })
+        })?;
+        *origin_slot(&mut computed, origin, "quant pass-kv partials")? = Some(step);
+        if let Some(pending) = pending {
+            visiting = expect_kv_quant(pending.wait()?, path.recv_peer(rank, j))?;
+        }
+    }
+
+    canonical_fold(comm, computed, locals.len(), "quant pass-kv")
+}
+
+/// Splits each quantized local shard at the token midpoint into forward
+/// and reverse circulating halves (codes copied verbatim, so the rejoin
+/// is exact).
+fn split_quant_halves(
+    own: Vec<QuantSeqKv>,
+) -> Result<(Vec<QuantSeqKv>, Vec<QuantSeqKv>), CoreError> {
+    let mut a = Vec::with_capacity(own.len());
+    let mut b = Vec::with_capacity(own.len());
+    for q in own {
+        let (ha, hb) = q.split_halves()?;
+        a.push(ha);
+        b.push(hb);
+    }
+    Ok((a, b))
+}
+
+/// Rejoins per-sequence quantized KV halves from the two ring directions.
+/// [`QuantSeqKv::join_halves`] is an exact round-trip of
+/// [`QuantSeqKv::split_halves`], so the attended block carries bit-for-bit
+/// the codes the unidirectional compressed ring would have sent whole.
+fn join_quant_halves(
+    rank: usize,
+    a: &[QuantSeqKv],
+    b: &[QuantSeqKv],
+) -> Result<Vec<QuantSeqKv>, CoreError> {
+    if a.len() != b.len() {
+        return Err(CoreError::BadRequest {
+            reason: format!(
+                "rank {rank} received mismatched quantized KV half batches: {} vs {} sequences",
+                a.len(),
+                b.len()
+            ),
+        });
+    }
+    a.iter()
+        .zip(b)
+        .map(|(ha, hb)| QuantSeqKv::join_halves(ha, hb).map_err(CoreError::from))
+        .collect()
+}
+
+/// If both halves of `origin`'s quantized block are on board and it has
+/// not been attended yet, rejoin (exact), attend through the quantized
+/// kernel, and park the per-sequence partials. Readiness logic is
+/// identical to [`bidi_kv_attend_if_ready`].
+#[allow(clippy::too_many_arguments)]
+fn bidi_quant_attend_if_ready(
+    comm: &Communicator<RingMsg>,
+    params: &AttentionParams,
+    locals: &[LocalSeq],
+    origin: usize,
+    halves_a: &mut [Option<Vec<QuantSeqKv>>],
+    halves_b: &mut [Option<Vec<QuantSeqKv>>],
+    computed: &mut [Option<Vec<AttentionOutput>>],
+) -> Result<(), CoreError> {
+    if origin_slot(computed, origin, "bidi quant pass-kv partials")?.is_some() {
+        return Ok(());
+    }
+    let ready = matches!(
+        (halves_a.get(origin), halves_b.get(origin)),
+        (Some(Some(_)), Some(Some(_)))
+    );
+    if !ready {
+        return Ok(());
+    }
+    let a = origin_slot(halves_a, origin, "bidi quant pass-kv A halves")?
+        .take()
+        .unwrap_or_default();
+    let b = origin_slot(halves_b, origin, "bidi quant pass-kv B halves")?
+        .take()
+        .unwrap_or_default();
+    let rank = comm.rank();
+    let full = join_quant_halves(rank, &a, &b)?;
+    let pool = comm.pool();
+    let step = comm.time_compute("attend pass-kv", || {
+        map_seqs(pool, locals, |i, local| {
+            let kv = full.get(i).ok_or_else(|| CoreError::BadRequest {
+                reason: format!(
+                    "quantized KV block of origin {origin} carries {} sequences but rank {rank} \
+                     holds {} local sequences",
+                    full.len(),
+                    locals.len()
+                ),
+            })?;
+            attend_quant(pool, &local.q, &local.q_pos, kv, params)
+        })
+    })?;
+    *origin_slot(computed, origin, "bidi quant pass-kv partials")? = Some(step);
+    Ok(())
+}
+
+/// Bidirectional compressed pass-KV prefill: the wire schedule of
+/// [`ring_pass_kv_prefill_bidi`] (half payloads on disjoint links in the
+/// two directions) carrying [`RingMsg::KvQuant`] halves — each hop moves
+/// `l/2 · n_kv · (d + 4)` bytes per direction instead of the f32 half's
+/// `l/2 · n_kv · d · 4`.
+///
+/// Halves split and rejoin **exactly** ([`QuantSeqKv::split_halves`]
+/// round-trips codes verbatim), and partials fold in canonical
+/// ascending-origin order, so outputs are bitwise identical to
+/// [`ring_pass_kv_prefill_quant_on`] on any layout — the compressed
+/// schedule family is one bitwise equivalence class.
+///
+/// # Errors
+///
+/// As [`ring_pass_kv_prefill_bidi`], plus quantization shape errors.
+pub fn ring_pass_kv_prefill_quant_bidi(
+    comm: &Communicator<RingMsg>,
+    params: &AttentionParams,
+    locals: &[LocalSeq],
+    layout: RingLayout,
+) -> Result<Vec<AttentionOutput>, CoreError> {
+    let n = comm.world_size();
+    let rank = comm.rank();
+    let fwd = layout.fwd(n)?;
+    let rev = layout.rev(n)?;
+
+    let mut halves_a: Vec<Option<Vec<QuantSeqKv>>> = vec![None; n];
+    let mut halves_b: Vec<Option<Vec<QuantSeqKv>>> = vec![None; n];
+    let (own_a, own_b) = split_quant_halves(quantize_locals(locals)?)?;
+    *origin_slot(&mut halves_a, rank, "bidi quant pass-kv A halves")? = Some(own_a);
+    *origin_slot(&mut halves_b, rank, "bidi quant pass-kv B halves")? = Some(own_b);
+    let mut computed: Vec<Option<Vec<AttentionOutput>>> = vec![None; n];
+
+    for j in 0..n {
+        let pends = if j + 1 < n {
+            let send_a = origin_slot(
+                &mut halves_a,
+                fwd.origin_at(rank, j),
+                "bidi quant pass-kv A halves",
+            )?
+            .clone()
+            .ok_or_else(|| CoreError::Internal {
+                detail: format!(
+                    "rank {rank} has no A half of origin {} to forward at round {j}",
+                    fwd.origin_at(rank, j)
+                ),
+            })?;
+            let pf = comm.isend_irecv(
+                fwd.send_peer(rank, j),
+                RingMsg::KvQuant { seqs: send_a },
+                fwd.recv_peer(rank, j),
+            )?;
+            let send_b = origin_slot(
+                &mut halves_b,
+                rev.origin_at(rank, j),
+                "bidi quant pass-kv B halves",
+            )?
+            .clone()
+            .ok_or_else(|| CoreError::Internal {
+                detail: format!(
+                    "rank {rank} has no B half of origin {} to forward at round {j}",
+                    rev.origin_at(rank, j)
+                ),
+            })?;
+            let pr = comm.isend_irecv(
+                rev.send_peer(rank, j),
+                RingMsg::KvQuant { seqs: send_b },
+                rev.recv_peer(rank, j),
+            )?;
+            Some((pf, pr))
+        } else {
+            None
+        };
+        bidi_quant_attend_if_ready(
+            comm,
+            params,
+            locals,
+            fwd.origin_at(rank, j),
+            &mut halves_a,
+            &mut halves_b,
+            &mut computed,
+        )?;
+        bidi_quant_attend_if_ready(
+            comm,
+            params,
+            locals,
+            rev.origin_at(rank, j),
+            &mut halves_a,
+            &mut halves_b,
+            &mut computed,
+        )?;
+        if let Some((pf, pr)) = pends {
+            let seqs = expect_kv_quant(pf.wait()?, fwd.recv_peer(rank, j))?;
+            *origin_slot(
+                &mut halves_a,
+                fwd.origin_at(rank, j + 1),
+                "bidi quant pass-kv A halves",
+            )? = Some(seqs);
+            let seqs = expect_kv_quant(pr.wait()?, rev.recv_peer(rank, j))?;
+            *origin_slot(
+                &mut halves_b,
+                rev.origin_at(rank, j + 1),
+                "bidi quant pass-kv B halves",
+            )? = Some(seqs);
+        }
+    }
+
+    canonical_fold(comm, computed, locals.len(), "bidi quant pass-kv")
+}
+
+/// Canonical-merge f32 pass-KV prefill: the wire schedule of
+/// [`ring_pass_kv_prefill_on`] with partials stashed per origin and folded
+/// in canonical ascending-origin order ([`canonical_fold`]) instead of the
+/// path's visit order. Outputs are bitwise **layout-stable**: flat and any
+/// hierarchical topology produce identical bits for the same inputs —
+/// the fold-order guarantee the visit-order family cannot give — at the
+/// cost of O(W) buffered partials instead of O(1).
+///
+/// # Errors
+///
+/// Same failure modes as [`ring_pass_kv_prefill_on`].
+pub fn ring_pass_kv_prefill_canonical_on(
+    comm: &Communicator<RingMsg>,
+    params: &AttentionParams,
+    locals: &[LocalSeq],
+    layout: RingLayout,
+) -> Result<Vec<AttentionOutput>, CoreError> {
+    let n = comm.world_size();
+    let rank = comm.rank();
+    let path = layout.fwd(n)?;
+    let mut visiting: Vec<SeqKv> = locals
+        .iter()
+        .map(|l| SeqKv {
+            k: l.k.clone(),
+            v: l.v.clone(),
+            pos: l.kv_pos.clone(),
+        })
+        .collect();
+    let mut computed: Vec<Option<Vec<AttentionOutput>>> = vec![None; n];
+
+    let pool = comm.pool();
+    for j in 0..n {
+        let pending = if j + 1 < n {
+            Some(comm.isend_irecv(
+                path.send_peer(rank, j),
+                RingMsg::Kv {
+                    seqs: visiting.clone(),
+                },
+                path.recv_peer(rank, j),
+            )?)
+        } else {
+            None
+        };
+        let origin = path.origin_at(rank, j);
+        let step = comm.time_compute("attend pass-kv", || {
+            map_seqs(pool, locals, |i, local| {
+                let kv = visiting.get(i).ok_or_else(|| CoreError::BadRequest {
+                    reason: format!(
+                        "KV block of origin {origin} carries {} sequences but rank {rank} holds \
+                         {} local sequences",
+                        visiting.len(),
+                        locals.len()
+                    ),
+                })?;
+                attend(pool, &local.q, &local.q_pos, kv, params)
+            })
+        })?;
+        *origin_slot(&mut computed, origin, "canonical pass-kv partials")? = Some(step);
+        if let Some(pending) = pending {
+            visiting = expect_kv(pending.wait()?, path.recv_peer(rank, j))?;
+        }
+    }
+
+    canonical_fold(comm, computed, locals.len(), "canonical pass-kv")
 }
 
 /// Depth-2 pipelined pass-KV prefill: each hop's payload splits into two
@@ -741,28 +1217,27 @@ pub fn ring_pass_kv_prefill_chunked(
     let mut acc: Vec<Option<AttentionOutput>> = (0..locals.len()).map(|_| None).collect();
 
     let pool = comm.pool();
-    let attend_and_fold = |visiting: &[SeqKv],
-                           acc: &mut Vec<Option<AttentionOutput>>|
-     -> Result<(), CoreError> {
-        let step = comm.time_compute("attend pass-kv", || {
-            map_seqs(pool, locals, |i, local| {
-                let kv = visiting.get(i).ok_or_else(|| CoreError::BadRequest {
-                    reason: format!(
+    let attend_and_fold =
+        |visiting: &[SeqKv], acc: &mut Vec<Option<AttentionOutput>>| -> Result<(), CoreError> {
+            let step = comm.time_compute("attend pass-kv", || {
+                map_seqs(pool, locals, |i, local| {
+                    let kv = visiting.get(i).ok_or_else(|| CoreError::BadRequest {
+                        reason: format!(
                         "visiting KV block carries {} sequences but rank {rank} holds {} local \
                          sequences",
                         visiting.len(),
                         locals.len()
                     ),
-                })?;
-                attend(pool, &local.q, &local.q_pos, kv, params)
+                    })?;
+                    attend(pool, &local.q, &local.q_pos, kv, params)
+                })
+            })?;
+            comm.time_compute("merge pass-kv", || {
+                acc.iter_mut()
+                    .zip(step)
+                    .try_for_each(|(a, out)| fold_partial(a, out))
             })
-        })?;
-        comm.time_compute("merge pass-kv", || {
-            acc.iter_mut()
-                .zip(step)
-                .try_for_each(|(a, out)| fold_partial(a, out))
-        })
-    };
+        };
 
     // Round 0: both chunks of the local shard go on the wire back to back,
     // then the rank attends its own (never-split) block.
@@ -1239,7 +1714,12 @@ pub fn ring_pass_q_prefill_kv_on(
 /// queries. Query rows are independent under the blocked kernel, so the
 /// concatenation is bitwise the full-block partial the unidirectional
 /// loop receives.
-fn join_out_halves(rank: usize, src: usize, a: &[SeqOut], b: &[SeqOut]) -> Result<Vec<SeqOut>, CoreError> {
+fn join_out_halves(
+    rank: usize,
+    src: usize,
+    a: &[SeqOut],
+    b: &[SeqOut],
+) -> Result<Vec<SeqOut>, CoreError> {
     if a.len() != b.len() {
         return Err(CoreError::BadRequest {
             reason: format!(

@@ -20,14 +20,15 @@
 //! from the payload type's `Wire` impl — never hand-compute sizes.
 
 use cp_attention::AttentionParams;
-use cp_comm::{CheckedFabric, CommOp, CommPlan, Communicator, RankPlan, TrafficReport, Wire};
 pub use cp_comm::Topology;
+use cp_comm::{CheckedFabric, CommOp, CommPlan, Communicator, RankPlan, TrafficReport, Wire};
 
 use crate::error::to_comm_error;
 use crate::messages::{
-    split_slot_vec, DecodeSlot, LocalSeq, RingMsg, SeqKv, SeqQ, ELEM_BYTES,
+    split_slot_vec, DecodeSlot, LocalSeq, QuantSeqKv, RingMsg, SeqKv, SeqQ, ELEM_BYTES,
 };
 use crate::CoreError;
+use cp_kvcache::QuantizedKv;
 
 /// Which rank's block rank `rank` holds at ring step `step` (0-based), for
 /// a `world`-rank ring rotating towards `rank + 1`.
@@ -602,7 +603,10 @@ fn out_half_bytes(
 ///
 /// [`CoreError::BadRequest`] for an empty rank list or a topology that
 /// does not cover the rank count.
-pub fn pass_kv_plan_on(locals: &[Vec<LocalSeq>], layout: RingLayout) -> Result<CommPlan, CoreError> {
+pub fn pass_kv_plan_on(
+    locals: &[Vec<LocalSeq>],
+    layout: RingLayout,
+) -> Result<CommPlan, CoreError> {
     let n = nonzero_world(locals.len())?;
     let fwd = layout.fwd(n)?;
     let kv_bytes: Vec<usize> = locals
@@ -672,6 +676,116 @@ pub fn pass_kv_chunked_plan(locals: &[Vec<LocalSeq>]) -> Result<CommPlan, CoreEr
                 ops: interleave_hops(
                     ring_hops(r, n, "Kv", &h1_bytes)?,
                     ring_hops(r, n, "Kv", &h2_bytes)?,
+                ),
+            })
+        })
+        .collect::<Result<_, CoreError>>()?;
+    Ok(CommPlan::from_ranks(ranks))
+}
+
+/// A zero-code [`RingMsg::KvQuant`] skeleton with the byte geometry of
+/// `locals`' KV shards: `l · n_kv · d` one-byte codes plus `l · n_kv`
+/// f32 scales per tensor. Built from parts (no quantization arithmetic) —
+/// it exists only to ask the payload type for its own wire size.
+fn kv_quant_skeleton(locals: &[LocalSeq]) -> Result<RingMsg, CoreError> {
+    let seqs = locals
+        .iter()
+        .map(|l| {
+            let shape = l.k.shape();
+            let (t, h, d) = (
+                shape.first().copied().unwrap_or(0),
+                shape.get(1).copied().unwrap_or(0),
+                shape.get(2).copied().unwrap_or(0),
+            );
+            let mk = || {
+                QuantizedKv::from_parts(vec![0i8; t * h * d], vec![1.0f32; t * h], t, h, d)
+                    .map_err(CoreError::from)
+            };
+            Ok(QuantSeqKv {
+                k: mk()?,
+                v: mk()?,
+                pos: l.kv_pos.clone(),
+            })
+        })
+        .collect::<Result<Vec<_>, CoreError>>()?;
+    Ok(RingMsg::KvQuant { seqs })
+}
+
+/// Per-rank wire bytes of the two bidirectional compressed KV halves —
+/// the quantized analogue of [`kv_half_bytes`], derived from the same
+/// `split_halves` the loop itself uses.
+fn kv_quant_half_bytes(locals: &[Vec<LocalSeq>]) -> Result<(Vec<usize>, Vec<usize>), CoreError> {
+    let mut a = Vec::with_capacity(locals.len());
+    let mut b = Vec::with_capacity(locals.len());
+    for ls in locals {
+        let (mut ab, mut bb) = (0usize, 0usize);
+        let skeleton = kv_quant_skeleton(ls)?;
+        if let RingMsg::KvQuant { seqs } = skeleton {
+            for q in seqs {
+                let (ha, hb) = q.split_halves()?;
+                ab += RingMsg::KvQuant { seqs: vec![ha] }.wire_bytes();
+                bb += RingMsg::KvQuant { seqs: vec![hb] }.wire_bytes();
+            }
+        }
+        a.push(ab);
+        b.push(bb);
+    }
+    Ok((a, b))
+}
+
+/// Declares the compressed unidirectional pass-KV prefill schedule
+/// ([`crate::ring::ring_pass_kv_prefill_quant_on`]) over a
+/// [`RingLayout`]: hop-for-hop the schedule of [`pass_kv_plan_on`], each
+/// hop carrying the INT8 `KvQuant` payload — `2·l·n_kv·(d + 4)` bytes per
+/// block instead of the f32 `2·l·n_kv·d·4`.
+///
+/// # Errors
+///
+/// As [`pass_kv_plan_on`].
+pub fn pass_kv_quant_plan_on(
+    locals: &[Vec<LocalSeq>],
+    layout: RingLayout,
+) -> Result<CommPlan, CoreError> {
+    let n = nonzero_world(locals.len())?;
+    let fwd = layout.fwd(n)?;
+    let kv_bytes: Vec<usize> = locals
+        .iter()
+        .map(|ls| kv_quant_skeleton(ls).map(|m| m.wire_bytes()))
+        .collect::<Result<_, CoreError>>()?;
+    let ranks = (0..n)
+        .map(|r| {
+            Ok(RankPlan {
+                rank: r,
+                ops: path_hops(r, fwd, "KvQuant", &kv_bytes)?,
+            })
+        })
+        .collect::<Result<_, CoreError>>()?;
+    Ok(CommPlan::from_ranks(ranks))
+}
+
+/// Declares the compressed bidirectional pass-KV prefill schedule
+/// ([`crate::ring::ring_pass_kv_prefill_quant_bidi`]) over a
+/// [`RingLayout`]: the hop pattern of [`pass_kv_bidi_plan`] with INT8
+/// half payloads in both directions.
+///
+/// # Errors
+///
+/// As [`pass_kv_plan_on`].
+pub fn pass_kv_quant_bidi_plan(
+    locals: &[Vec<LocalSeq>],
+    layout: RingLayout,
+) -> Result<CommPlan, CoreError> {
+    let n = nonzero_world(locals.len())?;
+    let fwd = layout.fwd(n)?;
+    let rev = layout.rev(n)?;
+    let (a_bytes, b_bytes) = kv_quant_half_bytes(locals)?;
+    let ranks = (0..n)
+        .map(|r| {
+            Ok(RankPlan {
+                rank: r,
+                ops: interleave_hops(
+                    path_hops(r, fwd, "KvQuant", &a_bytes)?,
+                    path_hops(r, rev, "KvQuant", &b_bytes)?,
                 ),
             })
         })
@@ -865,8 +979,20 @@ pub fn decode_bidi_plan(
     let mut b_bytes = Vec::with_capacity(n);
     for (r, s) in slots.iter().enumerate() {
         let (a, b) = split_slot_vec(s);
-        a_bytes.push(RingMsg::DecodeQ { origin: r, slots: a }.wire_bytes());
-        b_bytes.push(RingMsg::DecodeQ { origin: r, slots: b }.wire_bytes());
+        a_bytes.push(
+            RingMsg::DecodeQ {
+                origin: r,
+                slots: a,
+            }
+            .wire_bytes(),
+        );
+        b_bytes.push(
+            RingMsg::DecodeQ {
+                origin: r,
+                slots: b,
+            }
+            .wire_bytes(),
+        );
     }
     let douts: Vec<usize> = slots.iter().map(|s| decode_out_bytes(params, s)).collect();
     let ranks = (0..n)

@@ -442,7 +442,10 @@ fn wedged_reverse_direction_times_out_naming_the_peer() {
     match err {
         CommError::RecvFailed { src, timed_out } => {
             assert_eq!(src, 1, "the timeout must name the wedged peer");
-            assert!(timed_out, "a wedged direction is a timeout, not a disconnect");
+            assert!(
+                timed_out,
+                "a wedged direction is a timeout, not a disconnect"
+            );
         }
         other => panic!("expected RecvFailed naming rank 1, got {other:?}"),
     }

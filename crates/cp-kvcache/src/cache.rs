@@ -284,8 +284,93 @@ impl PagedKvCache {
         if !self.seqs.contains_key(&seq.0) {
             return Err(CacheError::UnknownSequence { seq: seq.0 });
         }
+        self.reserve_pages(seq, t)?;
+        let state = self.seqs.get_mut(&seq.0).expect("checked above");
 
-        // Reserve pages up front so failure cannot leave partial appends.
+        // Copy token rows into pages.
+        let tok = self.config.token_numel();
+        let ps = self.config.page_size;
+        for i in 0..t {
+            let global_idx = state.len + i;
+            let page_idx = state.pages[global_idx / ps];
+            let slot = global_idx % ps;
+            let page = &mut self.pool[page_idx];
+            page.k[slot * tok..(slot + 1) * tok].copy_from_slice(k.row(i));
+            page.v[slot * tok..(slot + 1) * tok].copy_from_slice(v.row(i));
+            page.pos[slot] = positions[i];
+            page.used = page.used.max(slot + 1);
+        }
+        state.len += t;
+        Ok(())
+    }
+
+    /// Appends selected rows of K/V (shape `[t, n_kv_heads, head_dim]`,
+    /// `rows[i] < t`) with their global positions, copying each row
+    /// straight into its page slot.
+    ///
+    /// This is the CP sharding hot path: a rank appends the non-contiguous
+    /// subset of the projected K/V it owns without a `gather_dim0` staging
+    /// tensor.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PagedKvCache::append`]; additionally
+    /// [`CacheError::BadShape`] if a row index is out of range.
+    pub fn append_rows(
+        &mut self,
+        seq: SeqId,
+        k: &Tensor,
+        v: &Tensor,
+        rows: &[usize],
+        positions: &[usize],
+    ) -> Result<(), CacheError> {
+        let t_k = self.check_kv_shape(k, "k")?;
+        let t_v = self.check_kv_shape(v, "v")?;
+        if t_v != t_k {
+            return Err(CacheError::BadShape {
+                input: "v",
+                expected: vec![self.config.n_kv_heads, self.config.head_dim],
+                actual: v.shape().to_vec(),
+            });
+        }
+        if let Some(&bad) = rows.iter().find(|&&r| r >= t_k) {
+            return Err(CacheError::BadShape {
+                input: "rows",
+                expected: vec![t_k],
+                actual: vec![bad],
+            });
+        }
+        if positions.len() != rows.len() {
+            return Err(CacheError::PositionCountMismatch {
+                tokens: rows.len(),
+                positions: positions.len(),
+            });
+        }
+        if !self.seqs.contains_key(&seq.0) {
+            return Err(CacheError::UnknownSequence { seq: seq.0 });
+        }
+        self.reserve_pages(seq, rows.len())?;
+        let state = self.seqs.get_mut(&seq.0).expect("checked above");
+
+        let tok = self.config.token_numel();
+        let ps = self.config.page_size;
+        for (i, (&row, &p)) in rows.iter().zip(positions).enumerate() {
+            let global_idx = state.len + i;
+            let page_idx = state.pages[global_idx / ps];
+            let slot = global_idx % ps;
+            let page = &mut self.pool[page_idx];
+            page.k[slot * tok..(slot + 1) * tok].copy_from_slice(k.row(row));
+            page.v[slot * tok..(slot + 1) * tok].copy_from_slice(v.row(row));
+            page.pos[slot] = p;
+            page.used = page.used.max(slot + 1);
+        }
+        state.len += rows.len();
+        Ok(())
+    }
+
+    /// Reserves enough pages for `t` more tokens, transactionally: a
+    /// capacity failure leaves the sequence unchanged.
+    fn reserve_pages(&mut self, seq: SeqId, t: usize) -> Result<(), CacheError> {
         let (cur_len, cur_pages) = {
             let s = &self.seqs[&seq.0];
             (s.len, s.pages.len())
@@ -308,23 +393,11 @@ impl PagedKvCache {
             let idx = self.allocate_page().expect("capacity checked above");
             reserved.push(idx);
         }
-        let state = self.seqs.get_mut(&seq.0).expect("checked above");
-        state.pages.extend(reserved);
-
-        // Copy token rows into pages.
-        let tok = self.config.token_numel();
-        let ps = self.config.page_size;
-        for i in 0..t {
-            let global_idx = state.len + i;
-            let page_idx = state.pages[global_idx / ps];
-            let slot = global_idx % ps;
-            let page = &mut self.pool[page_idx];
-            page.k[slot * tok..(slot + 1) * tok].copy_from_slice(k.row(i));
-            page.v[slot * tok..(slot + 1) * tok].copy_from_slice(v.row(i));
-            page.pos[slot] = positions[i];
-            page.used = page.used.max(slot + 1);
-        }
-        state.len += t;
+        self.seqs
+            .get_mut(&seq.0)
+            .expect("checked by caller")
+            .pages
+            .extend(reserved);
         Ok(())
     }
 
@@ -398,6 +471,16 @@ impl PagedKvCache {
         let pages_needed = new_len.div_ceil(ps);
         let released: Vec<usize> = state.pages.split_off(pages_needed);
         state.len = new_len;
+        let last_kept = state.pages.last().copied();
+        // Roll a partial last page's used watermark back too, so it
+        // keeps meaning "slots holding live data" across truncations
+        // (same invariant as the quantized pool).
+        let tail = new_len % ps;
+        if tail > 0 {
+            if let Some(last) = last_kept {
+                self.pool[last].used = self.pool[last].used.min(tail);
+            }
+        }
         for idx in released {
             self.pool[idx].used = 0;
             self.free.push(idx);
@@ -460,6 +543,42 @@ mod tests {
         assert_eq!(gv, v);
         assert_eq!(gpos, pos.to_vec());
         assert_eq!(cache.seq_len(seq).unwrap(), 6);
+    }
+
+    #[test]
+    fn append_rows_matches_gather_then_append() {
+        // The sharding hot path: appending a non-contiguous row subset
+        // directly must equal the old staging path (gather_dim0 into a
+        // contiguous tensor, then append) bit for bit.
+        let mut rng = DetRng::new(21);
+        let (k, v) = kv(&mut rng, 9);
+        let rows = [1usize, 4, 5, 8];
+        let positions: Vec<usize> = rows.to_vec();
+
+        let mut direct = PagedKvCache::new(cfg());
+        direct.create_sequence(SeqId(0)).unwrap();
+        direct
+            .append_rows(SeqId(0), &k, &v, &rows, &positions)
+            .unwrap();
+
+        let mut staged = PagedKvCache::new(cfg());
+        staged.create_sequence(SeqId(0)).unwrap();
+        let sk = k.gather_dim0(&rows).unwrap();
+        let sv = v.gather_dim0(&rows).unwrap();
+        staged.append(SeqId(0), &sk, &sv, &positions).unwrap();
+
+        assert_eq!(
+            direct.gather(SeqId(0)).unwrap(),
+            staged.gather(SeqId(0)).unwrap()
+        );
+
+        // Out-of-range row index is a typed error, not a panic, and the
+        // failed call leaves the sequence unchanged.
+        assert!(matches!(
+            direct.append_rows(SeqId(0), &k, &v, &[9], &[10]),
+            Err(CacheError::BadShape { input: "rows", .. })
+        ));
+        assert_eq!(direct.seq_len(SeqId(0)).unwrap(), 4);
     }
 
     #[test]

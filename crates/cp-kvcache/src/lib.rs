@@ -51,5 +51,5 @@ mod view;
 
 pub use cache::{CacheStats, KvCacheConfig, PagedKvCache, SeqId};
 pub use error::CacheError;
-pub use quant::{QuantKvCache, QuantizedKv};
+pub use quant::{QuantKvCache, QuantKvView, QuantizedKv};
 pub use view::KvView;

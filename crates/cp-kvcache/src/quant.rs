@@ -10,9 +10,28 @@
 
 use std::collections::HashMap;
 
+use cp_attention::KvSource;
 use cp_tensor::Tensor;
 
 use crate::{CacheError, CacheStats, KvCacheConfig, SeqId};
+
+/// Quantizes one `(token, head)` vector symmetrically into `codes_out`,
+/// returning the scale: `scale = max|x| / 127` (1.0 for an all-zero head),
+/// `code = round(x / scale)` clamped to `±127`.
+///
+/// This is the **only** quantization arithmetic in the crate: both the
+/// staging [`QuantizedKv::quantize`] path and the in-place
+/// [`QuantKvCache::append`] page writes go through it, so the two are
+/// bitwise interchangeable by construction.
+#[inline]
+pub(crate) fn quantize_head_into(head: &[f32], codes_out: &mut [i8]) -> f32 {
+    let max = head.iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+    let scale = if max == 0.0 { 1.0 } else { max / 127.0 };
+    for (c, &v) in codes_out.iter_mut().zip(head) {
+        *c = (v / scale).round().clamp(-127.0, 127.0) as i8;
+    }
+    scale
+}
 
 /// One quantized KV entry set: INT8 codes plus per-(token, head) scales.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,19 +60,44 @@ impl QuantizedKv {
             });
         }
         let (tokens, n_heads, head_dim) = (s[0], s[1], s[2]);
-        let mut codes = Vec::with_capacity(tokens * n_heads * head_dim);
+        let mut codes = vec![0i8; tokens * n_heads * head_dim];
         let mut scales = Vec::with_capacity(tokens * n_heads);
-        for t in 0..tokens {
-            let row = x.row(t);
-            for h in 0..n_heads {
-                let head = &row[h * head_dim..(h + 1) * head_dim];
-                let max = head.iter().fold(0.0f32, |a, &v| a.max(v.abs()));
-                let scale = if max == 0.0 { 1.0 } else { max / 127.0 };
-                scales.push(scale);
-                for &v in head {
-                    codes.push((v / scale).round().clamp(-127.0, 127.0) as i8);
-                }
-            }
+        for (head, codes_out) in x
+            .as_slice()
+            .chunks_exact(head_dim.max(1))
+            .zip(codes.chunks_exact_mut(head_dim.max(1)))
+        {
+            scales.push(quantize_head_into(head, codes_out));
+        }
+        scales.resize(tokens * n_heads, 1.0); // zero-dim degenerate shapes
+        Ok(QuantizedKv {
+            codes,
+            scales,
+            tokens,
+            n_heads,
+            head_dim,
+        })
+    }
+
+    /// Builds a block from raw parts (e.g. decoded off the wire).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::BadShape`] if `codes` / `scales` lengths
+    /// disagree with `tokens * n_heads * head_dim` / `tokens * n_heads`.
+    pub fn from_parts(
+        codes: Vec<i8>,
+        scales: Vec<f32>,
+        tokens: usize,
+        n_heads: usize,
+        head_dim: usize,
+    ) -> Result<Self, CacheError> {
+        if codes.len() != tokens * n_heads * head_dim || scales.len() != tokens * n_heads {
+            return Err(CacheError::BadShape {
+                input: "kv",
+                expected: vec![tokens, n_heads, head_dim],
+                actual: vec![codes.len(), scales.len()],
+            });
         }
         Ok(QuantizedKv {
             codes,
@@ -62,6 +106,78 @@ impl QuantizedKv {
             n_heads,
             head_dim,
         })
+    }
+
+    /// The INT8 codes, `[tokens * n_heads * head_dim]` in token-major order.
+    pub fn codes(&self) -> &[i8] {
+        &self.codes
+    }
+
+    /// The per-(token, head) scales, `[tokens * n_heads]`.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Number of heads per token.
+    pub fn n_heads(&self) -> usize {
+        self.n_heads
+    }
+
+    /// Per-head embedding dimension.
+    pub fn head_dim(&self) -> usize {
+        self.head_dim
+    }
+
+    /// Splits into the first `mid` tokens and the rest. Codes and scales
+    /// are copied verbatim, so `join`ing the halves back with
+    /// [`QuantizedKv::extend`] round-trips **exactly** — the invariant the
+    /// bidirectional ring's half-payload hops rely on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::BadTruncate`] if `mid` exceeds the token count.
+    pub fn split_at(&self, mid: usize) -> Result<(QuantizedKv, QuantizedKv), CacheError> {
+        if mid > self.tokens {
+            return Err(CacheError::BadTruncate {
+                requested: mid,
+                current: self.tokens,
+            });
+        }
+        let row = self.n_heads * self.head_dim;
+        let mk = |codes: Vec<i8>, scales: Vec<f32>, tokens: usize| QuantizedKv {
+            codes,
+            scales,
+            tokens,
+            n_heads: self.n_heads,
+            head_dim: self.head_dim,
+        };
+        Ok((
+            mk(
+                self.codes[..mid * row].to_vec(),
+                self.scales[..mid * self.n_heads].to_vec(),
+                mid,
+            ),
+            mk(
+                self.codes[mid * row..].to_vec(),
+                self.scales[mid * self.n_heads..].to_vec(),
+                self.tokens - mid,
+            ),
+        ))
+    }
+
+    /// Grows to `new_tokens` tokens by appending zero codes with scale 1.0 —
+    /// rows that dequantize to exact zeros, matching the f32 ring's
+    /// zero-padded `PAD` slots bit for bit. No-op if already that long.
+    pub fn pad_to(&mut self, new_tokens: usize) {
+        if new_tokens <= self.tokens {
+            return;
+        }
+        let extra = new_tokens - self.tokens;
+        self.codes
+            .resize(self.codes.len() + extra * self.n_heads * self.head_dim, 0);
+        self.scales
+            .resize(self.scales.len() + extra * self.n_heads, 1.0);
+        self.tokens = new_tokens;
     }
 
     /// Reconstructs the (lossy) `[t, heads, head_dim]` tensor.
@@ -289,8 +405,26 @@ impl QuantKvCache {
         Ok(())
     }
 
+    fn check_kv_shape(&self, t: &Tensor, input: &'static str) -> Result<usize, CacheError> {
+        let s = t.shape();
+        if s.len() != 3 || s[1] != self.config.n_kv_heads || s[2] != self.config.head_dim {
+            return Err(CacheError::BadShape {
+                input,
+                expected: vec![self.config.n_kv_heads, self.config.head_dim],
+                actual: s.to_vec(),
+            });
+        }
+        Ok(s[0])
+    }
+
     /// Quantizes and appends `t` tokens of K/V (shape
     /// `[t, n_kv_heads, head_dim]`) with their global positions.
+    ///
+    /// Each `(token, head)` vector is quantized **directly into its
+    /// reserved page slot** ([`quantize_head_into`], the same arithmetic as
+    /// [`QuantizedKv::quantize`]) — no contiguous [`QuantizedKv`] staging
+    /// buffer is built and copied, which used to double-write every
+    /// appended byte.
     ///
     /// Appending is transactional with respect to capacity: needed pages
     /// are reserved up front, so an [`CacheError::OutOfPages`] failure
@@ -307,9 +441,119 @@ impl QuantKvCache {
         v: &Tensor,
         positions: &[usize],
     ) -> Result<(), CacheError> {
-        let qk = QuantizedKv::quantize(k)?;
-        let qv = QuantizedKv::quantize(v)?;
-        self.append_quantized(seq, &qk, &qv, positions)
+        let t = self.check_kv_shape(k, "k")?;
+        let rows: Vec<usize> = (0..t).collect();
+        self.append_rows(seq, k, v, &rows, positions)
+    }
+
+    /// Appends selected rows of K/V (shape `[t, n_kv_heads, head_dim]`,
+    /// `rows[i] < t`) with their global positions, quantizing each row in
+    /// place into its page slot.
+    ///
+    /// This is the CP sharding hot path: a rank appends the non-contiguous
+    /// subset of the projected K/V it owns without a `gather_dim0` staging
+    /// tensor or an intermediate [`QuantizedKv`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`QuantKvCache::append`]; additionally
+    /// [`CacheError::BadShape`] if a row index is out of range.
+    pub fn append_rows(
+        &mut self,
+        seq: SeqId,
+        k: &Tensor,
+        v: &Tensor,
+        rows: &[usize],
+        positions: &[usize],
+    ) -> Result<(), CacheError> {
+        let t_k = self.check_kv_shape(k, "k")?;
+        let t_v = self.check_kv_shape(v, "v")?;
+        if t_v != t_k {
+            return Err(CacheError::BadShape {
+                input: "v",
+                expected: vec![self.config.n_kv_heads, self.config.head_dim],
+                actual: v.shape().to_vec(),
+            });
+        }
+        if let Some(&bad) = rows.iter().find(|&&r| r >= t_k) {
+            return Err(CacheError::BadShape {
+                input: "rows",
+                expected: vec![t_k],
+                actual: vec![bad],
+            });
+        }
+        let t = rows.len();
+        if positions.len() != t {
+            return Err(CacheError::PositionCountMismatch {
+                tokens: t,
+                positions: positions.len(),
+            });
+        }
+        if !self.seqs.contains_key(&seq.0) {
+            return Err(CacheError::UnknownSequence { seq: seq.0 });
+        }
+        self.reserve_pages(seq, t)?;
+        let state = self.seqs.get_mut(&seq.0).expect("checked above");
+
+        // Quantize each (token, head) vector straight into its page slot.
+        // Every slot a token lands in is fully overwritten — codes, scales
+        // AND position — so stale data from a previous tenant of a reused
+        // page can never survive into a gather.
+        let dh = self.config.head_dim;
+        let tok = self.config.token_numel();
+        let hs = self.config.n_kv_heads;
+        let ps = self.config.page_size;
+        for (i, (&row, &p)) in rows.iter().zip(positions).enumerate() {
+            let global_idx = state.len + i;
+            let page_idx = state.pages[global_idx / ps];
+            let slot = global_idx % ps;
+            let page = &mut self.pool[page_idx];
+            let (krow, vrow) = (k.row(row), v.row(row));
+            for h in 0..hs {
+                page.k_scales[slot * hs + h] = quantize_head_into(
+                    &krow[h * dh..(h + 1) * dh],
+                    &mut page.k_codes[slot * tok + h * dh..slot * tok + (h + 1) * dh],
+                );
+                page.v_scales[slot * hs + h] = quantize_head_into(
+                    &vrow[h * dh..(h + 1) * dh],
+                    &mut page.v_codes[slot * tok + h * dh..slot * tok + (h + 1) * dh],
+                );
+            }
+            page.pos[slot] = p;
+            page.used = page.used.max(slot + 1);
+        }
+        state.len += t;
+        Ok(())
+    }
+
+    /// Reserves enough pages for `t` more tokens, transactionally.
+    fn reserve_pages(&mut self, seq: SeqId, t: usize) -> Result<(), CacheError> {
+        let (cur_len, cur_pages) = {
+            let s = &self.seqs[&seq.0];
+            (s.len, s.pages.len())
+        };
+        let needed_total_pages = (cur_len + t).div_ceil(self.config.page_size);
+        let new_pages_needed = needed_total_pages.saturating_sub(cur_pages);
+        if let Some(max) = self.config.max_pages {
+            let headroom = self.free.len() + max.saturating_sub(self.pool.len());
+            if new_pages_needed > headroom {
+                return Err(CacheError::OutOfPages {
+                    needed: new_pages_needed,
+                    available: headroom,
+                });
+            }
+        }
+        let mut reserved = Vec::with_capacity(new_pages_needed);
+        for _ in 0..new_pages_needed {
+            let idx = self.allocate_page().expect("capacity checked above");
+            reserved.push(idx);
+        }
+        self.seqs
+            .get_mut(&seq.0)
+            .expect("checked by caller")
+            .pages
+            .extend(reserved);
+        Ok(())
     }
 
     /// Appends already-quantized K/V blocks (e.g. relayed from another
@@ -344,30 +588,8 @@ impl QuantKvCache {
         if !self.seqs.contains_key(&seq.0) {
             return Err(CacheError::UnknownSequence { seq: seq.0 });
         }
-
-        // Reserve pages up front so failure cannot leave partial appends.
-        let (cur_len, cur_pages) = {
-            let s = &self.seqs[&seq.0];
-            (s.len, s.pages.len())
-        };
-        let needed_total_pages = (cur_len + t).div_ceil(self.config.page_size);
-        let new_pages_needed = needed_total_pages.saturating_sub(cur_pages);
-        if let Some(max) = self.config.max_pages {
-            let headroom = self.free.len() + max.saturating_sub(self.pool.len());
-            if new_pages_needed > headroom {
-                return Err(CacheError::OutOfPages {
-                    needed: new_pages_needed,
-                    available: headroom,
-                });
-            }
-        }
-        let mut reserved = Vec::with_capacity(new_pages_needed);
-        for _ in 0..new_pages_needed {
-            let idx = self.allocate_page().expect("capacity checked above");
-            reserved.push(idx);
-        }
+        self.reserve_pages(seq, t)?;
         let state = self.seqs.get_mut(&seq.0).expect("checked above");
-        state.pages.extend(reserved);
 
         // Copy per-token code/scale rows into page slots. Every slot a
         // token lands in is fully overwritten — codes, scales AND
@@ -399,6 +621,12 @@ impl QuantKvCache {
     /// Gathers a sequence's quantized K, V and positions in append order,
     /// bitwise equal to a contiguous [`QuantizedKv`] grown by
     /// [`QuantizedKv::extend`] over the same appends.
+    ///
+    /// This copies codes and scales out of the pages. The attention hot
+    /// path does **not** need it — kernels attend the pages in place via
+    /// [`QuantKvCache::view`] — but the ring pass-KV wire path does: a
+    /// rank's whole quantized shard is serialized onto the ring exactly
+    /// once per forward, and that payload must be contiguous.
     ///
     /// # Errors
     ///
@@ -439,8 +667,13 @@ impl QuantKvCache {
     }
 
     /// Dequantizes a sequence back to `[len, n_kv_heads, head_dim]` K/V
-    /// tensors plus positions — the (lossy) contiguous form attention
-    /// kernels take.
+    /// tensors plus positions.
+    ///
+    /// **A/B reference only.** The kernels attend quantized pages in place
+    /// through [`QuantKvCache::view`] with per-head dequantization into a
+    /// reused scratch; this full `gather` + `dequantize` round-trip exists
+    /// so tests can pin the in-place path bitwise against the materialized
+    /// tensors it replaced. Production paths must not call it.
     ///
     /// # Errors
     ///
@@ -450,8 +683,55 @@ impl QuantKvCache {
         Ok((qk.dequantize(), qv.dequantize(), pos))
     }
 
+    /// Borrows a sequence's quantized pages as a zero-copy
+    /// [`QuantKvView`] — the quantized analogue of
+    /// [`crate::PagedKvCache::view`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::UnknownSequence`] if absent.
+    pub fn view(&self, seq: SeqId) -> Result<QuantKvView<'_>, CacheError> {
+        let state = self
+            .seqs
+            .get(&seq.0)
+            .ok_or(CacheError::UnknownSequence { seq: seq.0 })?;
+        let tok = self.config.token_numel();
+        let hs = self.config.n_kv_heads;
+        let ps = self.config.page_size;
+        let n_pages = state.len.div_ceil(ps);
+        let mut view = QuantKvView {
+            k_codes: Vec::with_capacity(n_pages),
+            k_scales: Vec::with_capacity(n_pages),
+            v_codes: Vec::with_capacity(n_pages),
+            v_scales: Vec::with_capacity(n_pages),
+            pos: Vec::with_capacity(state.len),
+            page_size: ps,
+            n_heads: hs,
+            head_dim: self.config.head_dim,
+            len: state.len,
+        };
+        for (p, page) in state
+            .pages
+            .iter()
+            .take(n_pages)
+            .filter_map(|&idx| self.pool.get(idx))
+            .enumerate()
+        {
+            let rows = (state.len - p * ps).min(ps);
+            view.k_codes.push(&page.k_codes[..rows * tok]);
+            view.k_scales.push(&page.k_scales[..rows * hs]);
+            view.v_codes.push(&page.v_codes[..rows * tok]);
+            view.v_scales.push(&page.v_scales[..rows * hs]);
+            view.pos.extend_from_slice(&page.pos[..rows]);
+        }
+        Ok(view)
+    }
+
     /// Shrinks a sequence to `new_len` tokens (dropping the most recent
-    /// ones), releasing now-empty pages back to the free list.
+    /// ones), releasing now-empty pages back to the free list. The kept
+    /// partial page's `used` watermark is rolled back too, so a later
+    /// reappend sees an occupancy that matches the sequence length instead
+    /// of the stale pre-truncate high-water mark.
     ///
     /// # Errors
     ///
@@ -472,6 +752,10 @@ impl QuantKvCache {
         let pages_needed = new_len.div_ceil(ps);
         let released: Vec<usize> = state.pages.split_off(pages_needed);
         state.len = new_len;
+        if let Some(&last) = state.pages.last() {
+            let tail = new_len - (pages_needed - 1) * ps;
+            self.pool[last].used = self.pool[last].used.min(tail);
+        }
         for idx in released {
             self.pool[idx].used = 0;
             self.free.push(idx);
@@ -512,6 +796,64 @@ impl QuantKvCache {
         let per_page = 2 * self.config.page_size * self.config.token_numel()
             + 2 * self.config.page_size * self.config.n_kv_heads * 4;
         self.pool.len() * per_page
+    }
+}
+
+/// A borrowed, zero-copy view of one sequence's quantized K/V pages:
+/// per-page INT8 code slices and per-(token, head) scale slices (trimmed to
+/// the tokens they actually hold) plus the positions, in append order.
+///
+/// [`QuantKvView::source`] exposes this directly to the attention kernels
+/// as a `KvSource::quant_paged` — each head vector is dequantized inside
+/// the kernel into a reused scratch, so no f32 copy of the cache is ever
+/// materialized.
+#[derive(Debug, Clone)]
+pub struct QuantKvView<'a> {
+    k_codes: Vec<&'a [i8]>,
+    k_scales: Vec<&'a [f32]>,
+    v_codes: Vec<&'a [i8]>,
+    v_scales: Vec<&'a [f32]>,
+    pos: Vec<usize>,
+    page_size: usize,
+    n_heads: usize,
+    head_dim: usize,
+    len: usize,
+}
+
+impl<'a> QuantKvView<'a> {
+    /// Cached token count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the sequence holds no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tokens per page.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Global positions of the cached tokens, in append order.
+    pub fn positions(&self) -> &[usize] {
+        &self.pos
+    }
+
+    /// The attention-kernel [`KvSource`] over these quantized pages.
+    pub fn source(&self) -> KvSource<'_> {
+        KvSource::quant_paged(
+            &self.k_codes,
+            &self.k_scales,
+            &self.v_codes,
+            &self.v_scales,
+            self.page_size,
+            self.n_heads,
+            self.head_dim,
+            self.len,
+        )
+        .expect("view geometry is consistent by construction")
     }
 }
 
@@ -722,6 +1064,123 @@ mod tests {
         shadow.extend(&QuantizedKv::quantize(&y).unwrap()).unwrap();
         let (gk2, _, _) = cache.gather_quantized(seq).unwrap();
         assert_eq!(gk2, shadow);
+    }
+
+    #[test]
+    fn split_at_then_extend_round_trips_exactly() {
+        let x = DetRng::new(13).tensor(&[7, 2, 5]);
+        let q = QuantizedKv::quantize(&x).unwrap();
+        for mid in 0..=7 {
+            let (mut lo, hi) = q.split_at(mid).unwrap();
+            assert_eq!(lo.tokens(), mid);
+            assert_eq!(hi.tokens(), 7 - mid);
+            lo.extend(&hi).unwrap();
+            assert_eq!(lo, q, "mid={mid}");
+        }
+        assert!(matches!(
+            q.split_at(8),
+            Err(CacheError::BadTruncate {
+                requested: 8,
+                current: 7
+            })
+        ));
+    }
+
+    #[test]
+    fn pad_rows_dequantize_to_exact_zeros() {
+        let x = DetRng::new(14).tensor(&[3, 1, 4]);
+        let mut q = QuantizedKv::quantize(&x).unwrap();
+        q.pad_to(2); // no-op: already longer
+        assert_eq!(q.tokens(), 3);
+        q.pad_to(5);
+        assert_eq!(q.tokens(), 5);
+        let back = q.dequantize();
+        // The original rows are untouched, the pad rows are exact zeros —
+        // matching the f32 ring's zero-padded PAD slots bit for bit.
+        let orig = QuantizedKv::quantize(&x).unwrap().dequantize();
+        assert_eq!(back.slice_dim0(0..3).unwrap(), orig);
+        assert!(back.as_slice()[3 * 4..].iter().all(|&z| z == 0.0));
+    }
+
+    #[test]
+    fn from_parts_validates_and_round_trips() {
+        let x = DetRng::new(15).tensor(&[4, 2, 3]);
+        let q = QuantizedKv::quantize(&x).unwrap();
+        let rebuilt =
+            QuantizedKv::from_parts(q.codes().to_vec(), q.scales().to_vec(), 4, 2, 3).unwrap();
+        assert_eq!(rebuilt, q);
+        assert!(QuantizedKv::from_parts(vec![0; 5], vec![1.0; 8], 4, 2, 3).is_err());
+        assert!(QuantizedKv::from_parts(vec![0; 24], vec![1.0; 7], 4, 2, 3).is_err());
+    }
+
+    #[test]
+    fn view_serves_same_rows_as_gather() {
+        let mut cache = QuantKvCache::new(KvCacheConfig::new(3, 2, 4));
+        let seq = SeqId(1);
+        cache.create_sequence(seq).unwrap();
+        let x = DetRng::new(16).tensor(&[7, 2, 4]); // ragged: 7 = 2*3 + 1
+        cache.append(seq, &x, &x, &[0, 1, 2, 3, 4, 5, 6]).unwrap();
+        let (gk, gv, gpos) = cache.gather_quantized(seq).unwrap();
+        let view = cache.view(seq).unwrap();
+        assert_eq!(view.len(), 7);
+        assert!(!view.is_empty());
+        assert_eq!(view.page_size(), 3);
+        assert_eq!(view.positions(), &gpos[..]);
+        // Every (token, head) vector served by the view's KvSource equals
+        // the dequantized gather row for both K and V.
+        let src = view.source();
+        let dk = gk.dequantize();
+        let dv = gv.dequantize();
+        let mut scratch = vec![0.0f32; 4];
+        for i in 0..7 {
+            for h in 0..2 {
+                let want_k: Vec<f32> = (0..4).map(|d| dk.at(&[i, h, d]).unwrap()).collect();
+                assert_eq!(src.k_head(i, h, 4, &mut scratch).unwrap(), &want_k[..]);
+                let want_v: Vec<f32> = (0..4).map(|d| dv.at(&[i, h, d]).unwrap()).collect();
+                assert_eq!(src.v_head(i, h, 4, &mut scratch).unwrap(), &want_v[..]);
+            }
+        }
+        // Empty sequence: a well-formed, zero-length view.
+        let empty = SeqId(2);
+        cache.create_sequence(empty).unwrap();
+        let ev = cache.view(empty).unwrap();
+        assert!(ev.is_empty());
+        assert_eq!(ev.source().tokens(), 0);
+    }
+
+    #[test]
+    fn append_rows_matches_gather_then_append() {
+        // The sharding hot path: appending a non-contiguous row subset
+        // directly must be bitwise identical to the old staging path
+        // (gather_dim0 into a contiguous tensor, then append).
+        let mut rng = DetRng::new(17);
+        let k = rng.tensor(&[9, 2, 4]);
+        let v = rng.tensor(&[9, 2, 4]);
+        let rows = [0usize, 3, 4, 8];
+        let positions: Vec<usize> = rows.to_vec();
+
+        let mut direct = QuantKvCache::new(KvCacheConfig::new(3, 2, 4));
+        direct.create_sequence(SeqId(0)).unwrap();
+        direct
+            .append_rows(SeqId(0), &k, &v, &rows, &positions)
+            .unwrap();
+
+        let mut staged = QuantKvCache::new(KvCacheConfig::new(3, 2, 4));
+        staged.create_sequence(SeqId(0)).unwrap();
+        let sk = k.gather_dim0(&rows).unwrap();
+        let sv = v.gather_dim0(&rows).unwrap();
+        staged.append(SeqId(0), &sk, &sv, &positions).unwrap();
+
+        assert_eq!(
+            direct.gather_quantized(SeqId(0)).unwrap(),
+            staged.gather_quantized(SeqId(0)).unwrap()
+        );
+
+        // Out-of-range row index is a typed error, not a panic.
+        assert!(matches!(
+            direct.append_rows(SeqId(0), &k, &v, &[9], &[10]),
+            Err(CacheError::BadShape { input: "rows", .. })
+        ));
     }
 
     #[test]

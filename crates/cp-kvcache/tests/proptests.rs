@@ -284,6 +284,89 @@ proptest! {
         }
     }
 
+    /// Attention straight over quantized pages (per-head dequantize into a
+    /// kernel scratch, no materialized f32 copy) is BITWISE equal to
+    /// attention over the gathered-and-dequantized tensors it replaced, and
+    /// within quantization tolerance of the exact f32 attention — across
+    /// ragged page boundaries (`page_size` not dividing the token count),
+    /// multi-turn append batching, freed-and-reused pages, arbitrary block
+    /// sizes, and both the blocked prefill and split-KV decode kernels.
+    #[test]
+    fn quant_paged_attention_bitwise_vs_dequantized_and_close_to_f32(
+        page_size in 1usize..7,
+        chunks in prop::collection::vec(1usize..9, 1..6),
+        block_size in 1usize..20,
+        n_splits in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let shape = GqaShape::new(4, 2, 4).unwrap();
+        let params = AttentionParams::for_shape(shape);
+        let mut cache = QuantKvCache::new(KvCacheConfig::new(page_size, 2, 4));
+        let mut rng = DetRng::new(seed);
+
+        // Churn: a doomed sequence allocates pages, then frees them, so
+        // the sequence under test lands on reused pages.
+        let doomed = SeqId(9);
+        cache.create_sequence(doomed).unwrap();
+        let dk = rng.tensor(&[5, 2, 4]);
+        cache.append(doomed, &dk, &dk, &[0, 1, 2, 3, 4]).unwrap();
+        cache.free_sequence(doomed).unwrap();
+
+        let seq = SeqId(1);
+        cache.create_sequence(seq).unwrap();
+        let mut f32_k: Vec<Tensor> = Vec::new();
+        let mut f32_v: Vec<Tensor> = Vec::new();
+        let mut total = 0usize;
+        for t in chunks {
+            let k = rng.tensor(&[t, 2, 4]);
+            let v = rng.tensor(&[t, 2, 4]);
+            let pos: Vec<usize> = (total..total + t).collect();
+            cache.append(seq, &k, &v, &pos).unwrap();
+            f32_k.push(k);
+            f32_v.push(v);
+            total += t;
+        }
+        let fk = Tensor::concat_dim0(f32_k.iter()).unwrap();
+        let fv = Tensor::concat_dim0(f32_v.iter()).unwrap();
+
+        let (dqk, dqv, gpos) = cache.dequantize(seq).unwrap();
+        let view = cache.view(seq).unwrap();
+        prop_assert_eq!(view.positions(), &gpos[..]);
+        let tol = 0.05f32; // generous vs the ~0.02 pinned unit bound
+
+        // Blocked prefill kernel: two query rows attending from the tail.
+        let q = rng.tensor(&[2, 4, 4]);
+        let q_pos = vec![total.saturating_sub(1), total];
+        let pool = ComputePool::new(2);
+        let deq = blocked_gqa_attention_source(
+            &pool, &q, &KvSource::contiguous(&dqk, &dqv), &params, &q_pos, &gpos, block_size,
+        ).unwrap();
+        let quant = blocked_gqa_attention_source(
+            &pool, &q, &view.source(), &params, &q_pos, &gpos, block_size,
+        ).unwrap();
+        prop_assert_eq!(deq.out.as_slice(), quant.out.as_slice());
+        prop_assert_eq!(deq.lse.as_slice(), quant.lse.as_slice());
+        let exact = blocked_gqa_attention_source(
+            &pool, &q, &KvSource::contiguous(&fk, &fv), &params, &q_pos, &gpos, block_size,
+        ).unwrap();
+        prop_assert!(exact.out.max_abs_diff(&quant.out).unwrap() < tol);
+
+        // Split-KV decode kernel: one query token at the next position.
+        let dq = rng.tensor(&[1, 4, 4]);
+        let dd = flash_decode_source(
+            &dq, &KvSource::contiguous(&dqk, &dqv), &params, &[total], &gpos, n_splits,
+        ).unwrap();
+        let dv2 = flash_decode_source(
+            &dq, &view.source(), &params, &[total], &gpos, n_splits,
+        ).unwrap();
+        prop_assert_eq!(dd.out.as_slice(), dv2.out.as_slice());
+        prop_assert_eq!(dd.lse.as_slice(), dv2.lse.as_slice());
+        let de = flash_decode_source(
+            &dq, &KvSource::contiguous(&fk, &fv), &params, &[total], &gpos, n_splits,
+        ).unwrap();
+        prop_assert!(de.out.max_abs_diff(&dv2.out).unwrap() < tol);
+    }
+
     /// The view stays bit-faithful to gather after truncation rewinds the
     /// sequence to a ragged mid-page length and appends resume from there.
     #[test]

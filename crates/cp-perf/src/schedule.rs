@@ -187,6 +187,20 @@ pub fn hop_bytes_per_layer(
     }
 }
 
+/// Per-hop circulating payload bytes per layer when the pass-KV block is
+/// compressed to the INT8 wire format: each circulating `(token, head)`
+/// vector travels as `d` one-byte codes plus one f32 scale, so a hop
+/// carries `2 (T+P)/W N_KV (d + 4)` bytes independent of the model's
+/// activation precision — a `4d/(d+4) ≈ 3.9×` reduction vs the f32 wire
+/// at `d = 128`. Folding this into the roofline lets the schedule
+/// heuristics price compressed hops: in comm-bound regimes the smaller
+/// payload shifts family selection toward latency-dominated choices.
+pub fn quant_kv_hop_bytes_per_layer(model: &ModelSpec, world: usize, t: usize, p: usize) -> f64 {
+    let w = world.max(1) as f64;
+    let d = model.head_dim as f64;
+    2.0 * ((t + p) as f64 / w) * model.n_kv_heads as f64 * (d + 4.0)
+}
+
 /// Whether the family's forward and reverse payload streams travel
 /// disjoint directed links, so splitting actually halves per-link bytes.
 /// A 2-rank flat ring reuses the single channel pair; the 2×2
@@ -339,6 +353,44 @@ mod tests {
         // Pass-Q: e * T/W * N_H * d.
         let q = hop_bytes_per_layer(&model, RingVariant::PassQ, 4, 1000, 3000);
         assert!((q - 2.0 * 250.0 * 128.0 * 128.0).abs() < 1e-6, "{q}");
+    }
+
+    #[test]
+    fn quant_hop_bytes_shrink_by_the_code_plus_scale_ratio() {
+        let model = ModelSpec::llama3_405b();
+        let f32_wire = 2.0 * 4.0 * 1000.0 * 8.0 * 128.0; // e = 4 on the wire
+        let quant = quant_kv_hop_bytes_per_layer(&model, 4, 1000, 3000);
+        assert!((quant - 2.0 * 1000.0 * 8.0 * 132.0).abs() < 1e-6, "{quant}");
+        let ratio = f32_wire / quant;
+        assert!((ratio - 4.0 * 128.0 / 132.0).abs() < 1e-9, "{ratio}");
+        assert!(ratio > 3.8);
+    }
+
+    #[test]
+    fn compressed_payload_cuts_comm_bound_time_by_the_wire_ratio() {
+        // In a comm-bound regime (negligible latency) compression cuts
+        // every family's ring time by the full 4d/(d+4) wire ratio and
+        // leaves the family ranking unchanged — so Auto keeps its routing
+        // choice and banks the byte reduction.
+        let spec = asym(2, 3);
+        let model = ModelSpec::llama3_405b();
+        let f32_bytes =
+            4.0 / model.act_bytes * hop_bytes_per_layer(&model, RingVariant::PassKv, 6, 60_000, 0);
+        let quant_bytes = quant_kv_hop_bytes_per_layer(&model, 6, 60_000, 0);
+        let no_lat = TopologySpec {
+            latency_us: 0.0,
+            ..spec
+        };
+        for family in ScheduleFamily::ALL {
+            let full = comm_time_s(family, &no_lat, f32_bytes);
+            let compressed = comm_time_s(family, &no_lat, quant_bytes);
+            let speedup = full / compressed;
+            assert!((speedup - 4.0 * 128.0 / 132.0).abs() < 1e-9, "{speedup}");
+        }
+        assert_eq!(
+            choose_family(&spec, f32_bytes).name(),
+            choose_family(&spec, quant_bytes).name()
+        );
     }
 
     #[test]

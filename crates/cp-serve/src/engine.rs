@@ -4,23 +4,24 @@ use std::collections::BTreeMap;
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use cp_attention::PAD;
-use cp_comm::TrafficReport;
 use cp_comm::Topology;
+use cp_comm::TrafficReport;
 use cp_core::heuristics::{choose_variant, HeuristicKind, SystemContext};
 use cp_core::ring::{
     decode_slot_layout, ring_pass_kv_prefill_bidi, ring_pass_kv_prefill_on,
-    ring_pass_q_decode_bidi_kv, ring_pass_q_decode_kv, ring_pass_q_prefill_bidi_kv,
-    ring_pass_q_prefill_kv_on, run_ring_on, RankKv,
+    ring_pass_kv_prefill_quant_bidi, ring_pass_kv_prefill_quant_on, ring_pass_q_decode_bidi_kv,
+    ring_pass_q_decode_kv, ring_pass_q_prefill_bidi_kv, ring_pass_q_prefill_kv_on, run_ring_on,
+    RankKv,
 };
 use cp_core::schedule::{
-    decode_bidi_plan, decode_plan, pass_kv_bidi_plan, pass_kv_plan_on, pass_q_bidi_plan,
-    pass_q_plan_on, stacked_plan, RingLayout,
+    decode_bidi_plan, decode_plan, pass_kv_bidi_plan, pass_kv_plan_on, pass_kv_quant_bidi_plan,
+    pass_kv_quant_plan_on, pass_q_bidi_plan, pass_q_plan_on, stacked_plan, RingLayout,
 };
-use cp_core::{CoreError, DecodeSlot, LocalSeq, RingMsg, SchedulePolicy, SeqKv, SeqQ};
-use cp_kvcache::{CacheStats, KvCacheConfig, PagedKvCache, SeqId};
+use cp_core::{CoreError, DecodeSlot, KvPrecision, LocalSeq, RingMsg, SchedulePolicy, SeqKv, SeqQ};
+use cp_kvcache::{CacheStats, KvCacheConfig, PagedKvCache, QuantKvCache, SeqId};
 use cp_model::rope::apply_rope;
 use cp_model::{rms_norm_on, Linear, Transformer};
-use cp_perf::schedule::{choose_family, hop_bytes_per_layer};
+use cp_perf::schedule::{choose_family, hop_bytes_per_layer, quant_kv_hop_bytes_per_layer};
 use cp_perf::{RingDirection, RingTopologyKind, RingVariant, TopologySpec};
 use cp_pool::ComputePool;
 use cp_sharding::shard_new_tokens;
@@ -132,6 +133,12 @@ pub struct TransformerEngine {
     /// `ranks[r]` holds rank `r`'s per-layer caches; each rank thread
     /// locks only its own entry during a fabric session.
     ranks: Vec<Mutex<Vec<PagedKvCache>>>,
+    /// Rank-/layer-parallel INT8 page pools, populated only at
+    /// [`KvPrecision::Int8Total`]; kept in lockstep with `ranks`.
+    qranks: Vec<Mutex<Vec<QuantKvCache>>>,
+    /// The per-(rank, layer) cache geometry, kept so precision builders
+    /// can allocate matching INT8 pools.
+    cache_cfg: KvCacheConfig,
     heuristic_ctx: SystemContext,
     sessions: BTreeMap<u64, SessionState>,
     /// When set, every turn runs under a `CheckedFabric` that validates
@@ -148,6 +155,8 @@ pub struct TransformerEngine {
     gather_hot_kv: bool,
     /// Ring schedule family (direction × layout) for every turn's rings.
     schedule: SchedulePolicy,
+    /// KV storage / wire precision (see [`KvPrecision`]).
+    kv_precision: KvPrecision,
 }
 
 /// One projection, routed through the pooled tiled kernel or — in
@@ -169,7 +178,7 @@ fn project(
 /// thread panicked while holding it; the cache data itself is still
 /// consistent (appends are transactional), so serving continues instead of
 /// propagating the panic.
-fn lock_caches(m: &Mutex<Vec<PagedKvCache>>) -> MutexGuard<'_, Vec<PagedKvCache>> {
+fn lock_caches<T>(m: &Mutex<Vec<T>>) -> MutexGuard<'_, Vec<T>> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -216,13 +225,45 @@ impl TransformerEngine {
             model,
             n_ranks,
             ranks,
+            qranks: Vec::new(),
+            cache_cfg,
             sessions: BTreeMap::new(),
             check_schedules: false,
             pool_threads: 0,
             reference_gemm: false,
             gather_hot_kv: false,
             schedule: SchedulePolicy::default(),
+            kv_precision: KvPrecision::default(),
         })
+    }
+
+    /// Sets the KV precision level: `F32` is exact, `Int8Wire` compresses
+    /// the circulating pass-KV ring payloads (~`4d/(d+4)`× fewer bytes
+    /// per hop), `Int8Total` additionally stores KV as INT8 pages and
+    /// attends them in place on the pass-Q/decode hot paths. A/B builder
+    /// in the [`TransformerEngine::with_gathered_hot_kv`] style — call it
+    /// at construction, before any session holds tokens.
+    #[must_use]
+    pub fn with_kv_precision(mut self, precision: KvPrecision) -> Self {
+        self.kv_precision = precision;
+        if precision == KvPrecision::Int8Total && self.qranks.is_empty() {
+            let layers = self.model.config().n_layers;
+            let cfg = self.cache_cfg;
+            self.qranks = (0..self.n_ranks)
+                .map(|_| {
+                    let mut layer_caches: Vec<QuantKvCache> =
+                        (0..layers).map(|_| QuantKvCache::new(cfg)).collect();
+                    // Mirror already-registered (still empty) sessions.
+                    for &sid in self.sessions.keys() {
+                        for cache in &mut layer_caches {
+                            let _ = cache.create_sequence(SeqId(sid));
+                        }
+                    }
+                    Mutex::new(layer_caches)
+                })
+                .collect();
+        }
+        self
     }
 
     /// Pins the ring schedule family (payload direction × link layout)
@@ -265,8 +306,14 @@ impl TransformerEngine {
                         ),
                     }));
                 }
-                let bytes =
-                    hop_bytes_per_layer(&self.heuristic_ctx.model, variant, topo.world(), t, p);
+                let bytes = match (variant, self.kv_precision) {
+                    (RingVariant::PassKv, KvPrecision::Int8Wire | KvPrecision::Int8Total) => {
+                        quant_kv_hop_bytes_per_layer(&self.heuristic_ctx.model, topo.world(), t, p)
+                    }
+                    _ => {
+                        hop_bytes_per_layer(&self.heuristic_ctx.model, variant, topo.world(), t, p)
+                    }
+                };
                 let family = choose_family(topo, bytes);
                 let layout = match family.topology {
                     RingTopologyKind::Flat => RingLayout::Flat,
@@ -396,6 +443,11 @@ impl TransformerEngine {
                 }
             }
         }
+        for rank in &self.qranks {
+            for cache in lock_caches(rank).iter_mut() {
+                let _ = cache.create_sequence(seq);
+            }
+        }
         self.sessions.insert(seq.0, SessionState::default());
         Ok(())
     }
@@ -410,6 +462,11 @@ impl TransformerEngine {
             return Err(ServeError::UnknownSession { seq });
         }
         for rank in &self.ranks {
+            for cache in lock_caches(rank).iter_mut() {
+                let _ = cache.free_sequence(seq);
+            }
+        }
+        for rank in &self.qranks {
             for cache in lock_caches(rank).iter_mut() {
                 let _ = cache.free_sequence(seq);
             }
@@ -660,8 +717,7 @@ impl TransformerEngine {
         let variant = turn.variant;
         let base = turn.base;
         let tokens = &turn.tokens;
-        let (direction, layout) =
-            self.resolve_schedule(variant, turn.tokens.len(), turn.base)?;
+        let (direction, layout) = self.resolve_schedule(variant, turn.tokens.len(), turn.base)?;
 
         // Declared schedule for checked mode: plans depend only on shapes,
         // so zero tensors of the per-rank geometry reproduce exactly what
@@ -680,13 +736,24 @@ impl TransformerEngine {
                     }]
                 })
                 .collect();
-            let layer_plan = match (variant, direction) {
-                (RingVariant::PassKv, RingDirection::Uni) => pass_kv_plan_on(&locals, layout)?,
-                (RingVariant::PassKv, RingDirection::Bidi) => pass_kv_bidi_plan(&locals, layout)?,
-                (RingVariant::PassQ, RingDirection::Uni) => {
+            let compressed = self.kv_precision != KvPrecision::F32;
+            let layer_plan = match (variant, direction, compressed) {
+                (RingVariant::PassKv, RingDirection::Uni, false) => {
+                    pass_kv_plan_on(&locals, layout)?
+                }
+                (RingVariant::PassKv, RingDirection::Bidi, false) => {
+                    pass_kv_bidi_plan(&locals, layout)?
+                }
+                (RingVariant::PassKv, RingDirection::Uni, true) => {
+                    pass_kv_quant_plan_on(&locals, layout)?
+                }
+                (RingVariant::PassKv, RingDirection::Bidi, true) => {
+                    pass_kv_quant_bidi_plan(&locals, layout)?
+                }
+                (RingVariant::PassQ, RingDirection::Uni, _) => {
                     pass_q_plan_on(&params, &locals, layout)?
                 }
-                (RingVariant::PassQ, RingDirection::Bidi) => {
+                (RingVariant::PassQ, RingDirection::Bidi, _) => {
                     pass_q_bidi_plan(&params, &locals, layout)?
                 }
             };
@@ -700,6 +767,9 @@ impl TransformerEngine {
         // row-bands and ring compute share one set of worker threads.
         let reference = self.reference_gemm;
         let gather_hot = self.gather_hot_kv;
+        let compressed = self.kv_precision != KvPrecision::F32;
+        let total_quant = self.kv_precision == KvPrecision::Int8Total;
+        let qranks = &self.qranks;
         let body = move |comm: &cp_comm::Communicator<RingMsg>| {
             let r = comm.rank();
             let pool = comm.pool();
@@ -711,6 +781,7 @@ impl TransformerEngine {
             let t_local = positions.len();
             let dh = shape.head_dim();
             let mut caches = lock_caches(&ranks[r]);
+            let mut qcaches = qranks.get(r).filter(|_| total_quant).map(lock_caches);
             let mut x = model.embed(&local_tokens);
             for (l, block) in model.blocks().iter().enumerate() {
                 let h = rms_norm_on(pool, &x, config.norm_eps)?;
@@ -732,6 +803,9 @@ impl TransformerEngine {
                 apply_rope(&mut q, positions, config.rope_base)?;
                 apply_rope(&mut k, positions, config.rope_base)?;
                 caches[l].append(seq, &k, &v, positions)?;
+                if let Some(qc) = qcaches.as_mut() {
+                    qc[l].append(seq, &k, &v, positions)?;
+                }
 
                 let attn = match variant {
                     // Pass-KV circulates KV on the wire, so it must
@@ -749,23 +823,32 @@ impl TransformerEngine {
                             kv_pos: cpos,
                         };
                         let local = std::slice::from_ref(&local);
-                        match direction {
-                            RingDirection::Uni => {
+                        match (direction, compressed) {
+                            (RingDirection::Uni, false) => {
                                 ring_pass_kv_prefill_on(comm, &params, local, layout)?
                             }
-                            RingDirection::Bidi => {
+                            (RingDirection::Bidi, false) => {
                                 ring_pass_kv_prefill_bidi(comm, &params, local, layout)?
+                            }
+                            (RingDirection::Uni, true) => {
+                                ring_pass_kv_prefill_quant_on(comm, &params, local, layout)?
+                            }
+                            (RingDirection::Bidi, true) => {
+                                ring_pass_kv_prefill_quant_bidi(comm, &params, local, layout)?
                             }
                         }
                     }
                     // Pass-Q keeps KV resident: attend straight over the
-                    // paged cache (zero-copy), or gather in A/B mode.
+                    // paged cache (zero-copy f32 or INT8 pages), or gather
+                    // in A/B mode.
                     RingVariant::PassQ => {
                         let queries = [SeqQ {
                             q,
                             pos: positions.to_vec(),
                         }];
-                        let kv = if gather_hot {
+                        let kv = if let Some(qc) = qcaches.as_ref() {
+                            [RankKv::QuantView(qc[l].view(seq)?)]
+                        } else if gather_hot {
                             let (ck, cv, cpos) = caches[l].gather(seq)?;
                             [RankKv::tensors(SeqKv {
                                 k: ck,
@@ -806,6 +889,11 @@ impl TransformerEngine {
             Ok(v) => v,
             Err(e) => {
                 for (rank, &len) in self.ranks.iter().zip(&snapshot) {
+                    for cache in lock_caches(rank).iter_mut() {
+                        let _ = cache.truncate(seq, len);
+                    }
+                }
+                for (rank, &len) in self.qranks.iter().zip(&snapshot) {
                     for cache in lock_caches(rank).iter_mut() {
                         let _ = cache.truncate(seq, len);
                     }
@@ -964,10 +1052,13 @@ impl TransformerEngine {
 
         let reference = self.reference_gemm;
         let gather_hot = self.gather_hot_kv;
+        let total_quant = self.kv_precision == KvPrecision::Int8Total;
+        let qranks = &self.qranks;
         let body = move |comm: &cp_comm::Communicator<RingMsg>| {
             let r = comm.rank();
             let pool = comm.pool();
             let mut caches = lock_caches(&ranks[r]);
+            let mut qcaches = qranks.get(r).filter(|_| total_quant).map(lock_caches);
             let dh = shape.head_dim();
             let owned: &[(usize, u32, usize, SeqId)] =
                 assigned_ref.get(r).map(Vec::as_slice).unwrap_or(&[]);
@@ -1003,6 +1094,9 @@ impl TransformerEngine {
                         let k_j = k_all.slice_dim0(j..j + 1)?;
                         let v_j = v_all.slice_dim0(j..j + 1)?;
                         caches[l].append(seq, &k_j, &v_j, &[pos])?;
+                        if let Some(qc) = qcaches.as_mut() {
+                            qc[l].append(seq, &k_j, &v_j, &[pos])?;
+                        }
                         slots.push(Some(DecodeSlot {
                             bid,
                             q: q_all.slice_dim0(j..j + 1)?,
@@ -1017,7 +1111,9 @@ impl TransformerEngine {
                 // O(context) gather copy.
                 let mut batch_kv: Vec<RankKv<'_>> = Vec::with_capacity(batch_seqs_ref.len());
                 for &seq in batch_seqs_ref {
-                    batch_kv.push(if gather_hot {
+                    batch_kv.push(if let Some(qc) = qcaches.as_ref() {
+                        RankKv::QuantView(qc[l].view(seq)?)
+                    } else if gather_hot {
                         let (ck, cv, cpos) = caches[l].gather(seq)?;
                         RankKv::tensors(SeqKv {
                             k: ck,
@@ -1063,6 +1159,11 @@ impl TransformerEngine {
             Err(e) => {
                 for &(owner, seq, len) in &snapshots {
                     if let Some(rank) = self.ranks.get(owner) {
+                        for cache in lock_caches(rank).iter_mut() {
+                            let _ = cache.truncate(seq, len);
+                        }
+                    }
+                    if let Some(rank) = self.qranks.get(owner) {
                         for cache in lock_caches(rank).iter_mut() {
                             let _ = cache.truncate(seq, len);
                         }

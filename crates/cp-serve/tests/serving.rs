@@ -278,7 +278,10 @@ fn bidi_schedule_is_bit_identical_and_plan_covered() {
             for (i, chunk) in trace.iter().enumerate() {
                 let decode = chunk.len() == 1 && i > 0;
                 let (b, p) = if decode {
-                    (bidi.decode(chunk[0]).unwrap(), plain.decode(chunk[0]).unwrap())
+                    (
+                        bidi.decode(chunk[0]).unwrap(),
+                        plain.decode(chunk[0]).unwrap(),
+                    )
                 } else {
                     (
                         bidi.prefill_with(chunk, forced).unwrap(),
@@ -358,5 +361,162 @@ fn auto_schedule_serves_exactly_on_asymmetric_links() {
             "step {i}: max diff {}",
             out.activations.max_abs_diff(&expected[i]).unwrap()
         );
+    }
+}
+
+#[test]
+fn int8_wire_compresses_pass_kv_traffic_and_stays_close() {
+    // Int8Wire keeps KV storage and pass-Q/decode untouched but ships
+    // pass-KV ring payloads as INT8 codes + per-(token, head) scales:
+    // at head_dim 8 a token's KV block is 48 wire bytes instead of 128.
+    // Activations must track the f32 engine within the documented
+    // tolerance, and forced pass-KV prefills must move strictly fewer
+    // SendRecv bytes (decode is pass-Q and stays byte-identical).
+    use cp_core::KvPrecision;
+    let trace: &[&[u32]] = &[
+        &[1, 2, 3, 4, 5, 6, 7, 8, 9],
+        &[100],
+        &[10, 11, 12, 13, 14],
+        &[101],
+        &[102],
+    ];
+    for n in [2usize, 4] {
+        let mut exact = TransformerEngine::new(model(61), n).unwrap();
+        let mut quant = TransformerEngine::new(model(61), n)
+            .unwrap()
+            .with_kv_precision(KvPrecision::Int8Wire);
+        let mut saw_error = false;
+        for (i, chunk) in trace.iter().enumerate() {
+            let decode = chunk.len() == 1 && i > 0;
+            let (e, q) = if decode {
+                (
+                    exact.decode(chunk[0]).unwrap(),
+                    quant.decode(chunk[0]).unwrap(),
+                )
+            } else {
+                (
+                    exact
+                        .prefill_with(chunk, Some(RingVariant::PassKv))
+                        .unwrap(),
+                    quant
+                        .prefill_with(chunk, Some(RingVariant::PassKv))
+                        .unwrap(),
+                )
+            };
+            let err = e.activations.max_abs_diff(&q.activations).unwrap();
+            assert!(err < 0.25, "n={n} step {i}: INT8 wire drift {err}");
+            saw_error |= err > 0.0;
+            if decode {
+                // Decode rings never quantize: same bytes as f32.
+                assert_eq!(e.traffic.send_recv_bytes, q.traffic.send_recv_bytes);
+            } else {
+                // head_dim 8 compresses 128 -> 48 bytes per token block
+                // (> 2.6x); the scales keep it from hitting a full 4x.
+                assert!(
+                    2 * q.traffic.send_recv_bytes < e.traffic.send_recv_bytes,
+                    "n={n} step {i}: quant hop bytes {} vs f32 {}",
+                    q.traffic.send_recv_bytes,
+                    e.traffic.send_recv_bytes
+                );
+            }
+        }
+        assert!(saw_error, "n={n}: quantized run was bit-identical to f32");
+        assert_eq!(exact.context_len(), quant.context_len());
+    }
+}
+
+#[test]
+fn int8_total_multi_turn_stays_close_across_variants() {
+    // Int8Total additionally stores KV as INT8 pages and attends them in
+    // place on the pass-Q prefill and decode hot paths (the f32 pool
+    // remains the rollback master). A mixed multi-turn trace across both
+    // forced variants must stay within tolerance of the f32 engine, with
+    // cache bookkeeping (context_len) in lockstep.
+    use cp_core::KvPrecision;
+    let trace: &[&[u32]] = &[
+        &[1, 2, 3, 4, 5, 6, 7, 8],
+        &[100],
+        &[101],
+        &[10, 11, 12],
+        &[102],
+    ];
+    for n in [2usize, 3] {
+        for forced in [Some(RingVariant::PassKv), Some(RingVariant::PassQ), None] {
+            let mut exact = TransformerEngine::new(model(67), n).unwrap();
+            let mut quant = TransformerEngine::new(model(67), n)
+                .unwrap()
+                .with_kv_precision(KvPrecision::Int8Total);
+            for (i, chunk) in trace.iter().enumerate() {
+                let decode = chunk.len() == 1 && i > 0;
+                let (e, q) = if decode {
+                    (
+                        exact.decode(chunk[0]).unwrap(),
+                        quant.decode(chunk[0]).unwrap(),
+                    )
+                } else {
+                    (
+                        exact.prefill_with(chunk, forced).unwrap(),
+                        quant.prefill_with(chunk, forced).unwrap(),
+                    )
+                };
+                let err = e.activations.max_abs_diff(&q.activations).unwrap();
+                assert!(
+                    err < 0.25,
+                    "n={n} forced={forced:?} step {i}: INT8 total drift {err}"
+                );
+            }
+            assert_eq!(exact.context_len(), quant.context_len());
+        }
+    }
+}
+
+#[test]
+fn int8_wire_checked_schedules_validate_quant_plans() {
+    // Live schedule checking with compressed hops: the declared plans
+    // come from the quant template builders, so every per-hop byte count
+    // the fabric observes must match the INT8 wire format exactly — for
+    // both ring directions.
+    use cp_core::schedule::RingLayout;
+    use cp_core::KvPrecision;
+    use cp_perf::RingDirection;
+    let trace: &[&[u32]] = &[
+        &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
+        &[100],
+        &[11, 12, 13],
+        &[101],
+    ];
+    for direction in [RingDirection::Uni, RingDirection::Bidi] {
+        let mut checked = TransformerEngine::new(model(71), 4)
+            .unwrap()
+            .with_schedule(direction, RingLayout::Flat)
+            .with_kv_precision(KvPrecision::Int8Wire)
+            .with_schedule_checking(true);
+        let mut plain = TransformerEngine::new(model(71), 4)
+            .unwrap()
+            .with_schedule(direction, RingLayout::Flat)
+            .with_kv_precision(KvPrecision::Int8Wire);
+        for (i, chunk) in trace.iter().enumerate() {
+            let decode = chunk.len() == 1 && i > 0;
+            let (c, p) = if decode {
+                (
+                    checked.decode(chunk[0]).unwrap(),
+                    plain.decode(chunk[0]).unwrap(),
+                )
+            } else {
+                (
+                    checked
+                        .prefill_with(chunk, Some(RingVariant::PassKv))
+                        .unwrap(),
+                    plain
+                        .prefill_with(chunk, Some(RingVariant::PassKv))
+                        .unwrap(),
+                )
+            };
+            assert_eq!(
+                c.activations, p.activations,
+                "direction={direction:?} step {i}: checked quant run must be bit-identical"
+            );
+            assert_eq!(c.traffic.send_recv_bytes, p.traffic.send_recv_bytes);
+        }
     }
 }

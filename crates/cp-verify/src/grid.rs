@@ -12,8 +12,8 @@ use cp_attention::{AttentionParams, GqaShape};
 use cp_comm::{CommPlan, Topology};
 use cp_core::schedule::{
     all_gather_pass_kv_plan, decode_bidi_plan, decode_plan, pass_kv_bidi_plan,
-    pass_kv_chunked_plan, pass_kv_plan, pass_kv_plan_on, pass_q_bidi_plan, pass_q_plan,
-    pass_q_plan_on, RingLayout,
+    pass_kv_chunked_plan, pass_kv_plan, pass_kv_plan_on, pass_kv_quant_bidi_plan,
+    pass_kv_quant_plan_on, pass_q_bidi_plan, pass_q_plan, pass_q_plan_on, RingLayout,
 };
 use cp_core::{CoreError, DecodeSlot, LocalSeq};
 use cp_tensor::Tensor;
@@ -133,6 +133,14 @@ pub fn grid_cases(cp: usize) -> Result<Vec<GridCase>, CoreError> {
                 name: format!("cp{cp}/all_gather/t{t}/{tag}"),
                 plan: all_gather_pass_kv_plan(&locals)?,
             });
+            // Compressed pass-KV families ride a `quant_kv` prefix of
+            // their own: their whole point is moving *fewer* bytes than
+            // the f32 `pass_kv` base, so they must not pattern-match into
+            // the volume-preservation law below.
+            cases.push(GridCase {
+                name: format!("cp{cp}/quant_kv/t{t}/{tag}"),
+                plan: pass_kv_quant_plan_on(&locals, RingLayout::Flat)?,
+            });
             if cp >= 2 {
                 cases.push(GridCase {
                     name: format!("cp{cp}/pass_kv_bidi/t{t}/{tag}"),
@@ -145,6 +153,10 @@ pub fn grid_cases(cp: usize) -> Result<Vec<GridCase>, CoreError> {
                 cases.push(GridCase {
                     name: format!("cp{cp}/pass_kv_chunked/t{t}/{tag}"),
                     plan: pass_kv_chunked_plan(&locals)?,
+                });
+                cases.push(GridCase {
+                    name: format!("cp{cp}/quant_kv_bidi/t{t}/{tag}"),
+                    plan: pass_kv_quant_bidi_plan(&locals, RingLayout::Flat)?,
                 });
             }
             for topo in hier_topos(cp) {
@@ -165,6 +177,14 @@ pub fn grid_cases(cp: usize) -> Result<Vec<GridCase>, CoreError> {
                 cases.push(GridCase {
                     name: format!("cp{cp}/pass_q_bidi_{hier}/t{t}/{tag}"),
                     plan: pass_q_bidi_plan(&params, &locals, layout)?,
+                });
+                cases.push(GridCase {
+                    name: format!("cp{cp}/quant_kv_{hier}/t{t}/{tag}"),
+                    plan: pass_kv_quant_plan_on(&locals, layout)?,
+                });
+                cases.push(GridCase {
+                    name: format!("cp{cp}/quant_kv_bidi_{hier}/t{t}/{tag}"),
+                    plan: pass_kv_quant_bidi_plan(&locals, layout)?,
                 });
             }
         }
@@ -210,6 +230,10 @@ mod tests {
             "pass_kv_bidi_hier2x2/",
             "pass_q_bidi_hier2x2/",
             "decode_bidi/",
+            "quant_kv/",
+            "quant_kv_bidi/",
+            "quant_kv_hier2x2/",
+            "quant_kv_bidi_hier2x2/",
         ] {
             assert!(cases.iter().any(|c| c.name.contains(alg)), "missing {alg}");
         }
@@ -346,6 +370,42 @@ mod tests {
     }
 
     #[test]
+    fn quant_families_halve_the_ring_volume_layout_free() {
+        // Compressed hops beat the f32 base — exactly 2x at the grid's
+        // head_dim 4 (`2·(d+4)` vs `2·d·4` bytes per (token, kv-head)
+        // block) — and, like the f32 families, splitting (bidi) or
+        // re-routing (hier) the codes never changes the total volume.
+        for cp in [2, 3, 4, 5, 8] {
+            let cases = grid_cases(cp).unwrap();
+            for case in &cases {
+                let Some((alg, rest)) = case
+                    .name
+                    .strip_prefix(&format!("cp{cp}/"))
+                    .and_then(|s| s.split_once('/'))
+                else {
+                    continue;
+                };
+                if !alg.starts_with("quant_kv") {
+                    continue;
+                }
+                let find = |name: &str| {
+                    cases
+                        .iter()
+                        .find(|c| c.name == format!("cp{cp}/{name}/{rest}"))
+                        .expect("matching base case")
+                        .plan
+                        .predicted_traffic()
+                        .send_recv
+                        .bytes
+                };
+                let got = case.plan.predicted_traffic().send_recv.bytes;
+                assert_eq!(got, find("quant_kv"), "{}", case.name);
+                assert_eq!(2 * got, find("pass_kv"), "{}", case.name);
+            }
+        }
+    }
+
+    #[test]
     fn every_family_moves_the_unidirectional_ring_volume() {
         // Splitting the payload (bidi), cutting it into pipelined chunks,
         // or re-routing it hierarchically changes *when* bytes move and on
@@ -374,16 +434,8 @@ mod tests {
                     .expect("matching base case");
                 let got = case.plan.predicted_traffic();
                 let want = base.plan.predicted_traffic();
-                assert_eq!(
-                    got.send_recv.bytes, want.send_recv.bytes,
-                    "{}",
-                    case.name
-                );
-                assert_eq!(
-                    got.all_to_all.bytes, want.all_to_all.bytes,
-                    "{}",
-                    case.name
-                );
+                assert_eq!(got.send_recv.bytes, want.send_recv.bytes, "{}", case.name);
+                assert_eq!(got.all_to_all.bytes, want.all_to_all.bytes, "{}", case.name);
             }
         }
     }

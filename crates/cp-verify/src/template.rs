@@ -72,10 +72,13 @@ use cp_attention::AttentionParams;
 use cp_comm::{CommOp, CommPlan, PredictedTraffic, RankPlan, Topology, Wire};
 use cp_core::schedule::{
     all_gather_pass_kv_plan, all_gather_plan, all_reduce_plan, decode_bidi_plan, decode_plan,
-    pass_kv_bidi_plan, pass_kv_plan, pass_kv_plan_on, pass_q_bidi_plan, pass_q_plan,
-    pass_q_plan_on, stacked_plan, RingLayout, RingPath,
+    pass_kv_bidi_plan, pass_kv_plan, pass_kv_plan_on, pass_kv_quant_bidi_plan,
+    pass_kv_quant_plan_on, pass_q_bidi_plan, pass_q_plan, pass_q_plan_on, stacked_plan, RingLayout,
+    RingPath,
 };
-use cp_core::{split_slot_vec, CoreError, DecodeSlot, LocalSeq, RingMsg, SeqKv, SeqQ, ELEM_BYTES};
+use cp_core::{
+    split_slot_vec, CoreError, DecodeSlot, LocalSeq, QuantSeqKv, RingMsg, SeqKv, SeqQ, ELEM_BYTES,
+};
 
 use crate::grid::{grid_locals, grid_params, grid_slots};
 
@@ -941,9 +944,10 @@ pub fn check_template(template: &SymTemplate) -> Vec<SymViolation> {
                 first,
                 second,
             } => {
-                for (half, expr, dir) in
-                    [("forward", first, PathDir::Fwd), ("reverse", second, PathDir::Rev)]
-                {
+                for (half, expr, dir) in [
+                    ("forward", first, PathDir::Fwd),
+                    ("reverse", second, PathDir::Rev),
+                ] {
                     check_table(&mut v, expr.table, "bidirectional trailing gather");
                     if expr.ix != Ix::SelfRank {
                         v.push(SymViolation::ScatterGather {
@@ -1341,6 +1345,56 @@ pub fn pass_kv_bidi_hier_template(ranks_per_node: usize) -> SymTemplate {
     }
 }
 
+/// The compressed pass-KV prefill family (APB-style INT8 wire format):
+/// structurally the flat KV ring, but each hop relays `KvQuant` blocks —
+/// 1-byte codes plus one `f32` scale per `(token, head)`, `2·l·n_kv·(d+4)`
+/// bytes instead of the f32 `2·l·n_kv·d·4`. One byte table, same ring-hop
+/// and coverage laws; only the table's entries (and the variant) change.
+pub fn pass_kv_quant_template() -> SymTemplate {
+    SymTemplate {
+        name: "pass_kv_quant".to_string(),
+        repeat: 1,
+        ranks_per_node: None,
+        table_names: vec!["kvq"],
+        segments: vec![SymSegment::Rounds(vec![hop("KvQuant", 0)])],
+    }
+}
+
+/// The bidirectional compressed pass-KV family: the INT8 block splits at
+/// the token midpoint (codes copied verbatim, no requantization) and the
+/// halves counter-rotate.
+pub fn pass_kv_quant_bidi_template() -> SymTemplate {
+    SymTemplate {
+        name: "pass_kv_quant_bidi".to_string(),
+        repeat: 1,
+        ranks_per_node: None,
+        table_names: vec!["kvq_a", "kvq_b"],
+        segments: vec![SymSegment::Rounds(vec![
+            hop_on("KvQuant", 0, PathDir::Fwd),
+            hop_on("KvQuant", 1, PathDir::Rev),
+        ])],
+    }
+}
+
+/// The topology-aware compressed pass-KV family: INT8 hops over the
+/// hierarchical ring.
+pub fn pass_kv_quant_hier_template(ranks_per_node: usize) -> SymTemplate {
+    SymTemplate {
+        name: "pass_kv_quant_hier".to_string(),
+        ranks_per_node: Some(ranks_per_node),
+        ..pass_kv_quant_template()
+    }
+}
+
+/// The bidirectional **and** topology-aware compressed pass-KV family.
+pub fn pass_kv_quant_bidi_hier_template(ranks_per_node: usize) -> SymTemplate {
+    SymTemplate {
+        name: "pass_kv_quant_bidi_hier".to_string(),
+        ranks_per_node: Some(ranks_per_node),
+        ..pass_kv_quant_bidi_template()
+    }
+}
+
 /// The full-stack forward family: one ring schedule (pass-KV or pass-Q)
 /// per transformer layer inside a single fabric session — the symbolic
 /// form of `cp_core::schedule::stacked_plan` over the layer template.
@@ -1377,6 +1431,10 @@ pub fn all_templates() -> Vec<SymTemplate> {
         pass_kv_hier_template(2),
         pass_q_hier_template(2),
         pass_kv_bidi_hier_template(2),
+        pass_kv_quant_template(),
+        pass_kv_quant_bidi_template(),
+        pass_kv_quant_hier_template(2),
+        pass_kv_quant_bidi_hier_template(2),
         all_gather_baseline_template(),
         tp_all_reduce_template(),
         tp_all_gather_template(),
@@ -1479,6 +1537,53 @@ fn dout_bytes(params: &AttentionParams, slots: &[Vec<Option<DecodeSlot>>]) -> Ve
         .collect()
 }
 
+/// Per-rank wire bytes of the compressed KV blocks, derived by actually
+/// quantizing the grid inputs and asking the [`Wire`] impl — independent
+/// of the builders' zero-code skeletons (byte counts depend only on
+/// geometry, which both sides must agree on).
+fn kv_quant_bytes(locals: &[Vec<LocalSeq>]) -> Result<Vec<usize>, CoreError> {
+    locals
+        .iter()
+        .map(|ls| {
+            let seqs = ls
+                .iter()
+                .map(|l| {
+                    QuantSeqKv::quantize(&SeqKv {
+                        k: l.k.clone(),
+                        v: l.v.clone(),
+                        pos: l.kv_pos.clone(),
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(RingMsg::KvQuant { seqs }.wire_bytes())
+        })
+        .collect()
+}
+
+/// Per-rank `(A, B)` wire bytes of the bidirectional compressed KV
+/// halves: quantize, split the codes at the token midpoint, meter each
+/// half — the same verbatim-code split the production loops perform.
+fn kv_quant_half_tables(locals: &[Vec<LocalSeq>]) -> Result<(Vec<usize>, Vec<usize>), CoreError> {
+    let mut a = Vec::with_capacity(locals.len());
+    let mut b = Vec::with_capacity(locals.len());
+    for ls in locals {
+        let (mut ab, mut bb) = (0usize, 0usize);
+        for l in ls {
+            let q = QuantSeqKv::quantize(&SeqKv {
+                k: l.k.clone(),
+                v: l.v.clone(),
+                pos: l.kv_pos.clone(),
+            })?;
+            let (ha, hb) = q.split_halves()?;
+            ab += RingMsg::KvQuant { seqs: vec![ha] }.wire_bytes();
+            bb += RingMsg::KvQuant { seqs: vec![hb] }.wire_bytes();
+        }
+        a.push(ab);
+        b.push(bb);
+    }
+    Ok((a, b))
+}
+
 /// Per-rank `(A, B)` wire bytes of the bidirectional KV halves, derived
 /// from the payload types' own midpoint split — independent of the
 /// builders' internal tables.
@@ -1544,8 +1649,20 @@ fn dq_half_tables(slots: &[Vec<Option<DecodeSlot>>]) -> (Vec<usize>, Vec<usize>)
     let mut b = Vec::with_capacity(slots.len());
     for (r, s) in slots.iter().enumerate() {
         let (ha, hb) = split_slot_vec(s);
-        a.push(RingMsg::DecodeQ { origin: r, slots: ha }.wire_bytes());
-        b.push(RingMsg::DecodeQ { origin: r, slots: hb }.wire_bytes());
+        a.push(
+            RingMsg::DecodeQ {
+                origin: r,
+                slots: ha,
+            }
+            .wire_bytes(),
+        );
+        b.push(
+            RingMsg::DecodeQ {
+                origin: r,
+                slots: hb,
+            }
+            .wire_bytes(),
+        );
     }
     (a, b)
 }
@@ -1567,6 +1684,8 @@ pub fn template_cases(world: usize) -> Result<Vec<TemplateCase>, CoreError> {
     let q = q_bytes(&locals);
     let outs = out_bytes(&params, &locals);
     let (kv_a, kv_b) = kv_half_tables(&locals)?;
+    let kvq = kv_quant_bytes(&locals)?;
+    let (kvq_a, kvq_b) = kv_quant_half_tables(&locals)?;
     let (q_a, q_b, out_a, out_b) = q_out_half_tables(&params, &locals)?;
     let slots = grid_slots(world, 2, true, shape);
     let dq = dq_bytes(&slots);
@@ -1610,6 +1729,16 @@ pub fn template_cases(world: usize) -> Result<Vec<TemplateCase>, CoreError> {
             decode_bidi_plan(&params, &slots)?,
         ),
         case(
+            pass_kv_quant_template(),
+            vec![kvq.clone()],
+            pass_kv_quant_plan_on(&locals, RingLayout::Flat)?,
+        ),
+        case(
+            pass_kv_quant_bidi_template(),
+            vec![kvq_a.clone(), kvq_b.clone()],
+            pass_kv_quant_bidi_plan(&locals, RingLayout::Flat)?,
+        ),
+        case(
             all_gather_baseline_template(),
             vec![kv.clone()],
             all_gather_pass_kv_plan(&locals)?,
@@ -1651,6 +1780,16 @@ pub fn template_cases(world: usize) -> Result<Vec<TemplateCase>, CoreError> {
             pass_kv_bidi_hier_template(2),
             vec![kv_a, kv_b],
             pass_kv_bidi_plan(&locals, hier)?,
+        ));
+        cases.push(case(
+            pass_kv_quant_hier_template(2),
+            vec![kvq],
+            pass_kv_quant_plan_on(&locals, hier)?,
+        ));
+        cases.push(case(
+            pass_kv_quant_bidi_hier_template(2),
+            vec![kvq_a, kvq_b],
+            pass_kv_quant_bidi_plan(&locals, hier)?,
         ));
     }
     Ok(cases)
@@ -1733,10 +1872,40 @@ mod tests {
 
     #[test]
     fn every_schedule_family_is_declared() {
-        // 14 families: 3 ring algorithms × {uni, bidi}, 3 hierarchical
-        // layouts, the all-gather baseline, 2 TP collectives, 2 stacked
+        // 18 families: 3 ring algorithms × {uni, bidi}, 3 hierarchical
+        // layouts, 4 compressed pass-KV layouts ({uni, bidi} × {flat,
+        // hier}), the all-gather baseline, 2 TP collectives, 2 stacked
         // forwards.
-        assert_eq!(all_templates().len(), 14);
+        assert_eq!(all_templates().len(), 18);
+    }
+
+    #[test]
+    fn quant_templates_compress_every_layout_identically() {
+        // All four compressed layouts predict the same total volume
+        // (splitting or re-routing the codes moves no extra bytes), and
+        // that volume is strictly below the f32 family's — here exactly
+        // half: the grid's head_dim 4 gives 2·(4+4) vs 2·4·4 bytes per
+        // (token, kv-head) block.
+        for world in [4usize, 6] {
+            let cases = template_cases(world).unwrap();
+            let volume = |name: &str| {
+                let case = cases
+                    .iter()
+                    .find(|c| c.name == format!("w{world}/{name}"))
+                    .unwrap_or_else(|| panic!("missing case {name}"));
+                case.template
+                    .symbolic_traffic(world, &case.tables)
+                    .unwrap()
+                    .send_recv
+                    .bytes
+            };
+            let f32_volume = volume("pass_kv");
+            let quant = volume("pass_kv_quant");
+            assert_eq!(quant, volume("pass_kv_quant_bidi"));
+            assert_eq!(quant, volume("pass_kv_quant_hier"));
+            assert_eq!(quant, volume("pass_kv_quant_bidi_hier"));
+            assert_eq!(2 * quant, f32_volume);
+        }
     }
 
     #[test]
@@ -1773,7 +1942,10 @@ mod tests {
                 }
             }
         }
-        assert!(saw[0] && saw[1], "expected both A-first and B-first pairs: {saw:?}");
+        assert!(
+            saw[0] && saw[1],
+            "expected both A-first and B-first pairs: {saw:?}"
+        );
     }
 
     #[test]
