@@ -1,0 +1,87 @@
+//! `perf_ratchet` — CI guard comparing a fresh bench report against the
+//! committed baseline.
+//!
+//! ```bash
+//! cargo run --release -p cp-bench --bin perf_ratchet -- \
+//!     --fresh BENCH_decode_steady.fresh.json \
+//!     --baseline BENCH_decode_steady.json
+//! ```
+//!
+//! Reads `headline.tokens_per_s` from both JSON reports and exits
+//! non-zero when the fresh number regresses by more than
+//! `--max-regression` (default 0.15, i.e. 15%). Improvements and
+//! in-tolerance noise pass; a baseline without the headline field fails
+//! loudly so schema drift can't silently disable the ratchet.
+
+use std::process::ExitCode;
+
+fn headline_tokens_per_s(path: &str) -> Result<f64, String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let json: serde_json::Value =
+        serde_json::from_str(&raw).map_err(|e| format!("parse {path}: {e}"))?;
+    json.get("headline")
+        .and_then(|h| h.get("tokens_per_s"))
+        .and_then(serde_json::Value::as_f64)
+        .ok_or_else(|| format!("{path}: missing numeric headline.tokens_per_s"))
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fresh_path = arg_value(&args, "--fresh").ok_or("usage: --fresh <file> required")?;
+    let baseline_path =
+        arg_value(&args, "--baseline").ok_or("usage: --baseline <file> required")?;
+    let max_regression: f64 = match arg_value(&args, "--max-regression") {
+        Some(v) => v
+            .parse()
+            .map_err(|e| format!("--max-regression {v}: {e}"))?,
+        None => 0.15,
+    };
+    if !(0.0..1.0).contains(&max_regression) {
+        return Err(format!(
+            "--max-regression must be in [0, 1), got {max_regression}"
+        ));
+    }
+
+    let fresh = headline_tokens_per_s(&fresh_path)?;
+    let baseline = headline_tokens_per_s(&baseline_path)?;
+    if !(fresh.is_finite() && baseline.is_finite()) || baseline <= 0.0 {
+        return Err(format!(
+            "non-positive or non-finite headline: fresh {fresh}, baseline {baseline}"
+        ));
+    }
+
+    let ratio = fresh / baseline;
+    let floor = 1.0 - max_regression;
+    println!(
+        "perf ratchet: fresh {fresh:.1} tok/s vs baseline {baseline:.1} tok/s \
+         ({:+.1}%, floor {:.0}%)",
+        100.0 * (ratio - 1.0),
+        100.0 * floor,
+    );
+    if ratio < floor {
+        return Err(format!(
+            "decode throughput regressed {:.1}% (> {:.0}% allowed): \
+             fresh {fresh:.1} tok/s vs baseline {baseline:.1} tok/s",
+            100.0 * (1.0 - ratio),
+            100.0 * max_regression,
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("perf ratchet FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -5,18 +5,20 @@ use std::collections::HashMap;
 use cp_attention::{AttentionOutput, AttentionParams, GqaShape, PAD};
 use cp_comm::{Topology, TrafficReport};
 use cp_kvcache::{KvCacheConfig, PagedKvCache, QuantKvCache, SeqId};
-use cp_perf::schedule::{choose_family, hop_bytes_per_layer, quant_kv_hop_bytes_per_layer};
-use cp_perf::{RingDirection, RingTopologyKind, RingVariant, TopologySpec};
+use cp_perf::schedule::{
+    choose_decode_strategy, choose_family, hop_bytes_per_layer, quant_kv_hop_bytes_per_layer,
+};
+use cp_perf::{DecodeStrategy, RingDirection, RingTopologyKind, RingVariant, TopologySpec};
 use cp_sharding::{decode_round_robin, shard_varseq_with, SequenceSpec, ShardStrategy};
 use cp_tensor::Tensor;
 
 use crate::heuristics::{choose_variant, HeuristicKind, SystemContext};
 use crate::messages::{DecodeSlot, LocalSeq, SeqKv, SeqQ};
 use crate::ring::{
-    attn_block_for, ring_pass_kv_prefill_bidi, ring_pass_kv_prefill_on,
+    attn_block_for, helix_decode_kv, ring_pass_kv_prefill_bidi, ring_pass_kv_prefill_on,
     ring_pass_kv_prefill_quant_bidi, ring_pass_kv_prefill_quant_on, ring_pass_q_decode_bidi_kv,
     ring_pass_q_decode_kv, ring_pass_q_prefill_bidi_kv, ring_pass_q_prefill_kv_on, run_ring,
-    RankKv,
+    tp_only_decode_kv, RankKv,
 };
 use crate::schedule::RingLayout;
 use crate::CoreError;
@@ -113,6 +115,11 @@ pub struct EngineConfig {
     pub schedule: SchedulePolicy,
     /// KV storage / wire precision (see [`KvPrecision`]).
     pub kv_precision: KvPrecision,
+    /// Pinned decode strategy, or `None` to derive one: the paper's
+    /// batched pass-Q under a `Fixed` schedule, the cheapest priced
+    /// strategy per step under `Auto`. All three strategies are
+    /// bit-identical; they differ only in collective structure.
+    pub decode_strategy: Option<DecodeStrategy>,
 }
 
 impl EngineConfig {
@@ -131,6 +138,7 @@ impl EngineConfig {
             gather_hot_kv: false,
             schedule: SchedulePolicy::default(),
             kv_precision: KvPrecision::default(),
+            decode_strategy: None,
         }
     }
 
@@ -197,6 +205,14 @@ impl EngineConfig {
     /// levels stay within the documented quantization tolerance).
     pub fn with_kv_precision(mut self, precision: KvPrecision) -> Self {
         self.kv_precision = precision;
+        self
+    }
+
+    /// Pins the decode strategy (pass-Q ring, Helix AllGather, or
+    /// TP-only KV gather). Without a pin, `Fixed` schedules run the
+    /// paper's batched pass-Q and `Auto` prices all three per step.
+    pub fn with_decode_strategy(mut self, strategy: DecodeStrategy) -> Self {
+        self.decode_strategy = Some(strategy);
         self
     }
 }
@@ -405,6 +421,22 @@ impl ContextParallelEngine {
                     }
                 };
                 (family.direction, layout)
+            }
+        }
+    }
+
+    /// Resolves the decode strategy for a step over `ctx_total` cached
+    /// context tokens (summed across the batch) and `batch` sequences: a
+    /// pinned strategy wins, `Auto` prices all three on the configured
+    /// topology, and a fixed schedule defaults to the paper's pass-Q.
+    fn resolve_decode_strategy(&self, ctx_total: usize, batch: usize) -> DecodeStrategy {
+        if let Some(strategy) = self.config.decode_strategy {
+            return strategy;
+        }
+        match &self.config.schedule {
+            SchedulePolicy::Fixed { .. } => DecodeStrategy::PassQ,
+            SchedulePolicy::Auto { topo } => {
+                choose_decode_strategy(&self.config.system.model, topo, ctx_total, batch)
             }
         }
     }
@@ -926,9 +958,11 @@ impl ContextParallelEngine {
         // per-rank slot lists.
         let slots_per_rank = assignment.slots_per_rank();
         let mut slots: Vec<Vec<Option<DecodeSlot>>> = vec![Vec::new(); n];
+        let mut ctx_total = 0usize;
         for (b, (seq, q, k, v)) in batch.iter().enumerate() {
             let rank = assignment.rank_of(b);
             let pos = self.context_len(*seq)?;
+            ctx_total += pos + 1;
             let kq = self.maybe_quantize(k.clone())?;
             let vq = self.maybe_quantize(v.clone())?;
             rank_input_mut(&mut self.caches, rank)?.append(*seq, &kq, &vq, &[pos])?;
@@ -967,6 +1001,36 @@ impl ContextParallelEngine {
             batch_kv.push(kvs);
         }
 
+        // Resolve the decode strategy; TP-only additionally needs each
+        // rank's owned per-sequence shard for the KV AllGather wire (the
+        // dequantized INT8 pages under `Int8Total`, so owned re-attention
+        // matches the quant-view path bit-for-bit).
+        let strategy = self.resolve_decode_strategy(ctx_total, batch.len());
+        let wire_kv: Option<Vec<Vec<SeqKv>>> = if strategy == DecodeStrategy::TpOnly && n > 1 {
+            let mut per_rank = Vec::with_capacity(n);
+            for rank in 0..n {
+                let mut seqs = Vec::with_capacity(batch.len());
+                for (seq, ..) in batch {
+                    seqs.push(if total_quant {
+                        let (k, v, pos) =
+                            rank_input(&self.qcaches, rank)?.gather_quantized(*seq)?;
+                        SeqKv {
+                            k: k.dequantize(),
+                            v: v.dequantize(),
+                            pos,
+                        }
+                    } else {
+                        let (k, v, pos) = rank_input(&self.caches, rank)?.gather(*seq)?;
+                        SeqKv { k, v, pos }
+                    });
+                }
+                per_rank.push(seqs);
+            }
+            Some(per_rank)
+        } else {
+            None
+        };
+
         // The decode ring circulates tiny per-slot queries; only the
         // direction matters (the batched All2All return is layout-free,
         // so the decode loops are flat-only).
@@ -975,9 +1039,21 @@ impl ContextParallelEngine {
         let (rank_outputs, traffic) = run_ring(n, |comm| {
             let my_slots = rank_input(&slots, comm.rank())?;
             let my_kv = rank_input(&batch_kv, comm.rank())?;
-            match direction {
-                RingDirection::Uni => ring_pass_q_decode_kv(comm, &params, my_slots, my_kv),
-                RingDirection::Bidi => ring_pass_q_decode_bidi_kv(comm, &params, my_slots, my_kv),
+            match strategy {
+                DecodeStrategy::PassQ => match direction {
+                    RingDirection::Uni => ring_pass_q_decode_kv(comm, &params, my_slots, my_kv),
+                    RingDirection::Bidi => {
+                        ring_pass_q_decode_bidi_kv(comm, &params, my_slots, my_kv)
+                    }
+                },
+                DecodeStrategy::Helix => helix_decode_kv(comm, &params, my_slots, my_kv),
+                DecodeStrategy::TpOnly => {
+                    let wire = match &wire_kv {
+                        Some(w) => rank_input(w, comm.rank())?.as_slice(),
+                        None => &[],
+                    };
+                    tp_only_decode_kv(comm, &params, my_slots, my_kv, wire, attn_block)
+                }
             }
         })?;
 
@@ -1779,6 +1855,91 @@ mod tests {
             .unwrap(),
         );
         assert_outputs_bitwise(&auto, &fixed, "auto vs pinned uni-hier");
+    }
+
+    /// Multi-turn two-sequence workload (uneven prefills, then batched
+    /// decode steps) under a pinned decode strategy and precision.
+    fn decode_strategy_workload(
+        n: usize,
+        strategy: Option<DecodeStrategy>,
+        precision: KvPrecision,
+    ) -> Vec<AttentionOutput> {
+        let mut cfg = EngineConfig::new(n, shape())
+            .with_page_size(4)
+            .with_kv_precision(precision);
+        if let Some(s) = strategy {
+            cfg = cfg.with_decode_strategy(s);
+        }
+        let mut eng = ContextParallelEngine::new(cfg).unwrap();
+        let mut rng = DetRng::new(41);
+        let (q, k, v) = qkv(&mut rng, 19);
+        eng.full_prefill(SeqId(0), &q, &k, &v).unwrap();
+        let (q, k, v) = qkv(&mut rng, 7);
+        eng.full_prefill(SeqId(1), &q, &k, &v).unwrap();
+        let mut outs = Vec::new();
+        for _ in 0..3 {
+            let (q0, k0, v0) = qkv(&mut rng, 1);
+            let (q1, k1, v1) = qkv(&mut rng, 1);
+            outs.extend(
+                eng.decode_step(&[(SeqId(0), q0, k0, v0), (SeqId(1), q1, k1, v1)])
+                    .unwrap()
+                    .outputs,
+            );
+        }
+        outs
+    }
+
+    #[test]
+    fn helix_decode_is_bit_identical_to_pass_q() {
+        for n in [1, 2, 3, 4] {
+            for precision in [KvPrecision::F32, KvPrecision::Int8Total] {
+                let passq = decode_strategy_workload(n, Some(DecodeStrategy::PassQ), precision);
+                let helix = decode_strategy_workload(n, Some(DecodeStrategy::Helix), precision);
+                assert_outputs_bitwise(&passq, &helix, &format!("helix n={n} {precision:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn tp_only_decode_is_bit_identical_to_pass_q() {
+        for n in [1, 2, 3, 4] {
+            for precision in [KvPrecision::F32, KvPrecision::Int8Total] {
+                let passq = decode_strategy_workload(n, Some(DecodeStrategy::PassQ), precision);
+                let tp = decode_strategy_workload(n, Some(DecodeStrategy::TpOnly), precision);
+                assert_outputs_bitwise(&passq, &tp, &format!("tp-only n={n} {precision:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn auto_schedule_decode_strategy_is_exact() {
+        // Auto on a uniform single-node topology resolves Helix at CP>1;
+        // whatever it picks must stay bitwise with the paper's pass-Q.
+        let auto = |n: usize| {
+            let mut cfg = EngineConfig::new(n, shape())
+                .with_page_size(4)
+                .with_auto_schedule(TopologySpec::uniform(n, 100.0, 5.0));
+            cfg.decode_strategy = None;
+            let mut eng = ContextParallelEngine::new(cfg).unwrap();
+            let mut rng = DetRng::new(41);
+            let (q, k, v) = qkv(&mut rng, 13);
+            eng.full_prefill(SeqId(9), &q, &k, &v).unwrap();
+            let (q1, k1, v1) = qkv(&mut rng, 1);
+            eng.decode_step(&[(SeqId(9), q1, k1, v1)]).unwrap().outputs
+        };
+        for n in [1, 2, 4] {
+            let fixed = {
+                let mut eng =
+                    ContextParallelEngine::new(EngineConfig::new(n, shape()).with_page_size(4))
+                        .unwrap();
+                let mut rng = DetRng::new(41);
+                let (q, k, v) = qkv(&mut rng, 13);
+                eng.full_prefill(SeqId(9), &q, &k, &v).unwrap();
+                let (q1, k1, v1) = qkv(&mut rng, 1);
+                eng.decode_step(&[(SeqId(9), q1, k1, v1)]).unwrap().outputs
+            };
+            assert_outputs_bitwise(&auto(n), &fixed, &format!("auto decode n={n}"));
+        }
     }
 
     #[test]

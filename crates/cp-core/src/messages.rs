@@ -312,6 +312,13 @@ pub enum RingMsg {
         /// One partial output per slot (padding slots carry `None`).
         slots: Vec<Option<SeqOut>>,
     },
+    /// Activation rows travelling through the Helix decode reshard
+    /// collectives: the AllGather that replicates merged attention rows
+    /// and the AllReduces that sum row-parallel projection partials.
+    Act {
+        /// Row-major activation block, `[rows, model_dim]`.
+        x: Tensor,
+    },
 }
 
 fn tensor_bytes(t: &Tensor) -> usize {
@@ -329,6 +336,7 @@ impl RingMsg {
             RingMsg::Out { .. } => "Out",
             RingMsg::DecodeQ { .. } => "DecodeQ",
             RingMsg::DecodeOut { .. } => "DecodeOut",
+            RingMsg::Act { .. } => "Act",
         }
     }
 }
@@ -360,6 +368,7 @@ impl Wire for RingMsg {
                 .flatten()
                 .map(|s| tensor_bytes(&s.out) + tensor_bytes(&s.lse))
                 .sum(),
+            RingMsg::Act { x } => tensor_bytes(x),
         }
     }
 

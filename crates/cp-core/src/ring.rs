@@ -2261,6 +2261,154 @@ pub fn ring_pass_q_decode_bidi_kv(
     return_and_merge_decode(comm, slots, computed)
 }
 
+/// Helix-style batched decode: one `AllGather` replicates every rank's
+/// query slots, each rank attends the **whole batch** against its local
+/// KV shards in a single sweep, and partials return through the same
+/// `All2All` + ascending-source merge as [`ring_pass_q_decode_kv`].
+///
+/// Every rank computes exactly the partial it would have computed under
+/// the ring rotation (same queries, same local shard, same kernel block),
+/// and the shared [`return_and_merge_decode`] tail folds sources in the
+/// same ascending order — so Helix decode is **bit-identical** to batched
+/// pass-Q decode while replacing the `W - 1` serialized `SendRecv`
+/// launches with one collective.
+///
+/// # Errors
+///
+/// Same failure modes as [`ring_pass_q_decode`].
+pub fn helix_decode_kv(
+    comm: &Communicator<RingMsg>,
+    params: &AttentionParams,
+    slots: &[Option<DecodeSlot>],
+    batch_kv: &[RankKv<'_>],
+) -> Result<Vec<AttentionOutput>, CoreError> {
+    let n = comm.world_size();
+    let k = comm.rank();
+    let gathered = comm.all_gather(RingMsg::DecodeQ {
+        origin: k,
+        slots: slots.to_vec(),
+    })?;
+    let mut computed: Vec<Option<Vec<Option<SeqOut>>>> = vec![None; n];
+    for (src, msg) in gathered.into_iter().enumerate() {
+        let (origin, visiting) = expect_decode_q(msg, src)?;
+        if origin != src {
+            return Err(CoreError::BadRequest {
+                reason: format!("helix decode AllGather slot {src} carries origin tag {origin}"),
+            });
+        }
+        let outs = attend_decode_slots(comm, params, batch_kv, &visiting, origin)?;
+        *origin_slot(&mut computed, origin, "helix decode partials")? = Some(outs);
+    }
+    return_and_merge_decode(comm, slots, computed)
+}
+
+/// [`helix_decode_kv`] over gathered owned shards — convenience twin of
+/// [`ring_pass_q_decode`].
+///
+/// # Errors
+///
+/// Same failure modes as [`ring_pass_q_decode`].
+pub fn helix_decode(
+    comm: &Communicator<RingMsg>,
+    params: &AttentionParams,
+    slots: &[Option<DecodeSlot>],
+    batch_kv: &[SeqKv],
+) -> Result<Vec<AttentionOutput>, CoreError> {
+    let kv: Vec<RankKv<'static>> = batch_kv.iter().cloned().map(RankKv::tensors).collect();
+    helix_decode_kv(comm, params, slots, &kv)
+}
+
+/// TP-only batched decode: every rank `AllGather`s the batch's per-rank
+/// KV shards, then each slot's **owner** attends the full context locally
+/// — one partial per source shard, folded in ascending rank order, which
+/// is the exact per-shard computation and merge order of
+/// [`ring_pass_q_decode_kv`], so outputs stay bit-identical to pass-Q.
+///
+/// `wire_kv[b]` is this rank's owned shard of batch sequence `b` (the
+/// gathered twin of `batch_kv[b]`), and `attn_block` the kernel block the
+/// paged path would use ([`attn_block_for`] of the cache's page size) so
+/// owned re-attention of a peer's shard matches that peer's view path
+/// bit-for-bit. At `world == 1` no collective is issued at all — decode
+/// degenerates to pure local attention over `batch_kv`, which is why the
+/// strategy wins single-rank regimes where pass-Q and Helix still launch
+/// their merge collectives.
+///
+/// The `O(T)` KV movement per step is the strategy's cost; the cp-perf
+/// `DecodeStrategy` model prices it against pass-Q/Helix.
+///
+/// # Errors
+///
+/// Same failure modes as [`ring_pass_q_decode`], plus
+/// [`CoreError::BadRequest`] if a peer's gathered shard set is missing a
+/// batch sequence.
+pub fn tp_only_decode_kv(
+    comm: &Communicator<RingMsg>,
+    params: &AttentionParams,
+    slots: &[Option<DecodeSlot>],
+    batch_kv: &[RankKv<'_>],
+    wire_kv: &[SeqKv],
+    attn_block: usize,
+) -> Result<Vec<AttentionOutput>, CoreError> {
+    let n = comm.world_size();
+    let k = comm.rank();
+    let pool = comm.pool();
+    let attend_own = |s: &DecodeSlot| -> Result<AttentionOutput, CoreError> {
+        let kv = batch_kv.get(s.bid).ok_or_else(|| CoreError::BadRequest {
+            reason: format!("decode slot references unknown batch id {}", s.bid),
+        })?;
+        attend_rank_kv(pool, &s.q, &[s.pos], kv, params)
+    };
+    if n == 1 {
+        return comm.time_compute("attend decode", || {
+            map_seqs(pool, slots, |_, slot| {
+                slot.as_ref().map(attend_own).transpose()
+            })
+            .map(|outs| outs.into_iter().flatten().collect())
+        });
+    }
+    let gathered = comm.all_gather(RingMsg::Kv {
+        seqs: wire_kv.to_vec(),
+    })?;
+    let mut per_rank: Vec<Vec<SeqKv>> = Vec::with_capacity(n);
+    for (src, msg) in gathered.into_iter().enumerate() {
+        per_rank.push(expect_kv(msg, src)?);
+    }
+    comm.time_compute("attend decode", || {
+        let outs = map_seqs(pool, slots, |_, slot| {
+            slot.as_ref()
+                .map(|s| {
+                    // Fold one partial per source shard, ascending rank
+                    // order — the pass-Q merge order. The own-rank shard
+                    // attends zero-copy via the paged view.
+                    let mut acc: Option<AttentionOutput> = None;
+                    for (r, shards) in per_rank.iter().enumerate() {
+                        let part = if r == k {
+                            attend_own(s)?
+                        } else {
+                            let kv = shards.get(s.bid).ok_or_else(|| CoreError::BadRequest {
+                                reason: format!(
+                                    "rank {r}'s gathered KV is missing batch id {}",
+                                    s.bid
+                                ),
+                            })?;
+                            let owned = RankKv::Owned {
+                                kv: kv.clone(),
+                                block: attn_block,
+                            };
+                            attend_rank_kv(pool, &s.q, &[s.pos], &owned, params)?
+                        };
+                        fold_partial(&mut acc, part)?;
+                    }
+                    acc.ok_or_else(|| CoreError::Internal {
+                        detail: "tp-only decode slot accumulated no partial".to_string(),
+                    })
+                })
+                .transpose()
+        })?;
+        Ok(outs.into_iter().flatten().collect())
+    })
+}
+
 /// Adapter: runs a per-rank ring body inside [`cp_comm::run_ranks`],
 /// mapping `CoreError` in and out of the fabric's `CommError`.
 pub fn run_ring<T, F>(

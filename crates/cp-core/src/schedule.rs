@@ -498,6 +498,27 @@ pub fn decode_plan(
     slots: &[Vec<Option<DecodeSlot>>],
 ) -> Result<CommPlan, CoreError> {
     let n = nonzero_world(slots.len())?;
+    let (dq_bytes, douts) = decode_byte_tables(params, slots);
+    let ranks = (0..n)
+        .map(|r| {
+            let mut ops = ring_hops(r, n, "DecodeQ", &dq_bytes)?;
+            ops.push(CommOp::AllToAll {
+                variant: "DecodeOut",
+                send_bytes: douts.clone(),
+                recv_bytes: vec![at(&douts, r)?; n],
+            });
+            Ok(RankPlan { rank: r, ops })
+        })
+        .collect::<Result<_, CoreError>>()?;
+    Ok(CommPlan::from_ranks(ranks))
+}
+
+/// Per-rank `DecodeQ` wire bytes and per-origin `DecodeOut` bytes for one
+/// decode step — the byte tables both decode-collective plans share.
+fn decode_byte_tables(
+    params: &AttentionParams,
+    slots: &[Vec<Option<DecodeSlot>>],
+) -> (Vec<usize>, Vec<usize>) {
     let dq_bytes: Vec<usize> = slots
         .iter()
         .enumerate()
@@ -510,15 +531,123 @@ pub fn decode_plan(
         })
         .collect();
     let douts: Vec<usize> = slots.iter().map(|s| decode_out_bytes(params, s)).collect();
+    (dq_bytes, douts)
+}
+
+/// Declares the Helix decode schedule
+/// ([`crate::ring::helix_decode_kv`]) for all ranks: one `AllGather`
+/// replicating every rank's decode slots, then the same `All2All` of
+/// partial outputs as [`decode_plan`] — the `N-1` serialized ring hops
+/// collapse into a single collective carrying identical total bytes.
+///
+/// # Errors
+///
+/// [`CoreError::BadRequest`] for an empty rank list.
+pub fn helix_decode_plan(
+    params: &AttentionParams,
+    slots: &[Vec<Option<DecodeSlot>>],
+) -> Result<CommPlan, CoreError> {
+    let n = nonzero_world(slots.len())?;
+    let (dq_bytes, douts) = decode_byte_tables(params, slots);
     let ranks = (0..n)
         .map(|r| {
-            let mut ops = ring_hops(r, n, "DecodeQ", &dq_bytes)?;
-            ops.push(CommOp::AllToAll {
-                variant: "DecodeOut",
-                send_bytes: douts.clone(),
-                recv_bytes: vec![at(&douts, r)?; n],
-            });
-            Ok(RankPlan { rank: r, ops })
+            Ok(RankPlan {
+                rank: r,
+                ops: vec![
+                    CommOp::AllGather {
+                        variant: "DecodeQ",
+                        send_bytes: at(&dq_bytes, r)?,
+                        recv_bytes: dq_bytes.clone(),
+                    },
+                    CommOp::AllToAll {
+                        variant: "DecodeOut",
+                        send_bytes: douts.clone(),
+                        recv_bytes: vec![at(&douts, r)?; n],
+                    },
+                ],
+            })
+        })
+        .collect::<Result<_, CoreError>>()?;
+    Ok(CommPlan::from_ranks(ranks))
+}
+
+/// Declares the TP-only decode schedule
+/// ([`crate::ring::tp_only_decode_kv`]) for all ranks: one `AllGather`
+/// moving every rank's per-sequence KV shards (`kv_bytes[r]` wire bytes
+/// from rank `r`), after which each slot's owner attends the full context
+/// locally — no output exchange. At `world == 1` the loop issues no
+/// collective at all, so the single rank's plan is empty.
+///
+/// # Errors
+///
+/// [`CoreError::BadRequest`] for an empty rank list.
+pub fn tp_only_decode_plan(kv_bytes: &[usize]) -> Result<CommPlan, CoreError> {
+    let n = nonzero_world(kv_bytes.len())?;
+    if n == 1 {
+        return Ok(CommPlan::from_ranks(vec![RankPlan {
+            rank: 0,
+            ops: Vec::new(),
+        }]));
+    }
+    all_gather_plan("Kv", kv_bytes)
+}
+
+/// Declares one transformer layer of cp-serve's Helix decode: the
+/// attention collectives of [`helix_decode_plan`] followed by the TP
+/// reshard — an `AllGather` replicating each owner's merged attention
+/// rows (`Act` payloads of `real_slots × D` f32 rows) and the two
+/// row-parallel `AllReduce`s (out projection, then the FFN down
+/// projection) each summing a full `[batch, D]` partial per rank. Stack
+/// with [`stacked_plan`] for a whole forward.
+///
+/// # Errors
+///
+/// [`CoreError::BadRequest`] for an empty rank list.
+pub fn helix_layer_plan(
+    params: &AttentionParams,
+    slots: &[Vec<Option<DecodeSlot>>],
+    model_dim: usize,
+) -> Result<CommPlan, CoreError> {
+    let n = nonzero_world(slots.len())?;
+    let (dq_bytes, douts) = decode_byte_tables(params, slots);
+    let act_bytes: Vec<usize> = slots
+        .iter()
+        .map(|s| s.iter().flatten().count() * model_dim * ELEM_BYTES)
+        .collect();
+    let batch_rows: usize = act_bytes.iter().sum();
+    let reduce_bytes = vec![batch_rows; n];
+    let ranks = (0..n)
+        .map(|r| {
+            Ok(RankPlan {
+                rank: r,
+                ops: vec![
+                    CommOp::AllGather {
+                        variant: "DecodeQ",
+                        send_bytes: at(&dq_bytes, r)?,
+                        recv_bytes: dq_bytes.clone(),
+                    },
+                    CommOp::AllToAll {
+                        variant: "DecodeOut",
+                        send_bytes: douts.clone(),
+                        recv_bytes: vec![at(&douts, r)?; n],
+                    },
+                    CommOp::AllGather {
+                        variant: "Act",
+                        send_bytes: at(&act_bytes, r)?,
+                        recv_bytes: act_bytes.clone(),
+                    },
+                    CommOp::AllReduce {
+                        variant: "Act",
+                        send_bytes: batch_rows,
+                        recv_bytes: reduce_bytes.clone(),
+                    },
+                    CommOp::AllReduce {
+                        variant: "Act",
+                        send_bytes: batch_rows,
+                        recv_bytes: reduce_bytes.clone(),
+                    },
+                ],
+            })
         })
         .collect::<Result<_, CoreError>>()?;
     Ok(CommPlan::from_ranks(ranks))

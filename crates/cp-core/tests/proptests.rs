@@ -4,9 +4,9 @@
 
 use cp_attention::GqaShape;
 use cp_core::baseline::single_device_prefill;
-use cp_core::{ContextParallelEngine, EngineConfig, PrefillRequest};
+use cp_core::{ContextParallelEngine, EngineConfig, KvPrecision, PrefillRequest};
 use cp_kvcache::SeqId;
-use cp_perf::RingVariant;
+use cp_perf::{DecodeStrategy, RingVariant};
 use cp_tensor::{DetRng, Tensor};
 use proptest::prelude::*;
 
@@ -198,5 +198,134 @@ proptest! {
         let max = *grown.iter().max().unwrap();
         let min = *grown.iter().min().unwrap();
         prop_assert!(max - min <= 1, "{grown:?}");
+    }
+
+    /// Helix and TP-only decode are **bitwise** identical to batched
+    /// pass-Q — and (at f32) exact against the single-device reference —
+    /// for any shape, CP ∈ {2,3,4}, paged and quant-paged caches, across
+    /// multi-turn traces that decode over cached context.
+    #[test]
+    fn decode_strategies_bitwise_identical(
+        shape in gqa(),
+        n in 2usize..5,
+        quant in any::<bool>(),
+        turns in prop::collection::vec((1usize..12, 1usize..4), 1..3),
+        seed in any::<u64>(),
+    ) {
+        let precision = if quant { KvPrecision::Int8Total } else { KvPrecision::F32 };
+        let mk = |strategy| {
+            ContextParallelEngine::new(
+                EngineConfig::new(n, shape)
+                    .with_page_size(4)
+                    .with_kv_precision(precision)
+                    .with_decode_strategy(strategy),
+            )
+            .unwrap()
+        };
+        let mut engines = [
+            mk(DecodeStrategy::PassQ),
+            mk(DecodeStrategy::Helix),
+            mk(DecodeStrategy::TpOnly),
+        ];
+        let mut rng = DetRng::new(seed);
+        let seq = SeqId(1);
+        let mut ks: Vec<Tensor> = Vec::new();
+        let mut vs: Vec<Tensor> = Vec::new();
+        let mut ctx = 0usize;
+        for (turn_idx, &(t, decodes)) in turns.iter().enumerate() {
+            let (q, k, v) = qkv(&mut rng, shape, t);
+            for eng in &mut engines {
+                if turn_idx == 0 {
+                    eng.full_prefill(seq, &q, &k, &v).unwrap();
+                } else {
+                    eng.partial_prefill(seq, &q, &k, &v).unwrap();
+                }
+            }
+            ks.push(k);
+            vs.push(v);
+            ctx += t;
+            for _ in 0..decodes {
+                let (q1, k1, v1) = qkv(&mut rng, shape, 1);
+                let outs: Vec<_> = engines
+                    .iter_mut()
+                    .map(|eng| {
+                        eng.decode_step(&[(seq, q1.clone(), k1.clone(), v1.clone())])
+                            .unwrap()
+                    })
+                    .collect();
+                for (name, out) in [("helix", &outs[1]), ("tp-only", &outs[2])] {
+                    prop_assert!(out.outputs[0].out == outs[0].outputs[0].out,
+                        "{name} out, turn {turn_idx}");
+                    prop_assert!(out.outputs[0].lse == outs[0].outputs[0].lse,
+                        "{name} lse, turn {turn_idx}");
+                }
+                ks.push(k1);
+                vs.push(v1);
+                if !quant {
+                    let full_k = Tensor::concat_dim0(ks.iter()).unwrap();
+                    let full_v = Tensor::concat_dim0(vs.iter()).unwrap();
+                    let kv_pos: Vec<usize> = (0..=ctx).collect();
+                    let reference = single_device_prefill(
+                        &q1, &full_k, &full_v, engines[1].params(), &[ctx], &kv_pos,
+                    ).unwrap();
+                    prop_assert!(
+                        outs[1].outputs[0].out.approx_eq(&reference.out, 3e-3).unwrap(),
+                        "helix vs solo, turn {}", turn_idx
+                    );
+                }
+                ctx += 1;
+            }
+        }
+    }
+
+    /// The `N_KV < CP` edge: a single KV head sharded across more ranks
+    /// than heads still decodes bitwise-identically under every strategy.
+    #[test]
+    fn decode_strategies_survive_fewer_kv_heads_than_ranks(
+        n in 3usize..5,
+        dh in 1usize..9,
+        t in 1usize..20,
+        decodes in 1usize..5,
+        quant in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let shape = GqaShape::new(2, 1, dh).unwrap();
+        let precision = if quant { KvPrecision::Int8Total } else { KvPrecision::F32 };
+        let mk = |strategy| {
+            ContextParallelEngine::new(
+                EngineConfig::new(n, shape)
+                    .with_page_size(4)
+                    .with_kv_precision(precision)
+                    .with_decode_strategy(strategy),
+            )
+            .unwrap()
+        };
+        let mut engines = [
+            mk(DecodeStrategy::PassQ),
+            mk(DecodeStrategy::Helix),
+            mk(DecodeStrategy::TpOnly),
+        ];
+        let mut rng = DetRng::new(seed);
+        let seq = SeqId(7);
+        let (q, k, v) = qkv(&mut rng, shape, t);
+        for eng in &mut engines {
+            eng.full_prefill(seq, &q, &k, &v).unwrap();
+        }
+        for step in 0..decodes {
+            let (q1, k1, v1) = qkv(&mut rng, shape, 1);
+            let outs: Vec<_> = engines
+                .iter_mut()
+                .map(|eng| {
+                    eng.decode_step(&[(seq, q1.clone(), k1.clone(), v1.clone())])
+                        .unwrap()
+                })
+                .collect();
+            for (name, out) in [("helix", &outs[1]), ("tp-only", &outs[2])] {
+                prop_assert!(out.outputs[0].out == outs[0].outputs[0].out,
+                    "{name} out, step {step}");
+                prop_assert!(out.outputs[0].lse == outs[0].outputs[0].lse,
+                    "{name} lse, step {step}");
+            }
+        }
     }
 }

@@ -52,7 +52,7 @@ pub use distributed::{
     cp_forward, cp_forward_sharded, cp_forward_sharded_checked, cp_forward_sharded_with,
     forward_plan,
 };
-pub use layers::{rms_norm, rms_norm_on, Linear, SwiGlu};
+pub use layers::{rms_norm, rms_norm_on, silu, Linear, SwiGlu};
 pub use transformer::{Block, Transformer};
 
 /// Maps a model-layer failure into the fabric's error type so rank

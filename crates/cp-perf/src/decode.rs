@@ -9,6 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::schedule::DecodeStrategy;
 use crate::tp::decode_attn_op_s;
 use crate::{cost, HardwareSpec, ModelSpec};
 
@@ -67,6 +68,86 @@ pub fn cp_decode_attn(
         sendrecv_us,
         all2all_us,
         whole_us: attn_loop_us + sendrecv_us + all2all_us,
+    }
+}
+
+/// Per-layer decode attention decomposition for one [`DecodeStrategy`] —
+/// the Appendix D breakdown extended from pass-Q to the full strategy
+/// space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StrategyDecodeBreakdown {
+    /// Total attention compute across the step, µs (all ring iterations
+    /// for pass-Q, the one batched sweep for Helix, the owner's full-
+    /// context op for TP-only).
+    pub attn_us: f64,
+    /// Query/KV movement before attention, µs: the `N-1` serialized Q
+    /// SendRecvs (pass-Q), the single Q AllGather (Helix), or the KV
+    /// shard AllGather (TP-only).
+    pub gather_us: f64,
+    /// The partial-output All2All merge, µs (zero for TP-only).
+    pub all2all_us: f64,
+    /// Whole per-layer decode attention time, µs.
+    pub whole_us: f64,
+}
+
+/// Per-layer decode attention breakdown under `strategy` — the Helix /
+/// TP-only extension of [`cp_decode_attn`]'s Table 8 model.
+///
+/// Pass-Q and Helix read the same KV bytes per rank (`batch` slots over
+/// the `ctx / N` local shard); Helix replaces the `N-1` serialized
+/// SendRecv launches with one AllGather carrying the same bytes. TP-only
+/// attends the full context at each slot's owner and pays an `O(ctx)` KV
+/// AllGather instead of the output merge.
+pub fn strategy_decode_attn(
+    model: &ModelSpec,
+    hw: &HardwareSpec,
+    n_nodes: usize,
+    ctx: usize,
+    batch: usize,
+    strategy: DecodeStrategy,
+) -> StrategyDecodeBreakdown {
+    let n = n_nodes.max(1);
+    let slots_per_rank = batch.div_ceil(n).max(1);
+    let passq = cp_decode_attn(model, hw, n_nodes, ctx, batch);
+    match strategy {
+        DecodeStrategy::PassQ => StrategyDecodeBreakdown {
+            attn_us: passq.attn_loop_us,
+            gather_us: passq.sendrecv_us,
+            all2all_us: passq.all2all_us,
+            whole_us: passq.whole_us,
+        },
+        DecodeStrategy::Helix => {
+            let gather_us = if n == 1 {
+                0.0
+            } else {
+                // One launch moving all N-1 peers' query slots.
+                let q_bytes = cost::q_message_bytes(model, hw.gpus_per_node, slots_per_rank);
+                hw.inter_node_time_s((n - 1) as f64 * q_bytes) * 1e6
+            };
+            let whole_us = passq.attn_loop_us + gather_us + passq.all2all_us;
+            StrategyDecodeBreakdown {
+                attn_us: passq.attn_loop_us,
+                gather_us,
+                all2all_us: passq.all2all_us,
+                whole_us,
+            }
+        }
+        DecodeStrategy::TpOnly => {
+            // Owner attends its slots over the full context in one op.
+            let attn_us = decode_attn_op_s(model, hw, ctx, slots_per_rank) * 1e6;
+            let gather_us = if n == 1 {
+                0.0
+            } else {
+                let shard_bytes = cost::kv_message_bytes(model, hw.gpus_per_node, ctx.div_ceil(n));
+                hw.inter_node_time_s((n - 1) as f64 * shard_bytes) * 1e6
+            };
+            StrategyDecodeBreakdown {
+                attn_us,
+                gather_us,
+                all2all_us: 0.0,
+                whole_us: attn_us + gather_us,
+            }
+        }
     }
 }
 
@@ -184,5 +265,48 @@ mod tests {
         assert_eq!(b.sendrecv_us, 0.0);
         assert_eq!(b.all2all_us, 0.0);
         assert_eq!(b.whole_us, b.attn_loop_us);
+    }
+
+    #[test]
+    fn strategy_pass_q_matches_table8_model() {
+        let hw = HardwareSpec::gtt();
+        let passq = cp_decode_attn(&m(), &hw, 4, 128_000, 1);
+        let s = strategy_decode_attn(&m(), &hw, 4, 128_000, 1, DecodeStrategy::PassQ);
+        assert_eq!(s.gather_us, passq.sendrecv_us);
+        assert_eq!(s.all2all_us, passq.all2all_us);
+        assert_eq!(s.whole_us, passq.whole_us);
+    }
+
+    #[test]
+    fn helix_collapses_the_sendrecv_chain() {
+        let hw = HardwareSpec::gtt();
+        for n in [2usize, 4, 8] {
+            let passq = strategy_decode_attn(&m(), &hw, n, 128_000, 1, DecodeStrategy::PassQ);
+            let helix = strategy_decode_attn(&m(), &hw, n, 128_000, 1, DecodeStrategy::Helix);
+            // Same attention and merge; one gather launch instead of N-1.
+            assert_eq!(helix.attn_us, passq.attn_us);
+            assert_eq!(helix.all2all_us, passq.all2all_us);
+            // At n=2 one AllGather equals the single hop; beyond that the
+            // saved launches win.
+            assert!(helix.gather_us <= passq.gather_us, "n={n}");
+            if n > 2 {
+                assert!(helix.whole_us < passq.whole_us, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn tp_only_pays_for_the_context_it_moves() {
+        let hw = HardwareSpec::gtt();
+        // Long context: the KV AllGather dwarfs Helix's query traffic.
+        let helix = strategy_decode_attn(&m(), &hw, 4, 128_000, 1, DecodeStrategy::Helix);
+        let tp = strategy_decode_attn(&m(), &hw, 4, 128_000, 1, DecodeStrategy::TpOnly);
+        assert!(tp.gather_us > 10.0 * helix.gather_us);
+        assert!(tp.whole_us > helix.whole_us);
+        // Single rank: TP-only is pure local attention.
+        let solo = strategy_decode_attn(&m(), &hw, 1, 128_000, 1, DecodeStrategy::TpOnly);
+        assert_eq!(solo.gather_us, 0.0);
+        assert_eq!(solo.all2all_us, 0.0);
+        assert_eq!(solo.whole_us, solo.attn_us);
     }
 }

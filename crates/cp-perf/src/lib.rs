@@ -59,4 +59,7 @@ pub mod trace;
 pub use hardware::HardwareSpec;
 pub use model::ModelSpec;
 pub use prefill::{cp_prefill, PrefillBreakdown, RingIterCosts, RingVariant};
-pub use schedule::{RingDirection, RingTopologyKind, ScheduleFamily, TopologySpec};
+pub use schedule::{
+    choose_decode_strategy, ranked_decode_strategies, DecodeStrategy, RingDirection,
+    RingTopologyKind, ScheduleFamily, TopologySpec,
+};

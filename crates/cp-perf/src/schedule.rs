@@ -280,6 +280,140 @@ pub fn choose_family(spec: &TopologySpec, payload_bytes: f64) -> ScheduleFamily 
         .map_or(ScheduleFamily::UNI_FLAT, |&(f, _)| f)
 }
 
+/// How a decode step distributes attention and the FFN across CP ranks.
+///
+/// All three strategies compute the same merged attention output (the
+/// partial-softmax merge is exact), so selection is purely a performance
+/// question — which the terms in [`decode_strategy_comm_s`] price.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecodeStrategy {
+    /// Helix-style decode: one AllGather replicates every rank's query
+    /// slots, each rank attends the whole batch over its local KV shard,
+    /// partials return via the All2All merge, and activations reshard to
+    /// the TP layout for the FFN.
+    Helix,
+    /// The paper's Algorithm 4: queries rotate around the ring in `W-1`
+    /// serialized SendRecv hops, then the All2All merge.
+    PassQ,
+    /// KV-gather decode: every rank AllGathers the batch's KV shards and
+    /// each slot's owner attends the full context locally. No output
+    /// exchange, but `O(T)` KV bytes move every step.
+    TpOnly,
+}
+
+impl DecodeStrategy {
+    /// All three strategies, in preference order for exact ties: Helix
+    /// first (fewest serialized launches at `W > 1`), then the paper's
+    /// pass-Q, then TP-only.
+    pub const ALL: [DecodeStrategy; 3] = [
+        DecodeStrategy::Helix,
+        DecodeStrategy::PassQ,
+        DecodeStrategy::TpOnly,
+    ];
+
+    /// Short display name, e.g. `"helix"`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DecodeStrategy::Helix => "helix",
+            DecodeStrategy::PassQ => "pass-q",
+            DecodeStrategy::TpOnly => "tp-only",
+        }
+    }
+}
+
+/// Per-layer decode-step communication seconds for `strategy` on `spec`,
+/// for a batch of `batch` sequences totalling `ctx_total` cached context
+/// tokens across the batch.
+///
+/// Attention compute is strategy-invariant — every strategy reads
+/// `batch · T/W` KV rows per rank per layer (pass-Q and Helix attend the
+/// whole batch over the local shard; TP-only concentrates `batch/W` owned
+/// slots over the full context) — so ranking the strategies only needs
+/// the communication terms:
+///
+/// * **pass-Q** pays `W-1` *serialized* query hops plus the All2All of
+///   partial outputs: `(W-1)(λ + q/bw) + λ + (W-1)·o/bw`;
+/// * **Helix** collapses the hop chain into one AllGather launch:
+///   `λ + (W-1)·q/bw + λ + (W-1)·o/bw` — strictly fewer launches for
+///   `W > 2` and never more;
+/// * **TP-only** moves the KV itself: `λ + (W-1) · 2e(T/W)·N_KV·d / bw`,
+///   which is `O(T)` per step and only wins when the context is tiny —
+///   degenerating to free local decode at `W = 1`, where pass-Q and
+///   Helix still launch their merge collectives.
+pub fn decode_strategy_comm_s(
+    strategy: DecodeStrategy,
+    model: &ModelSpec,
+    spec: &TopologySpec,
+    ctx_total: usize,
+    batch: usize,
+) -> f64 {
+    let w = spec.world().max(1);
+    let lat = spec.latency_s();
+    let bw = if spec.is_multinode() {
+        spec.cross_bytes_per_s()
+    } else {
+        spec.intra_bytes_per_s()
+    };
+    let d = model.head_dim as f64;
+    let e = model.act_bytes;
+    // Slots are padded to a multiple of W (§4.3's decode overhead).
+    let slots = batch.div_ceil(w).max(1) as f64;
+    // One origin's DecodeQ payload and its per-source partial outputs
+    // (out rows plus one LSE per head).
+    let q_bytes = e * slots * model.n_heads as f64 * d;
+    let out_bytes = e * slots * model.n_heads as f64 * (d + 1.0);
+    let hops = (w - 1) as f64;
+    match strategy {
+        DecodeStrategy::PassQ => {
+            if w == 1 {
+                return lat; // the self-delivered merge All2All still launches
+            }
+            hops * (lat + q_bytes / bw) + (lat + hops * out_bytes / bw)
+        }
+        DecodeStrategy::Helix => {
+            // AllGather + All2All always launch, even self-delivered.
+            2.0 * lat + hops * q_bytes / bw + hops * out_bytes / bw
+        }
+        DecodeStrategy::TpOnly => {
+            if w == 1 {
+                return 0.0; // pure local decode, no collectives issued
+            }
+            let kv_shard = 2.0 * e * (ctx_total as f64 / w as f64) * model.n_kv_heads as f64 * d;
+            lat + hops * kv_shard / bw
+        }
+    }
+}
+
+/// Every decode strategy's predicted per-layer communication wall time,
+/// cheapest first (stable under the [`DecodeStrategy::ALL`] tie-break
+/// order, so Helix wins the exact `W = 2` tie with pass-Q).
+pub fn ranked_decode_strategies(
+    model: &ModelSpec,
+    spec: &TopologySpec,
+    ctx_total: usize,
+    batch: usize,
+) -> Vec<(DecodeStrategy, f64)> {
+    let mut ranked: Vec<(DecodeStrategy, f64)> = DecodeStrategy::ALL
+        .iter()
+        .map(|&s| (s, decode_strategy_comm_s(s, model, spec, ctx_total, batch)))
+        .collect();
+    ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    ranked
+}
+
+/// Picks the cheapest decode strategy for `(T, batch)` on `spec` — the
+/// decode leg of `SchedulePolicy::Auto`.
+pub fn choose_decode_strategy(
+    model: &ModelSpec,
+    spec: &TopologySpec,
+    ctx_total: usize,
+    batch: usize,
+) -> DecodeStrategy {
+    ranked_decode_strategies(model, spec, ctx_total, batch)
+        .first()
+        .map_or(DecodeStrategy::PassQ, |&(s, _)| s)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -399,5 +533,75 @@ mod tests {
         let spec = TopologySpec::from_hardware(&hw, 2, 4);
         assert_eq!(spec.world(), 8);
         assert!(spec.intra_gbs > spec.cross_gbs);
+    }
+
+    #[test]
+    fn single_rank_decode_prefers_tp_only() {
+        // At CP=1 TP-only is pure local decode while pass-Q/Helix still
+        // launch their merge collectives — the paper's "TP wins decode"
+        // conclusion falls out of the latency terms.
+        let model = ModelSpec::llama3_405b();
+        let spec = TopologySpec::uniform(1, 100.0, 5.0);
+        assert_eq!(
+            choose_decode_strategy(&model, &spec, 128_000, 4),
+            DecodeStrategy::TpOnly
+        );
+        assert_eq!(
+            decode_strategy_comm_s(DecodeStrategy::TpOnly, &model, &spec, 128_000, 4),
+            0.0
+        );
+    }
+
+    #[test]
+    fn helix_wins_multi_rank_long_context_decode() {
+        let model = ModelSpec::llama3_405b();
+        for world in [2usize, 4, 8] {
+            let spec = TopologySpec::uniform(world, 100.0, 5.0);
+            for ctx in [8_192usize, 65_536, 262_144] {
+                assert_eq!(
+                    choose_decode_strategy(&model, &spec, ctx, 4),
+                    DecodeStrategy::Helix,
+                    "world={world} ctx={ctx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn helix_ties_pass_q_at_two_ranks_and_beats_it_beyond() {
+        let model = ModelSpec::llama3_405b();
+        let two = TopologySpec::uniform(2, 100.0, 5.0);
+        let helix2 = decode_strategy_comm_s(DecodeStrategy::Helix, &model, &two, 65_536, 4);
+        let passq2 = decode_strategy_comm_s(DecodeStrategy::PassQ, &model, &two, 65_536, 4);
+        assert!((helix2 - passq2).abs() < 1e-15, "{helix2} vs {passq2}");
+        let four = TopologySpec::uniform(4, 100.0, 5.0);
+        let helix4 = decode_strategy_comm_s(DecodeStrategy::Helix, &model, &four, 65_536, 4);
+        let passq4 = decode_strategy_comm_s(DecodeStrategy::PassQ, &model, &four, 65_536, 4);
+        // Same bytes either way; pass-Q pays W-1 serialized launches
+        // where Helix pays two.
+        assert!(helix4 < passq4, "{helix4} vs {passq4}");
+        let lat = 5.0e-6;
+        assert!((passq4 - helix4 - 2.0 * lat).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tp_only_decode_comm_scales_with_context() {
+        let model = ModelSpec::llama3_405b();
+        let spec = TopologySpec::uniform(4, 100.0, 5.0);
+        let short = decode_strategy_comm_s(DecodeStrategy::TpOnly, &model, &spec, 1_024, 4);
+        let long = decode_strategy_comm_s(DecodeStrategy::TpOnly, &model, &spec, 1_048_576, 4);
+        assert!(long > 100.0 * short, "{short} vs {long}");
+        // Helix comm is context-independent at decode.
+        let h_short = decode_strategy_comm_s(DecodeStrategy::Helix, &model, &spec, 1_024, 4);
+        let h_long = decode_strategy_comm_s(DecodeStrategy::Helix, &model, &spec, 1_048_576, 4);
+        assert_eq!(h_short, h_long);
+    }
+
+    #[test]
+    fn ranked_decode_strategies_orders_by_cost() {
+        let model = ModelSpec::llama3_405b();
+        let ranked = ranked_decode_strategies(&model, &asym(2, 2), 65_536, 8);
+        assert_eq!(ranked.len(), 3);
+        assert!(ranked.windows(2).all(|w| w[0].1 <= w[1].1));
     }
 }

@@ -6,23 +6,28 @@ use std::sync::{Mutex, MutexGuard, PoisonError};
 use cp_attention::PAD;
 use cp_comm::Topology;
 use cp_comm::TrafficReport;
+use cp_comm::Wire;
 use cp_core::heuristics::{choose_variant, HeuristicKind, SystemContext};
 use cp_core::ring::{
-    decode_slot_layout, ring_pass_kv_prefill_bidi, ring_pass_kv_prefill_on,
-    ring_pass_kv_prefill_quant_bidi, ring_pass_kv_prefill_quant_on, ring_pass_q_decode_bidi_kv,
-    ring_pass_q_decode_kv, ring_pass_q_prefill_bidi_kv, ring_pass_q_prefill_kv_on, run_ring_on,
-    RankKv,
+    attn_block_for, decode_slot_layout, helix_decode_kv, ring_pass_kv_prefill_bidi,
+    ring_pass_kv_prefill_on, ring_pass_kv_prefill_quant_bidi, ring_pass_kv_prefill_quant_on,
+    ring_pass_q_decode_bidi_kv, ring_pass_q_decode_kv, ring_pass_q_prefill_bidi_kv,
+    ring_pass_q_prefill_kv_on, run_ring_on, tp_only_decode_kv, RankKv,
 };
 use cp_core::schedule::{
-    decode_bidi_plan, decode_plan, pass_kv_bidi_plan, pass_kv_plan_on, pass_kv_quant_bidi_plan,
-    pass_kv_quant_plan_on, pass_q_bidi_plan, pass_q_plan_on, stacked_plan, RingLayout,
+    decode_bidi_plan, decode_plan, helix_layer_plan, pass_kv_bidi_plan, pass_kv_plan_on,
+    pass_kv_quant_bidi_plan, pass_kv_quant_plan_on, pass_q_bidi_plan, pass_q_plan_on, stacked_plan,
+    tp_only_decode_plan, RingLayout,
 };
 use cp_core::{CoreError, DecodeSlot, KvPrecision, LocalSeq, RingMsg, SchedulePolicy, SeqKv, SeqQ};
 use cp_kvcache::{CacheStats, KvCacheConfig, PagedKvCache, QuantKvCache, SeqId};
 use cp_model::rope::apply_rope;
-use cp_model::{rms_norm_on, Linear, Transformer};
+use cp_model::{rms_norm_on, silu, Linear, Transformer};
 use cp_perf::schedule::{choose_family, hop_bytes_per_layer, quant_kv_hop_bytes_per_layer};
-use cp_perf::{RingDirection, RingTopologyKind, RingVariant, TopologySpec};
+use cp_perf::{
+    choose_decode_strategy, DecodeStrategy, RingDirection, RingTopologyKind, RingVariant,
+    TopologySpec,
+};
 use cp_pool::ComputePool;
 use cp_sharding::shard_new_tokens;
 use cp_tensor::Tensor;
@@ -112,6 +117,37 @@ impl PrefillTurn {
     }
 }
 
+/// One layer's tensor-parallel weight shards for the Helix decode
+/// reshard: the output projection split by rows (input features), the
+/// FFN gate/up split by columns and the FFN down split by rows — the
+/// Megatron column→row pairing, pre-split and pre-packed once so the
+/// decode hot loop never re-tiles weights.
+#[derive(Debug)]
+struct LayerTpShards {
+    wo_rows: Vec<Linear>,
+    gate_cols: Vec<Linear>,
+    up_cols: Vec<Linear>,
+    down_rows: Vec<Linear>,
+}
+
+/// Splits every layer's post-attention weights into `n` TP shards (fails
+/// if the model or FFN dimension is not divisible by `n` — the standard
+/// tensor-parallel divisibility requirement).
+fn split_tp_shards(model: &Transformer, n: usize) -> Result<Vec<LayerTpShards>, CoreError> {
+    model
+        .blocks()
+        .iter()
+        .map(|block| {
+            Ok(LayerTpShards {
+                wo_rows: block.wo.split_rows(n)?,
+                gate_cols: block.ffn.gate.split_columns(n)?,
+                up_cols: block.ffn.up.split_columns(n)?,
+                down_rows: block.ffn.down.split_rows(n)?,
+            })
+        })
+        .collect()
+}
+
 /// A full-model context-parallel serving engine: every rank owns one
 /// paged KV cache **per transformer layer**; prefill and decode run the
 /// whole layer stack distributed, with ring attention per layer.
@@ -157,6 +193,11 @@ pub struct TransformerEngine {
     schedule: SchedulePolicy,
     /// KV storage / wire precision (see [`KvPrecision`]).
     kv_precision: KvPrecision,
+    /// Pinned decode strategy; `None` defaults to batched pass-Q under a
+    /// fixed schedule and to the Appendix-D priced pick under `Auto`.
+    decode_strategy: Option<DecodeStrategy>,
+    /// Lazily built per-layer TP weight shards for the Helix reshard.
+    tp_shards: Option<Vec<LayerTpShards>>,
 }
 
 /// One projection, routed through the pooled tiled kernel or — in
@@ -180,6 +221,50 @@ fn project(
 /// propagating the panic.
 fn lock_caches<T>(m: &Mutex<Vec<T>>) -> MutexGuard<'_, Vec<T>> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Copies the `lo..hi` feature columns of a `[t, d]` activation — the
+/// input slice a row-parallel weight shard consumes.
+fn slice_cols(x: &Tensor, lo: usize, hi: usize) -> Result<Tensor, CoreError> {
+    let t = x.dim0();
+    let mut out = Tensor::zeros(&[t, hi - lo]);
+    for i in 0..t {
+        out.row_mut(i).copy_from_slice(&x.row(i)[lo..hi]);
+    }
+    Ok(out)
+}
+
+/// AllReduce-sums one partial activation across every rank — the Helix
+/// reshard's output-projection and FFN-down reduction. A single helper so
+/// the decode path has exactly one AllReduce issue site and both uses
+/// share the declared `AllReduce "Act"` schedule shape.
+fn act_all_reduce(
+    comm: &cp_comm::Communicator<RingMsg>,
+    partial: Tensor,
+) -> Result<Tensor, CoreError> {
+    let mut mismatch = false;
+    let reduced = comm.all_reduce(RingMsg::Act { x: partial }, |mut acc, m| {
+        match (&mut acc, m) {
+            (RingMsg::Act { x: a }, RingMsg::Act { x: b }) => {
+                if a.add_assign(b).is_err() {
+                    mismatch = true;
+                }
+            }
+            _ => mismatch = true,
+        }
+        acc
+    })?;
+    if mismatch {
+        return Err(CoreError::Internal {
+            detail: "activation AllReduce mixed mismatched payloads".to_string(),
+        });
+    }
+    match reduced {
+        RingMsg::Act { x } => Ok(x),
+        other => Err(CoreError::Internal {
+            detail: format!("activation AllReduce returned {}", other.variant_name()),
+        }),
+    }
 }
 
 impl TransformerEngine {
@@ -234,7 +319,42 @@ impl TransformerEngine {
             gather_hot_kv: false,
             schedule: SchedulePolicy::default(),
             kv_precision: KvPrecision::default(),
+            decode_strategy: None,
+            tp_shards: None,
         })
+    }
+
+    /// Pins the decode strategy for every tick: `PassQ` is the §3.6
+    /// batched ring (the default under a fixed schedule), `Helix` attends
+    /// each rank's resident KV shard for the whole batch and reshards the
+    /// merged activations into a tensor-parallel output projection + FFN,
+    /// `TpOnly` moves every shard to the slot owners over one KV
+    /// AllGather. Unset, [`TransformerEngine::with_auto_schedule`] prices
+    /// all three per tick. Helix requires the model and FFN dimensions to
+    /// be divisible by the rank count (standard TP divisibility); its
+    /// row-split GEMMs regroup floating-point sums, so activations are
+    /// numerically equal — not bitwise — to pass-Q, while `TpOnly` stays
+    /// bit-identical.
+    #[must_use]
+    pub fn with_decode_strategy(mut self, strategy: DecodeStrategy) -> Self {
+        self.decode_strategy = Some(strategy);
+        self
+    }
+
+    /// Resolves the decode strategy for one tick: an explicit pin wins;
+    /// a fixed schedule defaults to batched pass-Q; `Auto` lets the
+    /// Appendix-D comm model price all three strategies at this tick's
+    /// (total context, batch) point.
+    fn resolve_decode_strategy(&self, ctx_total: usize, batch: usize) -> DecodeStrategy {
+        if let Some(pinned) = self.decode_strategy {
+            return pinned;
+        }
+        match &self.schedule {
+            SchedulePolicy::Fixed { .. } => DecodeStrategy::PassQ,
+            SchedulePolicy::Auto { topo } => {
+                choose_decode_strategy(&self.heuristic_ctx.model, topo, ctx_total, batch)
+            }
+        }
     }
 
     /// Sets the KV precision level: `F32` is exact, `Int8Wire` compresses
@@ -947,8 +1067,9 @@ impl TransformerEngine {
     /// **own** rotating round-robin rank (per-session step counters keep
     /// the rotation independent of batch composition), owner ranks run
     /// their projections batched over all owned tokens, and each layer's
-    /// attention is one batched ring pass-Q decode over every session in
-    /// the batch.
+    /// attention runs under the resolved [`DecodeStrategy`]: the batched
+    /// ring pass-Q decode (default), the Helix KV-parallel decode with a
+    /// tensor-parallel reshard, or the TP-only KV AllGather.
     ///
     /// Per-session outputs are bit-identical to decoding each session
     /// alone: attention is per-slot over that session's caches, and the
@@ -1016,9 +1137,21 @@ impl TransformerEngine {
         let batch_seqs: Vec<SeqId> = batch.iter().map(|&(seq, _)| seq).collect();
         let batch_seqs_ref = &batch_seqs;
 
-        // Decode is always pass-Q (§3.6) and the batched All2All return
-        // is layout-free, so only the direction of the schedule family
-        // applies here.
+        // Pick the tick's decode strategy from the batch's total live
+        // context (pin > fixed default > Appendix-D priced Auto), and
+        // pre-split the TP weight shards once if Helix will reshard.
+        let ctx_total: usize = batch
+            .iter()
+            .map(|&(seq, _)| Ok(self.state(seq)?.len + 1))
+            .sum::<Result<usize, ServeError>>()?;
+        let strategy = self.resolve_decode_strategy(ctx_total, batch.len());
+        if strategy == DecodeStrategy::Helix && self.tp_shards.is_none() {
+            self.tp_shards = Some(split_tp_shards(&self.model, n)?);
+        }
+
+        // The decode rings are layout-free (the batched All2All return is
+        // direct), so only the direction of the schedule family applies
+        // here — and only to the pass-Q strategy's ring.
         let (direction, _) = self.resolve_schedule(RingVariant::PassQ, batch.len(), 0)?;
 
         // Declared schedule for checked mode: decode traffic depends only
@@ -1041,9 +1174,38 @@ impl TransformerEngine {
                     rank_slots
                 })
                 .collect();
-            let layer_plan = match direction {
-                RingDirection::Uni => decode_plan(&params, &slots)?,
-                RingDirection::Bidi => decode_bidi_plan(&params, &slots)?,
+            let layer_plan = match strategy {
+                DecodeStrategy::PassQ => match direction {
+                    RingDirection::Uni => decode_plan(&params, &slots)?,
+                    RingDirection::Bidi => decode_bidi_plan(&params, &slots)?,
+                },
+                // One Helix layer = the decode exchange plus the three
+                // reshard collectives, in exactly the order the body
+                // issues them.
+                DecodeStrategy::Helix => helix_layer_plan(&params, &slots, config.model_dim())?,
+                // TP-only moves each rank's post-append shard of every
+                // batched session over one KV AllGather per layer.
+                DecodeStrategy::TpOnly => {
+                    let (n_kv, dh) = (shape.n_kv_heads(), shape.head_dim());
+                    let kv_bytes = (0..n)
+                        .map(|r| {
+                            let seqs = batch
+                                .iter()
+                                .zip(&owners)
+                                .map(|(&(seq, _), &owner)| {
+                                    let len = self.rank_len(r, seq)? + usize::from(owner == r);
+                                    Ok(SeqKv {
+                                        k: Tensor::zeros(&[len, n_kv, dh]),
+                                        v: Tensor::zeros(&[len, n_kv, dh]),
+                                        pos: vec![PAD; len],
+                                    })
+                                })
+                                .collect::<Result<Vec<_>, ServeError>>()?;
+                            Ok(RingMsg::Kv { seqs }.wire_bytes())
+                        })
+                        .collect::<Result<Vec<usize>, ServeError>>()?;
+                    tp_only_decode_plan(&kv_bytes)?
+                }
             };
             Some(stacked_plan(layer_plan, config.n_layers))
         } else {
@@ -1054,105 +1216,288 @@ impl TransformerEngine {
         let gather_hot = self.gather_hot_kv;
         let total_quant = self.kv_precision == KvPrecision::Int8Total;
         let qranks = &self.qranks;
-        let body = move |comm: &cp_comm::Communicator<RingMsg>| {
-            let r = comm.rank();
-            let pool = comm.pool();
-            let mut caches = lock_caches(&ranks[r]);
-            let mut qcaches = qranks.get(r).filter(|_| total_quant).map(lock_caches);
-            let dh = shape.head_dim();
-            let owned: &[(usize, u32, usize, SeqId)] =
-                assigned_ref.get(r).map(Vec::as_slice).unwrap_or(&[]);
-            let b = owned.len();
-            let positions: Vec<usize> = owned.iter().map(|&(_, _, pos, _)| pos).collect();
-            let tokens: Vec<u32> = owned.iter().map(|&(_, token, _, _)| token).collect();
-            let mut x = (b > 0).then(|| model.embed(&tokens));
-            for (l, block) in model.blocks().iter().enumerate() {
-                // Owner ranks project all their owned tokens in one
-                // batched GEMM (continuous batching's arithmetic-intensity
-                // win) and append each token's KV to its session.
-                let mut slots: Vec<Option<DecodeSlot>> = Vec::with_capacity(slots_per_rank);
-                if let Some(x_ref) = &x {
-                    let h = rms_norm_on(pool, x_ref, config.norm_eps)?;
-                    let mut q_all = project(reference, pool, &block.wq, &h)?.reshape(&[
-                        b,
-                        shape.n_heads(),
-                        dh,
-                    ])?;
-                    let mut k_all = project(reference, pool, &block.wk, &h)?.reshape(&[
-                        b,
-                        shape.n_kv_heads(),
-                        dh,
-                    ])?;
-                    let v_all = project(reference, pool, &block.wv, &h)?.reshape(&[
-                        b,
-                        shape.n_kv_heads(),
-                        dh,
-                    ])?;
-                    apply_rope(&mut q_all, &positions, config.rope_base)?;
-                    apply_rope(&mut k_all, &positions, config.rope_base)?;
-                    for (j, &(bid, _, pos, seq)) in owned.iter().enumerate() {
-                        let k_j = k_all.slice_dim0(j..j + 1)?;
-                        let v_j = v_all.slice_dim0(j..j + 1)?;
-                        caches[l].append(seq, &k_j, &v_j, &[pos])?;
-                        if let Some(qc) = qcaches.as_mut() {
-                            qc[l].append(seq, &k_j, &v_j, &[pos])?;
+        let bt = batch.len();
+        let batch_tokens: Vec<u32> = batch.iter().map(|&(_, token)| token).collect();
+        let batch_tokens_ref = &batch_tokens;
+        let tp_ref = self
+            .tp_shards
+            .as_deref()
+            .filter(|_| strategy == DecodeStrategy::Helix);
+        let attn_block = attn_block_for(self.cache_cfg.page_size);
+        let body =
+            move |comm: &cp_comm::Communicator<RingMsg>| {
+                let r = comm.rank();
+                let pool = comm.pool();
+                let mut caches = lock_caches(&ranks[r]);
+                let mut qcaches = qranks.get(r).filter(|_| total_quant).map(lock_caches);
+                let dh = shape.head_dim();
+                let d_model = config.model_dim();
+                let owned: &[(usize, u32, usize, SeqId)] =
+                    assigned_ref.get(r).map(Vec::as_slice).unwrap_or(&[]);
+                let b = owned.len();
+                let positions: Vec<usize> = owned.iter().map(|&(_, _, pos, _)| pos).collect();
+
+                if strategy == DecodeStrategy::Helix {
+                    let tp = tp_ref.ok_or_else(|| CoreError::Internal {
+                        detail: "helix decode ran without TP weight shards".to_string(),
+                    })?;
+                    // Helix replicates the residual stream: every rank embeds
+                    // the whole batch (a cheap deterministic lookup, no
+                    // communication), so post-attention activations can run
+                    // tensor-parallel without a scatter.
+                    let mut x_all = model.embed(batch_tokens_ref);
+                    for (l, block) in model.blocks().iter().enumerate() {
+                        let h_all = rms_norm_on(pool, &x_all, config.norm_eps)?;
+                        // Owners project and append only their owned rows —
+                        // row-wise ops, so the KV appends and query slots are
+                        // bit-identical to the pass-Q owner path.
+                        let mut slots: Vec<Option<DecodeSlot>> = Vec::with_capacity(slots_per_rank);
+                        if b > 0 {
+                            let mut h_own = Tensor::zeros(&[b, d_model]);
+                            for (j, &(bid, ..)) in owned.iter().enumerate() {
+                                h_own.row_mut(j).copy_from_slice(h_all.row(bid));
+                            }
+                            let mut q_all = project(reference, pool, &block.wq, &h_own)?
+                                .reshape(&[b, shape.n_heads(), dh])?;
+                            let mut k_all = project(reference, pool, &block.wk, &h_own)?
+                                .reshape(&[b, shape.n_kv_heads(), dh])?;
+                            let v_all = project(reference, pool, &block.wv, &h_own)?.reshape(&[
+                                b,
+                                shape.n_kv_heads(),
+                                dh,
+                            ])?;
+                            apply_rope(&mut q_all, &positions, config.rope_base)?;
+                            apply_rope(&mut k_all, &positions, config.rope_base)?;
+                            for (j, &(bid, _, pos, seq)) in owned.iter().enumerate() {
+                                let k_j = k_all.slice_dim0(j..j + 1)?;
+                                let v_j = v_all.slice_dim0(j..j + 1)?;
+                                caches[l].append(seq, &k_j, &v_j, &[pos])?;
+                                if let Some(qc) = qcaches.as_mut() {
+                                    qc[l].append(seq, &k_j, &v_j, &[pos])?;
+                                }
+                                slots.push(Some(DecodeSlot {
+                                    bid,
+                                    q: q_all.slice_dim0(j..j + 1)?,
+                                    pos,
+                                }));
+                            }
                         }
-                        slots.push(Some(DecodeSlot {
-                            bid,
-                            q: q_all.slice_dim0(j..j + 1)?,
-                            pos,
-                        }));
+                        slots.resize_with(slots_per_rank, || None);
+                        let mut batch_kv: Vec<RankKv<'_>> = Vec::with_capacity(bt);
+                        for &seq in batch_seqs_ref {
+                            batch_kv.push(if let Some(qc) = qcaches.as_ref() {
+                                RankKv::QuantView(qc[l].view(seq)?)
+                            } else if gather_hot {
+                                let (ck, cv, cpos) = caches[l].gather(seq)?;
+                                RankKv::tensors(SeqKv {
+                                    k: ck,
+                                    v: cv,
+                                    pos: cpos,
+                                })
+                            } else {
+                                RankKv::View(caches[l].view(seq)?)
+                            });
+                        }
+                        // KV-parallel attention: one DecodeQ AllGather + the
+                        // exact merge (bitwise equal to the pass-Q ring).
+                        let outs = helix_decode_kv(comm, &params, &slots, &batch_kv)?;
+                        let attn_own = if outs.is_empty() {
+                            Tensor::zeros(&[0, d_model])
+                        } else {
+                            let rows = outs
+                                .into_iter()
+                                .map(|attn| attn.out.reshape(&[1, d_model]))
+                                .collect::<Result<Vec<_>, _>>()?;
+                            Tensor::concat_dim0(rows.iter())?
+                        };
+                        // Reshard to the TP layout: gather every owner's
+                        // merged attention rows so all ranks hold [B, D].
+                        let gathered = comm.all_gather(RingMsg::Act { x: attn_own })?;
+                        let mut attn_all = Tensor::zeros(&[bt, d_model]);
+                        for (src, msg) in gathered.iter().enumerate() {
+                            let RingMsg::Act { x } = msg else {
+                                return Err(CoreError::BadRequest {
+                                    reason: format!(
+                                        "helix reshard AllGather slot {src} carries {}",
+                                        msg.variant_name()
+                                    ),
+                                });
+                            };
+                            let src_owned = assigned_ref.get(src).map(Vec::as_slice).unwrap_or(&[]);
+                            if x.dim0() != src_owned.len() {
+                                return Err(CoreError::Internal {
+                                    detail: format!(
+                                        "helix reshard rank {src} sent {} rows for {} slots",
+                                        x.dim0(),
+                                        src_owned.len()
+                                    ),
+                                });
+                            }
+                            for (j, &(bid, ..)) in src_owned.iter().enumerate() {
+                                attn_all.row_mut(bid).copy_from_slice(x.row(j));
+                            }
+                        }
+                        // Row-parallel output projection over this rank's
+                        // feature slice, AllReduce-summed.
+                        let cols = d_model / n;
+                        let attn_cols = slice_cols(&attn_all, r * cols, (r + 1) * cols)?;
+                        let wo_out = act_all_reduce(
+                            comm,
+                            project(reference, pool, &tp[l].wo_rows[r], &attn_cols)?,
+                        )?;
+                        x_all.add_assign(&wo_out)?;
+                        // TP FFN: gate/up column-parallel (local), down
+                        // row-parallel + AllReduce.
+                        let h2 = rms_norm_on(pool, &x_all, config.norm_eps)?;
+                        let mut g = project(reference, pool, &tp[l].gate_cols[r], &h2)?.map(silu);
+                        let u = project(reference, pool, &tp[l].up_cols[r], &h2)?;
+                        g.mul_assign(&u)?;
+                        let ffn_out = act_all_reduce(
+                            comm,
+                            project(reference, pool, &tp[l].down_rows[r], &g)?,
+                        )?;
+                        x_all.add_assign(&ffn_out)?;
                     }
-                }
-                slots.resize_with(slots_per_rank, || None);
-                // The decode hot path: every rank attends over its own
-                // resident cache of every batched session. The zero-copy
-                // views keep the per-step cost at O(pages) instead of an
-                // O(context) gather copy.
-                let mut batch_kv: Vec<RankKv<'_>> = Vec::with_capacity(batch_seqs_ref.len());
-                for &seq in batch_seqs_ref {
-                    batch_kv.push(if let Some(qc) = qcaches.as_ref() {
-                        RankKv::QuantView(qc[l].view(seq)?)
-                    } else if gather_hot {
-                        let (ck, cv, cpos) = caches[l].gather(seq)?;
-                        RankKv::tensors(SeqKv {
-                            k: ck,
-                            v: cv,
-                            pos: cpos,
-                        })
-                    } else {
-                        RankKv::View(caches[l].view(seq)?)
-                    });
-                }
-                let outs = match direction {
-                    RingDirection::Uni => ring_pass_q_decode_kv(comm, &params, &slots, &batch_kv)?,
-                    RingDirection::Bidi => {
-                        ring_pass_q_decode_bidi_kv(comm, &params, &slots, &batch_kv)?
+                    if b == 0 {
+                        return Ok(None);
                     }
-                };
-                if let Some(x_val) = x.take() {
-                    let rows = outs
-                        .into_iter()
-                        .map(|attn| attn.out.reshape(&[1, config.model_dim()]))
-                        .collect::<Result<Vec<_>, _>>()?;
-                    let attn_flat = Tensor::concat_dim0(rows.iter())?;
-                    let mut x_new = x_val;
-                    x_new.add_assign(&project(reference, pool, &block.wo, &attn_flat)?)?;
-                    let h = rms_norm_on(pool, &x_new, config.norm_eps)?;
-                    let f = if reference {
-                        block.ffn.forward_naive(&h)?
-                    } else {
-                        block.ffn.forward_on(pool, &h)?
+                    let x_final = rms_norm_on(pool, &x_all, config.norm_eps)?;
+                    let mut mine = Tensor::zeros(&[b, d_model]);
+                    for (j, &(bid, ..)) in owned.iter().enumerate() {
+                        mine.row_mut(j).copy_from_slice(x_final.row(bid));
+                    }
+                    return Ok(Some(mine));
+                }
+
+                let tokens: Vec<u32> = owned.iter().map(|&(_, token, _, _)| token).collect();
+                let mut x = (b > 0).then(|| model.embed(&tokens));
+                for (l, block) in model.blocks().iter().enumerate() {
+                    // Owner ranks project all their owned tokens in one
+                    // batched GEMM (continuous batching's arithmetic-intensity
+                    // win) and append each token's KV to its session.
+                    let mut slots: Vec<Option<DecodeSlot>> = Vec::with_capacity(slots_per_rank);
+                    if let Some(x_ref) = &x {
+                        let h = rms_norm_on(pool, x_ref, config.norm_eps)?;
+                        let mut q_all = project(reference, pool, &block.wq, &h)?.reshape(&[
+                            b,
+                            shape.n_heads(),
+                            dh,
+                        ])?;
+                        let mut k_all = project(reference, pool, &block.wk, &h)?.reshape(&[
+                            b,
+                            shape.n_kv_heads(),
+                            dh,
+                        ])?;
+                        let v_all = project(reference, pool, &block.wv, &h)?.reshape(&[
+                            b,
+                            shape.n_kv_heads(),
+                            dh,
+                        ])?;
+                        apply_rope(&mut q_all, &positions, config.rope_base)?;
+                        apply_rope(&mut k_all, &positions, config.rope_base)?;
+                        for (j, &(bid, _, pos, seq)) in owned.iter().enumerate() {
+                            let k_j = k_all.slice_dim0(j..j + 1)?;
+                            let v_j = v_all.slice_dim0(j..j + 1)?;
+                            caches[l].append(seq, &k_j, &v_j, &[pos])?;
+                            if let Some(qc) = qcaches.as_mut() {
+                                qc[l].append(seq, &k_j, &v_j, &[pos])?;
+                            }
+                            slots.push(Some(DecodeSlot {
+                                bid,
+                                q: q_all.slice_dim0(j..j + 1)?,
+                                pos,
+                            }));
+                        }
+                    }
+                    slots.resize_with(slots_per_rank, || None);
+                    // The decode hot path: every rank attends over its own
+                    // resident cache of every batched session. The zero-copy
+                    // views keep the per-step cost at O(pages) instead of an
+                    // O(context) gather copy.
+                    let mut batch_kv: Vec<RankKv<'_>> = Vec::with_capacity(batch_seqs_ref.len());
+                    for &seq in batch_seqs_ref {
+                        batch_kv.push(if let Some(qc) = qcaches.as_ref() {
+                            RankKv::QuantView(qc[l].view(seq)?)
+                        } else if gather_hot {
+                            let (ck, cv, cpos) = caches[l].gather(seq)?;
+                            RankKv::tensors(SeqKv {
+                                k: ck,
+                                v: cv,
+                                pos: cpos,
+                            })
+                        } else {
+                            RankKv::View(caches[l].view(seq)?)
+                        });
+                    }
+                    let outs = match strategy {
+                        DecodeStrategy::PassQ => match direction {
+                            RingDirection::Uni => {
+                                ring_pass_q_decode_kv(comm, &params, &slots, &batch_kv)?
+                            }
+                            RingDirection::Bidi => {
+                                ring_pass_q_decode_bidi_kv(comm, &params, &slots, &batch_kv)?
+                            }
+                        },
+                        // TP-only: broadcast this rank's post-append shard of
+                        // every batched session; owners fold one partial per
+                        // shard in rank order — bit-identical to pass-Q.
+                        DecodeStrategy::TpOnly => {
+                            let wire: Vec<SeqKv> = if n > 1 {
+                                batch_seqs_ref
+                                    .iter()
+                                    .map(|&seq| {
+                                        if let Some(qc) = qcaches.as_ref() {
+                                            let (k, v, pos) = qc[l].gather_quantized(seq)?;
+                                            Ok(SeqKv {
+                                                k: k.dequantize(),
+                                                v: v.dequantize(),
+                                                pos,
+                                            })
+                                        } else {
+                                            let (ck, cv, cpos) = caches[l].gather(seq)?;
+                                            Ok(SeqKv {
+                                                k: ck,
+                                                v: cv,
+                                                pos: cpos,
+                                            })
+                                        }
+                                    })
+                                    .collect::<Result<_, CoreError>>()?
+                            } else {
+                                Vec::new()
+                            };
+                            tp_only_decode_kv(comm, &params, &slots, &batch_kv, &wire, attn_block)?
+                        }
+                        DecodeStrategy::Helix => {
+                            return Err(CoreError::Internal {
+                                detail: "helix decode fell through to the owner-local path"
+                                    .to_string(),
+                            });
+                        }
                     };
-                    x_new.add_assign(&f)?;
-                    x = Some(x_new);
+                    if let Some(x_val) = x.take() {
+                        let rows = outs
+                            .into_iter()
+                            .map(|attn| attn.out.reshape(&[1, config.model_dim()]))
+                            .collect::<Result<Vec<_>, _>>()?;
+                        let attn_flat = Tensor::concat_dim0(rows.iter())?;
+                        let mut x_new = x_val;
+                        x_new.add_assign(&project(reference, pool, &block.wo, &attn_flat)?)?;
+                        let h = rms_norm_on(pool, &x_new, config.norm_eps)?;
+                        let f = if reference {
+                            block.ffn.forward_naive(&h)?
+                        } else {
+                            block.ffn.forward_on(pool, &h)?
+                        };
+                        x_new.add_assign(&f)?;
+                        x = Some(x_new);
+                    }
                 }
-            }
-            match x {
-                Some(x) => Ok(Some(rms_norm_on(pool, &x, config.norm_eps)?)),
-                None => Ok(None),
-            }
-        };
+                match x {
+                    Some(x) => Ok(Some(rms_norm_on(pool, &x, config.norm_eps)?)),
+                    None => Ok(None),
+                }
+            };
         let ring_result = run_ring_on(n, self.pool_threads, plan.as_ref(), body);
         let (outputs, traffic) = match ring_result {
             Ok(v) => v,
@@ -1307,6 +1652,157 @@ mod tests {
             .unwrap();
         assert_eq!(engine.session_len(SeqId(2)).unwrap(), 20);
         assert!(!engine.has_session(SeqId(1)));
+    }
+
+    /// Prefills two sessions and runs three batched decode ticks under
+    /// the given strategy pin (`None` = the engine default), returning
+    /// each tick's per-session activations.
+    fn decode_activations(
+        n: usize,
+        strategy: Option<DecodeStrategy>,
+        precision: KvPrecision,
+    ) -> Vec<Vec<Tensor>> {
+        let mut engine = TransformerEngine::new(model(40), n)
+            .unwrap()
+            .with_kv_precision(precision);
+        if let Some(s) = strategy {
+            engine = engine.with_decode_strategy(s);
+        }
+        engine.create_session(SeqId(1)).unwrap();
+        engine.create_session(SeqId(2)).unwrap();
+        engine
+            .prefill_session(SeqId(1), &(0..19u32).collect::<Vec<_>>())
+            .unwrap();
+        engine
+            .prefill_session(SeqId(2), &(100..107u32).collect::<Vec<_>>())
+            .unwrap();
+        (0..3u32)
+            .map(|step| {
+                engine
+                    .decode_batch(&[(SeqId(1), 50 + step), (SeqId(2), 80 + step)])
+                    .unwrap()
+                    .activations
+            })
+            .collect()
+    }
+
+    #[test]
+    fn helix_decode_matches_pass_q_activations() {
+        // The Helix reshard's row-split GEMMs regroup fp sums, so the
+        // full-model activations are numerically equal (not bitwise) to
+        // batched pass-Q — at every world size and KV precision.
+        for n in [1usize, 2, 4] {
+            for precision in [KvPrecision::F32, KvPrecision::Int8Total] {
+                let passq = decode_activations(n, Some(DecodeStrategy::PassQ), precision);
+                let helix = decode_activations(n, Some(DecodeStrategy::Helix), precision);
+                for (p_step, h_step) in passq.iter().zip(&helix) {
+                    for (p, h) in p_step.iter().zip(h_step) {
+                        assert!(
+                            p.approx_eq(h, 1e-4).unwrap(),
+                            "n={n} {precision:?}: {}",
+                            p.max_abs_diff(h).unwrap()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tp_only_decode_is_bit_identical_to_pass_q() {
+        // TP-only reuses the pass-Q owner path and folds the same
+        // per-shard partials in the same order — bitwise, not just close.
+        for n in [1usize, 2, 4] {
+            for precision in [KvPrecision::F32, KvPrecision::Int8Total] {
+                let passq = decode_activations(n, None, precision);
+                let tp = decode_activations(n, Some(DecodeStrategy::TpOnly), precision);
+                assert_eq!(passq, tp, "n={n} {precision:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn helix_and_tp_only_decode_pass_checked_schedules() {
+        // Checked mode validates live traffic against the stacked
+        // per-layer plans (`helix_layer_plan` / `tp_only_decode_plan`);
+        // any drift between the declared reshard collectives and what the
+        // decode body issues fails the tick.
+        for strategy in [DecodeStrategy::Helix, DecodeStrategy::TpOnly] {
+            for n in [1usize, 2, 4] {
+                let mut engine = TransformerEngine::new(model(41), n)
+                    .unwrap()
+                    .with_schedule_checking(true)
+                    .with_decode_strategy(strategy);
+                engine.prefill(&(0..11u32).collect::<Vec<_>>()).unwrap();
+                for t in 0..3 {
+                    engine.decode(20 + t).unwrap();
+                }
+                assert_eq!(engine.context_len(), 14);
+            }
+        }
+    }
+
+    #[test]
+    fn helix_decode_traffic_has_no_ring_hops() {
+        // Helix replaces the n-1 DecodeQ SendRecv hops with one AllGather
+        // and adds the reshard AllGather + two AllReduces per layer;
+        // pass-Q keeps the hop chain. The traffic report shows the swap.
+        let mut helix = TransformerEngine::new(model(42), 2)
+            .unwrap()
+            .with_decode_strategy(DecodeStrategy::Helix);
+        helix.prefill(&(0..9u32).collect::<Vec<_>>()).unwrap();
+        let ht = helix.decode(30).unwrap().traffic;
+        assert_eq!(ht.send_recv_bytes, 0, "helix decode must not hop");
+        assert!(ht.all_gather_bytes > 0);
+        assert!(ht.all_reduce.bytes > 0);
+
+        let mut passq = TransformerEngine::new(model(42), 2).unwrap();
+        passq.prefill(&(0..9u32).collect::<Vec<_>>()).unwrap();
+        let pt = passq.decode(30).unwrap().traffic;
+        assert!(pt.send_recv_bytes > 0, "pass-q decode circulates queries");
+        assert_eq!(pt.all_reduce.bytes, 0);
+    }
+
+    #[test]
+    fn auto_schedule_decode_matches_pinned_strategy() {
+        // At this tick's short context the Appendix-D pricing picks
+        // TP-only (one latency beats Helix's two; the tiny KV shard is
+        // nearly free to move) — and TP-only is bit-identical to pass-Q,
+        // so Auto must reproduce the pinned default exactly. Both engines
+        // run the same auto schedule so the prefill ring family (exact
+        // but not bitwise across families) is held constant.
+        let run = |pin: Option<DecodeStrategy>| {
+            let mut engine = TransformerEngine::new(model(43), 2)
+                .unwrap()
+                .with_auto_schedule(TopologySpec::uniform(2, 100.0, 5.0));
+            if let Some(s) = pin {
+                engine = engine.with_decode_strategy(s);
+            }
+            engine.prefill(&(0..13u32).collect::<Vec<_>>()).unwrap();
+            (0..3u32)
+                .map(|t| engine.decode(60 + t).unwrap().activations)
+                .collect::<Vec<_>>()
+        };
+        let auto = run(None);
+        let passq = run(Some(DecodeStrategy::PassQ));
+        let tponly = run(Some(DecodeStrategy::TpOnly));
+        assert_eq!(auto, tponly);
+        assert_eq!(auto, passq);
+    }
+
+    #[test]
+    fn helix_rejects_indivisible_tp_split() {
+        // tiny() has D=32: three ranks cannot row-split the output
+        // projection, and the tick must fail typed instead of panicking.
+        let mut engine = TransformerEngine::new(model(44), 3)
+            .unwrap()
+            .with_decode_strategy(DecodeStrategy::Helix);
+        engine.prefill(&(0..7u32).collect::<Vec<_>>()).unwrap();
+        let err = engine.decode(9).unwrap_err();
+        assert!(
+            matches!(err, ServeError::Core(CoreError::BadRequest { .. })),
+            "{err:?}"
+        );
     }
 
     #[test]

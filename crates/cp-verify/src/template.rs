@@ -72,13 +72,14 @@ use cp_attention::AttentionParams;
 use cp_comm::{CommOp, CommPlan, PredictedTraffic, RankPlan, Topology, Wire};
 use cp_core::schedule::{
     all_gather_pass_kv_plan, all_gather_plan, all_reduce_plan, decode_bidi_plan, decode_plan,
-    pass_kv_bidi_plan, pass_kv_plan, pass_kv_plan_on, pass_kv_quant_bidi_plan,
-    pass_kv_quant_plan_on, pass_q_bidi_plan, pass_q_plan, pass_q_plan_on, stacked_plan, RingLayout,
-    RingPath,
+    helix_decode_plan, helix_layer_plan, pass_kv_bidi_plan, pass_kv_plan, pass_kv_plan_on,
+    pass_kv_quant_bidi_plan, pass_kv_quant_plan_on, pass_q_bidi_plan, pass_q_plan, pass_q_plan_on,
+    stacked_plan, tp_only_decode_plan, RingLayout, RingPath,
 };
 use cp_core::{
     split_slot_vec, CoreError, DecodeSlot, LocalSeq, QuantSeqKv, RingMsg, SeqKv, SeqQ, ELEM_BYTES,
 };
+use cp_tensor::Tensor;
 
 use crate::grid::{grid_locals, grid_params, grid_slots};
 
@@ -1309,6 +1310,94 @@ pub fn decode_bidi_template() -> SymTemplate {
     }
 }
 
+/// The Helix decode attention family (Helix-parallelism-style,
+/// arXiv:2507.07120): the `W-1` DecodeQ ring hops of [`decode_template`]
+/// fuse into one `AllGather` of every origin's slot vector — each rank
+/// attends over its local KV shard for the whole batch at once — and the
+/// same single `All2All` returns the per-origin partials for the exact
+/// ascending-rank merge.
+pub fn helix_decode_template() -> SymTemplate {
+    SymTemplate {
+        name: "helix_decode".to_string(),
+        repeat: 1,
+        ranks_per_node: None,
+        table_names: vec!["dq", "dout"],
+        segments: vec![
+            SymSegment::Collective(SymCollective::AllGather {
+                variant: "DecodeQ",
+                table: 0,
+                send_ix: Ix::SelfRank,
+            }),
+            SymSegment::Collective(SymCollective::AllToAll {
+                variant: "DecodeOut",
+                table: 1,
+            }),
+        ],
+    }
+}
+
+/// The TP-only decode family: one `AllGather` replicating every rank's
+/// owned per-sequence KV shards; each slot's owner then folds one partial
+/// per source shard locally, so no partials travel back. The `W = 1`
+/// production plan degenerates to zero ops (no collective is issued);
+/// the family covers the `W ≥ 2` collective.
+pub fn tp_only_decode_template() -> SymTemplate {
+    SymTemplate {
+        name: "tp_only_decode".to_string(),
+        repeat: 1,
+        ranks_per_node: None,
+        table_names: vec!["kv"],
+        segments: vec![SymSegment::Collective(SymCollective::AllGather {
+            variant: "Kv",
+            table: 0,
+            send_ix: Ix::SelfRank,
+        })],
+    }
+}
+
+/// One serve-engine transformer layer of Helix decode: the attention
+/// collectives of [`helix_decode_template`] followed by the TP reshard —
+/// an `AllGather` replicating each owner's merged attention rows (`act`:
+/// per-rank real-slot rows × `D`), then two row-parallel `AllReduce`s
+/// (out projection, FFN down projection), each summing a full
+/// `[batch, D]` partial (`act_sum`, uniform). Stacked per layer via
+/// `repeat` — the symbolic form of `stacked_plan` over
+/// `helix_layer_plan`.
+pub fn helix_layer_template() -> SymTemplate {
+    SymTemplate {
+        name: "helix_layer".to_string(),
+        repeat: 1,
+        ranks_per_node: None,
+        table_names: vec!["dq", "dout", "act", "act_sum"],
+        segments: vec![
+            SymSegment::Collective(SymCollective::AllGather {
+                variant: "DecodeQ",
+                table: 0,
+                send_ix: Ix::SelfRank,
+            }),
+            SymSegment::Collective(SymCollective::AllToAll {
+                variant: "DecodeOut",
+                table: 1,
+            }),
+            SymSegment::Collective(SymCollective::AllGather {
+                variant: "Act",
+                table: 2,
+                send_ix: Ix::SelfRank,
+            }),
+            SymSegment::Collective(SymCollective::AllReduce {
+                variant: "Act",
+                table: 3,
+                send_ix: Ix::SelfRank,
+            }),
+            SymSegment::Collective(SymCollective::AllReduce {
+                variant: "Act",
+                table: 3,
+                send_ix: Ix::SelfRank,
+            }),
+        ],
+    }
+}
+
 /// The topology-aware pass-KV prefill family (TASP-style,
 /// arXiv:2509.26541): the flat hop structure over the hierarchical ring of
 /// `g` ranks per node, keeping `W-N` of the `W-1` hops on fast intra-node
@@ -1418,8 +1507,10 @@ pub fn forward_template(layers: usize, pass_q: bool) -> SymTemplate {
 
 /// Every declared template family, covering every collective the
 /// workspace issues: the three ring algorithms in both directions, the
-/// hierarchical layouts, the all-gather baseline, both TP collectives,
-/// and the stacked full-stack forward in both ring variants.
+/// hierarchical layouts, the three decode strategies (batched pass-Q,
+/// Helix, TP-only — plus the Helix serve layer with its TP reshard), the
+/// all-gather baseline, both TP collectives, and the stacked full-stack
+/// forward in both ring variants.
 pub fn all_templates() -> Vec<SymTemplate> {
     vec![
         pass_kv_template(),
@@ -1428,6 +1519,9 @@ pub fn all_templates() -> Vec<SymTemplate> {
         pass_kv_bidi_template(),
         pass_q_bidi_template(),
         decode_bidi_template(),
+        helix_decode_template(),
+        tp_only_decode_template(),
+        helix_layer_template(),
         pass_kv_hier_template(2),
         pass_q_hier_template(2),
         pass_kv_bidi_hier_template(2),
@@ -1691,6 +1785,22 @@ pub fn template_cases(world: usize) -> Result<Vec<TemplateCase>, CoreError> {
     let dq = dq_bytes(&slots);
     let dout = dout_bytes(&params, &slots);
     let (dq_a, dq_b) = dq_half_tables(&slots);
+    // Helix reshard tables, metered through the `Act` payload's `Wire`
+    // impl: per-rank merged attention rows (one `[1, D]` row per real
+    // slot) and the uniform `[batch, D]` row-parallel partial.
+    let model_dim = shape.n_heads() * shape.head_dim();
+    let act_rows = |rows: usize| {
+        RingMsg::Act {
+            x: Tensor::zeros(&[rows, model_dim]),
+        }
+        .wire_bytes()
+    };
+    let act: Vec<usize> = slots
+        .iter()
+        .map(|s| act_rows(s.iter().flatten().count()))
+        .collect();
+    let batch_rows: usize = slots.iter().map(|s| s.iter().flatten().count()).sum();
+    let act_sum = vec![act_rows(batch_rows); world];
     // Distinct per-rank TP payload sizes: uniform tables would hide
     // wrong-index bugs at grounding time.
     let payload: Vec<usize> = (0..world).map(|r| 4 * (r + 2)).collect();
@@ -1710,8 +1820,32 @@ pub fn template_cases(world: usize) -> Result<Vec<TemplateCase>, CoreError> {
         ),
         case(
             decode_template(),
-            vec![dq, dout.clone()],
+            vec![dq.clone(), dout.clone()],
             decode_plan(&params, &slots)?,
+        ),
+        case(
+            helix_decode_template(),
+            vec![dq.clone(), dout.clone()],
+            helix_decode_plan(&params, &slots)?,
+        ),
+        case(
+            tp_only_decode_template(),
+            vec![kv.clone()],
+            tp_only_decode_plan(&kv)?,
+        ),
+        case(
+            helix_layer_template(),
+            vec![dq.clone(), dout.clone(), act.clone(), act_sum.clone()],
+            helix_layer_plan(&params, &slots, model_dim)?,
+        ),
+        case(
+            SymTemplate {
+                name: "helix_layer_x3".to_string(),
+                repeat: 3,
+                ..helix_layer_template()
+            },
+            vec![dq.clone(), dout.clone(), act, act_sum],
+            stacked_plan(helix_layer_plan(&params, &slots, model_dim)?, 3),
         ),
         case(
             pass_kv_bidi_template(),
@@ -1801,7 +1935,7 @@ mod tests {
     use crate::check::check_plan;
     use crate::explore::explore_default;
     use cp_comm::{CheckedFabric, CommError};
-    use cp_core::ring::{ring_pass_kv_prefill, ring_pass_q_prefill};
+    use cp_core::ring::{helix_decode, ring_pass_kv_prefill, ring_pass_q_prefill};
     use cp_core::schedule::run_ring_checked;
 
     #[test]
@@ -1872,11 +2006,12 @@ mod tests {
 
     #[test]
     fn every_schedule_family_is_declared() {
-        // 18 families: 3 ring algorithms × {uni, bidi}, 3 hierarchical
-        // layouts, 4 compressed pass-KV layouts ({uni, bidi} × {flat,
-        // hier}), the all-gather baseline, 2 TP collectives, 2 stacked
-        // forwards.
-        assert_eq!(all_templates().len(), 18);
+        // 21 families: 3 ring algorithms × {uni, bidi}, the Helix and
+        // TP-only decode strategies plus the Helix serve layer (attention
+        // collectives + TP reshard), 3 hierarchical layouts, 4 compressed
+        // pass-KV layouts ({uni, bidi} × {flat, hier}), the all-gather
+        // baseline, 2 TP collectives, 2 stacked forwards.
+        assert_eq!(all_templates().len(), 21);
     }
 
     #[test]
@@ -2008,6 +2143,21 @@ mod tests {
                 TemplateMutation::WrongRecvByteExpr,
                 "ring-hop",
             ),
+            (
+                helix_decode_template(),
+                TemplateMutation::WrongCollectiveSend,
+                "collective",
+            ),
+            (
+                tp_only_decode_template(),
+                TemplateMutation::WrongCollectiveSend,
+                "collective",
+            ),
+            (
+                helix_layer_template(),
+                TemplateMutation::WrongCollectiveSend,
+                "collective",
+            ),
         ];
         for (template, mutation, law) in cases {
             let name = template.name.clone();
@@ -2030,6 +2180,11 @@ mod tests {
             TemplateMutation::WrongCollectiveSend
         )
         .is_none());
+        // Collective-only decode families have no ring-hop sites.
+        assert!(
+            apply_template_mutation(&helix_decode_template(), TemplateMutation::DropFinalHop)
+                .is_none()
+        );
     }
 
     /// Skewed 3-rank prefill inputs: non-uniform Q/Out byte tables, so a
@@ -2124,6 +2279,69 @@ mod tests {
         }
     }
 
+    /// Ragged 3-slot decode grids: `(r + s) % 2` padding gives per-rank
+    /// real-slot counts `[2, 1, 2]` at world 3, so the Helix byte tables
+    /// are genuinely non-uniform (the 2-slot grid used by
+    /// `template_cases` degenerates to one real slot per rank).
+    fn helix_grid() -> (Vec<Vec<Option<DecodeSlot>>>, Vec<SeqKv>) {
+        let params = grid_params().unwrap();
+        let shape = params.shape;
+        let slots = grid_slots(3, 3, true, shape);
+        let batch_kv: Vec<SeqKv> = (0..3)
+            .map(|b| SeqKv {
+                k: Tensor::zeros(&[b + 2, shape.n_kv_heads(), shape.head_dim()]),
+                v: Tensor::zeros(&[b + 2, shape.n_kv_heads(), shape.head_dim()]),
+                pos: (0..b + 2).collect(),
+            })
+            .collect();
+        (slots, batch_kv)
+    }
+
+    #[test]
+    fn checked_fabric_catches_wrong_helix_collective_send_at_runtime() {
+        // A Helix-plan mutation caught end-to-end: the mutated template
+        // declares each rank broadcasts a *rotated* DecodeQ table entry,
+        // and the live `helix_decode` AllGather (which sends the rank's
+        // own slots) breaks the declaration on the skewed tables.
+        let params = grid_params().unwrap();
+        let (slots, batch_kv) = helix_grid();
+        let tables = vec![dq_bytes(&slots), dout_bytes(&params, &slots)];
+        let mutant = apply_template_mutation(
+            &helix_decode_template(),
+            TemplateMutation::WrongCollectiveSend,
+        )
+        .unwrap();
+        let plan = mutant.ground(3, &tables).unwrap();
+        let fabric = CheckedFabric::new(plan);
+        let slots_ref = &slots;
+        let kv_ref = &batch_kv;
+        let err = run_ring_checked(&fabric, |comm| {
+            helix_decode(comm, &params, &slots_ref[comm.rank()], kv_ref)
+        })
+        .unwrap_err();
+        expect_plan_violation(err, "wrong-helix-collective-send");
+    }
+
+    #[test]
+    fn conforming_helix_template_runs_clean_under_checked_fabric() {
+        // The unmutated grounded Helix template drives the real
+        // `helix_decode` body end-to-end with zero violations and the
+        // predicted traffic accounts every byte.
+        let params = grid_params().unwrap();
+        let (slots, batch_kv) = helix_grid();
+        let tables = vec![dq_bytes(&slots), dout_bytes(&params, &slots)];
+        let plan = helix_decode_template().ground(3, &tables).unwrap();
+        let predicted = plan.predicted_traffic();
+        let fabric = CheckedFabric::new(plan);
+        let slots_ref = &slots;
+        let kv_ref = &batch_kv;
+        let (_, report) = run_ring_checked(&fabric, |comm| {
+            helix_decode(comm, &params, &slots_ref[comm.rank()], kv_ref)
+        })
+        .unwrap();
+        predicted.check_report(&report).unwrap();
+    }
+
     #[test]
     fn conforming_templates_run_clean_under_checked_fabric() {
         // The unmutated grounded templates drive the real ring bodies
@@ -2151,5 +2369,9 @@ mod tests {
         assert!(q.iter().any(|&b| b != q[0]), "{q:?}");
         let outs = out_bytes(&params, &locals);
         assert!(outs.iter().any(|&b| b != outs[0]), "{outs:?}");
+        // The Helix runtime tests rely on skewed DecodeQ tables too.
+        let (slots, _) = helix_grid();
+        let dq = dq_bytes(&slots);
+        assert!(dq.iter().any(|&b| b != dq[0]), "{dq:?}");
     }
 }

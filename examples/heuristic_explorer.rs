@@ -10,7 +10,7 @@ use cp_core::heuristics::{
     choose_variant, empirical_h, fit_empirical, selection_accuracy, HeuristicKind, SystemContext,
     PAPER_EMPIRICAL,
 };
-use cp_perf::RingVariant;
+use cp_perf::{ranked_decode_strategies, DecodeStrategy, ModelSpec, RingVariant, TopologySpec};
 use cp_workload::{heuristic_fit_grid, table4_grid};
 
 fn mark(v: RingVariant) -> &'static str {
@@ -109,5 +109,55 @@ fn main() {
             empirical_h(alpha, beta, gamma, t, p),
             mark(choose_variant(fitted, &ctx, t, p))
         );
+    }
+
+    // Decode-strategy map: which of batched pass-Q / Helix / TP-only the
+    // Appendix-D comm terms rank first, across context length and world
+    // size. TP-only ships O(T) KV bytes per token so it only survives at
+    // W = 1 (where it issues no collectives at all); pass-Q's (W-1)
+    // serialized hops lose to Helix's two fused collectives as latency
+    // or W grows.
+    let model = ModelSpec::llama3_405b();
+    println!("\ndecode strategy map (Llama3-405B, batch 8): rows = topology, cols = context T");
+    let t_axis: Vec<usize> = (13..=20).map(|l| 1usize << l).collect();
+    print!("{:>32}", "topology \\ T  ");
+    for &t in &t_axis {
+        print!("{:>9}", t);
+    }
+    println!();
+    for (label, mk_topo) in [
+        (
+            "NVLink-ish (400GB/s, 2us)",
+            (|w| TopologySpec::uniform(w, 400.0, 2.0)) as fn(usize) -> TopologySpec,
+        ),
+        ("RDMA-ish (50GB/s, 10us)", |w| {
+            TopologySpec::uniform(w, 50.0, 10.0)
+        }),
+        ("TCP-ish (10GB/s, 50us)", |w| {
+            TopologySpec::uniform(w, 10.0, 50.0)
+        }),
+    ] {
+        for w in [1usize, 2, 4, 8, 16] {
+            print!("{label:>26} W={w:<3}");
+            for &t in &t_axis {
+                let ranked = ranked_decode_strategies(&model, &mk_topo(w), t, 8);
+                let c = match ranked[0].0 {
+                    DecodeStrategy::PassQ => "q",
+                    DecodeStrategy::Helix => "H",
+                    DecodeStrategy::TpOnly => "tp",
+                };
+                print!("{c:>9}");
+            }
+            println!();
+        }
+    }
+    println!("(q = batched pass-Q, H = Helix, tp = TP-only)");
+
+    // The full ranking with modeled comm seconds at one representative
+    // long-context point.
+    let topo = TopologySpec::uniform(8, 50.0, 10.0);
+    println!("\nranked decode strategies at T = 1M, W = 8, RDMA-ish (modeled comm s/token):");
+    for (strategy, secs) in ranked_decode_strategies(&model, &topo, 1 << 20, 8) {
+        println!("  {:<8} {secs:.3e}", strategy.name());
     }
 }
